@@ -1,0 +1,80 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared helpers for the experiment benches.  Each bench binary
+/// regenerates one of the paper's measured claims (see DESIGN.md's
+/// experiment index): it prints a paper-vs-measured table on startup and
+/// registers google-benchmark timings for the host-side compile+simulate
+/// cost.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_BENCH_BENCHCOMMON_H
+#define TCC_BENCH_BENCHCOMMON_H
+
+#include "driver/Compiler.h"
+
+#include <cstdio>
+#include <string>
+
+namespace tcc {
+namespace bench {
+
+/// One measured configuration.
+struct Measurement {
+  std::string Label;
+  titan::RunResult Run;
+  titan::TitanConfig Config;
+  driver::PhaseStats Stats;
+
+  /// Kernel MFLOPS: the titan_tic/titan_toc region when marked, else the
+  /// whole run.
+  double mflops() const { return Run.regionMflops(Config); }
+  double cycles() const {
+    return static_cast<double>(Run.RegionCycles ? Run.RegionCycles
+                                                : Run.Cycles);
+  }
+};
+
+inline Measurement measure(const std::string &Label,
+                           const std::string &Source,
+                           const driver::CompilerOptions &Opts,
+                           const titan::TitanConfig &Config) {
+  Measurement M;
+  M.Label = Label;
+  M.Config = Config;
+  auto Out = driver::compileAndRun(Source, Opts, Config);
+  if (!Out.Run.Ok) {
+    std::fprintf(stderr, "bench '%s' failed: %s\n", Label.c_str(),
+                 Out.Run.Error.c_str());
+  }
+  M.Run = Out.Run;
+  M.Stats = Out.Compile->Stats;
+  return M;
+}
+
+inline void printHeader(const char *Id, const char *Claim) {
+  std::printf("\n================================================------\n");
+  std::printf("%s: %s\n", Id, Claim);
+  std::printf("------------------------------------------------------\n");
+}
+
+inline void printRow(const Measurement &M) {
+  std::printf("  %-32s kernel-cycles=%-10.0f kernel-MFLOPS=%6.2f "
+              "loads=%-7llu imuls=%-6llu vinstr=%llu\n",
+              M.Label.c_str(), M.cycles(), M.mflops(),
+              static_cast<unsigned long long>(M.Run.Loads),
+              static_cast<unsigned long long>(M.Run.IntMuls),
+              static_cast<unsigned long long>(M.Run.VectorInstrs));
+}
+
+inline void printComparison(const char *What, double Paper,
+                            double Measured) {
+  std::printf("  %-36s paper=%-8.2f measured=%-8.2f\n", What, Paper,
+              Measured);
+}
+
+} // namespace bench
+} // namespace tcc
+
+#endif // TCC_BENCH_BENCHCOMMON_H

@@ -1,0 +1,129 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Experiment E9 (paper Section 9): aliasing and the three ways out.
+///
+/// "This C routine cannot be safely vectorized, because C imposes no
+/// restrictions on argument aliasing. ... It can be automatically
+/// vectorized by adding in a pragma stating that the loop is safe ... or
+/// by invoking a compiler option that states that pointer parameters
+/// have Fortran semantics ... However, we can also inline daxpy."
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace tcc;
+using namespace tcc::bench;
+
+namespace {
+
+/// daxpy kept out of line: pointer aliasing is the compiler's problem.
+const char *NoInlineSource = R"(
+  float a[4096], b[4096], c[4096];
+  void titan_tic(void);
+  void titan_toc(void);
+  void daxpy(float *x, float *y, float *z, float alpha, int n)
+  {
+    if (n <= 0) return;
+    if (alpha == 0) return;
+    for (; n; n--)
+      *x++ = *y++ + alpha * *z++;
+  }
+  void main()
+  {
+    int i;
+    for (i = 0; i < 4096; i++) { b[i] = i; c[i] = 1.0; }
+    titan_tic();
+    daxpy(a, b, c, 2.0, 4096);
+    titan_toc();
+  }
+)";
+
+/// Same routine with the paper's safety pragma on the loop.
+const char *PragmaSource = R"(
+  float a[4096], b[4096], c[4096];
+  void titan_tic(void);
+  void titan_toc(void);
+  void daxpy(float *x, float *y, float *z, float alpha, int n)
+  {
+    if (n <= 0) return;
+    if (alpha == 0) return;
+    #pragma safe
+    for (; n; n--)
+      *x++ = *y++ + alpha * *z++;
+  }
+  void main()
+  {
+    int i;
+    for (i = 0; i < 4096; i++) { b[i] = i; c[i] = 1.0; }
+    titan_tic();
+    daxpy(a, b, c, 2.0, 4096);
+    titan_toc();
+  }
+)";
+
+void printE9() {
+  printHeader("E9", "argument aliasing blocks vectorization; pragma, "
+                    "Fortran pointer semantics, or inlining remove it "
+                    "(Section 9)");
+
+  driver::CompilerOptions NoInline = driver::CompilerOptions::full();
+  NoInline.EnableInline = false;
+  Measurement Blocked = measure("no inline, no pragma", NoInlineSource,
+                                NoInline, {});
+
+  Measurement Pragma = measure("no inline, #pragma safe", PragmaSource,
+                               NoInline, {});
+
+  driver::CompilerOptions Fortran = driver::CompilerOptions::full();
+  Fortran.EnableInline = false;
+  Fortran.Vectorize.FortranPointerSemantics = true;
+  Measurement FortranM = measure("no inline, fortran pointers",
+                                 NoInlineSource, Fortran, {});
+
+  Measurement Inlined = measure("inlined", NoInlineSource,
+                                driver::CompilerOptions::full(), {});
+
+  printRow(Blocked);
+  printRow(Pragma);
+  printRow(FortranM);
+  printRow(Inlined);
+  std::printf("  vector stmts: blocked=%u pragma=%u fortran=%u inlined=%u\n",
+              Blocked.Stats.Vectorize.VectorStmts,
+              Pragma.Stats.Vectorize.VectorStmts,
+              FortranM.Stats.Vectorize.VectorStmts,
+              Inlined.Stats.Vectorize.VectorStmts);
+  printComparison("vectorized-over-blocked speedup (>1)", 3.0,
+                  Blocked.cycles() / Inlined.cycles());
+}
+
+void BM_AliasBlocked(benchmark::State &State) {
+  driver::CompilerOptions O = driver::CompilerOptions::full();
+  O.EnableInline = false;
+  for (auto _ : State) {
+    auto Out = driver::compileAndRun(NoInlineSource, O, {});
+    benchmark::DoNotOptimize(Out.Run.Cycles);
+  }
+}
+BENCHMARK(BM_AliasBlocked);
+
+void BM_AliasInlined(benchmark::State &State) {
+  for (auto _ : State) {
+    auto Out = driver::compileAndRun(NoInlineSource,
+                                     driver::CompilerOptions::full(), {});
+    benchmark::DoNotOptimize(Out.Run.Cycles);
+  }
+}
+BENCHMARK(BM_AliasInlined);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printE9();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

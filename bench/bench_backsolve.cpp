@@ -1,0 +1,144 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Experiments E1 and E10 (paper Section 6).
+///
+/// The paper's claim: the backsolve loop
+///     p[i] = z[i] * (y[i] - q[i]);      // q = p - 1
+/// runs at 0.5 MFLOPS with scalar optimization only, and at 1.9 MFLOPS
+/// (within 5% of the best possible) once the dependence graph drives
+/// scalar replacement, strength reduction, and instruction scheduling —
+/// a ~3.8x improvement without vectorizing anything.
+///
+/// E10 additionally checks the paper's mechanism claims: scalar
+/// replacement eliminates loads, and strength reduction eliminates every
+/// integer multiply in the loop.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace tcc;
+using namespace tcc::bench;
+
+namespace {
+
+const char *BacksolveSource = R"(
+  float x[4002], y[4000], z[4000];
+  float out;
+  void titan_tic(void);
+  void titan_toc(void);
+  void main() {
+    int i; int n;
+    float *p; float *q;
+    n = 4000;
+    x[0] = 1.0;
+    for (i = 0; i < n; i++) { y[i] = 1.0; z[i] = 0.5; }
+    p = &x[1];
+    q = &x[0];
+    titan_tic();
+    for (i = 0; i < n - 2; i++)
+      p[i] = z[i] * (y[i] - q[i]);
+    titan_toc();
+    out = x[7];
+  }
+)";
+
+driver::CompilerOptions scalarOpts() {
+  return driver::CompilerOptions::scalarOnly();
+}
+
+driver::CompilerOptions depOpts() { return driver::CompilerOptions::full(); }
+
+void printExperiment() {
+  // Scalar baseline: no unit overlap, no dependence information.
+  titan::TitanConfig ScalarCfg;
+  ScalarCfg.EnableOverlap = false;
+  Measurement Scalar =
+      measure("scalar-only", BacksolveSource, scalarOpts(), ScalarCfg);
+
+  // Dependence-driven build: scalar replacement + strength reduction +
+  // dependence-informed scheduling with unit overlap.
+  titan::TitanConfig FullCfg;
+  Measurement Full = measure("dependence-driven", BacksolveSource, depOpts(),
+                             FullCfg);
+
+  // Ablations.
+  driver::CompilerOptions NoSched = depOpts();
+  NoSched.EnableDepScheduling = false;
+  Measurement NoSchedM =
+      measure("  - without dep scheduling", BacksolveSource, NoSched,
+              FullCfg);
+
+  driver::CompilerOptions NoSR = depOpts();
+  NoSR.EnableStrengthReduction = false;
+  Measurement NoSRM = measure("  - without strength reduction",
+                              BacksolveSource, NoSR, FullCfg);
+
+  driver::CompilerOptions NoRepl = depOpts();
+  NoRepl.EnableScalarReplacement = false;
+  Measurement NoReplM = measure("  - without scalar replacement",
+                                BacksolveSource, NoRepl, FullCfg);
+
+  printHeader("E1", "backsolve: 0.5 MFLOPS scalar vs 1.9 MFLOPS with "
+                    "dependence-driven optimization (Section 6)");
+  printRow(Scalar);
+  printRow(Full);
+  printRow(NoSchedM);
+  printRow(NoSRM);
+  printRow(NoReplM);
+  printComparison("scalar MFLOPS", 0.5, Scalar.mflops());
+  printComparison("optimized MFLOPS", 1.9, Full.mflops());
+  printComparison("speedup factor", 1.9 / 0.5,
+                  Full.cycles() ? Scalar.cycles() / Full.cycles() : 0.0);
+
+  printHeader("E10", "mechanism: loads and integer multiplies removed "
+                     "from the loop");
+  std::printf("  loads   scalar=%llu optimized=%llu (scalar replacement)\n",
+              static_cast<unsigned long long>(Scalar.Run.Loads),
+              static_cast<unsigned long long>(Full.Run.Loads));
+  std::printf("  imuls   scalar=%llu optimized=%llu (strength reduction)\n",
+              static_cast<unsigned long long>(Scalar.Run.IntMuls),
+              static_cast<unsigned long long>(Full.Run.IntMuls));
+  std::printf("  scalar-replaced loops: %u, loads eliminated: %u\n",
+              Full.Stats.ScalarReplace.LoopsApplied,
+              Full.Stats.ScalarReplace.LoadsEliminated);
+  std::printf("  strength-reduced loops: %u, address temps: %u, CSE: %u\n",
+              Full.Stats.StrengthReduce.LoopsApplied,
+              Full.Stats.StrengthReduce.AddressTemps,
+              Full.Stats.StrengthReduce.SharedTemps);
+}
+
+void BM_BacksolveScalar(benchmark::State &State) {
+  titan::TitanConfig Cfg;
+  Cfg.EnableOverlap = false;
+  for (auto _ : State) {
+    auto Out = driver::compileAndRun(BacksolveSource, scalarOpts(), Cfg);
+    benchmark::DoNotOptimize(Out.Run.Cycles);
+    State.counters["sim_MFLOPS"] = Out.Run.mflops(Cfg);
+    State.counters["sim_cycles"] = static_cast<double>(Out.Run.Cycles);
+  }
+}
+BENCHMARK(BM_BacksolveScalar);
+
+void BM_BacksolveDependenceDriven(benchmark::State &State) {
+  titan::TitanConfig Cfg;
+  for (auto _ : State) {
+    auto Out = driver::compileAndRun(BacksolveSource, depOpts(), Cfg);
+    benchmark::DoNotOptimize(Out.Run.Cycles);
+    State.counters["sim_MFLOPS"] = Out.Run.mflops(Cfg);
+    State.counters["sim_cycles"] = static_cast<double>(Out.Run.Cycles);
+  }
+}
+BENCHMARK(BM_BacksolveDependenceDriven);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,75 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Experiment E7 (paper Sections 2 and 9): multiprocessor spreading.
+/// "Spreading loop iterations among multiple processors can provide
+/// significant speedups"; the Titan has up to four processors.  The
+/// daxpy strip loop is spread across P ∈ {1,2,3,4} processors.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace tcc;
+using namespace tcc::bench;
+
+namespace {
+
+const char *Source = R"(
+  float a[8192], b[8192], c[8192];
+  void titan_tic(void);
+  void titan_toc(void);
+  void main() {
+    int i;
+    for (i = 0; i < 8192; i++) { b[i] = i; c[i] = 1.5; }
+    titan_tic();
+    for (i = 0; i < 8192; i++)
+      a[i] = b[i] + 2.5 * c[i];
+    titan_toc();
+  }
+)";
+
+void printE7() {
+  printHeader("E7", "parallel spreading across 1-4 Titan processors "
+                    "(Sections 2, 9)");
+  titan::TitanConfig Base;
+  Measurement Serial = measure("vector, 1 processor", Source,
+                               driver::CompilerOptions::full(), Base);
+  printRow(Serial);
+  for (int P : {2, 3, 4}) {
+    titan::TitanConfig Cfg;
+    Cfg.NumProcessors = P;
+    Measurement M = measure("do parallel, " + std::to_string(P) +
+                                " processors",
+                            Source, driver::CompilerOptions::parallel(),
+                            Cfg);
+    printRow(M);
+    std::printf("    speedup vs 1 proc: %.2fx (ideal %.1fx)\n",
+                Serial.cycles() / M.cycles(), static_cast<double>(P));
+  }
+}
+
+void BM_ParallelScaling(benchmark::State &State) {
+  titan::TitanConfig Cfg;
+  Cfg.NumProcessors = static_cast<int>(State.range(0));
+  auto Opts = Cfg.NumProcessors > 1 ? driver::CompilerOptions::parallel()
+                                    : driver::CompilerOptions::full();
+  for (auto _ : State) {
+    auto Out = driver::compileAndRun(Source, Opts, Cfg);
+    benchmark::DoNotOptimize(Out.Run.Cycles);
+    State.counters["sim_cycles"] = static_cast<double>(Out.Run.Cycles);
+    State.counters["sim_MFLOPS"] = Out.Run.mflops(Cfg);
+  }
+}
+BENCHMARK(BM_ParallelScaling)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printE7();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,78 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Section 6 example: a backsolve-style recurrence that can
+/// never vectorize, optimized by the dependence graph anyway — scalar
+/// replacement pulls the loop-carried value into an FP register,
+/// strength reduction turns subscript multiplies into pointer bumps, and
+/// dependence-informed scheduling overlaps the remaining loads with the
+/// floating point recurrence.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "il/ILPrinter.h"
+
+#include <cstdio>
+
+using namespace tcc;
+
+int main() {
+  const char *Source = R"(
+    float x[2002], y[2000], z[2000];
+    void titan_tic(void);
+    void titan_toc(void);
+    void main() {
+      int i; int n;
+      float *p; float *q;
+      n = 2000;
+      x[0] = 1.0;
+      for (i = 0; i < n; i++) { y[i] = 1.0; z[i] = 0.5; }
+      p = &x[1];
+      q = &x[0];
+      titan_tic();
+      for (i = 0; i < n - 2; i++)
+        p[i] = z[i] * (y[i] - q[i]);
+      titan_toc();
+    }
+  )";
+
+  titan::TitanConfig ScalarMachine;
+  ScalarMachine.EnableOverlap = false;
+  auto Scalar = driver::compileAndRun(
+      Source, driver::CompilerOptions::scalarOnly(), ScalarMachine);
+
+  titan::TitanConfig Machine;
+  driver::CompilerOptions Full = driver::CompilerOptions::full();
+  Full.CaptureStages = true;
+  auto Fast = driver::compileAndRun(Source, Full, Machine);
+  if (!Scalar.Run.Ok || !Fast.Run.Ok) {
+    std::fprintf(stderr, "failed: %s%s\n", Scalar.Run.Error.c_str(),
+                 Fast.Run.Error.c_str());
+    return 1;
+  }
+
+  // Same math, very different machine behaviour.
+  int64_t XA = Fast.Machine->addressOf("x");
+  std::printf("x[5] = %g (both builds: %g)\n",
+              Fast.Machine->readFloat(XA + 5 * 4),
+              Scalar.Machine->readFloat(
+                  Scalar.Machine->addressOf("x") + 5 * 4));
+
+  std::printf("\nscalar optimization only: %.2f MFLOPS\n",
+              Scalar.Run.regionMflops(ScalarMachine));
+  std::printf("dependence-driven:        %.2f MFLOPS "
+              "(paper: 0.5 -> 1.9)\n",
+              Fast.Run.regionMflops(Machine));
+  std::printf("loads: %llu -> %llu    integer multiplies: %llu -> %llu\n",
+              static_cast<unsigned long long>(Scalar.Run.Loads),
+              static_cast<unsigned long long>(Fast.Run.Loads),
+              static_cast<unsigned long long>(Scalar.Run.IntMuls),
+              static_cast<unsigned long long>(Fast.Run.IntMuls));
+
+  std::printf("\n--- the loop after dependence-driven optimization ---\n%s",
+              Fast.Compile->Stages.count("depopt")
+                  ? Fast.Compile->Stages["depopt"].c_str()
+                  : "(no snapshot)\n");
+  return 0;
+}

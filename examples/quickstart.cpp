@@ -1,0 +1,91 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Quickstart: compile a small C program through the Titan pipeline, run
+/// it on the simulated machine at two optimization levels, and show the
+/// vectorized intermediate form.
+///
+/// Build and run:
+///   cmake -B build -G Ninja && cmake --build build
+///   ./build/examples/quickstart
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "il/ILPrinter.h"
+
+#include <cstdio>
+
+using namespace tcc;
+
+int main() {
+  // The paper's running example: daxpy over 100-element arrays, called
+  // with alpha = 1.0 so constant propagation can do its thing.
+  const char *Source = R"(
+    float a[100], b[100], c[100];
+
+    void daxpy(float *x, float *y, float *z, float alpha, int n)
+    {
+      if (n <= 0)
+        return;
+      if (alpha == 0)
+        return;
+      for (; n; n--)
+        *x++ = *y++ + alpha * *z++;
+    }
+
+    void main()
+    {
+      int i;
+      for (i = 0; i < 100; i++) { b[i] = i; c[i] = 100 - i; }
+      daxpy(a, b, c, 1.0, 100);
+    }
+  )";
+
+  // --- Compile and run with everything off ---
+  titan::TitanConfig ScalarMachine;
+  ScalarMachine.EnableOverlap = false;
+  auto Baseline = driver::compileAndRun(
+      Source, driver::CompilerOptions::noOpt(), ScalarMachine);
+  if (!Baseline.Run.Ok) {
+    std::fprintf(stderr, "baseline failed: %s\n",
+                 Baseline.Run.Error.c_str());
+    return 1;
+  }
+
+  // --- Compile and run fully optimized on a 2-processor Titan ---
+  titan::TitanConfig Titan2;
+  Titan2.NumProcessors = 2;
+  auto Optimized = driver::compileAndRun(
+      Source, driver::CompilerOptions::parallel(), Titan2);
+  if (!Optimized.Run.Ok) {
+    std::fprintf(stderr, "optimized failed: %s\n",
+                 Optimized.Run.Error.c_str());
+    return 1;
+  }
+
+  // Both must compute the same answer.
+  int64_t AAddr = Optimized.Machine->addressOf("a");
+  std::printf("a[0]=%g a[50]=%g a[99]=%g   (every element should be 100)\n",
+              Optimized.Machine->readFloat(AAddr + 0),
+              Optimized.Machine->readFloat(AAddr + 50 * 4),
+              Optimized.Machine->readFloat(AAddr + 99 * 4));
+
+  std::printf("\nunoptimized: %8llu cycles\n",
+              static_cast<unsigned long long>(Baseline.Run.Cycles));
+  std::printf("optimized:   %8llu cycles  (%.1fx; %u call inlined, "
+              "%u vector stmts, %u parallel loops)\n",
+              static_cast<unsigned long long>(Optimized.Run.Cycles),
+              static_cast<double>(Baseline.Run.Cycles) /
+                  static_cast<double>(Optimized.Run.Cycles),
+              Optimized.Compile->Stats.Inline.CallsInlined,
+              Optimized.Compile->Stats.Vectorize.VectorStmts,
+              Optimized.Compile->Stats.Vectorize.ParallelLoops);
+
+  // The final intermediate form: the paper's Section 9 listing.
+  std::printf("\n--- optimized IL for main ---\n%s",
+              il::printFunction(
+                  *Optimized.Compile->IL->findFunction("main"))
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,187 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// tcc — the Titan C compiler driver, command-line edition.
+///
+///   tcc [options] file.c
+///
+///   -O0              front end only (no optimization)
+///   -O1              scalar optimization
+///   -O2              + vectorization (default)
+///   -O3              + multiprocessor parallelization
+///   -P <n>           simulate n processors (1-4, default 1; implies -O3)
+///   -fno-inline      disable inlining
+///   -ffortran-ptrs   pointer parameters never alias (paper Section 9)
+///   -strip <n>       strip length for vector loops (default 32)
+///   -print-il=PHASE  dump IL after PHASE (lower, inline, whiletodo,
+///                    ivsub, constprop, dce, vectorize, depopt)
+///   -S               print TitanISA assembly
+///   -run             execute on the simulated Titan (default)
+///   -no-run          compile only
+///   -stats           print per-phase statistics
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "il/ILPrinter.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace tcc;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: tcc [-O0|-O1|-O2|-O3] [-P n] [-fno-inline] [-ffortran-ptrs]\n"
+      "           [-strip n] [-print-il=phase] [-S] [-run|-no-run]\n"
+      "           [-stats] file.c\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  driver::CompilerOptions Opts = driver::CompilerOptions::full();
+  titan::TitanConfig Machine;
+  std::string PrintPhase;
+  std::string InputPath;
+  bool PrintAsm = false;
+  bool Run = true;
+  bool PrintStats = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "-O0") {
+      Opts = driver::CompilerOptions::noOpt();
+      Machine.EnableOverlap = false;
+    } else if (Arg == "-O1") {
+      Opts = driver::CompilerOptions::scalarOnly();
+      Machine.EnableOverlap = false;
+    } else if (Arg == "-O2") {
+      Opts = driver::CompilerOptions::full();
+    } else if (Arg == "-O3") {
+      Opts = driver::CompilerOptions::parallel();
+      if (Machine.NumProcessors < 2)
+        Machine.NumProcessors = 2;
+    } else if (Arg == "-P" && I + 1 < argc) {
+      Machine.NumProcessors = std::atoi(argv[++I]);
+      Opts.Vectorize.EnableParallel = Machine.NumProcessors > 1;
+    } else if (Arg == "-fno-inline") {
+      Opts.EnableInline = false;
+    } else if (Arg == "-ffortran-ptrs") {
+      Opts.Vectorize.FortranPointerSemantics = true;
+    } else if (Arg == "-strip" && I + 1 < argc) {
+      Opts.Vectorize.StripLength = std::atoll(argv[++I]);
+    } else if (Arg.rfind("-print-il=", 0) == 0) {
+      PrintPhase = Arg.substr(std::strlen("-print-il="));
+      Opts.CaptureStages = true;
+    } else if (Arg == "-S") {
+      PrintAsm = true;
+    } else if (Arg == "-run") {
+      Run = true;
+    } else if (Arg == "-no-run") {
+      Run = false;
+    } else if (Arg == "-stats") {
+      PrintStats = true;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "tcc: unknown option '%s'\n", Arg.c_str());
+      usage();
+      return 2;
+    } else {
+      InputPath = Arg;
+    }
+  }
+  if (InputPath.empty()) {
+    usage();
+    return 2;
+  }
+
+  std::ifstream In(InputPath);
+  if (!In) {
+    std::fprintf(stderr, "tcc: cannot open '%s'\n", InputPath.c_str());
+    return 2;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+
+  auto Result = driver::compileSource(Buffer.str(), Opts);
+  for (const auto &D : Result->Diags.diagnostics())
+    std::fprintf(stderr, "%s: %s\n", InputPath.c_str(), D.str().c_str());
+  if (!Result->ok())
+    return 1;
+
+  if (!PrintPhase.empty()) {
+    auto It = Result->Stages.find(PrintPhase);
+    if (It == Result->Stages.end()) {
+      std::fprintf(stderr, "tcc: no IL snapshot for phase '%s'\n",
+                   PrintPhase.c_str());
+      return 2;
+    }
+    std::printf("%s", It->second.c_str());
+  }
+
+  if (PrintAsm)
+    for (const auto &F : Result->Machine.Functions)
+      std::printf("%s\n", titan::disassemble(F).c_str());
+
+  if (PrintStats) {
+    const driver::PhaseStats &S = Result->Stats;
+    std::printf("inline:      %u calls expanded, %u left, %u recursion "
+                "guards, %u statics externalized, %u demoted\n",
+                S.Inline.CallsInlined, S.Inline.CallsLeft,
+                S.Inline.RecursionSkipped, S.Inline.StaticsExternalized,
+                S.Inline.StaticsDemoted);
+    std::printf("while->do:   %u of %u loops converted\n",
+                S.WhileToDo.Converted, S.WhileToDo.Attempted);
+    std::printf("iv-sub:      %u IVs, %u uses rewritten, %u forward "
+                "substitutions, %u blocked, %u backtracks, %u passes\n",
+                S.IVSub.FamilyMembers, S.IVSub.UsesRewritten,
+                S.IVSub.Substitutions, S.IVSub.Blocked, S.IVSub.Backtracks,
+                S.IVSub.Passes);
+    std::printf("const-prop:  %u uses, %u branches folded, %u loops "
+                "deleted, %u stmts removed, %u requeues\n",
+                S.ConstProp.UsesReplaced, S.ConstProp.BranchesFolded,
+                S.ConstProp.LoopsDeleted, S.ConstProp.StmtsRemoved,
+                S.ConstProp.Requeues);
+    std::printf("dce:         %u assigns, %u empty controls, %u labels\n",
+                S.DCE.AssignsRemoved, S.DCE.EmptyControlRemoved,
+                S.DCE.LabelsRemoved);
+    std::printf("vectorize:   %u/%u loops, %u vector stmts, %u strip "
+                "loops (%u parallel), %u serial\n",
+                S.Vectorize.LoopsVectorized, S.Vectorize.LoopsConsidered,
+                S.Vectorize.VectorStmts, S.Vectorize.StripLoops,
+                S.Vectorize.ParallelLoops, S.Vectorize.SerialLoops);
+    std::printf("dep-opt:     %u scalar-replaced loops (%u loads), %u "
+                "strength-reduced loops (%u temps, %u CSE)\n",
+                S.ScalarReplace.LoopsApplied,
+                S.ScalarReplace.LoadsEliminated,
+                S.StrengthReduce.LoopsApplied,
+                S.StrengthReduce.AddressTemps,
+                S.StrengthReduce.SharedTemps);
+  }
+
+  if (!Run)
+    return 0;
+  titan::TitanMachine M(Result->Machine, Machine);
+  titan::RunResult R = M.run("main");
+  if (!R.Ok) {
+    std::fprintf(stderr, "tcc: run failed: %s\n", R.Error.c_str());
+    return 1;
+  }
+  std::printf("[titan] %llu instructions, %llu cycles, %.3f ms simulated, "
+              "%.2f MFLOPS",
+              static_cast<unsigned long long>(R.Instructions),
+              static_cast<unsigned long long>(R.Cycles),
+              R.seconds(Machine) * 1e3, R.mflops(Machine));
+  if (R.RegionCycles)
+    std::printf(" (kernel region: %llu cycles, %.2f MFLOPS)",
+                static_cast<unsigned long long>(R.RegionCycles),
+                R.regionMflops(Machine));
+  std::printf("\n");
+  return 0;
+}

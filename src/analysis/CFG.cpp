@@ -1,0 +1,122 @@
+#include "analysis/CFG.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+using namespace tcc;
+using namespace tcc::il;
+using namespace tcc::analysis;
+
+CFG::CFG(Function &F) {
+  // Entry and exit nodes first.
+  Nodes.emplace_back();
+  Nodes.emplace_back();
+
+  // Pass 1: a node per statement, and the label name map.
+  forEachStmt(F.getBody(), [this](Stmt *S) {
+    unsigned Id = static_cast<unsigned>(Nodes.size());
+    Nodes.emplace_back();
+    Nodes.back().S = S;
+    NodeOf[S] = Id;
+    if (S->getKind() == Stmt::LabelKind)
+      LabelNodes[static_cast<LabelStmt *>(S)->getName()] = Id;
+  });
+
+  // Pass 2: wire edges.
+  unsigned First = wireList(F.getBody().Stmts, ExitId);
+  addEdge(EntryId, First);
+}
+
+void CFG::addEdge(unsigned From, unsigned To) {
+  if (std::find(Nodes[From].Succs.begin(), Nodes[From].Succs.end(), To) !=
+      Nodes[From].Succs.end())
+    return;
+  Nodes[From].Succs.push_back(To);
+  Nodes[To].Preds.push_back(From);
+}
+
+unsigned CFG::wireList(const std::vector<Stmt *> &Stmts, unsigned Follow) {
+  unsigned Cur = Follow;
+  for (auto It = Stmts.rbegin(); It != Stmts.rend(); ++It)
+    Cur = wire(*It, Cur);
+  return Cur;
+}
+
+unsigned CFG::wire(Stmt *S, unsigned Follow) {
+  unsigned Id = NodeOf.at(S);
+  switch (S->getKind()) {
+  case Stmt::AssignKind:
+  case Stmt::CallKind:
+  case Stmt::LabelKind:
+    addEdge(Id, Follow);
+    return Id;
+  case Stmt::GotoKind: {
+    auto *G = static_cast<GotoStmt *>(S);
+    auto It = LabelNodes.find(G->getTarget());
+    // An unresolved goto (malformed input) conservatively exits.
+    addEdge(Id, It != LabelNodes.end() ? It->second : ExitId);
+    return Id;
+  }
+  case Stmt::ReturnKind:
+    addEdge(Id, ExitId);
+    return Id;
+  case Stmt::IfKind: {
+    auto *I = static_cast<IfStmt *>(S);
+    unsigned ThenEntry = wireList(I->getThen().Stmts, Follow);
+    unsigned ElseEntry = wireList(I->getElse().Stmts, Follow);
+    addEdge(Id, ThenEntry);
+    addEdge(Id, ElseEntry);
+    return Id;
+  }
+  case Stmt::WhileKind: {
+    auto *W = static_cast<WhileStmt *>(S);
+    unsigned BodyEntry = wireList(W->getBody().Stmts, Id);
+    addEdge(Id, BodyEntry);
+    addEdge(Id, Follow);
+    return Id;
+  }
+  case Stmt::DoLoopKind: {
+    auto *D = static_cast<DoLoopStmt *>(S);
+    unsigned BodyEntry = wireList(D->getBody().Stmts, Id);
+    addEdge(Id, BodyEntry);
+    addEdge(Id, Follow);
+    return Id;
+  }
+  }
+  assert(false && "unknown statement kind in CFG wiring");
+  return Follow;
+}
+
+unsigned CFG::idOf(const Stmt *S) const {
+  auto It = NodeOf.find(S);
+  assert(It != NodeOf.end() && "statement is not in the CFG");
+  return It->second;
+}
+
+bool CFG::hasBranchIntoBlock(Function &F, const Block &Body) {
+  std::set<std::string> InnerLabels;
+  forEachStmt(Body, [&InnerLabels](const Stmt *S) {
+    if (S->getKind() == Stmt::LabelKind)
+      InnerLabels.insert(static_cast<const LabelStmt *>(S)->getName());
+  });
+  if (InnerLabels.empty())
+    return false;
+
+  // Collect gotos inside the body; any other goto targeting an inner label
+  // is a branch into the loop.
+  std::set<const Stmt *> InnerStmts;
+  forEachStmt(Body, [&InnerStmts](const Stmt *S) { InnerStmts.insert(S); });
+
+  bool Found = false;
+  forEachStmt(F.getBody(), [&](const Stmt *S) {
+    if (Found || S->getKind() != Stmt::GotoKind)
+      return;
+    if (InnerStmts.count(S))
+      return;
+    const auto *G = static_cast<const GotoStmt *>(S);
+    if (InnerLabels.count(G->getTarget()))
+      Found = true;
+  });
+  return Found;
+}

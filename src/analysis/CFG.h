@@ -1,0 +1,65 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Statement-level control flow graph over the IL.
+///
+/// The paper builds a control flow graph for scalar analysis and uses it to
+/// decide, among other things, whether branches enter a loop (a condition
+/// for while→DO conversion).  Because the IL keeps loops structured, nodes
+/// are IL statements: leaf statements are nodes, and structured statements
+/// (If/While/DoLoop) contribute a header node for their condition.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_ANALYSIS_CFG_H
+#define TCC_ANALYSIS_CFG_H
+
+#include "il/IL.h"
+
+#include <map>
+#include <vector>
+
+namespace tcc {
+namespace analysis {
+
+class CFG {
+public:
+  static constexpr unsigned EntryId = 0;
+  static constexpr unsigned ExitId = 1;
+
+  struct Node {
+    il::Stmt *S = nullptr; ///< Null for entry/exit.
+    std::vector<unsigned> Succs;
+    std::vector<unsigned> Preds;
+  };
+
+  /// Builds the CFG for \p F's current body.
+  explicit CFG(il::Function &F);
+
+  const std::vector<Node> &nodes() const { return Nodes; }
+  unsigned size() const { return static_cast<unsigned>(Nodes.size()); }
+
+  /// Node id for a statement; asserts that the statement is in the graph.
+  unsigned idOf(const il::Stmt *S) const;
+  bool contains(const il::Stmt *S) const { return NodeOf.count(S) != 0; }
+
+  const Node &node(unsigned Id) const { return Nodes[Id]; }
+
+  /// True if any goto outside \p Body targets a label inside \p Body — the
+  /// "branch into loop" condition that blocks while→DO conversion.
+  static bool hasBranchIntoBlock(il::Function &F, const il::Block &Body);
+
+private:
+  void addEdge(unsigned From, unsigned To);
+  unsigned wireList(const std::vector<il::Stmt *> &Stmts, unsigned Follow);
+  unsigned wire(il::Stmt *S, unsigned Follow);
+
+  std::vector<Node> Nodes;
+  std::map<const il::Stmt *, unsigned> NodeOf;
+  std::map<std::string, unsigned> LabelNodes;
+};
+
+} // namespace analysis
+} // namespace tcc
+
+#endif // TCC_ANALYSIS_CFG_H

@@ -1,0 +1,62 @@
+#include "analysis/CallGraph.h"
+
+#include <functional>
+
+using namespace tcc;
+using namespace tcc::il;
+using namespace tcc::analysis;
+
+const std::set<std::string> CallGraph::Empty;
+
+CallGraph::CallGraph(const Program &P) {
+  for (const auto &F : P.getFunctions()) {
+    std::set<std::string> &Out = Callees[F->getName()];
+    forEachStmt(F->getBody(), [&Out](const Stmt *S) {
+      if (S->getKind() == Stmt::CallKind)
+        Out.insert(static_cast<const CallStmt *>(S)->getCallee());
+    });
+  }
+}
+
+const std::set<std::string> &
+CallGraph::calleesOf(const std::string &Caller) const {
+  auto It = Callees.find(Caller);
+  return It == Callees.end() ? Empty : It->second;
+}
+
+bool CallGraph::isRecursive(const std::string &Name) const {
+  // DFS from Name looking for a path back to Name.
+  std::set<std::string> Visited;
+  std::function<bool(const std::string &)> Walk =
+      [&](const std::string &Cur) -> bool {
+    for (const std::string &Callee : calleesOf(Cur)) {
+      if (Callee == Name)
+        return true;
+      if (Visited.insert(Callee).second && Walk(Callee))
+        return true;
+    }
+    return false;
+  };
+  return Walk(Name);
+}
+
+std::vector<std::string> CallGraph::bottomUpOrder() const {
+  std::vector<std::string> Order;
+  std::set<std::string> Done;
+  std::set<std::string> OnStack;
+  std::function<void(const std::string &)> Visit =
+      [&](const std::string &Name) {
+        if (Done.count(Name) || OnStack.count(Name))
+          return;
+        OnStack.insert(Name);
+        for (const std::string &Callee : calleesOf(Name))
+          if (Callees.count(Callee)) // only functions with bodies
+            Visit(Callee);
+        OnStack.erase(Name);
+        Done.insert(Name);
+        Order.push_back(Name);
+      };
+  for (const auto &[Name, _] : Callees)
+    Visit(Name);
+  return Order;
+}

@@ -1,0 +1,47 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Program call graph, used by the inliner to order expansion bottom-up
+/// and to guard against infinite inlining of recursion (paper Section 7:
+/// "since C permits recursion ... order is very important").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_ANALYSIS_CALLGRAPH_H
+#define TCC_ANALYSIS_CALLGRAPH_H
+
+#include "il/IL.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace tcc {
+namespace analysis {
+
+class CallGraph {
+public:
+  explicit CallGraph(const il::Program &P);
+
+  /// Callee names invoked (directly) by \p Caller.
+  const std::set<std::string> &calleesOf(const std::string &Caller) const;
+
+  /// True if \p Name can transitively reach itself (participates in
+  /// recursion).
+  bool isRecursive(const std::string &Name) const;
+
+  /// Functions in bottom-up order: callees before callers.  Functions in
+  /// recursive cycles appear in an arbitrary relative order within the
+  /// cycle.
+  std::vector<std::string> bottomUpOrder() const;
+
+private:
+  std::map<std::string, std::set<std::string>> Callees;
+  static const std::set<std::string> Empty;
+};
+
+} // namespace analysis
+} // namespace tcc
+
+#endif // TCC_ANALYSIS_CALLGRAPH_H

@@ -1,0 +1,387 @@
+#include "analysis/UseDef.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace tcc;
+using namespace tcc::il;
+using namespace tcc::analysis;
+
+const std::vector<const Stmt *> UseDefChains::Empty;
+
+std::set<Symbol *> analysis::computeAddressTakenScalars(Function &F) {
+  std::set<Symbol *> Out;
+  forEachStmt(F.getBody(), [&Out](Stmt *S) {
+    forEachExprSlot(S, [&Out](Expr *&Slot) {
+      forEachSubExprSlot(Slot, [&Out](Expr *&Sub) {
+        if (Sub->getKind() != Expr::AddrOfKind)
+          return;
+        Expr *LV = static_cast<AddrOfExpr *>(Sub)->getLValue();
+        if (LV->getKind() == Expr::VarRefKind) {
+          Symbol *Sym = static_cast<VarRefExpr *>(LV)->getSymbol();
+          if (Sym->getType()->isScalar())
+            Out.insert(Sym);
+        }
+      });
+    });
+  });
+  return Out;
+}
+
+std::vector<Symbol *> analysis::strongDefs(const Stmt *S) {
+  switch (S->getKind()) {
+  case Stmt::AssignKind: {
+    const auto *A = static_cast<const AssignStmt *>(S);
+    if (A->getLHS()->getKind() == Expr::VarRefKind)
+      return {static_cast<VarRefExpr *>(A->getLHS())->getSymbol()};
+    return {};
+  }
+  case Stmt::CallKind: {
+    const auto *C = static_cast<const CallStmt *>(S);
+    if (C->getResult())
+      return {C->getResult()};
+    return {};
+  }
+  case Stmt::DoLoopKind:
+    return {static_cast<const DoLoopStmt *>(S)->getIndexVar()};
+  default:
+    return {};
+  }
+}
+
+namespace {
+
+void collectUses(Expr *E, std::vector<Symbol *> &Out) {
+  Expr *Slot = E;
+  forEachSubExprSlot(Slot, [&Out](Expr *&Sub) {
+    if (Sub->getKind() == Expr::VarRefKind) {
+      Symbol *Sym = static_cast<VarRefExpr *>(Sub)->getSymbol();
+      if (Sym->getType()->isScalar())
+        Out.push_back(Sym);
+    }
+  });
+}
+
+} // namespace
+
+std::vector<Symbol *> analysis::usedScalars(const Stmt *S) {
+  std::vector<Symbol *> Out;
+  auto *MS = const_cast<Stmt *>(S);
+  switch (S->getKind()) {
+  case Stmt::AssignKind: {
+    auto *A = static_cast<AssignStmt *>(MS);
+    // The LHS is a def if it's a VarRef; otherwise its address computation
+    // reads scalars.
+    if (A->getLHS()->getKind() != Expr::VarRefKind)
+      collectUses(A->getLHS(), Out);
+    collectUses(A->getRHS(), Out);
+    break;
+  }
+  default:
+    forEachExprSlot(MS, [&Out](Expr *&Slot) { collectUses(Slot, Out); });
+    break;
+  }
+  // Deduplicate, preserving order.
+  std::vector<Symbol *> Unique;
+  for (Symbol *Sym : Out)
+    if (std::find(Unique.begin(), Unique.end(), Sym) == Unique.end())
+      Unique.push_back(Sym);
+  return Unique;
+}
+
+//===----------------------------------------------------------------------===//
+// Reaching definitions
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One definition point: a statement defining a symbol (Def null = value on
+/// function entry).
+struct DefPoint {
+  const Stmt *Def;
+  Symbol *Sym;
+};
+
+/// Dense bitset sized at construction.
+class BitSet {
+public:
+  explicit BitSet(size_t N) : Bits((N + 63) / 64, 0) {}
+  void set(size_t I) { Bits[I / 64] |= uint64_t(1) << (I % 64); }
+  bool test(size_t I) const {
+    return (Bits[I / 64] >> (I % 64)) & 1;
+  }
+  /// this |= RHS; returns true if changed.
+  bool unionWith(const BitSet &RHS) {
+    bool Changed = false;
+    for (size_t I = 0; I < Bits.size(); ++I) {
+      uint64_t Old = Bits[I];
+      Bits[I] |= RHS.Bits[I];
+      Changed |= Bits[I] != Old;
+    }
+    return Changed;
+  }
+  void reset(size_t I) { Bits[I / 64] &= ~(uint64_t(1) << (I % 64)); }
+
+private:
+  std::vector<uint64_t> Bits;
+};
+
+} // namespace
+
+UseDefChains::UseDefChains(Function &F) { build(F); }
+
+void UseDefChains::recompute(Function &F) {
+  Chains.clear();
+  build(F);
+}
+
+void UseDefChains::build(Function &F) {
+  CFG Graph(F);
+  std::set<Symbol *> AddrTaken = computeAddressTakenScalars(F);
+
+  // Gather every scalar symbol mentioned in the function (locals, params,
+  // globals).
+  std::set<Symbol *> AllScalars;
+  for (const auto &S : F.getSymbols())
+    if (S->getType()->isScalar())
+      AllScalars.insert(S.get());
+  forEachStmt(F.getBody(), [&AllScalars](Stmt *S) {
+    for (Symbol *Sym : usedScalars(S))
+      AllScalars.insert(Sym);
+    for (Symbol *Sym : strongDefs(S))
+      AllScalars.insert(Sym);
+  });
+
+  // Globals and statics a call could modify.
+  std::set<Symbol *> CallClobbered = AddrTaken;
+  for (Symbol *Sym : AllScalars)
+    if (Sym->isGlobal())
+      CallClobbered.insert(Sym);
+
+  // Pointer stores may touch address-taken scalars and global scalars.
+  const std::set<Symbol *> &StoreClobbered = CallClobbered;
+
+  // Build the def-point table: entry defs first, then per-node defs.
+  std::vector<DefPoint> Points;
+  std::map<Symbol *, std::vector<size_t>> PointsOf;
+  std::map<Symbol *, size_t> EntryPoint;
+  for (Symbol *Sym : AllScalars) {
+    EntryPoint[Sym] = Points.size();
+    PointsOf[Sym].push_back(Points.size());
+    Points.push_back({nullptr, Sym});
+  }
+
+  unsigned N = Graph.size();
+  std::vector<std::vector<size_t>> NodeGen(N);
+  std::vector<std::vector<Symbol *>> NodeKill(N);
+
+  auto addDef = [&](unsigned NodeId, const Stmt *S, Symbol *Sym,
+                    bool Strong) {
+    PointsOf[Sym].push_back(Points.size());
+    NodeGen[NodeId].push_back(Points.size());
+    Points.push_back({S, Sym});
+    if (Strong)
+      NodeKill[NodeId].push_back(Sym);
+  };
+
+  for (unsigned Id = 2; Id < N; ++Id) {
+    const Stmt *S = Graph.node(Id).S;
+    for (Symbol *Sym : strongDefs(S))
+      addDef(Id, S, Sym, /*Strong=*/!Sym->isVolatile());
+    // May-defs.
+    if (S->getKind() == Stmt::CallKind) {
+      const auto *C = static_cast<const CallStmt *>(S);
+      for (Symbol *Sym : CallClobbered)
+        if (Sym != C->getResult())
+          addDef(Id, S, Sym, /*Strong=*/false);
+    } else if (S->getKind() == Stmt::AssignKind) {
+      const auto *A = static_cast<const AssignStmt *>(S);
+      if (A->getLHS()->getKind() != Expr::VarRefKind)
+        for (Symbol *Sym : StoreClobbered)
+          addDef(Id, S, Sym, /*Strong=*/false);
+    }
+  }
+
+  size_t NumPoints = Points.size();
+  std::vector<BitSet> In(N, BitSet(NumPoints));
+  std::vector<BitSet> Out(N, BitSet(NumPoints));
+
+  // Entry node generates the entry defs.
+  for (const auto &[Sym, Idx] : EntryPoint)
+    Out[CFG::EntryId].set(Idx);
+
+  // Precompute per-node transfer: OUT = gen ∪ (IN − kill).
+  auto transfer = [&](unsigned Id) {
+    BitSet NewOut = In[Id];
+    for (Symbol *Killed : NodeKill[Id])
+      for (size_t P : PointsOf[Killed])
+        NewOut.reset(P);
+    for (size_t P : NodeGen[Id])
+      NewOut.set(P);
+    return NewOut;
+  };
+
+  // Round-robin to fixpoint (bodies are function-sized; this is fast).
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned Id = 0; Id < N; ++Id) {
+      for (unsigned Pred : Graph.node(Id).Preds)
+        Changed |= In[Id].unionWith(Out[Pred]);
+      BitSet NewOut = Id == CFG::EntryId ? Out[Id] : transfer(Id);
+      if (Id != CFG::EntryId) {
+        // Compare by union trick: changed iff Out != NewOut; NewOut ⊇ Out
+        // is not guaranteed under kill, so detect via both directions.
+        BitSet Tmp = Out[Id];
+        bool Grew = Tmp.unionWith(NewOut);
+        BitSet Tmp2 = NewOut;
+        bool Shrunk = Tmp2.unionWith(Out[Id]);
+        if (Grew || Shrunk) {
+          Out[Id] = NewOut;
+          Changed = true;
+        }
+      }
+    }
+  }
+
+  // Build per-use chains from IN sets.  DO-loop bounds are evaluated once
+  // on entry, so their uses see only definitions arriving from outside the
+  // loop body (the preheader IN), not loop-carried ones.
+  for (unsigned Id = 2; Id < N; ++Id) {
+    const Stmt *S = Graph.node(Id).S;
+    if (S->getKind() == Stmt::DoLoopKind) {
+      const auto *D = static_cast<const DoLoopStmt *>(S);
+      std::set<const Stmt *> BodyStmts;
+      forEachStmt(D->getBody(),
+                  [&BodyStmts](const Stmt *Sub) { BodyStmts.insert(Sub); });
+      BitSet InPre(NumPoints);
+      for (unsigned Pred : Graph.node(Id).Preds) {
+        const Stmt *PredStmt = Graph.node(Pred).S;
+        if (PredStmt && BodyStmts.count(PredStmt))
+          continue; // back edge
+        InPre.unionWith(Out[Pred]);
+      }
+      for (Symbol *Sym : usedScalars(S)) {
+        std::vector<const Stmt *> &Defs = Chains[S][Sym];
+        for (size_t P : PointsOf[Sym])
+          if (InPre.test(P))
+            Defs.push_back(Points[P].Def);
+      }
+      continue;
+    }
+    for (Symbol *Sym : usedScalars(S)) {
+      std::vector<const Stmt *> &Defs = Chains[S][Sym];
+      for (size_t P : PointsOf[Sym])
+        if (In[Id].test(P))
+          Defs.push_back(Points[P].Def);
+    }
+  }
+}
+
+const std::vector<const Stmt *> &
+UseDefChains::defsReaching(const Stmt *User, Symbol *Sym) const {
+  auto It = Chains.find(User);
+  if (It == Chains.end())
+    return Empty;
+  auto SymIt = It->second.find(Sym);
+  if (SymIt == It->second.end())
+    return Empty;
+  return SymIt->second;
+}
+
+std::vector<std::pair<const Stmt *, Symbol *>>
+UseDefChains::usesOf(const Stmt *Def) const {
+  std::vector<std::pair<const Stmt *, Symbol *>> Out;
+  for (const auto &[User, SymMap] : Chains)
+    for (const auto &[Sym, Defs] : SymMap)
+      if (std::find(Defs.begin(), Defs.end(), Def) != Defs.end())
+        Out.push_back({User, Sym});
+  return Out;
+}
+
+bool UseDefChains::isOnlyReachingDef(const Stmt *User, Symbol *Sym,
+                                     const Stmt *Def) const {
+  const auto &Defs = defsReaching(User, Sym);
+  return Defs.size() == 1 && Defs[0] == Def;
+}
+
+std::vector<std::pair<const Stmt *, Symbol *>>
+UseDefChains::removeStmt(const Stmt *S) {
+  std::vector<std::pair<const Stmt *, Symbol *>> Affected;
+  Chains.erase(S);
+  for (auto &[User, SymMap] : Chains) {
+    for (auto &[Sym, Defs] : SymMap) {
+      auto It = std::find(Defs.begin(), Defs.end(), S);
+      if (It != Defs.end()) {
+        Defs.erase(It);
+        Affected.push_back({User, Sym});
+      }
+    }
+  }
+  return Affected;
+}
+
+void UseDefChains::patchAfterWhileConversion(const WhileStmt *OldWhile,
+                                             DoLoopStmt *NewDo) {
+  // The DO header's init/limit/step were built from values that reached the
+  // while condition, so its chains transfer wholesale.
+  auto It = Chains.find(OldWhile);
+  if (It != Chains.end()) {
+    Chains[NewDo] = It->second;
+    Chains.erase(It);
+  }
+  // The fresh index variable's only definition is the DO itself; record the
+  // def under the header so later phases (induction-variable substitution)
+  // see a complete chain when they introduce uses of the index.
+  Chains[NewDo][NewDo->getIndexVar()] = {NewDo};
+}
+
+//===----------------------------------------------------------------------===//
+// LoopInfo
+//===----------------------------------------------------------------------===//
+
+LoopInfo::LoopInfo(Function &F) { visitBlock(F.getBody(), nullptr); }
+
+void LoopInfo::visitBlock(Block &B, LoopNode *Parent) {
+  for (Stmt *S : B.Stmts) {
+    switch (S->getKind()) {
+    case Stmt::IfKind: {
+      auto *I = static_cast<IfStmt *>(S);
+      visitBlock(I->getThen(), Parent);
+      visitBlock(I->getElse(), Parent);
+      break;
+    }
+    case Stmt::WhileKind:
+    case Stmt::DoLoopKind: {
+      AllLoops.push_back(std::make_unique<LoopNode>());
+      LoopNode *Node = AllLoops.back().get();
+      Node->LoopStmt = S;
+      Node->Parent = Parent;
+      Node->Depth = Parent ? Parent->Depth + 1 : 1;
+      if (Parent)
+        Parent->Children.push_back(Node);
+      else
+        Roots.push_back(Node);
+      visitBlock(bodyOf(S), Node);
+      break;
+    }
+    default:
+      break;
+    }
+  }
+}
+
+std::vector<LoopInfo::LoopNode *> LoopInfo::innermost() const {
+  std::vector<LoopNode *> Out;
+  for (const auto &L : AllLoops)
+    if (L->Children.empty())
+      Out.push_back(L.get());
+  return Out;
+}
+
+Block &LoopInfo::bodyOf(Stmt *LoopStmt) {
+  if (LoopStmt->getKind() == Stmt::WhileKind)
+    return static_cast<WhileStmt *>(LoopStmt)->getBody();
+  assert(LoopStmt->getKind() == Stmt::DoLoopKind && "not a loop statement");
+  return static_cast<DoLoopStmt *>(LoopStmt)->getBody();
+}

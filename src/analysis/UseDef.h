@@ -1,0 +1,131 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reaching definitions and use-def chains over scalar symbols.
+///
+/// The paper drives "a number of optimizations off the use-def graph":
+/// while→DO conversion, induction-variable substitution, constant
+/// propagation, and dead-code elimination.  This module computes classic
+/// iterative reaching definitions over the statement CFG and exposes
+/// per-use chains, plus the incremental patching entry point that the
+/// while→DO transformation requires (paper Section 5.2).
+///
+/// Conservatism:
+///  - A call may define every global/static and every address-taken local.
+///  - A store through a pointer (Deref/Index lvalue) may define every
+///    address-taken scalar and every global scalar.
+///  - A use of a symbol whose reaching definitions include the function
+///    entry is represented by a null definition statement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_ANALYSIS_USEDEF_H
+#define TCC_ANALYSIS_USEDEF_H
+
+#include "analysis/CFG.h"
+#include "il/IL.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace tcc {
+namespace analysis {
+
+/// Symbols whose address is taken with `&` (scalars only; arrays are
+/// always memory objects).
+std::set<il::Symbol *> computeAddressTakenScalars(il::Function &F);
+
+/// The scalar symbols a statement strongly defines (assignment to a
+/// VarRef; a call's result; a DO loop's index at its header).
+std::vector<il::Symbol *> strongDefs(const il::Stmt *S);
+
+/// The scalar symbols whose values a statement uses (all VarRefs in rvalue
+/// position, including address computations of stores, conditions and loop
+/// bounds).
+std::vector<il::Symbol *> usedScalars(const il::Stmt *S);
+
+/// Use-def chains for one function body snapshot.
+class UseDefChains {
+public:
+  /// Builds chains for \p F (constructs a CFG internally).
+  explicit UseDefChains(il::Function &F);
+
+  /// The definitions of \p Sym that reach the use in \p User.  A null
+  /// element means "value on entry to the function" (parameter, global, or
+  /// uninitialized local).  Returns an empty vector when \p Sym is not
+  /// used by \p User.
+  const std::vector<const il::Stmt *> &defsReaching(const il::Stmt *User,
+                                                    il::Symbol *Sym) const;
+
+  /// All (user statement, symbol) pairs whose chains include \p Def.
+  std::vector<std::pair<const il::Stmt *, il::Symbol *>>
+  usesOf(const il::Stmt *Def) const;
+
+  /// True if the only definition of \p Sym reaching \p User is \p Def.
+  bool isOnlyReachingDef(const il::Stmt *User, il::Symbol *Sym,
+                         const il::Stmt *Def) const;
+
+  /// Incremental patch for while→DO conversion (paper Section 5.2): the
+  /// new DO statement \p NewDo replaced \p OldWhile.  Chains attached to
+  /// the while condition transfer to the DO header (its init/limit/step
+  /// use the same reaching definitions), and the DO's index definition is
+  /// registered for uses inside the body.
+  void patchAfterWhileConversion(const il::WhileStmt *OldWhile,
+                                 il::DoLoopStmt *NewDo);
+
+  /// Removes a (deleted) statement from every chain: it disappears as a
+  /// definition from all uses, and its own uses are dropped.  Returns the
+  /// (user, symbol) pairs that lost a definition — the paper's Section 8
+  /// heuristic re-queues constant assignments reaching those users.
+  /// Removing an unreachable definition only shrinks reaching sets, so the
+  /// chains stay sound without recomputation.
+  std::vector<std::pair<const il::Stmt *, il::Symbol *>>
+  removeStmt(const il::Stmt *S);
+
+  /// Full recomputation (used by tests to validate incremental patching).
+  void recompute(il::Function &F);
+
+private:
+  void build(il::Function &F);
+
+  std::map<const il::Stmt *, std::map<il::Symbol *,
+                                      std::vector<const il::Stmt *>>>
+      Chains;
+  static const std::vector<const il::Stmt *> Empty;
+};
+
+/// Structural loop nesting (While and DO statements).
+class LoopInfo {
+public:
+  struct LoopNode {
+    il::Stmt *LoopStmt = nullptr; ///< WhileStmt or DoLoopStmt.
+    LoopNode *Parent = nullptr;
+    std::vector<LoopNode *> Children;
+    unsigned Depth = 0; ///< 1 for outermost loops.
+  };
+
+  explicit LoopInfo(il::Function &F);
+
+  const std::vector<std::unique_ptr<LoopNode>> &loops() const {
+    return AllLoops;
+  }
+  /// Loops with no children (innermost), in program order.
+  std::vector<LoopNode *> innermost() const;
+  /// Top-level loops in program order.
+  const std::vector<LoopNode *> &topLevel() const { return Roots; }
+
+  /// Loop body of a loop statement.
+  static il::Block &bodyOf(il::Stmt *LoopStmt);
+
+private:
+  void visitBlock(il::Block &B, LoopNode *Parent);
+
+  std::vector<std::unique_ptr<LoopNode>> AllLoops;
+  std::vector<LoopNode *> Roots;
+};
+
+} // namespace analysis
+} // namespace tcc
+
+#endif // TCC_ANALYSIS_USEDEF_H

@@ -1,0 +1,64 @@
+#include "ast/Ast.h"
+
+using namespace tcc;
+using namespace tcc::ast;
+
+const char *ast::binaryOpSpelling(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return "+";
+  case BinaryOp::Sub:
+    return "-";
+  case BinaryOp::Mul:
+    return "*";
+  case BinaryOp::Div:
+    return "/";
+  case BinaryOp::Rem:
+    return "%";
+  case BinaryOp::Shl:
+    return "<<";
+  case BinaryOp::Shr:
+    return ">>";
+  case BinaryOp::Lt:
+    return "<";
+  case BinaryOp::Gt:
+    return ">";
+  case BinaryOp::Le:
+    return "<=";
+  case BinaryOp::Ge:
+    return ">=";
+  case BinaryOp::Eq:
+    return "==";
+  case BinaryOp::Ne:
+    return "!=";
+  case BinaryOp::BitAnd:
+    return "&";
+  case BinaryOp::BitXor:
+    return "^";
+  case BinaryOp::BitOr:
+    return "|";
+  case BinaryOp::LogAnd:
+    return "&&";
+  case BinaryOp::LogOr:
+    return "||";
+  }
+  return "?";
+}
+
+const char *ast::unaryOpSpelling(UnaryOp Op) {
+  switch (Op) {
+  case UnaryOp::Plus:
+    return "+";
+  case UnaryOp::Neg:
+    return "-";
+  case UnaryOp::LogNot:
+    return "!";
+  case UnaryOp::BitNot:
+    return "~";
+  case UnaryOp::Deref:
+    return "*";
+  case UnaryOp::AddrOf:
+    return "&";
+  }
+  return "?";
+}

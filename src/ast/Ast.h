@@ -1,0 +1,518 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract syntax tree for the supported C subset.
+///
+/// The AST is deliberately syntactic: names are unresolved strings and
+/// expressions are untyped.  Name resolution, type checking and the
+/// side-effect explication described in the paper (Section 4) all happen in
+/// the front-end lowering to IL, mirroring the paper's "quick and simple"
+/// front end that leaves cleanup to later phases.
+///
+/// Node classes use LLVM-style RTTI: each node stores a Kind tag and
+/// provides a classof() predicate for isa/dyn_cast-style dispatch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_AST_AST_H
+#define TCC_AST_AST_H
+
+#include "support/SourceLoc.h"
+#include "types/Type.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tcc {
+namespace ast {
+
+class AstContext;
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+enum class UnaryOp { Plus, Neg, LogNot, BitNot, Deref, AddrOf };
+enum class BinaryOp {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  Shl,
+  Shr,
+  Lt,
+  Gt,
+  Le,
+  Ge,
+  Eq,
+  Ne,
+  BitAnd,
+  BitXor,
+  BitOr,
+  LogAnd,
+  LogOr,
+};
+
+/// Spelling of an operator for printing ("+", "&&", ...).
+const char *binaryOpSpelling(BinaryOp Op);
+const char *unaryOpSpelling(UnaryOp Op);
+
+class Expr {
+public:
+  enum ExprKind {
+    IntLiteralKind,
+    FloatLiteralKind,
+    VarRefKind,
+    UnaryKind,
+    BinaryKind,
+    AssignKind,
+    CompoundAssignKind,
+    IncDecKind,
+    ConditionalKind,
+    CommaKind,
+    CallKind,
+    IndexKind,
+    CastKind,
+  };
+
+  virtual ~Expr() = default;
+
+  ExprKind getKind() const { return TheKind; }
+  SourceLoc getLoc() const { return Loc; }
+
+protected:
+  Expr(ExprKind K, SourceLoc Loc) : TheKind(K), Loc(Loc) {}
+
+private:
+  ExprKind TheKind;
+  SourceLoc Loc;
+};
+
+/// Integer literal; `IsFloatTyped` distinguishes nothing here — the value is
+/// an int or char constant.
+class IntLiteralExpr : public Expr {
+public:
+  IntLiteralExpr(SourceLoc Loc, int64_t Value)
+      : Expr(IntLiteralKind, Loc), Value(Value) {}
+  int64_t getValue() const { return Value; }
+  static bool classof(const Expr *E) { return E->getKind() == IntLiteralKind; }
+
+private:
+  int64_t Value;
+};
+
+class FloatLiteralExpr : public Expr {
+public:
+  FloatLiteralExpr(SourceLoc Loc, double Value)
+      : Expr(FloatLiteralKind, Loc), Value(Value) {}
+  double getValue() const { return Value; }
+  static bool classof(const Expr *E) {
+    return E->getKind() == FloatLiteralKind;
+  }
+
+private:
+  double Value;
+};
+
+/// A reference to a named variable (or function, in call position).
+class VarRefExpr : public Expr {
+public:
+  VarRefExpr(SourceLoc Loc, std::string Name)
+      : Expr(VarRefKind, Loc), Name(std::move(Name)) {}
+  const std::string &getName() const { return Name; }
+  static bool classof(const Expr *E) { return E->getKind() == VarRefKind; }
+
+private:
+  std::string Name;
+};
+
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(SourceLoc Loc, UnaryOp Op, Expr *Operand)
+      : Expr(UnaryKind, Loc), Op(Op), Operand(Operand) {}
+  UnaryOp getOp() const { return Op; }
+  Expr *getOperand() const { return Operand; }
+  static bool classof(const Expr *E) { return E->getKind() == UnaryKind; }
+
+private:
+  UnaryOp Op;
+  Expr *Operand;
+};
+
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(SourceLoc Loc, BinaryOp Op, Expr *LHS, Expr *RHS)
+      : Expr(BinaryKind, Loc), Op(Op), LHS(LHS), RHS(RHS) {}
+  BinaryOp getOp() const { return Op; }
+  Expr *getLHS() const { return LHS; }
+  Expr *getRHS() const { return RHS; }
+  static bool classof(const Expr *E) { return E->getKind() == BinaryKind; }
+
+private:
+  BinaryOp Op;
+  Expr *LHS;
+  Expr *RHS;
+};
+
+/// Simple assignment `lhs = rhs` appearing as an expression.  The front end
+/// explicates this into an assignment statement plus a temporary.
+class AssignExpr : public Expr {
+public:
+  AssignExpr(SourceLoc Loc, Expr *LHS, Expr *RHS)
+      : Expr(AssignKind, Loc), LHS(LHS), RHS(RHS) {}
+  Expr *getLHS() const { return LHS; }
+  Expr *getRHS() const { return RHS; }
+  static bool classof(const Expr *E) { return E->getKind() == AssignKind; }
+
+private:
+  Expr *LHS;
+  Expr *RHS;
+};
+
+/// Compound assignment `lhs op= rhs`.
+class CompoundAssignExpr : public Expr {
+public:
+  CompoundAssignExpr(SourceLoc Loc, BinaryOp Op, Expr *LHS, Expr *RHS)
+      : Expr(CompoundAssignKind, Loc), Op(Op), LHS(LHS), RHS(RHS) {}
+  BinaryOp getOp() const { return Op; }
+  Expr *getLHS() const { return LHS; }
+  Expr *getRHS() const { return RHS; }
+  static bool classof(const Expr *E) {
+    return E->getKind() == CompoundAssignKind;
+  }
+
+private:
+  BinaryOp Op;
+  Expr *LHS;
+  Expr *RHS;
+};
+
+/// Pre/post increment/decrement.
+class IncDecExpr : public Expr {
+public:
+  IncDecExpr(SourceLoc Loc, bool IsIncrement, bool IsPrefix, Expr *Operand)
+      : Expr(IncDecKind, Loc), IsIncrement(IsIncrement), IsPrefix(IsPrefix),
+        Operand(Operand) {}
+  bool isIncrement() const { return IsIncrement; }
+  bool isPrefix() const { return IsPrefix; }
+  Expr *getOperand() const { return Operand; }
+  static bool classof(const Expr *E) { return E->getKind() == IncDecKind; }
+
+private:
+  bool IsIncrement;
+  bool IsPrefix;
+  Expr *Operand;
+};
+
+/// The conditional operator `c ? t : f`.
+class ConditionalExpr : public Expr {
+public:
+  ConditionalExpr(SourceLoc Loc, Expr *Cond, Expr *TrueExpr, Expr *FalseExpr)
+      : Expr(ConditionalKind, Loc), Cond(Cond), TrueExpr(TrueExpr),
+        FalseExpr(FalseExpr) {}
+  Expr *getCond() const { return Cond; }
+  Expr *getTrueExpr() const { return TrueExpr; }
+  Expr *getFalseExpr() const { return FalseExpr; }
+  static bool classof(const Expr *E) { return E->getKind() == ConditionalKind; }
+
+private:
+  Expr *Cond;
+  Expr *TrueExpr;
+  Expr *FalseExpr;
+};
+
+class CommaExpr : public Expr {
+public:
+  CommaExpr(SourceLoc Loc, Expr *LHS, Expr *RHS)
+      : Expr(CommaKind, Loc), LHS(LHS), RHS(RHS) {}
+  Expr *getLHS() const { return LHS; }
+  Expr *getRHS() const { return RHS; }
+  static bool classof(const Expr *E) { return E->getKind() == CommaKind; }
+
+private:
+  Expr *LHS;
+  Expr *RHS;
+};
+
+/// A call `f(args...)`.  Only direct calls by name are supported.
+class CallExpr : public Expr {
+public:
+  CallExpr(SourceLoc Loc, std::string Callee, std::vector<Expr *> Args)
+      : Expr(CallKind, Loc), Callee(std::move(Callee)), Args(std::move(Args)) {
+  }
+  const std::string &getCallee() const { return Callee; }
+  const std::vector<Expr *> &getArgs() const { return Args; }
+  static bool classof(const Expr *E) { return E->getKind() == CallKind; }
+
+private:
+  std::string Callee;
+  std::vector<Expr *> Args;
+};
+
+/// Subscript `base[index]`.
+class IndexExpr : public Expr {
+public:
+  IndexExpr(SourceLoc Loc, Expr *Base, Expr *Index)
+      : Expr(IndexKind, Loc), Base(Base), Index(Index) {}
+  Expr *getBase() const { return Base; }
+  Expr *getIndex() const { return Index; }
+  static bool classof(const Expr *E) { return E->getKind() == IndexKind; }
+
+private:
+  Expr *Base;
+  Expr *Index;
+};
+
+/// An explicit cast `(type)expr`.
+class CastExpr : public Expr {
+public:
+  CastExpr(SourceLoc Loc, const Type *TargetType, Expr *Operand)
+      : Expr(CastKind, Loc), TargetType(TargetType), Operand(Operand) {}
+  const Type *getTargetType() const { return TargetType; }
+  Expr *getOperand() const { return Operand; }
+  static bool classof(const Expr *E) { return E->getKind() == CastKind; }
+
+private:
+  const Type *TargetType;
+  Expr *Operand;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements and declarations
+//===----------------------------------------------------------------------===//
+
+class Stmt {
+public:
+  enum StmtKind {
+    ExprStmtKind,
+    DeclStmtKind,
+    BlockKind,
+    IfKind,
+    WhileKind,
+    DoWhileKind,
+    ForKind,
+    ReturnKind,
+    BreakKind,
+    ContinueKind,
+    GotoKind,
+    LabeledKind,
+    EmptyKind,
+  };
+
+  virtual ~Stmt() = default;
+  StmtKind getKind() const { return TheKind; }
+  SourceLoc getLoc() const { return Loc; }
+
+protected:
+  Stmt(StmtKind K, SourceLoc Loc) : TheKind(K), Loc(Loc) {}
+
+private:
+  StmtKind TheKind;
+  SourceLoc Loc;
+};
+
+/// Storage class of a declared variable.
+enum class StorageClass { Auto, Static, Extern, Register };
+
+/// One declared variable: local, parameter, or global.
+struct VarDecl {
+  SourceLoc Loc;
+  std::string Name;
+  const Type *DeclType = nullptr;
+  StorageClass Storage = StorageClass::Auto;
+  bool IsVolatile = false;
+  Expr *Init = nullptr; // may be null
+};
+
+class ExprStmt : public Stmt {
+public:
+  ExprStmt(SourceLoc Loc, Expr *E) : Stmt(ExprStmtKind, Loc), E(E) {}
+  Expr *getExpr() const { return E; }
+  static bool classof(const Stmt *S) { return S->getKind() == ExprStmtKind; }
+
+private:
+  Expr *E;
+};
+
+class DeclStmt : public Stmt {
+public:
+  DeclStmt(SourceLoc Loc, std::vector<VarDecl> Decls)
+      : Stmt(DeclStmtKind, Loc), Decls(std::move(Decls)) {}
+  const std::vector<VarDecl> &getDecls() const { return Decls; }
+  static bool classof(const Stmt *S) { return S->getKind() == DeclStmtKind; }
+
+private:
+  std::vector<VarDecl> Decls;
+};
+
+class BlockStmt : public Stmt {
+public:
+  BlockStmt(SourceLoc Loc, std::vector<Stmt *> Body)
+      : Stmt(BlockKind, Loc), Body(std::move(Body)) {}
+  const std::vector<Stmt *> &getBody() const { return Body; }
+  static bool classof(const Stmt *S) { return S->getKind() == BlockKind; }
+
+private:
+  std::vector<Stmt *> Body;
+};
+
+class IfStmt : public Stmt {
+public:
+  IfStmt(SourceLoc Loc, Expr *Cond, Stmt *Then, Stmt *Else)
+      : Stmt(IfKind, Loc), Cond(Cond), Then(Then), Else(Else) {}
+  Expr *getCond() const { return Cond; }
+  Stmt *getThen() const { return Then; }
+  Stmt *getElse() const { return Else; } // may be null
+  static bool classof(const Stmt *S) { return S->getKind() == IfKind; }
+
+private:
+  Expr *Cond;
+  Stmt *Then;
+  Stmt *Else;
+};
+
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(SourceLoc Loc, Expr *Cond, Stmt *Body, bool SafeVector)
+      : Stmt(WhileKind, Loc), Cond(Cond), Body(Body), SafeVector(SafeVector) {}
+  Expr *getCond() const { return Cond; }
+  Stmt *getBody() const { return Body; }
+  /// True when a `#pragma safe` preceded the loop (paper Section 9).
+  bool hasSafeVectorPragma() const { return SafeVector; }
+  static bool classof(const Stmt *S) { return S->getKind() == WhileKind; }
+
+private:
+  Expr *Cond;
+  Stmt *Body;
+  bool SafeVector;
+};
+
+class DoWhileStmt : public Stmt {
+public:
+  DoWhileStmt(SourceLoc Loc, Stmt *Body, Expr *Cond)
+      : Stmt(DoWhileKind, Loc), Body(Body), Cond(Cond) {}
+  Stmt *getBody() const { return Body; }
+  Expr *getCond() const { return Cond; }
+  static bool classof(const Stmt *S) { return S->getKind() == DoWhileKind; }
+
+private:
+  Stmt *Body;
+  Expr *Cond;
+};
+
+class ForStmt : public Stmt {
+public:
+  ForStmt(SourceLoc Loc, Stmt *Init, Expr *Cond, Expr *Inc, Stmt *Body,
+          bool SafeVector)
+      : Stmt(ForKind, Loc), Init(Init), Cond(Cond), Inc(Inc), Body(Body),
+        SafeVector(SafeVector) {}
+  Stmt *getInit() const { return Init; } // may be null
+  Expr *getCond() const { return Cond; } // may be null
+  Expr *getInc() const { return Inc; }   // may be null
+  Stmt *getBody() const { return Body; }
+  bool hasSafeVectorPragma() const { return SafeVector; }
+  static bool classof(const Stmt *S) { return S->getKind() == ForKind; }
+
+private:
+  Stmt *Init;
+  Expr *Cond;
+  Expr *Inc;
+  Stmt *Body;
+  bool SafeVector;
+};
+
+class ReturnStmt : public Stmt {
+public:
+  ReturnStmt(SourceLoc Loc, Expr *Value)
+      : Stmt(ReturnKind, Loc), Value(Value) {}
+  Expr *getValue() const { return Value; } // may be null
+  static bool classof(const Stmt *S) { return S->getKind() == ReturnKind; }
+
+private:
+  Expr *Value;
+};
+
+class BreakStmt : public Stmt {
+public:
+  explicit BreakStmt(SourceLoc Loc) : Stmt(BreakKind, Loc) {}
+  static bool classof(const Stmt *S) { return S->getKind() == BreakKind; }
+};
+
+class ContinueStmt : public Stmt {
+public:
+  explicit ContinueStmt(SourceLoc Loc) : Stmt(ContinueKind, Loc) {}
+  static bool classof(const Stmt *S) { return S->getKind() == ContinueKind; }
+};
+
+class GotoStmt : public Stmt {
+public:
+  GotoStmt(SourceLoc Loc, std::string Label)
+      : Stmt(GotoKind, Loc), Label(std::move(Label)) {}
+  const std::string &getLabel() const { return Label; }
+  static bool classof(const Stmt *S) { return S->getKind() == GotoKind; }
+
+private:
+  std::string Label;
+};
+
+class LabeledStmt : public Stmt {
+public:
+  LabeledStmt(SourceLoc Loc, std::string Label, Stmt *Sub)
+      : Stmt(LabeledKind, Loc), Label(std::move(Label)), Sub(Sub) {}
+  const std::string &getLabel() const { return Label; }
+  Stmt *getSub() const { return Sub; }
+  static bool classof(const Stmt *S) { return S->getKind() == LabeledKind; }
+
+private:
+  std::string Label;
+  Stmt *Sub;
+};
+
+class EmptyStmt : public Stmt {
+public:
+  explicit EmptyStmt(SourceLoc Loc) : Stmt(EmptyKind, Loc) {}
+  static bool classof(const Stmt *S) { return S->getKind() == EmptyKind; }
+};
+
+/// One function definition or prototype.
+struct FunctionDecl {
+  SourceLoc Loc;
+  std::string Name;
+  const Type *ReturnType = nullptr;
+  std::vector<VarDecl> Params;
+  BlockStmt *Body = nullptr; // null for a prototype
+  bool IsStatic = false;
+  /// True when `#pragma fortran_pointers` was in effect: pointer parameters
+  /// are assumed not to alias each other (paper Section 9).
+  bool FortranPointerSemantics = false;
+};
+
+/// A whole translation unit: globals and functions in source order.
+struct TranslationUnit {
+  std::vector<VarDecl> Globals;
+  std::vector<FunctionDecl> Functions;
+};
+
+/// Owns every AST node created during one parse.
+class AstContext {
+public:
+  AstContext() = default;
+  AstContext(const AstContext &) = delete;
+  AstContext &operator=(const AstContext &) = delete;
+
+  template <typename T, typename... Args> T *create(Args &&...CtorArgs) {
+    T *Ptr = new T(std::forward<Args>(CtorArgs)...);
+    Nodes.emplace_back(Ptr, [](void *P) { delete static_cast<T *>(P); });
+    return Ptr;
+  }
+
+private:
+  std::vector<std::unique_ptr<void, void (*)(void *)>> Nodes;
+};
+
+} // namespace ast
+} // namespace tcc
+
+#endif // TCC_AST_AST_H

@@ -1,0 +1,1233 @@
+#include "codegen/Codegen.h"
+
+#include "analysis/UseDef.h"
+#include "dependence/DependenceGraph.h"
+#include "support/StringExtras.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <set>
+
+using namespace tcc;
+using namespace tcc::il;
+using namespace tcc::codegen;
+using titan::ElemKind;
+using titan::Instr;
+using titan::Opcode;
+using titan::SymbolLocation;
+using titan::TitanFunction;
+using titan::TitanProgram;
+
+namespace {
+
+bool isIntLike(const Type *Ty) {
+  return Ty->isInteger() || Ty->isPointer();
+}
+
+ElemKind elemKindOf(const Type *Ty) {
+  if (Ty->isDouble())
+    return ElemKind::Float64;
+  if (Ty->isFloat())
+    return ElemKind::Float32;
+  return ElemKind::Int32;
+}
+
+/// Per-function code generation.
+class FunctionCodegen {
+public:
+  FunctionCodegen(Function &F, TitanProgram &Prog, DiagnosticEngine &Diags,
+                  const CodegenOptions &Opts,
+                  const std::map<std::string, size_t> &FuncIndex)
+      : F(F), Prog(Prog), Diags(Diags), Opts(Opts), FuncIndex(FuncIndex) {}
+
+  TitanFunction run() {
+    Out.Name = F.getName();
+    Out.RetIsFp = F.getReturnType()->isFloating();
+    Out.HasRetValue = !F.getReturnType()->isVoid();
+
+    assignStorage();
+
+    for (Symbol *P : F.getParams())
+      Out.ParamLocs.push_back(locOf(P));
+    Out.NumParams = static_cast<unsigned>(F.getParams().size());
+
+    genBlock(F.getBody());
+    // Implicit return (lowering appends one, but guard anyway).
+    emit(Opcode::RET);
+
+    resolveFixups();
+    Out.NumIntRegs = NextIntReg;
+    Out.NumFpRegs = NextFpReg;
+    Out.NumVecRegs = NextVecReg;
+    Out.FrameSize = FrameSize;
+    return std::move(Out);
+  }
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Storage assignment
+  //===--------------------------------------------------------------------===//
+
+  void assignStorage() {
+    // r0 is the frame pointer by convention.
+    NextIntReg = 1;
+
+    std::set<Symbol *> AddrTaken = analysis::computeAddressTakenScalars(F);
+
+    // Use counts for register ranking.
+    std::map<Symbol *, unsigned> UseCount;
+    forEachStmt(F.getBody(), [&](Stmt *S) {
+      forEachExprSlot(S, [&](Expr *&Slot) {
+        forEachSubExprSlot(Slot, [&](Expr *&Sub) {
+          if (Sub->getKind() == Expr::VarRefKind)
+            ++UseCount[static_cast<VarRefExpr *>(Sub)->getSymbol()];
+        });
+      });
+      if (S->getKind() == Stmt::DoLoopKind)
+        UseCount[static_cast<DoLoopStmt *>(S)->getIndexVar()] += 4;
+    });
+
+    std::vector<Symbol *> IntCands, FpCands;
+    auto Classify = [&](Symbol *Sym) {
+      if (Locs.count(Sym))
+        return;
+      const Type *Ty = Sym->getType();
+      if (Sym->getStorage() == StorageKind::Static) {
+        SymbolLocation Loc;
+        Loc.K = SymbolLocation::Global;
+        Loc.Addr = Prog.GlobalAddresses.at(F.getName() + "." +
+                                           Sym->getName());
+        Locs[Sym] = Loc;
+        return;
+      }
+      if (!Ty->isScalar() || Sym->isVolatile() || AddrTaken.count(Sym)) {
+        SymbolLocation Loc;
+        Loc.K = SymbolLocation::Frame;
+        int64_t Size = Ty->isScalar() ? 8 : Ty->getSizeInBytes();
+        FrameSize = (FrameSize + 7) & ~int64_t(7);
+        Loc.Index = static_cast<int>(FrameSize);
+        FrameSize += Size;
+        Locs[Sym] = Loc;
+        return;
+      }
+      if (isIntLike(Ty))
+        IntCands.push_back(Sym);
+      else
+        FpCands.push_back(Sym);
+    };
+    for (const auto &S : F.getSymbols())
+      Classify(S.get());
+
+    auto ByUses = [&](Symbol *A, Symbol *B) {
+      return UseCount[A] > UseCount[B];
+    };
+    std::stable_sort(IntCands.begin(), IntCands.end(), ByUses);
+    std::stable_sort(FpCands.begin(), FpCands.end(), ByUses);
+
+    auto Promote = [&](std::vector<Symbol *> &Cands, unsigned Budget,
+                       bool Fp) {
+      for (size_t I = 0; I < Cands.size(); ++I) {
+        SymbolLocation Loc;
+        if (I < Budget) {
+          Loc.K = Fp ? SymbolLocation::FpReg : SymbolLocation::IntReg;
+          Loc.Index = static_cast<int>(Fp ? NextFpReg++ : NextIntReg++);
+        } else {
+          Loc.K = SymbolLocation::Frame;
+          FrameSize = (FrameSize + 7) & ~int64_t(7);
+          Loc.Index = static_cast<int>(FrameSize);
+          FrameSize += 8;
+        }
+        Locs[Cands[I]] = Loc;
+      }
+    };
+    Promote(IntCands, Opts.IntRegisterBudget, false);
+    Promote(FpCands, Opts.FpRegisterBudget, true);
+  }
+
+  SymbolLocation locOf(Symbol *Sym) {
+    auto It = Locs.find(Sym);
+    if (It != Locs.end())
+      return It->second;
+    // Globals (program symbols).
+    SymbolLocation Loc;
+    Loc.K = SymbolLocation::Global;
+    auto GIt = Prog.GlobalAddresses.find(Sym->getName());
+    if (GIt == Prog.GlobalAddresses.end()) {
+      Diags.error(SourceLoc(), "codegen: unknown symbol '" + Sym->getName() +
+                                   "'");
+      Loc.Addr = 0;
+      return Loc;
+    }
+    Loc.Addr = GIt->second;
+    return Loc;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Emission helpers
+  //===--------------------------------------------------------------------===//
+
+  size_t emit(Opcode Op, int Dst = -1, int SrcA = -1, int SrcB = -1,
+              int64_t Imm = 0) {
+    Instr In;
+    In.Op = Op;
+    In.Dst = Dst;
+    In.SrcA = SrcA;
+    In.SrcB = SrcB;
+    In.Imm = Imm;
+    Out.Code.push_back(In);
+    return Out.Code.size() - 1;
+  }
+
+  Instr &last() { return Out.Code.back(); }
+
+  int newIntReg() { return static_cast<int>(NextIntReg++); }
+  int newFpReg() { return static_cast<int>(NextFpReg++); }
+  int newVecReg() { return static_cast<int>(NextVecReg++); }
+
+  int emitLI(int64_t V) {
+    int R = newIntReg();
+    emit(Opcode::LI, R, -1, -1, V);
+    return R;
+  }
+  int emitLF(double V) {
+    int R = newFpReg();
+    emit(Opcode::LF, R);
+    last().FImm = V;
+    return R;
+  }
+
+  /// Address (in an int register) of a memory-resident symbol.
+  int emitSymbolAddr(Symbol *Sym) {
+    SymbolLocation Loc = locOf(Sym);
+    switch (Loc.K) {
+    case SymbolLocation::Global:
+      return emitLI(Loc.Addr);
+    case SymbolLocation::Frame: {
+      int Off = emitLI(Loc.Index);
+      int R = newIntReg();
+      emit(Opcode::IADD, R, 0, Off); // r0 = frame pointer
+      return R;
+    }
+    default:
+      Diags.error(SourceLoc(), "codegen: address of register-resident '" +
+                                   Sym->getName() + "'");
+      return emitLI(0);
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Scalar expressions
+  //===--------------------------------------------------------------------===//
+
+  bool inNoConflictStmt() const { return CurNoConflict; }
+
+  int emitLoadScalarSym(Symbol *Sym) {
+    SymbolLocation Loc = locOf(Sym);
+    const Type *Ty = Sym->getType();
+    switch (Loc.K) {
+    case SymbolLocation::IntReg:
+    case SymbolLocation::FpReg:
+      return Loc.Index;
+    case SymbolLocation::Frame:
+    case SymbolLocation::Global: {
+      int Addr = Loc.K == SymbolLocation::Global
+                     ? emitLI(Loc.Addr)
+                     : -1;
+      int64_t Imm = 0;
+      if (Loc.K == SymbolLocation::Frame) {
+        Addr = 0; // frame pointer
+        Imm = Loc.Index;
+      }
+      if (isIntLike(Ty)) {
+        int R = newIntReg();
+        // Memory-resident int scalars are stored as 4 bytes except frame
+        // slots which are 8-byte aligned 4-byte values; LDW reads 4.
+        emit(Ty->isChar() ? Opcode::LDC : Opcode::LDW, R, Addr, -1, Imm);
+        last().NoStoreConflict = inNoConflictStmt() && !Sym->isVolatile();
+        return R;
+      }
+      int R = newFpReg();
+      emit(Ty->isFloat() ? Opcode::LDF : Opcode::LDD, R, Addr, -1, Imm);
+      last().NoStoreConflict = inNoConflictStmt() && !Sym->isVolatile();
+      return R;
+    }
+    }
+    return 0;
+  }
+
+  void emitStoreScalarSym(Symbol *Sym, int ValueReg) {
+    SymbolLocation Loc = locOf(Sym);
+    const Type *Ty = Sym->getType();
+    switch (Loc.K) {
+    case SymbolLocation::IntReg:
+      if (Loc.Index != ValueReg)
+        emit(Opcode::IMOV, Loc.Index, ValueReg);
+      return;
+    case SymbolLocation::FpReg:
+      if (Loc.Index != ValueReg) {
+        emit(Opcode::FMOV, Loc.Index, ValueReg);
+        last().SinglePrec = Ty->isFloat();
+      }
+      return;
+    case SymbolLocation::Frame:
+    case SymbolLocation::Global: {
+      int Addr = -1;
+      int64_t Imm = 0;
+      if (Loc.K == SymbolLocation::Global) {
+        Addr = emitLI(Loc.Addr);
+      } else {
+        Addr = 0;
+        Imm = Loc.Index;
+      }
+      if (isIntLike(Ty))
+        emit(Ty->isChar() ? Opcode::STC : Opcode::STW, -1, Addr, ValueReg,
+             Imm);
+      else
+        emit(Ty->isFloat() ? Opcode::STF : Opcode::STD, -1, Addr, ValueReg,
+             Imm);
+      return;
+    }
+    }
+  }
+
+  /// Evaluates an integer-typed (int/char/pointer) expression.
+  int emitInt(Expr *E) {
+    switch (E->getKind()) {
+    case Expr::ConstIntKind:
+      return emitLI(static_cast<ConstIntExpr *>(E)->getValue());
+    case Expr::ConstFloatKind:
+      // Should have been coerced; truncate.
+      return emitLI(static_cast<int64_t>(
+          static_cast<ConstFloatExpr *>(E)->getValue()));
+    case Expr::VarRefKind: {
+      Symbol *Sym = static_cast<VarRefExpr *>(E)->getSymbol();
+      if (!isIntLike(Sym->getType())) {
+        Diags.error(SourceLoc(), "codegen: int use of fp symbol");
+        return emitLI(0);
+      }
+      return emitLoadScalarSym(Sym);
+    }
+    case Expr::BinaryKind: {
+      auto *B = static_cast<BinaryExpr *>(E);
+      // FP comparison produces an int.
+      if (isComparisonOp(B->getOp()) &&
+          B->getLHS()->getType()->isFloating()) {
+        int A = emitFp(B->getLHS());
+        int C = emitFp(B->getRHS());
+        int R = newIntReg();
+        Opcode Op;
+        switch (B->getOp()) {
+        case OpCode::Lt:
+          Op = Opcode::FCMPLT;
+          break;
+        case OpCode::Le:
+          Op = Opcode::FCMPLE;
+          break;
+        case OpCode::Gt:
+          Op = Opcode::FCMPGT;
+          break;
+        case OpCode::Ge:
+          Op = Opcode::FCMPGE;
+          break;
+        case OpCode::Eq:
+          Op = Opcode::FCMPEQ;
+          break;
+        default:
+          Op = Opcode::FCMPNE;
+          break;
+        }
+        emit(Op, R, A, C);
+        return R;
+      }
+      int A = emitInt(B->getLHS());
+      int C = emitInt(B->getRHS());
+      int R = newIntReg();
+      Opcode Op;
+      switch (B->getOp()) {
+      case OpCode::Add:
+        Op = Opcode::IADD;
+        break;
+      case OpCode::Sub:
+        Op = Opcode::ISUB;
+        break;
+      case OpCode::Mul:
+        Op = Opcode::IMUL;
+        break;
+      case OpCode::Div:
+        Op = Opcode::IDIV;
+        break;
+      case OpCode::Rem:
+        Op = Opcode::IREM;
+        break;
+      case OpCode::Shl:
+        Op = Opcode::ISHL;
+        break;
+      case OpCode::Shr:
+        Op = Opcode::ISHR;
+        break;
+      case OpCode::BitAnd:
+        Op = Opcode::IAND;
+        break;
+      case OpCode::BitOr:
+        Op = Opcode::IOR;
+        break;
+      case OpCode::BitXor:
+        Op = Opcode::IXOR;
+        break;
+      case OpCode::Lt:
+        Op = Opcode::ICMPLT;
+        break;
+      case OpCode::Le:
+        Op = Opcode::ICMPLE;
+        break;
+      case OpCode::Gt:
+        Op = Opcode::ICMPGT;
+        break;
+      case OpCode::Ge:
+        Op = Opcode::ICMPGE;
+        break;
+      case OpCode::Eq:
+        Op = Opcode::ICMPEQ;
+        break;
+      case OpCode::Ne:
+        Op = Opcode::ICMPNE;
+        break;
+      case OpCode::Min:
+        Op = Opcode::IMIN;
+        break;
+      case OpCode::Max:
+        Op = Opcode::IMAX;
+        break;
+      default:
+        Diags.error(SourceLoc(), "codegen: bad int binary op");
+        Op = Opcode::IADD;
+        break;
+      }
+      emit(Op, R, A, C);
+      return R;
+    }
+    case Expr::UnaryKind: {
+      auto *U = static_cast<UnaryExpr *>(E);
+      int R = newIntReg();
+      if (U->getOp() == OpCode::LogNot &&
+          U->getOperand()->getType()->isFloating()) {
+        int A = emitFp(U->getOperand());
+        int Z = emitLF(0.0);
+        emit(Opcode::FCMPEQ, R, A, Z);
+        return R;
+      }
+      int A = emitInt(U->getOperand());
+      switch (U->getOp()) {
+      case OpCode::Neg:
+        emit(Opcode::INEG, R, A);
+        break;
+      case OpCode::LogNot:
+        emit(Opcode::ILOGNOT, R, A);
+        break;
+      case OpCode::BitNot:
+        emit(Opcode::IBITNOT, R, A);
+        break;
+      default:
+        Diags.error(SourceLoc(), "codegen: bad int unary op");
+        emit(Opcode::IMOV, R, A);
+        break;
+      }
+      return R;
+    }
+    case Expr::CastKind: {
+      auto *C = static_cast<CastExpr *>(E);
+      const Type *From = C->getOperand()->getType();
+      if (From->isFloating()) {
+        int A = emitFp(C->getOperand());
+        int R = newIntReg();
+        emit(Opcode::FTOI, R, A);
+        return R;
+      }
+      int A = emitInt(C->getOperand());
+      if (C->getType()->isChar()) {
+        // Truncate through shifts.
+        int S = emitLI(24);
+        int T1 = newIntReg();
+        emit(Opcode::ISHL, T1, A, S);
+        int T2 = newIntReg();
+        emit(Opcode::ISHR, T2, T1, S);
+        return T2;
+      }
+      return A;
+    }
+    case Expr::DerefKind: {
+      auto *D = static_cast<DerefExpr *>(E);
+      int Addr = emitInt(D->getAddr());
+      int R = newIntReg();
+      emit(D->getType()->isChar() ? Opcode::LDC : Opcode::LDW, R, Addr);
+      last().NoStoreConflict = inNoConflictStmt();
+      return R;
+    }
+    case Expr::IndexKind: {
+      int Addr = emitIndexAddress(static_cast<IndexExpr *>(E));
+      int R = newIntReg();
+      emit(E->getType()->isChar() ? Opcode::LDC : Opcode::LDW, R, Addr);
+      last().NoStoreConflict = inNoConflictStmt();
+      return R;
+    }
+    case Expr::AddrOfKind:
+      return emitAddressOf(static_cast<AddrOfExpr *>(E));
+    case Expr::TripletKind:
+      Diags.error(SourceLoc(), "codegen: triplet in scalar context");
+      return emitLI(0);
+    }
+    return emitLI(0);
+  }
+
+  /// Evaluates a floating expression into an FP register.
+  int emitFp(Expr *E) {
+    const Type *Ty = E->getType();
+    switch (E->getKind()) {
+    case Expr::ConstFloatKind:
+      return emitLF(static_cast<ConstFloatExpr *>(E)->getValue());
+    case Expr::ConstIntKind:
+      return emitLF(static_cast<double>(
+          static_cast<ConstIntExpr *>(E)->getValue()));
+    case Expr::VarRefKind: {
+      Symbol *Sym = static_cast<VarRefExpr *>(E)->getSymbol();
+      return emitLoadScalarSym(Sym);
+    }
+    case Expr::BinaryKind: {
+      auto *B = static_cast<BinaryExpr *>(E);
+      int A = emitFp(B->getLHS());
+      int C = emitFp(B->getRHS());
+      int R = newFpReg();
+      Opcode Op;
+      switch (B->getOp()) {
+      case OpCode::Add:
+        Op = Opcode::FADD;
+        break;
+      case OpCode::Sub:
+        Op = Opcode::FSUB;
+        break;
+      case OpCode::Mul:
+        Op = Opcode::FMUL;
+        break;
+      case OpCode::Div:
+        Op = Opcode::FDIV;
+        break;
+      case OpCode::Min:
+        Op = Opcode::FMIN;
+        break;
+      case OpCode::Max:
+        Op = Opcode::FMAX;
+        break;
+      default:
+        Diags.error(SourceLoc(), "codegen: bad fp binary op");
+        Op = Opcode::FADD;
+        break;
+      }
+      emit(Op, R, A, C);
+      last().SinglePrec = Ty->isFloat();
+      return R;
+    }
+    case Expr::UnaryKind: {
+      auto *U = static_cast<UnaryExpr *>(E);
+      int A = emitFp(U->getOperand());
+      int R = newFpReg();
+      emit(Opcode::FNEG, R, A);
+      return R;
+    }
+    case Expr::CastKind: {
+      auto *C = static_cast<CastExpr *>(E);
+      const Type *From = C->getOperand()->getType();
+      if (isIntLike(From)) {
+        int A = emitInt(C->getOperand());
+        int R = newFpReg();
+        emit(Opcode::ITOF, R, A);
+        return R;
+      }
+      int A = emitFp(C->getOperand());
+      if (Ty->isFloat() && From->isDouble()) {
+        int R = newFpReg();
+        emit(Opcode::FMOV, R, A);
+        last().SinglePrec = true;
+        return R;
+      }
+      return A;
+    }
+    case Expr::DerefKind: {
+      auto *D = static_cast<DerefExpr *>(E);
+      int Addr = emitInt(D->getAddr());
+      int R = newFpReg();
+      emit(Ty->isFloat() ? Opcode::LDF : Opcode::LDD, R, Addr);
+      last().NoStoreConflict = inNoConflictStmt();
+      return R;
+    }
+    case Expr::IndexKind: {
+      int Addr = emitIndexAddress(static_cast<IndexExpr *>(E));
+      int R = newFpReg();
+      emit(Ty->isFloat() ? Opcode::LDF : Opcode::LDD, R, Addr);
+      last().NoStoreConflict = inNoConflictStmt();
+      return R;
+    }
+    default:
+      Diags.error(SourceLoc(), "codegen: bad fp expression");
+      return emitLF(0.0);
+    }
+  }
+
+  /// Byte address of an Index expression.
+  int emitIndexAddress(IndexExpr *I) {
+    Expr *Base = I->getBase();
+    int Addr;
+    const Type *Cur = Base->getType();
+    if (Base->getKind() == Expr::VarRefKind) {
+      Addr = emitSymbolAddr(static_cast<VarRefExpr *>(Base)->getSymbol());
+    } else if (Base->getKind() == Expr::DerefKind) {
+      Addr = emitInt(static_cast<DerefExpr *>(Base)->getAddr());
+    } else {
+      Diags.error(SourceLoc(), "codegen: unsupported array base");
+      return emitLI(0);
+    }
+    for (Expr *Sub : I->getSubscripts()) {
+      if (!Cur->isArray()) {
+        Diags.error(SourceLoc(), "codegen: too many subscripts");
+        return Addr;
+      }
+      int64_t Stride = Cur->getElementType()->getSizeInBytes();
+      int SubReg = emitInt(Sub);
+      int StrideReg = emitLI(Stride);
+      int Scaled = newIntReg();
+      emit(Opcode::IMUL, Scaled, SubReg, StrideReg);
+      int NewAddr = newIntReg();
+      emit(Opcode::IADD, NewAddr, Addr, Scaled);
+      Addr = NewAddr;
+      Cur = Cur->getElementType();
+    }
+    return Addr;
+  }
+
+  int emitAddressOf(AddrOfExpr *A) {
+    Expr *LV = A->getLValue();
+    switch (LV->getKind()) {
+    case Expr::VarRefKind:
+      return emitSymbolAddr(static_cast<VarRefExpr *>(LV)->getSymbol());
+    case Expr::IndexKind:
+      return emitIndexAddress(static_cast<IndexExpr *>(LV));
+    case Expr::DerefKind:
+      return emitInt(static_cast<DerefExpr *>(LV)->getAddr());
+    default:
+      Diags.error(SourceLoc(), "codegen: bad address-of");
+      return emitLI(0);
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Vector expressions
+  //===--------------------------------------------------------------------===//
+
+  struct VectorOperand {
+    bool IsVector = false;
+    int Reg = -1; ///< Vector register or FP register.
+  };
+
+  /// Extracts (addr, stride, len) registers from a vector memory
+  /// reference whose address/subscript carries the top-level triplet.
+  struct VecAccess {
+    int AddrReg = -1;
+    int StrideReg = -1;
+    int LenReg = -1;
+    ElemKind Kind = ElemKind::Float32;
+    bool Ok = false;
+  };
+
+  VecAccess emitVecAccess(Expr *Ref) {
+    VecAccess A;
+    TripletExpr *T = nullptr;
+    int64_t ElemSize = 4;
+    const Type *ElemTy = Ref->getType();
+    A.Kind = elemKindOf(ElemTy);
+    ElemSize = ElemTy->getSizeInBytes();
+
+    if (Ref->getKind() == Expr::DerefKind) {
+      Expr *Addr = static_cast<DerefExpr *>(Ref)->getAddr();
+      if (Addr->getKind() != Expr::TripletKind) {
+        Diags.error(SourceLoc(), "codegen: vector deref without triplet");
+        return A;
+      }
+      T = static_cast<TripletExpr *>(Addr);
+      // Components are byte addresses.
+      A.AddrReg = emitInt(T->getLo());
+      A.StrideReg = emitInt(T->getStride());
+      int Hi = emitInt(T->getHi());
+      // len = (hi - lo)/stride + 1.
+      int Diff = newIntReg();
+      emit(Opcode::ISUB, Diff, Hi, A.AddrReg);
+      int Div = newIntReg();
+      emit(Opcode::IDIV, Div, Diff, A.StrideReg);
+      int One = emitLI(1);
+      A.LenReg = newIntReg();
+      emit(Opcode::IADD, A.LenReg, Div, One);
+      A.Ok = true;
+      return A;
+    }
+    if (Ref->getKind() == Expr::IndexKind) {
+      auto *I = static_cast<IndexExpr *>(Ref);
+      if (I->getBase()->getKind() != Expr::VarRefKind) {
+        Diags.error(SourceLoc(), "codegen: vector index base");
+        return A;
+      }
+      // Walk the (possibly multi-dimensional) subscripts; exactly one may
+      // carry the triplet.  Scalar subscripts fold into the base address.
+      int Base =
+          emitSymbolAddr(static_cast<VarRefExpr *>(I->getBase())->getSymbol());
+      const Type *Cur = I->getBase()->getType();
+      int Addr = Base;
+      for (Expr *Sub : I->getSubscripts()) {
+        if (!Cur->isArray()) {
+          Diags.error(SourceLoc(), "codegen: too many vector subscripts");
+          return A;
+        }
+        int64_t DimStride = Cur->getElementType()->getSizeInBytes();
+        if (Sub->getKind() == Expr::TripletKind) {
+          if (T) {
+            Diags.error(SourceLoc(),
+                        "codegen: multiple triplets in one reference");
+            return A;
+          }
+          T = static_cast<TripletExpr *>(Sub);
+          int Lo = emitInt(T->getLo());
+          int Hi = emitInt(T->getHi());
+          int SubStride = emitInt(T->getStride());
+          int DS = emitLI(DimStride);
+          int LoScaled = newIntReg();
+          emit(Opcode::IMUL, LoScaled, Lo, DS);
+          int NewAddr = newIntReg();
+          emit(Opcode::IADD, NewAddr, Addr, LoScaled);
+          Addr = NewAddr;
+          A.StrideReg = newIntReg();
+          emit(Opcode::IMUL, A.StrideReg, SubStride, DS);
+          int Diff = newIntReg();
+          emit(Opcode::ISUB, Diff, Hi, Lo);
+          int Div = newIntReg();
+          emit(Opcode::IDIV, Div, Diff, SubStride);
+          int One = emitLI(1);
+          A.LenReg = newIntReg();
+          emit(Opcode::IADD, A.LenReg, Div, One);
+        } else {
+          int SubReg = emitInt(Sub);
+          int DS = emitLI(DimStride);
+          int Scaled = newIntReg();
+          emit(Opcode::IMUL, Scaled, SubReg, DS);
+          int NewAddr = newIntReg();
+          emit(Opcode::IADD, NewAddr, Addr, Scaled);
+          Addr = NewAddr;
+        }
+        Cur = Cur->getElementType();
+      }
+      if (!T) {
+        Diags.error(SourceLoc(), "codegen: vector index without triplet");
+        return A;
+      }
+      A.AddrReg = Addr;
+      A.Ok = true;
+      return A;
+    }
+    Diags.error(SourceLoc(), "codegen: bad vector reference");
+    return A;
+  }
+
+  VectorOperand emitVector(Expr *E, bool SinglePrec) {
+    if (!exprHasTriplet(E)) {
+      VectorOperand Op;
+      Op.IsVector = false;
+      Op.Reg = isIntLike(E->getType()) ? -1 : emitFp(E);
+      if (Op.Reg < 0) {
+        // Integer scalar in a vector expression: convert to FP.
+        int I = emitInt(E);
+        Op.Reg = newFpReg();
+        emit(Opcode::ITOF, Op.Reg, I);
+      }
+      return Op;
+    }
+    switch (E->getKind()) {
+    case Expr::DerefKind:
+    case Expr::IndexKind: {
+      VecAccess A = emitVecAccess(E);
+      VectorOperand Op;
+      Op.IsVector = true;
+      Op.Reg = newVecReg();
+      Instr In;
+      In.Op = Opcode::VLD;
+      In.Dst = Op.Reg;
+      In.Kind = A.Kind;
+      In.Args = {A.AddrReg, A.StrideReg, A.LenReg};
+      In.NoStoreConflict = true; // proven by the vectorizer
+      Out.Code.push_back(In);
+      return Op;
+    }
+    case Expr::BinaryKind: {
+      auto *B = static_cast<BinaryExpr *>(E);
+      VectorOperand L = emitVector(B->getLHS(), SinglePrec);
+      VectorOperand R = emitVector(B->getRHS(), SinglePrec);
+      VectorOperand Res;
+      Res.IsVector = true;
+      Res.Reg = newVecReg();
+      Instr In;
+      // Round per operation exactly as the scalar FP unit would: by the
+      // expression's own type.
+      In.SinglePrec = B->getType()->isFloat();
+      In.Dst = Res.Reg;
+      if (L.IsVector && R.IsVector) {
+        switch (B->getOp()) {
+        case OpCode::Add:
+          In.Op = Opcode::VADD;
+          break;
+        case OpCode::Sub:
+          In.Op = Opcode::VSUB;
+          break;
+        case OpCode::Mul:
+          In.Op = Opcode::VMUL;
+          break;
+        case OpCode::Div:
+          In.Op = Opcode::VDIV;
+          break;
+        default:
+          Diags.error(SourceLoc(), "codegen: bad vector op");
+          In.Op = Opcode::VADD;
+          break;
+        }
+        In.SrcA = L.Reg;
+        In.SrcB = R.Reg;
+      } else {
+        // Vector-scalar form.
+        bool ScalarOnLeft = !L.IsVector;
+        int VecReg = ScalarOnLeft ? R.Reg : L.Reg;
+        int ScalReg = ScalarOnLeft ? L.Reg : R.Reg;
+        switch (B->getOp()) {
+        case OpCode::Add:
+          In.Op = Opcode::VSADD;
+          break;
+        case OpCode::Sub:
+          In.Op = ScalarOnLeft ? Opcode::VSSUBR : Opcode::VSSUB;
+          break;
+        case OpCode::Mul:
+          In.Op = Opcode::VSMUL;
+          break;
+        case OpCode::Div:
+          In.Op = ScalarOnLeft ? Opcode::VSDIVR : Opcode::VSDIV;
+          break;
+        default:
+          Diags.error(SourceLoc(), "codegen: bad vector-scalar op");
+          In.Op = Opcode::VSADD;
+          break;
+        }
+        In.SrcA = VecReg;
+        In.Args = {ScalReg};
+      }
+      Out.Code.push_back(In);
+      return Res;
+    }
+    case Expr::UnaryKind: {
+      auto *U = static_cast<UnaryExpr *>(E);
+      VectorOperand A = emitVector(U->getOperand(), SinglePrec);
+      VectorOperand Res;
+      Res.IsVector = true;
+      Res.Reg = newVecReg();
+      Instr In;
+      In.Op = Opcode::VNEG;
+      In.Dst = Res.Reg;
+      In.SrcA = A.Reg;
+      Out.Code.push_back(In);
+      return Res;
+    }
+    case Expr::CastKind:
+      // Vector values are held as doubles; stores round by kind.
+      return emitVector(static_cast<CastExpr *>(E)->getOperand(),
+                        SinglePrec);
+    case Expr::TripletKind: {
+      // A bare triplet as a value: the index vector itself (iota).
+      auto *T = static_cast<TripletExpr *>(E);
+      int Lo = emitInt(T->getLo());
+      int Hi = emitInt(T->getHi());
+      int Stride = emitInt(T->getStride());
+      int Diff = newIntReg();
+      emit(Opcode::ISUB, Diff, Hi, Lo);
+      int Div = newIntReg();
+      emit(Opcode::IDIV, Div, Diff, Stride);
+      int One = emitLI(1);
+      int Len = newIntReg();
+      emit(Opcode::IADD, Len, Div, One);
+      VectorOperand Res;
+      Res.IsVector = true;
+      Res.Reg = newVecReg();
+      Instr In;
+      In.Op = Opcode::VIOTA;
+      In.Dst = Res.Reg;
+      In.Args = {Lo, Stride, Len};
+      Out.Code.push_back(In);
+      return Res;
+    }
+    default:
+      Diags.error(SourceLoc(), "codegen: bad vector expression");
+      return {};
+    }
+  }
+
+  void genVectorAssign(AssignStmt *S) {
+    const Type *ElemTy = S->getLHS()->getType();
+    bool SinglePrec = ElemTy->isFloat();
+    VectorOperand RHS = emitVector(S->getRHS(), SinglePrec);
+    VecAccess Dst = emitVecAccess(S->getLHS());
+    if (!Dst.Ok)
+      return;
+    int SrcVec = RHS.Reg;
+    if (!RHS.IsVector) {
+      // Broadcast: scalar RHS stored across the section.  Materialize via
+      // a vector of the right length: vneg(vneg) trick avoided — use
+      // VSADD with a zero-length... simplest: VLD from the destination
+      // then overwrite with scalar via VSMUL 0 + VSADD s.
+      int Zero = emitLF(0.0);
+      int VTmp = newVecReg();
+      Instr Ld;
+      Ld.Op = Opcode::VLD;
+      Ld.Dst = VTmp;
+      Ld.Kind = Dst.Kind;
+      Ld.Args = {Dst.AddrReg, Dst.StrideReg, Dst.LenReg};
+      Ld.NoStoreConflict = true;
+      Out.Code.push_back(Ld);
+      int VZero = newVecReg();
+      Instr Mul;
+      Mul.Op = Opcode::VSMUL;
+      Mul.Dst = VZero;
+      Mul.SrcA = VTmp;
+      Mul.Args = {Zero};
+      Out.Code.push_back(Mul);
+      int VBcast = newVecReg();
+      Instr Add;
+      Add.Op = Opcode::VSADD;
+      Add.Dst = VBcast;
+      Add.SrcA = VZero;
+      Add.Args = {RHS.Reg};
+      Add.SinglePrec = SinglePrec;
+      Out.Code.push_back(Add);
+      SrcVec = VBcast;
+    }
+    Instr St;
+    St.Op = Opcode::VST;
+    St.SrcA = SrcVec;
+    St.Kind = Dst.Kind;
+    St.Args = {Dst.AddrReg, Dst.StrideReg, Dst.LenReg};
+    Out.Code.push_back(St);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------------===//
+
+  void genBlock(Block &B) {
+    for (Stmt *S : B.Stmts)
+      genStmt(S);
+  }
+
+  void genStmt(Stmt *S) {
+    bool SavedNoConflict = CurNoConflict;
+    if (S->getKind() == Stmt::AssignKind &&
+        static_cast<AssignStmt *>(S)->loadsConflictFree() &&
+        Opts.EnableDepScheduling)
+      CurNoConflict = true;
+
+    switch (S->getKind()) {
+    case Stmt::AssignKind: {
+      auto *A = static_cast<AssignStmt *>(S);
+      if (exprHasTriplet(A->getLHS()) || exprHasTriplet(A->getRHS())) {
+        genVectorAssign(A);
+        break;
+      }
+      Expr *LHS = A->getLHS();
+      if (LHS->getKind() == Expr::VarRefKind) {
+        Symbol *Sym = static_cast<VarRefExpr *>(LHS)->getSymbol();
+        int V = isIntLike(Sym->getType()) ? emitInt(A->getRHS())
+                                          : emitFp(A->getRHS());
+        emitStoreScalarSym(Sym, V);
+        break;
+      }
+      // Store through memory.
+      const Type *Ty = LHS->getType();
+      int Addr;
+      if (LHS->getKind() == Expr::DerefKind)
+        Addr = emitInt(static_cast<DerefExpr *>(LHS)->getAddr());
+      else
+        Addr = emitIndexAddress(static_cast<IndexExpr *>(LHS));
+      if (isIntLike(Ty)) {
+        int V = emitInt(A->getRHS());
+        emit(Ty->isChar() ? Opcode::STC : Opcode::STW, -1, Addr, V);
+      } else {
+        int V = emitFp(A->getRHS());
+        emit(Ty->isFloat() ? Opcode::STF : Opcode::STD, -1, Addr, V);
+      }
+      break;
+    }
+    case Stmt::CallKind: {
+      auto *C = static_cast<CallStmt *>(S);
+      Instr In;
+      In.Op = Opcode::CALL;
+      for (Expr *Arg : C->getArgs()) {
+        bool Fp = Arg->getType()->isFloating();
+        In.Args.push_back(Fp ? emitFp(Arg) : emitInt(Arg));
+        In.ArgIsFp.push_back(Fp);
+      }
+      auto It = FuncIndex.find(C->getCallee());
+      if (It == FuncIndex.end()) {
+        Diags.error(C->getLoc(), "codegen: call to unknown function '" +
+                                     C->getCallee() + "'");
+        break;
+      }
+      In.Target = static_cast<int>(It->second);
+      if (C->getResult()) {
+        bool Fp = C->getResult()->getType()->isFloating();
+        In.RetIsFp = Fp;
+        In.Dst = Fp ? newFpReg() : newIntReg();
+      }
+      Out.Code.push_back(In);
+      if (C->getResult())
+        emitStoreScalarSym(C->getResult(), Out.Code.back().Dst);
+      break;
+    }
+    case Stmt::IfKind: {
+      auto *I = static_cast<IfStmt *>(S);
+      int Cond = emitCond(I->getCond());
+      size_t BranchIx = emit(Opcode::BZ, -1, Cond);
+      genBlock(I->getThen());
+      if (I->getElse().empty()) {
+        Out.Code[BranchIx].Target = static_cast<int>(Out.Code.size());
+      } else {
+        size_t JmpIx = emit(Opcode::JMP);
+        Out.Code[BranchIx].Target = static_cast<int>(Out.Code.size());
+        genBlock(I->getElse());
+        Out.Code[JmpIx].Target = static_cast<int>(Out.Code.size());
+      }
+      break;
+    }
+    case Stmt::WhileKind: {
+      auto *W = static_cast<WhileStmt *>(S);
+      size_t Top = Out.Code.size();
+      int Cond = emitCond(W->getCond());
+      size_t ExitIx = emit(Opcode::BZ, -1, Cond);
+      genBlock(W->getBody());
+      emit(Opcode::JMP)
+          ;
+      Out.Code.back().Target = static_cast<int>(Top);
+      Out.Code[ExitIx].Target = static_cast<int>(Out.Code.size());
+      break;
+    }
+    case Stmt::DoLoopKind:
+      genDoLoop(static_cast<DoLoopStmt *>(S));
+      break;
+    case Stmt::LabelKind:
+      Labels[static_cast<LabelStmt *>(S)->getName()] = Out.Code.size();
+      break;
+    case Stmt::GotoKind: {
+      size_t Ix = emit(Opcode::JMP);
+      GotoFixups.push_back({Ix, static_cast<GotoStmt *>(S)->getTarget()});
+      break;
+    }
+    case Stmt::ReturnKind: {
+      auto *Ret = static_cast<ReturnStmt *>(S);
+      Instr In;
+      In.Op = Opcode::RET;
+      if (Ret->getValue()) {
+        In.RetIsFp = Ret->getValue()->getType()->isFloating();
+        In.SrcA = In.RetIsFp ? emitFp(Ret->getValue())
+                             : emitInt(Ret->getValue());
+      }
+      Out.Code.push_back(In);
+      break;
+    }
+    }
+    CurNoConflict = SavedNoConflict;
+  }
+
+  /// Condition value (nonzero = true); handles FP-typed conditions.
+  int emitCond(Expr *Cond) {
+    if (Cond->getType()->isFloating()) {
+      int A = emitFp(Cond);
+      int Z = emitLF(0.0);
+      int R = newIntReg();
+      emit(Opcode::FCMPNE, R, A, Z);
+      return R;
+    }
+    return emitInt(Cond);
+  }
+
+  void genDoLoop(DoLoopStmt *D) {
+    // Evaluate bounds once.
+    int Init = emitInt(D->getInit());
+    int Limit = emitInt(D->getLimit());
+    int Step = emitInt(D->getStep());
+
+    Symbol *Idx = D->getIndexVar();
+    emitStoreScalarSym(Idx, Init);
+
+    int64_t StepConst = 0;
+    bool StepKnown =
+        D->getStep()->getKind() == Expr::ConstIntKind &&
+        (StepConst = static_cast<ConstIntExpr *>(D->getStep())->getValue(),
+         true);
+
+    if (D->isParallel()) {
+      // chunks = (limit - init)/step + 1.
+      int Diff = newIntReg();
+      emit(Opcode::ISUB, Diff, Limit, Init);
+      int Div = newIntReg();
+      emit(Opcode::IDIV, Div, Diff, Step);
+      int One = emitLI(1);
+      int Chunks = newIntReg();
+      emit(Opcode::IADD, Chunks, Div, One);
+      emit(Opcode::PARBEGIN, -1, Chunks);
+    }
+
+    size_t Top = Out.Code.size();
+    // Test: continue while idx <= limit (step>0) / idx >= limit (step<0).
+    int IdxVal = emitLoadScalarSym(Idx);
+    int Cmp = newIntReg();
+    if (StepKnown && StepConst < 0)
+      emit(Opcode::ICMPGE, Cmp, IdxVal, Limit);
+    else
+      emit(Opcode::ICMPLE, Cmp, IdxVal, Limit);
+    size_t ExitIx = emit(Opcode::BZ, -1, Cmp);
+
+    genBlock(D->getBody());
+
+    int IdxVal2 = emitLoadScalarSym(Idx);
+    int Next = newIntReg();
+    emit(Opcode::IADD, Next, IdxVal2, Step);
+    emitStoreScalarSym(Idx, Next);
+    emit(Opcode::JMP);
+    Out.Code.back().Target = static_cast<int>(Top);
+    Out.Code[ExitIx].Target = static_cast<int>(Out.Code.size());
+
+    if (D->isParallel())
+      emit(Opcode::PAREND);
+  }
+
+  void resolveFixups() {
+    for (auto &[Ix, Name] : GotoFixups) {
+      auto It = Labels.find(Name);
+      if (It == Labels.end()) {
+        Diags.error(SourceLoc(), "codegen: undefined label '" + Name + "'");
+        Out.Code[Ix].Target = static_cast<int>(Out.Code.size() - 1);
+      } else {
+        Out.Code[Ix].Target = static_cast<int>(It->second);
+      }
+    }
+  }
+
+  Function &F;
+  TitanProgram &Prog;
+  DiagnosticEngine &Diags;
+  const CodegenOptions &Opts;
+  const std::map<std::string, size_t> &FuncIndex;
+
+  TitanFunction Out;
+  std::map<Symbol *, SymbolLocation> Locs;
+  unsigned NextIntReg = 1;
+  unsigned NextFpReg = 0;
+  unsigned NextVecReg = 0;
+  int64_t FrameSize = 0;
+  std::map<std::string, size_t> Labels;
+  std::vector<std::pair<size_t, std::string>> GotoFixups;
+  bool CurNoConflict = false;
+};
+
+/// Writes a scalar initial value into the image.
+void writeInit(std::vector<uint8_t> &Image, int64_t Addr, const Type *Ty,
+               const GlobalInit &Init) {
+  if (Ty->isFloat()) {
+    float V = static_cast<float>(Init.IsFloat ? Init.FloatValue
+                                              : (double)Init.IntValue);
+    std::memcpy(Image.data() + Addr, &V, 4);
+  } else if (Ty->isDouble()) {
+    double V = Init.IsFloat ? Init.FloatValue : (double)Init.IntValue;
+    std::memcpy(Image.data() + Addr, &V, 8);
+  } else if (Ty->isChar()) {
+    int8_t V = static_cast<int8_t>(Init.IntValue);
+    std::memcpy(Image.data() + Addr, &V, 1);
+  } else {
+    int32_t V = static_cast<int32_t>(
+        Init.IsFloat ? (int64_t)Init.FloatValue : Init.IntValue);
+    std::memcpy(Image.data() + Addr, &V, 4);
+  }
+}
+
+} // namespace
+
+TitanProgram codegen::generateProgram(il::Program &P, DiagnosticEngine &Diags,
+                                      const CodegenOptions &Opts) {
+  TitanProgram Out;
+
+  // --- Global layout ---
+  int64_t Addr = 64; // keep 0 as an invalid address
+  auto place = [&](const std::string &Name, const Type *Ty,
+                   const Symbol *Sym) {
+    Addr = (Addr + 7) & ~int64_t(7);
+    Out.GlobalAddresses[Name] = Addr;
+    int64_t Size = Ty->isFunction() || Ty->isVoid() ? 8 : Ty->getSizeInBytes();
+    if (Ty->isScalar())
+      Size = 8;
+    Addr += Size;
+    (void)Sym;
+  };
+  for (const auto &G : P.getGlobals())
+    place(G->getName(), G->getType(), G.get());
+  for (const auto &F : P.getFunctions())
+    for (const auto &S : F->getSymbols())
+      if (S->getStorage() == StorageKind::Static)
+        place(F->getName() + "." + S->getName(), S->getType(), S.get());
+  Out.GlobalSize = Addr;
+  Out.StackBase = (Addr + 63) & ~int64_t(63);
+
+  // Initial image.
+  Out.InitialImage.assign(static_cast<size_t>(Out.GlobalSize), 0);
+  for (const auto &G : P.getGlobals())
+    if (G->hasInit())
+      writeInit(Out.InitialImage, Out.GlobalAddresses[G->getName()],
+                G->getType(), G->getInit());
+  for (const auto &F : P.getFunctions())
+    for (const auto &S : F->getSymbols())
+      if (S->getStorage() == StorageKind::Static && S->hasInit())
+        writeInit(Out.InitialImage,
+                  Out.GlobalAddresses[F->getName() + "." + S->getName()],
+                  S->getType(), S->getInit());
+
+  // --- Function index: defined functions plus stubs for unknown callees.
+  for (const auto &F : P.getFunctions()) {
+    Out.FunctionIndex[F->getName()] = Out.FunctionIndex.size();
+  }
+  std::set<std::string> Unknown;
+  for (const auto &F : P.getFunctions())
+    forEachStmt(F->getBody(), [&](Stmt *S) {
+      if (S->getKind() == Stmt::CallKind) {
+        const std::string &Callee =
+            static_cast<CallStmt *>(S)->getCallee();
+        if (!Out.FunctionIndex.count(Callee))
+          Unknown.insert(Callee);
+      }
+    });
+  for (const std::string &Name : Unknown)
+    Out.FunctionIndex[Name] = Out.FunctionIndex.size();
+
+  Out.Functions.resize(Out.FunctionIndex.size());
+
+  for (const auto &F : P.getFunctions()) {
+    FunctionCodegen CG(*F, Out, Diags, Opts, Out.FunctionIndex);
+    Out.Functions[Out.FunctionIndex[F->getName()]] = CG.run();
+  }
+  // Stubs: return 0.
+  for (const std::string &Name : Unknown) {
+    TitanFunction Stub;
+    Stub.Name = Name + " (stub)";
+    Instr Ret;
+    Ret.Op = Opcode::RET;
+    Stub.Code.push_back(Ret);
+    Out.Functions[Out.FunctionIndex[Name]] = std::move(Stub);
+  }
+  return Out;
+}

@@ -1,0 +1,51 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Code generation: IL → TitanISA.
+///
+/// Register allocation follows the machine's character (paper Section 2):
+/// the vector register file doubles as a large scalar FP register set, so
+/// FP scalars essentially always live in registers; integer scalars
+/// compete for a RISC-sized register budget with the least-used ones
+/// spilled to the frame.  Address-taken and volatile scalars, and all
+/// aggregates, are memory-resident (aliasing correctness).
+///
+/// Dependence-driven instruction scheduling (paper Section 6) appears
+/// here as a load flag: when enabled, loads in loop statements that the
+/// dependence graph proves free of incoming store conflicts are marked
+/// NoStoreConflict, letting the machine overlap memory access with
+/// computation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_CODEGEN_CODEGEN_H
+#define TCC_CODEGEN_CODEGEN_H
+
+#include "il/IL.h"
+#include "support/Diagnostics.h"
+#include "titan/TitanISA.h"
+
+namespace tcc {
+namespace codegen {
+
+struct CodegenOptions {
+  /// Integer scalars promoted to registers (hottest first); the rest live
+  /// in the frame.
+  unsigned IntRegisterBudget = 24;
+  /// FP scalars promoted to the register file.
+  unsigned FpRegisterBudget = 512;
+  /// Mark dependence-proven-independent loads so the machine can schedule
+  /// them past the store queue.
+  bool EnableDepScheduling = false;
+};
+
+/// Lowers \p P to a linked Titan program.  Calls to functions with no
+/// body get empty stubs (returning zero).  Reports unsupported constructs
+/// into \p Diags.
+titan::TitanProgram generateProgram(il::Program &P, DiagnosticEngine &Diags,
+                                    const CodegenOptions &Opts = {});
+
+} // namespace codegen
+} // namespace tcc
+
+#endif // TCC_CODEGEN_CODEGEN_H

@@ -1,0 +1,454 @@
+#include "dependence/DependenceGraph.h"
+
+#include "analysis/UseDef.h"
+#include "scalar/Fold.h"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+
+using namespace tcc;
+using namespace tcc::il;
+using namespace tcc::dep;
+using tcc::scalar::LinExpr;
+
+//===----------------------------------------------------------------------===//
+// Pairwise dependence testing
+//===----------------------------------------------------------------------===//
+
+DepResult dep::testRefs(const MemRef &A, const MemRef &B, Symbol *Idx,
+                        int64_t TripCount) {
+  DepResult Conservative; // dependent, carried, independent, no distance
+  if (!A.Addr.Valid || !B.Addr.Valid)
+    return Conservative;
+
+  // Outer/other loop indices must have matching coefficients to cancel.
+  for (const auto &[Sym, Coeff] : A.Addr.IdxCoeffs)
+    if (Sym != Idx && B.Addr.coeffOf(Sym) != Coeff)
+      return Conservative;
+  for (const auto &[Sym, Coeff] : B.Addr.IdxCoeffs)
+    if (Sym != Idx && A.Addr.coeffOf(Sym) != Coeff)
+      return Conservative;
+
+  LinExpr Delta = B.Addr.Offset.sub(A.Addr.Offset);
+  if (!Delta.Known || !Delta.Coeffs.empty())
+    return Conservative; // symbolic difference
+
+  int64_t D0 = Delta.C0;
+  int64_t CA = A.Addr.coeffOf(Idx);
+  int64_t CB = B.Addr.coeffOf(Idx);
+  int64_t SizeA = A.Size > 0 ? A.Size : 1;
+  int64_t SizeB = B.Size > 0 ? B.Size : 1;
+
+  auto overlapsAt = [&](int64_t Diff) {
+    // Access A at [0, SizeA), access B at [Diff, Diff+SizeB).
+    return Diff > -SizeB && Diff < SizeA;
+  };
+
+  if (CA == CB) {
+    if (CA == 0) {
+      // ZIV: constant addresses.
+      DepResult R;
+      if (!overlapsAt(D0)) {
+        R.Dependent = false;
+        R.Carried = false;
+        R.LoopIndependent = false;
+        return R;
+      }
+      R.Dependent = true;
+      R.Carried = true; // the same location every iteration
+      R.LoopIndependent = true;
+      return R;
+    }
+    // Strong SIV: B at iteration x+k touches A's location from iteration
+    // x when CA·(x+k) + offB = CA·x + offA, i.e. k = -D0/CA.
+    if (D0 % CA == 0) {
+      int64_t K = -D0 / CA;
+      DepResult R;
+      if (TripCount >= 0 && (K >= TripCount || K <= -TripCount)) {
+        R.Dependent = false;
+        R.Carried = false;
+        R.LoopIndependent = false;
+        return R;
+      }
+      R.Dependent = true;
+      R.DistanceKnown = true;
+      R.Distance = K;
+      R.Carried = K != 0;
+      R.LoopIndependent = K == 0;
+      return R;
+    }
+    // Misaligned: if the stride exceeds both sizes and the remainder
+    // cannot produce byte overlap, the refs are independent.
+    int64_t AbsC = CA > 0 ? CA : -CA;
+    int64_t R0 = ((D0 % AbsC) + AbsC) % AbsC;
+    if (R0 >= SizeA && AbsC - R0 >= SizeB) {
+      DepResult R;
+      R.Dependent = false;
+      R.Carried = false;
+      R.LoopIndependent = false;
+      return R;
+    }
+    return Conservative;
+  }
+
+  // General (weak SIV / MIV collapsed to one level): B at iteration y,
+  // A at iteration x, dependence iff CB*y - CA*x = -D0 ... equivalently
+  // CA*x - CB*y = D0 has a solution in bounds.
+  int64_t G = std::gcd(CA < 0 ? -CA : CA, CB < 0 ? -CB : CB);
+  if (G != 0) {
+    bool AnyByteAligned = false;
+    for (int64_t Slack = -(SizeB - 1); Slack <= SizeA - 1; ++Slack)
+      if ((D0 + Slack) % G == 0)
+        AnyByteAligned = true;
+    if (!AnyByteAligned) {
+      DepResult R;
+      R.Dependent = false;
+      R.Carried = false;
+      R.LoopIndependent = false;
+      return R;
+    }
+  }
+  // Banerjee bounds on CA*x - CB*y for x, y in [0, T-1].
+  if (TripCount >= 1) {
+    int64_t T = TripCount - 1;
+    int64_t LB = (CA < 0 ? CA * T : 0) - (CB > 0 ? CB * T : 0);
+    int64_t UB = (CA > 0 ? CA * T : 0) - (CB < 0 ? CB * T : 0);
+    if (D0 + SizeA - 1 < LB || D0 - (SizeB - 1) > UB) {
+      DepResult R;
+      R.Dependent = false;
+      R.Carried = false;
+      R.LoopIndependent = false;
+      return R;
+    }
+  }
+  return Conservative;
+}
+
+//===----------------------------------------------------------------------===//
+// Conflict-free load marking
+//===----------------------------------------------------------------------===//
+
+unsigned dep::markConflictFreeLoads(Function &F) {
+  unsigned Marked = 0;
+  std::function<void(Block &)> Visit = [&](Block &B) {
+    for (Stmt *S : B.Stmts) {
+      switch (S->getKind()) {
+      case Stmt::IfKind: {
+        auto *I = static_cast<IfStmt *>(S);
+        Visit(I->getThen());
+        Visit(I->getElse());
+        break;
+      }
+      case Stmt::WhileKind:
+        Visit(static_cast<WhileStmt *>(S)->getBody());
+        break;
+      case Stmt::DoLoopKind: {
+        auto *D = static_cast<DoLoopStmt *>(S);
+        bool Innermost = true;
+        forEachStmt(D->getBody(), [&Innermost](const Stmt *Sub) {
+          if (Sub->getKind() == Stmt::DoLoopKind ||
+              Sub->getKind() == Stmt::WhileKind)
+            Innermost = false;
+        });
+        if (!Innermost) {
+          Visit(D->getBody());
+          break;
+        }
+        LoopDependenceGraph G(F, D);
+        for (unsigned N = 0; N < G.statements().size(); ++N) {
+          if (G.statements()[N]->getKind() != Stmt::AssignKind)
+            continue;
+          bool HasIncomingMemDep = false;
+          for (const DepEdge &E : G.edges())
+            if (E.Dst == N && (E.Kind == DepKind::Flow ||
+                               E.Kind == DepKind::Barrier))
+              HasIncomingMemDep = true;
+          if (!HasIncomingMemDep) {
+            static_cast<AssignStmt *>(G.statements()[N])
+                ->setLoadsConflictFree(true);
+            ++Marked;
+          }
+        }
+        break;
+      }
+      default:
+        break;
+      }
+    }
+  };
+  Visit(F.getBody());
+  return Marked;
+}
+
+//===----------------------------------------------------------------------===//
+// Graph construction
+//===----------------------------------------------------------------------===//
+
+LoopDependenceGraph::LoopDependenceGraph(Function &F, DoLoopStmt *Loop,
+                                         const DepGraphOptions &Opts)
+    : F(F), Loop(Loop), Nest(buildNestContext(F, Loop)) {
+  // Trip count for a normalized loop with constant bounds.
+  int64_t Init, Limit, Step;
+  if (scalar::evaluatesToInt(F, Loop->getInit(), Init) &&
+      scalar::evaluatesToInt(F, Loop->getLimit(), Limit) &&
+      scalar::evaluatesToInt(F, Loop->getStep(), Step) && Step == 1 &&
+      Init == 0)
+    Trip = Limit + 1 >= 0 ? Limit + 1 : 0;
+
+  Stmts = Loop->getBody().Stmts;
+  Refs.resize(Stmts.size());
+  IsBarrier.assign(Stmts.size(), false);
+  for (size_t I = 0; I < Stmts.size(); ++I) {
+    Refs[I] = collectMemRefs(Stmts[I], Nest);
+    if (Stmts[I]->getKind() != Stmt::AssignKind)
+      IsBarrier[I] = true;
+  }
+
+  buildBarrierEdges();
+  buildMemoryEdges(Opts);
+  buildScalarEdges();
+}
+
+void LoopDependenceGraph::addEdge(unsigned Src, unsigned Dst, DepKind Kind,
+                                  bool Carried, bool DistanceKnown,
+                                  int64_t Distance) {
+  for (const DepEdge &E : Edges)
+    if (E.Src == Src && E.Dst == Dst && E.Kind == Kind &&
+        E.Carried == Carried)
+      return;
+  Edges.push_back({Src, Dst, Kind, Carried, DistanceKnown, Distance});
+}
+
+void LoopDependenceGraph::buildBarrierEdges() {
+  for (unsigned I = 0; I < Stmts.size(); ++I) {
+    if (!IsBarrier[I])
+      continue;
+    addEdge(I, I, DepKind::Barrier, /*Carried=*/true);
+    for (unsigned J = 0; J < Stmts.size(); ++J) {
+      if (J == I)
+        continue;
+      addEdge(I, J, DepKind::Barrier, /*Carried=*/true);
+      addEdge(J, I, DepKind::Barrier, /*Carried=*/true);
+    }
+  }
+}
+
+void LoopDependenceGraph::buildMemoryEdges(const DepGraphOptions &Opts) {
+  bool FortranPtrs =
+      Opts.FortranPointerSemantics || F.hasFortranPointerSemantics();
+  bool Safe = Opts.SafeVectorPragma || Loop->hasSafeVectorPragma();
+
+  for (unsigned I = 0; I < Stmts.size(); ++I) {
+    for (unsigned J = I; J < Stmts.size(); ++J) {
+      for (const MemRef &RA : Refs[I]) {
+        for (const MemRef &RB : Refs[J]) {
+          if (!RA.IsWrite && !RB.IsWrite)
+            continue;
+          if (I == J && &RA == &RB)
+            continue;
+
+          DepKind Kind = RA.IsWrite && RB.IsWrite ? DepKind::Output
+                         : RA.IsWrite            ? DepKind::Flow
+                                                 : DepKind::Anti;
+
+          // Base disambiguation.
+          bool SameBase = RA.Addr.Valid && RB.Addr.Valid &&
+                          RA.Addr.Base == RB.Addr.Base;
+          if (!SameBase) {
+            bool BothValid = RA.Addr.Valid && RB.Addr.Valid;
+            if (BothValid) {
+              const BaseKey &BA = RA.Addr.Base;
+              const BaseKey &BB = RB.Addr.Base;
+              bool DistinctArrays = BA.K == BaseKey::Array &&
+                                    BB.K == BaseKey::Array &&
+                                    BA.Sym != BB.Sym;
+              bool DistinctPointers = BA.K == BaseKey::Pointer &&
+                                      BB.K == BaseKey::Pointer &&
+                                      BA.Sym != BB.Sym &&
+                                      (FortranPtrs || Safe);
+              bool Mixed = BA.K != BB.K && Safe;
+              if (DistinctArrays || DistinctPointers || Mixed)
+                continue; // independent
+            } else if (Safe) {
+              continue;
+            }
+            // Conservative: unordered dependence both ways.
+            addEdge(I, J, Kind, /*Carried=*/true);
+            if (I != J)
+              addEdge(J, I, Kind, /*Carried=*/true);
+            continue;
+          }
+
+          DepResult R = testRefs(RA, RB, Loop->getIndexVar(), Trip);
+          if (!R.Dependent)
+            continue;
+          if (R.DistanceKnown) {
+            if (R.Distance > 0)
+              addEdge(I, J, Kind, /*Carried=*/true, true, R.Distance);
+            else if (R.Distance < 0)
+              addEdge(J, I, Kind, /*Carried=*/true, true, -R.Distance);
+            else if (I < J)
+              addEdge(I, J, Kind, /*Carried=*/false, true, 0);
+            else if (J < I)
+              addEdge(J, I, Kind, /*Carried=*/false, true, 0);
+            // I == J with distance 0: within-statement ordering, no
+            // constraint.
+          } else {
+            // Unknown distance: both directions when carried.
+            if (R.Carried) {
+              addEdge(I, J, Kind, /*Carried=*/true);
+              if (I != J)
+                addEdge(J, I, Kind, /*Carried=*/true);
+            } else if (R.LoopIndependent && I < J) {
+              addEdge(I, J, Kind, /*Carried=*/false);
+            } else if (R.LoopIndependent && J < I) {
+              addEdge(J, I, Kind, /*Carried=*/false);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void LoopDependenceGraph::buildScalarEdges() {
+  // Per-statement defs and uses (including nested regions).
+  std::vector<std::set<Symbol *>> Defs(Stmts.size());
+  std::vector<std::set<Symbol *>> Uses(Stmts.size());
+  for (unsigned I = 0; I < Stmts.size(); ++I) {
+    auto Note = [&](const Stmt *S) {
+      for (Symbol *D : analysis::strongDefs(S))
+        Defs[I].insert(D);
+      for (Symbol *U : analysis::usedScalars(S))
+        Uses[I].insert(U);
+    };
+    Note(Stmts[I]);
+    switch (Stmts[I]->getKind()) {
+    case Stmt::IfKind: {
+      auto *If = static_cast<IfStmt *>(Stmts[I]);
+      forEachStmt(If->getThen(), Note);
+      forEachStmt(If->getElse(), Note);
+      break;
+    }
+    case Stmt::WhileKind:
+      forEachStmt(static_cast<WhileStmt *>(Stmts[I])->getBody(), Note);
+      break;
+    case Stmt::DoLoopKind:
+      forEachStmt(static_cast<DoLoopStmt *>(Stmts[I])->getBody(), Note);
+      break;
+    default:
+      break;
+    }
+  }
+
+  Symbol *Idx = Loop->getIndexVar();
+  std::set<Symbol *> DefinedInLoop;
+  for (auto &D : Defs)
+    DefinedInLoop.insert(D.begin(), D.end());
+  DefinedInLoop.erase(Idx);
+
+  for (Symbol *V : DefinedInLoop) {
+    for (unsigned I = 0; I < Stmts.size(); ++I) {
+      for (unsigned J = 0; J < Stmts.size(); ++J) {
+        bool DefI = Defs[I].count(V);
+        bool UseJ = Uses[J].count(V);
+        bool DefJ = Defs[J].count(V);
+        if (DefI && UseJ) {
+          if (I < J)
+            addEdge(I, J, DepKind::Scalar, /*Carried=*/false); // flow
+          else
+            addEdge(I, J, DepKind::Scalar, /*Carried=*/true); // next iter
+        }
+        if (UseJ && DefI && I > J) {
+          // anti within an iteration: read at J, write at I later.
+          addEdge(J, I, DepKind::Scalar, /*Carried=*/false);
+        }
+        if (DefI && DefJ && I < J) {
+          addEdge(I, J, DepKind::Scalar, /*Carried=*/false); // output
+          addEdge(J, I, DepKind::Scalar, /*Carried=*/true);
+        }
+      }
+    }
+    // Volatile scalars serialize every statement touching them.
+    if (V->isVolatile())
+      for (unsigned I = 0; I < Stmts.size(); ++I)
+        if (Defs[I].count(V) || Uses[I].count(V))
+          addEdge(I, I, DepKind::Scalar, /*Carried=*/true);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// SCC decomposition (Tarjan)
+//===----------------------------------------------------------------------===//
+
+std::vector<std::vector<unsigned>>
+LoopDependenceGraph::sccsInTopologicalOrder() const {
+  unsigned N = static_cast<unsigned>(Stmts.size());
+  std::vector<std::vector<unsigned>> Adj(N);
+  for (const DepEdge &E : Edges)
+    Adj[E.Src].push_back(E.Dst);
+
+  std::vector<int> Index(N, -1), Low(N, 0);
+  std::vector<bool> OnStack(N, false);
+  std::vector<unsigned> Stack;
+  std::vector<std::vector<unsigned>> Sccs;
+  int Counter = 0;
+
+  std::function<void(unsigned)> Strongconnect = [&](unsigned V) {
+    Index[V] = Low[V] = Counter++;
+    Stack.push_back(V);
+    OnStack[V] = true;
+    for (unsigned W : Adj[V]) {
+      if (Index[W] < 0) {
+        Strongconnect(W);
+        Low[V] = std::min(Low[V], Low[W]);
+      } else if (OnStack[W]) {
+        Low[V] = std::min(Low[V], Index[W]);
+      }
+    }
+    if (Low[V] == Index[V]) {
+      std::vector<unsigned> Scc;
+      unsigned W;
+      do {
+        W = Stack.back();
+        Stack.pop_back();
+        OnStack[W] = false;
+        Scc.push_back(W);
+      } while (W != V);
+      std::sort(Scc.begin(), Scc.end());
+      Sccs.push_back(std::move(Scc));
+    }
+  };
+  for (unsigned V = 0; V < N; ++V)
+    if (Index[V] < 0)
+      Strongconnect(V);
+
+  // Tarjan emits components after all their successors: reverse for
+  // topological (sources-first) order.
+  std::reverse(Sccs.begin(), Sccs.end());
+  return Sccs;
+}
+
+bool LoopDependenceGraph::sccIsCyclic(const std::vector<unsigned> &Scc) const {
+  if (Scc.size() > 1)
+    return true;
+  for (const DepEdge &E : Edges)
+    if (E.Src == Scc[0] && E.Dst == Scc[0])
+      return true;
+  return false;
+}
+
+bool LoopDependenceGraph::hasCarriedDependence(unsigned N) const {
+  for (const DepEdge &E : Edges)
+    if (E.Carried && (E.Src == N || E.Dst == N))
+      return true;
+  return false;
+}
+
+bool LoopDependenceGraph::hasAnyCarriedDependence() const {
+  for (const DepEdge &E : Edges)
+    if (E.Carried)
+      return true;
+  return false;
+}

@@ -1,0 +1,126 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Data dependence testing and the loop dependence graph.
+///
+/// Given two normalized references with the same base, dependence is
+/// decided with the classic battery: ZIV (constant difference), strong
+/// SIV (equal coefficients → exact distance), and the GCD plus Banerjee
+/// bound tests for the general case [Bane 76, Alle 83, Wolf 82 in the
+/// paper's citations].  Unknown bases and possibly-aliasing pointer bases
+/// are conservatively dependent — unless the function carries Fortran
+/// pointer semantics or the loop carries a safety pragma, reproducing the
+/// paper's Section 9 aliasing discussion.
+///
+/// The graph's nodes are the top-level statements of a DO loop body; its
+/// edges carry kind (flow/anti/output/scalar/barrier), whether the
+/// dependence is loop-carried at this level, and the distance when known.
+/// Tarjan's algorithm yields the strongly connected components in
+/// topological order — the decomposition Allen-Kennedy loop distribution
+/// consumes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_DEPENDENCE_DEPENDENCEGRAPH_H
+#define TCC_DEPENDENCE_DEPENDENCEGRAPH_H
+
+#include "dependence/MemRef.h"
+#include "il/IL.h"
+
+#include <vector>
+
+namespace tcc {
+namespace dep {
+
+/// Result of a pairwise dependence test.
+struct DepResult {
+  bool Dependent = true;
+  bool Carried = true;        ///< Loop-carried at the tested level.
+  bool LoopIndependent = true;///< Also holds within one iteration.
+  bool DistanceKnown = false;
+  int64_t Distance = 0; ///< Iterations from source to sink (>0).
+};
+
+/// Tests \p A against \p B (same base) at loop level \p Idx whose trip
+/// count is \p TripCount (negative when unknown).  Distances are reported
+/// from the lexically-earlier access.
+DepResult testRefs(const MemRef &A, const MemRef &B, il::Symbol *Idx,
+                   int64_t TripCount);
+
+enum class DepKind : uint8_t { Flow, Anti, Output, Scalar, Barrier };
+
+struct DepEdge {
+  unsigned Src = 0;
+  unsigned Dst = 0;
+  DepKind Kind = DepKind::Flow;
+  bool Carried = false;
+  bool DistanceKnown = false;
+  int64_t Distance = 0;
+};
+
+struct DepGraphOptions {
+  /// Pointer parameters do not alias each other (paper Section 9's
+  /// compiler option).
+  bool FortranPointerSemantics = false;
+  /// The loop carries `#pragma safe`: all memory references in it are
+  /// assumed independent unless provably overlapping on the same base.
+  bool SafeVectorPragma = false;
+};
+
+/// Marks every assignment in an innermost DO loop of \p F whose loads
+/// have no incoming flow/barrier dependence: the code generator lets
+/// those loads bypass the store queue (paper Section 6).  Returns the
+/// number of statements marked.  Run after vectorization and before the
+/// depopt rewrites (which preserve the marks but obscure the address
+/// forms the analysis needs).
+unsigned markConflictFreeLoads(il::Function &F);
+
+class LoopDependenceGraph {
+public:
+  LoopDependenceGraph(il::Function &F, il::DoLoopStmt *Loop,
+                      const DepGraphOptions &Opts = {});
+
+  const std::vector<il::Stmt *> &statements() const { return Stmts; }
+  const std::vector<DepEdge> &edges() const { return Edges; }
+
+  /// Strongly connected components in topological order (sources first).
+  /// Each component lists node indices in original statement order.
+  std::vector<std::vector<unsigned>> sccsInTopologicalOrder() const;
+
+  /// True if the component has an internal (necessarily carried) edge.
+  bool sccIsCyclic(const std::vector<unsigned> &Scc) const;
+
+  /// True if statement \p N participates in any loop-carried dependence.
+  bool hasCarriedDependence(unsigned N) const;
+
+  /// True if any edge anywhere in the graph is loop-carried.
+  bool hasAnyCarriedDependence() const;
+
+  /// The memory references of statement \p N (for dependence-driven
+  /// optimizations).
+  const std::vector<MemRef> &refsOf(unsigned N) const { return Refs[N]; }
+
+  const NestContext &nest() const { return Nest; }
+  int64_t tripCount() const { return Trip; } ///< -1 when unknown.
+
+private:
+  void addEdge(unsigned Src, unsigned Dst, DepKind Kind, bool Carried,
+               bool DistanceKnown = false, int64_t Distance = 0);
+  void buildMemoryEdges(const DepGraphOptions &Opts);
+  void buildScalarEdges();
+  void buildBarrierEdges();
+
+  il::Function &F;
+  il::DoLoopStmt *Loop;
+  NestContext Nest;
+  int64_t Trip = -1;
+  std::vector<il::Stmt *> Stmts;
+  std::vector<std::vector<MemRef>> Refs;
+  std::vector<DepEdge> Edges;
+  std::vector<bool> IsBarrier;
+};
+
+} // namespace dep
+} // namespace tcc
+
+#endif // TCC_DEPENDENCE_DEPENDENCEGRAPH_H

@@ -1,0 +1,347 @@
+#include "dependence/MemRef.h"
+
+#include "analysis/UseDef.h"
+
+using namespace tcc;
+using namespace tcc::il;
+using namespace tcc::dep;
+using tcc::scalar::LinExpr;
+
+namespace {
+
+/// Linear form over invariants plus loop-index terms.
+struct Lin2 {
+  bool Valid = false;
+  LinExpr Inv = LinExpr::constant(0);
+  std::map<Symbol *, int64_t> Idx;
+
+  static Lin2 invalid() { return Lin2(); }
+  static Lin2 constant(int64_t C) {
+    Lin2 L;
+    L.Valid = true;
+    L.Inv = LinExpr::constant(C);
+    return L;
+  }
+
+  Lin2 add(const Lin2 &RHS) const {
+    if (!Valid || !RHS.Valid)
+      return invalid();
+    Lin2 Out;
+    Out.Valid = true;
+    Out.Inv = Inv.add(RHS.Inv);
+    Out.Idx = Idx;
+    for (auto &[Sym, C] : RHS.Idx) {
+      Out.Idx[Sym] += C;
+      if (Out.Idx[Sym] == 0)
+        Out.Idx.erase(Sym);
+    }
+    return Out;
+  }
+  Lin2 mulConst(int64_t C) const {
+    if (!Valid)
+      return invalid();
+    Lin2 Out;
+    Out.Valid = true;
+    Out.Inv = Inv.mulConst(C);
+    if (C != 0)
+      for (auto &[Sym, Coeff] : Idx)
+        Out.Idx[Sym] = Coeff * C;
+    return Out;
+  }
+  Lin2 neg() const { return mulConst(-1); }
+  bool isConstant(int64_t &Out) const {
+    if (!Valid || !Idx.empty() || !Inv.isConstant())
+      return false;
+    Out = Inv.C0;
+    return true;
+  }
+};
+
+Lin2 evalIndexAddress(IndexExpr *I, const NestContext &Nest);
+
+Lin2 evalLinear(Expr *E, const NestContext &Nest) {
+  switch (E->getKind()) {
+  case Expr::ConstIntKind:
+    return Lin2::constant(static_cast<ConstIntExpr *>(E)->getValue());
+  case Expr::VarRefKind: {
+    Symbol *Sym = static_cast<VarRefExpr *>(E)->getSymbol();
+    if (Sym->isVolatile())
+      return Lin2::invalid();
+    Lin2 Out;
+    Out.Valid = true;
+    if (Nest.isIndex(Sym)) {
+      Out.Idx[Sym] = 1;
+      return Out;
+    }
+    if (!Nest.isInvariant(Sym))
+      return Lin2::invalid();
+    if (Sym->getType()->isFloating())
+      return Lin2::invalid();
+    Out.Inv = LinExpr::entry(Sym);
+    return Out;
+  }
+  case Expr::BinaryKind: {
+    auto *B = static_cast<BinaryExpr *>(E);
+    Lin2 L = evalLinear(B->getLHS(), Nest);
+    Lin2 R = evalLinear(B->getRHS(), Nest);
+    switch (B->getOp()) {
+    case OpCode::Add:
+      return L.add(R);
+    case OpCode::Sub:
+      return L.add(R.neg());
+    case OpCode::Mul: {
+      int64_t C;
+      if (L.isConstant(C))
+        return R.mulConst(C);
+      if (R.isConstant(C))
+        return L.mulConst(C);
+      return Lin2::invalid();
+    }
+    default:
+      return Lin2::invalid();
+    }
+  }
+  case Expr::UnaryKind: {
+    auto *U = static_cast<UnaryExpr *>(E);
+    if (U->getOp() == OpCode::Neg)
+      return evalLinear(U->getOperand(), Nest).neg();
+    return Lin2::invalid();
+  }
+  case Expr::CastKind: {
+    auto *C = static_cast<CastExpr *>(E);
+    bool FromWide = C->getOperand()->getType()->isInt() ||
+                    C->getOperand()->getType()->isPointer();
+    bool ToWide = C->getType()->isInt() || C->getType()->isPointer();
+    if (FromWide && ToWide)
+      return evalLinear(C->getOperand(), Nest);
+    return Lin2::invalid();
+  }
+  case Expr::AddrOfKind: {
+    auto *A = static_cast<AddrOfExpr *>(E);
+    Expr *LV = A->getLValue();
+    if (LV->getKind() == Expr::VarRefKind) {
+      Symbol *Sym = static_cast<VarRefExpr *>(LV)->getSymbol();
+      if (Sym->isVolatile())
+        return Lin2::invalid();
+      Lin2 Out;
+      Out.Valid = true;
+      Out.Inv = LinExpr::addr(Sym);
+      return Out;
+    }
+    // &arr[e...]: the element's byte address.
+    if (LV->getKind() == Expr::IndexKind)
+      return evalIndexAddress(static_cast<IndexExpr *>(LV), Nest);
+    return Lin2::invalid();
+  }
+  default:
+    return Lin2::invalid();
+  }
+}
+
+/// Byte strides for each subscript of an array type, outermost first.
+std::vector<int64_t> arrayStrides(const Type *ArrTy, size_t NumSubs) {
+  std::vector<int64_t> Strides(NumSubs, 0);
+  const Type *Cur = ArrTy;
+  for (size_t I = 0; I < NumSubs; ++I) {
+    if (!Cur->isArray())
+      return {};
+    Strides[I] = Cur->getElementType()->isArray() ||
+                         !Cur->getElementType()->isVoid()
+                     ? Cur->getElementType()->getSizeInBytes()
+                     : 0;
+    Cur = Cur->getElementType();
+  }
+  return Strides;
+}
+
+/// Computes the byte address of an Index expression as a Lin2 form.
+Lin2 evalIndexAddress(IndexExpr *I, const NestContext &Nest) {
+  Expr *Base = I->getBase();
+  Lin2 BaseAddr;
+  const Type *BaseTy = Base->getType();
+  if (Base->getKind() == Expr::VarRefKind && BaseTy->isArray()) {
+    Symbol *Arr = static_cast<VarRefExpr *>(Base)->getSymbol();
+    if (Arr->isVolatile())
+      return Lin2::invalid();
+    BaseAddr.Valid = true;
+    BaseAddr.Inv = LinExpr::addr(Arr);
+  } else if (Base->getKind() == Expr::DerefKind && BaseTy->isArray()) {
+    BaseAddr = evalLinear(static_cast<DerefExpr *>(Base)->getAddr(), Nest);
+  } else {
+    return Lin2::invalid();
+  }
+  std::vector<int64_t> Strides =
+      arrayStrides(BaseTy, I->getSubscripts().size());
+  if (Strides.empty())
+    return Lin2::invalid();
+  Lin2 Out = BaseAddr;
+  for (size_t K = 0; K < I->getSubscripts().size(); ++K) {
+    Lin2 Sub = evalLinear(I->getSubscripts()[K], Nest);
+    Out = Out.add(Sub.mulConst(Strides[K]));
+  }
+  return Out;
+}
+
+/// Classifies the base object out of the invariant part.
+AddrForm classify(Lin2 L) {
+  AddrForm Out;
+  if (!L.Valid) {
+    Out.Valid = false;
+    return Out;
+  }
+  // Exactly one address-of term with coefficient 1 → named array base.
+  scalar::LinTerm BaseTerm;
+  int AddrTerms = 0;
+  int PtrTerms = 0;
+  scalar::LinTerm PtrTerm;
+  for (const auto &[Term, Coeff] : L.Inv.Coeffs) {
+    if (Term.IsAddr) {
+      ++AddrTerms;
+      if (Coeff == 1)
+        BaseTerm = Term;
+      else
+        AddrTerms = 99; // disqualify
+    } else if (Term.Sym->getType()->isPointer()) {
+      ++PtrTerms;
+      if (Coeff == 1)
+        PtrTerm = Term;
+      else
+        PtrTerms = 99;
+    }
+  }
+  if (AddrTerms == 1 && PtrTerms == 0) {
+    Out.Valid = true;
+    Out.Base.K = BaseKey::Array;
+    Out.Base.Sym = BaseTerm.Sym;
+    Out.Offset = L.Inv;
+    Out.Offset.Coeffs.erase(BaseTerm);
+    Out.IdxCoeffs = std::move(L.Idx);
+    return Out;
+  }
+  if (PtrTerms == 1 && AddrTerms == 0) {
+    Out.Valid = true;
+    Out.Base.K = BaseKey::Pointer;
+    Out.Base.Sym = PtrTerm.Sym;
+    Out.Offset = L.Inv;
+    Out.Offset.Coeffs.erase(PtrTerm);
+    Out.IdxCoeffs = std::move(L.Idx);
+    return Out;
+  }
+  Out.Valid = false;
+  return Out;
+}
+
+void collectFromExpr(Stmt *S, Expr *E, bool IsStoreTarget,
+                     const NestContext &Nest, std::vector<MemRef> &Out) {
+  switch (E->getKind()) {
+  case Expr::DerefKind: {
+    auto *D = static_cast<DerefExpr *>(E);
+    // Subscript/address loads first (they are reads even under a store).
+    collectFromExpr(S, D->getAddr(), /*IsStoreTarget=*/false, Nest, Out);
+    MemRef Ref;
+    Ref.S = S;
+    Ref.IsWrite = IsStoreTarget;
+    Ref.Size = D->getType()->isArray() ? 0 : D->getType()->getSizeInBytes();
+    Ref.Addr = classify(evalLinear(D->getAddr(), Nest));
+    if (D->getType()->isArray())
+      Ref.Addr.Valid = false; // row address, not an element access
+    else
+      Out.push_back(Ref);
+    return;
+  }
+  case Expr::IndexKind: {
+    auto *I = static_cast<IndexExpr *>(E);
+    for (Expr *Sub : I->getSubscripts())
+      collectFromExpr(S, Sub, /*IsStoreTarget=*/false, Nest, Out);
+    if (I->getBase()->getKind() == Expr::DerefKind)
+      collectFromExpr(S, static_cast<DerefExpr *>(I->getBase())->getAddr(),
+                      false, Nest, Out);
+    MemRef Ref;
+    Ref.S = S;
+    Ref.IsWrite = IsStoreTarget;
+    Ref.Size = I->getType()->getSizeInBytes();
+    Ref.Addr = classify(evalIndexAddress(I, Nest));
+    Out.push_back(Ref);
+    return;
+  }
+  case Expr::BinaryKind: {
+    auto *B = static_cast<BinaryExpr *>(E);
+    collectFromExpr(S, B->getLHS(), false, Nest, Out);
+    collectFromExpr(S, B->getRHS(), false, Nest, Out);
+    return;
+  }
+  case Expr::UnaryKind:
+    collectFromExpr(S, static_cast<UnaryExpr *>(E)->getOperand(), false,
+                    Nest, Out);
+    return;
+  case Expr::CastKind:
+    collectFromExpr(S, static_cast<CastExpr *>(E)->getOperand(), false, Nest,
+                    Out);
+    return;
+  case Expr::AddrOfKind: {
+    // Taking an address is not an access, but subscripts inside are reads.
+    Expr *LV = static_cast<AddrOfExpr *>(E)->getLValue();
+    if (LV->getKind() == Expr::IndexKind)
+      for (Expr *Sub : static_cast<IndexExpr *>(LV)->getSubscripts())
+        collectFromExpr(S, Sub, false, Nest, Out);
+    return;
+  }
+  case Expr::TripletKind: {
+    auto *T = static_cast<TripletExpr *>(E);
+    collectFromExpr(S, T->getLo(), false, Nest, Out);
+    collectFromExpr(S, T->getHi(), false, Nest, Out);
+    collectFromExpr(S, T->getStride(), false, Nest, Out);
+    return;
+  }
+  case Expr::ConstIntKind:
+  case Expr::ConstFloatKind:
+  case Expr::VarRefKind:
+    return;
+  }
+}
+
+} // namespace
+
+NestContext dep::buildNestContext(Function &F, DoLoopStmt *Loop,
+                                  const std::vector<DoLoopStmt *> &Enclosing) {
+  NestContext Nest;
+  for (DoLoopStmt *Outer : Enclosing)
+    Nest.IndexVars.push_back(Outer->getIndexVar());
+  Nest.IndexVars.push_back(Loop->getIndexVar());
+
+  // Scalars mutated inside the *outermost* analyzed region.
+  Block &Region = Enclosing.empty() ? Loop->getBody()
+                                    : Enclosing.front()->getBody();
+  forEachStmt(Region, [&Nest](Stmt *S) {
+    for (Symbol *Sym : analysis::strongDefs(S))
+      Nest.MutatedScalars.insert(Sym);
+  });
+  for (Symbol *Idx : Nest.IndexVars)
+    Nest.MutatedScalars.erase(Idx);
+  return Nest;
+}
+
+AddrForm dep::normalizeAddress(Expr *Addr, const NestContext &Nest) {
+  return classify(evalLinear(Addr, Nest));
+}
+
+std::vector<MemRef> dep::collectMemRefs(Stmt *S, const NestContext &Nest) {
+  std::vector<MemRef> Out;
+  switch (S->getKind()) {
+  case Stmt::AssignKind: {
+    auto *A = static_cast<AssignStmt *>(S);
+    if (A->getLHS()->getKind() == Expr::VarRefKind) {
+      // Scalar target: only RHS loads.
+    } else {
+      collectFromExpr(S, A->getLHS(), /*IsStoreTarget=*/true, Nest, Out);
+    }
+    collectFromExpr(S, A->getRHS(), false, Nest, Out);
+    return Out;
+  }
+  default:
+    forEachExprSlot(S, [&](Expr *&Slot) {
+      collectFromExpr(S, Slot, false, Nest, Out);
+    });
+    return Out;
+  }
+}

@@ -1,0 +1,106 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Memory-reference normalization for dependence analysis.
+///
+/// C programs reference memory through explicit subscripts (`a[i]`), star
+/// expressions over pointers (`*(p + 4*i)`), and address constants
+/// (`*(&a + 4*i)`); the paper notes that handling the star forms "did
+/// require some special tuning in the vectorizer".  This module normalizes
+/// every reference in a loop nest to
+///
+///     base  +  invariant-offset  +  Σ coeff_i · index_i      (bytes)
+///
+/// where base identifies the memory object (a named array, or a
+/// loop-invariant pointer), the invariant offset is a linear form over
+/// loop-invariant scalars, and each enclosing loop index gets an integer
+/// byte coefficient.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_DEPENDENCE_MEMREF_H
+#define TCC_DEPENDENCE_MEMREF_H
+
+#include "il/IL.h"
+#include "scalar/LinearValues.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace tcc {
+namespace dep {
+
+/// Identity of the referenced memory object.
+struct BaseKey {
+  enum Kind {
+    Array,   ///< A named array symbol (direct or through `&arr + ...`).
+    Pointer, ///< A loop-invariant pointer variable.
+    Unknown, ///< Could not be classified; aliases everything.
+  };
+  Kind K = Unknown;
+  il::Symbol *Sym = nullptr;
+
+  bool operator==(const BaseKey &RHS) const {
+    return K == RHS.K && Sym == RHS.Sym;
+  }
+};
+
+/// A normalized address: base + Offset + Σ IdxCoeffs[i]·i (bytes).
+struct AddrForm {
+  bool Valid = false;
+  BaseKey Base;
+  scalar::LinExpr Offset; ///< Invariant part (no base, no index terms).
+  std::map<il::Symbol *, int64_t> IdxCoeffs;
+
+  int64_t coeffOf(il::Symbol *Idx) const {
+    auto It = IdxCoeffs.find(Idx);
+    return It == IdxCoeffs.end() ? 0 : It->second;
+  }
+};
+
+/// One memory reference inside a statement.
+struct MemRef {
+  il::Stmt *S = nullptr;
+  bool IsWrite = false;
+  int64_t Size = 0; ///< Element size in bytes.
+  AddrForm Addr;
+};
+
+/// The analysis context for a loop nest: which symbols are loop indices
+/// and which are invariant.
+struct NestContext {
+  std::vector<il::Symbol *> IndexVars;    ///< Outermost first.
+  std::set<il::Symbol *> MutatedScalars;  ///< Assigned inside the nest.
+
+  bool isIndex(il::Symbol *Sym) const {
+    for (il::Symbol *I : IndexVars)
+      if (I == Sym)
+        return true;
+    return false;
+  }
+  bool isInvariant(il::Symbol *Sym) const {
+    return !isIndex(Sym) && !MutatedScalars.count(Sym);
+  }
+};
+
+/// Builds the nest context for \p Loop (and its enclosing loops, if the
+/// caller passes them in \p Enclosing, outermost first).
+NestContext buildNestContext(il::Function &F, il::DoLoopStmt *Loop,
+                             const std::vector<il::DoLoopStmt *> &Enclosing =
+                                 {});
+
+/// Normalizes the address expression \p Addr (a pointer-typed expression)
+/// into an AddrForm.  Returns Valid=false when the address is not linear
+/// in the nest's indices and invariants.
+AddrForm normalizeAddress(il::Expr *Addr, const NestContext &Nest);
+
+/// Collects every memory reference (Deref and Index, loads and the store)
+/// in \p S.  References that cannot be normalized get Valid=false with
+/// Base Unknown.
+std::vector<MemRef> collectMemRefs(il::Stmt *S, const NestContext &Nest);
+
+} // namespace dep
+} // namespace tcc
+
+#endif // TCC_DEPENDENCE_MEMREF_H

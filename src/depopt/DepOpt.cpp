@@ -1,0 +1,486 @@
+#include "depopt/DepOpt.h"
+
+#include "dependence/DependenceGraph.h"
+#include "scalar/Fold.h"
+#include "scalar/LinearValues.h"
+
+#include <functional>
+#include <map>
+
+using namespace tcc;
+using namespace tcc::il;
+using namespace tcc::depopt;
+using tcc::dep::AddrForm;
+using tcc::dep::BaseKey;
+using tcc::dep::MemRef;
+using tcc::scalar::LinExpr;
+
+namespace {
+
+bool isNormalizedLoop(Function &F, DoLoopStmt *D) {
+  auto IsConst = [](Expr *E, int64_t V) {
+    return E->getKind() == Expr::ConstIntKind &&
+           static_cast<ConstIntExpr *>(E)->getValue() == V;
+  };
+  return IsConst(D->getInit(), 0) && IsConst(D->getStep(), 1);
+}
+
+bool isInnermostSerial(DoLoopStmt *D) {
+  if (D->isParallel())
+    return false;
+  bool Ok = true;
+  forEachStmt(D->getBody(), [&Ok](const Stmt *S) {
+    if (S->getKind() == Stmt::DoLoopKind || S->getKind() == Stmt::WhileKind)
+      Ok = false;
+    // Vector statements are already optimal.
+    if (S->getKind() == Stmt::AssignKind) {
+      const auto *A = static_cast<const AssignStmt *>(S);
+      if (exprHasTriplet(A->getLHS()) || exprHasTriplet(A->getRHS()))
+        Ok = false;
+    }
+  });
+  return Ok;
+}
+
+void collectLoops(Block &B, std::vector<std::pair<DoLoopStmt *, Block *>>
+                               &Out) {
+  for (Stmt *S : B.Stmts) {
+    switch (S->getKind()) {
+    case Stmt::IfKind: {
+      auto *If = static_cast<IfStmt *>(S);
+      collectLoops(If->getThen(), Out);
+      collectLoops(If->getElse(), Out);
+      break;
+    }
+    case Stmt::WhileKind:
+      collectLoops(static_cast<WhileStmt *>(S)->getBody(), Out);
+      break;
+    case Stmt::DoLoopKind: {
+      auto *D = static_cast<DoLoopStmt *>(S);
+      collectLoops(D->getBody(), Out);
+      Out.push_back({D, &B});
+      break;
+    }
+    default:
+      break;
+    }
+  }
+}
+
+/// Visits every DO loop exactly once (inner loops first), resilient to
+/// the callback inserting statements around the loop in its parent block.
+void visitLoops(Function &F, Block &Root,
+                const std::function<void(DoLoopStmt *, Block &, size_t)>
+                    &Fn) {
+  std::vector<std::pair<DoLoopStmt *, Block *>> Loops;
+  collectLoops(Root, Loops);
+  for (auto &[D, Parent] : Loops) {
+    auto It = std::find(Parent->Stmts.begin(), Parent->Stmts.end(), D);
+    if (It == Parent->Stmts.end())
+      continue; // removed by an earlier callback
+    Fn(D, *Parent, static_cast<size_t>(It - Parent->Stmts.begin()));
+  }
+  (void)F;
+}
+
+/// Structural key for address-form grouping: base + invariant offset +
+/// index coefficient.
+struct AddrKey {
+  BaseKey Base;
+  LinExpr Offset;
+  int64_t Coeff;
+
+  bool operator<(const AddrKey &RHS) const {
+    if (Base.K != RHS.Base.K)
+      return Base.K < RHS.Base.K;
+    if (Base.Sym != RHS.Base.Sym)
+      return Base.Sym < RHS.Base.Sym;
+    if (Coeff != RHS.Coeff)
+      return Coeff < RHS.Coeff;
+    if (Offset.C0 != RHS.Offset.C0)
+      return Offset.C0 < RHS.Offset.C0;
+    return Offset.Coeffs < RHS.Offset.Coeffs;
+  }
+};
+
+/// Invokes \p Fn on every Deref/Index slot that is an actual memory
+/// access (not the lvalue of an AddrOf — `&x[1]` computes an address, it
+/// does not load).  Subscripts and pointer expressions inside are visited
+/// first.
+void forEachMemAccessSlot(Expr *&Slot,
+                          const std::function<void(Expr *&)> &Fn) {
+  switch (Slot->getKind()) {
+  case Expr::DerefKind:
+    forEachMemAccessSlot(static_cast<DerefExpr *>(Slot)->addrSlot(), Fn);
+    Fn(Slot);
+    return;
+  case Expr::IndexKind: {
+    auto *I = static_cast<IndexExpr *>(Slot);
+    for (Expr *&Sub : I->subscriptSlots())
+      forEachMemAccessSlot(Sub, Fn);
+    Fn(Slot);
+    return;
+  }
+  case Expr::AddrOfKind: {
+    Expr *&LV = static_cast<AddrOfExpr *>(Slot)->lvalueSlot();
+    if (LV->getKind() == Expr::IndexKind) {
+      for (Expr *&Sub : static_cast<IndexExpr *>(LV)->subscriptSlots())
+        forEachMemAccessSlot(Sub, Fn);
+    } else if (LV->getKind() == Expr::DerefKind) {
+      forEachMemAccessSlot(static_cast<DerefExpr *>(LV)->addrSlot(), Fn);
+    }
+    return;
+  }
+  case Expr::BinaryKind: {
+    auto *B = static_cast<BinaryExpr *>(Slot);
+    forEachMemAccessSlot(B->lhsSlot(), Fn);
+    forEachMemAccessSlot(B->rhsSlot(), Fn);
+    return;
+  }
+  case Expr::UnaryKind:
+    forEachMemAccessSlot(static_cast<UnaryExpr *>(Slot)->operandSlot(), Fn);
+    return;
+  case Expr::CastKind:
+    forEachMemAccessSlot(static_cast<CastExpr *>(Slot)->operandSlot(), Fn);
+    return;
+  case Expr::TripletKind: {
+    auto *T = static_cast<TripletExpr *>(Slot);
+    forEachMemAccessSlot(T->loSlot(), Fn);
+    forEachMemAccessSlot(T->hiSlot(), Fn);
+    forEachMemAccessSlot(T->strideSlot(), Fn);
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+/// Rebuilds the byte-address expression of an AddrForm at a given index
+/// value expression (or nullptr for "just base+offset").
+Expr *materializeAddress(Function &F, const AddrForm &Addr, Symbol *Idx,
+                         Expr *IdxValue, const Type *PtrTy) {
+  TypeContext &Types = F.getProgram().getTypes();
+  const Type *IntTy = Types.getIntType();
+
+  Expr *Base;
+  if (Addr.Base.K == BaseKey::Array) {
+    const Type *ArrTy = Addr.Base.Sym->getType();
+    const Type *ElemPtr =
+        ArrTy->isArray() ? Types.getPointerType(ArrTy->getElementType())
+                         : Types.getPointerType(ArrTy);
+    Base = F.create<AddrOfExpr>(ElemPtr, F.makeVarRef(Addr.Base.Sym));
+  } else {
+    Base = F.makeVarRef(Addr.Base.Sym);
+  }
+  Expr *Out = Base;
+  if (!Addr.Offset.isZero()) {
+    Expr *Off = scalar::linToExpr(F, Addr.Offset, IntTy);
+    Out = F.makeBinary(OpCode::Add, Out, Off, PtrTy);
+  }
+  // Other (outer) index terms stay symbolic.
+  for (const auto &[Sym, Coeff] : Addr.IdxCoeffs) {
+    if (Sym == Idx)
+      continue;
+    Expr *Term = F.makeBinary(OpCode::Mul, F.makeIntConst(IntTy, Coeff),
+                              F.makeVarRef(Sym), IntTy);
+    Out = F.makeBinary(OpCode::Add, Out, Term, PtrTy);
+  }
+  int64_t C = Addr.coeffOf(Idx);
+  if (C != 0 && IdxValue) {
+    Expr *Term = F.makeBinary(OpCode::Mul, F.makeIntConst(IntTy, C),
+                              IdxValue, IntTy);
+    Out = F.makeBinary(OpCode::Add, Out, Term, PtrTy);
+  }
+  return scalar::foldExpr(F, Out);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Scalar replacement
+//===----------------------------------------------------------------------===//
+
+namespace tcc {
+namespace depopt {
+bool applyOneReplacement(Function &F, DoLoopStmt *D, Block &Parent,
+                         size_t Pos, AssignStmt *StoreStmt,
+                         AssignStmt *LoadStmt, const MemRef &Store,
+                         const MemRef &Load, ScalarReplaceStats &Stats);
+} // namespace depopt
+} // namespace tcc
+
+ScalarReplaceStats depopt::applyScalarReplacement(Function &F) {
+  ScalarReplaceStats Stats;
+
+  visitLoops(F, F.getBody(), [&](DoLoopStmt *D, Block &Parent, size_t Pos) {
+    if (!isNormalizedLoop(F, D) || !isInnermostSerial(D))
+      return;
+    dep::LoopDependenceGraph G(F, D);
+    Symbol *Idx = D->getIndexVar();
+
+    // Find a store ref and a load ref on the same base at distance one.
+    for (unsigned SN = 0; SN < G.statements().size(); ++SN) {
+      for (const MemRef &Store : G.refsOf(SN)) {
+        if (!Store.IsWrite || !Store.Addr.Valid)
+          continue;
+        int64_t C = Store.Addr.coeffOf(Idx);
+        if (C == 0)
+          continue;
+        for (unsigned LN = 0; LN < G.statements().size(); ++LN) {
+          for (const MemRef &Load : G.refsOf(LN)) {
+            if (Load.IsWrite || !Load.Addr.Valid)
+              continue;
+            if (!(Load.Addr.Base == Store.Addr.Base))
+              continue;
+            if (Load.Addr.coeffOf(Idx) != C)
+              continue;
+            LinExpr Diff = Store.Addr.Offset.sub(Load.Addr.Offset);
+            if (!Diff.isConstant() || Diff.C0 != C)
+              continue; // not distance one
+            if (Load.Size != Store.Size)
+              continue;
+            // Both statements must be top-level assigns, store not after
+            // load... the load reads last iteration's store, so any
+            // relative position works; require distinct or same stmt.
+            Stmt *StoreStmt = G.statements()[SN];
+            Stmt *LoadStmt = G.statements()[LN];
+            if (StoreStmt->getKind() != Stmt::AssignKind ||
+                LoadStmt->getKind() != Stmt::AssignKind)
+              continue;
+            // Exactly one store to this base in the loop (avoid clobber
+            // hazards).
+            unsigned StoresToBase = 0;
+            for (unsigned K = 0; K < G.statements().size(); ++K)
+              for (const MemRef &R : G.refsOf(K))
+                if (R.IsWrite && R.Addr.Valid &&
+                    R.Addr.Base == Store.Addr.Base)
+                  ++StoresToBase;
+            if (StoresToBase != 1)
+              continue;
+
+            if (applyOneReplacement(F, D, Parent, Pos,
+                                    static_cast<AssignStmt *>(StoreStmt),
+                                    static_cast<AssignStmt *>(LoadStmt),
+                                    Store, Load, Stats))
+              return; // one replacement per loop pass
+          }
+        }
+      }
+    }
+  });
+  return Stats;
+}
+
+namespace {
+
+/// Replaces sub-expressions in \p Slot that are memory refs matching
+/// \p Target's address form with \p Replacement.  Matching is structural
+/// on the normalized form.
+unsigned replaceMatchingRefs(Function &F, Expr *&Slot,
+                             const dep::NestContext &Nest,
+                             const AddrForm &Target, int64_t Size,
+                             const std::function<Expr *()> &Replacement) {
+  unsigned Count = 0;
+  forEachMemAccessSlot(Slot, [&](Expr *&Sub) {
+    if (Sub->getKind() != Expr::DerefKind && Sub->getKind() != Expr::IndexKind)
+      return;
+    if (static_cast<int64_t>(Sub->getType()->getSizeInBytes()) != Size)
+      return;
+    AddrForm A;
+    if (Sub->getKind() == Expr::DerefKind)
+      A = dep::normalizeAddress(static_cast<DerefExpr *>(Sub)->getAddr(),
+                                Nest);
+    else {
+      // Recompute through the shared collector for Index refs.
+      std::vector<MemRef> Refs;
+      // Build a tiny fake statement-free normalization via normalizeAddress
+      // of a synthesized address: reuse collectMemRefs on a wrapper is
+      // heavyweight; instead use the Index path in MemRef via an AddrOf.
+      const Type *PtrTy = F.getProgram().getTypes().getPointerType(
+          Sub->getType());
+      Expr *AddrExpr = F.create<AddrOfExpr>(PtrTy, Sub);
+      A = dep::normalizeAddress(AddrExpr, Nest);
+    }
+    if (!A.Valid || !(A.Base == Target.Base))
+      return;
+    if (A.IdxCoeffs != Target.IdxCoeffs)
+      return;
+    LinExpr Diff = A.Offset.sub(Target.Offset);
+    if (!Diff.isZero())
+      return;
+    Sub = Replacement();
+    ++Count;
+  });
+  return Count;
+}
+
+} // namespace
+
+namespace tcc {
+namespace depopt {
+
+/// Applies one distance-1 scalar replacement in \p D.
+bool applyOneReplacement(Function &F, DoLoopStmt *D, Block &Parent,
+                         size_t Pos, AssignStmt *StoreStmt,
+                         AssignStmt *LoadStmt, const MemRef &Store,
+                         const MemRef &Load, ScalarReplaceStats &Stats) {
+  TypeContext &Types = F.getProgram().getTypes();
+  dep::NestContext Nest = dep::buildNestContext(F, D);
+
+  // Element type from the store target.
+  const Type *ValTy = StoreStmt->getLHS()->getType();
+  Symbol *Reg = F.createTemp(ValTy, "f_reg");
+
+  // Preheader: f_reg = load-ref at iteration 0 (i.e. index = 0).
+  const Type *PtrTy = Types.getPointerType(ValTy);
+  Expr *PreAddr = materializeAddress(F, Load.Addr, D->getIndexVar(),
+                                     F.makeIntConst(Types.getIntType(), 0),
+                                     PtrTy);
+  Stmt *Preload = F.create<AssignStmt>(
+      D->getLoc(), F.makeVarRef(Reg),
+      F.create<DerefExpr>(ValTy, PreAddr));
+  Parent.Stmts.insert(Parent.Stmts.begin() + static_cast<long>(Pos),
+                      Preload);
+
+  // Replace matching loads with the register.
+  unsigned Replaced = 0;
+  forEachStmt(D->getBody(), [&](Stmt *S) {
+    if (S->getKind() != Stmt::AssignKind)
+      return;
+    auto *A = static_cast<AssignStmt *>(S);
+    Replaced += replaceMatchingRefs(F, A->rhsSlot(), Nest, Load.Addr,
+                                    Load.Size,
+                                    [&]() { return F.makeVarRef(Reg); });
+    if (A->getLHS()->getKind() != Expr::VarRefKind)
+      Replaced += replaceMatchingRefs(F, A->lhsSlot(), Nest, Load.Addr,
+                                      Load.Size,
+                                      [&]() { return F.makeVarRef(Reg); });
+  });
+  if (!Replaced) {
+    // Nothing matched (shapes differed); drop the preload again.
+    Parent.Stmts.erase(Parent.Stmts.begin() + static_cast<long>(Pos));
+    return false;
+  }
+
+  // Split the store: t = RHS; x[i] = f_reg after f_reg = RHS.
+  Block &Body = D->getBody();
+  for (size_t I = 0; I < Body.Stmts.size(); ++I) {
+    if (Body.Stmts[I] != StoreStmt)
+      continue;
+    auto *NewCompute = F.create<AssignStmt>(
+        StoreStmt->getLoc(), F.makeVarRef(Reg), StoreStmt->getRHS());
+    auto *NewStore = F.create<AssignStmt>(StoreStmt->getLoc(),
+                                          StoreStmt->getLHS(),
+                                          F.makeVarRef(Reg));
+    NewCompute->setLoadsConflictFree(StoreStmt->loadsConflictFree());
+    NewStore->setLoadsConflictFree(StoreStmt->loadsConflictFree());
+    Body.Stmts[I] = NewCompute;
+    Body.Stmts.insert(Body.Stmts.begin() + static_cast<long>(I) + 1,
+                      NewStore);
+    break;
+  }
+
+  ++Stats.LoopsApplied;
+  Stats.LoadsEliminated += Replaced;
+  return true;
+}
+
+} // namespace depopt
+} // namespace tcc
+
+//===----------------------------------------------------------------------===//
+// Strength reduction
+//===----------------------------------------------------------------------===//
+
+StrengthReduceStats depopt::applyStrengthReduction(Function &F) {
+  StrengthReduceStats Stats;
+  TypeContext &Types = F.getProgram().getTypes();
+  const Type *IntTy = Types.getIntType();
+
+  visitLoops(F, F.getBody(), [&](DoLoopStmt *D, Block &Parent, size_t Pos) {
+    if (!isNormalizedLoop(F, D) || !isInnermostSerial(D))
+      return;
+    dep::NestContext Nest = dep::buildNestContext(F, D);
+    Symbol *Idx = D->getIndexVar();
+
+    // Plan: collect every rewritable memory reference slot.
+    struct Plan {
+      Symbol *Temp = nullptr;
+      AddrForm Addr;
+      int64_t Coeff = 0;
+      const Type *ElemTy = nullptr;
+      unsigned Count = 0;
+    };
+    std::map<AddrKey, Plan> Plans;
+    bool Applied = false;
+
+    auto RewriteSlot = [&](Expr *&Slot) {
+      forEachMemAccessSlot(Slot, [&](Expr *&Sub) {
+        AddrForm A;
+        const Type *ElemTy = Sub->getType();
+        if (Sub->getKind() == Expr::DerefKind) {
+          A = dep::normalizeAddress(static_cast<DerefExpr *>(Sub)->getAddr(),
+                                    Nest);
+        } else if (Sub->getKind() == Expr::IndexKind) {
+          const Type *PtrTy = Types.getPointerType(ElemTy);
+          Expr *AddrExpr = F.create<AddrOfExpr>(PtrTy, Sub);
+          A = dep::normalizeAddress(AddrExpr, Nest);
+        } else {
+          return;
+        }
+        if (!A.Valid || !ElemTy->isScalar())
+          return;
+        AddrKey Key{A.Base, A.Offset, A.coeffOf(Idx)};
+        auto It = Plans.find(Key);
+        if (It == Plans.end()) {
+          Plan P;
+          P.Addr = A;
+          P.Coeff = A.coeffOf(Idx);
+          P.ElemTy = ElemTy;
+          P.Temp = F.createTemp(Types.getPointerType(ElemTy), "temp_p");
+          It = Plans.emplace(Key, P).first;
+          ++Stats.AddressTemps;
+          if (P.Coeff == 0)
+            ++Stats.InvariantsHoisted;
+        } else {
+          ++Stats.SharedTemps;
+        }
+        Sub = F.create<DerefExpr>(ElemTy, F.makeVarRef(It->second.Temp));
+        ++It->second.Count;
+        ++Stats.RefsRewritten;
+        Applied = true;
+      });
+    };
+
+    forEachStmt(D->getBody(), [&](Stmt *S) {
+      if (S->getKind() != Stmt::AssignKind)
+        return;
+      auto *A = static_cast<AssignStmt *>(S);
+      RewriteSlot(A->rhsSlot());
+      if (A->getLHS()->getKind() != Expr::VarRefKind)
+        RewriteSlot(A->lhsSlot());
+    });
+
+    if (!Applied)
+      return;
+    ++Stats.LoopsApplied;
+
+    // Preheader initializations and per-iteration bumps.
+    size_t Insert = Pos;
+    for (auto &[Key, P] : Plans) {
+      const Type *PtrTy = Types.getPointerType(P.ElemTy);
+      Expr *Init = materializeAddress(F, P.Addr, Idx,
+                                      F.makeIntConst(IntTy, 0), PtrTy);
+      Parent.Stmts.insert(Parent.Stmts.begin() + static_cast<long>(Insert++),
+                          F.create<AssignStmt>(
+                              D->getLoc(), F.makeVarRef(P.Temp), Init));
+      if (P.Coeff != 0) {
+        D->getBody().Stmts.push_back(F.create<AssignStmt>(
+            D->getLoc(), F.makeVarRef(P.Temp),
+            F.makeBinary(OpCode::Add, F.makeVarRef(P.Temp),
+                         F.makeIntConst(IntTy, P.Coeff), PtrTy)));
+      }
+    }
+  });
+  return Stats;
+}

@@ -1,0 +1,58 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dependence-driven optimizations for non-vector code (paper Section 6).
+///
+/// "There are probably far more C programs that do not vectorize than
+/// do"; the dependence graph still pays for itself on them:
+///
+///  - Scalar replacement: a loop-carried flow dependence with constant
+///    distance 1 (the backsolve recurrence `p[i] = z[i]*(y[i]-p[i-1])`)
+///    means the loaded value is exactly the value stored one iteration
+///    ago, so it can live in an FP register, eliminating the load and —
+///    crucially — the store→load serialization that blocks instruction
+///    overlap.
+///
+///  - Strength reduction off the dependence graph: address computations
+///    `base + c·i` become pointer temporaries bumped by `c` each
+///    iteration (removing the integer multiplies), loop-invariant
+///    addresses hoist out, and references with identical address forms
+///    share one temporary (the combined strength-reduction /
+///    invariant-removal / CSE the paper describes).  This also undoes the
+///    "deoptimization" induction-variable substitution inflicts on loops
+///    that fail to vectorize.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_DEPOPT_DEPOPT_H
+#define TCC_DEPOPT_DEPOPT_H
+
+#include "il/IL.h"
+
+namespace tcc {
+namespace depopt {
+
+struct ScalarReplaceStats {
+  unsigned LoopsApplied = 0;
+  unsigned LoadsEliminated = 0;
+};
+
+struct StrengthReduceStats {
+  unsigned LoopsApplied = 0;
+  unsigned AddressTemps = 0;
+  unsigned RefsRewritten = 0;
+  unsigned InvariantsHoisted = 0; ///< coeff-0 address computations hoisted.
+  unsigned SharedTemps = 0;       ///< CSE hits: refs reusing a temp.
+};
+
+/// Replaces distance-1 loop-carried loads with register temporaries in
+/// serial innermost DO loops.
+ScalarReplaceStats applyScalarReplacement(il::Function &F);
+
+/// Strength-reduces address arithmetic in serial innermost DO loops.
+StrengthReduceStats applyStrengthReduction(il::Function &F);
+
+} // namespace depopt
+} // namespace tcc
+
+#endif // TCC_DEPOPT_DEPOPT_H

@@ -1,0 +1,157 @@
+#include "driver/Compiler.h"
+
+#include "codegen/Codegen.h"
+#include "dependence/DependenceGraph.h"
+#include "frontend/Lower.h"
+#include "il/ILPrinter.h"
+#include "lexer/Lexer.h"
+#include "parser/Parser.h"
+
+using namespace tcc;
+using namespace tcc::driver;
+
+std::unique_ptr<CompileResult>
+driver::compileSource(const std::string &Source, const CompilerOptions &Opts) {
+  auto R = std::make_unique<CompileResult>();
+  R->IL = std::make_unique<il::Program>();
+  il::Program &P = *R->IL;
+
+  // Front end.
+  Lexer Lex(Source, R->Diags);
+  ast::AstContext AstCtx;
+  Parser Parse(Lex.lexAll(), AstCtx, P.getTypes(), R->Diags);
+  ast::TranslationUnit TU = Parse.parseTranslationUnit();
+  if (R->Diags.hasErrors())
+    return R;
+  lowerTranslationUnit(TU, P, R->Diags);
+  if (R->Diags.hasErrors())
+    return R;
+
+  auto Snapshot = [&](const char *Key) {
+    if (Opts.CaptureStages)
+      R->Stages[Key] = il::printProgram(P);
+  };
+  Snapshot("lower");
+
+  // Inlining before scalar analysis: the information at call sites drives
+  // everything downstream (paper Sections 7–9).
+  if (Opts.EnableInline) {
+    R->Stats.Inline =
+        inliner::inlineCalls(P, R->Diags, Opts.Inline, Opts.Catalog);
+    Snapshot("inline");
+  }
+
+  for (const auto &F : P.getFunctions()) {
+    // While→DO conversion immediately after use-def chains are built
+    // (Section 5.2), with incremental chain patching.
+    if (Opts.EnableWhileToDo) {
+      analysis::UseDefChains UD(*F);
+      auto S = scalar::convertWhileLoops(*F, &UD);
+      R->Stats.WhileToDo.Attempted += S.Attempted;
+      R->Stats.WhileToDo.Converted += S.Converted;
+    }
+  }
+  Snapshot("whiletodo");
+
+  for (const auto &F : P.getFunctions()) {
+    if (Opts.EnableIVSub) {
+      auto S = scalar::substituteInductionVariables(*F, Opts.IVSub);
+      R->Stats.IVSub.LoopsProcessed += S.LoopsProcessed;
+      R->Stats.IVSub.FamilyMembers += S.FamilyMembers;
+      R->Stats.IVSub.UsesRewritten += S.UsesRewritten;
+      R->Stats.IVSub.Substitutions += S.Substitutions;
+      R->Stats.IVSub.Blocked += S.Blocked;
+      R->Stats.IVSub.Backtracks += S.Backtracks;
+      R->Stats.IVSub.Passes += S.Passes;
+    }
+  }
+  Snapshot("ivsub");
+
+  for (const auto &F : P.getFunctions()) {
+    if (Opts.EnableConstProp) {
+      auto S = scalar::propagateConstants(*F, Opts.ConstProp);
+      R->Stats.ConstProp.UsesReplaced += S.UsesReplaced;
+      R->Stats.ConstProp.BranchesFolded += S.BranchesFolded;
+      R->Stats.ConstProp.LoopsDeleted += S.LoopsDeleted;
+      R->Stats.ConstProp.StmtsRemoved += S.StmtsRemoved;
+      R->Stats.ConstProp.Requeues += S.Requeues;
+      R->Stats.ConstProp.PostpassRemoved += S.PostpassRemoved;
+    }
+  }
+  Snapshot("constprop");
+
+  for (const auto &F : P.getFunctions()) {
+    if (Opts.EnableDCE) {
+      auto S = scalar::eliminateDeadCode(*F);
+      R->Stats.DCE.AssignsRemoved += S.AssignsRemoved;
+      R->Stats.DCE.EmptyControlRemoved += S.EmptyControlRemoved;
+      R->Stats.DCE.LabelsRemoved += S.LabelsRemoved;
+    }
+  }
+  Snapshot("dce");
+
+  for (const auto &F : P.getFunctions()) {
+    if (Opts.EnableVectorize) {
+      auto S = vec::vectorizeLoops(*F, Opts.Vectorize);
+      R->Stats.Vectorize.LoopsConsidered += S.LoopsConsidered;
+      R->Stats.Vectorize.LoopsVectorized += S.LoopsVectorized;
+      R->Stats.Vectorize.LoopsDistributed += S.LoopsDistributed;
+      R->Stats.Vectorize.VectorStmts += S.VectorStmts;
+      R->Stats.Vectorize.SerialLoops += S.SerialLoops;
+      R->Stats.Vectorize.ParallelLoops += S.ParallelLoops;
+      R->Stats.Vectorize.StripLoops += S.StripLoops;
+      R->Stats.Vectorize.UnstripedVectorStmts += S.UnstripedVectorStmts;
+    }
+  }
+  Snapshot("vectorize");
+
+  // Scalar replacement first: it removes the loop-carried loads, after
+  // which the remaining loads are conflict-free.
+  for (const auto &F : P.getFunctions()) {
+    if (Opts.EnableScalarReplacement) {
+      auto S = depopt::applyScalarReplacement(*F);
+      R->Stats.ScalarReplace.LoopsApplied += S.LoopsApplied;
+      R->Stats.ScalarReplace.LoadsEliminated += S.LoadsEliminated;
+    }
+  }
+
+  // Dependence-driven scheduling marks (paper Section 6): record which
+  // statements' loads conflict with no store in flight, before strength
+  // reduction rewrites the address forms the analysis reads.
+  if (Opts.EnableDepScheduling)
+    for (const auto &F : P.getFunctions())
+      dep::markConflictFreeLoads(*F);
+
+  for (const auto &F : P.getFunctions()) {
+    if (Opts.EnableStrengthReduction) {
+      auto S = depopt::applyStrengthReduction(*F);
+      R->Stats.StrengthReduce.LoopsApplied += S.LoopsApplied;
+      R->Stats.StrengthReduce.AddressTemps += S.AddressTemps;
+      R->Stats.StrengthReduce.RefsRewritten += S.RefsRewritten;
+      R->Stats.StrengthReduce.InvariantsHoisted += S.InvariantsHoisted;
+      R->Stats.StrengthReduce.SharedTemps += S.SharedTemps;
+    }
+  }
+  Snapshot("depopt");
+
+  // Code generation.
+  codegen::CodegenOptions CGOpts;
+  CGOpts.EnableDepScheduling = Opts.EnableDepScheduling;
+  R->Machine = codegen::generateProgram(P, R->Diags, CGOpts);
+  return R;
+}
+
+RunOutcome driver::compileAndRun(const std::string &Source,
+                                 const CompilerOptions &Opts,
+                                 const titan::TitanConfig &Config) {
+  RunOutcome Out;
+  Out.Compile = compileSource(Source, Opts);
+  if (!Out.Compile->ok()) {
+    Out.Run.Error = "compilation failed:\n" + Out.Compile->Diags.str();
+    return Out;
+  }
+  Out.Machine =
+      std::make_unique<titan::TitanMachine>(Out.Compile->Machine, Config);
+  Out.Run = Out.Machine->run("main");
+  return Out;
+}

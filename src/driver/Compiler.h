@@ -1,0 +1,145 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiler driver: the paper's phase pipeline wired together.
+///
+///   parse → lower (expression pairs, for→while) → [inline from program
+///   and catalogs] → use-def chains → while→DO conversion → induction-
+///   variable substitution → constant propagation ⨝ unreachable-code
+///   elimination → dead-code elimination → vectorization + strip-mining +
+///   parallelization → dependence-driven optimizations (scalar
+///   replacement, strength reduction) → code generation → Titan
+///   simulation.
+///
+/// Every phase can be toggled for the ablation benches, and the IL can be
+/// snapshotted after each phase (the Section 9 walkthrough).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_DRIVER_COMPILER_H
+#define TCC_DRIVER_COMPILER_H
+
+#include "il/IL.h"
+#include "inliner/Inliner.h"
+#include "scalar/ConstProp.h"
+#include "scalar/InductionVarSub.h"
+#include "scalar/WhileToDo.h"
+#include "scalar/DeadCode.h"
+#include "depopt/DepOpt.h"
+#include "support/Diagnostics.h"
+#include "titan/TitanISA.h"
+#include "titan/TitanMachine.h"
+#include "vector/Vectorize.h"
+
+#include <map>
+#include <memory>
+#include <string>
+
+namespace tcc {
+namespace driver {
+
+struct CompilerOptions {
+  // Inlining (paper Section 7).
+  bool EnableInline = true;
+  inliner::InlineOptions Inline;
+  const inliner::ProcedureCatalog *Catalog = nullptr;
+
+  // Scalar optimization (Sections 5 and 8).
+  bool EnableWhileToDo = true;
+  bool EnableIVSub = true;
+  scalar::IVSubOptions IVSub;
+  bool EnableConstProp = true;
+  scalar::ConstPropOptions ConstProp;
+  bool EnableDCE = true;
+
+  // Vectorization and parallelization (Sections 5 and 9).
+  bool EnableVectorize = true;
+  vec::VectorizeOptions Vectorize;
+
+  // Dependence-driven optimizations (Section 6).
+  bool EnableScalarReplacement = true;
+  bool EnableStrengthReduction = true;
+
+  // Code generation.
+  bool EnableDepScheduling = true;
+
+  /// Capture printProgram() after each phase (keys: "lower", "inline",
+  /// "whiletodo", "ivsub", "constprop", "dce", "vectorize", "depopt").
+  bool CaptureStages = false;
+
+  /// Everything off: the straight-from-the-front-end baseline.
+  static CompilerOptions noOpt() {
+    CompilerOptions O;
+    O.EnableInline = false;
+    O.EnableWhileToDo = false;
+    O.EnableIVSub = false;
+    O.EnableConstProp = false;
+    O.EnableDCE = false;
+    O.EnableVectorize = false;
+    O.EnableScalarReplacement = false;
+    O.EnableStrengthReduction = false;
+    O.EnableDepScheduling = false;
+    return O;
+  }
+
+  /// Scalar optimization only (the paper's 0.5 MFLOPS backsolve build).
+  static CompilerOptions scalarOnly() {
+    CompilerOptions O;
+    O.EnableVectorize = false;
+    O.EnableScalarReplacement = false;
+    O.EnableStrengthReduction = false;
+    O.EnableDepScheduling = false;
+    return O;
+  }
+
+  /// Full single-processor optimization.
+  static CompilerOptions full() { return CompilerOptions(); }
+
+  /// Full optimization plus multiprocessor spreading.
+  static CompilerOptions parallel() {
+    CompilerOptions O;
+    O.Vectorize.EnableParallel = true;
+    return O;
+  }
+};
+
+struct PhaseStats {
+  inliner::InlineStats Inline;
+  scalar::WhileToDoStats WhileToDo;
+  scalar::IVSubStats IVSub;
+  scalar::ConstPropStats ConstProp;
+  scalar::DCEStats DCE;
+  vec::VectorizeStats Vectorize;
+  depopt::ScalarReplaceStats ScalarReplace;
+  depopt::StrengthReduceStats StrengthReduce;
+};
+
+struct CompileResult {
+  DiagnosticEngine Diags;
+  std::unique_ptr<il::Program> IL;
+  titan::TitanProgram Machine;
+  PhaseStats Stats;
+  std::map<std::string, std::string> Stages;
+
+  bool ok() const { return !Diags.hasErrors(); }
+};
+
+/// Compiles C source through the whole pipeline.
+std::unique_ptr<CompileResult> compileSource(const std::string &Source,
+                                             const CompilerOptions &Opts =
+                                                 {});
+
+/// Compiles and runs on a Titan machine in one call (benches, examples).
+struct RunOutcome {
+  std::unique_ptr<CompileResult> Compile;
+  titan::RunResult Run;
+  std::unique_ptr<titan::TitanMachine> Machine; ///< For memory inspection.
+};
+RunOutcome compileAndRun(const std::string &Source,
+                         const CompilerOptions &Opts = {},
+                         const titan::TitanConfig &Config = {});
+
+} // namespace driver
+} // namespace tcc
+
+#endif // TCC_DRIVER_COMPILER_H

@@ -1,0 +1,1201 @@
+#include "frontend/Lower.h"
+
+#include "support/StringExtras.h"
+
+#include <map>
+
+using namespace tcc;
+using namespace tcc::il;
+
+namespace {
+
+using StmtList = std::vector<il::Stmt *>;
+
+/// The (statement list, expression) pair of the paper.  E is a pure IL
+/// expression; SL is the sequence of statements that must execute before E
+/// is evaluated.
+struct Value {
+  StmtList SL;
+  il::Expr *E = nullptr;
+};
+
+class Lowerer {
+public:
+  Lowerer(const ast::TranslationUnit &TU, il::Program &P,
+          DiagnosticEngine &Diags)
+      : TU(TU), P(P), Types(P.getTypes()), Diags(Diags) {}
+
+  void run();
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Context
+  //===--------------------------------------------------------------------===//
+
+  const ast::TranslationUnit &TU;
+  il::Program &P;
+  TypeContext &Types;
+  DiagnosticEngine &Diags;
+
+  il::Function *F = nullptr;
+  std::vector<std::map<std::string, Symbol *>> Scopes;
+  std::map<std::string, const ast::FunctionDecl *> FuncDecls;
+
+  struct LoopCtx {
+    std::string BreakLabel;
+    std::string ContinueLabel;
+    bool UsedBreak = false;
+    bool UsedContinue = false;
+  };
+  std::vector<LoopCtx> Loops;
+
+  //===--------------------------------------------------------------------===//
+  // Helpers
+  //===--------------------------------------------------------------------===//
+
+  const Type *intTy() { return Types.getIntType(); }
+
+  void error(SourceLoc Loc, const std::string &Msg) { Diags.error(Loc, Msg); }
+
+  Symbol *lookup(const std::string &Name) {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto Found = It->find(Name);
+      if (Found != It->end())
+        return Found->second;
+    }
+    return P.findGlobal(Name);
+  }
+
+  void declare(SourceLoc Loc, const std::string &Name, Symbol *S) {
+    auto &Scope = Scopes.back();
+    if (Scope.count(Name)) {
+      error(Loc, "redeclaration of '" + Name + "'");
+      return;
+    }
+    Scope[Name] = S;
+  }
+
+  /// Makes an IL-unique symbol name from a source name (two locals in
+  /// different blocks may share a source name).
+  std::string uniqueSymName(const std::string &Name) {
+    if (!F->findSymbol(Name))
+      return Name;
+    unsigned Suffix = 2;
+    for (;;) {
+      std::string Candidate = Name + "_" + std::to_string(Suffix++);
+      if (!F->findSymbol(Candidate))
+        return Candidate;
+    }
+  }
+
+  void append(StmtList &To, StmtList &&From) {
+    To.insert(To.end(), From.begin(), From.end());
+  }
+
+  /// Clones a statement list (used to duplicate the condition statement
+  /// list at the bottom of while bodies, paper Section 4).
+  StmtList cloneStmtList(const StmtList &SL) {
+    StmtList Out;
+    Out.reserve(SL.size());
+    auto Identity = [](Symbol *S) { return S; };
+    auto LabelIdentity = [](const std::string &L) { return L; };
+    for (il::Stmt *S : SL)
+      Out.push_back(F->cloneStmtRemap(S, Identity, LabelIdentity));
+    return Out;
+  }
+
+  AssignStmt *makeAssign(SourceLoc Loc, il::Expr *LHS, il::Expr *RHS) {
+    return F->create<AssignStmt>(Loc, LHS, RHS);
+  }
+
+  /// Inserts a conversion of \p E to \p To, folding constants.
+  il::Expr *coerce(il::Expr *E, const Type *To) {
+    const Type *From = E->getType();
+    if (From == To)
+      return E;
+    if (auto *CI = dyn_cast_int(E)) {
+      if (To->isFloating())
+        return F->makeFloatConst(To, static_cast<double>(CI->getValue()));
+      if (To->isInteger() || To->isPointer())
+        return F->makeIntConst(To, CI->getValue());
+    }
+    if (E->getKind() == il::Expr::ConstFloatKind) {
+      auto *CF = static_cast<ConstFloatExpr *>(E);
+      if (To->isFloating())
+        return F->makeFloatConst(To, CF->getValue());
+      if (To->isInteger())
+        return F->makeIntConst(To, static_cast<int64_t>(CF->getValue()));
+    }
+    return F->create<CastExpr>(To, E);
+  }
+
+  static ConstIntExpr *dyn_cast_int(il::Expr *E) {
+    if (E->getKind() == il::Expr::ConstIntKind)
+      return static_cast<ConstIntExpr *>(E);
+    return nullptr;
+  }
+
+  /// True for VarRef/Deref/Index — things that can be assigned to.
+  static bool isLValueExpr(const il::Expr *E) {
+    switch (E->getKind()) {
+    case il::Expr::VarRefKind:
+    case il::Expr::DerefKind:
+    case il::Expr::IndexKind:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  /// Decays an array-typed lvalue to a pointer rvalue (&a, printed just as
+  /// the paper prints it: `*(&a + 4*i)`).
+  il::Expr *decay(il::Expr *LV) {
+    const Type *Ty = LV->getType();
+    if (!Ty->isArray())
+      return LV;
+    const Type *PtrTy = Types.getPointerType(Ty->getElementType());
+    return F->create<AddrOfExpr>(PtrTy, LV);
+  }
+
+  /// Materializes \p V.E into a temporary, appending the assignment to
+  /// V.SL, and returns a VarRef to the temp.
+  il::Expr *materialize(Value &V, SourceLoc Loc,
+                        const std::string &Prefix = "temp") {
+    if (V.E->getKind() == il::Expr::VarRefKind ||
+        V.E->getKind() == il::Expr::ConstIntKind ||
+        V.E->getKind() == il::Expr::ConstFloatKind)
+      return V.E;
+    Symbol *T = F->createTemp(V.E->getType(), Prefix);
+    V.SL.push_back(makeAssign(Loc, F->makeVarRef(T), V.E));
+    return F->makeVarRef(T);
+  }
+
+  /// Scales an integer expression by a byte size for pointer arithmetic,
+  /// folding constants (`temp_1 + 4` rather than `temp_1 + 1*4`).
+  il::Expr *scaleBySize(il::Expr *E, int64_t Size) {
+    E = coerce(E, intTy());
+    if (auto *CI = dyn_cast_int(E))
+      return F->makeIntConst(intTy(), CI->getValue() * Size);
+    if (Size == 1)
+      return E;
+    return F->makeBinary(OpCode::Mul, F->makeIntConst(intTy(), Size), E,
+                         intTy());
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expression lowering
+  //===--------------------------------------------------------------------===//
+
+  Value lowerRValue(const ast::Expr *E);
+  Value lowerLValue(const ast::Expr *E);
+  Value lowerAssign(const ast::AssignExpr *E, bool NeedValue);
+  Value lowerCompoundAssign(const ast::CompoundAssignExpr *E, bool NeedValue);
+  Value lowerIncDec(const ast::IncDecExpr *E);
+  Value lowerCall(const ast::CallExpr *E, bool NeedValue);
+  Value lowerBinary(const ast::BinaryExpr *E);
+  Value lowerShortCircuit(const ast::BinaryExpr *E);
+  Value lowerConditional(const ast::ConditionalExpr *E);
+  il::Expr *lowerAddSub(SourceLoc Loc, ast::BinaryOp Op, il::Expr *L,
+                        il::Expr *R);
+
+  /// Lowers an expression for its side effects only (statement context).
+  StmtList lowerForEffect(const ast::Expr *E);
+
+  //===--------------------------------------------------------------------===//
+  // Statement lowering
+  //===--------------------------------------------------------------------===//
+
+  void lowerStmt(const ast::Stmt *S, Block &Out);
+  void lowerBlockInto(const ast::Stmt *S, Block &Out);
+  void lowerVarDecl(const ast::VarDecl &D, Block &Out);
+  void lowerFunction(const ast::FunctionDecl &FD);
+  void lowerGlobal(const ast::VarDecl &D);
+
+  void emit(Block &Out, StmtList &&SL) {
+    Out.Stmts.insert(Out.Stmts.end(), SL.begin(), SL.end());
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+Value Lowerer::lowerRValue(const ast::Expr *E) {
+  switch (E->getKind()) {
+  case ast::Expr::IntLiteralKind: {
+    const auto *L = static_cast<const ast::IntLiteralExpr *>(E);
+    return {StmtList(), F->makeIntConst(intTy(), L->getValue())};
+  }
+  case ast::Expr::FloatLiteralKind: {
+    const auto *L = static_cast<const ast::FloatLiteralExpr *>(E);
+    return {StmtList(), F->makeFloatConst(Types.getDoubleType(),
+                                          L->getValue())};
+  }
+  case ast::Expr::VarRefKind:
+  case ast::Expr::IndexKind: {
+    Value LV = lowerLValue(E);
+    if (!LV.E)
+      return LV;
+    LV.E = decay(LV.E);
+    return LV;
+  }
+  case ast::Expr::UnaryKind: {
+    const auto *U = static_cast<const ast::UnaryExpr *>(E);
+    switch (U->getOp()) {
+    case ast::UnaryOp::Deref: {
+      Value LV = lowerLValue(E);
+      if (!LV.E)
+        return LV;
+      LV.E = decay(LV.E);
+      return LV;
+    }
+    case ast::UnaryOp::AddrOf: {
+      Value LV = lowerLValue(U->getOperand());
+      if (!LV.E)
+        return LV;
+      const Type *LVTy = LV.E->getType();
+      // &a where a is an array gives a pointer to the first element (the
+      // Titan IL treats &array as the array's byte address).
+      const Type *PtrTy = LVTy->isArray()
+                              ? Types.getPointerType(LVTy->getElementType())
+                              : Types.getPointerType(LVTy);
+      LV.E = F->create<AddrOfExpr>(PtrTy, LV.E);
+      return LV;
+    }
+    case ast::UnaryOp::Plus:
+      return lowerRValue(U->getOperand());
+    case ast::UnaryOp::Neg: {
+      Value V = lowerRValue(U->getOperand());
+      if (!V.E)
+        return V;
+      if (!V.E->getType()->isArithmetic()) {
+        error(U->getLoc(), "unary '-' requires an arithmetic operand");
+        return V;
+      }
+      // Fold constants.
+      if (auto *CI = dyn_cast_int(V.E)) {
+        V.E = F->makeIntConst(V.E->getType()->isChar() ? intTy()
+                                                       : V.E->getType(),
+                              -CI->getValue());
+        return V;
+      }
+      if (V.E->getKind() == il::Expr::ConstFloatKind) {
+        auto *CF = static_cast<ConstFloatExpr *>(V.E);
+        V.E = F->makeFloatConst(CF->getType(), -CF->getValue());
+        return V;
+      }
+      const Type *Ty = V.E->getType()->isChar() ? intTy() : V.E->getType();
+      V.E = F->create<UnaryExpr>(Ty, OpCode::Neg, coerce(V.E, Ty));
+      return V;
+    }
+    case ast::UnaryOp::LogNot: {
+      Value V = lowerRValue(U->getOperand());
+      if (!V.E)
+        return V;
+      V.E = F->create<UnaryExpr>(intTy(), OpCode::LogNot, V.E);
+      return V;
+    }
+    case ast::UnaryOp::BitNot: {
+      Value V = lowerRValue(U->getOperand());
+      if (!V.E)
+        return V;
+      if (!V.E->getType()->isInteger()) {
+        error(U->getLoc(), "unary '~' requires an integer operand");
+        return V;
+      }
+      V.E = F->create<UnaryExpr>(intTy(), OpCode::BitNot,
+                                 coerce(V.E, intTy()));
+      return V;
+    }
+    }
+    break;
+  }
+  case ast::Expr::BinaryKind: {
+    const auto *B = static_cast<const ast::BinaryExpr *>(E);
+    if (B->getOp() == ast::BinaryOp::LogAnd ||
+        B->getOp() == ast::BinaryOp::LogOr)
+      return lowerShortCircuit(B);
+    return lowerBinary(B);
+  }
+  case ast::Expr::AssignKind:
+    return lowerAssign(static_cast<const ast::AssignExpr *>(E),
+                       /*NeedValue=*/true);
+  case ast::Expr::CompoundAssignKind:
+    return lowerCompoundAssign(static_cast<const ast::CompoundAssignExpr *>(E),
+                               /*NeedValue=*/true);
+  case ast::Expr::IncDecKind:
+    return lowerIncDec(static_cast<const ast::IncDecExpr *>(E));
+  case ast::Expr::ConditionalKind:
+    return lowerConditional(static_cast<const ast::ConditionalExpr *>(E));
+  case ast::Expr::CommaKind: {
+    const auto *C = static_cast<const ast::CommaExpr *>(E);
+    StmtList SL = lowerForEffect(C->getLHS());
+    Value R = lowerRValue(C->getRHS());
+    if (!R.E)
+      return R;
+    append(SL, std::move(R.SL));
+    return {std::move(SL), R.E};
+  }
+  case ast::Expr::CallKind:
+    return lowerCall(static_cast<const ast::CallExpr *>(E),
+                     /*NeedValue=*/true);
+  case ast::Expr::CastKind: {
+    const auto *C = static_cast<const ast::CastExpr *>(E);
+    Value V = lowerRValue(C->getOperand());
+    if (!V.E)
+      return V;
+    V.E = coerce(V.E, C->getTargetType());
+    return V;
+  }
+  }
+  error(E->getLoc(), "unsupported expression");
+  return {StmtList(), F->makeIntConst(intTy(), 0)};
+}
+
+Value Lowerer::lowerLValue(const ast::Expr *E) {
+  switch (E->getKind()) {
+  case ast::Expr::VarRefKind: {
+    const auto *V = static_cast<const ast::VarRefExpr *>(E);
+    Symbol *S = lookup(V->getName());
+    if (!S) {
+      error(V->getLoc(), "use of undeclared identifier '" + V->getName() +
+                             "'");
+      return {StmtList(), nullptr};
+    }
+    return {StmtList(), F->makeVarRef(S)};
+  }
+  case ast::Expr::UnaryKind: {
+    const auto *U = static_cast<const ast::UnaryExpr *>(E);
+    if (U->getOp() != ast::UnaryOp::Deref)
+      break;
+    Value V = lowerRValue(U->getOperand());
+    if (!V.E)
+      return V;
+    if (!V.E->getType()->isPointer()) {
+      error(U->getLoc(), "cannot dereference a non-pointer value");
+      return {std::move(V.SL), nullptr};
+    }
+    const Type *Pointee = V.E->getType()->getElementType();
+    V.E = F->create<DerefExpr>(Pointee, V.E);
+    return V;
+  }
+  case ast::Expr::IndexKind: {
+    const auto *I = static_cast<const ast::IndexExpr *>(E);
+    // Determine whether the base is an array lvalue (use IndexExpr form,
+    // which keeps subscripts explicit for the vectorizer) or a pointer
+    // (use the `*(p + k*i)` form the paper shows).
+    const ast::Expr *BaseAst = I->getBase();
+    Value Base;
+    bool BaseIsArrayLValue = false;
+    // Peek: array lvalues are variables/subscripts of array type.
+    if (BaseAst->getKind() == ast::Expr::VarRefKind ||
+        BaseAst->getKind() == ast::Expr::IndexKind ||
+        (BaseAst->getKind() == ast::Expr::UnaryKind &&
+         static_cast<const ast::UnaryExpr *>(BaseAst)->getOp() ==
+             ast::UnaryOp::Deref)) {
+      Base = lowerLValue(BaseAst);
+      if (!Base.E)
+        return Base;
+      if (Base.E->getType()->isArray())
+        BaseIsArrayLValue = true;
+      else
+        Base.E = decay(Base.E); // already non-array; no-op
+    } else {
+      Base = lowerRValue(BaseAst);
+      if (!Base.E)
+        return Base;
+    }
+
+    Value Sub = lowerRValue(I->getIndex());
+    if (!Sub.E)
+      return {std::move(Base.SL), nullptr};
+    append(Base.SL, std::move(Sub.SL));
+
+    if (BaseIsArrayLValue) {
+      const Type *ArrTy = Base.E->getType();
+      const Type *ElemTy = ArrTy->getElementType();
+      il::Expr *SubExpr = coerce(Sub.E, intTy());
+      // Extend an existing IndexExpr of array type rather than nesting.
+      if (Base.E->getKind() == il::Expr::IndexKind) {
+        auto *BI = static_cast<IndexExpr *>(Base.E);
+        std::vector<il::Expr *> Subs = BI->getSubscripts();
+        Subs.push_back(SubExpr);
+        return {std::move(Base.SL),
+                F->create<IndexExpr>(ElemTy, BI->getBase(), std::move(Subs))};
+      }
+      return {std::move(Base.SL),
+              F->create<IndexExpr>(ElemTy, Base.E,
+                                   std::vector<il::Expr *>{SubExpr})};
+    }
+
+    // Pointer subscript: p[i] == *(p + size*i).
+    if (!Base.E->getType()->isPointer()) {
+      error(I->getLoc(), "subscripted value is not an array or pointer");
+      return {std::move(Base.SL), nullptr};
+    }
+    const Type *Pointee = Base.E->getType()->getElementType();
+    il::Expr *Offset = scaleBySize(Sub.E, Pointee->getSizeInBytes());
+    il::Expr *Addr = F->makeBinary(OpCode::Add, Base.E, Offset,
+                                   Base.E->getType());
+    return {std::move(Base.SL), F->create<DerefExpr>(Pointee, Addr)};
+  }
+  default:
+    break;
+  }
+  error(E->getLoc(), "expression is not an lvalue");
+  return {StmtList(), nullptr};
+}
+
+Value Lowerer::lowerAssign(const ast::AssignExpr *E, bool NeedValue) {
+  Value LV = lowerLValue(E->getLHS());
+  Value RV = lowerRValue(E->getRHS());
+  if (!LV.E || !RV.E) {
+    append(LV.SL, std::move(RV.SL));
+    return {std::move(LV.SL), F->makeIntConst(intTy(), 0)};
+  }
+  if (!isLValueExpr(LV.E)) {
+    error(E->getLoc(), "left side of '=' is not assignable");
+    return {std::move(LV.SL), F->makeIntConst(intTy(), 0)};
+  }
+  StmtList SL = std::move(LV.SL);
+  append(SL, std::move(RV.SL));
+  il::Expr *RHS = coerce(RV.E, LV.E->getType());
+  if (!NeedValue) {
+    SL.push_back(makeAssign(E->getLoc(), LV.E, RHS));
+    return {std::move(SL), F->makeIntConst(intTy(), 0)};
+  }
+  // (SL1;SL2; t=E2; E1=t, t): the temp keeps `a = v = b` well-defined even
+  // for volatile v (v is written once and never read).
+  Symbol *T = F->createTemp(LV.E->getType());
+  SL.push_back(makeAssign(E->getLoc(), F->makeVarRef(T), RHS));
+  SL.push_back(makeAssign(E->getLoc(), LV.E, F->makeVarRef(T)));
+  return {std::move(SL), F->makeVarRef(T)};
+}
+
+Value Lowerer::lowerCompoundAssign(const ast::CompoundAssignExpr *E,
+                                   bool NeedValue) {
+  Value LV = lowerLValue(E->getLHS());
+  Value RV = lowerRValue(E->getRHS());
+  if (!LV.E || !RV.E) {
+    append(LV.SL, std::move(RV.SL));
+    return {std::move(LV.SL), F->makeIntConst(intTy(), 0)};
+  }
+  if (!isLValueExpr(LV.E)) {
+    error(E->getLoc(), "left side of compound assignment is not assignable");
+    return {std::move(LV.SL), F->makeIntConst(intTy(), 0)};
+  }
+  StmtList SL = std::move(LV.SL);
+  append(SL, std::move(RV.SL));
+
+  il::Expr *LHSRead = F->cloneExpr(LV.E);
+  il::Expr *NewValue;
+  if (LV.E->getType()->isPointer() &&
+      (E->getOp() == ast::BinaryOp::Add || E->getOp() == ast::BinaryOp::Sub)) {
+    NewValue = lowerAddSub(E->getLoc(), E->getOp(), LHSRead, RV.E);
+  } else {
+    const Type *OpTy =
+        Types.getCommonArithmeticType(LV.E->getType(), RV.E->getType());
+    OpCode Op;
+    switch (E->getOp()) {
+    case ast::BinaryOp::Add:
+      Op = OpCode::Add;
+      break;
+    case ast::BinaryOp::Sub:
+      Op = OpCode::Sub;
+      break;
+    case ast::BinaryOp::Mul:
+      Op = OpCode::Mul;
+      break;
+    case ast::BinaryOp::Div:
+      Op = OpCode::Div;
+      break;
+    case ast::BinaryOp::Rem:
+      Op = OpCode::Rem;
+      break;
+    case ast::BinaryOp::Shl:
+      Op = OpCode::Shl;
+      break;
+    case ast::BinaryOp::Shr:
+      Op = OpCode::Shr;
+      break;
+    case ast::BinaryOp::BitAnd:
+      Op = OpCode::BitAnd;
+      break;
+    case ast::BinaryOp::BitOr:
+      Op = OpCode::BitOr;
+      break;
+    case ast::BinaryOp::BitXor:
+      Op = OpCode::BitXor;
+      break;
+    default:
+      error(E->getLoc(), "bad compound assignment operator");
+      Op = OpCode::Add;
+      break;
+    }
+    NewValue = F->makeBinary(Op, coerce(LHSRead, OpTy), coerce(RV.E, OpTy),
+                             OpTy);
+  }
+  il::Expr *Converted = coerce(NewValue, LV.E->getType());
+  if (!NeedValue) {
+    SL.push_back(makeAssign(E->getLoc(), LV.E, Converted));
+    return {std::move(SL), F->makeIntConst(intTy(), 0)};
+  }
+  Symbol *T = F->createTemp(LV.E->getType());
+  SL.push_back(makeAssign(E->getLoc(), F->makeVarRef(T), Converted));
+  SL.push_back(makeAssign(E->getLoc(), LV.E, F->makeVarRef(T)));
+  return {std::move(SL), F->makeVarRef(T)};
+}
+
+Value Lowerer::lowerIncDec(const ast::IncDecExpr *E) {
+  // Post-increment of a pointer produces exactly the paper's shape:
+  //   temp_1 = a; a = temp_1 + 4;  ... value temp_1
+  Value LV = lowerLValue(E->getOperand());
+  if (!LV.E)
+    return {std::move(LV.SL), F->makeIntConst(intTy(), 0)};
+  if (!isLValueExpr(LV.E)) {
+    error(E->getLoc(), "operand of ++/-- is not assignable");
+    return {std::move(LV.SL), F->makeIntConst(intTy(), 0)};
+  }
+  const Type *Ty = LV.E->getType();
+  if (!Ty->isScalar()) {
+    error(E->getLoc(), "operand of ++/-- must be scalar");
+    return {std::move(LV.SL), F->makeIntConst(intTy(), 0)};
+  }
+  StmtList SL = std::move(LV.SL);
+  int64_t Delta = 1;
+  if (Ty->isPointer())
+    Delta = Ty->getElementType()->getSizeInBytes();
+  if (!E->isIncrement())
+    Delta = -Delta;
+
+  Symbol *T = F->createTemp(Ty);
+  il::Expr *DeltaE = Ty->isFloating()
+                         ? static_cast<il::Expr *>(F->makeFloatConst(
+                               Ty, static_cast<double>(Delta)))
+                         : F->makeIntConst(Ty->isPointer() ? intTy() : Ty,
+                                           Delta);
+  if (E->isPrefix()) {
+    // t = lv + d; lv = t; value t.
+    SL.push_back(makeAssign(E->getLoc(), F->makeVarRef(T),
+                            F->makeBinary(OpCode::Add, F->cloneExpr(LV.E),
+                                          DeltaE, Ty)));
+    SL.push_back(makeAssign(E->getLoc(), LV.E, F->makeVarRef(T)));
+  } else {
+    // t = lv; lv = t + d; value t.
+    SL.push_back(makeAssign(E->getLoc(), F->makeVarRef(T),
+                            F->cloneExpr(LV.E)));
+    SL.push_back(makeAssign(E->getLoc(), LV.E,
+                            F->makeBinary(OpCode::Add, F->makeVarRef(T),
+                                          DeltaE, Ty)));
+  }
+  return {std::move(SL), F->makeVarRef(T)};
+}
+
+il::Expr *Lowerer::lowerAddSub(SourceLoc Loc, ast::BinaryOp Op, il::Expr *L,
+                               il::Expr *R) {
+  bool IsSub = Op == ast::BinaryOp::Sub;
+  const Type *LT = L->getType();
+  const Type *RT = R->getType();
+
+  if (LT->isPointer() && RT->isInteger()) {
+    il::Expr *Off = scaleBySize(R, LT->getElementType()->getSizeInBytes());
+    return F->makeBinary(IsSub ? OpCode::Sub : OpCode::Add, L, Off, LT);
+  }
+  if (LT->isInteger() && RT->isPointer() && !IsSub) {
+    il::Expr *Off = scaleBySize(L, RT->getElementType()->getSizeInBytes());
+    return F->makeBinary(OpCode::Add, R, Off, RT);
+  }
+  if (LT->isPointer() && RT->isPointer() && IsSub) {
+    il::Expr *Diff = F->makeBinary(OpCode::Sub, coerce(L, intTy()),
+                                   coerce(R, intTy()), intTy());
+    int64_t Size = LT->getElementType()->getSizeInBytes();
+    if (Size == 1)
+      return Diff;
+    return F->makeBinary(OpCode::Div, Diff, F->makeIntConst(intTy(), Size),
+                         intTy());
+  }
+  if (LT->isArithmetic() && RT->isArithmetic()) {
+    const Type *Ty = Types.getCommonArithmeticType(LT, RT);
+    return F->makeBinary(IsSub ? OpCode::Sub : OpCode::Add, coerce(L, Ty),
+                         coerce(R, Ty), Ty);
+  }
+  error(Loc, "invalid operands to '+'/'-'");
+  return F->makeIntConst(intTy(), 0);
+}
+
+Value Lowerer::lowerBinary(const ast::BinaryExpr *E) {
+  Value L = lowerRValue(E->getLHS());
+  Value R = lowerRValue(E->getRHS());
+  StmtList SL = std::move(L.SL);
+  append(SL, std::move(R.SL));
+  if (!L.E || !R.E)
+    return {std::move(SL), F->makeIntConst(intTy(), 0)};
+
+  switch (E->getOp()) {
+  case ast::BinaryOp::Add:
+  case ast::BinaryOp::Sub:
+    return {std::move(SL), lowerAddSub(E->getLoc(), E->getOp(), L.E, R.E)};
+  case ast::BinaryOp::Mul:
+  case ast::BinaryOp::Div:
+  case ast::BinaryOp::Rem: {
+    if (!L.E->getType()->isArithmetic() || !R.E->getType()->isArithmetic()) {
+      error(E->getLoc(), "invalid operands to arithmetic operator");
+      return {std::move(SL), F->makeIntConst(intTy(), 0)};
+    }
+    const Type *Ty =
+        Types.getCommonArithmeticType(L.E->getType(), R.E->getType());
+    if (E->getOp() == ast::BinaryOp::Rem && !Ty->isInteger()) {
+      error(E->getLoc(), "invalid operands to '%'");
+      return {std::move(SL), F->makeIntConst(intTy(), 0)};
+    }
+    OpCode Op = E->getOp() == ast::BinaryOp::Mul   ? OpCode::Mul
+                : E->getOp() == ast::BinaryOp::Div ? OpCode::Div
+                                                   : OpCode::Rem;
+    return {std::move(SL), F->makeBinary(Op, coerce(L.E, Ty), coerce(R.E, Ty),
+                                         Ty)};
+  }
+  case ast::BinaryOp::Shl:
+  case ast::BinaryOp::Shr:
+  case ast::BinaryOp::BitAnd:
+  case ast::BinaryOp::BitOr:
+  case ast::BinaryOp::BitXor: {
+    if (!L.E->getType()->isInteger() || !R.E->getType()->isInteger()) {
+      error(E->getLoc(), "invalid operands to bitwise operator");
+      return {std::move(SL), F->makeIntConst(intTy(), 0)};
+    }
+    OpCode Op;
+    switch (E->getOp()) {
+    case ast::BinaryOp::Shl:
+      Op = OpCode::Shl;
+      break;
+    case ast::BinaryOp::Shr:
+      Op = OpCode::Shr;
+      break;
+    case ast::BinaryOp::BitAnd:
+      Op = OpCode::BitAnd;
+      break;
+    case ast::BinaryOp::BitOr:
+      Op = OpCode::BitOr;
+      break;
+    default:
+      Op = OpCode::BitXor;
+      break;
+    }
+    return {std::move(SL),
+            F->makeBinary(Op, coerce(L.E, intTy()), coerce(R.E, intTy()),
+                          intTy())};
+  }
+  case ast::BinaryOp::Lt:
+  case ast::BinaryOp::Gt:
+  case ast::BinaryOp::Le:
+  case ast::BinaryOp::Ge:
+  case ast::BinaryOp::Eq:
+  case ast::BinaryOp::Ne: {
+    OpCode Op;
+    switch (E->getOp()) {
+    case ast::BinaryOp::Lt:
+      Op = OpCode::Lt;
+      break;
+    case ast::BinaryOp::Gt:
+      Op = OpCode::Gt;
+      break;
+    case ast::BinaryOp::Le:
+      Op = OpCode::Le;
+      break;
+    case ast::BinaryOp::Ge:
+      Op = OpCode::Ge;
+      break;
+    case ast::BinaryOp::Eq:
+      Op = OpCode::Eq;
+      break;
+    default:
+      Op = OpCode::Ne;
+      break;
+    }
+    const Type *LT = L.E->getType();
+    const Type *RT = R.E->getType();
+    il::Expr *LE = L.E;
+    il::Expr *RE = R.E;
+    if (LT->isArithmetic() && RT->isArithmetic()) {
+      const Type *Ty = Types.getCommonArithmeticType(LT, RT);
+      LE = coerce(LE, Ty);
+      RE = coerce(RE, Ty);
+    } else if (LT->isPointer() || RT->isPointer()) {
+      // Pointer comparisons (including against integer 0) compare byte
+      // addresses.
+      LE = coerce(LE, intTy());
+      RE = coerce(RE, intTy());
+    }
+    return {std::move(SL), F->makeBinary(Op, LE, RE, intTy())};
+  }
+  case ast::BinaryOp::LogAnd:
+  case ast::BinaryOp::LogOr:
+    break; // handled by lowerShortCircuit
+  }
+  error(E->getLoc(), "unsupported binary operator");
+  return {std::move(SL), F->makeIntConst(intTy(), 0)};
+}
+
+Value Lowerer::lowerShortCircuit(const ast::BinaryExpr *E) {
+  // (SL1,E1) && (SL2,E2):
+  //   SL1; if (E1) { SL2; t = (E2 != 0); } else { t = 0; }
+  // || is the mirror image.  The && / || operators are not representable in
+  // IL expressions (paper Section 4).
+  bool IsAnd = E->getOp() == ast::BinaryOp::LogAnd;
+  Value L = lowerRValue(E->getLHS());
+  Value R = lowerRValue(E->getRHS());
+  if (!L.E || !R.E) {
+    append(L.SL, std::move(R.SL));
+    return {std::move(L.SL), F->makeIntConst(intTy(), 0)};
+  }
+  Symbol *T = F->createTemp(intTy());
+  StmtList SL = std::move(L.SL);
+  auto *If = F->create<IfStmt>(E->getLoc(), L.E);
+  il::Expr *RBool = F->makeBinary(OpCode::Ne, coerce(R.E, intTy()),
+                                  F->makeIntConst(intTy(), 0), intTy());
+  if (IsAnd) {
+    for (il::Stmt *S : R.SL)
+      If->getThen().Stmts.push_back(S);
+    If->getThen().Stmts.push_back(
+        makeAssign(E->getLoc(), F->makeVarRef(T), RBool));
+    If->getElse().Stmts.push_back(makeAssign(E->getLoc(), F->makeVarRef(T),
+                                             F->makeIntConst(intTy(), 0)));
+  } else {
+    If->getThen().Stmts.push_back(makeAssign(E->getLoc(), F->makeVarRef(T),
+                                             F->makeIntConst(intTy(), 1)));
+    for (il::Stmt *S : R.SL)
+      If->getElse().Stmts.push_back(S);
+    If->getElse().Stmts.push_back(
+        makeAssign(E->getLoc(), F->makeVarRef(T), RBool));
+  }
+  SL.push_back(If);
+  return {std::move(SL), F->makeVarRef(T)};
+}
+
+Value Lowerer::lowerConditional(const ast::ConditionalExpr *E) {
+  Value C = lowerRValue(E->getCond());
+  Value TV = lowerRValue(E->getTrueExpr());
+  Value FV = lowerRValue(E->getFalseExpr());
+  if (!C.E || !TV.E || !FV.E) {
+    append(C.SL, std::move(TV.SL));
+    append(C.SL, std::move(FV.SL));
+    return {std::move(C.SL), F->makeIntConst(intTy(), 0)};
+  }
+  const Type *TT = TV.E->getType();
+  const Type *FT = FV.E->getType();
+  const Type *Ty;
+  if (TT->isArithmetic() && FT->isArithmetic())
+    Ty = Types.getCommonArithmeticType(TT, FT);
+  else if (TT->isPointer())
+    Ty = TT;
+  else
+    Ty = FT;
+  Symbol *T = F->createTemp(Ty);
+  StmtList SL = std::move(C.SL);
+  auto *If = F->create<IfStmt>(E->getLoc(), C.E);
+  for (il::Stmt *S : TV.SL)
+    If->getThen().Stmts.push_back(S);
+  If->getThen().Stmts.push_back(
+      makeAssign(E->getLoc(), F->makeVarRef(T), coerce(TV.E, Ty)));
+  for (il::Stmt *S : FV.SL)
+    If->getElse().Stmts.push_back(S);
+  If->getElse().Stmts.push_back(
+      makeAssign(E->getLoc(), F->makeVarRef(T), coerce(FV.E, Ty)));
+  SL.push_back(If);
+  return {std::move(SL), F->makeVarRef(T)};
+}
+
+Value Lowerer::lowerCall(const ast::CallExpr *E, bool NeedValue) {
+  StmtList SL;
+  std::vector<il::Expr *> Args;
+  const ast::FunctionDecl *Callee = nullptr;
+  auto It = FuncDecls.find(E->getCallee());
+  if (It != FuncDecls.end())
+    Callee = It->second;
+
+  for (size_t I = 0; I < E->getArgs().size(); ++I) {
+    Value A = lowerRValue(E->getArgs()[I]);
+    if (!A.E)
+      return {std::move(SL), F->makeIntConst(intTy(), 0)};
+    append(SL, std::move(A.SL));
+    il::Expr *Arg = A.E;
+    if (Callee && I < Callee->Params.size())
+      Arg = coerce(Arg, Callee->Params[I].DeclType);
+    Args.push_back(Arg);
+  }
+  if (Callee && E->getArgs().size() != Callee->Params.size())
+    error(E->getLoc(), formatString("call to '%s' with %zu arguments; %zu "
+                                    "expected",
+                                    E->getCallee().c_str(),
+                                    E->getArgs().size(),
+                                    Callee->Params.size()));
+
+  const Type *RetTy = Callee ? Callee->ReturnType : intTy();
+  Symbol *Result = nullptr;
+  if (NeedValue && !RetTy->isVoid())
+    Result = F->createTemp(RetTy, "call");
+  SL.push_back(F->create<CallStmt>(E->getLoc(), Result, E->getCallee(),
+                                   std::move(Args)));
+  if (NeedValue && RetTy->isVoid()) {
+    error(E->getLoc(), "void value not ignored as it ought to be");
+    return {std::move(SL), F->makeIntConst(intTy(), 0)};
+  }
+  il::Expr *Val = Result ? static_cast<il::Expr *>(F->makeVarRef(Result))
+                         : F->makeIntConst(intTy(), 0);
+  return {std::move(SL), Val};
+}
+
+StmtList Lowerer::lowerForEffect(const ast::Expr *E) {
+  switch (E->getKind()) {
+  case ast::Expr::AssignKind:
+    return lowerAssign(static_cast<const ast::AssignExpr *>(E),
+                       /*NeedValue=*/false)
+        .SL;
+  case ast::Expr::CompoundAssignKind:
+    return lowerCompoundAssign(static_cast<const ast::CompoundAssignExpr *>(E),
+                               /*NeedValue=*/false)
+        .SL;
+  case ast::Expr::IncDecKind:
+    return lowerIncDec(static_cast<const ast::IncDecExpr *>(E)).SL;
+  case ast::Expr::CallKind:
+    return lowerCall(static_cast<const ast::CallExpr *>(E),
+                     /*NeedValue=*/false)
+        .SL;
+  case ast::Expr::CommaKind: {
+    const auto *C = static_cast<const ast::CommaExpr *>(E);
+    StmtList SL = lowerForEffect(C->getLHS());
+    StmtList SR = lowerForEffect(C->getRHS());
+    append(SL, std::move(SR));
+    return SL;
+  }
+  default: {
+    // Expression with no effect at top level; still lower to surface any
+    // embedded side effects, then drop the pure value.
+    Value V = lowerRValue(E);
+    return std::move(V.SL);
+  }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+void Lowerer::lowerVarDecl(const ast::VarDecl &D, Block &Out) {
+  StorageKind Storage = StorageKind::Local;
+  if (D.Storage == ast::StorageClass::Static)
+    Storage = StorageKind::Static;
+
+  Symbol *S = F->createSymbol(uniqueSymName(D.Name), D.DeclType, Storage,
+                              D.IsVolatile);
+  declare(D.Loc, D.Name, S);
+
+  if (!D.Init)
+    return;
+  if (Storage == StorageKind::Static) {
+    // Static initializers must be constant; they are applied when the
+    // machine image is laid out.
+    Value V = lowerRValue(D.Init);
+    if (!V.E || !V.SL.empty()) {
+      error(D.Loc, "static initializer must be a constant expression");
+      return;
+    }
+    GlobalInit Init;
+    if (auto *CI = dyn_cast_int(V.E)) {
+      Init.IntValue = CI->getValue();
+    } else if (V.E->getKind() == il::Expr::ConstFloatKind) {
+      Init.IsFloat = true;
+      Init.FloatValue = static_cast<ConstFloatExpr *>(V.E)->getValue();
+    } else {
+      error(D.Loc, "static initializer must be a constant expression");
+      return;
+    }
+    S->setInit(Init);
+    return;
+  }
+  Value V = lowerRValue(D.Init);
+  if (!V.E)
+    return;
+  emit(Out, std::move(V.SL));
+  Out.Stmts.push_back(
+      makeAssign(D.Loc, F->makeVarRef(S), coerce(V.E, D.DeclType)));
+}
+
+void Lowerer::lowerBlockInto(const ast::Stmt *S, Block &Out) {
+  if (const auto *B = dynamic_cast<const ast::BlockStmt *>(S)) {
+    Scopes.emplace_back();
+    for (const ast::Stmt *Sub : B->getBody())
+      lowerStmt(Sub, Out);
+    Scopes.pop_back();
+    return;
+  }
+  lowerStmt(S, Out);
+}
+
+void Lowerer::lowerStmt(const ast::Stmt *S, Block &Out) {
+  switch (S->getKind()) {
+  case ast::Stmt::EmptyKind:
+    return;
+  case ast::Stmt::ExprStmtKind: {
+    const auto *ES = static_cast<const ast::ExprStmt *>(S);
+    emit(Out, lowerForEffect(ES->getExpr()));
+    return;
+  }
+  case ast::Stmt::DeclStmtKind: {
+    const auto *DS = static_cast<const ast::DeclStmt *>(S);
+    for (const ast::VarDecl &D : DS->getDecls())
+      lowerVarDecl(D, Out);
+    return;
+  }
+  case ast::Stmt::BlockKind: {
+    Scopes.emplace_back();
+    for (const ast::Stmt *Sub :
+         static_cast<const ast::BlockStmt *>(S)->getBody())
+      lowerStmt(Sub, Out);
+    Scopes.pop_back();
+    return;
+  }
+  case ast::Stmt::IfKind: {
+    const auto *I = static_cast<const ast::IfStmt *>(S);
+    Value C = lowerRValue(I->getCond());
+    if (!C.E)
+      return;
+    emit(Out, std::move(C.SL));
+    auto *If = F->create<IfStmt>(I->getLoc(), C.E);
+    lowerBlockInto(I->getThen(), If->getThen());
+    if (I->getElse())
+      lowerBlockInto(I->getElse(), If->getElse());
+    Out.Stmts.push_back(If);
+    return;
+  }
+  case ast::Stmt::WhileKind: {
+    // while ((SL,E)) body  =>  SL; while (E) { body; Lcont; SL' }  with SL'
+    // a clone of SL (paper Section 4).
+    const auto *W = static_cast<const ast::WhileStmt *>(S);
+    Value C = lowerRValue(W->getCond());
+    if (!C.E)
+      return;
+    emit(Out, cloneStmtList(C.SL));
+    auto *Loop = F->create<WhileStmt>(W->getLoc(), C.E);
+    Loop->setSafeVectorPragma(W->hasSafeVectorPragma());
+
+    Loops.push_back({F->createLabelName("brk"), F->createLabelName("cont")});
+    lowerBlockInto(W->getBody(), Loop->getBody());
+    LoopCtx Ctx = Loops.back();
+    Loops.pop_back();
+
+    if (Ctx.UsedContinue)
+      Loop->getBody().Stmts.push_back(
+          F->create<LabelStmt>(W->getLoc(), Ctx.ContinueLabel));
+    for (il::Stmt *Dup : C.SL)
+      Loop->getBody().Stmts.push_back(Dup);
+    Out.Stmts.push_back(Loop);
+    if (Ctx.UsedBreak)
+      Out.Stmts.push_back(F->create<LabelStmt>(W->getLoc(), Ctx.BreakLabel));
+    return;
+  }
+  case ast::Stmt::DoWhileKind: {
+    // Ltop:; body; Lcont; SL; if (E) goto Ltop; Lbrk.
+    const auto *D = static_cast<const ast::DoWhileStmt *>(S);
+    std::string TopLabel = F->createLabelName("top");
+    Out.Stmts.push_back(F->create<LabelStmt>(D->getLoc(), TopLabel));
+
+    Loops.push_back({F->createLabelName("brk"), F->createLabelName("cont")});
+    Block BodyTmp;
+    lowerBlockInto(D->getBody(), BodyTmp);
+    LoopCtx Ctx = Loops.back();
+    Loops.pop_back();
+
+    for (il::Stmt *Sub : BodyTmp.Stmts)
+      Out.Stmts.push_back(Sub);
+    if (Ctx.UsedContinue)
+      Out.Stmts.push_back(
+          F->create<LabelStmt>(D->getLoc(), Ctx.ContinueLabel));
+    Value C = lowerRValue(D->getCond());
+    if (!C.E)
+      return;
+    emit(Out, std::move(C.SL));
+    auto *If = F->create<IfStmt>(D->getLoc(), C.E);
+    If->getThen().Stmts.push_back(F->create<GotoStmt>(D->getLoc(), TopLabel));
+    Out.Stmts.push_back(If);
+    if (Ctx.UsedBreak)
+      Out.Stmts.push_back(F->create<LabelStmt>(D->getLoc(), Ctx.BreakLabel));
+    return;
+  }
+  case ast::Stmt::ForKind: {
+    // for (init; cond; inc) body => init; SL; while (E) { body; Lcont; inc;
+    // SL' } — the front end does no sophisticated analysis here (paper
+    // Section 5.2); while→DO conversion recovers the iterative form.
+    const auto *FS = static_cast<const ast::ForStmt *>(S);
+    Scopes.emplace_back(); // scope for a for-init declaration
+    if (FS->getInit())
+      lowerStmt(FS->getInit(), Out);
+
+    Value C;
+    if (FS->getCond()) {
+      C = lowerRValue(FS->getCond());
+      if (!C.E) {
+        Scopes.pop_back();
+        return;
+      }
+    } else {
+      C = {StmtList(), F->makeIntConst(intTy(), 1)};
+    }
+    emit(Out, cloneStmtList(C.SL));
+    auto *Loop = F->create<WhileStmt>(FS->getLoc(), C.E);
+    Loop->setSafeVectorPragma(FS->hasSafeVectorPragma());
+
+    Loops.push_back({F->createLabelName("brk"), F->createLabelName("cont")});
+    lowerBlockInto(FS->getBody(), Loop->getBody());
+    LoopCtx Ctx = Loops.back();
+    Loops.pop_back();
+
+    if (Ctx.UsedContinue)
+      Loop->getBody().Stmts.push_back(
+          F->create<LabelStmt>(FS->getLoc(), Ctx.ContinueLabel));
+    if (FS->getInc()) {
+      StmtList Inc = lowerForEffect(FS->getInc());
+      for (il::Stmt *Sub : Inc)
+        Loop->getBody().Stmts.push_back(Sub);
+    }
+    for (il::Stmt *Dup : C.SL)
+      Loop->getBody().Stmts.push_back(Dup);
+    Out.Stmts.push_back(Loop);
+    if (Ctx.UsedBreak)
+      Out.Stmts.push_back(F->create<LabelStmt>(FS->getLoc(), Ctx.BreakLabel));
+    Scopes.pop_back();
+    return;
+  }
+  case ast::Stmt::ReturnKind: {
+    const auto *R = static_cast<const ast::ReturnStmt *>(S);
+    il::Expr *Value = nullptr;
+    if (R->getValue()) {
+      auto V = lowerRValue(R->getValue());
+      if (!V.E)
+        return;
+      emit(Out, std::move(V.SL));
+      if (F->getReturnType()->isVoid())
+        error(R->getLoc(), "void function cannot return a value");
+      else
+        Value = coerce(V.E, F->getReturnType());
+    } else if (!F->getReturnType()->isVoid()) {
+      error(R->getLoc(), "non-void function must return a value");
+    }
+    Out.Stmts.push_back(F->create<il::ReturnStmt>(R->getLoc(), Value));
+    return;
+  }
+  case ast::Stmt::BreakKind: {
+    if (Loops.empty()) {
+      error(S->getLoc(), "break outside of a loop");
+      return;
+    }
+    Loops.back().UsedBreak = true;
+    Out.Stmts.push_back(
+        F->create<il::GotoStmt>(S->getLoc(), Loops.back().BreakLabel));
+    return;
+  }
+  case ast::Stmt::ContinueKind: {
+    if (Loops.empty()) {
+      error(S->getLoc(), "continue outside of a loop");
+      return;
+    }
+    Loops.back().UsedContinue = true;
+    Out.Stmts.push_back(
+        F->create<il::GotoStmt>(S->getLoc(), Loops.back().ContinueLabel));
+    return;
+  }
+  case ast::Stmt::GotoKind: {
+    const auto *G = static_cast<const ast::GotoStmt *>(S);
+    Out.Stmts.push_back(
+        F->create<il::GotoStmt>(G->getLoc(), "L_" + G->getLabel()));
+    return;
+  }
+  case ast::Stmt::LabeledKind: {
+    const auto *L = static_cast<const ast::LabeledStmt *>(S);
+    Out.Stmts.push_back(
+        F->create<il::LabelStmt>(L->getLoc(), "L_" + L->getLabel()));
+    lowerStmt(L->getSub(), Out);
+    return;
+  }
+  }
+}
+
+void Lowerer::lowerFunction(const ast::FunctionDecl &FD) {
+  F = P.createFunction(FD.Name, FD.ReturnType);
+  F->setFortranPointerSemantics(FD.FortranPointerSemantics);
+  Scopes.clear();
+  Scopes.emplace_back();
+  Loops.clear();
+
+  for (const ast::VarDecl &PD : FD.Params) {
+    Symbol *S = F->createSymbol(uniqueSymName(PD.Name), PD.DeclType,
+                                StorageKind::Param, PD.IsVolatile);
+    F->addParam(S);
+    declare(PD.Loc, PD.Name, S);
+  }
+  lowerBlockInto(FD.Body, F->getBody());
+
+  // Implicit return at the end.
+  bool NeedsReturn = F->getBody().empty() ||
+                     F->getBody().Stmts.back()->getKind() !=
+                         il::Stmt::ReturnKind;
+  if (NeedsReturn)
+    F->getBody().Stmts.push_back(F->create<il::ReturnStmt>(FD.Loc, nullptr));
+}
+
+void Lowerer::lowerGlobal(const ast::VarDecl &D) {
+  if (P.findGlobal(D.Name)) {
+    if (D.Storage != ast::StorageClass::Extern)
+      Diags.error(D.Loc, "redefinition of global '" + D.Name + "'");
+    return;
+  }
+  Symbol *G = P.createGlobal(D.Name, D.DeclType, D.IsVolatile);
+  if (!D.Init)
+    return;
+  GlobalInit Init;
+  const ast::Expr *InitE = D.Init;
+  bool Negate = false;
+  if (const auto *U = dynamic_cast<const ast::UnaryExpr *>(InitE)) {
+    if (U->getOp() == ast::UnaryOp::Neg) {
+      Negate = true;
+      InitE = U->getOperand();
+    }
+  }
+  if (const auto *I = dynamic_cast<const ast::IntLiteralExpr *>(InitE)) {
+    Init.IntValue = Negate ? -I->getValue() : I->getValue();
+    if (D.DeclType->isFloating()) {
+      Init.IsFloat = true;
+      Init.FloatValue = static_cast<double>(Init.IntValue);
+    }
+  } else if (const auto *FL =
+                 dynamic_cast<const ast::FloatLiteralExpr *>(InitE)) {
+    Init.IsFloat = true;
+    Init.FloatValue = Negate ? -FL->getValue() : FL->getValue();
+    if (D.DeclType->isInteger()) {
+      Init.IsFloat = false;
+      Init.IntValue = static_cast<int64_t>(Init.FloatValue);
+    }
+  } else {
+    Diags.error(D.Loc, "global initializer must be a constant");
+    return;
+  }
+  G->setInit(Init);
+}
+
+void Lowerer::run() {
+  for (const ast::FunctionDecl &FD : TU.Functions)
+    FuncDecls[FD.Name] = &FD;
+  for (const ast::VarDecl &G : TU.Globals)
+    lowerGlobal(G);
+  for (const ast::FunctionDecl &FD : TU.Functions)
+    if (FD.Body)
+      lowerFunction(FD);
+}
+
+} // namespace
+
+void tcc::lowerTranslationUnit(const ast::TranslationUnit &TU,
+                               il::Program &Program,
+                               DiagnosticEngine &Diags) {
+  Lowerer(TU, Program, Diags).run();
+}

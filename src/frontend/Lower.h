@@ -1,0 +1,44 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST → IL lowering (paper Section 4).
+///
+/// The front end represents a C expression as a pair: a sequence of IL
+/// statements plus a pure IL expression.  Every operator is recast to
+/// combine such pairs:
+///
+///   (SL1,E1) + (SL2,E2)  =>  (SL1;SL2, E1+E2)
+///   (SL1,E1) = (SL2,E2)  =>  (SL1;SL2; t=E2; E1=t, t)
+///
+/// with the temporary `t` making right-associated chains like `a = v = b`
+/// well-defined even when `v` is volatile (the paper's observation that `v`
+/// is then written once and never read is reproduced here).
+///
+/// Side-effecting operators (++/--, embedded assignment, &&, ||, ?:, comma,
+/// calls) all become explicit statements; for loops become while loops; and
+/// expressions in conditional context duplicate their statement list at the
+/// bottom of the loop body exactly as the paper describes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_FRONTEND_LOWER_H
+#define TCC_FRONTEND_LOWER_H
+
+#include "ast/Ast.h"
+#include "il/IL.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+
+namespace tcc {
+
+/// Lowers a parsed translation unit into \p Program.  The AST must have
+/// been parsed with \p Program.getTypes() as its TypeContext.  Reports
+/// semantic errors (undeclared identifiers, bad lvalues, type misuse) into
+/// \p Diags.
+void lowerTranslationUnit(const ast::TranslationUnit &TU, il::Program &Program,
+                          DiagnosticEngine &Diags);
+
+} // namespace tcc
+
+#endif // TCC_FRONTEND_LOWER_H

@@ -1,0 +1,619 @@
+#include "il/IL.h"
+
+#include <set>
+
+using namespace tcc;
+using namespace tcc::il;
+
+const char *il::opCodeSpelling(OpCode Op) {
+  switch (Op) {
+  case OpCode::Add:
+    return "+";
+  case OpCode::Sub:
+    return "-";
+  case OpCode::Mul:
+    return "*";
+  case OpCode::Div:
+    return "/";
+  case OpCode::Rem:
+    return "%";
+  case OpCode::Shl:
+    return "<<";
+  case OpCode::Shr:
+    return ">>";
+  case OpCode::Lt:
+    return "<";
+  case OpCode::Gt:
+    return ">";
+  case OpCode::Le:
+    return "<=";
+  case OpCode::Ge:
+    return ">=";
+  case OpCode::Eq:
+    return "==";
+  case OpCode::Ne:
+    return "!=";
+  case OpCode::BitAnd:
+    return "&";
+  case OpCode::BitOr:
+    return "|";
+  case OpCode::BitXor:
+    return "^";
+  case OpCode::Min:
+    return "min";
+  case OpCode::Max:
+    return "max";
+  case OpCode::Neg:
+    return "-";
+  case OpCode::LogNot:
+    return "!";
+  case OpCode::BitNot:
+    return "~";
+  }
+  return "?";
+}
+
+bool il::isComparisonOp(OpCode Op) {
+  switch (Op) {
+  case OpCode::Lt:
+  case OpCode::Gt:
+  case OpCode::Le:
+  case OpCode::Ge:
+  case OpCode::Eq:
+  case OpCode::Ne:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool il::isCommutativeOp(OpCode Op) {
+  switch (Op) {
+  case OpCode::Add:
+  case OpCode::Mul:
+  case OpCode::Eq:
+  case OpCode::Ne:
+  case OpCode::BitAnd:
+  case OpCode::BitOr:
+  case OpCode::BitXor:
+  case OpCode::Min:
+  case OpCode::Max:
+    return true;
+  default:
+    return false;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Function
+//===----------------------------------------------------------------------===//
+
+Function::Function(std::string Name, const Type *ReturnType, Program &Parent)
+    : Name(std::move(Name)), ReturnType(ReturnType), Parent(Parent) {}
+
+Symbol *Function::createSymbol(std::string SymName, const Type *Ty,
+                               StorageKind Storage, bool IsVolatile) {
+  Symbols.push_back(std::make_unique<Symbol>(NextSymbolId++,
+                                             std::move(SymName), Ty, Storage,
+                                             IsVolatile));
+  return Symbols.back().get();
+}
+
+Symbol *Function::createTemp(const Type *Ty, const std::string &Prefix) {
+  std::string TempName = Prefix + "_" + std::to_string(NextTempId++);
+  return createSymbol(std::move(TempName), Ty, StorageKind::Temp);
+}
+
+std::string Function::createLabelName(const std::string &Prefix) {
+  return Prefix + "_" + std::to_string(NextLabelId++);
+}
+
+unsigned Function::removeUnusedSymbols() {
+  std::set<const Symbol *> Referenced;
+  for (const Symbol *P : Params)
+    Referenced.insert(P);
+  forEachStmt(Body, [&Referenced](Stmt *S) {
+    if (S->getKind() == Stmt::DoLoopKind)
+      Referenced.insert(static_cast<DoLoopStmt *>(S)->getIndexVar());
+    if (S->getKind() == Stmt::CallKind &&
+        static_cast<CallStmt *>(S)->getResult())
+      Referenced.insert(static_cast<CallStmt *>(S)->getResult());
+    forEachExprSlot(S, [&Referenced](Expr *&Slot) {
+      forEachSubExprSlot(Slot, [&Referenced](Expr *&Sub) {
+        if (Sub->getKind() == Expr::VarRefKind)
+          Referenced.insert(static_cast<VarRefExpr *>(Sub)->getSymbol());
+      });
+    });
+  });
+  unsigned Removed = 0;
+  for (auto It = Symbols.begin(); It != Symbols.end();) {
+    if (!Referenced.count(It->get())) {
+      It = Symbols.erase(It);
+      ++Removed;
+    } else {
+      ++It;
+    }
+  }
+  return Removed;
+}
+
+Symbol *Function::findSymbol(const std::string &SymName) const {
+  for (const auto &S : Symbols)
+    if (S->getName() == SymName)
+      return S.get();
+  return nullptr;
+}
+
+Symbol *Function::findSymbolById(unsigned Id) const {
+  for (const auto &S : Symbols)
+    if (S->getId() == Id)
+      return S.get();
+  return nullptr;
+}
+
+Expr *Function::cloneExpr(const Expr *E) {
+  return cloneExprRemap(E, [](Symbol *S) { return S; });
+}
+
+Expr *Function::cloneExprRemap(const Expr *E,
+                               const std::function<Symbol *(Symbol *)> &Map) {
+  switch (E->getKind()) {
+  case Expr::ConstIntKind: {
+    const auto *C = static_cast<const ConstIntExpr *>(E);
+    return makeIntConst(C->getType(), C->getValue());
+  }
+  case Expr::ConstFloatKind: {
+    const auto *C = static_cast<const ConstFloatExpr *>(E);
+    return makeFloatConst(C->getType(), C->getValue());
+  }
+  case Expr::VarRefKind: {
+    const auto *V = static_cast<const VarRefExpr *>(E);
+    return makeVarRef(Map(V->getSymbol()));
+  }
+  case Expr::BinaryKind: {
+    const auto *B = static_cast<const BinaryExpr *>(E);
+    return create<BinaryExpr>(B->getType(), B->getOp(),
+                              cloneExprRemap(B->getLHS(), Map),
+                              cloneExprRemap(B->getRHS(), Map));
+  }
+  case Expr::UnaryKind: {
+    const auto *U = static_cast<const UnaryExpr *>(E);
+    return create<UnaryExpr>(U->getType(), U->getOp(),
+                             cloneExprRemap(U->getOperand(), Map));
+  }
+  case Expr::DerefKind: {
+    const auto *D = static_cast<const DerefExpr *>(E);
+    return create<DerefExpr>(D->getType(), cloneExprRemap(D->getAddr(), Map));
+  }
+  case Expr::AddrOfKind: {
+    const auto *A = static_cast<const AddrOfExpr *>(E);
+    return create<AddrOfExpr>(A->getType(),
+                              cloneExprRemap(A->getLValue(), Map));
+  }
+  case Expr::IndexKind: {
+    const auto *I = static_cast<const IndexExpr *>(E);
+    std::vector<Expr *> Subs;
+    Subs.reserve(I->getSubscripts().size());
+    for (Expr *S : I->getSubscripts())
+      Subs.push_back(cloneExprRemap(S, Map));
+    return create<IndexExpr>(I->getType(), cloneExprRemap(I->getBase(), Map),
+                             std::move(Subs));
+  }
+  case Expr::CastKind: {
+    const auto *C = static_cast<const CastExpr *>(E);
+    return create<CastExpr>(C->getType(), cloneExprRemap(C->getOperand(), Map));
+  }
+  case Expr::TripletKind: {
+    const auto *T = static_cast<const TripletExpr *>(E);
+    return create<TripletExpr>(T->getType(), cloneExprRemap(T->getLo(), Map),
+                               cloneExprRemap(T->getHi(), Map),
+                               cloneExprRemap(T->getStride(), Map));
+  }
+  }
+  assert(false && "unknown expression kind in clone");
+  return nullptr;
+}
+
+Stmt *Function::cloneStmtRemap(
+    const Stmt *S, const std::function<Symbol *(Symbol *)> &SymMap,
+    const std::function<std::string(const std::string &)> &LabelMap) {
+  switch (S->getKind()) {
+  case Stmt::AssignKind: {
+    const auto *A = static_cast<const AssignStmt *>(S);
+    auto *New = create<AssignStmt>(A->getLoc(),
+                                   cloneExprRemap(A->getLHS(), SymMap),
+                                   cloneExprRemap(A->getRHS(), SymMap));
+    New->setLoadsConflictFree(A->loadsConflictFree());
+    return New;
+  }
+  case Stmt::CallKind: {
+    const auto *C = static_cast<const CallStmt *>(S);
+    std::vector<Expr *> Args;
+    for (Expr *Arg : C->getArgs())
+      Args.push_back(cloneExprRemap(Arg, SymMap));
+    Symbol *Result = C->getResult() ? SymMap(C->getResult()) : nullptr;
+    return create<CallStmt>(C->getLoc(), Result, C->getCallee(),
+                            std::move(Args));
+  }
+  case Stmt::IfKind: {
+    const auto *I = static_cast<const IfStmt *>(S);
+    auto *New = create<IfStmt>(I->getLoc(),
+                               cloneExprRemap(I->getCond(), SymMap));
+    for (const Stmt *Sub : I->getThen().Stmts)
+      New->getThen().Stmts.push_back(cloneStmtRemap(Sub, SymMap, LabelMap));
+    for (const Stmt *Sub : I->getElse().Stmts)
+      New->getElse().Stmts.push_back(cloneStmtRemap(Sub, SymMap, LabelMap));
+    return New;
+  }
+  case Stmt::WhileKind: {
+    const auto *W = static_cast<const WhileStmt *>(S);
+    auto *New = create<WhileStmt>(W->getLoc(),
+                                  cloneExprRemap(W->getCond(), SymMap));
+    New->setSafeVectorPragma(W->hasSafeVectorPragma());
+    for (const Stmt *Sub : W->getBody().Stmts)
+      New->getBody().Stmts.push_back(cloneStmtRemap(Sub, SymMap, LabelMap));
+    return New;
+  }
+  case Stmt::DoLoopKind: {
+    const auto *D = static_cast<const DoLoopStmt *>(S);
+    auto *New = create<DoLoopStmt>(D->getLoc(), SymMap(D->getIndexVar()),
+                                   cloneExprRemap(D->getInit(), SymMap),
+                                   cloneExprRemap(D->getLimit(), SymMap),
+                                   cloneExprRemap(D->getStep(), SymMap));
+    New->setParallel(D->isParallel());
+    New->setSafeVectorPragma(D->hasSafeVectorPragma());
+    for (const Stmt *Sub : D->getBody().Stmts)
+      New->getBody().Stmts.push_back(cloneStmtRemap(Sub, SymMap, LabelMap));
+    return New;
+  }
+  case Stmt::LabelKind: {
+    const auto *L = static_cast<const LabelStmt *>(S);
+    return create<LabelStmt>(L->getLoc(), LabelMap(L->getName()));
+  }
+  case Stmt::GotoKind: {
+    const auto *G = static_cast<const GotoStmt *>(S);
+    return create<GotoStmt>(G->getLoc(), LabelMap(G->getTarget()));
+  }
+  case Stmt::ReturnKind: {
+    const auto *R = static_cast<const ReturnStmt *>(S);
+    Expr *Value =
+        R->getValue() ? cloneExprRemap(R->getValue(), SymMap) : nullptr;
+    return create<ReturnStmt>(R->getLoc(), Value);
+  }
+  }
+  assert(false && "unknown statement kind in clone");
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Program
+//===----------------------------------------------------------------------===//
+
+Program::Program() : Types(std::make_unique<TypeContext>()) {}
+
+Function *Program::createFunction(std::string Name, const Type *ReturnType) {
+  Functions.push_back(
+      std::make_unique<Function>(std::move(Name), ReturnType, *this));
+  return Functions.back().get();
+}
+
+Function *Program::findFunction(const std::string &Name) const {
+  for (const auto &F : Functions)
+    if (F->getName() == Name)
+      return F.get();
+  return nullptr;
+}
+
+void Program::removeFunction(Function *F) {
+  for (auto It = Functions.begin(); It != Functions.end(); ++It) {
+    if (It->get() == F) {
+      Functions.erase(It);
+      return;
+    }
+  }
+  assert(false && "function is not part of this program");
+}
+
+Symbol *Program::createGlobal(std::string Name, const Type *Ty,
+                              bool IsVolatile) {
+  Globals.push_back(std::make_unique<Symbol>(
+      NextGlobalId++, std::move(Name), Ty, StorageKind::Global, IsVolatile));
+  return Globals.back().get();
+}
+
+Symbol *Program::findGlobal(const std::string &Name) const {
+  for (const auto &G : Globals)
+    if (G->getName() == Name)
+      return G.get();
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Traversal utilities
+//===----------------------------------------------------------------------===//
+
+void il::forEachExprSlot(Stmt *S, const std::function<void(Expr *&)> &Fn) {
+  switch (S->getKind()) {
+  case Stmt::AssignKind: {
+    auto *A = static_cast<AssignStmt *>(S);
+    Fn(A->lhsSlot());
+    Fn(A->rhsSlot());
+    return;
+  }
+  case Stmt::CallKind: {
+    auto *C = static_cast<CallStmt *>(S);
+    for (Expr *&Arg : C->argSlots())
+      Fn(Arg);
+    return;
+  }
+  case Stmt::IfKind:
+    Fn(static_cast<IfStmt *>(S)->condSlot());
+    return;
+  case Stmt::WhileKind:
+    Fn(static_cast<WhileStmt *>(S)->condSlot());
+    return;
+  case Stmt::DoLoopKind: {
+    auto *D = static_cast<DoLoopStmt *>(S);
+    Fn(D->initSlot());
+    Fn(D->limitSlot());
+    Fn(D->stepSlot());
+    return;
+  }
+  case Stmt::ReturnKind: {
+    auto *R = static_cast<ReturnStmt *>(S);
+    if (R->valueSlot())
+      Fn(R->valueSlot());
+    return;
+  }
+  case Stmt::LabelKind:
+  case Stmt::GotoKind:
+    return;
+  }
+}
+
+void il::forEachSubExprSlot(Expr *&Slot,
+                            const std::function<void(Expr *&)> &Fn) {
+  switch (Slot->getKind()) {
+  case Expr::ConstIntKind:
+  case Expr::ConstFloatKind:
+  case Expr::VarRefKind:
+    break;
+  case Expr::BinaryKind: {
+    auto *B = static_cast<BinaryExpr *>(Slot);
+    forEachSubExprSlot(B->lhsSlot(), Fn);
+    forEachSubExprSlot(B->rhsSlot(), Fn);
+    break;
+  }
+  case Expr::UnaryKind:
+    forEachSubExprSlot(static_cast<UnaryExpr *>(Slot)->operandSlot(), Fn);
+    break;
+  case Expr::DerefKind:
+    forEachSubExprSlot(static_cast<DerefExpr *>(Slot)->addrSlot(), Fn);
+    break;
+  case Expr::AddrOfKind:
+    forEachSubExprSlot(static_cast<AddrOfExpr *>(Slot)->lvalueSlot(), Fn);
+    break;
+  case Expr::IndexKind: {
+    auto *I = static_cast<IndexExpr *>(Slot);
+    forEachSubExprSlot(I->baseSlot(), Fn);
+    for (Expr *&Sub : I->subscriptSlots())
+      forEachSubExprSlot(Sub, Fn);
+    break;
+  }
+  case Expr::CastKind:
+    forEachSubExprSlot(static_cast<CastExpr *>(Slot)->operandSlot(), Fn);
+    break;
+  case Expr::TripletKind: {
+    auto *T = static_cast<TripletExpr *>(Slot);
+    forEachSubExprSlot(T->loSlot(), Fn);
+    forEachSubExprSlot(T->hiSlot(), Fn);
+    forEachSubExprSlot(T->strideSlot(), Fn);
+    break;
+  }
+  }
+  Fn(Slot);
+}
+
+void il::forEachValueUseSlot(Expr *&Slot,
+                             const std::function<void(Expr *&)> &Fn) {
+  switch (Slot->getKind()) {
+  case Expr::ConstIntKind:
+  case Expr::ConstFloatKind:
+    return;
+  case Expr::VarRefKind:
+    Fn(Slot);
+    return;
+  case Expr::BinaryKind: {
+    auto *B = static_cast<BinaryExpr *>(Slot);
+    forEachValueUseSlot(B->lhsSlot(), Fn);
+    forEachValueUseSlot(B->rhsSlot(), Fn);
+    return;
+  }
+  case Expr::UnaryKind:
+    forEachValueUseSlot(static_cast<UnaryExpr *>(Slot)->operandSlot(), Fn);
+    return;
+  case Expr::DerefKind:
+    forEachValueUseSlot(static_cast<DerefExpr *>(Slot)->addrSlot(), Fn);
+    return;
+  case Expr::AddrOfKind: {
+    // The addressed object is not a value use, but subscripts inside it
+    // are.
+    Expr *&LV = static_cast<AddrOfExpr *>(Slot)->lvalueSlot();
+    if (LV->getKind() == Expr::IndexKind) {
+      auto *I = static_cast<IndexExpr *>(LV);
+      for (Expr *&Sub : I->subscriptSlots())
+        forEachValueUseSlot(Sub, Fn);
+    } else if (LV->getKind() == Expr::DerefKind) {
+      forEachValueUseSlot(static_cast<DerefExpr *>(LV)->addrSlot(), Fn);
+    }
+    return;
+  }
+  case Expr::IndexKind: {
+    auto *I = static_cast<IndexExpr *>(Slot);
+    // The base names an array object; subscripts are values.
+    if (I->getBase()->getKind() == Expr::DerefKind)
+      forEachValueUseSlot(
+          static_cast<DerefExpr *>(I->baseSlot())->addrSlot(), Fn);
+    for (Expr *&Sub : I->subscriptSlots())
+      forEachValueUseSlot(Sub, Fn);
+    return;
+  }
+  case Expr::CastKind:
+    forEachValueUseSlot(static_cast<CastExpr *>(Slot)->operandSlot(), Fn);
+    return;
+  case Expr::TripletKind: {
+    auto *T = static_cast<TripletExpr *>(Slot);
+    forEachValueUseSlot(T->loSlot(), Fn);
+    forEachValueUseSlot(T->hiSlot(), Fn);
+    forEachValueUseSlot(T->strideSlot(), Fn);
+    return;
+  }
+  }
+}
+
+void il::forEachStmt(Block &B, const std::function<void(Stmt *)> &Fn) {
+  for (Stmt *S : B.Stmts) {
+    Fn(S);
+    switch (S->getKind()) {
+    case Stmt::IfKind: {
+      auto *I = static_cast<IfStmt *>(S);
+      forEachStmt(I->getThen(), Fn);
+      forEachStmt(I->getElse(), Fn);
+      break;
+    }
+    case Stmt::WhileKind:
+      forEachStmt(static_cast<WhileStmt *>(S)->getBody(), Fn);
+      break;
+    case Stmt::DoLoopKind:
+      forEachStmt(static_cast<DoLoopStmt *>(S)->getBody(), Fn);
+      break;
+    default:
+      break;
+    }
+  }
+}
+
+void il::forEachStmt(const Block &B,
+                     const std::function<void(const Stmt *)> &Fn) {
+  for (const Stmt *S : B.Stmts) {
+    Fn(S);
+    switch (S->getKind()) {
+    case Stmt::IfKind: {
+      const auto *I = static_cast<const IfStmt *>(S);
+      forEachStmt(I->getThen(), Fn);
+      forEachStmt(I->getElse(), Fn);
+      break;
+    }
+    case Stmt::WhileKind:
+      forEachStmt(static_cast<const WhileStmt *>(S)->getBody(), Fn);
+      break;
+    case Stmt::DoLoopKind:
+      forEachStmt(static_cast<const DoLoopStmt *>(S)->getBody(), Fn);
+      break;
+    default:
+      break;
+    }
+  }
+}
+
+void il::collectVarRefs(Expr *E, std::vector<VarRefExpr *> &Out) {
+  Expr *Slot = E;
+  forEachSubExprSlot(Slot, [&Out](Expr *&Sub) {
+    if (auto *V = static_cast<VarRefExpr *>(Sub);
+        Sub->getKind() == Expr::VarRefKind)
+      Out.push_back(V);
+  });
+}
+
+bool il::exprEquals(const Expr *A, const Expr *B) {
+  if (A == B)
+    return true;
+  if (A->getKind() != B->getKind())
+    return false;
+  switch (A->getKind()) {
+  case Expr::ConstIntKind:
+    return static_cast<const ConstIntExpr *>(A)->getValue() ==
+           static_cast<const ConstIntExpr *>(B)->getValue();
+  case Expr::ConstFloatKind:
+    return static_cast<const ConstFloatExpr *>(A)->getValue() ==
+           static_cast<const ConstFloatExpr *>(B)->getValue();
+  case Expr::VarRefKind:
+    return static_cast<const VarRefExpr *>(A)->getSymbol() ==
+           static_cast<const VarRefExpr *>(B)->getSymbol();
+  case Expr::BinaryKind: {
+    const auto *BA = static_cast<const BinaryExpr *>(A);
+    const auto *BB = static_cast<const BinaryExpr *>(B);
+    return BA->getOp() == BB->getOp() &&
+           exprEquals(BA->getLHS(), BB->getLHS()) &&
+           exprEquals(BA->getRHS(), BB->getRHS());
+  }
+  case Expr::UnaryKind: {
+    const auto *UA = static_cast<const UnaryExpr *>(A);
+    const auto *UB = static_cast<const UnaryExpr *>(B);
+    return UA->getOp() == UB->getOp() &&
+           exprEquals(UA->getOperand(), UB->getOperand());
+  }
+  case Expr::DerefKind:
+    return exprEquals(static_cast<const DerefExpr *>(A)->getAddr(),
+                      static_cast<const DerefExpr *>(B)->getAddr());
+  case Expr::AddrOfKind:
+    return exprEquals(static_cast<const AddrOfExpr *>(A)->getLValue(),
+                      static_cast<const AddrOfExpr *>(B)->getLValue());
+  case Expr::IndexKind: {
+    const auto *IA = static_cast<const IndexExpr *>(A);
+    const auto *IB = static_cast<const IndexExpr *>(B);
+    if (!exprEquals(IA->getBase(), IB->getBase()))
+      return false;
+    if (IA->getSubscripts().size() != IB->getSubscripts().size())
+      return false;
+    for (size_t I = 0; I < IA->getSubscripts().size(); ++I)
+      if (!exprEquals(IA->getSubscripts()[I], IB->getSubscripts()[I]))
+        return false;
+    return true;
+  }
+  case Expr::CastKind:
+    return A->getType() == B->getType() &&
+           exprEquals(static_cast<const CastExpr *>(A)->getOperand(),
+                      static_cast<const CastExpr *>(B)->getOperand());
+  case Expr::TripletKind: {
+    const auto *TA = static_cast<const TripletExpr *>(A);
+    const auto *TB = static_cast<const TripletExpr *>(B);
+    return exprEquals(TA->getLo(), TB->getLo()) &&
+           exprEquals(TA->getHi(), TB->getHi()) &&
+           exprEquals(TA->getStride(), TB->getStride());
+  }
+  }
+  return false;
+}
+
+bool il::exprReadsVolatile(const Expr *E) {
+  bool Found = false;
+  Expr *Slot = const_cast<Expr *>(E);
+  forEachSubExprSlot(Slot, [&Found](Expr *&Sub) {
+    if (Sub->getKind() == Expr::VarRefKind &&
+        static_cast<VarRefExpr *>(Sub)->getSymbol()->isVolatile())
+      Found = true;
+  });
+  return Found;
+}
+
+bool il::exprTouchesMemory(const Expr *E) {
+  bool Found = false;
+  Expr *Slot = const_cast<Expr *>(E);
+  forEachSubExprSlot(Slot, [&Found](Expr *&Sub) {
+    if (Sub->getKind() == Expr::DerefKind ||
+        Sub->getKind() == Expr::IndexKind)
+      Found = true;
+  });
+  return Found;
+}
+
+bool il::exprHasTriplet(const Expr *E) {
+  bool Found = false;
+  Expr *Slot = const_cast<Expr *>(E);
+  forEachSubExprSlot(Slot, [&Found](Expr *&Sub) {
+    if (Sub->getKind() == Expr::TripletKind)
+      Found = true;
+  });
+  return Found;
+}

@@ -1,0 +1,665 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The high-level intermediate language of the Titan C compiler
+/// reproduction (paper Section 3).
+///
+/// Design points taken from the paper:
+///  - The IL has an assignment *statement* but no assignment *operator*;
+///    every operation that changes memory is an explicit statement.  IL
+///    expressions are pure: no calls, no ++/--, no ?:/&&/|| survive
+///    lowering.
+///  - Loops are explicit (While and DO statements), not goto webs, because
+///    "a vectorizer lives or dies by its ability to analyze loops".
+///  - Volatile accesses stay visible: volatility is a symbol property that
+///    every phase can consult.
+///  - There are no hard pointers in the *serialized* form (see
+///    ILSerializer.h): symbols are referenced by integer ids so procedures
+///    can be stored in catalogs and inlined across files.
+///
+/// Vector form: after vectorization, subscripts may contain Triplet
+/// expressions `lo:hi:stride`, and DO loops may be marked parallel,
+/// matching the paper's colon notation and `do parallel` construct.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_IL_IL_H
+#define TCC_IL_IL_H
+
+#include "support/SourceLoc.h"
+#include "types/Type.h"
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tcc {
+namespace il {
+
+class Function;
+class Program;
+
+//===----------------------------------------------------------------------===//
+// Symbols
+//===----------------------------------------------------------------------===//
+
+/// Where a symbol lives.
+enum class StorageKind : uint8_t {
+  Global, ///< Program-level variable.
+  Static, ///< Function-local static (externalized by the inliner).
+  Local,  ///< Automatic local.
+  Param,  ///< Formal parameter.
+  Temp,   ///< Compiler temporary (candidates for register allocation).
+};
+
+/// Constant initial value for a global or static symbol.
+struct GlobalInit {
+  bool IsFloat = false;
+  int64_t IntValue = 0;
+  double FloatValue = 0.0;
+};
+
+/// A named storage location.  Symbols are owned by their Function (or by
+/// the Program for globals) and referenced by pointer everywhere else.
+class Symbol {
+public:
+  Symbol(unsigned Id, std::string Name, const Type *Ty, StorageKind Storage,
+         bool IsVolatile)
+      : Id(Id), Name(std::move(Name)), Ty(Ty), Storage(Storage),
+        IsVolatile(IsVolatile) {}
+
+  unsigned getId() const { return Id; }
+  const std::string &getName() const { return Name; }
+  const Type *getType() const { return Ty; }
+  StorageKind getStorage() const { return Storage; }
+  bool isVolatile() const { return IsVolatile; }
+  bool isGlobal() const {
+    return Storage == StorageKind::Global || Storage == StorageKind::Static;
+  }
+
+  void setStorage(StorageKind K) { Storage = K; }
+  void setName(std::string N) { Name = std::move(N); }
+
+  /// Globals and statics may carry a constant initial value applied when
+  /// the simulated machine image is laid out.
+  bool hasInit() const { return HasInit; }
+  const GlobalInit &getInit() const { return Init; }
+  void setInit(GlobalInit I) {
+    Init = I;
+    HasInit = true;
+  }
+
+private:
+  unsigned Id;
+  std::string Name;
+  const Type *Ty;
+  StorageKind Storage;
+  bool IsVolatile;
+  GlobalInit Init;
+  bool HasInit = false;
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions (pure)
+//===----------------------------------------------------------------------===//
+
+/// Operation codes for Binary/Unary expressions.  Min/Max exist for
+/// strip-mine bound computation (`vr = min(99, vi+31)` in the paper).
+enum class OpCode : uint8_t {
+  // Binary.
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  Shl,
+  Shr,
+  Lt,
+  Gt,
+  Le,
+  Ge,
+  Eq,
+  Ne,
+  BitAnd,
+  BitOr,
+  BitXor,
+  Min,
+  Max,
+  // Unary.
+  Neg,
+  LogNot,
+  BitNot,
+};
+
+const char *opCodeSpelling(OpCode Op);
+bool isComparisonOp(OpCode Op);
+bool isCommutativeOp(OpCode Op);
+
+class Expr {
+public:
+  enum ExprKind : uint8_t {
+    ConstIntKind,
+    ConstFloatKind,
+    VarRefKind,
+    BinaryKind,
+    UnaryKind,
+    DerefKind,
+    AddrOfKind,
+    IndexKind,
+    CastKind,
+    TripletKind,
+  };
+
+  ExprKind getKind() const { return TheKind; }
+  const Type *getType() const { return Ty; }
+  void setType(const Type *T) { Ty = T; }
+
+protected:
+  Expr(ExprKind K, const Type *Ty) : TheKind(K), Ty(Ty) {}
+
+private:
+  ExprKind TheKind;
+  const Type *Ty;
+};
+
+class ConstIntExpr : public Expr {
+public:
+  ConstIntExpr(const Type *Ty, int64_t Value)
+      : Expr(ConstIntKind, Ty), Value(Value) {}
+  int64_t getValue() const { return Value; }
+  static bool classof(const Expr *E) { return E->getKind() == ConstIntKind; }
+
+private:
+  int64_t Value;
+};
+
+class ConstFloatExpr : public Expr {
+public:
+  ConstFloatExpr(const Type *Ty, double Value)
+      : Expr(ConstFloatKind, Ty), Value(Value) {}
+  double getValue() const { return Value; }
+  static bool classof(const Expr *E) { return E->getKind() == ConstFloatKind; }
+
+private:
+  double Value;
+};
+
+class VarRefExpr : public Expr {
+public:
+  explicit VarRefExpr(Symbol *Sym)
+      : Expr(VarRefKind, Sym->getType()), Sym(Sym) {}
+  Symbol *getSymbol() const { return Sym; }
+  void setSymbol(Symbol *S) {
+    Sym = S;
+    setType(S->getType());
+  }
+  static bool classof(const Expr *E) { return E->getKind() == VarRefKind; }
+
+private:
+  Symbol *Sym;
+};
+
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(const Type *Ty, OpCode Op, Expr *LHS, Expr *RHS)
+      : Expr(BinaryKind, Ty), Op(Op), LHS(LHS), RHS(RHS) {}
+  OpCode getOp() const { return Op; }
+  Expr *getLHS() const { return LHS; }
+  Expr *getRHS() const { return RHS; }
+  Expr *&lhsSlot() { return LHS; }
+  Expr *&rhsSlot() { return RHS; }
+  static bool classof(const Expr *E) { return E->getKind() == BinaryKind; }
+
+private:
+  OpCode Op;
+  Expr *LHS;
+  Expr *RHS;
+};
+
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(const Type *Ty, OpCode Op, Expr *Operand)
+      : Expr(UnaryKind, Ty), Op(Op), Operand(Operand) {}
+  OpCode getOp() const { return Op; }
+  Expr *getOperand() const { return Operand; }
+  Expr *&operandSlot() { return Operand; }
+  static bool classof(const Expr *E) { return E->getKind() == UnaryKind; }
+
+private:
+  OpCode Op;
+  Expr *Operand;
+};
+
+/// Load (or, as an assignment LHS, store) through a pointer-valued address
+/// expression: `*Addr`.
+class DerefExpr : public Expr {
+public:
+  DerefExpr(const Type *Ty, Expr *Addr) : Expr(DerefKind, Ty), Addr(Addr) {}
+  Expr *getAddr() const { return Addr; }
+  Expr *&addrSlot() { return Addr; }
+  static bool classof(const Expr *E) { return E->getKind() == DerefKind; }
+
+private:
+  Expr *Addr;
+};
+
+/// `&lvalue` where the lvalue is a VarRef, Index, or Deref.
+class AddrOfExpr : public Expr {
+public:
+  AddrOfExpr(const Type *Ty, Expr *LValue)
+      : Expr(AddrOfKind, Ty), LValue(LValue) {}
+  Expr *getLValue() const { return LValue; }
+  Expr *&lvalueSlot() { return LValue; }
+  static bool classof(const Expr *E) { return E->getKind() == AddrOfKind; }
+
+private:
+  Expr *LValue;
+};
+
+/// Array element access `base[s0][s1]...` where base names a declared array
+/// symbol.  Subscripts may be Triplet expressions after vectorization.
+class IndexExpr : public Expr {
+public:
+  IndexExpr(const Type *Ty, Expr *Base, std::vector<Expr *> Subscripts)
+      : Expr(IndexKind, Ty), Base(Base), Subscripts(std::move(Subscripts)) {}
+  Expr *getBase() const { return Base; }
+  Expr *&baseSlot() { return Base; }
+  const std::vector<Expr *> &getSubscripts() const { return Subscripts; }
+  std::vector<Expr *> &subscriptSlots() { return Subscripts; }
+  static bool classof(const Expr *E) { return E->getKind() == IndexKind; }
+
+private:
+  Expr *Base;
+  std::vector<Expr *> Subscripts;
+};
+
+class CastExpr : public Expr {
+public:
+  CastExpr(const Type *Ty, Expr *Operand) : Expr(CastKind, Ty), Operand(Operand) {}
+  Expr *getOperand() const { return Operand; }
+  Expr *&operandSlot() { return Operand; }
+  static bool classof(const Expr *E) { return E->getKind() == CastKind; }
+
+private:
+  Expr *Operand;
+};
+
+/// Vector section `lo:hi:stride` (paper's colon notation).  Appears only in
+/// subscript or pointer-offset positions of vector assignments.
+class TripletExpr : public Expr {
+public:
+  TripletExpr(const Type *Ty, Expr *Lo, Expr *Hi, Expr *Stride)
+      : Expr(TripletKind, Ty), Lo(Lo), Hi(Hi), Stride(Stride) {}
+  Expr *getLo() const { return Lo; }
+  Expr *getHi() const { return Hi; }
+  Expr *getStride() const { return Stride; }
+  Expr *&loSlot() { return Lo; }
+  Expr *&hiSlot() { return Hi; }
+  Expr *&strideSlot() { return Stride; }
+  static bool classof(const Expr *E) { return E->getKind() == TripletKind; }
+
+private:
+  Expr *Lo;
+  Expr *Hi;
+  Expr *Stride;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+class Stmt;
+
+/// An ordered list of statements.  Blocks are owned by their enclosing
+/// statement (or by the Function for the body).
+struct Block {
+  std::vector<Stmt *> Stmts;
+
+  bool empty() const { return Stmts.empty(); }
+  size_t size() const { return Stmts.size(); }
+};
+
+class Stmt {
+public:
+  enum StmtKind : uint8_t {
+    AssignKind,
+    CallKind,
+    IfKind,
+    WhileKind,
+    DoLoopKind,
+    LabelKind,
+    GotoKind,
+    ReturnKind,
+  };
+
+  StmtKind getKind() const { return TheKind; }
+  SourceLoc getLoc() const { return Loc; }
+  void setLoc(SourceLoc L) { Loc = L; }
+
+protected:
+  Stmt(StmtKind K, SourceLoc Loc) : TheKind(K), Loc(Loc) {}
+
+private:
+  StmtKind TheKind;
+  SourceLoc Loc;
+};
+
+/// `LHS = RHS` where LHS is a VarRef, Deref, or Index lvalue.  The only way
+/// memory changes in the IL (besides calls).  A vector assignment is an
+/// Assign whose lvalue/rvalue contain Triplets.
+class AssignStmt : public Stmt {
+public:
+  AssignStmt(SourceLoc Loc, Expr *LHS, Expr *RHS)
+      : Stmt(AssignKind, Loc), LHS(LHS), RHS(RHS) {}
+  Expr *getLHS() const { return LHS; }
+  Expr *getRHS() const { return RHS; }
+  Expr *&lhsSlot() { return LHS; }
+  Expr *&rhsSlot() { return RHS; }
+
+  /// Dependence analysis proved this statement's loads conflict with no
+  /// store in flight (paper Section 6's dependence-driven scheduling);
+  /// the code generator lets such loads bypass the store queue.  The
+  /// depopt rewrites preserve the flag across statement splitting.
+  bool loadsConflictFree() const { return ConflictFreeLoads; }
+  void setLoadsConflictFree(bool V) { ConflictFreeLoads = V; }
+
+  static bool classof(const Stmt *S) { return S->getKind() == AssignKind; }
+
+private:
+  Expr *LHS;
+  Expr *RHS;
+  bool ConflictFreeLoads = false;
+};
+
+/// `result = callee(args)` or `callee(args)`.  Calls are statements, never
+/// expressions.
+class CallStmt : public Stmt {
+public:
+  CallStmt(SourceLoc Loc, Symbol *Result, std::string Callee,
+           std::vector<Expr *> Args)
+      : Stmt(CallKind, Loc), Result(Result), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+  Symbol *getResult() const { return Result; } // may be null
+  const std::string &getCallee() const { return Callee; }
+  const std::vector<Expr *> &getArgs() const { return Args; }
+  std::vector<Expr *> &argSlots() { return Args; }
+  static bool classof(const Stmt *S) { return S->getKind() == CallKind; }
+
+private:
+  Symbol *Result;
+  std::string Callee;
+  std::vector<Expr *> Args;
+};
+
+class IfStmt : public Stmt {
+public:
+  IfStmt(SourceLoc Loc, Expr *Cond) : Stmt(IfKind, Loc), Cond(Cond) {}
+  Expr *getCond() const { return Cond; }
+  Expr *&condSlot() { return Cond; }
+  Block &getThen() { return Then; }
+  Block &getElse() { return Else; }
+  const Block &getThen() const { return Then; }
+  const Block &getElse() const { return Else; }
+  static bool classof(const Stmt *S) { return S->getKind() == IfKind; }
+
+private:
+  Expr *Cond;
+  Block Then;
+  Block Else;
+};
+
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(SourceLoc Loc, Expr *Cond)
+      : Stmt(WhileKind, Loc), Cond(Cond) {}
+  Expr *getCond() const { return Cond; }
+  Expr *&condSlot() { return Cond; }
+  Block &getBody() { return Body; }
+  const Block &getBody() const { return Body; }
+  bool hasSafeVectorPragma() const { return SafeVector; }
+  void setSafeVectorPragma(bool V) { SafeVector = V; }
+  static bool classof(const Stmt *S) { return S->getKind() == WhileKind; }
+
+private:
+  Expr *Cond;
+  Block Body;
+  bool SafeVector = false;
+};
+
+/// A Fortran-style DO loop: `for (V = Init; Step>0 ? V<=Limit : V>=Limit;
+/// V += Step)`.  Init/Limit/Step are evaluated once on entry.  A parallel
+/// DO loop additionally promises that iterations may run concurrently
+/// (paper's `do parallel`).
+class DoLoopStmt : public Stmt {
+public:
+  DoLoopStmt(SourceLoc Loc, Symbol *IndexVar, Expr *Init, Expr *Limit,
+             Expr *Step)
+      : Stmt(DoLoopKind, Loc), IndexVar(IndexVar), Init(Init), Limit(Limit),
+        Step(Step) {}
+  Symbol *getIndexVar() const { return IndexVar; }
+  Expr *getInit() const { return Init; }
+  Expr *getLimit() const { return Limit; }
+  Expr *getStep() const { return Step; }
+  Expr *&initSlot() { return Init; }
+  Expr *&limitSlot() { return Limit; }
+  Expr *&stepSlot() { return Step; }
+  Block &getBody() { return Body; }
+  const Block &getBody() const { return Body; }
+  bool isParallel() const { return Parallel; }
+  void setParallel(bool P) { Parallel = P; }
+  bool hasSafeVectorPragma() const { return SafeVector; }
+  void setSafeVectorPragma(bool V) { SafeVector = V; }
+  static bool classof(const Stmt *S) { return S->getKind() == DoLoopKind; }
+
+private:
+  Symbol *IndexVar;
+  Expr *Init;
+  Expr *Limit;
+  Expr *Step;
+  Block Body;
+  bool Parallel = false;
+  bool SafeVector = false;
+};
+
+class LabelStmt : public Stmt {
+public:
+  LabelStmt(SourceLoc Loc, std::string Name)
+      : Stmt(LabelKind, Loc), Name(std::move(Name)) {}
+  const std::string &getName() const { return Name; }
+  static bool classof(const Stmt *S) { return S->getKind() == LabelKind; }
+
+private:
+  std::string Name;
+};
+
+class GotoStmt : public Stmt {
+public:
+  GotoStmt(SourceLoc Loc, std::string Target)
+      : Stmt(GotoKind, Loc), Target(std::move(Target)) {}
+  const std::string &getTarget() const { return Target; }
+  void setTarget(std::string T) { Target = std::move(T); }
+  static bool classof(const Stmt *S) { return S->getKind() == GotoKind; }
+
+private:
+  std::string Target;
+};
+
+class ReturnStmt : public Stmt {
+public:
+  ReturnStmt(SourceLoc Loc, Expr *Value) : Stmt(ReturnKind, Loc), Value(Value) {}
+  Expr *getValue() const { return Value; } // may be null
+  Expr *&valueSlot() { return Value; }
+  static bool classof(const Stmt *S) { return S->getKind() == ReturnKind; }
+
+private:
+  Expr *Value;
+};
+
+//===----------------------------------------------------------------------===//
+// Function and Program
+//===----------------------------------------------------------------------===//
+
+/// One IL function: symbols, parameters, and a body block.  All Expr and
+/// Stmt nodes for the function are arena-owned by the function.
+class Function {
+public:
+  Function(std::string Name, const Type *ReturnType, Program &Parent);
+
+  const std::string &getName() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+  const Type *getReturnType() const { return ReturnType; }
+  Program &getProgram() { return Parent; }
+  const Program &getProgram() const { return Parent; }
+
+  Block &getBody() { return Body; }
+  const Block &getBody() const { return Body; }
+
+  const std::vector<Symbol *> &getParams() const { return Params; }
+  void addParam(Symbol *S) { Params.push_back(S); }
+
+  bool hasFortranPointerSemantics() const { return FortranPointers; }
+  void setFortranPointerSemantics(bool V) { FortranPointers = V; }
+
+  /// Creates a symbol owned by this function.
+  Symbol *createSymbol(std::string SymName, const Type *Ty,
+                       StorageKind Storage, bool IsVolatile = false);
+  /// Creates a fresh compiler temporary named `temp_N` (or with the given
+  /// prefix).
+  Symbol *createTemp(const Type *Ty, const std::string &Prefix = "temp");
+  /// Creates a fresh label name `lb_N`.
+  std::string createLabelName(const std::string &Prefix = "lb");
+
+  const std::vector<std::unique_ptr<Symbol>> &getSymbols() const {
+    return Symbols;
+  }
+  /// Drops non-parameter symbols that are no longer referenced anywhere in
+  /// the body (after dead-code elimination).  Returns the number removed.
+  unsigned removeUnusedSymbols();
+
+  /// Looks up a local symbol by name; null if absent.
+  Symbol *findSymbol(const std::string &SymName) const;
+  /// Looks up a local symbol by id; null if absent.
+  Symbol *findSymbolById(unsigned Id) const;
+
+  // Expression factories (arena-owned).
+  template <typename T, typename... Args> T *create(Args &&...CtorArgs) {
+    T *Ptr = new T(std::forward<Args>(CtorArgs)...);
+    Arena.emplace_back(Ptr, [](void *P) { delete static_cast<T *>(P); });
+    return Ptr;
+  }
+
+  ConstIntExpr *makeIntConst(const Type *Ty, int64_t Value) {
+    return create<ConstIntExpr>(Ty, Value);
+  }
+  ConstFloatExpr *makeFloatConst(const Type *Ty, double Value) {
+    return create<ConstFloatExpr>(Ty, Value);
+  }
+  VarRefExpr *makeVarRef(Symbol *Sym) { return create<VarRefExpr>(Sym); }
+  BinaryExpr *makeBinary(OpCode Op, Expr *LHS, Expr *RHS, const Type *Ty) {
+    return create<BinaryExpr>(Ty, Op, LHS, RHS);
+  }
+
+  /// Deep-clones an expression tree (within this function's arena).
+  Expr *cloneExpr(const Expr *E);
+  /// Deep-clones an expression, remapping symbols through \p Map (used by
+  /// the inliner); symbols absent from the map are kept.
+  Expr *cloneExprRemap(const Expr *E,
+                       const std::function<Symbol *(Symbol *)> &Map);
+  /// Deep-clones a statement (and nested blocks) with symbol and label
+  /// remapping hooks.
+  Stmt *cloneStmtRemap(const Stmt *S,
+                       const std::function<Symbol *(Symbol *)> &SymMap,
+                       const std::function<std::string(const std::string &)>
+                           &LabelMap);
+
+private:
+  std::string Name;
+  const Type *ReturnType;
+  Program &Parent;
+  std::vector<Symbol *> Params;
+  std::vector<std::unique_ptr<Symbol>> Symbols;
+  Block Body;
+  std::vector<std::unique_ptr<void, void (*)(void *)>> Arena;
+  unsigned NextSymbolId = 1;
+  unsigned NextTempId = 1;
+  unsigned NextLabelId = 1;
+  bool FortranPointers = false;
+};
+
+/// A whole IL program: globals and functions.  Owns the TypeContext used by
+/// every type in the program.
+class Program {
+public:
+  Program();
+  Program(const Program &) = delete;
+  Program &operator=(const Program &) = delete;
+
+  TypeContext &getTypes() { return *Types; }
+
+  Function *createFunction(std::string Name, const Type *ReturnType);
+  Function *findFunction(const std::string &Name) const;
+  /// Removes a function (used when replacing a body via catalogs).
+  void removeFunction(Function *F);
+  const std::vector<std::unique_ptr<Function>> &getFunctions() const {
+    return Functions;
+  }
+
+  Symbol *createGlobal(std::string Name, const Type *Ty, bool IsVolatile);
+  Symbol *findGlobal(const std::string &Name) const;
+  const std::vector<std::unique_ptr<Symbol>> &getGlobals() const {
+    return Globals;
+  }
+
+private:
+  std::unique_ptr<TypeContext> Types;
+  std::vector<std::unique_ptr<Function>> Functions;
+  std::vector<std::unique_ptr<Symbol>> Globals;
+  unsigned NextGlobalId = 1;
+};
+
+//===----------------------------------------------------------------------===//
+// Traversal utilities
+//===----------------------------------------------------------------------===//
+
+/// Invokes \p Fn on every top-level expression slot of \p S (cond, lhs/rhs,
+/// args, bounds...).  The reference allows in-place replacement.
+void forEachExprSlot(Stmt *S, const std::function<void(Expr *&)> &Fn);
+
+/// Invokes \p Fn on \p Slot and all nested sub-expression slots, bottom-up.
+void forEachSubExprSlot(Expr *&Slot, const std::function<void(Expr *&)> &Fn);
+
+/// Invokes \p Fn on every VarRef slot that is a *value* use within the
+/// tree: the directly-addressed lvalue of an AddrOf (and an Index base) is
+/// skipped — `&x` names x's storage, not its value — while subscripts
+/// inside an AddrOf are still value uses.
+void forEachValueUseSlot(Expr *&Slot, const std::function<void(Expr *&)> &Fn);
+
+/// Invokes \p Fn on every statement in \p B and nested blocks, pre-order.
+void forEachStmt(Block &B, const std::function<void(Stmt *)> &Fn);
+void forEachStmt(const Block &B, const std::function<void(const Stmt *)> &Fn);
+
+/// Collects every VarRef in an expression tree.
+void collectVarRefs(Expr *E, std::vector<VarRefExpr *> &Out);
+
+/// Structural expression equality (same shape, same symbols, same
+/// constants).
+bool exprEquals(const Expr *A, const Expr *B);
+
+/// True if the expression reads any volatile symbol or dereferences
+/// memory (conservatively treated as possibly volatile only if the symbol
+/// is volatile; plain Deref/Index are not volatile).
+bool exprReadsVolatile(const Expr *E);
+
+/// True if \p E contains any Deref or Index (i.e. touches memory).
+bool exprTouchesMemory(const Expr *E);
+
+/// True if \p E contains a Triplet anywhere (vector expression).
+bool exprHasTriplet(const Expr *E);
+
+} // namespace il
+} // namespace tcc
+
+#endif // TCC_IL_IL_H

@@ -1,0 +1,238 @@
+#include "il/ILPrinter.h"
+
+#include "support/StringExtras.h"
+
+using namespace tcc;
+using namespace tcc::il;
+
+namespace {
+
+/// Precedence for parenthesization when printing.
+int printPrecedence(const Expr *E) {
+  switch (E->getKind()) {
+  case Expr::ConstIntKind:
+  case Expr::ConstFloatKind:
+  case Expr::VarRefKind:
+  case Expr::IndexKind:
+    return 100;
+  case Expr::TripletKind:
+    // Triplets always parenthesize inside operators: *(lo:hi:s).
+    return 1;
+  case Expr::DerefKind:
+  case Expr::AddrOfKind:
+  case Expr::UnaryKind:
+  case Expr::CastKind:
+    return 50;
+  case Expr::BinaryKind: {
+    switch (static_cast<const BinaryExpr *>(E)->getOp()) {
+    case OpCode::Mul:
+    case OpCode::Div:
+    case OpCode::Rem:
+      return 40;
+    case OpCode::Add:
+    case OpCode::Sub:
+      return 39;
+    case OpCode::Shl:
+    case OpCode::Shr:
+      return 38;
+    case OpCode::Lt:
+    case OpCode::Gt:
+    case OpCode::Le:
+    case OpCode::Ge:
+      return 37;
+    case OpCode::Eq:
+    case OpCode::Ne:
+      return 36;
+    case OpCode::BitAnd:
+      return 35;
+    case OpCode::BitXor:
+      return 34;
+    case OpCode::BitOr:
+      return 33;
+    case OpCode::Min:
+    case OpCode::Max:
+      return 100; // printed as calls
+    default:
+      return 30;
+    }
+  }
+  }
+  return 0;
+}
+
+std::string printParen(const Expr *E, int ParentPrec) {
+  std::string S = printExpr(E);
+  if (printPrecedence(E) < ParentPrec)
+    return "(" + S + ")";
+  return S;
+}
+
+} // namespace
+
+std::string il::printExpr(const Expr *E) {
+  switch (E->getKind()) {
+  case Expr::ConstIntKind:
+    return std::to_string(static_cast<const ConstIntExpr *>(E)->getValue());
+  case Expr::ConstFloatKind:
+    return formatDouble(static_cast<const ConstFloatExpr *>(E)->getValue());
+  case Expr::VarRefKind:
+    return static_cast<const VarRefExpr *>(E)->getSymbol()->getName();
+  case Expr::BinaryKind: {
+    const auto *B = static_cast<const BinaryExpr *>(E);
+    if (B->getOp() == OpCode::Min || B->getOp() == OpCode::Max)
+      return std::string(opCodeSpelling(B->getOp())) + "(" +
+             printExpr(B->getLHS()) + ", " + printExpr(B->getRHS()) + ")";
+    int Prec = printPrecedence(B);
+    return printParen(B->getLHS(), Prec) + " " + opCodeSpelling(B->getOp()) +
+           " " + printParen(B->getRHS(), Prec + 1);
+  }
+  case Expr::UnaryKind: {
+    const auto *U = static_cast<const UnaryExpr *>(E);
+    return std::string(opCodeSpelling(U->getOp())) +
+           printParen(U->getOperand(), 50);
+  }
+  case Expr::DerefKind:
+    return "*" + printParen(static_cast<const DerefExpr *>(E)->getAddr(), 50);
+  case Expr::AddrOfKind:
+    return "&" +
+           printParen(static_cast<const AddrOfExpr *>(E)->getLValue(), 50);
+  case Expr::IndexKind: {
+    const auto *I = static_cast<const IndexExpr *>(E);
+    std::string Out = printParen(I->getBase(), 100);
+    for (const Expr *Sub : I->getSubscripts())
+      Out += "[" + printExpr(Sub) + "]";
+    return Out;
+  }
+  case Expr::CastKind: {
+    const auto *C = static_cast<const CastExpr *>(E);
+    return "(" + C->getType()->str() + ")" +
+           printParen(C->getOperand(), 50);
+  }
+  case Expr::TripletKind: {
+    const auto *T = static_cast<const TripletExpr *>(E);
+    return printExpr(T->getLo()) + ":" + printExpr(T->getHi()) + ":" +
+           printExpr(T->getStride());
+  }
+  }
+  return "<bad-expr>";
+}
+
+std::string il::printStmt(const Stmt *S, unsigned Indent) {
+  std::string Pad(Indent * 2, ' ');
+  switch (S->getKind()) {
+  case Stmt::AssignKind: {
+    const auto *A = static_cast<const AssignStmt *>(S);
+    return Pad + printExpr(A->getLHS()) + " = " + printExpr(A->getRHS()) +
+           ";\n";
+  }
+  case Stmt::CallKind: {
+    const auto *C = static_cast<const CallStmt *>(S);
+    std::string Out = Pad;
+    if (C->getResult())
+      Out += C->getResult()->getName() + " = ";
+    Out += C->getCallee() + "(";
+    for (size_t I = 0; I < C->getArgs().size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += printExpr(C->getArgs()[I]);
+    }
+    Out += ");\n";
+    return Out;
+  }
+  case Stmt::IfKind: {
+    const auto *I = static_cast<const IfStmt *>(S);
+    std::string Out =
+        Pad + "if (" + printExpr(I->getCond()) + ") {\n";
+    Out += printBlock(I->getThen(), Indent + 1);
+    if (!I->getElse().empty()) {
+      Out += Pad + "} else {\n";
+      Out += printBlock(I->getElse(), Indent + 1);
+    }
+    Out += Pad + "}\n";
+    return Out;
+  }
+  case Stmt::WhileKind: {
+    const auto *W = static_cast<const WhileStmt *>(S);
+    std::string Out = Pad + "while (" + printExpr(W->getCond()) + ") {\n";
+    Out += printBlock(W->getBody(), Indent + 1);
+    Out += Pad + "}\n";
+    return Out;
+  }
+  case Stmt::DoLoopKind: {
+    const auto *D = static_cast<const DoLoopStmt *>(S);
+    std::string Out = Pad + (D->isParallel() ? "do parallel " : "do ");
+    Out += D->getIndexVar()->getName() + " = " + printExpr(D->getInit()) +
+           ", " + printExpr(D->getLimit()) + ", " + printExpr(D->getStep()) +
+           " {\n";
+    Out += printBlock(D->getBody(), Indent + 1);
+    Out += Pad + "}\n";
+    return Out;
+  }
+  case Stmt::LabelKind:
+    return Pad + static_cast<const LabelStmt *>(S)->getName() + ":;\n";
+  case Stmt::GotoKind:
+    return Pad + "goto " + static_cast<const GotoStmt *>(S)->getTarget() +
+           ";\n";
+  case Stmt::ReturnKind: {
+    const auto *R = static_cast<const ReturnStmt *>(S);
+    if (R->getValue())
+      return Pad + "return " + printExpr(R->getValue()) + ";\n";
+    return Pad + "return;\n";
+  }
+  }
+  return Pad + "<bad-stmt>\n";
+}
+
+std::string il::printBlock(const Block &B, unsigned Indent) {
+  std::string Out;
+  for (const Stmt *S : B.Stmts)
+    Out += printStmt(S, Indent);
+  return Out;
+}
+
+std::string il::printFunction(const Function &F) {
+  std::string Out = "function " + F.getName() + "(";
+  for (size_t I = 0; I < F.getParams().size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += F.getParams()[I]->getName() + ": " +
+           F.getParams()[I]->getType()->str();
+  }
+  Out += ") -> " + F.getReturnType()->str() + " {\n";
+  // Declarations for non-param symbols.
+  for (const auto &S : F.getSymbols()) {
+    if (S->getStorage() == StorageKind::Param)
+      continue;
+    Out += "  decl " + S->getName() + ": " + S->getType()->str();
+    if (S->isVolatile())
+      Out += " volatile";
+    if (S->getStorage() == StorageKind::Static)
+      Out += " static";
+    Out += ";\n";
+  }
+  Out += printBlock(F.getBody(), 1);
+  Out += "}\n";
+  return Out;
+}
+
+std::string il::printProgram(const Program &P) {
+  std::string Out;
+  for (const auto &G : P.getGlobals()) {
+    Out += "global " + G->getName() + ": " + G->getType()->str();
+    if (G->isVolatile())
+      Out += " volatile";
+    if (G->hasInit()) {
+      const GlobalInit &Init = G->getInit();
+      if (Init.IsFloat)
+        Out += " = " + formatDouble(Init.FloatValue);
+      else
+        Out += " = " + std::to_string(Init.IntValue);
+    }
+    Out += ";\n";
+  }
+  for (const auto &F : P.getFunctions()) {
+    Out += printFunction(*F);
+    Out += "\n";
+  }
+  return Out;
+}

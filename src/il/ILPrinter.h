@@ -1,0 +1,39 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Human-readable printing of the IL in a C-like syntax with the paper's
+/// notation: `do i = lo, hi, step` for DO loops, `do parallel` for
+/// multiprocessor loops, and colon triplets `lo:hi:s` for vector sections.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_IL_ILPRINTER_H
+#define TCC_IL_ILPRINTER_H
+
+#include "il/IL.h"
+
+#include <string>
+
+namespace tcc {
+namespace il {
+
+/// Renders one expression.
+std::string printExpr(const Expr *E);
+
+/// Renders one statement (with trailing newline), indented by \p Indent
+/// levels of two spaces.
+std::string printStmt(const Stmt *S, unsigned Indent = 0);
+
+/// Renders a whole block.
+std::string printBlock(const Block &B, unsigned Indent = 0);
+
+/// Renders a function: header, declarations, body.
+std::string printFunction(const Function &F);
+
+/// Renders the whole program.
+std::string printProgram(const Program &P);
+
+} // namespace il
+} // namespace tcc
+
+#endif // TCC_IL_ILPRINTER_H

@@ -1,0 +1,837 @@
+#include "il/ILSerializer.h"
+
+#include "support/StringExtras.h"
+
+#include <cctype>
+#include <map>
+
+using namespace tcc;
+using namespace tcc::il;
+
+//===----------------------------------------------------------------------===//
+// Writing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *opCodeToken(OpCode Op) {
+  switch (Op) {
+  case OpCode::Add:
+    return "add";
+  case OpCode::Sub:
+    return "sub";
+  case OpCode::Mul:
+    return "mul";
+  case OpCode::Div:
+    return "div";
+  case OpCode::Rem:
+    return "rem";
+  case OpCode::Shl:
+    return "shl";
+  case OpCode::Shr:
+    return "shr";
+  case OpCode::Lt:
+    return "lt";
+  case OpCode::Gt:
+    return "gt";
+  case OpCode::Le:
+    return "le";
+  case OpCode::Ge:
+    return "ge";
+  case OpCode::Eq:
+    return "eq";
+  case OpCode::Ne:
+    return "ne";
+  case OpCode::BitAnd:
+    return "band";
+  case OpCode::BitOr:
+    return "bor";
+  case OpCode::BitXor:
+    return "bxor";
+  case OpCode::Min:
+    return "min";
+  case OpCode::Max:
+    return "max";
+  case OpCode::Neg:
+    return "neg";
+  case OpCode::LogNot:
+    return "lognot";
+  case OpCode::BitNot:
+    return "bitnot";
+  }
+  return "?";
+}
+
+bool opCodeFromToken(const std::string &Tok, OpCode &Out) {
+  static const std::map<std::string, OpCode> Table = {
+      {"add", OpCode::Add},       {"sub", OpCode::Sub},
+      {"mul", OpCode::Mul},       {"div", OpCode::Div},
+      {"rem", OpCode::Rem},       {"shl", OpCode::Shl},
+      {"shr", OpCode::Shr},       {"lt", OpCode::Lt},
+      {"gt", OpCode::Gt},         {"le", OpCode::Le},
+      {"ge", OpCode::Ge},         {"eq", OpCode::Eq},
+      {"ne", OpCode::Ne},         {"band", OpCode::BitAnd},
+      {"bor", OpCode::BitOr},     {"bxor", OpCode::BitXor},
+      {"min", OpCode::Min},       {"max", OpCode::Max},
+      {"neg", OpCode::Neg},       {"lognot", OpCode::LogNot},
+      {"bitnot", OpCode::BitNot},
+  };
+  auto It = Table.find(Tok);
+  if (It == Table.end())
+    return false;
+  Out = It->second;
+  return true;
+}
+
+const char *storageToken(StorageKind K) {
+  switch (K) {
+  case StorageKind::Global:
+    return "global";
+  case StorageKind::Static:
+    return "static";
+  case StorageKind::Local:
+    return "local";
+  case StorageKind::Param:
+    return "param";
+  case StorageKind::Temp:
+    return "temp";
+  }
+  return "?";
+}
+
+bool storageFromToken(const std::string &Tok, StorageKind &Out) {
+  if (Tok == "global")
+    Out = StorageKind::Global;
+  else if (Tok == "static")
+    Out = StorageKind::Static;
+  else if (Tok == "local")
+    Out = StorageKind::Local;
+  else if (Tok == "param")
+    Out = StorageKind::Param;
+  else if (Tok == "temp")
+    Out = StorageKind::Temp;
+  else
+    return false;
+  return true;
+}
+
+void writeType(const Type *Ty, std::string &Out) {
+  switch (Ty->getKind()) {
+  case Type::VoidKind:
+    Out += "void";
+    return;
+  case Type::CharKind:
+    Out += "char";
+    return;
+  case Type::IntKind:
+    Out += "int";
+    return;
+  case Type::FloatKind:
+    Out += "float";
+    return;
+  case Type::DoubleKind:
+    Out += "double";
+    return;
+  case Type::PointerKind:
+    Out += "(ptr ";
+    writeType(Ty->getElementType(), Out);
+    Out += ")";
+    return;
+  case Type::ArrayKind:
+    Out += "(arr " + std::to_string(Ty->getArraySize()) + " ";
+    writeType(Ty->getElementType(), Out);
+    Out += ")";
+    return;
+  case Type::FunctionKind:
+    assert(false && "function types are not serialized");
+    return;
+  }
+}
+
+void writeQuoted(const std::string &S, std::string &Out) {
+  Out += '"';
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  Out += '"';
+}
+
+class Writer {
+public:
+  explicit Writer(const Function &F) : F(F) {}
+
+  std::string run() {
+    Out += "(function ";
+    writeQuoted(F.getName(), Out);
+    Out += " (ret ";
+    writeType(F.getReturnType(), Out);
+    Out += ") (fortran-pointers ";
+    Out += F.hasFortranPointerSemantics() ? "1" : "0";
+    Out += ")\n (symbols\n";
+    for (const auto &S : F.getSymbols()) {
+      Out += "  (sym " + std::to_string(S->getId()) + " ";
+      writeQuoted(S->getName(), Out);
+      Out += " ";
+      writeType(S->getType(), Out);
+      Out += " ";
+      Out += storageToken(S->getStorage());
+      Out += S->isVolatile() ? " 1" : " 0";
+      if (S->hasInit()) {
+        const GlobalInit &Init = S->getInit();
+        if (Init.IsFloat)
+          Out += " (init f " + formatDouble(Init.FloatValue) + ")";
+        else
+          Out += " (init i " + std::to_string(Init.IntValue) + ")";
+      }
+      Out += ")\n";
+    }
+    Out += " )\n (params";
+    for (const Symbol *P : F.getParams())
+      Out += " " + std::to_string(P->getId());
+    Out += ")\n (body\n";
+    writeBlock(F.getBody(), 2);
+    Out += " ))\n";
+    return std::move(Out);
+  }
+
+private:
+  void writeExpr(const Expr *E) {
+    switch (E->getKind()) {
+    case Expr::ConstIntKind: {
+      const auto *C = static_cast<const ConstIntExpr *>(E);
+      Out += "(cint ";
+      writeType(C->getType(), Out);
+      Out += " " + std::to_string(C->getValue()) + ")";
+      return;
+    }
+    case Expr::ConstFloatKind: {
+      const auto *C = static_cast<const ConstFloatExpr *>(E);
+      Out += "(cfloat ";
+      writeType(C->getType(), Out);
+      Out += " " + formatDouble(C->getValue()) + ")";
+      return;
+    }
+    case Expr::VarRefKind: {
+      const Symbol *S = static_cast<const VarRefExpr *>(E)->getSymbol();
+      if (S->getStorage() == StorageKind::Global) {
+        Out += "(gvar ";
+        writeQuoted(S->getName(), Out);
+        Out += " ";
+        writeType(S->getType(), Out);
+        Out += S->isVolatile() ? " 1" : " 0";
+        Out += ")";
+      } else {
+        Out += "(var " + std::to_string(S->getId()) + ")";
+      }
+      return;
+    }
+    case Expr::BinaryKind: {
+      const auto *B = static_cast<const BinaryExpr *>(E);
+      Out += "(binop ";
+      Out += opCodeToken(B->getOp());
+      Out += " ";
+      writeType(B->getType(), Out);
+      Out += " ";
+      writeExpr(B->getLHS());
+      Out += " ";
+      writeExpr(B->getRHS());
+      Out += ")";
+      return;
+    }
+    case Expr::UnaryKind: {
+      const auto *U = static_cast<const UnaryExpr *>(E);
+      Out += "(unop ";
+      Out += opCodeToken(U->getOp());
+      Out += " ";
+      writeType(U->getType(), Out);
+      Out += " ";
+      writeExpr(U->getOperand());
+      Out += ")";
+      return;
+    }
+    case Expr::DerefKind: {
+      const auto *D = static_cast<const DerefExpr *>(E);
+      Out += "(deref ";
+      writeType(D->getType(), Out);
+      Out += " ";
+      writeExpr(D->getAddr());
+      Out += ")";
+      return;
+    }
+    case Expr::AddrOfKind: {
+      const auto *A = static_cast<const AddrOfExpr *>(E);
+      Out += "(addrof ";
+      writeType(A->getType(), Out);
+      Out += " ";
+      writeExpr(A->getLValue());
+      Out += ")";
+      return;
+    }
+    case Expr::IndexKind: {
+      const auto *I = static_cast<const IndexExpr *>(E);
+      Out += "(index ";
+      writeType(I->getType(), Out);
+      Out += " ";
+      writeExpr(I->getBase());
+      for (const Expr *Sub : I->getSubscripts()) {
+        Out += " ";
+        writeExpr(Sub);
+      }
+      Out += ")";
+      return;
+    }
+    case Expr::CastKind: {
+      const auto *C = static_cast<const CastExpr *>(E);
+      Out += "(cast ";
+      writeType(C->getType(), Out);
+      Out += " ";
+      writeExpr(C->getOperand());
+      Out += ")";
+      return;
+    }
+    case Expr::TripletKind: {
+      const auto *T = static_cast<const TripletExpr *>(E);
+      Out += "(triplet ";
+      writeType(T->getType(), Out);
+      Out += " ";
+      writeExpr(T->getLo());
+      Out += " ";
+      writeExpr(T->getHi());
+      Out += " ";
+      writeExpr(T->getStride());
+      Out += ")";
+      return;
+    }
+    }
+  }
+
+  void writeBlock(const Block &B, unsigned Indent) {
+    for (const Stmt *S : B.Stmts)
+      writeStmt(S, Indent);
+  }
+
+  void writeStmt(const Stmt *S, unsigned Indent) {
+    Out += std::string(Indent, ' ');
+    switch (S->getKind()) {
+    case Stmt::AssignKind: {
+      const auto *A = static_cast<const AssignStmt *>(S);
+      Out += "(assign ";
+      writeExpr(A->getLHS());
+      Out += " ";
+      writeExpr(A->getRHS());
+      Out += ")\n";
+      return;
+    }
+    case Stmt::CallKind: {
+      const auto *C = static_cast<const CallStmt *>(S);
+      Out += "(call ";
+      Out += C->getResult() ? std::to_string(C->getResult()->getId()) : "0";
+      Out += " ";
+      writeQuoted(C->getCallee(), Out);
+      for (const Expr *Arg : C->getArgs()) {
+        Out += " ";
+        writeExpr(Arg);
+      }
+      Out += ")\n";
+      return;
+    }
+    case Stmt::IfKind: {
+      const auto *I = static_cast<const IfStmt *>(S);
+      Out += "(if ";
+      writeExpr(I->getCond());
+      Out += " (block\n";
+      writeBlock(I->getThen(), Indent + 1);
+      Out += std::string(Indent, ' ') + ") (block\n";
+      writeBlock(I->getElse(), Indent + 1);
+      Out += std::string(Indent, ' ') + "))\n";
+      return;
+    }
+    case Stmt::WhileKind: {
+      const auto *W = static_cast<const WhileStmt *>(S);
+      Out += "(while ";
+      Out += W->hasSafeVectorPragma() ? "1 " : "0 ";
+      writeExpr(W->getCond());
+      Out += " (block\n";
+      writeBlock(W->getBody(), Indent + 1);
+      Out += std::string(Indent, ' ') + "))\n";
+      return;
+    }
+    case Stmt::DoLoopKind: {
+      const auto *D = static_cast<const DoLoopStmt *>(S);
+      Out += "(do " + std::to_string(D->getIndexVar()->getId()) + " ";
+      Out += D->isParallel() ? "1 " : "0 ";
+      Out += D->hasSafeVectorPragma() ? "1 " : "0 ";
+      writeExpr(D->getInit());
+      Out += " ";
+      writeExpr(D->getLimit());
+      Out += " ";
+      writeExpr(D->getStep());
+      Out += " (block\n";
+      writeBlock(D->getBody(), Indent + 1);
+      Out += std::string(Indent, ' ') + "))\n";
+      return;
+    }
+    case Stmt::LabelKind:
+      Out += "(label ";
+      writeQuoted(static_cast<const LabelStmt *>(S)->getName(), Out);
+      Out += ")\n";
+      return;
+    case Stmt::GotoKind:
+      Out += "(goto ";
+      writeQuoted(static_cast<const GotoStmt *>(S)->getTarget(), Out);
+      Out += ")\n";
+      return;
+    case Stmt::ReturnKind: {
+      const auto *R = static_cast<const ReturnStmt *>(S);
+      if (R->getValue()) {
+        Out += "(return ";
+        writeExpr(R->getValue());
+        Out += ")\n";
+      } else {
+        Out += "(return)\n";
+      }
+      return;
+    }
+    }
+  }
+
+  const Function &F;
+  std::string Out;
+};
+
+} // namespace
+
+std::string il::serializeFunction(const Function &F) {
+  return Writer(F).run();
+}
+
+//===----------------------------------------------------------------------===//
+// Reading
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A parsed S-expression: an atom (number, word, quoted string) or a list.
+struct SExpr {
+  bool IsAtom = true;
+  bool WasQuoted = false;
+  std::string Atom;
+  std::vector<SExpr> List;
+
+  const SExpr &at(size_t I) const {
+    assert(I < List.size() && "S-expression index out of range");
+    return List[I];
+  }
+  size_t size() const { return List.size(); }
+  const std::string &head() const { return at(0).Atom; }
+};
+
+class SExprParser {
+public:
+  SExprParser(const std::string &Text, DiagnosticEngine &Diags)
+      : Text(Text), Diags(Diags) {}
+
+  bool parse(SExpr &Out) {
+    skipWs();
+    return parseValue(Out);
+  }
+
+  bool Failed = false;
+
+private:
+  void skipWs() {
+    while (Pos < Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+
+  bool parseValue(SExpr &Out) {
+    skipWs();
+    if (Pos >= Text.size()) {
+      fail("unexpected end of catalog text");
+      return false;
+    }
+    char C = Text[Pos];
+    if (C == '(') {
+      ++Pos;
+      Out.IsAtom = false;
+      for (;;) {
+        skipWs();
+        if (Pos >= Text.size()) {
+          fail("unterminated list in catalog text");
+          return false;
+        }
+        if (Text[Pos] == ')') {
+          ++Pos;
+          return true;
+        }
+        SExpr Child;
+        if (!parseValue(Child))
+          return false;
+        Out.List.push_back(std::move(Child));
+      }
+    }
+    if (C == '"') {
+      ++Pos;
+      Out.IsAtom = true;
+      Out.WasQuoted = true;
+      while (Pos < Text.size() && Text[Pos] != '"') {
+        if (Text[Pos] == '\\' && Pos + 1 < Text.size())
+          ++Pos;
+        Out.Atom += Text[Pos++];
+      }
+      if (Pos >= Text.size()) {
+        fail("unterminated string in catalog text");
+        return false;
+      }
+      ++Pos; // closing quote
+      return true;
+    }
+    // Plain atom.
+    Out.IsAtom = true;
+    size_t Start = Pos;
+    while (Pos < Text.size() && !std::isspace((unsigned char)Text[Pos]) &&
+           Text[Pos] != '(' && Text[Pos] != ')')
+      ++Pos;
+    Out.Atom = Text.substr(Start, Pos - Start);
+    if (Out.Atom.empty()) {
+      fail("empty atom in catalog text");
+      return false;
+    }
+    return true;
+  }
+
+  void fail(const char *Msg) {
+    if (!Failed)
+      Diags.error(SourceLoc(), Msg);
+    Failed = true;
+  }
+
+  const std::string &Text;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+};
+
+class Reader {
+public:
+  Reader(Program &P, DiagnosticEngine &Diags) : P(P), Diags(Diags) {}
+
+  Function *run(const SExpr &Root) {
+    if (Root.IsAtom || Root.size() < 6 || Root.head() != "function")
+      return fail("catalog entry is not a function");
+    const std::string &Name = Root.at(1).Atom;
+    const SExpr &RetForm = Root.at(2);
+    if (RetForm.IsAtom || RetForm.head() != "ret")
+      return fail("missing (ret ...) in catalog entry");
+    const Type *RetTy = readType(RetForm.at(1));
+    if (!RetTy)
+      return nullptr;
+    F = P.createFunction(Name, RetTy);
+
+    const SExpr &FP = Root.at(3);
+    if (!FP.IsAtom && FP.head() == "fortran-pointers")
+      F->setFortranPointerSemantics(FP.at(1).Atom == "1");
+
+    const SExpr &Syms = Root.at(4);
+    if (Syms.IsAtom || Syms.head() != "symbols")
+      return fail("missing (symbols ...) in catalog entry");
+    for (size_t I = 1; I < Syms.size(); ++I) {
+      const SExpr &SF = Syms.at(I);
+      if (SF.IsAtom || SF.size() < 6 || SF.head() != "sym")
+        return fail("malformed symbol in catalog entry");
+      unsigned Id = std::stoul(SF.at(1).Atom);
+      const Type *Ty = readType(SF.at(3));
+      if (!Ty)
+        return nullptr;
+      StorageKind Storage;
+      if (!storageFromToken(SF.at(4).Atom, Storage))
+        return fail("bad storage class in catalog entry");
+      Symbol *S = F->createSymbol(SF.at(2).Atom, Ty, Storage,
+                                  SF.at(5).Atom == "1");
+      if (SF.size() > 6) {
+        const SExpr &InitForm = SF.at(6);
+        if (InitForm.IsAtom || InitForm.head() != "init")
+          return fail("malformed symbol init in catalog entry");
+        GlobalInit Init;
+        if (InitForm.at(1).Atom == "f") {
+          Init.IsFloat = true;
+          Init.FloatValue = std::stod(InitForm.at(2).Atom);
+        } else {
+          Init.IntValue = std::stoll(InitForm.at(2).Atom);
+        }
+        S->setInit(Init);
+      }
+      SymbolsById[Id] = S;
+    }
+
+    const SExpr &Params = Root.at(5);
+    if (Params.IsAtom || Params.head() != "params")
+      return fail("missing (params ...) in catalog entry");
+    for (size_t I = 1; I < Params.size(); ++I) {
+      Symbol *S = lookupSymbol(std::stoul(Params.at(I).Atom));
+      if (!S)
+        return nullptr;
+      F->addParam(S);
+    }
+
+    const SExpr &Body = Root.at(6);
+    if (Body.IsAtom || Body.head() != "body")
+      return fail("missing (body ...) in catalog entry");
+    for (size_t I = 1; I < Body.size(); ++I) {
+      Stmt *S = readStmt(Body.at(I));
+      if (!S)
+        return nullptr;
+      F->getBody().Stmts.push_back(S);
+    }
+    return Failed ? nullptr : F;
+  }
+
+private:
+  Function *fail(const char *Msg) {
+    if (!Failed)
+      Diags.error(SourceLoc(), Msg);
+    Failed = true;
+    return nullptr;
+  }
+
+  const Type *readType(const SExpr &E) {
+    TypeContext &Types = P.getTypes();
+    if (E.IsAtom) {
+      if (E.Atom == "void")
+        return Types.getVoidType();
+      if (E.Atom == "char")
+        return Types.getCharType();
+      if (E.Atom == "int")
+        return Types.getIntType();
+      if (E.Atom == "float")
+        return Types.getFloatType();
+      if (E.Atom == "double")
+        return Types.getDoubleType();
+      fail("unknown type atom in catalog entry");
+      return nullptr;
+    }
+    if (E.head() == "ptr") {
+      const Type *Inner = readType(E.at(1));
+      return Inner ? Types.getPointerType(Inner) : nullptr;
+    }
+    if (E.head() == "arr") {
+      const Type *Inner = readType(E.at(2));
+      return Inner ? Types.getArrayType(Inner, std::stoll(E.at(1).Atom))
+                   : nullptr;
+    }
+    fail("unknown type form in catalog entry");
+    return nullptr;
+  }
+
+  Symbol *lookupSymbol(unsigned Id) {
+    auto It = SymbolsById.find(Id);
+    if (It == SymbolsById.end()) {
+      fail("reference to unknown symbol id in catalog entry");
+      return nullptr;
+    }
+    return It->second;
+  }
+
+  Expr *readExpr(const SExpr &E) {
+    if (E.IsAtom) {
+      fail("expected expression form in catalog entry");
+      return nullptr;
+    }
+    const std::string &H = E.head();
+    if (H == "cint") {
+      const Type *Ty = readType(E.at(1));
+      return Ty ? F->makeIntConst(Ty, std::stoll(E.at(2).Atom)) : nullptr;
+    }
+    if (H == "cfloat") {
+      const Type *Ty = readType(E.at(1));
+      return Ty ? F->makeFloatConst(Ty, std::stod(E.at(2).Atom)) : nullptr;
+    }
+    if (H == "var") {
+      Symbol *S = lookupSymbol(std::stoul(E.at(1).Atom));
+      return S ? F->makeVarRef(S) : nullptr;
+    }
+    if (H == "gvar") {
+      const Type *Ty = readType(E.at(2));
+      if (!Ty)
+        return nullptr;
+      Symbol *G = P.findGlobal(E.at(1).Atom);
+      if (!G)
+        G = P.createGlobal(E.at(1).Atom, Ty, E.at(3).Atom == "1");
+      return F->makeVarRef(G);
+    }
+    if (H == "binop") {
+      OpCode Op;
+      if (!opCodeFromToken(E.at(1).Atom, Op)) {
+        fail("unknown binary opcode in catalog entry");
+        return nullptr;
+      }
+      const Type *Ty = readType(E.at(2));
+      Expr *L = readExpr(E.at(3));
+      Expr *R = readExpr(E.at(4));
+      return (Ty && L && R) ? F->create<BinaryExpr>(Ty, Op, L, R) : nullptr;
+    }
+    if (H == "unop") {
+      OpCode Op;
+      if (!opCodeFromToken(E.at(1).Atom, Op)) {
+        fail("unknown unary opcode in catalog entry");
+        return nullptr;
+      }
+      const Type *Ty = readType(E.at(2));
+      Expr *Operand = readExpr(E.at(3));
+      return (Ty && Operand) ? F->create<UnaryExpr>(Ty, Op, Operand) : nullptr;
+    }
+    if (H == "deref") {
+      const Type *Ty = readType(E.at(1));
+      Expr *Addr = readExpr(E.at(2));
+      return (Ty && Addr) ? F->create<DerefExpr>(Ty, Addr) : nullptr;
+    }
+    if (H == "addrof") {
+      const Type *Ty = readType(E.at(1));
+      Expr *LValue = readExpr(E.at(2));
+      return (Ty && LValue) ? F->create<AddrOfExpr>(Ty, LValue) : nullptr;
+    }
+    if (H == "index") {
+      const Type *Ty = readType(E.at(1));
+      Expr *Base = readExpr(E.at(2));
+      if (!Ty || !Base)
+        return nullptr;
+      std::vector<Expr *> Subs;
+      for (size_t I = 3; I < E.size(); ++I) {
+        Expr *Sub = readExpr(E.at(I));
+        if (!Sub)
+          return nullptr;
+        Subs.push_back(Sub);
+      }
+      return F->create<IndexExpr>(Ty, Base, std::move(Subs));
+    }
+    if (H == "cast") {
+      const Type *Ty = readType(E.at(1));
+      Expr *Operand = readExpr(E.at(2));
+      return (Ty && Operand) ? F->create<CastExpr>(Ty, Operand) : nullptr;
+    }
+    if (H == "triplet") {
+      const Type *Ty = readType(E.at(1));
+      Expr *Lo = readExpr(E.at(2));
+      Expr *Hi = readExpr(E.at(3));
+      Expr *Stride = readExpr(E.at(4));
+      return (Ty && Lo && Hi && Stride)
+                 ? F->create<TripletExpr>(Ty, Lo, Hi, Stride)
+                 : nullptr;
+    }
+    fail("unknown expression form in catalog entry");
+    return nullptr;
+  }
+
+  bool readBlock(const SExpr &E, Block &Out) {
+    if (E.IsAtom || E.head() != "block") {
+      fail("expected (block ...) in catalog entry");
+      return false;
+    }
+    for (size_t I = 1; I < E.size(); ++I) {
+      Stmt *S = readStmt(E.at(I));
+      if (!S)
+        return false;
+      Out.Stmts.push_back(S);
+    }
+    return true;
+  }
+
+  Stmt *readStmt(const SExpr &E) {
+    if (E.IsAtom) {
+      fail("expected statement form in catalog entry");
+      return nullptr;
+    }
+    const std::string &H = E.head();
+    SourceLoc Loc;
+    if (H == "assign") {
+      Expr *L = readExpr(E.at(1));
+      Expr *R = readExpr(E.at(2));
+      return (L && R) ? F->create<AssignStmt>(Loc, L, R) : nullptr;
+    }
+    if (H == "call") {
+      Symbol *Result = nullptr;
+      unsigned Id = std::stoul(E.at(1).Atom);
+      if (Id != 0) {
+        Result = lookupSymbol(Id);
+        if (!Result)
+          return nullptr;
+      }
+      std::vector<Expr *> Args;
+      for (size_t I = 3; I < E.size(); ++I) {
+        Expr *Arg = readExpr(E.at(I));
+        if (!Arg)
+          return nullptr;
+        Args.push_back(Arg);
+      }
+      return F->create<CallStmt>(Loc, Result, E.at(2).Atom, std::move(Args));
+    }
+    if (H == "if") {
+      Expr *Cond = readExpr(E.at(1));
+      if (!Cond)
+        return nullptr;
+      auto *S = F->create<IfStmt>(Loc, Cond);
+      if (!readBlock(E.at(2), S->getThen()) ||
+          !readBlock(E.at(3), S->getElse()))
+        return nullptr;
+      return S;
+    }
+    if (H == "while") {
+      Expr *Cond = readExpr(E.at(2));
+      if (!Cond)
+        return nullptr;
+      auto *S = F->create<WhileStmt>(Loc, Cond);
+      S->setSafeVectorPragma(E.at(1).Atom == "1");
+      if (!readBlock(E.at(3), S->getBody()))
+        return nullptr;
+      return S;
+    }
+    if (H == "do") {
+      Symbol *Idx = lookupSymbol(std::stoul(E.at(1).Atom));
+      Expr *Init = readExpr(E.at(4));
+      Expr *Limit = readExpr(E.at(5));
+      Expr *Step = readExpr(E.at(6));
+      if (!Idx || !Init || !Limit || !Step)
+        return nullptr;
+      auto *S = F->create<DoLoopStmt>(Loc, Idx, Init, Limit, Step);
+      S->setParallel(E.at(2).Atom == "1");
+      S->setSafeVectorPragma(E.at(3).Atom == "1");
+      if (!readBlock(E.at(7), S->getBody()))
+        return nullptr;
+      return S;
+    }
+    if (H == "label")
+      return F->create<LabelStmt>(Loc, E.at(1).Atom);
+    if (H == "goto")
+      return F->create<GotoStmt>(Loc, E.at(1).Atom);
+    if (H == "return") {
+      Expr *Value = nullptr;
+      if (E.size() > 1) {
+        Value = readExpr(E.at(1));
+        if (!Value)
+          return nullptr;
+      }
+      return F->create<ReturnStmt>(Loc, Value);
+    }
+    fail("unknown statement form in catalog entry");
+    return nullptr;
+  }
+
+  Program &P;
+  DiagnosticEngine &Diags;
+  Function *F = nullptr;
+  std::map<unsigned, Symbol *> SymbolsById;
+  bool Failed = false;
+};
+
+} // namespace
+
+Function *il::deserializeFunction(const std::string &Text, Program &P,
+                                  DiagnosticEngine &Diags) {
+  SExprParser Parser(Text, Diags);
+  SExpr Root;
+  if (!Parser.parse(Root))
+    return nullptr;
+  return Reader(P, Diags).run(Root);
+}

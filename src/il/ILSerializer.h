@@ -1,0 +1,38 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pointer-free serialization of IL functions.
+///
+/// The paper (Section 7) eliminates all hard pointers from the IL so that
+/// parsed procedures can be saved in catalogs ("math libraries can be
+/// 'compiled' into databases and used as a base for inlining").  This
+/// module is that facility: a function round-trips through a text
+/// S-expression form in which symbols are referenced by integer id and
+/// types are spelled structurally.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_IL_ILSERIALIZER_H
+#define TCC_IL_ILSERIALIZER_H
+
+#include "il/IL.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+
+namespace tcc {
+namespace il {
+
+/// Serializes \p F to the catalog text form.
+std::string serializeFunction(const Function &F);
+
+/// Reconstructs a function from catalog text into \p P.  Returns null and
+/// reports a diagnostic on malformed input.  Global symbols referenced by
+/// the function are resolved by name in \p P and created if missing.
+Function *deserializeFunction(const std::string &Text, Program &P,
+                              DiagnosticEngine &Diags);
+
+} // namespace il
+} // namespace tcc
+
+#endif // TCC_IL_ILSERIALIZER_H

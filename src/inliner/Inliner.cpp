@@ -1,0 +1,449 @@
+#include "inliner/Inliner.h"
+
+#include "analysis/CallGraph.h"
+#include "analysis/UseDef.h"
+#include "il/ILSerializer.h"
+
+#include <algorithm>
+#include <functional>
+
+using namespace tcc;
+using namespace tcc::il;
+using namespace tcc::inliner;
+
+//===----------------------------------------------------------------------===//
+// ProcedureCatalog
+//===----------------------------------------------------------------------===//
+
+void ProcedureCatalog::store(const Function &F) {
+  Entries[F.getName()] = serializeFunction(F);
+}
+
+Function *ProcedureCatalog::materialize(const std::string &Name, Program &P,
+                                        DiagnosticEngine &Diags) const {
+  auto It = Entries.find(Name);
+  if (It == Entries.end())
+    return nullptr;
+  return deserializeFunction(It->second, P, Diags);
+}
+
+std::string ProcedureCatalog::serialize() const {
+  // Entries are framed by a length header so function bodies may contain
+  // anything.
+  std::string Out;
+  for (const auto &[Name, Text] : Entries) {
+    Out += "#entry " + std::to_string(Text.size()) + "\n";
+    Out += Text;
+    if (!Text.empty() && Text.back() != '\n')
+      Out += '\n';
+  }
+  return Out;
+}
+
+ProcedureCatalog ProcedureCatalog::deserialize(const std::string &Text) {
+  ProcedureCatalog Out;
+  size_t Pos = 0;
+  const std::string Marker = "#entry ";
+  while (Pos < Text.size()) {
+    if (Text.compare(Pos, Marker.size(), Marker) != 0)
+      break;
+    size_t Eol = Text.find('\n', Pos);
+    if (Eol == std::string::npos)
+      break;
+    size_t Len = std::stoul(Text.substr(Pos + Marker.size(),
+                                        Eol - Pos - Marker.size()));
+    std::string Body = Text.substr(Eol + 1, Len);
+    // The function name is the first quoted string.
+    size_t Q1 = Body.find('"');
+    size_t Q2 = Body.find('"', Q1 + 1);
+    if (Q1 != std::string::npos && Q2 != std::string::npos)
+      Out.Entries[Body.substr(Q1 + 1, Q2 - Q1 - 1)] = Body;
+    Pos = Eol + 1 + Len;
+    while (Pos < Text.size() && Text[Pos] == '\n')
+      ++Pos;
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Static handling
+//===----------------------------------------------------------------------===//
+
+InlineStats inliner::prepareFunctionForInlining(Function &F) {
+  InlineStats Stats;
+  std::vector<Symbol *> Statics;
+  for (const auto &S : F.getSymbols())
+    if (S->getStorage() == StorageKind::Static)
+      Statics.push_back(S.get());
+  if (Statics.empty())
+    return Stats;
+
+  std::set<Symbol *> AddrTaken = analysis::computeAddressTakenScalars(F);
+  analysis::UseDefChains UD(F);
+
+  for (Symbol *S : Statics) {
+    // Demotion: safe when no use can observe a previous invocation's
+    // value — every reaching definition is inside this invocation (the
+    // entry definition, representing the persisted value, reaches no
+    // use), the address is never taken, and there is no initializer a
+    // use could rely on.
+    bool Demotable = S->getType()->isScalar() && !S->isVolatile() &&
+                     !AddrTaken.count(S) && !S->hasInit();
+    if (Demotable) {
+      forEachStmt(F.getBody(), [&](Stmt *User) {
+        for (Symbol *Used : analysis::usedScalars(User)) {
+          if (Used != S)
+            continue;
+          for (const Stmt *Def : UD.defsReaching(User, S))
+            if (Def == nullptr)
+              Demotable = false;
+        }
+      });
+    }
+    if (Demotable) {
+      S->setStorage(StorageKind::Local);
+      ++Stats.StaticsDemoted;
+      continue;
+    }
+    // Externalize: move to a program global named "function.symbol" so
+    // the value is shared between inlined and out-of-line invocations.
+    Program &P = F.getProgram();
+    std::string GlobalName = F.getName() + "." + S->getName();
+    Symbol *G = P.findGlobal(GlobalName);
+    if (!G) {
+      G = P.createGlobal(GlobalName, S->getType(), S->isVolatile());
+      if (S->hasInit())
+        G->setInit(S->getInit());
+    }
+    forEachStmt(F.getBody(), [&](Stmt *User) {
+      forEachExprSlot(User, [&](Expr *&Slot) {
+        forEachSubExprSlot(Slot, [&](Expr *&Sub) {
+          if (Sub->getKind() == Expr::VarRefKind &&
+              static_cast<VarRefExpr *>(Sub)->getSymbol() == S)
+            static_cast<VarRefExpr *>(Sub)->setSymbol(G);
+        });
+      });
+    });
+    S->setStorage(StorageKind::Local); // now unused; DCE prunes
+    ++Stats.StaticsExternalized;
+  }
+  F.removeUnusedSymbols();
+  return Stats;
+}
+
+//===----------------------------------------------------------------------===//
+// Expansion
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Replaces every ReturnStmt in \p B with `retvar = value; goto endLabel`.
+void rewriteReturns(Function &F, Block &B, Symbol *RetVar,
+                    const std::string &EndLabel) {
+  for (size_t I = 0; I < B.Stmts.size(); ++I) {
+    Stmt *S = B.Stmts[I];
+    switch (S->getKind()) {
+    case Stmt::ReturnKind: {
+      auto *R = static_cast<ReturnStmt *>(S);
+      std::vector<Stmt *> Repl;
+      if (RetVar && R->getValue())
+        Repl.push_back(F.create<AssignStmt>(R->getLoc(),
+                                            F.makeVarRef(RetVar),
+                                            R->getValue()));
+      Repl.push_back(F.create<GotoStmt>(R->getLoc(), EndLabel));
+      B.Stmts.erase(B.Stmts.begin() + static_cast<long>(I));
+      B.Stmts.insert(B.Stmts.begin() + static_cast<long>(I), Repl.begin(),
+                     Repl.end());
+      I += Repl.size() - 1;
+      break;
+    }
+    case Stmt::IfKind: {
+      auto *If = static_cast<IfStmt *>(S);
+      rewriteReturns(F, If->getThen(), RetVar, EndLabel);
+      rewriteReturns(F, If->getElse(), RetVar, EndLabel);
+      break;
+    }
+    case Stmt::WhileKind:
+      rewriteReturns(F, static_cast<WhileStmt *>(S)->getBody(), RetVar,
+                     EndLabel);
+      break;
+    case Stmt::DoLoopKind:
+      rewriteReturns(F, static_cast<DoLoopStmt *>(S)->getBody(), RetVar,
+                     EndLabel);
+      break;
+    default:
+      break;
+    }
+  }
+}
+
+size_t bodySize(const Function &F) {
+  size_t N = 0;
+  forEachStmt(F.getBody(), [&N](const Stmt *) { ++N; });
+  return N;
+}
+
+class Expander {
+public:
+  Expander(Program &P, DiagnosticEngine &Diags, const InlineOptions &Opts,
+           const ProcedureCatalog *Catalog)
+      : P(P), Diags(Diags), Opts(Opts), Catalog(Catalog) {}
+
+  InlineStats run() {
+    // Externalize/demote statics everywhere first.
+    for (const auto &F : P.getFunctions()) {
+      InlineStats S = prepareFunctionForInlining(*F);
+      Stats.StaticsDemoted += S.StaticsDemoted;
+      Stats.StaticsExternalized += S.StaticsExternalized;
+    }
+
+    // Bottom-up over the call graph: callees are fully expanded before
+    // their callers, so each site expands once and cycles never unroll.
+    analysis::CallGraph CG(P);
+    for (const std::string &Name : CG.bottomUpOrder()) {
+      Function *F = P.findFunction(Name);
+      if (F)
+        expandIn(*F, CG);
+    }
+    return Stats;
+  }
+
+private:
+  void expandIn(Function &Caller, analysis::CallGraph &CG) {
+    std::function<void(Block &)> Visit = [&](Block &B) {
+      for (size_t I = 0; I < B.Stmts.size(); ++I) {
+        Stmt *S = B.Stmts[I];
+        switch (S->getKind()) {
+        case Stmt::CallKind: {
+          auto *Call = static_cast<CallStmt *>(S);
+          Function *Callee = resolve(Call->getCallee());
+          if (!Callee || Callee == &Caller ||
+              Opts.NeverInline.count(Call->getCallee())) {
+            if (Callee == &Caller)
+              ++Stats.RecursionSkipped;
+            ++Stats.CallsLeft;
+            break;
+          }
+          if (CG.isRecursive(Call->getCallee())) {
+            ++Stats.RecursionSkipped;
+            ++Stats.CallsLeft;
+            break;
+          }
+          if (Opts.MaxCalleeStmts &&
+              bodySize(*Callee) > Opts.MaxCalleeStmts) {
+            ++Stats.CallsLeft;
+            break;
+          }
+          std::vector<Stmt *> Expansion =
+              expandSite(Caller, *Call, *Callee);
+          B.Stmts.erase(B.Stmts.begin() + static_cast<long>(I));
+          B.Stmts.insert(B.Stmts.begin() + static_cast<long>(I),
+                         Expansion.begin(), Expansion.end());
+          I += Expansion.size() - 1;
+          ++Stats.CallsInlined;
+          break;
+        }
+        case Stmt::IfKind: {
+          auto *If = static_cast<IfStmt *>(S);
+          Visit(If->getThen());
+          Visit(If->getElse());
+          break;
+        }
+        case Stmt::WhileKind:
+          Visit(static_cast<WhileStmt *>(S)->getBody());
+          break;
+        case Stmt::DoLoopKind:
+          Visit(static_cast<DoLoopStmt *>(S)->getBody());
+          break;
+        default:
+          break;
+        }
+      }
+    };
+    Visit(Caller.getBody());
+  }
+
+  Function *resolve(const std::string &Name) {
+    Function *F = P.findFunction(Name);
+    if (F)
+      return F;
+    if (Catalog && Catalog->contains(Name)) {
+      F = Catalog->materialize(Name, P, Diags);
+      if (F) {
+        InlineStats S = prepareFunctionForInlining(*F);
+        Stats.StaticsDemoted += S.StaticsDemoted;
+        Stats.StaticsExternalized += S.StaticsExternalized;
+      }
+      return F;
+    }
+    return nullptr;
+  }
+
+  std::vector<Stmt *> expandSite(Function &Caller, CallStmt &Call,
+                                 Function &Callee) {
+    std::vector<Stmt *> Out;
+    unsigned Id = ++InlineCounter;
+
+    // Map callee symbols to fresh caller symbols ("in_" prefix, as in the
+    // paper's listings).  Globals map to themselves.
+    std::map<Symbol *, Symbol *> SymMap;
+    auto mapSym = [&](Symbol *S) -> Symbol * {
+      if (S->getStorage() == StorageKind::Global)
+        return S;
+      auto It = SymMap.find(S);
+      if (It != SymMap.end())
+        return It->second;
+      std::string Name = "in_" + S->getName();
+      if (Caller.findSymbol(Name))
+        Name += "_" + std::to_string(Id);
+      Symbol *New = Caller.createSymbol(Name, S->getType(),
+                                        StorageKind::Local,
+                                        S->isVolatile());
+      SymMap[S] = New;
+      return New;
+    };
+    std::string EndLabel = Caller.createLabelName("lb");
+    auto mapLabel = [&](const std::string &L) {
+      return "in" + std::to_string(Id) + "_" + L;
+    };
+
+    // Parameter assignments, evaluated left to right at the call site.
+    std::vector<std::pair<Symbol *, Expr *>> ParamInits;
+    for (size_t K = 0; K < Callee.getParams().size(); ++K) {
+      Symbol *Formal = mapSym(Callee.getParams()[K]);
+      Expr *Arg = K < Call.getArgs().size()
+                      ? Caller.cloneExpr(Call.getArgs()[K])
+                      : static_cast<Expr *>(Caller.makeIntConst(
+                            P.getTypes().getIntType(), 0));
+      ParamInits.push_back({Formal, Arg});
+      Out.push_back(
+          Caller.create<AssignStmt>(Call.getLoc(),
+                                    Caller.makeVarRef(Formal), Arg));
+    }
+
+    // Clone the body.
+    Block Body;
+    for (const Stmt *S : Callee.getBody().Stmts)
+      Body.Stmts.push_back(Caller.cloneStmtRemap(S, mapSym, mapLabel));
+    rewriteReturns(Caller, Body, Call.getResult(), EndLabel);
+
+    // Array-row promotion: forward-substitute pure address arguments whose
+    // operands the body does not modify and whose formal is never
+    // reassigned.
+    promoteAddressArguments(Caller, Out, Body, ParamInits);
+
+    for (Stmt *S : Body.Stmts)
+      Out.push_back(S);
+    Out.push_back(Caller.create<LabelStmt>(Call.getLoc(), EndLabel));
+    return Out;
+  }
+
+  /// True if \p E performs a memory *load* anywhere: a Deref or Index in
+  /// value position.  An Index under an AddrOf (`&m[i][0]`) only computes
+  /// an address.
+  static bool hasLoads(Expr *E) {
+    switch (E->getKind()) {
+    case Expr::DerefKind:
+    case Expr::IndexKind:
+      return true;
+    case Expr::AddrOfKind: {
+      Expr *LV = static_cast<AddrOfExpr *>(E)->getLValue();
+      if (LV->getKind() == Expr::IndexKind) {
+        for (Expr *Sub : static_cast<IndexExpr *>(LV)->getSubscripts())
+          if (hasLoads(Sub))
+            return true;
+        return false;
+      }
+      if (LV->getKind() == Expr::DerefKind)
+        return hasLoads(static_cast<DerefExpr *>(LV)->getAddr());
+      return false;
+    }
+    case Expr::BinaryKind: {
+      auto *B = static_cast<BinaryExpr *>(E);
+      return hasLoads(B->getLHS()) || hasLoads(B->getRHS());
+    }
+    case Expr::UnaryKind:
+      return hasLoads(static_cast<UnaryExpr *>(E)->getOperand());
+    case Expr::CastKind:
+      return hasLoads(static_cast<CastExpr *>(E)->getOperand());
+    default:
+      return false;
+    }
+  }
+
+  /// True if \p E is pure and load-free (safe to re-evaluate anywhere the
+  /// operands are unchanged).
+  static bool isSubstitutableArg(Expr *E) {
+    return !hasLoads(E) && !exprReadsVolatile(E) && !exprHasTriplet(E);
+  }
+
+  void promoteAddressArguments(
+      Function &Caller, std::vector<Stmt *> &ParamAssigns, Block &Body,
+      const std::vector<std::pair<Symbol *, Expr *>> &ParamInits) {
+    // Symbols defined anywhere in the inlined body.
+    std::set<Symbol *> DefinedInBody;
+    bool HasCallsOrStores = false;
+    forEachStmt(Body, [&](Stmt *S) {
+      for (Symbol *Sym : analysis::strongDefs(S))
+        DefinedInBody.insert(Sym);
+      if (S->getKind() == Stmt::CallKind)
+        HasCallsOrStores = true;
+      if (S->getKind() == Stmt::AssignKind &&
+          static_cast<AssignStmt *>(S)->getLHS()->getKind() !=
+              Expr::VarRefKind)
+        HasCallsOrStores = true;
+    });
+    std::set<Symbol *> AddrTaken =
+        analysis::computeAddressTakenScalars(Caller);
+
+    for (const auto &[Formal, Arg] : ParamInits) {
+      if (!Formal->getType()->isPointer() || !isSubstitutableArg(Arg))
+        continue;
+      if (DefinedInBody.count(Formal))
+        continue; // e.g. daxpy's bumped pointers
+      bool OperandsStable = true;
+      std::vector<VarRefExpr *> Refs;
+      collectVarRefs(Arg, Refs);
+      for (VarRefExpr *R : Refs) {
+        Symbol *Sym = R->getSymbol();
+        if (DefinedInBody.count(Sym) || Sym->isVolatile())
+          OperandsStable = false;
+        if ((Sym->isGlobal() || AddrTaken.count(Sym)) && HasCallsOrStores &&
+            Sym->getType()->isScalar())
+          OperandsStable = false;
+      }
+      if (!OperandsStable)
+        continue;
+      // Substitute value uses only (&formal must survive).
+      unsigned Count = 0;
+      forEachStmt(Body, [&](Stmt *S) {
+        forEachExprSlot(S, [&](Expr *&Slot) {
+          forEachValueUseSlot(Slot, [&](Expr *&Sub) {
+            if (static_cast<VarRefExpr *>(Sub)->getSymbol() == Formal) {
+              Sub = Caller.cloneExpr(Arg);
+              ++Count;
+            }
+          });
+        });
+      });
+      if (Count)
+        ++Stats.RowArgsPromoted;
+    }
+    (void)ParamAssigns; // the now-dead formal init is left for DCE
+  }
+
+  Program &P;
+  DiagnosticEngine &Diags;
+  const InlineOptions &Opts;
+  const ProcedureCatalog *Catalog;
+  InlineStats Stats;
+  unsigned InlineCounter = 0;
+};
+
+} // namespace
+
+InlineStats inliner::inlineCalls(Program &P, DiagnosticEngine &Diags,
+                                 const InlineOptions &Opts,
+                                 const ProcedureCatalog *Catalog) {
+  return Expander(P, Diags, Opts, Catalog).run();
+}

@@ -1,0 +1,102 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Inline expansion (paper Section 7).
+///
+/// The Titan compiler treats inlining as central: procedure calls hide
+/// effects, aggravate aliasing, and block vectorization.  This module
+/// provides:
+///
+///  - ProcedureCatalog: libraries of parsed procedures in the pointer-free
+///    serialized IL ("math libraries can be 'compiled' into databases and
+///    used as a base for inlining, much as include directories are used
+///    as a source for header files");
+///  - static-variable handling: statics provably re-initialized on every
+///    invocation demote to automatic storage (the paper calls this "an
+///    important optimization" because external variables optimize worse);
+///    the rest are externalized so values stay correct whether the
+///    procedure is called normally or inlined;
+///  - call-site expansion with `in_`-prefixed parameter temporaries,
+///    label renaming, return→goto rewriting — mechanically producing the
+///    Section 9 intermediate form;
+///  - recursion guards (inlining proceeds bottom-up over the call graph
+///    and never expands a cycle);
+///  - array-row argument promotion: a pure address argument whose
+///    operands the inlined body does not modify is forward-substituted
+///    into the body, turning `*(in_p + 4*j)` back into a named-array
+///    reference the vectorizer can analyze.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_INLINER_INLINER_H
+#define TCC_INLINER_INLINER_H
+
+#include "il/IL.h"
+#include "support/Diagnostics.h"
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace tcc {
+namespace inliner {
+
+/// A database of procedures in serialized IL form.
+class ProcedureCatalog {
+public:
+  /// Serializes and stores \p F (externalizing statics first is the
+  /// caller's job; `prepareFunctionForInlining` does it).
+  void store(const il::Function &F);
+
+  bool contains(const std::string &Name) const {
+    return Entries.count(Name) != 0;
+  }
+  const std::map<std::string, std::string> &entries() const {
+    return Entries;
+  }
+
+  /// Materializes a catalog entry into \p P as a regular function (so it
+  /// can be inlined or called).  Returns null if absent or malformed.
+  il::Function *materialize(const std::string &Name, il::Program &P,
+                            DiagnosticEngine &Diags) const;
+
+  /// Whole-catalog text round-trip (for saving to disk in tools).
+  std::string serialize() const;
+  static ProcedureCatalog deserialize(const std::string &Text);
+
+private:
+  std::map<std::string, std::string> Entries;
+};
+
+struct InlineOptions {
+  /// Upper bound on callee body size (statements) for expansion; 0 means
+  /// no limit.
+  unsigned MaxCalleeStmts = 0;
+  /// Functions never to inline.
+  std::set<std::string> NeverInline;
+};
+
+struct InlineStats {
+  unsigned CallsInlined = 0;
+  unsigned CallsLeft = 0;       ///< Unresolvable or guarded call sites.
+  unsigned RecursionSkipped = 0;
+  unsigned StaticsDemoted = 0;  ///< Statics moved to automatic storage.
+  unsigned StaticsExternalized = 0;
+  unsigned RowArgsPromoted = 0; ///< Address arguments forward-substituted.
+};
+
+/// Demotes provably re-initialized statics to locals and externalizes the
+/// rest into program globals named "function.symbol".
+InlineStats prepareFunctionForInlining(il::Function &F);
+
+/// Expands calls throughout \p P, bottom-up over the call graph, pulling
+/// unknown callees from \p Catalog when provided.  Recursive cycles are
+/// never expanded.
+InlineStats inlineCalls(il::Program &P, DiagnosticEngine &Diags,
+                        const InlineOptions &Opts = {},
+                        const ProcedureCatalog *Catalog = nullptr);
+
+} // namespace inliner
+} // namespace tcc
+
+#endif // TCC_INLINER_INLINER_H

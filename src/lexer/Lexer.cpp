@@ -1,0 +1,507 @@
+#include "lexer/Lexer.h"
+
+#include "support/StringExtras.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+using namespace tcc;
+
+const char *tcc::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Eof:
+    return "end of input";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::FloatLiteral:
+    return "floating literal";
+  case TokenKind::CharLiteral:
+    return "character literal";
+  case TokenKind::StringLiteral:
+    return "string literal";
+  case TokenKind::KwVoid:
+    return "'void'";
+  case TokenKind::KwChar:
+    return "'char'";
+  case TokenKind::KwInt:
+    return "'int'";
+  case TokenKind::KwFloat:
+    return "'float'";
+  case TokenKind::KwDouble:
+    return "'double'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwDo:
+    return "'do'";
+  case TokenKind::KwFor:
+    return "'for'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwBreak:
+    return "'break'";
+  case TokenKind::KwContinue:
+    return "'continue'";
+  case TokenKind::KwGoto:
+    return "'goto'";
+  case TokenKind::KwStatic:
+    return "'static'";
+  case TokenKind::KwExtern:
+    return "'extern'";
+  case TokenKind::KwVolatile:
+    return "'volatile'";
+  case TokenKind::KwConst:
+    return "'const'";
+  case TokenKind::KwRegister:
+    return "'register'";
+  case TokenKind::KwSizeof:
+    return "'sizeof'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Semi:
+    return "';'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Question:
+    return "'?'";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::Amp:
+    return "'&'";
+  case TokenKind::Pipe:
+    return "'|'";
+  case TokenKind::Caret:
+    return "'^'";
+  case TokenKind::Tilde:
+    return "'~'";
+  case TokenKind::Bang:
+    return "'!'";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::LessEqual:
+    return "'<='";
+  case TokenKind::GreaterEqual:
+    return "'>='";
+  case TokenKind::EqualEqual:
+    return "'=='";
+  case TokenKind::BangEqual:
+    return "'!='";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::LessLess:
+    return "'<<'";
+  case TokenKind::GreaterGreater:
+    return "'>>'";
+  case TokenKind::Equal:
+    return "'='";
+  case TokenKind::PlusEqual:
+    return "'+='";
+  case TokenKind::MinusEqual:
+    return "'-='";
+  case TokenKind::StarEqual:
+    return "'*='";
+  case TokenKind::SlashEqual:
+    return "'/='";
+  case TokenKind::PercentEqual:
+    return "'%='";
+  case TokenKind::AmpEqual:
+    return "'&='";
+  case TokenKind::PipeEqual:
+    return "'|='";
+  case TokenKind::CaretEqual:
+    return "'^='";
+  case TokenKind::LessLessEqual:
+    return "'<<='";
+  case TokenKind::GreaterGreaterEqual:
+    return "'>>='";
+  case TokenKind::PlusPlus:
+    return "'++'";
+  case TokenKind::MinusMinus:
+    return "'--'";
+  case TokenKind::Pragma:
+    return "'#pragma'";
+  case TokenKind::Unknown:
+    return "unknown token";
+  }
+  return "unknown token";
+}
+
+Lexer::Lexer(std::string Source, DiagnosticEngine &Diags)
+    : Source(std::move(Source)), Diags(Diags) {}
+
+char Lexer::peek(unsigned Ahead) const {
+  if (Pos + Ahead >= Source.size())
+    return '\0';
+  return Source[Pos + Ahead];
+}
+
+char Lexer::advance() {
+  char C = peek();
+  if (C == '\0')
+    return C;
+  ++Pos;
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+bool Lexer::match(char Expected) {
+  if (peek() != Expected)
+    return false;
+  advance();
+  return true;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  for (;;) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SourceLoc Start = currentLoc();
+      advance();
+      advance();
+      while (!(peek() == '*' && peek(1) == '/')) {
+        if (peek() == '\0') {
+          Diags.error(Start, "unterminated block comment");
+          return;
+        }
+        advance();
+      }
+      advance();
+      advance();
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::makeToken(TokenKind Kind, SourceLoc Loc, std::string Text) {
+  Token T;
+  T.Kind = Kind;
+  T.Loc = Loc;
+  T.Text = std::move(Text);
+  return T;
+}
+
+Token Lexer::lexNumber(SourceLoc Loc) {
+  size_t Start = Pos;
+  bool IsFloat = false;
+
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    advance();
+    advance();
+    while (std::isxdigit(static_cast<unsigned char>(peek())))
+      advance();
+  } else {
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      advance();
+    if (peek() == '.') {
+      // After digits, '.' always continues the number ("1.", "3.f", "2.5").
+      IsFloat = true;
+      advance();
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        advance();
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      unsigned Skip = (peek(1) == '+' || peek(1) == '-') ? 2 : 1;
+      if (std::isdigit(static_cast<unsigned char>(peek(Skip)))) {
+        IsFloat = true;
+        advance();
+        if (peek() == '+' || peek() == '-')
+          advance();
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+          advance();
+      }
+    }
+  }
+  // Suffixes: f/F forces float, l/L and u/U are accepted and ignored.
+  std::string Text = Source.substr(Start, Pos - Start);
+  while (peek() == 'f' || peek() == 'F' || peek() == 'l' || peek() == 'L' ||
+         peek() == 'u' || peek() == 'U') {
+    if (peek() == 'f' || peek() == 'F')
+      IsFloat = true;
+    advance();
+  }
+
+  Token T = makeToken(IsFloat ? TokenKind::FloatLiteral : TokenKind::IntLiteral,
+                      Loc, Text);
+  if (IsFloat)
+    T.FloatValue = std::strtod(Text.c_str(), nullptr);
+  else
+    T.IntValue = std::strtoll(Text.c_str(), nullptr, 0);
+  return T;
+}
+
+Token Lexer::lexIdentifierOrKeyword(SourceLoc Loc) {
+  size_t Start = Pos;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    advance();
+  std::string Text = Source.substr(Start, Pos - Start);
+
+  static const std::unordered_map<std::string, TokenKind> Keywords = {
+      {"void", TokenKind::KwVoid},         {"char", TokenKind::KwChar},
+      {"int", TokenKind::KwInt},           {"float", TokenKind::KwFloat},
+      {"double", TokenKind::KwDouble},     {"if", TokenKind::KwIf},
+      {"else", TokenKind::KwElse},         {"while", TokenKind::KwWhile},
+      {"do", TokenKind::KwDo},             {"for", TokenKind::KwFor},
+      {"return", TokenKind::KwReturn},     {"break", TokenKind::KwBreak},
+      {"continue", TokenKind::KwContinue}, {"goto", TokenKind::KwGoto},
+      {"static", TokenKind::KwStatic},     {"extern", TokenKind::KwExtern},
+      {"volatile", TokenKind::KwVolatile}, {"const", TokenKind::KwConst},
+      {"register", TokenKind::KwRegister}, {"sizeof", TokenKind::KwSizeof},
+  };
+  auto It = Keywords.find(Text);
+  if (It != Keywords.end())
+    return makeToken(It->second, Loc, Text);
+  return makeToken(TokenKind::Identifier, Loc, Text);
+}
+
+int Lexer::decodeEscape() {
+  // Caller consumed the backslash.
+  char C = advance();
+  switch (C) {
+  case 'n':
+    return '\n';
+  case 't':
+    return '\t';
+  case 'r':
+    return '\r';
+  case '0':
+    return '\0';
+  case '\\':
+    return '\\';
+  case '\'':
+    return '\'';
+  case '"':
+    return '"';
+  default:
+    Diags.error(currentLoc(), "unknown escape sequence");
+    return C;
+  }
+}
+
+Token Lexer::lexCharLiteral(SourceLoc Loc) {
+  advance(); // opening quote
+  int Value = 0;
+  if (peek() == '\\') {
+    advance();
+    Value = decodeEscape();
+  } else {
+    Value = advance();
+  }
+  if (!match('\''))
+    Diags.error(Loc, "unterminated character literal");
+  Token T = makeToken(TokenKind::CharLiteral, Loc, std::string(1, (char)Value));
+  T.IntValue = Value;
+  return T;
+}
+
+Token Lexer::lexStringLiteral(SourceLoc Loc) {
+  advance(); // opening quote
+  std::string Value;
+  while (peek() != '"') {
+    if (peek() == '\0' || peek() == '\n') {
+      Diags.error(Loc, "unterminated string literal");
+      break;
+    }
+    if (peek() == '\\') {
+      advance();
+      Value.push_back(static_cast<char>(decodeEscape()));
+    } else {
+      Value.push_back(advance());
+    }
+  }
+  match('"');
+  return makeToken(TokenKind::StringLiteral, Loc, Value);
+}
+
+Token Lexer::next() {
+  skipWhitespaceAndComments();
+  SourceLoc Loc = currentLoc();
+  char C = peek();
+
+  // Preprocessor-lite: `#pragma <body>` becomes a Pragma token; any other
+  // `#` directive line is skipped.
+  while (C == '#') {
+    advance();
+    size_t WordStart = Pos;
+    while (std::isalpha(static_cast<unsigned char>(peek())))
+      advance();
+    std::string Directive = Source.substr(WordStart, Pos - WordStart);
+    size_t BodyStart = Pos;
+    while (peek() != '\n' && peek() != '\0')
+      advance();
+    if (Directive == "pragma") {
+      std::string Body = Source.substr(BodyStart, Pos - BodyStart);
+      // Trim surrounding whitespace.
+      size_t First = Body.find_first_not_of(" \t");
+      size_t Last = Body.find_last_not_of(" \t");
+      if (First == std::string::npos)
+        Body.clear();
+      else
+        Body = Body.substr(First, Last - First + 1);
+      return makeToken(TokenKind::Pragma, Loc, Body);
+    }
+    skipWhitespaceAndComments();
+    Loc = currentLoc();
+    C = peek();
+  }
+
+  if (C == '\0')
+    return makeToken(TokenKind::Eof, Loc, "");
+  if (std::isdigit(static_cast<unsigned char>(C)) ||
+      (C == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))))
+    return lexNumber(Loc);
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentifierOrKeyword(Loc);
+  if (C == '\'')
+    return lexCharLiteral(Loc);
+  if (C == '"')
+    return lexStringLiteral(Loc);
+
+  advance();
+  switch (C) {
+  case '(':
+    return makeToken(TokenKind::LParen, Loc, "(");
+  case ')':
+    return makeToken(TokenKind::RParen, Loc, ")");
+  case '{':
+    return makeToken(TokenKind::LBrace, Loc, "{");
+  case '}':
+    return makeToken(TokenKind::RBrace, Loc, "}");
+  case '[':
+    return makeToken(TokenKind::LBracket, Loc, "[");
+  case ']':
+    return makeToken(TokenKind::RBracket, Loc, "]");
+  case ';':
+    return makeToken(TokenKind::Semi, Loc, ";");
+  case ',':
+    return makeToken(TokenKind::Comma, Loc, ",");
+  case ':':
+    return makeToken(TokenKind::Colon, Loc, ":");
+  case '?':
+    return makeToken(TokenKind::Question, Loc, "?");
+  case '~':
+    return makeToken(TokenKind::Tilde, Loc, "~");
+  case '+':
+    if (match('+'))
+      return makeToken(TokenKind::PlusPlus, Loc, "++");
+    if (match('='))
+      return makeToken(TokenKind::PlusEqual, Loc, "+=");
+    return makeToken(TokenKind::Plus, Loc, "+");
+  case '-':
+    if (match('-'))
+      return makeToken(TokenKind::MinusMinus, Loc, "--");
+    if (match('='))
+      return makeToken(TokenKind::MinusEqual, Loc, "-=");
+    return makeToken(TokenKind::Minus, Loc, "-");
+  case '*':
+    if (match('='))
+      return makeToken(TokenKind::StarEqual, Loc, "*=");
+    return makeToken(TokenKind::Star, Loc, "*");
+  case '/':
+    if (match('='))
+      return makeToken(TokenKind::SlashEqual, Loc, "/=");
+    return makeToken(TokenKind::Slash, Loc, "/");
+  case '%':
+    if (match('='))
+      return makeToken(TokenKind::PercentEqual, Loc, "%=");
+    return makeToken(TokenKind::Percent, Loc, "%");
+  case '&':
+    if (match('&'))
+      return makeToken(TokenKind::AmpAmp, Loc, "&&");
+    if (match('='))
+      return makeToken(TokenKind::AmpEqual, Loc, "&=");
+    return makeToken(TokenKind::Amp, Loc, "&");
+  case '|':
+    if (match('|'))
+      return makeToken(TokenKind::PipePipe, Loc, "||");
+    if (match('='))
+      return makeToken(TokenKind::PipeEqual, Loc, "|=");
+    return makeToken(TokenKind::Pipe, Loc, "|");
+  case '^':
+    if (match('='))
+      return makeToken(TokenKind::CaretEqual, Loc, "^=");
+    return makeToken(TokenKind::Caret, Loc, "^");
+  case '!':
+    if (match('='))
+      return makeToken(TokenKind::BangEqual, Loc, "!=");
+    return makeToken(TokenKind::Bang, Loc, "!");
+  case '=':
+    if (match('='))
+      return makeToken(TokenKind::EqualEqual, Loc, "==");
+    return makeToken(TokenKind::Equal, Loc, "=");
+  case '<':
+    if (match('<')) {
+      if (match('='))
+        return makeToken(TokenKind::LessLessEqual, Loc, "<<=");
+      return makeToken(TokenKind::LessLess, Loc, "<<");
+    }
+    if (match('='))
+      return makeToken(TokenKind::LessEqual, Loc, "<=");
+    return makeToken(TokenKind::Less, Loc, "<");
+  case '>':
+    if (match('>')) {
+      if (match('='))
+        return makeToken(TokenKind::GreaterGreaterEqual, Loc, ">>=");
+      return makeToken(TokenKind::GreaterGreater, Loc, ">>");
+    }
+    if (match('='))
+      return makeToken(TokenKind::GreaterEqual, Loc, ">=");
+    return makeToken(TokenKind::Greater, Loc, ">");
+  default:
+    Diags.error(Loc, formatString("unexpected character '%c'", C));
+    return makeToken(TokenKind::Unknown, Loc, std::string(1, C));
+  }
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  for (;;) {
+    Tokens.push_back(next());
+    if (Tokens.back().is(TokenKind::Eof))
+      return Tokens;
+  }
+}

@@ -1,0 +1,56 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A hand-written lexer for the supported C subset.  Handles the full C
+/// operator set (including compound assignment, ++/-- and shift operators),
+/// decimal/hex/octal integer literals, floating literals with exponents,
+/// character and string literals with escapes, and both comment styles.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_LEXER_LEXER_H
+#define TCC_LEXER_LEXER_H
+
+#include "lexer/Token.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace tcc {
+
+class Lexer {
+public:
+  Lexer(std::string Source, DiagnosticEngine &Diags);
+
+  /// Lexes and returns the next token.  After end of input, repeatedly
+  /// returns an Eof token.
+  Token next();
+
+  /// Lexes the entire buffer; the last element is always Eof.
+  std::vector<Token> lexAll();
+
+private:
+  char peek(unsigned Ahead = 0) const;
+  char advance();
+  bool match(char Expected);
+  void skipWhitespaceAndComments();
+  SourceLoc currentLoc() const { return SourceLoc(Line, Col); }
+
+  Token makeToken(TokenKind Kind, SourceLoc Loc, std::string Text);
+  Token lexNumber(SourceLoc Loc);
+  Token lexIdentifierOrKeyword(SourceLoc Loc);
+  Token lexCharLiteral(SourceLoc Loc);
+  Token lexStringLiteral(SourceLoc Loc);
+  int decodeEscape();
+
+  std::string Source;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+  DiagnosticEngine &Diags;
+};
+
+} // namespace tcc
+
+#endif // TCC_LEXER_LEXER_H

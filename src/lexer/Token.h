@@ -1,0 +1,119 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds and the Token value type produced by the C lexer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_LEXER_TOKEN_H
+#define TCC_LEXER_TOKEN_H
+
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+
+namespace tcc {
+
+enum class TokenKind : uint8_t {
+  Eof,
+  Identifier,
+  IntLiteral,
+  FloatLiteral,
+  CharLiteral,
+  StringLiteral,
+
+  // Keywords.
+  KwVoid,
+  KwChar,
+  KwInt,
+  KwFloat,
+  KwDouble,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwDo,
+  KwFor,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+  KwGoto,
+  KwStatic,
+  KwExtern,
+  KwVolatile,
+  KwConst,
+  KwRegister,
+  KwSizeof,
+
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Colon,
+  Question,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Amp,
+  Pipe,
+  Caret,
+  Tilde,
+  Bang,
+  Less,
+  Greater,
+  LessEqual,
+  GreaterEqual,
+  EqualEqual,
+  BangEqual,
+  AmpAmp,
+  PipePipe,
+  LessLess,
+  GreaterGreater,
+  Equal,
+  PlusEqual,
+  MinusEqual,
+  StarEqual,
+  SlashEqual,
+  PercentEqual,
+  AmpEqual,
+  PipeEqual,
+  CaretEqual,
+  LessLessEqual,
+  GreaterGreaterEqual,
+  PlusPlus,
+  MinusMinus,
+
+  /// A `#pragma ...` directive; Text holds the directive body (everything
+  /// after "#pragma", trimmed).  Other `#` lines are skipped by the lexer.
+  Pragma,
+
+  Unknown,
+};
+
+/// Human-readable spelling of a token kind for diagnostics ("'+='",
+/// "identifier", ...).
+const char *tokenKindName(TokenKind Kind);
+
+/// One lexed token.  Identifier and literal tokens carry their text; numeric
+/// literals also carry a decoded value.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  SourceLoc Loc;
+  std::string Text;
+  int64_t IntValue = 0;
+  double FloatValue = 0.0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+  bool isNot(TokenKind K) const { return Kind != K; }
+};
+
+} // namespace tcc
+
+#endif // TCC_LEXER_TOKEN_H

@@ -1,0 +1,767 @@
+#include "parser/Parser.h"
+
+#include "support/StringExtras.h"
+
+#include <cassert>
+
+using namespace tcc;
+using namespace tcc::ast;
+
+Parser::Parser(std::vector<Token> Tokens, AstContext &Ctx, TypeContext &Types,
+               DiagnosticEngine &Diags)
+    : Tokens(std::move(Tokens)), Ctx(Ctx), Types(Types), Diags(Diags) {
+  assert(!this->Tokens.empty() && this->Tokens.back().is(TokenKind::Eof) &&
+         "token stream must end with Eof");
+}
+
+const Token &Parser::peek(unsigned Ahead) const {
+  size_t Index = Pos + Ahead;
+  if (Index >= Tokens.size())
+    Index = Tokens.size() - 1; // Eof
+  return Tokens[Index];
+}
+
+Token Parser::consume() {
+  Token T = current();
+  if (Pos + 1 < Tokens.size())
+    ++Pos;
+  return T;
+}
+
+bool Parser::accept(TokenKind Kind) {
+  if (!check(Kind))
+    return false;
+  consume();
+  return true;
+}
+
+Token Parser::expect(TokenKind Kind, const char *Context) {
+  if (check(Kind))
+    return consume();
+  Diags.error(current().Loc,
+              formatString("expected %s %s, found %s", tokenKindName(Kind),
+                           Context, tokenKindName(current().Kind)));
+  // Return a synthesized token so callers can continue.
+  Token T;
+  T.Kind = Kind;
+  T.Loc = current().Loc;
+  return T;
+}
+
+void Parser::synchronizeToStatement() {
+  while (!check(TokenKind::Eof) && !check(TokenKind::Semi) &&
+         !check(TokenKind::RBrace))
+    consume();
+  accept(TokenKind::Semi);
+}
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+bool Parser::startsTypeSpecifier() const {
+  switch (current().Kind) {
+  case TokenKind::KwVoid:
+  case TokenKind::KwChar:
+  case TokenKind::KwInt:
+  case TokenKind::KwFloat:
+  case TokenKind::KwDouble:
+  case TokenKind::KwStatic:
+  case TokenKind::KwExtern:
+  case TokenKind::KwVolatile:
+  case TokenKind::KwConst:
+  case TokenKind::KwRegister:
+    return true;
+  default:
+    return false;
+  }
+}
+
+Parser::DeclSpecifiers Parser::parseDeclSpecifiers() {
+  DeclSpecifiers Specs;
+  for (;;) {
+    switch (current().Kind) {
+    case TokenKind::KwStatic:
+      Specs.IsStatic = true;
+      Specs.Storage = StorageClass::Static;
+      consume();
+      continue;
+    case TokenKind::KwExtern:
+      Specs.IsExtern = true;
+      Specs.Storage = StorageClass::Extern;
+      consume();
+      continue;
+    case TokenKind::KwRegister:
+      Specs.Storage = StorageClass::Register;
+      consume();
+      continue;
+    case TokenKind::KwVolatile:
+      Specs.IsVolatile = true;
+      consume();
+      continue;
+    case TokenKind::KwConst:
+      consume(); // accepted and ignored
+      continue;
+    case TokenKind::KwVoid:
+      Specs.BaseType = Types.getVoidType();
+      consume();
+      continue;
+    case TokenKind::KwChar:
+      Specs.BaseType = Types.getCharType();
+      consume();
+      continue;
+    case TokenKind::KwInt:
+      Specs.BaseType = Types.getIntType();
+      consume();
+      continue;
+    case TokenKind::KwFloat:
+      Specs.BaseType = Types.getFloatType();
+      consume();
+      continue;
+    case TokenKind::KwDouble:
+      Specs.BaseType = Types.getDoubleType();
+      consume();
+      continue;
+    default:
+      break;
+    }
+    break;
+  }
+  if (!Specs.BaseType)
+    Specs.BaseType = Types.getIntType(); // implicit int, K&R style
+  return Specs;
+}
+
+const Type *Parser::parseDeclarator(const Type *Base, std::string &OutName,
+                                    SourceLoc &OutLoc) {
+  // Pointers.
+  while (accept(TokenKind::Star)) {
+    // `* volatile` / `* const` qualifiers are accepted and ignored on the
+    // pointer itself.
+    while (accept(TokenKind::KwVolatile) || accept(TokenKind::KwConst))
+      ;
+    Base = Types.getPointerType(Base);
+  }
+  Token NameTok = expect(TokenKind::Identifier, "in declarator");
+  OutName = NameTok.Text;
+  OutLoc = NameTok.Loc;
+
+  // Array dimensions, outermost first in source.
+  std::vector<int64_t> Dims;
+  while (accept(TokenKind::LBracket)) {
+    int64_t Size = 0;
+    if (!check(TokenKind::RBracket)) {
+      Token SizeTok = expect(TokenKind::IntLiteral, "as array dimension");
+      Size = SizeTok.IntValue;
+    }
+    expect(TokenKind::RBracket, "after array dimension");
+    Dims.push_back(Size);
+  }
+  // Build array types inside-out: int a[2][3] is array(2, array(3, int)).
+  for (auto It = Dims.rbegin(); It != Dims.rend(); ++It)
+    Base = Types.getArrayType(Base, *It);
+  return Base;
+}
+
+const Type *Parser::parseAbstractDeclarator(const Type *Base) {
+  while (accept(TokenKind::Star))
+    Base = Types.getPointerType(Base);
+  return Base;
+}
+
+std::vector<VarDecl> Parser::parseInitDeclaratorList(DeclSpecifiers Specs) {
+  std::vector<VarDecl> Decls;
+  do {
+    VarDecl D;
+    D.Storage = Specs.Storage;
+    D.IsVolatile = Specs.IsVolatile;
+    D.DeclType = parseDeclarator(Specs.BaseType, D.Name, D.Loc);
+    if (accept(TokenKind::Equal))
+      D.Init = parseAssignment();
+    Decls.push_back(std::move(D));
+  } while (accept(TokenKind::Comma));
+  expect(TokenKind::Semi, "after declaration");
+  return Decls;
+}
+
+FunctionDecl Parser::parseFunctionRest(DeclSpecifiers Specs, const Type *Ret,
+                                       std::string Name, SourceLoc Loc) {
+  FunctionDecl F;
+  F.Loc = Loc;
+  F.Name = std::move(Name);
+  F.ReturnType = Ret;
+  F.IsStatic = Specs.IsStatic;
+  F.FortranPointerSemantics = FortranPointers;
+
+  // Parameter list; `(void)` and `()` both mean no parameters.
+  if (!check(TokenKind::RParen)) {
+    if (check(TokenKind::KwVoid) && peek(1).is(TokenKind::RParen)) {
+      consume();
+    } else {
+      do {
+        DeclSpecifiers PSpecs = parseDeclSpecifiers();
+        VarDecl P;
+        P.IsVolatile = PSpecs.IsVolatile;
+        P.DeclType = parseDeclarator(PSpecs.BaseType, P.Name, P.Loc);
+        // Array parameters decay to pointers.
+        P.DeclType = Types.decay(P.DeclType);
+        F.Params.push_back(std::move(P));
+      } while (accept(TokenKind::Comma));
+    }
+  }
+  expect(TokenKind::RParen, "after parameter list");
+
+  if (accept(TokenKind::Semi))
+    return F; // prototype
+
+  if (check(TokenKind::LBrace))
+    F.Body = parseBlock();
+  else
+    Diags.error(current().Loc, "expected function body or ';'");
+  return F;
+}
+
+void Parser::parseTopLevelDecl(TranslationUnit &TU) {
+  if (check(TokenKind::Pragma)) {
+    Token P = consume();
+    if (P.Text == "fortran_pointers")
+      FortranPointers = true;
+    else if (P.Text == "no_fortran_pointers")
+      FortranPointers = false;
+    else
+      Diags.warning(P.Loc, "ignoring unknown pragma '" + P.Text + "'");
+    return;
+  }
+
+  DeclSpecifiers Specs = parseDeclSpecifiers();
+  std::string Name;
+  SourceLoc Loc;
+  const Type *DeclTy = parseDeclarator(Specs.BaseType, Name, Loc);
+
+  if (check(TokenKind::LParen)) {
+    consume();
+    TU.Functions.push_back(
+        parseFunctionRest(Specs, DeclTy, std::move(Name), Loc));
+    return;
+  }
+
+  // Global variable(s).
+  VarDecl First;
+  First.Loc = Loc;
+  First.Name = std::move(Name);
+  First.DeclType = DeclTy;
+  First.Storage = Specs.Storage;
+  First.IsVolatile = Specs.IsVolatile;
+  if (accept(TokenKind::Equal))
+    First.Init = parseAssignment();
+  TU.Globals.push_back(std::move(First));
+  while (accept(TokenKind::Comma)) {
+    VarDecl D;
+    D.Storage = Specs.Storage;
+    D.IsVolatile = Specs.IsVolatile;
+    D.DeclType = parseDeclarator(Specs.BaseType, D.Name, D.Loc);
+    if (accept(TokenKind::Equal))
+      D.Init = parseAssignment();
+    TU.Globals.push_back(std::move(D));
+  }
+  expect(TokenKind::Semi, "after global declaration");
+}
+
+TranslationUnit Parser::parseTranslationUnit() {
+  TranslationUnit TU;
+  while (!check(TokenKind::Eof)) {
+    size_t Before = Pos;
+    parseTopLevelDecl(TU);
+    if (Pos == Before) {
+      // No progress: skip a token to guarantee termination.
+      Diags.error(current().Loc, "unexpected token at top level");
+      consume();
+    }
+  }
+  return TU;
+}
+
+ast::Expr *Parser::parseStandaloneExpr() { return parseExpr(); }
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+BlockStmt *Parser::parseBlock() {
+  Token LB = expect(TokenKind::LBrace, "to open block");
+  std::vector<Stmt *> Body;
+  while (!check(TokenKind::RBrace) && !check(TokenKind::Eof)) {
+    size_t Before = Pos;
+    Body.push_back(parseStatement());
+    if (Pos == Before) {
+      Diags.error(current().Loc, "unexpected token in block");
+      consume();
+    }
+  }
+  expect(TokenKind::RBrace, "to close block");
+  return Ctx.create<BlockStmt>(LB.Loc, std::move(Body));
+}
+
+Stmt *Parser::parseStatement() {
+  // A pragma may precede a loop statement.
+  bool SafeVector = false;
+  while (check(TokenKind::Pragma)) {
+    Token P = consume();
+    if (P.Text == "safe" || P.Text == "vector always" || P.Text == "ivdep")
+      SafeVector = true;
+    else
+      Diags.warning(P.Loc, "ignoring unknown pragma '" + P.Text + "'");
+  }
+
+  switch (current().Kind) {
+  case TokenKind::LBrace:
+    return parseBlock();
+  case TokenKind::KwIf:
+    return parseIf();
+  case TokenKind::KwWhile:
+    return parseWhile(SafeVector);
+  case TokenKind::KwDo:
+    return parseDoWhile();
+  case TokenKind::KwFor:
+    return parseFor(SafeVector);
+  case TokenKind::KwReturn: {
+    Token T = consume();
+    Expr *Value = nullptr;
+    if (!check(TokenKind::Semi))
+      Value = parseExpr();
+    expect(TokenKind::Semi, "after return");
+    return Ctx.create<ReturnStmt>(T.Loc, Value);
+  }
+  case TokenKind::KwBreak: {
+    Token T = consume();
+    expect(TokenKind::Semi, "after break");
+    return Ctx.create<BreakStmt>(T.Loc);
+  }
+  case TokenKind::KwContinue: {
+    Token T = consume();
+    expect(TokenKind::Semi, "after continue");
+    return Ctx.create<ContinueStmt>(T.Loc);
+  }
+  case TokenKind::KwGoto: {
+    Token T = consume();
+    Token Label = expect(TokenKind::Identifier, "after goto");
+    expect(TokenKind::Semi, "after goto label");
+    return Ctx.create<GotoStmt>(T.Loc, Label.Text);
+  }
+  case TokenKind::Semi: {
+    Token T = consume();
+    return Ctx.create<EmptyStmt>(T.Loc);
+  }
+  default:
+    break;
+  }
+
+  // Label: `identifier :`.
+  if (check(TokenKind::Identifier) && peek(1).is(TokenKind::Colon)) {
+    Token Label = consume();
+    consume(); // ':'
+    Stmt *Sub = parseStatement();
+    return Ctx.create<LabeledStmt>(Label.Loc, Label.Text, Sub);
+  }
+
+  // Declaration statement.
+  if (startsTypeSpecifier()) {
+    SourceLoc Loc = current().Loc;
+    DeclSpecifiers Specs = parseDeclSpecifiers();
+    return Ctx.create<DeclStmt>(Loc, parseInitDeclaratorList(Specs));
+  }
+
+  // Expression statement.
+  SourceLoc Loc = current().Loc;
+  Expr *E = parseExpr();
+  expect(TokenKind::Semi, "after expression");
+  return Ctx.create<ExprStmt>(Loc, E);
+}
+
+Stmt *Parser::parseIf() {
+  Token T = consume();
+  expect(TokenKind::LParen, "after 'if'");
+  Expr *Cond = parseExpr();
+  expect(TokenKind::RParen, "after if condition");
+  Stmt *Then = parseStatement();
+  Stmt *Else = nullptr;
+  if (accept(TokenKind::KwElse))
+    Else = parseStatement();
+  return Ctx.create<IfStmt>(T.Loc, Cond, Then, Else);
+}
+
+Stmt *Parser::parseWhile(bool SafeVector) {
+  Token T = consume();
+  expect(TokenKind::LParen, "after 'while'");
+  Expr *Cond = parseExpr();
+  expect(TokenKind::RParen, "after while condition");
+  Stmt *Body = parseStatement();
+  return Ctx.create<WhileStmt>(T.Loc, Cond, Body, SafeVector);
+}
+
+Stmt *Parser::parseDoWhile() {
+  Token T = consume();
+  Stmt *Body = parseStatement();
+  expect(TokenKind::KwWhile, "after do body");
+  expect(TokenKind::LParen, "after 'while'");
+  Expr *Cond = parseExpr();
+  expect(TokenKind::RParen, "after do-while condition");
+  expect(TokenKind::Semi, "after do-while");
+  return Ctx.create<DoWhileStmt>(T.Loc, Body, Cond);
+}
+
+Stmt *Parser::parseFor(bool SafeVector) {
+  Token T = consume();
+  expect(TokenKind::LParen, "after 'for'");
+
+  Stmt *Init = nullptr;
+  if (accept(TokenKind::Semi)) {
+    // empty init
+  } else if (startsTypeSpecifier()) {
+    SourceLoc Loc = current().Loc;
+    DeclSpecifiers Specs = parseDeclSpecifiers();
+    Init = Ctx.create<DeclStmt>(Loc, parseInitDeclaratorList(Specs));
+  } else {
+    SourceLoc Loc = current().Loc;
+    Expr *E = parseExpr();
+    expect(TokenKind::Semi, "after for-init");
+    Init = Ctx.create<ExprStmt>(Loc, E);
+  }
+
+  Expr *Cond = nullptr;
+  if (!check(TokenKind::Semi))
+    Cond = parseExpr();
+  expect(TokenKind::Semi, "after for-condition");
+
+  Expr *Inc = nullptr;
+  if (!check(TokenKind::RParen))
+    Inc = parseExpr();
+  expect(TokenKind::RParen, "after for-increment");
+
+  Stmt *Body = parseStatement();
+  return Ctx.create<ForStmt>(T.Loc, Init, Cond, Inc, Body, SafeVector);
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+Expr *Parser::parseExpr() {
+  Expr *LHS = parseAssignment();
+  while (check(TokenKind::Comma)) {
+    Token T = consume();
+    Expr *RHS = parseAssignment();
+    LHS = Ctx.create<CommaExpr>(T.Loc, LHS, RHS);
+  }
+  return LHS;
+}
+
+Expr *Parser::parseAssignment() {
+  Expr *LHS = parseConditional();
+  switch (current().Kind) {
+  case TokenKind::Equal: {
+    Token T = consume();
+    Expr *RHS = parseAssignment();
+    return Ctx.create<AssignExpr>(T.Loc, LHS, RHS);
+  }
+  case TokenKind::PlusEqual:
+  case TokenKind::MinusEqual:
+  case TokenKind::StarEqual:
+  case TokenKind::SlashEqual:
+  case TokenKind::PercentEqual:
+  case TokenKind::AmpEqual:
+  case TokenKind::PipeEqual:
+  case TokenKind::CaretEqual:
+  case TokenKind::LessLessEqual:
+  case TokenKind::GreaterGreaterEqual: {
+    Token T = consume();
+    BinaryOp Op;
+    switch (T.Kind) {
+    case TokenKind::PlusEqual:
+      Op = BinaryOp::Add;
+      break;
+    case TokenKind::MinusEqual:
+      Op = BinaryOp::Sub;
+      break;
+    case TokenKind::StarEqual:
+      Op = BinaryOp::Mul;
+      break;
+    case TokenKind::SlashEqual:
+      Op = BinaryOp::Div;
+      break;
+    case TokenKind::PercentEqual:
+      Op = BinaryOp::Rem;
+      break;
+    case TokenKind::AmpEqual:
+      Op = BinaryOp::BitAnd;
+      break;
+    case TokenKind::PipeEqual:
+      Op = BinaryOp::BitOr;
+      break;
+    case TokenKind::CaretEqual:
+      Op = BinaryOp::BitXor;
+      break;
+    case TokenKind::LessLessEqual:
+      Op = BinaryOp::Shl;
+      break;
+    default:
+      Op = BinaryOp::Shr;
+      break;
+    }
+    Expr *RHS = parseAssignment();
+    return Ctx.create<CompoundAssignExpr>(T.Loc, Op, LHS, RHS);
+  }
+  default:
+    return LHS;
+  }
+}
+
+Expr *Parser::parseConditional() {
+  Expr *Cond = parseBinaryRHS(0, parseUnary());
+  if (!check(TokenKind::Question))
+    return Cond;
+  Token T = consume();
+  Expr *TrueE = parseExpr();
+  expect(TokenKind::Colon, "in conditional expression");
+  Expr *FalseE = parseConditional();
+  return Ctx.create<ConditionalExpr>(T.Loc, Cond, TrueE, FalseE);
+}
+
+/// Binary operator precedence (C levels, higher binds tighter).
+static int binaryPrecedence(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Star:
+  case TokenKind::Slash:
+  case TokenKind::Percent:
+    return 10;
+  case TokenKind::Plus:
+  case TokenKind::Minus:
+    return 9;
+  case TokenKind::LessLess:
+  case TokenKind::GreaterGreater:
+    return 8;
+  case TokenKind::Less:
+  case TokenKind::Greater:
+  case TokenKind::LessEqual:
+  case TokenKind::GreaterEqual:
+    return 7;
+  case TokenKind::EqualEqual:
+  case TokenKind::BangEqual:
+    return 6;
+  case TokenKind::Amp:
+    return 5;
+  case TokenKind::Caret:
+    return 4;
+  case TokenKind::Pipe:
+    return 3;
+  case TokenKind::AmpAmp:
+    return 2;
+  case TokenKind::PipePipe:
+    return 1;
+  default:
+    return -1;
+  }
+}
+
+static BinaryOp binaryOpFor(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Star:
+    return BinaryOp::Mul;
+  case TokenKind::Slash:
+    return BinaryOp::Div;
+  case TokenKind::Percent:
+    return BinaryOp::Rem;
+  case TokenKind::Plus:
+    return BinaryOp::Add;
+  case TokenKind::Minus:
+    return BinaryOp::Sub;
+  case TokenKind::LessLess:
+    return BinaryOp::Shl;
+  case TokenKind::GreaterGreater:
+    return BinaryOp::Shr;
+  case TokenKind::Less:
+    return BinaryOp::Lt;
+  case TokenKind::Greater:
+    return BinaryOp::Gt;
+  case TokenKind::LessEqual:
+    return BinaryOp::Le;
+  case TokenKind::GreaterEqual:
+    return BinaryOp::Ge;
+  case TokenKind::EqualEqual:
+    return BinaryOp::Eq;
+  case TokenKind::BangEqual:
+    return BinaryOp::Ne;
+  case TokenKind::Amp:
+    return BinaryOp::BitAnd;
+  case TokenKind::Caret:
+    return BinaryOp::BitXor;
+  case TokenKind::Pipe:
+    return BinaryOp::BitOr;
+  case TokenKind::AmpAmp:
+    return BinaryOp::LogAnd;
+  case TokenKind::PipePipe:
+    return BinaryOp::LogOr;
+  default:
+    assert(false && "not a binary operator token");
+    return BinaryOp::Add;
+  }
+}
+
+Expr *Parser::parseBinaryRHS(int MinPrec, Expr *LHS) {
+  for (;;) {
+    int Prec = binaryPrecedence(current().Kind);
+    if (Prec < MinPrec || Prec < 0)
+      return LHS;
+    Token OpTok = consume();
+    Expr *RHS = parseUnary();
+    int NextPrec = binaryPrecedence(current().Kind);
+    if (NextPrec > Prec)
+      RHS = parseBinaryRHS(Prec + 1, RHS);
+    LHS = Ctx.create<BinaryExpr>(OpTok.Loc, binaryOpFor(OpTok.Kind), LHS, RHS);
+  }
+}
+
+bool Parser::isCastStart() const {
+  if (!check(TokenKind::LParen))
+    return false;
+  switch (peek(1).Kind) {
+  case TokenKind::KwVoid:
+  case TokenKind::KwChar:
+  case TokenKind::KwInt:
+  case TokenKind::KwFloat:
+  case TokenKind::KwDouble:
+    return true;
+  default:
+    return false;
+  }
+}
+
+Expr *Parser::parseUnary() {
+  switch (current().Kind) {
+  case TokenKind::Plus: {
+    Token T = consume();
+    return Ctx.create<UnaryExpr>(T.Loc, UnaryOp::Plus, parseUnary());
+  }
+  case TokenKind::Minus: {
+    Token T = consume();
+    return Ctx.create<UnaryExpr>(T.Loc, UnaryOp::Neg, parseUnary());
+  }
+  case TokenKind::Bang: {
+    Token T = consume();
+    return Ctx.create<UnaryExpr>(T.Loc, UnaryOp::LogNot, parseUnary());
+  }
+  case TokenKind::Tilde: {
+    Token T = consume();
+    return Ctx.create<UnaryExpr>(T.Loc, UnaryOp::BitNot, parseUnary());
+  }
+  case TokenKind::Star: {
+    Token T = consume();
+    return Ctx.create<UnaryExpr>(T.Loc, UnaryOp::Deref, parseUnary());
+  }
+  case TokenKind::Amp: {
+    Token T = consume();
+    return Ctx.create<UnaryExpr>(T.Loc, UnaryOp::AddrOf, parseUnary());
+  }
+  case TokenKind::PlusPlus: {
+    Token T = consume();
+    return Ctx.create<IncDecExpr>(T.Loc, /*IsIncrement=*/true,
+                                  /*IsPrefix=*/true, parseUnary());
+  }
+  case TokenKind::MinusMinus: {
+    Token T = consume();
+    return Ctx.create<IncDecExpr>(T.Loc, /*IsIncrement=*/false,
+                                  /*IsPrefix=*/true, parseUnary());
+  }
+  case TokenKind::KwSizeof: {
+    Token T = consume();
+    // sizeof(type) only; evaluates to an integer literal immediately.
+    expect(TokenKind::LParen, "after sizeof");
+    DeclSpecifiers Specs = parseDeclSpecifiers();
+    const Type *Ty = parseAbstractDeclarator(Specs.BaseType);
+    expect(TokenKind::RParen, "after sizeof type");
+    return Ctx.create<IntLiteralExpr>(T.Loc, Ty->getSizeInBytes());
+  }
+  case TokenKind::LParen:
+    if (isCastStart()) {
+      Token T = consume(); // '('
+      DeclSpecifiers Specs = parseDeclSpecifiers();
+      const Type *Ty = parseAbstractDeclarator(Specs.BaseType);
+      expect(TokenKind::RParen, "after cast type");
+      return Ctx.create<CastExpr>(T.Loc, Ty, parseUnary());
+    }
+    break;
+  default:
+    break;
+  }
+  return parsePostfix();
+}
+
+Expr *Parser::parsePostfix() {
+  Expr *E = parsePrimary();
+  for (;;) {
+    if (check(TokenKind::LBracket)) {
+      Token T = consume();
+      Expr *Index = parseExpr();
+      expect(TokenKind::RBracket, "after subscript");
+      E = Ctx.create<IndexExpr>(T.Loc, E, Index);
+      continue;
+    }
+    if (check(TokenKind::PlusPlus)) {
+      Token T = consume();
+      E = Ctx.create<IncDecExpr>(T.Loc, /*IsIncrement=*/true,
+                                 /*IsPrefix=*/false, E);
+      continue;
+    }
+    if (check(TokenKind::MinusMinus)) {
+      Token T = consume();
+      E = Ctx.create<IncDecExpr>(T.Loc, /*IsIncrement=*/false,
+                                 /*IsPrefix=*/false, E);
+      continue;
+    }
+    return E;
+  }
+}
+
+Expr *Parser::parsePrimary() {
+  switch (current().Kind) {
+  case TokenKind::IntLiteral: {
+    Token T = consume();
+    return Ctx.create<IntLiteralExpr>(T.Loc, T.IntValue);
+  }
+  case TokenKind::CharLiteral: {
+    Token T = consume();
+    return Ctx.create<IntLiteralExpr>(T.Loc, T.IntValue);
+  }
+  case TokenKind::FloatLiteral: {
+    Token T = consume();
+    return Ctx.create<FloatLiteralExpr>(T.Loc, T.FloatValue);
+  }
+  case TokenKind::Identifier: {
+    Token T = consume();
+    if (check(TokenKind::LParen)) {
+      consume();
+      std::vector<Expr *> Args;
+      if (!check(TokenKind::RParen)) {
+        do
+          Args.push_back(parseAssignment());
+        while (accept(TokenKind::Comma));
+      }
+      expect(TokenKind::RParen, "after call arguments");
+      return Ctx.create<CallExpr>(T.Loc, T.Text, std::move(Args));
+    }
+    return Ctx.create<VarRefExpr>(T.Loc, T.Text);
+  }
+  case TokenKind::LParen: {
+    consume();
+    Expr *E = parseExpr();
+    expect(TokenKind::RParen, "after parenthesized expression");
+    return E;
+  }
+  default:
+    Diags.error(current().Loc,
+                formatString("expected expression, found %s",
+                             tokenKindName(current().Kind)));
+    Token T = consume();
+    return Ctx.create<IntLiteralExpr>(T.Loc, 0);
+  }
+}

@@ -1,0 +1,102 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the supported C subset, producing the
+/// syntactic AST.  The grammar follows K&R/ANSI C restricted to the subset
+/// in DESIGN.md Section 4: scalar types, pointers, multi-dimensional
+/// arrays, the full expression grammar with correct precedence, and the
+/// statement forms the Titan compiler paper exercises.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_PARSER_PARSER_H
+#define TCC_PARSER_PARSER_H
+
+#include "ast/Ast.h"
+#include "lexer/Token.h"
+#include "support/Diagnostics.h"
+#include "types/Type.h"
+
+#include <string>
+#include <vector>
+
+namespace tcc {
+
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, ast::AstContext &Ctx, TypeContext &Types,
+         DiagnosticEngine &Diags);
+
+  /// Parses a whole translation unit.  On syntax errors, diagnostics are
+  /// recorded and a best-effort AST is returned; callers must check
+  /// Diags.hasErrors().
+  ast::TranslationUnit parseTranslationUnit();
+
+  /// Parses a single expression (used by tests).
+  ast::Expr *parseStandaloneExpr();
+
+private:
+  // Token stream helpers.
+  const Token &peek(unsigned Ahead = 0) const;
+  const Token &current() const { return peek(0); }
+  Token consume();
+  bool check(TokenKind Kind) const { return current().is(Kind); }
+  bool accept(TokenKind Kind);
+  Token expect(TokenKind Kind, const char *Context);
+  void synchronizeToStatement();
+
+  // Declarations.
+  bool startsTypeSpecifier() const;
+  struct DeclSpecifiers {
+    const Type *BaseType = nullptr;
+    ast::StorageClass Storage = ast::StorageClass::Auto;
+    bool IsVolatile = false;
+    bool IsStatic = false;
+    bool IsExtern = false;
+  };
+  DeclSpecifiers parseDeclSpecifiers();
+  /// Parses a declarator: pointers, name, array dimensions.  \p OutName
+  /// receives the declared identifier.
+  const Type *parseDeclarator(const Type *Base, std::string &OutName,
+                              SourceLoc &OutLoc);
+  /// Parses an abstract declarator for casts: pointers only.
+  const Type *parseAbstractDeclarator(const Type *Base);
+  std::vector<ast::VarDecl> parseInitDeclaratorList(DeclSpecifiers Specs);
+  void parseTopLevelDecl(ast::TranslationUnit &TU);
+  ast::FunctionDecl parseFunctionRest(DeclSpecifiers Specs, const Type *Ret,
+                                      std::string Name, SourceLoc Loc);
+
+  // Statements.
+  ast::Stmt *parseStatement();
+  ast::BlockStmt *parseBlock();
+  ast::Stmt *parseIf();
+  ast::Stmt *parseWhile(bool SafeVector);
+  ast::Stmt *parseDoWhile();
+  ast::Stmt *parseFor(bool SafeVector);
+
+  // Expressions (precedence climbing, C precedence).
+  ast::Expr *parseExpr();           // comma
+  ast::Expr *parseAssignment();     // = += ...
+  ast::Expr *parseConditional();    // ?:
+  ast::Expr *parseBinaryRHS(int MinPrec, ast::Expr *LHS);
+  ast::Expr *parseUnary();
+  ast::Expr *parsePostfix();
+  ast::Expr *parsePrimary();
+
+  /// True if the parenthesized tokens starting at the current `(` form a
+  /// cast, i.e. `(` type-specifier ... `)`.
+  bool isCastStart() const;
+
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  ast::AstContext &Ctx;
+  TypeContext &Types;
+  DiagnosticEngine &Diags;
+  /// Set once `#pragma fortran_pointers` is seen; applies to subsequent
+  /// function definitions.
+  bool FortranPointers = false;
+};
+
+} // namespace tcc
+
+#endif // TCC_PARSER_PARSER_H

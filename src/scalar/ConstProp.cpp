@@ -1,0 +1,378 @@
+#include "scalar/ConstProp.h"
+
+#include "analysis/UseDef.h"
+#include "scalar/Fold.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+using namespace tcc;
+using namespace tcc::il;
+using namespace tcc::scalar;
+
+namespace {
+
+class Propagator {
+public:
+  Propagator(Function &F, const ConstPropOptions &Opts)
+      : F(F), Opts(Opts), UD(F) {}
+
+  ConstPropStats run() {
+    // Initial folding sweep and worklist seeding.
+    forEachStmt(F.getBody(), [this](Stmt *S) {
+      foldStmt(S);
+      if (isConstAssign(S))
+        push(static_cast<AssignStmt *>(S));
+    });
+
+    while (!Worklist.empty()) {
+      AssignStmt *Def = Worklist.front();
+      Worklist.pop_front();
+      InList.erase(Def);
+      if (Removed.count(Def))
+        continue;
+      propagateFrom(Def);
+    }
+
+    structuralSimplify(F.getBody());
+
+    if (Opts.EnableAlwaysTakenPostpass)
+      alwaysTakenPostpass(F.getBody());
+
+    return Stats;
+  }
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Constant-like values
+  //===--------------------------------------------------------------------===//
+
+  /// True for `&sym` and `&arr[c0][c1]...` with constant subscripts —
+  /// frame-invariant address constants.
+  static bool isAddressConstant(Expr *E) {
+    if (E->getKind() != Expr::AddrOfKind)
+      return false;
+    Expr *LV = static_cast<AddrOfExpr *>(E)->getLValue();
+    if (LV->getKind() == Expr::VarRefKind)
+      return true;
+    if (LV->getKind() != Expr::IndexKind)
+      return false;
+    auto *I = static_cast<IndexExpr *>(LV);
+    if (I->getBase()->getKind() != Expr::VarRefKind)
+      return false;
+    for (Expr *Sub : I->getSubscripts())
+      if (Sub->getKind() != Expr::ConstIntKind)
+        return false;
+    return true;
+  }
+
+  /// A propagatable RHS: an int/float constant, or (optionally) an address
+  /// constant `&sym` / `&arr[c]` / `&sym ± c`.
+  bool isConstLike(Expr *E) const {
+    switch (E->getKind()) {
+    case Expr::ConstIntKind:
+    case Expr::ConstFloatKind:
+      return true;
+    case Expr::AddrOfKind:
+      return Opts.PropagateAddressConstants && isAddressConstant(E);
+    case Expr::BinaryKind: {
+      if (!Opts.PropagateAddressConstants)
+        return false;
+      auto *B = static_cast<BinaryExpr *>(E);
+      if (B->getOp() != OpCode::Add && B->getOp() != OpCode::Sub)
+        return false;
+      return B->getRHS()->getKind() == Expr::ConstIntKind &&
+             isAddressConstant(B->getLHS());
+    }
+    default:
+      return false;
+    }
+  }
+
+  bool isConstAssign(Stmt *S) const {
+    if (S->getKind() != Stmt::AssignKind)
+      return false;
+    auto *A = static_cast<AssignStmt *>(S);
+    if (A->getLHS()->getKind() != Expr::VarRefKind)
+      return false;
+    Symbol *Sym = static_cast<VarRefExpr *>(A->getLHS())->getSymbol();
+    if (Sym->isVolatile() || !Sym->getType()->isScalar())
+      return false;
+    return isConstLike(A->getRHS());
+  }
+
+  void push(AssignStmt *S) {
+    if (InList.insert(S).second)
+      Worklist.push_back(S);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Propagation
+  //===--------------------------------------------------------------------===//
+
+  void propagateFrom(AssignStmt *Def) {
+    Symbol *Sym = static_cast<VarRefExpr *>(Def->getLHS())->getSymbol();
+    Expr *Value = Def->getRHS();
+
+    for (auto &[User, UsedSym] : UD.usesOf(Def)) {
+      if (UsedSym != Sym || Removed.count(User))
+        continue;
+      // Every reaching definition must carry the same constant.
+      bool AllSame = true;
+      for (const Stmt *Other : UD.defsReaching(User, Sym)) {
+        if (!Other) {
+          AllSame = false; // entry value may differ
+          break;
+        }
+        if (Other->getKind() != Stmt::AssignKind ||
+            static_cast<const AssignStmt *>(Other)->getLHS()->getKind() !=
+                Expr::VarRefKind) {
+          AllSame = false; // may-def (call / pointer store)
+          break;
+        }
+        auto *OtherA = static_cast<const AssignStmt *>(Other);
+        if (!exprEquals(OtherA->getRHS(), Value)) {
+          AllSame = false;
+          break;
+        }
+      }
+      if (!AllSame)
+        continue;
+
+      Stmt *U = const_cast<Stmt *>(User);
+      unsigned N = replaceUsesIn(U, Sym, Value);
+      if (!N)
+        continue;
+      Stats.UsesReplaced += N;
+      foldStmt(U);
+      if (isConstAssign(U))
+        push(static_cast<AssignStmt *>(U));
+      // Control statements with folded conditions are handled in the
+      // structural pass; but fold eagerly so nested constants flow.
+      maybeFoldControl(U);
+    }
+  }
+
+  unsigned replaceUsesIn(Stmt *S, Symbol *Sym, Expr *Value) {
+    unsigned Count = 0;
+    auto ReplaceInSlot = [&](Expr *&Slot) {
+      // Only *value* uses may be replaced: `&x` names x's storage and
+      // must survive constant propagation of x.
+      forEachValueUseSlot(Slot, [&](Expr *&Sub) {
+        if (static_cast<VarRefExpr *>(Sub)->getSymbol() == Sym) {
+          Sub = F.cloneExpr(Value);
+          ++Count;
+        }
+      });
+    };
+    if (S->getKind() == Stmt::AssignKind) {
+      auto *A = static_cast<AssignStmt *>(S);
+      if (A->getLHS()->getKind() != Expr::VarRefKind)
+        ReplaceInSlot(A->lhsSlot());
+      ReplaceInSlot(A->rhsSlot());
+      return Count;
+    }
+    forEachExprSlot(S, ReplaceInSlot);
+    return Count;
+  }
+
+  void foldStmt(Stmt *S) {
+    forEachExprSlot(S, [this](Expr *&Slot) { Slot = foldExpr(F, Slot); });
+  }
+
+  /// If \p S is an If/While/DoLoop whose condition folded to a constant,
+  /// remember it for the structural pass (we cannot splice here because we
+  /// do not know the parent block).
+  void maybeFoldControl(Stmt *S) {
+    // Nothing to record: structuralSimplify re-scans; this hook exists so
+    // the scan logic lives in one place.
+    (void)S;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Unreachable-code elimination (structural)
+  //===--------------------------------------------------------------------===//
+
+  /// Collects \p S and everything nested in it into Removed, updating the
+  /// chains and re-queueing constants per the paper's heuristic.
+  void removeTree(Stmt *S) {
+    std::vector<Stmt *> All;
+    All.push_back(S);
+    switch (S->getKind()) {
+    case Stmt::IfKind: {
+      auto *I = static_cast<IfStmt *>(S);
+      forEachStmt(I->getThen(), [&All](Stmt *Sub) { All.push_back(Sub); });
+      forEachStmt(I->getElse(), [&All](Stmt *Sub) { All.push_back(Sub); });
+      break;
+    }
+    case Stmt::WhileKind:
+      forEachStmt(static_cast<WhileStmt *>(S)->getBody(),
+                  [&All](Stmt *Sub) { All.push_back(Sub); });
+      break;
+    case Stmt::DoLoopKind:
+      forEachStmt(static_cast<DoLoopStmt *>(S)->getBody(),
+                  [&All](Stmt *Sub) { All.push_back(Sub); });
+      break;
+    default:
+      break;
+    }
+    for (Stmt *Dead : All) {
+      Removed.insert(Dead);
+      ++Stats.StmtsRemoved;
+      auto Affected = UD.removeStmt(Dead);
+      if (!Opts.EnableUnreachableHeuristic)
+        continue;
+      // The heuristic: constant assignments whose definitions reach a
+      // statement that just lost a definition go back on the heap.
+      for (auto &[User, Sym] : Affected) {
+        if (Removed.count(User))
+          continue;
+        for (const Stmt *DefC : UD.defsReaching(User, Sym)) {
+          if (!DefC || Removed.count(DefC))
+            continue;
+          if (isConstAssign(const_cast<Stmt *>(DefC))) {
+            push(static_cast<AssignStmt *>(const_cast<Stmt *>(DefC)));
+            ++Stats.Requeues;
+          }
+        }
+      }
+    }
+  }
+
+  /// Rewrites blocks bottom-up: folds If(const), deletes While(0) and
+  /// zero-trip DO loops, then continues propagation rounds triggered by
+  /// the removals.
+  void structuralSimplify(Block &B) {
+    for (size_t I = 0; I < B.Stmts.size();) {
+      Stmt *S = B.Stmts[I];
+      switch (S->getKind()) {
+      case Stmt::IfKind: {
+        auto *If = static_cast<IfStmt *>(S);
+        structuralSimplify(If->getThen());
+        structuralSimplify(If->getElse());
+        int64_t C;
+        if (evaluatesToInt(F, If->getCond(), C)) {
+          Block &Taken = C ? If->getThen() : If->getElse();
+          Block &Dead = C ? If->getElse() : If->getThen();
+          // Remove the dead branch with the heuristic, then splice the
+          // taken branch into the parent.
+          for (Stmt *DeadStmt : Dead.Stmts)
+            removeTree(DeadStmt);
+          Removed.insert(If);
+          UD.removeStmt(If);
+          ++Stats.BranchesFolded;
+          std::vector<Stmt *> TakenStmts = std::move(Taken.Stmts);
+          B.Stmts.erase(B.Stmts.begin() + static_cast<long>(I));
+          B.Stmts.insert(B.Stmts.begin() + static_cast<long>(I),
+                         TakenStmts.begin(), TakenStmts.end());
+          drainWorklist();
+          continue; // revisit position I
+        }
+        ++I;
+        break;
+      }
+      case Stmt::WhileKind: {
+        auto *W = static_cast<WhileStmt *>(S);
+        structuralSimplify(W->getBody());
+        int64_t C;
+        if (evaluatesToInt(F, W->getCond(), C) && C == 0) {
+          removeTree(W);
+          B.Stmts.erase(B.Stmts.begin() + static_cast<long>(I));
+          ++Stats.LoopsDeleted;
+          drainWorklist();
+          continue;
+        }
+        ++I;
+        break;
+      }
+      case Stmt::DoLoopKind: {
+        auto *D = static_cast<DoLoopStmt *>(S);
+        structuralSimplify(D->getBody());
+        // Normalized zero-trip: limit < init with positive step.
+        int64_t Init, Limit, Step;
+        if (evaluatesToInt(F, D->getInit(), Init) &&
+            evaluatesToInt(F, D->getLimit(), Limit) &&
+            evaluatesToInt(F, D->getStep(), Step) &&
+            ((Step > 0 && Limit < Init) || (Step < 0 && Limit > Init))) {
+          removeTree(D);
+          B.Stmts.erase(B.Stmts.begin() + static_cast<long>(I));
+          ++Stats.LoopsDeleted;
+          drainWorklist();
+          continue;
+        }
+        ++I;
+        break;
+      }
+      default:
+        ++I;
+        break;
+      }
+    }
+  }
+
+  void drainWorklist() {
+    while (!Worklist.empty()) {
+      AssignStmt *Def = Worklist.front();
+      Worklist.pop_front();
+      InList.erase(Def);
+      if (Removed.count(Def))
+        continue;
+      propagateFrom(Def);
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Always-taken-branch postpass
+  //===--------------------------------------------------------------------===//
+
+  void alwaysTakenPostpass(Block &B) {
+    for (size_t I = 0; I < B.Stmts.size(); ++I) {
+      Stmt *S = B.Stmts[I];
+      switch (S->getKind()) {
+      case Stmt::IfKind: {
+        auto *If = static_cast<IfStmt *>(S);
+        alwaysTakenPostpass(If->getThen());
+        alwaysTakenPostpass(If->getElse());
+        break;
+      }
+      case Stmt::WhileKind:
+        alwaysTakenPostpass(static_cast<WhileStmt *>(S)->getBody());
+        break;
+      case Stmt::DoLoopKind:
+        alwaysTakenPostpass(static_cast<DoLoopStmt *>(S)->getBody());
+        break;
+      case Stmt::GotoKind:
+      case Stmt::ReturnKind: {
+        // Everything after an unconditional transfer, up to the next
+        // label, is unreachable.
+        size_t J = I + 1;
+        while (J < B.Stmts.size() &&
+               B.Stmts[J]->getKind() != Stmt::LabelKind) {
+          removeTree(B.Stmts[J]);
+          ++Stats.PostpassRemoved;
+          B.Stmts.erase(B.Stmts.begin() + static_cast<long>(J));
+        }
+        break;
+      }
+      default:
+        break;
+      }
+    }
+  }
+
+  Function &F;
+  const ConstPropOptions &Opts;
+  analysis::UseDefChains UD;
+  std::deque<AssignStmt *> Worklist;
+  std::set<const Stmt *> InList;
+  std::set<const Stmt *> Removed;
+  ConstPropStats Stats;
+};
+
+} // namespace
+
+ConstPropStats scalar::propagateConstants(Function &F,
+                                          const ConstPropOptions &Opts) {
+  return Propagator(F, Opts).run();
+}

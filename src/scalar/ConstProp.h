@@ -1,0 +1,67 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Constant propagation fused with unreachable-code elimination (paper
+/// Section 8).
+///
+/// After inlining, "the information provided by the specific parameters at
+/// a call site permits a large amount of optimization": constants flow
+/// into guards, guards fold, whole branches die, and their deaths expose
+/// more constants.  Rather than IF-conversion, basic-block rebuilding, or
+/// Wegman-Zadeck (all considered and rejected by the paper), this pass
+/// implements the paper's heuristic:
+///
+///   During constant propagation the compiler eliminates code detected as
+///   unreachable (if conditions simplified to false/true, loops with zero
+///   iterations).  When a statement is eliminated, all statements its
+///   definition reaches are noted, and all constant assignments whose
+///   definitions reach any of those statements are re-added to the heap
+///   for another round of propagation.
+///
+/// A separate postpass removes code following always-taken branches up to
+/// the next label (the paper notes this case is hard to catch during
+/// propagation and handles it exactly this way).
+///
+/// Address constants (`p = &a`) are propagated as well — the paper:
+/// "the vectorizer is safe in propagating address constants ... because
+/// it knows that strength reduction and subexpression elimination will
+/// undo any damage it has done".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_SCALAR_CONSTPROP_H
+#define TCC_SCALAR_CONSTPROP_H
+
+#include "il/IL.h"
+
+namespace tcc {
+namespace scalar {
+
+struct ConstPropStats {
+  unsigned UsesReplaced = 0;
+  unsigned BranchesFolded = 0;
+  unsigned LoopsDeleted = 0;
+  unsigned StmtsRemoved = 0;
+  unsigned Requeues = 0;        ///< Worklist re-adds from the heuristic.
+  unsigned PostpassRemoved = 0; ///< Always-taken-branch postpass removals.
+};
+
+struct ConstPropOptions {
+  /// When false, statements deleted as unreachable do not re-queue
+  /// constants (ablation for E6); a later full rerun of the pass would be
+  /// needed to catch the exposed constants.
+  bool EnableUnreachableHeuristic = true;
+  /// The always-taken-branch postpass (paper: invoked when inlining is
+  /// enabled).
+  bool EnableAlwaysTakenPostpass = true;
+  /// Propagate `&array` address constants.
+  bool PropagateAddressConstants = true;
+};
+
+ConstPropStats propagateConstants(il::Function &F,
+                                  const ConstPropOptions &Opts = {});
+
+} // namespace scalar
+} // namespace tcc
+
+#endif // TCC_SCALAR_CONSTPROP_H

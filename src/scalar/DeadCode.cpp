@@ -1,0 +1,241 @@
+#include "scalar/DeadCode.h"
+
+#include "analysis/UseDef.h"
+
+#include <set>
+
+using namespace tcc;
+using namespace tcc::il;
+using namespace tcc::scalar;
+
+namespace {
+
+class Eliminator {
+public:
+  explicit Eliminator(Function &F) : F(F) {}
+
+  DCEStats run() {
+    bool Changed = true;
+    while (Changed) {
+      Changed = sweepOnce();
+    }
+    removeUnusedLabels();
+    F.removeUnusedSymbols();
+    return Stats;
+  }
+
+private:
+  bool isRootLive(const Stmt *S, const std::set<Symbol *> &AddrTaken) {
+    switch (S->getKind()) {
+    case Stmt::CallKind:
+    case Stmt::ReturnKind:
+    case Stmt::GotoKind:
+    case Stmt::LabelKind:
+      return true;
+    case Stmt::AssignKind: {
+      const auto *A = static_cast<const AssignStmt *>(S);
+      // Stores to memory are observable.
+      if (A->getLHS()->getKind() != Expr::VarRefKind)
+        return true;
+      Symbol *Sym = static_cast<VarRefExpr *>(A->getLHS())->getSymbol();
+      if (Sym->isVolatile() || Sym->isGlobal() || AddrTaken.count(Sym))
+        return true;
+      // Reading volatile storage is itself an effect.
+      if (exprReadsVolatile(A->getRHS()))
+        return true;
+      return false;
+    }
+    case Stmt::IfKind:
+      return exprReadsVolatile(static_cast<const IfStmt *>(S)->getCond());
+    case Stmt::WhileKind:
+      return exprReadsVolatile(
+          static_cast<const WhileStmt *>(S)->getCond());
+    case Stmt::DoLoopKind:
+      return false;
+    }
+    return true;
+  }
+
+  bool sweepOnce() {
+    analysis::UseDefChains UD(F);
+    std::set<Symbol *> AddrTaken = analysis::computeAddressTakenScalars(F);
+
+    // Mark.
+    std::set<const Stmt *> Live;
+    std::vector<const Stmt *> Worklist;
+    forEachStmt(F.getBody(), [&](Stmt *S) {
+      if (isRootLive(S, AddrTaken)) {
+        Live.insert(S);
+        Worklist.push_back(S);
+      }
+    });
+    while (!Worklist.empty()) {
+      const Stmt *S = Worklist.back();
+      Worklist.pop_back();
+      for (Symbol *Sym : analysis::usedScalars(S)) {
+        for (const Stmt *Def : UD.defsReaching(S, Sym)) {
+          if (Def && Live.insert(Def).second)
+            Worklist.push_back(Def);
+        }
+      }
+      // A live statement inside a loop needs the loop's bounds/condition:
+      // handled structurally in the sweep (the loop statement survives if
+      // it contains live statements), but the *bound* uses of a DO header
+      // must mark their defs too.  Loop headers whose bodies contain live
+      // code are added below during the structural check, which re-runs
+      // the chain marking via this worklist when first marked.
+    }
+    // Structural closure: a loop/if containing a live statement is live,
+    // and its condition's reaching defs become live.  Iterate to fixpoint.
+    bool Grew = true;
+    while (Grew) {
+      Grew = false;
+      forEachStmt(F.getBody(), [&](Stmt *S) {
+        if (Live.count(S))
+          return;
+        bool ContainsLive = false;
+        auto CheckBlock = [&](const Block &B) {
+          forEachStmt(B, [&](const Stmt *Sub) {
+            if (Live.count(Sub))
+              ContainsLive = true;
+          });
+        };
+        switch (S->getKind()) {
+        case Stmt::IfKind: {
+          auto *I = static_cast<IfStmt *>(S);
+          CheckBlock(I->getThen());
+          CheckBlock(I->getElse());
+          break;
+        }
+        case Stmt::WhileKind:
+          CheckBlock(static_cast<WhileStmt *>(S)->getBody());
+          break;
+        case Stmt::DoLoopKind:
+          CheckBlock(static_cast<DoLoopStmt *>(S)->getBody());
+          break;
+        default:
+          return;
+        }
+        if (!ContainsLive)
+          return;
+        Live.insert(S);
+        Grew = true;
+        // Mark the defs its condition/bounds use.
+        std::vector<const Stmt *> Inner{S};
+        while (!Inner.empty()) {
+          const Stmt *Cur = Inner.back();
+          Inner.pop_back();
+          for (Symbol *Sym : analysis::usedScalars(Cur))
+            for (const Stmt *Def : UD.defsReaching(Cur, Sym))
+              if (Def && Live.insert(Def).second)
+                Inner.push_back(Def);
+        }
+      });
+    }
+
+    // Sweep.
+    return sweepBlock(F.getBody(), Live, UD);
+  }
+
+  bool sweepBlock(Block &B, const std::set<const Stmt *> &Live,
+                  analysis::UseDefChains &UD) {
+    bool Changed = false;
+    for (size_t I = 0; I < B.Stmts.size();) {
+      Stmt *S = B.Stmts[I];
+      switch (S->getKind()) {
+      case Stmt::AssignKind:
+        if (!Live.count(S)) {
+          B.Stmts.erase(B.Stmts.begin() + static_cast<long>(I));
+          ++Stats.AssignsRemoved;
+          Changed = true;
+          continue;
+        }
+        break;
+      case Stmt::IfKind: {
+        auto *If = static_cast<IfStmt *>(S);
+        Changed |= sweepBlock(If->getThen(), Live, UD);
+        Changed |= sweepBlock(If->getElse(), Live, UD);
+        if (If->getThen().empty() && If->getElse().empty() &&
+            !exprReadsVolatile(If->getCond())) {
+          B.Stmts.erase(B.Stmts.begin() + static_cast<long>(I));
+          ++Stats.EmptyControlRemoved;
+          Changed = true;
+          continue;
+        }
+        break;
+      }
+      case Stmt::WhileKind: {
+        auto *W = static_cast<WhileStmt *>(S);
+        Changed |= sweepBlock(W->getBody(), Live, UD);
+        // An empty while loop cannot be removed in general (it may spin on
+        // purpose); constant propagation removes the provably zero-trip
+        // ones.
+        break;
+      }
+      case Stmt::DoLoopKind: {
+        auto *D = static_cast<DoLoopStmt *>(S);
+        Changed |= sweepBlock(D->getBody(), Live, UD);
+        if (D->getBody().empty()) {
+          // A DO loop has a known finite trip; removable when its index is
+          // dead afterwards.
+          if (UD.usesOf(D).empty()) {
+            B.Stmts.erase(B.Stmts.begin() + static_cast<long>(I));
+            ++Stats.EmptyControlRemoved;
+            Changed = true;
+            continue;
+          }
+        }
+        break;
+      }
+      default:
+        break;
+      }
+      ++I;
+    }
+    return Changed;
+  }
+
+  void removeUnusedLabels() {
+    std::set<std::string> Targets;
+    forEachStmt(F.getBody(), [&Targets](Stmt *S) {
+      if (S->getKind() == Stmt::GotoKind)
+        Targets.insert(static_cast<GotoStmt *>(S)->getTarget());
+    });
+    std::function<void(Block &)> Sweep = [&](Block &B) {
+      for (size_t I = 0; I < B.Stmts.size();) {
+        Stmt *S = B.Stmts[I];
+        if (S->getKind() == Stmt::LabelKind &&
+            !Targets.count(static_cast<LabelStmt *>(S)->getName())) {
+          B.Stmts.erase(B.Stmts.begin() + static_cast<long>(I));
+          ++Stats.LabelsRemoved;
+          continue;
+        }
+        switch (S->getKind()) {
+        case Stmt::IfKind: {
+          auto *If = static_cast<IfStmt *>(S);
+          Sweep(If->getThen());
+          Sweep(If->getElse());
+          break;
+        }
+        case Stmt::WhileKind:
+          Sweep(static_cast<WhileStmt *>(S)->getBody());
+          break;
+        case Stmt::DoLoopKind:
+          Sweep(static_cast<DoLoopStmt *>(S)->getBody());
+          break;
+        default:
+          break;
+        }
+        ++I;
+      }
+    };
+    Sweep(F.getBody());
+  }
+
+  Function &F;
+  DCEStats Stats;
+};
+
+} // namespace
+
+DCEStats scalar::eliminateDeadCode(Function &F) { return Eliminator(F).run(); }

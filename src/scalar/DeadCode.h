@@ -1,0 +1,36 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dead-code elimination driven by use-def chains (paper Sections 3 and
+/// 8: "dead code is common" once inlining and induction-variable
+/// substitution have run, and the high-level IL makes removing it cheap).
+///
+/// Liveness roots: stores to memory, calls, returns, control transfers,
+/// assignments to volatile/global/static/address-taken symbols, and loop
+/// or branch conditions that read volatile storage (the paper's
+/// `while(!keyboard_status);` must survive).  An assignment to a plain
+/// scalar is live only if some live statement's use-def chain reaches it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_SCALAR_DEADCODE_H
+#define TCC_SCALAR_DEADCODE_H
+
+#include "il/IL.h"
+
+namespace tcc {
+namespace scalar {
+
+struct DCEStats {
+  unsigned AssignsRemoved = 0;
+  unsigned EmptyControlRemoved = 0;
+  unsigned LabelsRemoved = 0;
+};
+
+/// Repeats mark-and-sweep until no statement dies.
+DCEStats eliminateDeadCode(il::Function &F);
+
+} // namespace scalar
+} // namespace tcc
+
+#endif // TCC_SCALAR_DEADCODE_H

@@ -1,0 +1,363 @@
+#include "scalar/Fold.h"
+
+using namespace tcc;
+using namespace tcc::il;
+using namespace tcc::scalar;
+
+namespace {
+
+bool isIntConst(const Expr *E, int64_t &Out) {
+  if (E->getKind() == Expr::ConstIntKind) {
+    Out = static_cast<const ConstIntExpr *>(E)->getValue();
+    return true;
+  }
+  return false;
+}
+
+bool isFloatConst(const Expr *E, double &Out) {
+  if (E->getKind() == Expr::ConstFloatKind) {
+    Out = static_cast<const ConstFloatExpr *>(E)->getValue();
+    return true;
+  }
+  return false;
+}
+
+/// Truncation of an int constant to its type's width (char is signed
+/// 8-bit, int is 32-bit on the Titan).
+int64_t truncateToType(int64_t V, const Type *Ty) {
+  if (Ty->isChar())
+    return static_cast<int8_t>(V);
+  if (Ty->isInt() || Ty->isPointer())
+    return static_cast<int32_t>(V);
+  return V;
+}
+
+Expr *foldBinary(Function &F, BinaryExpr *B, Expr *L, Expr *R) {
+  const Type *Ty = B->getType();
+  OpCode Op = B->getOp();
+
+  int64_t LI, RI;
+  double LD, RD;
+  bool LIsInt = isIntConst(L, LI);
+  bool RIsInt = isIntConst(R, RI);
+  bool LIsFloat = isFloatConst(L, LD);
+  bool RIsFloat = isFloatConst(R, RD);
+
+  // Integer constant folding.
+  if (LIsInt && RIsInt) {
+    int64_t V;
+    bool Folded = true;
+    switch (Op) {
+    case OpCode::Add:
+      V = LI + RI;
+      break;
+    case OpCode::Sub:
+      V = LI - RI;
+      break;
+    case OpCode::Mul:
+      V = LI * RI;
+      break;
+    case OpCode::Div:
+      if (RI == 0)
+        return B;
+      V = LI / RI;
+      break;
+    case OpCode::Rem:
+      if (RI == 0)
+        return B;
+      V = LI % RI;
+      break;
+    case OpCode::Shl:
+      V = LI << (RI & 31);
+      break;
+    case OpCode::Shr:
+      V = LI >> (RI & 31);
+      break;
+    case OpCode::Lt:
+      V = LI < RI;
+      break;
+    case OpCode::Gt:
+      V = LI > RI;
+      break;
+    case OpCode::Le:
+      V = LI <= RI;
+      break;
+    case OpCode::Ge:
+      V = LI >= RI;
+      break;
+    case OpCode::Eq:
+      V = LI == RI;
+      break;
+    case OpCode::Ne:
+      V = LI != RI;
+      break;
+    case OpCode::BitAnd:
+      V = LI & RI;
+      break;
+    case OpCode::BitOr:
+      V = LI | RI;
+      break;
+    case OpCode::BitXor:
+      V = LI ^ RI;
+      break;
+    case OpCode::Min:
+      V = LI < RI ? LI : RI;
+      break;
+    case OpCode::Max:
+      V = LI > RI ? LI : RI;
+      break;
+    default:
+      Folded = false;
+      V = 0;
+      break;
+    }
+    if (Folded)
+      return F.makeIntConst(Ty->isFloating() ? Ty : Ty,
+                            truncateToType(V, Ty));
+  }
+
+  // Floating constant folding.
+  if (LIsFloat && RIsFloat) {
+    double V;
+    bool Folded = true;
+    bool IsCmp = false;
+    int64_t CmpV = 0;
+    switch (Op) {
+    case OpCode::Add:
+      V = LD + RD;
+      break;
+    case OpCode::Sub:
+      V = LD - RD;
+      break;
+    case OpCode::Mul:
+      V = LD * RD;
+      break;
+    case OpCode::Div:
+      if (RD == 0.0)
+        return B;
+      V = LD / RD;
+      break;
+    case OpCode::Min:
+      V = LD < RD ? LD : RD;
+      break;
+    case OpCode::Max:
+      V = LD > RD ? LD : RD;
+      break;
+    case OpCode::Lt:
+      IsCmp = true;
+      CmpV = LD < RD;
+      V = 0;
+      break;
+    case OpCode::Gt:
+      IsCmp = true;
+      CmpV = LD > RD;
+      V = 0;
+      break;
+    case OpCode::Le:
+      IsCmp = true;
+      CmpV = LD <= RD;
+      V = 0;
+      break;
+    case OpCode::Ge:
+      IsCmp = true;
+      CmpV = LD >= RD;
+      V = 0;
+      break;
+    case OpCode::Eq:
+      IsCmp = true;
+      CmpV = LD == RD;
+      V = 0;
+      break;
+    case OpCode::Ne:
+      IsCmp = true;
+      CmpV = LD != RD;
+      V = 0;
+      break;
+    default:
+      Folded = false;
+      V = 0;
+      break;
+    }
+    if (Folded) {
+      if (IsCmp)
+        return F.makeIntConst(Ty, CmpV);
+      // The comparison result type is int; arithmetic keeps Ty.
+      if (Ty->isFloating())
+        return F.makeFloatConst(Ty, V);
+      return F.makeIntConst(Ty, static_cast<int64_t>(V));
+    }
+  }
+
+  // Mixed: comparison of a float constant against an int constant happens
+  // after coercion in lowering, so no mixed case is needed here.
+
+  // Algebraic identities (safe for ints; x*0 is also safe for pure IL
+  // expressions since they have no side effects; for floats we avoid
+  // identities that change NaN behaviour except the trivial +0/*1 cases,
+  // which 1988-era compilers applied freely).
+  auto isZero = [](Expr *E) {
+    int64_t I;
+    double D;
+    return (isIntConst(E, I) && I == 0) || (isFloatConst(E, D) && D == 0.0);
+  };
+  auto isOne = [](Expr *E) {
+    int64_t I;
+    double D;
+    return (isIntConst(E, I) && I == 1) || (isFloatConst(E, D) && D == 1.0);
+  };
+
+  switch (Op) {
+  case OpCode::Add:
+    if (isZero(L))
+      return R;
+    if (isZero(R))
+      return L;
+    break;
+  case OpCode::Sub:
+    if (isZero(R))
+      return L;
+    if (exprEquals(L, R) && Ty->isInteger())
+      return F.makeIntConst(Ty, 0);
+    break;
+  case OpCode::Mul:
+    if (isOne(L))
+      return R;
+    if (isOne(R))
+      return L;
+    if (Ty->isInteger() && (isZero(L) || isZero(R)))
+      return F.makeIntConst(Ty, 0);
+    break;
+  case OpCode::Div:
+    if (isOne(R))
+      return L;
+    break;
+  default:
+    break;
+  }
+
+  if (L != B->getLHS() || R != B->getRHS())
+    return F.create<BinaryExpr>(Ty, Op, L, R);
+  return B;
+}
+
+} // namespace
+
+Expr *scalar::foldExpr(Function &F, Expr *E) {
+  switch (E->getKind()) {
+  case Expr::ConstIntKind:
+  case Expr::ConstFloatKind:
+  case Expr::VarRefKind:
+    return E;
+  case Expr::BinaryKind: {
+    auto *B = static_cast<BinaryExpr *>(E);
+    Expr *L = foldExpr(F, B->getLHS());
+    Expr *R = foldExpr(F, B->getRHS());
+    return foldBinary(F, B, L, R);
+  }
+  case Expr::UnaryKind: {
+    auto *U = static_cast<UnaryExpr *>(E);
+    Expr *Operand = foldExpr(F, U->getOperand());
+    int64_t I;
+    double D;
+    switch (U->getOp()) {
+    case OpCode::Neg:
+      if (isIntConst(Operand, I))
+        return F.makeIntConst(U->getType(), -I);
+      if (isFloatConst(Operand, D))
+        return F.makeFloatConst(U->getType(), -D);
+      break;
+    case OpCode::LogNot:
+      if (isIntConst(Operand, I))
+        return F.makeIntConst(U->getType(), I == 0);
+      if (isFloatConst(Operand, D))
+        return F.makeIntConst(U->getType(), D == 0.0);
+      break;
+    case OpCode::BitNot:
+      if (isIntConst(Operand, I))
+        return F.makeIntConst(U->getType(), truncateToType(~I, U->getType()));
+      break;
+    default:
+      break;
+    }
+    if (Operand != U->getOperand())
+      return F.create<UnaryExpr>(U->getType(), U->getOp(), Operand);
+    return U;
+  }
+  case Expr::CastKind: {
+    auto *C = static_cast<CastExpr *>(E);
+    Expr *Operand = foldExpr(F, C->getOperand());
+    const Type *To = C->getType();
+    int64_t I;
+    double D;
+    if (isIntConst(Operand, I)) {
+      if (To->isFloating())
+        return F.makeFloatConst(To, static_cast<double>(I));
+      if (To->isInteger() || To->isPointer())
+        return F.makeIntConst(To, truncateToType(I, To));
+    }
+    if (isFloatConst(Operand, D)) {
+      if (To->isFloating()) {
+        if (To->isFloat())
+          return F.makeFloatConst(To, static_cast<float>(D));
+        return F.makeFloatConst(To, D);
+      }
+      if (To->isInteger())
+        return F.makeIntConst(To, truncateToType(static_cast<int64_t>(D),
+                                                 To));
+    }
+    if (Operand->getType() == To)
+      return Operand;
+    if (Operand != C->getOperand())
+      return F.create<CastExpr>(To, Operand);
+    return C;
+  }
+  case Expr::DerefKind: {
+    auto *Dr = static_cast<DerefExpr *>(E);
+    Expr *Addr = foldExpr(F, Dr->getAddr());
+    if (Addr != Dr->getAddr())
+      return F.create<DerefExpr>(Dr->getType(), Addr);
+    return Dr;
+  }
+  case Expr::AddrOfKind: {
+    auto *A = static_cast<AddrOfExpr *>(E);
+    Expr *LV = foldExpr(F, A->getLValue());
+    if (LV != A->getLValue())
+      return F.create<AddrOfExpr>(A->getType(), LV);
+    return A;
+  }
+  case Expr::IndexKind: {
+    auto *I = static_cast<IndexExpr *>(E);
+    bool Changed = false;
+    std::vector<Expr *> Subs;
+    for (Expr *Sub : I->getSubscripts()) {
+      Expr *NewSub = foldExpr(F, Sub);
+      Changed |= NewSub != Sub;
+      Subs.push_back(NewSub);
+    }
+    Expr *Base = foldExpr(F, I->getBase());
+    Changed |= Base != I->getBase();
+    if (Changed)
+      return F.create<IndexExpr>(I->getType(), Base, std::move(Subs));
+    return I;
+  }
+  case Expr::TripletKind: {
+    auto *T = static_cast<TripletExpr *>(E);
+    Expr *Lo = foldExpr(F, T->getLo());
+    Expr *Hi = foldExpr(F, T->getHi());
+    Expr *Stride = foldExpr(F, T->getStride());
+    if (Lo != T->getLo() || Hi != T->getHi() || Stride != T->getStride())
+      return F.create<TripletExpr>(T->getType(), Lo, Hi, Stride);
+    return T;
+  }
+  }
+  return E;
+}
+
+bool scalar::evaluatesToInt(Function &F, Expr *E, int64_t &Out) {
+  Expr *Folded = foldExpr(F, E);
+  if (Folded->getKind() == Expr::ConstIntKind) {
+    Out = static_cast<ConstIntExpr *>(Folded)->getValue();
+    return true;
+  }
+  return false;
+}

@@ -1,0 +1,30 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Constant folding and algebraic simplification of pure IL expressions.
+/// Used by constant propagation (to expose unreachable branches), by the
+/// vectorizer's bound computations, and by strength reduction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_SCALAR_FOLD_H
+#define TCC_SCALAR_FOLD_H
+
+#include "il/IL.h"
+
+namespace tcc {
+namespace scalar {
+
+/// Recursively folds constants and applies safe algebraic identities
+/// (x+0, x*1, x*0, x-x, folding of comparisons and casts of constants).
+/// Returns the (possibly unchanged) simplified expression; never mutates
+/// the input nodes, creating replacements in \p F's arena instead.
+il::Expr *foldExpr(il::Function &F, il::Expr *E);
+
+/// If \p E folds to an integer constant, sets \p Out and returns true.
+bool evaluatesToInt(il::Function &F, il::Expr *E, int64_t &Out);
+
+} // namespace scalar
+} // namespace tcc
+
+#endif // TCC_SCALAR_FOLD_H

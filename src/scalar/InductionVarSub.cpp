@@ -1,0 +1,562 @@
+#include "scalar/InductionVarSub.h"
+
+#include "analysis/UseDef.h"
+#include "scalar/Fold.h"
+#include "scalar/LinearValues.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace tcc;
+using namespace tcc::il;
+using namespace tcc::scalar;
+
+namespace {
+
+/// Replaces every *use* of \p Sym in \p S (rvalue positions, including
+/// address computations of stores, and nested statements) with a fresh
+/// expression produced by \p Make.  The LHS of a direct assignment to
+/// \p Sym is a definition and is left alone.  Returns the number of uses
+/// replaced.
+unsigned replaceUses(Function &F, Stmt *S, Symbol *Sym,
+                     const std::function<Expr *()> &Make) {
+  unsigned Count = 0;
+  auto ReplaceInSlot = [&](Expr *&Slot) {
+    forEachValueUseSlot(Slot, [&](Expr *&Sub) {
+      if (static_cast<VarRefExpr *>(Sub)->getSymbol() == Sym) {
+        Sub = Make();
+        ++Count;
+      }
+    });
+  };
+
+  std::function<void(Stmt *)> Visit = [&](Stmt *Cur) {
+    if (Cur->getKind() == Stmt::AssignKind) {
+      auto *A = static_cast<AssignStmt *>(Cur);
+      // Direct definition: skip the top-level LHS VarRef, but replace uses
+      // inside a Deref/Index lvalue.
+      if (A->getLHS()->getKind() != Expr::VarRefKind)
+        ReplaceInSlot(A->lhsSlot());
+      ReplaceInSlot(A->rhsSlot());
+      return;
+    }
+    forEachExprSlot(Cur, ReplaceInSlot);
+    switch (Cur->getKind()) {
+    case Stmt::IfKind: {
+      auto *I = static_cast<IfStmt *>(Cur);
+      for (Stmt *Sub : I->getThen().Stmts)
+        Visit(Sub);
+      for (Stmt *Sub : I->getElse().Stmts)
+        Visit(Sub);
+      break;
+    }
+    case Stmt::WhileKind:
+      for (Stmt *Sub : static_cast<WhileStmt *>(Cur)->getBody().Stmts)
+        Visit(Sub);
+      break;
+    case Stmt::DoLoopKind:
+      for (Stmt *Sub : static_cast<DoLoopStmt *>(Cur)->getBody().Stmts)
+        Visit(Sub);
+      break;
+    default:
+      break;
+    }
+  };
+  Visit(S);
+  return Count;
+}
+
+/// True if \p S (including nested statements) uses the value of \p Sym.
+bool usesSymbol(const Stmt *S, Symbol *Sym) {
+  bool Found = false;
+  auto Check = [&](const Stmt *Cur) {
+    for (Symbol *Used : analysis::usedScalars(Cur))
+      if (Used == Sym)
+        Found = true;
+  };
+  Check(S);
+  switch (S->getKind()) {
+  case Stmt::IfKind: {
+    const auto *I = static_cast<const IfStmt *>(S);
+    forEachStmt(I->getThen(), Check);
+    forEachStmt(I->getElse(), Check);
+    break;
+  }
+  case Stmt::WhileKind:
+    forEachStmt(static_cast<const WhileStmt *>(S)->getBody(), Check);
+    break;
+  case Stmt::DoLoopKind:
+    forEachStmt(static_cast<const DoLoopStmt *>(S)->getBody(), Check);
+    break;
+  default:
+    break;
+  }
+  return Found;
+}
+
+/// True if \p S (including nested statements) may define \p Sym:
+/// a strong def, or a clobber via call / pointer store when \p Sym is in
+/// \p Clobberable.
+bool definesSymbol(const Stmt *S, Symbol *Sym,
+                   const std::set<Symbol *> &Clobberable) {
+  bool Found = false;
+  auto Check = [&](const Stmt *Cur) {
+    for (Symbol *Def : analysis::strongDefs(Cur))
+      if (Def == Sym)
+        Found = true;
+    if (!Clobberable.count(Sym))
+      return;
+    if (Cur->getKind() == Stmt::CallKind)
+      Found = true;
+    if (Cur->getKind() == Stmt::AssignKind &&
+        static_cast<const AssignStmt *>(Cur)->getLHS()->getKind() !=
+            Expr::VarRefKind)
+      Found = true;
+  };
+  Check(S);
+  switch (S->getKind()) {
+  case Stmt::IfKind: {
+    const auto *I = static_cast<const IfStmt *>(S);
+    forEachStmt(I->getThen(), Check);
+    forEachStmt(I->getElse(), Check);
+    break;
+  }
+  case Stmt::WhileKind:
+    forEachStmt(static_cast<const WhileStmt *>(S)->getBody(), Check);
+    break;
+  case Stmt::DoLoopKind:
+    forEachStmt(static_cast<const DoLoopStmt *>(S)->getBody(), Check);
+    break;
+  default:
+    break;
+  }
+  return Found;
+}
+
+class LoopSubstituter {
+public:
+  LoopSubstituter(Function &F, DoLoopStmt *D, Block &Parent,
+                  IVSubStats &Stats, const IVSubOptions &Opts)
+      : F(F), D(D), Parent(Parent), Stats(Stats), Opts(Opts),
+        Clobberable(analysis::computeAddressTakenScalars(F)) {
+    for (const auto &G : F.getProgram().getGlobals())
+      if (G->getType()->isScalar())
+        Clobberable.insert(G.get());
+    for (const auto &S : F.getSymbols())
+      if (S->getStorage() == StorageKind::Static &&
+          S->getType()->isScalar())
+        Clobberable.insert(S.get());
+  }
+
+  void run() {
+    if (!isNormalized())
+      return;
+    ++Stats.LoopsProcessed;
+    for (unsigned Pass = 0; Pass < Opts.MaxPassesPerLoop; ++Pass) {
+      ++Stats.Passes;
+      bool Changed = forwardSubstituteSweep();
+      Changed |= rewriteFamilies();
+      if (!Changed)
+        break;
+    }
+  }
+
+private:
+  Block &body() { return D->getBody(); }
+
+  bool isNormalized() const {
+    auto IsConst = [](Expr *E, int64_t V) {
+      return E->getKind() == Expr::ConstIntKind &&
+             static_cast<ConstIntExpr *>(E)->getValue() == V;
+    };
+    return IsConst(D->getInit(), 0) && IsConst(D->getStep(), 1);
+  }
+
+  /// Is \p S a candidate for forward substitution: `t = E` with t a plain
+  /// non-volatile local/temp scalar and E pure and memory-free?
+  bool isCandidate(Stmt *S, Symbol *&T, Expr *&E) {
+    if (S->getKind() != Stmt::AssignKind)
+      return false;
+    auto *A = static_cast<AssignStmt *>(S);
+    if (A->getLHS()->getKind() != Expr::VarRefKind)
+      return false;
+    T = static_cast<VarRefExpr *>(A->getLHS())->getSymbol();
+    if (T->isVolatile() || !T->getType()->isScalar())
+      return false;
+    if (T->getStorage() != StorageKind::Temp &&
+        T->getStorage() != StorageKind::Local)
+      return false;
+    if (Clobberable.count(T))
+      return false;
+    E = A->getRHS();
+    if (exprTouchesMemory(E) || exprReadsVolatile(E) || exprHasTriplet(E))
+      return false;
+    return true;
+  }
+
+  /// One in-order forward-substitution sweep (paper Section 5.3).
+  bool forwardSubstituteSweep() {
+    bool Changed = false;
+    for (size_t I = 0; I < body().Stmts.size(); ++I)
+      Changed |= trySubstituteFrom(I);
+    return Changed;
+  }
+
+  /// Attempts to substitute the candidate at position \p I forward into
+  /// later uses.  Records blocking when the only obstacle is a later
+  /// redefinition of a variable the candidate's RHS uses.
+  bool trySubstituteFrom(size_t I) {
+    Symbol *T;
+    Expr *E;
+    Stmt *S = body().Stmts[I];
+    if (!isCandidate(S, T, E))
+      return false;
+
+    std::vector<Symbol *> RhsVars;
+    {
+      std::vector<VarRefExpr *> Refs;
+      collectVarRefs(E, Refs);
+      for (VarRefExpr *R : Refs)
+        if (std::find(RhsVars.begin(), RhsVars.end(), R->getSymbol()) ==
+            RhsVars.end())
+          RhsVars.push_back(R->getSymbol());
+    }
+
+    bool Changed = false;
+    for (size_t J = I + 1; J < body().Stmts.size(); ++J) {
+      Stmt *U = body().Stmts[J];
+      // A redefinition of T ends this candidate's reach.  (The use of T on
+      // U's own RHS still refers to our definition, so check uses first.)
+      bool UsesT = usesSymbol(U, T);
+      if (UsesT) {
+        // Is some RHS variable redefined strictly between I and J?
+        Stmt *Blocker = nullptr;
+        for (size_t K = I + 1; K < J && !Blocker; ++K)
+          for (Symbol *V : RhsVars)
+            if (definesSymbol(body().Stmts[K], V, Clobberable)) {
+              Blocker = body().Stmts[K];
+              break;
+            }
+        if (Blocker) {
+          Blocked[Blocker].insert(S);
+          ++Stats.Blocked;
+          break;
+        }
+        // Do not substitute into nested bodies unless T is not redefined
+        // inside (value at region entry holds throughout).
+        if (U->getKind() == Stmt::IfKind || U->getKind() == Stmt::WhileKind ||
+            U->getKind() == Stmt::DoLoopKind) {
+          if (definesSymbol(U, T, Clobberable))
+            break;
+        }
+        unsigned N =
+            replaceUses(F, U, T, [&]() { return F.cloneExpr(E); });
+        if (N) {
+          Stats.Substitutions += N;
+          Changed = true;
+        }
+      }
+      if (definesSymbol(U, T, Clobberable))
+        break;
+    }
+    return Changed;
+  }
+
+  /// A use of a family member and its closed form.
+  struct ClosedForm {
+    LinExpr Base; ///< Over invariants / family pre-values / addresses.
+    LinExpr Coef; ///< Coefficient of the loop index.
+  };
+
+  /// Detects the IV family and rewrites every finalizable member's uses
+  /// into closed form, deleting the in-loop updates and appending final
+  /// values after the loop.  Returns true if anything changed.
+  bool rewriteFamilies() {
+    BodyLinearState BLS(F, body());
+    if (BLS.hasIrregularFlow())
+      return false;
+
+    // Family detection.
+    std::map<Symbol *, LinExpr> Family;
+    for (Symbol *V : BLS.touched()) {
+      if (V == D->getIndexVar() || V->isVolatile())
+        continue;
+      if (!V->getType()->isInteger() && !V->getType()->isPointer())
+        continue;
+      if (V->getStorage() == StorageKind::Global ||
+          V->getStorage() == StorageKind::Static)
+        continue;
+      if (Clobberable.count(V))
+        continue;
+      LinExpr Delta = BLS.deltaOf(V);
+      if (!Delta.Known || Delta.isZero())
+        continue;
+      // The delta must be the same every iteration: a term in the loop's
+      // own index variable means the increment varies per trip (e.g. the
+      // accumulator of `s += n` where n is itself an induction variable).
+      if (Delta.coeffOfEntry(D->getIndexVar()) != 0)
+        continue;
+      Family[V] = Delta;
+    }
+    if (Family.empty())
+      return false;
+
+    // Build a rewrite plan per member; a member is viable when every use
+    // of it in the body has a closed form over invariants and family
+    // members.
+    struct MemberPlan {
+      bool Viable = true;
+      /// (top-level index, closed form) for each use site; uses are
+      /// re-found at application time.
+      std::vector<std::pair<size_t, ClosedForm>> Uses;
+      std::set<Symbol *> FamilyRefs; ///< Other members the forms mention.
+    };
+    std::map<Symbol *, MemberPlan> Plans;
+
+    for (auto &[V, Delta] : Family) {
+      MemberPlan &Plan = Plans[V];
+      for (size_t I = 0; I < body().Stmts.size() && Plan.Viable; ++I) {
+        Stmt *S = body().Stmts[I];
+        bool IsOwnUpdate =
+            S->getKind() == Stmt::AssignKind &&
+            static_cast<AssignStmt *>(S)->getLHS()->getKind() ==
+                Expr::VarRefKind &&
+            static_cast<VarRefExpr *>(
+                static_cast<AssignStmt *>(S)->getLHS())
+                    ->getSymbol() == V;
+        // Count uses of V in this statement (updates get deleted whole,
+        // so their internal uses don't need rewriting).
+        if (IsOwnUpdate)
+          continue;
+        if (!usesSymbol(S, V))
+          continue;
+        // Uses inside nested regions require V to be stable there.
+        if ((S->getKind() == Stmt::IfKind ||
+             S->getKind() == Stmt::WhileKind ||
+             S->getKind() == Stmt::DoLoopKind) &&
+            definesSymbol(S, V, Clobberable)) {
+          Plan.Viable = false;
+          break;
+        }
+        LinExpr Val = BLS.valueBefore(I, V);
+        ClosedForm CF;
+        if (!closeOver(BLS, Val, Family, CF, Plan.FamilyRefs)) {
+          Plan.Viable = false;
+          break;
+        }
+        Plan.Uses.push_back({I, CF});
+      }
+    }
+
+    // Fixpoint: a member is finalizable only if the members its forms
+    // reference are finalizable too (their updates get deleted as well,
+    // making the pre-value references valid).
+    std::set<Symbol *> Finalizable;
+    for (auto &[V, Plan] : Plans)
+      if (Plan.Viable)
+        Finalizable.insert(V);
+    bool Shrunk = true;
+    while (Shrunk) {
+      Shrunk = false;
+      for (auto It = Finalizable.begin(); It != Finalizable.end();) {
+        const MemberPlan &Plan = Plans[*It];
+        bool Ok = true;
+        for (Symbol *Ref : Plan.FamilyRefs)
+          if (!Finalizable.count(Ref))
+            Ok = false;
+        if (!Ok) {
+          It = Finalizable.erase(It);
+          Shrunk = true;
+        } else {
+          ++It;
+        }
+      }
+    }
+    if (Finalizable.empty())
+      return false;
+
+    // Apply: rewrite uses, delete updates, emit final values.
+    TypeContext &Types = F.getProgram().getTypes();
+    const Type *IntTy = Types.getIntType();
+    std::vector<Stmt *> Deleted;
+
+    for (Symbol *V : Finalizable) {
+      MemberPlan &Plan = Plans[V];
+      for (auto &[I, CF] : Plan.Uses) {
+        Stmt *S = body().Stmts[I];
+        ClosedForm &Form = CF;
+        unsigned N = replaceUses(F, S, V, [&]() {
+          return materializeClosed(Form, V->getType());
+        });
+        Stats.UsesRewritten += N;
+        foldStmt(S);
+      }
+    }
+    // Delete updates (after all rewrites so positions stay valid).
+    for (Symbol *V : Finalizable) {
+      auto &Stmts = body().Stmts;
+      for (size_t I = 0; I < Stmts.size();) {
+        Stmt *S = Stmts[I];
+        if (S->getKind() == Stmt::AssignKind &&
+            static_cast<AssignStmt *>(S)->getLHS()->getKind() ==
+                Expr::VarRefKind &&
+            static_cast<VarRefExpr *>(
+                static_cast<AssignStmt *>(S)->getLHS())
+                    ->getSymbol() == V) {
+          Deleted.push_back(S);
+          Stmts.erase(Stmts.begin() + static_cast<long>(I));
+        } else {
+          ++I;
+        }
+      }
+    }
+    // Final values after the loop: v = v + delta * trip, with
+    // trip = max(0, Limit + 1) for the normalized loop.
+    size_t LoopPos = findLoopInParent();
+    Expr *Trip = F.makeBinary(
+        OpCode::Max, F.makeIntConst(IntTy, 0),
+        F.makeBinary(OpCode::Add, F.cloneExpr(D->getLimit()),
+                     F.makeIntConst(IntTy, 1), IntTy),
+        IntTy);
+    Trip = foldExpr(F, Trip);
+    size_t InsertAt = LoopPos + 1;
+    for (Symbol *V : Finalizable) {
+      Expr *DeltaE = linToExpr(F, Family[V], IntTy);
+      Expr *Total = foldExpr(
+          F, F.makeBinary(OpCode::Mul, DeltaE, F.cloneExpr(Trip), IntTy));
+      Expr *NewVal = F.makeBinary(OpCode::Add, F.makeVarRef(V), Total,
+                                  V->getType());
+      Parent.Stmts.insert(Parent.Stmts.begin() + static_cast<long>(InsertAt++),
+                          F.create<AssignStmt>(D->getLoc(),
+                                               F.makeVarRef(V), NewVal));
+    }
+    Stats.FamilyMembers += static_cast<unsigned>(Finalizable.size());
+
+    // Backtracking: re-examine statements that were blocked by a deleted
+    // update (the paper's heuristic).
+    if (Opts.EnableBacktracking) {
+      for (Stmt *B : Deleted) {
+        auto It = Blocked.find(B);
+        if (It == Blocked.end())
+          continue;
+        for (Stmt *S : It->second) {
+          auto Pos = std::find(body().Stmts.begin(), body().Stmts.end(), S);
+          if (Pos == body().Stmts.end())
+            continue;
+          ++Stats.Backtracks;
+          trySubstituteFrom(
+              static_cast<size_t>(Pos - body().Stmts.begin()));
+        }
+        Blocked.erase(It);
+      }
+    }
+    return true;
+  }
+
+  /// Expands an entry-value linear form into Base + Coef·index by
+  /// expanding family members via their deltas.  Fails when the form
+  /// mentions a non-invariant, non-family symbol.
+  bool closeOver(const BodyLinearState &BLS, const LinExpr &Val,
+                 const std::map<Symbol *, LinExpr> &Family, ClosedForm &Out,
+                 std::set<Symbol *> &FamilyRefs) {
+    if (!Val.Known)
+      return false;
+    Out.Base = LinExpr::constant(Val.C0);
+    Out.Coef = LinExpr::constant(0);
+    for (const auto &[Term, Coeff] : Val.Coeffs) {
+      if (Term.IsAddr) {
+        LinExpr T = LinExpr::addr(Term.Sym).mulConst(Coeff);
+        Out.Base = Out.Base.add(T);
+        continue;
+      }
+      auto FamIt = Family.find(Term.Sym);
+      if (FamIt != Family.end()) {
+        // Entry_k(sym) = sym + k*delta.
+        Out.Base = Out.Base.add(LinExpr::entry(Term.Sym).mulConst(Coeff));
+        Out.Coef = Out.Coef.add(FamIt->second.mulConst(Coeff));
+        FamilyRefs.insert(Term.Sym);
+        continue;
+      }
+      if (Term.Sym == D->getIndexVar()) {
+        // The index itself: contributes Coeff to Coef (index advances by
+        // one per iteration under normalization) with base 0.
+        Out.Coef = Out.Coef.add(LinExpr::constant(Coeff));
+        continue;
+      }
+      // Must be invariant.
+      if (BLS.isInvariant(Term.Sym)) {
+        Out.Base = Out.Base.add(LinExpr::entry(Term.Sym).mulConst(Coeff));
+        continue;
+      }
+      return false;
+    }
+    return true;
+  }
+
+  Expr *materializeClosed(const ClosedForm &CF, const Type *UseTy) {
+    const Type *IntTy = F.getProgram().getTypes().getIntType();
+    Expr *Base = linToExpr(F, CF.Base, UseTy);
+    if (CF.Coef.isZero())
+      return foldExpr(F, Base);
+    Expr *Coef = linToExpr(F, CF.Coef, IntTy);
+    Expr *Term = F.makeBinary(OpCode::Mul, Coef,
+                              F.makeVarRef(D->getIndexVar()), IntTy);
+    return foldExpr(F, F.makeBinary(OpCode::Add, Base, Term, UseTy));
+  }
+
+  void foldStmt(Stmt *S) {
+    forEachExprSlot(S, [this](Expr *&Slot) { Slot = foldExpr(F, Slot); });
+  }
+
+  size_t findLoopInParent() const {
+    for (size_t I = 0; I < Parent.Stmts.size(); ++I)
+      if (Parent.Stmts[I] == D)
+        return I;
+    assert(false && "loop not found in its parent block");
+    return 0;
+  }
+
+  Function &F;
+  DoLoopStmt *D;
+  Block &Parent;
+  IVSubStats &Stats;
+  const IVSubOptions &Opts;
+  std::set<Symbol *> Clobberable;
+  std::map<Stmt *, std::set<Stmt *>> Blocked;
+};
+
+void visitLoops(Function &F, Block &B, IVSubStats &Stats,
+                const IVSubOptions &Opts) {
+  for (Stmt *S : std::vector<Stmt *>(B.Stmts)) {
+    switch (S->getKind()) {
+    case Stmt::IfKind: {
+      auto *I = static_cast<IfStmt *>(S);
+      visitLoops(F, I->getThen(), Stats, Opts);
+      visitLoops(F, I->getElse(), Stats, Opts);
+      break;
+    }
+    case Stmt::WhileKind:
+      visitLoops(F, static_cast<WhileStmt *>(S)->getBody(), Stats, Opts);
+      break;
+    case Stmt::DoLoopKind: {
+      auto *D = static_cast<DoLoopStmt *>(S);
+      // Inner loops first.
+      visitLoops(F, D->getBody(), Stats, Opts);
+      LoopSubstituter(F, D, B, Stats, Opts).run();
+      break;
+    }
+    default:
+      break;
+    }
+  }
+}
+
+} // namespace
+
+IVSubStats scalar::substituteInductionVariables(Function &F,
+                                                const IVSubOptions &Opts) {
+  IVSubStats Stats;
+  visitLoops(F, F.getBody(), Stats, Opts);
+  return Stats;
+}

@@ -1,0 +1,64 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Induction-variable substitution with the paper's blocking/backtracking
+/// heuristic (Section 5.3).
+///
+/// For each normalized DO loop, the pass:
+///  1. Detects the induction-variable family: scalars whose net
+///     per-iteration change is a known loop-invariant amount (via linear
+///     symbolic evaluation, which sees through the `temp = v; v = temp+4`
+///     chains the front end emits for `v++`).
+///  2. Forward-substitutes pure temporary assignments into later uses.  A
+///     statement rejected *only because a later statement redefines a
+///     variable it uses* is recorded as blocked by that statement; when
+///     the blocker is removed (its induction variable was substituted),
+///     the blocked statement is re-examined.  This is exactly the paper's
+///     heuristic: "backtracking is never done unless it is guaranteed to
+///     give some substitution".
+///  3. Rewrites all remaining uses of each family member into the closed
+///     form `v + delta·index`, removes the in-loop updates, and places
+///     the final value `v = v + delta·trip` after the loop (the
+///     `in_x = in_x + 400` statements in the paper's Section 9 listing).
+///
+/// The worst case is n passes over the loop (n = number of statements);
+/// in practice one pass plus targeted backtracking suffices, and the
+/// Stats structure exposes both counters so the claim is measurable
+/// (experiment E5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_SCALAR_INDUCTIONVARSUB_H
+#define TCC_SCALAR_INDUCTIONVARSUB_H
+
+#include "il/IL.h"
+
+namespace tcc {
+namespace scalar {
+
+struct IVSubStats {
+  unsigned LoopsProcessed = 0;
+  unsigned FamilyMembers = 0;   ///< Induction variables recognized.
+  unsigned UsesRewritten = 0;   ///< Uses replaced by closed forms.
+  unsigned Substitutions = 0;   ///< Forward substitutions performed.
+  unsigned Blocked = 0;         ///< Substitutions initially blocked.
+  unsigned Backtracks = 0;      ///< Blocked statements re-examined.
+  unsigned Passes = 0;          ///< Full passes over loop bodies.
+};
+
+struct IVSubOptions {
+  /// When false, blocked statements are not re-examined when their blocker
+  /// is removed; they wait for the next full pass (the E5 ablation).
+  bool EnableBacktracking = true;
+  /// Safety valve for the paper's worst case.
+  unsigned MaxPassesPerLoop = 64;
+};
+
+/// Runs induction-variable substitution on every DO loop in \p F.
+IVSubStats substituteInductionVariables(il::Function &F,
+                                        const IVSubOptions &Opts = {});
+
+} // namespace scalar
+} // namespace tcc
+
+#endif // TCC_SCALAR_INDUCTIONVARSUB_H

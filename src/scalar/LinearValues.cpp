@@ -1,0 +1,327 @@
+#include "scalar/LinearValues.h"
+
+#include "analysis/UseDef.h"
+
+using namespace tcc;
+using namespace tcc::il;
+using namespace tcc::scalar;
+
+//===----------------------------------------------------------------------===//
+// LinExpr arithmetic
+//===----------------------------------------------------------------------===//
+
+LinExpr LinExpr::add(const LinExpr &RHS) const {
+  if (!Known || !RHS.Known)
+    return unknown();
+  LinExpr Out = *this;
+  Out.C0 += RHS.C0;
+  for (const auto &[Term, Coeff] : RHS.Coeffs) {
+    Out.Coeffs[Term] += Coeff;
+    if (Out.Coeffs[Term] == 0)
+      Out.Coeffs.erase(Term);
+  }
+  return Out;
+}
+
+LinExpr LinExpr::sub(const LinExpr &RHS) const { return add(RHS.neg()); }
+
+LinExpr LinExpr::mulConst(int64_t C) const {
+  if (!Known)
+    return unknown();
+  LinExpr Out;
+  Out.Known = true;
+  Out.C0 = C0 * C;
+  if (C != 0)
+    for (const auto &[Term, Coeff] : Coeffs)
+      Out.Coeffs[Term] = Coeff * C;
+  return Out;
+}
+
+bool LinExpr::isEntryOf(Symbol *Sym) const {
+  return Known && C0 == 0 && Coeffs.size() == 1 &&
+         Coeffs.begin()->first == LinTerm{Sym, false} &&
+         Coeffs.begin()->second == 1;
+}
+
+int64_t LinExpr::coeffOfEntry(Symbol *Sym) const {
+  auto It = Coeffs.find({Sym, false});
+  return It == Coeffs.end() ? 0 : It->second;
+}
+
+Expr *scalar::linToExpr(Function &F, const LinExpr &L, const Type *Ty) {
+  assert(L.Known && "cannot materialize an unknown linear form");
+  TypeContext &Types = F.getProgram().getTypes();
+  const Type *IntTy = Types.getIntType();
+
+  Expr *Acc = nullptr;
+  auto addTerm = [&](Expr *Term) {
+    if (!Acc) {
+      Acc = Term;
+      return;
+    }
+    Acc = F.makeBinary(OpCode::Add, Acc, Term, Ty);
+  };
+
+  for (const auto &[Term, Coeff] : L.Coeffs) {
+    Expr *Base;
+    if (Term.IsAddr) {
+      const Type *SymTy = Term.Sym->getType();
+      const Type *PtrTy = SymTy->isArray()
+                              ? Types.getPointerType(SymTy->getElementType())
+                              : Types.getPointerType(SymTy);
+      Base = F.create<AddrOfExpr>(PtrTy, F.makeVarRef(Term.Sym));
+    } else {
+      Base = F.makeVarRef(Term.Sym);
+    }
+    if (Coeff == 1) {
+      addTerm(Base);
+    } else if (Coeff == -1) {
+      addTerm(F.create<UnaryExpr>(IntTy, OpCode::Neg, Base));
+    } else {
+      addTerm(F.makeBinary(OpCode::Mul, F.makeIntConst(IntTy, Coeff), Base,
+                           IntTy));
+    }
+  }
+  if (L.C0 != 0 || !Acc)
+    addTerm(F.makeIntConst(Ty->isPointer() ? IntTy : Ty, L.C0));
+  return Acc;
+}
+
+//===----------------------------------------------------------------------===//
+// BodyLinearState
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The primary nested block of a structured statement (then-block for ifs,
+/// body for loops).
+Block &primaryBlockOf(Stmt *S) {
+  switch (S->getKind()) {
+  case Stmt::IfKind:
+    return static_cast<IfStmt *>(S)->getThen();
+  case Stmt::WhileKind:
+    return static_cast<WhileStmt *>(S)->getBody();
+  case Stmt::DoLoopKind:
+    return static_cast<DoLoopStmt *>(S)->getBody();
+  default:
+    assert(false && "statement has no block");
+    static Block Empty;
+    return Empty;
+  }
+}
+
+} // namespace
+
+BodyLinearState::BodyLinearState(Function &F, Block &Body) : F(F) {
+  // Irregular flow: any goto/label/return in the body.
+  forEachStmt(Body, [this](Stmt *S) {
+    switch (S->getKind()) {
+    case Stmt::GotoKind:
+    case Stmt::LabelKind:
+    case Stmt::ReturnKind:
+      IrregularFlow = true;
+      break;
+    default:
+      break;
+    }
+  });
+
+  // Touched scalars: strong defs anywhere in the body.
+  forEachStmt(Body, [this](Stmt *S) {
+    for (Symbol *Sym : analysis::strongDefs(S))
+      Touched.insert(Sym);
+  });
+
+  // Clobberable scalars: address-taken in the whole function, plus any
+  // global/static scalar (a pointer store or call can hit them).
+  Clobberable = analysis::computeAddressTakenScalars(F);
+  forEachStmt(F.getBody(), [this](Stmt *S) {
+    auto NoteGlobals = [this](Expr *E) {
+      Expr *Slot = E;
+      forEachSubExprSlot(Slot, [this](Expr *&Sub) {
+        if (Sub->getKind() == Expr::VarRefKind) {
+          Symbol *Sym = static_cast<VarRefExpr *>(Sub)->getSymbol();
+          if (Sym->isGlobal() && Sym->getType()->isScalar())
+            Clobberable.insert(Sym);
+        }
+      });
+    };
+    forEachExprSlot(S, [&NoteGlobals](Expr *&Slot) { NoteGlobals(Slot); });
+  });
+
+  // Symbolic walk of the top-level statements.
+  Env Cur;
+  for (Stmt *S : Body.Stmts) {
+    Snapshots.push_back(Cur);
+    switch (S->getKind()) {
+    case Stmt::AssignKind: {
+      auto *A = static_cast<AssignStmt *>(S);
+      if (A->getLHS()->getKind() == Expr::VarRefKind) {
+        Symbol *Target = static_cast<VarRefExpr *>(A->getLHS())->getSymbol();
+        if (Target->getType()->isScalar())
+          Cur[Target] = Target->isVolatile() ? LinExpr::unknown()
+                                             : evalExpr(Cur, A->getRHS());
+      } else {
+        // Store through pointer/array: clobber aliased scalars.
+        invalidateClobbered(Cur);
+      }
+      break;
+    }
+    case Stmt::CallKind: {
+      auto *C = static_cast<CallStmt *>(S);
+      invalidateClobbered(Cur);
+      if (C->getResult())
+        Cur[C->getResult()] = LinExpr::unknown();
+      break;
+    }
+    case Stmt::IfKind:
+    case Stmt::WhileKind:
+    case Stmt::DoLoopKind: {
+      // Conditionally (or repeatedly) executed: every scalar defined
+      // inside becomes unknown, as does anything clobberable if the region
+      // stores through pointers or calls.
+      bool HasSideEntry = false;
+      forEachStmt(primaryBlockOf(S), [&](Stmt *Sub) {
+        for (Symbol *Sym : analysis::strongDefs(Sub))
+          Cur[Sym] = LinExpr::unknown();
+        if (Sub->getKind() == Stmt::CallKind)
+          HasSideEntry = true;
+        if (Sub->getKind() == Stmt::AssignKind &&
+            static_cast<AssignStmt *>(Sub)->getLHS()->getKind() !=
+                Expr::VarRefKind)
+          HasSideEntry = true;
+      });
+      if (S->getKind() == Stmt::IfKind) {
+        auto *I = static_cast<IfStmt *>(S);
+        forEachStmt(I->getElse(), [&](Stmt *Sub) {
+          for (Symbol *Sym : analysis::strongDefs(Sub))
+            Cur[Sym] = LinExpr::unknown();
+          if (Sub->getKind() == Stmt::CallKind)
+            HasSideEntry = true;
+          if (Sub->getKind() == Stmt::AssignKind &&
+              static_cast<AssignStmt *>(Sub)->getLHS()->getKind() !=
+                  Expr::VarRefKind)
+            HasSideEntry = true;
+        });
+      }
+      if (HasSideEntry)
+        invalidateClobbered(Cur);
+      break;
+    }
+    case Stmt::LabelKind:
+    case Stmt::GotoKind:
+    case Stmt::ReturnKind:
+      // Tracked via IrregularFlow.
+      break;
+    }
+  }
+  Final = std::move(Cur);
+}
+
+LinExpr BodyLinearState::lookup(const Env &E, Symbol *Sym) const {
+  auto It = E.find(Sym);
+  if (It != E.end())
+    return It->second;
+  if (Sym->isVolatile())
+    return LinExpr::unknown();
+  return LinExpr::entry(Sym);
+}
+
+void BodyLinearState::invalidateClobbered(Env &E) const {
+  for (Symbol *Sym : Clobberable)
+    E[Sym] = LinExpr::unknown();
+}
+
+LinExpr BodyLinearState::evalExpr(const Env &E, Expr *Expression) const {
+  switch (Expression->getKind()) {
+  case Expr::ConstIntKind:
+    return LinExpr::constant(
+        static_cast<ConstIntExpr *>(Expression)->getValue());
+  case Expr::ConstFloatKind:
+    return LinExpr::unknown();
+  case Expr::VarRefKind: {
+    Symbol *Sym = static_cast<VarRefExpr *>(Expression)->getSymbol();
+    if (!Sym->getType()->isScalar() || Sym->getType()->isFloating())
+      return LinExpr::unknown();
+    return lookup(E, Sym);
+  }
+  case Expr::BinaryKind: {
+    auto *B = static_cast<BinaryExpr *>(Expression);
+    LinExpr L = evalExpr(E, B->getLHS());
+    LinExpr R = evalExpr(E, B->getRHS());
+    switch (B->getOp()) {
+    case OpCode::Add:
+      return L.add(R);
+    case OpCode::Sub:
+      return L.sub(R);
+    case OpCode::Mul:
+      if (L.isConstant())
+        return R.mulConst(L.C0);
+      if (R.isConstant())
+        return L.mulConst(R.C0);
+      return LinExpr::unknown();
+    default:
+      return LinExpr::unknown();
+    }
+  }
+  case Expr::UnaryKind: {
+    auto *U = static_cast<UnaryExpr *>(Expression);
+    if (U->getOp() == OpCode::Neg)
+      return evalExpr(E, U->getOperand()).neg();
+    return LinExpr::unknown();
+  }
+  case Expr::CastKind: {
+    auto *C = static_cast<CastExpr *>(Expression);
+    const Type *From = C->getOperand()->getType();
+    const Type *To = C->getType();
+    // int↔pointer casts preserve the byte value; char truncation and
+    // float conversions do not.
+    bool FromWide = From->isInt() || From->isPointer();
+    bool ToWide = To->isInt() || To->isPointer();
+    if (FromWide && ToWide)
+      return evalExpr(E, C->getOperand());
+    return LinExpr::unknown();
+  }
+  case Expr::AddrOfKind: {
+    auto *A = static_cast<AddrOfExpr *>(Expression);
+    if (A->getLValue()->getKind() == Expr::VarRefKind)
+      return LinExpr::addr(
+          static_cast<VarRefExpr *>(A->getLValue())->getSymbol());
+    return LinExpr::unknown();
+  }
+  case Expr::DerefKind:
+  case Expr::IndexKind:
+  case Expr::TripletKind:
+    return LinExpr::unknown();
+  }
+  return LinExpr::unknown();
+}
+
+LinExpr BodyLinearState::valueBefore(size_t I, Symbol *Sym) const {
+  assert(I < Snapshots.size() && "statement index out of range");
+  return lookup(Snapshots[I], Sym);
+}
+
+LinExpr BodyLinearState::valueAtEnd(Symbol *Sym) const {
+  return lookup(Final, Sym);
+}
+
+LinExpr BodyLinearState::deltaOf(Symbol *Sym) const {
+  LinExpr End = valueAtEnd(Sym);
+  if (!End.Known)
+    return LinExpr::unknown();
+  LinExpr Delta = End.sub(LinExpr::entry(Sym));
+  // Every remaining entry term must be invariant in the body.
+  for (const auto &[Term, Coeff] : Delta.Coeffs) {
+    if (Term.IsAddr)
+      continue;
+    if (Touched.count(Term.Sym))
+      return LinExpr::unknown();
+  }
+  return Delta;
+}
+
+LinExpr BodyLinearState::evalAt(size_t I, Expr *E) const {
+  assert(I < Snapshots.size() && "statement index out of range");
+  return evalExpr(Snapshots[I], E);
+}

@@ -1,0 +1,146 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Linear symbolic evaluation of loop bodies.
+///
+/// Both while→DO conversion (paper Section 5.2) and induction-variable
+/// substitution (Section 5.3) need to know how scalars evolve across one
+/// iteration of a loop body: which variables advance by a loop-invariant
+/// amount each trip (induction variables), what the value of a scalar is at
+/// a given statement relative to iteration entry, and which variables are
+/// untouched (invariant).
+///
+/// Values are tracked as linear forms `c0 + Σ ci · Entry(si)` over the
+/// values scalars had on entry to the iteration, plus address-constant
+/// terms `&array` (the paper notes the vectorizer "is safe in propagating
+/// address constants").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_SCALAR_LINEARVALUES_H
+#define TCC_SCALAR_LINEARVALUES_H
+
+#include "il/IL.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace tcc {
+namespace scalar {
+
+/// One linear term: the iteration-entry value of a scalar symbol, or the
+/// (invariant) byte address of a symbol.
+struct LinTerm {
+  il::Symbol *Sym = nullptr;
+  bool IsAddr = false;
+
+  bool operator<(const LinTerm &RHS) const {
+    if (Sym != RHS.Sym)
+      return Sym < RHS.Sym;
+    return IsAddr < RHS.IsAddr;
+  }
+  bool operator==(const LinTerm &RHS) const {
+    return Sym == RHS.Sym && IsAddr == RHS.IsAddr;
+  }
+};
+
+/// A linear form over iteration-entry values, or Unknown.
+struct LinExpr {
+  bool Known = false;
+  int64_t C0 = 0;
+  std::map<LinTerm, int64_t> Coeffs;
+
+  static LinExpr unknown() { return LinExpr(); }
+  static LinExpr constant(int64_t C) {
+    LinExpr E;
+    E.Known = true;
+    E.C0 = C;
+    return E;
+  }
+  static LinExpr entry(il::Symbol *Sym) {
+    LinExpr E;
+    E.Known = true;
+    E.Coeffs[{Sym, false}] = 1;
+    return E;
+  }
+  static LinExpr addr(il::Symbol *Sym) {
+    LinExpr E;
+    E.Known = true;
+    E.Coeffs[{Sym, true}] = 1;
+    return E;
+  }
+
+  LinExpr add(const LinExpr &RHS) const;
+  LinExpr sub(const LinExpr &RHS) const;
+  LinExpr mulConst(int64_t C) const;
+  LinExpr neg() const { return mulConst(-1); }
+
+  bool isConstant() const { return Known && Coeffs.empty(); }
+  bool isZero() const { return isConstant() && C0 == 0; }
+  /// True if this is exactly `Entry(Sym)`.
+  bool isEntryOf(il::Symbol *Sym) const;
+  /// The coefficient on Entry(Sym) (0 if absent).
+  int64_t coeffOfEntry(il::Symbol *Sym) const;
+};
+
+/// Materializes a linear form as an IL expression of type \p Ty.  Entry
+/// terms become VarRefs of their symbols (so this is only meaningful where
+/// those symbols still hold their entry values); address terms become
+/// `&sym` (decayed to the element pointer for arrays).
+il::Expr *linToExpr(il::Function &F, const LinExpr &L, const Type *Ty);
+
+/// Linear symbolic execution over the top-level statements of a block.
+class BodyLinearState {
+public:
+  BodyLinearState(il::Function &F, il::Block &Body);
+
+  /// True if the body contains gotos, labels, or returns anywhere — the
+  /// loop may exit or jump mid-iteration, so per-iteration reasoning is
+  /// unsafe.
+  bool hasIrregularFlow() const { return IrregularFlow; }
+
+  /// Value of \p Sym on entry to top-level statement \p I (0-based), as a
+  /// linear form over iteration-entry values.
+  LinExpr valueBefore(size_t I, il::Symbol *Sym) const;
+
+  /// Value of \p Sym after the whole body.
+  LinExpr valueAtEnd(il::Symbol *Sym) const;
+
+  /// Net per-iteration change of \p Sym, valid only when every symbol it
+  /// mentions is invariant in the body: returns Unknown otherwise.  A
+  /// result of Known means `Sym_next = Sym + delta` with delta evaluable at
+  /// loop entry.
+  LinExpr deltaOf(il::Symbol *Sym) const;
+
+  /// Scalars assigned anywhere in the body (any nesting).
+  const std::set<il::Symbol *> &touched() const { return Touched; }
+
+  /// True if \p Sym is never assigned in the body.
+  bool isInvariant(il::Symbol *Sym) const { return !Touched.count(Sym); }
+
+  /// Evaluates an arbitrary expression in the environment holding before
+  /// top-level statement \p I.
+  LinExpr evalAt(size_t I, il::Expr *E) const;
+
+  size_t numTopLevelStmts() const { return Snapshots.size(); }
+
+private:
+  using Env = std::map<il::Symbol *, LinExpr>;
+
+  LinExpr evalExpr(const Env &E, il::Expr *Expression) const;
+  LinExpr lookup(const Env &E, il::Symbol *Sym) const;
+  void invalidateClobbered(Env &E) const;
+
+  il::Function &F;
+  std::vector<Env> Snapshots; ///< Environment before each top-level stmt.
+  Env Final;                  ///< Environment after the body.
+  std::set<il::Symbol *> Touched;
+  std::set<il::Symbol *> Clobberable; ///< Address-taken scalars + globals.
+  bool IrregularFlow = false;
+};
+
+} // namespace scalar
+} // namespace tcc
+
+#endif // TCC_SCALAR_LINEARVALUES_H

@@ -1,0 +1,259 @@
+#include "scalar/WhileToDo.h"
+
+#include "analysis/CFG.h"
+#include "scalar/Fold.h"
+#include "scalar/LinearValues.h"
+
+using namespace tcc;
+using namespace tcc::il;
+using namespace tcc::scalar;
+
+namespace {
+
+class Converter {
+public:
+  Converter(Function &F, analysis::UseDefChains *UD) : F(F), UD(UD) {}
+
+  WhileToDoStats run() {
+    visitBlock(F.getBody());
+    return Stats;
+  }
+
+private:
+  /// Post-order: convert inner loops first.
+  void visitBlock(Block &B) {
+    for (size_t I = 0; I < B.Stmts.size(); ++I) {
+      Stmt *S = B.Stmts[I];
+      switch (S->getKind()) {
+      case Stmt::IfKind: {
+        auto *If = static_cast<IfStmt *>(S);
+        visitBlock(If->getThen());
+        visitBlock(If->getElse());
+        break;
+      }
+      case Stmt::DoLoopKind:
+        visitBlock(static_cast<DoLoopStmt *>(S)->getBody());
+        break;
+      case Stmt::WhileKind: {
+        auto *W = static_cast<WhileStmt *>(S);
+        visitBlock(W->getBody());
+        ++Stats.Attempted;
+        if (DoLoopStmt *NewDo = tryConvert(W)) {
+          B.Stmts[I] = NewDo;
+          ++Stats.Converted;
+          if (UD)
+            UD->patchAfterWhileConversion(W, NewDo);
+        }
+        break;
+      }
+      default:
+        break;
+      }
+    }
+  }
+
+  /// The recognized condition shapes.
+  struct CondShape {
+    Symbol *ControlVar = nullptr;
+    enum Kind { NonZero, Lt, Le, Gt, Ge } Relation = NonZero;
+    Expr *Bound = nullptr; ///< Null for NonZero.
+  };
+
+  bool matchCondition(Expr *Cond, CondShape &Out) {
+    // `i`
+    if (Cond->getKind() == Expr::VarRefKind) {
+      Out.ControlVar = static_cast<VarRefExpr *>(Cond)->getSymbol();
+      Out.Relation = CondShape::NonZero;
+      return true;
+    }
+    if (Cond->getKind() != Expr::BinaryKind)
+      return false;
+    auto *B = static_cast<BinaryExpr *>(Cond);
+    Expr *L = B->getLHS();
+    Expr *R = B->getRHS();
+
+    auto asVar = [](Expr *E) -> Symbol * {
+      if (E->getKind() == Expr::VarRefKind)
+        return static_cast<VarRefExpr *>(E)->getSymbol();
+      return nullptr;
+    };
+    auto isZero = [](Expr *E) {
+      return E->getKind() == Expr::ConstIntKind &&
+             static_cast<ConstIntExpr *>(E)->getValue() == 0;
+    };
+
+    switch (B->getOp()) {
+    case OpCode::Ne:
+      // i != 0 or 0 != i.
+      if (Symbol *V = asVar(L); V && isZero(R)) {
+        Out.ControlVar = V;
+        Out.Relation = CondShape::NonZero;
+        return true;
+      }
+      if (Symbol *V = asVar(R); V && isZero(L)) {
+        Out.ControlVar = V;
+        Out.Relation = CondShape::NonZero;
+        return true;
+      }
+      return false;
+    case OpCode::Lt:
+    case OpCode::Le:
+    case OpCode::Gt:
+    case OpCode::Ge: {
+      CondShape::Kind Kind;
+      if (Symbol *V = asVar(L)) {
+        Out.ControlVar = V;
+        Out.Bound = R;
+        Kind = B->getOp() == OpCode::Lt   ? CondShape::Lt
+               : B->getOp() == OpCode::Le ? CondShape::Le
+               : B->getOp() == OpCode::Gt ? CondShape::Gt
+                                          : CondShape::Ge;
+        Out.Relation = Kind;
+        return true;
+      }
+      if (Symbol *V = asVar(R)) {
+        // Mirror: n > i is i < n, etc.
+        Out.ControlVar = V;
+        Out.Bound = L;
+        Kind = B->getOp() == OpCode::Lt   ? CondShape::Gt
+               : B->getOp() == OpCode::Le ? CondShape::Ge
+               : B->getOp() == OpCode::Gt ? CondShape::Lt
+                                          : CondShape::Le;
+        Out.Relation = Kind;
+        return true;
+      }
+      return false;
+    }
+    default:
+      return false;
+    }
+  }
+
+  /// True if every scalar mentioned by \p E is invariant in the body per
+  /// \p BLS and non-volatile.
+  bool exprInvariantInBody(Expr *E, const BodyLinearState &BLS) {
+    bool Ok = true;
+    Expr *Slot = E;
+    forEachSubExprSlot(Slot, [&](Expr *&Sub) {
+      if (Sub->getKind() == Expr::DerefKind ||
+          Sub->getKind() == Expr::IndexKind)
+        Ok = false; // memory loads may change across iterations
+      if (Sub->getKind() == Expr::VarRefKind) {
+        Symbol *Sym = static_cast<VarRefExpr *>(Sub)->getSymbol();
+        if (Sym->isVolatile() || !BLS.isInvariant(Sym))
+          Ok = false;
+      }
+    });
+    return Ok;
+  }
+
+  DoLoopStmt *tryConvert(WhileStmt *W) {
+    Block &Body = W->getBody();
+    if (Body.empty())
+      return nullptr;
+
+    CondShape Shape;
+    if (!matchCondition(W->getCond(), Shape))
+      return nullptr;
+    Symbol *I = Shape.ControlVar;
+    if (I->isVolatile() || !I->getType()->isScalar() ||
+        I->getType()->isFloating())
+      return nullptr;
+
+    BodyLinearState BLS(F, Body);
+    if (BLS.hasIrregularFlow())
+      return nullptr;
+    if (analysis::CFG::hasBranchIntoBlock(F, Body))
+      return nullptr;
+
+    LinExpr Delta = BLS.deltaOf(I);
+    if (!Delta.Known || Delta.isZero())
+      return nullptr;
+    if (Shape.Bound && !exprInvariantInBody(Shape.Bound, BLS))
+      return nullptr;
+
+    TypeContext &Types = F.getProgram().getTypes();
+    const Type *IntTy = Types.getIntType();
+    auto c = [&](int64_t V) { return F.makeIntConst(IntTy, V); };
+    auto sub = [&](Expr *A, Expr *B) {
+      return F.makeBinary(OpCode::Sub, A, B, IntTy);
+    };
+    auto divE = [&](Expr *A, Expr *B) {
+      return F.makeBinary(OpCode::Div, A, B, IntTy);
+    };
+
+    // The control variable's value at loop entry.
+    auto entryVal = [&]() -> Expr * {
+      Expr *V = F.makeVarRef(I);
+      if (I->getType()->isPointer())
+        return F.create<CastExpr>(IntTy, V);
+      return V;
+    };
+    auto boundVal = [&]() -> Expr * {
+      Expr *V = F.cloneExpr(Shape.Bound);
+      if (V->getType()->isPointer())
+        return F.create<CastExpr>(IntTy, V);
+      return V;
+    };
+
+    // Compute trip-1 (the limit of the normalized DO loop).
+    Expr *TripM1 = nullptr;
+    if (Shape.Relation == CondShape::NonZero) {
+      // while (i != 0) with i advancing by Delta each trip: the loop runs
+      // i0 / (-Delta) times (the paper's `DO dummy = n, 1, -s` case).
+      Expr *NegDelta = linToExpr(F, Delta.neg(), IntTy);
+      TripM1 = sub(divE(entryVal(), NegDelta), c(1));
+    } else {
+      // Relational conditions need a known step direction.
+      if (!Delta.isConstant())
+        return nullptr;
+      int64_t Step = Delta.C0;
+      switch (Shape.Relation) {
+      case CondShape::Lt:
+        if (Step <= 0)
+          return nullptr;
+        TripM1 = divE(sub(sub(boundVal(), c(1)), entryVal()), c(Step));
+        break;
+      case CondShape::Le:
+        if (Step <= 0)
+          return nullptr;
+        TripM1 = divE(sub(boundVal(), entryVal()), c(Step));
+        break;
+      case CondShape::Gt:
+        if (Step >= 0)
+          return nullptr;
+        TripM1 = divE(sub(sub(entryVal(), c(1)), boundVal()), c(-Step));
+        break;
+      case CondShape::Ge:
+        if (Step >= 0)
+          return nullptr;
+        TripM1 = divE(sub(entryVal(), boundVal()), c(-Step));
+        break;
+      case CondShape::NonZero:
+        break;
+      }
+    }
+    TripM1 = foldExpr(F, TripM1);
+
+    // Build the normalized DO loop; the body moves over unchanged (the
+    // paper keeps the original updates and lets IV substitution + DCE
+    // clean them up).
+    Symbol *Index = F.createTemp(IntTy, "temp_i");
+    auto *NewDo =
+        F.create<DoLoopStmt>(W->getLoc(), Index, c(0), TripM1, c(1));
+    NewDo->setSafeVectorPragma(W->hasSafeVectorPragma());
+    NewDo->getBody().Stmts = std::move(Body.Stmts);
+    return NewDo;
+  }
+
+  Function &F;
+  analysis::UseDefChains *UD;
+  WhileToDoStats Stats;
+};
+
+} // namespace
+
+WhileToDoStats scalar::convertWhileLoops(Function &F,
+                                         analysis::UseDefChains *UD) {
+  return Converter(F, UD).run();
+}

@@ -1,0 +1,53 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// While→DO conversion (paper Section 5.2).
+///
+/// The C front end represents every for loop as a while loop; this pass
+/// recovers Fortran-style DO loops so the vectorizer can reason about trip
+/// counts.  Following the paper, conversion happens immediately after
+/// use-def chains are built, the loop body is left untouched (the original
+/// control variable keeps being updated inside; induction-variable
+/// substitution and dead-code elimination clean it up later), and the
+/// use-def chains are patched incrementally rather than rebuilt.
+///
+/// A while loop converts when:
+///  - no branch enters the body and the body has no goto/label/return
+///    (irregular flow defeats per-iteration reasoning);
+///  - the condition has the form `i`, `i != 0`, or `i relop bound` with
+///    `bound` invariant in the body;
+///  - the control variable `i` is a non-volatile scalar whose net
+///    per-iteration change is a known loop-invariant amount (detected by
+///    linear symbolic evaluation, so the `temp = i; i = temp - s` shape
+///    from the paper is recognized).
+///
+/// The result is a *normalized* DO loop `do temp_i = 0, trip-1, 1`, the
+/// same shape the paper's Section 9 listing shows (`do fortran temp_i =
+/// 0, n-1, 1`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_SCALAR_WHILETODO_H
+#define TCC_SCALAR_WHILETODO_H
+
+#include "analysis/UseDef.h"
+#include "il/IL.h"
+
+namespace tcc {
+namespace scalar {
+
+struct WhileToDoStats {
+  unsigned Attempted = 0;
+  unsigned Converted = 0;
+};
+
+/// Converts convertible while loops in \p F to normalized DO loops.  When
+/// \p UD is non-null, chains are patched incrementally for each converted
+/// loop (paper Section 5.2).
+WhileToDoStats convertWhileLoops(il::Function &F,
+                                 analysis::UseDefChains *UD = nullptr);
+
+} // namespace scalar
+} // namespace tcc
+
+#endif // TCC_SCALAR_WHILETODO_H

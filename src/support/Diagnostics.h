@@ -1,0 +1,63 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Diagnostic collection for the compiler.  Library code never prints or
+/// exits; it records diagnostics into a DiagnosticEngine that tools and
+/// tests inspect.  This follows the recoverable-error discipline: malformed
+/// user input produces diagnostics, while internal invariant violations use
+/// assert.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_SUPPORT_DIAGNOSTICS_H
+#define TCC_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace tcc {
+
+enum class DiagKind { Error, Warning, Note };
+
+/// One reported problem: severity, position, and message text.  Messages
+/// follow the style "lowercase first word, no trailing period".
+struct Diagnostic {
+  DiagKind Kind;
+  SourceLoc Loc;
+  std::string Message;
+
+  /// Renders "error: 3:7: message".
+  std::string str() const;
+};
+
+/// Accumulates diagnostics during a compilation.  Cheap to pass by
+/// reference through every phase.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, std::string Message);
+  void warning(SourceLoc Loc, std::string Message);
+  void note(SourceLoc Loc, std::string Message);
+
+  bool hasErrors() const { return NumErrors > 0; }
+  unsigned errorCount() const { return NumErrors; }
+  unsigned warningCount() const { return NumWarnings; }
+
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Concatenates all diagnostics, one per line, for test assertions and
+  /// tool output.
+  std::string str() const;
+
+  void clear();
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+  unsigned NumWarnings = 0;
+};
+
+} // namespace tcc
+
+#endif // TCC_SUPPORT_DIAGNOSTICS_H

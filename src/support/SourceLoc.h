@@ -1,0 +1,40 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source locations for diagnostics.  The Titan C compiler reproduction
+/// tracks line/column pairs through the lexer, parser and front-end lowering
+/// so that every diagnostic points at the offending source text.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_SUPPORT_SOURCELOC_H
+#define TCC_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+#include <string>
+
+namespace tcc {
+
+/// A (line, column) position in a compiled source buffer.  Lines and columns
+/// are 1-based; a default-constructed location is "unknown" (0, 0).
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  SourceLoc() = default;
+  SourceLoc(uint32_t Line, uint32_t Col) : Line(Line), Col(Col) {}
+
+  bool isValid() const { return Line != 0; }
+
+  bool operator==(const SourceLoc &RHS) const {
+    return Line == RHS.Line && Col == RHS.Col;
+  }
+  bool operator!=(const SourceLoc &RHS) const { return !(*this == RHS); }
+
+  /// Renders "line:col", or "<unknown>" for an invalid location.
+  std::string str() const;
+};
+
+} // namespace tcc
+
+#endif // TCC_SUPPORT_SOURCELOC_H

@@ -1,0 +1,38 @@
+#include "support/StringExtras.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+
+using namespace tcc;
+
+std::string tcc::formatString(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Size = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  std::string Out;
+  if (Size > 0) {
+    Out.resize(static_cast<size_t>(Size) + 1);
+    std::vsnprintf(Out.data(), Out.size(), Fmt, ArgsCopy);
+    Out.resize(static_cast<size_t>(Size));
+  }
+  va_end(ArgsCopy);
+  return Out;
+}
+
+std::string tcc::formatDouble(double Value) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", Value);
+  // Ensure the result is visibly floating-point.
+  if (!std::strpbrk(Buf, ".eEni"))
+    std::strcat(Buf, ".0");
+  return Buf;
+}
+
+bool tcc::startsWith(const std::string &Str, const std::string &Prefix) {
+  return Str.size() >= Prefix.size() &&
+         Str.compare(0, Prefix.size(), Prefix) == 0;
+}

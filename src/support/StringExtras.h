@@ -1,0 +1,31 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small string helpers shared across the compiler: printf-style formatting
+/// into std::string and number rendering that round-trips floating-point
+/// constants.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_SUPPORT_STRINGEXTRAS_H
+#define TCC_SUPPORT_STRINGEXTRAS_H
+
+#include <string>
+
+namespace tcc {
+
+/// printf-style formatting into a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Renders a double so that it reads back to the same value and always
+/// contains a '.', 'e' or "inf"/"nan" marker (so it cannot be confused with
+/// an integer literal in the IL serializer).
+std::string formatDouble(double Value);
+
+/// True if \p Str starts with \p Prefix.
+bool startsWith(const std::string &Str, const std::string &Prefix);
+
+} // namespace tcc
+
+#endif // TCC_SUPPORT_STRINGEXTRAS_H

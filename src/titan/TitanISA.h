@@ -1,0 +1,190 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulated Titan instruction set.
+///
+/// The real Titan (paper Section 2) pairs a RISC integer processor with a
+/// highly pipelined floating point unit that executes all scalar FP and
+/// all vector instructions, fed from an 8192-element vector register file
+/// addressable at any origin, length and stride; up to four processors
+/// share memory.  This module defines a register-transfer ISA with the
+/// same structure:
+///
+///  - integer registers (unbounded virtual; the code generator maps hot
+///    scalars to registers and the rest to frame slots),
+///  - scalar FP registers (the register-file-as-scalars view the paper
+///    describes),
+///  - vector registers holding up to 8192 elements,
+///  - scalar memory ops (byte/word/float/double), vector loads/stores
+///    with arbitrary stride, vector-vector and vector-scalar arithmetic,
+///  - branches, calls, and parallel-region markers used by the timing
+///    model to spread loop iterations across processors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_TITAN_TITANISA_H
+#define TCC_TITAN_TITANISA_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tcc {
+namespace titan {
+
+enum class Opcode : uint8_t {
+  // Integer unit.
+  LI,   ///< idst = Imm
+  IMOV, ///< idst = isrcA
+  IADD,
+  ISUB,
+  IMUL,
+  IDIV,
+  IREM,
+  ISHL,
+  ISHR,
+  IAND,
+  IOR,
+  IXOR,
+  INEG,
+  IBITNOT,
+  ILOGNOT,
+  ICMPLT,
+  ICMPLE,
+  ICMPGT,
+  ICMPGE,
+  ICMPEQ,
+  ICMPNE,
+  IMIN,
+  IMAX,
+
+  // Scalar FP unit (registers hold doubles; SinglePrec rounds results).
+  LF,   ///< fdst = FImm
+  FMOV, ///< fdst = fsrcA
+  FADD,
+  FSUB,
+  FMUL,
+  FDIV,
+  FNEG,
+  FMIN,
+  FMAX,
+  FCMPLT, ///< idst = fsrcA < fsrcB
+  FCMPLE,
+  FCMPGT,
+  FCMPGE,
+  FCMPEQ,
+  FCMPNE,
+  ITOF, ///< fdst = (double)isrcA
+  FTOI, ///< idst = (int)fsrcA
+
+  // Scalar memory; address in isrcA (byte address), offset in Imm.
+  LDC, ///< idst = signext(*(int8*)addr)
+  LDW, ///< idst = *(int32*)addr
+  LDF, ///< fdst = *(float*)addr
+  LDD, ///< fdst = *(double*)addr
+  STC, ///< *(int8*)addr = isrcB
+  STW,
+  STF, ///< *(float*)addr = fsrcB
+  STD,
+
+  // Control.
+  JMP, ///< to Target
+  BNZ, ///< if (isrcA != 0) goto Target
+  BZ,  ///< if (isrcA == 0) goto Target
+  CALL,
+  RET,
+
+  // Vector unit.  Vector registers are indexed by Dst/SrcA/SrcB in the
+  // vector file; Args holds [addrReg, strideReg, lenReg] for memory ops.
+  VLD,   ///< vdst = memory[addr + k*stride], k in [0,len)
+  VST,   ///< memory[addr + k*stride] = vsrcA
+  VADD,  ///< vdst = vsrcA + vsrcB (elementwise)
+  VSUB,
+  VMUL,
+  VDIV,
+  VNEG,
+  VSADD, ///< vdst = vsrcA + fscalar (scalar in fp reg Args[0])
+  VSSUB, ///< vdst = vsrcA - fscalar
+  VSSUBR,///< vdst = fscalar - vsrcA
+  VSMUL,
+  VSDIV, ///< vdst = vsrcA / fscalar
+  VSDIVR,
+  VIOTA, ///< vdst[k] = lo + k*stride; Args = [loReg, strideReg, lenReg]
+
+  // Parallel region markers (multiprocessor spreading).  PARBEGIN reads
+  /// the chunk count from isrcA.
+  PARBEGIN,
+  PAREND,
+
+  HALT,
+};
+
+/// Element kind of a vector memory operation.
+enum class ElemKind : uint8_t { Float32, Float64, Int32 };
+
+struct Instr {
+  Opcode Op = Opcode::HALT;
+  int Dst = -1;
+  int SrcA = -1;
+  int SrcB = -1;
+  int64_t Imm = 0;
+  double FImm = 0.0;
+  int Target = -1; ///< Branch target (instruction index) or callee index.
+  ElemKind Kind = ElemKind::Float32;
+  bool SinglePrec = false; ///< Round FP result to float32.
+  /// Dependence analysis proved this load conflicts with no earlier store
+  /// in flight — the scheduler may hoist it past the store queue (the
+  /// paper's dependence-driven instruction scheduling, Section 6).
+  bool NoStoreConflict = false;
+  std::vector<int> Args; ///< Call argument registers / vector mem operands.
+  /// For CALL: argument FP-ness flags, result in Dst (int) or Dst with
+  /// RetIsFp.
+  std::vector<bool> ArgIsFp;
+  bool RetIsFp = false;
+  std::string Comment; ///< Disassembly aid.
+};
+
+/// Where a function's scalar symbol lives at run time.
+struct SymbolLocation {
+  enum Kind { IntReg, FpReg, Frame, Global } K = Frame;
+  int Index = 0;     ///< Register number or byte offset.
+  int64_t Addr = 0;  ///< Global byte address (K == Global).
+};
+
+struct TitanFunction {
+  std::string Name;
+  std::vector<Instr> Code;
+  unsigned NumIntRegs = 0;
+  unsigned NumFpRegs = 0;
+  unsigned NumVecRegs = 0;
+  int64_t FrameSize = 0;
+  unsigned NumParams = 0;
+  std::vector<SymbolLocation> ParamLocs; ///< Where each param is received.
+  bool RetIsFp = false;
+  bool HasRetValue = false;
+};
+
+/// A linked Titan program: functions, global memory layout, initial image.
+struct TitanProgram {
+  std::vector<TitanFunction> Functions;
+  std::map<std::string, size_t> FunctionIndex;
+  /// Global/static symbol name → byte address.
+  std::map<std::string, int64_t> GlobalAddresses;
+  int64_t GlobalSize = 0;       ///< Bytes of global storage.
+  std::vector<uint8_t> InitialImage; ///< Initialized global bytes.
+  int64_t StackBase = 0;        ///< Frame stack starts here.
+
+  const TitanFunction *find(const std::string &Name) const {
+    auto It = FunctionIndex.find(Name);
+    return It == FunctionIndex.end() ? nullptr : &Functions[It->second];
+  }
+};
+
+/// Renders a function's code as pseudo-assembly (tests, debugging).
+std::string disassemble(const TitanFunction &F);
+
+} // namespace titan
+} // namespace tcc
+
+#endif // TCC_TITAN_TITANISA_H

@@ -1,0 +1,946 @@
+#include "titan/TitanMachine.h"
+
+#include "support/StringExtras.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+using namespace tcc;
+using namespace tcc::titan;
+
+//===----------------------------------------------------------------------===//
+// Disassembly
+//===----------------------------------------------------------------------===//
+
+std::string titan::disassemble(const TitanFunction &F) {
+  static const char *Names[] = {
+      "li",     "imov",   "iadd",   "isub",  "imul",    "idiv",   "irem",
+      "ishl",   "ishr",   "iand",   "ior",   "ixor",    "ineg",   "ibitnot",
+      "ilognot","icmplt", "icmple", "icmpgt","icmpge",  "icmpeq", "icmpne",
+      "imin",   "imax",   "lf",     "fmov",  "fadd",    "fsub",   "fmul",
+      "fdiv",   "fneg",   "fmin",   "fmax",  "fcmplt",  "fcmple", "fcmpgt",
+      "fcmpge", "fcmpeq", "fcmpne", "itof",  "ftoi",    "ldc",    "ldw",
+      "ldf",    "ldd",    "stc",    "stw",   "stf",     "std",    "jmp",
+      "bnz",    "bz",     "call",   "ret",   "vld",     "vst",    "vadd",
+      "vsub",   "vmul",   "vdiv",   "vneg",  "vsadd",   "vssub",  "vssubr",
+      "vsmul",  "vsdiv",  "vsdivr", "viota", "parbegin", "parend", "halt"};
+  std::string Out = F.Name + ":\n";
+  for (size_t I = 0; I < F.Code.size(); ++I) {
+    const Instr &In = F.Code[I];
+    Out += formatString("%4zu: %-8s d=%d a=%d b=%d imm=%lld t=%d", I,
+                        Names[static_cast<unsigned>(In.Op)], In.Dst, In.SrcA,
+                        In.SrcB, static_cast<long long>(In.Imm), In.Target);
+    if (In.Op == Opcode::LF)
+      Out += formatString(" f=%g", In.FImm);
+    if (In.NoStoreConflict)
+      Out += " [nosconf]";
+    if (!In.Comment.empty())
+      Out += "  ; " + In.Comment;
+    Out += "\n";
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Machine
+//===----------------------------------------------------------------------===//
+
+TitanMachine::TitanMachine(const TitanProgram &Prog, TitanConfig Config)
+    : Prog(Prog), Config(Config) {
+  Mem.assign(Config.MemoryBytes, 0);
+  std::memcpy(Mem.data(), Prog.InitialImage.data(),
+              std::min<size_t>(Prog.InitialImage.size(), Mem.size()));
+}
+
+int64_t TitanMachine::addressOf(const std::string &Name) const {
+  auto It = Prog.GlobalAddresses.find(Name);
+  return It == Prog.GlobalAddresses.end() ? -1 : It->second;
+}
+
+float TitanMachine::readFloat(int64_t Addr) const {
+  float V;
+  std::memcpy(&V, Mem.data() + Addr, 4);
+  return V;
+}
+double TitanMachine::readDouble(int64_t Addr) const {
+  double V;
+  std::memcpy(&V, Mem.data() + Addr, 8);
+  return V;
+}
+int32_t TitanMachine::readInt(int64_t Addr) const {
+  int32_t V;
+  std::memcpy(&V, Mem.data() + Addr, 4);
+  return V;
+}
+void TitanMachine::writeFloat(int64_t Addr, float V) {
+  std::memcpy(Mem.data() + Addr, &V, 4);
+}
+void TitanMachine::writeDouble(int64_t Addr, double V) {
+  std::memcpy(Mem.data() + Addr, &V, 8);
+}
+void TitanMachine::writeInt(int64_t Addr, int32_t V) {
+  std::memcpy(Mem.data() + Addr, &V, 4);
+}
+
+namespace {
+
+/// One activation record.
+struct Frame {
+  const TitanFunction *F = nullptr;
+  size_t PC = 0;
+  std::vector<int64_t> IReg;
+  std::vector<double> FReg;
+  std::vector<std::vector<double>> VReg;
+  // Operand-ready cycles for the scoreboard.
+  std::vector<uint64_t> IReady;
+  std::vector<uint64_t> FReady;
+  std::vector<uint64_t> VReady;
+  int64_t FrameBase = 0;
+  // Where to deliver the return value in the caller.
+  int CallerRetReg = -1;
+  bool CallerRetIsFp = false;
+};
+
+struct ParRegion {
+  uint64_t StartCompletion = 0;
+  int64_t Chunks = 1;
+};
+
+} // namespace
+
+RunResult TitanMachine::run(const std::string &Entry) {
+  RunResult R;
+  const TitanFunction *Main = Prog.find(Entry);
+  if (!Main) {
+    R.Error = "entry function '" + Entry + "' not found";
+    return R;
+  }
+
+  std::vector<Frame> Stack;
+  int64_t SP = Prog.StackBase;
+
+  auto pushFrame = [&](const TitanFunction *F) -> Frame & {
+    Stack.emplace_back();
+    Frame &Fr = Stack.back();
+    Fr.F = F;
+    Fr.IReg.assign(F->NumIntRegs, 0);
+    Fr.FReg.assign(F->NumFpRegs, 0.0);
+    Fr.VReg.assign(F->NumVecRegs, {});
+    Fr.IReady.assign(F->NumIntRegs, 0);
+    Fr.FReady.assign(F->NumFpRegs, 0);
+    Fr.VReady.assign(F->NumVecRegs, 0);
+    Fr.FrameBase = SP;
+    SP += F->FrameSize;
+    // r0 is the frame pointer by convention.
+    if (!Fr.IReg.empty())
+      Fr.IReg[0] = Fr.FrameBase;
+    return Fr;
+  };
+
+  pushFrame(Main);
+
+  // --- Timing state ---
+  uint64_t LastIssue = 0;       ///< Issue cursor (in-order, 1/cycle).
+  uint64_t FlowBarrier = 0;     ///< Branch/call boundary for scheduling.
+  uint64_t PrevCompletion = 0;  ///< Completion of the previous instruction.
+  uint64_t MaxCompletion = 0;
+  uint64_t IntFree = 0, FpFree = 0, MemFree = 0, MemWFree = 0, VecFree = 0;
+  uint64_t StoreBarrier = 0; ///< Loads wait for this unless disambiguated.
+  std::vector<ParRegion> ParStack;
+  uint64_t RegionStartCycles = 0;
+  uint64_t RegionStartFlops = 0;
+  bool InRegion = false;
+
+  enum class Unit { Int, Fp, Mem, MemW, Vec, Ctl };
+
+  auto issueOf = [&](Unit U, uint64_t OperandsReady,
+                     bool IsLoad, bool NoConflict) -> uint64_t {
+    uint64_t Issue = LastIssue + 1;
+    if (Config.EnableOverlap) {
+      // Scheduled code: within a branch-delimited region the compiler's
+      // list scheduler reorders freely ("changing the instruction order
+      // so that integer and floating point instructions overlap and so
+      // that memory access and computation overlap", Section 2), so an
+      // instruction is limited only by its operands, its unit's issue
+      // rate, and the last control-flow boundary.
+      Issue = std::max(FlowBarrier, OperandsReady);
+      switch (U) {
+      case Unit::Int:
+        Issue = std::max(Issue, IntFree);
+        break;
+      case Unit::Fp:
+        Issue = std::max(Issue, FpFree);
+        break;
+      case Unit::Mem:
+        Issue = std::max(Issue, MemFree);
+        break;
+      case Unit::MemW:
+        // Stores drain through the write buffer; they do not block the
+        // read port (the scheduler hoists independent loads above them).
+        Issue = std::max(Issue, MemWFree);
+        break;
+      case Unit::Vec:
+        Issue = std::max(Issue, VecFree);
+        break;
+      case Unit::Ctl:
+        break;
+      }
+      if (IsLoad && !NoConflict)
+        Issue = std::max(Issue, StoreBarrier);
+    } else {
+      Issue = std::max(Issue, PrevCompletion);
+      if (IsLoad)
+        Issue = std::max(Issue, StoreBarrier);
+    }
+    return Issue;
+  };
+
+  auto finish = [&](Unit U, uint64_t Issue, uint64_t Latency) -> uint64_t {
+    uint64_t Complete = Issue + Latency;
+    switch (U) {
+    case Unit::Int:
+      IntFree = Issue + 1;
+      break;
+    case Unit::Fp:
+      FpFree = Issue + 1;
+      break;
+    case Unit::Mem:
+      MemFree = Issue + 1;
+      break;
+    case Unit::MemW:
+      MemWFree = Issue + 1;
+      break;
+    case Unit::Vec:
+      // Chained: the next vector operation enters the pipeline once this
+      // one's startup drains; results stream one element per cycle.
+      VecFree = Issue + Config.VectorStartup;
+      break;
+    case Unit::Ctl:
+      break;
+    }
+    LastIssue = Issue;
+    PrevCompletion = Complete;
+    MaxCompletion = std::max(MaxCompletion, Complete);
+    return Complete;
+  };
+
+  auto trap = [&](const std::string &Msg) {
+    R.Ok = false;
+    R.Error = Msg;
+  };
+
+  auto checkAddr = [&](int64_t Addr, int64_t Size) {
+    return Addr >= 0 && Addr + Size <= static_cast<int64_t>(Mem.size());
+  };
+
+  while (!Stack.empty()) {
+    Frame &Fr = Stack.back();
+    if (Fr.PC >= Fr.F->Code.size()) {
+      trap("fell off the end of function '" + Fr.F->Name + "'");
+      return R;
+    }
+    if (++R.Instructions > Config.MaxInstructions) {
+      trap("instruction budget exceeded (infinite loop?)");
+      return R;
+    }
+    const Instr &In = Fr.F->Code[Fr.PC];
+    size_t NextPC = Fr.PC + 1;
+
+    auto ireg = [&](int N) -> int64_t & { return Fr.IReg[N]; };
+    auto freg = [&](int N) -> double & { return Fr.FReg[N]; };
+    auto iready = [&](int N) { return N >= 0 ? Fr.IReady[N] : 0; };
+    auto fready = [&](int N) { return N >= 0 ? Fr.FReady[N] : 0; };
+
+    switch (In.Op) {
+    //===------------------------------------------------------------===//
+    // Integer unit
+    //===------------------------------------------------------------===//
+    case Opcode::LI:
+    case Opcode::IMOV:
+    case Opcode::IADD:
+    case Opcode::ISUB:
+    case Opcode::IMUL:
+    case Opcode::IDIV:
+    case Opcode::IREM:
+    case Opcode::ISHL:
+    case Opcode::ISHR:
+    case Opcode::IAND:
+    case Opcode::IOR:
+    case Opcode::IXOR:
+    case Opcode::INEG:
+    case Opcode::IBITNOT:
+    case Opcode::ILOGNOT:
+    case Opcode::ICMPLT:
+    case Opcode::ICMPLE:
+    case Opcode::ICMPGT:
+    case Opcode::ICMPGE:
+    case Opcode::ICMPEQ:
+    case Opcode::ICMPNE:
+    case Opcode::IMIN:
+    case Opcode::IMAX: {
+      int64_t A = In.SrcA >= 0 ? ireg(In.SrcA) : 0;
+      int64_t B = In.SrcB >= 0 ? ireg(In.SrcB) : 0;
+      int64_t V = 0;
+      switch (In.Op) {
+      case Opcode::LI:
+        V = In.Imm;
+        break;
+      case Opcode::IMOV:
+        V = A;
+        break;
+      case Opcode::IADD:
+        V = A + B;
+        break;
+      case Opcode::ISUB:
+        V = A - B;
+        break;
+      case Opcode::IMUL:
+        V = A * B;
+        ++R.IntMuls;
+        break;
+      case Opcode::IDIV:
+        if (B == 0) {
+          trap("integer division by zero");
+          return R;
+        }
+        V = A / B;
+        break;
+      case Opcode::IREM:
+        if (B == 0) {
+          trap("integer remainder by zero");
+          return R;
+        }
+        V = A % B;
+        break;
+      case Opcode::ISHL:
+        V = A << (B & 31);
+        break;
+      case Opcode::ISHR:
+        V = A >> (B & 31);
+        break;
+      case Opcode::IAND:
+        V = A & B;
+        break;
+      case Opcode::IOR:
+        V = A | B;
+        break;
+      case Opcode::IXOR:
+        V = A ^ B;
+        break;
+      case Opcode::INEG:
+        V = -A;
+        break;
+      case Opcode::IBITNOT:
+        V = static_cast<int32_t>(~A);
+        break;
+      case Opcode::ILOGNOT:
+        V = A == 0;
+        break;
+      case Opcode::ICMPLT:
+        V = A < B;
+        break;
+      case Opcode::ICMPLE:
+        V = A <= B;
+        break;
+      case Opcode::ICMPGT:
+        V = A > B;
+        break;
+      case Opcode::ICMPGE:
+        V = A >= B;
+        break;
+      case Opcode::ICMPEQ:
+        V = A == B;
+        break;
+      case Opcode::ICMPNE:
+        V = A != B;
+        break;
+      case Opcode::IMIN:
+        V = std::min(A, B);
+        break;
+      case Opcode::IMAX:
+        V = std::max(A, B);
+        break;
+      default:
+        break;
+      }
+      V = static_cast<int32_t>(V); // 32-bit integer unit
+      uint64_t Ready = std::max(iready(In.SrcA), iready(In.SrcB));
+      uint64_t Issue = issueOf(Unit::Int, Ready, false, false);
+      Fr.IReady[In.Dst] = finish(Unit::Int, Issue, Config.IntLatency);
+      ireg(In.Dst) = V;
+      ++R.IntOps;
+      break;
+    }
+
+    //===------------------------------------------------------------===//
+    // Scalar FP unit
+    //===------------------------------------------------------------===//
+    case Opcode::LF:
+    case Opcode::FMOV:
+    case Opcode::FADD:
+    case Opcode::FSUB:
+    case Opcode::FMUL:
+    case Opcode::FDIV:
+    case Opcode::FNEG:
+    case Opcode::FMIN:
+    case Opcode::FMAX:
+    case Opcode::ITOF: {
+      double A = In.Op == Opcode::ITOF
+                     ? static_cast<double>(ireg(In.SrcA))
+                     : (In.SrcA >= 0 ? freg(In.SrcA) : 0.0);
+      double B = In.SrcB >= 0 ? freg(In.SrcB) : 0.0;
+      double V = 0.0;
+      int Lat = Config.FpAddLatency;
+      switch (In.Op) {
+      case Opcode::LF:
+        V = In.FImm;
+        Lat = Config.IntLatency;
+        break;
+      case Opcode::FMOV:
+      case Opcode::ITOF:
+        V = A;
+        Lat = Config.IntLatency;
+        break;
+      case Opcode::FADD:
+        V = A + B;
+        ++R.Flops;
+        break;
+      case Opcode::FSUB:
+        V = A - B;
+        ++R.Flops;
+        break;
+      case Opcode::FMUL:
+        V = A * B;
+        Lat = Config.FpMulLatency;
+        ++R.Flops;
+        break;
+      case Opcode::FDIV:
+        V = A / B;
+        Lat = Config.FpDivLatency;
+        ++R.Flops;
+        break;
+      case Opcode::FNEG:
+        V = -A;
+        Lat = Config.IntLatency;
+        break;
+      case Opcode::FMIN:
+        V = std::min(A, B);
+        break;
+      case Opcode::FMAX:
+        V = std::max(A, B);
+        break;
+      default:
+        break;
+      }
+      if (In.SinglePrec)
+        V = static_cast<float>(V);
+      uint64_t Ready =
+          std::max(In.Op == Opcode::ITOF ? iready(In.SrcA) : fready(In.SrcA),
+                   fready(In.SrcB));
+      uint64_t Issue = issueOf(Unit::Fp, Ready, false, false);
+      Fr.FReady[In.Dst] = finish(Unit::Fp, Issue, Lat);
+      freg(In.Dst) = V;
+      break;
+    }
+    case Opcode::FTOI: {
+      int64_t V = static_cast<int64_t>(freg(In.SrcA));
+      uint64_t Issue = issueOf(Unit::Fp, fready(In.SrcA), false, false);
+      Fr.IReady[In.Dst] = finish(Unit::Fp, Issue, Config.FpAddLatency);
+      ireg(In.Dst) = static_cast<int32_t>(V);
+      break;
+    }
+    case Opcode::FCMPLT:
+    case Opcode::FCMPLE:
+    case Opcode::FCMPGT:
+    case Opcode::FCMPGE:
+    case Opcode::FCMPEQ:
+    case Opcode::FCMPNE: {
+      double A = freg(In.SrcA);
+      double B = freg(In.SrcB);
+      int64_t V = 0;
+      switch (In.Op) {
+      case Opcode::FCMPLT:
+        V = A < B;
+        break;
+      case Opcode::FCMPLE:
+        V = A <= B;
+        break;
+      case Opcode::FCMPGT:
+        V = A > B;
+        break;
+      case Opcode::FCMPGE:
+        V = A >= B;
+        break;
+      case Opcode::FCMPEQ:
+        V = A == B;
+        break;
+      default:
+        V = A != B;
+        break;
+      }
+      uint64_t Ready = std::max(fready(In.SrcA), fready(In.SrcB));
+      uint64_t Issue = issueOf(Unit::Fp, Ready, false, false);
+      Fr.IReady[In.Dst] = finish(Unit::Fp, Issue, Config.FpAddLatency);
+      ireg(In.Dst) = V;
+      break;
+    }
+
+    //===------------------------------------------------------------===//
+    // Scalar memory
+    //===------------------------------------------------------------===//
+    case Opcode::LDC:
+    case Opcode::LDW:
+    case Opcode::LDF:
+    case Opcode::LDD: {
+      int64_t Addr = ireg(In.SrcA) + In.Imm;
+      int64_t Size = In.Op == Opcode::LDC   ? 1
+                     : In.Op == Opcode::LDD ? 8
+                                            : 4;
+      if (!checkAddr(Addr, Size)) {
+        trap(formatString("load from invalid address %lld in '%s'",
+                          static_cast<long long>(Addr),
+                          Fr.F->Name.c_str()));
+        return R;
+      }
+      uint64_t Issue =
+          issueOf(Unit::Mem, iready(In.SrcA), true, In.NoStoreConflict);
+      uint64_t Done = finish(Unit::Mem, Issue, Config.LoadLatency);
+      switch (In.Op) {
+      case Opcode::LDC: {
+        int8_t V;
+        std::memcpy(&V, Mem.data() + Addr, 1);
+        ireg(In.Dst) = V;
+        Fr.IReady[In.Dst] = Done;
+        break;
+      }
+      case Opcode::LDW: {
+        int32_t V;
+        std::memcpy(&V, Mem.data() + Addr, 4);
+        ireg(In.Dst) = V;
+        Fr.IReady[In.Dst] = Done;
+        break;
+      }
+      case Opcode::LDF: {
+        float V;
+        std::memcpy(&V, Mem.data() + Addr, 4);
+        freg(In.Dst) = V;
+        Fr.FReady[In.Dst] = Done;
+        break;
+      }
+      default: {
+        double V;
+        std::memcpy(&V, Mem.data() + Addr, 8);
+        freg(In.Dst) = V;
+        Fr.FReady[In.Dst] = Done;
+        break;
+      }
+      }
+      ++R.Loads;
+      break;
+    }
+    case Opcode::STC:
+    case Opcode::STW:
+    case Opcode::STF:
+    case Opcode::STD: {
+      int64_t Addr = ireg(In.SrcA) + In.Imm;
+      int64_t Size = In.Op == Opcode::STC   ? 1
+                     : In.Op == Opcode::STD ? 8
+                                            : 4;
+      if (!checkAddr(Addr, Size)) {
+        trap(formatString("store to invalid address %lld in '%s'",
+                          static_cast<long long>(Addr),
+                          Fr.F->Name.c_str()));
+        return R;
+      }
+      uint64_t Ready = iready(In.SrcA);
+      if (In.Op == Opcode::STF || In.Op == Opcode::STD)
+        Ready = std::max(Ready, fready(In.SrcB));
+      else
+        Ready = std::max(Ready, iready(In.SrcB));
+      uint64_t Issue = issueOf(Unit::MemW, Ready, false, false);
+      finish(Unit::MemW, Issue, Config.StoreLatency);
+      StoreBarrier = std::max<uint64_t>(StoreBarrier,
+                                        Issue + Config.LoadLatency);
+      switch (In.Op) {
+      case Opcode::STC: {
+        int8_t V = static_cast<int8_t>(ireg(In.SrcB));
+        std::memcpy(Mem.data() + Addr, &V, 1);
+        break;
+      }
+      case Opcode::STW: {
+        int32_t V = static_cast<int32_t>(ireg(In.SrcB));
+        std::memcpy(Mem.data() + Addr, &V, 4);
+        break;
+      }
+      case Opcode::STF: {
+        float V = static_cast<float>(freg(In.SrcB));
+        std::memcpy(Mem.data() + Addr, &V, 4);
+        break;
+      }
+      default: {
+        double V = freg(In.SrcB);
+        std::memcpy(Mem.data() + Addr, &V, 8);
+        break;
+      }
+      }
+      ++R.Stores;
+      break;
+    }
+
+    //===------------------------------------------------------------===//
+    // Control
+    //===------------------------------------------------------------===//
+    case Opcode::JMP: {
+      uint64_t Issue = issueOf(Unit::Ctl, 0, false, false);
+      finish(Unit::Ctl, Issue, Config.BranchLatency);
+      LastIssue = Issue + Config.BranchLatency;
+      FlowBarrier = LastIssue;
+      NextPC = static_cast<size_t>(In.Target);
+      break;
+    }
+    case Opcode::BNZ:
+    case Opcode::BZ: {
+      bool Taken = (ireg(In.SrcA) != 0) == (In.Op == Opcode::BNZ);
+      uint64_t Issue = issueOf(Unit::Ctl, iready(In.SrcA), false, false);
+      finish(Unit::Ctl, Issue, Config.BranchLatency);
+      if (Taken) {
+        LastIssue = Issue + Config.BranchLatency;
+        FlowBarrier = LastIssue;
+        NextPC = static_cast<size_t>(In.Target);
+      }
+      break;
+    }
+    case Opcode::CALL: {
+      const TitanFunction &Callee = Prog.Functions[In.Target];
+      // Region-of-interest markers: titan_tic()/titan_toc() are
+      // intercepted, costing nothing.
+      if (Callee.Name.rfind("titan_tic", 0) == 0) {
+        RegionStartCycles = MaxCompletion;
+        RegionStartFlops = R.Flops;
+        InRegion = true;
+        break;
+      }
+      if (Callee.Name.rfind("titan_toc", 0) == 0) {
+        if (InRegion) {
+          R.RegionCycles += MaxCompletion - RegionStartCycles;
+          R.RegionFlops += R.Flops - RegionStartFlops;
+          InRegion = false;
+        }
+        break;
+      }
+      uint64_t Ready = 0;
+      for (size_t K = 0; K < In.Args.size(); ++K)
+        Ready = std::max(Ready, In.ArgIsFp[K] ? fready(In.Args[K])
+                                              : iready(In.Args[K]));
+      uint64_t Issue = issueOf(Unit::Ctl, Ready, false, false);
+      finish(Unit::Ctl, Issue, Config.CallOverhead);
+      LastIssue = Issue + Config.CallOverhead;
+      FlowBarrier = LastIssue;
+
+      // Gather argument values before pushing the new frame.
+      std::vector<int64_t> IArgs(In.Args.size(), 0);
+      std::vector<double> FArgs(In.Args.size(), 0.0);
+      for (size_t K = 0; K < In.Args.size(); ++K) {
+        if (In.ArgIsFp[K])
+          FArgs[K] = freg(In.Args[K]);
+        else
+          IArgs[K] = ireg(In.Args[K]);
+      }
+      Fr.PC = NextPC; // return point
+      if (SP + Callee.FrameSize > static_cast<int64_t>(Mem.size())) {
+        trap("frame stack overflow (runaway recursion?)");
+        return R;
+      }
+      Frame &NewFr = pushFrame(&Callee);
+      NewFr.CallerRetReg = In.Dst;
+      NewFr.CallerRetIsFp = In.RetIsFp;
+      for (size_t K = 0; K < Callee.ParamLocs.size() && K < In.Args.size();
+           ++K) {
+        const SymbolLocation &Loc = Callee.ParamLocs[K];
+        switch (Loc.K) {
+        case SymbolLocation::IntReg:
+          NewFr.IReg[Loc.Index] = IArgs[K];
+          break;
+        case SymbolLocation::FpReg:
+          NewFr.FReg[Loc.Index] = In.ArgIsFp[K]
+                                      ? FArgs[K]
+                                      : static_cast<double>(IArgs[K]);
+          break;
+        case SymbolLocation::Frame: {
+          int64_t Addr = NewFr.FrameBase + Loc.Index;
+          if (In.ArgIsFp[K]) {
+            double V = FArgs[K];
+            std::memcpy(Mem.data() + Addr, &V, 8);
+          } else {
+            int32_t V = static_cast<int32_t>(IArgs[K]);
+            std::memcpy(Mem.data() + Addr, &V, 4);
+          }
+          break;
+        }
+        case SymbolLocation::Global:
+          break;
+        }
+      }
+      continue; // new frame starts at PC 0
+    }
+    case Opcode::RET: {
+      int64_t IVal = In.SrcA >= 0 && !In.RetIsFp ? ireg(In.SrcA) : 0;
+      double FVal = In.SrcA >= 0 && In.RetIsFp ? freg(In.SrcA) : 0.0;
+      uint64_t Ready = In.SrcA >= 0
+                           ? (In.RetIsFp ? fready(In.SrcA) : iready(In.SrcA))
+                           : 0;
+      uint64_t Issue = issueOf(Unit::Ctl, Ready, false, false);
+      finish(Unit::Ctl, Issue, Config.BranchLatency);
+      int RetReg = Fr.CallerRetReg;
+      bool RetIsFp = Fr.CallerRetIsFp;
+      SP = Fr.FrameBase;
+      Stack.pop_back();
+      if (Stack.empty()) {
+        R.Ok = true;
+        R.ExitValue = IVal;
+        R.Cycles = MaxCompletion;
+        return R;
+      }
+      if (RetReg >= 0) {
+        Frame &Caller = Stack.back();
+        if (RetIsFp) {
+          Caller.FReg[RetReg] = In.RetIsFp ? FVal
+                                           : static_cast<double>(IVal);
+          Caller.FReady[RetReg] = PrevCompletion;
+        } else {
+          Caller.IReg[RetReg] =
+              In.RetIsFp ? static_cast<int64_t>(FVal) : IVal;
+          Caller.IReady[RetReg] = PrevCompletion;
+        }
+      }
+      continue; // caller's PC already advanced
+    }
+    case Opcode::HALT: {
+      R.Ok = true;
+      R.Cycles = MaxCompletion;
+      return R;
+    }
+
+    //===------------------------------------------------------------===//
+    // Vector unit
+    //===------------------------------------------------------------===//
+    case Opcode::VLD:
+    case Opcode::VST: {
+      int64_t Addr = ireg(In.Args[0]);
+      int64_t Stride = ireg(In.Args[1]);
+      int64_t Len = ireg(In.Args[2]);
+      if (Len < 0)
+        Len = 0;
+      if (Len > 8192) {
+        trap("vector length exceeds the register file");
+        return R;
+      }
+      int64_t ElemSize = In.Kind == ElemKind::Float64 ? 8 : 4;
+      uint64_t Ready = std::max({iready(In.Args[0]), iready(In.Args[1]),
+                                 iready(In.Args[2])});
+      bool IsLoad = In.Op == Opcode::VLD;
+      if (!IsLoad)
+        Ready = std::max(Ready, Fr.VReady[In.SrcA]);
+      uint64_t Issue = issueOf(Unit::Vec, Ready, IsLoad,
+                               In.NoStoreConflict);
+      uint64_t Busy = Config.VectorStartup + Len * Config.VectorPerElement;
+      finish(Unit::Vec, Issue, Busy);
+      VecFree = Issue + Busy; // the memory pipe moves one word per cycle
+      uint64_t Done = Issue + Config.VectorStartup; // chained stream
+      if (IsLoad) {
+        auto &V = Fr.VReg[In.Dst];
+        V.assign(static_cast<size_t>(Len), 0.0);
+        for (int64_t K = 0; K < Len; ++K) {
+          int64_t A = Addr + K * Stride;
+          if (!checkAddr(A, ElemSize)) {
+            trap("vector load from invalid address");
+            return R;
+          }
+          if (In.Kind == ElemKind::Float64) {
+            double X;
+            std::memcpy(&X, Mem.data() + A, 8);
+            V[K] = X;
+          } else if (In.Kind == ElemKind::Float32) {
+            float X;
+            std::memcpy(&X, Mem.data() + A, 4);
+            V[K] = X;
+          } else {
+            int32_t X;
+            std::memcpy(&X, Mem.data() + A, 4);
+            V[K] = X;
+          }
+        }
+        Fr.VReady[In.Dst] = Done;
+      } else {
+        const auto &V = Fr.VReg[In.SrcA];
+        for (int64_t K = 0; K < Len && K < (int64_t)V.size(); ++K) {
+          int64_t A = Addr + K * Stride;
+          if (!checkAddr(A, ElemSize)) {
+            trap("vector store to invalid address");
+            return R;
+          }
+          if (In.Kind == ElemKind::Float64) {
+            double X = V[K];
+            std::memcpy(Mem.data() + A, &X, 8);
+          } else if (In.Kind == ElemKind::Float32) {
+            float X = static_cast<float>(V[K]);
+            std::memcpy(Mem.data() + A, &X, 4);
+          } else {
+            int32_t X = static_cast<int32_t>(V[K]);
+            std::memcpy(Mem.data() + A, &X, 4);
+          }
+        }
+        StoreBarrier = std::max<uint64_t>(StoreBarrier,
+                                          Issue + Config.LoadLatency);
+      }
+      ++R.VectorInstrs;
+      R.VectorElems += static_cast<uint64_t>(Len);
+      break;
+    }
+    case Opcode::VADD:
+    case Opcode::VSUB:
+    case Opcode::VMUL:
+    case Opcode::VDIV:
+    case Opcode::VNEG:
+    case Opcode::VSADD:
+    case Opcode::VSSUB:
+    case Opcode::VSSUBR:
+    case Opcode::VSMUL:
+    case Opcode::VSDIV:
+    case Opcode::VSDIVR: {
+      const auto &A = Fr.VReg[In.SrcA];
+      size_t Len = A.size();
+      auto &D = Fr.VReg[In.Dst];
+      D.assign(Len, 0.0);
+      bool VS = In.Op >= Opcode::VSADD;
+      double S = VS ? freg(In.Args.empty() ? 0 : In.Args[0]) : 0.0;
+      const std::vector<double> *B =
+          (!VS && In.Op != Opcode::VNEG) ? &Fr.VReg[In.SrcB] : nullptr;
+      for (size_t K = 0; K < Len; ++K) {
+        double X = A[K];
+        double Y = B && K < B->size() ? (*B)[K] : 0.0;
+        double V = 0.0;
+        switch (In.Op) {
+        case Opcode::VADD:
+          V = X + Y;
+          break;
+        case Opcode::VSUB:
+          V = X - Y;
+          break;
+        case Opcode::VMUL:
+          V = X * Y;
+          break;
+        case Opcode::VDIV:
+          V = X / Y;
+          break;
+        case Opcode::VNEG:
+          V = -X;
+          break;
+        case Opcode::VSADD:
+          V = X + S;
+          break;
+        case Opcode::VSSUB:
+          V = X - S;
+          break;
+        case Opcode::VSSUBR:
+          V = S - X;
+          break;
+        case Opcode::VSMUL:
+          V = X * S;
+          break;
+        case Opcode::VSDIV:
+          V = X / S;
+          break;
+        case Opcode::VSDIVR:
+          V = S / X;
+          break;
+        default:
+          break;
+        }
+        if (In.SinglePrec)
+          V = static_cast<float>(V);
+        D[K] = V;
+      }
+      if (In.Op != Opcode::VNEG)
+        R.Flops += Len;
+      uint64_t Ready = Fr.VReady[In.SrcA];
+      if (B)
+        Ready = std::max(Ready, Fr.VReady[In.SrcB]);
+      if (VS && !In.Args.empty())
+        Ready = std::max(Ready, fready(In.Args[0]));
+      uint64_t Issue = issueOf(Unit::Vec, Ready, false, false);
+      finish(Unit::Vec, Issue,
+             Config.VectorStartup +
+                 static_cast<uint64_t>(Len) * Config.VectorPerElement);
+      Fr.VReady[In.Dst] = Issue + Config.VectorStartup; // chained stream
+      ++R.VectorInstrs;
+      R.VectorElems += Len;
+      break;
+    }
+
+    case Opcode::VIOTA: {
+      int64_t Lo = ireg(In.Args[0]);
+      int64_t Stride = ireg(In.Args[1]);
+      int64_t Len = ireg(In.Args[2]);
+      if (Len < 0)
+        Len = 0;
+      if (Len > 8192) {
+        trap("vector length exceeds the register file");
+        return R;
+      }
+      auto &V = Fr.VReg[In.Dst];
+      V.assign(static_cast<size_t>(Len), 0.0);
+      for (int64_t K = 0; K < Len; ++K)
+        V[K] = static_cast<double>(Lo + K * Stride);
+      uint64_t Ready = std::max({iready(In.Args[0]), iready(In.Args[1]),
+                                 iready(In.Args[2])});
+      uint64_t Issue = issueOf(Unit::Vec, Ready, false, false);
+      finish(Unit::Vec, Issue,
+             Config.VectorStartup +
+                 static_cast<uint64_t>(Len) * Config.VectorPerElement);
+      Fr.VReady[In.Dst] = Issue + Config.VectorStartup; // chained stream
+      ++R.VectorInstrs;
+      R.VectorElems += static_cast<uint64_t>(Len);
+      break;
+    }
+
+    //===------------------------------------------------------------===//
+    // Parallel regions
+    //===------------------------------------------------------------===//
+    case Opcode::PARBEGIN: {
+      ParRegion Region;
+      Region.StartCompletion = MaxCompletion;
+      Region.Chunks = In.SrcA >= 0 ? std::max<int64_t>(1, ireg(In.SrcA)) : 1;
+      ParStack.push_back(Region);
+      break;
+    }
+    case Opcode::PAREND: {
+      if (!ParStack.empty()) {
+        ParRegion Region = ParStack.back();
+        ParStack.pop_back();
+        uint64_t Elapsed = MaxCompletion - Region.StartCompletion;
+        int64_t Procs =
+            std::min<int64_t>(Config.NumProcessors, Region.Chunks);
+        if (Procs > 1) {
+          uint64_t Shrunk = Elapsed / static_cast<uint64_t>(Procs) +
+                            Config.BarrierCycles;
+          uint64_t NewCompletion = Region.StartCompletion + Shrunk;
+          MaxCompletion = NewCompletion;
+          PrevCompletion = NewCompletion;
+          LastIssue = NewCompletion;
+          FlowBarrier = NewCompletion;
+          IntFree = FpFree = MemFree = MemWFree = VecFree = NewCompletion;
+          StoreBarrier = std::min(StoreBarrier, NewCompletion);
+        }
+      }
+      break;
+    }
+    }
+
+    Fr.PC = NextPC;
+  }
+  R.Ok = true;
+  R.Cycles = MaxCompletion;
+  return R;
+}

@@ -1,0 +1,124 @@
+#include "types/Type.h"
+
+using namespace tcc;
+
+int64_t Type::getSizeInBytes() const {
+  switch (TheKind) {
+  case VoidKind:
+  case FunctionKind:
+    assert(false && "type has no size");
+    return 0;
+  case CharKind:
+    return 1;
+  case IntKind:
+  case FloatKind:
+  case PointerKind:
+    return 4;
+  case DoubleKind:
+    return 8;
+  case ArrayKind:
+    return ArraySize * Element->getSizeInBytes();
+  }
+  return 0;
+}
+
+std::string Type::str() const {
+  switch (TheKind) {
+  case VoidKind:
+    return "void";
+  case CharKind:
+    return "char";
+  case IntKind:
+    return "int";
+  case FloatKind:
+    return "float";
+  case DoubleKind:
+    return "double";
+  case PointerKind:
+    return Element->str() + "*";
+  case ArrayKind: {
+    // Collect the base type, then append all dimensions in source order.
+    const Type *Base = this;
+    std::string Dims;
+    while (Base->isArray()) {
+      Dims += "[" + std::to_string(Base->ArraySize) + "]";
+      Base = Base->Element;
+    }
+    return Base->str() + Dims;
+  }
+  case FunctionKind: {
+    std::string Out = Element->str() + "(";
+    for (size_t I = 0; I < Params.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += Params[I]->str();
+    }
+    Out += ")";
+    return Out;
+  }
+  }
+  return "<bad-type>";
+}
+
+TypeContext::TypeContext() {
+  VoidTy = make(Type::VoidKind);
+  CharTy = make(Type::CharKind);
+  IntTy = make(Type::IntKind);
+  FloatTy = make(Type::FloatKind);
+  DoubleTy = make(Type::DoubleKind);
+}
+
+Type *TypeContext::make(Type::Kind K) {
+  AllTypes.push_back(std::unique_ptr<Type>(new Type(K)));
+  return AllTypes.back().get();
+}
+
+const Type *TypeContext::getPointerType(const Type *Pointee) {
+  for (const auto &T : AllTypes)
+    if (T->getKind() == Type::PointerKind && T->Element == Pointee)
+      return T.get();
+  Type *T = make(Type::PointerKind);
+  T->Element = Pointee;
+  return T;
+}
+
+const Type *TypeContext::getArrayType(const Type *Element, int64_t Size) {
+  for (const auto &T : AllTypes)
+    if (T->getKind() == Type::ArrayKind && T->Element == Element &&
+        T->ArraySize == Size)
+      return T.get();
+  Type *T = make(Type::ArrayKind);
+  T->Element = Element;
+  T->ArraySize = Size;
+  return T;
+}
+
+const Type *TypeContext::getFunctionType(const Type *Ret,
+                                         std::vector<const Type *> Params) {
+  for (const auto &T : AllTypes)
+    if (T->getKind() == Type::FunctionKind && T->Element == Ret &&
+        T->Params == Params)
+      return T.get();
+  Type *T = make(Type::FunctionKind);
+  T->Element = Ret;
+  T->Params = std::move(Params);
+  return T;
+}
+
+const Type *TypeContext::getCommonArithmeticType(const Type *LHS,
+                                                 const Type *RHS) {
+  assert(LHS->isArithmetic() && RHS->isArithmetic() &&
+         "common type of non-arithmetic operands");
+  if (LHS->isDouble() || RHS->isDouble())
+    return DoubleTy;
+  if (LHS->isFloat() || RHS->isFloat())
+    return FloatTy;
+  // char promotes to int.
+  return IntTy;
+}
+
+const Type *TypeContext::decay(const Type *Ty) {
+  if (Ty->isArray())
+    return getPointerType(Ty->getElementType());
+  return Ty;
+}

@@ -1,0 +1,131 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The type system shared by the C front end and the intermediate language.
+/// The paper notes that the type system is part of the common code between
+/// the C and Fortran environments; here it is a standalone module that both
+/// the AST and the IL depend on.
+///
+/// Types are interned in a TypeContext: two structurally identical types are
+/// the same pointer, so type equality is pointer equality.  The machine
+/// model is the 1988 Titan: char is 1 byte, int/float/pointers are 4 bytes,
+/// double is 8 bytes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_TYPES_TYPE_H
+#define TCC_TYPES_TYPE_H
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tcc {
+
+class TypeContext;
+
+/// Structural type for C values and IL expressions.
+class Type {
+public:
+  enum Kind : uint8_t {
+    VoidKind,
+    CharKind,
+    IntKind,
+    FloatKind,
+    DoubleKind,
+    PointerKind,
+    ArrayKind,
+    FunctionKind,
+  };
+
+  Kind getKind() const { return TheKind; }
+
+  bool isVoid() const { return TheKind == VoidKind; }
+  bool isChar() const { return TheKind == CharKind; }
+  bool isInt() const { return TheKind == IntKind; }
+  bool isFloat() const { return TheKind == FloatKind; }
+  bool isDouble() const { return TheKind == DoubleKind; }
+  bool isPointer() const { return TheKind == PointerKind; }
+  bool isArray() const { return TheKind == ArrayKind; }
+  bool isFunction() const { return TheKind == FunctionKind; }
+
+  bool isInteger() const { return isChar() || isInt(); }
+  bool isFloating() const { return isFloat() || isDouble(); }
+  bool isArithmetic() const { return isInteger() || isFloating(); }
+  bool isScalar() const { return isArithmetic() || isPointer(); }
+
+  /// For pointers the pointee, for arrays the element type, for functions
+  /// the return type; null otherwise.
+  const Type *getElementType() const { return Element; }
+
+  /// For arrays, the declared element count (0 for unsized `[]`).
+  int64_t getArraySize() const {
+    assert(isArray() && "getArraySize() on non-array type");
+    return ArraySize;
+  }
+
+  /// For function types, the parameter types in order.
+  const std::vector<const Type *> &getParamTypes() const {
+    assert(isFunction() && "getParamTypes() on non-function type");
+    return Params;
+  }
+
+  /// Size in bytes on the simulated Titan.  Arrays are element-size times
+  /// count; functions and void have no size (asserts).
+  int64_t getSizeInBytes() const;
+
+  /// Renders a C-like spelling, e.g. "float*" or "int[10][4]".
+  std::string str() const;
+
+private:
+  friend class TypeContext;
+  Type(Kind K) : TheKind(K) {}
+
+  Kind TheKind;
+  const Type *Element = nullptr;
+  int64_t ArraySize = 0;
+  std::vector<const Type *> Params;
+};
+
+/// Owns and interns all types for one compilation.
+class TypeContext {
+public:
+  TypeContext();
+  TypeContext(const TypeContext &) = delete;
+  TypeContext &operator=(const TypeContext &) = delete;
+
+  const Type *getVoidType() const { return VoidTy; }
+  const Type *getCharType() const { return CharTy; }
+  const Type *getIntType() const { return IntTy; }
+  const Type *getFloatType() const { return FloatTy; }
+  const Type *getDoubleType() const { return DoubleTy; }
+
+  const Type *getPointerType(const Type *Pointee);
+  const Type *getArrayType(const Type *Element, int64_t Size);
+  const Type *getFunctionType(const Type *Ret,
+                              std::vector<const Type *> Params);
+
+  /// The usual C arithmetic conversion result for a binary operation on
+  /// \p LHS and \p RHS (char promotes to int; float+double gives double...).
+  const Type *getCommonArithmeticType(const Type *LHS, const Type *RHS);
+
+  /// If \p Ty is an array, the pointer type it decays to in expression
+  /// context; otherwise \p Ty itself.
+  const Type *decay(const Type *Ty);
+
+private:
+  Type *make(Type::Kind K);
+
+  std::vector<std::unique_ptr<Type>> AllTypes;
+  const Type *VoidTy;
+  const Type *CharTy;
+  const Type *IntTy;
+  const Type *FloatTy;
+  const Type *DoubleTy;
+};
+
+} // namespace tcc
+
+#endif // TCC_TYPES_TYPE_H

@@ -1,0 +1,519 @@
+#include "vector/Vectorize.h"
+
+#include "analysis/UseDef.h"
+#include "dependence/DependenceGraph.h"
+#include "scalar/Fold.h"
+#include "scalar/LinearValues.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace tcc;
+using namespace tcc::il;
+using namespace tcc::vec;
+using tcc::dep::BaseKey;
+using tcc::dep::DepGraphOptions;
+using tcc::dep::LoopDependenceGraph;
+using tcc::dep::MemRef;
+
+namespace {
+
+class Vectorizer {
+public:
+  Vectorizer(Function &F, const VectorizeOptions &Opts)
+      : F(F), Opts(Opts), IntTy(F.getProgram().getTypes().getIntType()) {}
+
+  VectorizeStats run() {
+    visitBlock(F.getBody());
+    return Stats;
+  }
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Traversal
+  //===--------------------------------------------------------------------===//
+
+  void visitBlock(Block &B) {
+    for (size_t I = 0; I < B.Stmts.size(); ++I) {
+      Stmt *S = B.Stmts[I];
+      switch (S->getKind()) {
+      case Stmt::IfKind: {
+        auto *If = static_cast<IfStmt *>(S);
+        visitBlock(If->getThen());
+        visitBlock(If->getElse());
+        break;
+      }
+      case Stmt::WhileKind:
+        visitBlock(static_cast<WhileStmt *>(S)->getBody());
+        break;
+      case Stmt::DoLoopKind: {
+        auto *D = static_cast<DoLoopStmt *>(S);
+        if (containsLoop(D->getBody())) {
+          visitBlock(D->getBody());
+          break;
+        }
+        // Innermost loop: attempt vectorization.
+        std::vector<Stmt *> Replacement;
+        if (vectorizeInnermost(D, Replacement)) {
+          B.Stmts.erase(B.Stmts.begin() + static_cast<long>(I));
+          B.Stmts.insert(B.Stmts.begin() + static_cast<long>(I),
+                         Replacement.begin(), Replacement.end());
+          I += Replacement.size() - 1;
+        }
+        break;
+      }
+      default:
+        break;
+      }
+    }
+  }
+
+  static bool containsLoop(const Block &B) {
+    bool Found = false;
+    forEachStmt(B, [&Found](const Stmt *S) {
+      if (S->getKind() == Stmt::DoLoopKind || S->getKind() == Stmt::WhileKind)
+        Found = true;
+    });
+    return Found;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Innermost loop vectorization
+  //===--------------------------------------------------------------------===//
+
+  bool isNormalized(DoLoopStmt *D) const {
+    auto IsConst = [](Expr *E, int64_t V) {
+      return E->getKind() == Expr::ConstIntKind &&
+             static_cast<ConstIntExpr *>(E)->getValue() == V;
+    };
+    return IsConst(D->getInit(), 0) && IsConst(D->getStep(), 1);
+  }
+
+  bool vectorizeInnermost(DoLoopStmt *D, std::vector<Stmt *> &Out) {
+    ++Stats.LoopsConsidered;
+    if (!isNormalized(D) || D->getBody().empty())
+      return false;
+
+    DepGraphOptions DepOpts;
+    DepOpts.FortranPointerSemantics = Opts.FortranPointerSemantics;
+    LoopDependenceGraph Graph(F, D, DepOpts);
+
+    auto Sccs = Graph.sccsInTopologicalOrder();
+
+    // Which statements can become vector statements?
+    std::set<Symbol *> DefinedInLoop;
+    forEachStmt(D->getBody(), [&DefinedInLoop](Stmt *S) {
+      for (Symbol *Sym : analysis::strongDefs(S))
+        DefinedInLoop.insert(Sym);
+    });
+    DefinedInLoop.erase(D->getIndexVar());
+
+    // Value uses of the loop index must map onto vector operations:
+    // +, -, *, / and negation/casts over affine pieces.  `i % 4` or
+    // `i << 1` as a value has no vector form here.
+    std::function<bool(Expr *, Symbol *)> UsesIdx = [&](Expr *E,
+                                                        Symbol *Idx) {
+      bool Found = false;
+      Expr *Slot = E;
+      forEachSubExprSlot(Slot, [&](Expr *&Sub) {
+        if (Sub->getKind() == Expr::VarRefKind &&
+            static_cast<VarRefExpr *>(Sub)->getSymbol() == Idx)
+          Found = true;
+      });
+      return Found;
+    };
+    std::function<bool(Expr *, Symbol *)> ValueVectorizable =
+        [&](Expr *E, Symbol *Idx) -> bool {
+      if (!UsesIdx(E, Idx))
+        return true; // broadcast scalar
+      switch (E->getKind()) {
+      case Expr::VarRefKind:
+        return true; // the index itself: iota
+      case Expr::DerefKind:
+      case Expr::IndexKind:
+        return true; // affine address already validated via MemRef
+      case Expr::BinaryKind: {
+        auto *B = static_cast<BinaryExpr *>(E);
+        switch (B->getOp()) {
+        case OpCode::Add:
+        case OpCode::Sub:
+        case OpCode::Mul:
+        case OpCode::Div:
+          return ValueVectorizable(B->getLHS(), Idx) &&
+                 ValueVectorizable(B->getRHS(), Idx);
+        default:
+          return false;
+        }
+      }
+      case Expr::UnaryKind: {
+        auto *U = static_cast<UnaryExpr *>(E);
+        return U->getOp() == OpCode::Neg &&
+               ValueVectorizable(U->getOperand(), Idx);
+      }
+      case Expr::CastKind:
+        return ValueVectorizable(static_cast<CastExpr *>(E)->getOperand(),
+                                 Idx);
+      default:
+        return false;
+      }
+    };
+
+    auto IsVectorizable = [&](unsigned N) {
+      Stmt *S = Graph.statements()[N];
+      if (S->getKind() != Stmt::AssignKind)
+        return false;
+      auto *A = static_cast<AssignStmt *>(S);
+      // The target must be a memory reference varying with the index.
+      if (A->getLHS()->getKind() == Expr::VarRefKind)
+        return false;
+      const auto &Refs = Graph.refsOf(N);
+      for (const MemRef &R : Refs)
+        if (!R.Addr.Valid)
+          return false;
+      bool LhsVaries = false;
+      for (const MemRef &R : Refs)
+        if (R.IsWrite && R.Addr.coeffOf(D->getIndexVar()) != 0)
+          LhsVaries = true;
+      if (!LhsVaries)
+        return false;
+      // No scalar flowing from other statements in the loop (would need
+      // scalar expansion), and no volatile access.
+      for (Symbol *Used : analysis::usedScalars(S))
+        if (DefinedInLoop.count(Used))
+          return false;
+      if (exprReadsVolatile(A->getRHS()) || exprReadsVolatile(A->getLHS()))
+        return false;
+      if (!ValueVectorizable(A->getRHS(), D->getIndexVar()))
+        return false;
+      return true;
+    };
+
+    // Plan: each SCC is either a vector statement or part of a serial run.
+    struct Piece {
+      bool Vector = false;
+      std::vector<unsigned> Nodes; ///< Serial pieces may merge SCCs.
+    };
+    std::vector<Piece> Pieces;
+    for (const auto &Scc : Sccs) {
+      bool Vector = !Graph.sccIsCyclic(Scc) && Scc.size() == 1 &&
+                    IsVectorizable(Scc[0]);
+      if (Vector) {
+        Pieces.push_back({true, Scc});
+      } else if (!Pieces.empty() && !Pieces.back().Vector) {
+        // Merge consecutive serial components (order is topological, so
+        // concatenation preserves all dependences).
+        Pieces.back().Nodes.insert(Pieces.back().Nodes.end(), Scc.begin(),
+                                   Scc.end());
+      } else {
+        Pieces.push_back({false, Scc});
+      }
+    }
+
+    bool AnyVector = false;
+    for (const Piece &P : Pieces)
+      AnyVector |= P.Vector;
+    if (!AnyVector) {
+      // Nothing vectorizes; the loop may still spread across processors
+      // when no dependence is carried between iterations (paper
+      // Section 2's multiprocessor spreading).  Scalars assigned inside
+      // are per-iteration values (the paper allocates such variables "to
+      // local memory within parallel loops"); the machine privatizes
+      // them by construction.
+      if (Opts.EnableParallel && !D->isParallel()) {
+        bool Spreadable = true;
+        for (unsigned N = 0; N < Graph.statements().size(); ++N)
+          if (Graph.statements()[N]->getKind() != Stmt::AssignKind ||
+              Graph.hasCarriedDependence(N))
+            Spreadable = false;
+        if (Spreadable && !Graph.statements().empty()) {
+          D->setParallel(true);
+          ++Stats.SpreadSerialLoops;
+          ++Stats.ParallelLoops;
+        }
+      }
+      return false; // structure unchanged
+    }
+
+    ++Stats.LoopsVectorized;
+    if (Pieces.size() > 1)
+      ++Stats.LoopsDistributed;
+
+    for (const Piece &P : Pieces) {
+      if (!P.Vector) {
+        // Serial piece: a DO loop over the same range with these
+        // statements in original order.
+        auto *Serial = F.create<DoLoopStmt>(
+            D->getLoc(), D->getIndexVar(), F.cloneExpr(D->getInit()),
+            F.cloneExpr(D->getLimit()), F.cloneExpr(D->getStep()));
+        std::vector<unsigned> Ordered = P.Nodes;
+        std::sort(Ordered.begin(), Ordered.end());
+        for (unsigned N : Ordered)
+          Serial->getBody().Stmts.push_back(Graph.statements()[N]);
+        // Scalar spreading (paper Section 2): a piece that failed to
+        // vectorize for *operational* reasons (a value computation with
+        // no vector form) but carries no dependence between iterations
+        // can still be spread across processors.
+        if (Opts.EnableParallel) {
+          bool Spreadable = true;
+          for (unsigned N : Ordered) {
+            Stmt *S = Graph.statements()[N];
+            if (S->getKind() != Stmt::AssignKind ||
+                Graph.hasCarriedDependence(N))
+              Spreadable = false;
+          }
+          if (Spreadable) {
+            Serial->setParallel(true);
+            ++Stats.SpreadSerialLoops;
+            ++Stats.ParallelLoops;
+          }
+        }
+        Out.push_back(Serial);
+        ++Stats.SerialLoops;
+        continue;
+      }
+      emitVectorPiece(D, static_cast<AssignStmt *>(
+                             Graph.statements()[P.Nodes[0]]),
+                      Graph, P.Nodes[0], Out);
+    }
+    return true;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Vector statement emission
+  //===--------------------------------------------------------------------===//
+
+  /// Rewrites 1-D named-array references in \p S into explicit subscript
+  /// form `arr[linear(index)]` so the vector statement prints and executes
+  /// in the paper's colon notation.
+  void canonicalizeRefs(AssignStmt *S, DoLoopStmt *D,
+                        const dep::NestContext &Nest) {
+    auto Rewrite = [&](Expr *&Slot) {
+      forEachSubExprSlot(Slot, [&](Expr *&Sub) {
+        if (Sub->getKind() != Expr::DerefKind)
+          return;
+        auto *Dr = static_cast<DerefExpr *>(Sub);
+        dep::AddrForm Addr = dep::normalizeAddress(Dr->getAddr(), Nest);
+        if (!Addr.Valid || Addr.Base.K != BaseKey::Array)
+          return;
+        Symbol *Arr = Addr.Base.Sym;
+        const Type *ArrTy = Arr->getType();
+        if (!ArrTy->isArray() || ArrTy->getElementType()->isArray())
+          return; // only 1-D arrays canonicalize
+        int64_t ES = ArrTy->getElementType()->getSizeInBytes();
+        if (Addr.Offset.C0 % ES != 0)
+          return;
+        for (const auto &[Term, Coeff] : Addr.Offset.Coeffs)
+          if (Coeff % ES != 0)
+            return;
+        for (const auto &[Idx, Coeff] : Addr.IdxCoeffs)
+          if (Coeff % ES != 0)
+            return;
+        // subscript = Offset/ES + Σ (coeff/ES)·idx.
+        scalar::LinExpr Scaled = Addr.Offset;
+        Scaled.C0 /= ES;
+        for (auto &[Term, Coeff] : Scaled.Coeffs)
+          Coeff /= ES;
+        Expr *SubExpr = scalar::linToExpr(F, Scaled, IntTy);
+        for (const auto &[Idx, Coeff] : Addr.IdxCoeffs) {
+          Expr *TermE = F.makeVarRef(Idx);
+          if (Coeff / ES != 1)
+            TermE = F.makeBinary(OpCode::Mul,
+                                 F.makeIntConst(IntTy, Coeff / ES), TermE,
+                                 IntTy);
+          SubExpr = F.makeBinary(OpCode::Add, SubExpr, TermE, IntTy);
+        }
+        SubExpr = scalar::foldExpr(F, SubExpr);
+        Sub = F.create<IndexExpr>(Dr->getType(), F.makeVarRef(Arr),
+                                  std::vector<Expr *>{SubExpr});
+      });
+    };
+    Rewrite(S->lhsSlot());
+    Rewrite(S->rhsSlot());
+  }
+
+  /// Bubbles triplets outward through affine arithmetic so each vector
+  /// memory reference carries a single top-level triplet:
+  /// `1 + vi:vr:1` becomes `1+vi : 1+vr : 1`, and `p + 4*(vi:vr:1)`
+  /// becomes `p+4vi : p+4vr : 4`.
+  Expr *bubble(Expr *E) {
+    switch (E->getKind()) {
+    case Expr::BinaryKind: {
+      auto *B = static_cast<BinaryExpr *>(E);
+      Expr *L = bubble(B->getLHS());
+      Expr *R = bubble(B->getRHS());
+      bool LT = L->getKind() == Expr::TripletKind;
+      bool RT = R->getKind() == Expr::TripletKind;
+      OpCode Op = B->getOp();
+      auto mk = [&](Expr *Lo, Expr *Hi, Expr *Stride) {
+        return F.create<TripletExpr>(B->getType(),
+                                     scalar::foldExpr(F, Lo),
+                                     scalar::foldExpr(F, Hi),
+                                     scalar::foldExpr(F, Stride));
+      };
+      auto bin = [&](Expr *A2, Expr *B2) {
+        return F.makeBinary(Op, A2, B2, B->getType());
+      };
+      if ((Op == OpCode::Add || Op == OpCode::Sub || Op == OpCode::Mul) &&
+          (LT || RT)) {
+        if (LT && RT) {
+          auto *TL = static_cast<TripletExpr *>(L);
+          auto *TR = static_cast<TripletExpr *>(R);
+          if (Op == OpCode::Add || Op == OpCode::Sub)
+            return mk(bin(TL->getLo(), TR->getLo()),
+                      bin(TL->getHi(), TR->getHi()),
+                      bin(TL->getStride(), TR->getStride()));
+        } else if (LT) {
+          auto *T = static_cast<TripletExpr *>(L);
+          Expr *Stride = T->getStride();
+          if (Op == OpCode::Mul)
+            Stride = bin(Stride, F.cloneExpr(R));
+          return mk(bin(T->getLo(), F.cloneExpr(R)),
+                    bin(T->getHi(), F.cloneExpr(R)), Stride);
+        } else {
+          auto *T = static_cast<TripletExpr *>(R);
+          Expr *Stride = T->getStride();
+          if (Op == OpCode::Mul)
+            Stride = bin(F.cloneExpr(L), Stride);
+          else if (Op == OpCode::Sub)
+            Stride = F.create<UnaryExpr>(IntTy, OpCode::Neg, Stride);
+          return mk(bin(F.cloneExpr(L), T->getLo()),
+                    bin(F.cloneExpr(L), T->getHi()), Stride);
+        }
+      }
+      if (L != B->getLHS() || R != B->getRHS())
+        return F.makeBinary(Op, L, R, B->getType());
+      return B;
+    }
+    case Expr::DerefKind: {
+      auto *D = static_cast<DerefExpr *>(E);
+      Expr *Addr = bubble(D->getAddr());
+      if (Addr != D->getAddr())
+        return F.create<DerefExpr>(D->getType(), Addr);
+      return D;
+    }
+    case Expr::IndexKind: {
+      auto *I = static_cast<IndexExpr *>(E);
+      bool Changed = false;
+      std::vector<Expr *> Subs;
+      for (Expr *Sub : I->getSubscripts()) {
+        Expr *NewSub = bubble(Sub);
+        Changed |= NewSub != Sub;
+        Subs.push_back(NewSub);
+      }
+      if (Changed)
+        return F.create<IndexExpr>(I->getType(), I->getBase(),
+                                   std::move(Subs));
+      return I;
+    }
+    case Expr::CastKind: {
+      auto *C = static_cast<CastExpr *>(E);
+      Expr *Operand = bubble(C->getOperand());
+      if (Operand != C->getOperand())
+        return F.create<CastExpr>(C->getType(), Operand);
+      return C;
+    }
+    case Expr::UnaryKind: {
+      auto *U = static_cast<UnaryExpr *>(E);
+      Expr *Operand = bubble(U->getOperand());
+      if (Operand->getKind() == Expr::TripletKind &&
+          U->getOp() == OpCode::Neg) {
+        auto *T = static_cast<TripletExpr *>(Operand);
+        auto Neg = [&](Expr *X) {
+          return scalar::foldExpr(
+              F, F.create<UnaryExpr>(U->getType(), OpCode::Neg, X));
+        };
+        return F.create<TripletExpr>(U->getType(), Neg(T->getLo()),
+                                     Neg(T->getHi()), Neg(T->getStride()));
+      }
+      if (Operand != U->getOperand())
+        return F.create<UnaryExpr>(U->getType(), U->getOp(), Operand);
+      return U;
+    }
+    default:
+      return E;
+    }
+  }
+
+  /// Replaces occurrences of the loop index in \p S with a triplet, then
+  /// bubbles the triplets outward through the affine arithmetic.
+  void substituteTriplet(AssignStmt *S, Symbol *Idx, Expr *Lo, Expr *Hi) {
+    auto Substitute = [&](Expr *&Slot) {
+      forEachSubExprSlot(Slot, [&](Expr *&Sub) {
+        if (Sub->getKind() == Expr::VarRefKind &&
+            static_cast<VarRefExpr *>(Sub)->getSymbol() == Idx)
+          Sub = F.create<TripletExpr>(IntTy, F.cloneExpr(Lo),
+                                      F.cloneExpr(Hi),
+                                      F.makeIntConst(IntTy, 1));
+      });
+      Slot = bubble(Slot);
+    };
+    Substitute(S->lhsSlot());
+    Substitute(S->rhsSlot());
+  }
+
+  void emitVectorPiece(DoLoopStmt *D, AssignStmt *S,
+                       LoopDependenceGraph &Graph, unsigned Node,
+                       std::vector<Stmt *> &Out) {
+    canonicalizeRefs(S, D, Graph.nest());
+
+    int64_t Trip = Graph.tripCount();
+    bool NeedStrip = Opts.StripLength > 0 &&
+                     (Trip < 0 || Trip > Opts.StripLength);
+
+    if (!NeedStrip) {
+      // Whole range in one vector statement (short graphics-style loop).
+      auto *VecStmt = static_cast<AssignStmt *>(F.cloneStmtRemap(
+          S, [](Symbol *Sym) { return Sym; },
+          [](const std::string &L) { return L; }));
+      substituteTriplet(VecStmt, D->getIndexVar(),
+                        F.makeIntConst(IntTy, 0), F.cloneExpr(D->getLimit()));
+      Out.push_back(VecStmt);
+      ++Stats.VectorStmts;
+      ++Stats.UnstripedVectorStmts;
+      return;
+    }
+
+    // Strip loop: do [parallel] vi = 0, Limit, VL
+    //               { vr = min(Limit, vi+VL-1); a[vi:vr:1] = ...; }
+    Symbol *Vi = F.createTemp(IntTy, "vi");
+    Symbol *Vr = F.createTemp(IntTy, "vr");
+    auto *Strip = F.create<DoLoopStmt>(
+        D->getLoc(), Vi, F.makeIntConst(IntTy, 0),
+        F.cloneExpr(D->getLimit()),
+        F.makeIntConst(IntTy, Opts.StripLength));
+    bool Parallel = Opts.EnableParallel;
+    Strip->setParallel(Parallel);
+
+    Expr *HiVal = F.makeBinary(
+        OpCode::Min, F.cloneExpr(D->getLimit()),
+        F.makeBinary(OpCode::Add, F.makeVarRef(Vi),
+                     F.makeIntConst(IntTy, Opts.StripLength - 1), IntTy),
+        IntTy);
+    Strip->getBody().Stmts.push_back(
+        F.create<AssignStmt>(D->getLoc(), F.makeVarRef(Vr), HiVal));
+
+    auto *VecStmt = static_cast<AssignStmt *>(F.cloneStmtRemap(
+        S, [](Symbol *Sym) { return Sym; },
+        [](const std::string &L) { return L; }));
+    substituteTriplet(VecStmt, D->getIndexVar(), F.makeVarRef(Vi),
+                      F.makeVarRef(Vr));
+    Strip->getBody().Stmts.push_back(VecStmt);
+
+    Out.push_back(Strip);
+    ++Stats.VectorStmts;
+    ++Stats.StripLoops;
+    if (Parallel)
+      ++Stats.ParallelLoops;
+  }
+
+  Function &F;
+  const VectorizeOptions &Opts;
+  const Type *IntTy;
+  VectorizeStats Stats;
+};
+
+} // namespace
+
+VectorizeStats vec::vectorizeLoops(Function &F, const VectorizeOptions &Opts) {
+  return Vectorizer(F, Opts).run();
+}

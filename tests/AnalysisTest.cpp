@@ -1,0 +1,344 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the analysis layer: CFG shape, reaching definitions /
+/// use-def chains (including volatile and aliasing conservatism), loop
+/// structure, and the call graph.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFG.h"
+#include "analysis/CallGraph.h"
+#include "analysis/UseDef.h"
+
+#include "frontend/Lower.h"
+#include "lexer/Lexer.h"
+#include "parser/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace tcc;
+using namespace tcc::il;
+using namespace tcc::analysis;
+
+namespace {
+
+struct Compiled {
+  ast::AstContext Ctx;
+  DiagnosticEngine Diags;
+  std::unique_ptr<il::Program> P;
+};
+
+std::unique_ptr<Compiled> compileToIL(const std::string &Source) {
+  auto R = std::make_unique<Compiled>();
+  R->P = std::make_unique<il::Program>();
+  Lexer L(Source, R->Diags);
+  Parser Parse(L.lexAll(), R->Ctx, R->P->getTypes(), R->Diags);
+  ast::TranslationUnit TU = Parse.parseTranslationUnit();
+  lowerTranslationUnit(TU, *R->P, R->Diags);
+  EXPECT_FALSE(R->Diags.hasErrors()) << R->Diags.str();
+  return R;
+}
+
+/// First statement of the given kind (pre-order).
+template <typename T> T *findFirst(Function *F) {
+  T *Found = nullptr;
+  forEachStmt(F->getBody(), [&Found](Stmt *S) {
+    if (!Found && T::classof(S))
+      Found = static_cast<T *>(S);
+  });
+  return Found;
+}
+
+TEST(CFGTest, StraightLine) {
+  auto R = compileToIL("void f() { int x; int y; x = 1; y = x; }");
+  Function *F = R->P->findFunction("f");
+  CFG G(*F);
+  // entry, exit, x=1, y=x, return.
+  EXPECT_EQ(G.size(), 5u);
+  // Entry has one successor; exit has at least one predecessor.
+  EXPECT_EQ(G.node(CFG::EntryId).Succs.size(), 1u);
+  EXPECT_FALSE(G.node(CFG::ExitId).Preds.empty());
+}
+
+TEST(CFGTest, IfHasTwoSuccessors) {
+  auto R = compileToIL("void f(int a) { if (a) a = 1; else a = 2; }");
+  Function *F = R->P->findFunction("f");
+  CFG G(*F);
+  auto *If = findFirst<IfStmt>(F);
+  ASSERT_NE(If, nullptr);
+  EXPECT_EQ(G.node(G.idOf(If)).Succs.size(), 2u);
+}
+
+TEST(CFGTest, WhileHasBackEdge) {
+  auto R = compileToIL("void f(int n) { while (n) n = n - 1; }");
+  Function *F = R->P->findFunction("f");
+  CFG G(*F);
+  auto *W = findFirst<WhileStmt>(F);
+  ASSERT_NE(W, nullptr);
+  unsigned WId = G.idOf(W);
+  // Two successors: body and follow.
+  EXPECT_EQ(G.node(WId).Succs.size(), 2u);
+  // The while node has >= 2 preds: entry path and the back edge.
+  EXPECT_GE(G.node(WId).Preds.size(), 2u);
+}
+
+TEST(CFGTest, GotoTargetsLabel) {
+  auto R = compileToIL(
+      "void f(int n) { top: n = n - 1; if (n) goto top; }");
+  Function *F = R->P->findFunction("f");
+  CFG G(*F);
+  GotoStmt *Goto = findFirst<GotoStmt>(F);
+  LabelStmt *Label = findFirst<LabelStmt>(F);
+  ASSERT_NE(Goto, nullptr);
+  ASSERT_NE(Label, nullptr);
+  const auto &Succs = G.node(G.idOf(Goto)).Succs;
+  ASSERT_EQ(Succs.size(), 1u);
+  EXPECT_EQ(Succs[0], G.idOf(Label));
+}
+
+TEST(CFGTest, BranchIntoLoopDetected) {
+  auto R = compileToIL(R"(
+    void f(int n) {
+      if (n > 5) goto inside;
+      while (n) {
+        inside: n = n - 1;
+      }
+    }
+  )");
+  Function *F = R->P->findFunction("f");
+  auto *W = findFirst<WhileStmt>(F);
+  ASSERT_NE(W, nullptr);
+  EXPECT_TRUE(CFG::hasBranchIntoBlock(*F, W->getBody()));
+}
+
+TEST(CFGTest, NoBranchIntoLoopWhenInternal) {
+  auto R = compileToIL(R"(
+    void f(int n) {
+      while (n) {
+        if (n == 3) goto skip;
+        n = n - 2;
+        skip: n = n - 1;
+      }
+    }
+  )");
+  Function *F = R->P->findFunction("f");
+  auto *W = findFirst<WhileStmt>(F);
+  ASSERT_NE(W, nullptr);
+  EXPECT_FALSE(CFG::hasBranchIntoBlock(*F, W->getBody()));
+}
+
+TEST(UseDefTest, SingleReachingDef) {
+  auto R = compileToIL("void f() { int x; int y; x = 1; y = x; }");
+  Function *F = R->P->findFunction("f");
+  UseDefChains UD(*F);
+
+  // Find 'y = x': its use of x must be reached only by 'x = 1'.
+  Symbol *X = F->findSymbol("x");
+  AssignStmt *XDef = nullptr;
+  AssignStmt *YAssign = nullptr;
+  forEachStmt(F->getBody(), [&](Stmt *S) {
+    if (auto *A = S->getKind() == Stmt::AssignKind
+                      ? static_cast<AssignStmt *>(S)
+                      : nullptr) {
+      auto *LHS = static_cast<VarRefExpr *>(A->getLHS());
+      if (LHS->getSymbol() == X)
+        XDef = A;
+      else
+        YAssign = A;
+    }
+  });
+  ASSERT_NE(XDef, nullptr);
+  ASSERT_NE(YAssign, nullptr);
+  const auto &Defs = UD.defsReaching(YAssign, X);
+  ASSERT_EQ(Defs.size(), 1u);
+  EXPECT_EQ(Defs[0], XDef);
+  EXPECT_TRUE(UD.isOnlyReachingDef(YAssign, X, XDef));
+}
+
+TEST(UseDefTest, TwoDefsThroughIf) {
+  auto R = compileToIL(R"(
+    void f(int a) {
+      int x; int y;
+      if (a) x = 1; else x = 2;
+      y = x;
+    }
+  )");
+  Function *F = R->P->findFunction("f");
+  UseDefChains UD(*F);
+  Symbol *X = F->findSymbol("x");
+  Symbol *Y = F->findSymbol("y");
+  AssignStmt *YAssign = nullptr;
+  forEachStmt(F->getBody(), [&](Stmt *S) {
+    if (S->getKind() != Stmt::AssignKind)
+      return;
+    auto *A = static_cast<AssignStmt *>(S);
+    if (A->getLHS()->getKind() == Expr::VarRefKind &&
+        static_cast<VarRefExpr *>(A->getLHS())->getSymbol() == Y)
+      YAssign = A;
+  });
+  ASSERT_NE(YAssign, nullptr);
+  EXPECT_EQ(UD.defsReaching(YAssign, X).size(), 2u);
+}
+
+TEST(UseDefTest, ParamUseReachesEntry) {
+  auto R = compileToIL("void f(int n) { int y; y = n; }");
+  Function *F = R->P->findFunction("f");
+  UseDefChains UD(*F);
+  Symbol *N = F->findSymbol("n");
+  AssignStmt *YAssign = findFirst<AssignStmt>(F);
+  ASSERT_NE(YAssign, nullptr);
+  const auto &Defs = UD.defsReaching(YAssign, N);
+  ASSERT_EQ(Defs.size(), 1u);
+  EXPECT_EQ(Defs[0], nullptr); // entry value
+}
+
+TEST(UseDefTest, LoopCarriedDef) {
+  auto R = compileToIL("void f(int n) { while (n) { n = n - 1; } }");
+  Function *F = R->P->findFunction("f");
+  UseDefChains UD(*F);
+  Symbol *N = F->findSymbol("n");
+  auto *W = findFirst<WhileStmt>(F);
+  auto *Dec = findFirst<AssignStmt>(F);
+  ASSERT_NE(W, nullptr);
+  ASSERT_NE(Dec, nullptr);
+  // The while condition sees both the entry value and the loop decrement.
+  const auto &Defs = UD.defsReaching(W, N);
+  EXPECT_EQ(Defs.size(), 2u);
+  // The decrement's RHS use of n also sees both.
+  EXPECT_EQ(UD.defsReaching(Dec, N).size(), 2u);
+}
+
+TEST(UseDefTest, CallClobbersGlobals) {
+  auto R = compileToIL(R"(
+    int g;
+    void ext(void);
+    void f() {
+      int y;
+      g = 1;
+      ext();
+      y = g;
+    }
+  )");
+  Function *F = R->P->findFunction("f");
+  UseDefChains UD(*F);
+  Symbol *G = R->P->findGlobal("g");
+  // Find y = g.
+  AssignStmt *YAssign = nullptr;
+  forEachStmt(F->getBody(), [&](Stmt *S) {
+    if (S->getKind() != Stmt::AssignKind)
+      return;
+    auto *A = static_cast<AssignStmt *>(S);
+    if (A->getRHS()->getKind() == Expr::VarRefKind &&
+        static_cast<VarRefExpr *>(A->getRHS())->getSymbol() == G)
+      YAssign = A;
+  });
+  ASSERT_NE(YAssign, nullptr);
+  // Both 'g = 1' and the call reach the use.
+  EXPECT_EQ(UD.defsReaching(YAssign, G).size(), 2u);
+}
+
+TEST(UseDefTest, PointerStoreClobbersAddressTaken) {
+  auto R = compileToIL(R"(
+    void f(int *p) {
+      int x; int y;
+      x = 1;
+      p = &x;
+      *p = 2;
+      y = x;
+    }
+  )");
+  Function *F = R->P->findFunction("f");
+  UseDefChains UD(*F);
+  Symbol *X = F->findSymbol("x");
+  Symbol *Y = F->findSymbol("y");
+  AssignStmt *YAssign = nullptr;
+  forEachStmt(F->getBody(), [&](Stmt *S) {
+    if (S->getKind() != Stmt::AssignKind)
+      return;
+    auto *A = static_cast<AssignStmt *>(S);
+    if (A->getLHS()->getKind() == Expr::VarRefKind &&
+        static_cast<VarRefExpr *>(A->getLHS())->getSymbol() == Y)
+      YAssign = A;
+  });
+  ASSERT_NE(YAssign, nullptr);
+  // x = 1 and the *p store both reach.
+  EXPECT_EQ(UD.defsReaching(YAssign, X).size(), 2u);
+}
+
+TEST(UseDefTest, AddressTakenComputation) {
+  auto R = compileToIL(R"(
+    void f() {
+      int x; int y; int *p;
+      p = &x;
+      y = x;
+    }
+  )");
+  Function *F = R->P->findFunction("f");
+  auto Taken = computeAddressTakenScalars(*F);
+  EXPECT_EQ(Taken.size(), 1u);
+  EXPECT_TRUE(Taken.count(F->findSymbol("x")));
+}
+
+TEST(UseDefTest, UsesOfReverseChains) {
+  auto R = compileToIL("void f() { int x; int y; int z; x = 1; y = x; "
+                       "z = x; }");
+  Function *F = R->P->findFunction("f");
+  UseDefChains UD(*F);
+  AssignStmt *XDef = findFirst<AssignStmt>(F);
+  ASSERT_NE(XDef, nullptr);
+  auto Uses = UD.usesOf(XDef);
+  EXPECT_EQ(Uses.size(), 2u);
+}
+
+TEST(LoopInfoTest, NestingDepths) {
+  auto R = compileToIL(R"(
+    void f(int n, int m) {
+      int i; int j;
+      for (i = 0; i < n; i++) {
+        for (j = 0; j < m; j++) {
+          n += 1;
+        }
+      }
+      while (m) m--;
+    }
+  )");
+  Function *F = R->P->findFunction("f");
+  LoopInfo LI(*F);
+  EXPECT_EQ(LI.loops().size(), 3u);
+  EXPECT_EQ(LI.topLevel().size(), 2u);
+  auto Inner = LI.innermost();
+  EXPECT_EQ(Inner.size(), 2u);
+  // One innermost loop has depth 2.
+  bool HasDepth2 = false;
+  for (auto *L : Inner)
+    HasDepth2 |= L->Depth == 2;
+  EXPECT_TRUE(HasDepth2);
+}
+
+TEST(CallGraphTest, DirectAndRecursive) {
+  auto R = compileToIL(R"(
+    int fact(int n) {
+      if (n <= 1) return 1;
+      return n * fact(n - 1);
+    }
+    int helper(int x) { return x + 1; }
+    int top(int x) { return helper(fact(x)); }
+  )");
+  CallGraph CG(*R->P);
+  EXPECT_TRUE(CG.isRecursive("fact"));
+  EXPECT_FALSE(CG.isRecursive("helper"));
+  EXPECT_FALSE(CG.isRecursive("top"));
+  EXPECT_TRUE(CG.calleesOf("top").count("helper"));
+  EXPECT_TRUE(CG.calleesOf("top").count("fact"));
+
+  auto Order = CG.bottomUpOrder();
+  // helper and fact come before top.
+  auto Pos = [&](const std::string &N) {
+    return std::find(Order.begin(), Order.end(), N) - Order.begin();
+  };
+  EXPECT_LT(Pos("helper"), Pos("top"));
+  EXPECT_LT(Pos("fact"), Pos("top"));
+}
+
+} // namespace

@@ -1,0 +1,213 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Code generation tests: storage assignment policy (registers vs frame
+/// vs globals), stub generation for external callees, dependence flags
+/// on emitted loads, and layout of the global image.
+///
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Codegen.h"
+
+#include "driver/Compiler.h"
+#include "frontend/Lower.h"
+#include "lexer/Lexer.h"
+#include "parser/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+using namespace tcc;
+
+namespace {
+
+titan::TitanProgram gen(const std::string &Source,
+                        codegen::CodegenOptions Opts = {}) {
+  DiagnosticEngine Diags;
+  il::Program P;
+  Lexer L(Source, Diags);
+  ast::AstContext Ctx;
+  Parser Parse(L.lexAll(), Ctx, P.getTypes(), Diags);
+  ast::TranslationUnit TU = Parse.parseTranslationUnit();
+  lowerTranslationUnit(TU, P, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  titan::TitanProgram Prog = codegen::generateProgram(P, Diags, Opts);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return Prog;
+}
+
+TEST(CodegenTest, GlobalLayoutAndImage) {
+  titan::TitanProgram P = gen(R"(
+    int gi = 11;
+    float gf = 2.5;
+    double gd = -3.5;
+    float arr[10];
+    void main() {}
+  )");
+  ASSERT_TRUE(P.GlobalAddresses.count("gi"));
+  ASSERT_TRUE(P.GlobalAddresses.count("arr"));
+  // 8-byte alignment throughout.
+  for (const auto &[Name, Addr] : P.GlobalAddresses)
+    EXPECT_EQ(Addr % 8, 0) << Name;
+  // Initial image carries the values.
+  int64_t GI = P.GlobalAddresses["gi"];
+  int32_t V;
+  std::memcpy(&V, P.InitialImage.data() + GI, 4);
+  EXPECT_EQ(V, 11);
+  float F;
+  std::memcpy(&F, P.InitialImage.data() + P.GlobalAddresses["gf"], 4);
+  EXPECT_FLOAT_EQ(F, 2.5f);
+  double D;
+  std::memcpy(&D, P.InitialImage.data() + P.GlobalAddresses["gd"], 8);
+  EXPECT_DOUBLE_EQ(D, -3.5);
+}
+
+TEST(CodegenTest, StaticsGetQualifiedGlobalSlots) {
+  titan::TitanProgram P = gen(R"(
+    int f() { static int count = 3; count += 1; return count; }
+    void main() { f(); }
+  )");
+  ASSERT_TRUE(P.GlobalAddresses.count("f.count"));
+  int32_t V;
+  std::memcpy(&V, P.InitialImage.data() + P.GlobalAddresses.at("f.count"),
+              4);
+  EXPECT_EQ(V, 3);
+}
+
+TEST(CodegenTest, UnknownCalleeGetsStub) {
+  titan::TitanProgram P = gen(R"(
+    void external_thing(int x);
+    void main() { external_thing(3); }
+  )");
+  ASSERT_TRUE(P.FunctionIndex.count("external_thing"));
+  const titan::TitanFunction &Stub =
+      P.Functions[P.FunctionIndex.at("external_thing")];
+  EXPECT_NE(Stub.Name.find("stub"), std::string::npos);
+  ASSERT_EQ(Stub.Code.size(), 1u);
+  EXPECT_EQ(Stub.Code[0].Op, titan::Opcode::RET);
+}
+
+TEST(CodegenTest, AddressTakenLocalsLiveInFrame) {
+  titan::TitanProgram P = gen(R"(
+    void main() {
+      int x; int *p;
+      p = &x;
+      *p = 5;
+    }
+  )");
+  const titan::TitanFunction *Main = P.find("main");
+  ASSERT_NE(Main, nullptr);
+  EXPECT_GT(Main->FrameSize, 0);
+}
+
+TEST(CodegenTest, PlainScalarsAvoidFrame) {
+  titan::TitanProgram P = gen(R"(
+    void main() {
+      int x; float y;
+      x = 1;
+      y = 2.0;
+    }
+  )");
+  const titan::TitanFunction *Main = P.find("main");
+  ASSERT_NE(Main, nullptr);
+  EXPECT_EQ(Main->FrameSize, 0);
+  EXPECT_GT(Main->NumFpRegs, 0u);
+}
+
+TEST(CodegenTest, RegisterBudgetSpillsColdScalars) {
+  // 30 integer locals with a budget of 4: the rest go to the frame.
+  std::string Source = "void main() {\n";
+  for (int I = 0; I < 30; ++I)
+    Source += "  int v" + std::to_string(I) + "; v" + std::to_string(I) +
+              " = " + std::to_string(I) + ";\n";
+  Source += "}\n";
+  codegen::CodegenOptions Opts;
+  Opts.IntRegisterBudget = 4;
+  titan::TitanProgram P = gen(Source, Opts);
+  const titan::TitanFunction *Main = P.find("main");
+  ASSERT_NE(Main, nullptr);
+  EXPECT_GE(Main->FrameSize, 8 * 26);
+}
+
+TEST(CodegenTest, LocalArraysInFrame) {
+  titan::TitanProgram P = gen(R"(
+    void main() {
+      float buf[16];
+      buf[3] = 1.0;
+    }
+  )");
+  const titan::TitanFunction *Main = P.find("main");
+  ASSERT_NE(Main, nullptr);
+  EXPECT_GE(Main->FrameSize, 16 * 4);
+}
+
+TEST(CodegenTest, DepSchedulingFlagControlsLoadMarks) {
+  const char *Source = R"(
+    float a[100], b[100];
+    void main() {
+      int i;
+      for (i = 0; i < 100; i++)
+        a[i] = b[i] + 1.0;
+      for (i = 0; i < 100; i++)
+        b[i] = a[i] * 0.5;
+    }
+  )";
+  // Through the driver with dep scheduling on, flagged loads exist...
+  driver::CompilerOptions On = driver::CompilerOptions::scalarOnly();
+  On.EnableDepScheduling = true;
+  auto A = driver::compileSource(Source, On);
+  ASSERT_TRUE(A->ok());
+  unsigned Marked = 0;
+  for (const auto &In : A->Machine.find("main")->Code)
+    Marked += In.NoStoreConflict;
+  EXPECT_GT(Marked, 0u);
+
+  // ...and with it off, none (scalar loads; vector codegen is separate).
+  driver::CompilerOptions Off = driver::CompilerOptions::scalarOnly();
+  Off.EnableDepScheduling = false;
+  auto B = driver::compileSource(Source, Off);
+  unsigned MarkedOff = 0;
+  for (const auto &In : B->Machine.find("main")->Code)
+    if (In.Op != titan::Opcode::VLD)
+      MarkedOff += In.NoStoreConflict;
+  EXPECT_EQ(MarkedOff, 0u);
+}
+
+TEST(CodegenTest, VolatileGlobalAlwaysMemoryResident) {
+  titan::TitanProgram P = gen(R"(
+    volatile int status;
+    void main() {
+      int x;
+      x = status;
+      x = status;
+      status = x;
+    }
+  )");
+  const titan::TitanFunction *Main = P.find("main");
+  // Two separate LDW instructions for the two reads.
+  unsigned Loads = 0;
+  for (const auto &In : Main->Code)
+    Loads += In.Op == titan::Opcode::LDW;
+  EXPECT_GE(Loads, 2u);
+}
+
+TEST(CodegenTest, CharOpsUseByteMemoryOps) {
+  titan::TitanProgram P = gen(R"(
+    char buf[8];
+    void main() {
+      buf[0] = 'A';
+      buf[1] = buf[0];
+    }
+  )");
+  const titan::TitanFunction *Main = P.find("main");
+  unsigned ByteStores = 0, ByteLoads = 0;
+  for (const auto &In : Main->Code) {
+    ByteStores += In.Op == titan::Opcode::STC;
+    ByteLoads += In.Op == titan::Opcode::LDC;
+  }
+  EXPECT_EQ(ByteStores, 2u);
+  EXPECT_EQ(ByteLoads, 1u);
+}
+
+} // namespace

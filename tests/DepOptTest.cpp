@@ -1,0 +1,200 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the dependence-driven optimizations of paper Section 6:
+/// scalar replacement of distance-1 recurrences and strength reduction
+/// of address arithmetic (with invariant hoisting and CSE).
+///
+//===----------------------------------------------------------------------===//
+
+#include "depopt/DepOpt.h"
+
+#include "frontend/Lower.h"
+#include "il/ILPrinter.h"
+#include "lexer/Lexer.h"
+#include "parser/Parser.h"
+#include "scalar/ConstProp.h"
+#include "scalar/DeadCode.h"
+#include "scalar/InductionVarSub.h"
+#include "scalar/WhileToDo.h"
+
+#include <gtest/gtest.h>
+
+using namespace tcc;
+using namespace tcc::il;
+using namespace tcc::depopt;
+
+namespace {
+
+struct Compiled {
+  ast::AstContext Ctx;
+  DiagnosticEngine Diags;
+  std::unique_ptr<il::Program> P;
+};
+
+std::unique_ptr<Compiled> compileToIL(const std::string &Source) {
+  auto R = std::make_unique<Compiled>();
+  R->P = std::make_unique<il::Program>();
+  Lexer L(Source, R->Diags);
+  Parser Parse(L.lexAll(), R->Ctx, R->P->getTypes(), R->Diags);
+  ast::TranslationUnit TU = Parse.parseTranslationUnit();
+  lowerTranslationUnit(TU, *R->P, R->Diags);
+  EXPECT_FALSE(R->Diags.hasErrors()) << R->Diags.str();
+  return R;
+}
+
+Function *prepare(Compiled &C, const std::string &Name) {
+  Function *F = C.P->findFunction(Name);
+  EXPECT_NE(F, nullptr);
+  scalar::convertWhileLoops(*F);
+  scalar::substituteInductionVariables(*F);
+  scalar::propagateConstants(*F);
+  scalar::eliminateDeadCode(*F);
+  return F;
+}
+
+const char *BacksolveSource = R"(
+  float x[1001], y[1000], z[1000];
+  void backsolve(int n) {
+    float *p; float *q; int i;
+    p = &x[1];
+    q = &x[0];
+    for (i = 0; i < n - 2; i++)
+      p[i] = z[i] * (y[i] - q[i]);
+  }
+)";
+
+TEST(ScalarReplaceTest, BacksolvePullsValueIntoRegister) {
+  auto C = compileToIL(BacksolveSource);
+  Function *F = prepare(*C, "backsolve");
+  ScalarReplaceStats Stats = applyScalarReplacement(*F);
+  EXPECT_EQ(Stats.LoopsApplied, 1u);
+  EXPECT_GE(Stats.LoadsEliminated, 1u);
+  std::string Printed = printFunction(*F);
+  // The register temp appears (the paper's f_reg1), preloaded before the
+  // loop, used in place of the q load, and fed by the computed value.
+  EXPECT_NE(Printed.find("f_reg_"), std::string::npos) << Printed;
+  // The store now writes the register.
+  EXPECT_NE(Printed.find("= f_reg_"), std::string::npos) << Printed;
+}
+
+TEST(ScalarReplaceTest, NoReplacementWithoutRecurrence) {
+  auto C = compileToIL(R"(
+    float a[100], b[100];
+    void f() {
+      int i;
+      float s;
+      s = 0.0;
+      for (i = 0; i < 100; i++)
+        s = s + a[i] * b[i];
+    }
+  )");
+  Function *F = prepare(*C, "f");
+  ScalarReplaceStats Stats = applyScalarReplacement(*F);
+  EXPECT_EQ(Stats.LoopsApplied, 0u);
+}
+
+TEST(ScalarReplaceTest, DistanceTwoNotReplaced) {
+  auto C = compileToIL(R"(
+    float x[1002];
+    void f(int n) {
+      int i;
+      for (i = 2; i < n; i++)
+        x[i] = x[i - 2] + 1.0;
+    }
+  )");
+  Function *F = prepare(*C, "f");
+  ScalarReplaceStats Stats = applyScalarReplacement(*F);
+  EXPECT_EQ(Stats.LoopsApplied, 0u);
+}
+
+TEST(StrengthReduceTest, EliminatesMultipliesInBacksolve) {
+  auto C = compileToIL(BacksolveSource);
+  Function *F = prepare(*C, "backsolve");
+  applyScalarReplacement(*F);
+  StrengthReduceStats Stats = applyStrengthReduction(*F);
+  EXPECT_EQ(Stats.LoopsApplied, 1u);
+  EXPECT_GE(Stats.AddressTemps, 3u); // p-store, z, y
+  std::string Printed = printFunction(*F);
+  // The loop body carries no `4 * i` multiplies; pointer temps bump by 4.
+  DoLoopStmt *D = nullptr;
+  forEachStmt(F->getBody(), [&D](Stmt *S) {
+    if (!D && S->getKind() == Stmt::DoLoopKind)
+      D = static_cast<DoLoopStmt *>(S);
+  });
+  ASSERT_NE(D, nullptr);
+  std::string Body = printBlock(D->getBody());
+  // No index multiplies remain in the body; pointer temps bump by 4.
+  EXPECT_EQ(Body.find("* temp_i"), std::string::npos) << Printed;
+  EXPECT_NE(Body.find("temp_p"), std::string::npos) << Printed;
+  EXPECT_NE(Body.find("+ 4;"), std::string::npos) << Printed;
+}
+
+TEST(StrengthReduceTest, CommonAddressesShareTemp) {
+  auto C = compileToIL(R"(
+    float a[100], b[100];
+    void f(int n) {
+      int i;
+      for (i = 0; i < n; i++)
+        a[i] = b[i] * b[i] + 1.0;
+    }
+  )");
+  Function *F = prepare(*C, "f");
+  StrengthReduceStats Stats = applyStrengthReduction(*F);
+  // b[i] appears twice with the same address form: one temp, one CSE hit.
+  EXPECT_EQ(Stats.AddressTemps, 2u);
+  EXPECT_GE(Stats.SharedTemps, 1u);
+}
+
+TEST(StrengthReduceTest, InvariantAddressHoisted) {
+  auto C = compileToIL(R"(
+    float a[100], b[100];
+    void f(int n, int k) {
+      int i;
+      for (i = 0; i < n; i++)
+        a[i] = b[k];
+    }
+  )");
+  Function *F = prepare(*C, "f");
+  StrengthReduceStats Stats = applyStrengthReduction(*F);
+  EXPECT_GE(Stats.InvariantsHoisted, 1u);
+}
+
+TEST(StrengthReduceTest, VectorLoopsUntouched) {
+  auto C = compileToIL(R"(
+    float a[100], b[100];
+    void f() {
+      int i;
+      for (i = 0; i < 100; i++)
+        a[i] = b[i];
+    }
+  )");
+  Function *F = prepare(*C, "f");
+  StrengthReduceStats Stats = applyStrengthReduction(*F);
+  // Applied to the serial loop version is fine; this test just checks it
+  // doesn't crash and reports coherent stats.
+  EXPECT_LE(Stats.SharedTemps, Stats.RefsRewritten);
+}
+
+TEST(StrengthReduceTest, OuterLoopIndexTreatedInvariant) {
+  // Row pointer arithmetic in a nest: the inner loop reduces `m[i][j]`
+  // with the outer index folded into the invariant offset.
+  auto C = compileToIL(R"(
+    float m[8][8]; float v[8]; float r[8];
+    void f() {
+      int i; int j;
+      for (i = 0; i < 8; i++) {
+        float s;
+        s = 0.0;
+        for (j = 0; j < 8; j++)
+          s = s + m[i][j] * v[j];
+        r[i] = s;
+      }
+    }
+  )");
+  Function *F = prepare(*C, "f");
+  StrengthReduceStats Stats = applyStrengthReduction(*F);
+  EXPECT_GE(Stats.LoopsApplied, 1u);
+}
+
+} // namespace

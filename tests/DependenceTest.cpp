@@ -1,0 +1,477 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for memory-reference normalization and dependence testing:
+/// star forms over pointers and address constants, named arrays, the
+/// ZIV/SIV/GCD/Banerjee battery, aliasing conservatism for pointer
+/// parameters (Section 9), and the dependence graph's SCC structure for
+/// the paper's backsolve recurrence.
+///
+//===----------------------------------------------------------------------===//
+
+#include "dependence/DependenceGraph.h"
+#include "dependence/MemRef.h"
+
+#include "frontend/Lower.h"
+#include "il/ILPrinter.h"
+#include "lexer/Lexer.h"
+#include "parser/Parser.h"
+#include "scalar/ConstProp.h"
+#include "scalar/DeadCode.h"
+#include "scalar/InductionVarSub.h"
+#include "scalar/WhileToDo.h"
+
+#include <gtest/gtest.h>
+
+using namespace tcc;
+using namespace tcc::il;
+using namespace tcc::dep;
+
+namespace {
+
+struct Compiled {
+  ast::AstContext Ctx;
+  DiagnosticEngine Diags;
+  std::unique_ptr<il::Program> P;
+};
+
+std::unique_ptr<Compiled> compileToIL(const std::string &Source) {
+  auto R = std::make_unique<Compiled>();
+  R->P = std::make_unique<il::Program>();
+  Lexer L(Source, R->Diags);
+  Parser Parse(L.lexAll(), R->Ctx, R->P->getTypes(), R->Diags);
+  ast::TranslationUnit TU = Parse.parseTranslationUnit();
+  lowerTranslationUnit(TU, *R->P, R->Diags);
+  EXPECT_FALSE(R->Diags.hasErrors()) << R->Diags.str();
+  return R;
+}
+
+/// Lowers, converts loops, substitutes IVs, and cleans — the state in
+/// which dependence analysis runs.
+Function *prepare(Compiled &C, const std::string &Name) {
+  Function *F = C.P->findFunction(Name);
+  EXPECT_NE(F, nullptr);
+  scalar::convertWhileLoops(*F);
+  scalar::substituteInductionVariables(*F);
+  scalar::propagateConstants(*F);
+  scalar::eliminateDeadCode(*F);
+  return F;
+}
+
+DoLoopStmt *findDoLoop(Function *F) {
+  DoLoopStmt *Found = nullptr;
+  forEachStmt(F->getBody(), [&Found](Stmt *S) {
+    if (!Found && S->getKind() == Stmt::DoLoopKind)
+      Found = static_cast<DoLoopStmt *>(S);
+  });
+  return Found;
+}
+
+//===----------------------------------------------------------------------===//
+// Reference normalization
+//===----------------------------------------------------------------------===//
+
+TEST(MemRefTest, ArraySubscriptForm) {
+  auto C = compileToIL(R"(
+    float a[100];
+    void f(int n) {
+      int i;
+      for (i = 0; i < n; i++)
+        a[i] = a[i] + 1.0;
+    }
+  )");
+  Function *F = prepare(*C, "f");
+  DoLoopStmt *D = findDoLoop(F);
+  ASSERT_NE(D, nullptr);
+  NestContext Nest = buildNestContext(*F, D);
+  ASSERT_EQ(D->getBody().size(), 1u);
+  auto Refs = collectMemRefs(D->getBody().Stmts[0], Nest);
+  ASSERT_EQ(Refs.size(), 2u);
+  for (const MemRef &R : Refs) {
+    EXPECT_TRUE(R.Addr.Valid);
+    EXPECT_EQ(R.Addr.Base.K, BaseKey::Array);
+    EXPECT_EQ(R.Addr.Base.Sym->getName(), "a");
+    EXPECT_EQ(R.Addr.coeffOf(D->getIndexVar()), 4);
+    EXPECT_EQ(R.Size, 4);
+  }
+  // Exactly one write.
+  EXPECT_EQ(Refs[0].IsWrite + Refs[1].IsWrite, 1);
+}
+
+TEST(MemRefTest, StarFormOverAddressConstant) {
+  // *(&a + 4*i) — the form the paper's inlined daxpy produces.
+  auto C = compileToIL(R"(
+    float a[100]; float b[100];
+    void f() {
+      float *p; float *q; int i;
+      p = a;
+      q = b;
+      for (i = 0; i < 100; i++)
+        *(p + i) = *(q + i);
+    }
+  )");
+  Function *F = prepare(*C, "f");
+  DoLoopStmt *D = findDoLoop(F);
+  ASSERT_NE(D, nullptr);
+  NestContext Nest = buildNestContext(*F, D);
+  auto Refs = collectMemRefs(D->getBody().Stmts[0], Nest);
+  ASSERT_EQ(Refs.size(), 2u);
+  EXPECT_EQ(Refs[0].Addr.Base.K, BaseKey::Array);
+  EXPECT_EQ(Refs[1].Addr.Base.K, BaseKey::Array);
+  EXPECT_NE(Refs[0].Addr.Base.Sym, Refs[1].Addr.Base.Sym);
+}
+
+TEST(MemRefTest, PointerParameterBase) {
+  auto C = compileToIL(R"(
+    void f(float *x, int n) {
+      int i;
+      for (i = 0; i < n; i++)
+        x[i] = 0.0;
+    }
+  )");
+  Function *F = prepare(*C, "f");
+  DoLoopStmt *D = findDoLoop(F);
+  ASSERT_NE(D, nullptr);
+  NestContext Nest = buildNestContext(*F, D);
+  auto Refs = collectMemRefs(D->getBody().Stmts[0], Nest);
+  ASSERT_EQ(Refs.size(), 1u);
+  EXPECT_EQ(Refs[0].Addr.Base.K, BaseKey::Pointer);
+  EXPECT_EQ(Refs[0].Addr.Base.Sym->getName(), "x");
+}
+
+TEST(MemRefTest, TwoDimensionalArrayStrides) {
+  auto C = compileToIL(R"(
+    float m[8][16];
+    void f(int i, int j) {
+      m[i][j] = 0.0;
+    }
+  )");
+  Function *F = C->P->findFunction("f");
+  // No loop: build an artificial nest over i and j.
+  NestContext Nest;
+  Nest.IndexVars.push_back(F->findSymbol("i"));
+  Nest.IndexVars.push_back(F->findSymbol("j"));
+  auto Refs = collectMemRefs(F->getBody().Stmts[0], Nest);
+  ASSERT_EQ(Refs.size(), 1u);
+  EXPECT_TRUE(Refs[0].Addr.Valid);
+  EXPECT_EQ(Refs[0].Addr.coeffOf(F->findSymbol("i")), 16 * 4);
+  EXPECT_EQ(Refs[0].Addr.coeffOf(F->findSymbol("j")), 4);
+}
+
+TEST(MemRefTest, NonLinearSubscriptInvalid) {
+  auto C = compileToIL(R"(
+    float a[100];
+    void f(int n) {
+      int i;
+      for (i = 0; i < n; i++)
+        a[i * i] = 0.0;
+    }
+  )");
+  Function *F = prepare(*C, "f");
+  DoLoopStmt *D = findDoLoop(F);
+  ASSERT_NE(D, nullptr);
+  NestContext Nest = buildNestContext(*F, D);
+  auto Refs = collectMemRefs(D->getBody().Stmts[0], Nest);
+  ASSERT_EQ(Refs.size(), 1u);
+  EXPECT_FALSE(Refs[0].Addr.Valid);
+}
+
+//===----------------------------------------------------------------------===//
+// Pairwise tests
+//===----------------------------------------------------------------------===//
+
+/// Builds two synthetic refs on the same array base with the given
+/// coefficients/offsets (in elements of 4 bytes).
+struct RefPair {
+  Program P;
+  Function *F;
+  Symbol *Arr;
+  Symbol *Idx;
+  MemRef A, B;
+
+  RefPair(int64_t CoeffA, int64_t OffA, int64_t CoeffB, int64_t OffB) {
+    F = P.createFunction("f", P.getTypes().getVoidType());
+    Arr = F->createSymbol(
+        "x", P.getTypes().getArrayType(P.getTypes().getFloatType(), 1000),
+        StorageKind::Local);
+    Idx = F->createSymbol("i", P.getTypes().getIntType(), StorageKind::Temp);
+    A = make(CoeffA, OffA, /*Write=*/true);
+    B = make(CoeffB, OffB, /*Write=*/false);
+  }
+
+  MemRef make(int64_t Coeff, int64_t Off, bool Write) {
+    MemRef R;
+    R.IsWrite = Write;
+    R.Size = 4;
+    R.Addr.Valid = true;
+    R.Addr.Base.K = BaseKey::Array;
+    R.Addr.Base.Sym = Arr;
+    R.Addr.Offset = scalar::LinExpr::constant(Off * 4);
+    if (Coeff != 0)
+      R.Addr.IdxCoeffs[Idx] = Coeff * 4;
+    return R;
+  }
+};
+
+TEST(DepTest, ZIVSameAddress) {
+  RefPair P(0, 5, 0, 5);
+  DepResult R = testRefs(P.A, P.B, P.Idx, 100);
+  EXPECT_TRUE(R.Dependent);
+  EXPECT_TRUE(R.Carried);
+}
+
+TEST(DepTest, ZIVDifferentAddress) {
+  RefPair P(0, 5, 0, 9);
+  DepResult R = testRefs(P.A, P.B, P.Idx, 100);
+  EXPECT_FALSE(R.Dependent);
+}
+
+TEST(DepTest, StrongSIVDistanceOne) {
+  // x[i] (write) vs x[i-1] (read): the backsolve recurrence.
+  RefPair P(1, 0, 1, -1);
+  DepResult R = testRefs(P.A, P.B, P.Idx, 1000);
+  EXPECT_TRUE(R.Dependent);
+  EXPECT_TRUE(R.Carried);
+  ASSERT_TRUE(R.DistanceKnown);
+  EXPECT_EQ(R.Distance, 1); // read at iteration i+1 sees write from i
+}
+
+TEST(DepTest, StrongSIVIndependentSameIteration) {
+  RefPair P(1, 0, 1, 0);
+  DepResult R = testRefs(P.A, P.B, P.Idx, 1000);
+  EXPECT_TRUE(R.Dependent);
+  EXPECT_FALSE(R.Carried);
+  EXPECT_TRUE(R.LoopIndependent);
+  EXPECT_EQ(R.Distance, 0);
+}
+
+TEST(DepTest, StrongSIVBeyondTripCount) {
+  // Distance 50 in a 10-iteration loop: no dependence.
+  RefPair P(1, 0, 1, -50);
+  DepResult R = testRefs(P.A, P.B, P.Idx, 10);
+  EXPECT_FALSE(R.Dependent);
+}
+
+TEST(DepTest, StrongSIVNonDivisible) {
+  // x[2i] vs x[2i+1]: stride 2, offset 1, element 4 bytes → bytes 8i vs
+  // 8i+4, never overlapping.
+  RefPair P(2, 0, 2, 0);
+  P.B.Addr.Offset = scalar::LinExpr::constant(4);
+  DepResult R = testRefs(P.A, P.B, P.Idx, 100);
+  EXPECT_FALSE(R.Dependent);
+}
+
+TEST(DepTest, GCDIndependent) {
+  // x[2i] vs x[2i+1] with different coefficient signs exercises the GCD
+  // path: 2x - 2y = 1 has no integer solution.
+  RefPair P(2, 0, -2, 0);
+  P.B.Addr.Offset = scalar::LinExpr::constant(4);
+  DepResult R = testRefs(P.A, P.B, P.Idx, 100);
+  EXPECT_FALSE(R.Dependent);
+}
+
+TEST(DepTest, BanerjeeBoundsIndependent) {
+  // x[i] vs x[i+200] in a loop of 100 iterations with differing coeffs:
+  // Banerjee range check proves independence.
+  RefPair P(1, 0, 2, 300);
+  DepResult R = testRefs(P.A, P.B, P.Idx, 100);
+  EXPECT_FALSE(R.Dependent);
+}
+
+TEST(DepTest, SymbolicOffsetConservative) {
+  RefPair P(1, 0, 1, 0);
+  Symbol *M = P.F->createSymbol("m", P.P.getTypes().getIntType(),
+                                StorageKind::Param);
+  P.B.Addr.Offset = scalar::LinExpr::entry(M);
+  DepResult R = testRefs(P.A, P.B, P.Idx, 100);
+  EXPECT_TRUE(R.Dependent); // unknown m: conservative
+}
+
+//===----------------------------------------------------------------------===//
+// Graph structure
+//===----------------------------------------------------------------------===//
+
+TEST(DepGraphTest, IndependentCopyLoopAcyclic) {
+  auto C = compileToIL(R"(
+    float a[100]; float b[100];
+    void f() {
+      int i;
+      for (i = 0; i < 100; i++)
+        a[i] = b[i];
+    }
+  )");
+  Function *F = prepare(*C, "f");
+  DoLoopStmt *D = findDoLoop(F);
+  ASSERT_NE(D, nullptr);
+  LoopDependenceGraph G(*F, D);
+  EXPECT_FALSE(G.hasAnyCarriedDependence());
+  auto Sccs = G.sccsInTopologicalOrder();
+  ASSERT_EQ(Sccs.size(), 1u);
+  EXPECT_FALSE(G.sccIsCyclic(Sccs[0]));
+}
+
+TEST(DepGraphTest, BacksolveRecurrenceCyclic) {
+  // p[i] = z[i] * (y[i] - p[i-1]) — the paper's Section 6 loop.
+  auto C = compileToIL(R"(
+    float x[1001]; float y[1000]; float z[1000];
+    void backsolve(int n) {
+      float *p; float *q; int i;
+      p = &x[1];
+      q = &x[0];
+      for (i = 0; i < n - 2; i++)
+        p[i] = z[i] * (y[i] - q[i]);
+    }
+  )");
+  Function *F = prepare(*C, "backsolve");
+  DoLoopStmt *D = findDoLoop(F);
+  ASSERT_NE(D, nullptr) << printFunction(*F);
+  LoopDependenceGraph G(*F, D);
+  EXPECT_TRUE(G.hasAnyCarriedDependence()) << printFunction(*F);
+  auto Sccs = G.sccsInTopologicalOrder();
+  ASSERT_EQ(Sccs.size(), 1u);
+  EXPECT_TRUE(G.sccIsCyclic(Sccs[0]));
+  // And the distance is exactly 1.
+  bool FoundDistanceOne = false;
+  for (const DepEdge &E : G.edges())
+    if (E.Carried && E.DistanceKnown && E.Distance == 1)
+      FoundDistanceOne = true;
+  EXPECT_TRUE(FoundDistanceOne);
+}
+
+TEST(DepGraphTest, PointerParamsAliasWithoutPragma) {
+  auto C = compileToIL(R"(
+    void f(float *x, float *y, int n) {
+      int i;
+      for (i = 0; i < n; i++)
+        x[i] = y[i];
+    }
+  )");
+  Function *F = prepare(*C, "f");
+  DoLoopStmt *D = findDoLoop(F);
+  ASSERT_NE(D, nullptr);
+  LoopDependenceGraph G(*F, D);
+  EXPECT_TRUE(G.hasAnyCarriedDependence());
+}
+
+TEST(DepGraphTest, FortranPointerSemanticsRemoveAliasing) {
+  auto C = compileToIL(R"(
+    void f(float *x, float *y, int n) {
+      int i;
+      for (i = 0; i < n; i++)
+        x[i] = y[i];
+    }
+  )");
+  Function *F = prepare(*C, "f");
+  DoLoopStmt *D = findDoLoop(F);
+  ASSERT_NE(D, nullptr);
+  DepGraphOptions Opts;
+  Opts.FortranPointerSemantics = true;
+  LoopDependenceGraph G(*F, D, Opts);
+  EXPECT_FALSE(G.hasAnyCarriedDependence());
+}
+
+TEST(DepGraphTest, SafePragmaRemovesAliasing) {
+  auto C = compileToIL(R"(
+    void f(float *x, float *y, int n) {
+      int i;
+      #pragma safe
+      for (i = 0; i < n; i++)
+        x[i] = y[i];
+    }
+  )");
+  Function *F = prepare(*C, "f");
+  DoLoopStmt *D = findDoLoop(F);
+  ASSERT_NE(D, nullptr);
+  EXPECT_TRUE(D->hasSafeVectorPragma());
+  LoopDependenceGraph G(*F, D);
+  EXPECT_FALSE(G.hasAnyCarriedDependence());
+}
+
+TEST(DepGraphTest, SamePointerRecurrenceStillDetectedUnderPragma) {
+  // The pragma must not erase same-base subscript analysis.
+  auto C = compileToIL(R"(
+    void f(float *x, int n) {
+      int i;
+      #pragma safe
+      for (i = 1; i < n; i++)
+        x[i] = x[i - 1];
+    }
+  )");
+  Function *F = prepare(*C, "f");
+  DoLoopStmt *D = findDoLoop(F);
+  ASSERT_NE(D, nullptr);
+  LoopDependenceGraph G(*F, D);
+  EXPECT_TRUE(G.hasAnyCarriedDependence());
+}
+
+TEST(DepGraphTest, ReductionCreatesScalarCycle) {
+  auto C = compileToIL(R"(
+    float a[100]; float out;
+    void f() {
+      float s; int i;
+      s = 0.0;
+      for (i = 0; i < 100; i++)
+        s = s + a[i];
+      out = s;
+    }
+  )");
+  Function *F = prepare(*C, "f");
+  DoLoopStmt *D = findDoLoop(F);
+  ASSERT_NE(D, nullptr);
+  LoopDependenceGraph G(*F, D);
+  auto Sccs = G.sccsInTopologicalOrder();
+  bool AnyCyclic = false;
+  for (const auto &Scc : Sccs)
+    AnyCyclic |= G.sccIsCyclic(Scc);
+  EXPECT_TRUE(AnyCyclic);
+}
+
+TEST(DepGraphTest, CallIsBarrier) {
+  auto C = compileToIL(R"(
+    float a[100];
+    void g(void);
+    void f() {
+      int i;
+      for (i = 0; i < 100; i++) {
+        a[i] = 1.0;
+        g();
+      }
+    }
+  )");
+  Function *F = C->P->findFunction("f");
+  scalar::convertWhileLoops(*F);
+  scalar::substituteInductionVariables(*F);
+  DoLoopStmt *D = findDoLoop(F);
+  ASSERT_NE(D, nullptr);
+  LoopDependenceGraph G(*F, D);
+  auto Sccs = G.sccsInTopologicalOrder();
+  ASSERT_EQ(Sccs.size(), 1u);
+  EXPECT_TRUE(G.sccIsCyclic(Sccs[0]));
+}
+
+TEST(DepGraphTest, DistributableStatements) {
+  // S1 writes a, S2 reads a from the previous iteration: carried edge
+  // S1→S2 but still two acyclic SCCs (distribution splits them).
+  auto C = compileToIL(R"(
+    float a[101]; float b[100]; float c[100];
+    void f() {
+      int i;
+      for (i = 0; i < 100; i++) {
+        a[i + 1] = b[i];
+        c[i] = a[i];
+      }
+    }
+  )");
+  Function *F = prepare(*C, "f");
+  DoLoopStmt *D = findDoLoop(F);
+  ASSERT_NE(D, nullptr);
+  LoopDependenceGraph G(*F, D);
+  auto Sccs = G.sccsInTopologicalOrder();
+  ASSERT_EQ(Sccs.size(), 2u);
+  EXPECT_FALSE(G.sccIsCyclic(Sccs[0]));
+  EXPECT_FALSE(G.sccIsCyclic(Sccs[1]));
+  // Topological order: the writer of a comes first.
+  EXPECT_EQ(Sccs[0][0], 0u);
+}
+
+} // namespace

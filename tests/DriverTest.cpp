@@ -1,0 +1,226 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Driver-level tests: option plumbing, catalogs through the pipeline,
+/// region markers, and parameterized property sweeps — trip counts
+/// around the strip boundary, strip lengths, and processor counts must
+/// never change program results.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+
+#include <gtest/gtest.h>
+
+using namespace tcc;
+using namespace tcc::driver;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Property: results are invariant across trip counts at every level
+//===----------------------------------------------------------------------===//
+
+/// A kernel whose checksum has a closed form: sum of a[i] = 3i + 7 over n.
+std::string tripSource(int N) {
+  char Buf[512];
+  std::snprintf(Buf, sizeof(Buf), R"(
+    float a[%d]; int sum;
+    void main() {
+      int i;
+      for (i = 0; i < %d; i++)
+        a[i] = 3 * i + 7;
+      sum = 0;
+      for (i = 0; i < %d; i++)
+        sum += (int)a[i];
+    }
+  )",
+                N > 0 ? N : 1, N, N);
+  return Buf;
+}
+
+class TripCountSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TripCountSweep, AllLevelsComputeClosedForm) {
+  int N = GetParam();
+  long Expected = 0;
+  for (int I = 0; I < N; ++I)
+    Expected += 3 * I + 7;
+
+  for (auto &Opts : {CompilerOptions::noOpt(), CompilerOptions::full(),
+                     CompilerOptions::parallel()}) {
+    titan::TitanConfig C;
+    C.NumProcessors = 2;
+    auto Out = compileAndRun(tripSource(N), Opts, C);
+    ASSERT_TRUE(Out.Run.Ok) << "n=" << N << ": " << Out.Run.Error;
+    EXPECT_EQ(Out.Machine->readInt(Out.Machine->addressOf("sum")),
+              Expected)
+        << "n=" << N;
+  }
+}
+
+// Trip counts straddling the strip length (32), including empty and
+// single-iteration loops.
+INSTANTIATE_TEST_SUITE_P(StripBoundaries, TripCountSweep,
+                         ::testing::Values(0, 1, 2, 31, 32, 33, 63, 64, 65,
+                                           100, 256));
+
+//===----------------------------------------------------------------------===//
+// Property: strip length never changes results
+//===----------------------------------------------------------------------===//
+
+class StripLengthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(StripLengthSweep, ResultsInvariant) {
+  CompilerOptions Opts = CompilerOptions::parallel();
+  Opts.Vectorize.StripLength = GetParam();
+  titan::TitanConfig C;
+  C.NumProcessors = 3;
+  auto Out = compileAndRun(tripSource(200), Opts, C);
+  ASSERT_TRUE(Out.Run.Ok) << Out.Run.Error;
+  long Expected = 0;
+  for (int I = 0; I < 200; ++I)
+    Expected += 3 * I + 7;
+  EXPECT_EQ(Out.Machine->readInt(Out.Machine->addressOf("sum")), Expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, StripLengthSweep,
+                         ::testing::Values(1, 2, 8, 16, 32, 64, 128, 512,
+                                           2048));
+
+//===----------------------------------------------------------------------===//
+// Property: processor count changes cycles, never results
+//===----------------------------------------------------------------------===//
+
+class ProcessorSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProcessorSweep, ResultsInvariantAndNotSlower) {
+  titan::TitanConfig C;
+  C.NumProcessors = GetParam();
+  auto Out = compileAndRun(tripSource(2048), CompilerOptions::parallel(), C);
+  ASSERT_TRUE(Out.Run.Ok) << Out.Run.Error;
+  long Expected = 0;
+  for (int I = 0; I < 2048; ++I)
+    Expected += 3 * I + 7;
+  EXPECT_EQ(Out.Machine->readInt(Out.Machine->addressOf("sum")), Expected);
+
+  titan::TitanConfig One;
+  One.NumProcessors = 1;
+  auto Base = compileAndRun(tripSource(2048), CompilerOptions::parallel(),
+                            One);
+  ASSERT_TRUE(Base.Run.Ok);
+  // Allow 5% slack: the post-region pipeline state differs slightly
+  // between rewound and non-rewound timelines (the serial reduction that
+  // follows dominates this program).
+  EXPECT_LE(Out.Run.Cycles,
+            Base.Run.Cycles + Base.Run.Cycles / 20);
+}
+
+INSTANTIATE_TEST_SUITE_P(Processors, ProcessorSweep,
+                         ::testing::Values(1, 2, 3, 4));
+
+//===----------------------------------------------------------------------===//
+// Options plumbing
+//===----------------------------------------------------------------------===//
+
+TEST(DriverTest, DiagnosticsSurfaceParseErrors) {
+  auto R = compileSource("void main( { }", {});
+  EXPECT_FALSE(R->ok());
+  EXPECT_GT(R->Diags.errorCount(), 0u);
+}
+
+TEST(DriverTest, DiagnosticsSurfaceSemanticErrors) {
+  auto R = compileSource("void main() { undeclared = 3; }", {});
+  EXPECT_FALSE(R->ok());
+}
+
+TEST(DriverTest, RunFailsGracefullyWithoutMain) {
+  auto Out = compileAndRun("int helper(int x) { return x; }", {});
+  EXPECT_FALSE(Out.Run.Ok);
+  EXPECT_NE(Out.Run.Error.find("main"), std::string::npos);
+}
+
+TEST(DriverTest, CatalogFlowsThroughOptions) {
+  // Library → catalog → application compile via CompilerOptions::Catalog.
+  inliner::ProcedureCatalog Catalog;
+  {
+    auto Lib = compileSource("float halve(float x) { return x / 2.0; }",
+                             CompilerOptions::noOpt());
+    ASSERT_TRUE(Lib->ok());
+    Catalog.store(*Lib->IL->findFunction("halve"));
+  }
+  CompilerOptions Opts = CompilerOptions::full();
+  Opts.Catalog = &Catalog;
+  auto Out = compileAndRun(R"(
+    float halve(float x);
+    float r;
+    void main() { r = halve(9.0); }
+  )",
+                           Opts);
+  ASSERT_TRUE(Out.Run.Ok) << Out.Run.Error;
+  EXPECT_FLOAT_EQ(Out.Machine->readFloat(Out.Machine->addressOf("r")),
+                  4.5f);
+  EXPECT_EQ(Out.Compile->Stats.Inline.CallsInlined, 1u);
+}
+
+TEST(DriverTest, RegionMarkersMeasureKernelOnly) {
+  const char *Source = R"(
+    float a[512]; float s;
+    void titan_tic(void);
+    void titan_toc(void);
+    void main() {
+      int i;
+      for (i = 0; i < 512; i++) a[i] = 1.0;
+      titan_tic();
+      s = 0.0;
+      for (i = 0; i < 512; i++) s = s + a[i];
+      titan_toc();
+    }
+  )";
+  auto Out = compileAndRun(Source, CompilerOptions::full());
+  ASSERT_TRUE(Out.Run.Ok) << Out.Run.Error;
+  EXPECT_GT(Out.Run.RegionCycles, 0u);
+  EXPECT_LT(Out.Run.RegionCycles, Out.Run.Cycles);
+  EXPECT_EQ(Out.Run.RegionFlops, 512u);
+  EXPECT_FLOAT_EQ(Out.Machine->readFloat(Out.Machine->addressOf("s")),
+                  512.0f);
+}
+
+TEST(DriverTest, IVSubBacktrackingOptionPlumbs) {
+  const char *Source = R"(
+    float a[64], b[64];
+    void main() {
+      float *p; float *q; int n;
+      p = a; q = b; n = 64;
+      while (n) { *p++ = *q++; n--; }
+    }
+  )";
+  CompilerOptions On = CompilerOptions::full();
+  auto A = compileSource(Source, On);
+  CompilerOptions Off = CompilerOptions::full();
+  Off.IVSub.EnableBacktracking = false;
+  auto B = compileSource(Source, Off);
+  ASSERT_TRUE(A->ok() && B->ok());
+  EXPECT_GT(A->Stats.IVSub.Backtracks, 0u);
+  EXPECT_EQ(B->Stats.IVSub.Backtracks, 0u);
+  EXPECT_GT(B->Stats.IVSub.Passes, A->Stats.IVSub.Passes);
+}
+
+TEST(DriverTest, ScalarOnlyProducesNoVectorInstrs) {
+  auto Out = compileAndRun(tripSource(128), CompilerOptions::scalarOnly());
+  ASSERT_TRUE(Out.Run.Ok);
+  EXPECT_EQ(Out.Run.VectorInstrs, 0u);
+}
+
+TEST(DriverTest, FullProducesVectorInstrs) {
+  auto Out = compileAndRun(tripSource(128), CompilerOptions::full());
+  ASSERT_TRUE(Out.Run.Ok);
+  EXPECT_GT(Out.Run.VectorInstrs, 0u);
+}
+
+TEST(DriverTest, StageCaptureOffByDefault) {
+  auto R = compileSource(tripSource(16), CompilerOptions::full());
+  EXPECT_TRUE(R->Stages.empty());
+}
+
+} // namespace

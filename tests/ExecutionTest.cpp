@@ -1,0 +1,676 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end execution tests: compile C through the full pipeline, run
+/// on the simulated Titan, check results — and differentially test that
+/// every optimization level computes identical memory contents.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+
+#include <gtest/gtest.h>
+
+using namespace tcc;
+using namespace tcc::driver;
+
+namespace {
+
+/// Compile+run with the given options; asserts success.
+RunOutcome runWith(const std::string &Source, CompilerOptions Opts,
+                   titan::TitanConfig Config = {}) {
+  RunOutcome Out = compileAndRun(Source, Opts, Config);
+  EXPECT_TRUE(Out.Run.Ok) << Out.Run.Error;
+  return Out;
+}
+
+RunOutcome run(const std::string &Source) {
+  return runWith(Source, CompilerOptions::full());
+}
+
+int32_t globalInt(RunOutcome &Out, const std::string &Name) {
+  int64_t Addr = Out.Machine->addressOf(Name);
+  EXPECT_GE(Addr, 0) << Name;
+  return Out.Machine->readInt(Addr);
+}
+
+float globalFloat(RunOutcome &Out, const std::string &Name, int Index = 0) {
+  int64_t Addr = Out.Machine->addressOf(Name);
+  EXPECT_GE(Addr, 0) << Name;
+  return Out.Machine->readFloat(Addr + 4 * Index);
+}
+
+double globalDouble(RunOutcome &Out, const std::string &Name,
+                    int Index = 0) {
+  int64_t Addr = Out.Machine->addressOf(Name);
+  EXPECT_GE(Addr, 0) << Name;
+  return Out.Machine->readDouble(Addr + 8 * Index);
+}
+
+//===----------------------------------------------------------------------===//
+// Basic semantics
+//===----------------------------------------------------------------------===//
+
+TEST(ExecTest, ArithmeticAndGlobals) {
+  auto Out = run(R"(
+    int r1; int r2; int r3; int r4; int r5;
+    void main() {
+      r1 = 2 + 3 * 4;
+      r2 = (10 - 4) / 3;
+      r3 = 17 % 5;
+      r4 = (1 << 4) | 3;
+      r5 = ~0 & 255;
+    }
+  )");
+  EXPECT_EQ(globalInt(Out, "r1"), 14);
+  EXPECT_EQ(globalInt(Out, "r2"), 2);
+  EXPECT_EQ(globalInt(Out, "r3"), 2);
+  EXPECT_EQ(globalInt(Out, "r4"), 19);
+  EXPECT_EQ(globalInt(Out, "r5"), 255);
+}
+
+TEST(ExecTest, FloatArithmetic) {
+  auto Out = run(R"(
+    float f1; double d1; float f2;
+    void main() {
+      f1 = 1.5 + 2.25;
+      d1 = 1.0 / 3.0;
+      f2 = 10.0;
+      f2 = f2 / 4.0;
+    }
+  )");
+  EXPECT_FLOAT_EQ(globalFloat(Out, "f1"), 3.75f);
+  EXPECT_NEAR(globalDouble(Out, "d1"), 1.0 / 3.0, 1e-15);
+  EXPECT_FLOAT_EQ(globalFloat(Out, "f2"), 2.5f);
+}
+
+TEST(ExecTest, GlobalInitializers) {
+  auto Out = run(R"(
+    int gi = 42; float gf = 2.5; double gd = -1.25; int result;
+    void main() { result = gi; }
+  )");
+  EXPECT_EQ(globalInt(Out, "result"), 42);
+  EXPECT_FLOAT_EQ(globalFloat(Out, "gf"), 2.5f);
+  EXPECT_DOUBLE_EQ(globalDouble(Out, "gd"), -1.25);
+}
+
+TEST(ExecTest, ControlFlow) {
+  auto Out = run(R"(
+    int r;
+    void main() {
+      int i; int s;
+      s = 0;
+      for (i = 1; i <= 10; i++) {
+        if (i % 2 == 0) s += i;
+        else s -= 1;
+      }
+      r = s;
+    }
+  )");
+  // evens 2+4+6+8+10 = 30, minus 5 odds = 25.
+  EXPECT_EQ(globalInt(Out, "r"), 25);
+}
+
+TEST(ExecTest, WhileAndDoWhile) {
+  auto Out = run(R"(
+    int r1; int r2;
+    void main() {
+      int n; int s;
+      n = 5; s = 0;
+      while (n) { s += n; n--; }
+      r1 = s;
+      n = 0; s = 0;
+      do { s += 1; n++; } while (n < 3);
+      r2 = s;
+    }
+  )");
+  EXPECT_EQ(globalInt(Out, "r1"), 15);
+  EXPECT_EQ(globalInt(Out, "r2"), 3);
+}
+
+TEST(ExecTest, BreakContinueGoto) {
+  auto Out = run(R"(
+    int r;
+    void main() {
+      int i; int s;
+      s = 0;
+      for (i = 0; i < 100; i++) {
+        if (i == 3) continue;
+        if (i == 7) break;
+        s += i;
+      }
+      goto skip;
+      s = 999;
+      skip: r = s;
+    }
+  )");
+  // 0+1+2+4+5+6 = 18.
+  EXPECT_EQ(globalInt(Out, "r"), 18);
+}
+
+TEST(ExecTest, TernaryAndLogicalOps) {
+  auto Out = run(R"(
+    int r1; int r2; int r3; int calls;
+    int bump() { calls += 1; return 1; }
+    void main() {
+      int a; int b;
+      a = 5; b = 0;
+      r1 = a > 3 ? 10 : 20;
+      r2 = (a && b) || (a > 4);
+      calls = 0;
+      r3 = b && bump();   /* short-circuit: bump must not run */
+    }
+  )");
+  EXPECT_EQ(globalInt(Out, "r1"), 10);
+  EXPECT_EQ(globalInt(Out, "r2"), 1);
+  EXPECT_EQ(globalInt(Out, "r3"), 0);
+  EXPECT_EQ(globalInt(Out, "calls"), 0);
+}
+
+TEST(ExecTest, ArraysAndPointers) {
+  auto Out = run(R"(
+    float a[10]; int r;
+    void main() {
+      int i; float *p;
+      for (i = 0; i < 10; i++) a[i] = i * 1.5;
+      p = &a[3];
+      r = (int)(*p + p[2]);
+    }
+  )");
+  // a[3]=4.5, a[5]=7.5 → 12.
+  EXPECT_EQ(globalInt(Out, "r"), 12);
+  EXPECT_FLOAT_EQ(globalFloat(Out, "a", 9), 13.5f);
+}
+
+TEST(ExecTest, TwoDimensionalArrays) {
+  auto Out = run(R"(
+    float m[4][4]; float r;
+    void main() {
+      int i; int j;
+      for (i = 0; i < 4; i++)
+        for (j = 0; j < 4; j++)
+          m[i][j] = i * 10 + j;
+      r = m[2][3];
+    }
+  )");
+  EXPECT_FLOAT_EQ(globalFloat(Out, "r"), 23.0f);
+}
+
+TEST(ExecTest, PointerWalkCopy) {
+  // The paper's Section 5.3 loop shape.
+  auto Out = run(R"(
+    float src[64]; float dst[64]; int r;
+    void main() {
+      int i; float *a; float *b; int n;
+      for (i = 0; i < 64; i++) src[i] = i;
+      a = dst; b = src; n = 64;
+      while (n) {
+        *a++ = *b++;
+        n--;
+      }
+      r = (int)dst[63];
+    }
+  )");
+  EXPECT_EQ(globalInt(Out, "r"), 63);
+  EXPECT_FLOAT_EQ(globalFloat(Out, "dst", 17), 17.0f);
+}
+
+TEST(ExecTest, FunctionCallsAndRecursion) {
+  auto Out = run(R"(
+    int r1; int r2;
+    int add(int a, int b) { return a + b; }
+    int fact(int n) {
+      if (n <= 1) return 1;
+      return n * fact(n - 1);
+    }
+    void main() {
+      r1 = add(add(1, 2), add(3, 4));
+      r2 = fact(6);
+    }
+  )");
+  EXPECT_EQ(globalInt(Out, "r1"), 10);
+  EXPECT_EQ(globalInt(Out, "r2"), 720);
+}
+
+TEST(ExecTest, FloatArgumentsAndReturns) {
+  auto Out = run(R"(
+    float r;
+    float lerp(float a, float b, float t) { return a + t * (b - a); }
+    void main() { r = lerp(2.0, 10.0, 0.25); }
+  )");
+  EXPECT_FLOAT_EQ(globalFloat(Out, "r"), 4.0f);
+}
+
+TEST(ExecTest, PointerArguments) {
+  auto Out = run(R"(
+    int r;
+    void swap(int *a, int *b) { int t; t = *a; *a = *b; *b = t; }
+    void main() {
+      int x; int y;
+      x = 3; y = 17;
+      swap(&x, &y);
+      r = x * 100 + y;
+    }
+  )");
+  EXPECT_EQ(globalInt(Out, "r"), 1703);
+}
+
+TEST(ExecTest, StaticPersistsAcrossCalls) {
+  auto Out = run(R"(
+    int r;
+    int counter() {
+      static int count = 100;
+      count += 1;
+      return count;
+    }
+    void main() {
+      counter();
+      counter();
+      r = counter();
+    }
+  )");
+  EXPECT_EQ(globalInt(Out, "r"), 103);
+}
+
+TEST(ExecTest, CharArithmetic) {
+  auto Out = run(R"(
+    int r;
+    void main() {
+      char c;
+      c = 'A';
+      c = c + 1;
+      r = c;
+    }
+  )");
+  EXPECT_EQ(globalInt(Out, "r"), 66);
+}
+
+TEST(ExecTest, IntFloatConversions) {
+  auto Out = run(R"(
+    int r1; float r2;
+    void main() {
+      float f; int i;
+      f = 7.9;
+      r1 = (int)f;
+      i = 3;
+      r2 = i / 2 + (float)i / 2.0;
+    }
+  )");
+  EXPECT_EQ(globalInt(Out, "r1"), 7);
+  EXPECT_FLOAT_EQ(globalFloat(Out, "r2"), 2.5f);
+}
+
+TEST(ExecTest, CommaAndCompoundAssignOps) {
+  auto Out = run(R"(
+    int r1; int r2;
+    void main() {
+      int a; int b;
+      a = 1;
+      b = (a += 2, a *= 3, a - 1);
+      r1 = a;
+      r2 = b;
+    }
+  )");
+  EXPECT_EQ(globalInt(Out, "r1"), 9);
+  EXPECT_EQ(globalInt(Out, "r2"), 8);
+}
+
+TEST(ExecTest, EmbeddedAssignmentChain) {
+  auto Out = run(R"(
+    int r1; int r2; int r3;
+    void main() {
+      int a; int b; int c;
+      a = b = c = 5;
+      r1 = a; r2 = b; r3 = c;
+    }
+  )");
+  EXPECT_EQ(globalInt(Out, "r1"), 5);
+  EXPECT_EQ(globalInt(Out, "r2"), 5);
+  EXPECT_EQ(globalInt(Out, "r3"), 5);
+}
+
+TEST(ExecTest, InfiniteLoopTrapsOnBudget) {
+  titan::TitanConfig C;
+  C.MaxInstructions = 100000;
+  auto Out = compileAndRun("void main() { for (;;) ; }",
+                           CompilerOptions::noOpt(), C);
+  EXPECT_FALSE(Out.Run.Ok);
+  EXPECT_NE(Out.Run.Error.find("budget"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// The paper's kernels
+//===----------------------------------------------------------------------===//
+
+const char *DaxpySource = R"(
+  float a[100], b[100], c[100];
+  int checksum;
+  void daxpy(float *x, float *y, float *z, float alpha, int n)
+  {
+    if (n <= 0) return;
+    if (alpha == 0) return;
+    for (; n; n--)
+      *x++ = *y++ + alpha * *z++;
+  }
+  void main()
+  {
+    int i;
+    for (i = 0; i < 100; i++) { b[i] = i; c[i] = 2 * i; }
+    daxpy(a, b, c, 1.0, 100);
+    checksum = 0;
+    for (i = 0; i < 100; i++) checksum += (int)a[i];
+  }
+)";
+
+TEST(ExecTest, DaxpyCorrectAtAllLevels) {
+  for (auto &Opts :
+       {CompilerOptions::noOpt(), CompilerOptions::scalarOnly(),
+        CompilerOptions::full(), CompilerOptions::parallel()}) {
+    titan::TitanConfig C;
+    C.NumProcessors = 2;
+    auto Out = runWith(DaxpySource, Opts, C);
+    EXPECT_EQ(globalInt(Out, "checksum"), 14850);
+    EXPECT_FLOAT_EQ(globalFloat(Out, "a", 33), 99.0f);
+  }
+}
+
+TEST(ExecTest, DaxpyVectorizesAfterInlining) {
+  auto Out = runWith(DaxpySource, CompilerOptions::full());
+  EXPECT_GE(Out.Compile->Stats.Inline.CallsInlined, 1u);
+  EXPECT_GE(Out.Compile->Stats.Vectorize.LoopsVectorized, 1u);
+  EXPECT_GT(Out.Run.VectorInstrs, 0u);
+}
+
+TEST(ExecTest, DaxpyPerformanceOrdering) {
+  // A vector long enough that the per-loop barrier cost cannot mask the
+  // parallel gain (at the paper's n=100, spreading barely pays — see the
+  // E2 bench).
+  const char *BigDaxpy = R"(
+    float a[4096], b[4096], c[4096];
+    void daxpy(float *x, float *y, float *z, float alpha, int n)
+    {
+      if (n <= 0) return;
+      if (alpha == 0) return;
+      for (; n; n--)
+        *x++ = *y++ + alpha * *z++;
+    }
+    void main()
+    {
+      int i;
+      for (i = 0; i < 4096; i++) { b[i] = i; c[i] = 2 * i; }
+      daxpy(a, b, c, 1.0, 4096);
+    }
+  )";
+  titan::TitanConfig Scalar;
+  Scalar.EnableOverlap = false;
+  auto S = runWith(BigDaxpy, CompilerOptions::scalarOnly(), Scalar);
+
+  titan::TitanConfig Vec;
+  auto V = runWith(BigDaxpy, CompilerOptions::full(), Vec);
+
+  titan::TitanConfig Par;
+  Par.NumProcessors = 2;
+  auto P = runWith(BigDaxpy, CompilerOptions::parallel(), Par);
+
+  EXPECT_LT(V.Run.Cycles, S.Run.Cycles);
+  EXPECT_LT(P.Run.Cycles, V.Run.Cycles);
+}
+
+const char *BacksolveSource = R"(
+  float x[1002], y[1000], z[1000];
+  float out;
+  void main() {
+    int i; int n;
+    float *p; float *q;
+    n = 1000;
+    for (i = 0; i < 1002; i++) x[i] = 0.0;
+    x[0] = 1.0;
+    for (i = 0; i < n; i++) { y[i] = 1.0; z[i] = 0.5; }
+    p = &x[1];
+    q = &x[0];
+    for (i = 0; i < n - 2; i++)
+      p[i] = z[i] * (y[i] - q[i]);
+    out = x[5];
+  }
+)";
+
+TEST(ExecTest, BacksolveCorrectAtAllLevels) {
+  // Reference: x[i+1] = 0.5*(1 - x[i]), x[0]=1 → x1=0, x2=.5, x3=.25,
+  // x4=.375, x5=.3125.
+  for (auto &Opts : {CompilerOptions::noOpt(), CompilerOptions::scalarOnly(),
+                     CompilerOptions::full()}) {
+    auto Out = runWith(BacksolveSource, Opts);
+    EXPECT_FLOAT_EQ(globalFloat(Out, "out"), 0.3125f);
+  }
+}
+
+TEST(ExecTest, BacksolveRecurrenceNotVectorizedButOptimized) {
+  auto Out = runWith(BacksolveSource, CompilerOptions::full());
+  // The recurrence loop stays serial but gets scalar replacement and
+  // strength reduction.
+  EXPECT_GE(Out.Compile->Stats.ScalarReplace.LoopsApplied, 1u);
+  EXPECT_GE(Out.Compile->Stats.StrengthReduce.LoopsApplied, 1u);
+}
+
+TEST(ExecTest, BacksolvePerformanceShape) {
+  // Paper Section 6: dependence-driven optimization vs plain scalar is a
+  // large factor (0.5 → 1.9 MFLOPS).
+  titan::TitanConfig Scalar;
+  Scalar.EnableOverlap = false;
+  auto S = runWith(BacksolveSource, CompilerOptions::scalarOnly(), Scalar);
+  auto F = runWith(BacksolveSource, CompilerOptions::full());
+  EXPECT_LT(F.Run.Cycles, S.Run.Cycles);
+  // Strength reduction removes the integer multiplies from the loop.
+  EXPECT_LT(F.Run.IntMuls, S.Run.IntMuls);
+  // Scalar replacement removes loads.
+  EXPECT_LT(F.Run.Loads, S.Run.Loads);
+}
+
+//===----------------------------------------------------------------------===//
+// Differential testing: all levels must agree bit-for-bit
+//===----------------------------------------------------------------------===//
+
+struct DifferentialCase {
+  const char *Name;
+  const char *Source;
+  std::vector<std::string> IntOutputs;
+  std::vector<std::string> FloatOutputs;
+};
+
+class DifferentialTest : public ::testing::TestWithParam<DifferentialCase> {};
+
+TEST_P(DifferentialTest, AllLevelsAgree) {
+  const DifferentialCase &Case = GetParam();
+  std::vector<std::pair<std::string, CompilerOptions>> Levels = {
+      {"noOpt", CompilerOptions::noOpt()},
+      {"scalarOnly", CompilerOptions::scalarOnly()},
+      {"full", CompilerOptions::full()},
+      {"parallel", CompilerOptions::parallel()},
+  };
+  std::map<std::string, int32_t> IntRef;
+  std::map<std::string, float> FloatRef;
+  bool First = true;
+  for (auto &[LevelName, Opts] : Levels) {
+    titan::TitanConfig C;
+    C.NumProcessors = 4;
+    auto Out = compileAndRun(Case.Source, Opts, C);
+    ASSERT_TRUE(Out.Run.Ok)
+        << Case.Name << " at " << LevelName << ": " << Out.Run.Error;
+    for (const std::string &G : Case.IntOutputs) {
+      int32_t V = Out.Machine->readInt(Out.Machine->addressOf(G));
+      if (First)
+        IntRef[G] = V;
+      else
+        EXPECT_EQ(V, IntRef[G]) << Case.Name << "::" << G << " at "
+                                << LevelName;
+    }
+    for (const std::string &G : Case.FloatOutputs) {
+      float V = Out.Machine->readFloat(Out.Machine->addressOf(G));
+      if (First)
+        FloatRef[G] = V;
+      else
+        EXPECT_EQ(V, FloatRef[G]) << Case.Name << "::" << G << " at "
+                                  << LevelName;
+    }
+    First = false;
+  }
+}
+
+const DifferentialCase DifferentialCases[] = {
+    {"vector_add",
+     R"(
+       float a[200], b[200], c[200]; int sum;
+       void main() {
+         int i;
+         for (i = 0; i < 200; i++) { b[i] = i * 3; c[i] = 200 - i; }
+         for (i = 0; i < 200; i++) a[i] = b[i] + c[i];
+         sum = 0;
+         for (i = 0; i < 200; i++) sum += (int)a[i];
+       }
+     )",
+     {"sum"},
+     {}},
+    {"strided_updates",
+     R"(
+       float a[128]; int sum;
+       void main() {
+         int i;
+         for (i = 0; i < 128; i++) a[i] = 1.0;
+         for (i = 0; i < 64; i++) a[2 * i] = a[2 * i] + 2.0;
+         for (i = 0; i < 32; i++) a[4 * i + 1] = a[4 * i + 1] * 3.0;
+         sum = 0;
+         for (i = 0; i < 128; i++) sum += (int)a[i];
+       }
+     )",
+     {"sum"},
+     {}},
+    {"recurrence_and_reduction",
+     R"(
+       float x[301]; float total;
+       void main() {
+         int i; float s;
+         x[0] = 1.0;
+         for (i = 0; i < 300; i++) x[i + 1] = 0.5 * x[i] + 1.0;
+         s = 0.0;
+         for (i = 0; i <= 300; i++) s = s + x[i];
+         total = s;
+       }
+     )",
+     {},
+     {"total"}},
+    {"pointer_copy_overlapping_guard",
+     R"(
+       float buf[100]; int sum;
+       void main() {
+         int i; float *d; float *s; int n;
+         for (i = 0; i < 100; i++) buf[i] = i;
+         d = &buf[1]; s = &buf[0]; n = 99;
+         /* overlapping copy: must stay serial and smear buf[0] */
+         while (n) { *d++ = *s++; n--; }
+         sum = 0;
+         for (i = 0; i < 100; i++) sum += (int)buf[i];
+       }
+     )",
+     {"sum"},
+     {}},
+    {"matrix_transform",
+     R"(
+       float m[4][4]; float v[4]; float r[4]; float r2;
+       void main() {
+         int i; int j;
+         for (i = 0; i < 4; i++) {
+           v[i] = i + 1;
+           for (j = 0; j < 4; j++) m[i][j] = i == j ? 2.0 : 1.0;
+         }
+         for (i = 0; i < 4; i++) {
+           float s;
+           s = 0.0;
+           for (j = 0; j < 4; j++) s = s + m[i][j] * v[j];
+           r[i] = s;
+         }
+         r2 = r[2];
+       }
+     )",
+     {},
+     {"r2"}},
+    {"inlined_helpers",
+     R"(
+       float data[50]; int result;
+       float square(float x) { return x * x; }
+       float accumulate(float *p, int n) {
+         float s; int i;
+         s = 0.0;
+         for (i = 0; i < n; i++) s = s + square(p[i]);
+         return s;
+       }
+       void main() {
+         int i;
+         for (i = 0; i < 50; i++) data[i] = i % 4;
+         result = (int)accumulate(data, 50);
+       }
+     )",
+     {"result"},
+     {}},
+    {"conditional_stores",
+     R"(
+       int a[100]; int evens; int odds;
+       void main() {
+         int i;
+         for (i = 0; i < 100; i++) {
+           if (i % 2) a[i] = -i;
+           else a[i] = i;
+         }
+         evens = 0; odds = 0;
+         for (i = 0; i < 100; i++) {
+           if (a[i] >= 0) evens += a[i];
+           else odds -= a[i];
+         }
+       }
+     )",
+     {"evens", "odds"},
+     {}},
+    {"countdown_loops",
+     R"(
+       float w[64]; int sum;
+       void main() {
+         int i; int n;
+         n = 64;
+         for (i = n; i > 0; i--) w[i - 1] = i * 2;
+         sum = 0;
+         i = n;
+         while (i) { sum += (int)w[i - 1]; i--; }
+       }
+     )",
+     {"sum"},
+     {}},
+};
+
+INSTANTIATE_TEST_SUITE_P(AllPrograms, DifferentialTest,
+                         ::testing::ValuesIn(DifferentialCases),
+                         [](const auto &Info) {
+                           return std::string(Info.param.Name);
+                         });
+
+//===----------------------------------------------------------------------===//
+// Stage capture (the Section 9 walkthrough support)
+//===----------------------------------------------------------------------===//
+
+TEST(ExecTest, StageSnapshotsCaptured) {
+  CompilerOptions Opts = CompilerOptions::full();
+  Opts.CaptureStages = true;
+  auto Result = compileSource(DaxpySource, Opts);
+  ASSERT_TRUE(Result->ok()) << Result->Diags.str();
+  EXPECT_TRUE(Result->Stages.count("lower"));
+  EXPECT_TRUE(Result->Stages.count("inline"));
+  EXPECT_TRUE(Result->Stages.count("whiletodo"));
+  EXPECT_TRUE(Result->Stages.count("ivsub"));
+  EXPECT_TRUE(Result->Stages.count("constprop"));
+  EXPECT_TRUE(Result->Stages.count("dce"));
+  EXPECT_TRUE(Result->Stages.count("vectorize"));
+  // The inline stage shows the in_ temporaries; the vectorize stage shows
+  // colon notation.
+  EXPECT_NE(Result->Stages["inline"].find("in_"), std::string::npos);
+  EXPECT_NE(Result->Stages["vectorize"].find(":"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,312 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the IL: construction, printing, cloning, structural
+/// equality, traversal utilities, and catalog (de)serialization round
+/// trips — the "no hard pointers" property of paper Section 7.
+///
+//===----------------------------------------------------------------------===//
+
+#include "il/IL.h"
+#include "il/ILPrinter.h"
+#include "il/ILSerializer.h"
+
+#include <gtest/gtest.h>
+
+using namespace tcc;
+using namespace tcc::il;
+
+namespace {
+
+TEST(ILTest, SymbolCreation) {
+  Program P;
+  Function *F = P.createFunction("f", P.getTypes().getVoidType());
+  Symbol *X = F->createSymbol("x", P.getTypes().getIntType(),
+                              StorageKind::Local);
+  EXPECT_EQ(X->getName(), "x");
+  EXPECT_FALSE(X->isVolatile());
+  EXPECT_EQ(F->findSymbol("x"), X);
+  EXPECT_EQ(F->findSymbolById(X->getId()), X);
+  EXPECT_EQ(F->findSymbol("y"), nullptr);
+}
+
+TEST(ILTest, TempNamesAreUnique) {
+  Program P;
+  Function *F = P.createFunction("f", P.getTypes().getVoidType());
+  Symbol *T1 = F->createTemp(P.getTypes().getIntType());
+  Symbol *T2 = F->createTemp(P.getTypes().getIntType());
+  EXPECT_NE(T1->getName(), T2->getName());
+}
+
+TEST(ILTest, PrintSimpleAssign) {
+  Program P;
+  TypeContext &Types = P.getTypes();
+  Function *F = P.createFunction("f", Types.getVoidType());
+  Symbol *X = F->createSymbol("x", Types.getIntType(), StorageKind::Local);
+  auto *S = F->create<AssignStmt>(
+      SourceLoc(), F->makeVarRef(X),
+      F->makeBinary(OpCode::Add, F->makeVarRef(X),
+                    F->makeIntConst(Types.getIntType(), 1),
+                    Types.getIntType()));
+  EXPECT_EQ(printStmt(S), "x = x + 1;\n");
+}
+
+TEST(ILTest, PrintPrecedence) {
+  Program P;
+  TypeContext &Types = P.getTypes();
+  Function *F = P.createFunction("f", Types.getVoidType());
+  Symbol *A = F->createSymbol("a", Types.getIntType(), StorageKind::Local);
+  Symbol *B = F->createSymbol("b", Types.getIntType(), StorageKind::Local);
+  // (a + b) * 2 must keep its parentheses.
+  auto *E = F->makeBinary(
+      OpCode::Mul,
+      F->makeBinary(OpCode::Add, F->makeVarRef(A), F->makeVarRef(B),
+                    Types.getIntType()),
+      F->makeIntConst(Types.getIntType(), 2), Types.getIntType());
+  EXPECT_EQ(printExpr(E), "(a + b) * 2");
+}
+
+TEST(ILTest, PrintDoLoopAndTriplet) {
+  Program P;
+  TypeContext &Types = P.getTypes();
+  const Type *IntTy = Types.getIntType();
+  const Type *FloatTy = Types.getFloatType();
+  Function *F = P.createFunction("f", Types.getVoidType());
+  Symbol *I = F->createSymbol("vi", IntTy, StorageKind::Local);
+  Symbol *A = F->createSymbol(
+      "a", Types.getArrayType(FloatTy, 100), StorageKind::Local);
+
+  auto *Loop = F->create<DoLoopStmt>(
+      SourceLoc(), I, F->makeIntConst(IntTy, 0), F->makeIntConst(IntTy, 99),
+      F->makeIntConst(IntTy, 32));
+  Loop->setParallel(true);
+  auto *Triplet = F->create<TripletExpr>(
+      IntTy, F->makeVarRef(I),
+      F->makeBinary(OpCode::Min, F->makeIntConst(IntTy, 99),
+                    F->makeBinary(OpCode::Add, F->makeVarRef(I),
+                                  F->makeIntConst(IntTy, 31), IntTy),
+                    IntTy),
+      F->makeIntConst(IntTy, 1));
+  auto *LHS = F->create<IndexExpr>(FloatTy, F->makeVarRef(A),
+                                   std::vector<Expr *>{Triplet});
+  Loop->getBody().Stmts.push_back(F->create<AssignStmt>(
+      SourceLoc(), LHS, F->makeFloatConst(FloatTy, 0.0)));
+
+  std::string Printed = printStmt(Loop);
+  EXPECT_NE(Printed.find("do parallel vi = 0, 99, 32 {"), std::string::npos);
+  EXPECT_NE(Printed.find("a[vi:min(99, vi + 31):1]"), std::string::npos);
+}
+
+TEST(ILTest, ExprEqualsStructural) {
+  Program P;
+  TypeContext &Types = P.getTypes();
+  Function *F = P.createFunction("f", Types.getVoidType());
+  Symbol *X = F->createSymbol("x", Types.getIntType(), StorageKind::Local);
+  auto *E1 = F->makeBinary(OpCode::Add, F->makeVarRef(X),
+                           F->makeIntConst(Types.getIntType(), 4),
+                           Types.getIntType());
+  auto *E2 = F->makeBinary(OpCode::Add, F->makeVarRef(X),
+                           F->makeIntConst(Types.getIntType(), 4),
+                           Types.getIntType());
+  auto *E3 = F->makeBinary(OpCode::Add, F->makeVarRef(X),
+                           F->makeIntConst(Types.getIntType(), 8),
+                           Types.getIntType());
+  EXPECT_TRUE(exprEquals(E1, E2));
+  EXPECT_FALSE(exprEquals(E1, E3));
+}
+
+TEST(ILTest, CloneIsDeepAndEqual) {
+  Program P;
+  TypeContext &Types = P.getTypes();
+  Function *F = P.createFunction("f", Types.getVoidType());
+  Symbol *X = F->createSymbol("x", Types.getPointerType(Types.getFloatType()),
+                              StorageKind::Local);
+  auto *E = F->create<DerefExpr>(
+      Types.getFloatType(),
+      F->makeBinary(OpCode::Add, F->makeVarRef(X),
+                    F->makeIntConst(Types.getIntType(), 4), X->getType()));
+  Expr *C = F->cloneExpr(E);
+  EXPECT_NE(C, E);
+  EXPECT_TRUE(exprEquals(C, E));
+}
+
+TEST(ILTest, CloneRemapsSymbols) {
+  Program P;
+  TypeContext &Types = P.getTypes();
+  Function *F = P.createFunction("f", Types.getVoidType());
+  Symbol *X = F->createSymbol("x", Types.getIntType(), StorageKind::Local);
+  Symbol *Y = F->createSymbol("y", Types.getIntType(), StorageKind::Local);
+  Expr *E = F->makeVarRef(X);
+  Expr *C = F->cloneExprRemap(E, [&](Symbol *S) { return S == X ? Y : S; });
+  EXPECT_EQ(static_cast<VarRefExpr *>(C)->getSymbol(), Y);
+}
+
+TEST(ILTest, VolatileDetection) {
+  Program P;
+  TypeContext &Types = P.getTypes();
+  Function *F = P.createFunction("f", Types.getVoidType());
+  Symbol *V = F->createSymbol("v", Types.getIntType(), StorageKind::Local,
+                              /*IsVolatile=*/true);
+  Symbol *X = F->createSymbol("x", Types.getIntType(), StorageKind::Local);
+  Expr *E1 = F->makeVarRef(V);
+  Expr *E2 = F->makeBinary(OpCode::Add, F->makeVarRef(X),
+                           F->makeIntConst(Types.getIntType(), 1),
+                           Types.getIntType());
+  EXPECT_TRUE(exprReadsVolatile(E1));
+  EXPECT_FALSE(exprReadsVolatile(E2));
+}
+
+TEST(ILTest, TouchesMemoryDetection) {
+  Program P;
+  TypeContext &Types = P.getTypes();
+  Function *F = P.createFunction("f", Types.getVoidType());
+  Symbol *PSym = F->createSymbol(
+      "p", Types.getPointerType(Types.getFloatType()), StorageKind::Local);
+  Expr *Load = F->create<DerefExpr>(Types.getFloatType(), F->makeVarRef(PSym));
+  EXPECT_TRUE(exprTouchesMemory(Load));
+  EXPECT_FALSE(exprTouchesMemory(F->makeVarRef(PSym)));
+}
+
+TEST(ILTest, ForEachStmtVisitsNested) {
+  Program P;
+  TypeContext &Types = P.getTypes();
+  Function *F = P.createFunction("f", Types.getVoidType());
+  Symbol *X = F->createSymbol("x", Types.getIntType(), StorageKind::Local);
+  auto *If = F->create<IfStmt>(SourceLoc(), F->makeVarRef(X));
+  If->getThen().Stmts.push_back(F->create<AssignStmt>(
+      SourceLoc(), F->makeVarRef(X), F->makeIntConst(Types.getIntType(), 1)));
+  If->getElse().Stmts.push_back(F->create<AssignStmt>(
+      SourceLoc(), F->makeVarRef(X), F->makeIntConst(Types.getIntType(), 2)));
+  F->getBody().Stmts.push_back(If);
+
+  int Count = 0;
+  forEachStmt(F->getBody(), [&Count](Stmt *) { ++Count; });
+  EXPECT_EQ(Count, 3);
+}
+
+TEST(ILTest, SerializeRoundTripSimple) {
+  Program P1;
+  TypeContext &Types = P1.getTypes();
+  Function *F = P1.createFunction("f", Types.getIntType());
+  Symbol *N = F->createSymbol("n", Types.getIntType(), StorageKind::Param);
+  F->addParam(N);
+  F->getBody().Stmts.push_back(F->create<ReturnStmt>(
+      SourceLoc(),
+      F->makeBinary(OpCode::Mul, F->makeVarRef(N),
+                    F->makeIntConst(Types.getIntType(), 2),
+                    Types.getIntType())));
+
+  std::string Text = serializeFunction(*F);
+  Program P2;
+  DiagnosticEngine Diags;
+  Function *F2 = deserializeFunction(Text, P2, Diags);
+  ASSERT_NE(F2, nullptr) << Diags.str();
+  EXPECT_EQ(printFunction(*F2), printFunction(*F));
+}
+
+TEST(ILTest, SerializeRoundTripAllConstructs) {
+  Program P1;
+  TypeContext &Types = P1.getTypes();
+  const Type *IntTy = Types.getIntType();
+  const Type *FloatTy = Types.getFloatType();
+  Function *F = P1.createFunction("kitchen_sink", Types.getVoidType());
+  Symbol *X = F->createSymbol("x", Types.getPointerType(FloatTy),
+                              StorageKind::Param);
+  F->addParam(X);
+  Symbol *I = F->createSymbol("i", IntTy, StorageKind::Local);
+  Symbol *A = F->createSymbol("a", Types.getArrayType(FloatTy, 8),
+                              StorageKind::Local);
+  Symbol *St = F->createSymbol("counter", IntTy, StorageKind::Static);
+  GlobalInit Init;
+  Init.IntValue = 7;
+  St->setInit(Init);
+  Symbol *G = P1.createGlobal("g", IntTy, /*IsVolatile=*/true);
+
+  // while loop with deref store.
+  auto *W = F->create<WhileStmt>(SourceLoc(), F->makeVarRef(G));
+  W->getBody().Stmts.push_back(F->create<AssignStmt>(
+      SourceLoc(),
+      F->create<DerefExpr>(FloatTy, F->makeVarRef(X)),
+      F->makeFloatConst(FloatTy, 1.25)));
+  F->getBody().Stmts.push_back(W);
+
+  // do loop with index store and min().
+  auto *D = F->create<DoLoopStmt>(SourceLoc(), I, F->makeIntConst(IntTy, 0),
+                                  F->makeIntConst(IntTy, 7),
+                                  F->makeIntConst(IntTy, 1));
+  D->setParallel(true);
+  D->getBody().Stmts.push_back(F->create<AssignStmt>(
+      SourceLoc(),
+      F->create<IndexExpr>(FloatTy, F->makeVarRef(A),
+                           std::vector<Expr *>{F->makeVarRef(I)}),
+      F->create<CastExpr>(FloatTy,
+                          F->makeBinary(OpCode::Min, F->makeVarRef(I),
+                                        F->makeIntConst(IntTy, 3), IntTy))));
+  F->getBody().Stmts.push_back(D);
+
+  // if / goto / label / call / return.
+  auto *If = F->create<IfStmt>(
+      SourceLoc(), F->makeBinary(OpCode::Le, F->makeVarRef(I),
+                                 F->makeIntConst(IntTy, 0), IntTy));
+  If->getThen().Stmts.push_back(F->create<GotoStmt>(SourceLoc(), "out"));
+  F->getBody().Stmts.push_back(If);
+  F->getBody().Stmts.push_back(F->create<CallStmt>(
+      SourceLoc(), nullptr, "helper",
+      std::vector<Expr *>{F->create<AddrOfExpr>(Types.getPointerType(FloatTy),
+                                                F->makeVarRef(A))}));
+  F->getBody().Stmts.push_back(F->create<LabelStmt>(SourceLoc(), "out"));
+  F->getBody().Stmts.push_back(F->create<ReturnStmt>(SourceLoc(), nullptr));
+
+  std::string Text = serializeFunction(*F);
+  Program P2;
+  DiagnosticEngine Diags;
+  Function *F2 = deserializeFunction(Text, P2, Diags);
+  ASSERT_NE(F2, nullptr) << Diags.str();
+  EXPECT_EQ(printFunction(*F2), printFunction(*F));
+  // The volatile global was recreated in the target program.
+  Symbol *G2 = P2.findGlobal("g");
+  ASSERT_NE(G2, nullptr);
+  EXPECT_TRUE(G2->isVolatile());
+  // The static's initializer survived.
+  Symbol *St2 = F2->findSymbol("counter");
+  ASSERT_NE(St2, nullptr);
+  ASSERT_TRUE(St2->hasInit());
+  EXPECT_EQ(St2->getInit().IntValue, 7);
+  (void)G;
+}
+
+TEST(ILTest, DeserializeMalformedReportsError) {
+  Program P;
+  DiagnosticEngine Diags;
+  EXPECT_EQ(deserializeFunction("(function", P, Diags), nullptr);
+  EXPECT_TRUE(Diags.hasErrors());
+
+  DiagnosticEngine Diags2;
+  EXPECT_EQ(deserializeFunction("(banana 1 2)", P, Diags2), nullptr);
+  EXPECT_TRUE(Diags2.hasErrors());
+}
+
+TEST(ILTest, SerializeEscapesQuotes) {
+  Program P1;
+  Function *F = P1.createFunction("weird\"name", P1.getTypes().getVoidType());
+  F->getBody().Stmts.push_back(F->create<ReturnStmt>(SourceLoc(), nullptr));
+  std::string Text = serializeFunction(*F);
+  Program P2;
+  DiagnosticEngine Diags;
+  Function *F2 = deserializeFunction(Text, P2, Diags);
+  ASSERT_NE(F2, nullptr);
+  EXPECT_EQ(F2->getName(), "weird\"name");
+}
+
+TEST(ILTest, RemoveFunction) {
+  Program P;
+  Function *F1 = P.createFunction("a", P.getTypes().getVoidType());
+  P.createFunction("b", P.getTypes().getVoidType());
+  EXPECT_EQ(P.getFunctions().size(), 2u);
+  P.removeFunction(F1);
+  EXPECT_EQ(P.getFunctions().size(), 1u);
+  EXPECT_EQ(P.findFunction("a"), nullptr);
+  EXPECT_NE(P.findFunction("b"), nullptr);
+}
+
+} // namespace

@@ -1,0 +1,312 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the inliner: call-site expansion (the Section 9 in_ temp
+/// shape), recursion guards, procedure catalogs, static demotion and
+/// externalization, and array-row argument promotion.
+///
+//===----------------------------------------------------------------------===//
+
+#include "inliner/Inliner.h"
+
+#include "frontend/Lower.h"
+#include "il/ILPrinter.h"
+#include "lexer/Lexer.h"
+#include "parser/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace tcc;
+using namespace tcc::il;
+using namespace tcc::inliner;
+
+namespace {
+
+struct Compiled {
+  ast::AstContext Ctx;
+  DiagnosticEngine Diags;
+  std::unique_ptr<il::Program> P;
+};
+
+std::unique_ptr<Compiled> compileToIL(const std::string &Source) {
+  auto R = std::make_unique<Compiled>();
+  R->P = std::make_unique<il::Program>();
+  Lexer L(Source, R->Diags);
+  Parser Parse(L.lexAll(), R->Ctx, R->P->getTypes(), R->Diags);
+  ast::TranslationUnit TU = Parse.parseTranslationUnit();
+  lowerTranslationUnit(TU, *R->P, R->Diags);
+  EXPECT_FALSE(R->Diags.hasErrors()) << R->Diags.str();
+  return R;
+}
+
+TEST(InlinerTest, SimpleExpansion) {
+  auto C = compileToIL(R"(
+    int g;
+    int twice(int x) { return x + x; }
+    void main() { g = twice(21); }
+  )");
+  InlineStats Stats = inlineCalls(*C->P, C->Diags);
+  EXPECT_EQ(Stats.CallsInlined, 1u);
+  std::string Printed = printFunction(*C->P->findFunction("main"));
+  // No call remains; the parameter temp carries the in_ prefix.
+  EXPECT_EQ(Printed.find("twice("), std::string::npos) << Printed;
+  EXPECT_NE(Printed.find("in_x = 21;"), std::string::npos) << Printed;
+  EXPECT_NE(Printed.find("lb_"), std::string::npos) << Printed;
+}
+
+TEST(InlinerTest, DaxpyShapeMatchesPaper) {
+  auto C = compileToIL(R"(
+    float a[100], b[100], c[100];
+    void daxpy(float *x, float *y, float *z, float alpha, int n)
+    {
+      if (n <= 0) return;
+      if (alpha == 0) return;
+      for (; n; n--)
+        *x++ = *y++ + alpha * *z++;
+    }
+    void main()
+    {
+      daxpy(a, b, c, 1.0, 100);
+    }
+  )");
+  inlineCalls(*C->P, C->Diags);
+  std::string Printed = printFunction(*C->P->findFunction("main"));
+  // Parameter temporaries as in the Section 9 listing.
+  EXPECT_NE(Printed.find("in_x = &a;"), std::string::npos) << Printed;
+  EXPECT_NE(Printed.find("in_y = &b;"), std::string::npos) << Printed;
+  EXPECT_NE(Printed.find("in_z = &c;"), std::string::npos) << Printed;
+  EXPECT_NE(Printed.find("in_n = 100;"), std::string::npos) << Printed;
+  // Returns became gotos to the end label.
+  EXPECT_NE(Printed.find("goto lb_"), std::string::npos) << Printed;
+  EXPECT_NE(Printed.find("while (in_n)"), std::string::npos) << Printed;
+}
+
+TEST(InlinerTest, NestedInliningBottomUp) {
+  auto C = compileToIL(R"(
+    int g;
+    int inner(int x) { return x * 2; }
+    int outer(int x) { return inner(x) + 1; }
+    void main() { g = outer(10); }
+  )");
+  InlineStats Stats = inlineCalls(*C->P, C->Diags);
+  // inner into outer, then the expanded outer into main.
+  EXPECT_EQ(Stats.CallsInlined, 2u);
+  std::string Printed = printFunction(*C->P->findFunction("main"));
+  EXPECT_EQ(Printed.find("outer("), std::string::npos) << Printed;
+  EXPECT_EQ(Printed.find("inner("), std::string::npos) << Printed;
+}
+
+TEST(InlinerTest, RecursionNotExpanded) {
+  auto C = compileToIL(R"(
+    int g;
+    int fact(int n) { if (n <= 1) return 1; return n * fact(n - 1); }
+    void main() { g = fact(5); }
+  )");
+  InlineStats Stats = inlineCalls(*C->P, C->Diags);
+  EXPECT_GT(Stats.RecursionSkipped, 0u);
+  // fact's recursive body still calls fact.
+  std::string Printed = printFunction(*C->P->findFunction("fact"));
+  EXPECT_NE(Printed.find("fact("), std::string::npos) << Printed;
+}
+
+TEST(InlinerTest, MutualRecursionNotExpanded) {
+  auto C = compileToIL(R"(
+    int g;
+    int isOdd(int n);
+    int isEven(int n) { if (n == 0) return 1; return isOdd(n - 1); }
+    int isOdd(int n) { if (n == 0) return 0; return isEven(n - 1); }
+    void main() { g = isEven(10); }
+  )");
+  InlineStats Stats = inlineCalls(*C->P, C->Diags);
+  EXPECT_GT(Stats.RecursionSkipped, 0u);
+}
+
+TEST(InlinerTest, NeverInlineRespected) {
+  auto C = compileToIL(R"(
+    int g;
+    int f(int x) { return x + 1; }
+    void main() { g = f(1); }
+  )");
+  InlineOptions Opts;
+  Opts.NeverInline.insert("f");
+  InlineStats Stats = inlineCalls(*C->P, C->Diags, Opts);
+  EXPECT_EQ(Stats.CallsInlined, 0u);
+  EXPECT_EQ(Stats.CallsLeft, 1u);
+}
+
+TEST(InlinerTest, SizeLimitRespected) {
+  auto C = compileToIL(R"(
+    int g;
+    int big(int x) {
+      x += 1; x += 2; x += 3; x += 4; x += 5;
+      x += 6; x += 7; x += 8; x += 9; x += 10;
+      return x;
+    }
+    void main() { g = big(0); }
+  )");
+  InlineOptions Opts;
+  Opts.MaxCalleeStmts = 3;
+  InlineStats Stats = inlineCalls(*C->P, C->Diags, Opts);
+  EXPECT_EQ(Stats.CallsInlined, 0u);
+}
+
+TEST(InlinerTest, StaticExternalized) {
+  auto C = compileToIL(R"(
+    int g;
+    int counter() {
+      static int count = 5;
+      count += 1;
+      return count;
+    }
+    void main() { g = counter() + counter(); }
+  )");
+  InlineStats Stats = inlineCalls(*C->P, C->Diags);
+  EXPECT_EQ(Stats.StaticsExternalized, 1u);
+  // The global carries the function-qualified name and the initializer.
+  Symbol *G = C->P->findGlobal("counter.count");
+  ASSERT_NE(G, nullptr);
+  ASSERT_TRUE(G->hasInit());
+  EXPECT_EQ(G->getInit().IntValue, 5);
+  // Both inlined copies reference the shared global.
+  std::string Printed = printFunction(*C->P->findFunction("main"));
+  EXPECT_NE(Printed.find("counter.count"), std::string::npos) << Printed;
+}
+
+TEST(InlinerTest, ReinitializedStaticDemoted) {
+  // The static is assigned before every use: it cannot observe a prior
+  // invocation and demotes to automatic storage (paper Section 7).
+  auto C = compileToIL(R"(
+    int g;
+    int scratch(int x) {
+      static int t;
+      t = x * 2;
+      return t + 1;
+    }
+    void main() { g = scratch(4); }
+  )");
+  InlineStats Stats = inlineCalls(*C->P, C->Diags);
+  EXPECT_EQ(Stats.StaticsDemoted, 1u);
+  EXPECT_EQ(Stats.StaticsExternalized, 0u);
+  EXPECT_EQ(C->P->findGlobal("scratch.t"), nullptr);
+}
+
+TEST(InlinerTest, CatalogRoundTrip) {
+  // Build a library program, store into a catalog, inline into a fresh
+  // program that only has a prototype.
+  auto Lib = compileToIL(R"(
+    float dot(float *a, float *b, int n) {
+      float s; int i;
+      s = 0.0;
+      for (i = 0; i < n; i++) s = s + a[i] * b[i];
+      return s;
+    }
+  )");
+  ProcedureCatalog Catalog;
+  Catalog.store(*Lib->P->findFunction("dot"));
+  EXPECT_TRUE(Catalog.contains("dot"));
+
+  auto App = compileToIL(R"(
+    float x[8], y[8]; float r;
+    float dot(float *a, float *b, int n);
+    void main() { r = dot(x, y, 8); }
+  )");
+  InlineStats Stats = inlineCalls(*App->P, App->Diags, {}, &Catalog);
+  EXPECT_EQ(Stats.CallsInlined, 1u);
+  std::string Printed = printFunction(*App->P->findFunction("main"));
+  EXPECT_EQ(Printed.find("dot("), std::string::npos) << Printed;
+  EXPECT_NE(Printed.find("in_a"), std::string::npos) << Printed;
+}
+
+TEST(InlinerTest, CatalogSerializeDeserialize) {
+  auto Lib = compileToIL(R"(
+    int half(int x) { return x / 2; }
+    int third(int x) { return x / 3; }
+  )");
+  ProcedureCatalog Catalog;
+  Catalog.store(*Lib->P->findFunction("half"));
+  Catalog.store(*Lib->P->findFunction("third"));
+  std::string Text = Catalog.serialize();
+  ProcedureCatalog Restored = ProcedureCatalog::deserialize(Text);
+  EXPECT_TRUE(Restored.contains("half"));
+  EXPECT_TRUE(Restored.contains("third"));
+  EXPECT_EQ(Restored.entries().size(), 2u);
+}
+
+TEST(InlinerTest, ArrayRowArgumentPromoted) {
+  // Passing a matrix row by reference: the address argument is
+  // substituted into the body so references become named-array accesses.
+  auto C = compileToIL(R"(
+    float m[4][4]; float r;
+    float rowsum(float *row, int n) {
+      float s; int j;
+      s = 0.0;
+      for (j = 0; j < n; j++) s = s + row[j];
+      return s;
+    }
+    void main() {
+      int i; float total;
+      total = 0.0;
+      for (i = 0; i < 4; i++)
+        total = total + rowsum(&m[i][0], 4);
+      r = total;
+    }
+  )");
+  InlineStats Stats = inlineCalls(*C->P, C->Diags);
+  EXPECT_EQ(Stats.CallsInlined, 1u);
+  EXPECT_GE(Stats.RowArgsPromoted, 1u);
+  std::string Printed = printFunction(*C->P->findFunction("main"));
+  // The body references &m[i][0] directly rather than the opaque in_row.
+  EXPECT_NE(Printed.find("&m[i][0]"), std::string::npos) << Printed;
+}
+
+TEST(InlinerTest, BumpedPointerArgNotPromoted) {
+  // daxpy reassigns its pointer formals, so substitution must not fire.
+  auto C = compileToIL(R"(
+    float a[10], b[10];
+    void copy(float *x, float *y, int n) {
+      for (; n; n--) *x++ = *y++;
+    }
+    void main() { copy(a, b, 10); }
+  )");
+  InlineStats Stats = inlineCalls(*C->P, C->Diags);
+  EXPECT_EQ(Stats.CallsInlined, 1u);
+  EXPECT_EQ(Stats.RowArgsPromoted, 0u);
+  std::string Printed = printFunction(*C->P->findFunction("main"));
+  EXPECT_NE(Printed.find("in_x = &a;"), std::string::npos) << Printed;
+}
+
+TEST(InlinerTest, VoidCallAndResultCall) {
+  auto C = compileToIL(R"(
+    int g; int h;
+    void setg(int v) { g = v; }
+    int getg() { return g; }
+    void main() {
+      setg(7);
+      h = getg() + 1;
+    }
+  )");
+  InlineStats Stats = inlineCalls(*C->P, C->Diags);
+  EXPECT_EQ(Stats.CallsInlined, 2u);
+  std::string Printed = printFunction(*C->P->findFunction("main"));
+  EXPECT_NE(Printed.find("g = in_v;"), std::string::npos) << Printed;
+}
+
+TEST(InlinerTest, LabelsUniquifiedAcrossTwoSites) {
+  auto C = compileToIL(R"(
+    int g;
+    int clamp(int x) {
+      if (x > 10) goto high;
+      return x;
+      high: return 10;
+    }
+    void main() { g = clamp(4) + clamp(40); }
+  )");
+  InlineStats Stats = inlineCalls(*C->P, C->Diags);
+  EXPECT_EQ(Stats.CallsInlined, 2u);
+  // Two distinct copies of the label exist.
+  std::string Printed = printFunction(*C->P->findFunction("main"));
+  EXPECT_NE(Printed.find("in1_L_high"), std::string::npos) << Printed;
+  EXPECT_NE(Printed.find("in2_L_high"), std::string::npos) << Printed;
+}
+
+} // namespace

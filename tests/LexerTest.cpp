@@ -1,0 +1,211 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the C lexer: token kinds, literal decoding, operators,
+/// comments, pragmas, and error recovery.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lexer/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace tcc;
+
+namespace {
+
+std::vector<Token> lex(const std::string &Source) {
+  DiagnosticEngine Diags;
+  Lexer L(Source, Diags);
+  std::vector<Token> Tokens = L.lexAll();
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return Tokens;
+}
+
+std::vector<TokenKind> kinds(const std::vector<Token> &Tokens) {
+  std::vector<TokenKind> Out;
+  for (const Token &T : Tokens)
+    Out.push_back(T.Kind);
+  return Out;
+}
+
+TEST(LexerTest, EmptyInput) {
+  auto Tokens = lex("");
+  ASSERT_EQ(Tokens.size(), 1u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Eof);
+}
+
+TEST(LexerTest, Identifiers) {
+  auto Tokens = lex("foo _bar baz_2 keyboard_status");
+  ASSERT_EQ(Tokens.size(), 5u);
+  EXPECT_EQ(Tokens[0].Text, "foo");
+  EXPECT_EQ(Tokens[1].Text, "_bar");
+  EXPECT_EQ(Tokens[2].Text, "baz_2");
+  EXPECT_EQ(Tokens[3].Text, "keyboard_status");
+  for (int I = 0; I < 4; ++I)
+    EXPECT_EQ(Tokens[I].Kind, TokenKind::Identifier);
+}
+
+TEST(LexerTest, Keywords) {
+  auto Tokens = lex("void char int float double if else while do for return "
+                    "break continue goto static extern volatile register");
+  std::vector<TokenKind> Expected = {
+      TokenKind::KwVoid,     TokenKind::KwChar,     TokenKind::KwInt,
+      TokenKind::KwFloat,    TokenKind::KwDouble,   TokenKind::KwIf,
+      TokenKind::KwElse,     TokenKind::KwWhile,    TokenKind::KwDo,
+      TokenKind::KwFor,      TokenKind::KwReturn,   TokenKind::KwBreak,
+      TokenKind::KwContinue, TokenKind::KwGoto,     TokenKind::KwStatic,
+      TokenKind::KwExtern,   TokenKind::KwVolatile, TokenKind::KwRegister,
+      TokenKind::Eof};
+  EXPECT_EQ(kinds(Tokens), Expected);
+}
+
+TEST(LexerTest, IntegerLiterals) {
+  auto Tokens = lex("0 42 100 0x1f 017");
+  EXPECT_EQ(Tokens[0].IntValue, 0);
+  EXPECT_EQ(Tokens[1].IntValue, 42);
+  EXPECT_EQ(Tokens[2].IntValue, 100);
+  EXPECT_EQ(Tokens[3].IntValue, 31);
+  EXPECT_EQ(Tokens[4].IntValue, 15); // octal
+  for (int I = 0; I < 5; ++I)
+    EXPECT_EQ(Tokens[I].Kind, TokenKind::IntLiteral);
+}
+
+TEST(LexerTest, FloatLiterals) {
+  auto Tokens = lex("1.0 0.5 2.5e3 1e-2 3.f 1.");
+  EXPECT_DOUBLE_EQ(Tokens[0].FloatValue, 1.0);
+  EXPECT_DOUBLE_EQ(Tokens[1].FloatValue, 0.5);
+  EXPECT_DOUBLE_EQ(Tokens[2].FloatValue, 2500.0);
+  EXPECT_DOUBLE_EQ(Tokens[3].FloatValue, 0.01);
+  EXPECT_DOUBLE_EQ(Tokens[4].FloatValue, 3.0);
+  EXPECT_DOUBLE_EQ(Tokens[5].FloatValue, 1.0);
+  for (int I = 0; I < 6; ++I)
+    EXPECT_EQ(Tokens[I].Kind, TokenKind::FloatLiteral) << "token " << I;
+}
+
+TEST(LexerTest, IntSuffixesIgnored) {
+  auto Tokens = lex("10L 10u 10UL");
+  for (int I = 0; I < 3; ++I) {
+    EXPECT_EQ(Tokens[I].Kind, TokenKind::IntLiteral);
+    EXPECT_EQ(Tokens[I].IntValue, 10);
+  }
+}
+
+TEST(LexerTest, CharLiterals) {
+  auto Tokens = lex("'a' '\\n' '\\0'");
+  EXPECT_EQ(Tokens[0].IntValue, 'a');
+  EXPECT_EQ(Tokens[1].IntValue, '\n');
+  EXPECT_EQ(Tokens[2].IntValue, 0);
+}
+
+TEST(LexerTest, OperatorsSingleAndMulti) {
+  auto Tokens = lex("+ - * / % ++ -- += -= *= /= %= == != <= >= < > << >> "
+                    "<<= >>= && || & | ^ ~ ! = ? : , ; ");
+  std::vector<TokenKind> K = kinds(Tokens);
+  std::vector<TokenKind> Expected = {
+      TokenKind::Plus,          TokenKind::Minus,
+      TokenKind::Star,          TokenKind::Slash,
+      TokenKind::Percent,       TokenKind::PlusPlus,
+      TokenKind::MinusMinus,    TokenKind::PlusEqual,
+      TokenKind::MinusEqual,    TokenKind::StarEqual,
+      TokenKind::SlashEqual,    TokenKind::PercentEqual,
+      TokenKind::EqualEqual,    TokenKind::BangEqual,
+      TokenKind::LessEqual,     TokenKind::GreaterEqual,
+      TokenKind::Less,          TokenKind::Greater,
+      TokenKind::LessLess,      TokenKind::GreaterGreater,
+      TokenKind::LessLessEqual, TokenKind::GreaterGreaterEqual,
+      TokenKind::AmpAmp,        TokenKind::PipePipe,
+      TokenKind::Amp,           TokenKind::Pipe,
+      TokenKind::Caret,         TokenKind::Tilde,
+      TokenKind::Bang,          TokenKind::Equal,
+      TokenKind::Question,      TokenKind::Colon,
+      TokenKind::Comma,         TokenKind::Semi};
+  ASSERT_GE(K.size(), Expected.size());
+  for (size_t I = 0; I < Expected.size(); ++I)
+    EXPECT_EQ(K[I], Expected[I]) << "token " << I;
+}
+
+TEST(LexerTest, MaximalMunchPlusPlus) {
+  // a+++b lexes as a ++ + b.
+  auto Tokens = lex("a+++b");
+  std::vector<TokenKind> Expected = {TokenKind::Identifier,
+                                     TokenKind::PlusPlus, TokenKind::Plus,
+                                     TokenKind::Identifier, TokenKind::Eof};
+  EXPECT_EQ(kinds(Tokens), Expected);
+}
+
+TEST(LexerTest, LineComments) {
+  auto Tokens = lex("a // comment with * / tokens\nb");
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[0].Text, "a");
+  EXPECT_EQ(Tokens[1].Text, "b");
+}
+
+TEST(LexerTest, BlockComments) {
+  auto Tokens = lex("a /* multi\nline\ncomment */ b");
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[0].Text, "a");
+  EXPECT_EQ(Tokens[1].Text, "b");
+  // Line numbers advance through comments.
+  EXPECT_EQ(Tokens[1].Loc.Line, 3u);
+}
+
+TEST(LexerTest, UnterminatedBlockCommentDiagnosed) {
+  DiagnosticEngine Diags;
+  Lexer L("a /* never closed", Diags);
+  L.lexAll();
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LexerTest, SourceLocations) {
+  auto Tokens = lex("a\n  b");
+  EXPECT_EQ(Tokens[0].Loc.Line, 1u);
+  EXPECT_EQ(Tokens[0].Loc.Col, 1u);
+  EXPECT_EQ(Tokens[1].Loc.Line, 2u);
+  EXPECT_EQ(Tokens[1].Loc.Col, 3u);
+}
+
+TEST(LexerTest, PragmaToken) {
+  auto Tokens = lex("#pragma safe\nwhile");
+  ASSERT_GE(Tokens.size(), 2u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Pragma);
+  EXPECT_EQ(Tokens[0].Text, "safe");
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::KwWhile);
+}
+
+TEST(LexerTest, NonPragmaDirectivesSkipped) {
+  auto Tokens = lex("#include <stdio.h>\nint x;");
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::KwInt);
+}
+
+TEST(LexerTest, PragmaBodyTrimmed) {
+  auto Tokens = lex("#pragma   fortran_pointers   \nint");
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Pragma);
+  EXPECT_EQ(Tokens[0].Text, "fortran_pointers");
+}
+
+TEST(LexerTest, StringLiteral) {
+  auto Tokens = lex("\"hello\\nworld\"");
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::StringLiteral);
+  EXPECT_EQ(Tokens[0].Text, "hello\nworld");
+}
+
+TEST(LexerTest, UnknownCharacterDiagnosed) {
+  DiagnosticEngine Diags;
+  Lexer L("int @ x;", Diags);
+  L.lexAll();
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LexerTest, PaperWhileLoopLexes) {
+  // The paper's volatile example.
+  auto Tokens = lex("keyboard_status = 0; while(!keyboard_status);");
+  std::vector<TokenKind> Expected = {
+      TokenKind::Identifier, TokenKind::Equal,   TokenKind::IntLiteral,
+      TokenKind::Semi,       TokenKind::KwWhile, TokenKind::LParen,
+      TokenKind::Bang,       TokenKind::Identifier, TokenKind::RParen,
+      TokenKind::Semi,       TokenKind::Eof};
+  EXPECT_EQ(kinds(Tokens), Expected);
+}
+
+} // namespace

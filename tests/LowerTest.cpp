@@ -1,0 +1,354 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for AST → IL lowering: the (statement list, expression) pair
+/// discipline of paper Section 4.  Verifies that side-effecting operators
+/// become explicit statements, that `*a++ = *b++` produces the paper's
+/// temp chain, that while-condition statement lists are duplicated at the
+/// bottom of the body, and that volatile semantics survive.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lower.h"
+
+#include "il/ILPrinter.h"
+#include "lexer/Lexer.h"
+#include "parser/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace tcc;
+
+namespace {
+
+struct LowerResult {
+  ast::AstContext Ctx;
+  DiagnosticEngine Diags;
+  std::unique_ptr<il::Program> P;
+};
+
+std::unique_ptr<LowerResult> lower(const std::string &Source,
+                                   bool ExpectErrors = false) {
+  auto R = std::make_unique<LowerResult>();
+  R->P = std::make_unique<il::Program>();
+  Lexer L(Source, R->Diags);
+  Parser Parse(L.lexAll(), R->Ctx, R->P->getTypes(), R->Diags);
+  ast::TranslationUnit TU = Parse.parseTranslationUnit();
+  EXPECT_FALSE(R->Diags.hasErrors()) << R->Diags.str();
+  lowerTranslationUnit(TU, *R->P, R->Diags);
+  if (!ExpectErrors)
+    EXPECT_FALSE(R->Diags.hasErrors()) << R->Diags.str();
+  return R;
+}
+
+std::string printFunc(LowerResult &R, const std::string &Name) {
+  il::Function *F = R.P->findFunction(Name);
+  EXPECT_NE(F, nullptr);
+  return F ? il::printFunction(*F) : "";
+}
+
+/// Count occurrences of a substring.
+size_t countOccurrences(const std::string &Haystack,
+                        const std::string &Needle) {
+  size_t Count = 0;
+  for (size_t Pos = Haystack.find(Needle); Pos != std::string::npos;
+       Pos = Haystack.find(Needle, Pos + Needle.size()))
+    ++Count;
+  return Count;
+}
+
+TEST(LowerTest, SimpleAssignment) {
+  auto R = lower("void f() { int x; x = 5; }");
+  std::string Out = printFunc(*R, "f");
+  EXPECT_NE(Out.find("x = 5;"), std::string::npos);
+}
+
+TEST(LowerTest, PaperStarCopyLoop) {
+  // The Section 5.3 example: while(n){ *a++ = *b++; n--; } must lower to
+  // the temp chain shown in the paper.
+  auto R = lower(R"(
+    void copy(float *a, float *b, int n) {
+      while (n) {
+        *a++ = *b++;
+        n--;
+      }
+    }
+  )");
+  std::string Out = printFunc(*R, "copy");
+  // temp_1 = a; a = temp_1 + 4;
+  EXPECT_NE(Out.find("temp_1 = a;"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("a = temp_1 + 4;"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("temp_2 = b;"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("b = temp_2 + 4;"), std::string::npos) << Out;
+  // The star assignment uses the temps.
+  EXPECT_NE(Out.find("*temp_1 = *temp_2;"), std::string::npos) << Out;
+  // n-- becomes temp_3 = n; n = temp_3 - 1 (printed as + -1).
+  EXPECT_NE(Out.find("temp_3 = n;"), std::string::npos) << Out;
+}
+
+TEST(LowerTest, AssignmentChainUsesTemp) {
+  // a = v = b with volatile v: v is written once and never read (the
+  // paper's ANSI observation).
+  auto R = lower("volatile int v; void f(int a, int b) { a = v = b; }");
+  std::string Out = printFunc(*R, "f");
+  // v appears exactly once, on the left of an assignment.
+  EXPECT_EQ(countOccurrences(Out, "v ="), 1u) << Out;
+  EXPECT_EQ(countOccurrences(Out, "= v"), 0u) << Out;
+}
+
+TEST(LowerTest, WhileConditionListDuplicated) {
+  // while (n--) ...: the condition's statement list appears once before
+  // the loop and once at the bottom of the body (paper Section 4).
+  auto R = lower("void f(int n) { int s; s = 0; while (n--) s += 1; }");
+  std::string Out = printFunc(*R, "f");
+  // Post-decrement pattern appears twice: once pre-loop, once at body end.
+  EXPECT_EQ(countOccurrences(Out, "= n;"), 2u) << Out;
+  EXPECT_EQ(countOccurrences(Out, "n = "), 2u) << Out;
+}
+
+TEST(LowerTest, ShortCircuitAndBecomesIf) {
+  auto R = lower("int g(int a); void f(int a, int b) { int c; "
+                 "c = a && g(b); }");
+  std::string Out = printFunc(*R, "f");
+  EXPECT_NE(Out.find("if (a)"), std::string::npos) << Out;
+  // The call happens only inside the if (short-circuit preserved).
+  EXPECT_EQ(countOccurrences(Out, "g("), 1u) << Out;
+}
+
+TEST(LowerTest, ConditionalOperatorBecomesIf) {
+  auto R = lower("void f(int a, int b, int c) { int m; m = a ? b : c; }");
+  std::string Out = printFunc(*R, "f");
+  EXPECT_NE(Out.find("if (a)"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("} else {"), std::string::npos) << Out;
+}
+
+TEST(LowerTest, NoAssignOperatorInILExpressions) {
+  // However convoluted the source, IL assignments are statements; the
+  // printer emits one '=' per assignment statement line.
+  auto R = lower(R"(
+    void f(int a, int b, int c) {
+      int x;
+      x = (a = b, b = c, a + b);
+      x = a ? (b = 2) : (c = 3);
+    }
+  )");
+  std::string Out = printFunc(*R, "f");
+  for (size_t Pos = 0; (Pos = Out.find('=', Pos)) != std::string::npos;
+       ++Pos) {
+    // Every '=' is an assignment statement's operator or part of a
+    // comparison inside a condition; none may appear nested in an
+    // arithmetic expression. A cheap proxy: the line containing '=' ends
+    // with ';' and contains exactly one '='.
+    size_t LineStart = Out.rfind('\n', Pos);
+    size_t LineEnd = Out.find('\n', Pos);
+    std::string Line = Out.substr(LineStart + 1, LineEnd - LineStart - 1);
+    if (Line.find("if (") != std::string::npos ||
+        Line.find("while (") != std::string::npos ||
+        Line.find("==") != std::string::npos)
+      continue;
+    EXPECT_EQ(countOccurrences(Line, "="), 1u) << Line;
+  }
+}
+
+TEST(LowerTest, ForBecomesWhile) {
+  // The front end represents for loops as while loops (paper Section 5.2).
+  auto R = lower("void f(int n) { int i; int s; s = 0; "
+                 "for (i = 0; i < n; i++) s += i; }");
+  std::string Out = printFunc(*R, "f");
+  EXPECT_NE(Out.find("while (i < n)"), std::string::npos) << Out;
+  EXPECT_EQ(Out.find("for"), std::string::npos) << Out;
+}
+
+TEST(LowerTest, ArraySubscriptKeepsIndexForm) {
+  auto R = lower("float a[100]; void f(int i) { a[i] = 1.0; }");
+  std::string Out = printFunc(*R, "f");
+  EXPECT_NE(Out.find("a[i] ="), std::string::npos) << Out;
+}
+
+TEST(LowerTest, TwoDimensionalArray) {
+  auto R = lower("float m[4][4]; void f(int i, int j) { m[i][j] = 0.0; }");
+  std::string Out = printFunc(*R, "f");
+  EXPECT_NE(Out.find("m[i][j] ="), std::string::npos) << Out;
+}
+
+TEST(LowerTest, PointerSubscriptBecomesStarForm) {
+  // p[i] on a pointer becomes *(p + 4*i), the paper's star form.
+  auto R = lower("void f(float *p, int i) { p[i] = 0.0; }");
+  std::string Out = printFunc(*R, "f");
+  EXPECT_NE(Out.find("*(p + 4 * i) ="), std::string::npos) << Out;
+}
+
+TEST(LowerTest, ArrayDecayToPointer) {
+  auto R = lower("float a[100]; void g(float *p); void f() { g(a); }");
+  std::string Out = printFunc(*R, "f");
+  EXPECT_NE(Out.find("g(&a)"), std::string::npos) << Out;
+}
+
+TEST(LowerTest, PointerArithmeticScaled) {
+  auto R = lower("void f(float *p, double *q, int i) { "
+                 "float *p2; double *q2; p2 = p + i; q2 = q + i; }");
+  std::string Out = printFunc(*R, "f");
+  EXPECT_NE(Out.find("p + 4 * i"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("q + 8 * i"), std::string::npos) << Out;
+}
+
+TEST(LowerTest, PointerDifferenceDividesBySize) {
+  auto R = lower("int f(float *p, float *q) { return p - q; }");
+  std::string Out = printFunc(*R, "f");
+  EXPECT_NE(Out.find("/ 4"), std::string::npos) << Out;
+}
+
+TEST(LowerTest, CallsAreStatements) {
+  auto R = lower("int g(int x); void f(int a) { int y; y = g(a) + g(a+1); }");
+  std::string Out = printFunc(*R, "f");
+  // Two call statements, each assigning to a call temp.
+  EXPECT_EQ(countOccurrences(Out, "= g("), 2u) << Out;
+}
+
+TEST(LowerTest, VoidCallNoResult) {
+  auto R = lower("void g(int x); void f() { g(1); }");
+  std::string Out = printFunc(*R, "f");
+  EXPECT_NE(Out.find("g(1);"), std::string::npos) << Out;
+  EXPECT_EQ(Out.find("= g("), std::string::npos) << Out;
+}
+
+TEST(LowerTest, BreakContinueBecomeGotos) {
+  auto R = lower(R"(
+    void f(int n) {
+      int i;
+      for (i = 0; i < n; i++) {
+        if (i == 3) continue;
+        if (i == 7) break;
+      }
+    }
+  )");
+  std::string Out = printFunc(*R, "f");
+  EXPECT_NE(Out.find("goto cont_"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("goto brk_"), std::string::npos) << Out;
+  // Labels are emitted.
+  EXPECT_NE(Out.find("cont_"), std::string::npos);
+  EXPECT_NE(Out.find("brk_"), std::string::npos);
+}
+
+TEST(LowerTest, GotoAndLabels) {
+  auto R = lower("void f() { int x; x = 0; top: x += 1; "
+                 "if (x < 3) goto top; }");
+  std::string Out = printFunc(*R, "f");
+  EXPECT_NE(Out.find("L_top:;"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("goto L_top;"), std::string::npos) << Out;
+}
+
+TEST(LowerTest, StaticLocalGetsInit) {
+  auto R = lower("int f() { static int counter = 41; counter += 1; "
+                 "return counter; }");
+  il::Function *F = R->P->findFunction("f");
+  ASSERT_NE(F, nullptr);
+  il::Symbol *S = F->findSymbol("counter");
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S->getStorage(), il::StorageKind::Static);
+  ASSERT_TRUE(S->hasInit());
+  EXPECT_EQ(S->getInit().IntValue, 41);
+}
+
+TEST(LowerTest, LocalInitBecomesAssignment) {
+  auto R = lower("void f() { int x = 3; float y = 2.5; }");
+  std::string Out = printFunc(*R, "f");
+  EXPECT_NE(Out.find("x = 3;"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("y = "), std::string::npos) << Out;
+}
+
+TEST(LowerTest, GlobalInits) {
+  auto R = lower("int n = 100; float eps = 0.5; double d = -2.0; int z;");
+  il::Symbol *N = R->P->findGlobal("n");
+  ASSERT_TRUE(N && N->hasInit());
+  EXPECT_EQ(N->getInit().IntValue, 100);
+  il::Symbol *Eps = R->P->findGlobal("eps");
+  ASSERT_TRUE(Eps && Eps->hasInit());
+  EXPECT_DOUBLE_EQ(Eps->getInit().FloatValue, 0.5);
+  il::Symbol *D = R->P->findGlobal("d");
+  ASSERT_TRUE(D && D->hasInit());
+  EXPECT_DOUBLE_EQ(D->getInit().FloatValue, -2.0);
+  il::Symbol *Z = R->P->findGlobal("z");
+  ASSERT_TRUE(Z);
+  EXPECT_FALSE(Z->hasInit());
+}
+
+TEST(LowerTest, VolatileSymbolMarked) {
+  auto R = lower("volatile int status; void f() { while (!status) { } }");
+  il::Symbol *S = R->P->findGlobal("status");
+  ASSERT_NE(S, nullptr);
+  EXPECT_TRUE(S->isVolatile());
+}
+
+TEST(LowerTest, TypeConversionsInserted) {
+  auto R = lower("void f(float x, int i) { double d; d = x + i; }");
+  std::string Out = printFunc(*R, "f");
+  // x + i computes in float (int converts), then converts to double.
+  EXPECT_NE(Out.find("(float)i"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("(double)"), std::string::npos) << Out;
+}
+
+TEST(LowerTest, ScopeShadowing) {
+  auto R = lower(R"(
+    void f() {
+      int x; x = 1;
+      { int x; x = 2; }
+      x = 3;
+    }
+  )");
+  il::Function *F = R->P->findFunction("f");
+  ASSERT_NE(F, nullptr);
+  // Two distinct symbols exist.
+  EXPECT_NE(F->findSymbol("x"), nullptr);
+  EXPECT_NE(F->findSymbol("x_2"), nullptr);
+}
+
+TEST(LowerTest, UndeclaredIdentifierError) {
+  auto R = lower("void f() { y = 1; }", /*ExpectErrors=*/true);
+  EXPECT_TRUE(R->Diags.hasErrors());
+}
+
+TEST(LowerTest, BadLValueError) {
+  auto R = lower("void f(int a, int b) { a + b = 3; }", /*ExpectErrors=*/true);
+  EXPECT_TRUE(R->Diags.hasErrors());
+}
+
+TEST(LowerTest, ReturnTypeMismatchDiagnosed) {
+  auto R = lower("void f() { return 3; }", /*ExpectErrors=*/true);
+  EXPECT_TRUE(R->Diags.hasErrors());
+}
+
+TEST(LowerTest, ImplicitReturnAppended) {
+  auto R = lower("void f() { int x; x = 1; }");
+  il::Function *F = R->P->findFunction("f");
+  ASSERT_FALSE(F->getBody().empty());
+  EXPECT_EQ(F->getBody().Stmts.back()->getKind(), il::Stmt::ReturnKind);
+}
+
+TEST(LowerTest, DoWhileUsesBackwardGoto) {
+  auto R = lower("void f(int n) { int s; s = 0; do { s += 1; n--; } "
+                 "while (n > 0); }");
+  std::string Out = printFunc(*R, "f");
+  EXPECT_NE(Out.find("top_"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("goto top_"), std::string::npos) << Out;
+}
+
+TEST(LowerTest, DaxpyLowersWithGuardsAndWhile) {
+  auto R = lower(R"(
+    void daxpy(float *x, float *y, float *z, float alpha, int n)
+    {
+      if (n <= 0)
+        return;
+      if (alpha == 0)
+        return;
+      for (; n; n--)
+        *x++ = *y++ + alpha * *z++;
+    }
+  )");
+  std::string Out = printFunc(*R, "daxpy");
+  EXPECT_NE(Out.find("if (n <= 0)"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("while (n)"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("alpha *"), std::string::npos) << Out;
+}
+
+} // namespace

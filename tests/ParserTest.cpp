@@ -1,0 +1,316 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the C parser: declarations, statements, the expression
+/// grammar (precedence and associativity), and error reporting.
+///
+//===----------------------------------------------------------------------===//
+
+#include "parser/Parser.h"
+
+#include "lexer/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace tcc;
+using namespace tcc::ast;
+
+namespace {
+
+struct ParseResult {
+  AstContext Ctx;
+  TypeContext Types;
+  DiagnosticEngine Diags;
+  TranslationUnit TU;
+};
+
+std::unique_ptr<ParseResult> parse(const std::string &Source,
+                                   bool ExpectErrors = false) {
+  auto R = std::make_unique<ParseResult>();
+  Lexer L(Source, R->Diags);
+  Parser P(L.lexAll(), R->Ctx, R->Types, R->Diags);
+  R->TU = P.parseTranslationUnit();
+  if (!ExpectErrors)
+    EXPECT_FALSE(R->Diags.hasErrors()) << R->Diags.str();
+  return R;
+}
+
+Expr *parseExpr(ParseResult &R, const std::string &Source) {
+  Lexer L(Source, R.Diags);
+  Parser P(L.lexAll(), R.Ctx, R.Types, R.Diags);
+  Expr *E = P.parseStandaloneExpr();
+  EXPECT_FALSE(R.Diags.hasErrors()) << R.Diags.str();
+  return E;
+}
+
+TEST(ParserTest, GlobalVariable) {
+  auto R = parse("int x; float y = 1.5; volatile int keyboard_status;");
+  ASSERT_EQ(R->TU.Globals.size(), 3u);
+  EXPECT_EQ(R->TU.Globals[0].Name, "x");
+  EXPECT_TRUE(R->TU.Globals[0].DeclType->isInt());
+  EXPECT_EQ(R->TU.Globals[1].Name, "y");
+  EXPECT_TRUE(R->TU.Globals[1].DeclType->isFloat());
+  ASSERT_NE(R->TU.Globals[1].Init, nullptr);
+  EXPECT_TRUE(R->TU.Globals[2].IsVolatile);
+}
+
+TEST(ParserTest, GlobalArrays) {
+  auto R = parse("float a[100]; int m[4][4];");
+  ASSERT_EQ(R->TU.Globals.size(), 2u);
+  const Type *A = R->TU.Globals[0].DeclType;
+  ASSERT_TRUE(A->isArray());
+  EXPECT_EQ(A->getArraySize(), 100);
+  EXPECT_TRUE(A->getElementType()->isFloat());
+  const Type *M = R->TU.Globals[1].DeclType;
+  ASSERT_TRUE(M->isArray());
+  EXPECT_EQ(M->getArraySize(), 4);
+  ASSERT_TRUE(M->getElementType()->isArray());
+  EXPECT_EQ(M->getElementType()->getArraySize(), 4);
+}
+
+TEST(ParserTest, PointerDeclarators) {
+  auto R = parse("float *p; float **pp; int *volatile q;");
+  EXPECT_TRUE(R->TU.Globals[0].DeclType->isPointer());
+  EXPECT_TRUE(R->TU.Globals[1].DeclType->isPointer());
+  EXPECT_TRUE(R->TU.Globals[1].DeclType->getElementType()->isPointer());
+}
+
+TEST(ParserTest, FunctionDefinition) {
+  auto R = parse("void daxpy(float *x, float *y, float *z, float alpha, "
+                 "int n) { return; }");
+  ASSERT_EQ(R->TU.Functions.size(), 1u);
+  const FunctionDecl &F = R->TU.Functions[0];
+  EXPECT_EQ(F.Name, "daxpy");
+  EXPECT_TRUE(F.ReturnType->isVoid());
+  ASSERT_EQ(F.Params.size(), 5u);
+  EXPECT_TRUE(F.Params[0].DeclType->isPointer());
+  EXPECT_TRUE(F.Params[3].DeclType->isFloat());
+  EXPECT_TRUE(F.Params[4].DeclType->isInt());
+  ASSERT_NE(F.Body, nullptr);
+}
+
+TEST(ParserTest, FunctionPrototype) {
+  auto R = parse("float dot(float *a, float *b, int n);");
+  ASSERT_EQ(R->TU.Functions.size(), 1u);
+  EXPECT_EQ(R->TU.Functions[0].Body, nullptr);
+}
+
+TEST(ParserTest, ArrayParamDecaysToPointer) {
+  auto R = parse("void f(float a[100]) {}");
+  ASSERT_EQ(R->TU.Functions.size(), 1u);
+  EXPECT_TRUE(R->TU.Functions[0].Params[0].DeclType->isPointer());
+}
+
+TEST(ParserTest, PrecedenceMulOverAdd) {
+  ParseResult R;
+  Expr *E = parseExpr(R, "a + b * c");
+  auto *Add = dynamic_cast<BinaryExpr *>(E);
+  ASSERT_NE(Add, nullptr);
+  EXPECT_EQ(Add->getOp(), BinaryOp::Add);
+  auto *Mul = dynamic_cast<BinaryExpr *>(Add->getRHS());
+  ASSERT_NE(Mul, nullptr);
+  EXPECT_EQ(Mul->getOp(), BinaryOp::Mul);
+}
+
+TEST(ParserTest, AssociativityLeftSub) {
+  ParseResult R;
+  Expr *E = parseExpr(R, "a - b - c");
+  auto *Outer = dynamic_cast<BinaryExpr *>(E);
+  ASSERT_NE(Outer, nullptr);
+  auto *Inner = dynamic_cast<BinaryExpr *>(Outer->getLHS());
+  ASSERT_NE(Inner, nullptr);
+  EXPECT_EQ(Inner->getOp(), BinaryOp::Sub);
+}
+
+TEST(ParserTest, AssignmentRightAssociative) {
+  ParseResult R;
+  Expr *E = parseExpr(R, "a = b = c");
+  auto *Outer = dynamic_cast<AssignExpr *>(E);
+  ASSERT_NE(Outer, nullptr);
+  auto *Inner = dynamic_cast<AssignExpr *>(Outer->getRHS());
+  ASSERT_NE(Inner, nullptr);
+}
+
+TEST(ParserTest, ConditionalExpr) {
+  ParseResult R;
+  Expr *E = parseExpr(R, "a ? b : c ? d : e");
+  auto *Outer = dynamic_cast<ConditionalExpr *>(E);
+  ASSERT_NE(Outer, nullptr);
+  // Right-associative: else arm is another conditional.
+  EXPECT_NE(dynamic_cast<ConditionalExpr *>(Outer->getFalseExpr()), nullptr);
+}
+
+TEST(ParserTest, UnaryAndPostfixChain) {
+  ParseResult R;
+  Expr *E = parseExpr(R, "*a++");
+  auto *Deref = dynamic_cast<UnaryExpr *>(E);
+  ASSERT_NE(Deref, nullptr);
+  EXPECT_EQ(Deref->getOp(), UnaryOp::Deref);
+  auto *Inc = dynamic_cast<IncDecExpr *>(Deref->getOperand());
+  ASSERT_NE(Inc, nullptr);
+  EXPECT_TRUE(Inc->isIncrement());
+  EXPECT_FALSE(Inc->isPrefix());
+}
+
+TEST(ParserTest, LogicalOperatorsPrecedence) {
+  ParseResult R;
+  Expr *E = parseExpr(R, "a < b && c || d");
+  auto *Or = dynamic_cast<BinaryExpr *>(E);
+  ASSERT_NE(Or, nullptr);
+  EXPECT_EQ(Or->getOp(), BinaryOp::LogOr);
+  auto *And = dynamic_cast<BinaryExpr *>(Or->getLHS());
+  ASSERT_NE(And, nullptr);
+  EXPECT_EQ(And->getOp(), BinaryOp::LogAnd);
+}
+
+TEST(ParserTest, CallWithArgs) {
+  ParseResult R;
+  Expr *E = parseExpr(R, "daxpy(a, b, c, 1.0, 100)");
+  auto *Call = dynamic_cast<CallExpr *>(E);
+  ASSERT_NE(Call, nullptr);
+  EXPECT_EQ(Call->getCallee(), "daxpy");
+  EXPECT_EQ(Call->getArgs().size(), 5u);
+}
+
+TEST(ParserTest, CastExpression) {
+  ParseResult R;
+  Expr *E = parseExpr(R, "(float)n");
+  auto *Cast = dynamic_cast<CastExpr *>(E);
+  ASSERT_NE(Cast, nullptr);
+  EXPECT_TRUE(Cast->getTargetType()->isFloat());
+}
+
+TEST(ParserTest, CastVsParenExpr) {
+  ParseResult R;
+  Expr *E = parseExpr(R, "(a) + 1");
+  EXPECT_NE(dynamic_cast<BinaryExpr *>(E), nullptr);
+}
+
+TEST(ParserTest, SizeofFoldsToLiteral) {
+  ParseResult R;
+  Expr *E = parseExpr(R, "sizeof(float)");
+  auto *I = dynamic_cast<IntLiteralExpr *>(E);
+  ASSERT_NE(I, nullptr);
+  EXPECT_EQ(I->getValue(), 4);
+  Expr *E2 = parseExpr(R, "sizeof(double)");
+  EXPECT_EQ(dynamic_cast<IntLiteralExpr *>(E2)->getValue(), 8);
+  Expr *E3 = parseExpr(R, "sizeof(float*)");
+  EXPECT_EQ(dynamic_cast<IntLiteralExpr *>(E3)->getValue(), 4);
+}
+
+TEST(ParserTest, CommaExpression) {
+  ParseResult R;
+  Expr *E = parseExpr(R, "a = 1, b = 2");
+  EXPECT_NE(dynamic_cast<CommaExpr *>(E), nullptr);
+}
+
+TEST(ParserTest, StatementKinds) {
+  auto R = parse(R"(
+    void f(int n) {
+      int i;
+      if (n > 0) n = 1; else n = 2;
+      while (n) n--;
+      do n++; while (n < 10);
+      for (i = 0; i < n; i++) n += i;
+      lab: goto lab;
+      { int j; j = 1; }
+      ;
+      return;
+    }
+  )");
+  ASSERT_EQ(R->TU.Functions.size(), 1u);
+  const auto &Body = R->TU.Functions[0].Body->getBody();
+  ASSERT_GE(Body.size(), 8u);
+  EXPECT_EQ(Body[0]->getKind(), Stmt::DeclStmtKind);
+  EXPECT_EQ(Body[1]->getKind(), Stmt::IfKind);
+  EXPECT_EQ(Body[2]->getKind(), Stmt::WhileKind);
+  EXPECT_EQ(Body[3]->getKind(), Stmt::DoWhileKind);
+  EXPECT_EQ(Body[4]->getKind(), Stmt::ForKind);
+  EXPECT_EQ(Body[5]->getKind(), Stmt::LabeledKind);
+  EXPECT_EQ(Body[6]->getKind(), Stmt::BlockKind);
+}
+
+TEST(ParserTest, ForWithDeclInit) {
+  auto R = parse("void f() { for (int i = 0; i < 4; i++) {} }");
+  const auto &Body = R->TU.Functions[0].Body->getBody();
+  auto *For = dynamic_cast<ForStmt *>(Body[0]);
+  ASSERT_NE(For, nullptr);
+  EXPECT_NE(dynamic_cast<DeclStmt *>(For->getInit()), nullptr);
+}
+
+TEST(ParserTest, ForWithEmptyParts) {
+  auto R = parse("void f(int n) { for (;;) break; for (;n;) n--; }");
+  const auto &Body = R->TU.Functions[0].Body->getBody();
+  auto *For0 = dynamic_cast<ForStmt *>(Body[0]);
+  ASSERT_NE(For0, nullptr);
+  EXPECT_EQ(For0->getInit(), nullptr);
+  EXPECT_EQ(For0->getCond(), nullptr);
+  EXPECT_EQ(For0->getInc(), nullptr);
+}
+
+TEST(ParserTest, SafeVectorPragmaOnLoop) {
+  auto R = parse(R"(
+    void f(float *x, float *y, int n) {
+      int i;
+      #pragma safe
+      for (i = 0; i < n; i++) x[i] = y[i];
+    }
+  )");
+  const auto &Body = R->TU.Functions[0].Body->getBody();
+  auto *For = dynamic_cast<ForStmt *>(Body[1]);
+  ASSERT_NE(For, nullptr);
+  EXPECT_TRUE(For->hasSafeVectorPragma());
+}
+
+TEST(ParserTest, FortranPointersPragma) {
+  auto R = parse(R"(
+    #pragma fortran_pointers
+    void f(float *x, float *y) { *x = *y; }
+    #pragma no_fortran_pointers
+    void g(float *x, float *y) { *x = *y; }
+  )");
+  ASSERT_EQ(R->TU.Functions.size(), 2u);
+  EXPECT_TRUE(R->TU.Functions[0].FortranPointerSemantics);
+  EXPECT_FALSE(R->TU.Functions[1].FortranPointerSemantics);
+}
+
+TEST(ParserTest, PaperDaxpySource) {
+  // The complete Section 9 example parses cleanly.
+  auto R = parse(R"(
+    void daxpy(float *x, float *y, float *z, float alpha, int n)
+    {
+      if (n <= 0)
+        return;
+      if (alpha == 0)
+        return;
+      for (; n; n--)
+        *x++ = *y++ + alpha * *z++;
+    }
+    float a[100], b[100], c[100];
+    void main()
+    {
+      daxpy(a, b, c, 1.0, 100);
+    }
+  )");
+  EXPECT_EQ(R->TU.Functions.size(), 2u);
+  EXPECT_EQ(R->TU.Globals.size(), 3u);
+}
+
+TEST(ParserTest, SyntaxErrorReported) {
+  auto R = parse("void f() { int 3x; }", /*ExpectErrors=*/true);
+  EXPECT_TRUE(R->Diags.hasErrors());
+}
+
+TEST(ParserTest, MissingSemicolonReported) {
+  auto R = parse("void f() { int x x = 1; }", /*ExpectErrors=*/true);
+  EXPECT_TRUE(R->Diags.hasErrors());
+}
+
+TEST(ParserTest, ImplicitIntReturnType) {
+  auto R = parse("static f() { return 1; }");
+  ASSERT_EQ(R->TU.Functions.size(), 1u);
+  EXPECT_TRUE(R->TU.Functions[0].ReturnType->isInt());
+  EXPECT_TRUE(R->TU.Functions[0].IsStatic);
+}
+
+} // namespace

@@ -1,0 +1,321 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Direct tests of the Titan machine: hand-assembled TitanISA programs
+/// exercising the integer/FP/memory/vector units, calls, parallel
+/// regions, the timing model's overlap behaviour, and trap conditions.
+///
+//===----------------------------------------------------------------------===//
+
+#include "titan/TitanISA.h"
+#include "titan/TitanMachine.h"
+
+#include <gtest/gtest.h>
+
+using namespace tcc::titan;
+
+namespace {
+
+/// Builder for small test programs.
+struct Asm {
+  TitanProgram Prog;
+  TitanFunction F;
+
+  Asm() {
+    F.Name = "main";
+    Prog.GlobalAddresses["g"] = 64;
+    Prog.GlobalSize = 256;
+    Prog.InitialImage.assign(256, 0);
+    Prog.StackBase = 256;
+  }
+
+  Instr &emit(Opcode Op, int Dst = -1, int SrcA = -1, int SrcB = -1,
+              int64_t Imm = 0) {
+    Instr In;
+    In.Op = Op;
+    In.Dst = Dst;
+    In.SrcA = SrcA;
+    In.SrcB = SrcB;
+    In.Imm = Imm;
+    F.Code.push_back(In);
+    return F.Code.back();
+  }
+
+  TitanProgram finish(unsigned IntRegs, unsigned FpRegs,
+                      unsigned VecRegs = 0) {
+    emit(Opcode::RET);
+    F.NumIntRegs = IntRegs;
+    F.NumFpRegs = FpRegs;
+    F.NumVecRegs = VecRegs;
+    Prog.FunctionIndex["main"] = 0;
+    Prog.Functions.push_back(std::move(F));
+    return std::move(Prog);
+  }
+};
+
+TEST(TitanTest, IntegerALU) {
+  Asm A;
+  A.emit(Opcode::LI, 1, -1, -1, 20);
+  A.emit(Opcode::LI, 2, -1, -1, 3);
+  A.emit(Opcode::IADD, 3, 1, 2);  // 23
+  A.emit(Opcode::IMUL, 4, 3, 2);  // 69
+  A.emit(Opcode::IREM, 5, 4, 1);  // 69 % 20 = 9
+  A.emit(Opcode::LI, 6, -1, -1, 64);
+  A.emit(Opcode::STW, -1, 6, 5);
+  TitanProgram P = A.finish(8, 0);
+  TitanMachine M(P, {});
+  RunResult R = M.run();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(M.readInt(64), 9);
+  EXPECT_EQ(R.IntMuls, 1u);
+}
+
+TEST(TitanTest, FloatPipeline) {
+  Asm A;
+  A.emit(Opcode::LF, 0).FImm = 1.5;
+  A.emit(Opcode::LF, 1).FImm = 2.0;
+  A.emit(Opcode::FMUL, 2, 0, 1); // 3.0
+  A.emit(Opcode::FADD, 3, 2, 1); // 5.0
+  A.emit(Opcode::LI, 1, -1, -1, 64);
+  A.emit(Opcode::STD, -1, 1, 3);
+  TitanProgram P = A.finish(4, 4);
+  TitanMachine M(P, {});
+  RunResult R = M.run();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_DOUBLE_EQ(M.readDouble(64), 5.0);
+  EXPECT_EQ(R.Flops, 2u);
+}
+
+TEST(TitanTest, SinglePrecisionRounding) {
+  Asm A;
+  A.emit(Opcode::LF, 0).FImm = 0.1; // not representable in float32
+  A.emit(Opcode::LF, 1).FImm = 0.2;
+  Instr &Add = A.emit(Opcode::FADD, 2, 0, 1);
+  Add.SinglePrec = true;
+  A.emit(Opcode::LI, 1, -1, -1, 64);
+  A.emit(Opcode::STD, -1, 1, 2);
+  TitanProgram P = A.finish(4, 4);
+  TitanMachine M(P, {});
+  ASSERT_TRUE(M.run().Ok);
+  EXPECT_DOUBLE_EQ(M.readDouble(64),
+                   static_cast<double>(static_cast<float>(0.1 + 0.2)));
+}
+
+TEST(TitanTest, BranchesAndLoop) {
+  // Sum 1..10 with a BNZ loop.
+  Asm A;
+  A.emit(Opcode::LI, 1, -1, -1, 10); // n
+  A.emit(Opcode::LI, 2, -1, -1, 0);  // sum
+  size_t Top = A.F.Code.size();
+  A.emit(Opcode::IADD, 2, 2, 1);
+  A.emit(Opcode::LI, 3, -1, -1, 1);
+  A.emit(Opcode::ISUB, 1, 1, 3);
+  A.emit(Opcode::BNZ, -1, 1).Target = static_cast<int>(Top);
+  A.emit(Opcode::LI, 4, -1, -1, 64);
+  A.emit(Opcode::STW, -1, 4, 2);
+  TitanProgram P = A.finish(8, 0);
+  TitanMachine M(P, {});
+  ASSERT_TRUE(M.run().Ok);
+  EXPECT_EQ(M.readInt(64), 55);
+}
+
+TEST(TitanTest, VectorLoadComputeStore) {
+  Asm A;
+  // Initialize 8 floats at g via VIOTA + VST, then a = a*2 + 1.
+  A.emit(Opcode::LI, 1, -1, -1, 0);  // lo
+  A.emit(Opcode::LI, 2, -1, -1, 1);  // stride (elements for iota)
+  A.emit(Opcode::LI, 3, -1, -1, 8);  // len
+  Instr &Iota = A.emit(Opcode::VIOTA, 0);
+  Iota.Args = {1, 2, 3};
+  A.emit(Opcode::LI, 4, -1, -1, 64); // base addr
+  A.emit(Opcode::LI, 5, -1, -1, 4);  // byte stride
+  Instr &St = A.emit(Opcode::VST, -1, 0);
+  St.Kind = ElemKind::Float32;
+  St.Args = {4, 5, 3};
+  Instr &Ld = A.emit(Opcode::VLD, 1);
+  Ld.Kind = ElemKind::Float32;
+  Ld.Args = {4, 5, 3};
+  A.emit(Opcode::LF, 0).FImm = 2.0;
+  Instr &Mul = A.emit(Opcode::VSMUL, 2, 1);
+  Mul.Args = {0};
+  A.emit(Opcode::LF, 1).FImm = 1.0;
+  Instr &Add = A.emit(Opcode::VSADD, 3, 2);
+  Add.Args = {1};
+  Instr &St2 = A.emit(Opcode::VST, -1, 3);
+  St2.Kind = ElemKind::Float32;
+  St2.Args = {4, 5, 3};
+  TitanProgram P = A.finish(8, 4, 4);
+  TitanMachine M(P, {});
+  RunResult R = M.run();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  for (int K = 0; K < 8; ++K)
+    EXPECT_FLOAT_EQ(M.readFloat(64 + 4 * K), 2.0f * K + 1.0f) << K;
+  EXPECT_GT(R.VectorInstrs, 0u);
+  EXPECT_EQ(R.Flops, 16u); // two 8-element arithmetic ops
+}
+
+TEST(TitanTest, StridedVectorAccess) {
+  Asm A;
+  A.emit(Opcode::LI, 1, -1, -1, 5); // lo value
+  A.emit(Opcode::LI, 2, -1, -1, 0); // stride 0: constant vector
+  A.emit(Opcode::LI, 3, -1, -1, 4); // len
+  Instr &Iota = A.emit(Opcode::VIOTA, 0);
+  Iota.Args = {1, 2, 3};
+  A.emit(Opcode::LI, 4, -1, -1, 64);
+  A.emit(Opcode::LI, 5, -1, -1, 8); // every other float
+  Instr &St = A.emit(Opcode::VST, -1, 0);
+  St.Kind = ElemKind::Float32;
+  St.Args = {4, 5, 3};
+  TitanProgram P = A.finish(8, 0, 2);
+  TitanMachine M(P, {});
+  ASSERT_TRUE(M.run().Ok);
+  EXPECT_FLOAT_EQ(M.readFloat(64), 5.0f);
+  EXPECT_FLOAT_EQ(M.readFloat(64 + 8), 5.0f);
+  EXPECT_FLOAT_EQ(M.readFloat(64 + 4), 0.0f); // untouched
+}
+
+TEST(TitanTest, OverlapTimingFasterThanSerial) {
+  // Independent int and FP chains: overlap must be faster.
+  auto Build = []() {
+    Asm A;
+    for (int K = 0; K < 10; ++K) {
+      A.emit(Opcode::LI, 1, -1, -1, K);
+      A.emit(Opcode::LF, 0).FImm = K;
+      A.emit(Opcode::FADD, 1, 0, 0);
+    }
+    return A.finish(4, 4);
+  };
+  TitanProgram P1 = Build();
+  TitanConfig Overlap;
+  TitanMachine M1(P1, Overlap);
+  RunResult R1 = M1.run();
+
+  TitanProgram P2 = Build();
+  TitanConfig Serial;
+  Serial.EnableOverlap = false;
+  TitanMachine M2(P2, Serial);
+  RunResult R2 = M2.run();
+
+  ASSERT_TRUE(R1.Ok && R2.Ok);
+  EXPECT_LT(R1.Cycles, R2.Cycles);
+}
+
+TEST(TitanTest, StoreLoadConflictStallsUnlessFlagged) {
+  auto Build = [](bool NoConflict) {
+    Asm A;
+    A.emit(Opcode::LI, 1, -1, -1, 64);
+    A.emit(Opcode::LI, 2, -1, -1, 128);
+    A.emit(Opcode::LI, 3, -1, -1, 7);
+    A.emit(Opcode::STW, -1, 1, 3); // store to g
+    Instr &Ld = A.emit(Opcode::LDW, 4, 2); // load from elsewhere
+    Ld.NoStoreConflict = NoConflict;
+    A.emit(Opcode::IADD, 5, 4, 4); // consume the load
+    A.emit(Opcode::STW, -1, 1, 5);
+    return A.finish(8, 0);
+  };
+  TitanProgram P1 = Build(false);
+  TitanMachine M1(P1, {});
+  RunResult Conservative = M1.run();
+  TitanProgram P2 = Build(true);
+  TitanMachine M2(P2, {});
+  RunResult Disambiguated = M2.run();
+  ASSERT_TRUE(Conservative.Ok && Disambiguated.Ok);
+  EXPECT_LT(Disambiguated.Cycles, Conservative.Cycles);
+}
+
+TEST(TitanTest, ParallelRegionDividesCycles) {
+  auto Build = []() {
+    Asm A;
+    A.emit(Opcode::LI, 1, -1, -1, 8); // chunk count
+    A.emit(Opcode::PARBEGIN, -1, 1);
+    // A pile of dependent FP work.
+    A.emit(Opcode::LF, 0).FImm = 1.0;
+    for (int K = 0; K < 50; ++K)
+      A.emit(Opcode::FADD, 0, 0, 0);
+    A.emit(Opcode::PAREND);
+    return A.finish(4, 2);
+  };
+  TitanProgram P1 = Build();
+  TitanConfig One;
+  One.NumProcessors = 1;
+  TitanMachine M1(P1, One);
+  RunResult R1 = M1.run();
+
+  TitanProgram P2 = Build();
+  TitanConfig Four;
+  Four.NumProcessors = 4;
+  TitanMachine M2(P2, Four);
+  RunResult R2 = M2.run();
+
+  ASSERT_TRUE(R1.Ok && R2.Ok);
+  EXPECT_LT(R2.Cycles, R1.Cycles);
+}
+
+TEST(TitanTest, TrapInvalidLoad) {
+  Asm A;
+  A.emit(Opcode::LI, 1, -1, -1, -4);
+  A.emit(Opcode::LDW, 2, 1);
+  TitanProgram P = A.finish(4, 0);
+  TitanMachine M(P, {});
+  RunResult R = M.run();
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("invalid address"), std::string::npos);
+}
+
+TEST(TitanTest, TrapDivisionByZero) {
+  Asm A;
+  A.emit(Opcode::LI, 1, -1, -1, 1);
+  A.emit(Opcode::LI, 2, -1, -1, 0);
+  A.emit(Opcode::IDIV, 3, 1, 2);
+  TitanProgram P = A.finish(4, 0);
+  TitanMachine M(P, {});
+  RunResult R = M.run();
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("division by zero"), std::string::npos);
+}
+
+TEST(TitanTest, TrapMissingEntry) {
+  TitanProgram P;
+  TitanMachine M(P, {});
+  RunResult R = M.run("nosuch");
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(TitanTest, InstructionBudget) {
+  Asm A;
+  size_t Top = A.F.Code.size();
+  A.emit(Opcode::JMP).Target = static_cast<int>(Top);
+  TitanProgram P = A.finish(2, 0);
+  TitanConfig C;
+  C.MaxInstructions = 1000;
+  TitanMachine M(P, C);
+  RunResult R = M.run();
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("budget"), std::string::npos);
+}
+
+TEST(TitanTest, VectorLengthLimit) {
+  Asm A;
+  A.emit(Opcode::LI, 1, -1, -1, 0);
+  A.emit(Opcode::LI, 2, -1, -1, 1);
+  A.emit(Opcode::LI, 3, -1, -1, 9000); // > 8192 register file
+  Instr &Iota = A.emit(Opcode::VIOTA, 0);
+  Iota.Args = {1, 2, 3};
+  TitanProgram P = A.finish(4, 0, 1);
+  TitanMachine M(P, {});
+  RunResult R = M.run();
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("register file"), std::string::npos);
+}
+
+TEST(TitanTest, DisassemblyRendersFlags) {
+  Asm A;
+  Instr &Ld = A.emit(Opcode::LDW, 2, 1);
+  Ld.NoStoreConflict = true;
+  TitanProgram P = A.finish(4, 0);
+  std::string Text = disassemble(P.Functions[0]);
+  EXPECT_NE(Text.find("ldw"), std::string::npos);
+  EXPECT_NE(Text.find("[nosconf]"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,423 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Vectorizer tests: Allen–Kennedy distribution, triplet generation,
+/// strip-mining, `do parallel` emission, recurrence serialization, and
+/// the aliasing behaviour of Section 9.
+///
+//===----------------------------------------------------------------------===//
+
+#include "vector/Vectorize.h"
+
+#include "frontend/Lower.h"
+#include "il/ILPrinter.h"
+#include "lexer/Lexer.h"
+#include "parser/Parser.h"
+#include "scalar/ConstProp.h"
+#include "scalar/DeadCode.h"
+#include "scalar/InductionVarSub.h"
+#include "scalar/WhileToDo.h"
+
+#include <gtest/gtest.h>
+
+using namespace tcc;
+using namespace tcc::il;
+using namespace tcc::vec;
+
+namespace {
+
+struct Compiled {
+  ast::AstContext Ctx;
+  DiagnosticEngine Diags;
+  std::unique_ptr<il::Program> P;
+};
+
+std::unique_ptr<Compiled> compileToIL(const std::string &Source) {
+  auto R = std::make_unique<Compiled>();
+  R->P = std::make_unique<il::Program>();
+  Lexer L(Source, R->Diags);
+  Parser Parse(L.lexAll(), R->Ctx, R->P->getTypes(), R->Diags);
+  ast::TranslationUnit TU = Parse.parseTranslationUnit();
+  lowerTranslationUnit(TU, *R->P, R->Diags);
+  EXPECT_FALSE(R->Diags.hasErrors()) << R->Diags.str();
+  return R;
+}
+
+Function *prepare(Compiled &C, const std::string &Name) {
+  Function *F = C.P->findFunction(Name);
+  EXPECT_NE(F, nullptr);
+  scalar::convertWhileLoops(*F);
+  scalar::substituteInductionVariables(*F);
+  scalar::propagateConstants(*F);
+  scalar::eliminateDeadCode(*F);
+  return F;
+}
+
+TEST(VectorizeTest, VectorAddBecomesStripLoop) {
+  auto C = compileToIL(R"(
+    float a[100]; float b[100]; float c[100];
+    void f() {
+      int i;
+      for (i = 0; i < 100; i++)
+        a[i] = b[i] + c[i];
+    }
+  )");
+  Function *F = prepare(*C, "f");
+  VectorizeOptions Opts;
+  Opts.EnableParallel = true;
+  Opts.StripLength = 32;
+  VectorizeStats Stats = vectorizeLoops(*F, Opts);
+  EXPECT_EQ(Stats.LoopsVectorized, 1u);
+  EXPECT_EQ(Stats.VectorStmts, 1u);
+  EXPECT_EQ(Stats.StripLoops, 1u);
+  EXPECT_EQ(Stats.ParallelLoops, 1u);
+
+  std::string Printed = printFunction(*F);
+  // The paper's Section 9 shape.
+  EXPECT_NE(Printed.find("do parallel vi_"), std::string::npos) << Printed;
+  EXPECT_NE(Printed.find("= 0, 99, 32 {"), std::string::npos) << Printed;
+  EXPECT_NE(Printed.find("min(99, vi_"), std::string::npos) << Printed;
+  EXPECT_NE(Printed.find("a[vi_"), std::string::npos) << Printed;
+  EXPECT_NE(Printed.find(":1]"), std::string::npos) << Printed;
+}
+
+TEST(VectorizeTest, ShortConstantTripNoStripLoop) {
+  // The graphics 4x4 case: vector length fits a strip; no strip loop.
+  auto C = compileToIL(R"(
+    float a[4]; float b[4];
+    void f() {
+      int i;
+      for (i = 0; i < 4; i++)
+        a[i] = 2.0 * b[i];
+    }
+  )");
+  Function *F = prepare(*C, "f");
+  VectorizeStats Stats = vectorizeLoops(*F);
+  EXPECT_EQ(Stats.VectorStmts, 1u);
+  EXPECT_EQ(Stats.StripLoops, 0u);
+  EXPECT_EQ(Stats.UnstripedVectorStmts, 1u);
+  std::string Printed = printFunction(*F);
+  EXPECT_NE(Printed.find("a[0:3:1]"), std::string::npos) << Printed;
+  EXPECT_EQ(Printed.find("do "), std::string::npos) << Printed;
+}
+
+TEST(VectorizeTest, RecurrenceStaysSerial) {
+  // Backsolve: cyclic SCC must stay a serial loop.
+  auto C = compileToIL(R"(
+    float x[1001]; float y[1000]; float z[1000];
+    void backsolve(int n) {
+      float *p; float *q; int i;
+      p = &x[1];
+      q = &x[0];
+      for (i = 0; i < n - 2; i++)
+        p[i] = z[i] * (y[i] - q[i]);
+    }
+  )");
+  Function *F = prepare(*C, "backsolve");
+  VectorizeStats Stats = vectorizeLoops(*F);
+  EXPECT_EQ(Stats.LoopsVectorized, 0u);
+  EXPECT_EQ(Stats.VectorStmts, 0u);
+  std::string Printed = printFunction(*F);
+  EXPECT_EQ(Printed.find(":1]"), std::string::npos) << Printed;
+}
+
+TEST(VectorizeTest, DistributionSplitsLoop) {
+  // S2 reads what S1 wrote on a previous iteration: distribute into a
+  // vector statement for S1 followed by one for S2.
+  auto C = compileToIL(R"(
+    float a[101]; float b[100]; float c[100];
+    void f() {
+      int i;
+      for (i = 0; i < 100; i++) {
+        a[i + 1] = b[i];
+        c[i] = a[i];
+      }
+    }
+  )");
+  Function *F = prepare(*C, "f");
+  VectorizeStats Stats = vectorizeLoops(*F);
+  EXPECT_EQ(Stats.LoopsVectorized, 1u);
+  EXPECT_EQ(Stats.LoopsDistributed, 1u);
+  EXPECT_EQ(Stats.VectorStmts, 2u);
+  std::string Printed = printFunction(*F);
+  // Writer strip loop appears before reader strip loop.
+  size_t WritePos = Printed.find("+ 1:");
+  size_t ReadPos = Printed.find("= a[vi");
+  EXPECT_NE(WritePos, std::string::npos) << Printed;
+  EXPECT_NE(ReadPos, std::string::npos) << Printed;
+  EXPECT_LT(WritePos, ReadPos) << Printed;
+}
+
+TEST(VectorizeTest, PartialDistributionMixedSerialVector) {
+  // A reduction plus an independent statement: the reduction loop stays
+  // serial, the copy vectorizes.
+  auto C = compileToIL(R"(
+    float a[100]; float b[100]; float out;
+    void f() {
+      float s; int i;
+      s = 0.0;
+      for (i = 0; i < 100; i++) {
+        s = s + a[i];
+        b[i] = a[i];
+      }
+      out = s;
+    }
+  )");
+  Function *F = prepare(*C, "f");
+  VectorizeStats Stats = vectorizeLoops(*F);
+  EXPECT_EQ(Stats.LoopsVectorized, 1u);
+  EXPECT_EQ(Stats.VectorStmts, 1u);
+  EXPECT_EQ(Stats.SerialLoops, 1u);
+  std::string Printed = printFunction(*F);
+  EXPECT_NE(Printed.find("s = s + a["), std::string::npos) << Printed;
+  EXPECT_NE(Printed.find("b[vi"), std::string::npos) << Printed;
+}
+
+TEST(VectorizeTest, PointerAliasingBlocksVectorization) {
+  // The un-inlined daxpy: pointer parameters may alias (Section 9).
+  auto C = compileToIL(R"(
+    void daxpy(float *x, float *y, float *z, float alpha, int n) {
+      if (n <= 0) return;
+      if (alpha == 0) return;
+      for (; n; n--)
+        *x++ = *y++ + alpha * *z++;
+    }
+  )");
+  Function *F = prepare(*C, "daxpy");
+  VectorizeStats Stats = vectorizeLoops(*F);
+  EXPECT_EQ(Stats.LoopsVectorized, 0u);
+}
+
+TEST(VectorizeTest, SafePragmaEnablesVectorization) {
+  auto C = compileToIL(R"(
+    void daxpy(float *x, float *y, float *z, float alpha, int n) {
+      if (n <= 0) return;
+      if (alpha == 0) return;
+      #pragma safe
+      for (; n; n--)
+        *x++ = *y++ + alpha * *z++;
+    }
+  )");
+  Function *F = prepare(*C, "daxpy");
+  VectorizeStats Stats = vectorizeLoops(*F);
+  EXPECT_EQ(Stats.LoopsVectorized, 1u);
+  std::string Printed = printFunction(*F);
+  // Star form with triplet bounds over the strip.
+  EXPECT_NE(Printed.find("min("), std::string::npos) << Printed;
+  EXPECT_NE(Printed.find("do vi_"), std::string::npos) << Printed;
+}
+
+TEST(VectorizeTest, FortranPointerOptionEnablesVectorization) {
+  auto C = compileToIL(R"(
+    void daxpy(float *x, float *y, float *z, float alpha, int n) {
+      for (; n; n--)
+        *x++ = *y++ + alpha * *z++;
+    }
+  )");
+  Function *F = prepare(*C, "daxpy");
+  VectorizeOptions Opts;
+  Opts.FortranPointerSemantics = true;
+  VectorizeStats Stats = vectorizeLoops(*F, Opts);
+  EXPECT_EQ(Stats.LoopsVectorized, 1u);
+}
+
+TEST(VectorizeTest, PointerRefsKeepStarFormWithTriplet) {
+  auto C = compileToIL(R"(
+    void f(float *x, int n) {
+      int i;
+      #pragma safe
+      for (i = 0; i < n; i++)
+        x[i] = 1.0;
+    }
+  )");
+  Function *F = prepare(*C, "f");
+  VectorizeStats Stats = vectorizeLoops(*F);
+  EXPECT_EQ(Stats.VectorStmts, 1u);
+  std::string Printed = printFunction(*F);
+  // Star form with an embedded triplet over the strip bounds:
+  // *(x + 4*vi : x + 4*vr : 4).
+  EXPECT_NE(Printed.find("*(x + 4 * vi"), std::string::npos) << Printed;
+  EXPECT_NE(Printed.find("4 * vr_"), std::string::npos) << Printed;
+  EXPECT_NE(Printed.find(":4)"), std::string::npos) << Printed;
+}
+
+TEST(VectorizeTest, VolatileNotVectorized) {
+  auto C = compileToIL(R"(
+    volatile float a[100]; float b[100];
+    void f() {
+      int i;
+      for (i = 0; i < 100; i++)
+        b[i] = a[i];
+    }
+  )");
+  Function *F = prepare(*C, "f");
+  VectorizeStats Stats = vectorizeLoops(*F);
+  EXPECT_EQ(Stats.LoopsVectorized, 0u);
+}
+
+TEST(VectorizeTest, CallBlocksVectorization) {
+  auto C = compileToIL(R"(
+    float a[100];
+    float g(float v);
+    void f() {
+      int i; float t;
+      for (i = 0; i < 100; i++) {
+        t = g(1.0);
+        a[i] = t;
+      }
+    }
+  )");
+  Function *F = prepare(*C, "f");
+  VectorizeStats Stats = vectorizeLoops(*F);
+  EXPECT_EQ(Stats.LoopsVectorized, 0u);
+}
+
+TEST(VectorizeTest, NoParallelWhenDisabled) {
+  auto C = compileToIL(R"(
+    float a[100]; float b[100];
+    void f() {
+      int i;
+      for (i = 0; i < 100; i++)
+        a[i] = b[i];
+    }
+  )");
+  Function *F = prepare(*C, "f");
+  VectorizeOptions Opts;
+  Opts.EnableParallel = false;
+  VectorizeStats Stats = vectorizeLoops(*F, Opts);
+  EXPECT_EQ(Stats.StripLoops, 1u);
+  EXPECT_EQ(Stats.ParallelLoops, 0u);
+  std::string Printed = printFunction(*F);
+  EXPECT_EQ(Printed.find("do parallel"), std::string::npos) << Printed;
+}
+
+TEST(VectorizeTest, StripLengthConfigurable) {
+  auto C = compileToIL(R"(
+    float a[100]; float b[100];
+    void f() {
+      int i;
+      for (i = 0; i < 100; i++)
+        a[i] = b[i];
+    }
+  )");
+  Function *F = prepare(*C, "f");
+  VectorizeOptions Opts;
+  Opts.StripLength = 64;
+  vectorizeLoops(*F, Opts);
+  std::string Printed = printFunction(*F);
+  EXPECT_NE(Printed.find("= 0, 99, 64 {"), std::string::npos) << Printed;
+  EXPECT_NE(Printed.find("+ 63"), std::string::npos) << Printed;
+}
+
+TEST(VectorizeTest, WholePipelineDaxpyMainMatchesPaper) {
+  // Hand-inlined daxpy main, full scalar pipeline, then vectorize +
+  // parallelize: the Section 9 final form.
+  auto C = compileToIL(R"(
+    float a[100]; float b[100]; float c[100];
+    void main() {
+      float *in_x; float *in_y; float *in_z; float in_alpha;
+      float *in_2; float *in_3; float *in_4;
+      int in_n; int in_1;
+      in_x = a;
+      in_y = b;
+      in_z = c;
+      in_alpha = 1.0;
+      in_n = 100;
+      if (in_n <= 0) goto lb_1;
+      if (in_alpha == 0.0) goto lb_1;
+      while (in_n) {
+        in_2 = in_x;
+        in_x = in_2 + 1;
+        in_3 = in_y;
+        in_y = in_3 + 1;
+        in_4 = in_z;
+        in_z = in_4 + 1;
+        *in_2 = *in_3 + in_alpha * *in_4;
+        in_1 = in_n;
+        in_n = in_1 - 1;
+      }
+      lb_1: ;
+    }
+  )");
+  Function *F = prepare(*C, "main");
+  VectorizeOptions Opts;
+  Opts.EnableParallel = true;
+  Opts.StripLength = 32;
+  VectorizeStats Stats = vectorizeLoops(*F, Opts);
+  EXPECT_EQ(Stats.LoopsVectorized, 1u);
+  std::string Printed = printFunction(*F);
+  // do parallel vi = 0, 99, 32 { vr = min(99, vi+31);
+  //   a[vi:vr:1] = b[vi:vr:1] + c[vi:vr:1]; }
+  EXPECT_NE(Printed.find("do parallel"), std::string::npos) << Printed;
+  EXPECT_NE(Printed.find("= 0, 99, 32 {"), std::string::npos) << Printed;
+  EXPECT_NE(Printed.find("min(99,"), std::string::npos) << Printed;
+  EXPECT_NE(Printed.find("a["), std::string::npos) << Printed;
+  EXPECT_NE(Printed.find("b["), std::string::npos) << Printed;
+  EXPECT_NE(Printed.find("c["), std::string::npos) << Printed;
+}
+
+} // namespace
+
+// (appended) Scalar spreading of non-vectorizable but independent loops.
+namespace {
+TEST(VectorizeTest, IndependentSerialLoopSpreadsAcrossProcessors) {
+  // i % 4 has no vector form, but iterations are independent: the loop
+  // should stay scalar yet become `do parallel` (paper Section 2).
+  auto C = compileToIL(R"(
+    float a[100];
+    void f() {
+      int i;
+      for (i = 0; i < 100; i++)
+        a[i] = i % 4;
+    }
+  )");
+  Function *F = prepare(*C, "f");
+  VectorizeOptions Opts;
+  Opts.EnableParallel = true;
+  VectorizeStats Stats = vectorizeLoops(*F, Opts);
+  EXPECT_EQ(Stats.VectorStmts, 0u);
+  EXPECT_EQ(Stats.SpreadSerialLoops, 1u);
+  std::string Printed = printFunction(*F);
+  EXPECT_NE(Printed.find("do parallel"), std::string::npos) << Printed;
+}
+
+TEST(VectorizeTest, RecurrenceNeverSpread) {
+  // A carried dependence with a non-vectorizable value use: neither
+  // vectorized nor spread.
+  auto C = compileToIL(R"(
+    int x[101];
+    void f() {
+      int i;
+      for (i = 1; i <= 100; i++)
+        x[i] = x[i - 1] % 7;
+    }
+  )");
+  Function *F = prepare(*C, "f");
+  VectorizeOptions Opts;
+  Opts.EnableParallel = true;
+  VectorizeStats Stats = vectorizeLoops(*F, Opts);
+  EXPECT_EQ(Stats.SpreadSerialLoops, 0u);
+  std::string Printed = printFunction(*F);
+  EXPECT_EQ(Printed.find("do parallel"), std::string::npos) << Printed;
+}
+
+TEST(VectorizeTest, ReductionNeverSpread) {
+  auto C = compileToIL(R"(
+    float a[100]; float out;
+    void f() {
+      float s; int i;
+      s = 0.0;
+      for (i = 0; i < 100; i++)
+        s = s + a[i] * (i % 3);
+      out = s;
+    }
+  )");
+  Function *F = prepare(*C, "f");
+  VectorizeOptions Opts;
+  Opts.EnableParallel = true;
+  VectorizeStats Stats = vectorizeLoops(*F, Opts);
+  EXPECT_EQ(Stats.SpreadSerialLoops, 0u);
+  std::string Printed = printFunction(*F);
+  EXPECT_EQ(Printed.find("do parallel"), std::string::npos) << Printed;
+}
+} // namespace
