@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_backsolve.dir/bench_backsolve.cpp.o"
+  "CMakeFiles/bench_backsolve.dir/bench_backsolve.cpp.o.d"
+  "bench_backsolve"
+  "bench_backsolve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_backsolve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

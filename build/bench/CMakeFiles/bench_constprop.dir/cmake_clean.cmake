@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_constprop.dir/bench_constprop.cpp.o"
+  "CMakeFiles/bench_constprop.dir/bench_constprop.cpp.o.d"
+  "bench_constprop"
+  "bench_constprop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_constprop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

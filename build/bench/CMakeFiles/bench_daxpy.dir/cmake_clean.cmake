@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_daxpy.dir/bench_daxpy.cpp.o"
+  "CMakeFiles/bench_daxpy.dir/bench_daxpy.cpp.o.d"
+  "bench_daxpy"
+  "bench_daxpy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_daxpy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

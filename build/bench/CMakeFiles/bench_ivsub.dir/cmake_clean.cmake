@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ivsub.dir/bench_ivsub.cpp.o"
+  "CMakeFiles/bench_ivsub.dir/bench_ivsub.cpp.o.d"
+  "bench_ivsub"
+  "bench_ivsub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ivsub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

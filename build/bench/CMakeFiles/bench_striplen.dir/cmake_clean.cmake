@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_striplen.dir/bench_striplen.cpp.o"
+  "CMakeFiles/bench_striplen.dir/bench_striplen.cpp.o.d"
+  "bench_striplen"
+  "bench_striplen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_striplen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

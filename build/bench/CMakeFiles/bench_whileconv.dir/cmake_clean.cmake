@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_whileconv.dir/bench_whileconv.cpp.o"
+  "CMakeFiles/bench_whileconv.dir/bench_whileconv.cpp.o.d"
+  "bench_whileconv"
+  "bench_whileconv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_whileconv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backsolve_demo.dir/backsolve_demo.cpp.o"
+  "CMakeFiles/backsolve_demo.dir/backsolve_demo.cpp.o.d"
+  "backsolve_demo"
+  "backsolve_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backsolve_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blas_catalog.dir/blas_catalog.cpp.o"
+  "CMakeFiles/blas_catalog.dir/blas_catalog.cpp.o.d"
+  "blas_catalog"
+  "blas_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blas_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

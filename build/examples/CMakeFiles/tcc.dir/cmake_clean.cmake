@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcc.dir/tcc_main.cpp.o"
+  "CMakeFiles/tcc.dir/tcc_main.cpp.o.d"
+  "tcc"
+  "tcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

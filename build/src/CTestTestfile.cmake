@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("types")
+subdirs("lexer")
+subdirs("ast")
+subdirs("parser")
+subdirs("il")
+subdirs("frontend")
+subdirs("analysis")
+subdirs("scalar")
+subdirs("dependence")
+subdirs("vector")
+subdirs("titan")
+subdirs("codegen")
+subdirs("inliner")
+subdirs("depopt")
+subdirs("driver")

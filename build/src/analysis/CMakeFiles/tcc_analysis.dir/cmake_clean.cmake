@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcc_analysis.dir/CFG.cpp.o"
+  "CMakeFiles/tcc_analysis.dir/CFG.cpp.o.d"
+  "CMakeFiles/tcc_analysis.dir/CallGraph.cpp.o"
+  "CMakeFiles/tcc_analysis.dir/CallGraph.cpp.o.d"
+  "CMakeFiles/tcc_analysis.dir/UseDef.cpp.o"
+  "CMakeFiles/tcc_analysis.dir/UseDef.cpp.o.d"
+  "libtcc_analysis.a"
+  "libtcc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcc_ast.dir/Ast.cpp.o"
+  "CMakeFiles/tcc_ast.dir/Ast.cpp.o.d"
+  "libtcc_ast.a"
+  "libtcc_ast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcc_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

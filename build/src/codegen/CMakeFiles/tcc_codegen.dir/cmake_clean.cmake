@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcc_codegen.dir/Codegen.cpp.o"
+  "CMakeFiles/tcc_codegen.dir/Codegen.cpp.o.d"
+  "libtcc_codegen.a"
+  "libtcc_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcc_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

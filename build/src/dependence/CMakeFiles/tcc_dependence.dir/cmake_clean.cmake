@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcc_dependence.dir/DependenceGraph.cpp.o"
+  "CMakeFiles/tcc_dependence.dir/DependenceGraph.cpp.o.d"
+  "CMakeFiles/tcc_dependence.dir/MemRef.cpp.o"
+  "CMakeFiles/tcc_dependence.dir/MemRef.cpp.o.d"
+  "libtcc_dependence.a"
+  "libtcc_dependence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcc_dependence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

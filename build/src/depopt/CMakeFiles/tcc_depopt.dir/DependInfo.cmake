@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/depopt/DepOpt.cpp" "src/depopt/CMakeFiles/tcc_depopt.dir/DepOpt.cpp.o" "gcc" "src/depopt/CMakeFiles/tcc_depopt.dir/DepOpt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dependence/CMakeFiles/tcc_dependence.dir/DependInfo.cmake"
+  "/root/repo/build/src/scalar/CMakeFiles/tcc_scalar.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/tcc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/il/CMakeFiles/tcc_il.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/tcc_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tcc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

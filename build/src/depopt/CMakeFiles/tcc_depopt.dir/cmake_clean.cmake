@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcc_depopt.dir/DepOpt.cpp.o"
+  "CMakeFiles/tcc_depopt.dir/DepOpt.cpp.o.d"
+  "libtcc_depopt.a"
+  "libtcc_depopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcc_depopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcc_driver.dir/Compiler.cpp.o"
+  "CMakeFiles/tcc_driver.dir/Compiler.cpp.o.d"
+  "libtcc_driver.a"
+  "libtcc_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcc_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcc_frontend.dir/Lower.cpp.o"
+  "CMakeFiles/tcc_frontend.dir/Lower.cpp.o.d"
+  "libtcc_frontend.a"
+  "libtcc_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcc_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcc_il.dir/IL.cpp.o"
+  "CMakeFiles/tcc_il.dir/IL.cpp.o.d"
+  "CMakeFiles/tcc_il.dir/ILPrinter.cpp.o"
+  "CMakeFiles/tcc_il.dir/ILPrinter.cpp.o.d"
+  "CMakeFiles/tcc_il.dir/ILSerializer.cpp.o"
+  "CMakeFiles/tcc_il.dir/ILSerializer.cpp.o.d"
+  "libtcc_il.a"
+  "libtcc_il.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcc_il.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

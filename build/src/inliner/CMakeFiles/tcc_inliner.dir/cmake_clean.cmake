@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcc_inliner.dir/Inliner.cpp.o"
+  "CMakeFiles/tcc_inliner.dir/Inliner.cpp.o.d"
+  "libtcc_inliner.a"
+  "libtcc_inliner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcc_inliner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcc_lexer.dir/Lexer.cpp.o"
+  "CMakeFiles/tcc_lexer.dir/Lexer.cpp.o.d"
+  "libtcc_lexer.a"
+  "libtcc_lexer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcc_lexer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

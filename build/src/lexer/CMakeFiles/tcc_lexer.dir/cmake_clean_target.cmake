@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtcc_lexer.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcc_parser.dir/Parser.cpp.o"
+  "CMakeFiles/tcc_parser.dir/Parser.cpp.o.d"
+  "libtcc_parser.a"
+  "libtcc_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcc_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

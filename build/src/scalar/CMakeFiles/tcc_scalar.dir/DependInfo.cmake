@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scalar/ConstProp.cpp" "src/scalar/CMakeFiles/tcc_scalar.dir/ConstProp.cpp.o" "gcc" "src/scalar/CMakeFiles/tcc_scalar.dir/ConstProp.cpp.o.d"
+  "/root/repo/src/scalar/DeadCode.cpp" "src/scalar/CMakeFiles/tcc_scalar.dir/DeadCode.cpp.o" "gcc" "src/scalar/CMakeFiles/tcc_scalar.dir/DeadCode.cpp.o.d"
+  "/root/repo/src/scalar/Fold.cpp" "src/scalar/CMakeFiles/tcc_scalar.dir/Fold.cpp.o" "gcc" "src/scalar/CMakeFiles/tcc_scalar.dir/Fold.cpp.o.d"
+  "/root/repo/src/scalar/InductionVarSub.cpp" "src/scalar/CMakeFiles/tcc_scalar.dir/InductionVarSub.cpp.o" "gcc" "src/scalar/CMakeFiles/tcc_scalar.dir/InductionVarSub.cpp.o.d"
+  "/root/repo/src/scalar/LinearValues.cpp" "src/scalar/CMakeFiles/tcc_scalar.dir/LinearValues.cpp.o" "gcc" "src/scalar/CMakeFiles/tcc_scalar.dir/LinearValues.cpp.o.d"
+  "/root/repo/src/scalar/WhileToDo.cpp" "src/scalar/CMakeFiles/tcc_scalar.dir/WhileToDo.cpp.o" "gcc" "src/scalar/CMakeFiles/tcc_scalar.dir/WhileToDo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/tcc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/il/CMakeFiles/tcc_il.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/tcc_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tcc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcc_scalar.dir/ConstProp.cpp.o"
+  "CMakeFiles/tcc_scalar.dir/ConstProp.cpp.o.d"
+  "CMakeFiles/tcc_scalar.dir/DeadCode.cpp.o"
+  "CMakeFiles/tcc_scalar.dir/DeadCode.cpp.o.d"
+  "CMakeFiles/tcc_scalar.dir/Fold.cpp.o"
+  "CMakeFiles/tcc_scalar.dir/Fold.cpp.o.d"
+  "CMakeFiles/tcc_scalar.dir/InductionVarSub.cpp.o"
+  "CMakeFiles/tcc_scalar.dir/InductionVarSub.cpp.o.d"
+  "CMakeFiles/tcc_scalar.dir/LinearValues.cpp.o"
+  "CMakeFiles/tcc_scalar.dir/LinearValues.cpp.o.d"
+  "CMakeFiles/tcc_scalar.dir/WhileToDo.cpp.o"
+  "CMakeFiles/tcc_scalar.dir/WhileToDo.cpp.o.d"
+  "libtcc_scalar.a"
+  "libtcc_scalar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcc_scalar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tcc_scalar.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcc_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/tcc_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/tcc_support.dir/SourceLoc.cpp.o"
+  "CMakeFiles/tcc_support.dir/SourceLoc.cpp.o.d"
+  "CMakeFiles/tcc_support.dir/StringExtras.cpp.o"
+  "CMakeFiles/tcc_support.dir/StringExtras.cpp.o.d"
+  "libtcc_support.a"
+  "libtcc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcc_titan.dir/TitanMachine.cpp.o"
+  "CMakeFiles/tcc_titan.dir/TitanMachine.cpp.o.d"
+  "libtcc_titan.a"
+  "libtcc_titan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcc_titan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

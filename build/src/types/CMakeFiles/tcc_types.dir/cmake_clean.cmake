@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcc_types.dir/Type.cpp.o"
+  "CMakeFiles/tcc_types.dir/Type.cpp.o.d"
+  "libtcc_types.a"
+  "libtcc_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcc_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcc_vector.dir/Vectorize.cpp.o"
+  "CMakeFiles/tcc_vector.dir/Vectorize.cpp.o.d"
+  "libtcc_vector.a"
+  "libtcc_vector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcc_vector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_depopt.dir/DepOptTest.cpp.o"
+  "CMakeFiles/test_depopt.dir/DepOptTest.cpp.o.d"
+  "test_depopt"
+  "test_depopt.pdb"
+  "test_depopt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_depopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_il.dir/ILTest.cpp.o"
+  "CMakeFiles/test_il.dir/ILTest.cpp.o.d"
+  "test_il"
+  "test_il.pdb"
+  "test_il[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_il.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

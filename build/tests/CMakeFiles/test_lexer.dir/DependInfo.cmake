@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/LexerTest.cpp" "tests/CMakeFiles/test_lexer.dir/LexerTest.cpp.o" "gcc" "tests/CMakeFiles/test_lexer.dir/LexerTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/tcc_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/depopt/CMakeFiles/tcc_depopt.dir/DependInfo.cmake"
+  "/root/repo/build/src/inliner/CMakeFiles/tcc_inliner.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/tcc_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/titan/CMakeFiles/tcc_titan.dir/DependInfo.cmake"
+  "/root/repo/build/src/vector/CMakeFiles/tcc_vector.dir/DependInfo.cmake"
+  "/root/repo/build/src/dependence/CMakeFiles/tcc_dependence.dir/DependInfo.cmake"
+  "/root/repo/build/src/scalar/CMakeFiles/tcc_scalar.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/tcc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/tcc_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/tcc_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/il/CMakeFiles/tcc_il.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/tcc_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/lexer/CMakeFiles/tcc_lexer.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/tcc_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tcc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

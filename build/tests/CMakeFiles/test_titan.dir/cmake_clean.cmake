@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_titan.dir/TitanTest.cpp.o"
+  "CMakeFiles/test_titan.dir/TitanTest.cpp.o.d"
+  "test_titan"
+  "test_titan.pdb"
+  "test_titan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_titan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vectorize.dir/VectorizeTest.cpp.o"
+  "CMakeFiles/test_vectorize.dir/VectorizeTest.cpp.o.d"
+  "test_vectorize"
+  "test_vectorize.pdb"
+  "test_vectorize[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vectorize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

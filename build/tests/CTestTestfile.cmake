@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_lexer[1]_include.cmake")
+include("/root/repo/build/tests/test_parser[1]_include.cmake")
+include("/root/repo/build/tests/test_il[1]_include.cmake")
+include("/root/repo/build/tests/test_lower[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_scalar[1]_include.cmake")
+include("/root/repo/build/tests/test_dependence[1]_include.cmake")
+include("/root/repo/build/tests/test_vectorize[1]_include.cmake")
+include("/root/repo/build/tests/test_execution[1]_include.cmake")
+include("/root/repo/build/tests/test_inliner[1]_include.cmake")
+include("/root/repo/build/tests/test_depopt[1]_include.cmake")
+include("/root/repo/build/tests/test_titan[1]_include.cmake")
+include("/root/repo/build/tests/test_driver[1]_include.cmake")
+include("/root/repo/build/tests/test_codegen[1]_include.cmake")
