@@ -13,8 +13,10 @@
 #define TCC_BENCH_BENCHCOMMON_H
 
 #include "driver/Compiler.h"
+#include "support/JSONWriter.h"
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 namespace tcc {
@@ -26,6 +28,7 @@ struct Measurement {
   titan::RunResult Run;
   titan::TitanConfig Config;
   driver::PhaseStats Stats;
+  remarks::CompilationTelemetry Telemetry;
 
   /// Kernel MFLOPS: the titan_tic/titan_toc region when marked, else the
   /// whole run.
@@ -35,6 +38,49 @@ struct Measurement {
                                                 : Run.Cycles);
   }
 };
+
+/// Kernel tag for the machine-readable output below.  Each bench main
+/// sets this once before measuring.
+inline std::string &jsonKernel() {
+  static std::string Kernel;
+  return Kernel;
+}
+inline void setJsonKernel(const std::string &Kernel) {
+  jsonKernel() = Kernel;
+}
+
+/// Appends one measurement as a single-line JSON object to
+/// BENCH_pipeline.json in the working directory (JSON Lines: every bench
+/// binary appends, so running the whole bench suite accumulates one
+/// machine-readable file instead of eight clobbering each other).
+inline void appendJsonRow(const Measurement &M) {
+  if (jsonKernel().empty())
+    return;
+  std::ofstream OS("BENCH_pipeline.json", std::ios::app);
+  if (!OS)
+    return;
+  json::JSONWriter W(OS, /*IndentWidth=*/0);
+  W.beginObject();
+  W.keyValue("kernel", jsonKernel());
+  W.keyValue("variant", M.Label);
+  W.keyValue("cycles", M.cycles());
+  W.keyValue("mflops", M.mflops());
+  W.keyValue("vectorInstrs", static_cast<uint64_t>(M.Run.VectorInstrs));
+  W.keyValue("loads", static_cast<uint64_t>(M.Run.Loads));
+  W.keyValue("processors", static_cast<uint64_t>(M.Config.NumProcessors));
+  W.keyValue("compileMillis", M.Telemetry.TotalMillis);
+  W.key("passes").beginArray();
+  for (const auto &Rec : M.Telemetry.Passes) {
+    W.beginObject();
+    W.keyValue("name", Rec.Pass);
+    W.keyValue("millis", Rec.Millis);
+    W.keyValue("stmtsDelta", static_cast<int64_t>(Rec.stmtsDelta()));
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  OS << '\n';
+}
 
 inline Measurement measure(const std::string &Label,
                            const std::string &Source,
@@ -50,6 +96,8 @@ inline Measurement measure(const std::string &Label,
   }
   M.Run = Out.Run;
   M.Stats = Out.Compile->Stats;
+  M.Telemetry = Out.Compile->Telemetry;
+  appendJsonRow(M);
   return M;
 }
 

@@ -122,6 +122,7 @@ BENCHMARK(BM_AliasInlined);
 } // namespace
 
 int main(int argc, char **argv) {
+  setJsonKernel("aliasing");
   printE9();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

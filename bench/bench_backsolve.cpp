@@ -137,6 +137,7 @@ BENCHMARK(BM_BacksolveDependenceDriven);
 } // namespace
 
 int main(int argc, char **argv) {
+  setJsonKernel("backsolve");
   printExperiment();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

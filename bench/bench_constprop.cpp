@@ -100,6 +100,7 @@ BENCHMARK(BM_ConstPropAlphaZero);
 } // namespace
 
 int main(int argc, char **argv) {
+  setJsonKernel("constprop");
   printE6();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

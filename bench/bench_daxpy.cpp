@@ -155,6 +155,7 @@ BENCHMARK(BM_DaxpyVectorParallel2);
 } // namespace
 
 int main(int argc, char **argv) {
+  setJsonKernel("daxpy");
   printE2();
   printE3();
   benchmark::Initialize(&argc, argv);

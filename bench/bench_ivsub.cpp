@@ -93,6 +93,7 @@ BENCHMARK(BM_IVSubNoBacktracking)->Arg(4)->Arg(16)->Arg(64);
 } // namespace
 
 int main(int argc, char **argv) {
+  setJsonKernel("ivsub");
   printE5();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -68,6 +68,7 @@ BENCHMARK(BM_ParallelScaling)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
 } // namespace
 
 int main(int argc, char **argv) {
+  setJsonKernel("parallel_scaling");
   printE7();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -90,6 +90,7 @@ BENCHMARK(BM_VectorLength)->Arg(4)->Arg(64)->Arg(1024)->Arg(8192);
 } // namespace
 
 int main(int argc, char **argv) {
+  setJsonKernel("striplen");
   printE8();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

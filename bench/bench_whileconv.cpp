@@ -90,6 +90,7 @@ BENCHMARK(BM_CopyConverted);
 } // namespace
 
 int main(int argc, char **argv) {
+  setJsonKernel("whileconv");
   printE4();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

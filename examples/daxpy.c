@@ -1,0 +1,28 @@
+/* The paper's Section 2 kernel: daxpy with a while-style loop and a
+ * scalar recurrence.  The daxpy loop inlines and vectorizes; the
+ * partial-sum loop is refused (cyclic dependence on s) — compile with
+ * -remarks=- to see both decisions.
+ *
+ *   tcc -passes=whiletodo,ivsub,vectorize -verify-each -remarks=- \
+ *       examples/daxpy.c
+ */
+float a[1024], b[1024], c[1024];
+float s;
+
+void daxpy(float *x, float *y, float *z, float alpha, int n)
+{
+  if (n <= 0) return;
+  if (alpha == 0) return;
+  for (; n; n--)
+    *x++ = *y++ + alpha * *z++;
+}
+
+void main()
+{
+  int i;
+  for (i = 0; i < 1024; i++) { b[i] = i; c[i] = 2 * i; }
+  daxpy(a, b, c, 3.0, 1024);
+  s = 0.0;
+  for (i = 0; i < 1024; i++)
+    s = s + a[i];
+}

@@ -13,8 +13,17 @@
 ///   -fno-inline      disable inlining
 ///   -ffortran-ptrs   pointer parameters never alias (paper Section 9)
 ///   -strip <n>       strip length for vector loops (default 32)
-///   -print-il=PHASE  dump IL after PHASE (lower, inline, whiletodo,
-///                    ivsub, constprop, dce, vectorize, depopt)
+///   -passes=SPEC     run a custom pipeline (comma-separated registered
+///                    pass names, e.g. whiletodo,ivsub,vectorize);
+///                    overrides the -O level's phase selection
+///   -verify-each     run the IL verifier after every pass; a violated
+///                    invariant fails the compile naming the pass
+///   -print-il=PHASE  dump IL after PHASE ("lower" or any registered
+///                    pass name; see -passes)
+///   -print-after-all dump IL after the front end and every pass
+///   -remarks=FILE    write optimization telemetry (per-pass timings,
+///                    IL deltas, counters, source-located remarks) as
+///                    JSON to FILE ("-" for stdout)
 ///   -S               print TitanISA assembly
 ///   -run             execute on the simulated Titan (default)
 ///   -no-run          compile only
@@ -24,10 +33,12 @@
 
 #include "driver/Compiler.h"
 #include "il/ILPrinter.h"
+#include "pipeline/PassRegistry.h"
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 
@@ -39,8 +50,11 @@ void usage() {
   std::fprintf(
       stderr,
       "usage: tcc [-O0|-O1|-O2|-O3] [-P n] [-fno-inline] [-ffortran-ptrs]\n"
-      "           [-strip n] [-print-il=phase] [-S] [-run|-no-run]\n"
-      "           [-stats] file.c\n");
+      "           [-strip n] [-passes=spec] [-verify-each]\n"
+      "           [-print-il=phase] [-print-after-all] [-remarks=file]\n"
+      "           [-S] [-run|-no-run] [-stats] file.c\n"
+      "registered passes: %s\n",
+      pipeline::PassRegistry::instance().namesJoined().c_str());
 }
 
 } // namespace
@@ -49,8 +63,10 @@ int main(int argc, char **argv) {
   driver::CompilerOptions Opts = driver::CompilerOptions::full();
   titan::TitanConfig Machine;
   std::string PrintPhase;
+  std::string RemarksPath;
   std::string InputPath;
   bool PrintAsm = false;
+  bool PrintAfterAll = false;
   bool Run = true;
   bool PrintStats = false;
 
@@ -77,9 +93,18 @@ int main(int argc, char **argv) {
       Opts.Vectorize.FortranPointerSemantics = true;
     } else if (Arg == "-strip" && I + 1 < argc) {
       Opts.Vectorize.StripLength = std::atoll(argv[++I]);
+    } else if (Arg.rfind("-passes=", 0) == 0) {
+      Opts.Passes = Arg.substr(std::strlen("-passes="));
+    } else if (Arg == "-verify-each") {
+      Opts.VerifyEach = true;
     } else if (Arg.rfind("-print-il=", 0) == 0) {
       PrintPhase = Arg.substr(std::strlen("-print-il="));
       Opts.CaptureStages = true;
+    } else if (Arg == "-print-after-all") {
+      PrintAfterAll = true;
+      Opts.CaptureStages = true;
+    } else if (Arg.rfind("-remarks=", 0) == 0) {
+      RemarksPath = Arg.substr(std::strlen("-remarks="));
     } else if (Arg == "-S") {
       PrintAsm = true;
     } else if (Arg == "-run") {
@@ -112,13 +137,36 @@ int main(int argc, char **argv) {
   auto Result = driver::compileSource(Buffer.str(), Opts);
   for (const auto &D : Result->Diags.diagnostics())
     std::fprintf(stderr, "%s: %s\n", InputPath.c_str(), D.str().c_str());
+
+  // Telemetry is written even for failed compiles: the record of what ran
+  // before the failure is exactly what a verifier diagnostic needs.
+  if (!RemarksPath.empty()) {
+    if (RemarksPath == "-") {
+      Result->Telemetry.writeJSON(std::cout);
+    } else {
+      std::ofstream OS(RemarksPath);
+      if (!OS) {
+        std::fprintf(stderr, "tcc: cannot write '%s'\n",
+                     RemarksPath.c_str());
+        return 2;
+      }
+      Result->Telemetry.writeJSON(OS);
+    }
+  }
+
   if (!Result->ok())
     return 1;
 
-  if (!PrintPhase.empty()) {
+  if (PrintAfterAll) {
+    for (const std::string &Key : Result->StageOrder)
+      std::printf("*** IL after %s ***\n%s\n", Key.c_str(),
+                  Result->Stages[Key].c_str());
+  } else if (!PrintPhase.empty()) {
     auto It = Result->Stages.find(PrintPhase);
     if (It == Result->Stages.end()) {
-      std::fprintf(stderr, "tcc: no IL snapshot for phase '%s'\n",
+      std::fprintf(stderr,
+                   "tcc: no IL snapshot for phase '%s' (captured: lower + "
+                   "executed passes)\n",
                    PrintPhase.c_str());
       return 2;
     }
@@ -163,6 +211,13 @@ int main(int argc, char **argv) {
                 S.StrengthReduce.LoopsApplied,
                 S.StrengthReduce.AddressTemps,
                 S.StrengthReduce.SharedTemps);
+    std::printf("pipeline:    %.3f ms total\n", Result->Telemetry.TotalMillis);
+    for (const auto &Rec : Result->Telemetry.Passes)
+      std::printf("  %-10s %8.3f ms  stmts %llu -> %llu%s\n",
+                  Rec.Pass.c_str(), Rec.Millis,
+                  static_cast<unsigned long long>(Rec.Before.Stmts),
+                  static_cast<unsigned long long>(Rec.After.Stmts),
+                  Rec.Verified ? "  [verified]" : "");
   }
 
   if (!Run)

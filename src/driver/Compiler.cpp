@@ -1,7 +1,6 @@
 #include "driver/Compiler.h"
 
 #include "codegen/Codegen.h"
-#include "dependence/DependenceGraph.h"
 #include "frontend/Lower.h"
 #include "il/ILPrinter.h"
 #include "lexer/Lexer.h"
@@ -9,6 +8,33 @@
 
 using namespace tcc;
 using namespace tcc::driver;
+
+std::string CompilerOptions::pipelineSpec() const {
+  std::string Spec;
+  auto Add = [&Spec](const char *Name) {
+    if (!Spec.empty())
+      Spec += ',';
+    Spec += Name;
+  };
+  // The paper's phase order (Sections 5-9): inlining first so call-site
+  // information drives everything downstream.
+  if (EnableInline)
+    Add("inline");
+  if (EnableWhileToDo)
+    Add("whiletodo");
+  if (EnableIVSub)
+    Add("ivsub");
+  if (EnableConstProp)
+    Add("constprop");
+  if (EnableDCE)
+    Add("dce");
+  if (EnableVectorize)
+    Add("vectorize");
+  if (EnableScalarReplacement || EnableDepScheduling ||
+      EnableStrengthReduction)
+    Add("depopt");
+  return Spec;
+}
 
 std::unique_ptr<CompileResult>
 driver::compileSource(const std::string &Source, const CompilerOptions &Opts) {
@@ -27,112 +53,41 @@ driver::compileSource(const std::string &Source, const CompilerOptions &Opts) {
   if (R->Diags.hasErrors())
     return R;
 
-  auto Snapshot = [&](const char *Key) {
-    if (Opts.CaptureStages)
-      R->Stages[Key] = il::printProgram(P);
+  auto Snapshot = [&](const std::string &Key) {
+    if (!Opts.CaptureStages)
+      return;
+    R->Stages[Key] = il::printProgram(P);
+    R->StageOrder.push_back(Key);
   };
   Snapshot("lower");
 
-  // Inlining before scalar analysis: the information at call sites drives
-  // everything downstream (paper Sections 7–9).
-  if (Opts.EnableInline) {
-    R->Stats.Inline =
-        inliner::inlineCalls(P, R->Diags, Opts.Inline, Opts.Catalog);
-    Snapshot("inline");
-  }
+  // Optimization pipeline: the Enable* toggles build the default spec,
+  // -passes= overrides it.
+  pipeline::PipelineOptions PipeOpts;
+  PipeOpts.Inline = Opts.Inline;
+  PipeOpts.Catalog = Opts.Catalog;
+  PipeOpts.IVSub = Opts.IVSub;
+  PipeOpts.ConstProp = Opts.ConstProp;
+  PipeOpts.Vectorize = Opts.Vectorize;
+  PipeOpts.EnableScalarReplacement = Opts.EnableScalarReplacement;
+  PipeOpts.EnableDepScheduling = Opts.EnableDepScheduling;
+  PipeOpts.EnableStrengthReduction = Opts.EnableStrengthReduction;
 
-  for (const auto &F : P.getFunctions()) {
-    // While→DO conversion immediately after use-def chains are built
-    // (Section 5.2), with incremental chain patching.
-    if (Opts.EnableWhileToDo) {
-      analysis::UseDefChains UD(*F);
-      auto S = scalar::convertWhileLoops(*F, &UD);
-      R->Stats.WhileToDo.Attempted += S.Attempted;
-      R->Stats.WhileToDo.Converted += S.Converted;
-    }
-  }
-  Snapshot("whiletodo");
+  pipeline::PassManagerConfig Config;
+  Config.VerifyEach = Opts.VerifyEach;
+  Config.AfterPass = [&Snapshot](const pipeline::Pass &Pass, il::Program &) {
+    Snapshot(Pass.name());
+  };
 
-  for (const auto &F : P.getFunctions()) {
-    if (Opts.EnableIVSub) {
-      auto S = scalar::substituteInductionVariables(*F, Opts.IVSub);
-      R->Stats.IVSub.LoopsProcessed += S.LoopsProcessed;
-      R->Stats.IVSub.FamilyMembers += S.FamilyMembers;
-      R->Stats.IVSub.UsesRewritten += S.UsesRewritten;
-      R->Stats.IVSub.Substitutions += S.Substitutions;
-      R->Stats.IVSub.Blocked += S.Blocked;
-      R->Stats.IVSub.Backtracks += S.Backtracks;
-      R->Stats.IVSub.Passes += S.Passes;
-    }
-  }
-  Snapshot("ivsub");
+  pipeline::PassManager PM(std::move(PipeOpts), std::move(Config));
+  const std::string Spec =
+      Opts.Passes.empty() ? Opts.pipelineSpec() : Opts.Passes;
+  if (!PM.addPipeline(Spec, R->Diags))
+    return R;
 
-  for (const auto &F : P.getFunctions()) {
-    if (Opts.EnableConstProp) {
-      auto S = scalar::propagateConstants(*F, Opts.ConstProp);
-      R->Stats.ConstProp.UsesReplaced += S.UsesReplaced;
-      R->Stats.ConstProp.BranchesFolded += S.BranchesFolded;
-      R->Stats.ConstProp.LoopsDeleted += S.LoopsDeleted;
-      R->Stats.ConstProp.StmtsRemoved += S.StmtsRemoved;
-      R->Stats.ConstProp.Requeues += S.Requeues;
-      R->Stats.ConstProp.PostpassRemoved += S.PostpassRemoved;
-    }
-  }
-  Snapshot("constprop");
-
-  for (const auto &F : P.getFunctions()) {
-    if (Opts.EnableDCE) {
-      auto S = scalar::eliminateDeadCode(*F);
-      R->Stats.DCE.AssignsRemoved += S.AssignsRemoved;
-      R->Stats.DCE.EmptyControlRemoved += S.EmptyControlRemoved;
-      R->Stats.DCE.LabelsRemoved += S.LabelsRemoved;
-    }
-  }
-  Snapshot("dce");
-
-  for (const auto &F : P.getFunctions()) {
-    if (Opts.EnableVectorize) {
-      auto S = vec::vectorizeLoops(*F, Opts.Vectorize);
-      R->Stats.Vectorize.LoopsConsidered += S.LoopsConsidered;
-      R->Stats.Vectorize.LoopsVectorized += S.LoopsVectorized;
-      R->Stats.Vectorize.LoopsDistributed += S.LoopsDistributed;
-      R->Stats.Vectorize.VectorStmts += S.VectorStmts;
-      R->Stats.Vectorize.SerialLoops += S.SerialLoops;
-      R->Stats.Vectorize.ParallelLoops += S.ParallelLoops;
-      R->Stats.Vectorize.StripLoops += S.StripLoops;
-      R->Stats.Vectorize.UnstripedVectorStmts += S.UnstripedVectorStmts;
-    }
-  }
-  Snapshot("vectorize");
-
-  // Scalar replacement first: it removes the loop-carried loads, after
-  // which the remaining loads are conflict-free.
-  for (const auto &F : P.getFunctions()) {
-    if (Opts.EnableScalarReplacement) {
-      auto S = depopt::applyScalarReplacement(*F);
-      R->Stats.ScalarReplace.LoopsApplied += S.LoopsApplied;
-      R->Stats.ScalarReplace.LoadsEliminated += S.LoadsEliminated;
-    }
-  }
-
-  // Dependence-driven scheduling marks (paper Section 6): record which
-  // statements' loads conflict with no store in flight, before strength
-  // reduction rewrites the address forms the analysis reads.
-  if (Opts.EnableDepScheduling)
-    for (const auto &F : P.getFunctions())
-      dep::markConflictFreeLoads(*F);
-
-  for (const auto &F : P.getFunctions()) {
-    if (Opts.EnableStrengthReduction) {
-      auto S = depopt::applyStrengthReduction(*F);
-      R->Stats.StrengthReduce.LoopsApplied += S.LoopsApplied;
-      R->Stats.StrengthReduce.AddressTemps += S.AddressTemps;
-      R->Stats.StrengthReduce.RefsRewritten += S.RefsRewritten;
-      R->Stats.StrengthReduce.InvariantsHoisted += S.InvariantsHoisted;
-      R->Stats.StrengthReduce.SharedTemps += S.SharedTemps;
-    }
-  }
-  Snapshot("depopt");
+  R->Telemetry = PM.run(P, R->Diags, R->Remarks, R->Stats);
+  if (R->Diags.hasErrors())
+    return R;
 
   // Code generation.
   codegen::CodegenOptions CGOpts;

@@ -1,18 +1,22 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The compiler driver: the paper's phase pipeline wired together.
+/// The compiler driver: front end + the paper's phase pipeline, executed
+/// through the pipeline subsystem (src/pipeline).
 ///
-///   parse → lower (expression pairs, for→while) → [inline from program
-///   and catalogs] → use-def chains → while→DO conversion → induction-
-///   variable substitution → constant propagation ⨝ unreachable-code
-///   elimination → dead-code elimination → vectorization + strip-mining +
-///   parallelization → dependence-driven optimizations (scalar
-///   replacement, strength reduction) → code generation → Titan
-///   simulation.
+///   parse → lower (expression pairs, for→while) → [pipeline: inline →
+///   while→DO → induction-variable substitution → constant propagation ⨝
+///   unreachable-code elimination → dead-code elimination → vectorization
+///   + strip-mining + parallelization → dependence-driven optimizations]
+///   → code generation → Titan simulation.
 ///
-/// Every phase can be toggled for the ablation benches, and the IL can be
-/// snapshotted after each phase (the Section 9 walkthrough).
+/// The pipeline is a string spec of registered pass names executed by the
+/// PassManager; the Enable* toggles construct the default spec, and
+/// `Passes` overrides it entirely (the -passes= flag).  Every compile
+/// records optimization telemetry (per-pass timings, IL deltas, counters,
+/// source-located remarks) in CompileResult::Telemetry, and the IL can be
+/// snapshotted after every pass (the Section 9 walkthrough) — snapshot
+/// keys are the registered pass names.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -21,6 +25,8 @@
 
 #include "il/IL.h"
 #include "inliner/Inliner.h"
+#include "pipeline/PassManager.h"
+#include "remarks/Remarks.h"
 #include "scalar/ConstProp.h"
 #include "scalar/InductionVarSub.h"
 #include "scalar/WhileToDo.h"
@@ -34,6 +40,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace tcc {
 namespace driver {
@@ -63,9 +70,23 @@ struct CompilerOptions {
   // Code generation.
   bool EnableDepScheduling = true;
 
-  /// Capture printProgram() after each phase (keys: "lower", "inline",
-  /// "whiletodo", "ivsub", "constprop", "dce", "vectorize", "depopt").
+  /// When non-empty, a pipeline spec (comma-separated registered pass
+  /// names, e.g. "whiletodo,ivsub,vectorize") that *overrides* the
+  /// Enable* toggles above — the -passes= flag.
+  std::string Passes;
+
+  /// Run the IL verifier after every pass; a violated invariant fails the
+  /// compile with a diagnostic naming the offending pass.
+  bool VerifyEach = false;
+
+  /// Capture printProgram() after each executed pass into
+  /// CompileResult::Stages.  Keys come from the registered pass names
+  /// (plus "lower" for the front-end output), so a newly added pass is
+  /// snapshotted automatically.
   bool CaptureStages = false;
+
+  /// The default pipeline spec constructed from the Enable* toggles.
+  std::string pipelineSpec() const;
 
   /// Everything off: the straight-from-the-front-end baseline.
   static CompilerOptions noOpt() {
@@ -103,23 +124,27 @@ struct CompilerOptions {
   }
 };
 
-struct PhaseStats {
-  inliner::InlineStats Inline;
-  scalar::WhileToDoStats WhileToDo;
-  scalar::IVSubStats IVSub;
-  scalar::ConstPropStats ConstProp;
-  scalar::DCEStats DCE;
-  vec::VectorizeStats Vectorize;
-  depopt::ScalarReplaceStats ScalarReplace;
-  depopt::StrengthReduceStats StrengthReduce;
-};
+/// Typed per-module statistics (accumulated by the pipeline's pass
+/// wrappers; see pipeline/Pass.h).
+using PhaseStats = pipeline::PipelineStats;
 
 struct CompileResult {
   DiagnosticEngine Diags;
   std::unique_ptr<il::Program> IL;
   titan::TitanProgram Machine;
   PhaseStats Stats;
+
+  /// Optimization telemetry: per-pass wall-clock timings, IL-delta
+  /// counters, per-pass counter groups, and source-located remarks.
+  /// Serializable via Telemetry.writeJSON() (the -remarks= flag).
+  remarks::CompilationTelemetry Telemetry;
+  remarks::RemarkCollector Remarks;
+
+  /// IL snapshots when CompilerOptions::CaptureStages is set; keys are
+  /// the executed pass names plus "lower".  StageOrder preserves the
+  /// execution order for -print-after-all.
   std::map<std::string, std::string> Stages;
+  std::vector<std::string> StageOrder;
 
   bool ok() const { return !Diags.hasErrors(); }
 };

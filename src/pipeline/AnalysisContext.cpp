@@ -1,0 +1,16 @@
+#include "pipeline/AnalysisContext.h"
+
+using namespace tcc;
+using namespace tcc::pipeline;
+
+analysis::UseDefChains &AnalysisContext::useDef(il::Function &F) {
+  auto It = UseDefCache.find(&F);
+  if (It != UseDefCache.end()) {
+    ++Reused;
+    return *It->second;
+  }
+  ++Built;
+  auto &Slot = UseDefCache[&F];
+  Slot = std::make_unique<analysis::UseDefChains>(F);
+  return *Slot;
+}

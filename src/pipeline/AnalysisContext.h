@@ -1,0 +1,57 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cached analyses with explicit invalidation.
+///
+/// The paper drives several optimizations off the use-def graph and
+/// patches it incrementally through while→DO conversion rather than
+/// rebuilding (Section 5.2).  The AnalysisContext generalizes that: a
+/// pass asks for the chains of a function and either gets the cached copy
+/// (when every pass since the build declared it preserved them) or a
+/// fresh build.  The PassManager invalidates the cache after every
+/// non-preserving pass and reports build/reuse counts in the telemetry,
+/// so the cost of analysis recomputation is visible per pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_PIPELINE_ANALYSISCONTEXT_H
+#define TCC_PIPELINE_ANALYSISCONTEXT_H
+
+#include "analysis/UseDef.h"
+#include "il/IL.h"
+
+#include <map>
+#include <memory>
+
+namespace tcc {
+namespace pipeline {
+
+class AnalysisContext {
+public:
+  /// Use-def chains for \p F: cached when valid, rebuilt otherwise.
+  analysis::UseDefChains &useDef(il::Function &F);
+
+  bool hasCachedUseDef(const il::Function &F) const {
+    return UseDefCache.count(&F) != 0;
+  }
+
+  /// Drops every cached analysis (called after a non-preserving pass).
+  void invalidateAll() { UseDefCache.clear(); }
+
+  /// Telemetry: chains built / served from cache since the last
+  /// resetCounters().
+  unsigned buildCount() const { return Built; }
+  unsigned reuseCount() const { return Reused; }
+  void resetCounters() { Built = Reused = 0; }
+
+private:
+  std::map<const il::Function *, std::unique_ptr<analysis::UseDefChains>>
+      UseDefCache;
+  unsigned Built = 0;
+  unsigned Reused = 0;
+};
+
+} // namespace pipeline
+} // namespace tcc
+
+#endif // TCC_PIPELINE_ANALYSISCONTEXT_H

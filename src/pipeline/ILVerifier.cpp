@@ -1,0 +1,308 @@
+#include "pipeline/ILVerifier.h"
+
+#include "analysis/UseDef.h"
+#include "il/ILPrinter.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace tcc;
+using namespace tcc::il;
+using namespace tcc::pipeline;
+
+namespace {
+
+class FunctionVerifier {
+public:
+  FunctionVerifier(Function &F, const VerifierOptions &Opts,
+                   VerifierReport &Report)
+      : F(F), Opts(Opts), Report(Report) {}
+
+  void run() {
+    collectOwnedSymbols();
+    checkStructure(F.getBody());
+    checkLabels();
+    if (Opts.CheckUseDef && Report.ok())
+      checkUseDef();
+  }
+
+private:
+  void error(const Stmt *S, const std::string &Msg) {
+    std::string Where;
+    if (S && S->getLoc().isValid())
+      Where = " at line " + std::to_string(S->getLoc().Line);
+    Report.Errors.push_back(F.getName() + Where + ": " + Msg);
+  }
+
+  void collectOwnedSymbols() {
+    for (const auto &S : F.getSymbols())
+      Owned.insert(S.get());
+    for (Symbol *S : F.getParams())
+      Owned.insert(S);
+    for (const auto &G : F.getProgram().getGlobals())
+      Owned.insert(G.get());
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statement structure, symbols, triplet placement
+  //===--------------------------------------------------------------------===//
+
+  void checkStructure(Block &B) {
+    for (Stmt *S : B.Stmts) {
+      if (!S) {
+        error(nullptr, "null statement in block");
+        continue;
+      }
+      if (!Seen.insert(S).second) {
+        error(S, "statement appears in more than one block: " +
+                     firstLine(il::printStmt(S)));
+        continue; // don't recurse twice
+      }
+      checkStmt(S);
+      switch (S->getKind()) {
+      case Stmt::IfKind:
+        checkStructure(static_cast<IfStmt *>(S)->getThen());
+        checkStructure(static_cast<IfStmt *>(S)->getElse());
+        break;
+      case Stmt::WhileKind:
+        checkStructure(static_cast<WhileStmt *>(S)->getBody());
+        break;
+      case Stmt::DoLoopKind:
+        checkStructure(static_cast<DoLoopStmt *>(S)->getBody());
+        break;
+      default:
+        break;
+      }
+    }
+  }
+
+  void checkStmt(Stmt *S) {
+    switch (S->getKind()) {
+    case Stmt::AssignKind: {
+      auto *A = static_cast<AssignStmt *>(S);
+      if (!A->getLHS() || !A->getRHS()) {
+        error(S, "assignment with null operand");
+        return;
+      }
+      // A vector assignment carries its triplets nested inside memory
+      // references, never as the top-level value.
+      if (A->getLHS()->getKind() == Expr::TripletKind ||
+          A->getRHS()->getKind() == Expr::TripletKind)
+        error(S, "top-level triplet outside a memory reference");
+      checkExpr(S, A->getLHS(), /*TripletOk=*/true);
+      checkExpr(S, A->getRHS(), /*TripletOk=*/true);
+      Expr *L = A->getLHS();
+      if (L->getKind() != Expr::VarRefKind &&
+          L->getKind() != Expr::DerefKind && L->getKind() != Expr::IndexKind)
+        error(S, "assignment target is not an lvalue");
+      break;
+    }
+    case Stmt::CallKind: {
+      auto *C = static_cast<CallStmt *>(S);
+      if (C->getResult() && !Owned.count(C->getResult()))
+        error(S, "call result symbol not owned by function or program");
+      for (Expr *Arg : C->getArgs())
+        checkExpr(S, Arg, /*TripletOk=*/false);
+      break;
+    }
+    case Stmt::IfKind:
+      checkExpr(S, static_cast<IfStmt *>(S)->getCond(), /*TripletOk=*/false);
+      break;
+    case Stmt::WhileKind:
+      checkExpr(S, static_cast<WhileStmt *>(S)->getCond(),
+                /*TripletOk=*/false);
+      break;
+    case Stmt::DoLoopKind:
+      checkDoLoop(static_cast<DoLoopStmt *>(S));
+      break;
+    case Stmt::GotoKind:
+      Gotos.push_back(static_cast<GotoStmt *>(S));
+      break;
+    case Stmt::LabelKind: {
+      auto *L = static_cast<LabelStmt *>(S);
+      if (!Labels.insert(L->getName()).second)
+        error(S, "duplicate label '" + L->getName() + "'");
+      break;
+    }
+    case Stmt::ReturnKind:
+      if (Expr *V = static_cast<ReturnStmt *>(S)->getValue())
+        checkExpr(S, V, /*TripletOk=*/false);
+      break;
+    }
+  }
+
+  void checkDoLoop(DoLoopStmt *D) {
+    if (!D->getIndexVar()) {
+      error(D, "DO loop with no index variable");
+      return;
+    }
+    if (!Owned.count(D->getIndexVar()))
+      error(D, "DO loop index symbol not owned by function or program");
+    struct BoundDesc {
+      const char *Name;
+      Expr *E;
+    } Bounds[] = {{"init", D->getInit()},
+                  {"limit", D->getLimit()},
+                  {"step", D->getStep()}};
+    for (const auto &[Name, E] : Bounds) {
+      if (!E) {
+        error(D, std::string("DO loop with null ") + Name + " bound");
+        continue;
+      }
+      // Bounds are evaluated once at loop entry; they must be pure scalar
+      // expressions.
+      if (exprHasTriplet(E))
+        error(D, std::string("DO loop ") + Name +
+                     " bound contains a vector triplet");
+      if (exprReadsVolatile(E))
+        error(D, std::string("impure DO loop ") + Name +
+                     " bound: reads a volatile symbol");
+      checkExpr(D, E, /*TripletOk=*/false);
+    }
+  }
+
+  /// Walks an expression tree checking symbol ownership and triplet
+  /// placement.  \p TripletOk permits triplets in this statement at all
+  /// (assignments only); nesting a triplet inside another triplet's
+  /// bounds is always an error.
+  void checkExpr(Stmt *S, Expr *E, bool TripletOk, bool InTriplet = false) {
+    if (!E) {
+      error(S, "null expression operand");
+      return;
+    }
+    switch (E->getKind()) {
+    case Expr::VarRefKind: {
+      Symbol *Sym = static_cast<VarRefExpr *>(E)->getSymbol();
+      if (!Sym)
+        error(S, "variable reference with null symbol");
+      else if (!Owned.count(Sym))
+        error(S, "symbol '" + Sym->getName() +
+                     "' not owned by function or program");
+      break;
+    }
+    case Expr::TripletKind: {
+      auto *T = static_cast<TripletExpr *>(E);
+      if (!TripletOk)
+        error(S, "vector triplet outside an assignment statement");
+      if (InTriplet)
+        error(S, "triplet nested inside another triplet");
+      checkExpr(S, T->getLo(), TripletOk, /*InTriplet=*/true);
+      checkExpr(S, T->getHi(), TripletOk, /*InTriplet=*/true);
+      checkExpr(S, T->getStride(), TripletOk, /*InTriplet=*/true);
+      break;
+    }
+    case Expr::BinaryKind:
+      checkExpr(S, static_cast<BinaryExpr *>(E)->getLHS(), TripletOk,
+                InTriplet);
+      checkExpr(S, static_cast<BinaryExpr *>(E)->getRHS(), TripletOk,
+                InTriplet);
+      break;
+    case Expr::UnaryKind:
+      checkExpr(S, static_cast<UnaryExpr *>(E)->getOperand(), TripletOk,
+                InTriplet);
+      break;
+    case Expr::DerefKind:
+      checkExpr(S, static_cast<DerefExpr *>(E)->getAddr(), TripletOk,
+                InTriplet);
+      break;
+    case Expr::AddrOfKind:
+      checkExpr(S, static_cast<AddrOfExpr *>(E)->getLValue(), TripletOk,
+                InTriplet);
+      break;
+    case Expr::IndexKind: {
+      auto *I = static_cast<IndexExpr *>(E);
+      checkExpr(S, I->getBase(), TripletOk, InTriplet);
+      for (Expr *Sub : I->getSubscripts())
+        checkExpr(S, Sub, TripletOk, InTriplet);
+      break;
+    }
+    case Expr::CastKind:
+      checkExpr(S, static_cast<CastExpr *>(E)->getOperand(), TripletOk,
+                InTriplet);
+      break;
+    case Expr::ConstIntKind:
+    case Expr::ConstFloatKind:
+      break;
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Control flow
+  //===--------------------------------------------------------------------===//
+
+  void checkLabels() {
+    for (GotoStmt *G : Gotos)
+      if (!Labels.count(G->getTarget()))
+        error(G, "goto to undefined label '" + G->getTarget() + "'");
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Use-def consistency
+  //===--------------------------------------------------------------------===//
+
+  void checkUseDef() {
+    analysis::UseDefChains UD(F);
+    unsigned Reported = 0;
+    for (const Stmt *S : Seen) {
+      for (Symbol *Sym : analysis::usedScalars(S)) {
+        for (const Stmt *Def : UD.defsReaching(S, Sym)) {
+          if (!Def)
+            continue; // value on entry to the function
+          if (Reported >= 8)
+            return; // a systemic breakage repeats per use; cap the noise
+          if (!Seen.count(const_cast<Stmt *>(Def))) {
+            error(S, "use-def chain for '" + Sym->getName() +
+                         "' references a statement not in the body");
+            ++Reported;
+            continue;
+          }
+          auto Defs = analysis::strongDefs(Def);
+          if (std::find(Defs.begin(), Defs.end(), Sym) == Defs.end()) {
+            error(S, "use-def chain for '" + Sym->getName() +
+                         "' references a statement that does not define it");
+            ++Reported;
+          }
+        }
+      }
+    }
+  }
+
+  static std::string firstLine(const std::string &S) {
+    auto Pos = S.find('\n');
+    return Pos == std::string::npos ? S : S.substr(0, Pos);
+  }
+
+  Function &F;
+  const VerifierOptions &Opts;
+  VerifierReport &Report;
+  std::set<Symbol *> Owned;
+  std::set<Stmt *> Seen;
+  std::set<std::string> Labels;
+  std::vector<GotoStmt *> Gotos;
+};
+
+} // namespace
+
+std::string VerifierReport::str() const {
+  std::string Out;
+  for (const std::string &E : Errors) {
+    Out += E;
+    Out += '\n';
+  }
+  return Out;
+}
+
+VerifierReport pipeline::verifyFunction(Function &F,
+                                        const VerifierOptions &Opts) {
+  VerifierReport Report;
+  FunctionVerifier(F, Opts, Report).run();
+  return Report;
+}
+
+VerifierReport pipeline::verifyProgram(Program &P,
+                                       const VerifierOptions &Opts) {
+  VerifierReport Report;
+  for (const auto &F : P.getFunctions())
+    FunctionVerifier(*F, Opts, Report).run();
+  return Report;
+}

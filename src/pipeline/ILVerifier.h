@@ -1,0 +1,68 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural IL invariant checking between passes.
+///
+/// Every transformation in the pipeline rewrites the statement tree in
+/// place; a bug in one pass typically surfaces as a mysterious
+/// miscompile several passes later.  The verifier checks the invariants
+/// the IL design promises (see il/IL.h) after any pass, so a broken
+/// invariant is reported naming the pass that broke it:
+///
+///  - statement structure: no null statements, and no statement object
+///    appearing in two blocks (aliasing a Stmt* across blocks breaks
+///    every in-place rewrite);
+///  - control flow: every goto targets a label that exists in the same
+///    function, label names are unique;
+///  - DO loops: index variable and bounds present, bounds are *pure*
+///    scalar expressions — no vector triplets, no volatile reads (DO
+///    bounds are evaluated once at loop entry, so a volatile read there
+///    would be a miscompile);
+///  - vector form: triplets appear only inside assignment statements
+///    (subscript / address positions), never in conditions, bounds, call
+///    arguments, or return values, and never nested in another triplet;
+///  - symbols: every referenced symbol is owned by the enclosing function
+///    or the program (a foreign Symbol* means a broken inliner remap);
+///  - use-def consistency: freshly built chains agree with the statement
+///    list — every reaching definition is a statement present in the body
+///    that strongly defines the symbol.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_PIPELINE_ILVERIFIER_H
+#define TCC_PIPELINE_ILVERIFIER_H
+
+#include "il/IL.h"
+
+#include <string>
+#include <vector>
+
+namespace tcc {
+namespace pipeline {
+
+struct VerifierOptions {
+  /// Rebuild use-def chains and cross-check them against the statement
+  /// list (the most expensive check; still cheap at these program sizes).
+  bool CheckUseDef = true;
+};
+
+struct VerifierReport {
+  std::vector<std::string> Errors;
+
+  bool ok() const { return Errors.empty(); }
+  /// All errors, one per line.
+  std::string str() const;
+};
+
+/// Verifies one function.
+VerifierReport verifyFunction(il::Function &F,
+                              const VerifierOptions &Opts = {});
+
+/// Verifies every function of \p P (errors are prefixed with the function
+/// name).
+VerifierReport verifyProgram(il::Program &P, const VerifierOptions &Opts = {});
+
+} // namespace pipeline
+} // namespace tcc
+
+#endif // TCC_PIPELINE_ILVERIFIER_H

@@ -1,0 +1,107 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Pass interface of the pipeline subsystem.
+///
+/// The paper's compiler is an ordered pipeline (parse → lower → inline →
+/// while→DO → IV-sub → constprop ⨝ unreachable → DCE → vectorize →
+/// dep-opt → codegen); this module makes that pipeline a first-class,
+/// reorderable object instead of hardwired calls in the driver.  Each
+/// optimization phase is wrapped as a named Pass that runs over the whole
+/// program, reports a generic StatGroup for telemetry, and declares which
+/// cached analyses it preserves so the PassManager can decide between
+/// use-def reuse and rebuild (the paper's Section 5.2 incremental
+/// patching is exactly the "preserves" case for while→DO conversion).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_PIPELINE_PASS_H
+#define TCC_PIPELINE_PASS_H
+
+#include "depopt/DepOpt.h"
+#include "il/IL.h"
+#include "inliner/Inliner.h"
+#include "remarks/Remarks.h"
+#include "scalar/ConstProp.h"
+#include "scalar/DeadCode.h"
+#include "scalar/InductionVarSub.h"
+#include "scalar/WhileToDo.h"
+#include "support/Diagnostics.h"
+#include "vector/Vectorize.h"
+
+#include <string>
+
+namespace tcc {
+namespace pipeline {
+
+class AnalysisContext;
+
+/// Per-pass configuration shared by every pass in one pipeline.  The
+/// driver translates its user-facing options into this bag; passes read
+/// from it at run time, so one registry of stateless factories serves
+/// every configuration.
+struct PipelineOptions {
+  // Inlining (paper Section 7).
+  inliner::InlineOptions Inline;
+  const inliner::ProcedureCatalog *Catalog = nullptr;
+
+  // Scalar optimization (Sections 5 and 8).
+  scalar::IVSubOptions IVSub;
+  scalar::ConstPropOptions ConstProp;
+
+  // Vectorization and parallelization (Sections 5 and 9).
+  vec::VectorizeOptions Vectorize;
+
+  // Sub-phases of the dependence-driven optimization pass (Section 6).
+  bool EnableScalarReplacement = true;
+  bool EnableDepScheduling = true;
+  bool EnableStrengthReduction = true;
+};
+
+/// Typed per-module statistics accumulated across the whole pipeline run
+/// (the driver re-exports this as PhaseStats).  The generic StatGroup
+/// each pass returns is derived from the same numbers.
+struct PipelineStats {
+  inliner::InlineStats Inline;
+  scalar::WhileToDoStats WhileToDo;
+  scalar::IVSubStats IVSub;
+  scalar::ConstPropStats ConstProp;
+  scalar::DCEStats DCE;
+  vec::VectorizeStats Vectorize;
+  depopt::ScalarReplaceStats ScalarReplace;
+  depopt::StrengthReduceStats StrengthReduce;
+};
+
+/// Everything a pass may touch while running.
+struct PassContext {
+  il::Program &Program;
+  DiagnosticEngine &Diags;
+  const PipelineOptions &Options;
+  AnalysisContext &Analyses;
+  remarks::RemarkCollector &Remarks;
+  PipelineStats &Stats;
+};
+
+/// One named transformation (or check) over a whole IL program.
+class Pass {
+public:
+  virtual ~Pass() = default;
+
+  /// The registered name; also the pipeline-spec token and the stage-
+  /// capture key (single source of truth for both).
+  virtual std::string name() const = 0;
+
+  /// Runs over the program and reports what happened.  Recoverable
+  /// failures go through Ctx.Diags; the PassManager stops the pipeline
+  /// when a pass leaves errors behind.
+  virtual remarks::StatGroup run(PassContext &Ctx) = 0;
+
+  /// True when cached use-def chains remain valid after this pass (the
+  /// pass either mutated nothing or patched the chains incrementally).
+  virtual bool preservesUseDef() const { return false; }
+};
+
+} // namespace pipeline
+} // namespace tcc
+
+#endif // TCC_PIPELINE_PASS_H

@@ -1,0 +1,144 @@
+#include "pipeline/PassManager.h"
+
+#include "pipeline/ILVerifier.h"
+#include "pipeline/PassRegistry.h"
+
+#include <chrono>
+
+using namespace tcc;
+using namespace tcc::il;
+using namespace tcc::pipeline;
+
+PassManager::PassManager(PipelineOptions Options, PassManagerConfig Config)
+    : Options(std::move(Options)), Config(std::move(Config)) {}
+
+std::vector<std::string> PassManager::tokenizeSpec(const std::string &Spec) {
+  std::vector<std::string> Out;
+  std::string Token;
+  auto Flush = [&] {
+    // Trim surrounding whitespace.
+    size_t B = Token.find_first_not_of(" \t");
+    size_t E = Token.find_last_not_of(" \t");
+    if (B != std::string::npos)
+      Out.push_back(Token.substr(B, E - B + 1));
+    Token.clear();
+  };
+  for (char C : Spec) {
+    if (C == ',')
+      Flush();
+    else
+      Token += C;
+  }
+  Flush();
+  return Out;
+}
+
+bool PassManager::addPipeline(const std::string &Spec,
+                              DiagnosticEngine &Diags) {
+  PassRegistry &Reg = PassRegistry::instance();
+  std::vector<std::unique_ptr<Pass>> Staged;
+  for (const std::string &Name : tokenizeSpec(Spec)) {
+    auto P = Reg.create(Name);
+    if (!P) {
+      Diags.error(SourceLoc(), "unknown pass '" + Name +
+                                   "' in pipeline spec; known passes: " +
+                                   Reg.namesJoined());
+      return false;
+    }
+    Staged.push_back(std::move(P));
+  }
+  for (auto &P : Staged)
+    Passes.push_back(std::move(P));
+  return true;
+}
+
+void PassManager::addPass(std::unique_ptr<Pass> P) {
+  Passes.push_back(std::move(P));
+}
+
+remarks::ILCounts PassManager::countIL(const Program &P) {
+  remarks::ILCounts C;
+  C.Functions = P.getFunctions().size();
+  C.Symbols = P.getGlobals().size();
+  for (const auto &F : P.getFunctions()) {
+    C.Symbols += F->getSymbols().size();
+    forEachStmt(F->getBody(), [&C](const Stmt *S) {
+      ++C.Stmts;
+      switch (S->getKind()) {
+      case Stmt::AssignKind: {
+        ++C.Assigns;
+        auto *A = static_cast<const AssignStmt *>(S);
+        if (exprHasTriplet(A->getLHS()) || exprHasTriplet(A->getRHS()))
+          ++C.VectorAssigns;
+        break;
+      }
+      case Stmt::CallKind:
+        ++C.Calls;
+        break;
+      case Stmt::WhileKind:
+        ++C.WhileLoops;
+        break;
+      case Stmt::DoLoopKind:
+        ++C.DoLoops;
+        if (static_cast<const DoLoopStmt *>(S)->isParallel())
+          ++C.ParallelLoops;
+        break;
+      default:
+        break;
+      }
+    });
+  }
+  return C;
+}
+
+remarks::CompilationTelemetry
+PassManager::run(Program &P, DiagnosticEngine &Diags,
+                 remarks::RemarkCollector &Remarks, PipelineStats &Stats) {
+  remarks::CompilationTelemetry Telemetry;
+  using Clock = std::chrono::steady_clock;
+
+  PassContext Ctx{P, Diags, Options, Analyses, Remarks, Stats};
+  for (const auto &Pass : Passes) {
+    remarks::PassRecord Record;
+    Record.Pass = Pass->name();
+    Record.Before = countIL(P);
+    Record.PreservedUseDef = Pass->preservesUseDef();
+
+    Analyses.resetCounters();
+    auto Start = Clock::now();
+    Record.Stats = Pass->run(Ctx);
+    Record.Millis =
+        std::chrono::duration<double, std::milli>(Clock::now() - Start)
+            .count();
+    Record.UseDefBuilt = Analyses.buildCount();
+    Record.UseDefReused = Analyses.reuseCount();
+
+    if (!Pass->preservesUseDef())
+      Analyses.invalidateAll();
+
+    Record.After = countIL(P);
+    Telemetry.TotalMillis += Record.Millis;
+
+    bool Failed = Diags.hasErrors();
+    if (!Failed && Config.VerifyEach && Pass->name() != "verify") {
+      VerifierReport Report = verifyProgram(P);
+      if (!Report.ok()) {
+        for (const std::string &E : Report.Errors)
+          Diags.error(SourceLoc(), "IL verifier failed after pass '" +
+                                       Pass->name() + "': " + E);
+        Failed = true;
+      } else {
+        Record.Verified = true;
+      }
+    }
+
+    Telemetry.Passes.push_back(std::move(Record));
+    if (Failed)
+      break;
+    if (Config.AfterPass)
+      Config.AfterPass(*Pass, P);
+  }
+
+  Telemetry.Remarks = Remarks.remarks();
+  return Telemetry;
+}

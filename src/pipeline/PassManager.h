@@ -1,0 +1,85 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The PassManager: executes a pipeline parsed from a string spec,
+/// owns analysis invalidation, and records per-pass telemetry.
+///
+/// A pipeline spec is a comma-separated list of registered pass names,
+/// e.g. "inline,whiletodo,ivsub,constprop,dce,vectorize,depopt".  An
+/// empty spec is a valid no-op pipeline (the -O0 baseline).  Unknown
+/// names produce a diagnostic listing the registered passes.
+///
+/// For every executed pass the manager records wall-clock time, IL shape
+/// counters before/after (the IL-delta), the pass's own StatGroup, and
+/// use-def cache build/reuse counts.  With VerifyEach set, the ILVerifier
+/// runs after every pass and a violation hard-fails the pipeline with a
+/// diagnostic naming the offending pass.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_PIPELINE_PASSMANAGER_H
+#define TCC_PIPELINE_PASSMANAGER_H
+
+#include "pipeline/AnalysisContext.h"
+#include "pipeline/Pass.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tcc {
+namespace pipeline {
+
+struct PassManagerConfig {
+  /// Run the ILVerifier after every pass; a violation stops the pipeline
+  /// with a diagnostic naming the pass that broke the invariant.
+  bool VerifyEach = false;
+
+  /// Invoked after each pass completes (and verifies, when enabled) —
+  /// the -print-after-all / stage-capture hook.  The pass's registered
+  /// name is the snapshot key.
+  std::function<void(const Pass &, il::Program &)> AfterPass;
+};
+
+class PassManager {
+public:
+  explicit PassManager(PipelineOptions Options = {},
+                       PassManagerConfig Config = {});
+
+  /// Splits a spec on commas, trimming whitespace and dropping empty
+  /// tokens (so "" and " " are valid empty pipelines).  No validation.
+  static std::vector<std::string> tokenizeSpec(const std::string &Spec);
+
+  /// Appends the passes named in \p Spec.  An unknown name emits a
+  /// diagnostic naming the known passes and returns false (no passes are
+  /// added in that case).
+  bool addPipeline(const std::string &Spec, DiagnosticEngine &Diags);
+
+  /// Appends one pass instance.
+  void addPass(std::unique_ptr<Pass> P);
+
+  const std::vector<std::unique_ptr<Pass>> &passes() const { return Passes; }
+
+  /// Executes the pipeline over \p P.  Stops early when a pass reports a
+  /// diagnostic error or (with VerifyEach) the verifier fails.  Typed
+  /// per-module statistics accumulate into \p Stats; remarks into
+  /// \p Remarks.  Returns the full telemetry record, remarks included.
+  remarks::CompilationTelemetry run(il::Program &P, DiagnosticEngine &Diags,
+                                    remarks::RemarkCollector &Remarks,
+                                    PipelineStats &Stats);
+
+  /// Structural counters of a program (exposed for tests/tools).
+  static remarks::ILCounts countIL(const il::Program &P);
+
+private:
+  PipelineOptions Options;
+  PassManagerConfig Config;
+  std::vector<std::unique_ptr<Pass>> Passes;
+  AnalysisContext Analyses;
+};
+
+} // namespace pipeline
+} // namespace tcc
+
+#endif // TCC_PIPELINE_PASSMANAGER_H

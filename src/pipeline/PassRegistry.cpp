@@ -1,0 +1,65 @@
+#include "pipeline/PassRegistry.h"
+
+#include "pipeline/Passes.h"
+
+using namespace tcc;
+using namespace tcc::pipeline;
+
+PassRegistry &PassRegistry::instance() {
+  // Built lazily on first use: no static-initialization-order concerns.
+  static PassRegistry R = [] {
+    PassRegistry Reg;
+    Reg.registerPass("inline", createInlinePass);
+    Reg.registerPass("whiletodo", createWhileToDoPass);
+    Reg.registerPass("ivsub", createIVSubPass);
+    Reg.registerPass("constprop", createConstPropPass);
+    Reg.registerPass("dce", createDCEPass);
+    Reg.registerPass("vectorize", createVectorizePass);
+    Reg.registerPass("depopt", createDepOptPass);
+    Reg.registerPass("verify", createVerifyPass);
+    return Reg;
+  }();
+  return R;
+}
+
+void PassRegistry::registerPass(const std::string &Name,
+                                PassFactory Factory) {
+  for (auto &[N, F] : Factories)
+    if (N == Name) {
+      F = std::move(Factory);
+      return;
+    }
+  Factories.emplace_back(Name, std::move(Factory));
+}
+
+bool PassRegistry::contains(const std::string &Name) const {
+  for (const auto &[N, F] : Factories)
+    if (N == Name)
+      return true;
+  return false;
+}
+
+std::unique_ptr<Pass> PassRegistry::create(const std::string &Name) const {
+  for (const auto &[N, F] : Factories)
+    if (N == Name)
+      return F();
+  return nullptr;
+}
+
+std::vector<std::string> PassRegistry::names() const {
+  std::vector<std::string> Out;
+  Out.reserve(Factories.size());
+  for (const auto &[N, F] : Factories)
+    Out.push_back(N);
+  return Out;
+}
+
+std::string PassRegistry::namesJoined() const {
+  std::string Out;
+  for (const auto &[N, F] : Factories) {
+    if (!Out.empty())
+      Out += ", ";
+    Out += N;
+  }
+  return Out;
+}

@@ -1,0 +1,55 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The registry of named passes.  Pass names registered here are the
+/// single source of truth for pipeline-spec tokens and for the driver's
+/// stage-capture keys — adding a pass makes it schedulable, printable,
+/// and snapshot-able in one step.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_PIPELINE_PASSREGISTRY_H
+#define TCC_PIPELINE_PASSREGISTRY_H
+
+#include "pipeline/Pass.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tcc {
+namespace pipeline {
+
+using PassFactory = std::function<std::unique_ptr<Pass>()>;
+
+class PassRegistry {
+public:
+  /// The process-wide registry, pre-populated with the built-in passes
+  /// (see Passes.h).
+  static PassRegistry &instance();
+
+  /// Registers a factory; later registrations of the same name win
+  /// (tests can shadow a built-in).
+  void registerPass(const std::string &Name, PassFactory Factory);
+
+  bool contains(const std::string &Name) const;
+
+  /// Instantiates the named pass; null when unknown.
+  std::unique_ptr<Pass> create(const std::string &Name) const;
+
+  /// Registered names, in registration order (the default pipeline order
+  /// for the built-ins).
+  std::vector<std::string> names() const;
+
+  /// "inline, whiletodo, ..." for diagnostics.
+  std::string namesJoined() const;
+
+private:
+  std::vector<std::pair<std::string, PassFactory>> Factories;
+};
+
+} // namespace pipeline
+} // namespace tcc
+
+#endif // TCC_PIPELINE_PASSREGISTRY_H

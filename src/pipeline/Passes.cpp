@@ -1,0 +1,333 @@
+#include "pipeline/Passes.h"
+
+#include "dependence/DependenceGraph.h"
+#include "pipeline/AnalysisContext.h"
+#include "pipeline/ILVerifier.h"
+
+using namespace tcc;
+using namespace tcc::pipeline;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// inline
+//===----------------------------------------------------------------------===//
+
+class InlinePass : public Pass {
+public:
+  std::string name() const override { return "inline"; }
+
+  remarks::StatGroup run(PassContext &Ctx) override {
+    auto S = inliner::inlineCalls(Ctx.Program, Ctx.Diags,
+                                  Ctx.Options.Inline, Ctx.Options.Catalog);
+    auto &Acc = Ctx.Stats.Inline;
+    Acc.CallsInlined += S.CallsInlined;
+    Acc.CallsLeft += S.CallsLeft;
+    Acc.RecursionSkipped += S.RecursionSkipped;
+    Acc.StaticsDemoted += S.StaticsDemoted;
+    Acc.StaticsExternalized += S.StaticsExternalized;
+    Acc.RowArgsPromoted += S.RowArgsPromoted;
+
+    remarks::StatGroup SG(name());
+    SG.set("calls.inlined", S.CallsInlined);
+    SG.set("calls.left", S.CallsLeft);
+    SG.set("recursion.skipped", S.RecursionSkipped);
+    SG.set("statics.demoted", S.StaticsDemoted);
+    SG.set("statics.externalized", S.StaticsExternalized);
+    SG.set("rowargs.promoted", S.RowArgsPromoted);
+    if (S.CallsLeft)
+      Ctx.Remarks.missed(name(), SourceLoc(),
+                         std::to_string(S.CallsLeft) +
+                             " call site(s) left unexpanded");
+    return SG;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// whiletodo
+//===----------------------------------------------------------------------===//
+
+class WhileToDoPass : public Pass {
+public:
+  std::string name() const override { return "whiletodo"; }
+
+  // Converted loops patch the chains incrementally (paper Section 5.2).
+  bool preservesUseDef() const override { return true; }
+
+  remarks::StatGroup run(PassContext &Ctx) override {
+    scalar::WhileToDoStats Total;
+    for (const auto &F : Ctx.Program.getFunctions()) {
+      auto &UD = Ctx.Analyses.useDef(*F);
+      auto S = scalar::convertWhileLoops(*F, &UD);
+      Total.Attempted += S.Attempted;
+      Total.Converted += S.Converted;
+    }
+    Ctx.Stats.WhileToDo.Attempted += Total.Attempted;
+    Ctx.Stats.WhileToDo.Converted += Total.Converted;
+
+    remarks::StatGroup SG(name());
+    SG.set("loops.attempted", Total.Attempted);
+    SG.set("loops.converted", Total.Converted);
+    return SG;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// ivsub
+//===----------------------------------------------------------------------===//
+
+class IVSubPass : public Pass {
+public:
+  std::string name() const override { return "ivsub"; }
+
+  remarks::StatGroup run(PassContext &Ctx) override {
+    scalar::IVSubStats Total;
+    for (const auto &F : Ctx.Program.getFunctions()) {
+      auto S = scalar::substituteInductionVariables(*F, Ctx.Options.IVSub);
+      Total.LoopsProcessed += S.LoopsProcessed;
+      Total.FamilyMembers += S.FamilyMembers;
+      Total.UsesRewritten += S.UsesRewritten;
+      Total.Substitutions += S.Substitutions;
+      Total.Blocked += S.Blocked;
+      Total.Backtracks += S.Backtracks;
+      Total.Passes += S.Passes;
+    }
+    auto &Acc = Ctx.Stats.IVSub;
+    Acc.LoopsProcessed += Total.LoopsProcessed;
+    Acc.FamilyMembers += Total.FamilyMembers;
+    Acc.UsesRewritten += Total.UsesRewritten;
+    Acc.Substitutions += Total.Substitutions;
+    Acc.Blocked += Total.Blocked;
+    Acc.Backtracks += Total.Backtracks;
+    Acc.Passes += Total.Passes;
+
+    remarks::StatGroup SG(name());
+    SG.set("loops.processed", Total.LoopsProcessed);
+    SG.set("ivs.recognized", Total.FamilyMembers);
+    SG.set("uses.rewritten", Total.UsesRewritten);
+    SG.set("stmts.substituted", Total.Substitutions);
+    SG.set("stmts.blocked", Total.Blocked);
+    SG.set("backtracks", Total.Backtracks);
+    SG.set("passes", Total.Passes);
+    return SG;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// constprop
+//===----------------------------------------------------------------------===//
+
+class ConstPropPass : public Pass {
+public:
+  std::string name() const override { return "constprop"; }
+
+  remarks::StatGroup run(PassContext &Ctx) override {
+    scalar::ConstPropStats Total;
+    for (const auto &F : Ctx.Program.getFunctions()) {
+      auto S = scalar::propagateConstants(*F, Ctx.Options.ConstProp);
+      Total.UsesReplaced += S.UsesReplaced;
+      Total.BranchesFolded += S.BranchesFolded;
+      Total.LoopsDeleted += S.LoopsDeleted;
+      Total.StmtsRemoved += S.StmtsRemoved;
+      Total.Requeues += S.Requeues;
+      Total.PostpassRemoved += S.PostpassRemoved;
+    }
+    auto &Acc = Ctx.Stats.ConstProp;
+    Acc.UsesReplaced += Total.UsesReplaced;
+    Acc.BranchesFolded += Total.BranchesFolded;
+    Acc.LoopsDeleted += Total.LoopsDeleted;
+    Acc.StmtsRemoved += Total.StmtsRemoved;
+    Acc.Requeues += Total.Requeues;
+    Acc.PostpassRemoved += Total.PostpassRemoved;
+
+    remarks::StatGroup SG(name());
+    SG.set("uses.replaced", Total.UsesReplaced);
+    SG.set("branches.folded", Total.BranchesFolded);
+    SG.set("loops.deleted", Total.LoopsDeleted);
+    SG.set("stmts.removed", Total.StmtsRemoved);
+    SG.set("requeues", Total.Requeues);
+    SG.set("postpass.removed", Total.PostpassRemoved);
+    return SG;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// dce
+//===----------------------------------------------------------------------===//
+
+class DCEPass : public Pass {
+public:
+  std::string name() const override { return "dce"; }
+
+  remarks::StatGroup run(PassContext &Ctx) override {
+    scalar::DCEStats Total;
+    for (const auto &F : Ctx.Program.getFunctions()) {
+      auto S = scalar::eliminateDeadCode(*F);
+      Total.AssignsRemoved += S.AssignsRemoved;
+      Total.EmptyControlRemoved += S.EmptyControlRemoved;
+      Total.LabelsRemoved += S.LabelsRemoved;
+    }
+    auto &Acc = Ctx.Stats.DCE;
+    Acc.AssignsRemoved += Total.AssignsRemoved;
+    Acc.EmptyControlRemoved += Total.EmptyControlRemoved;
+    Acc.LabelsRemoved += Total.LabelsRemoved;
+
+    remarks::StatGroup SG(name());
+    SG.set("assigns.removed", Total.AssignsRemoved);
+    SG.set("controls.removed", Total.EmptyControlRemoved);
+    SG.set("labels.removed", Total.LabelsRemoved);
+    return SG;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// vectorize
+//===----------------------------------------------------------------------===//
+
+class VectorizePass : public Pass {
+public:
+  std::string name() const override { return "vectorize"; }
+
+  remarks::StatGroup run(PassContext &Ctx) override {
+    vec::VectorizeStats Total;
+    vec::VectorizeOptions Opts = Ctx.Options.Vectorize;
+    Opts.Remarks = &Ctx.Remarks; // source-located loop remarks
+    for (const auto &F : Ctx.Program.getFunctions()) {
+      auto S = vec::vectorizeLoops(*F, Opts);
+      Total.LoopsConsidered += S.LoopsConsidered;
+      Total.LoopsVectorized += S.LoopsVectorized;
+      Total.LoopsDistributed += S.LoopsDistributed;
+      Total.VectorStmts += S.VectorStmts;
+      Total.SerialLoops += S.SerialLoops;
+      Total.SpreadSerialLoops += S.SpreadSerialLoops;
+      Total.ParallelLoops += S.ParallelLoops;
+      Total.StripLoops += S.StripLoops;
+      Total.UnstripedVectorStmts += S.UnstripedVectorStmts;
+    }
+    auto &Acc = Ctx.Stats.Vectorize;
+    Acc.LoopsConsidered += Total.LoopsConsidered;
+    Acc.LoopsVectorized += Total.LoopsVectorized;
+    Acc.LoopsDistributed += Total.LoopsDistributed;
+    Acc.VectorStmts += Total.VectorStmts;
+    Acc.SerialLoops += Total.SerialLoops;
+    Acc.SpreadSerialLoops += Total.SpreadSerialLoops;
+    Acc.ParallelLoops += Total.ParallelLoops;
+    Acc.StripLoops += Total.StripLoops;
+    Acc.UnstripedVectorStmts += Total.UnstripedVectorStmts;
+
+    remarks::StatGroup SG(name());
+    SG.set("loops.considered", Total.LoopsConsidered);
+    SG.set("loops.vectorized", Total.LoopsVectorized);
+    SG.set("loops.distributed", Total.LoopsDistributed);
+    SG.set("loops.stripmined", Total.StripLoops);
+    SG.set("vector.stmts", Total.VectorStmts);
+    SG.set("serial.loops", Total.SerialLoops);
+    SG.set("parallel.loops", Total.ParallelLoops);
+    return SG;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// depopt
+//===----------------------------------------------------------------------===//
+
+class DepOptPass : public Pass {
+public:
+  std::string name() const override { return "depopt"; }
+
+  remarks::StatGroup run(PassContext &Ctx) override {
+    depopt::ScalarReplaceStats SR;
+    depopt::StrengthReduceStats STR;
+    // Scalar replacement first: it removes the loop-carried loads, after
+    // which the remaining loads are conflict-free.  Conflict-free marking
+    // runs before strength reduction rewrites the address forms the
+    // dependence analysis reads.
+    for (const auto &F : Ctx.Program.getFunctions()) {
+      if (Ctx.Options.EnableScalarReplacement) {
+        auto S = depopt::applyScalarReplacement(*F);
+        SR.LoopsApplied += S.LoopsApplied;
+        SR.LoadsEliminated += S.LoadsEliminated;
+      }
+    }
+    if (Ctx.Options.EnableDepScheduling)
+      for (const auto &F : Ctx.Program.getFunctions())
+        dep::markConflictFreeLoads(*F);
+    for (const auto &F : Ctx.Program.getFunctions()) {
+      if (Ctx.Options.EnableStrengthReduction) {
+        auto S = depopt::applyStrengthReduction(*F);
+        STR.LoopsApplied += S.LoopsApplied;
+        STR.AddressTemps += S.AddressTemps;
+        STR.RefsRewritten += S.RefsRewritten;
+        STR.InvariantsHoisted += S.InvariantsHoisted;
+        STR.SharedTemps += S.SharedTemps;
+      }
+    }
+    auto &AccSR = Ctx.Stats.ScalarReplace;
+    AccSR.LoopsApplied += SR.LoopsApplied;
+    AccSR.LoadsEliminated += SR.LoadsEliminated;
+    auto &AccST = Ctx.Stats.StrengthReduce;
+    AccST.LoopsApplied += STR.LoopsApplied;
+    AccST.AddressTemps += STR.AddressTemps;
+    AccST.RefsRewritten += STR.RefsRewritten;
+    AccST.InvariantsHoisted += STR.InvariantsHoisted;
+    AccST.SharedTemps += STR.SharedTemps;
+
+    remarks::StatGroup SG(name());
+    SG.set("scalarrepl.loops", SR.LoopsApplied);
+    SG.set("scalarrepl.loads", SR.LoadsEliminated);
+    SG.set("strength.loops", STR.LoopsApplied);
+    SG.set("strength.temps", STR.AddressTemps);
+    SG.set("strength.refs", STR.RefsRewritten);
+    SG.set("strength.hoisted", STR.InvariantsHoisted);
+    SG.set("strength.cse", STR.SharedTemps);
+    return SG;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// verify
+//===----------------------------------------------------------------------===//
+
+class VerifyPass : public Pass {
+public:
+  std::string name() const override { return "verify"; }
+  bool preservesUseDef() const override { return true; }
+
+  remarks::StatGroup run(PassContext &Ctx) override {
+    VerifierReport Report = verifyProgram(Ctx.Program);
+    for (const std::string &E : Report.Errors)
+      Ctx.Diags.error(SourceLoc(), "IL verifier: " + E);
+
+    remarks::StatGroup SG(name());
+    SG.set("functions.checked", Ctx.Program.getFunctions().size());
+    SG.set("errors", Report.Errors.size());
+    return SG;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> pipeline::createInlinePass() {
+  return std::make_unique<InlinePass>();
+}
+std::unique_ptr<Pass> pipeline::createWhileToDoPass() {
+  return std::make_unique<WhileToDoPass>();
+}
+std::unique_ptr<Pass> pipeline::createIVSubPass() {
+  return std::make_unique<IVSubPass>();
+}
+std::unique_ptr<Pass> pipeline::createConstPropPass() {
+  return std::make_unique<ConstPropPass>();
+}
+std::unique_ptr<Pass> pipeline::createDCEPass() {
+  return std::make_unique<DCEPass>();
+}
+std::unique_ptr<Pass> pipeline::createVectorizePass() {
+  return std::make_unique<VectorizePass>();
+}
+std::unique_ptr<Pass> pipeline::createDepOptPass() {
+  return std::make_unique<DepOptPass>();
+}
+std::unique_ptr<Pass> pipeline::createVerifyPass() {
+  return std::make_unique<VerifyPass>();
+}

@@ -1,0 +1,45 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The built-in passes: every optimization phase of the paper's pipeline
+/// wrapped behind the Pass interface, plus the IL verifier as a pass.
+///
+/// Registered names (also the stage-capture keys):
+///   inline     — cross-file inline expansion (Section 7)
+///   whiletodo  — while→DO conversion with incremental use-def patching
+///                (Section 5.2); the only pass that *preserves* use-def
+///   ivsub      — induction-variable substitution (Section 8)
+///   constprop  — constant propagation ⨝ unreachable-code elimination
+///   dce        — dead-code elimination
+///   vectorize  — Allen–Kennedy vectorization + strip-mining +
+///                multiprocessor spreading (Sections 5 and 9)
+///   depopt     — dependence-driven optimization: scalar replacement,
+///                conflict-free load marking, strength reduction
+///                (Section 6)
+///   verify     — the ILVerifier as an explicitly schedulable pass
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_PIPELINE_PASSES_H
+#define TCC_PIPELINE_PASSES_H
+
+#include "pipeline/Pass.h"
+
+#include <memory>
+
+namespace tcc {
+namespace pipeline {
+
+std::unique_ptr<Pass> createInlinePass();
+std::unique_ptr<Pass> createWhileToDoPass();
+std::unique_ptr<Pass> createIVSubPass();
+std::unique_ptr<Pass> createConstPropPass();
+std::unique_ptr<Pass> createDCEPass();
+std::unique_ptr<Pass> createVectorizePass();
+std::unique_ptr<Pass> createDepOptPass();
+std::unique_ptr<Pass> createVerifyPass();
+
+} // namespace pipeline
+} // namespace tcc
+
+#endif // TCC_PIPELINE_PASSES_H

@@ -1,0 +1,131 @@
+#include "remarks/Remarks.h"
+
+#include "support/JSONWriter.h"
+
+using namespace tcc;
+using namespace tcc::remarks;
+
+const char *remarks::remarkKindName(RemarkKind K) {
+  switch (K) {
+  case RemarkKind::Applied:
+    return "applied";
+  case RemarkKind::Missed:
+    return "missed";
+  case RemarkKind::Note:
+    return "note";
+  }
+  return "note";
+}
+
+std::string Remark::str() const {
+  std::string Out = Pass;
+  if (Loc.isValid())
+    Out += ":" + std::to_string(Loc.Line) + ":" + std::to_string(Loc.Col);
+  Out += ": ";
+  Out += remarkKindName(Kind);
+  Out += ": ";
+  Out += Message;
+  return Out;
+}
+
+std::vector<Remark> RemarkCollector::forPass(const std::string &Pass) const {
+  std::vector<Remark> Out;
+  for (const Remark &R : All)
+    if (R.Pass == Pass)
+      Out.push_back(R);
+  return Out;
+}
+
+void StatGroup::set(const std::string &Name, uint64_t Value) {
+  for (auto &[N, V] : Counters)
+    if (N == Name) {
+      V = Value;
+      return;
+    }
+  Counters.emplace_back(Name, Value);
+}
+
+uint64_t StatGroup::get(const std::string &Name) const {
+  for (const auto &[N, V] : Counters)
+    if (N == Name)
+      return V;
+  return 0;
+}
+
+const PassRecord *CompilationTelemetry::find(const std::string &Pass) const {
+  for (const PassRecord &R : Passes)
+    if (R.Pass == Pass)
+      return &R;
+  return nullptr;
+}
+
+namespace {
+
+void writeCounts(json::JSONWriter &W, const char *Key, const ILCounts &C) {
+  W.key(Key).beginObject();
+  W.keyValue("functions", C.Functions);
+  W.keyValue("stmts", C.Stmts);
+  W.keyValue("assigns", C.Assigns);
+  W.keyValue("calls", C.Calls);
+  W.keyValue("whileLoops", C.WhileLoops);
+  W.keyValue("doLoops", C.DoLoops);
+  W.keyValue("parallelLoops", C.ParallelLoops);
+  W.keyValue("vectorAssigns", C.VectorAssigns);
+  W.keyValue("symbols", C.Symbols);
+  W.endObject();
+}
+
+} // namespace
+
+void CompilationTelemetry::writeJSON(std::ostream &OS) const {
+  json::JSONWriter W(OS);
+  W.beginObject();
+  W.keyValue("totalMillis", TotalMillis);
+
+  W.key("passes").beginArray();
+  for (const PassRecord &R : Passes) {
+    W.beginObject();
+    W.keyValue("name", R.Pass);
+    W.keyValue("millis", R.Millis);
+    writeCounts(W, "before", R.Before);
+    writeCounts(W, "after", R.After);
+    W.key("delta").beginObject();
+    W.keyValue("stmts", R.stmtsDelta());
+    W.keyValue("doLoops", static_cast<int64_t>(R.After.DoLoops) -
+                              static_cast<int64_t>(R.Before.DoLoops));
+    W.keyValue("whileLoops",
+               static_cast<int64_t>(R.After.WhileLoops) -
+                   static_cast<int64_t>(R.Before.WhileLoops));
+    W.keyValue("vectorAssigns",
+               static_cast<int64_t>(R.After.VectorAssigns) -
+                   static_cast<int64_t>(R.Before.VectorAssigns));
+    W.keyValue("parallelLoops",
+               static_cast<int64_t>(R.After.ParallelLoops) -
+                   static_cast<int64_t>(R.Before.ParallelLoops));
+    W.endObject();
+    W.key("counters").beginObject();
+    for (const auto &[Name, Value] : R.Stats.Counters)
+      W.keyValue(Name, Value);
+    W.endObject();
+    W.keyValue("verified", R.Verified);
+    W.keyValue("useDefBuilt", R.UseDefBuilt);
+    W.keyValue("useDefReused", R.UseDefReused);
+    W.endObject();
+  }
+  W.endArray();
+
+  W.key("remarks").beginArray();
+  for (const Remark &R : Remarks) {
+    W.beginObject();
+    W.keyValue("pass", R.Pass);
+    W.keyValue("kind", remarkKindName(R.Kind));
+    W.keyValue("line", R.Loc.Line);
+    W.keyValue("col", R.Loc.Col);
+    W.keyValue("message", R.Message);
+    W.endObject();
+  }
+  W.endArray();
+
+  W.endObject();
+  OS << '\n';
+}

@@ -1,0 +1,158 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Optimization telemetry: source-located remarks, per-pass counter
+/// groups, IL-delta counters, and per-pass wall-clock timings — the
+/// machine-readable record of what the pipeline did to a program and why.
+///
+/// The paper's evaluation (Sections 6 and 9) is a narrative of exactly
+/// this data: which loop vectorized, which did not and for what reason,
+/// how many statements each phase removed.  This module makes that record
+/// first-class so benches, tests, and external tools (ablation sweeps,
+/// learned pass ordering à la NeuroVectorizer) can consume it as JSON
+/// instead of scraping stdout.
+///
+/// Layering: depends only on tcc_support.  Optimization modules may emit
+/// remarks through a RemarkCollector*; the pipeline subsystem assembles
+/// the full CompilationTelemetry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_REMARKS_REMARKS_H
+#define TCC_REMARKS_REMARKS_H
+
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tcc {
+namespace remarks {
+
+//===----------------------------------------------------------------------===//
+// Remarks
+//===----------------------------------------------------------------------===//
+
+/// What a remark reports, following the opt-remark taxonomy: a transform
+/// that fired, a transform that was refused (with the reason), or neutral
+/// analysis information.
+enum class RemarkKind : uint8_t { Applied, Missed, Note };
+
+const char *remarkKindName(RemarkKind K);
+
+/// One source-located observation from a pass, e.g.
+///   applied  vectorize 9:7   "loop vectorized, VL=32"
+///   missed   vectorize 12:3  "not vectorized: cyclic dependence on 's'"
+struct Remark {
+  RemarkKind Kind = RemarkKind::Note;
+  std::string Pass;
+  SourceLoc Loc; ///< May be invalid for program-level remarks.
+  std::string Message;
+
+  /// Renders "vectorize:12:3: missed: not vectorized: ...".
+  std::string str() const;
+};
+
+/// Accumulates remarks across a compilation.  Cheap to pass by pointer;
+/// every emission site tolerates a null collector.
+class RemarkCollector {
+public:
+  void applied(std::string Pass, SourceLoc Loc, std::string Message) {
+    add(RemarkKind::Applied, std::move(Pass), Loc, std::move(Message));
+  }
+  void missed(std::string Pass, SourceLoc Loc, std::string Message) {
+    add(RemarkKind::Missed, std::move(Pass), Loc, std::move(Message));
+  }
+  void note(std::string Pass, SourceLoc Loc, std::string Message) {
+    add(RemarkKind::Note, std::move(Pass), Loc, std::move(Message));
+  }
+
+  const std::vector<Remark> &remarks() const { return All; }
+  bool empty() const { return All.empty(); }
+
+  /// Remarks emitted by one pass (for tests and filtered output).
+  std::vector<Remark> forPass(const std::string &Pass) const;
+
+private:
+  void add(RemarkKind K, std::string Pass, SourceLoc Loc,
+           std::string Message) {
+    All.push_back({K, std::move(Pass), Loc, std::move(Message)});
+  }
+  std::vector<Remark> All;
+};
+
+//===----------------------------------------------------------------------===//
+// Per-pass counters
+//===----------------------------------------------------------------------===//
+
+/// A named group of counters a pass reports after running — the generic
+/// face of the typed per-module Stats structs.  Counter order is the
+/// emission order (stable across runs).
+struct StatGroup {
+  std::string Pass;
+  std::vector<std::pair<std::string, uint64_t>> Counters;
+
+  StatGroup() = default;
+  explicit StatGroup(std::string Pass) : Pass(std::move(Pass)) {}
+
+  /// Appends (or overwrites, if present) a counter.
+  void set(const std::string &Name, uint64_t Value);
+  /// 0 when absent.
+  uint64_t get(const std::string &Name) const;
+};
+
+//===----------------------------------------------------------------------===//
+// IL shape counters and per-pass records
+//===----------------------------------------------------------------------===//
+
+/// Structural counts of an IL program, taken before and after each pass so
+/// the per-pass delta is explicit in the telemetry.
+struct ILCounts {
+  uint64_t Functions = 0;
+  uint64_t Stmts = 0;
+  uint64_t Assigns = 0;
+  uint64_t Calls = 0;
+  uint64_t WhileLoops = 0;
+  uint64_t DoLoops = 0;
+  uint64_t ParallelLoops = 0;
+  uint64_t VectorAssigns = 0; ///< Assigns containing a triplet.
+  uint64_t Symbols = 0;
+};
+
+/// Everything recorded about one executed pass.
+struct PassRecord {
+  std::string Pass;
+  double Millis = 0.0;
+  ILCounts Before;
+  ILCounts After;
+  StatGroup Stats;
+  bool Verified = false;      ///< ILVerifier ran (and passed) after this pass.
+  bool PreservedUseDef = false;
+  unsigned UseDefBuilt = 0;   ///< Analyses rebuilt during this pass.
+  unsigned UseDefReused = 0;  ///< Analyses served from cache.
+
+  int64_t stmtsDelta() const {
+    return static_cast<int64_t>(After.Stmts) -
+           static_cast<int64_t>(Before.Stmts);
+  }
+};
+
+/// The full telemetry of one compilation: the executed pipeline with
+/// per-pass records, plus all remarks.
+struct CompilationTelemetry {
+  std::vector<PassRecord> Passes;
+  std::vector<Remark> Remarks;
+  double TotalMillis = 0.0;
+
+  const PassRecord *find(const std::string &Pass) const;
+
+  /// Serializes the whole record as a JSON document.
+  void writeJSON(std::ostream &OS) const;
+};
+
+} // namespace remarks
+} // namespace tcc
+
+#endif // TCC_REMARKS_REMARKS_H

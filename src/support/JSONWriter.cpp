@@ -1,0 +1,149 @@
+#include "support/JSONWriter.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+using namespace tcc;
+using namespace tcc::json;
+
+std::string json::escape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+  return Out;
+}
+
+void JSONWriter::newlineIndent(unsigned Depth) {
+  if (!IndentWidth)
+    return; // compact mode
+  OS << '\n';
+  for (unsigned I = 0; I < Depth * IndentWidth; ++I)
+    OS << ' ';
+}
+
+void JSONWriter::beforeValue() {
+  if (Stack.empty())
+    return; // top-level value
+  if (PendingKey) {
+    PendingKey = false;
+    return; // key() already positioned us
+  }
+  assert(Stack.back().IsArray && "object member requires key()");
+  if (Stack.back().Count)
+    OS << ',';
+  newlineIndent(static_cast<unsigned>(Stack.size()));
+  ++Stack.back().Count;
+}
+
+JSONWriter &JSONWriter::key(const std::string &K) {
+  assert(!Stack.empty() && !Stack.back().IsArray && "key() outside object");
+  assert(!PendingKey && "two keys in a row");
+  if (Stack.back().Count)
+    OS << ',';
+  newlineIndent(static_cast<unsigned>(Stack.size()));
+  ++Stack.back().Count;
+  OS << '"' << escape(K) << "\": ";
+  PendingKey = true;
+  return *this;
+}
+
+JSONWriter &JSONWriter::beginObject() {
+  beforeValue();
+  OS << '{';
+  Stack.push_back({false, 0});
+  return *this;
+}
+
+JSONWriter &JSONWriter::endObject() {
+  assert(!Stack.empty() && !Stack.back().IsArray);
+  bool HadMembers = Stack.back().Count > 0;
+  Stack.pop_back();
+  if (HadMembers)
+    newlineIndent(static_cast<unsigned>(Stack.size()));
+  OS << '}';
+  return *this;
+}
+
+JSONWriter &JSONWriter::beginArray() {
+  beforeValue();
+  OS << '[';
+  Stack.push_back({true, 0});
+  return *this;
+}
+
+JSONWriter &JSONWriter::endArray() {
+  assert(!Stack.empty() && Stack.back().IsArray);
+  bool HadMembers = Stack.back().Count > 0;
+  Stack.pop_back();
+  if (HadMembers)
+    newlineIndent(static_cast<unsigned>(Stack.size()));
+  OS << ']';
+  return *this;
+}
+
+JSONWriter &JSONWriter::value(const std::string &V) {
+  beforeValue();
+  OS << '"' << escape(V) << '"';
+  return *this;
+}
+
+JSONWriter &JSONWriter::value(const char *V) {
+  return value(std::string(V));
+}
+
+JSONWriter &JSONWriter::value(int64_t V) {
+  beforeValue();
+  OS << V;
+  return *this;
+}
+
+JSONWriter &JSONWriter::value(uint64_t V) {
+  beforeValue();
+  OS << V;
+  return *this;
+}
+
+JSONWriter &JSONWriter::value(double V) {
+  beforeValue();
+  if (!std::isfinite(V)) {
+    OS << "null"; // JSON has no inf/nan
+    return *this;
+  }
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.6g", V);
+  OS << Buf;
+  return *this;
+}
+
+JSONWriter &JSONWriter::value(bool V) {
+  beforeValue();
+  OS << (V ? "true" : "false");
+  return *this;
+}

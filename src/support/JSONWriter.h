@@ -1,0 +1,87 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal streaming JSON writer for telemetry and bench output.  No
+/// external dependency: the writer tracks the open object/array stack and
+/// inserts commas, indentation, and string escaping so callers only state
+/// structure.  Output is deterministic (keys appear in emission order),
+/// which keeps telemetry files diffable across runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_SUPPORT_JSONWRITER_H
+#define TCC_SUPPORT_JSONWRITER_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tcc {
+namespace json {
+
+/// Escapes \p S for inclusion in a JSON string literal (quotes not
+/// included).
+std::string escape(const std::string &S);
+
+/// Streaming writer.  Usage:
+///
+///   JSONWriter W(OS);
+///   W.beginObject();
+///   W.key("name").value("inline");
+///   W.key("counters").beginArray();
+///   ...
+///   W.endArray();
+///   W.endObject();
+///
+/// Misnesting (ending an array while an object is open, a value with no
+/// pending key inside an object) asserts in debug builds.
+///
+/// IndentWidth 0 selects compact single-line output (JSON Lines rows).
+class JSONWriter {
+public:
+  explicit JSONWriter(std::ostream &OS, unsigned IndentWidth = 2)
+      : OS(OS), IndentWidth(IndentWidth) {}
+
+  JSONWriter &beginObject();
+  JSONWriter &endObject();
+  JSONWriter &beginArray();
+  JSONWriter &endArray();
+
+  /// Emits `"K":` and leaves the writer expecting exactly one value.
+  JSONWriter &key(const std::string &K);
+
+  JSONWriter &value(const std::string &V);
+  JSONWriter &value(const char *V);
+  JSONWriter &value(int64_t V);
+  JSONWriter &value(uint64_t V);
+  JSONWriter &value(unsigned V) { return value(static_cast<uint64_t>(V)); }
+  JSONWriter &value(int V) { return value(static_cast<int64_t>(V)); }
+  JSONWriter &value(double V);
+  JSONWriter &value(bool V);
+
+  /// key(K) + value(V) in one call.
+  template <typename T> JSONWriter &keyValue(const std::string &K, T V) {
+    key(K);
+    return value(V);
+  }
+
+private:
+  struct Scope {
+    bool IsArray = false;
+    unsigned Count = 0; ///< Values emitted at this level.
+  };
+
+  void beforeValue(); ///< Comma/newline/indent bookkeeping.
+  void newlineIndent(unsigned Depth);
+
+  std::ostream &OS;
+  unsigned IndentWidth;
+  std::vector<Scope> Stack;
+  bool PendingKey = false;
+};
+
+} // namespace json
+} // namespace tcc
+
+#endif // TCC_SUPPORT_JSONWRITER_H

@@ -89,10 +89,20 @@ private:
     return IsConst(D->getInit(), 0) && IsConst(D->getStep(), 1);
   }
 
+  void remarkMissed(DoLoopStmt *D, const std::string &Reason) {
+    if (Opts.Remarks)
+      Opts.Remarks->missed("vectorize", D->getLoc(),
+                           "not vectorized: " + Reason);
+  }
+
   bool vectorizeInnermost(DoLoopStmt *D, std::vector<Stmt *> &Out) {
     ++Stats.LoopsConsidered;
-    if (!isNormalized(D) || D->getBody().empty())
+    if (!isNormalized(D) || D->getBody().empty()) {
+      remarkMissed(D, D->getBody().empty()
+                          ? "loop body is empty"
+                          : "loop is not in normalized DO form");
       return false;
+    }
 
     DepGraphOptions DepOpts;
     DepOpts.FortranPointerSemantics = Opts.FortranPointerSemantics;
@@ -158,34 +168,55 @@ private:
       }
     };
 
-    auto IsVectorizable = [&](unsigned N) {
+    // Why a single acyclic statement cannot become a vector statement;
+    // empty when it can.  The reasons feed the optimization remarks.
+    auto WhyNotVectorizable = [&](unsigned N) -> std::string {
       Stmt *S = Graph.statements()[N];
       if (S->getKind() != Stmt::AssignKind)
-        return false;
+        return "statement is not an assignment";
       auto *A = static_cast<AssignStmt *>(S);
       // The target must be a memory reference varying with the index.
       if (A->getLHS()->getKind() == Expr::VarRefKind)
-        return false;
+        return "assigns scalar '" +
+               static_cast<VarRefExpr *>(A->getLHS())->getSymbol()->getName() +
+               "'";
       const auto &Refs = Graph.refsOf(N);
       for (const MemRef &R : Refs)
         if (!R.Addr.Valid)
-          return false;
+          return "memory reference is not affine in the loop index "
+                 "(possible aliasing)";
       bool LhsVaries = false;
       for (const MemRef &R : Refs)
         if (R.IsWrite && R.Addr.coeffOf(D->getIndexVar()) != 0)
           LhsVaries = true;
       if (!LhsVaries)
-        return false;
+        return "store does not vary with the loop index";
       // No scalar flowing from other statements in the loop (would need
       // scalar expansion), and no volatile access.
       for (Symbol *Used : analysis::usedScalars(S))
         if (DefinedInLoop.count(Used))
-          return false;
+          return "scalar '" + Used->getName() +
+                 "' assigned in the loop flows into the statement";
       if (exprReadsVolatile(A->getRHS()) || exprReadsVolatile(A->getLHS()))
-        return false;
+        return "volatile access";
       if (!ValueVectorizable(A->getRHS(), D->getIndexVar()))
-        return false;
-      return true;
+        return "value use of the loop index has no vector form";
+      return {};
+    };
+
+    // Names the recurrence that keeps an SCC cyclic, preferring a scalar
+    // (the paper's `s` in the backsolve example) over an array base.
+    auto CyclicReason = [&](const std::vector<unsigned> &Scc) -> std::string {
+      for (unsigned N : Scc)
+        for (Symbol *Def : analysis::strongDefs(Graph.statements()[N]))
+          if (Def != D->getIndexVar())
+            return "cyclic dependence on '" + Def->getName() + "'";
+      for (unsigned N : Scc)
+        for (const MemRef &R : Graph.refsOf(N))
+          if (R.IsWrite && R.Addr.Base.K == BaseKey::Array && R.Addr.Base.Sym)
+            return "cyclic dependence on '" + R.Addr.Base.Sym->getName() +
+                   "'";
+      return "cyclic dependence between statements";
     };
 
     // Plan: each SCC is either a vector statement or part of a serial run.
@@ -194,9 +225,18 @@ private:
       std::vector<unsigned> Nodes; ///< Serial pieces may merge SCCs.
     };
     std::vector<Piece> Pieces;
+    // (loc, reason) per serial SCC, for the remarks.
+    std::vector<std::pair<SourceLoc, std::string>> SerialReasons;
     for (const auto &Scc : Sccs) {
-      bool Vector = !Graph.sccIsCyclic(Scc) && Scc.size() == 1 &&
-                    IsVectorizable(Scc[0]);
+      std::string Why;
+      if (Graph.sccIsCyclic(Scc) || Scc.size() != 1)
+        Why = CyclicReason(Scc);
+      else
+        Why = WhyNotVectorizable(Scc[0]);
+      bool Vector = Why.empty();
+      if (!Vector)
+        SerialReasons.emplace_back(Graph.statements()[Scc[0]]->getLoc(),
+                                   Why);
       if (Vector) {
         Pieces.push_back({true, Scc});
       } else if (!Pieces.empty() && !Pieces.back().Vector) {
@@ -229,14 +269,43 @@ private:
           D->setParallel(true);
           ++Stats.SpreadSerialLoops;
           ++Stats.ParallelLoops;
+          if (Opts.Remarks)
+            Opts.Remarks->applied("vectorize", D->getLoc(),
+                                  "loop spread across processors (no "
+                                  "dependence carried between iterations)");
         }
       }
+      remarkMissed(D, SerialReasons.empty()
+                          ? "no vectorizable statement"
+                          : SerialReasons.front().second);
       return false; // structure unchanged
     }
 
     ++Stats.LoopsVectorized;
     if (Pieces.size() > 1)
       ++Stats.LoopsDistributed;
+
+    if (Opts.Remarks) {
+      unsigned NVec = 0;
+      for (const Piece &P : Pieces)
+        NVec += P.Vector;
+      int64_t Trip = Graph.tripCount();
+      bool Strip =
+          Opts.StripLength > 0 && (Trip < 0 || Trip > Opts.StripLength);
+      int64_t VL = Strip ? Opts.StripLength : Trip;
+      std::string Msg = "loop vectorized";
+      if (Pieces.size() > 1)
+        Msg += " (distributed: " + std::to_string(NVec) + " vector, " +
+               std::to_string(Pieces.size() - NVec) + " serial piece(s))";
+      if (VL > 0)
+        Msg += ", VL=" + std::to_string(VL);
+      Opts.Remarks->applied("vectorize", D->getLoc(), Msg);
+      // The statements left behind in serial pieces, each with its
+      // blocking reason.
+      for (const auto &[Loc, Why] : SerialReasons)
+        Opts.Remarks->missed("vectorize", Loc,
+                             "statement not vectorized: " + Why);
+    }
 
     for (const Piece &P : Pieces) {
       if (!P.Vector) {

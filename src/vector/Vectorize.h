@@ -32,6 +32,7 @@
 #define TCC_VECTOR_VECTORIZE_H
 
 #include "il/IL.h"
+#include "remarks/Remarks.h"
 
 namespace tcc {
 namespace vec {
@@ -43,6 +44,10 @@ struct VectorizeOptions {
   /// but the paper's examples spread 32-element strips across processors.
   int64_t StripLength = 32;
   bool FortranPointerSemantics = false;
+  /// When set, the vectorizer reports a source-located remark for every
+  /// loop it considers: vectorized (with the vector length), or refused
+  /// with the blocking reason ("cyclic dependence on 's'", ...).
+  remarks::RemarkCollector *Remarks = nullptr;
 };
 
 struct VectorizeStats {

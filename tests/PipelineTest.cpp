@@ -1,0 +1,387 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pipeline subsystem tests: spec parsing, the pass registry, pass
+/// reordering through the driver, the IL verifier on deliberately
+/// corrupted programs, and remark/telemetry emission.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "pipeline/ILVerifier.h"
+#include "pipeline/PassManager.h"
+#include "pipeline/PassRegistry.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace tcc;
+using namespace tcc::driver;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Spec parsing and the registry
+//===----------------------------------------------------------------------===//
+
+TEST(PipelineSpec, TokenizeSplitsAndTrims) {
+  auto T = pipeline::PassManager::tokenizeSpec(" inline, whiletodo ,dce ");
+  ASSERT_EQ(T.size(), 3u);
+  EXPECT_EQ(T[0], "inline");
+  EXPECT_EQ(T[1], "whiletodo");
+  EXPECT_EQ(T[2], "dce");
+}
+
+TEST(PipelineSpec, EmptySpecIsValidNoOpPipeline) {
+  EXPECT_TRUE(pipeline::PassManager::tokenizeSpec("").empty());
+  EXPECT_TRUE(pipeline::PassManager::tokenizeSpec(" , ,, ").empty());
+
+  pipeline::PassManager PM;
+  DiagnosticEngine Diags;
+  EXPECT_TRUE(PM.addPipeline("", Diags));
+  EXPECT_TRUE(PM.passes().empty());
+  EXPECT_FALSE(Diags.hasErrors());
+}
+
+TEST(PipelineSpec, UnknownPassNameIsDiagnosed) {
+  pipeline::PassManager PM;
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(PM.addPipeline("whiletodo,frobnicate,dce", Diags));
+  ASSERT_TRUE(Diags.hasErrors());
+  EXPECT_NE(Diags.str().find("unknown pass 'frobnicate'"), std::string::npos)
+      << Diags.str();
+  // The diagnostic teaches: it lists what *is* registered.
+  EXPECT_NE(Diags.str().find("vectorize"), std::string::npos) << Diags.str();
+  // Nothing was staged.
+  EXPECT_TRUE(PM.passes().empty());
+}
+
+TEST(PipelineSpec, RegistryKnowsTheBuiltinPasses) {
+  auto &Reg = pipeline::PassRegistry::instance();
+  for (const char *Name : {"inline", "whiletodo", "ivsub", "constprop",
+                           "dce", "vectorize", "depopt", "verify"}) {
+    EXPECT_TRUE(Reg.contains(Name)) << Name;
+    auto P = Reg.create(Name);
+    ASSERT_NE(P, nullptr) << Name;
+    EXPECT_EQ(P->name(), Name);
+  }
+  EXPECT_FALSE(Reg.contains("frobnicate"));
+  EXPECT_EQ(Reg.create("frobnicate"), nullptr);
+}
+
+TEST(PipelineSpec, DefaultSpecFollowsToggles) {
+  EXPECT_EQ(CompilerOptions::full().pipelineSpec(),
+            "inline,whiletodo,ivsub,constprop,dce,vectorize,depopt");
+  EXPECT_EQ(CompilerOptions::noOpt().pipelineSpec(), "");
+  CompilerOptions O;
+  O.EnableInline = false;
+  O.EnableVectorize = false;
+  EXPECT_EQ(O.pipelineSpec(), "whiletodo,ivsub,constprop,dce,depopt");
+}
+
+//===----------------------------------------------------------------------===//
+// Custom pipelines through the driver
+//===----------------------------------------------------------------------===//
+
+const char *DaxpySource = R"(
+  float a[128], b[128], c[128];
+  int checksum;
+  void daxpy(float *x, float *y, float *z, float alpha, int n)
+  {
+    if (n <= 0) return;
+    for (; n; n--)
+      *x++ = *y++ + alpha * *z++;
+  }
+  void main()
+  {
+    int i;
+    for (i = 0; i < 128; i++) { b[i] = i; c[i] = 2 * i; }
+    daxpy(a, b, c, 1.0, 128);
+    checksum = 0;
+    for (i = 0; i < 128; i++) checksum += (int)a[i];
+  }
+)";
+
+int runChecksum(const CompilerOptions &Opts) {
+  auto Out = compileAndRun(DaxpySource, Opts);
+  EXPECT_TRUE(Out.Run.Ok) << Out.Run.Error;
+  return static_cast<int>(
+      Out.Machine->readInt(Out.Machine->addressOf("checksum")));
+}
+
+TEST(PipelineDriver, EmptyPassesStringUsesDefaultPipeline) {
+  CompilerOptions Opts;
+  auto R = compileSource(DaxpySource, Opts);
+  ASSERT_TRUE(R->ok()) << R->Diags.str();
+  ASSERT_EQ(R->Telemetry.Passes.size(), 7u);
+  EXPECT_EQ(R->Telemetry.Passes.front().Pass, "inline");
+  EXPECT_EQ(R->Telemetry.Passes.back().Pass, "depopt");
+}
+
+TEST(PipelineDriver, ReorderedPassesComputeTheSameResult) {
+  // The reference sum: 0 + 3*1 + ... = sum of 3i over 128.
+  int Expected = 0;
+  for (int I = 0; I < 128; ++I)
+    Expected += 3 * I;
+
+  // Legal reorderings and subsets of the phase pipeline must agree with
+  // the default order — correctness never depends on pass order, only
+  // code quality does.
+  const char *Specs[] = {
+      "",                                              // no-op pipeline
+      "whiletodo,ivsub,vectorize",                     // no inline, no cleanup
+      "inline,whiletodo,ivsub,constprop,dce,vectorize,depopt",
+      "inline,whiletodo,ivsub,dce,constprop,vectorize", // dce before constprop
+      "constprop,inline,whiletodo,ivsub,constprop,dce,vectorize", // repeated
+      "dce,dce,dce",                                   // idempotent cleanup
+  };
+  for (const char *Spec : Specs) {
+    CompilerOptions Opts;
+    Opts.Passes = Spec;
+    Opts.VerifyEach = true; // every intermediate form must be well-formed
+    EXPECT_EQ(runChecksum(Opts), Expected) << "spec: " << Spec;
+  }
+}
+
+TEST(PipelineDriver, UnknownPassInDriverFailsCompile) {
+  CompilerOptions Opts;
+  Opts.Passes = "whiletodo,frobnicate";
+  auto R = compileSource(DaxpySource, Opts);
+  EXPECT_FALSE(R->ok());
+  EXPECT_NE(R->Diags.str().find("unknown pass"), std::string::npos);
+}
+
+TEST(PipelineDriver, StageKeysComeFromPassNames) {
+  CompilerOptions Opts;
+  Opts.Passes = "whiletodo,vectorize";
+  Opts.CaptureStages = true;
+  auto R = compileSource(DaxpySource, Opts);
+  ASSERT_TRUE(R->ok()) << R->Diags.str();
+  ASSERT_EQ(R->StageOrder.size(), 3u);
+  EXPECT_EQ(R->StageOrder[0], "lower");
+  EXPECT_EQ(R->StageOrder[1], "whiletodo");
+  EXPECT_EQ(R->StageOrder[2], "vectorize");
+  for (const auto &Key : R->StageOrder)
+    EXPECT_FALSE(R->Stages[Key].empty()) << Key;
+}
+
+//===----------------------------------------------------------------------===//
+// The IL verifier on corrupted programs
+//===----------------------------------------------------------------------===//
+
+il::DoLoopStmt *asDoLoop(il::Stmt *S) {
+  return S->getKind() == il::Stmt::DoLoopKind
+             ? static_cast<il::DoLoopStmt *>(S)
+             : nullptr;
+}
+
+/// Front end only: gives a well-formed program to corrupt.
+std::unique_ptr<CompileResult> lowerOnly(const char *Source) {
+  auto R = compileSource(Source, CompilerOptions::noOpt());
+  EXPECT_TRUE(R->ok()) << R->Diags.str();
+  return R;
+}
+
+TEST(ILVerifier, AcceptsEveryStageOfAHealthyCompile) {
+  CompilerOptions Opts;
+  Opts.VerifyEach = true;
+  auto R = compileSource(DaxpySource, Opts);
+  EXPECT_TRUE(R->ok()) << R->Diags.str();
+  for (const auto &Rec : R->Telemetry.Passes)
+    EXPECT_TRUE(Rec.Verified) << Rec.Pass;
+}
+
+TEST(ILVerifier, CatchesDanglingGoto) {
+  auto R = lowerOnly("void main() { int i; i = 0; }");
+  il::Function *F = R->IL->getFunctions().front().get();
+  F->getBody().Stmts.push_back(
+      F->create<il::GotoStmt>(SourceLoc(), "nowhere"));
+
+  auto Report = pipeline::verifyProgram(*R->IL);
+  ASSERT_FALSE(Report.ok());
+  EXPECT_NE(Report.str().find("nowhere"), std::string::npos) << Report.str();
+}
+
+TEST(ILVerifier, CatchesDuplicateLabels) {
+  auto R = lowerOnly("void main() { int i; i = 0; }");
+  il::Function *F = R->IL->getFunctions().front().get();
+  F->getBody().Stmts.push_back(F->create<il::LabelStmt>(SourceLoc(), "dup"));
+  F->getBody().Stmts.push_back(F->create<il::LabelStmt>(SourceLoc(), "dup"));
+
+  EXPECT_FALSE(pipeline::verifyProgram(*R->IL).ok());
+}
+
+TEST(ILVerifier, CatchesImpureDoLoopBound) {
+  // A healthy DO loop from the front end + while→DO...
+  CompilerOptions Opts;
+  Opts.Passes = "whiletodo";
+  auto R = compileSource(
+      "float a[8]; void main() { int i; for (i = 0; i < 8; i++) a[i] = i; }",
+      Opts);
+  ASSERT_TRUE(R->ok()) << R->Diags.str();
+  il::Function *F = R->IL->getFunctions().front().get();
+  il::DoLoopStmt *Loop = nullptr;
+  for (il::Stmt *S : F->getBody().Stmts)
+    if (auto *D = asDoLoop(S))
+      Loop = D;
+  ASSERT_NE(Loop, nullptr);
+  EXPECT_TRUE(pipeline::verifyProgram(*R->IL).ok());
+
+  // ...corrupted: the limit now reads a volatile — DO bounds are
+  // evaluated once at entry, so this would silently miscompile.
+  il::Symbol *Vol = F->createSymbol(
+      "device_reg", Loop->getLimit()->getType(), il::StorageKind::Local,
+      /*IsVolatile=*/true);
+  Loop->limitSlot() = F->makeVarRef(Vol);
+
+  auto Report = pipeline::verifyProgram(*R->IL);
+  ASSERT_FALSE(Report.ok());
+  EXPECT_NE(Report.str().find("volatile"), std::string::npos) << Report.str();
+}
+
+TEST(ILVerifier, CatchesTripletOutsideVectorContext) {
+  CompilerOptions Opts;
+  Opts.Passes = "whiletodo";
+  auto R = compileSource(
+      "float a[8]; void main() { int i; for (i = 0; i < 8; i++) a[i] = i; }",
+      Opts);
+  ASSERT_TRUE(R->ok()) << R->Diags.str();
+  il::Function *F = R->IL->getFunctions().front().get();
+  il::DoLoopStmt *Loop = nullptr;
+  for (il::Stmt *S : F->getBody().Stmts)
+    if (auto *D = asDoLoop(S))
+      Loop = D;
+  ASSERT_NE(Loop, nullptr);
+
+  // A triplet in a DO bound is never legal IL.
+  const auto *IntTy = Loop->getLimit()->getType();
+  Loop->limitSlot() = F->create<il::TripletExpr>(
+      IntTy, F->makeIntConst(IntTy, 0), F->makeIntConst(IntTy, 7),
+      F->makeIntConst(IntTy, 1));
+
+  EXPECT_FALSE(pipeline::verifyProgram(*R->IL).ok());
+}
+
+TEST(ILVerifier, VerifyEachNamesTheOffendingPass) {
+  // Register a pass that corrupts the program, then run it under
+  // -verify-each: the diagnostic must name it.
+  struct CorruptingPass : pipeline::Pass {
+    std::string name() const override { return "corrupt"; }
+    remarks::StatGroup run(pipeline::PassContext &Ctx) override {
+      il::Function *F = Ctx.Program.getFunctions().front().get();
+      F->getBody().Stmts.push_back(
+          F->create<il::GotoStmt>(SourceLoc(), "nowhere"));
+      return remarks::StatGroup("corrupt");
+    }
+  };
+
+  auto R = lowerOnly("void main() { int i; i = 0; }");
+  pipeline::PassManagerConfig Config;
+  Config.VerifyEach = true;
+  pipeline::PassManager PM({}, std::move(Config));
+  PM.addPass(std::make_unique<CorruptingPass>());
+
+  DiagnosticEngine Diags;
+  remarks::RemarkCollector Remarks;
+  pipeline::PipelineStats Stats;
+  auto Telemetry = PM.run(*R->IL, Diags, Remarks, Stats);
+  ASSERT_TRUE(Diags.hasErrors());
+  EXPECT_NE(Diags.str().find("after pass 'corrupt'"), std::string::npos)
+      << Diags.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Remarks and telemetry
+//===----------------------------------------------------------------------===//
+
+const char *MixedLoopsSource = R"(
+  float a[256], b[256];
+  float s;
+  void main() {
+    int i;
+    for (i = 0; i < 256; i++)
+      a[i] = b[i] + 1.0;
+    s = 0.0;
+    for (i = 0; i < 256; i++)
+      s = s + a[i];
+  }
+)";
+
+TEST(Remarks, VectorizedAndRefusedLoopsBothRemarked) {
+  auto R = compileSource(MixedLoopsSource, CompilerOptions::full());
+  ASSERT_TRUE(R->ok()) << R->Diags.str();
+
+  bool SawApplied = false, SawMissed = false;
+  for (const auto &Rm : R->Remarks.forPass("vectorize")) {
+    if (Rm.Kind == remarks::RemarkKind::Applied &&
+        Rm.Message.find("vectorized") != std::string::npos) {
+      SawApplied = true;
+      EXPECT_TRUE(Rm.Loc.isValid());
+      EXPECT_NE(Rm.Message.find("VL="), std::string::npos) << Rm.Message;
+    }
+    if (Rm.Kind == remarks::RemarkKind::Missed &&
+        Rm.Message.find("cyclic dependence on 's'") != std::string::npos) {
+      SawMissed = true;
+      EXPECT_TRUE(Rm.Loc.isValid());
+    }
+  }
+  EXPECT_TRUE(SawApplied);
+  EXPECT_TRUE(SawMissed);
+}
+
+TEST(Remarks, TelemetryRecordsTimingsAndDeltas) {
+  auto R = compileSource(MixedLoopsSource, CompilerOptions::full());
+  ASSERT_TRUE(R->ok()) << R->Diags.str();
+  const auto &T = R->Telemetry;
+  ASSERT_FALSE(T.Passes.empty());
+  EXPECT_GT(T.TotalMillis, 0.0);
+  for (const auto &Rec : T.Passes)
+    EXPECT_GE(Rec.Millis, 0.0) << Rec.Pass;
+
+  const auto *Vec = T.find("vectorize");
+  ASSERT_NE(Vec, nullptr);
+  EXPECT_EQ(Vec->Before.VectorAssigns, 0u);
+  EXPECT_GE(Vec->After.VectorAssigns, 1u);
+  EXPECT_GE(Vec->Stats.get("loops.vectorized"), 1u);
+
+  const auto *W2D = T.find("whiletodo");
+  ASSERT_NE(W2D, nullptr);
+  EXPECT_TRUE(W2D->PreservedUseDef);
+  EXPECT_GT(W2D->Before.WhileLoops, 0u);
+  EXPECT_EQ(W2D->After.WhileLoops, 0u);
+}
+
+TEST(Remarks, WriteJSONEmitsWellFormedDocument) {
+  auto R = compileSource(MixedLoopsSource, CompilerOptions::full());
+  ASSERT_TRUE(R->ok()) << R->Diags.str();
+  std::ostringstream OS;
+  R->Telemetry.writeJSON(OS);
+  std::string Doc = OS.str();
+  while (!Doc.empty() && Doc.back() == '\n')
+    Doc.pop_back();
+  EXPECT_EQ(Doc.front(), '{');
+  EXPECT_EQ(Doc.back(), '}');
+  for (const char *Key : {"\"totalMillis\"", "\"passes\"", "\"remarks\"",
+                          "\"millis\"", "\"delta\"", "\"counters\""})
+    EXPECT_NE(Doc.find(Key), std::string::npos) << Key;
+  // Balanced braces/brackets (the writer is structural, so this is a
+  // smoke check, not a parser).
+  EXPECT_EQ(std::count(Doc.begin(), Doc.end(), '{'),
+            std::count(Doc.begin(), Doc.end(), '}'));
+  EXPECT_EQ(std::count(Doc.begin(), Doc.end(), '['),
+            std::count(Doc.begin(), Doc.end(), ']'));
+}
+
+TEST(Remarks, UseDefReusedAcrossWhileToDoButRebuiltAfter) {
+  auto R = compileSource(MixedLoopsSource, CompilerOptions::full());
+  ASSERT_TRUE(R->ok()) << R->Diags.str();
+  // whiletodo builds the chains and preserves them; ivsub runs its own
+  // analysis internally, so the pipeline-level cache shows builds only
+  // where passes request chains through the AnalysisContext.
+  const auto *W2D = R->Telemetry.find("whiletodo");
+  ASSERT_NE(W2D, nullptr);
+  EXPECT_GT(W2D->UseDefBuilt + W2D->UseDefReused, 0u);
+}
+
+} // namespace
