@@ -1,0 +1,185 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// E11 — sharded procedure-catalog builds (paper Section 7).
+///
+/// The paper's premise is that math libraries can be "compiled" into
+/// databases once and reused across compiles.  Building the database is
+/// embarrassingly parallel per translation unit, so this bench measures
+/// the catalog builder at 1/2/4/8 workers over a synthetic library and
+/// checks the one property the parallelism must not cost: the merged
+/// serialized catalog is byte-identical to the serial build.
+///
+/// Rows append to BENCH_catalog.json (JSON Lines).  Measured speedup is
+/// bounded by the host's core count — on a single-core container every
+/// worker count degenerates to ~1.0x and only the determinism check is
+/// meaningful; multi-core CI hosts see the parallel scaling.
+///
+/// TCC_CATALOG_BENCH_FILES overrides the library size (default 48 TUs),
+/// so sanitizer jobs can run a smaller but still multi-threaded build.
+///
+//===----------------------------------------------------------------------===//
+
+#include "catalog/CatalogBuilder.h"
+#include "support/JSONWriter.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace tcc;
+
+namespace {
+
+unsigned libraryFiles() {
+  if (const char *Env = std::getenv("TCC_CATALOG_BENCH_FILES")) {
+    int N = std::atoi(Env);
+    if (N > 0)
+      return static_cast<unsigned>(N);
+  }
+  return 48;
+}
+
+/// One synthetic translation unit: a handful of vector/scalar kernels
+/// with names unique to the file, sized so a shard does real front-end,
+/// inline-preparation, and serialization work.
+std::string makeUnit(unsigned Index) {
+  std::string N = std::to_string(Index);
+  return "float dot" + N + "(float *x, float *y, int n) {\n"
+         "  float s;\n"
+         "  s = 0.0;\n"
+         "  for (; n; n--)\n"
+         "    s = s + *x++ * *y++;\n"
+         "  return s;\n"
+         "}\n"
+         "void fill" + N + "(float *x, float v, int n) {\n"
+         "  for (; n; n--)\n"
+         "    *x++ = v;\n"
+         "}\n"
+         "void axpy" + N + "(float *x, float *y, float a, int n) {\n"
+         "  for (; n; n--) {\n"
+         "    *x = *x + a * *y++;\n"
+         "    x++;\n"
+         "  }\n"
+         "}\n"
+         "int count" + N + "(int n) {\n"
+         "  static int calls;\n"
+         "  calls = calls + n;\n"
+         "  return calls;\n"
+         "}\n"
+         "void scale2d" + N + "(float m[16][16], float s) {\n"
+         "  int i, j;\n"
+         "  for (i = 0; i < 16; i++)\n"
+         "    for (j = 0; j < 16; j++)\n"
+         "      m[i][j] = m[i][j] * s;\n"
+         "}\n";
+}
+
+catalog::CatalogBuilder makeLibrary(unsigned Files) {
+  catalog::CatalogBuilder B;
+  for (unsigned I = 0; I < Files; ++I)
+    B.addSource("unit" + std::to_string(I) + ".c", makeUnit(I));
+  return B;
+}
+
+catalog::CatalogBuildResult buildAt(const catalog::CatalogBuilder &B,
+                                    unsigned Workers) {
+  catalog::CatalogBuildOptions Opts;
+  Opts.Workers = Workers;
+  return B.build(Opts);
+}
+
+/// Best-of-N build: single-shot wall-clock on a loaded host is too noisy
+/// to compare worker counts, so report the fastest of a few runs.
+catalog::CatalogBuildResult bestOf(const catalog::CatalogBuilder &B,
+                                   unsigned Workers, int Runs = 3) {
+  catalog::CatalogBuildResult Best = buildAt(B, Workers);
+  for (int I = 1; I < Runs; ++I) {
+    catalog::CatalogBuildResult R = buildAt(B, Workers);
+    if (R.TotalMillis < Best.TotalMillis)
+      Best = std::move(R);
+  }
+  return Best;
+}
+
+void appendRow(unsigned Files, size_t Procedures, unsigned Workers,
+               double Millis, double SerialMillis, bool Identical) {
+  std::ofstream OS("BENCH_catalog.json", std::ios::app);
+  if (!OS)
+    return;
+  json::JSONWriter W(OS, /*IndentWidth=*/0);
+  W.beginObject();
+  W.keyValue("bench", "catalog");
+  W.keyValue("files", static_cast<uint64_t>(Files));
+  W.keyValue("procedures", static_cast<uint64_t>(Procedures));
+  W.keyValue("workers", static_cast<uint64_t>(Workers));
+  W.keyValue("millis", Millis);
+  W.keyValue("serialMillis", SerialMillis);
+  W.keyValue("speedup", Millis > 0.0 ? SerialMillis / Millis : 0.0);
+  W.keyValue("identical", Identical);
+  W.keyValue("hardwareThreads",
+             static_cast<uint64_t>(std::thread::hardware_concurrency()));
+  W.endObject();
+  OS << '\n';
+}
+
+void runExperiment() {
+  unsigned Files = libraryFiles();
+  catalog::CatalogBuilder B = makeLibrary(Files);
+
+  std::printf("\n================================================------\n");
+  std::printf("E11: sharded catalog builds are parallel and "
+              "deterministic (Section 7)\n");
+  std::printf("------------------------------------------------------\n");
+  std::printf("  library: %u files, host threads: %u\n", Files,
+              std::thread::hardware_concurrency());
+
+  // Discard one cold build so allocator/page-cache warm-up is not charged
+  // to the serial baseline.
+  buildAt(B, 1);
+
+  catalog::CatalogBuildResult Serial = bestOf(B, 1);
+  if (!Serial.ok()) {
+    std::fprintf(stderr, "bench_catalog: serial build failed:\n%s",
+                 Serial.Diags.str().c_str());
+    return;
+  }
+  std::string Golden = Serial.Catalog.serialize();
+
+  for (unsigned Workers : {1u, 2u, 4u, 8u}) {
+    catalog::CatalogBuildResult R = bestOf(B, Workers);
+    bool Identical = R.ok() && R.Catalog.serialize() == Golden;
+    double Speedup =
+        R.TotalMillis > 0.0 ? Serial.TotalMillis / R.TotalMillis : 0.0;
+    std::printf("  -j%-2u  %8.3f ms  speedup=%5.2fx  catalog %s\n", Workers,
+                R.TotalMillis, Speedup,
+                Identical ? "byte-identical" : "DIVERGED");
+    appendRow(Files, R.Catalog.entries().size(), Workers, R.TotalMillis,
+              Serial.TotalMillis, Identical);
+  }
+}
+
+void BM_CatalogBuild(benchmark::State &State) {
+  static catalog::CatalogBuilder B = makeLibrary(libraryFiles());
+  unsigned Workers = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    catalog::CatalogBuildResult R = buildAt(B, Workers);
+    benchmark::DoNotOptimize(R.Catalog.entries().size());
+  }
+}
+BENCHMARK(BM_CatalogBuild)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  runExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

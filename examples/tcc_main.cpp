@@ -13,6 +13,9 @@
 ///   -fno-inline      disable inlining
 ///   -ffortran-ptrs   pointer parameters never alias (paper Section 9)
 ///   -strip <n>       strip length for vector loops (default 32)
+///   -catalog=FILE    load a procedure-catalog database built by
+///                    tcc-catalog; the inliner pulls unknown callee
+///                    bodies out of it (paper Section 7)
 ///   -passes=SPEC     run a custom pipeline (comma-separated registered
 ///                    pass names, e.g. whiletodo,ivsub,vectorize);
 ///                    overrides the -O level's phase selection
@@ -31,6 +34,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "catalog/CatalogBuilder.h"
 #include "driver/Compiler.h"
 #include "il/ILPrinter.h"
 #include "pipeline/PassRegistry.h"
@@ -50,7 +54,7 @@ void usage() {
   std::fprintf(
       stderr,
       "usage: tcc [-O0|-O1|-O2|-O3] [-P n] [-fno-inline] [-ffortran-ptrs]\n"
-      "           [-strip n] [-passes=spec] [-verify-each]\n"
+      "           [-strip n] [-catalog=file] [-passes=spec] [-verify-each]\n"
       "           [-print-il=phase] [-print-after-all] [-remarks=file]\n"
       "           [-S] [-run|-no-run] [-stats] file.c\n"
       "registered passes: %s\n",
@@ -64,6 +68,7 @@ int main(int argc, char **argv) {
   titan::TitanConfig Machine;
   std::string PrintPhase;
   std::string RemarksPath;
+  std::string CatalogPath;
   std::string InputPath;
   bool PrintAsm = false;
   bool PrintAfterAll = false;
@@ -93,6 +98,8 @@ int main(int argc, char **argv) {
       Opts.Vectorize.FortranPointerSemantics = true;
     } else if (Arg == "-strip" && I + 1 < argc) {
       Opts.Vectorize.StripLength = std::atoll(argv[++I]);
+    } else if (Arg.rfind("-catalog=", 0) == 0) {
+      CatalogPath = Arg.substr(std::strlen("-catalog="));
     } else if (Arg.rfind("-passes=", 0) == 0) {
       Opts.Passes = Arg.substr(std::strlen("-passes="));
     } else if (Arg == "-verify-each") {
@@ -124,6 +131,20 @@ int main(int argc, char **argv) {
   if (InputPath.empty()) {
     usage();
     return 2;
+  }
+
+  // The catalog must outlive the compile (CompilerOptions holds a
+  // pointer).
+  inliner::ProcedureCatalog Catalog;
+  if (!CatalogPath.empty()) {
+    DiagnosticEngine CatalogDiags;
+    if (!catalog::loadCatalogFile(CatalogPath, Catalog, CatalogDiags)) {
+      for (const auto &D : CatalogDiags.diagnostics())
+        std::fprintf(stderr, "%s: %s\n", CatalogPath.c_str(),
+                     D.str().c_str());
+      return 2;
+    }
+    Opts.Catalog = &Catalog;
   }
 
   std::ifstream In(InputPath);

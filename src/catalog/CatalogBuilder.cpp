@@ -1,0 +1,235 @@
+#include "catalog/CatalogBuilder.h"
+
+#include "frontend/Lower.h"
+#include "il/ILSerializer.h"
+#include "lexer/Lexer.h"
+#include "parser/Parser.h"
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+using namespace tcc;
+using namespace tcc::catalog;
+
+namespace {
+
+/// One serialized procedure from a shard, with the definition site kept
+/// for duplicate-symbol conflict reporting.
+struct ShardEntry {
+  std::string Name;
+  std::string Text;
+  SourceLoc Loc; ///< First statement's location in the shard's source.
+};
+
+/// Everything a worker produces for one translation unit.  Workers write
+/// only their own slot of a pre-sized vector, so the pool needs no locks.
+struct ShardState {
+  DiagnosticEngine Diags;
+  std::vector<ShardEntry> Entries; ///< Definition order within the TU.
+  uint64_t Stmts = 0;
+  double Millis = 0.0;
+  bool Ok = true;
+};
+
+SourceLoc firstStmtLoc(const il::Function &F) {
+  for (const il::Stmt *S : F.getBody().Stmts)
+    if (S->getLoc().isValid())
+      return S->getLoc();
+  return SourceLoc();
+}
+
+/// lex → parse → lower → prepareFunctionForInlining → serialize for one
+/// translation unit.  Entirely self-contained: own Program (and thus own
+/// TypeContext), own AST arena, own DiagnosticEngine.
+void compileShard(const CatalogSource &Src, ShardState &Out) {
+  auto Start = std::chrono::steady_clock::now();
+
+  il::Program P;
+  Lexer Lex(Src.Text, Out.Diags);
+  ast::AstContext Ctx;
+  Parser Parse(Lex.lexAll(), Ctx, P.getTypes(), Out.Diags);
+  ast::TranslationUnit TU = Parse.parseTranslationUnit();
+  if (!Out.Diags.hasErrors())
+    lowerTranslationUnit(TU, P, Out.Diags);
+
+  if (Out.Diags.hasErrors()) {
+    Out.Ok = false;
+  } else {
+    for (const auto &F : P.getFunctions()) {
+      inliner::prepareFunctionForInlining(*F);
+      ShardEntry E;
+      E.Name = F->getName();
+      E.Loc = firstStmtLoc(*F);
+      E.Text = il::serializeFunction(*F);
+      il::forEachStmt(F->getBody(),
+                      [&Out](const il::Stmt *) { ++Out.Stmts; });
+      Out.Entries.push_back(std::move(E));
+    }
+  }
+
+  Out.Millis = std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - Start)
+                   .count();
+}
+
+std::string describeSite(const std::string &File, SourceLoc Loc) {
+  return Loc.isValid() ? File + ":" + std::to_string(Loc.Line) : File;
+}
+
+} // namespace
+
+bool CatalogBuilder::addFile(const std::string &Path,
+                             DiagnosticEngine &Diags) {
+  std::ifstream In(Path);
+  if (!In) {
+    Diags.error(SourceLoc(), "cannot open '" + Path + "'");
+    return false;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  addSource(Path, Buffer.str());
+  return true;
+}
+
+CatalogBuildResult
+CatalogBuilder::build(const CatalogBuildOptions &Opts) const {
+  auto Start = std::chrono::steady_clock::now();
+  CatalogBuildResult Result;
+  std::vector<ShardState> Shards(Sources.size());
+
+  // The shard pool: a shared atomic cursor over the source list.  Any
+  // worker may build any shard; determinism comes from the merge below,
+  // which walks shards in input order regardless of who built them when.
+  unsigned Workers = Opts.Workers ? Opts.Workers
+                                  : std::thread::hardware_concurrency();
+  if (Workers == 0)
+    Workers = 1;
+  if (Workers > Sources.size())
+    Workers = static_cast<unsigned>(Sources.size());
+
+  std::atomic<size_t> Next{0};
+  auto Work = [this, &Shards, &Next] {
+    for (;;) {
+      size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= Sources.size())
+        return;
+      compileShard(Sources[I], Shards[I]);
+    }
+  };
+  if (Workers <= 1) {
+    Work();
+  } else {
+    std::vector<std::thread> Pool;
+    Pool.reserve(Workers);
+    for (unsigned W = 0; W < Workers; ++W)
+      Pool.emplace_back(Work);
+    for (std::thread &T : Pool)
+      T.join();
+  }
+
+  // Deterministic merge, in input-file order.  ProcedureCatalog stores
+  // entries name-sorted, so the merged serialized text is independent of
+  // both worker count and shard completion order.
+  struct DefSite {
+    size_t Shard;
+    SourceLoc Loc;
+  };
+  std::map<std::string, DefSite> FirstDef;
+  for (size_t I = 0; I < Shards.size(); ++I) {
+    ShardState &S = Shards[I];
+    ShardReport Report;
+    Report.File = Sources[I].File;
+    Report.Millis = S.Millis;
+    Report.Ok = S.Ok;
+
+    for (const Diagnostic &D : S.Diags.diagnostics()) {
+      std::string Message = Sources[I].File + ": " + D.Message;
+      switch (D.Kind) {
+      case DiagKind::Error:
+        Result.Diags.error(D.Loc, std::move(Message));
+        break;
+      case DiagKind::Warning:
+        Result.Diags.warning(D.Loc, std::move(Message));
+        break;
+      case DiagKind::Note:
+        Result.Diags.note(D.Loc, std::move(Message));
+        break;
+      }
+    }
+
+    for (ShardEntry &E : S.Entries) {
+      auto [It, Inserted] = FirstDef.emplace(E.Name, DefSite{I, E.Loc});
+      if (!Inserted) {
+        Result.Diags.error(
+            E.Loc, "duplicate procedure '" + E.Name + "' defined in both " +
+                       describeSite(Sources[It->second.Shard].File,
+                                    It->second.Loc) +
+                       " and " + describeSite(Sources[I].File, E.Loc));
+        continue;
+      }
+      Report.SerializedBytes += E.Text.size();
+      ++Report.Procedures;
+      Result.Catalog.storeSerialized(E.Name, std::move(E.Text));
+    }
+
+    // One PassRecord per shard: catalog builds surface in the same
+    // telemetry JSON as optimization passes.
+    remarks::PassRecord Rec;
+    Rec.Pass = "catalog:" + Sources[I].File;
+    Rec.Millis = S.Millis;
+    Rec.After.Functions = Report.Procedures;
+    Rec.After.Stmts = S.Stmts;
+    Rec.Stats = remarks::StatGroup(Rec.Pass);
+    Rec.Stats.set("procedures", Report.Procedures);
+    Rec.Stats.set("serializedBytes", Report.SerializedBytes);
+    Result.Telemetry.Passes.push_back(std::move(Rec));
+
+    remarks::Remark R;
+    R.Kind = S.Ok ? remarks::RemarkKind::Note : remarks::RemarkKind::Missed;
+    R.Pass = "catalog";
+    R.Message = S.Ok ? "shard '" + Sources[I].File + "': " +
+                           std::to_string(Report.Procedures) +
+                           " procedures, " +
+                           std::to_string(Report.SerializedBytes) +
+                           " bytes serialized"
+                     : "shard '" + Sources[I].File +
+                           "' failed to compile and was skipped";
+    Result.Telemetry.Remarks.push_back(std::move(R));
+
+    Result.Shards.push_back(std::move(Report));
+  }
+
+  Result.TotalMillis = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - Start)
+                           .count();
+  Result.Telemetry.TotalMillis = Result.TotalMillis;
+  return Result;
+}
+
+bool catalog::saveCatalogFile(const inliner::ProcedureCatalog &Catalog,
+                              const std::string &Path,
+                              DiagnosticEngine &Diags) {
+  std::ofstream OS(Path);
+  if (!OS) {
+    Diags.error(SourceLoc(), "cannot write '" + Path + "'");
+    return false;
+  }
+  OS << Catalog.serialize();
+  return static_cast<bool>(OS);
+}
+
+bool catalog::loadCatalogFile(const std::string &Path,
+                              inliner::ProcedureCatalog &Out,
+                              DiagnosticEngine &Diags) {
+  std::ifstream In(Path);
+  if (!In) {
+    Diags.error(SourceLoc(), "cannot open catalog '" + Path + "'");
+    return false;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  return inliner::ProcedureCatalog::parse(Buffer.str(), Out, Diags);
+}

@@ -1,0 +1,114 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parallel sharded procedure-catalog builds (paper Section 7).
+///
+/// The paper treats procedure catalogs as compiled databases: "math
+/// libraries can be 'compiled' into databases and used as a base for
+/// inlining, much as include directories are used as a source for header
+/// files."  Building such a database is embarrassingly parallel per
+/// translation unit: each source file is lexed, parsed, lowered, prepared
+/// for inlining, and serialized independently.  The CatalogBuilder runs
+/// those per-TU shards on a worker-thread pool — every worker owns its own
+/// Program, AstContext, and DiagnosticEngine, so there is no shared
+/// mutable state — and then merges the per-shard serialized IL databases
+/// deterministically:
+///
+///  - entries are merged in input-file order and stored name-sorted, so
+///    the merged catalog text is byte-identical regardless of worker
+///    count or completion order (the differential test harness in
+///    tests/CatalogTest.cpp enforces this);
+///  - duplicate procedure names across shards are reported with both
+///    definition sites;
+///  - per-shard diagnostics are re-emitted in input order, prefixed with
+///    the originating file;
+///  - per-shard wall-clock timings flow through the existing telemetry
+///    types (one PassRecord per shard, named "catalog:<file>"), so
+///    catalog builds appear in the same JSON stream as optimization
+///    passes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_CATALOG_CATALOGBUILDER_H
+#define TCC_CATALOG_CATALOGBUILDER_H
+
+#include "inliner/Inliner.h"
+#include "remarks/Remarks.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace tcc {
+namespace catalog {
+
+/// One translation unit to compile into the catalog.
+struct CatalogSource {
+  std::string File; ///< Label used in diagnostics and telemetry.
+  std::string Text; ///< C source text.
+};
+
+/// What one shard (translation unit) contributed.
+struct ShardReport {
+  std::string File;
+  double Millis = 0.0;      ///< Wall-clock for lex→parse→lower→serialize.
+  unsigned Procedures = 0;  ///< Functions stored from this shard.
+  size_t SerializedBytes = 0;
+  bool Ok = true;           ///< False if the shard had compile errors.
+};
+
+struct CatalogBuildOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  unsigned Workers = 1;
+};
+
+struct CatalogBuildResult {
+  inliner::ProcedureCatalog Catalog;
+  /// All diagnostics, merged deterministically in input-file order and
+  /// prefixed with the originating file name.
+  DiagnosticEngine Diags;
+  /// Per-shard reports, in input order (not completion order).
+  std::vector<ShardReport> Shards;
+  /// Per-shard timings as PassRecords ("catalog:<file>") plus shard
+  /// remarks, so catalog builds serialize into the same JSON stream as
+  /// optimization passes (CompilationTelemetry::writeJSON).
+  remarks::CompilationTelemetry Telemetry;
+  /// Wall-clock of the whole build (shard pool + merge).
+  double TotalMillis = 0.0;
+
+  bool ok() const { return !Diags.hasErrors(); }
+};
+
+/// Compiles N translation units into one merged procedure catalog.
+class CatalogBuilder {
+public:
+  void addSource(std::string File, std::string Text) {
+    Sources.push_back({std::move(File), std::move(Text)});
+  }
+  /// Reads \p Path from disk; reports a diagnostic and returns false if
+  /// the file cannot be read.
+  bool addFile(const std::string &Path, DiagnosticEngine &Diags);
+
+  size_t sourceCount() const { return Sources.size(); }
+
+  /// Runs the sharded build.  The merged catalog (and therefore its
+  /// serialized text) is byte-identical for every worker count.
+  CatalogBuildResult build(const CatalogBuildOptions &Opts = {}) const;
+
+private:
+  std::vector<CatalogSource> Sources;
+};
+
+/// Writes `Catalog.serialize()` to \p Path; diagnostic on I/O failure.
+bool saveCatalogFile(const inliner::ProcedureCatalog &Catalog,
+                     const std::string &Path, DiagnosticEngine &Diags);
+
+/// Reads \p Path and parses it with located diagnostics
+/// (ProcedureCatalog::parse); false on I/O or parse failure.
+bool loadCatalogFile(const std::string &Path,
+                     inliner::ProcedureCatalog &Out, DiagnosticEngine &Diags);
+
+} // namespace catalog
+} // namespace tcc
+
+#endif // TCC_CATALOG_CATALOGBUILDER_H

@@ -2,7 +2,11 @@
 
 #include "support/StringExtras.h"
 
+#include <cassert>
 #include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
 #include <map>
 
 using namespace tcc;
@@ -163,6 +167,16 @@ public:
   explicit Writer(const Function &F) : F(F) {}
 
   std::string run() {
+    // Symbols are renumbered densely (1..N in declaration order) on every
+    // write.  In-memory ids can have gaps (removeUnusedSymbols) or
+    // arbitrary numbering; writing them verbatim would make
+    // serialize(deserialize(text)) differ from text, because
+    // deserialization always re-creates symbols with fresh sequential
+    // ids.  Dense ids make serialization a fixed point under round-trips.
+    unsigned NextDense = 1;
+    for (const auto &S : F.getSymbols())
+      DenseIds[S.get()] = NextDense++;
+
     Out += "(function ";
     writeQuoted(F.getName(), Out);
     Out += " (ret ";
@@ -171,7 +185,7 @@ public:
     Out += F.hasFortranPointerSemantics() ? "1" : "0";
     Out += ")\n (symbols\n";
     for (const auto &S : F.getSymbols()) {
-      Out += "  (sym " + std::to_string(S->getId()) + " ";
+      Out += "  (sym " + std::to_string(denseId(S.get())) + " ";
       writeQuoted(S->getName(), Out);
       Out += " ";
       writeType(S->getType(), Out);
@@ -189,7 +203,7 @@ public:
     }
     Out += " )\n (params";
     for (const Symbol *P : F.getParams())
-      Out += " " + std::to_string(P->getId());
+      Out += " " + std::to_string(denseId(P));
     Out += ")\n (body\n";
     writeBlock(F.getBody(), 2);
     Out += " ))\n";
@@ -223,7 +237,7 @@ private:
         Out += S->isVolatile() ? " 1" : " 0";
         Out += ")";
       } else {
-        Out += "(var " + std::to_string(S->getId()) + ")";
+        Out += "(var " + std::to_string(denseId(S)) + ")";
       }
       return;
     }
@@ -327,7 +341,7 @@ private:
     case Stmt::CallKind: {
       const auto *C = static_cast<const CallStmt *>(S);
       Out += "(call ";
-      Out += C->getResult() ? std::to_string(C->getResult()->getId()) : "0";
+      Out += C->getResult() ? std::to_string(denseId(C->getResult())) : "0";
       Out += " ";
       writeQuoted(C->getCallee(), Out);
       for (const Expr *Arg : C->getArgs()) {
@@ -360,7 +374,7 @@ private:
     }
     case Stmt::DoLoopKind: {
       const auto *D = static_cast<const DoLoopStmt *>(S);
-      Out += "(do " + std::to_string(D->getIndexVar()->getId()) + " ";
+      Out += "(do " + std::to_string(denseId(D->getIndexVar())) + " ";
       Out += D->isParallel() ? "1 " : "0 ";
       Out += D->hasSafeVectorPragma() ? "1 " : "0 ";
       writeExpr(D->getInit());
@@ -397,7 +411,14 @@ private:
     }
   }
 
+  unsigned denseId(const Symbol *S) const {
+    auto It = DenseIds.find(S);
+    assert(It != DenseIds.end() && "reference to symbol outside function");
+    return It == DenseIds.end() ? 0 : It->second;
+  }
+
   const Function &F;
+  std::map<const Symbol *, unsigned> DenseIds;
   std::string Out;
 };
 
@@ -414,15 +435,23 @@ std::string il::serializeFunction(const Function &F) {
 namespace {
 
 /// A parsed S-expression: an atom (number, word, quoted string) or a list.
+/// Out-of-range element access yields a shared empty sentinel atom instead
+/// of undefined behavior, so malformed (truncated) input degrades into a
+/// located "unexpected form" diagnostic rather than a crash.
 struct SExpr {
   bool IsAtom = true;
   bool WasQuoted = false;
   std::string Atom;
   std::vector<SExpr> List;
+  SourceLoc Loc; ///< Position of this value in the catalog text.
+
+  static const SExpr &sentinel() {
+    static const SExpr Empty;
+    return Empty;
+  }
 
   const SExpr &at(size_t I) const {
-    assert(I < List.size() && "S-expression index out of range");
-    return List[I];
+    return I < List.size() ? List[I] : sentinel();
   }
   size_t size() const { return List.size(); }
   const std::string &head() const { return at(0).Atom; }
@@ -434,18 +463,36 @@ public:
       : Text(Text), Diags(Diags) {}
 
   bool parse(SExpr &Out) {
+    if (!parseValue(Out))
+      return false;
     skipWs();
-    return parseValue(Out);
+    if (Pos < Text.size()) {
+      fail("trailing text after catalog entry");
+      return false;
+    }
+    return true;
   }
 
   bool Failed = false;
 
 private:
+  void advance() {
+    if (Text[Pos] == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    ++Pos;
+  }
+
   void skipWs() {
     while (Pos < Text.size() &&
            std::isspace(static_cast<unsigned char>(Text[Pos])))
-      ++Pos;
+      advance();
   }
+
+  SourceLoc here() const { return SourceLoc(Line, Col); }
 
   bool parseValue(SExpr &Out) {
     skipWs();
@@ -453,18 +500,19 @@ private:
       fail("unexpected end of catalog text");
       return false;
     }
+    Out.Loc = here();
     char C = Text[Pos];
     if (C == '(') {
-      ++Pos;
+      advance();
       Out.IsAtom = false;
       for (;;) {
         skipWs();
         if (Pos >= Text.size()) {
-          fail("unterminated list in catalog text");
+          fail(Out.Loc, "unterminated list in catalog text");
           return false;
         }
         if (Text[Pos] == ')') {
-          ++Pos;
+          advance();
           return true;
         }
         SExpr Child;
@@ -474,19 +522,20 @@ private:
       }
     }
     if (C == '"') {
-      ++Pos;
+      advance();
       Out.IsAtom = true;
       Out.WasQuoted = true;
       while (Pos < Text.size() && Text[Pos] != '"') {
         if (Text[Pos] == '\\' && Pos + 1 < Text.size())
-          ++Pos;
-        Out.Atom += Text[Pos++];
+          advance();
+        Out.Atom += Text[Pos];
+        advance();
       }
       if (Pos >= Text.size()) {
-        fail("unterminated string in catalog text");
+        fail(Out.Loc, "unterminated string in catalog text");
         return false;
       }
-      ++Pos; // closing quote
+      advance(); // closing quote
       return true;
     }
     // Plain atom.
@@ -494,7 +543,7 @@ private:
     size_t Start = Pos;
     while (Pos < Text.size() && !std::isspace((unsigned char)Text[Pos]) &&
            Text[Pos] != '(' && Text[Pos] != ')')
-      ++Pos;
+      advance();
     Out.Atom = Text.substr(Start, Pos - Start);
     if (Out.Atom.empty()) {
       fail("empty atom in catalog text");
@@ -503,15 +552,18 @@ private:
     return true;
   }
 
-  void fail(const char *Msg) {
+  void fail(const char *Msg) { fail(here(), Msg); }
+  void fail(SourceLoc Loc, const char *Msg) {
     if (!Failed)
-      Diags.error(SourceLoc(), Msg);
+      Diags.error(Loc, Msg);
     Failed = true;
   }
 
   const std::string &Text;
   DiagnosticEngine &Diags;
   size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
 };
 
 class Reader {
@@ -519,12 +571,14 @@ public:
   Reader(Program &P, DiagnosticEngine &Diags) : P(P), Diags(Diags) {}
 
   Function *run(const SExpr &Root) {
-    if (Root.IsAtom || Root.size() < 6 || Root.head() != "function")
-      return fail("catalog entry is not a function");
+    if (Root.IsAtom || Root.size() < 7 || Root.head() != "function")
+      return fail(Root, "catalog entry is not a function");
+    if (!Root.at(1).WasQuoted)
+      return fail(Root.at(1), "missing function name in catalog entry");
     const std::string &Name = Root.at(1).Atom;
     const SExpr &RetForm = Root.at(2);
     if (RetForm.IsAtom || RetForm.head() != "ret")
-      return fail("missing (ret ...) in catalog entry");
+      return fail(RetForm, "missing (ret ...) in catalog entry");
     const Type *RetTy = readType(RetForm.at(1));
     if (!RetTy)
       return nullptr;
@@ -536,30 +590,34 @@ public:
 
     const SExpr &Syms = Root.at(4);
     if (Syms.IsAtom || Syms.head() != "symbols")
-      return fail("missing (symbols ...) in catalog entry");
+      return fail(Syms, "missing (symbols ...) in catalog entry");
     for (size_t I = 1; I < Syms.size(); ++I) {
       const SExpr &SF = Syms.at(I);
       if (SF.IsAtom || SF.size() < 6 || SF.head() != "sym")
-        return fail("malformed symbol in catalog entry");
-      unsigned Id = std::stoul(SF.at(1).Atom);
+        return fail(SF, "malformed symbol in catalog entry");
+      unsigned Id;
+      if (!readUnsigned(SF.at(1), Id))
+        return nullptr;
       const Type *Ty = readType(SF.at(3));
       if (!Ty)
         return nullptr;
       StorageKind Storage;
       if (!storageFromToken(SF.at(4).Atom, Storage))
-        return fail("bad storage class in catalog entry");
+        return fail(SF.at(4), "bad storage class in catalog entry");
       Symbol *S = F->createSymbol(SF.at(2).Atom, Ty, Storage,
                                   SF.at(5).Atom == "1");
       if (SF.size() > 6) {
         const SExpr &InitForm = SF.at(6);
-        if (InitForm.IsAtom || InitForm.head() != "init")
-          return fail("malformed symbol init in catalog entry");
+        if (InitForm.IsAtom || InitForm.size() < 3 ||
+            InitForm.head() != "init")
+          return fail(InitForm, "malformed symbol init in catalog entry");
         GlobalInit Init;
         if (InitForm.at(1).Atom == "f") {
           Init.IsFloat = true;
-          Init.FloatValue = std::stod(InitForm.at(2).Atom);
-        } else {
-          Init.IntValue = std::stoll(InitForm.at(2).Atom);
+          if (!readDouble(InitForm.at(2), Init.FloatValue))
+            return nullptr;
+        } else if (!readInt64(InitForm.at(2), Init.IntValue)) {
+          return nullptr;
         }
         S->setInit(Init);
       }
@@ -568,9 +626,9 @@ public:
 
     const SExpr &Params = Root.at(5);
     if (Params.IsAtom || Params.head() != "params")
-      return fail("missing (params ...) in catalog entry");
+      return fail(Params, "missing (params ...) in catalog entry");
     for (size_t I = 1; I < Params.size(); ++I) {
-      Symbol *S = lookupSymbol(std::stoul(Params.at(I).Atom));
+      Symbol *S = readSymbolRef(Params.at(I));
       if (!S)
         return nullptr;
       F->addParam(S);
@@ -578,7 +636,7 @@ public:
 
     const SExpr &Body = Root.at(6);
     if (Body.IsAtom || Body.head() != "body")
-      return fail("missing (body ...) in catalog entry");
+      return fail(Body, "missing (body ...) in catalog entry");
     for (size_t I = 1; I < Body.size(); ++I) {
       Stmt *S = readStmt(Body.at(I));
       if (!S)
@@ -588,12 +646,81 @@ public:
     return Failed ? nullptr : F;
   }
 
+  /// The function created before a failure (if any), so the caller can
+  /// drop the half-built definition from the program.
+  Function *created() const { return F; }
+
 private:
-  Function *fail(const char *Msg) {
+  Function *fail(const SExpr &At, const char *Msg) {
     if (!Failed)
-      Diags.error(SourceLoc(), Msg);
+      Diags.error(At.Loc, Msg);
     Failed = true;
     return nullptr;
+  }
+
+  /// Strict decimal parsing; std::stoul-style conversion throws on
+  /// malformed text, which a catalog reader must never do.
+  bool readUnsigned(const SExpr &E, unsigned &Out) {
+    unsigned long V = 0;
+    if (!E.IsAtom || E.WasQuoted || E.Atom.empty() ||
+        !std::isdigit(static_cast<unsigned char>(E.Atom[0]))) {
+      fail(E, "expected unsigned integer in catalog entry");
+      return false;
+    }
+    errno = 0;
+    char *End = nullptr;
+    V = std::strtoul(E.Atom.c_str(), &End, 10);
+    if (errno != 0 || End == E.Atom.c_str() || *End != '\0' ||
+        V > std::numeric_limits<unsigned>::max()) {
+      fail(E, "expected unsigned integer in catalog entry");
+      return false;
+    }
+    Out = static_cast<unsigned>(V);
+    return true;
+  }
+
+  bool readInt64(const SExpr &E, int64_t &Out) {
+    if (!E.IsAtom || E.WasQuoted || E.Atom.empty()) {
+      fail(E, "expected integer in catalog entry");
+      return false;
+    }
+    errno = 0;
+    char *End = nullptr;
+    long long V = std::strtoll(E.Atom.c_str(), &End, 10);
+    if (errno != 0 || End == E.Atom.c_str() || *End != '\0') {
+      fail(E, "expected integer in catalog entry");
+      return false;
+    }
+    Out = V;
+    return true;
+  }
+
+  bool readDouble(const SExpr &E, double &Out) {
+    if (!E.IsAtom || E.WasQuoted || E.Atom.empty()) {
+      fail(E, "expected number in catalog entry");
+      return false;
+    }
+    errno = 0;
+    char *End = nullptr;
+    double V = std::strtod(E.Atom.c_str(), &End);
+    if (End == E.Atom.c_str() || *End != '\0') {
+      fail(E, "expected number in catalog entry");
+      return false;
+    }
+    Out = V;
+    return true;
+  }
+
+  Symbol *readSymbolRef(const SExpr &E) {
+    unsigned Id;
+    if (!readUnsigned(E, Id))
+      return nullptr;
+    auto It = SymbolsById.find(Id);
+    if (It == SymbolsById.end()) {
+      fail(E, "reference to unknown symbol id in catalog entry");
+      return nullptr;
+    }
+    return It->second;
   }
 
   const Type *readType(const SExpr &E) {
@@ -609,7 +736,7 @@ private:
         return Types.getFloatType();
       if (E.Atom == "double")
         return Types.getDoubleType();
-      fail("unknown type atom in catalog entry");
+      fail(E, "unknown type atom in catalog entry");
       return nullptr;
     }
     if (E.head() == "ptr") {
@@ -617,39 +744,38 @@ private:
       return Inner ? Types.getPointerType(Inner) : nullptr;
     }
     if (E.head() == "arr") {
+      int64_t Size;
+      if (!readInt64(E.at(1), Size))
+        return nullptr;
       const Type *Inner = readType(E.at(2));
-      return Inner ? Types.getArrayType(Inner, std::stoll(E.at(1).Atom))
-                   : nullptr;
+      return Inner ? Types.getArrayType(Inner, Size) : nullptr;
     }
-    fail("unknown type form in catalog entry");
+    fail(E, "unknown type form in catalog entry");
     return nullptr;
-  }
-
-  Symbol *lookupSymbol(unsigned Id) {
-    auto It = SymbolsById.find(Id);
-    if (It == SymbolsById.end()) {
-      fail("reference to unknown symbol id in catalog entry");
-      return nullptr;
-    }
-    return It->second;
   }
 
   Expr *readExpr(const SExpr &E) {
     if (E.IsAtom) {
-      fail("expected expression form in catalog entry");
+      fail(E, "expected expression form in catalog entry");
       return nullptr;
     }
     const std::string &H = E.head();
     if (H == "cint") {
       const Type *Ty = readType(E.at(1));
-      return Ty ? F->makeIntConst(Ty, std::stoll(E.at(2).Atom)) : nullptr;
+      int64_t Value;
+      if (!Ty || !readInt64(E.at(2), Value))
+        return nullptr;
+      return F->makeIntConst(Ty, Value);
     }
     if (H == "cfloat") {
       const Type *Ty = readType(E.at(1));
-      return Ty ? F->makeFloatConst(Ty, std::stod(E.at(2).Atom)) : nullptr;
+      double Value;
+      if (!Ty || !readDouble(E.at(2), Value))
+        return nullptr;
+      return F->makeFloatConst(Ty, Value);
     }
     if (H == "var") {
-      Symbol *S = lookupSymbol(std::stoul(E.at(1).Atom));
+      Symbol *S = readSymbolRef(E.at(1));
       return S ? F->makeVarRef(S) : nullptr;
     }
     if (H == "gvar") {
@@ -664,7 +790,7 @@ private:
     if (H == "binop") {
       OpCode Op;
       if (!opCodeFromToken(E.at(1).Atom, Op)) {
-        fail("unknown binary opcode in catalog entry");
+        fail(E, "unknown binary opcode in catalog entry");
         return nullptr;
       }
       const Type *Ty = readType(E.at(2));
@@ -675,7 +801,7 @@ private:
     if (H == "unop") {
       OpCode Op;
       if (!opCodeFromToken(E.at(1).Atom, Op)) {
-        fail("unknown unary opcode in catalog entry");
+        fail(E, "unknown unary opcode in catalog entry");
         return nullptr;
       }
       const Type *Ty = readType(E.at(2));
@@ -720,13 +846,13 @@ private:
                  ? F->create<TripletExpr>(Ty, Lo, Hi, Stride)
                  : nullptr;
     }
-    fail("unknown expression form in catalog entry");
+    fail(E, "unknown expression form in catalog entry");
     return nullptr;
   }
 
   bool readBlock(const SExpr &E, Block &Out) {
     if (E.IsAtom || E.head() != "block") {
-      fail("expected (block ...) in catalog entry");
+      fail(E, "expected (block ...) in catalog entry");
       return false;
     }
     for (size_t I = 1; I < E.size(); ++I) {
@@ -740,7 +866,7 @@ private:
 
   Stmt *readStmt(const SExpr &E) {
     if (E.IsAtom) {
-      fail("expected statement form in catalog entry");
+      fail(E, "expected statement form in catalog entry");
       return nullptr;
     }
     const std::string &H = E.head();
@@ -752,9 +878,11 @@ private:
     }
     if (H == "call") {
       Symbol *Result = nullptr;
-      unsigned Id = std::stoul(E.at(1).Atom);
+      unsigned Id;
+      if (!readUnsigned(E.at(1), Id))
+        return nullptr;
       if (Id != 0) {
-        Result = lookupSymbol(Id);
+        Result = readSymbolRef(E.at(1));
         if (!Result)
           return nullptr;
       }
@@ -788,7 +916,7 @@ private:
       return S;
     }
     if (H == "do") {
-      Symbol *Idx = lookupSymbol(std::stoul(E.at(1).Atom));
+      Symbol *Idx = readSymbolRef(E.at(1));
       Expr *Init = readExpr(E.at(4));
       Expr *Limit = readExpr(E.at(5));
       Expr *Step = readExpr(E.at(6));
@@ -814,7 +942,7 @@ private:
       }
       return F->create<ReturnStmt>(Loc, Value);
     }
-    fail("unknown statement form in catalog entry");
+    fail(E, "unknown statement form in catalog entry");
     return nullptr;
   }
 
@@ -827,11 +955,35 @@ private:
 
 } // namespace
 
+bool il::validateFunctionText(const std::string &Text, std::string &OutName,
+                              DiagnosticEngine &Diags) {
+  SExprParser Parser(Text, Diags);
+  SExpr Root;
+  if (!Parser.parse(Root))
+    return false;
+  if (Root.IsAtom || Root.head() != "function") {
+    Diags.error(Root.Loc, "catalog entry is not a function");
+    return false;
+  }
+  if (!Root.at(1).WasQuoted) {
+    Diags.error(Root.at(1).Loc, "missing function name in catalog entry");
+    return false;
+  }
+  OutName = Root.at(1).Atom;
+  return true;
+}
+
 Function *il::deserializeFunction(const std::string &Text, Program &P,
                                   DiagnosticEngine &Diags) {
   SExprParser Parser(Text, Diags);
   SExpr Root;
   if (!Parser.parse(Root))
     return nullptr;
-  return Reader(P, Diags).run(Root);
+  Reader R(P, Diags);
+  Function *Result = R.run(Root);
+  // A failed read must not leave a half-built definition behind: later
+  // Program::findFunction lookups would treat it as a real body.
+  if (!Result && R.created())
+    P.removeFunction(R.created());
+  return Result;
 }

@@ -27,10 +27,22 @@ namespace il {
 std::string serializeFunction(const Function &F);
 
 /// Reconstructs a function from catalog text into \p P.  Returns null and
-/// reports a diagnostic on malformed input.  Global symbols referenced by
-/// the function are resolved by name in \p P and created if missing.
+/// reports a diagnostic (located within \p Text) on malformed input; a
+/// failed read leaves no partial function in \p P.  Global symbols
+/// referenced by the function are resolved by name in \p P and created if
+/// missing.
 Function *deserializeFunction(const std::string &Text, Program &P,
                               DiagnosticEngine &Diags);
+
+/// Checks that \p Text is a syntactically well-formed serialized function
+/// (a complete S-expression whose head is `function` with a quoted name)
+/// without building any IL.  On success fills \p OutName; on failure
+/// reports a diagnostic located within \p Text.  Catalog loaders use this
+/// to validate entries cheaply at parse time; semantic problems inside a
+/// body (bad opcodes, unknown symbol ids) are still caught when the entry
+/// is materialized.
+bool validateFunctionText(const std::string &Text, std::string &OutName,
+                          DiagnosticEngine &Diags);
 
 } // namespace il
 } // namespace tcc

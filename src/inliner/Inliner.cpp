@@ -5,6 +5,8 @@
 #include "il/ILSerializer.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdlib>
 #include <functional>
 
 using namespace tcc;
@@ -19,12 +21,21 @@ void ProcedureCatalog::store(const Function &F) {
   Entries[F.getName()] = serializeFunction(F);
 }
 
+void ProcedureCatalog::storeSerialized(const std::string &Name,
+                                       std::string Text) {
+  Entries[Name] = std::move(Text);
+}
+
 Function *ProcedureCatalog::materialize(const std::string &Name, Program &P,
                                         DiagnosticEngine &Diags) const {
   auto It = Entries.find(Name);
   if (It == Entries.end())
     return nullptr;
-  return deserializeFunction(It->second, P, Diags);
+  Function *F = deserializeFunction(It->second, P, Diags);
+  if (!F)
+    Diags.error(SourceLoc(),
+                "catalog entry '" + Name + "' is malformed and was ignored");
+  return F;
 }
 
 std::string ProcedureCatalog::serialize() const {
@@ -40,28 +51,93 @@ std::string ProcedureCatalog::serialize() const {
   return Out;
 }
 
-ProcedureCatalog ProcedureCatalog::deserialize(const std::string &Text) {
-  ProcedureCatalog Out;
+namespace {
+
+/// 1-based line number of \p Pos in \p Text (column is not tracked for
+/// framing diagnostics; headers start at column 1).
+uint32_t lineAt(const std::string &Text, size_t Pos) {
+  uint32_t Line = 1;
+  for (size_t I = 0; I < Pos && I < Text.size(); ++I)
+    if (Text[I] == '\n')
+      ++Line;
+  return Line;
+}
+
+} // namespace
+
+bool ProcedureCatalog::parse(const std::string &Text, ProcedureCatalog &Out,
+                             DiagnosticEngine &Diags) {
+  bool Ok = true;
+  std::map<std::string, uint32_t> SeenAtLine;
   size_t Pos = 0;
   const std::string Marker = "#entry ";
   while (Pos < Text.size()) {
-    if (Text.compare(Pos, Marker.size(), Marker) != 0)
-      break;
-    size_t Eol = Text.find('\n', Pos);
-    if (Eol == std::string::npos)
-      break;
-    size_t Len = std::stoul(Text.substr(Pos + Marker.size(),
-                                        Eol - Pos - Marker.size()));
-    std::string Body = Text.substr(Eol + 1, Len);
-    // The function name is the first quoted string.
-    size_t Q1 = Body.find('"');
-    size_t Q2 = Body.find('"', Q1 + 1);
-    if (Q1 != std::string::npos && Q2 != std::string::npos)
-      Out.Entries[Body.substr(Q1 + 1, Q2 - Q1 - 1)] = Body;
-    Pos = Eol + 1 + Len;
-    while (Pos < Text.size() && Text[Pos] == '\n')
+    if (Text[Pos] == '\n') { // blank separator lines between entries
       ++Pos;
+      continue;
+    }
+    SourceLoc HeaderLoc(lineAt(Text, Pos), 1);
+    if (Text.compare(Pos, Marker.size(), Marker) != 0) {
+      Diags.error(HeaderLoc, "expected '#entry <length>' header in catalog");
+      return false;
+    }
+    size_t Eol = Text.find('\n', Pos);
+    if (Eol == std::string::npos) {
+      Diags.error(HeaderLoc, "truncated catalog: '#entry' header has no body");
+      return false;
+    }
+    const std::string LenText =
+        Text.substr(Pos + Marker.size(), Eol - Pos - Marker.size());
+    errno = 0;
+    char *End = nullptr;
+    unsigned long Len = std::strtoul(LenText.c_str(), &End, 10);
+    if (LenText.empty() || errno != 0 || *End != '\0') {
+      Diags.error(HeaderLoc, "malformed '#entry' length '" + LenText +
+                                 "' in catalog");
+      return false;
+    }
+    size_t BodyStart = Eol + 1;
+    if (BodyStart + Len > Text.size()) {
+      Diags.error(HeaderLoc,
+                  "truncated catalog: '#entry' header claims " +
+                      std::to_string(Len) + " bytes but only " +
+                      std::to_string(Text.size() - BodyStart) + " remain");
+      return false;
+    }
+    std::string Body = Text.substr(BodyStart, Len);
+    uint32_t BodyLine = lineAt(Text, BodyStart);
+
+    // Validate the entry as a function S-expression (cheap, no IL built)
+    // and re-emit its diagnostics located in the whole catalog file.
+    DiagnosticEngine EntryDiags;
+    std::string Name;
+    if (!il::validateFunctionText(Body, Name, EntryDiags)) {
+      for (const Diagnostic &D : EntryDiags.diagnostics()) {
+        SourceLoc Loc = D.Loc.isValid()
+                            ? SourceLoc(BodyLine + D.Loc.Line - 1, D.Loc.Col)
+                            : SourceLoc(BodyLine, 1);
+        Diags.error(Loc, D.Message);
+      }
+      Ok = false;
+    } else if (auto [It, Inserted] = SeenAtLine.emplace(Name, BodyLine);
+               !Inserted) {
+      Diags.error(SourceLoc(BodyLine, 1),
+                  "duplicate catalog entry for procedure '" + Name +
+                      "' (previous entry at line " +
+                      std::to_string(It->second) + ")");
+      Ok = false;
+    } else {
+      Out.Entries[Name] = std::move(Body);
+    }
+    Pos = BodyStart + Len;
   }
+  return Ok;
+}
+
+ProcedureCatalog ProcedureCatalog::deserialize(const std::string &Text) {
+  ProcedureCatalog Out;
+  DiagnosticEngine Sink;
+  parse(Text, Out, Sink);
   return Out;
 }
 

@@ -48,6 +48,10 @@ public:
   /// caller's job; `prepareFunctionForInlining` does it).
   void store(const il::Function &F);
 
+  /// Stores an already-serialized entry (the sharded catalog builder
+  /// merges per-TU serialized databases without re-parsing them).
+  void storeSerialized(const std::string &Name, std::string Text);
+
   bool contains(const std::string &Name) const {
     return Entries.count(Name) != 0;
   }
@@ -56,12 +60,24 @@ public:
   }
 
   /// Materializes a catalog entry into \p P as a regular function (so it
-  /// can be inlined or called).  Returns null if absent or malformed.
+  /// can be inlined or called).  Returns null if absent or malformed; a
+  /// malformed entry reports a diagnostic naming the entry.
   il::Function *materialize(const std::string &Name, il::Program &P,
                             DiagnosticEngine &Diags) const;
 
   /// Whole-catalog text round-trip (for saving to disk in tools).
   std::string serialize() const;
+
+  /// Validating parse of on-disk catalog text.  Malformed framing
+  /// (bad/truncated `#entry` headers), entries that are not well-formed
+  /// function S-expressions, and duplicate procedure names each produce a
+  /// diagnostic located in \p Text (line:col of the whole catalog file).
+  /// Returns false if any entry was rejected; accepted entries are kept.
+  static bool parse(const std::string &Text, ProcedureCatalog &Out,
+                    DiagnosticEngine &Diags);
+
+  /// Best-effort variant of parse() for contexts without a diagnostic
+  /// sink: keeps every well-formed entry, silently drops the rest.
   static ProcedureCatalog deserialize(const std::string &Text);
 
 private:

@@ -1,0 +1,546 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the parallel sharded catalog builder (paper Section 7) and
+/// its correctness backbone:
+///
+///  - the differential determinism harness: the merged serialized catalog
+///    must be byte-identical across worker counts (1/2/8) and repeated
+///    runs — parallel catalog builds may not change the database;
+///  - the serializer round-trip property: serialization is a fixed point
+///    (serialize(deserialize(text)) == text), including after
+///    prepareFunctionForInlining leaves symbol-id gaps and after the
+///    optimizer introduces DO loops and vector triplets;
+///  - error paths: malformed catalog text (truncated lists, unterminated
+///    strings, non-function entries, bad framing, duplicate procedure
+///    names) produces located diagnostics, never a crash;
+///  - materialization failures name the offending catalog entry, both
+///    from ProcedureCatalog::materialize directly and through the
+///    inliner's catalog-resolution path.
+///
+//===----------------------------------------------------------------------===//
+
+#include "catalog/CatalogBuilder.h"
+
+#include "driver/Compiler.h"
+#include "frontend/Lower.h"
+#include "il/ILSerializer.h"
+#include "lexer/Lexer.h"
+#include "parser/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+
+using namespace tcc;
+using namespace tcc::catalog;
+using namespace tcc::inliner;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Fixtures
+//===----------------------------------------------------------------------===//
+
+/// A small multi-file "math library" exercising loops, statics,
+/// conditionals, pointers, and multi-dimensional arrays.
+const std::pair<const char *, const char *> LibraryFiles[] = {
+    {"vec.c", R"(
+      void vfill(float *x, float v, int n) {
+        for (; n; n--)
+          *x++ = v;
+      }
+      void vaxpy(float *x, float *y, float alpha, int n) {
+        for (; n; n--) {
+          *x = *x + alpha * *y++;
+          x++;
+        }
+      }
+    )"},
+    {"dot.c", R"(
+      float vdot(float *x, float *y, int n) {
+        float s;
+        s = 0.0;
+        for (; n; n--)
+          s = s + *x++ * *y++;
+        return s;
+      }
+    )"},
+    {"stat.c", R"(
+      int counter() {
+        static int calls;
+        calls = calls + 1;
+        return calls;
+      }
+      int scratch(int n) {
+        static int t;
+        t = n * 2;
+        return t + 1;
+      }
+    )"},
+    {"ctl.c", R"(
+      int clampi(int x, int lo, int hi) {
+        if (x < lo)
+          return lo;
+        if (x > hi)
+          return hi;
+        return x;
+      }
+      int ipow(int b, int e) {
+        int r;
+        r = 1;
+        while (e) {
+          r = r * b;
+          e = e - 1;
+        }
+        return r;
+      }
+    )"},
+    {"mat.c", R"(
+      void mscale(float m[8][8], float s) {
+        int i, j;
+        for (i = 0; i < 8; i++)
+          for (j = 0; j < 8; j++)
+            m[i][j] = m[i][j] * s;
+      }
+    )"},
+    {"misc.c", R"(
+      double dsum3(double a, double b, double c) {
+        return a + b + c;
+      }
+      char pick(char *s, int i) {
+        return s[i];
+      }
+    )"},
+};
+
+CatalogBuilder libraryBuilder() {
+  CatalogBuilder B;
+  for (const auto &[File, Text] : LibraryFiles)
+    B.addSource(File, Text);
+  return B;
+}
+
+std::string buildSerialized(unsigned Workers) {
+  CatalogBuildOptions Opts;
+  Opts.Workers = Workers;
+  CatalogBuildResult R = libraryBuilder().build(Opts);
+  EXPECT_TRUE(R.ok()) << R.Diags.str();
+  return R.Catalog.serialize();
+}
+
+struct Compiled {
+  ast::AstContext Ctx;
+  DiagnosticEngine Diags;
+  std::unique_ptr<il::Program> P;
+};
+
+std::unique_ptr<Compiled> compileToIL(const std::string &Source) {
+  auto R = std::make_unique<Compiled>();
+  R->P = std::make_unique<il::Program>();
+  Lexer L(Source, R->Diags);
+  Parser Parse(L.lexAll(), R->Ctx, R->P->getTypes(), R->Diags);
+  ast::TranslationUnit TU = Parse.parseTranslationUnit();
+  lowerTranslationUnit(TU, *R->P, R->Diags);
+  EXPECT_FALSE(R->Diags.hasErrors()) << R->Diags.str();
+  return R;
+}
+
+/// Frames \p Body as one `#entry` record exactly as
+/// ProcedureCatalog::serialize does.
+std::string frameEntry(const std::string &Body) {
+  std::string Out = "#entry " + std::to_string(Body.size()) + "\n" + Body;
+  if (!Body.empty() && Body.back() != '\n')
+    Out += '\n';
+  return Out;
+}
+
+/// The round-trip property: serializing the function read back from
+/// \p Text reproduces \p Text byte for byte.
+void expectRoundTripFixedPoint(const std::string &Text) {
+  il::Program P;
+  DiagnosticEngine Diags;
+  il::Function *F = il::deserializeFunction(Text, P, Diags);
+  ASSERT_NE(F, nullptr) << Diags.str() << "\nwhile reading:\n" << Text;
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  EXPECT_EQ(il::serializeFunction(*F), Text);
+}
+
+//===----------------------------------------------------------------------===//
+// Differential determinism harness
+//===----------------------------------------------------------------------===//
+
+TEST(CatalogTest, DifferentialWorkerCounts) {
+  // The headline correctness artifact: parallel builds must produce a
+  // merged serialized database byte-identical to the serial build.
+  std::string Serial = buildSerialized(1);
+  ASSERT_FALSE(Serial.empty());
+  EXPECT_EQ(buildSerialized(2), Serial);
+  EXPECT_EQ(buildSerialized(8), Serial);
+}
+
+TEST(CatalogTest, DifferentialRepeatedRuns) {
+  std::string First = buildSerialized(8);
+  EXPECT_EQ(buildSerialized(8), First);
+  EXPECT_EQ(buildSerialized(8), First);
+}
+
+TEST(CatalogTest, MergedCatalogIsNameSortedAndComplete) {
+  CatalogBuildResult R = libraryBuilder().build();
+  ASSERT_TRUE(R.ok()) << R.Diags.str();
+  std::vector<std::string> Names;
+  for (const auto &[Name, Text] : R.Catalog.entries())
+    Names.push_back(Name);
+  // std::map iteration is sorted; the catalog must hold every procedure
+  // from every shard.
+  EXPECT_EQ(Names, (std::vector<std::string>{
+                       "clampi", "counter", "dsum3", "ipow", "mscale",
+                       "pick", "scratch", "vaxpy", "vdot", "vfill"}));
+  EXPECT_TRUE(std::is_sorted(Names.begin(), Names.end()));
+}
+
+TEST(CatalogTest, WorkerCountExceedingShardsIsSafe) {
+  CatalogBuilder B;
+  B.addSource("one.c", "int one() { return 1; }");
+  B.addSource("two.c", "int two() { return 2; }");
+  CatalogBuildOptions Opts;
+  Opts.Workers = 16;
+  CatalogBuildResult R = B.build(Opts);
+  EXPECT_TRUE(R.ok()) << R.Diags.str();
+  EXPECT_EQ(R.Catalog.entries().size(), 2u);
+  CatalogBuildResult Serial = B.build();
+  EXPECT_EQ(R.Catalog.serialize(), Serial.Catalog.serialize());
+}
+
+TEST(CatalogTest, EmptyBuildSucceeds) {
+  CatalogBuilder B;
+  CatalogBuildResult R = B.build();
+  EXPECT_TRUE(R.ok());
+  EXPECT_TRUE(R.Catalog.entries().empty());
+  EXPECT_TRUE(R.Catalog.serialize().empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Serializer round-trip property
+//===----------------------------------------------------------------------===//
+
+TEST(CatalogTest, RoundTripLowerFixtures) {
+  // Every function the front end lowers from the library fixtures must
+  // serialize to a fixed point.
+  for (const auto &[File, Text] : LibraryFiles) {
+    auto C = compileToIL(Text);
+    for (const auto &F : C->P->getFunctions())
+      expectRoundTripFixedPoint(il::serializeFunction(*F));
+  }
+}
+
+TEST(CatalogTest, RoundTripAfterPrepareWithSymbolIdGaps) {
+  // prepareFunctionForInlining externalizes statics and drops unused
+  // symbols, leaving gaps in the in-memory symbol ids.  The serializer
+  // renumbers densely on write, so the text still round-trips.
+  auto C = compileToIL(R"(
+    int counter() {
+      static int calls;
+      calls = calls + 1;
+      return calls;
+    }
+  )");
+  il::Function *F = C->P->findFunction("counter");
+  ASSERT_NE(F, nullptr);
+  InlineStats Stats = prepareFunctionForInlining(*F);
+  EXPECT_EQ(Stats.StaticsExternalized, 1u);
+  expectRoundTripFixedPoint(il::serializeFunction(*F));
+}
+
+TEST(CatalogTest, RoundTripOptimizedILWithDoLoopsAndTriplets) {
+  // Scalar + vector pipeline output exercises the (do ...) and
+  // (triplet ...) serialized forms.
+  auto R = driver::compileSource(R"(
+    float a[1024], b[1024];
+    void main() {
+      int i;
+      for (i = 0; i < 1024; i++)
+        a[i] = b[i] * 2.0 + 1.0;
+    }
+  )");
+  ASSERT_TRUE(R->ok()) << R->Diags.str();
+  bool SawVector = false;
+  for (const auto &F : R->IL->getFunctions()) {
+    std::string Text = il::serializeFunction(*F);
+    SawVector = SawVector || Text.find("(triplet") != std::string::npos;
+    expectRoundTripFixedPoint(Text);
+  }
+  EXPECT_TRUE(SawVector) << "fixture no longer vectorizes";
+}
+
+TEST(CatalogTest, RoundTripWholeCatalogText) {
+  CatalogBuildResult R = libraryBuilder().build();
+  ASSERT_TRUE(R.ok());
+  std::string Text = R.Catalog.serialize();
+  ProcedureCatalog Reparsed;
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(ProcedureCatalog::parse(Text, Reparsed, Diags))
+      << Diags.str();
+  EXPECT_EQ(Reparsed.serialize(), Text);
+}
+
+//===----------------------------------------------------------------------===//
+// Error paths: malformed catalog text
+//===----------------------------------------------------------------------===//
+
+TEST(CatalogTest, TruncatedListProducesLocatedDiagnostic) {
+  // A body cut off mid-list: the reader must diagnose, not crash.
+  std::string Body = "(function \"f\" (ret void) (fortran-pointers 0)\n"
+                     " (symbols\n";
+  ProcedureCatalog Out;
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(ProcedureCatalog::parse(frameEntry(Body), Out, Diags));
+  ASSERT_TRUE(Diags.hasErrors());
+  EXPECT_NE(Diags.str().find("unterminated list"), std::string::npos)
+      << Diags.str();
+  EXPECT_TRUE(Diags.diagnostics()[0].Loc.isValid()) << Diags.str();
+}
+
+TEST(CatalogTest, UnterminatedStringProducesLocatedDiagnostic) {
+  std::string Body = "(function \"f (ret void))";
+  ProcedureCatalog Out;
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(ProcedureCatalog::parse(frameEntry(Body), Out, Diags));
+  ASSERT_TRUE(Diags.hasErrors());
+  EXPECT_NE(Diags.str().find("unterminated string"), std::string::npos)
+      << Diags.str();
+  EXPECT_TRUE(Diags.diagnostics()[0].Loc.isValid()) << Diags.str();
+}
+
+TEST(CatalogTest, NonFunctionEntryProducesLocatedDiagnostic) {
+  std::string Body = "(globals \"g\" int)";
+  ProcedureCatalog Out;
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(ProcedureCatalog::parse(frameEntry(Body), Out, Diags));
+  ASSERT_TRUE(Diags.hasErrors());
+  EXPECT_NE(Diags.str().find("not a function"), std::string::npos)
+      << Diags.str();
+}
+
+TEST(CatalogTest, MalformedHeaderLengthProducesDiagnostic) {
+  ProcedureCatalog Out;
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(ProcedureCatalog::parse("#entry banana\n(function)\n", Out,
+                                       Diags));
+  EXPECT_NE(Diags.str().find("malformed '#entry' length"),
+            std::string::npos)
+      << Diags.str();
+}
+
+TEST(CatalogTest, TruncatedEntryBodyProducesDiagnostic) {
+  // Header claims more bytes than the file holds (a torn write).
+  ProcedureCatalog Out;
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(
+      ProcedureCatalog::parse("#entry 4096\n(function \"f\"", Out, Diags));
+  EXPECT_NE(Diags.str().find("truncated catalog"), std::string::npos)
+      << Diags.str();
+}
+
+TEST(CatalogTest, MissingHeaderProducesDiagnostic) {
+  ProcedureCatalog Out;
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(ProcedureCatalog::parse("(function \"f\")\n", Out, Diags));
+  EXPECT_NE(Diags.str().find("#entry"), std::string::npos) << Diags.str();
+}
+
+TEST(CatalogTest, DuplicateEntriesInCatalogTextAreDiagnosed) {
+  auto C = compileToIL("int one() { return 1; }");
+  std::string Body =
+      il::serializeFunction(*C->P->findFunction("one"));
+  std::string Text = frameEntry(Body) + frameEntry(Body);
+  ProcedureCatalog Out;
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(ProcedureCatalog::parse(Text, Out, Diags));
+  EXPECT_NE(Diags.str().find("duplicate catalog entry for procedure 'one'"),
+            std::string::npos)
+      << Diags.str();
+  // The first copy is still usable.
+  EXPECT_TRUE(Out.contains("one"));
+}
+
+TEST(CatalogTest, GarbageTextDoesNotCrash) {
+  const char *Garbage[] = {
+      "#entry 3\n)))", "#entry 0\n", "#entry\n", "####",
+      "#entry 18\n(function \"f\" ())",
+      "#entry 12\n((((((((((((",
+  };
+  for (const char *Text : Garbage) {
+    ProcedureCatalog Out;
+    DiagnosticEngine Diags;
+    ProcedureCatalog::parse(Text, Out, Diags);
+    EXPECT_TRUE(Diags.hasErrors()) << "accepted: " << Text;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Error paths: shard compilation and cross-shard conflicts
+//===----------------------------------------------------------------------===//
+
+TEST(CatalogTest, DuplicateAcrossShardsNamesBothFiles) {
+  CatalogBuilder B;
+  B.addSource("a.c", "int twice(int x) { return x + x; }");
+  B.addSource("b.c", "int twice(int x) { return 2 * x; }");
+  CatalogBuildOptions Opts;
+  Opts.Workers = 2;
+  CatalogBuildResult R = B.build(Opts);
+  EXPECT_FALSE(R.ok());
+  std::string Text = R.Diags.str();
+  EXPECT_NE(Text.find("duplicate procedure 'twice'"), std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("a.c"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("b.c"), std::string::npos) << Text;
+  // The first definition wins in the merged database.
+  EXPECT_TRUE(R.Catalog.contains("twice"));
+}
+
+TEST(CatalogTest, ShardCompileErrorsCarryFileName) {
+  CatalogBuilder B;
+  B.addSource("good.c", "int ok() { return 1; }");
+  B.addSource("broken.c", "int nope( { return; }");
+  CatalogBuildResult R = B.build();
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.Diags.str().find("broken.c"), std::string::npos)
+      << R.Diags.str();
+  // The healthy shard still contributes.
+  EXPECT_TRUE(R.Catalog.contains("ok"));
+  ASSERT_EQ(R.Shards.size(), 2u);
+  EXPECT_TRUE(R.Shards[0].Ok);
+  EXPECT_FALSE(R.Shards[1].Ok);
+}
+
+//===----------------------------------------------------------------------===//
+// Materialization failures name the entry
+//===----------------------------------------------------------------------===//
+
+TEST(CatalogTest, MaterializeNamesMalformedEntry) {
+  // Well-formed framing and S-expression, semantically broken body (bad
+  // storage class): accepted at parse time, rejected at materialization —
+  // and the diagnostic must say which entry.
+  std::string Body = "(function \"badstore\" (ret void) "
+                     "(fortran-pointers 0)\n (symbols\n"
+                     "  (sym 1 \"x\" int wat 0)\n )\n (params)\n (body\n ))";
+  ProcedureCatalog Catalog;
+  DiagnosticEngine ParseDiags;
+  ASSERT_TRUE(
+      ProcedureCatalog::parse(frameEntry(Body), Catalog, ParseDiags))
+      << ParseDiags.str();
+
+  il::Program P;
+  DiagnosticEngine Diags;
+  EXPECT_EQ(Catalog.materialize("badstore", P, Diags), nullptr);
+  std::string Text = Diags.str();
+  EXPECT_NE(Text.find("catalog entry 'badstore'"), std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("bad storage class"), std::string::npos) << Text;
+  // The failed read may not leave a half-built function behind.
+  EXPECT_EQ(P.findFunction("badstore"), nullptr);
+}
+
+TEST(CatalogTest, InlinerSurfacesMalformedCatalogEntry) {
+  // The Inliner.cpp catalog-resolution path: a call site whose callee
+  // exists in the catalog but cannot be materialized must fail the
+  // compile with the entry named, not silently skip the call.
+  std::string Body = "(function \"mangled\" (ret int) "
+                     "(fortran-pointers 0)\n (symbols\n"
+                     "  (sym 1 \"x\" int wat 0)\n )\n (params 1)\n (body\n ))";
+  ProcedureCatalog Catalog;
+  DiagnosticEngine ParseDiags;
+  ASSERT_TRUE(
+      ProcedureCatalog::parse(frameEntry(Body), Catalog, ParseDiags))
+      << ParseDiags.str();
+
+  auto C = compileToIL(R"(
+    int mangled(int x);
+    int g;
+    void main() { g = mangled(7); }
+  )");
+  InlineStats Stats = inlineCalls(*C->P, C->Diags, {}, &Catalog);
+  EXPECT_TRUE(C->Diags.hasErrors());
+  EXPECT_NE(C->Diags.str().find("catalog entry 'mangled'"),
+            std::string::npos)
+      << C->Diags.str();
+  EXPECT_EQ(Stats.CallsInlined, 0u);
+  EXPECT_EQ(Stats.CallsLeft, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Telemetry, file I/O, end-to-end inlining
+//===----------------------------------------------------------------------===//
+
+TEST(CatalogTest, TelemetryHasPerShardRecords) {
+  CatalogBuildOptions Opts;
+  Opts.Workers = 2;
+  CatalogBuildResult R = libraryBuilder().build(Opts);
+  ASSERT_TRUE(R.ok());
+  ASSERT_EQ(R.Telemetry.Passes.size(), std::size(LibraryFiles));
+  // Shard records keep input order and flow through the same PassRecord
+  // type the optimization pipeline uses.
+  const remarks::PassRecord *Vec = R.Telemetry.find("catalog:vec.c");
+  ASSERT_NE(Vec, nullptr);
+  EXPECT_EQ(Vec->Stats.get("procedures"), 2u);
+  EXPECT_GT(Vec->Stats.get("serializedBytes"), 0u);
+  EXPECT_EQ(Vec->After.Functions, 2u);
+  EXPECT_GE(Vec->Millis, 0.0);
+  EXPECT_GT(R.Telemetry.TotalMillis, 0.0);
+  EXPECT_EQ(R.Telemetry.Remarks.size(), std::size(LibraryFiles));
+  // And the whole record serializes as JSON like any compile telemetry.
+  std::ostringstream OS;
+  R.Telemetry.writeJSON(OS);
+  EXPECT_NE(OS.str().find("catalog:vec.c"), std::string::npos);
+}
+
+TEST(CatalogTest, SaveAndLoadCatalogFile) {
+  CatalogBuildResult R = libraryBuilder().build();
+  ASSERT_TRUE(R.ok());
+  std::string Path = testing::TempDir() + "/tcc_catalog_test.tcat";
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(saveCatalogFile(R.Catalog, Path, Diags)) << Diags.str();
+  ProcedureCatalog Loaded;
+  ASSERT_TRUE(loadCatalogFile(Path, Loaded, Diags)) << Diags.str();
+  EXPECT_EQ(Loaded.serialize(), R.Catalog.serialize());
+  std::remove(Path.c_str());
+
+  ProcedureCatalog Missing;
+  DiagnosticEngine MissingDiags;
+  EXPECT_FALSE(loadCatalogFile(Path + ".does-not-exist", Missing,
+                               MissingDiags));
+  EXPECT_TRUE(MissingDiags.hasErrors());
+}
+
+TEST(CatalogTest, ParallelBuiltCatalogDrivesInlining) {
+  // End to end: a catalog produced by the 8-worker sharded build feeds
+  // the compiler exactly like a serially built one.
+  CatalogBuildOptions Opts;
+  Opts.Workers = 8;
+  CatalogBuildResult Built = libraryBuilder().build(Opts);
+  ASSERT_TRUE(Built.ok()) << Built.Diags.str();
+
+  driver::CompilerOptions CompOpts;
+  CompOpts.Catalog = &Built.Catalog;
+  auto R = driver::compileSource(R"(
+    void vfill(float *x, float v, int n);
+    float vdot(float *x, float *y, int n);
+    float u[512], v[512];
+    float result;
+    void main() {
+      vfill(u, 2.0, 512);
+      vfill(v, 0.25, 512);
+      result = vdot(u, v, 512);
+    }
+  )",
+                                 CompOpts);
+  ASSERT_TRUE(R->ok()) << R->Diags.str();
+  EXPECT_EQ(R->Stats.Inline.CallsInlined, 3u);
+}
+
+} // namespace
