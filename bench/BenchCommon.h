@@ -78,6 +78,21 @@ inline void appendJsonRow(const Measurement &M) {
     W.endObject();
   }
   W.endArray();
+  // Per-function scheduling rows (function-at-a-time pipeline): content
+  // hash, wall-clock, IL delta, and whether the compile cache served it.
+  W.key("functions").beginArray();
+  for (const auto &FR : M.Telemetry.Functions) {
+    W.beginObject();
+    W.keyValue("name", FR.Function);
+    W.keyValue("hash", FR.Hash);
+    W.keyValue("millis", FR.Millis);
+    W.keyValue("stmtsDelta",
+               static_cast<int64_t>(FR.After.Stmts) -
+                   static_cast<int64_t>(FR.Before.Stmts));
+    W.keyValue("cacheHit", FR.CacheHit);
+    W.endObject();
+  }
+  W.endArray();
   W.endObject();
   OS << '\n';
 }

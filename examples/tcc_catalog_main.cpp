@@ -4,12 +4,16 @@
 /// tcc-catalog — compiles C translation units into a procedure-catalog
 /// database (paper Section 7) with a sharded worker pool.
 ///
-///   tcc-catalog [-j<N>] [-o lib.tcat] [-remarks=FILE] [-v] a.c b.c ...
+///   tcc-catalog [-j<N>] [-o lib.tcat] [-cache=FILE] [-remarks=FILE]
+///               [-v] a.c b.c ...
 ///
 ///   -j<N>            worker threads (default 1; -j0 = all hardware
 ///                    threads); the merged catalog is byte-identical for
 ///                    every worker count
 ///   -o FILE          output catalog path (default "lib.tcat")
+///   -cache=FILE      incremental rebuild manifest: shards whose source
+///                    text is unchanged are served from FILE without
+///                    compiling; rebuilt shards are stored back
 ///   -remarks=FILE    write build telemetry (per-shard timings, counters,
 ///                    remarks) as JSON to FILE ("-" for stdout)
 ///   -v               print a per-shard summary table
@@ -36,7 +40,7 @@ namespace {
 
 void usage() {
   std::fprintf(stderr, "usage: tcc-catalog [-j<N>] [-o lib.tcat] "
-                       "[-remarks=file] [-v] file.c...\n");
+                       "[-cache=file] [-remarks=file] [-v] file.c...\n");
 }
 
 } // namespace
@@ -57,6 +61,8 @@ int main(int argc, char **argv) {
       Opts.Workers = static_cast<unsigned>(std::atoi(argv[++I]));
     } else if (Arg == "-o" && I + 1 < argc) {
       OutputPath = argv[++I];
+    } else if (Arg.rfind("-cache=", 0) == 0) {
+      Opts.CacheFile = Arg.substr(std::strlen("-cache="));
     } else if (Arg.rfind("-remarks=", 0) == 0) {
       RemarksPath = Arg.substr(std::strlen("-remarks="));
     } else if (Arg == "-v") {
@@ -98,8 +104,9 @@ int main(int argc, char **argv) {
 
   if (Verbose)
     for (const catalog::ShardReport &S : Result.Shards)
-      std::printf("  %-28s %4u procedures %8zu bytes %8.3f ms%s\n",
+      std::printf("  %-28s %4u procedures %8zu bytes %8.3f ms%s%s\n",
                   S.File.c_str(), S.Procedures, S.SerializedBytes, S.Millis,
+                  S.CacheHit ? "  [cached]" : "",
                   S.Ok ? "" : "  [failed]");
 
   if (!Result.ok())
@@ -114,9 +121,13 @@ int main(int argc, char **argv) {
   unsigned Workers =
       Opts.Workers ? Opts.Workers
                    : std::max(1u, std::thread::hardware_concurrency());
+  unsigned CacheHits = 0;
+  for (const catalog::ShardReport &S : Result.Shards)
+    if (S.CacheHit)
+      ++CacheHits;
   std::printf("tcc-catalog: %zu procedures from %zu files -> %s "
-              "(%.3f ms, %u workers)\n",
+              "(%.3f ms, %u workers, %u shards cached)\n",
               Result.Catalog.entries().size(), Builder.sourceCount(),
-              OutputPath.c_str(), Result.TotalMillis, Workers);
+              OutputPath.c_str(), Result.TotalMillis, Workers, CacheHits);
   return 0;
 }

@@ -19,6 +19,13 @@
 ///   -passes=SPEC     run a custom pipeline (comma-separated registered
 ///                    pass names, e.g. whiletodo,ivsub,vectorize);
 ///                    overrides the -O level's phase selection
+///   -cache=FILE      incremental recompilation manifest: functions whose
+///                    serialized IL and pipeline configuration match FILE
+///                    are restored instead of re-optimized; rebuilt
+///                    functions are stored back
+///   -whole-program   run the pipeline pass-major over the whole program
+///                    (the pre-incremental scheduling; -print-after-all
+///                    implies it)
 ///   -verify-each     run the IL verifier after every pass; a violated
 ///                    invariant fails the compile naming the pass
 ///   -print-il=PHASE  dump IL after PHASE ("lower" or any registered
@@ -54,8 +61,9 @@ void usage() {
   std::fprintf(
       stderr,
       "usage: tcc [-O0|-O1|-O2|-O3] [-P n] [-fno-inline] [-ffortran-ptrs]\n"
-      "           [-strip n] [-catalog=file] [-passes=spec] [-verify-each]\n"
-      "           [-print-il=phase] [-print-after-all] [-remarks=file]\n"
+      "           [-strip n] [-catalog=file] [-passes=spec] [-cache=file]\n"
+      "           [-whole-program] [-verify-each] [-print-il=phase]\n"
+      "           [-print-after-all] [-remarks=file]\n"
       "           [-S] [-run|-no-run] [-stats] file.c\n"
       "registered passes: %s\n",
       pipeline::PassRegistry::instance().namesJoined().c_str());
@@ -102,6 +110,10 @@ int main(int argc, char **argv) {
       CatalogPath = Arg.substr(std::strlen("-catalog="));
     } else if (Arg.rfind("-passes=", 0) == 0) {
       Opts.Passes = Arg.substr(std::strlen("-passes="));
+    } else if (Arg.rfind("-cache=", 0) == 0) {
+      Opts.CacheFile = Arg.substr(std::strlen("-cache="));
+    } else if (Arg == "-whole-program") {
+      Opts.WholeProgram = true;
     } else if (Arg == "-verify-each") {
       Opts.VerifyEach = true;
     } else if (Arg.rfind("-print-il=", 0) == 0) {
@@ -233,6 +245,10 @@ int main(int argc, char **argv) {
                 S.StrengthReduce.AddressTemps,
                 S.StrengthReduce.SharedTemps);
     std::printf("pipeline:    %.3f ms total\n", Result->Telemetry.TotalMillis);
+    if (!Result->Telemetry.Functions.empty())
+      std::printf("functions:   %zu scheduled, %u served from cache\n",
+                  Result->Telemetry.Functions.size(),
+                  Result->Telemetry.cacheHits());
     for (const auto &Rec : Result->Telemetry.Passes)
       std::printf("  %-10s %8.3f ms  stmts %llu -> %llu%s\n",
                   Rec.Pass.c_str(), Rec.Millis,

@@ -4,6 +4,7 @@
 #include "il/ILSerializer.h"
 #include "lexer/Lexer.h"
 #include "parser/Parser.h"
+#include "support/CompileCache.h"
 
 #include <atomic>
 #include <chrono>
@@ -100,6 +101,28 @@ CatalogBuilder::build(const CatalogBuildOptions &Opts) const {
   CatalogBuildResult Result;
   std::vector<ShardState> Shards(Sources.size());
 
+  // Warm-start from the compile-cache manifest: a shard whose source text
+  // hash matches is served from its stored serialized procedures and
+  // never enters the worker pool.
+  CompileCache Cache;
+  const bool UseCache = !Opts.CacheFile.empty();
+  if (UseCache && !CompileCache::load(Opts.CacheFile, Cache, Result.Diags))
+    return Result;
+  std::vector<std::string> Hashes(Sources.size());
+  std::vector<bool> Hit(Sources.size(), false);
+  if (UseCache) {
+    for (size_t I = 0; I < Sources.size(); ++I) {
+      Hashes[I] = cacheHash(Sources[I].Text);
+      const CompileCache::ShardEntry *E =
+          Cache.findShard(Sources[I].File, Hashes[I]);
+      if (!E)
+        continue;
+      Hit[I] = true;
+      for (const auto &[Name, Text] : E->Procs)
+        Shards[I].Entries.push_back({Name, Text, SourceLoc()});
+    }
+  }
+
   // The shard pool: a shared atomic cursor over the source list.  Any
   // worker may build any shard; determinism comes from the merge below,
   // which walks shards in input order regardless of who built them when.
@@ -111,12 +134,13 @@ CatalogBuilder::build(const CatalogBuildOptions &Opts) const {
     Workers = static_cast<unsigned>(Sources.size());
 
   std::atomic<size_t> Next{0};
-  auto Work = [this, &Shards, &Next] {
+  auto Work = [this, &Shards, &Next, &Hit] {
     for (;;) {
       size_t I = Next.fetch_add(1, std::memory_order_relaxed);
       if (I >= Sources.size())
         return;
-      compileShard(Sources[I], Shards[I]);
+      if (!Hit[I])
+        compileShard(Sources[I], Shards[I]);
     }
   };
   if (Workers <= 1) {
@@ -144,6 +168,16 @@ CatalogBuilder::build(const CatalogBuildOptions &Opts) const {
     Report.File = Sources[I].File;
     Report.Millis = S.Millis;
     Report.Ok = S.Ok;
+    Report.CacheHit = Hit[I];
+
+    // Store rebuilt shards before the merge consumes the entry text.
+    if (UseCache && !Hit[I] && S.Ok) {
+      std::vector<std::pair<std::string, std::string>> Procs;
+      Procs.reserve(S.Entries.size());
+      for (const ShardEntry &E : S.Entries)
+        Procs.emplace_back(E.Name, E.Text);
+      Cache.storeShard(Sources[I].File, Hashes[I], std::move(Procs));
+    }
 
     for (const Diagnostic &D : S.Diags.diagnostics()) {
       std::string Message = Sources[I].File + ": " + D.Message;
@@ -185,6 +219,7 @@ CatalogBuilder::build(const CatalogBuildOptions &Opts) const {
     Rec.Stats = remarks::StatGroup(Rec.Pass);
     Rec.Stats.set("procedures", Report.Procedures);
     Rec.Stats.set("serializedBytes", Report.SerializedBytes);
+    Rec.Stats.set("cacheHit", Report.CacheHit ? 1 : 0);
     Result.Telemetry.Passes.push_back(std::move(Rec));
 
     remarks::Remark R;
@@ -194,13 +229,17 @@ CatalogBuilder::build(const CatalogBuildOptions &Opts) const {
                            std::to_string(Report.Procedures) +
                            " procedures, " +
                            std::to_string(Report.SerializedBytes) +
-                           " bytes serialized"
+                           " bytes serialized" +
+                           (Report.CacheHit ? " (cache hit)" : "")
                      : "shard '" + Sources[I].File +
                            "' failed to compile and was skipped";
     Result.Telemetry.Remarks.push_back(std::move(R));
 
     Result.Shards.push_back(std::move(Report));
   }
+
+  if (UseCache && Cache.dirty() && !Result.Diags.hasErrors())
+    Cache.save(Opts.CacheFile, Result.Diags);
 
   Result.TotalMillis = std::chrono::duration<double, std::milli>(
                            std::chrono::steady_clock::now() - Start)

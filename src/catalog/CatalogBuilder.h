@@ -55,11 +55,18 @@ struct ShardReport {
   unsigned Procedures = 0;  ///< Functions stored from this shard.
   size_t SerializedBytes = 0;
   bool Ok = true;           ///< False if the shard had compile errors.
+  bool CacheHit = false;    ///< Served from the compile-cache manifest.
 };
 
 struct CatalogBuildOptions {
   /// Worker threads; 0 means std::thread::hardware_concurrency().
   unsigned Workers = 1;
+  /// Optional `.tcc-cache` manifest path.  When set, a shard whose source
+  /// text hash matches the manifest is served from it without compiling,
+  /// and rebuilt shards are stored back (the same manifest file the
+  /// function-at-a-time PassManager uses; shard records live alongside
+  /// per-function records).
+  std::string CacheFile;
 };
 
 struct CatalogBuildResult {

@@ -93,8 +93,10 @@ struct AddrKey {
   bool operator<(const AddrKey &RHS) const {
     if (Base.K != RHS.Base.K)
       return Base.K < RHS.Base.K;
+    // Stable-id order: plan iteration emits the preheader inits and
+    // per-iteration bumps, so pointer order would leak into the IL.
     if (Base.Sym != RHS.Base.Sym)
-      return Base.Sym < RHS.Base.Sym;
+      return SymbolOrder()(Base.Sym, RHS.Base.Sym);
     if (Coeff != RHS.Coeff)
       return Coeff < RHS.Coeff;
     if (Offset.C0 != RHS.Offset.C0)

@@ -6,8 +6,44 @@
 #include "lexer/Lexer.h"
 #include "parser/Parser.h"
 
+#include <cstdlib>
+
 using namespace tcc;
 using namespace tcc::driver;
+
+namespace {
+
+/// Serializes every option that changes what the function passes produce.
+/// Part of each function's compile-cache content hash: a manifest built
+/// under one configuration never serves another.
+std::string configFingerprint(const CompilerOptions &Opts) {
+  std::string F;
+  auto Add = [&F](const char *Key, long long V) {
+    F += Key;
+    F += '=';
+    F += std::to_string(V);
+    F += ';';
+  };
+  Add("ivsub.backtrack", Opts.IVSub.EnableBacktracking);
+  Add("ivsub.maxpasses", Opts.IVSub.MaxPassesPerLoop);
+  Add("cp.unreachable", Opts.ConstProp.EnableUnreachableHeuristic);
+  Add("cp.postpass", Opts.ConstProp.EnableAlwaysTakenPostpass);
+  Add("cp.addrconst", Opts.ConstProp.PropagateAddressConstants);
+  Add("vec.parallel", Opts.Vectorize.EnableParallel);
+  Add("vec.strip", Opts.Vectorize.StripLength);
+  Add("vec.fortranptr", Opts.Vectorize.FortranPointerSemantics);
+  Add("dep.scalarrepl", Opts.EnableScalarReplacement);
+  Add("dep.sched", Opts.EnableDepScheduling);
+  Add("dep.strength", Opts.EnableStrengthReduction);
+  return F;
+}
+
+bool envVerifyEach() {
+  const char *V = std::getenv("TCC_VERIFY_EACH");
+  return V && *V && std::string(V) != "0";
+}
+
+} // namespace
 
 std::string CompilerOptions::pipelineSpec() const {
   std::string Spec;
@@ -74,7 +110,14 @@ driver::compileSource(const std::string &Source, const CompilerOptions &Opts) {
   PipeOpts.EnableStrengthReduction = Opts.EnableStrengthReduction;
 
   pipeline::PassManagerConfig Config;
-  Config.VerifyEach = Opts.VerifyEach;
+  Config.VerifyEach = Opts.VerifyEach || envVerifyEach();
+  // Stage capture needs the per-pass intermediate program states, which
+  // only exist under pass-major execution.
+  Config.Mode = (Opts.WholeProgram || Opts.CaptureStages)
+                    ? pipeline::PipelineMode::WholeProgram
+                    : pipeline::PipelineMode::FunctionAtATime;
+  Config.CacheFile = Opts.CacheFile;
+  Config.CacheConfig = configFingerprint(Opts);
   Config.AfterPass = [&Snapshot](const pipeline::Pass &Pass, il::Program &) {
     Snapshot(Pass.name());
   };

@@ -76,8 +76,24 @@ struct CompilerOptions {
   std::string Passes;
 
   /// Run the IL verifier after every pass; a violated invariant fails the
-  /// compile with a diagnostic naming the offending pass.
+  /// compile with a diagnostic naming the offending pass.  Also forced on
+  /// by the TCC_VERIFY_EACH environment variable (non-empty, not "0") so
+  /// CI can sweep the whole test suite under verification.
   bool VerifyEach = false;
+
+  /// Path of the .tcc-cache manifest for incremental recompilation (the
+  /// -cache= flag).  Empty disables caching.  Functions whose content
+  /// hash (serialized IL + option fingerprint + pipeline spec) matches
+  /// the manifest skip the function-pass segment and reuse the stored
+  /// optimized body — byte-identical to recompiling, since serialization
+  /// round-trips are a fixed point.
+  std::string CacheFile;
+
+  /// Schedule the pipeline pass-major over the whole program instead of
+  /// function-at-a-time.  Produces byte-identical IL (the differential
+  /// invariant); forced on when CaptureStages is set, because the
+  /// per-pass intermediate program states only exist in this order.
+  bool WholeProgram = false;
 
   /// Capture printProgram() after each executed pass into
   /// CompileResult::Stages.  Keys come from the registered pass names

@@ -314,6 +314,20 @@ void Program::removeFunction(Function *F) {
   assert(false && "function is not part of this program");
 }
 
+void Program::replaceFunction(Function *Old, Function *New) {
+  auto OldIt = Functions.end(), NewIt = Functions.end();
+  for (auto It = Functions.begin(); It != Functions.end(); ++It) {
+    if (It->get() == Old)
+      OldIt = It;
+    else if (It->get() == New)
+      NewIt = It;
+  }
+  assert(OldIt != Functions.end() && NewIt != Functions.end() &&
+         "both functions must belong to this program");
+  *OldIt = std::move(*NewIt); // destroys Old, moves New into its slot
+  Functions.erase(NewIt);
+}
+
 Symbol *Program::createGlobal(std::string Name, const Type *Ty,
                               bool IsVolatile) {
   Globals.push_back(std::make_unique<Symbol>(

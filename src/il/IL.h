@@ -102,6 +102,26 @@ private:
   bool HasInit = false;
 };
 
+/// Deterministic ordering for Symbol-keyed containers whose iteration
+/// order is observable in emitted IL.  Raw pointer order varies with
+/// allocation history (and so with pipeline scheduling mode); ids are
+/// assigned in creation order and are stable.  Locals and globals draw
+/// ids from separate counters, so the pool is the primary key.
+struct SymbolOrder {
+  bool operator()(const Symbol *A, const Symbol *B) const {
+    if (A == B)
+      return false;
+    if (A->isGlobal() != B->isGlobal())
+      return B->isGlobal();
+    if (A->getId() != B->getId())
+      return A->getId() < B->getId();
+    if (A->getName() != B->getName())
+      return A->getName() < B->getName();
+    return A < B; // unreachable for symbols of one program; keeps the
+                  // order strict-weak regardless
+  }
+};
+
 //===----------------------------------------------------------------------===//
 // Expressions (pure)
 //===----------------------------------------------------------------------===//
@@ -603,6 +623,11 @@ public:
   Function *findFunction(const std::string &Name) const;
   /// Removes a function (used when replacing a body via catalogs).
   void removeFunction(Function *F);
+  /// Swaps \p New into \p Old's position in the function list and
+  /// destroys \p Old.  Both must belong to this program.  Keeps the
+  /// serialization order stable when the compile cache restores an
+  /// optimized body (which deserializeFunction appended at the end).
+  void replaceFunction(Function *Old, Function *New);
   const std::vector<std::unique_ptr<Function>> &getFunctions() const {
     return Functions;
   }

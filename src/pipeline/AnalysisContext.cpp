@@ -14,3 +14,16 @@ analysis::UseDefChains &AnalysisContext::useDef(il::Function &F) {
   Slot = std::make_unique<analysis::UseDefChains>(F);
   return *Slot;
 }
+
+void AnalysisContext::invalidate(const il::Function &F,
+                                 const PreservedSet &Preserved) {
+  if (!Preserved.preserves(AnalysisKind::UseDef))
+    UseDefCache.erase(&F);
+}
+
+void AnalysisContext::invalidate(const PreservedSet &Preserved) {
+  if (!Preserved.preserves(AnalysisKind::UseDef))
+    UseDefCache.clear();
+}
+
+void AnalysisContext::forget(const il::Function &F) { UseDefCache.erase(&F); }

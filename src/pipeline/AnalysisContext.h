@@ -1,16 +1,19 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Cached analyses with explicit invalidation.
+/// Per-function cached analyses with preserved-set invalidation.
 ///
 /// The paper drives several optimizations off the use-def graph and
 /// patches it incrementally through while→DO conversion rather than
-/// rebuilding (Section 5.2).  The AnalysisContext generalizes that: a
-/// pass asks for the chains of a function and either gets the cached copy
-/// (when every pass since the build declared it preserved them) or a
-/// fresh build.  The PassManager invalidates the cache after every
-/// non-preserving pass and reports build/reuse counts in the telemetry,
-/// so the cost of analysis recomputation is visible per pipeline.
+/// rebuilding (Section 5.2).  The AnalysisContext generalizes that: the
+/// cache is keyed by (function, analysis kind), a pass asks for the
+/// chains of a function and either gets the cached copy or a fresh build,
+/// and after a pass runs on a function the PassManager drops exactly the
+/// kinds the pass did *not* declare preserved — for that function only.
+/// Analyses of untouched functions stay live across the whole pipeline,
+/// which is what makes function-at-a-time scheduling cheap: one function's
+/// rebuild cost never globalizes.  Build/reuse counts surface in the
+/// telemetry, so the cost of analysis recomputation is visible per pass.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -19,6 +22,7 @@
 
 #include "analysis/UseDef.h"
 #include "il/IL.h"
+#include "pipeline/Pass.h"
 
 #include <map>
 #include <memory>
@@ -35,8 +39,18 @@ public:
     return UseDefCache.count(&F) != 0;
   }
 
-  /// Drops every cached analysis (called after a non-preserving pass).
-  void invalidateAll() { UseDefCache.clear(); }
+  /// Drops \p F's cached analyses of every kind not in \p Preserved
+  /// (called after a function pass ran on \p F).
+  void invalidate(const il::Function &F, const PreservedSet &Preserved);
+
+  /// Drops every function's analyses of every kind not in \p Preserved
+  /// (called after a module pass, which may have touched anything).
+  void invalidate(const PreservedSet &Preserved);
+
+  /// Drops everything cached for \p F regardless of preservation — the
+  /// function object is being replaced (cache-hit body swap), so cached
+  /// pointers into it are about to dangle.
+  void forget(const il::Function &F);
 
   /// Telemetry: chains built / served from cache since the last
   /// resetCounters().

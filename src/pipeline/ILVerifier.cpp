@@ -95,6 +95,8 @@ private:
       if (L->getKind() != Expr::VarRefKind &&
           L->getKind() != Expr::DerefKind && L->getKind() != Expr::IndexKind)
         error(S, "assignment target is not an lvalue");
+      if (Opts.CheckTypes)
+        checkAssignTypes(A);
       break;
     }
     case Stmt::CallKind: {
@@ -138,6 +140,11 @@ private:
     }
     if (!Owned.count(D->getIndexVar()))
       error(D, "DO loop index symbol not owned by function or program");
+    if (Opts.CheckTypes && D->getIndexVar()->getType() &&
+        !D->getIndexVar()->getType()->isInteger())
+      error(D, "type mismatch: DO loop index '" +
+                   D->getIndexVar()->getName() + "' has non-integer type " +
+                   D->getIndexVar()->getType()->str());
     struct BoundDesc {
       const char *Name;
       Expr *E;
@@ -157,6 +164,9 @@ private:
       if (exprReadsVolatile(E))
         error(D, std::string("impure DO loop ") + Name +
                      " bound: reads a volatile symbol");
+      if (Opts.CheckTypes && E->getType() && !E->getType()->isInteger())
+        error(D, std::string("type mismatch: DO loop ") + Name +
+                     " bound has non-integer type " + E->getType()->str());
       checkExpr(D, E, /*TripletOk=*/false);
     }
   }
@@ -224,6 +234,171 @@ private:
     case Expr::ConstFloatKind:
       break;
     }
+    if (Opts.CheckTypes)
+      checkExprType(S, E);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Type consistency
+  //===--------------------------------------------------------------------===//
+
+  static bool hasTripletOperand(const Expr *E) {
+    switch (E->getKind()) {
+    case Expr::BinaryKind:
+      return static_cast<const BinaryExpr *>(E)->getLHS()->getKind() ==
+                 Expr::TripletKind ||
+             static_cast<const BinaryExpr *>(E)->getRHS()->getKind() ==
+                 Expr::TripletKind;
+    case Expr::UnaryKind:
+      return static_cast<const UnaryExpr *>(E)->getOperand()->getKind() ==
+             Expr::TripletKind;
+    default:
+      return false;
+    }
+  }
+
+  /// An assignment stores the value as-is (conversions are explicit Cast
+  /// nodes inserted by Lower), so target and value types must agree.
+  void checkAssignTypes(AssignStmt *A) {
+    const Type *L = A->getLHS() ? A->getLHS()->getType() : nullptr;
+    const Type *R = A->getRHS() ? A->getRHS()->getType() : nullptr;
+    if (L && R && L != R)
+      error(A, "type mismatch: assignment to " + L->str() +
+                   " from a value of type " + R->str());
+  }
+
+  /// Checks one node's result type against its operands' types.  The
+  /// typing discipline (established by Lower, maintained by every pass):
+  /// operands of an arithmetic operation are coerced to the common
+  /// arithmetic type via explicit casts, comparisons and logical ops
+  /// yield int, pointer arithmetic Add/Sub(ptr, int) yields the pointer
+  /// type, and a memory reference's type is the referenced element type.
+  void checkExprType(Stmt *S, Expr *E) {
+    const Type *Ty = E->getType();
+    if (!Ty) {
+      error(S, "type mismatch: expression carries no type");
+      return;
+    }
+    switch (E->getKind()) {
+    case Expr::VarRefKind: {
+      Symbol *Sym = static_cast<VarRefExpr *>(E)->getSymbol();
+      if (Sym && Sym->getType() && Ty != Sym->getType())
+        error(S, "type mismatch: reference to '" + Sym->getName() +
+                     "' has type " + Ty->str() +
+                     " but the symbol is declared " + Sym->getType()->str());
+      break;
+    }
+    case Expr::BinaryKind: {
+      auto *B = static_cast<BinaryExpr *>(E);
+      if (!B->getLHS() || !B->getRHS() || hasTripletOperand(B))
+        break;
+      const Type *L = B->getLHS()->getType();
+      const Type *R = B->getRHS()->getType();
+      if (!L || !R)
+        break; // reported on the operand itself
+      if (isComparisonOp(B->getOp())) {
+        if (!Ty->isInteger())
+          error(S, std::string("type mismatch: '") +
+                       opCodeSpelling(B->getOp()) +
+                       "' yields non-integer type " + Ty->str());
+        break;
+      }
+      // Pointer arithmetic: Add/Sub(ptr, int) -> ptr; Sub(ptr, ptr) -> int.
+      if (L->isPointer() || R->isPointer()) {
+        if (B->getOp() == OpCode::Sub && L->isPointer() && R->isPointer()) {
+          if (!Ty->isInteger())
+            error(S, "type mismatch: pointer difference has non-integer "
+                     "type " +
+                         Ty->str());
+        } else if (B->getOp() == OpCode::Add || B->getOp() == OpCode::Sub) {
+          const Type *PtrTy = L->isPointer() ? L : R;
+          // Arithmetic on a pointer-to-array may flatten the addressing
+          // and yield a pointer to a nested element type (a 2-D row
+          // pointer decays to the element pointer).
+          bool Ok = Ty == PtrTy;
+          if (!Ok && Ty->isPointer())
+            for (const Type *Elem = PtrTy->getElementType();
+                 Elem && Elem->isArray(); Elem = Elem->getElementType())
+              if (Ty->getElementType() == Elem->getElementType()) {
+                Ok = true;
+                break;
+              }
+          if (!Ok)
+            error(S, "type mismatch: pointer arithmetic yields " +
+                         Ty->str() + " but the pointer operand has type " +
+                         PtrTy->str());
+        }
+        break;
+      }
+      if (L->isArithmetic() && R->isArithmetic()) {
+        const Type *Common =
+            F.getProgram().getTypes().getCommonArithmeticType(L, R);
+        if (Ty != Common)
+          error(S, std::string("type mismatch: '") +
+                       opCodeSpelling(B->getOp()) + "' on " + L->str() +
+                       " and " + R->str() + " yields " + Ty->str() +
+                       " instead of " + Common->str());
+      }
+      break;
+    }
+    case Expr::UnaryKind: {
+      auto *U = static_cast<UnaryExpr *>(E);
+      if (!U->getOperand() || hasTripletOperand(U))
+        break;
+      const Type *Op = U->getOperand()->getType();
+      if (!Op)
+        break;
+      if (U->getOp() == OpCode::LogNot) {
+        if (!Ty->isInteger())
+          error(S, "type mismatch: '!' yields non-integer type " +
+                       Ty->str());
+      } else if (Op->isArithmetic() && Ty != Op) {
+        error(S, std::string("type mismatch: '") +
+                     opCodeSpelling(U->getOp()) + "' on " + Op->str() +
+                     " yields " + Ty->str());
+      }
+      break;
+    }
+    case Expr::DerefKind: {
+      auto *D = static_cast<DerefExpr *>(E);
+      if (!D->getAddr() || !D->getAddr()->getType())
+        break;
+      const Type *Addr = D->getAddr()->getType();
+      if (!Addr->isPointer()) {
+        error(S, "type mismatch: dereference of non-pointer type " +
+                     Addr->str());
+        break;
+      }
+      if (Addr->getElementType() && Ty != Addr->getElementType())
+        error(S, "type mismatch: dereference of " + Addr->str() +
+                     " yields " + Ty->str());
+      break;
+    }
+    case Expr::IndexKind: {
+      auto *I = static_cast<IndexExpr *>(E);
+      for (Expr *Sub : I->getSubscripts()) {
+        if (!Sub || Sub->getKind() == Expr::TripletKind)
+          continue; // triplet bounds are checked as their own nodes
+        if (Sub->getType() && !Sub->getType()->isInteger())
+          error(S, "type mismatch: array subscript has non-integer type " +
+                       Sub->getType()->str());
+      }
+      break;
+    }
+    case Expr::TripletKind: {
+      auto *T = static_cast<TripletExpr *>(E);
+      // Bounds are integers in subscript position; the vectorizer also
+      // builds pointer-valued triplets (base : limit : stride) directly.
+      for (Expr *Part : {T->getLo(), T->getHi(), T->getStride()})
+        if (Part && Part->getType() && !Part->getType()->isInteger() &&
+            !Part->getType()->isPointer())
+          error(S, "type mismatch: triplet bound has non-integer type " +
+                       Part->getType()->str());
+      break;
+    }
+    default:
+      break;
+    }
   }
 
   //===--------------------------------------------------------------------===//
@@ -242,6 +417,19 @@ private:
 
   void checkUseDef() {
     analysis::UseDefChains UD(F);
+    // The analysis records weak (may-) defs too: calls and pointer stores
+    // clobber address-taken scalars and globals.  Mirror that rule here so
+    // a legitimate clobber site is not flagged.
+    std::set<Symbol *> Clobberable = analysis::computeAddressTakenScalars(F);
+    auto IsWeakDefSite = [&Clobberable](const Stmt *Def, Symbol *Sym) {
+      if (!Clobberable.count(Sym) && !Sym->isGlobal())
+        return false;
+      if (Def->getKind() == Stmt::CallKind)
+        return static_cast<const CallStmt *>(Def)->getResult() != Sym;
+      return Def->getKind() == Stmt::AssignKind &&
+             static_cast<const AssignStmt *>(Def)->getLHS()->getKind() !=
+                 Expr::VarRefKind;
+    };
     unsigned Reported = 0;
     for (const Stmt *S : Seen) {
       for (Symbol *Sym : analysis::usedScalars(S)) {
@@ -257,7 +445,8 @@ private:
             continue;
           }
           auto Defs = analysis::strongDefs(Def);
-          if (std::find(Defs.begin(), Defs.end(), Sym) == Defs.end()) {
+          if (std::find(Defs.begin(), Defs.end(), Sym) == Defs.end() &&
+              !IsWeakDefSite(Def, Sym)) {
             error(S, "use-def chain for '" + Sym->getName() +
                          "' references a statement that does not define it");
             ++Reported;

@@ -23,6 +23,12 @@
 ///    arguments, or return values, and never nested in another triplet;
 ///  - symbols: every referenced symbol is owned by the enclosing function
 ///    or the program (a foreign Symbol* means a broken inliner remap);
+///  - type consistency: every expression carries a type, a variable
+///    reference's type matches its symbol's declared type, comparisons
+///    yield int, arithmetic results agree with the operands' common
+///    type (with the pointer-arithmetic exceptions), dereferences see
+///    pointers, assignments store a value of the target's type, and DO
+///    index/bound and subscript/triplet expressions are integers;
 ///  - use-def consistency: freshly built chains agree with the statement
 ///    list — every reaching definition is a statement present in the body
 ///    that strongly defines the symbol.
@@ -44,6 +50,9 @@ struct VerifierOptions {
   /// Rebuild use-def chains and cross-check them against the statement
   /// list (the most expensive check; still cheap at these program sizes).
   bool CheckUseDef = true;
+  /// Check expression result types against symbol/declared types (see
+  /// the type-consistency bullet above).
+  bool CheckTypes = true;
 };
 
 struct VerifierReport {

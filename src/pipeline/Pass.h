@@ -1,17 +1,23 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The Pass interface of the pipeline subsystem.
+/// The Pass interfaces of the pipeline subsystem.
 ///
 /// The paper's compiler is an ordered pipeline (parse → lower → inline →
 /// while→DO → IV-sub → constprop ⨝ unreachable → DCE → vectorize →
 /// dep-opt → codegen); this module makes that pipeline a first-class,
-/// reorderable object instead of hardwired calls in the driver.  Each
-/// optimization phase is wrapped as a named Pass that runs over the whole
-/// program, reports a generic StatGroup for telemetry, and declares which
-/// cached analyses it preserves so the PassManager can decide between
-/// use-def reuse and rebuild (the paper's Section 5.2 incremental
-/// patching is exactly the "preserves" case for while→DO conversion).
+/// reorderable object instead of hardwired calls in the driver.
+///
+/// The unit of scheduling is a *function*: every optimization in Sections
+/// 5–8 builds and consumes its analyses one procedure at a time, so those
+/// phases are FunctionPasses (whiletodo, ivsub, constprop, dce, vectorize,
+/// depopt).  Only phases that genuinely need the whole program — inline
+/// expansion over the call graph, the schedulable verifier — are
+/// ModulePasses.  Each pass declares the cached analyses it *preserves*
+/// per function (a PreservedSet over AnalysisKind), which is how the
+/// paper's Section 5.2 incremental use-def patching survives pass
+/// boundaries: while→DO preserves everything, so the chains it patched
+/// stay live for the next consumer instead of being rebuilt.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -35,6 +41,40 @@ namespace tcc {
 namespace pipeline {
 
 class AnalysisContext;
+
+/// The analyses the AnalysisContext can cache per function.  Every kind
+/// is a (function, kind) key in the cache; passes declare which kinds
+/// they keep valid.
+enum class AnalysisKind : uint8_t {
+  UseDef = 0, ///< analysis::UseDefChains (paper Section 5.2).
+};
+
+/// The set of analysis kinds a pass leaves valid on the function it just
+/// transformed.  `none()` is the safe default (the pass mutated the IL
+/// arbitrarily); `all()` is for passes that either change nothing or
+/// patch every cached analysis incrementally.
+class PreservedSet {
+public:
+  static PreservedSet none() { return PreservedSet(); }
+  static PreservedSet all() {
+    PreservedSet S;
+    S.Mask = ~0u;
+    return S;
+  }
+
+  PreservedSet &preserve(AnalysisKind K) {
+    Mask |= bit(K);
+    return *this;
+  }
+  bool preserves(AnalysisKind K) const { return (Mask & bit(K)) != 0; }
+  bool preservesAll() const { return Mask == ~0u; }
+
+private:
+  static unsigned bit(AnalysisKind K) {
+    return 1u << static_cast<unsigned>(K);
+  }
+  unsigned Mask = 0;
+};
 
 /// Per-pass configuration shared by every pass in one pipeline.  The
 /// driver translates its user-facing options into this bag; passes read
@@ -82,23 +122,67 @@ struct PassContext {
   PipelineStats &Stats;
 };
 
-/// One named transformation (or check) over a whole IL program.
+/// One named transformation (or check).  Abstract base of FunctionPass
+/// and ModulePass; the PassManager schedules by kind.
 class Pass {
 public:
+  enum PassKind : uint8_t {
+    FunctionPassKind,
+    ModulePassKind,
+  };
+
   virtual ~Pass() = default;
+
+  PassKind getKind() const { return TheKind; }
 
   /// The registered name; also the pipeline-spec token and the stage-
   /// capture key (single source of truth for both).
   virtual std::string name() const = 0;
 
-  /// Runs over the program and reports what happened.  Recoverable
-  /// failures go through Ctx.Diags; the PassManager stops the pipeline
-  /// when a pass leaves errors behind.
+  /// The cached analyses still valid on a function after this pass ran on
+  /// it (for a ModulePass: on every function).  Defaults to none.
+  virtual PreservedSet preservedAnalyses() const {
+    return PreservedSet::none();
+  }
+
+protected:
+  explicit Pass(PassKind K) : TheKind(K) {}
+
+private:
+  PassKind TheKind;
+};
+
+/// A transformation over one function at a time.  The PassManager decides
+/// the iteration order (function-at-a-time segments by default); the pass
+/// must touch only \p F — never another function's body or symbols — which
+/// is exactly what makes the two execution orders byte-identical.
+class FunctionPass : public Pass {
+public:
+  FunctionPass() : Pass(FunctionPassKind) {}
+
+  /// Runs over \p F and reports what happened.  Recoverable failures go
+  /// through Ctx.Diags; the PassManager stops the pipeline when a pass
+  /// leaves errors behind.
+  virtual remarks::StatGroup runOnFunction(il::Function &F,
+                                           PassContext &Ctx) = 0;
+
+  static bool classof(const Pass *P) {
+    return P->getKind() == FunctionPassKind;
+  }
+};
+
+/// A transformation that needs the whole program at once (inline
+/// expansion over the call graph, the schedulable verifier).
+class ModulePass : public Pass {
+public:
+  ModulePass() : Pass(ModulePassKind) {}
+
+  /// Runs over the program and reports what happened.
   virtual remarks::StatGroup run(PassContext &Ctx) = 0;
 
-  /// True when cached use-def chains remain valid after this pass (the
-  /// pass either mutated nothing or patched the chains incrementally).
-  virtual bool preservesUseDef() const { return false; }
+  static bool classof(const Pass *P) {
+    return P->getKind() == ModulePassKind;
+  }
 };
 
 } // namespace pipeline

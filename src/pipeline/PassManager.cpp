@@ -1,7 +1,9 @@
 #include "pipeline/PassManager.h"
 
+#include "il/ILSerializer.h"
 #include "pipeline/ILVerifier.h"
 #include "pipeline/PassRegistry.h"
+#include "support/CompileCache.h"
 
 #include <chrono>
 
@@ -35,18 +37,46 @@ std::vector<std::string> PassManager::tokenizeSpec(const std::string &Spec) {
 
 bool PassManager::addPipeline(const std::string &Spec,
                               DiagnosticEngine &Diags) {
+  // An entirely blank spec is the valid -O0 no-op pipeline.
+  if (Spec.find_first_not_of(" \t") == std::string::npos)
+    return true;
+
   PassRegistry &Reg = PassRegistry::instance();
   std::vector<std::unique_ptr<Pass>> Staged;
-  for (const std::string &Name : tokenizeSpec(Spec)) {
+
+  // Walk comma-separated segments, keeping each segment's start offset so
+  // rejections point at the offending column (a spec is one line; columns
+  // are 1-based).
+  size_t SegStart = 0;
+  while (SegStart <= Spec.size()) {
+    size_t Comma = Spec.find(',', SegStart);
+    size_t SegEnd = (Comma == std::string::npos) ? Spec.size() : Comma;
+    const std::string Raw = Spec.substr(SegStart, SegEnd - SegStart);
+
+    size_t B = Raw.find_first_not_of(" \t");
+    if (B == std::string::npos) {
+      Diags.error(SourceLoc(1, static_cast<uint32_t>(SegStart) + 1),
+                  "empty pass name in pipeline spec '" + Spec + "'");
+      return false;
+    }
+    size_t E = Raw.find_last_not_of(" \t");
+    const std::string Name = Raw.substr(B, E - B + 1);
+
     auto P = Reg.create(Name);
     if (!P) {
-      Diags.error(SourceLoc(), "unknown pass '" + Name +
-                                   "' in pipeline spec; known passes: " +
-                                   Reg.namesJoined());
+      Diags.error(SourceLoc(1, static_cast<uint32_t>(SegStart + B) + 1),
+                  "unknown pass '" + Name +
+                      "' in pipeline spec; known passes: " +
+                      Reg.namesJoined());
       return false;
     }
     Staged.push_back(std::move(P));
+
+    if (Comma == std::string::npos)
+      break;
+    SegStart = Comma + 1;
   }
+
   for (auto &P : Staged)
     Passes.push_back(std::move(P));
   return true;
@@ -56,38 +86,75 @@ void PassManager::addPass(std::unique_ptr<Pass> P) {
   Passes.push_back(std::move(P));
 }
 
+remarks::ILCounts PassManager::countFunction(const Function &F) {
+  remarks::ILCounts C;
+  C.Functions = 1;
+  C.Symbols = F.getSymbols().size();
+  forEachStmt(F.getBody(), [&C](const Stmt *S) {
+    ++C.Stmts;
+    switch (S->getKind()) {
+    case Stmt::AssignKind: {
+      ++C.Assigns;
+      auto *A = static_cast<const AssignStmt *>(S);
+      if (exprHasTriplet(A->getLHS()) || exprHasTriplet(A->getRHS()))
+        ++C.VectorAssigns;
+      break;
+    }
+    case Stmt::CallKind:
+      ++C.Calls;
+      break;
+    case Stmt::WhileKind:
+      ++C.WhileLoops;
+      break;
+    case Stmt::DoLoopKind:
+      ++C.DoLoops;
+      if (static_cast<const DoLoopStmt *>(S)->isParallel())
+        ++C.ParallelLoops;
+      break;
+    default:
+      break;
+    }
+  });
+  return C;
+}
+
+namespace {
+
+void addCounts(remarks::ILCounts &Acc, const remarks::ILCounts &C) {
+  Acc.Functions += C.Functions;
+  Acc.Stmts += C.Stmts;
+  Acc.Assigns += C.Assigns;
+  Acc.Calls += C.Calls;
+  Acc.WhileLoops += C.WhileLoops;
+  Acc.DoLoops += C.DoLoops;
+  Acc.ParallelLoops += C.ParallelLoops;
+  Acc.VectorAssigns += C.VectorAssigns;
+  Acc.Symbols += C.Symbols;
+}
+
+/// Sums \p SG's counters into \p Acc (same counter names across
+/// functions, so per-pass totals equal the whole-program numbers).
+void mergeStats(remarks::StatGroup &Acc, const remarks::StatGroup &SG) {
+  if (Acc.Pass.empty())
+    Acc.Pass = SG.Pass;
+  for (const auto &[Name, Value] : SG.Counters)
+    Acc.set(Name, Acc.get(Name) + Value);
+}
+
+using Clock = std::chrono::steady_clock;
+
+double millisSince(Clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - Start)
+      .count();
+}
+
+} // namespace
+
 remarks::ILCounts PassManager::countIL(const Program &P) {
   remarks::ILCounts C;
-  C.Functions = P.getFunctions().size();
   C.Symbols = P.getGlobals().size();
-  for (const auto &F : P.getFunctions()) {
-    C.Symbols += F->getSymbols().size();
-    forEachStmt(F->getBody(), [&C](const Stmt *S) {
-      ++C.Stmts;
-      switch (S->getKind()) {
-      case Stmt::AssignKind: {
-        ++C.Assigns;
-        auto *A = static_cast<const AssignStmt *>(S);
-        if (exprHasTriplet(A->getLHS()) || exprHasTriplet(A->getRHS()))
-          ++C.VectorAssigns;
-        break;
-      }
-      case Stmt::CallKind:
-        ++C.Calls;
-        break;
-      case Stmt::WhileKind:
-        ++C.WhileLoops;
-        break;
-      case Stmt::DoLoopKind:
-        ++C.DoLoops;
-        if (static_cast<const DoLoopStmt *>(S)->isParallel())
-          ++C.ParallelLoops;
-        break;
-      default:
-        break;
-      }
-    });
-  }
+  for (const auto &F : P.getFunctions())
+    addCounts(C, countFunction(*F));
   return C;
 }
 
@@ -95,37 +162,72 @@ remarks::CompilationTelemetry
 PassManager::run(Program &P, DiagnosticEngine &Diags,
                  remarks::RemarkCollector &Remarks, PipelineStats &Stats) {
   remarks::CompilationTelemetry Telemetry;
-  using Clock = std::chrono::steady_clock;
+  const bool FunctionMode = Config.Mode == PipelineMode::FunctionAtATime;
+  const bool UseCache = FunctionMode && !Config.CacheFile.empty();
+
+  CompileCache Cache;
+  if (UseCache && !CompileCache::load(Config.CacheFile, Cache, Diags)) {
+    Telemetry.Remarks = Remarks.remarks();
+    return Telemetry; // Corrupt manifest: diagnostics already emitted.
+  }
 
   PassContext Ctx{P, Diags, Options, Analyses, Remarks, Stats};
-  for (const auto &Pass : Passes) {
+
+  // Split the pipeline into segments: each ModulePass alone, each maximal
+  // run of FunctionPasses together.  In WholeProgram mode function
+  // segments degenerate to pass-major execution below.
+  std::vector<std::vector<Pass *>> Segments;
+  auto isFunctionPass = [](const Pass &P) {
+    return P.getKind() == Pass::FunctionPassKind;
+  };
+  for (const auto &PassPtr : Passes) {
+    if (isFunctionPass(*PassPtr) && !Segments.empty() &&
+        isFunctionPass(*Segments.back().front()))
+      Segments.back().push_back(PassPtr.get());
+    else
+      Segments.push_back({PassPtr.get()});
+  }
+
+  bool Failed = false;
+  unsigned FunctionSegmentOrdinal = 0;
+
+  // Runs one pass whole-program (pass-major): a ModulePass natively, or a
+  // FunctionPass iterated over every function (WholeProgram mode).
+  auto runWholeProgram = [&](Pass &PassRef) {
     remarks::PassRecord Record;
-    Record.Pass = Pass->name();
+    Record.Pass = PassRef.name();
     Record.Before = countIL(P);
-    Record.PreservedUseDef = Pass->preservesUseDef();
+    Record.PreservedUseDef =
+        PassRef.preservedAnalyses().preserves(AnalysisKind::UseDef);
 
     Analyses.resetCounters();
     auto Start = Clock::now();
-    Record.Stats = Pass->run(Ctx);
-    Record.Millis =
-        std::chrono::duration<double, std::milli>(Clock::now() - Start)
-            .count();
+    if (PassRef.getKind() == Pass::ModulePassKind) {
+      auto &MP = static_cast<ModulePass &>(PassRef);
+      Record.Stats = MP.run(Ctx);
+      Analyses.invalidate(MP.preservedAnalyses());
+    } else {
+      auto &FP = static_cast<FunctionPass &>(PassRef);
+      for (const auto &F : P.getFunctions()) {
+        mergeStats(Record.Stats, FP.runOnFunction(*F, Ctx));
+        Analyses.invalidate(*F, FP.preservedAnalyses());
+        if (Diags.hasErrors())
+          break;
+      }
+    }
+    Record.Millis = millisSince(Start);
     Record.UseDefBuilt = Analyses.buildCount();
     Record.UseDefReused = Analyses.reuseCount();
-
-    if (!Pass->preservesUseDef())
-      Analyses.invalidateAll();
-
     Record.After = countIL(P);
     Telemetry.TotalMillis += Record.Millis;
 
-    bool Failed = Diags.hasErrors();
-    if (!Failed && Config.VerifyEach && Pass->name() != "verify") {
+    Failed = Diags.hasErrors();
+    if (!Failed && Config.VerifyEach && PassRef.name() != "verify") {
       VerifierReport Report = verifyProgram(P);
       if (!Report.ok()) {
         for (const std::string &E : Report.Errors)
           Diags.error(SourceLoc(), "IL verifier failed after pass '" +
-                                       Pass->name() + "': " + E);
+                                       PassRef.name() + "': " + E);
         Failed = true;
       } else {
         Record.Verified = true;
@@ -133,11 +235,156 @@ PassManager::run(Program &P, DiagnosticEngine &Diags,
     }
 
     Telemetry.Passes.push_back(std::move(Record));
+    if (!Failed && Config.AfterPass)
+      Config.AfterPass(PassRef, P);
+  };
+
+  // Runs one function-pass segment function-major, with the compile cache
+  // short-circuiting functions whose optimized form is already known.
+  auto runFunctionSegment = [&](const std::vector<Pass *> &Segment) {
+    const unsigned Ordinal = FunctionSegmentOrdinal++;
+
+    // The pipeline fingerprint folded into every content hash: the
+    // passes this segment would run plus the configuration fingerprint.
+    std::string SegmentSpec;
+    for (const Pass *PassPtr : Segment) {
+      if (!SegmentSpec.empty())
+        SegmentSpec += ',';
+      SegmentSpec += PassPtr->name();
+    }
+
+    // One record per pass; Before/After accumulate per-function counts,
+    // and the global base (globals; function list) is added afterwards so
+    // the sums equal the pass-major whole-program numbers.
+    std::vector<remarks::PassRecord> Records(Segment.size());
+    for (size_t I = 0; I < Segment.size(); ++I) {
+      Records[I].Pass = Segment[I]->name();
+      Records[I].PreservedUseDef =
+          Segment[I]->preservedAnalyses().preserves(AnalysisKind::UseDef);
+      Records[I].Verified = Config.VerifyEach;
+    }
+
+    // The function list may be swapped in place on cache hits but never
+    // grows or reorders, so snapshot the raw pointers up front.
+    std::vector<Function *> Worklist;
+    for (const auto &F : P.getFunctions())
+      Worklist.push_back(F.get());
+
+    for (Function *F : Worklist) {
+      remarks::FunctionRecord FR;
+      FR.Function = F->getName();
+      FR.Before = countFunction(*F);
+
+      std::string InputText;
+      if (UseCache) {
+        InputText = serializeFunction(*F);
+        FR.Hash = cacheHash(InputText + "\n" + Config.CacheConfig + "\n" +
+                            SegmentSpec);
+        const std::string Key =
+            F->getName() + "#" + std::to_string(Ordinal);
+        if (const auto *Entry = Cache.findFunction(Key, FR.Hash)) {
+          auto Start = Clock::now();
+          Function *Restored = deserializeFunction(Entry->Text, P, Diags);
+          if (Restored) {
+            Analyses.forget(*F);
+            P.replaceFunction(F, Restored);
+            FR.Millis = millisSince(Start);
+            FR.After = countFunction(*Restored);
+            FR.CacheHit = true;
+            Telemetry.TotalMillis += FR.Millis;
+            // The per-pass intermediate shapes of a cached function are
+            // unknown; attribute its input to every Before and its
+            // output to every After so segment totals stay exact.
+            for (auto &R : Records) {
+              addCounts(R.Before, FR.Before);
+              addCounts(R.After, FR.After);
+            }
+            Telemetry.Functions.push_back(std::move(FR));
+            continue;
+          }
+          // A stale/undeserializable payload is not fatal: fall through
+          // and recompile the function.
+          Diags.note(SourceLoc(), "ignoring unreadable cache entry for '" +
+                                      F->getName() + "'");
+        }
+      }
+
+      auto FuncStart = Clock::now();
+      for (size_t I = 0; I < Segment.size(); ++I) {
+        auto &FP = static_cast<FunctionPass &>(*Segment[I]);
+        addCounts(Records[I].Before, countFunction(*F));
+
+        Analyses.resetCounters();
+        auto Start = Clock::now();
+        mergeStats(Records[I].Stats, FP.runOnFunction(*F, Ctx));
+        Records[I].Millis += millisSince(Start);
+        Records[I].UseDefBuilt += Analyses.buildCount();
+        Records[I].UseDefReused += Analyses.reuseCount();
+        Analyses.invalidate(*F, FP.preservedAnalyses());
+
+        addCounts(Records[I].After, countFunction(*F));
+
+        Failed = Diags.hasErrors();
+        if (!Failed && Config.VerifyEach) {
+          VerifierReport Report = verifyFunction(*F);
+          if (!Report.ok()) {
+            for (const std::string &E : Report.Errors)
+              Diags.error(SourceLoc(),
+                          "IL verifier failed after pass '" + FP.name() +
+                              "' on function '" + F->getName() + "': " + E);
+            Failed = true;
+          }
+        }
+        if (Failed) {
+          for (auto &R : Records)
+            R.Verified = false;
+          break;
+        }
+      }
+      FR.Millis = millisSince(FuncStart);
+      FR.After = countFunction(*F);
+      Telemetry.Functions.push_back(std::move(FR));
+      if (Failed)
+        break;
+
+      if (UseCache)
+        Cache.storeFunction(F->getName() + "#" + std::to_string(Ordinal),
+                            Telemetry.Functions.back().Hash,
+                            serializeFunction(*F));
+    }
+
+    // Fold in the global base so Before/After match countIL of the
+    // corresponding pass-major states.
+    remarks::ILCounts GlobalBase;
+    GlobalBase.Symbols = P.getGlobals().size();
+    for (auto &R : Records) {
+      addCounts(R.Before, GlobalBase);
+      addCounts(R.After, GlobalBase);
+      Telemetry.TotalMillis += R.Millis;
+      Telemetry.Passes.push_back(std::move(R));
+    }
+
+    if (!Failed && Config.AfterPass)
+      for (Pass *PassPtr : Segment)
+        Config.AfterPass(*PassPtr, P);
+  };
+
+  for (const auto &Segment : Segments) {
     if (Failed)
       break;
-    if (Config.AfterPass)
-      Config.AfterPass(*Pass, P);
+    if (!FunctionMode || !isFunctionPass(*Segment.front())) {
+      for (Pass *PassPtr : Segment) {
+        runWholeProgram(*PassPtr);
+        if (Failed)
+          break;
+      }
+    } else {
+      runFunctionSegment(Segment);
+    }
   }
+
+  if (UseCache && !Failed && Cache.dirty())
+    Cache.save(Config.CacheFile, Diags);
 
   Telemetry.Remarks = Remarks.remarks();
   return Telemetry;

@@ -2,18 +2,39 @@
 ///
 /// \file
 /// The PassManager: executes a pipeline parsed from a string spec,
-/// owns analysis invalidation, and records per-pass telemetry.
+/// owns per-function analysis invalidation, and records per-pass and
+/// per-function telemetry.
 ///
 /// A pipeline spec is a comma-separated list of registered pass names,
 /// e.g. "inline,whiletodo,ivsub,constprop,dce,vectorize,depopt".  An
-/// empty spec is a valid no-op pipeline (the -O0 baseline).  Unknown
-/// names produce a diagnostic listing the registered passes.
+/// entirely blank spec is a valid no-op pipeline (the -O0 baseline); a
+/// spec with an empty segment ("dce,,vectorize") or an unknown name is
+/// rejected with a diagnostic located at the offending column.
+///
+/// The unit of scheduling is a function.  The manager splits the
+/// pipeline into segments — each ModulePass alone, each maximal run of
+/// FunctionPasses together — and, in the default FunctionAtATime mode,
+/// drives every function through a whole function-pass segment before
+/// touching the next function.  Because function passes only mutate the
+/// function they are given, this produces byte-identical serialized IL
+/// to the classic pass-major order (WholeProgram mode, kept for stage
+/// capture and differential testing).
+///
+/// Function-at-a-time scheduling is what makes compilation incremental:
+/// with a cache manifest configured, each function's pre-segment
+/// serialized IL is hashed together with the pipeline fingerprint, and a
+/// manifest hit swaps in the previously optimized body instead of
+/// re-running the segment.  Serialization round-trips are a fixed point,
+/// so warm output is byte-identical to cold output.
 ///
 /// For every executed pass the manager records wall-clock time, IL shape
 /// counters before/after (the IL-delta), the pass's own StatGroup, and
-/// use-def cache build/reuse counts.  With VerifyEach set, the ILVerifier
-/// runs after every pass and a violation hard-fails the pipeline with a
-/// diagnostic naming the offending pass.
+/// use-def cache build/reuse counts; function segments additionally
+/// yield one FunctionRecord per function (hash, millis, IL-delta, cache
+/// hit/miss).  With VerifyEach set, the ILVerifier runs after every pass
+/// — per function inside function segments — and a violation hard-fails
+/// the pipeline with a diagnostic naming the offending pass (and
+/// function).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -31,14 +52,40 @@
 namespace tcc {
 namespace pipeline {
 
+/// How the manager orders the (pass × function) iteration space.
+enum class PipelineMode : uint8_t {
+  /// Function-major: each function runs through a whole segment of
+  /// function passes before the next function starts.  Enables the
+  /// compile cache and per-function telemetry.  The default.
+  FunctionAtATime,
+  /// Pass-major: every pass runs over all functions before the next
+  /// pass.  The intermediate whole-program states exist, so
+  /// -print-after-all stage capture uses this mode.
+  WholeProgram,
+};
+
 struct PassManagerConfig {
   /// Run the ILVerifier after every pass; a violation stops the pipeline
   /// with a diagnostic naming the pass that broke the invariant.
   bool VerifyEach = false;
 
+  PipelineMode Mode = PipelineMode::FunctionAtATime;
+
+  /// Path of the .tcc-cache manifest.  Empty disables incremental
+  /// recompilation.  Only consulted in FunctionAtATime mode.
+  std::string CacheFile;
+
+  /// Fingerprint of every option that affects codegen (the driver folds
+  /// its PipelineOptions in here); part of each function's content hash
+  /// so a cache built under one configuration never serves another.
+  std::string CacheConfig;
+
   /// Invoked after each pass completes (and verifies, when enabled) —
   /// the -print-after-all / stage-capture hook.  The pass's registered
-  /// name is the snapshot key.
+  /// name is the snapshot key.  Inside a function-at-a-time segment the
+  /// hook fires at segment end (the per-pass intermediate program state
+  /// does not exist in that order); use WholeProgram mode for faithful
+  /// per-pass snapshots.
   std::function<void(const Pass &, il::Program &)> AfterPass;
 };
 
@@ -48,12 +95,13 @@ public:
                        PassManagerConfig Config = {});
 
   /// Splits a spec on commas, trimming whitespace and dropping empty
-  /// tokens (so "" and " " are valid empty pipelines).  No validation.
+  /// tokens.  Display/token helper only — addPipeline validates.
   static std::vector<std::string> tokenizeSpec(const std::string &Spec);
 
-  /// Appends the passes named in \p Spec.  An unknown name emits a
-  /// diagnostic naming the known passes and returns false (no passes are
-  /// added in that case).
+  /// Appends the passes named in \p Spec.  An entirely blank spec is a
+  /// valid empty pipeline.  An empty segment between commas or an
+  /// unknown pass name emits a diagnostic located at the offending
+  /// column (line 1) and returns false; no passes are added.
   bool addPipeline(const std::string &Spec, DiagnosticEngine &Diags);
 
   /// Appends one pass instance.
@@ -64,13 +112,18 @@ public:
   /// Executes the pipeline over \p P.  Stops early when a pass reports a
   /// diagnostic error or (with VerifyEach) the verifier fails.  Typed
   /// per-module statistics accumulate into \p Stats; remarks into
-  /// \p Remarks.  Returns the full telemetry record, remarks included.
+  /// \p Remarks.  Returns the full telemetry record — per-pass records,
+  /// per-function records (FunctionAtATime mode), and remarks.
   remarks::CompilationTelemetry run(il::Program &P, DiagnosticEngine &Diags,
                                     remarks::RemarkCollector &Remarks,
                                     PipelineStats &Stats);
 
   /// Structural counters of a program (exposed for tests/tools).
   static remarks::ILCounts countIL(const il::Program &P);
+  /// One function's contribution to countIL (its symbols and the shape
+  /// of its body); summing over functions plus the global base
+  /// reconstructs the program counts.
+  static remarks::ILCounts countFunction(const il::Function &F);
 
 private:
   PipelineOptions Options;

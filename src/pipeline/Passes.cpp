@@ -13,7 +13,10 @@ namespace {
 // inline
 //===----------------------------------------------------------------------===//
 
-class InlinePass : public Pass {
+/// Module pass: inline expansion works over the call graph and splices
+/// one function's body into another, so it cannot be scheduled
+/// function-at-a-time.
+class InlinePass : public ModulePass {
 public:
   std::string name() const override { return "inline"; }
 
@@ -47,27 +50,26 @@ public:
 // whiletodo
 //===----------------------------------------------------------------------===//
 
-class WhileToDoPass : public Pass {
+class WhileToDoPass : public FunctionPass {
 public:
   std::string name() const override { return "whiletodo"; }
 
-  // Converted loops patch the chains incrementally (paper Section 5.2).
-  bool preservesUseDef() const override { return true; }
+  // Converted loops patch the chains incrementally (paper Section 5.2),
+  // so every cached analysis stays valid.
+  PreservedSet preservedAnalyses() const override {
+    return PreservedSet::all();
+  }
 
-  remarks::StatGroup run(PassContext &Ctx) override {
-    scalar::WhileToDoStats Total;
-    for (const auto &F : Ctx.Program.getFunctions()) {
-      auto &UD = Ctx.Analyses.useDef(*F);
-      auto S = scalar::convertWhileLoops(*F, &UD);
-      Total.Attempted += S.Attempted;
-      Total.Converted += S.Converted;
-    }
-    Ctx.Stats.WhileToDo.Attempted += Total.Attempted;
-    Ctx.Stats.WhileToDo.Converted += Total.Converted;
+  remarks::StatGroup runOnFunction(il::Function &F,
+                                   PassContext &Ctx) override {
+    auto &UD = Ctx.Analyses.useDef(F);
+    auto S = scalar::convertWhileLoops(F, &UD);
+    Ctx.Stats.WhileToDo.Attempted += S.Attempted;
+    Ctx.Stats.WhileToDo.Converted += S.Converted;
 
     remarks::StatGroup SG(name());
-    SG.set("loops.attempted", Total.Attempted);
-    SG.set("loops.converted", Total.Converted);
+    SG.set("loops.attempted", S.Attempted);
+    SG.set("loops.converted", S.Converted);
     return SG;
   }
 };
@@ -76,39 +78,30 @@ public:
 // ivsub
 //===----------------------------------------------------------------------===//
 
-class IVSubPass : public Pass {
+class IVSubPass : public FunctionPass {
 public:
   std::string name() const override { return "ivsub"; }
 
-  remarks::StatGroup run(PassContext &Ctx) override {
-    scalar::IVSubStats Total;
-    for (const auto &F : Ctx.Program.getFunctions()) {
-      auto S = scalar::substituteInductionVariables(*F, Ctx.Options.IVSub);
-      Total.LoopsProcessed += S.LoopsProcessed;
-      Total.FamilyMembers += S.FamilyMembers;
-      Total.UsesRewritten += S.UsesRewritten;
-      Total.Substitutions += S.Substitutions;
-      Total.Blocked += S.Blocked;
-      Total.Backtracks += S.Backtracks;
-      Total.Passes += S.Passes;
-    }
+  remarks::StatGroup runOnFunction(il::Function &F,
+                                   PassContext &Ctx) override {
+    auto S = scalar::substituteInductionVariables(F, Ctx.Options.IVSub);
     auto &Acc = Ctx.Stats.IVSub;
-    Acc.LoopsProcessed += Total.LoopsProcessed;
-    Acc.FamilyMembers += Total.FamilyMembers;
-    Acc.UsesRewritten += Total.UsesRewritten;
-    Acc.Substitutions += Total.Substitutions;
-    Acc.Blocked += Total.Blocked;
-    Acc.Backtracks += Total.Backtracks;
-    Acc.Passes += Total.Passes;
+    Acc.LoopsProcessed += S.LoopsProcessed;
+    Acc.FamilyMembers += S.FamilyMembers;
+    Acc.UsesRewritten += S.UsesRewritten;
+    Acc.Substitutions += S.Substitutions;
+    Acc.Blocked += S.Blocked;
+    Acc.Backtracks += S.Backtracks;
+    Acc.Passes += S.Passes;
 
     remarks::StatGroup SG(name());
-    SG.set("loops.processed", Total.LoopsProcessed);
-    SG.set("ivs.recognized", Total.FamilyMembers);
-    SG.set("uses.rewritten", Total.UsesRewritten);
-    SG.set("stmts.substituted", Total.Substitutions);
-    SG.set("stmts.blocked", Total.Blocked);
-    SG.set("backtracks", Total.Backtracks);
-    SG.set("passes", Total.Passes);
+    SG.set("loops.processed", S.LoopsProcessed);
+    SG.set("ivs.recognized", S.FamilyMembers);
+    SG.set("uses.rewritten", S.UsesRewritten);
+    SG.set("stmts.substituted", S.Substitutions);
+    SG.set("stmts.blocked", S.Blocked);
+    SG.set("backtracks", S.Backtracks);
+    SG.set("passes", S.Passes);
     return SG;
   }
 };
@@ -117,36 +110,28 @@ public:
 // constprop
 //===----------------------------------------------------------------------===//
 
-class ConstPropPass : public Pass {
+class ConstPropPass : public FunctionPass {
 public:
   std::string name() const override { return "constprop"; }
 
-  remarks::StatGroup run(PassContext &Ctx) override {
-    scalar::ConstPropStats Total;
-    for (const auto &F : Ctx.Program.getFunctions()) {
-      auto S = scalar::propagateConstants(*F, Ctx.Options.ConstProp);
-      Total.UsesReplaced += S.UsesReplaced;
-      Total.BranchesFolded += S.BranchesFolded;
-      Total.LoopsDeleted += S.LoopsDeleted;
-      Total.StmtsRemoved += S.StmtsRemoved;
-      Total.Requeues += S.Requeues;
-      Total.PostpassRemoved += S.PostpassRemoved;
-    }
+  remarks::StatGroup runOnFunction(il::Function &F,
+                                   PassContext &Ctx) override {
+    auto S = scalar::propagateConstants(F, Ctx.Options.ConstProp);
     auto &Acc = Ctx.Stats.ConstProp;
-    Acc.UsesReplaced += Total.UsesReplaced;
-    Acc.BranchesFolded += Total.BranchesFolded;
-    Acc.LoopsDeleted += Total.LoopsDeleted;
-    Acc.StmtsRemoved += Total.StmtsRemoved;
-    Acc.Requeues += Total.Requeues;
-    Acc.PostpassRemoved += Total.PostpassRemoved;
+    Acc.UsesReplaced += S.UsesReplaced;
+    Acc.BranchesFolded += S.BranchesFolded;
+    Acc.LoopsDeleted += S.LoopsDeleted;
+    Acc.StmtsRemoved += S.StmtsRemoved;
+    Acc.Requeues += S.Requeues;
+    Acc.PostpassRemoved += S.PostpassRemoved;
 
     remarks::StatGroup SG(name());
-    SG.set("uses.replaced", Total.UsesReplaced);
-    SG.set("branches.folded", Total.BranchesFolded);
-    SG.set("loops.deleted", Total.LoopsDeleted);
-    SG.set("stmts.removed", Total.StmtsRemoved);
-    SG.set("requeues", Total.Requeues);
-    SG.set("postpass.removed", Total.PostpassRemoved);
+    SG.set("uses.replaced", S.UsesReplaced);
+    SG.set("branches.folded", S.BranchesFolded);
+    SG.set("loops.deleted", S.LoopsDeleted);
+    SG.set("stmts.removed", S.StmtsRemoved);
+    SG.set("requeues", S.Requeues);
+    SG.set("postpass.removed", S.PostpassRemoved);
     return SG;
   }
 };
@@ -155,27 +140,22 @@ public:
 // dce
 //===----------------------------------------------------------------------===//
 
-class DCEPass : public Pass {
+class DCEPass : public FunctionPass {
 public:
   std::string name() const override { return "dce"; }
 
-  remarks::StatGroup run(PassContext &Ctx) override {
-    scalar::DCEStats Total;
-    for (const auto &F : Ctx.Program.getFunctions()) {
-      auto S = scalar::eliminateDeadCode(*F);
-      Total.AssignsRemoved += S.AssignsRemoved;
-      Total.EmptyControlRemoved += S.EmptyControlRemoved;
-      Total.LabelsRemoved += S.LabelsRemoved;
-    }
+  remarks::StatGroup runOnFunction(il::Function &F,
+                                   PassContext &Ctx) override {
+    auto S = scalar::eliminateDeadCode(F);
     auto &Acc = Ctx.Stats.DCE;
-    Acc.AssignsRemoved += Total.AssignsRemoved;
-    Acc.EmptyControlRemoved += Total.EmptyControlRemoved;
-    Acc.LabelsRemoved += Total.LabelsRemoved;
+    Acc.AssignsRemoved += S.AssignsRemoved;
+    Acc.EmptyControlRemoved += S.EmptyControlRemoved;
+    Acc.LabelsRemoved += S.LabelsRemoved;
 
     remarks::StatGroup SG(name());
-    SG.set("assigns.removed", Total.AssignsRemoved);
-    SG.set("controls.removed", Total.EmptyControlRemoved);
-    SG.set("labels.removed", Total.LabelsRemoved);
+    SG.set("assigns.removed", S.AssignsRemoved);
+    SG.set("controls.removed", S.EmptyControlRemoved);
+    SG.set("labels.removed", S.LabelsRemoved);
     return SG;
   }
 };
@@ -184,45 +164,34 @@ public:
 // vectorize
 //===----------------------------------------------------------------------===//
 
-class VectorizePass : public Pass {
+class VectorizePass : public FunctionPass {
 public:
   std::string name() const override { return "vectorize"; }
 
-  remarks::StatGroup run(PassContext &Ctx) override {
-    vec::VectorizeStats Total;
+  remarks::StatGroup runOnFunction(il::Function &F,
+                                   PassContext &Ctx) override {
     vec::VectorizeOptions Opts = Ctx.Options.Vectorize;
     Opts.Remarks = &Ctx.Remarks; // source-located loop remarks
-    for (const auto &F : Ctx.Program.getFunctions()) {
-      auto S = vec::vectorizeLoops(*F, Opts);
-      Total.LoopsConsidered += S.LoopsConsidered;
-      Total.LoopsVectorized += S.LoopsVectorized;
-      Total.LoopsDistributed += S.LoopsDistributed;
-      Total.VectorStmts += S.VectorStmts;
-      Total.SerialLoops += S.SerialLoops;
-      Total.SpreadSerialLoops += S.SpreadSerialLoops;
-      Total.ParallelLoops += S.ParallelLoops;
-      Total.StripLoops += S.StripLoops;
-      Total.UnstripedVectorStmts += S.UnstripedVectorStmts;
-    }
+    auto S = vec::vectorizeLoops(F, Opts);
     auto &Acc = Ctx.Stats.Vectorize;
-    Acc.LoopsConsidered += Total.LoopsConsidered;
-    Acc.LoopsVectorized += Total.LoopsVectorized;
-    Acc.LoopsDistributed += Total.LoopsDistributed;
-    Acc.VectorStmts += Total.VectorStmts;
-    Acc.SerialLoops += Total.SerialLoops;
-    Acc.SpreadSerialLoops += Total.SpreadSerialLoops;
-    Acc.ParallelLoops += Total.ParallelLoops;
-    Acc.StripLoops += Total.StripLoops;
-    Acc.UnstripedVectorStmts += Total.UnstripedVectorStmts;
+    Acc.LoopsConsidered += S.LoopsConsidered;
+    Acc.LoopsVectorized += S.LoopsVectorized;
+    Acc.LoopsDistributed += S.LoopsDistributed;
+    Acc.VectorStmts += S.VectorStmts;
+    Acc.SerialLoops += S.SerialLoops;
+    Acc.SpreadSerialLoops += S.SpreadSerialLoops;
+    Acc.ParallelLoops += S.ParallelLoops;
+    Acc.StripLoops += S.StripLoops;
+    Acc.UnstripedVectorStmts += S.UnstripedVectorStmts;
 
     remarks::StatGroup SG(name());
-    SG.set("loops.considered", Total.LoopsConsidered);
-    SG.set("loops.vectorized", Total.LoopsVectorized);
-    SG.set("loops.distributed", Total.LoopsDistributed);
-    SG.set("loops.stripmined", Total.StripLoops);
-    SG.set("vector.stmts", Total.VectorStmts);
-    SG.set("serial.loops", Total.SerialLoops);
-    SG.set("parallel.loops", Total.ParallelLoops);
+    SG.set("loops.considered", S.LoopsConsidered);
+    SG.set("loops.vectorized", S.LoopsVectorized);
+    SG.set("loops.distributed", S.LoopsDistributed);
+    SG.set("loops.stripmined", S.StripLoops);
+    SG.set("vector.stmts", S.VectorStmts);
+    SG.set("serial.loops", S.SerialLoops);
+    SG.set("parallel.loops", S.ParallelLoops);
     return SG;
   }
 };
@@ -231,36 +200,32 @@ public:
 // depopt
 //===----------------------------------------------------------------------===//
 
-class DepOptPass : public Pass {
+class DepOptPass : public FunctionPass {
 public:
   std::string name() const override { return "depopt"; }
 
-  remarks::StatGroup run(PassContext &Ctx) override {
+  remarks::StatGroup runOnFunction(il::Function &F,
+                                   PassContext &Ctx) override {
     depopt::ScalarReplaceStats SR;
     depopt::StrengthReduceStats STR;
     // Scalar replacement first: it removes the loop-carried loads, after
     // which the remaining loads are conflict-free.  Conflict-free marking
     // runs before strength reduction rewrites the address forms the
     // dependence analysis reads.
-    for (const auto &F : Ctx.Program.getFunctions()) {
-      if (Ctx.Options.EnableScalarReplacement) {
-        auto S = depopt::applyScalarReplacement(*F);
-        SR.LoopsApplied += S.LoopsApplied;
-        SR.LoadsEliminated += S.LoadsEliminated;
-      }
+    if (Ctx.Options.EnableScalarReplacement) {
+      auto S = depopt::applyScalarReplacement(F);
+      SR.LoopsApplied += S.LoopsApplied;
+      SR.LoadsEliminated += S.LoadsEliminated;
     }
     if (Ctx.Options.EnableDepScheduling)
-      for (const auto &F : Ctx.Program.getFunctions())
-        dep::markConflictFreeLoads(*F);
-    for (const auto &F : Ctx.Program.getFunctions()) {
-      if (Ctx.Options.EnableStrengthReduction) {
-        auto S = depopt::applyStrengthReduction(*F);
-        STR.LoopsApplied += S.LoopsApplied;
-        STR.AddressTemps += S.AddressTemps;
-        STR.RefsRewritten += S.RefsRewritten;
-        STR.InvariantsHoisted += S.InvariantsHoisted;
-        STR.SharedTemps += S.SharedTemps;
-      }
+      dep::markConflictFreeLoads(F);
+    if (Ctx.Options.EnableStrengthReduction) {
+      auto S = depopt::applyStrengthReduction(F);
+      STR.LoopsApplied += S.LoopsApplied;
+      STR.AddressTemps += S.AddressTemps;
+      STR.RefsRewritten += S.RefsRewritten;
+      STR.InvariantsHoisted += S.InvariantsHoisted;
+      STR.SharedTemps += S.SharedTemps;
     }
     auto &AccSR = Ctx.Stats.ScalarReplace;
     AccSR.LoopsApplied += SR.LoopsApplied;
@@ -288,10 +253,16 @@ public:
 // verify
 //===----------------------------------------------------------------------===//
 
-class VerifyPass : public Pass {
+/// Module pass: the explicitly scheduled verifier checks cross-function
+/// invariants (duplicate function names, global ownership), not just one
+/// body.
+class VerifyPass : public ModulePass {
 public:
   std::string name() const override { return "verify"; }
-  bool preservesUseDef() const override { return true; }
+
+  PreservedSet preservedAnalyses() const override {
+    return PreservedSet::all();
+  }
 
   remarks::StatGroup run(PassContext &Ctx) override {
     VerifierReport Report = verifyProgram(Ctx.Program);

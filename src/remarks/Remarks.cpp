@@ -59,6 +59,22 @@ const PassRecord *CompilationTelemetry::find(const std::string &Pass) const {
   return nullptr;
 }
 
+const FunctionRecord *
+CompilationTelemetry::findFunction(const std::string &Function) const {
+  for (const FunctionRecord &R : Functions)
+    if (R.Function == Function)
+      return &R;
+  return nullptr;
+}
+
+uint64_t CompilationTelemetry::cacheHits() const {
+  uint64_t Hits = 0;
+  for (const FunctionRecord &R : Functions)
+    if (R.CacheHit)
+      ++Hits;
+  return Hits;
+}
+
 namespace {
 
 void writeCounts(json::JSONWriter &W, const char *Key, const ILCounts &C) {
@@ -110,6 +126,19 @@ void CompilationTelemetry::writeJSON(std::ostream &OS) const {
     W.keyValue("verified", R.Verified);
     W.keyValue("useDefBuilt", R.UseDefBuilt);
     W.keyValue("useDefReused", R.UseDefReused);
+    W.endObject();
+  }
+  W.endArray();
+
+  W.key("functions").beginArray();
+  for (const FunctionRecord &R : Functions) {
+    W.beginObject();
+    W.keyValue("name", R.Function);
+    W.keyValue("hash", R.Hash);
+    W.keyValue("millis", R.Millis);
+    W.keyValue("cacheHit", R.CacheHit);
+    writeCounts(W, "before", R.Before);
+    writeCounts(W, "after", R.After);
     W.endObject();
   }
   W.endArray();

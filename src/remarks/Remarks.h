@@ -139,14 +139,34 @@ struct PassRecord {
   }
 };
 
+/// Everything recorded about one function's trip through the pipeline
+/// under function-at-a-time scheduling: its content hash (the compile-
+/// cache key), wall-clock time across all function passes, the IL-delta,
+/// and whether the optimized body came from the cache instead of being
+/// recompiled.
+struct FunctionRecord {
+  std::string Function;
+  std::string Hash; ///< Content hash: serialized IL + pipeline fingerprint.
+  double Millis = 0.0;
+  ILCounts Before;
+  ILCounts After;
+  bool CacheHit = false; ///< Body restored from the .tcc-cache manifest.
+};
+
 /// The full telemetry of one compilation: the executed pipeline with
-/// per-pass records, plus all remarks.
+/// per-pass records, per-function records (when scheduled function-at-a-
+/// time), plus all remarks.
 struct CompilationTelemetry {
   std::vector<PassRecord> Passes;
+  std::vector<FunctionRecord> Functions;
   std::vector<Remark> Remarks;
   double TotalMillis = 0.0;
 
   const PassRecord *find(const std::string &Pass) const;
+  const FunctionRecord *findFunction(const std::string &Function) const;
+
+  /// Cache hits among the per-function records.
+  uint64_t cacheHits() const;
 
   /// Serializes the whole record as a JSON document.
   void writeJSON(std::ostream &OS) const;

@@ -239,7 +239,9 @@ private:
               break;
             }
         if (Blocker) {
-          Blocked[Blocker].insert(S);
+          std::vector<Stmt *> &Q = Blocked[Blocker];
+          if (std::find(Q.begin(), Q.end(), S) == Q.end())
+            Q.push_back(S);
           ++Stats.Blocked;
           break;
         }
@@ -277,8 +279,9 @@ private:
     if (BLS.hasIrregularFlow())
       return false;
 
-    // Family detection.
-    std::map<Symbol *, LinExpr> Family;
+    // Family detection.  Symbol-keyed containers here are iterated when
+    // emitting final-value stores, so order by stable id, not pointer.
+    std::map<Symbol *, LinExpr, SymbolOrder> Family;
     for (Symbol *V : BLS.touched()) {
       if (V == D->getIndexVar() || V->isVolatile())
         continue;
@@ -312,7 +315,7 @@ private:
       std::vector<std::pair<size_t, ClosedForm>> Uses;
       std::set<Symbol *> FamilyRefs; ///< Other members the forms mention.
     };
-    std::map<Symbol *, MemberPlan> Plans;
+    std::map<Symbol *, MemberPlan, SymbolOrder> Plans;
 
     for (auto &[V, Delta] : Family) {
       MemberPlan &Plan = Plans[V];
@@ -352,7 +355,7 @@ private:
     // Fixpoint: a member is finalizable only if the members its forms
     // reference are finalizable too (their updates get deleted as well,
     // making the pre-value references valid).
-    std::set<Symbol *> Finalizable;
+    std::set<Symbol *, SymbolOrder> Finalizable;
     for (auto &[V, Plan] : Plans)
       if (Plan.Viable)
         Finalizable.insert(V);
@@ -458,8 +461,8 @@ private:
   /// expanding family members via their deltas.  Fails when the form
   /// mentions a non-invariant, non-family symbol.
   bool closeOver(const BodyLinearState &BLS, const LinExpr &Val,
-                 const std::map<Symbol *, LinExpr> &Family, ClosedForm &Out,
-                 std::set<Symbol *> &FamilyRefs) {
+                 const std::map<Symbol *, LinExpr, SymbolOrder> &Family,
+                 ClosedForm &Out, std::set<Symbol *> &FamilyRefs) {
     if (!Val.Known)
       return false;
     Out.Base = LinExpr::constant(Val.C0);
@@ -523,7 +526,9 @@ private:
   IVSubStats &Stats;
   const IVSubOptions &Opts;
   std::set<Symbol *> Clobberable;
-  std::map<Stmt *, std::set<Stmt *>> Blocked;
+  /// Blocked statements per blocker, in discovery order (a set of Stmt*
+  /// would retry them in address order, which is not deterministic).
+  std::map<Stmt *, std::vector<Stmt *>> Blocked;
 };
 
 void visitLoops(Function &F, Block &B, IVSubStats &Stats,

@@ -36,8 +36,10 @@ struct LinTerm {
   bool IsAddr = false;
 
   bool operator<(const LinTerm &RHS) const {
+    // Order by stable symbol id, not pointer: Coeffs iteration order is
+    // visible in materialized expressions (linToExpr).
     if (Sym != RHS.Sym)
-      return Sym < RHS.Sym;
+      return il::SymbolOrder()(Sym, RHS.Sym);
     return IsAddr < RHS.IsAddr;
   }
   bool operator==(const LinTerm &RHS) const {

@@ -1,0 +1,261 @@
+#include "support/CompileCache.h"
+
+#include "support/StringExtras.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace tcc;
+
+std::string tcc::cacheHash(const std::string &Payload) {
+  return toHex64(fnv1a64(Payload));
+}
+
+const CompileCache::FunctionEntry *
+CompileCache::findFunction(const std::string &Function,
+                           const std::string &Hash) const {
+  auto It = Functions.find(Function);
+  if (It == Functions.end() || It->second.Hash != Hash)
+    return nullptr;
+  return &It->second;
+}
+
+void CompileCache::storeFunction(const std::string &Function,
+                                 const std::string &Hash, std::string Text) {
+  FunctionEntry &E = Functions[Function];
+  if (E.Hash == Hash && E.Text == Text)
+    return;
+  E.Hash = Hash;
+  E.Text = std::move(Text);
+  Dirty = true;
+}
+
+const CompileCache::ShardEntry *
+CompileCache::findShard(const std::string &File,
+                        const std::string &Hash) const {
+  auto It = Shards.find(File);
+  if (It == Shards.end() || It->second.Hash != Hash)
+    return nullptr;
+  return &It->second;
+}
+
+void CompileCache::storeShard(
+    const std::string &File, const std::string &Hash,
+    std::vector<std::pair<std::string, std::string>> Procs) {
+  ShardEntry &E = Shards[File];
+  if (E.Hash == Hash && E.Procs == Procs)
+    return;
+  E.Hash = Hash;
+  E.Procs = std::move(Procs);
+  Dirty = true;
+}
+
+namespace {
+
+/// Line-oriented manifest reader tracking the current line for located
+/// diagnostics.
+class ManifestReader {
+public:
+  ManifestReader(const std::string &Text, DiagnosticEngine &Diags)
+      : Text(Text), Diags(Diags) {}
+
+  bool atEnd() const { return Pos >= Text.size(); }
+  uint32_t line() const { return Line; }
+
+  /// Reads one whole line (without the newline).
+  std::string readLine() {
+    LastLine = Line;
+    std::string Out;
+    while (Pos < Text.size() && Text[Pos] != '\n')
+      Out += Text[Pos++];
+    if (Pos < Text.size())
+      ++Pos; // consume '\n'
+    ++Line;
+    return Out;
+  }
+
+  /// Reads exactly \p N payload bytes plus the trailing newline.
+  bool readPayload(size_t N, std::string &Out) {
+    if (Pos + N > Text.size()) {
+      error("truncated payload (wants " + std::to_string(N) + " bytes)");
+      return false;
+    }
+    Out = Text.substr(Pos, N);
+    Pos += N;
+    for (char C : Out)
+      if (C == '\n')
+        ++Line;
+    if (Pos < Text.size() && Text[Pos] == '\n') {
+      ++Pos;
+      ++Line;
+    }
+    return true;
+  }
+
+  /// Reports at the line the last readLine() started on, so a malformed
+  /// header is located at the header itself.
+  void error(const std::string &Msg) {
+    Diags.error(SourceLoc(LastLine, 1), "compile-cache manifest: " + Msg);
+  }
+
+private:
+  const std::string &Text;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t LastLine = 1;
+};
+
+/// Parses `"name"` at \p Cursor of \p Header; advances past it.
+bool parseQuoted(const std::string &Header, size_t &Cursor,
+                 std::string &Out) {
+  while (Cursor < Header.size() && Header[Cursor] == ' ')
+    ++Cursor;
+  if (Cursor >= Header.size() || Header[Cursor] != '"')
+    return false;
+  size_t End = Header.find('"', Cursor + 1);
+  if (End == std::string::npos)
+    return false;
+  Out = Header.substr(Cursor + 1, End - Cursor - 1);
+  Cursor = End + 1;
+  return true;
+}
+
+bool parseWord(const std::string &Header, size_t &Cursor, std::string &Out) {
+  while (Cursor < Header.size() && Header[Cursor] == ' ')
+    ++Cursor;
+  size_t Start = Cursor;
+  while (Cursor < Header.size() && Header[Cursor] != ' ')
+    ++Cursor;
+  Out = Header.substr(Start, Cursor - Start);
+  return !Out.empty();
+}
+
+bool parseCount(const std::string &Header, size_t &Cursor, size_t &Out) {
+  std::string Word;
+  if (!parseWord(Header, Cursor, Word))
+    return false;
+  Out = 0;
+  for (char C : Word) {
+    if (C < '0' || C > '9')
+      return false;
+    Out = Out * 10 + static_cast<size_t>(C - '0');
+  }
+  return true;
+}
+
+void writeQuoted(std::ostream &OS, const std::string &Name) {
+  OS << '"' << Name << '"';
+}
+
+} // namespace
+
+bool CompileCache::load(const std::string &Path, CompileCache &Out,
+                        DiagnosticEngine &Diags) {
+  Out = CompileCache();
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return true; // No manifest yet: a valid empty cache.
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  const std::string Text = Buffer.str();
+
+  ManifestReader R(Text, Diags);
+  std::string Magic = R.readLine();
+  if (Magic != "tcc-cache v1") {
+    R.error("bad magic '" + Magic + "' (expected 'tcc-cache v1')");
+    Out = CompileCache();
+    return false;
+  }
+
+  while (!R.atEnd()) {
+    std::string Header = R.readLine();
+    if (Header.empty())
+      continue;
+    size_t Cursor = 0;
+    std::string Kind;
+    parseWord(Header, Cursor, Kind);
+    if (Kind == "func") {
+      std::string Name, Hash;
+      size_t Bytes = 0;
+      if (!parseQuoted(Header, Cursor, Name) ||
+          !parseWord(Header, Cursor, Hash) ||
+          !parseCount(Header, Cursor, Bytes)) {
+        R.error("malformed func header '" + Header + "'");
+        Out = CompileCache();
+        return false;
+      }
+      std::string Payload;
+      if (!R.readPayload(Bytes, Payload)) {
+        Out = CompileCache();
+        return false;
+      }
+      Out.Functions[Name] = {std::move(Hash), std::move(Payload)};
+    } else if (Kind == "shard") {
+      std::string File, Hash;
+      size_t Count = 0;
+      if (!parseQuoted(Header, Cursor, File) ||
+          !parseWord(Header, Cursor, Hash) ||
+          !parseCount(Header, Cursor, Count)) {
+        R.error("malformed shard header '" + Header + "'");
+        Out = CompileCache();
+        return false;
+      }
+      ShardEntry E;
+      E.Hash = std::move(Hash);
+      for (size_t I = 0; I < Count; ++I) {
+        std::string ProcHeader = R.readLine();
+        size_t PC = 0;
+        std::string ProcKind, ProcName;
+        size_t Bytes = 0;
+        parseWord(ProcHeader, PC, ProcKind);
+        if (ProcKind != "proc" || !parseQuoted(ProcHeader, PC, ProcName) ||
+            !parseCount(ProcHeader, PC, Bytes)) {
+          R.error("malformed proc header '" + ProcHeader + "'");
+          Out = CompileCache();
+          return false;
+        }
+        std::string Payload;
+        if (!R.readPayload(Bytes, Payload)) {
+          Out = CompileCache();
+          return false;
+        }
+        E.Procs.emplace_back(std::move(ProcName), std::move(Payload));
+      }
+      Out.Shards[File] = std::move(E);
+    } else {
+      R.error("unknown record kind '" + Kind + "'");
+      Out = CompileCache();
+      return false;
+    }
+  }
+  return true;
+}
+
+bool CompileCache::save(const std::string &Path,
+                        DiagnosticEngine &Diags) const {
+  std::ofstream OS(Path, std::ios::binary);
+  if (!OS) {
+    Diags.error(SourceLoc(), "cannot write compile cache '" + Path + "'");
+    return false;
+  }
+  OS << "tcc-cache v1\n";
+  for (const auto &[Name, E] : Functions) {
+    OS << "func ";
+    writeQuoted(OS, Name);
+    OS << ' ' << E.Hash << ' ' << E.Text.size() << '\n';
+    OS << E.Text << '\n';
+  }
+  for (const auto &[File, E] : Shards) {
+    OS << "shard ";
+    writeQuoted(OS, File);
+    OS << ' ' << E.Hash << ' ' << E.Procs.size() << '\n';
+    for (const auto &[Name, Text] : E.Procs) {
+      OS << "proc ";
+      writeQuoted(OS, Name);
+      OS << ' ' << Text.size() << '\n';
+      OS << Text << '\n';
+    }
+  }
+  return static_cast<bool>(OS);
+}

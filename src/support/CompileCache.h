@@ -1,0 +1,105 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The persistent compile-cache manifest (`.tcc-cache`).
+///
+/// Incremental recompilation needs one durable fact per unit of work: "for
+/// this exact input, here is the finished output."  The manifest records
+/// two unit kinds:
+///
+///  - **function entries** — keyed by function name and a content hash
+///    over (serialized input IL + pipeline spec + option fingerprint); the
+///    payload is the *optimized* serialized IL, so a hit replaces the
+///    function body without re-running any pass (the PassManager's
+///    function-at-a-time mode consumes these);
+///  - **shard entries** — keyed by translation-unit label and a hash of
+///    the raw source text; the payload is the list of serialized
+///    procedures the TU contributed, so a warm `tcc-catalog` build skips
+///    the whole lex→parse→lower→serialize job for unchanged files.
+///
+/// The on-disk form is line-oriented text with length-prefixed payloads:
+///
+///   tcc-cache v1
+///   func "name" <16-hex-digit-hash> <payload-bytes>
+///   <payload>
+///   shard "file.c" <16-hex-digit-hash> <proc-count>
+///   proc "name" <payload-bytes>
+///   <payload>
+///   ...
+///
+/// Entries are stored name-sorted (std::map), so saving the same cache
+/// state always produces byte-identical manifests.  A missing manifest
+/// file is an empty cache, not an error; a malformed one is reported and
+/// treated as empty (the cache is an accelerator, never a correctness
+/// dependency).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_SUPPORT_COMPILECACHE_H
+#define TCC_SUPPORT_COMPILECACHE_H
+
+#include "support/Diagnostics.h"
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tcc {
+
+/// Hex content hash of an arbitrary payload (the manifest key form).
+std::string cacheHash(const std::string &Payload);
+
+class CompileCache {
+public:
+  struct FunctionEntry {
+    std::string Hash; ///< Input hash the payload was produced from.
+    std::string Text; ///< Optimized serialized IL.
+  };
+
+  struct ShardEntry {
+    std::string Hash; ///< Hash of the TU's source text.
+    /// (procedure name, serialized IL) in definition order.
+    std::vector<std::pair<std::string, std::string>> Procs;
+  };
+
+  /// The cached optimized IL for \p Function, or null when absent or
+  /// recorded under a different input hash (a stale entry is a miss).
+  const FunctionEntry *findFunction(const std::string &Function,
+                                    const std::string &Hash) const;
+  void storeFunction(const std::string &Function, const std::string &Hash,
+                     std::string Text);
+
+  /// The cached procedures of shard \p File, or null when absent or built
+  /// from different source text.
+  const ShardEntry *findShard(const std::string &File,
+                              const std::string &Hash) const;
+  void storeShard(const std::string &File, const std::string &Hash,
+                  std::vector<std::pair<std::string, std::string>> Procs);
+
+  bool empty() const { return Functions.empty() && Shards.empty(); }
+  size_t functionCount() const { return Functions.size(); }
+  size_t shardCount() const { return Shards.size(); }
+
+  /// True when a store() changed the cache since load()/save(); callers
+  /// skip rewriting the manifest after all-hit runs.
+  bool dirty() const { return Dirty; }
+
+  /// Reads \p Path.  A missing file yields an empty cache and returns
+  /// true; unreadable or malformed content reports a diagnostic (located
+  /// by manifest line) and returns false with the cache left empty.
+  static bool load(const std::string &Path, CompileCache &Out,
+                   DiagnosticEngine &Diags);
+
+  /// Writes the manifest to \p Path (name-sorted, byte-stable).
+  bool save(const std::string &Path, DiagnosticEngine &Diags) const;
+
+private:
+  std::map<std::string, FunctionEntry> Functions;
+  std::map<std::string, ShardEntry> Shards;
+  bool Dirty = false;
+};
+
+} // namespace tcc
+
+#endif // TCC_SUPPORT_COMPILECACHE_H

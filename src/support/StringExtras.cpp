@@ -36,3 +36,19 @@ bool tcc::startsWith(const std::string &Str, const std::string &Prefix) {
   return Str.size() >= Prefix.size() &&
          Str.compare(0, Prefix.size(), Prefix) == 0;
 }
+
+uint64_t tcc::fnv1a64(const std::string &Bytes) {
+  uint64_t Hash = 0xcbf29ce484222325ull;
+  for (unsigned char C : Bytes) {
+    Hash ^= C;
+    Hash *= 0x100000001b3ull;
+  }
+  return Hash;
+}
+
+std::string tcc::toHex64(uint64_t Value) {
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(Value));
+  return Buf;
+}

@@ -10,6 +10,7 @@
 #ifndef TCC_SUPPORT_STRINGEXTRAS_H
 #define TCC_SUPPORT_STRINGEXTRAS_H
 
+#include <cstdint>
 #include <string>
 
 namespace tcc {
@@ -25,6 +26,13 @@ std::string formatDouble(double Value);
 
 /// True if \p Str starts with \p Prefix.
 bool startsWith(const std::string &Str, const std::string &Prefix);
+
+/// 64-bit FNV-1a over \p Bytes.  Stable across platforms and runs — the
+/// compile-cache manifest persists these values to disk.
+uint64_t fnv1a64(const std::string &Bytes);
+
+/// \p Value as 16 lowercase hex digits (the manifest's on-disk hash form).
+std::string toHex64(uint64_t Value);
 
 } // namespace tcc
 

@@ -543,4 +543,60 @@ TEST(CatalogTest, ParallelBuiltCatalogDrivesInlining) {
   EXPECT_EQ(R->Stats.Inline.CallsInlined, 3u);
 }
 
+//===----------------------------------------------------------------------===//
+// Shard compile-cache
+//===----------------------------------------------------------------------===//
+
+TEST(CatalogTest, ShardCacheWarmRunHitsEveryShard) {
+  std::string Path = testing::TempDir() + "/tcc_catalog_cache_warm.tcc-cache";
+  std::remove(Path.c_str());
+
+  CatalogBuildOptions Opts;
+  Opts.Workers = 4;
+  Opts.CacheFile = Path;
+  CatalogBuildResult Cold = libraryBuilder().build(Opts);
+  ASSERT_TRUE(Cold.ok()) << Cold.Diags.str();
+  for (const ShardReport &S : Cold.Shards)
+    EXPECT_FALSE(S.CacheHit) << S.File;
+
+  CatalogBuildResult Warm = libraryBuilder().build(Opts);
+  ASSERT_TRUE(Warm.ok()) << Warm.Diags.str();
+  for (const ShardReport &S : Warm.Shards)
+    EXPECT_TRUE(S.CacheHit) << S.File;
+
+  // The warm catalog is byte-identical to the cold one, and the per-shard
+  // telemetry carries the reuse counter.
+  EXPECT_EQ(Warm.Catalog.serialize(), Cold.Catalog.serialize());
+  unsigned Hits = 0;
+  for (const remarks::PassRecord &Rec : Warm.Telemetry.Passes)
+    Hits += Rec.Stats.get("cacheHit");
+  EXPECT_EQ(Hits, static_cast<unsigned>(Warm.Shards.size()));
+  std::remove(Path.c_str());
+}
+
+TEST(CatalogTest, ShardCacheMutatedSourceMissesOnlyThatShard) {
+  std::string Path = testing::TempDir() + "/tcc_catalog_cache_miss.tcc-cache";
+  std::remove(Path.c_str());
+
+  CatalogBuildOptions Opts;
+  Opts.Workers = 4;
+  Opts.CacheFile = Path;
+  CatalogBuildResult Cold = libraryBuilder().build(Opts);
+  ASSERT_TRUE(Cold.ok()) << Cold.Diags.str();
+
+  // Any text change (even whitespace) must invalidate exactly the shard
+  // that changed.
+  CatalogBuilder Mutated;
+  for (const auto &[File, Text] : LibraryFiles)
+    Mutated.addSource(File, std::string(File) == "dot.c"
+                                ? std::string(Text) + "\n"
+                                : std::string(Text));
+  CatalogBuildResult Warm = Mutated.build(Opts);
+  ASSERT_TRUE(Warm.ok()) << Warm.Diags.str();
+  for (const ShardReport &S : Warm.Shards)
+    EXPECT_EQ(S.CacheHit, S.File != "dot.c") << S.File;
+  EXPECT_EQ(Warm.Catalog.serialize(), Cold.Catalog.serialize());
+  std::remove(Path.c_str());
+}
+
 } // namespace

@@ -8,12 +8,15 @@
 //===----------------------------------------------------------------------===//
 
 #include "driver/Compiler.h"
+#include "il/ILSerializer.h"
 #include "pipeline/ILVerifier.h"
 #include "pipeline/PassManager.h"
 #include "pipeline/PassRegistry.h"
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 using namespace tcc;
@@ -53,7 +56,40 @@ TEST(PipelineSpec, UnknownPassNameIsDiagnosed) {
       << Diags.str();
   // The diagnostic teaches: it lists what *is* registered.
   EXPECT_NE(Diags.str().find("vectorize"), std::string::npos) << Diags.str();
+  // ...and points at the offending column ("whiletodo," is 10 columns).
+  EXPECT_NE(Diags.str().find("1:11"), std::string::npos) << Diags.str();
   // Nothing was staged.
+  EXPECT_TRUE(PM.passes().empty());
+}
+
+TEST(PipelineSpec, EmptySegmentIsDiagnosedWithLocation) {
+  pipeline::PassManager PM;
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(PM.addPipeline("dce,,vectorize", Diags));
+  ASSERT_TRUE(Diags.hasErrors());
+  EXPECT_NE(Diags.str().find("empty pass name"), std::string::npos)
+      << Diags.str();
+  // The empty segment starts right after "dce," — column 5.
+  EXPECT_NE(Diags.str().find("1:5"), std::string::npos) << Diags.str();
+  EXPECT_TRUE(PM.passes().empty());
+}
+
+TEST(PipelineSpec, TrailingCommaIsDiagnosed) {
+  pipeline::PassManager PM;
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(PM.addPipeline("dce,", Diags));
+  EXPECT_NE(Diags.str().find("empty pass name"), std::string::npos)
+      << Diags.str();
+}
+
+TEST(PipelineSpec, CommasWithOnlyWhitespaceAreDiagnosed) {
+  // tokenizeSpec() drops the blanks (display helper), but a *pipeline*
+  // of only separators is a typo, not a request for no optimization.
+  pipeline::PassManager PM;
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(PM.addPipeline(" , ,, ", Diags));
+  EXPECT_NE(Diags.str().find("empty pass name"), std::string::npos)
+      << Diags.str();
   EXPECT_TRUE(PM.passes().empty());
 }
 
@@ -266,7 +302,7 @@ TEST(ILVerifier, CatchesTripletOutsideVectorContext) {
 TEST(ILVerifier, VerifyEachNamesTheOffendingPass) {
   // Register a pass that corrupts the program, then run it under
   // -verify-each: the diagnostic must name it.
-  struct CorruptingPass : pipeline::Pass {
+  struct CorruptingPass : pipeline::ModulePass {
     std::string name() const override { return "corrupt"; }
     remarks::StatGroup run(pipeline::PassContext &Ctx) override {
       il::Function *F = Ctx.Program.getFunctions().front().get();
@@ -362,8 +398,9 @@ TEST(Remarks, WriteJSONEmitsWellFormedDocument) {
     Doc.pop_back();
   EXPECT_EQ(Doc.front(), '{');
   EXPECT_EQ(Doc.back(), '}');
-  for (const char *Key : {"\"totalMillis\"", "\"passes\"", "\"remarks\"",
-                          "\"millis\"", "\"delta\"", "\"counters\""})
+  for (const char *Key : {"\"totalMillis\"", "\"passes\"", "\"functions\"",
+                          "\"remarks\"", "\"millis\"", "\"delta\"",
+                          "\"counters\"", "\"cacheHit\""})
     EXPECT_NE(Doc.find(Key), std::string::npos) << Key;
   // Balanced braces/brackets (the writer is structural, so this is a
   // smoke check, not a parser).
@@ -382,6 +419,311 @@ TEST(Remarks, UseDefReusedAcrossWhileToDoButRebuiltAfter) {
   const auto *W2D = R->Telemetry.find("whiletodo");
   ASSERT_NE(W2D, nullptr);
   EXPECT_GT(W2D->UseDefBuilt + W2D->UseDefReused, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Scheduling modes: function-at-a-time vs whole-program
+//===----------------------------------------------------------------------===//
+
+std::vector<std::string> serializeAll(const il::Program &P) {
+  std::vector<std::string> Out;
+  for (const auto &F : P.getFunctions())
+    Out.push_back(il::serializeFunction(*F));
+  return Out;
+}
+
+TEST(PipelineModes, FunctionAtATimeMatchesWholeProgramByteForByte) {
+  // The tentpole invariant: because function passes only mutate their own
+  // function, iterating functions-outer (the default) and passes-outer
+  // (WholeProgram) produce byte-identical serialized IL.
+  for (const char *Src : {DaxpySource, MixedLoopsSource}) {
+    CompilerOptions FuncMode = CompilerOptions::full();
+    CompilerOptions ProgMode = CompilerOptions::full();
+    ProgMode.WholeProgram = true;
+
+    auto RF = compileSource(Src, FuncMode);
+    auto RP = compileSource(Src, ProgMode);
+    ASSERT_TRUE(RF->ok()) << RF->Diags.str();
+    ASSERT_TRUE(RP->ok()) << RP->Diags.str();
+
+    auto FuncIL = serializeAll(*RF->IL);
+    auto ProgIL = serializeAll(*RP->IL);
+    ASSERT_EQ(FuncIL.size(), ProgIL.size());
+    for (size_t I = 0; I < FuncIL.size(); ++I)
+      EXPECT_EQ(FuncIL[I], ProgIL[I])
+          << "function " << RF->IL->getFunctions()[I]->getName();
+  }
+}
+
+TEST(PipelineModes, FunctionModeEmitsPerFunctionTelemetry) {
+  auto R = compileSource(DaxpySource, CompilerOptions::full());
+  ASSERT_TRUE(R->ok()) << R->Diags.str();
+  ASSERT_EQ(R->Telemetry.Functions.size(), 2u); // daxpy, main
+  EXPECT_NE(R->Telemetry.findFunction("daxpy"), nullptr);
+  EXPECT_NE(R->Telemetry.findFunction("main"), nullptr);
+  for (const auto &FR : R->Telemetry.Functions) {
+    EXPECT_FALSE(FR.CacheHit) << FR.Function; // no cache configured
+    EXPECT_GT(FR.Before.Stmts, 0u) << FR.Function;
+    EXPECT_GT(FR.After.Stmts, 0u) << FR.Function;
+  }
+  // Per-pass records still aggregate to the whole-program numbers.
+  const auto *W2D = R->Telemetry.find("whiletodo");
+  ASSERT_NE(W2D, nullptr);
+  EXPECT_GT(W2D->Before.WhileLoops, 0u);
+  EXPECT_EQ(W2D->After.WhileLoops, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Incremental recompilation through the .tcc-cache manifest
+//===----------------------------------------------------------------------===//
+
+/// Two independent functions (no calls between them), so editing one
+/// cannot change the other's pre-pipeline IL.
+const char *TwoFuncV1 = R"(
+  float a[64];
+  float s;
+  void fill(int n) { int i; for (i = 0; i < n; i++) a[i] = i; }
+  void total(int n) { int i; s = 0.0; for (i = 0; i < n; i++) s = s + a[i]; }
+)";
+/// V1 with only fill's body edited.
+const char *TwoFuncV2 = R"(
+  float a[64];
+  float s;
+  void fill(int n) { int i; for (i = 0; i < n; i++) a[i] = i + 1; }
+  void total(int n) { int i; s = 0.0; for (i = 0; i < n; i++) s = s + a[i]; }
+)";
+
+TEST(CompileCache, WarmRunHitsEveryFunctionAndMatchesColdOutput) {
+  const std::string Path = testing::TempDir() + "/tcc_pipeline_warm.tcc-cache";
+  std::remove(Path.c_str());
+
+  CompilerOptions Opts = CompilerOptions::full();
+  Opts.CacheFile = Path;
+
+  auto Cold = compileSource(TwoFuncV1, Opts);
+  ASSERT_TRUE(Cold->ok()) << Cold->Diags.str();
+  ASSERT_EQ(Cold->Telemetry.Functions.size(), 2u);
+  EXPECT_EQ(Cold->Telemetry.cacheHits(), 0u);
+
+  auto Warm = compileSource(TwoFuncV1, Opts);
+  ASSERT_TRUE(Warm->ok()) << Warm->Diags.str();
+  ASSERT_EQ(Warm->Telemetry.Functions.size(), 2u);
+  EXPECT_EQ(Warm->Telemetry.cacheHits(), 2u); // 100% hits
+
+  // Restoring from the manifest is byte-identical to recompiling.
+  EXPECT_EQ(serializeAll(*Cold->IL), serializeAll(*Warm->IL));
+
+  std::remove(Path.c_str());
+}
+
+TEST(CompileCache, MutatingOneFunctionMissesExactlyOnce) {
+  const std::string Path =
+      testing::TempDir() + "/tcc_pipeline_mutate.tcc-cache";
+  std::remove(Path.c_str());
+
+  CompilerOptions Opts = CompilerOptions::full();
+  Opts.CacheFile = Path;
+
+  auto Cold = compileSource(TwoFuncV1, Opts);
+  ASSERT_TRUE(Cold->ok()) << Cold->Diags.str();
+
+  auto Edited = compileSource(TwoFuncV2, Opts);
+  ASSERT_TRUE(Edited->ok()) << Edited->Diags.str();
+  ASSERT_EQ(Edited->Telemetry.Functions.size(), 2u);
+
+  const auto *Fill = Edited->Telemetry.findFunction("fill");
+  const auto *Total = Edited->Telemetry.findFunction("total");
+  ASSERT_NE(Fill, nullptr);
+  ASSERT_NE(Total, nullptr);
+  EXPECT_FALSE(Fill->CacheHit);  // the edited function recompiled
+  EXPECT_TRUE(Total->CacheHit);  // the untouched one did not
+  EXPECT_EQ(Edited->Telemetry.cacheHits(), 1u);
+
+  std::remove(Path.c_str());
+}
+
+TEST(CompileCache, DifferentOptionsNeverShareEntries) {
+  const std::string Path =
+      testing::TempDir() + "/tcc_pipeline_config.tcc-cache";
+  std::remove(Path.c_str());
+
+  CompilerOptions Full = CompilerOptions::full();
+  Full.CacheFile = Path;
+  auto Cold = compileSource(TwoFuncV1, Full);
+  ASSERT_TRUE(Cold->ok()) << Cold->Diags.str();
+
+  // Same source, different option fingerprint: everything recompiles.
+  CompilerOptions Par = CompilerOptions::parallel();
+  Par.CacheFile = Path;
+  auto Other = compileSource(TwoFuncV1, Par);
+  ASSERT_TRUE(Other->ok()) << Other->Diags.str();
+  EXPECT_EQ(Other->Telemetry.cacheHits(), 0u);
+
+  std::remove(Path.c_str());
+}
+
+TEST(CompileCache, CorruptManifestIsALocatedError) {
+  const std::string Path =
+      testing::TempDir() + "/tcc_pipeline_corrupt.tcc-cache";
+  {
+    std::ofstream OS(Path);
+    OS << "tcc-cache v1\n";
+    OS << "func \"daxpy\" nothexdigits notanumber\n";
+  }
+  CompilerOptions Opts = CompilerOptions::full();
+  Opts.CacheFile = Path;
+  auto R = compileSource(TwoFuncV1, Opts);
+  EXPECT_FALSE(R->ok());
+  EXPECT_NE(R->Diags.str().find("compile-cache manifest"), std::string::npos)
+      << R->Diags.str();
+  EXPECT_NE(R->Diags.str().find("2:"), std::string::npos) << R->Diags.str();
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Type-consistency checks in the verifier
+//===----------------------------------------------------------------------===//
+
+il::AssignStmt *firstAssign(il::Function *F) {
+  for (il::Stmt *S : F->getBody().Stmts)
+    if (S->getKind() == il::Stmt::AssignKind)
+      return static_cast<il::AssignStmt *>(S);
+  return nullptr;
+}
+
+TEST(ILVerifierTypes, CatchesVarRefDisagreeingWithSymbol) {
+  auto R = lowerOnly("void main() { int i; i = i; }");
+  il::Function *F = R->IL->getFunctions().front().get();
+  auto *A = firstAssign(F);
+  ASSERT_NE(A, nullptr);
+  ASSERT_EQ(A->getRHS()->getKind(), il::Expr::VarRefKind);
+  // Corrupt the reference's cached type out from under its symbol.
+  A->getRHS()->setType(R->IL->getTypes().getFloatType());
+
+  auto Report = pipeline::verifyProgram(*R->IL);
+  ASSERT_FALSE(Report.ok());
+  EXPECT_NE(Report.str().find("type mismatch: reference to 'i'"),
+            std::string::npos)
+      << Report.str();
+}
+
+TEST(ILVerifierTypes, CatchesAssignmentTypeMismatch) {
+  auto R = lowerOnly("void main() { int i; i = 0; }");
+  il::Function *F = R->IL->getFunctions().front().get();
+  auto *A = firstAssign(F);
+  ASSERT_NE(A, nullptr);
+  // Store a double into an int slot with no cast in between.
+  A->rhsSlot() =
+      F->makeFloatConst(R->IL->getTypes().getDoubleType(), 1.5);
+
+  auto Report = pipeline::verifyProgram(*R->IL);
+  ASSERT_FALSE(Report.ok());
+  EXPECT_NE(Report.str().find("type mismatch: assignment to int"),
+            std::string::npos)
+      << Report.str();
+}
+
+TEST(ILVerifierTypes, CatchesComparisonYieldingNonInt) {
+  auto R = lowerOnly("void main() { int i; i = 0; }");
+  il::Function *F = R->IL->getFunctions().front().get();
+  auto *A = firstAssign(F);
+  ASSERT_NE(A, nullptr);
+  const auto &Types = R->IL->getTypes();
+  A->rhsSlot() = F->makeBinary(
+      il::OpCode::Lt, F->makeIntConst(Types.getIntType(), 1),
+      F->makeIntConst(Types.getIntType(), 2), Types.getFloatType());
+
+  auto Report = pipeline::verifyProgram(*R->IL);
+  ASSERT_FALSE(Report.ok());
+  EXPECT_NE(Report.str().find("yields non-integer type"), std::string::npos)
+      << Report.str();
+}
+
+TEST(ILVerifierTypes, CatchesArithmeticResultTypeMismatch) {
+  auto R = lowerOnly("void main() { double d; d = 0.0; }");
+  il::Function *F = R->IL->getFunctions().front().get();
+  auto *A = firstAssign(F);
+  ASSERT_NE(A, nullptr);
+  const auto &Types = R->IL->getTypes();
+  // double + double annotated as float: the result type must be the
+  // operands' common arithmetic type.
+  A->rhsSlot() = F->makeBinary(
+      il::OpCode::Add, F->makeFloatConst(Types.getDoubleType(), 1.0),
+      F->makeFloatConst(Types.getDoubleType(), 2.0), Types.getFloatType());
+
+  auto Report = pipeline::verifyProgram(*R->IL);
+  ASSERT_FALSE(Report.ok());
+  EXPECT_NE(Report.str().find("instead of double"), std::string::npos)
+      << Report.str();
+}
+
+TEST(ILVerifierTypes, CatchesDerefOfNonPointer) {
+  auto R = lowerOnly("void main() { int i; i = 0; }");
+  il::Function *F = R->IL->getFunctions().front().get();
+  auto *A = firstAssign(F);
+  ASSERT_NE(A, nullptr);
+  const auto &Types = R->IL->getTypes();
+  A->rhsSlot() = F->create<il::DerefExpr>(
+      Types.getIntType(), F->makeIntConst(Types.getIntType(), 64));
+
+  auto Report = pipeline::verifyProgram(*R->IL);
+  ASSERT_FALSE(Report.ok());
+  EXPECT_NE(Report.str().find("dereference of non-pointer"),
+            std::string::npos)
+      << Report.str();
+}
+
+TEST(ILVerifierTypes, CatchesNonIntegerDoLoopBound) {
+  CompilerOptions Opts;
+  Opts.Passes = "whiletodo";
+  auto R = compileSource(
+      "float a[8]; void main() { int i; for (i = 0; i < 8; i++) a[i] = i; }",
+      Opts);
+  ASSERT_TRUE(R->ok()) << R->Diags.str();
+  il::Function *F = R->IL->getFunctions().front().get();
+  il::DoLoopStmt *Loop = nullptr;
+  for (il::Stmt *S : F->getBody().Stmts)
+    if (auto *D = asDoLoop(S))
+      Loop = D;
+  ASSERT_NE(Loop, nullptr);
+  Loop->limitSlot() =
+      F->makeFloatConst(R->IL->getTypes().getFloatType(), 8.0);
+
+  auto Report = pipeline::verifyProgram(*R->IL);
+  ASSERT_FALSE(Report.ok());
+  EXPECT_NE(Report.str().find("bound has non-integer type"),
+            std::string::npos)
+      << Report.str();
+}
+
+TEST(ILVerifierTypes, CatchesNonIntegerSubscript) {
+  auto R = lowerOnly("float a[8]; void main() { a[1] = 0.0; }");
+  il::Function *F = R->IL->getFunctions().front().get();
+  auto *A = firstAssign(F);
+  ASSERT_NE(A, nullptr);
+  ASSERT_EQ(A->getLHS()->getKind(), il::Expr::IndexKind);
+  auto *I = static_cast<il::IndexExpr *>(A->getLHS());
+  I->subscriptSlots()[0] =
+      F->makeFloatConst(R->IL->getTypes().getFloatType(), 1.0);
+
+  auto Report = pipeline::verifyProgram(*R->IL);
+  ASSERT_FALSE(Report.ok());
+  EXPECT_NE(Report.str().find("subscript has non-integer type"),
+            std::string::npos)
+      << Report.str();
+}
+
+TEST(ILVerifierTypes, TypeCheckingCanBeDisabled) {
+  auto R = lowerOnly("void main() { int i; i = 0; }");
+  il::Function *F = R->IL->getFunctions().front().get();
+  auto *A = firstAssign(F);
+  ASSERT_NE(A, nullptr);
+  A->rhsSlot() =
+      F->makeFloatConst(R->IL->getTypes().getDoubleType(), 1.5);
+
+  pipeline::VerifierOptions Opts;
+  Opts.CheckTypes = false;
+  EXPECT_TRUE(pipeline::verifyProgram(*R->IL, Opts).ok());
 }
 
 } // namespace
