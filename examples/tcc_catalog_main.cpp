@@ -16,7 +16,15 @@
 ///                    compiling; rebuilt shards are stored back
 ///   -remarks=FILE    write build telemetry (per-shard timings, counters,
 ///                    remarks) as JSON to FILE ("-" for stdout)
+///   -fault-inject=S  deterministic fault injection over the worker pool:
+///                    comma-separated catalog:<file>:kind[:nth] specs
+///                    (TCC_FAULT_INJECT in the environment appends)
 ///   -v               print a per-shard summary table
+///
+/// A worker that dies (crash or injected fault) costs exactly its own
+/// translation unit: the surviving shards still merge and the catalog is
+/// still written, but the build exits 1 so callers see the partial
+/// failure.
 ///
 /// The produced catalog is loaded by `tcc -catalog=lib.tcat`, which pulls
 /// procedure bodies out of the database at inlining time.
@@ -39,8 +47,9 @@ using namespace tcc;
 namespace {
 
 void usage() {
-  std::fprintf(stderr, "usage: tcc-catalog [-j<N>] [-o lib.tcat] "
-                       "[-cache=file] [-remarks=file] [-v] file.c...\n");
+  std::fprintf(stderr,
+               "usage: tcc-catalog [-j<N>] [-o lib.tcat] [-cache=file] "
+               "[-remarks=file] [-fault-inject=spec] [-v] file.c...\n");
 }
 
 } // namespace
@@ -65,6 +74,8 @@ int main(int argc, char **argv) {
       Opts.CacheFile = Arg.substr(std::strlen("-cache="));
     } else if (Arg.rfind("-remarks=", 0) == 0) {
       RemarksPath = Arg.substr(std::strlen("-remarks="));
+    } else if (Arg.rfind("-fault-inject=", 0) == 0) {
+      Opts.FaultInject = Arg.substr(std::strlen("-fault-inject="));
     } else if (Arg == "-v") {
       Verbose = true;
     } else if (!Arg.empty() && Arg[0] == '-') {
@@ -80,6 +91,11 @@ int main(int argc, char **argv) {
   if (Builder.sourceCount() == 0) {
     usage();
     return 2;
+  }
+  if (const char *Env = std::getenv("TCC_FAULT_INJECT"); Env && *Env) {
+    if (!Opts.FaultInject.empty())
+      Opts.FaultInject += ',';
+    Opts.FaultInject += Env;
   }
 
   catalog::CatalogBuildResult Result = Builder.build(Opts);
@@ -109,13 +125,25 @@ int main(int argc, char **argv) {
                   S.CacheHit ? "  [cached]" : "",
                   S.Ok ? "" : "  [failed]");
 
-  if (!Result.ok())
-    return 1;
-
+  // A partial failure (some shards died, others survived) still writes
+  // the catalog of survivors — a library build that loses one TU should
+  // not lose the other thousand — but exits 1 so callers notice.
   if (!catalog::saveCatalogFile(Result.Catalog, OutputPath, Diags)) {
     std::fprintf(stderr, "tcc-catalog: %s\n",
                  Diags.diagnostics().back().Message.c_str());
     return 2;
+  }
+  if (!Result.ok()) {
+    unsigned FailedShards = 0;
+    for (const catalog::ShardReport &S : Result.Shards)
+      if (!S.Ok)
+        ++FailedShards;
+    std::fprintf(stderr,
+                 "tcc-catalog: %u of %zu shards failed; wrote partial "
+                 "catalog of %zu procedures to %s\n",
+                 FailedShards, Result.Shards.size(),
+                 Result.Catalog.entries().size(), OutputPath.c_str());
+    return 1;
   }
 
   unsigned Workers =

@@ -39,12 +39,32 @@
 ///   -no-run          compile only
 ///   -stats           print per-phase statistics
 ///
+/// Fault containment (see DESIGN.md "Failure model"):
+///
+///   -no-sandbox      disable pass fault containment: pass exceptions
+///                    escape and -verify-each violations fail the compile
+///   -pass-budget=MS  wall-clock budget per function-pass invocation in
+///                    milliseconds (default 1000; 0 disables)
+///   -repro-dir=DIR   directory for crash-reproducer bundles (default
+///                    ".tcc-repro"; empty disables writing them)
+///   -fault-inject=S  deterministic fault injection: comma-separated
+///                    pass:function:kind[:nth] specs (kinds: throw,
+///                    corrupt-il, oom, slow; `*` wildcards either field);
+///                    TCC_FAULT_INJECT in the environment appends to this
+///   -replay=BUNDLE   re-run the single pass invocation recorded in a
+///                    reproducer bundle; exit 0 when the recorded fault
+///                    reproduces, 1 when it does not, 2 on a bad bundle
+///
+/// A compile with contained faults still exits 0: the output is correct,
+/// just missing the quarantined pass on the affected function(s).
+///
 //===----------------------------------------------------------------------===//
 
 #include "catalog/CatalogBuilder.h"
 #include "driver/Compiler.h"
 #include "il/ILPrinter.h"
 #include "pipeline/PassRegistry.h"
+#include "pipeline/PassSandbox.h"
 
 #include <cstdio>
 #include <cstring>
@@ -64,6 +84,8 @@ void usage() {
       "           [-strip n] [-catalog=file] [-passes=spec] [-cache=file]\n"
       "           [-whole-program] [-verify-each] [-print-il=phase]\n"
       "           [-print-after-all] [-remarks=file]\n"
+      "           [-no-sandbox] [-pass-budget=ms] [-repro-dir=dir]\n"
+      "           [-fault-inject=spec] [-replay=bundle]\n"
       "           [-S] [-run|-no-run] [-stats] file.c\n"
       "registered passes: %s\n",
       pipeline::PassRegistry::instance().namesJoined().c_str());
@@ -77,6 +99,7 @@ int main(int argc, char **argv) {
   std::string PrintPhase;
   std::string RemarksPath;
   std::string CatalogPath;
+  std::string ReplayPath;
   std::string InputPath;
   bool PrintAsm = false;
   bool PrintAfterAll = false;
@@ -116,6 +139,16 @@ int main(int argc, char **argv) {
       Opts.WholeProgram = true;
     } else if (Arg == "-verify-each") {
       Opts.VerifyEach = true;
+    } else if (Arg == "-no-sandbox") {
+      Opts.SandboxPasses = false;
+    } else if (Arg.rfind("-pass-budget=", 0) == 0) {
+      Opts.PassBudgetMs = std::atof(Arg.c_str() + std::strlen("-pass-budget="));
+    } else if (Arg.rfind("-repro-dir=", 0) == 0) {
+      Opts.ReproDir = Arg.substr(std::strlen("-repro-dir="));
+    } else if (Arg.rfind("-fault-inject=", 0) == 0) {
+      Opts.FaultInject = Arg.substr(std::strlen("-fault-inject="));
+    } else if (Arg.rfind("-replay=", 0) == 0) {
+      ReplayPath = Arg.substr(std::strlen("-replay="));
     } else if (Arg.rfind("-print-il=", 0) == 0) {
       PrintPhase = Arg.substr(std::strlen("-print-il="));
       Opts.CaptureStages = true;
@@ -140,9 +173,52 @@ int main(int argc, char **argv) {
       InputPath = Arg;
     }
   }
-  if (InputPath.empty()) {
+  if (InputPath.empty() && ReplayPath.empty()) {
     usage();
     return 2;
+  }
+
+  // Replay mode: re-run the single pass invocation a reproducer bundle
+  // recorded, under the bundle's own containment policy, and report
+  // whether the same fault fires.  No input file is compiled.
+  if (!ReplayPath.empty()) {
+    DiagnosticEngine ReplayDiags;
+    pipeline::ReproBundle Bundle;
+    if (!pipeline::loadReproBundle(ReplayPath, Bundle, ReplayDiags)) {
+      for (const auto &D : ReplayDiags.diagnostics())
+        std::fprintf(stderr, "tcc: %s: %s\n", ReplayPath.c_str(),
+                     D.str().c_str());
+      return 2;
+    }
+    if (!Bundle.Config.empty() &&
+        Bundle.Config != driver::configFingerprint(Opts))
+      std::fprintf(stderr,
+                   "tcc: warning: bundle '%s' was recorded under a "
+                   "different option fingerprint; replaying with the "
+                   "current options\n",
+                   ReplayPath.c_str());
+    pipeline::ReplayResult RR = pipeline::replayBundle(
+        Bundle, driver::makePipelineOptions(Opts), ReplayDiags);
+    for (const auto &D : ReplayDiags.diagnostics())
+      std::fprintf(stderr, "tcc: %s: %s\n", ReplayPath.c_str(),
+                   D.str().c_str());
+    if (!RR.Ran)
+      return 2;
+    if (RR.Reproduced) {
+      std::printf("tcc: replay reproduced the recorded %s fault: pass "
+                  "'%s' on function '%s' (%s)\n",
+                  Bundle.Kind.c_str(), Bundle.Pass.c_str(),
+                  Bundle.Function.c_str(), RR.Description.c_str());
+      return 0;
+    }
+    std::printf("tcc: replay did NOT reproduce the recorded %s fault "
+                "(pass '%s', function '%s'%s%s)\n",
+                Bundle.Kind.c_str(), Bundle.Pass.c_str(),
+                Bundle.Function.c_str(),
+                RR.Kind.empty() ? "; the pass ran cleanly"
+                                : "; observed instead: ",
+                RR.Kind.c_str());
+    return 1;
   }
 
   // The catalog must outlive the compile (CompilerOptions holds a
@@ -170,6 +246,17 @@ int main(int argc, char **argv) {
   auto Result = driver::compileSource(Buffer.str(), Opts);
   for (const auto &D : Result->Diags.diagnostics())
     std::fprintf(stderr, "%s: %s\n", InputPath.c_str(), D.str().c_str());
+
+  // Contained faults degrade optimization, never correctness, so they are
+  // summarized on stderr but do not change the exit code.
+  if (!Result->Telemetry.Faults.empty())
+    std::fprintf(stderr,
+                 "tcc: %zu pass fault%s contained; output is correct but "
+                 "the affected function%s skipped the quarantined pass%s\n",
+                 Result->Telemetry.Faults.size(),
+                 Result->Telemetry.Faults.size() == 1 ? "" : "s",
+                 Result->Telemetry.Faults.size() == 1 ? "" : "s",
+                 Result->Telemetry.Faults.size() == 1 ? "" : "es");
 
   // Telemetry is written even for failed compiles: the record of what ran
   // before the failure is exactly what a verifier diagnostic needs.
@@ -246,9 +333,17 @@ int main(int argc, char **argv) {
                 S.StrengthReduce.SharedTemps);
     std::printf("pipeline:    %.3f ms total\n", Result->Telemetry.TotalMillis);
     if (!Result->Telemetry.Functions.empty())
-      std::printf("functions:   %zu scheduled, %u served from cache\n",
+      std::printf("functions:   %zu scheduled, %llu served from cache\n",
                   Result->Telemetry.Functions.size(),
-                  Result->Telemetry.cacheHits());
+                  static_cast<unsigned long long>(
+                      Result->Telemetry.cacheHits()));
+    std::printf("faults:      %zu contained\n",
+                Result->Telemetry.Faults.size());
+    for (const auto &F : Result->Telemetry.Faults)
+      std::printf("  %s on '%s': %s (%s)%s%s\n", F.Pass.c_str(),
+                  F.Function.c_str(), F.Kind.c_str(), F.Description.c_str(),
+                  F.ReproFile.empty() ? "" : "  repro: ",
+                  F.ReproFile.c_str());
     for (const auto &Rec : Result->Telemetry.Passes)
       std::printf("  %-10s %8.3f ms  stmts %llu -> %llu%s\n",
                   Rec.Pass.c_str(), Rec.Millis,

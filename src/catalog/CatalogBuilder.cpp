@@ -5,6 +5,7 @@
 #include "lexer/Lexer.h"
 #include "parser/Parser.h"
 #include "support/CompileCache.h"
+#include "support/FaultInjection.h"
 
 #include <atomic>
 #include <chrono>
@@ -101,13 +102,20 @@ CatalogBuilder::build(const CatalogBuildOptions &Opts) const {
   CatalogBuildResult Result;
   std::vector<ShardState> Shards(Sources.size());
 
+  // Validated before any work starts: a typo in the injection spec is a
+  // located error, never a silently un-injected run.
+  FaultInjector Injector;
+  if (!Injector.addSpecs(Opts.FaultInject, Result.Diags))
+    return Result;
+
   // Warm-start from the compile-cache manifest: a shard whose source text
   // hash matches is served from its stored serialized procedures and
-  // never enters the worker pool.
+  // never enters the worker pool.  A damaged manifest degrades to a cold
+  // cache (warning already emitted); it never fails the build.
   CompileCache Cache;
   const bool UseCache = !Opts.CacheFile.empty();
-  if (UseCache && !CompileCache::load(Opts.CacheFile, Cache, Result.Diags))
-    return Result;
+  if (UseCache)
+    CompileCache::load(Opts.CacheFile, Cache, Result.Diags);
   std::vector<std::string> Hashes(Sources.size());
   std::vector<bool> Hit(Sources.size(), false);
   if (UseCache) {
@@ -134,13 +142,36 @@ CatalogBuilder::build(const CatalogBuildOptions &Opts) const {
     Workers = static_cast<unsigned>(Sources.size());
 
   std::atomic<size_t> Next{0};
-  auto Work = [this, &Shards, &Next, &Hit] {
+  auto Work = [this, &Shards, &Next, &Hit, &Injector] {
     for (;;) {
       size_t I = Next.fetch_add(1, std::memory_order_relaxed);
       if (I >= Sources.size())
         return;
-      if (!Hit[I])
+      if (Hit[I])
+        continue;
+      // Nothing may escape the shard body: an exception leaving a worker
+      // thread would terminate the process and take every other shard
+      // with it.  A dying TU costs exactly that TU.
+      try {
+        if (const FaultSpec *Injected =
+                Injector.arm("catalog", Sources[I].File))
+          throwInjectedFault(*Injected);
         compileShard(Sources[I], Shards[I]);
+      } catch (const std::exception &E) {
+        Shards[I].Ok = false;
+        Shards[I].Entries.clear(); // Partial output is untrusted.
+        Shards[I].Diags.error(
+            SourceLoc(),
+            std::string("internal error: ") + E.what() +
+                " (worker contained the failure; translation unit skipped)");
+      } catch (...) {
+        Shards[I].Ok = false;
+        Shards[I].Entries.clear();
+        Shards[I].Diags.error(
+            SourceLoc(),
+            "internal error: unknown exception (worker contained the "
+            "failure; translation unit skipped)");
+      }
     }
   };
   if (Workers <= 1) {
@@ -220,6 +251,7 @@ CatalogBuilder::build(const CatalogBuildOptions &Opts) const {
     Rec.Stats.set("procedures", Report.Procedures);
     Rec.Stats.set("serializedBytes", Report.SerializedBytes);
     Rec.Stats.set("cacheHit", Report.CacheHit ? 1 : 0);
+    Rec.Stats.set("failed", S.Ok ? 0 : 1);
     Result.Telemetry.Passes.push_back(std::move(Rec));
 
     remarks::Remark R;

@@ -67,6 +67,12 @@ struct CatalogBuildOptions {
   /// function-at-a-time PassManager uses; shard records live alongside
   /// per-function records).
   std::string CacheFile;
+  /// Deterministic fault injection over the worker pool: specs of the
+  /// form `catalog:<file>:kind[:nth]` (support/FaultInjection.h) raise
+  /// inside the matching shard's worker.  The worker contains the fault:
+  /// that translation unit fails with a diagnostic, every other shard
+  /// still merges.  Malformed specs fail the build up front.
+  std::string FaultInject;
 };
 
 struct CatalogBuildResult {

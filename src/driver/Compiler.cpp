@@ -11,12 +11,9 @@
 using namespace tcc;
 using namespace tcc::driver;
 
-namespace {
-
-/// Serializes every option that changes what the function passes produce.
 /// Part of each function's compile-cache content hash: a manifest built
 /// under one configuration never serves another.
-std::string configFingerprint(const CompilerOptions &Opts) {
+std::string driver::configFingerprint(const CompilerOptions &Opts) {
   std::string F;
   auto Add = [&F](const char *Key, long long V) {
     F += Key;
@@ -38,9 +35,37 @@ std::string configFingerprint(const CompilerOptions &Opts) {
   return F;
 }
 
+pipeline::PipelineOptions
+driver::makePipelineOptions(const CompilerOptions &Opts) {
+  pipeline::PipelineOptions PipeOpts;
+  PipeOpts.Inline = Opts.Inline;
+  PipeOpts.Catalog = Opts.Catalog;
+  PipeOpts.IVSub = Opts.IVSub;
+  PipeOpts.ConstProp = Opts.ConstProp;
+  PipeOpts.Vectorize = Opts.Vectorize;
+  PipeOpts.EnableScalarReplacement = Opts.EnableScalarReplacement;
+  PipeOpts.EnableDepScheduling = Opts.EnableDepScheduling;
+  PipeOpts.EnableStrengthReduction = Opts.EnableStrengthReduction;
+  return PipeOpts;
+}
+
+namespace {
+
 bool envVerifyEach() {
   const char *V = std::getenv("TCC_VERIFY_EACH");
   return V && *V && std::string(V) != "0";
+}
+
+/// -fault-inject= plus whatever TCC_FAULT_INJECT appends, so CI can sweep
+/// fault injection over an existing command line without editing it.
+std::string faultInjectSpec(const CompilerOptions &Opts) {
+  std::string Spec = Opts.FaultInject;
+  if (const char *Env = std::getenv("TCC_FAULT_INJECT"); Env && *Env) {
+    if (!Spec.empty())
+      Spec += ',';
+    Spec += Env;
+  }
+  return Spec;
 }
 
 } // namespace
@@ -99,17 +124,21 @@ driver::compileSource(const std::string &Source, const CompilerOptions &Opts) {
 
   // Optimization pipeline: the Enable* toggles build the default spec,
   // -passes= overrides it.
-  pipeline::PipelineOptions PipeOpts;
-  PipeOpts.Inline = Opts.Inline;
-  PipeOpts.Catalog = Opts.Catalog;
-  PipeOpts.IVSub = Opts.IVSub;
-  PipeOpts.ConstProp = Opts.ConstProp;
-  PipeOpts.Vectorize = Opts.Vectorize;
-  PipeOpts.EnableScalarReplacement = Opts.EnableScalarReplacement;
-  PipeOpts.EnableDepScheduling = Opts.EnableDepScheduling;
-  PipeOpts.EnableStrengthReduction = Opts.EnableStrengthReduction;
+  pipeline::PipelineOptions PipeOpts = makePipelineOptions(Opts);
+
+  // The injector outlives PM.run() below; specs are validated up front so
+  // a typo in -fault-inject= is a located error, not a silent no-op.
+  FaultInjector Injector;
+  if (!Injector.addSpecs(faultInjectSpec(Opts), R->Diags))
+    return R;
 
   pipeline::PassManagerConfig Config;
+  Config.Sandbox.Enabled = Opts.SandboxPasses;
+  Config.Sandbox.PassBudgetMs = Opts.PassBudgetMs;
+  Config.Sandbox.StmtGrowthFactor = Opts.StmtGrowthFactor;
+  Config.Sandbox.StmtGrowthSlack = Opts.StmtGrowthSlack;
+  Config.Sandbox.ReproDir = Opts.ReproDir;
+  Config.Sandbox.Faults = Injector.empty() ? nullptr : &Injector;
   Config.VerifyEach = Opts.VerifyEach || envVerifyEach();
   // Stage capture needs the per-pass intermediate program states, which
   // only exist under pass-major execution.

@@ -101,6 +101,25 @@ struct CompilerOptions {
   /// snapshotted automatically.
   bool CaptureStages = false;
 
+  // Fault containment (pipeline/PassSandbox.h).  On by default: a
+  // function pass that throws, breaks the verifier (under VerifyEach),
+  // or blows a budget is quarantined for that function — the function
+  // rolls back to its pre-pass IL, a replayable reproducer bundle lands
+  // in ReproDir, and compilation continues with that pass skipped.  The
+  // -no-sandbox flag clears SandboxPasses and restores hard failure.
+  bool SandboxPasses = true;
+  double PassBudgetMs = 1000.0;   ///< Per-invocation wall-clock budget; 0 off.
+  uint64_t StmtGrowthFactor = 8;  ///< Runaway-growth budget; 0 off.
+  uint64_t StmtGrowthSlack = 512;
+  std::string ReproDir = ".tcc-repro"; ///< Bundle directory; empty disables.
+
+  /// Deterministic fault injection: comma-separated
+  /// `pass:function:kind[:nth]` specs (kinds: throw, corrupt-il, oom,
+  /// slow; `*` wildcards pass or function; nth is the 1-based matching
+  /// invocation).  The TCC_FAULT_INJECT environment variable appends to
+  /// this.  A malformed spec fails the compile with a located diagnostic.
+  std::string FaultInject;
+
   /// The default pipeline spec constructed from the Enable* toggles.
   std::string pipelineSpec() const;
 
@@ -169,6 +188,15 @@ struct CompileResult {
 std::unique_ptr<CompileResult> compileSource(const std::string &Source,
                                              const CompilerOptions &Opts =
                                                  {});
+
+/// Serializes every option that changes what the function passes produce —
+/// the compile-cache and reproducer-bundle configuration fingerprint.
+std::string configFingerprint(const CompilerOptions &Opts);
+
+/// The PipelineOptions a compile with \p Opts would hand every pass.
+/// Exposed so `tcc -replay=` re-runs a reproducer bundle under the same
+/// pass configuration the original compile used.
+pipeline::PipelineOptions makePipelineOptions(const CompilerOptions &Opts);
 
 /// Compiles and runs on a Titan machine in one call (benches, examples).
 struct RunOutcome {

@@ -564,6 +564,24 @@ public:
   /// Looks up a local symbol by id; null if absent.
   Symbol *findSymbolById(unsigned Id) const;
 
+  /// The id/name generation counters.  Serialization does not record them
+  /// (they are invisible in the IL text), so anything that restores a
+  /// function from its serialized form and intends to keep transforming
+  /// it — the pass sandbox's rollback path — must capture and reinstate
+  /// them explicitly, or later passes would mint temp/label names that
+  /// diverge from a never-rolled-back compile.
+  struct Counters {
+    unsigned NextSymbolId = 1;
+    unsigned NextTempId = 1;
+    unsigned NextLabelId = 1;
+  };
+  Counters counters() const { return {NextSymbolId, NextTempId, NextLabelId}; }
+  void setCounters(const Counters &C) {
+    NextSymbolId = C.NextSymbolId;
+    NextTempId = C.NextTempId;
+    NextLabelId = C.NextLabelId;
+  }
+
   // Expression factories (arena-owned).
   template <typename T, typename... Args> T *create(Args &&...CtorArgs) {
     T *Ptr = new T(std::forward<Args>(CtorArgs)...);

@@ -166,10 +166,14 @@ PassManager::run(Program &P, DiagnosticEngine &Diags,
   const bool UseCache = FunctionMode && !Config.CacheFile.empty();
 
   CompileCache Cache;
-  if (UseCache && !CompileCache::load(Config.CacheFile, Cache, Diags)) {
-    Telemetry.Remarks = Remarks.remarks();
-    return Telemetry; // Corrupt manifest: diagnostics already emitted.
-  }
+  if (UseCache)
+    // A damaged manifest degrades to a cold cache (warning already
+    // emitted, Cache left empty and dirty so the rewrite replaces it);
+    // it never fails the compile.
+    CompileCache::load(Config.CacheFile, Cache, Diags);
+
+  const bool Sandboxed = Config.Sandbox.Enabled;
+  PassSandbox SB(Config.Sandbox, Config.CacheConfig);
 
   PassContext Ctx{P, Diags, Options, Analyses, Remarks, Stats};
 
@@ -204,13 +208,51 @@ PassManager::run(Program &P, DiagnosticEngine &Diags,
     auto Start = Clock::now();
     if (PassRef.getKind() == Pass::ModulePassKind) {
       auto &MP = static_cast<ModulePass &>(PassRef);
-      Record.Stats = MP.run(Ctx);
+      if (Sandboxed) {
+        // A module pass may have mutated several functions before dying,
+        // so there is no snapshot to roll back to.  The containment here
+        // is weaker but still real: an escaped exception becomes a clean
+        // compile failure instead of a process crash.
+        const FaultSpec *Injected =
+            Config.Sandbox.Faults ? Config.Sandbox.Faults->arm(MP.name(), "")
+                                  : nullptr;
+        try {
+          if (Injected)
+            throwInjectedFault(*Injected);
+          Record.Stats = MP.run(Ctx);
+        } catch (const std::exception &E) {
+          Diags.error(SourceLoc(),
+                      "module pass '" + MP.name() + "' failed: " +
+                          std::string(E.what()) +
+                          " (cross-function mutation cannot be rolled "
+                          "back; compilation stopped)");
+        } catch (...) {
+          Diags.error(SourceLoc(),
+                      "module pass '" + MP.name() +
+                          "' failed with an unknown exception "
+                          "(cross-function mutation cannot be rolled "
+                          "back; compilation stopped)");
+        }
+      } else {
+        Record.Stats = MP.run(Ctx);
+      }
       Analyses.invalidate(MP.preservedAnalyses());
     } else {
       auto &FP = static_cast<FunctionPass &>(PassRef);
-      for (const auto &F : P.getFunctions()) {
-        mergeStats(Record.Stats, FP.runOnFunction(*F, Ctx));
-        Analyses.invalidate(*F, FP.preservedAnalyses());
+      // A contained fault swaps the function object in place, so iterate
+      // a pointer snapshot, not the owning list.
+      std::vector<Function *> Worklist;
+      for (const auto &F : P.getFunctions())
+        Worklist.push_back(F.get());
+      for (Function *F : Worklist) {
+        if (Sandboxed) {
+          auto SR = SB.run(FP, *F, Ctx, Config.VerifyEach);
+          mergeStats(Record.Stats, SR.Stats);
+          Analyses.invalidate(*SR.F, FP.preservedAnalyses());
+        } else {
+          mergeStats(Record.Stats, FP.runOnFunction(*F, Ctx));
+          Analyses.invalidate(*F, FP.preservedAnalyses());
+        }
         if (Diags.hasErrors())
           break;
       }
@@ -271,6 +313,9 @@ PassManager::run(Program &P, DiagnosticEngine &Diags,
       Worklist.push_back(F.get());
 
     for (Function *F : Worklist) {
+      // A contained fault rolls the function back by swapping in a fresh
+      // object; Cur always names the live one.
+      Function *Cur = F;
       remarks::FunctionRecord FR;
       FR.Function = F->getName();
       FR.Before = countFunction(*F);
@@ -309,29 +354,38 @@ PassManager::run(Program &P, DiagnosticEngine &Diags,
         }
       }
 
+      bool FunctionFaulted = false;
       auto FuncStart = Clock::now();
       for (size_t I = 0; I < Segment.size(); ++I) {
         auto &FP = static_cast<FunctionPass &>(*Segment[I]);
-        addCounts(Records[I].Before, countFunction(*F));
+        addCounts(Records[I].Before, countFunction(*Cur));
 
         Analyses.resetCounters();
         auto Start = Clock::now();
-        mergeStats(Records[I].Stats, FP.runOnFunction(*F, Ctx));
+        if (Sandboxed) {
+          auto SR = SB.run(FP, *Cur, Ctx, Config.VerifyEach);
+          Cur = SR.F;
+          mergeStats(Records[I].Stats, SR.Stats);
+          FunctionFaulted |= SR.Faulted;
+        } else {
+          mergeStats(Records[I].Stats, FP.runOnFunction(*Cur, Ctx));
+        }
         Records[I].Millis += millisSince(Start);
         Records[I].UseDefBuilt += Analyses.buildCount();
         Records[I].UseDefReused += Analyses.reuseCount();
-        Analyses.invalidate(*F, FP.preservedAnalyses());
+        Analyses.invalidate(*Cur, FP.preservedAnalyses());
 
-        addCounts(Records[I].After, countFunction(*F));
+        addCounts(Records[I].After, countFunction(*Cur));
 
         Failed = Diags.hasErrors();
-        if (!Failed && Config.VerifyEach) {
-          VerifierReport Report = verifyFunction(*F);
+        if (!Failed && !Sandboxed && Config.VerifyEach) {
+          VerifierReport Report = verifyFunction(*Cur);
           if (!Report.ok()) {
             for (const std::string &E : Report.Errors)
               Diags.error(SourceLoc(),
                           "IL verifier failed after pass '" + FP.name() +
-                              "' on function '" + F->getName() + "': " + E);
+                              "' on function '" + Cur->getName() +
+                              "': " + E);
             Failed = true;
           }
         }
@@ -342,15 +396,17 @@ PassManager::run(Program &P, DiagnosticEngine &Diags,
         }
       }
       FR.Millis = millisSince(FuncStart);
-      FR.After = countFunction(*F);
+      FR.After = countFunction(*Cur);
       Telemetry.Functions.push_back(std::move(FR));
       if (Failed)
         break;
 
-      if (UseCache)
-        Cache.storeFunction(F->getName() + "#" + std::to_string(Ordinal),
+      // A faulted function's output is the degraded (pass-skipped) form;
+      // caching it would make the fault sticky across warm runs.
+      if (UseCache && !FunctionFaulted)
+        Cache.storeFunction(Cur->getName() + "#" + std::to_string(Ordinal),
                             Telemetry.Functions.back().Hash,
-                            serializeFunction(*F));
+                            serializeFunction(*Cur));
     }
 
     // Fold in the global base so Before/After match countIL of the
@@ -386,6 +442,9 @@ PassManager::run(Program &P, DiagnosticEngine &Diags,
   if (UseCache && !Failed && Cache.dirty())
     Cache.save(Config.CacheFile, Diags);
 
+  for (const SandboxFault &F : SB.faults())
+    Telemetry.Faults.push_back(
+        {F.Pass, F.Function, F.Kind, F.Description, F.ReproFile});
   Telemetry.Remarks = Remarks.remarks();
   return Telemetry;
 }

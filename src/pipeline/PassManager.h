@@ -43,6 +43,7 @@
 
 #include "pipeline/AnalysisContext.h"
 #include "pipeline/Pass.h"
+#include "pipeline/PassSandbox.h"
 
 #include <functional>
 #include <memory>
@@ -66,8 +67,18 @@ enum class PipelineMode : uint8_t {
 
 struct PassManagerConfig {
   /// Run the ILVerifier after every pass; a violation stops the pipeline
-  /// with a diagnostic naming the pass that broke the invariant.
+  /// with a diagnostic naming the pass that broke the invariant.  With
+  /// the sandbox enabled, a per-function violation is instead *contained*:
+  /// the function rolls back and the (pass, function) pair is quarantined.
   bool VerifyEach = false;
+
+  /// Fault containment around function-pass invocations (PassSandbox.h).
+  /// With Sandbox.Enabled, a pass that throws, corrupts the IL (under
+  /// VerifyEach), or blows a budget is quarantined per function: the
+  /// function rolls back to its pre-pass IL and the pipeline continues.
+  /// Module passes cannot roll back cross-function mutation, so their
+  /// escaped exceptions become clean diagnostic errors instead.
+  SandboxPolicy Sandbox;
 
   PipelineMode Mode = PipelineMode::FunctionAtATime;
 

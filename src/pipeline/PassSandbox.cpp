@@ -1,0 +1,418 @@
+#include "pipeline/PassSandbox.h"
+
+#include "il/ILSerializer.h"
+#include "pipeline/AnalysisContext.h"
+#include "pipeline/ILVerifier.h"
+#include "pipeline/PassRegistry.h"
+
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+using namespace tcc;
+using namespace tcc::il;
+using namespace tcc::pipeline;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double millisSince(Clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - Start)
+      .count();
+}
+
+uint64_t countStmts(const Function &F) {
+  uint64_t N = 0;
+  forEachStmt(F.getBody(), [&N](const Stmt *) { ++N; });
+  return N;
+}
+
+std::string joinErrors(const std::vector<std::string> &Errors) {
+  std::string Out;
+  for (const std::string &E : Errors) {
+    if (!Out.empty())
+      Out += "; ";
+    Out += E;
+  }
+  return Out;
+}
+
+std::string oneLine(std::string S) {
+  for (char &C : S)
+    if (C == '\n' || C == '\r')
+      C = ' ';
+  return S;
+}
+
+std::string fileSafe(const std::string &Name) {
+  std::string Out;
+  for (char C : Name)
+    Out += (std::isalnum(static_cast<unsigned char>(C)) || C == '_' ||
+            C == '-')
+               ? C
+               : '_';
+  return Out.empty() ? std::string("anon") : Out;
+}
+
+std::string formatMs(double Ms) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.1f", Ms);
+  return Buf;
+}
+
+} // namespace
+
+PassSandbox::Result PassSandbox::run(FunctionPass &FP, Function &F,
+                                     PassContext &Ctx, bool VerifyEach) {
+  Result R;
+  R.F = &F;
+  R.Stats = remarks::StatGroup(FP.name());
+
+  if (isQuarantined(FP.name(), F.getName())) {
+    R.Skipped = true;
+    return R;
+  }
+
+  // The rollback point.  Serialization round-trips are a fixed point and
+  // symbols stay densely numbered throughout the pipeline, so restoring
+  // this snapshot is indistinguishable from never having run the pass.
+  // The id/name counters are not part of the IL text, so they are saved
+  // on the side: without them, passes running after a rollback would
+  // mint temp names a never-faulted compile would not.
+  const std::string Snapshot = serializeFunction(F);
+  const Function::Counters SavedCounters = F.counters();
+  const uint64_t StmtsBefore = countStmts(F);
+  const FaultSpec *Injected =
+      Policy.Faults ? Policy.Faults->arm(FP.name(), F.getName()) : nullptr;
+
+  std::string Kind, Description;
+  auto Start = Clock::now();
+  try {
+    if (Injected)
+      throwInjectedFault(*Injected); // throw / oom raise; others return
+    R.Stats = FP.runOnFunction(F, Ctx);
+    if (Injected && Injected->Kind == FaultKind::CorruptIL)
+      F.getBody().Stmts.push_back(
+          F.create<GotoStmt>(SourceLoc(), "__tcc_injected_corruption"));
+    if (Injected && Injected->Kind == FaultKind::Slow &&
+        Policy.PassBudgetMs > 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          static_cast<long>(Policy.PassBudgetMs) + 25));
+  } catch (const std::exception &E) {
+    Kind = "exception";
+    Description = oneLine(E.what());
+  } catch (...) {
+    Kind = "exception";
+    Description = "unknown exception escaped the pass body";
+  }
+  const double Millis = millisSince(Start);
+
+  // An injected corrupt-il must be detected even without -verify-each,
+  // otherwise the harness would depend on an unrelated flag to prove the
+  // verifier containment path works.
+  const bool Verify =
+      Kind.empty() &&
+      (VerifyEach || (Injected && Injected->Kind == FaultKind::CorruptIL));
+  if (Verify) {
+    VerifierReport Report = verifyFunction(F);
+    if (!Report.ok()) {
+      Kind = "verifier";
+      Description = joinErrors(Report.Errors);
+    }
+  }
+
+  if (Kind.empty() && Policy.StmtGrowthFactor) {
+    const uint64_t Limit =
+        StmtsBefore * Policy.StmtGrowthFactor + Policy.StmtGrowthSlack;
+    const uint64_t StmtsAfter = countStmts(F);
+    if (StmtsAfter > Limit) {
+      Kind = "stmt-budget";
+      Description = "statement growth " + std::to_string(StmtsBefore) +
+                    " -> " + std::to_string(StmtsAfter) +
+                    " exceeds budget " + std::to_string(Limit);
+    }
+  }
+
+  if (Kind.empty() && Policy.PassBudgetMs > 0 &&
+      Millis > Policy.PassBudgetMs) {
+    Kind = "time-budget";
+    Description = "pass ran " + formatMs(Millis) +
+                  " ms against a budget of " + formatMs(Policy.PassBudgetMs) +
+                  " ms";
+  }
+
+  if (Kind.empty())
+    return R; // Healthy invocation.
+
+  // Containment.  The pass may have died mid-mutation, so the live
+  // function is untrusted: rebuild it from the snapshot and splice the
+  // replacement into the program at the same position.
+  DiagnosticEngine Scratch;
+  Function *Restored = deserializeFunction(Snapshot, Ctx.Program, Scratch);
+  if (!Restored) {
+    // Cannot happen for IL we serialized ourselves; if it does, the
+    // sandbox must not pretend to have contained anything.
+    Ctx.Diags.error(SourceLoc(),
+                    "pass '" + FP.name() + "' failed on function '" +
+                        F.getName() + "' (" + Kind + ": " + Description +
+                        ") and the rollback snapshot would not restore: " +
+                        Scratch.str());
+    R.Faulted = true;
+    return R;
+  }
+  Restored->setCounters(SavedCounters);
+  Ctx.Analyses.forget(F);
+  Ctx.Program.replaceFunction(&F, Restored);
+  R.F = Restored;
+  R.Faulted = true;
+  R.Stats = remarks::StatGroup(FP.name()); // Partial counters are untrusted.
+
+  Quarantine.insert({FP.name(), Restored->getName()});
+
+  SandboxFault Fault;
+  Fault.Pass = FP.name();
+  Fault.Function = Restored->getName();
+  Fault.Kind = Kind;
+  Fault.Description = Description;
+  Fault.ReproFile = writeReproBundle(Fault, Snapshot, Injected, VerifyEach, Ctx);
+  FaultLog.push_back(Fault);
+
+  Ctx.Remarks.missed(FP.name(), SourceLoc(),
+                     "pass quarantined on function '" + Fault.Function +
+                         "' (" + Kind + ": " + Description +
+                         "); function rolled back to its pre-pass IL");
+  std::string Warning = "pass '" + FP.name() + "' failed on function '" +
+                        Fault.Function + "' (" + Kind + ": " + Description +
+                        "); continuing with that pass skipped";
+  if (!Fault.ReproFile.empty())
+    Warning += " (reproducer: " + Fault.ReproFile + ")";
+  Ctx.Diags.warning(SourceLoc(), Warning);
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Reproducer bundles
+//===----------------------------------------------------------------------===//
+
+std::string PassSandbox::writeReproBundle(const SandboxFault &Fault,
+                                          const std::string &SnapshotIL,
+                                          const FaultSpec *Injected,
+                                          bool VerifyEach, PassContext &Ctx) {
+  if (Policy.ReproDir.empty())
+    return "";
+
+  std::error_code EC;
+  std::filesystem::create_directories(Policy.ReproDir, EC);
+  if (EC) {
+    Ctx.Diags.warning(SourceLoc(), "cannot create reproducer directory '" +
+                                       Policy.ReproDir +
+                                       "': " + EC.message());
+    return "";
+  }
+
+  const std::string Path = Policy.ReproDir + "/" + fileSafe(Fault.Pass) +
+                           "-" + fileSafe(Fault.Function) + "-" +
+                           std::to_string(BundleSeq++) + ".repro";
+  const std::string Temp = Path + ".tmp";
+  {
+    std::ofstream OS(Temp, std::ios::binary | std::ios::trunc);
+    if (!OS) {
+      Ctx.Diags.warning(SourceLoc(),
+                        "cannot write reproducer bundle '" + Temp + "'");
+      return "";
+    }
+    char Budget[32];
+    std::snprintf(Budget, sizeof(Budget), "%g", Policy.PassBudgetMs);
+    OS << "tcc-repro v1\n";
+    OS << "pass " << Fault.Pass << '\n';
+    OS << "function \"" << Fault.Function << "\"\n";
+    OS << "kind " << Fault.Kind << '\n';
+    OS << "inject " << (Injected ? Injected->str() : std::string("-"))
+       << '\n';
+    OS << "policy " << (VerifyEach ? 1 : 0) << ' ' << Budget << ' '
+       << Policy.StmtGrowthFactor << ' ' << Policy.StmtGrowthSlack << '\n';
+    OS << "config " << ConfigFingerprint << '\n';
+    OS << "description " << oneLine(Fault.Description) << '\n';
+    OS << "il " << SnapshotIL.size() << '\n';
+    OS << SnapshotIL << '\n';
+    OS.flush();
+    if (!OS) {
+      Ctx.Diags.warning(SourceLoc(),
+                        "cannot write reproducer bundle '" + Temp + "'");
+      std::remove(Temp.c_str());
+      return "";
+    }
+  }
+  if (std::rename(Temp.c_str(), Path.c_str()) != 0) {
+    Ctx.Diags.warning(SourceLoc(), "cannot finalize reproducer bundle '" +
+                                       Path + "'");
+    std::remove(Temp.c_str());
+    return "";
+  }
+  return Path;
+}
+
+namespace {
+
+/// "key rest-of-line" splitter for the bundle's line-oriented header.
+bool splitKeyed(const std::string &Line, const char *Key, std::string &Rest) {
+  const size_t N = std::strlen(Key);
+  if (Line.compare(0, N, Key) != 0)
+    return false;
+  if (Line.size() == N) {
+    Rest.clear();
+    return true;
+  }
+  if (Line[N] != ' ')
+    return false;
+  Rest = Line.substr(N + 1);
+  return true;
+}
+
+} // namespace
+
+bool pipeline::loadReproBundle(const std::string &Path, ReproBundle &Out,
+                               DiagnosticEngine &Diags) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    Diags.error(SourceLoc(), "cannot open reproducer bundle '" + Path + "'");
+    return false;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  const std::string Text = Buffer.str();
+
+  size_t Pos = 0;
+  uint32_t Line = 0;
+  auto ReadLine = [&](std::string &L) {
+    if (Pos >= Text.size())
+      return false;
+    size_t NL = Text.find('\n', Pos);
+    if (NL == std::string::npos)
+      NL = Text.size();
+    L = Text.substr(Pos, NL - Pos);
+    Pos = NL + 1;
+    ++Line;
+    return true;
+  };
+  auto Fail = [&](const std::string &Msg) {
+    Diags.error(SourceLoc(Line, 1), "reproducer bundle: " + Msg);
+    return false;
+  };
+
+  std::string L;
+  if (!ReadLine(L) || L != "tcc-repro v1")
+    return Fail("bad magic '" + L + "' (expected 'tcc-repro v1')");
+
+  Out = ReproBundle();
+  while (ReadLine(L)) {
+    std::string Rest;
+    if (splitKeyed(L, "pass", Rest)) {
+      Out.Pass = Rest;
+    } else if (splitKeyed(L, "function", Rest)) {
+      if (Rest.size() < 2 || Rest.front() != '"' || Rest.back() != '"')
+        return Fail("malformed function line '" + L + "'");
+      Out.Function = Rest.substr(1, Rest.size() - 2);
+    } else if (splitKeyed(L, "kind", Rest)) {
+      Out.Kind = Rest;
+    } else if (splitKeyed(L, "inject", Rest)) {
+      Out.InjectSpec = Rest;
+    } else if (splitKeyed(L, "policy", Rest)) {
+      int Verify = 0;
+      double Budget = 0;
+      unsigned long long Factor = 0, Slack = 0;
+      if (std::sscanf(Rest.c_str(), "%d %lf %llu %llu", &Verify, &Budget,
+                      &Factor, &Slack) != 4)
+        return Fail("malformed policy line '" + L + "'");
+      Out.VerifyEach = Verify != 0;
+      Out.PassBudgetMs = Budget;
+      Out.StmtGrowthFactor = Factor;
+      Out.StmtGrowthSlack = Slack;
+    } else if (splitKeyed(L, "config", Rest)) {
+      Out.Config = Rest;
+    } else if (splitKeyed(L, "description", Rest)) {
+      Out.Description = Rest;
+    } else if (splitKeyed(L, "il", Rest)) {
+      size_t Bytes = 0;
+      for (char C : Rest) {
+        if (C < '0' || C > '9' || Bytes > Text.size())
+          return Fail("malformed il length '" + Rest + "'");
+        Bytes = Bytes * 10 + static_cast<size_t>(C - '0');
+      }
+      if (Bytes > Text.size() || Pos > Text.size() - Bytes)
+        return Fail("truncated il payload (wants " + std::to_string(Bytes) +
+                    " bytes)");
+      Out.IL = Text.substr(Pos, Bytes);
+      Pos += Bytes;
+      break; // The payload is the last record.
+    } else {
+      return Fail("unknown bundle line '" + L + "'");
+    }
+  }
+
+  if (Out.Pass.empty() || Out.IL.empty())
+    return Fail("bundle is missing its pass name or IL payload");
+  return true;
+}
+
+ReplayResult pipeline::replayBundle(const ReproBundle &B,
+                                    const PipelineOptions &Options,
+                                    DiagnosticEngine &Diags) {
+  ReplayResult R;
+
+  auto Created = PassRegistry::instance().create(B.Pass);
+  if (!Created) {
+    Diags.error(SourceLoc(), "reproducer bundle names unknown pass '" +
+                                 B.Pass + "'; known passes: " +
+                                 PassRegistry::instance().namesJoined());
+    return R;
+  }
+  if (Created->getKind() != Pass::FunctionPassKind) {
+    Diags.error(SourceLoc(), "pass '" + B.Pass +
+                                 "' is not a function pass; only "
+                                 "function-pass faults are replayable");
+    return R;
+  }
+
+  Program Prog;
+  Function *F = deserializeFunction(B.IL, Prog, Diags);
+  if (!F)
+    return R;
+
+  FaultInjector Injector;
+  if (!B.InjectSpec.empty() && B.InjectSpec != "-" &&
+      !Injector.addSpecs(B.InjectSpec, Diags))
+    return R;
+
+  SandboxPolicy Policy;
+  Policy.Enabled = true;
+  Policy.PassBudgetMs = B.PassBudgetMs;
+  Policy.StmtGrowthFactor = B.StmtGrowthFactor;
+  Policy.StmtGrowthSlack = B.StmtGrowthSlack;
+  Policy.ReproDir = ""; // A replay never writes new bundles.
+  Policy.Faults = Injector.empty() ? nullptr : &Injector;
+
+  PassSandbox SB(Policy, B.Config);
+  AnalysisContext Analyses;
+  remarks::RemarkCollector Remarks;
+  PipelineStats Stats;
+  DiagnosticEngine RunDiags;
+  PassContext Ctx{Prog, RunDiags, Options, Analyses, Remarks, Stats};
+
+  auto SR = SB.run(static_cast<FunctionPass &>(*Created), *F, Ctx,
+                   B.VerifyEach);
+  R.Ran = true;
+  if (SR.Faulted && !SB.faults().empty()) {
+    const SandboxFault &Fault = SB.faults().back();
+    R.Kind = Fault.Kind;
+    R.Description = Fault.Description;
+    R.Reproduced = Fault.Kind == B.Kind;
+  }
+  return R;
+}

@@ -1,0 +1,169 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fault containment around function-pass invocations.
+///
+/// The paper's optimizations all *refine* correct scalar code (Sections
+/// 5-6, 9): any single pass can be abandoned without losing correctness,
+/// only performance.  The PassSandbox exploits that structure.  Every
+/// function-pass invocation runs inside it:
+///
+///   1. the function's serialized IL is snapshotted before the pass;
+///   2. the pass body runs under a try/catch, a per-pass statement-growth
+///      budget, and a wall-clock budget; with -verify-each the ILVerifier
+///      checks the result;
+///   3. on any failure — escaped exception, verifier rejection, budget
+///      overrun — the function is rolled back to the snapshot (round-trips
+///      are a fixed point, so the rollback is byte-identical to never
+///      having run the pass), the (pass, function) pair is quarantined,
+///      a replayable crash-reproducer bundle is written, and the pipeline
+///      continues.  Worst case the function ships with fewer
+///      optimizations; the compile never drops.
+///
+/// A reproducer bundle is one file under the repro directory holding the
+/// pre-pass IL, the pass name, the option fingerprint, the containment
+/// policy, the injected-fault spec (when injection caused it), and the
+/// fault description.  `tcc -replay=<bundle>` re-runs exactly that pass
+/// on that IL through replayBundle() and reports whether the same fault
+/// reproduces.
+///
+/// Fault injection (support/FaultInjection.h) drives every containment
+/// path deterministically: throw/oom raise before the pass body, a
+/// corrupt-il injection appends a verifier-rejected statement after it,
+/// and slow burns past the wall-clock budget.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_PIPELINE_PASSSANDBOX_H
+#define TCC_PIPELINE_PASSSANDBOX_H
+
+#include "pipeline/Pass.h"
+#include "support/FaultInjection.h"
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tcc {
+namespace pipeline {
+
+/// What the sandbox enforces around each function-pass invocation.
+struct SandboxPolicy {
+  /// Master switch.  Off restores the pre-containment behavior: pass
+  /// exceptions escape and -verify-each violations fail the pipeline.
+  bool Enabled = true;
+
+  /// Wall-clock budget per pass invocation, in milliseconds; an overrun
+  /// quarantines the invocation (checked after the pass returns — the
+  /// sandbox cannot preempt, it detects and contains).  0 disables.
+  double PassBudgetMs = 1000.0;
+
+  /// Statement-growth budget: a pass leaving more than
+  /// Before * StmtGrowthFactor + StmtGrowthSlack statements is treated as
+  /// runaway and quarantined.  Factor 0 disables.
+  uint64_t StmtGrowthFactor = 8;
+  uint64_t StmtGrowthSlack = 512;
+
+  /// Directory for crash-reproducer bundles; empty disables writing them.
+  std::string ReproDir;
+
+  /// Deterministic fault injection; null injects nothing.
+  FaultInjector *Faults = nullptr;
+};
+
+/// One contained failure, as recorded in telemetry and remarks.
+struct SandboxFault {
+  std::string Pass;
+  std::string Function;
+  std::string Kind;        ///< "exception", "verifier", "stmt-budget", "time-budget".
+  std::string Description; ///< What was caught / which budget by how much.
+  std::string ReproFile;   ///< Written bundle path; empty if disabled/failed.
+};
+
+/// Per-pipeline-run containment state: the quarantine set and the fault
+/// log.  The PassManager owns one per run() and routes every function-pass
+/// invocation through it when the policy is enabled.
+class PassSandbox {
+public:
+  PassSandbox(const SandboxPolicy &Policy, std::string ConfigFingerprint)
+      : Policy(Policy), ConfigFingerprint(std::move(ConfigFingerprint)) {}
+
+  struct Result {
+    il::Function *F = nullptr; ///< The function after the invocation —
+                               ///< the rolled-back replacement on fault.
+    remarks::StatGroup Stats;
+    bool Faulted = false; ///< Contained a failure this invocation.
+    bool Skipped = false; ///< Quarantined earlier; the pass did not run.
+  };
+
+  /// Runs \p FP over \p F with full containment.  Never throws; never
+  /// leaves errors in Ctx.Diags for contained faults (a warning and a
+  /// missed-remark are emitted instead).  \p VerifyEach additionally
+  /// treats an ILVerifier rejection of the result as a fault.
+  Result run(FunctionPass &FP, il::Function &F, PassContext &Ctx,
+             bool VerifyEach);
+
+  bool isQuarantined(const std::string &Pass,
+                     const std::string &Function) const {
+    return Quarantine.count({Pass, Function}) != 0;
+  }
+
+  const std::vector<SandboxFault> &faults() const { return FaultLog; }
+
+private:
+  std::string writeReproBundle(const SandboxFault &Fault,
+                               const std::string &SnapshotIL,
+                               const FaultSpec *Injected, bool VerifyEach,
+                               PassContext &Ctx);
+
+  SandboxPolicy Policy;
+  std::string ConfigFingerprint;
+  std::set<std::pair<std::string, std::string>> Quarantine;
+  std::vector<SandboxFault> FaultLog;
+  unsigned BundleSeq = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Crash-reproducer bundles
+//===----------------------------------------------------------------------===//
+
+/// A parsed reproducer bundle: everything needed to re-run exactly one
+/// pass invocation on exactly the IL it faulted on.
+struct ReproBundle {
+  std::string Pass;
+  std::string Function;
+  std::string Kind;        ///< Fault kind recorded at containment time.
+  std::string Description;
+  std::string Config;      ///< Option fingerprint of the original compile.
+  std::string InjectSpec;  ///< Fault-injection spec to re-arm; "-" = none.
+  std::string IL;          ///< Pre-pass serialized function IL.
+  bool VerifyEach = false;
+  double PassBudgetMs = 0.0;
+  uint64_t StmtGrowthFactor = 0;
+  uint64_t StmtGrowthSlack = 0;
+};
+
+/// Reads a bundle file; located diagnostics and false on malformed input.
+bool loadReproBundle(const std::string &Path, ReproBundle &Out,
+                     DiagnosticEngine &Diags);
+
+struct ReplayResult {
+  bool Ran = false;        ///< Bundle was executable (pass known, IL valid).
+  bool Reproduced = false; ///< A fault of the recorded kind occurred again.
+  std::string Kind;        ///< Fault kind observed during replay, if any.
+  std::string Description;
+};
+
+/// Re-runs the bundle's pass on the bundle's IL under the recorded
+/// containment policy (re-arming the recorded fault injection).  The
+/// whole point of a bundle: a contained fault reproduces deterministically
+/// outside the original compile.
+ReplayResult replayBundle(const ReproBundle &B,
+                          const PipelineOptions &Options,
+                          DiagnosticEngine &Diags);
+
+} // namespace pipeline
+} // namespace tcc
+
+#endif // TCC_PIPELINE_PASSSANDBOX_H

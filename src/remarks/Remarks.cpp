@@ -67,6 +67,15 @@ CompilationTelemetry::findFunction(const std::string &Function) const {
   return nullptr;
 }
 
+const FaultRecord *
+CompilationTelemetry::findFault(const std::string &Pass,
+                                const std::string &Function) const {
+  for (const FaultRecord &R : Faults)
+    if (R.Pass == Pass && R.Function == Function)
+      return &R;
+  return nullptr;
+}
+
 uint64_t CompilationTelemetry::cacheHits() const {
   uint64_t Hits = 0;
   for (const FunctionRecord &R : Functions)
@@ -139,6 +148,20 @@ void CompilationTelemetry::writeJSON(std::ostream &OS) const {
     W.keyValue("cacheHit", R.CacheHit);
     writeCounts(W, "before", R.Before);
     writeCounts(W, "after", R.After);
+    W.endObject();
+  }
+  W.endArray();
+
+  // Always present, usually empty: consumers can assert "no faults" by
+  // reading the array instead of special-casing a missing key.
+  W.key("faults").beginArray();
+  for (const FaultRecord &R : Faults) {
+    W.beginObject();
+    W.keyValue("pass", R.Pass);
+    W.keyValue("function", R.Function);
+    W.keyValue("kind", R.Kind);
+    W.keyValue("description", R.Description);
+    W.keyValue("reproFile", R.ReproFile);
     W.endObject();
   }
   W.endArray();

@@ -153,17 +153,30 @@ struct FunctionRecord {
   bool CacheHit = false; ///< Body restored from the .tcc-cache manifest.
 };
 
+/// One failure the pass sandbox contained: the pass kept running the rest
+/// of the pipeline, this function simply shipped without that pass.
+struct FaultRecord {
+  std::string Pass;
+  std::string Function;
+  std::string Kind; ///< "exception", "verifier", "stmt-budget", "time-budget".
+  std::string Description;
+  std::string ReproFile; ///< Replayable bundle path; empty if none written.
+};
+
 /// The full telemetry of one compilation: the executed pipeline with
 /// per-pass records, per-function records (when scheduled function-at-a-
-/// time), plus all remarks.
+/// time), contained faults, plus all remarks.
 struct CompilationTelemetry {
   std::vector<PassRecord> Passes;
   std::vector<FunctionRecord> Functions;
+  std::vector<FaultRecord> Faults;
   std::vector<Remark> Remarks;
   double TotalMillis = 0.0;
 
   const PassRecord *find(const std::string &Pass) const;
   const FunctionRecord *findFunction(const std::string &Function) const;
+  const FaultRecord *findFault(const std::string &Pass,
+                               const std::string &Function) const;
 
   /// Cache hits among the per-function records.
   uint64_t cacheHits() const;

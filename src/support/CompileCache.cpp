@@ -2,6 +2,7 @@
 
 #include "support/StringExtras.h"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -53,7 +54,8 @@ void CompileCache::storeShard(
 namespace {
 
 /// Line-oriented manifest reader tracking the current line for located
-/// diagnostics.
+/// diagnostics.  Malformation is a *warning* — a damaged manifest
+/// degrades the cache to cold, it never fails the compile.
 class ManifestReader {
 public:
   ManifestReader(const std::string &Text, DiagnosticEngine &Diags)
@@ -74,10 +76,14 @@ public:
     return Out;
   }
 
-  /// Reads exactly \p N payload bytes plus the trailing newline.
+  /// Reads exactly \p N payload bytes plus the trailing newline.  The
+  /// length was parsed from untrusted input, so it is checked against the
+  /// bytes actually remaining — a partial trailing record can never read
+  /// past the buffer.
   bool readPayload(size_t N, std::string &Out) {
-    if (Pos + N > Text.size()) {
-      error("truncated payload (wants " + std::to_string(N) + " bytes)");
+    if (N > Text.size() || Pos > Text.size() - N) {
+      error("truncated payload (wants " + std::to_string(N) +
+            " bytes, has " + std::to_string(Text.size() - Pos) + ")");
       return false;
     }
     Out = Text.substr(Pos, N);
@@ -93,9 +99,12 @@ public:
   }
 
   /// Reports at the line the last readLine() started on, so a malformed
-  /// header is located at the header itself.
+  /// header is located at the header itself.  A warning, not an error:
+  /// the caller degrades to a cold cache and rebuilds.
   void error(const std::string &Msg) {
-    Diags.error(SourceLoc(LastLine, 1), "compile-cache manifest: " + Msg);
+    Diags.warning(SourceLoc(LastLine, 1),
+                  "compile-cache manifest: " + Msg +
+                      "; ignoring cache and recompiling");
   }
 
 private:
@@ -131,7 +140,12 @@ bool parseWord(const std::string &Header, size_t &Cursor, std::string &Out) {
   return !Out.empty();
 }
 
-bool parseCount(const std::string &Header, size_t &Cursor, size_t &Out) {
+/// Parses a decimal count, rejecting non-digits and anything above
+/// \p Max — a manifest length can never legitimately exceed the manifest
+/// file it came from, so an out-of-range value is corruption, caught here
+/// before any allocation or buffer arithmetic uses it.
+bool parseCount(const std::string &Header, size_t &Cursor, size_t &Out,
+                size_t Max) {
   std::string Word;
   if (!parseWord(Header, Cursor, Word))
     return false;
@@ -139,7 +153,11 @@ bool parseCount(const std::string &Header, size_t &Cursor, size_t &Out) {
   for (char C : Word) {
     if (C < '0' || C > '9')
       return false;
+    if (Out > Max / 10)
+      return false;
     Out = Out * 10 + static_cast<size_t>(C - '0');
+    if (Out > Max)
+      return false;
   }
   return true;
 }
@@ -160,12 +178,23 @@ bool CompileCache::load(const std::string &Path, CompileCache &Out,
   Buffer << In.rdbuf();
   const std::string Text = Buffer.str();
 
+  // Every rejection below takes the same exit: warn (ManifestReader
+  // locates the line), leave the cache empty, and report degradation —
+  // a damaged manifest costs a cold rebuild, never the compile.
   ManifestReader R(Text, Diags);
+  auto Degrade = [&Out] {
+    Out = CompileCache();
+    // A cold start must rewrite the manifest even if nothing new is
+    // learned, so the damaged bytes on disk get replaced.
+    Out.Dirty = true;
+    return false;
+  };
+
   std::string Magic = R.readLine();
   if (Magic != "tcc-cache v1") {
-    R.error("bad magic '" + Magic + "' (expected 'tcc-cache v1')");
-    Out = CompileCache();
-    return false;
+    R.error("unsupported version or bad magic '" + Magic +
+            "' (expected 'tcc-cache v1')");
+    return Degrade();
   }
 
   while (!R.atEnd()) {
@@ -180,53 +209,52 @@ bool CompileCache::load(const std::string &Path, CompileCache &Out,
       size_t Bytes = 0;
       if (!parseQuoted(Header, Cursor, Name) ||
           !parseWord(Header, Cursor, Hash) ||
-          !parseCount(Header, Cursor, Bytes)) {
+          !parseCount(Header, Cursor, Bytes, Text.size())) {
         R.error("malformed func header '" + Header + "'");
-        Out = CompileCache();
-        return false;
+        return Degrade();
       }
       std::string Payload;
-      if (!R.readPayload(Bytes, Payload)) {
-        Out = CompileCache();
-        return false;
-      }
+      if (!R.readPayload(Bytes, Payload))
+        return Degrade();
       Out.Functions[Name] = {std::move(Hash), std::move(Payload)};
     } else if (Kind == "shard") {
       std::string File, Hash;
       size_t Count = 0;
+      // Each recorded procedure needs at least one manifest line, so a
+      // count beyond the remaining text is corruption, not a big shard.
       if (!parseQuoted(Header, Cursor, File) ||
           !parseWord(Header, Cursor, Hash) ||
-          !parseCount(Header, Cursor, Count)) {
+          !parseCount(Header, Cursor, Count, Text.size())) {
         R.error("malformed shard header '" + Header + "'");
-        Out = CompileCache();
-        return false;
+        return Degrade();
       }
       ShardEntry E;
       E.Hash = std::move(Hash);
       for (size_t I = 0; I < Count; ++I) {
+        if (R.atEnd()) {
+          R.error("shard '" + File + "' promises " + std::to_string(Count) +
+                  " procs but the manifest ends after " + std::to_string(I));
+          return Degrade();
+        }
         std::string ProcHeader = R.readLine();
         size_t PC = 0;
         std::string ProcKind, ProcName;
         size_t Bytes = 0;
         parseWord(ProcHeader, PC, ProcKind);
         if (ProcKind != "proc" || !parseQuoted(ProcHeader, PC, ProcName) ||
-            !parseCount(ProcHeader, PC, Bytes)) {
+            !parseCount(ProcHeader, PC, Bytes, Text.size())) {
           R.error("malformed proc header '" + ProcHeader + "'");
-          Out = CompileCache();
-          return false;
+          return Degrade();
         }
         std::string Payload;
-        if (!R.readPayload(Bytes, Payload)) {
-          Out = CompileCache();
-          return false;
-        }
+        if (!R.readPayload(Bytes, Payload))
+          return Degrade();
         E.Procs.emplace_back(std::move(ProcName), std::move(Payload));
       }
       Out.Shards[File] = std::move(E);
     } else {
       R.error("unknown record kind '" + Kind + "'");
-      Out = CompileCache();
-      return false;
+      return Degrade();
     }
   }
   return true;
@@ -234,28 +262,45 @@ bool CompileCache::load(const std::string &Path, CompileCache &Out,
 
 bool CompileCache::save(const std::string &Path,
                         DiagnosticEngine &Diags) const {
-  std::ofstream OS(Path, std::ios::binary);
-  if (!OS) {
-    Diags.error(SourceLoc(), "cannot write compile cache '" + Path + "'");
-    return false;
-  }
-  OS << "tcc-cache v1\n";
-  for (const auto &[Name, E] : Functions) {
-    OS << "func ";
-    writeQuoted(OS, Name);
-    OS << ' ' << E.Hash << ' ' << E.Text.size() << '\n';
-    OS << E.Text << '\n';
-  }
-  for (const auto &[File, E] : Shards) {
-    OS << "shard ";
-    writeQuoted(OS, File);
-    OS << ' ' << E.Hash << ' ' << E.Procs.size() << '\n';
-    for (const auto &[Name, Text] : E.Procs) {
-      OS << "proc ";
+  // Write-to-temp + rename: readers of Path only ever observe the old
+  // complete manifest or the new complete manifest, never a prefix.
+  const std::string Temp = Path + ".tmp";
+  {
+    std::ofstream OS(Temp, std::ios::binary | std::ios::trunc);
+    if (!OS) {
+      Diags.error(SourceLoc(), "cannot write compile cache '" + Temp + "'");
+      return false;
+    }
+    OS << "tcc-cache v1\n";
+    for (const auto &[Name, E] : Functions) {
+      OS << "func ";
       writeQuoted(OS, Name);
-      OS << ' ' << Text.size() << '\n';
-      OS << Text << '\n';
+      OS << ' ' << E.Hash << ' ' << E.Text.size() << '\n';
+      OS << E.Text << '\n';
+    }
+    for (const auto &[File, E] : Shards) {
+      OS << "shard ";
+      writeQuoted(OS, File);
+      OS << ' ' << E.Hash << ' ' << E.Procs.size() << '\n';
+      for (const auto &[Name, Text] : E.Procs) {
+        OS << "proc ";
+        writeQuoted(OS, Name);
+        OS << ' ' << Text.size() << '\n';
+        OS << Text << '\n';
+      }
+    }
+    OS.flush();
+    if (!OS) {
+      Diags.error(SourceLoc(), "cannot write compile cache '" + Temp + "'");
+      std::remove(Temp.c_str());
+      return false;
     }
   }
-  return static_cast<bool>(OS);
+  if (std::rename(Temp.c_str(), Path.c_str()) != 0) {
+    Diags.error(SourceLoc(), "cannot rename '" + Temp + "' to '" + Path +
+                                 "' while saving compile cache");
+    std::remove(Temp.c_str());
+    return false;
+  }
+  return true;
 }

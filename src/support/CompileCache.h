@@ -28,10 +28,14 @@
 ///   ...
 ///
 /// Entries are stored name-sorted (std::map), so saving the same cache
-/// state always produces byte-identical manifests.  A missing manifest
-/// file is an empty cache, not an error; a malformed one is reported and
-/// treated as empty (the cache is an accelerator, never a correctness
-/// dependency).
+/// state always produces byte-identical manifests.  The cache is an
+/// accelerator, never a correctness dependency, so no manifest state may
+/// fail a compile: a missing file is an empty cache, and a truncated,
+/// corrupt, or version-skewed manifest degrades to a *cold* cache with a
+/// located warning — the run rebuilds everything and rewrites the
+/// manifest.  Saving goes through a temp file renamed into place, so an
+/// interrupted run can never leave a half-written manifest that poisons
+/// the next warm run.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -85,13 +89,19 @@ public:
   /// skip rewriting the manifest after all-hit runs.
   bool dirty() const { return Dirty; }
 
-  /// Reads \p Path.  A missing file yields an empty cache and returns
-  /// true; unreadable or malformed content reports a diagnostic (located
-  /// by manifest line) and returns false with the cache left empty.
+  /// Reads \p Path.  A missing file yields an empty cache.  Truncated,
+  /// corrupt, or version-skewed content (bad magic, out-of-range counts
+  /// or payload lengths, partial trailing records) yields an empty cache
+  /// too, with a warning located by manifest line — never an error, so a
+  /// damaged manifest degrades a warm run to a cold one instead of
+  /// failing the compile.  Returns false exactly when such degradation
+  /// happened (callers may ignore it; Out is always usable).
   static bool load(const std::string &Path, CompileCache &Out,
                    DiagnosticEngine &Diags);
 
-  /// Writes the manifest to \p Path (name-sorted, byte-stable).
+  /// Writes the manifest to \p Path (name-sorted, byte-stable).  The
+  /// write is atomic: content goes to "<Path>.tmp" and is renamed into
+  /// place, so a crash mid-save leaves the previous manifest intact.
   bool save(const std::string &Path, DiagnosticEngine &Diags) const;
 
 private:

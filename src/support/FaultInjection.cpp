@@ -1,0 +1,157 @@
+#include "support/FaultInjection.h"
+
+#include <new>
+#include <stdexcept>
+
+using namespace tcc;
+
+const char *tcc::faultKindName(FaultKind K) {
+  switch (K) {
+  case FaultKind::Throw:
+    return "throw";
+  case FaultKind::CorruptIL:
+    return "corrupt-il";
+  case FaultKind::OOM:
+    return "oom";
+  case FaultKind::Slow:
+    return "slow";
+  }
+  return "throw";
+}
+
+std::string FaultSpec::str() const {
+  return Site + ":" + Unit + ":" + faultKindName(Kind) + ":" +
+         std::to_string(Nth);
+}
+
+namespace {
+
+bool parseKind(const std::string &Word, FaultKind &Out) {
+  for (FaultKind K : {FaultKind::Throw, FaultKind::CorruptIL, FaultKind::OOM,
+                      FaultKind::Slow})
+    if (Word == faultKindName(K)) {
+      Out = K;
+      return true;
+    }
+  return false;
+}
+
+} // namespace
+
+bool FaultInjector::addSpecs(const std::string &Text,
+                             DiagnosticEngine &Diags) {
+  // An entirely blank list arms nothing — the valid injection-off state.
+  if (Text.find_first_not_of(" \t") == std::string::npos)
+    return true;
+
+  std::vector<Entry> Staged;
+
+  // Comma-separated specs; each spec is colon-separated fields.  Track
+  // offsets so rejections point at the offending column (1-based, one
+  // line).
+  size_t SpecStart = 0;
+  while (SpecStart <= Text.size()) {
+    size_t Comma = Text.find(',', SpecStart);
+    size_t SpecEnd = (Comma == std::string::npos) ? Text.size() : Comma;
+    const std::string Raw = Text.substr(SpecStart, SpecEnd - SpecStart);
+
+    auto Reject = [&](size_t Offset, const std::string &Msg) {
+      Diags.error(SourceLoc(1, static_cast<uint32_t>(SpecStart + Offset) + 1),
+                  "fault-injection spec: " + Msg);
+      return false;
+    };
+
+    // Split the spec on colons.
+    std::vector<std::string> Fields;
+    std::vector<size_t> Offsets;
+    size_t FieldStart = 0;
+    for (;;) {
+      size_t Colon = Raw.find(':', FieldStart);
+      size_t FieldEnd = (Colon == std::string::npos) ? Raw.size() : Colon;
+      Fields.push_back(Raw.substr(FieldStart, FieldEnd - FieldStart));
+      Offsets.push_back(FieldStart);
+      if (Colon == std::string::npos)
+        break;
+      FieldStart = Colon + 1;
+    }
+
+    if (Fields.size() < 3 || Fields.size() > 4)
+      return Reject(0, "expected site:unit:kind[:nth], got '" + Raw + "'");
+    if (Fields[0].empty())
+      return Reject(Offsets[0], "empty site in '" + Raw + "'");
+    if (Fields[1].empty())
+      return Reject(Offsets[1], "empty unit in '" + Raw + "'");
+
+    Entry E;
+    E.Spec.Site = Fields[0];
+    E.Spec.Unit = Fields[1];
+    if (!parseKind(Fields[2], E.Spec.Kind))
+      return Reject(Offsets[2],
+                    "unknown fault kind '" + Fields[2] +
+                        "' (known: throw, corrupt-il, oom, slow)");
+    if (Fields.size() == 4) {
+      const std::string &N = Fields[3];
+      unsigned Value = 0;
+      bool Valid = !N.empty();
+      for (char C : N) {
+        if (C < '0' || C > '9' || Value > 100000000) {
+          Valid = false;
+          break;
+        }
+        Value = Value * 10 + static_cast<unsigned>(C - '0');
+      }
+      if (!Valid || Value == 0)
+        return Reject(Offsets[3],
+                      "nth must be a positive integer, got '" + N + "'");
+      E.Spec.Nth = Value;
+    }
+    Staged.push_back(std::move(E));
+
+    if (Comma == std::string::npos)
+      break;
+    SpecStart = Comma + 1;
+  }
+
+  for (auto &E : Staged)
+    Entries.push_back(std::move(E));
+  return true;
+}
+
+const FaultSpec *FaultInjector::arm(const std::string &Site,
+                                    const std::string &Unit) {
+  std::lock_guard<std::mutex> Lock(M);
+  for (Entry &E : Entries) {
+    if (E.Fired)
+      continue;
+    if (E.Spec.Site != "*" && E.Spec.Site != Site)
+      continue;
+    if (E.Spec.Unit != "*" && E.Spec.Unit != Unit)
+      continue;
+    if (++E.Seen < E.Spec.Nth)
+      continue;
+    E.Fired = true;
+    return &E.Spec;
+  }
+  return nullptr;
+}
+
+unsigned FaultInjector::firedCount() const {
+  std::lock_guard<std::mutex> Lock(M);
+  unsigned N = 0;
+  for (const Entry &E : Entries)
+    if (E.Fired)
+      ++N;
+  return N;
+}
+
+void tcc::throwInjectedFault(const FaultSpec &Spec) {
+  switch (Spec.Kind) {
+  case FaultKind::Throw:
+    throw std::runtime_error("injected fault: throw");
+  case FaultKind::OOM:
+    throw std::bad_alloc();
+  case FaultKind::CorruptIL:
+  case FaultKind::Slow:
+    break; // Handled by the sandbox, not by raising.
+  }
+}

@@ -1,0 +1,96 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic fault injection for the pass pipeline and the catalog
+/// builder.
+///
+/// Containment code is only trustworthy if every one of its paths can be
+/// driven on demand, without waiting for a real bug.  A FaultInjector
+/// holds a list of specs of the form
+///
+///   site:unit:kind[:nth]
+///
+/// (comma-separated; `site` is a registered pass name or "catalog",
+/// `unit` is a function name or translation-unit label, `*` matches any,
+/// `nth` is the 1-based matching invocation that fires, default 1).  The
+/// kinds model the classic ways a pass dies:
+///
+///   throw       an escaped std::runtime_error from the pass body
+///   corrupt-il  the pass returns but leaves verifier-rejected IL behind
+///   oom         an escaped std::bad_alloc
+///   slow        the pass wildly overruns its wall-clock budget
+///
+/// Each spec fires exactly once (on its nth match), so a run's fault set
+/// is a deterministic function of the spec string and the compilation —
+/// CI can assert "this exact fault was injected, contained, and produced
+/// this exact degraded output" on every run.  The spec string comes from
+/// `-fault-inject=` or the TCC_FAULT_INJECT environment variable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_SUPPORT_FAULTINJECTION_H
+#define TCC_SUPPORT_FAULTINJECTION_H
+
+#include "support/Diagnostics.h"
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tcc {
+
+enum class FaultKind : uint8_t { Throw, CorruptIL, OOM, Slow };
+
+/// The spec token for a kind ("throw", "corrupt-il", "oom", "slow").
+const char *faultKindName(FaultKind K);
+
+/// One armed fault: fire \p Kind on the \p Nth invocation matching
+/// (\p Site, \p Unit).
+struct FaultSpec {
+  std::string Site; ///< Pass name or "catalog"; "*" matches any.
+  std::string Unit; ///< Function name or TU label; "*" matches any.
+  FaultKind Kind = FaultKind::Throw;
+  unsigned Nth = 1; ///< 1-based matching invocation that fires.
+
+  /// Renders back to "site:unit:kind:nth" (the repro-bundle form).
+  std::string str() const;
+};
+
+/// Holds armed faults and decides, per invocation, whether one fires.
+/// Thread-safe: catalog workers consult it concurrently.
+class FaultInjector {
+public:
+  /// Parses a comma-separated spec list and arms every fault.  A
+  /// malformed spec emits a diagnostic located at the offending column
+  /// (line 1) and returns false; nothing is armed.
+  bool addSpecs(const std::string &Text, DiagnosticEngine &Diags);
+
+  /// Called once per (site, unit) invocation.  Returns the spec to fire
+  /// — consuming it — or null.  At most one fault fires per invocation;
+  /// each spec fires at most once per injector lifetime.
+  const FaultSpec *arm(const std::string &Site, const std::string &Unit);
+
+  bool empty() const { return Entries.empty(); }
+
+  /// Specs that have fired so far (for "-stats" style summaries).
+  unsigned firedCount() const;
+
+private:
+  struct Entry {
+    FaultSpec Spec;
+    unsigned Seen = 0;
+    bool Fired = false;
+  };
+  std::vector<Entry> Entries;
+  mutable std::mutex M;
+};
+
+/// Raises the exception kinds at an armed site: Throw becomes a
+/// std::runtime_error, OOM a std::bad_alloc; CorruptIL and Slow return
+/// (they are meaningful only inside the pass sandbox, which mutates IL or
+/// burns the wall-clock budget respectively).
+void throwInjectedFault(const FaultSpec &Spec);
+
+} // namespace tcc
+
+#endif // TCC_SUPPORT_FAULTINJECTION_H

@@ -49,8 +49,10 @@ std::string titan::disassemble(const TitanFunction &F) {
 TitanMachine::TitanMachine(const TitanProgram &Prog, TitanConfig Config)
     : Prog(Prog), Config(Config) {
   Mem.assign(Config.MemoryBytes, 0);
-  std::memcpy(Mem.data(), Prog.InitialImage.data(),
-              std::min<size_t>(Prog.InitialImage.size(), Mem.size()));
+  // memcpy with a null source is UB even for zero bytes (an empty image
+  // has no data pointer).
+  if (const size_t N = std::min<size_t>(Prog.InitialImage.size(), Mem.size()))
+    std::memcpy(Mem.data(), Prog.InitialImage.data(), N);
 }
 
 int64_t TitanMachine::addressOf(const std::string &Name) const {

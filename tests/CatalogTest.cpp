@@ -599,4 +599,67 @@ TEST(CatalogTest, ShardCacheMutatedSourceMissesOnlyThatShard) {
   std::remove(Path.c_str());
 }
 
+//===----------------------------------------------------------------------===//
+// Fault containment in the worker pool
+//===----------------------------------------------------------------------===//
+
+TEST(CatalogTest, InjectedWorkerFaultCostsExactlyOneShard) {
+  CatalogBuildOptions Opts;
+  Opts.FaultInject = "catalog:mat.c:throw";
+
+  // A worker that dies mid-shard may not take the process (or any other
+  // shard) with it, and the merged catalog of survivors must stay
+  // byte-identical across worker counts.
+  std::string Previous;
+  for (unsigned Workers : {1u, 2u, 8u}) {
+    Opts.Workers = Workers;
+    CatalogBuildResult R = libraryBuilder().build(Opts);
+    EXPECT_FALSE(R.ok()) << Workers << " workers";
+    std::string Text = R.Diags.str();
+    EXPECT_NE(Text.find("mat.c"), std::string::npos) << Text;
+    EXPECT_NE(Text.find("internal error"), std::string::npos) << Text;
+    EXPECT_NE(Text.find("worker contained the failure"), std::string::npos)
+        << Text;
+
+    unsigned Failed = 0;
+    for (const ShardReport &S : R.Shards) {
+      if (!S.Ok)
+        ++Failed;
+      EXPECT_EQ(S.Ok, S.File != "mat.c") << S.File;
+    }
+    EXPECT_EQ(Failed, 1u);
+
+    // The survivors' procedures are all present; the dead shard's are
+    // not.
+    EXPECT_TRUE(R.Catalog.contains("vfill"));
+    EXPECT_FALSE(R.Catalog.contains("mscale"));
+
+    // The per-shard telemetry record carries the failure bit.
+    const remarks::PassRecord *Rec = nullptr;
+    for (const auto &P : R.Telemetry.Passes)
+      if (P.Pass == "catalog:mat.c")
+        Rec = &P;
+    ASSERT_NE(Rec, nullptr);
+    EXPECT_EQ(Rec->Stats.get("failed"), 1u);
+
+    const std::string Merged = R.Catalog.serialize();
+    if (!Previous.empty()) {
+      EXPECT_EQ(Merged, Previous) << Workers << " workers";
+    }
+    Previous = Merged;
+  }
+}
+
+TEST(CatalogTest, MalformedInjectionSpecFailsTheBuildUpFront) {
+  CatalogBuildOptions Opts;
+  Opts.FaultInject = "catalog:mat.c:frobnicate";
+  CatalogBuildResult R = libraryBuilder().build(Opts);
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.Diags.str().find("fault-injection spec"), std::string::npos)
+      << R.Diags.str();
+  // No shard ran: a typo'd spec must never produce a silently
+  // un-injected build.
+  EXPECT_TRUE(R.Shards.empty());
+}
+
 } // namespace
