@@ -16,7 +16,7 @@
 #include "support/JSONWriter.h"
 
 #include <cstdio>
-#include <fstream>
+#include <sstream>
 #include <string>
 
 namespace tcc {
@@ -30,12 +30,19 @@ struct Measurement {
   driver::PhaseStats Stats;
   remarks::CompilationTelemetry Telemetry;
 
-  /// Kernel MFLOPS: the titan_tic/titan_toc region when marked, else the
-  /// whole run.
-  double mflops() const { return Run.regionMflops(Config); }
+  /// True when the run marked a titan_tic/titan_toc region; every helper
+  /// below reports that scope, so a row never mixes region cycles with
+  /// whole-run MFLOPS (or vice versa).
+  bool region() const { return Run.RegionCycles != 0; }
   double cycles() const {
-    return static_cast<double>(Run.RegionCycles ? Run.RegionCycles
-                                                : Run.Cycles);
+    return static_cast<double>(region() ? Run.RegionCycles : Run.Cycles);
+  }
+  double flops() const {
+    return static_cast<double>(region() ? Run.RegionFlops : Run.Flops);
+  }
+  /// Kernel MFLOPS over the same scope cycles() reports.
+  double mflops() const {
+    return cycles() ? flops() * Config.ClockMHz / cycles() : 0.0;
   }
 };
 
@@ -56,13 +63,16 @@ inline void setJsonKernel(const std::string &Kernel) {
 inline void appendJsonRow(const Measurement &M) {
   if (jsonKernel().empty())
     return;
-  std::ofstream OS("BENCH_pipeline.json", std::ios::app);
-  if (!OS)
-    return;
+  // The whole row is rendered into a string and appended with a single
+  // O_APPEND write: bench binaries run concurrently under ctest -j, and
+  // field-at-a-time streaming into a shared file interleaves partial
+  // lines (which corrupts the file for consumers like tcc-ablate).
+  std::ostringstream OS;
   json::JSONWriter W(OS, /*IndentWidth=*/0);
   W.beginObject();
   W.keyValue("kernel", jsonKernel());
   W.keyValue("variant", M.Label);
+  W.keyValue("region", M.region());
   W.keyValue("cycles", M.cycles());
   W.keyValue("mflops", M.mflops());
   W.keyValue("vectorInstrs", static_cast<uint64_t>(M.Run.VectorInstrs));
@@ -94,7 +104,7 @@ inline void appendJsonRow(const Measurement &M) {
   }
   W.endArray();
   W.endObject();
-  OS << '\n';
+  json::appendJsonLine("BENCH_pipeline.json", OS.str());
 }
 
 inline Measurement measure(const std::string &Label,

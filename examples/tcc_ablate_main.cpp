@@ -1,0 +1,150 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// tcc-ablate — the ablation sweep driver: which pass buys what?
+///
+///   tcc-ablate [-mode=leave-one-out|prefix|custom] [-specs=S;S...]
+///              [-kernels=a,b] [-passes=BASE] [-j<N>] [-cache=STEM]
+///              [-o FILE] [-pipeline-json=FILE] [-fault-inject=S] [-q]
+///
+///   -mode=M          leave-one-out (default): full pipeline, each pass
+///                    removed once, plus the prefix chain — attribution
+///                    averages both marginals (a two-sample Shapley
+///                    estimate) so enabler passes don't absorb the
+///                    vectorizer's credit.
+///                    prefix: the prefix chain only (in-order increments).
+///                    custom: the -specs= list, each diffed against full.
+///   -specs=S;S...    custom mode cells, ';'-separated -passes= strings
+///   -kernels=a,b     kernel subset (default: the whole bench suite)
+///   -passes=BASE     the pass universe, comma-separated registered names
+///                    (default: the full default pipeline)
+///   -j<N>            worker threads over cells (-j0 = all hardware
+///                    threads; default)
+///   -cache=STEM      compile-cache manifest stem: each (kernel, spec)
+///                    cell caches in STEM.<kernel>.<spec>, so a re-run
+///                    sweep recompiles nothing that didn't change
+///   -o FILE          JSON-Lines output (default BENCH_ablation.json;
+///                    "" disables)
+///   -pipeline-json=F cross-reference bench rows from F (default
+///                    BENCH_pipeline.json; missing file is fine)
+///   -fault-inject=S  deterministic fault injection forwarded to every
+///                    cell compile (TCC_FAULT_INJECT appends)
+///   -q               suppress the report (JSON only)
+///
+/// Every cell compiles through the pass sandbox: a faulting spec is a
+/// failed *cell* in the report and the JSON, never a dead sweep — the
+/// tool exits 0 as long as the sweep itself ran.  Exit 2 is reserved for
+/// usage errors and unwritable output.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ablate/Ablate.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace tcc;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: tcc-ablate [-mode=leave-one-out|prefix|custom] [-specs=S;S...]\n"
+      "                  [-kernels=a,b] [-passes=BASE] [-j<N>] [-cache=STEM]\n"
+      "                  [-o FILE] [-pipeline-json=FILE] [-fault-inject=S] "
+      "[-q]\n");
+}
+
+std::vector<std::string> splitOn(const std::string &S, char Sep) {
+  std::vector<std::string> Out;
+  size_t Start = 0;
+  while (Start <= S.size()) {
+    size_t At = S.find(Sep, Start);
+    if (At == std::string::npos) {
+      if (Start < S.size())
+        Out.push_back(S.substr(Start));
+      break;
+    }
+    Out.push_back(S.substr(Start, At - Start));
+    Start = At + 1;
+  }
+  return Out;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ablate::AblateOptions Opts;
+  bool Quiet = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg.rfind("-mode=", 0) == 0) {
+      std::string M = Arg.substr(std::strlen("-mode="));
+      if (M == "leave-one-out") {
+        Opts.Mode = ablate::SweepMode::LeaveOneOut;
+      } else if (M == "prefix") {
+        Opts.Mode = ablate::SweepMode::Prefix;
+      } else if (M == "custom") {
+        Opts.Mode = ablate::SweepMode::Custom;
+      } else {
+        std::fprintf(stderr, "tcc-ablate: unknown mode '%s'\n", M.c_str());
+        usage();
+        return 2;
+      }
+    } else if (Arg.rfind("-specs=", 0) == 0) {
+      Opts.CustomSpecs = splitOn(Arg.substr(std::strlen("-specs=")), ';');
+    } else if (Arg.rfind("-kernels=", 0) == 0) {
+      Opts.Kernels = splitOn(Arg.substr(std::strlen("-kernels=")), ',');
+    } else if (Arg.rfind("-passes=", 0) == 0) {
+      Opts.BasePasses = splitOn(Arg.substr(std::strlen("-passes=")), ',');
+    } else if (Arg.rfind("-j", 0) == 0 && Arg != "-j") {
+      Opts.Workers = static_cast<unsigned>(std::atoi(Arg.c_str() + 2));
+    } else if (Arg == "-j" && I + 1 < argc) {
+      Opts.Workers = static_cast<unsigned>(std::atoi(argv[++I]));
+    } else if (Arg.rfind("-cache=", 0) == 0) {
+      Opts.CacheFile = Arg.substr(std::strlen("-cache="));
+    } else if (Arg == "-o" && I + 1 < argc) {
+      Opts.JsonPath = argv[++I];
+    } else if (Arg.rfind("-o=", 0) == 0) {
+      Opts.JsonPath = Arg.substr(std::strlen("-o="));
+    } else if (Arg.rfind("-pipeline-json=", 0) == 0) {
+      Opts.PipelineJsonPath = Arg.substr(std::strlen("-pipeline-json="));
+    } else if (Arg.rfind("-fault-inject=", 0) == 0) {
+      Opts.FaultInject = Arg.substr(std::strlen("-fault-inject="));
+    } else if (Arg == "-q") {
+      Quiet = true;
+    } else {
+      std::fprintf(stderr, "tcc-ablate: unknown option '%s'\n", Arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+  if (const char *Env = std::getenv("TCC_FAULT_INJECT"); Env && *Env) {
+    if (!Opts.FaultInject.empty())
+      Opts.FaultInject += ',';
+    Opts.FaultInject += Env;
+  }
+
+  DiagnosticEngine Diags;
+  ablate::SweepResult R = ablate::runSweep(Opts, Diags);
+  for (const auto &D : Diags.diagnostics())
+    std::fprintf(stderr, "tcc-ablate: %s\n", D.Message.c_str());
+  if (Diags.hasErrors())
+    return 2;
+
+  if (!Quiet)
+    std::fputs(ablate::renderReport(R).c_str(), stdout);
+
+  std::printf("tcc-ablate: %s sweep, %zu cells (%u failed), %.1f ms%s%s\n",
+              ablate::sweepModeName(Opts.Mode), R.Cells.size(), R.FailedCells,
+              R.TotalMillis, Opts.JsonPath.empty() ? "" : " -> ",
+              Opts.JsonPath.c_str());
+  // Failed cells are a finding, not a tool failure: the sweep completed
+  // and reported them, so downstream automation can keep consuming the
+  // JSON.
+  return 0;
+}

@@ -1,0 +1,606 @@
+#include "ablate/Ablate.h"
+
+#include "driver/Compiler.h"
+#include "pipeline/PassRegistry.h"
+#include "support/JSONWriter.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <thread>
+
+using namespace tcc;
+using namespace tcc::ablate;
+
+const char *ablate::sweepModeName(SweepMode M) {
+  switch (M) {
+  case SweepMode::LeaveOneOut:
+    return "leave-one-out";
+  case SweepMode::Prefix:
+    return "prefix";
+  case SweepMode::Custom:
+    return "custom";
+  }
+  return "?";
+}
+
+unsigned CellResult::missed(const std::string &Pass) const {
+  for (const auto &[P, N] : MissedByPass)
+    if (P == Pass)
+      return N;
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Spec enumeration
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::vector<std::string> defaultBasePasses() {
+  return pipeline::splitSpec(driver::CompilerOptions::full().pipelineSpec());
+}
+
+/// Every token must name a registered pass; duplicates within one spec
+/// are allowed (permutation experiments may repeat passes deliberately),
+/// unknown names are not.
+bool validateTokens(const std::vector<std::string> &Tokens,
+                    const std::string &What, DiagnosticEngine &Diags) {
+  bool Ok = true;
+  for (const std::string &T : Tokens) {
+    if (T.empty()) {
+      Diags.error({}, What + " has an empty pass-name segment");
+      Ok = false;
+    } else if (!pipeline::PassRegistry::instance().contains(T)) {
+      Diags.error({}, What + " names unknown pass '" + T + "' (registered: " +
+                          pipeline::PassRegistry::instance().namesJoined() +
+                          ")");
+      Ok = false;
+    }
+  }
+  return Ok;
+}
+
+} // namespace
+
+std::vector<SpecCell> ablate::enumerateSpecs(const AblateOptions &Opts,
+                                             DiagnosticEngine &Diags) {
+  std::vector<std::string> Base =
+      Opts.BasePasses.empty() ? defaultBasePasses() : Opts.BasePasses;
+  if (!validateTokens(Base, "base pipeline", Diags))
+    return {};
+
+  std::vector<SpecCell> Out;
+  // Every mode measures the full pipeline: it is the diff baseline.
+  Out.push_back({"full", pipeline::joinSpec(Base), "", -1});
+
+  switch (Opts.Mode) {
+  case SweepMode::LeaveOneOut: {
+    auto LOO = pipeline::leaveOneOutSpecs(Base);
+    for (size_t I = 0; I < LOO.size(); ++I)
+      Out.push_back(
+          {"-" + Base[I], pipeline::joinSpec(LOO[I]), Base[I], -1});
+    // The prefix chain supplies the second Shapley sample.  prefix:N
+    // would duplicate "full", so the chain stops one short and the
+    // attribution uses the full cell as "prefix through the last pass".
+    auto Prefixes = pipeline::prefixSpecs(Base);
+    for (size_t Len = 0; Len + 1 < Prefixes.size(); ++Len)
+      Out.push_back({"prefix:" + std::to_string(Len),
+                     pipeline::joinSpec(Prefixes[Len]), "",
+                     static_cast<int>(Len)});
+    break;
+  }
+  case SweepMode::Prefix: {
+    auto Prefixes = pipeline::prefixSpecs(Base);
+    for (size_t Len = 0; Len + 1 < Prefixes.size(); ++Len)
+      Out.push_back({"prefix:" + std::to_string(Len),
+                     pipeline::joinSpec(Prefixes[Len]), "",
+                     static_cast<int>(Len)});
+    break;
+  }
+  case SweepMode::Custom: {
+    if (Opts.CustomSpecs.empty())
+      Diags.error({}, "custom mode requires at least one -specs= entry");
+    for (size_t I = 0; I < Opts.CustomSpecs.size(); ++I) {
+      auto Tokens = pipeline::splitSpec(Opts.CustomSpecs[I]);
+      if (!validateTokens(Tokens, "custom spec '" + Opts.CustomSpecs[I] + "'",
+                          Diags))
+        continue;
+      Out.push_back({"custom:" + std::to_string(I),
+                     pipeline::joinSpec(Tokens), "", -1});
+    }
+    break;
+  }
+  }
+  if (Diags.hasErrors())
+    return {};
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Attribution
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const CellResult *findCell(const std::vector<CellResult> &Cells,
+                           const std::string &Id) {
+  for (const CellResult &C : Cells)
+    if (C.Spec.Id == Id && C.Ok)
+      return &C;
+  return nullptr;
+}
+
+const CellResult *findPrefixCell(const std::vector<CellResult> &Cells,
+                                 int Len, const CellResult *Full,
+                                 int BaseLen) {
+  if (Len == BaseLen)
+    return Full; // the chain's last link is the full pipeline itself
+  for (const CellResult &C : Cells)
+    if (C.Spec.PrefixLen == Len && C.Ok)
+      return &C;
+  return nullptr;
+}
+
+} // namespace
+
+std::vector<PassAttribution>
+ablate::attributeKernel(const std::vector<CellResult> &Cells,
+                        const std::vector<std::string> &BasePasses) {
+  std::vector<PassAttribution> Out;
+  const CellResult *Full = findCell(Cells, "full");
+  if (!Full)
+    return Out; // nothing to diff against
+
+  int BaseLen = static_cast<int>(BasePasses.size());
+  for (int I = 0; I < BaseLen; ++I) {
+    const std::string &Pass = BasePasses[I];
+    PassAttribution A;
+    A.Pass = Pass;
+
+    if (const CellResult *LOO = findCell(Cells, "-" + Pass)) {
+      A.HaveLeaveOneOut = true;
+      A.MarginalCycles = LOO->Cycles - Full->Cycles;
+      A.MflopsDelta = Full->Mflops - LOO->Mflops;
+      A.VectorInstrsDelta = static_cast<int64_t>(Full->VectorInstrs) -
+                            static_cast<int64_t>(LOO->VectorInstrs);
+      A.CompileMillisCost = Full->CompileMillis - LOO->CompileMillis;
+      A.MissedVectorize = LOO->missed("vectorize");
+    }
+
+    const CellResult *Before = findPrefixCell(Cells, I, Full, BaseLen);
+    const CellResult *Through = findPrefixCell(Cells, I + 1, Full, BaseLen);
+    if (Before && Through) {
+      A.HavePrefix = true;
+      A.PrefixCyclesDelta = Before->Cycles - Through->Cycles;
+      A.PrefixMflopsDelta = Through->Mflops - Before->Mflops;
+    }
+
+    if (A.HaveLeaveOneOut && A.HavePrefix)
+      A.Contribution = (A.MflopsDelta + A.PrefixMflopsDelta) / 2.0;
+    else if (A.HaveLeaveOneOut)
+      A.Contribution = A.MflopsDelta;
+    else if (A.HavePrefix)
+      A.Contribution = A.PrefixMflopsDelta;
+    if (A.HaveLeaveOneOut || A.HavePrefix)
+      Out.push_back(std::move(A));
+  }
+
+  // Custom cells: each measured spec is its own ablation unit, diffed
+  // against the full pipeline.
+  for (const CellResult &C : Cells) {
+    if (C.Spec.Id.rfind("custom:", 0) != 0 || !C.Ok)
+      continue;
+    PassAttribution A;
+    A.Pass = C.Spec.Id + " (" + (C.Spec.Spec.empty() ? "<empty>" : C.Spec.Spec)
+             + ")";
+    A.HaveLeaveOneOut = true;
+    A.MarginalCycles = C.Cycles - Full->Cycles;
+    A.MflopsDelta = Full->Mflops - C.Mflops;
+    A.VectorInstrsDelta = static_cast<int64_t>(Full->VectorInstrs) -
+                          static_cast<int64_t>(C.VectorInstrs);
+    A.CompileMillisCost = Full->CompileMillis - C.CompileMillis;
+    A.MissedVectorize = C.missed("vectorize");
+    A.Contribution = A.MflopsDelta;
+    Out.push_back(std::move(A));
+  }
+
+  std::stable_sort(Out.begin(), Out.end(),
+                   [](const PassAttribution &L, const PassAttribution &R) {
+                     return L.Contribution > R.Contribution;
+                   });
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// The sweep
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string sanitizeForPath(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S)
+    Out += (std::isalnum(static_cast<unsigned char>(C)) || C == '-' ||
+            C == '_' || C == ':')
+               ? C
+               : '-';
+  for (char &C : Out)
+    if (C == ':')
+      C = '_';
+  return Out;
+}
+
+/// Compiles and simulates one (kernel, spec) cell.  Never throws: any
+/// failure — diagnostics, run error, escaped exception — lands in the
+/// cell as Ok=false with an explanation.
+CellResult measureCell(const BenchKernel &Kernel, const SpecCell &Spec,
+                       const AblateOptions &Opts) {
+  CellResult Cell;
+  Cell.Kernel = Kernel.Name;
+  Cell.Spec = Spec;
+
+  driver::CompilerOptions CO;
+  if (Spec.Spec.empty())
+    CO = driver::CompilerOptions::noOpt(); // "" would mean default spec
+  CO.Passes = Spec.Spec;
+  CO.FaultInject = Opts.FaultInject;
+  CO.ReproDir.clear(); // a sweep should not scatter reproducer bundles
+  if (!Opts.CacheFile.empty())
+    CO.CacheFile = Opts.CacheFile + "." + sanitizeForPath(Kernel.Name) + "." +
+                   sanitizeForPath(Spec.Id.empty() ? "cell" : Spec.Id);
+
+  try {
+    auto Out = driver::compileAndRun(Kernel.Source, CO, Kernel.Config);
+    const auto &Telemetry = Out.Compile->Telemetry;
+    Cell.CompileMillis = Telemetry.TotalMillis;
+    Cell.ContainedFaults = Telemetry.Faults.size();
+    std::map<std::string, unsigned> Missed;
+    for (const remarks::Remark &R : Telemetry.Remarks)
+      if (R.Kind == remarks::RemarkKind::Missed)
+        ++Missed[R.Pass];
+    for (const auto &[Pass, N] : Missed)
+      Cell.MissedByPass.emplace_back(Pass, N);
+
+    if (!Out.Compile->ok()) {
+      Cell.Error = Out.Compile->Diags.diagnostics().empty()
+                       ? "compile failed"
+                       : Out.Compile->Diags.diagnostics().front().str();
+      return Cell;
+    }
+    if (!Out.Run.Ok) {
+      Cell.Error = Out.Run.Error.empty() ? "run failed" : Out.Run.Error;
+      return Cell;
+    }
+    Cell.Ok = true;
+    Cell.Region = Out.Run.RegionCycles != 0;
+    Cell.Cycles = static_cast<double>(
+        Cell.Region ? Out.Run.RegionCycles : Out.Run.Cycles);
+    double Flops = static_cast<double>(Cell.Region ? Out.Run.RegionFlops
+                                                   : Out.Run.Flops);
+    Cell.Mflops =
+        Cell.Cycles ? Flops * Kernel.Config.ClockMHz / Cell.Cycles : 0.0;
+    Cell.VectorInstrs = Out.Run.VectorInstrs;
+  } catch (const std::exception &E) {
+    Cell.Error = std::string("unhandled exception: ") + E.what();
+  } catch (...) {
+    Cell.Error = "unhandled non-standard exception";
+  }
+  return Cell;
+}
+
+} // namespace
+
+SweepResult ablate::runSweep(const AblateOptions &Opts,
+                             DiagnosticEngine &Diags) {
+  SweepResult R;
+  auto Start = std::chrono::steady_clock::now();
+
+  std::vector<std::string> Base =
+      Opts.BasePasses.empty() ? defaultBasePasses() : Opts.BasePasses;
+  R.Specs = enumerateSpecs(Opts, Diags);
+  if (Diags.hasErrors())
+    return R;
+
+  std::vector<const BenchKernel *> Kernels;
+  if (Opts.Kernels.empty()) {
+    for (const BenchKernel &K : benchKernels())
+      Kernels.push_back(&K);
+  } else {
+    for (const std::string &Name : Opts.Kernels) {
+      const BenchKernel *K = findKernel(Name);
+      if (!K) {
+        Diags.error({}, "unknown kernel '" + Name + "' (available: " +
+                            kernelNamesJoined() + ")");
+        return R;
+      }
+      Kernels.push_back(K);
+    }
+  }
+
+  // The cell grid, kernel-major; the pool fills results by index so the
+  // output order is deterministic regardless of completion order.
+  struct CellJob {
+    const BenchKernel *Kernel;
+    const SpecCell *Spec;
+  };
+  std::vector<CellJob> Jobs;
+  for (const BenchKernel *K : Kernels)
+    for (const SpecCell &S : R.Specs)
+      Jobs.push_back({K, &S});
+  R.Cells.resize(Jobs.size());
+
+  unsigned Workers = Opts.Workers ? Opts.Workers
+                                  : std::thread::hardware_concurrency();
+  if (Workers == 0)
+    Workers = 1;
+  if (Workers > Jobs.size())
+    Workers = static_cast<unsigned>(Jobs.size());
+
+  std::atomic<size_t> Next{0};
+  auto Work = [&] {
+    while (true) {
+      size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= Jobs.size())
+        break;
+      R.Cells[I] = measureCell(*Jobs[I].Kernel, *Jobs[I].Spec, Opts);
+    }
+  };
+  if (Workers <= 1) {
+    Work();
+  } else {
+    std::vector<std::thread> Pool;
+    Pool.reserve(Workers);
+    for (unsigned W = 0; W < Workers; ++W)
+      Pool.emplace_back(Work);
+    for (std::thread &T : Pool)
+      T.join();
+  }
+
+  for (const CellResult &C : R.Cells)
+    if (!C.Ok)
+      ++R.FailedCells;
+
+  // Attribution per kernel over that kernel's cells.
+  for (const BenchKernel *K : Kernels) {
+    std::vector<CellResult> Mine;
+    for (const CellResult &C : R.Cells)
+      if (C.Kernel == K->Name)
+        Mine.push_back(C);
+    KernelAttribution KA;
+    KA.Kernel = K->Name;
+    KA.Passes = attributeKernel(Mine, Base);
+    R.Attribution.push_back(std::move(KA));
+  }
+
+  if (!Opts.PipelineJsonPath.empty())
+    R.PipelineRows = loadPipelineRows(Opts.PipelineJsonPath);
+
+  // JSON Lines output: cells first (measurement record), then the
+  // attribution rows computed from them.  Line-atomic appends keep the
+  // file parseable even when several sweeps append concurrently.
+  if (!Opts.JsonPath.empty()) {
+    bool WroteAll = true;
+    for (const CellResult &C : R.Cells)
+      WroteAll &= json::appendJsonLine(Opts.JsonPath, cellJsonRow(C));
+    for (const KernelAttribution &KA : R.Attribution)
+      for (const PassAttribution &A : KA.Passes)
+        WroteAll &=
+            json::appendJsonLine(Opts.JsonPath, attributionJsonRow(KA.Kernel, A));
+    if (!WroteAll)
+      Diags.error({}, "cannot append to '" + Opts.JsonPath + "'");
+  }
+
+  R.TotalMillis = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count();
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// BENCH_pipeline.json consumption
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Extracts the value text after `"Key": ` in a compact JSON-Lines row.
+/// Good enough for the flat scalar fields the bench writer emits; nested
+/// arrays ("passes", "functions") use different key names.
+bool findField(const std::string &Line, const std::string &Key,
+               std::string &Out) {
+  std::string Needle = "\"" + Key + "\":";
+  size_t At = Line.find(Needle);
+  if (At == std::string::npos)
+    return false;
+  size_t P = At + Needle.size();
+  while (P < Line.size() && Line[P] == ' ')
+    ++P;
+  if (P >= Line.size())
+    return false;
+  if (Line[P] == '"') {
+    std::string S;
+    for (++P; P < Line.size() && Line[P] != '"'; ++P) {
+      if (Line[P] == '\\' && P + 1 < Line.size())
+        ++P; // skip the escaped char (unescaping quotes is enough here)
+      S += Line[P];
+    }
+    Out = S;
+    return true;
+  }
+  size_t End = Line.find_first_of(",}", P);
+  Out = Line.substr(P, End == std::string::npos ? std::string::npos : End - P);
+  return !Out.empty();
+}
+
+} // namespace
+
+bool ablate::parsePipelineRow(const std::string &Line, PipelineRow &Out) {
+  std::string Kernel, Variant, Cycles, Mflops, Region;
+  if (!findField(Line, "kernel", Kernel) ||
+      !findField(Line, "variant", Variant) ||
+      !findField(Line, "cycles", Cycles) || !findField(Line, "mflops", Mflops))
+    return false;
+  Out.Kernel = Kernel;
+  Out.Variant = Variant;
+  Out.Cycles = std::strtod(Cycles.c_str(), nullptr);
+  Out.Mflops = std::strtod(Mflops.c_str(), nullptr);
+  Out.Region = findField(Line, "region", Region) && Region == "true";
+  return true;
+}
+
+std::vector<PipelineRow> ablate::loadPipelineRows(const std::string &Path) {
+  std::vector<PipelineRow> Out;
+  std::ifstream IS(Path);
+  if (!IS)
+    return Out;
+  std::string Line;
+  while (std::getline(IS, Line)) {
+    PipelineRow Row;
+    if (parsePipelineRow(Line, Row))
+      Out.push_back(std::move(Row));
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Output
+//===----------------------------------------------------------------------===//
+
+std::string ablate::cellJsonRow(const CellResult &Cell) {
+  std::ostringstream OS;
+  json::JSONWriter W(OS, /*IndentWidth=*/0);
+  W.beginObject();
+  W.keyValue("kind", "cell");
+  W.keyValue("kernel", Cell.Kernel);
+  W.keyValue("specId", Cell.Spec.Id);
+  W.keyValue("spec", Cell.Spec.Spec);
+  if (!Cell.Spec.Ablated.empty())
+    W.keyValue("ablated", Cell.Spec.Ablated);
+  if (Cell.Spec.PrefixLen >= 0)
+    W.keyValue("prefixLen", static_cast<int64_t>(Cell.Spec.PrefixLen));
+  W.keyValue("ok", Cell.Ok);
+  if (!Cell.Ok)
+    W.keyValue("error", Cell.Error);
+  W.keyValue("region", Cell.Region);
+  W.keyValue("cycles", Cell.Cycles);
+  W.keyValue("mflops", Cell.Mflops);
+  W.keyValue("vectorInstrs", Cell.VectorInstrs);
+  W.keyValue("compileMillis", Cell.CompileMillis);
+  W.keyValue("containedFaults", Cell.ContainedFaults);
+  W.key("missed").beginObject();
+  for (const auto &[Pass, N] : Cell.MissedByPass)
+    W.keyValue(Pass, static_cast<uint64_t>(N));
+  W.endObject();
+  W.endObject();
+  return OS.str();
+}
+
+std::string ablate::attributionJsonRow(const std::string &Kernel,
+                                       const PassAttribution &A) {
+  std::ostringstream OS;
+  json::JSONWriter W(OS, /*IndentWidth=*/0);
+  W.beginObject();
+  W.keyValue("kind", "attribution");
+  W.keyValue("kernel", Kernel);
+  W.keyValue("pass", A.Pass);
+  W.keyValue("contribution", A.Contribution);
+  if (A.HaveLeaveOneOut) {
+    W.keyValue("marginalCycles", A.MarginalCycles);
+    W.keyValue("mflopsDelta", A.MflopsDelta);
+    W.keyValue("vectorInstrsDelta", A.VectorInstrsDelta);
+    W.keyValue("compileMillisCost", A.CompileMillisCost);
+    W.keyValue("missedVectorize", static_cast<uint64_t>(A.MissedVectorize));
+  }
+  if (A.HavePrefix) {
+    W.keyValue("prefixCyclesDelta", A.PrefixCyclesDelta);
+    W.keyValue("prefixMflopsDelta", A.PrefixMflopsDelta);
+  }
+  W.endObject();
+  return OS.str();
+}
+
+std::string ablate::renderReport(const SweepResult &R) {
+  std::ostringstream OS;
+  char Buf[256];
+
+  for (const KernelAttribution &KA : R.Attribution) {
+    const CellResult *Full = nullptr;
+    for (const CellResult &C : R.Cells)
+      if (C.Kernel == KA.Kernel && C.Spec.Id == "full" && C.Ok)
+        Full = &C;
+
+    OS << "== " << KA.Kernel << " "
+       << std::string(KA.Kernel.size() < 50 ? 50 - KA.Kernel.size() : 1, '=')
+       << "\n";
+    if (Full) {
+      std::snprintf(Buf, sizeof(Buf),
+                    "  full pipeline: %.0f cycles, %.3f MFLOPS, %llu vector "
+                    "instrs, %.2f ms compile%s\n",
+                    Full->Cycles, Full->Mflops,
+                    static_cast<unsigned long long>(Full->VectorInstrs),
+                    Full->CompileMillis,
+                    Full->Region ? "" : " (whole-run scope: no tic/toc region)");
+      OS << Buf;
+    } else {
+      OS << "  full pipeline cell failed; marginals unavailable\n";
+    }
+
+    std::snprintf(Buf, sizeof(Buf),
+                  "  %-4s %-28s %9s %9s %9s %10s %8s %9s %6s\n", "rank",
+                  "pass", "contrib", "loo-dMF", "pre-dMF", "marg-cyc",
+                  "dVinstr", "compile", "missed");
+    OS << Buf;
+    unsigned Rank = 1;
+    for (const PassAttribution &A : KA.Passes) {
+      std::snprintf(Buf, sizeof(Buf),
+                    "  %-4u %-28s %9.3f %9.3f %9.3f %10.0f %8lld %8.2fms "
+                    "%6u\n",
+                    Rank++, A.Pass.c_str(), A.Contribution,
+                    A.HaveLeaveOneOut ? A.MflopsDelta : 0.0,
+                    A.HavePrefix ? A.PrefixMflopsDelta : 0.0,
+                    A.HaveLeaveOneOut ? A.MarginalCycles : 0.0,
+                    static_cast<long long>(A.VectorInstrsDelta),
+                    A.CompileMillisCost, A.MissedVectorize);
+      OS << Buf;
+    }
+
+    // Reference rows from the bench binaries' own measurements, when a
+    // BENCH_pipeline.json was found.
+    bool Announced = false;
+    for (const PipelineRow &P : R.PipelineRows) {
+      if (P.Kernel != KA.Kernel)
+        continue;
+      if (!Announced) {
+        OS << "  bench reference rows (BENCH_pipeline.json):\n";
+        Announced = true;
+      }
+      std::snprintf(Buf, sizeof(Buf), "    %-36s %10.0f cycles %8.3f MFLOPS%s\n",
+                    P.Variant.c_str(), P.Cycles, P.Mflops,
+                    P.Region ? "" : "  [whole-run]");
+      OS << Buf;
+    }
+    OS << "\n";
+  }
+
+  if (R.FailedCells) {
+    OS << "failed cells (" << R.FailedCells << "):\n";
+    for (const CellResult &C : R.Cells)
+      if (!C.Ok)
+        OS << "  " << C.Kernel << " / " << C.Spec.Id << " ("
+           << (C.Spec.Spec.empty() ? "<empty>" : C.Spec.Spec)
+           << "): " << C.Error << "\n";
+    OS << "\n";
+  }
+
+  std::snprintf(Buf, sizeof(Buf),
+                "%zu cells (%u failed), %.1f ms total\n", R.Cells.size(),
+                R.FailedCells, R.TotalMillis);
+  OS << Buf;
+  return OS.str();
+}

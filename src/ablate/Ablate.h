@@ -1,0 +1,196 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ablation sweep: compiles the bench kernels under enumerated
+/// pipeline specs (leave-one-out, prefix chain, user-supplied subsets or
+/// permutations of the registered pass names), runs each build on the
+/// Titan simulator, and attributes cycles / MFLOPS / vector instructions
+/// / compile time to individual passes by diffing each ablated spec
+/// against the full pipeline.
+///
+/// Attribution uses a two-sample Shapley estimate.  A pass's
+/// leave-one-out marginal (full vs full-minus-pass) measures *necessity*
+/// and over-credits enabler passes: removing while->DO conversion also
+/// destroys everything vectorization would have bought, so whiletodo's
+/// leave-one-out delta absorbs the vectorizer's win.  The prefix
+/// marginal (prefix through the pass vs prefix before it) measures the
+/// pass's *in-order increment* and under-credits enablers symmetrically.
+/// Averaging the two — the pass's marginal contribution in the pipeline
+/// permutation and in the permutation where it comes last — assigns the
+/// vectorization win to the vectorize pass while still paying enablers
+/// their own share, which is what makes the ranking table actionable for
+/// pass-order autotuning (the NeuroVectorizer-style search loop the
+/// ROADMAP points at).
+///
+/// Sweeps run (kernel x spec) cells on a worker pool (the catalog
+/// builder's shared-cursor pattern), honor the compile cache per cell,
+/// and route every compile through the pass sandbox: a faulting spec is
+/// reported as a failed cell, not a dead sweep.  Results land in
+/// BENCH_ablation.json as JSON Lines (one "cell" row per measurement,
+/// one "attribution" row per (kernel, pass)), appended line-atomically
+/// with the same conventions as bench/BenchCommon.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_ABLATE_ABLATE_H
+#define TCC_ABLATE_ABLATE_H
+
+#include "ablate/Kernels.h"
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tcc {
+namespace ablate {
+
+/// Which family of pipeline specs the sweep enumerates.
+enum class SweepMode : uint8_t {
+  /// full + one spec per pass with that pass removed + the prefix chain
+  /// (both marginals of the two-sample Shapley estimate).
+  LeaveOneOut,
+  /// The prefix chain only: specs of length 0..N in pipeline order.
+  Prefix,
+  /// User-supplied specs, each diffed against the full pipeline.
+  Custom,
+};
+
+const char *sweepModeName(SweepMode M);
+
+/// One pipeline configuration the sweep compiles.
+struct SpecCell {
+  std::string Id;   ///< "full", "-vectorize", "prefix:3", "custom:0".
+  std::string Spec; ///< Comma-joined -passes= spec ("" = no-opt baseline).
+  std::string Ablated; ///< Leave-one-out cells: the removed pass.
+  int PrefixLen = -1;  ///< Prefix cells: number of passes included.
+};
+
+/// One measured (kernel, spec) cell.
+struct CellResult {
+  std::string Kernel;
+  SpecCell Spec;
+  bool Ok = false;
+  std::string Error; ///< Failed cells: the first diagnostic / run error.
+  bool Region = false; ///< titan_tic/titan_toc region was marked.
+  double Cycles = 0.0; ///< Region scope when marked, else whole run.
+  double Mflops = 0.0; ///< Same scope as Cycles.
+  uint64_t VectorInstrs = 0;
+  double CompileMillis = 0.0;
+  uint64_t ContainedFaults = 0; ///< Sandbox-contained pass faults.
+  /// "missed" remark counts per pass ("why not vectorized" and friends).
+  std::vector<std::pair<std::string, unsigned>> MissedByPass;
+
+  unsigned missed(const std::string &Pass) const;
+};
+
+/// Per-pass attribution on one kernel, diffed against the full pipeline.
+struct PassAttribution {
+  std::string Pass; ///< Pass name; custom cells: the cell id.
+  bool HaveLeaveOneOut = false;
+  bool HavePrefix = false;
+  // Leave-one-out marginals: what removing the pass costs.
+  double MarginalCycles = 0.0;  ///< cycles(full\p) - cycles(full).
+  double MflopsDelta = 0.0;     ///< mflops(full) - mflops(full\p).
+  int64_t VectorInstrsDelta = 0;///< vinstr(full) - vinstr(full\p).
+  double CompileMillisCost = 0.0; ///< compile(full) - compile(full\p).
+  // Prefix marginals: what adding the pass (in order) buys.
+  double PrefixCyclesDelta = 0.0; ///< cycles(prefix<p) - cycles(prefix<=p).
+  double PrefixMflopsDelta = 0.0; ///< mflops(prefix<=p) - mflops(prefix<p).
+  /// The ranking key: mean of the available MFLOPS marginals (the
+  /// two-sample Shapley estimate when both exist).
+  double Contribution = 0.0;
+  /// vectorize "missed" remarks in the leave-one-out cell: how many
+  /// loops the vectorizer refused (and explained) once this pass was
+  /// gone.
+  unsigned MissedVectorize = 0;
+};
+
+struct KernelAttribution {
+  std::string Kernel;
+  std::vector<PassAttribution> Passes; ///< Ranked by Contribution, desc.
+};
+
+/// One row of BENCH_pipeline.json (the bench binaries' whole-pipeline
+/// measurements), cross-referenced into the report.
+struct PipelineRow {
+  std::string Kernel;
+  std::string Variant;
+  double Cycles = 0.0;
+  double Mflops = 0.0;
+  bool Region = false;
+};
+
+struct AblateOptions {
+  SweepMode Mode = SweepMode::LeaveOneOut;
+  /// The pass universe, in pipeline order.  Every name must be
+  /// registered.  Empty selects the default full pipeline
+  /// (CompilerOptions::full().pipelineSpec()).
+  std::vector<std::string> BasePasses;
+  /// Kernels to sweep (bench/ names); empty selects the whole suite.
+  std::vector<std::string> Kernels;
+  /// Custom mode: one -passes= spec string per cell.
+  std::vector<std::string> CustomSpecs;
+  /// Worker threads over cells; 0 = hardware concurrency.
+  unsigned Workers = 0;
+  /// Compile-cache manifest stem; each (kernel, spec) cell gets its own
+  /// manifest file `<stem>.<kernel>.<spec-id>` so a re-run sweep serves
+  /// unchanged cells from cache without cross-cell write races.
+  std::string CacheFile;
+  /// Deterministic fault injection, forwarded to every cell compile
+  /// (support/FaultInjection.h specs).
+  std::string FaultInject;
+  /// JSON-Lines output; empty disables writing.
+  std::string JsonPath = "BENCH_ablation.json";
+  /// BENCH_pipeline.json to cross-reference into the report; rows are
+  /// optional context, a missing file is not an error.
+  std::string PipelineJsonPath = "BENCH_pipeline.json";
+};
+
+struct SweepResult {
+  std::vector<SpecCell> Specs;    ///< Enumerated spec set, in order.
+  std::vector<CellResult> Cells;  ///< Kernel-major, spec order within.
+  std::vector<KernelAttribution> Attribution;
+  std::vector<PipelineRow> PipelineRows; ///< Loaded reference rows.
+  unsigned FailedCells = 0;
+  double TotalMillis = 0.0;
+};
+
+/// Enumerates the spec set for \p Opts (pure; no compilation).  Reports
+/// unknown pass names / malformed custom specs through \p Diags.
+std::vector<SpecCell> enumerateSpecs(const AblateOptions &Opts,
+                                     DiagnosticEngine &Diags);
+
+/// Attribution math over one kernel's measured cells (pure, so tests can
+/// feed synthetic rows).  \p BasePasses is the pipeline-order universe.
+std::vector<PassAttribution>
+attributeKernel(const std::vector<CellResult> &Cells,
+                const std::vector<std::string> &BasePasses);
+
+/// Runs the whole sweep: enumerate, compile + simulate every (kernel,
+/// spec) cell on the worker pool, attribute, and append JSON rows.
+/// Infrastructure errors (unknown kernel, bad spec, unwritable JSON)
+/// are reported through \p Diags; failed *cells* are not errors.
+SweepResult runSweep(const AblateOptions &Opts, DiagnosticEngine &Diags);
+
+/// Parses one BENCH_pipeline.json row (kernel/variant/cycles/mflops/
+/// region); false when the line is not a bench row.
+bool parsePipelineRow(const std::string &Line, PipelineRow &Out);
+
+/// Loads every parseable row of \p Path; empty when unreadable.
+std::vector<PipelineRow> loadPipelineRows(const std::string &Path);
+
+/// One compact JSON object (no trailing newline) per cell / attribution
+/// entry — the BENCH_ablation.json row formats.
+std::string cellJsonRow(const CellResult &Cell);
+std::string attributionJsonRow(const std::string &Kernel,
+                               const PassAttribution &A);
+
+/// The human-readable report: per-kernel ranking tables, failed cells,
+/// and BENCH_pipeline.json reference rows when available.
+std::string renderReport(const SweepResult &R);
+
+} // namespace ablate
+} // namespace tcc
+
+#endif // TCC_ABLATE_ABLATE_H

@@ -1,0 +1,198 @@
+#include "ablate/Kernels.h"
+
+using namespace tcc;
+using namespace tcc::ablate;
+
+namespace {
+
+/// Section 9 daxpy: inlining + while->DO + IV substitution + constant
+/// propagation + vectorization all fire on the call in the region.
+const char *DaxpySource = R"(
+  float a[100], b[100], c[100];
+  void titan_tic(void);
+  void titan_toc(void);
+  void daxpy(float *x, float *y, float *z, float alpha, int n)
+  {
+    if (n <= 0)
+      return;
+    if (alpha == 0)
+      return;
+    for (; n; n--)
+      *x++ = *y++ + alpha * *z++;
+  }
+  void main()
+  {
+    int i;
+    for (i = 0; i < 100; i++) { b[i] = i; c[i] = 1.0; }
+    titan_tic();
+    daxpy(a, b, c, 1.0, 100);
+    titan_toc();
+  }
+)";
+
+/// Section 6 backsolve: an unvectorizable recurrence where the win comes
+/// from dependence-driven scalar replacement / strength reduction /
+/// scheduling (the depopt pass), not from vectorization.
+const char *BacksolveSource = R"(
+  float x[4002], y[4000], z[4000];
+  float out;
+  void titan_tic(void);
+  void titan_toc(void);
+  void main() {
+    int i; int n;
+    float *p; float *q;
+    n = 4000;
+    x[0] = 1.0;
+    for (i = 0; i < n; i++) { y[i] = 1.0; z[i] = 0.5; }
+    p = &x[1];
+    q = &x[0];
+    titan_tic();
+    for (i = 0; i < n - 2; i++)
+      p[i] = z[i] * (y[i] - q[i]);
+    titan_toc();
+    out = x[7];
+  }
+)";
+
+/// Sections 5.2-5.3: the pointer-walk copy loop that only vectorizes
+/// after while->DO conversion plus induction-variable substitution.
+const char *WhileconvSource = R"(
+  float src[4096], dst[4096];
+  void titan_tic(void);
+  void titan_toc(void);
+  void main() {
+    int i; float *a; float *b; int n;
+    for (i = 0; i < 4096; i++) src[i] = i;
+    a = dst;
+    b = src;
+    n = 4096;
+    titan_tic();
+    while (n) {
+      *a++ = *b++;
+      n--;
+    }
+    titan_toc();
+  }
+)";
+
+/// Section 5.3: independent pointer walks in one loop, the IV
+/// substitution backtracking workload.
+const char *IVSubSource = R"(
+  float arr0[512]; float arr1[512]; float arr2[512]; float arr3[512];
+  void titan_tic(void);
+  void titan_toc(void);
+  void main() {
+    float *p0; float *p1; float *p2; float *p3;
+    int n;
+    p0 = arr0;
+    p1 = arr1;
+    p2 = arr2;
+    p3 = arr3;
+    n = 512;
+    titan_tic();
+    while (n) {
+      *p0++ = 1.0;
+      *p1++ = 2.0;
+      *p2++ = 3.0;
+      *p3++ = 4.0;
+      n--;
+    }
+    titan_toc();
+  }
+)";
+
+/// Section 5.2: the strip-mined vector add (vector startup
+/// amortization).
+const char *StriplenSource = R"(
+  float a[1024], b[1024], c[1024];
+  void titan_tic(void);
+  void titan_toc(void);
+  void main() {
+    int i;
+    for (i = 0; i < 1024; i++) { b[i] = i; c[i] = 1.0; }
+    titan_tic();
+    for (i = 0; i < 1024; i++)
+      a[i] = b[i] + c[i];
+    titan_toc();
+  }
+)";
+
+/// Section 8: daxpy with alpha == 0 — after inlining, constant
+/// propagation with the unreachable-code heuristic deletes the whole
+/// floating-point body.
+const char *ConstpropSource = R"(
+  float a[2048], b[2048], c[2048];
+  void titan_tic(void);
+  void titan_toc(void);
+  void daxpy(float *x, float *y, float *z, float alpha, int n)
+  {
+    if (n <= 0) return;
+    if (alpha == 0) return;
+    for (; n; n--)
+      *x++ = *y++ + alpha * *z++;
+  }
+  void main()
+  {
+    titan_tic();
+    daxpy(a, b, c, 0.0, 2048);
+    titan_toc();
+  }
+)";
+
+/// Section 9: argument aliasing blocks vectorization of the out-of-line
+/// daxpy; inlining removes the aliasing question entirely.
+const char *AliasingSource = R"(
+  float a[4096], b[4096], c[4096];
+  void titan_tic(void);
+  void titan_toc(void);
+  void daxpy(float *x, float *y, float *z, float alpha, int n)
+  {
+    if (n <= 0) return;
+    if (alpha == 0) return;
+    for (; n; n--)
+      *x++ = *y++ + alpha * *z++;
+  }
+  void main()
+  {
+    int i;
+    for (i = 0; i < 4096; i++) { b[i] = i; c[i] = 1.0; }
+    titan_tic();
+    daxpy(a, b, c, 2.0, 4096);
+    titan_toc();
+  }
+)";
+
+} // namespace
+
+const std::vector<BenchKernel> &ablate::benchKernels() {
+  static const std::vector<BenchKernel> Kernels = [] {
+    titan::TitanConfig Default; // overlap on, one processor
+    std::vector<BenchKernel> K;
+    K.push_back({"daxpy", DaxpySource, Default});
+    K.push_back({"backsolve", BacksolveSource, Default});
+    K.push_back({"whileconv", WhileconvSource, Default});
+    K.push_back({"ivsub", IVSubSource, Default});
+    K.push_back({"striplen", StriplenSource, Default});
+    K.push_back({"constprop", ConstpropSource, Default});
+    K.push_back({"aliasing", AliasingSource, Default});
+    return K;
+  }();
+  return Kernels;
+}
+
+const BenchKernel *ablate::findKernel(const std::string &Name) {
+  for (const BenchKernel &K : benchKernels())
+    if (K.Name == Name)
+      return &K;
+  return nullptr;
+}
+
+std::string ablate::kernelNamesJoined() {
+  std::string Out;
+  for (const BenchKernel &K : benchKernels()) {
+    if (!Out.empty())
+      Out += ", ";
+    Out += K.Name;
+  }
+  return Out;
+}

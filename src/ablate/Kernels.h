@@ -1,0 +1,42 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bench-kernel suite the ablation sweep measures: the same C
+/// programs the bench/ binaries compile (paper Sections 5-9), packaged
+/// as data so tcc-ablate can compile each one under many pipeline specs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_ABLATE_KERNELS_H
+#define TCC_ABLATE_KERNELS_H
+
+#include "titan/TitanMachine.h"
+
+#include <string>
+#include <vector>
+
+namespace tcc {
+namespace ablate {
+
+/// One benchmark kernel: a complete C program with (usually) a
+/// titan_tic/titan_toc region around the measured loop.
+struct BenchKernel {
+  std::string Name;          ///< "daxpy", "backsolve", ... (bench/ names).
+  std::string Source;        ///< C source text.
+  titan::TitanConfig Config; ///< Simulator configuration for the run.
+};
+
+/// The full kernel suite, in the bench/ naming: daxpy, backsolve,
+/// whileconv, ivsub, striplen, constprop, aliasing.
+const std::vector<BenchKernel> &benchKernels();
+
+/// Kernel by name; null when unknown.
+const BenchKernel *findKernel(const std::string &Name);
+
+/// "daxpy, backsolve, ..." for diagnostics.
+std::string kernelNamesJoined();
+
+} // namespace ablate
+} // namespace tcc
+
+#endif // TCC_ABLATE_KERNELS_H

@@ -2,6 +2,8 @@
 
 #include "pipeline/Passes.h"
 
+#include <algorithm>
+
 using namespace tcc;
 using namespace tcc::pipeline;
 
@@ -24,6 +26,9 @@ PassRegistry &PassRegistry::instance() {
 
 void PassRegistry::registerPass(const std::string &Name,
                                 PassFactory Factory) {
+  // Replace in place: the name keeps its original pipeline position and
+  // Factories never holds two entries for one name (names() would
+  // otherwise hand duplicate ablation units to spec enumerators).
   for (auto &[N, F] : Factories)
     if (N == Name) {
       F = std::move(Factory);
@@ -40,9 +45,12 @@ bool PassRegistry::contains(const std::string &Name) const {
 }
 
 std::unique_ptr<Pass> PassRegistry::create(const std::string &Name) const {
-  for (const auto &[N, F] : Factories)
-    if (N == Name)
-      return F();
+  // Scan back-to-front: with registerPass's replace-in-place invariant
+  // the direction is unobservable, but if a duplicate ever slips in, the
+  // latest registration must still win (the documented contract).
+  for (auto It = Factories.rbegin(); It != Factories.rend(); ++It)
+    if (It->first == Name)
+      return It->second();
   return nullptr;
 }
 
@@ -50,16 +58,72 @@ std::vector<std::string> PassRegistry::names() const {
   std::vector<std::string> Out;
   Out.reserve(Factories.size());
   for (const auto &[N, F] : Factories)
-    Out.push_back(N);
+    if (std::find(Out.begin(), Out.end(), N) == Out.end())
+      Out.push_back(N);
   return Out;
 }
 
 std::string PassRegistry::namesJoined() const {
   std::string Out;
-  for (const auto &[N, F] : Factories) {
+  for (const std::string &N : names()) {
     if (!Out.empty())
       Out += ", ";
     Out += N;
+  }
+  return Out;
+}
+
+std::vector<std::vector<std::string>>
+pipeline::leaveOneOutSpecs(const std::vector<std::string> &Passes) {
+  std::vector<std::vector<std::string>> Out;
+  Out.reserve(Passes.size());
+  for (size_t Skip = 0; Skip < Passes.size(); ++Skip) {
+    std::vector<std::string> Spec;
+    Spec.reserve(Passes.size() - 1);
+    for (size_t I = 0; I < Passes.size(); ++I)
+      if (I != Skip)
+        Spec.push_back(Passes[I]);
+    Out.push_back(std::move(Spec));
+  }
+  return Out;
+}
+
+std::vector<std::vector<std::string>>
+pipeline::prefixSpecs(const std::vector<std::string> &Passes) {
+  std::vector<std::vector<std::string>> Out;
+  Out.reserve(Passes.size() + 1);
+  for (size_t Len = 0; Len <= Passes.size(); ++Len)
+    Out.emplace_back(Passes.begin(), Passes.begin() + Len);
+  return Out;
+}
+
+std::string pipeline::joinSpec(const std::vector<std::string> &Passes) {
+  std::string Out;
+  for (const std::string &P : Passes) {
+    if (!Out.empty())
+      Out += ',';
+    Out += P;
+  }
+  return Out;
+}
+
+std::vector<std::string> pipeline::splitSpec(const std::string &Spec) {
+  std::vector<std::string> Out;
+  if (Spec.empty())
+    return Out;
+  size_t Start = 0;
+  while (true) {
+    size_t Comma = Spec.find(',', Start);
+    std::string Tok = Spec.substr(
+        Start, Comma == std::string::npos ? std::string::npos : Comma - Start);
+    while (!Tok.empty() && (Tok.front() == ' ' || Tok.front() == '\t'))
+      Tok.erase(Tok.begin());
+    while (!Tok.empty() && (Tok.back() == ' ' || Tok.back() == '\t'))
+      Tok.pop_back();
+    Out.push_back(std::move(Tok));
+    if (Comma == std::string::npos)
+      break;
+    Start = Comma + 1;
   }
   return Out;
 }

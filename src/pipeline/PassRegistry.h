@@ -30,16 +30,19 @@ public:
   static PassRegistry &instance();
 
   /// Registers a factory; later registrations of the same name win
-  /// (tests can shadow a built-in).
+  /// (tests can shadow a built-in).  The shadowed name keeps its original
+  /// registration position, so shadowing never reorders the pipeline.
   void registerPass(const std::string &Name, PassFactory Factory);
 
   bool contains(const std::string &Name) const;
 
-  /// Instantiates the named pass; null when unknown.
+  /// Instantiates the named pass; null when unknown.  Always the latest
+  /// registration of the name.
   std::unique_ptr<Pass> create(const std::string &Name) const;
 
   /// Registered names, in registration order (the default pipeline order
-  /// for the built-ins).
+  /// for the built-ins).  Never contains duplicates: spec enumerators
+  /// (tcc-ablate) treat each name as one ablation unit.
   std::vector<std::string> names() const;
 
   /// "inline, whiletodo, ..." for diagnostics.
@@ -48,6 +51,30 @@ public:
 private:
   std::vector<std::pair<std::string, PassFactory>> Factories;
 };
+
+//===----------------------------------------------------------------------===//
+// Pipeline-spec enumeration (ablation sweeps)
+//===----------------------------------------------------------------------===//
+
+/// The leave-one-out family of \p Passes: one spec per pass, identical to
+/// \p Passes with that single pass removed, in pipeline order.  Measuring
+/// each against the full spec yields the pass's last-position marginal
+/// contribution.
+std::vector<std::vector<std::string>>
+leaveOneOutSpecs(const std::vector<std::string> &Passes);
+
+/// The prefix chain of \p Passes: specs of length 0..N in pipeline order
+/// (the empty spec is the unoptimized baseline).  Consecutive differences
+/// yield each pass's in-order marginal contribution.
+std::vector<std::vector<std::string>>
+prefixSpecs(const std::vector<std::string> &Passes);
+
+/// Joins a spec token list into the comma-separated -passes= form.
+std::string joinSpec(const std::vector<std::string> &Passes);
+
+/// Splits a comma-separated -passes= spec into trimmed tokens (empty
+/// segments preserved so callers can diagnose them).
+std::vector<std::string> splitSpec(const std::string &Spec);
 
 } // namespace pipeline
 } // namespace tcc

@@ -3,6 +3,14 @@
 #include <cassert>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+
+#ifdef _WIN32
+#include <fstream>
+#else
+#include <fcntl.h>
+#include <unistd.h>
+#endif
 
 using namespace tcc;
 using namespace tcc::json;
@@ -38,6 +46,37 @@ std::string json::escape(const std::string &S) {
     }
   }
   return Out;
+}
+
+bool json::appendJsonLine(const std::string &Path, const std::string &Line) {
+  std::string Row = Line;
+  Row += '\n';
+#ifdef _WIN32
+  // Portability fallback: one buffered write of the whole row.
+  std::ofstream OS(Path, std::ios::app | std::ios::binary);
+  if (!OS)
+    return false;
+  OS.write(Row.data(), static_cast<std::streamsize>(Row.size()));
+  return static_cast<bool>(OS);
+#else
+  // O_APPEND positions and writes atomically, so rows from concurrent
+  // processes/threads land whole instead of interleaved.
+  int FD = ::open(Path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (FD < 0)
+    return false;
+  size_t Off = 0;
+  bool Ok = true;
+  while (Off < Row.size()) {
+    ssize_t N = ::write(FD, Row.data() + Off, Row.size() - Off);
+    if (N < 0) {
+      Ok = false;
+      break;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  ::close(FD);
+  return Ok && Off == Row.size();
+#endif
 }
 
 void JSONWriter::newlineIndent(unsigned Depth) {
@@ -137,7 +176,22 @@ JSONWriter &JSONWriter::value(double V) {
     return *this;
   }
   char Buf[64];
-  std::snprintf(Buf, sizeof(Buf), "%.6g", V);
+  // Integral values print exactly as integers: cycle counts above ~1e6
+  // must survive the round trip bit-for-bit, because downstream differs
+  // (the ablation sweep) subtract them.  2^53 bounds the integers a
+  // double represents exactly.
+  if (std::nearbyint(V) == V && std::fabs(V) <= 9007199254740992.0) {
+    std::snprintf(Buf, sizeof(Buf), "%lld", static_cast<long long>(V));
+    OS << Buf;
+    return *this;
+  }
+  // Non-integral: the shortest decimal form that parses back to the same
+  // double (try increasing precision up to the %.17g round-trip bound).
+  for (int Precision = 6; Precision <= 17; ++Precision) {
+    std::snprintf(Buf, sizeof(Buf), "%.*g", Precision, V);
+    if (std::strtod(Buf, nullptr) == V)
+      break;
+  }
   OS << Buf;
   return *this;
 }

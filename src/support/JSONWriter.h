@@ -24,6 +24,12 @@ namespace json {
 /// included).
 std::string escape(const std::string &S);
 
+/// Appends \p Line plus a trailing newline to the JSON-Lines file at
+/// \p Path in a single O_APPEND write, so concurrent appenders (ctest -j
+/// running several bench binaries, the ablation sweep's worker pool)
+/// cannot interleave partial rows.  Returns false on I/O failure.
+bool appendJsonLine(const std::string &Path, const std::string &Line);
+
 /// Streaming writer.  Usage:
 ///
 ///   JSONWriter W(OS);

@@ -1,0 +1,505 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ablation sweep tests: spec enumeration (leave-one-out and prefix
+/// families, registry shadowing), the two-sample attribution math on
+/// synthetic rows, line-atomicity of the JSON-Lines appenders under
+/// concurrent writers, fault-isolated sweep cells, and the end-to-end
+/// daxpy acceptance property (vectorize is the dominant MFLOPS
+/// contributor).
+///
+//===----------------------------------------------------------------------===//
+
+#include "ablate/Ablate.h"
+#include "pipeline/PassRegistry.h"
+#include "pipeline/Passes.h"
+#include "support/JSONWriter.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <thread>
+
+using namespace tcc;
+using namespace tcc::ablate;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Spec enumeration
+//===----------------------------------------------------------------------===//
+
+TEST(SpecEnumeration, LeaveOneOutDropsEachPassOnce) {
+  std::vector<std::string> Base = {"a", "b", "c"};
+  auto Specs = pipeline::leaveOneOutSpecs(Base);
+  ASSERT_EQ(Specs.size(), 3u);
+  EXPECT_EQ(Specs[0], (std::vector<std::string>{"b", "c"}));
+  EXPECT_EQ(Specs[1], (std::vector<std::string>{"a", "c"}));
+  EXPECT_EQ(Specs[2], (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(SpecEnumeration, PrefixChainIncludesEmptyBaseline) {
+  std::vector<std::string> Base = {"a", "b"};
+  auto Specs = pipeline::prefixSpecs(Base);
+  ASSERT_EQ(Specs.size(), 3u);
+  EXPECT_TRUE(Specs[0].empty());
+  EXPECT_EQ(Specs[1], (std::vector<std::string>{"a"}));
+  EXPECT_EQ(Specs[2], (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(SpecEnumeration, JoinAndSplitRoundTrip) {
+  std::vector<std::string> Base = {"inline", "dce"};
+  EXPECT_EQ(pipeline::joinSpec(Base), "inline,dce");
+  EXPECT_EQ(pipeline::splitSpec("inline, dce"), Base);
+  EXPECT_TRUE(pipeline::splitSpec("").empty());
+  // Empty segments are preserved so callers can diagnose them.
+  auto WithEmpty = pipeline::splitSpec("a,,b");
+  ASSERT_EQ(WithEmpty.size(), 3u);
+  EXPECT_EQ(WithEmpty[1], "");
+}
+
+TEST(SpecEnumeration, LeaveOneOutModeEmitsFullLOOAndPrefixCells) {
+  AblateOptions Opts;
+  Opts.Mode = SweepMode::LeaveOneOut;
+  Opts.BasePasses = {"whiletodo", "ivsub", "vectorize"};
+  DiagnosticEngine Diags;
+  auto Cells = enumerateSpecs(Opts, Diags);
+  ASSERT_FALSE(Diags.hasErrors()) << Diags.str();
+  // full + 3 leave-one-out + prefixes of length 0..2 (length 3 would
+  // duplicate "full").
+  ASSERT_EQ(Cells.size(), 7u);
+  EXPECT_EQ(Cells[0].Id, "full");
+  EXPECT_EQ(Cells[0].Spec, "whiletodo,ivsub,vectorize");
+  EXPECT_EQ(Cells[1].Id, "-whiletodo");
+  EXPECT_EQ(Cells[1].Spec, "ivsub,vectorize");
+  EXPECT_EQ(Cells[1].Ablated, "whiletodo");
+  EXPECT_EQ(Cells[4].Id, "prefix:0");
+  EXPECT_EQ(Cells[4].Spec, "");
+  EXPECT_EQ(Cells[6].Id, "prefix:2");
+  EXPECT_EQ(Cells[6].Spec, "whiletodo,ivsub");
+}
+
+TEST(SpecEnumeration, UnknownBasePassIsDiagnosed) {
+  AblateOptions Opts;
+  Opts.BasePasses = {"whiletodo", "frobnicate"};
+  DiagnosticEngine Diags;
+  auto Cells = enumerateSpecs(Opts, Diags);
+  EXPECT_TRUE(Cells.empty());
+  ASSERT_TRUE(Diags.hasErrors());
+  EXPECT_NE(Diags.str().find("frobnicate"), std::string::npos);
+}
+
+TEST(SpecEnumeration, CustomModeValidatesEachSpec) {
+  AblateOptions Opts;
+  Opts.Mode = SweepMode::Custom;
+  Opts.CustomSpecs = {"vectorize,whiletodo", "dce"};
+  DiagnosticEngine Diags;
+  auto Cells = enumerateSpecs(Opts, Diags);
+  ASSERT_FALSE(Diags.hasErrors()) << Diags.str();
+  ASSERT_EQ(Cells.size(), 3u); // full + 2 custom
+  EXPECT_EQ(Cells[1].Id, "custom:0");
+  EXPECT_EQ(Cells[1].Spec, "vectorize,whiletodo");
+
+  Opts.CustomSpecs = {"vectorize,,dce"};
+  DiagnosticEngine Diags2;
+  EXPECT_TRUE(enumerateSpecs(Opts, Diags2).empty());
+  EXPECT_TRUE(Diags2.hasErrors());
+}
+
+//===----------------------------------------------------------------------===//
+// Registry shadowing (the documented later-registration-wins contract)
+//===----------------------------------------------------------------------===//
+
+TEST(PassRegistryShadowing, LatestRegistrationWinsWithoutDuplicates) {
+  pipeline::PassRegistry Reg;
+  Reg.registerPass("first", pipeline::createDCEPass);
+  Reg.registerPass("target", pipeline::createDCEPass);
+  Reg.registerPass("last", pipeline::createDCEPass);
+  // Shadow "target" with a different factory.
+  Reg.registerPass("target", pipeline::createVectorizePass);
+
+  // names() keeps registration order, with no duplicate token — a
+  // duplicate would make an ablation sweep enumerate the pass twice.
+  auto Names = Reg.names();
+  ASSERT_EQ(Names.size(), 3u);
+  EXPECT_EQ(Names[0], "first");
+  EXPECT_EQ(Names[1], "target"); // shadowing does not reorder
+  EXPECT_EQ(Names[2], "last");
+  std::set<std::string> Unique(Names.begin(), Names.end());
+  EXPECT_EQ(Unique.size(), Names.size());
+
+  // create() honors the latest registration.
+  auto P = Reg.create("target");
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(std::string(P->name()), "vectorize");
+  EXPECT_TRUE(Reg.contains("target"));
+}
+
+//===----------------------------------------------------------------------===//
+// Attribution math on synthetic rows
+//===----------------------------------------------------------------------===//
+
+CellResult cell(const std::string &Id, const std::string &Spec, double Cycles,
+                double Mflops, uint64_t VInstr, double CompileMs,
+                const std::string &Ablated = "", int PrefixLen = -1) {
+  CellResult C;
+  C.Kernel = "synthetic";
+  C.Spec = {Id, Spec, Ablated, PrefixLen};
+  C.Ok = true;
+  C.Cycles = Cycles;
+  C.Mflops = Mflops;
+  C.VectorInstrs = VInstr;
+  C.CompileMillis = CompileMs;
+  return C;
+}
+
+TEST(Attribution, TwoSampleShapleySeparatesEnablerFromWorker) {
+  // The daxpy shape in miniature: "conv" enables "vec"; removing either
+  // kills vectorization, but only adding vec (after conv) realizes the
+  // win.  Universe: conv, vec.
+  std::vector<std::string> Base = {"conv", "vec"};
+  std::vector<CellResult> Cells;
+  Cells.push_back(cell("full", "conv,vec", 800, 2.0, 40, 1.0));
+  Cells.push_back(cell("-conv", "vec", 2400, 0.7, 0, 0.8, "conv"));
+  Cells.push_back(cell("-vec", "conv", 1200, 1.3, 0, 0.9, "vec"));
+  Cells.push_back(cell("prefix:0", "", 2400, 0.7, 0, 0.1, "", 0));
+  Cells.push_back(cell("prefix:1", "conv", 2400, 0.7, 0, 0.5, "", 1));
+
+  auto Ranked = attributeKernel(Cells, Base);
+  ASSERT_EQ(Ranked.size(), 2u);
+
+  // vec: leave-one-out delta 0.7, prefix delta 2.0 - 0.7 = 1.3 (the
+  // prefix through the last pass is the full cell) -> contribution 1.0.
+  EXPECT_EQ(Ranked[0].Pass, "vec");
+  EXPECT_TRUE(Ranked[0].HaveLeaveOneOut);
+  EXPECT_TRUE(Ranked[0].HavePrefix);
+  EXPECT_DOUBLE_EQ(Ranked[0].MflopsDelta, 2.0 - 1.3);
+  EXPECT_DOUBLE_EQ(Ranked[0].PrefixMflopsDelta, 2.0 - 0.7);
+  EXPECT_DOUBLE_EQ(Ranked[0].Contribution, (0.7 + 1.3) / 2.0);
+  EXPECT_DOUBLE_EQ(Ranked[0].MarginalCycles, 1200 - 800);
+  EXPECT_EQ(Ranked[0].VectorInstrsDelta, 40);
+  EXPECT_DOUBLE_EQ(Ranked[0].CompileMillisCost, 1.0 - 0.9);
+
+  // conv: leave-one-out delta 1.3 (it absorbs the vectorization loss),
+  // prefix delta 0.0 (conversion alone buys nothing) -> 0.65 < 1.0: the
+  // enabler ranks below the worker even though its removal hurts more.
+  EXPECT_EQ(Ranked[1].Pass, "conv");
+  EXPECT_DOUBLE_EQ(Ranked[1].MflopsDelta, 2.0 - 0.7);
+  EXPECT_DOUBLE_EQ(Ranked[1].PrefixMflopsDelta, 0.0);
+  EXPECT_DOUBLE_EQ(Ranked[1].Contribution, 1.3 / 2.0);
+}
+
+TEST(Attribution, FailedCellsDropTheirMarginalOnly) {
+  std::vector<std::string> Base = {"a", "b"};
+  std::vector<CellResult> Cells;
+  Cells.push_back(cell("full", "a,b", 100, 4.0, 8, 1.0));
+  CellResult Bad = cell("-a", "b", 0, 0, 0, 0, "a");
+  Bad.Ok = false;
+  Bad.Error = "injected";
+  Cells.push_back(Bad);
+  Cells.push_back(cell("-b", "a", 200, 2.0, 0, 0.5, "b"));
+
+  auto Ranked = attributeKernel(Cells, Base);
+  // "a" has no usable marginal at all (no prefix cells either); only
+  // "b" is attributed.
+  ASSERT_EQ(Ranked.size(), 1u);
+  EXPECT_EQ(Ranked[0].Pass, "b");
+  EXPECT_TRUE(Ranked[0].HaveLeaveOneOut);
+  EXPECT_FALSE(Ranked[0].HavePrefix);
+  EXPECT_DOUBLE_EQ(Ranked[0].Contribution, 2.0);
+}
+
+TEST(Attribution, NoFullCellMeansNoAttribution) {
+  std::vector<std::string> Base = {"a"};
+  std::vector<CellResult> Cells;
+  CellResult Bad = cell("full", "a", 0, 0, 0, 0);
+  Bad.Ok = false;
+  Cells.push_back(Bad);
+  Cells.push_back(cell("-a", "", 100, 1.0, 0, 0.5, "a"));
+  EXPECT_TRUE(attributeKernel(Cells, Base).empty());
+}
+
+TEST(Attribution, CustomCellsDiffAgainstFull) {
+  std::vector<std::string> Base = {"a", "b"};
+  std::vector<CellResult> Cells;
+  Cells.push_back(cell("full", "a,b", 100, 4.0, 8, 1.0));
+  Cells.push_back(cell("custom:0", "b,a", 150, 3.0, 8, 1.1));
+  auto Ranked = attributeKernel(Cells, Base);
+  ASSERT_EQ(Ranked.size(), 1u);
+  EXPECT_NE(Ranked[0].Pass.find("custom:0"), std::string::npos);
+  EXPECT_NE(Ranked[0].Pass.find("b,a"), std::string::npos);
+  EXPECT_DOUBLE_EQ(Ranked[0].MflopsDelta, 1.0);
+  EXPECT_DOUBLE_EQ(Ranked[0].MarginalCycles, 50.0);
+}
+
+//===----------------------------------------------------------------------===//
+// JSON-Lines writers
+//===----------------------------------------------------------------------===//
+
+TEST(JsonLines, ConcurrentAppendersStayLineAtomic) {
+  namespace fs = std::filesystem;
+  fs::path Dir = fs::temp_directory_path() / "tcc_ablate_atomic_test";
+  fs::remove_all(Dir);
+  fs::create_directories(Dir);
+  std::string Path = (Dir / "rows.json").string();
+
+  // Two writers, distinct recognizable rows, long enough that an
+  // interleaved partial write would be visible.
+  const int RowsPerWriter = 200;
+  auto Writer = [&](char Tag) {
+    std::string Row = "{\"writer\": \"";
+    Row += Tag;
+    Row += "\", \"payload\": \"";
+    Row += std::string(512, Tag);
+    Row += "\"}";
+    for (int I = 0; I < RowsPerWriter; ++I)
+      ASSERT_TRUE(json::appendJsonLine(Path, Row));
+  };
+  std::thread A(Writer, 'a');
+  std::thread B(Writer, 'b');
+  A.join();
+  B.join();
+
+  std::ifstream IS(Path);
+  ASSERT_TRUE(IS.good());
+  std::string Line;
+  int Count = 0, CountA = 0;
+  while (std::getline(IS, Line)) {
+    ++Count;
+    // Every line is exactly one whole row from one writer.
+    ASSERT_EQ(Line.size(), 542u) << "interleaved or truncated row: " << Line;
+    ASSERT_EQ(Line.front(), '{');
+    ASSERT_EQ(Line.back(), '}');
+    char Tag = Line[12];
+    ASSERT_TRUE(Tag == 'a' || Tag == 'b') << Line;
+    ASSERT_EQ(Line.find(Tag == 'a' ? 'b' : 'a', 28), std::string::npos)
+        << "mixed-writer row: " << Line;
+    if (Tag == 'a')
+      ++CountA;
+  }
+  EXPECT_EQ(Count, 2 * RowsPerWriter);
+  EXPECT_EQ(CountA, RowsPerWriter);
+  fs::remove_all(Dir);
+}
+
+TEST(JsonLines, DoubleFormattingIsExactForCycleCounts) {
+  // Cycle counts above 1e6 used to round through %.6g; the ablation
+  // differ subtracts them, so they must survive exactly.
+  std::ostringstream OS;
+  json::JSONWriter W(OS, 0);
+  W.beginArray();
+  W.value(12345678.0);       // integral: exact integer text
+  W.value(0.5);              // short non-integral: stays short
+  W.value(0.6924330000000001); // needs full round-trip precision
+  W.endArray();
+  EXPECT_EQ(OS.str(), "[12345678,0.5,0.6924330000000001]");
+}
+
+TEST(JsonLines, CellRowsParseAndRoundTripFields) {
+  CellResult C = cell("-vectorize", "inline,dce", 2500000.0, 1.25, 0, 3.5,
+                      "vectorize");
+  C.MissedByPass.emplace_back("vectorize", 3u);
+  std::string Row = cellJsonRow(C);
+  EXPECT_EQ(Row.find('\n'), std::string::npos);
+  EXPECT_NE(Row.find("\"kind\": \"cell\""), std::string::npos);
+  EXPECT_NE(Row.find("\"cycles\": 2500000"), std::string::npos);
+  EXPECT_NE(Row.find("\"ablated\": \"vectorize\""), std::string::npos);
+  EXPECT_NE(Row.find("\"vectorize\": 3"), std::string::npos);
+
+  PassAttribution A;
+  A.Pass = "vectorize";
+  A.HaveLeaveOneOut = true;
+  A.Contribution = 0.75;
+  A.MarginalCycles = 405;
+  std::string ARow = attributionJsonRow("daxpy", A);
+  EXPECT_NE(ARow.find("\"kind\": \"attribution\""), std::string::npos);
+  EXPECT_NE(ARow.find("\"marginalCycles\": 405"), std::string::npos);
+}
+
+TEST(JsonLines, PipelineRowParserReadsBenchRows) {
+  PipelineRow Row;
+  ASSERT_TRUE(parsePipelineRow(
+      R"row({"kernel": "daxpy", "variant": "inline+vector (1 proc)", "region": true, "cycles": 812, "mflops": 1.97, "vectorInstrs": 40})row",
+      Row));
+  EXPECT_EQ(Row.Kernel, "daxpy");
+  EXPECT_EQ(Row.Variant, "inline+vector (1 proc)");
+  EXPECT_DOUBLE_EQ(Row.Cycles, 812.0);
+  EXPECT_DOUBLE_EQ(Row.Mflops, 1.97);
+  EXPECT_TRUE(Row.Region);
+
+  // Pre-"region" rows still parse (scope defaults to whole-run).
+  ASSERT_TRUE(parsePipelineRow(
+      R"({"kernel": "k", "variant": "v", "cycles": 10, "mflops": 0.5})", Row));
+  EXPECT_FALSE(Row.Region);
+
+  EXPECT_FALSE(parsePipelineRow("not json at all", Row));
+  EXPECT_FALSE(parsePipelineRow(R"({"kernel": "k"})", Row));
+}
+
+//===----------------------------------------------------------------------===//
+// Sweeps
+//===----------------------------------------------------------------------===//
+
+/// Temp-dir JSON path helper: sweeps write JSON lines; tests park them
+/// in an isolated file.
+struct TempJson {
+  std::filesystem::path Dir;
+  std::string Path;
+  TempJson(const char *Name) {
+    Dir = std::filesystem::temp_directory_path() / Name;
+    std::filesystem::remove_all(Dir);
+    std::filesystem::create_directories(Dir);
+    Path = (Dir / "BENCH_ablation.json").string();
+  }
+  ~TempJson() { std::filesystem::remove_all(Dir); }
+  std::vector<std::string> lines() const {
+    std::vector<std::string> Out;
+    std::ifstream IS(Path);
+    std::string Line;
+    while (std::getline(IS, Line))
+      Out.push_back(Line);
+    return Out;
+  }
+};
+
+TEST(Sweep, FaultingSpecCellFailsWithoutKillingTheSweep) {
+  TempJson Json("tcc_ablate_fault_test");
+  AblateOptions Opts;
+  Opts.Mode = SweepMode::Custom;
+  Opts.CustomSpecs = {"inline,vectorize", "whiletodo,ivsub,vectorize"};
+  Opts.Kernels = {"daxpy"};
+  // "inline" is a module pass: an injected fault there is a clean
+  // compile error, i.e. a failed *cell*.
+  Opts.FaultInject = "inline:*:throw";
+  Opts.JsonPath = Json.Path;
+  Opts.PipelineJsonPath.clear();
+  Opts.Workers = 2;
+
+  DiagnosticEngine Diags;
+  SweepResult R = runSweep(Opts, Diags);
+  ASSERT_FALSE(Diags.hasErrors()) << Diags.str();
+  // full (contains inline) and custom:0 (contains inline) fail; the
+  // inline-free custom:1 survives.
+  ASSERT_EQ(R.Cells.size(), 3u);
+  EXPECT_EQ(R.FailedCells, 2u);
+  for (const CellResult &C : R.Cells) {
+    if (C.Spec.Spec.find("inline") != std::string::npos) {
+      EXPECT_FALSE(C.Ok) << C.Spec.Id;
+      EXPECT_NE(C.Error.find("inline"), std::string::npos) << C.Error;
+    } else {
+      EXPECT_TRUE(C.Ok) << C.Spec.Id << ": " << C.Error;
+      EXPECT_GT(C.Mflops, 0.0);
+    }
+  }
+  // Failed cells still serialize (ok:false plus the error), and every
+  // line is a complete single-line object.
+  auto Lines = Json.lines();
+  EXPECT_GE(Lines.size(), 3u);
+  for (const std::string &L : Lines) {
+    EXPECT_EQ(L.front(), '{');
+    EXPECT_EQ(L.back(), '}');
+  }
+  // The report names the failures instead of hiding them.
+  std::string Report = renderReport(R);
+  EXPECT_NE(Report.find("failed cells (2)"), std::string::npos) << Report;
+}
+
+TEST(Sweep, ContainedFunctionPassFaultIsACellFinding) {
+  TempJson Json("tcc_ablate_contained_test");
+  AblateOptions Opts;
+  Opts.Mode = SweepMode::Custom;
+  Opts.CustomSpecs = {"whiletodo,ivsub,vectorize"};
+  Opts.Kernels = {"whileconv"};
+  // vectorize is a function pass: the sandbox contains the fault, the
+  // cell still measures (unvectorized), and the fault count surfaces.
+  Opts.FaultInject = "vectorize:*:throw";
+  Opts.JsonPath = Json.Path;
+  Opts.PipelineJsonPath.clear();
+
+  DiagnosticEngine Diags;
+  SweepResult R = runSweep(Opts, Diags);
+  ASSERT_FALSE(Diags.hasErrors()) << Diags.str();
+  for (const CellResult &C : R.Cells) {
+    if (C.Spec.Spec.find("vectorize") == std::string::npos)
+      continue;
+    EXPECT_TRUE(C.Ok) << C.Spec.Id << ": " << C.Error;
+    EXPECT_GT(C.ContainedFaults, 0u) << C.Spec.Id;
+  }
+}
+
+TEST(Sweep, DaxpyLeaveOneOutRanksVectorizeDominant) {
+  TempJson Json("tcc_ablate_daxpy_test");
+  AblateOptions Opts;
+  Opts.Mode = SweepMode::LeaveOneOut;
+  Opts.Kernels = {"daxpy"};
+  Opts.JsonPath = Json.Path;
+  Opts.PipelineJsonPath.clear();
+  Opts.Workers = 2;
+
+  DiagnosticEngine Diags;
+  SweepResult R = runSweep(Opts, Diags);
+  ASSERT_FALSE(Diags.hasErrors()) << Diags.str();
+  EXPECT_EQ(R.FailedCells, 0u);
+  ASSERT_EQ(R.Attribution.size(), 1u);
+  const KernelAttribution &KA = R.Attribution[0];
+  EXPECT_EQ(KA.Kernel, "daxpy");
+  ASSERT_FALSE(KA.Passes.empty());
+  // The acceptance property: the two-sample estimate credits the
+  // vectorize pass, not its enablers, with the dominant MFLOPS win.
+  EXPECT_EQ(KA.Passes[0].Pass, "vectorize") << renderReport(R);
+  EXPECT_GT(KA.Passes[0].Contribution, 0.0);
+  // And removing vectorize zeroes the vector instructions.
+  for (const PassAttribution &A : KA.Passes) {
+    if (A.Pass == "vectorize") {
+      EXPECT_GT(A.VectorInstrsDelta, 0);
+    }
+  }
+  // Attribution rows landed in the JSON too.
+  bool SawAttribution = false;
+  for (const std::string &L : Json.lines())
+    if (L.find("\"kind\": \"attribution\"") != std::string::npos)
+      SawAttribution = true;
+  EXPECT_TRUE(SawAttribution);
+}
+
+TEST(Sweep, WorkerCountsAgreeOnMeasurements) {
+  // The pool fills cells by index: 1 worker and 4 workers must produce
+  // identical measurements (compileMillis excepted — it is wall-clock).
+  AblateOptions Opts;
+  Opts.Mode = SweepMode::LeaveOneOut;
+  Opts.Kernels = {"striplen"};
+  Opts.JsonPath.clear();
+  Opts.PipelineJsonPath.clear();
+
+  DiagnosticEngine D1, D4;
+  Opts.Workers = 1;
+  SweepResult R1 = runSweep(Opts, D1);
+  Opts.Workers = 4;
+  SweepResult R4 = runSweep(Opts, D4);
+  ASSERT_EQ(R1.Cells.size(), R4.Cells.size());
+  for (size_t I = 0; I < R1.Cells.size(); ++I) {
+    EXPECT_EQ(R1.Cells[I].Spec.Id, R4.Cells[I].Spec.Id);
+    EXPECT_EQ(R1.Cells[I].Ok, R4.Cells[I].Ok);
+    EXPECT_DOUBLE_EQ(R1.Cells[I].Cycles, R4.Cells[I].Cycles);
+    EXPECT_DOUBLE_EQ(R1.Cells[I].Mflops, R4.Cells[I].Mflops);
+    EXPECT_EQ(R1.Cells[I].VectorInstrs, R4.Cells[I].VectorInstrs);
+  }
+}
+
+TEST(Sweep, UnknownKernelIsDiagnosed) {
+  AblateOptions Opts;
+  Opts.Kernels = {"frobnicate"};
+  Opts.JsonPath.clear();
+  Opts.PipelineJsonPath.clear();
+  DiagnosticEngine Diags;
+  runSweep(Opts, Diags);
+  ASSERT_TRUE(Diags.hasErrors());
+  EXPECT_NE(Diags.str().find("unknown kernel"), std::string::npos);
+  EXPECT_NE(Diags.str().find("daxpy"), std::string::npos); // teaches
+}
+
+} // namespace
