@@ -1,0 +1,217 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// E12 — the compile server under concurrent load.
+///
+/// A real daemon (not a mock: the same server::Server that tccd runs) is
+/// started on a socket in the working directory, and 1/4/16 concurrent
+/// clients drive the seven bench kernels through it over the wire.  The
+/// bench reports, per concurrency level:
+///
+///   - requests/sec and p50/p99 request latency,
+///   - the hot-cache hit rate (first round is all misses; every later
+///     identical request should hit),
+///
+/// and appends one JSON-Lines row per level to BENCH_server.json via the
+/// same single-write appender the other benches use.
+///
+/// Every response is also diffed against a direct in-process compile of
+/// the same request — the byte-identity bar that makes the latency
+/// numbers meaningful (a fast wrong answer is not a compile server).
+///
+//===----------------------------------------------------------------------===//
+
+#include "ablate/Kernels.h"
+#include "driver/ToolMain.h"
+#include "server/Client.h"
+#include "server/Server.h"
+#include "support/JSONWriter.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+using namespace tcc;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Expected {
+  server::Request Req;
+  int Exit;
+  std::string Out;
+  std::string Err;
+};
+
+/// The reference answer: the same request compiled directly, the way
+/// `tcc` would, with a fresh one-shot session.
+Expected makeExpected(const ablate::BenchKernel &K) {
+  Expected E;
+  E.Req.Args = {K.Name + ".c"};
+  E.Req.Source = K.Source;
+
+  driver::ToolInvocation Inv;
+  std::string Error;
+  if (!driver::parseToolArgs(E.Req.Args, Inv, Error)) {
+    std::fprintf(stderr, "bench_server: arg parse failed: %s\n",
+                 Error.c_str());
+    std::exit(1);
+  }
+  driver::CompilerSession Fresh;
+  std::ostringstream Out, Err;
+  E.Exit = driver::runToolInvocation(Inv, E.Req.Source, Fresh, Out, Err);
+  E.Out = Out.str();
+  E.Err = Err.str();
+  return E;
+}
+
+double percentile(std::vector<double> Sorted, double P) {
+  if (Sorted.empty())
+    return 0.0;
+  size_t I = static_cast<size_t>(P * (Sorted.size() - 1) + 0.5);
+  return Sorted[std::min(I, Sorted.size() - 1)];
+}
+
+struct LevelResult {
+  unsigned Clients = 0;
+  uint64_t Requests = 0;
+  uint64_t Mismatches = 0;
+  double Seconds = 0.0;
+  double P50Ms = 0.0;
+  double P99Ms = 0.0;
+  double HitRate = 0.0; ///< Hot-cache rate across the whole daemon so far.
+};
+
+LevelResult driveLevel(const std::string &Socket,
+                       const std::vector<Expected> &Suite, unsigned Clients,
+                       unsigned RoundsPerClient, server::Server &Daemon) {
+  LevelResult R;
+  R.Clients = Clients;
+  std::mutex M;
+  std::vector<double> Latencies;
+  uint64_t Mismatches = 0;
+
+  auto Start = Clock::now();
+  std::vector<std::thread> Threads;
+  for (unsigned C = 0; C < Clients; ++C) {
+    Threads.emplace_back([&, C] {
+      server::Client Conn;
+      std::string Error;
+      if (!Conn.connect(Socket, Error)) {
+        std::fprintf(stderr, "bench_server: client %u: %s\n", C,
+                     Error.c_str());
+        return;
+      }
+      std::vector<double> Mine;
+      uint64_t MyMismatches = 0;
+      for (unsigned Round = 0; Round < RoundsPerClient; ++Round) {
+        for (const Expected &E : Suite) {
+          auto T0 = Clock::now();
+          server::Response Resp;
+          if (!Conn.roundTrip(E.Req, Resp, Error)) {
+            std::fprintf(stderr, "bench_server: client %u: %s\n", C,
+                         Error.c_str());
+            return;
+          }
+          Mine.push_back(std::chrono::duration<double, std::milli>(
+                             Clock::now() - T0)
+                             .count());
+          if (Resp.Exit != E.Exit || Resp.Out != E.Out || Resp.Err != E.Err)
+            ++MyMismatches;
+        }
+      }
+      std::lock_guard<std::mutex> Lock(M);
+      Latencies.insert(Latencies.end(), Mine.begin(), Mine.end());
+      Mismatches += MyMismatches;
+    });
+  }
+  for (auto &T : Threads)
+    T.join();
+  R.Seconds = std::chrono::duration<double>(Clock::now() - Start).count();
+
+  std::sort(Latencies.begin(), Latencies.end());
+  R.Requests = Latencies.size();
+  R.Mismatches = Mismatches;
+  R.P50Ms = percentile(Latencies, 0.50);
+  R.P99Ms = percentile(Latencies, 0.99);
+  server::HotCacheStats H = Daemon.hotCache().stats();
+  R.HitRate = (H.Hits + H.Misses)
+                  ? static_cast<double>(H.Hits) / (H.Hits + H.Misses)
+                  : 0.0;
+  return R;
+}
+
+void appendRow(const LevelResult &R) {
+  std::ostringstream OS;
+  json::JSONWriter W(OS, /*IndentWidth=*/0);
+  W.beginObject();
+  W.keyValue("bench", "server");
+  W.keyValue("clients", static_cast<uint64_t>(R.Clients));
+  W.keyValue("requests", R.Requests);
+  W.keyValue("mismatches", R.Mismatches);
+  W.keyValue("requestsPerSec",
+             R.Seconds > 0 ? R.Requests / R.Seconds : 0.0);
+  W.keyValue("p50Ms", R.P50Ms);
+  W.keyValue("p99Ms", R.P99Ms);
+  W.keyValue("hotHitRate", R.HitRate);
+  W.endObject();
+  json::appendJsonLine("BENCH_server.json", OS.str());
+}
+
+} // namespace
+
+int main() {
+  const std::string Socket = ".bench-tccd.sock";
+  const std::string CacheFile = ".bench-tcc-cache";
+  std::remove(CacheFile.c_str());
+
+  server::ServerOptions Opts;
+  Opts.SocketPath = Socket;
+  Opts.CacheFile = CacheFile;
+  server::Server Daemon(Opts);
+  DiagnosticEngine Diags;
+  if (!Daemon.start(Diags)) {
+    std::fprintf(stderr, "bench_server: %s\n", Diags.str().c_str());
+    return 1;
+  }
+  std::thread Acceptor([&Daemon] { Daemon.run(); });
+
+  std::vector<Expected> Suite;
+  for (const ablate::BenchKernel &K : ablate::benchKernels())
+    Suite.push_back(makeExpected(K));
+
+  std::printf("=== E12: compile server, %zu-kernel suite ===\n",
+              Suite.size());
+  std::printf("  %-8s %10s %12s %10s %10s %9s\n", "clients", "requests",
+              "req/sec", "p50 ms", "p99 ms", "hit rate");
+
+  uint64_t TotalMismatches = 0;
+  for (unsigned Clients : {1u, 4u, 16u}) {
+    LevelResult R = driveLevel(Socket, Suite, Clients,
+                               /*RoundsPerClient=*/3, Daemon);
+    TotalMismatches += R.Mismatches;
+    std::printf("  %-8u %10llu %12.1f %10.3f %10.3f %8.1f%%\n", Clients,
+                static_cast<unsigned long long>(R.Requests),
+                R.Seconds > 0 ? R.Requests / R.Seconds : 0.0, R.P50Ms,
+                R.P99Ms, R.HitRate * 100.0);
+    appendRow(R);
+  }
+
+  Daemon.stop();
+  Acceptor.join();
+
+  if (TotalMismatches) {
+    std::fprintf(stderr,
+                 "bench_server: %llu response(s) differed from direct "
+                 "compilation — the byte-identity bar FAILED\n",
+                 static_cast<unsigned long long>(TotalMismatches));
+    return 1;
+  }
+  std::printf("  every response byte-identical to direct tcc\n");
+  return 0;
+}

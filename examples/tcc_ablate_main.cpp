@@ -39,6 +39,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "ablate/Ablate.h"
+#include "ablate/Kernels.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -55,7 +56,9 @@ void usage() {
       "usage: tcc-ablate [-mode=leave-one-out|prefix|custom] [-specs=S;S...]\n"
       "                  [-kernels=a,b] [-passes=BASE] [-j<N>] [-cache=STEM]\n"
       "                  [-o FILE] [-pipeline-json=FILE] [-fault-inject=S] "
-      "[-q]\n");
+      "[-q]\n"
+      "       tcc-ablate -dump-kernels=DIR   write each bench kernel to\n"
+      "                                      DIR/<name>.c and exit\n");
 }
 
 std::vector<std::string> splitOn(const std::string &S, char Sep) {
@@ -82,6 +85,25 @@ int main(int argc, char **argv) {
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
+    if (Arg.rfind("-dump-kernels=", 0) == 0) {
+      // Materializes the embedded bench suite as real .c files — CI's
+      // way of driving the same seven kernels through tcc, tcc-client,
+      // and tccd from the shell.
+      std::string Dir = Arg.substr(std::strlen("-dump-kernels="));
+      for (const ablate::BenchKernel &K : ablate::benchKernels()) {
+        std::string Path = Dir + "/" + K.Name + ".c";
+        std::FILE *F = std::fopen(Path.c_str(), "w");
+        if (!F) {
+          std::fprintf(stderr, "tcc-ablate: cannot write '%s'\n",
+                       Path.c_str());
+          return 2;
+        }
+        std::fwrite(K.Source.data(), 1, K.Source.size(), F);
+        std::fclose(F);
+        std::printf("%s\n", Path.c_str());
+      }
+      return 0;
+    }
     if (Arg.rfind("-mode=", 0) == 0) {
       std::string M = Arg.substr(std::strlen("-mode="));
       if (M == "leave-one-out") {

@@ -1,0 +1,98 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// tcc-client — compile through a running tccd instead of in-process.
+///
+///   tcc-client [-socket=path] <any tcc options> file.c
+///
+/// Accepts exactly tcc's command line (the parser is shared —
+/// driver/ToolMain.h — so a flag typo produces the same diagnostic
+/// here as there), plus `-socket=PATH` naming the daemon socket
+/// (default ".tccd.sock"; the TCCD_SOCKET environment variable
+/// overrides the default).  The input file is read client-side and its
+/// text shipped with the request; other paths on the command line
+/// (-catalog=, -remarks=) resolve in the daemon's working directory, so
+/// run the daemon where you run the client or pass absolute paths.
+///
+/// The response carries the exit code and the exact bytes a direct
+/// `tcc` run would have printed; they are replayed verbatim.  Requests'
+/// `-cache=` flags are overridden by the daemon (it owns its manifest),
+/// and `-replay=` is rejected client-side — reproducer bundles replay
+/// locally with `tcc -replay=`.
+///
+/// Exit codes: tcc's own (0 ok, 1 compile/run failure, 2 usage/IO
+/// error), plus 3 when the daemon is unreachable or dies mid-request —
+/// always a clean error, never a hang.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/ToolMain.h"
+#include "server/Client.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace tcc;
+
+int main(int argc, char **argv) {
+  std::string SocketPath = ".tccd.sock";
+  if (const char *Env = std::getenv("TCCD_SOCKET"); Env && *Env)
+    SocketPath = Env;
+
+  // Peel off the client-only -socket= flag; everything else is tcc's
+  // surface, validated locally with the shared parser so diagnostics
+  // match tcc byte-for-byte (tool-name prefix aside).
+  std::vector<std::string> Args;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg.rfind("-socket=", 0) == 0)
+      SocketPath = Arg.substr(std::strlen("-socket="));
+    else
+      Args.push_back(std::move(Arg));
+  }
+
+  driver::ToolInvocation Inv;
+  std::string Error;
+  if (!driver::parseToolArgs(Args, Inv, Error)) {
+    std::fprintf(stderr, "tcc-client: %s\n", Error.c_str());
+    std::fprintf(stderr, "%s", driver::toolUsage("tcc-client").c_str());
+    return 2;
+  }
+  if (!Inv.ReplayPath.empty()) {
+    std::fprintf(stderr,
+                 "tcc-client: -replay= runs locally (the bundle is on "
+                 "this machine); use tcc -replay=\n");
+    return 2;
+  }
+  if (Inv.InputPath.empty()) {
+    std::fprintf(stderr, "%s", driver::toolUsage("tcc-client").c_str());
+    return 2;
+  }
+
+  std::ifstream In(Inv.InputPath);
+  if (!In) {
+    std::fprintf(stderr, "tcc-client: cannot open '%s'\n",
+                 Inv.InputPath.c_str());
+    return 2;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+
+  server::Request Req;
+  Req.Args = Args;
+  Req.Source = Buffer.str();
+  server::Response Resp;
+  if (!server::runRequest(SocketPath, Req, Resp, Error)) {
+    std::fprintf(stderr, "tcc-client: %s\n", Error.c_str());
+    return 3;
+  }
+
+  std::fwrite(Resp.Out.data(), 1, Resp.Out.size(), stdout);
+  std::fwrite(Resp.Err.data(), 1, Resp.Err.size(), stderr);
+  return Resp.Exit;
+}

@@ -58,149 +58,62 @@
 /// A compile with contained faults still exits 0: the output is correct,
 /// just missing the quarantined pass on the affected function(s).
 ///
+/// Flag parsing and everything after it live in driver/ToolMain.h,
+/// shared with tcc-client and the compile server so a daemon-compiled
+/// request is byte-identical to a direct run.  Only file IO and replay
+/// mode (bundles are local) stay here.
+///
 //===----------------------------------------------------------------------===//
 
-#include "catalog/CatalogBuilder.h"
-#include "driver/Compiler.h"
-#include "il/ILPrinter.h"
-#include "pipeline/PassRegistry.h"
+#include "driver/ToolMain.h"
 #include "pipeline/PassSandbox.h"
 
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 using namespace tcc;
 
-namespace {
-
-void usage() {
-  std::fprintf(
-      stderr,
-      "usage: tcc [-O0|-O1|-O2|-O3] [-P n] [-fno-inline] [-ffortran-ptrs]\n"
-      "           [-strip n] [-catalog=file] [-passes=spec] [-cache=file]\n"
-      "           [-whole-program] [-verify-each] [-print-il=phase]\n"
-      "           [-print-after-all] [-remarks=file]\n"
-      "           [-no-sandbox] [-pass-budget=ms] [-repro-dir=dir]\n"
-      "           [-fault-inject=spec] [-replay=bundle]\n"
-      "           [-S] [-run|-no-run] [-stats] file.c\n"
-      "registered passes: %s\n",
-      pipeline::PassRegistry::instance().namesJoined().c_str());
-}
-
-} // namespace
-
 int main(int argc, char **argv) {
-  driver::CompilerOptions Opts = driver::CompilerOptions::full();
-  titan::TitanConfig Machine;
-  std::string PrintPhase;
-  std::string RemarksPath;
-  std::string CatalogPath;
-  std::string ReplayPath;
-  std::string InputPath;
-  bool PrintAsm = false;
-  bool PrintAfterAll = false;
-  bool Run = true;
-  bool PrintStats = false;
-
-  for (int I = 1; I < argc; ++I) {
-    std::string Arg = argv[I];
-    if (Arg == "-O0") {
-      Opts = driver::CompilerOptions::noOpt();
-      Machine.EnableOverlap = false;
-    } else if (Arg == "-O1") {
-      Opts = driver::CompilerOptions::scalarOnly();
-      Machine.EnableOverlap = false;
-    } else if (Arg == "-O2") {
-      Opts = driver::CompilerOptions::full();
-    } else if (Arg == "-O3") {
-      Opts = driver::CompilerOptions::parallel();
-      if (Machine.NumProcessors < 2)
-        Machine.NumProcessors = 2;
-    } else if (Arg == "-P" && I + 1 < argc) {
-      Machine.NumProcessors = std::atoi(argv[++I]);
-      Opts.Vectorize.EnableParallel = Machine.NumProcessors > 1;
-    } else if (Arg == "-fno-inline") {
-      Opts.EnableInline = false;
-    } else if (Arg == "-ffortran-ptrs") {
-      Opts.Vectorize.FortranPointerSemantics = true;
-    } else if (Arg == "-strip" && I + 1 < argc) {
-      Opts.Vectorize.StripLength = std::atoll(argv[++I]);
-    } else if (Arg.rfind("-catalog=", 0) == 0) {
-      CatalogPath = Arg.substr(std::strlen("-catalog="));
-    } else if (Arg.rfind("-passes=", 0) == 0) {
-      Opts.Passes = Arg.substr(std::strlen("-passes="));
-    } else if (Arg.rfind("-cache=", 0) == 0) {
-      Opts.CacheFile = Arg.substr(std::strlen("-cache="));
-    } else if (Arg == "-whole-program") {
-      Opts.WholeProgram = true;
-    } else if (Arg == "-verify-each") {
-      Opts.VerifyEach = true;
-    } else if (Arg == "-no-sandbox") {
-      Opts.SandboxPasses = false;
-    } else if (Arg.rfind("-pass-budget=", 0) == 0) {
-      Opts.PassBudgetMs = std::atof(Arg.c_str() + std::strlen("-pass-budget="));
-    } else if (Arg.rfind("-repro-dir=", 0) == 0) {
-      Opts.ReproDir = Arg.substr(std::strlen("-repro-dir="));
-    } else if (Arg.rfind("-fault-inject=", 0) == 0) {
-      Opts.FaultInject = Arg.substr(std::strlen("-fault-inject="));
-    } else if (Arg.rfind("-replay=", 0) == 0) {
-      ReplayPath = Arg.substr(std::strlen("-replay="));
-    } else if (Arg.rfind("-print-il=", 0) == 0) {
-      PrintPhase = Arg.substr(std::strlen("-print-il="));
-      Opts.CaptureStages = true;
-    } else if (Arg == "-print-after-all") {
-      PrintAfterAll = true;
-      Opts.CaptureStages = true;
-    } else if (Arg.rfind("-remarks=", 0) == 0) {
-      RemarksPath = Arg.substr(std::strlen("-remarks="));
-    } else if (Arg == "-S") {
-      PrintAsm = true;
-    } else if (Arg == "-run") {
-      Run = true;
-    } else if (Arg == "-no-run") {
-      Run = false;
-    } else if (Arg == "-stats") {
-      PrintStats = true;
-    } else if (!Arg.empty() && Arg[0] == '-') {
-      std::fprintf(stderr, "tcc: unknown option '%s'\n", Arg.c_str());
-      usage();
-      return 2;
-    } else {
-      InputPath = Arg;
-    }
+  driver::ToolInvocation Inv;
+  std::string Error;
+  if (!driver::parseToolArgs(std::vector<std::string>(argv + 1, argv + argc),
+                             Inv, Error)) {
+    std::fprintf(stderr, "tcc: %s\n", Error.c_str());
+    std::fprintf(stderr, "%s", driver::toolUsage("tcc").c_str());
+    return 2;
   }
-  if (InputPath.empty() && ReplayPath.empty()) {
-    usage();
+  if (Inv.InputPath.empty() && Inv.ReplayPath.empty()) {
+    std::fprintf(stderr, "%s", driver::toolUsage("tcc").c_str());
     return 2;
   }
 
   // Replay mode: re-run the single pass invocation a reproducer bundle
   // recorded, under the bundle's own containment policy, and report
   // whether the same fault fires.  No input file is compiled.
-  if (!ReplayPath.empty()) {
+  if (!Inv.ReplayPath.empty()) {
     DiagnosticEngine ReplayDiags;
     pipeline::ReproBundle Bundle;
-    if (!pipeline::loadReproBundle(ReplayPath, Bundle, ReplayDiags)) {
+    if (!pipeline::loadReproBundle(Inv.ReplayPath, Bundle, ReplayDiags)) {
       for (const auto &D : ReplayDiags.diagnostics())
-        std::fprintf(stderr, "tcc: %s: %s\n", ReplayPath.c_str(),
+        std::fprintf(stderr, "tcc: %s: %s\n", Inv.ReplayPath.c_str(),
                      D.str().c_str());
       return 2;
     }
     if (!Bundle.Config.empty() &&
-        Bundle.Config != driver::configFingerprint(Opts))
+        Bundle.Config != driver::configFingerprint(Inv.Opts))
       std::fprintf(stderr,
                    "tcc: warning: bundle '%s' was recorded under a "
                    "different option fingerprint; replaying with the "
                    "current options\n",
-                   ReplayPath.c_str());
+                   Inv.ReplayPath.c_str());
     pipeline::ReplayResult RR = pipeline::replayBundle(
-        Bundle, driver::makePipelineOptions(Opts), ReplayDiags);
+        Bundle, driver::makePipelineOptions(Inv.Opts), ReplayDiags);
     for (const auto &D : ReplayDiags.diagnostics())
-      std::fprintf(stderr, "tcc: %s: %s\n", ReplayPath.c_str(),
+      std::fprintf(stderr, "tcc: %s: %s\n", Inv.ReplayPath.c_str(),
                    D.str().c_str());
     if (!RR.Ran)
       return 2;
@@ -221,154 +134,16 @@ int main(int argc, char **argv) {
     return 1;
   }
 
-  // The catalog must outlive the compile (CompilerOptions holds a
-  // pointer).
-  inliner::ProcedureCatalog Catalog;
-  if (!CatalogPath.empty()) {
-    DiagnosticEngine CatalogDiags;
-    if (!catalog::loadCatalogFile(CatalogPath, Catalog, CatalogDiags)) {
-      for (const auto &D : CatalogDiags.diagnostics())
-        std::fprintf(stderr, "%s: %s\n", CatalogPath.c_str(),
-                     D.str().c_str());
-      return 2;
-    }
-    Opts.Catalog = &Catalog;
-  }
-
-  std::ifstream In(InputPath);
+  std::ifstream In(Inv.InputPath);
   if (!In) {
-    std::fprintf(stderr, "tcc: cannot open '%s'\n", InputPath.c_str());
+    std::fprintf(stderr, "tcc: cannot open '%s'\n", Inv.InputPath.c_str());
     return 2;
   }
   std::stringstream Buffer;
   Buffer << In.rdbuf();
 
-  auto Result = driver::compileSource(Buffer.str(), Opts);
-  for (const auto &D : Result->Diags.diagnostics())
-    std::fprintf(stderr, "%s: %s\n", InputPath.c_str(), D.str().c_str());
-
-  // Contained faults degrade optimization, never correctness, so they are
-  // summarized on stderr but do not change the exit code.
-  if (!Result->Telemetry.Faults.empty())
-    std::fprintf(stderr,
-                 "tcc: %zu pass fault%s contained; output is correct but "
-                 "the affected function%s skipped the quarantined pass%s\n",
-                 Result->Telemetry.Faults.size(),
-                 Result->Telemetry.Faults.size() == 1 ? "" : "s",
-                 Result->Telemetry.Faults.size() == 1 ? "" : "s",
-                 Result->Telemetry.Faults.size() == 1 ? "" : "es");
-
-  // Telemetry is written even for failed compiles: the record of what ran
-  // before the failure is exactly what a verifier diagnostic needs.
-  if (!RemarksPath.empty()) {
-    if (RemarksPath == "-") {
-      Result->Telemetry.writeJSON(std::cout);
-    } else {
-      std::ofstream OS(RemarksPath);
-      if (!OS) {
-        std::fprintf(stderr, "tcc: cannot write '%s'\n",
-                     RemarksPath.c_str());
-        return 2;
-      }
-      Result->Telemetry.writeJSON(OS);
-    }
-  }
-
-  if (!Result->ok())
-    return 1;
-
-  if (PrintAfterAll) {
-    for (const std::string &Key : Result->StageOrder)
-      std::printf("*** IL after %s ***\n%s\n", Key.c_str(),
-                  Result->Stages[Key].c_str());
-  } else if (!PrintPhase.empty()) {
-    auto It = Result->Stages.find(PrintPhase);
-    if (It == Result->Stages.end()) {
-      std::fprintf(stderr,
-                   "tcc: no IL snapshot for phase '%s' (captured: lower + "
-                   "executed passes)\n",
-                   PrintPhase.c_str());
-      return 2;
-    }
-    std::printf("%s", It->second.c_str());
-  }
-
-  if (PrintAsm)
-    for (const auto &F : Result->Machine.Functions)
-      std::printf("%s\n", titan::disassemble(F).c_str());
-
-  if (PrintStats) {
-    const driver::PhaseStats &S = Result->Stats;
-    std::printf("inline:      %u calls expanded, %u left, %u recursion "
-                "guards, %u statics externalized, %u demoted\n",
-                S.Inline.CallsInlined, S.Inline.CallsLeft,
-                S.Inline.RecursionSkipped, S.Inline.StaticsExternalized,
-                S.Inline.StaticsDemoted);
-    std::printf("while->do:   %u of %u loops converted\n",
-                S.WhileToDo.Converted, S.WhileToDo.Attempted);
-    std::printf("iv-sub:      %u IVs, %u uses rewritten, %u forward "
-                "substitutions, %u blocked, %u backtracks, %u passes\n",
-                S.IVSub.FamilyMembers, S.IVSub.UsesRewritten,
-                S.IVSub.Substitutions, S.IVSub.Blocked, S.IVSub.Backtracks,
-                S.IVSub.Passes);
-    std::printf("const-prop:  %u uses, %u branches folded, %u loops "
-                "deleted, %u stmts removed, %u requeues\n",
-                S.ConstProp.UsesReplaced, S.ConstProp.BranchesFolded,
-                S.ConstProp.LoopsDeleted, S.ConstProp.StmtsRemoved,
-                S.ConstProp.Requeues);
-    std::printf("dce:         %u assigns, %u empty controls, %u labels\n",
-                S.DCE.AssignsRemoved, S.DCE.EmptyControlRemoved,
-                S.DCE.LabelsRemoved);
-    std::printf("vectorize:   %u/%u loops, %u vector stmts, %u strip "
-                "loops (%u parallel), %u serial\n",
-                S.Vectorize.LoopsVectorized, S.Vectorize.LoopsConsidered,
-                S.Vectorize.VectorStmts, S.Vectorize.StripLoops,
-                S.Vectorize.ParallelLoops, S.Vectorize.SerialLoops);
-    std::printf("dep-opt:     %u scalar-replaced loops (%u loads), %u "
-                "strength-reduced loops (%u temps, %u CSE)\n",
-                S.ScalarReplace.LoopsApplied,
-                S.ScalarReplace.LoadsEliminated,
-                S.StrengthReduce.LoopsApplied,
-                S.StrengthReduce.AddressTemps,
-                S.StrengthReduce.SharedTemps);
-    std::printf("pipeline:    %.3f ms total\n", Result->Telemetry.TotalMillis);
-    if (!Result->Telemetry.Functions.empty())
-      std::printf("functions:   %zu scheduled, %llu served from cache\n",
-                  Result->Telemetry.Functions.size(),
-                  static_cast<unsigned long long>(
-                      Result->Telemetry.cacheHits()));
-    std::printf("faults:      %zu contained\n",
-                Result->Telemetry.Faults.size());
-    for (const auto &F : Result->Telemetry.Faults)
-      std::printf("  %s on '%s': %s (%s)%s%s\n", F.Pass.c_str(),
-                  F.Function.c_str(), F.Kind.c_str(), F.Description.c_str(),
-                  F.ReproFile.empty() ? "" : "  repro: ",
-                  F.ReproFile.c_str());
-    for (const auto &Rec : Result->Telemetry.Passes)
-      std::printf("  %-10s %8.3f ms  stmts %llu -> %llu%s\n",
-                  Rec.Pass.c_str(), Rec.Millis,
-                  static_cast<unsigned long long>(Rec.Before.Stmts),
-                  static_cast<unsigned long long>(Rec.After.Stmts),
-                  Rec.Verified ? "  [verified]" : "");
-  }
-
-  if (!Run)
-    return 0;
-  titan::TitanMachine M(Result->Machine, Machine);
-  titan::RunResult R = M.run("main");
-  if (!R.Ok) {
-    std::fprintf(stderr, "tcc: run failed: %s\n", R.Error.c_str());
-    return 1;
-  }
-  std::printf("[titan] %llu instructions, %llu cycles, %.3f ms simulated, "
-              "%.2f MFLOPS",
-              static_cast<unsigned long long>(R.Instructions),
-              static_cast<unsigned long long>(R.Cycles),
-              R.seconds(Machine) * 1e3, R.mflops(Machine));
-  if (R.RegionCycles)
-    std::printf(" (kernel region: %llu cycles, %.2f MFLOPS)",
-                static_cast<unsigned long long>(R.RegionCycles),
-                R.regionMflops(Machine));
-  std::printf("\n");
-  return 0;
+  // A one-shot session: the hot stores exist but die with the process.
+  driver::CompilerSession Session;
+  return driver::runToolInvocation(Inv, Buffer.str(), Session, std::cout,
+                                   std::cerr);
 }

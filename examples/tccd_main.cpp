@@ -1,0 +1,109 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// tccd — the persistent compile-server daemon.
+///
+///   tccd [options]
+///
+///   -socket=PATH     Unix socket to serve (default ".tccd.sock"; the
+///                    TCCD_SOCKET environment variable overrides the
+///                    default)
+///   -cache=FILE      daemon-owned .tcc-cache manifest (default
+///                    ".tcc-cache"; empty disables persistence).
+///                    Requests' own -cache= flags are overridden — the
+///                    daemon owns cache writes
+///   -workers=N       concurrent request limit (default: hardware)
+///   -verbose         per-request log lines on stderr
+///
+/// Serves tcc compile requests over the length-prefixed JSON protocol.
+/// Responses are byte-identical to direct `tcc` runs: the daemon renders
+/// requests through the same driver::runToolInvocation().  SIGINT or
+/// SIGTERM shuts down cleanly (drains in-flight requests, removes the
+/// socket file); kill -9 leaves a stale socket the next start reclaims,
+/// and the flock-guarded manifest write-back keeps the cache consistent.
+///
+//===----------------------------------------------------------------------===//
+
+#include "server/Server.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace tcc;
+
+namespace {
+
+server::Server *ActiveServer = nullptr;
+
+void onSignal(int) {
+  // stop() is async-signal-safe: an atomic store plus shutdown/close.
+  if (ActiveServer)
+    ActiveServer->stop();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  server::ServerOptions Opts;
+  if (const char *Env = std::getenv("TCCD_SOCKET"); Env && *Env)
+    Opts.SocketPath = Env;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg.rfind("-socket=", 0) == 0) {
+      Opts.SocketPath = Arg.substr(std::strlen("-socket="));
+    } else if (Arg.rfind("-cache=", 0) == 0) {
+      Opts.CacheFile = Arg.substr(std::strlen("-cache="));
+    } else if (Arg.rfind("-workers=", 0) == 0) {
+      Opts.Workers = static_cast<unsigned>(
+          std::atoi(Arg.c_str() + std::strlen("-workers=")));
+    } else if (Arg == "-verbose") {
+      Opts.Verbose = true;
+    } else {
+      std::fprintf(stderr,
+                   "tccd: unknown option '%s'\n"
+                   "usage: tccd [-socket=path] [-cache=file] [-workers=n] "
+                   "[-verbose]\n",
+                   Arg.c_str());
+      return 2;
+    }
+  }
+
+  server::Server Daemon(Opts);
+  DiagnosticEngine Diags;
+  if (!Daemon.start(Diags)) {
+    for (const auto &D : Diags.diagnostics())
+      std::fprintf(stderr, "tccd: %s\n", D.str().c_str());
+    return 1;
+  }
+  ActiveServer = &Daemon;
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+  // A client that disconnects mid-response must not kill the daemon.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  std::fprintf(stderr, "tccd: serving '%s' (cache: %s)\n",
+               Opts.SocketPath.c_str(),
+               Opts.CacheFile.empty() ? "<none>" : Opts.CacheFile.c_str());
+  Daemon.run();
+
+  server::ServerStats S = Daemon.stats();
+  server::HotCacheStats H = Daemon.hotCache().stats();
+  std::fprintf(stderr,
+               "tccd: shut down after %llu request%s (%llu error%s, %llu "
+               "contained fault%s; hot cache: %llu hit%s, %llu miss%s)\n",
+               static_cast<unsigned long long>(S.Requests),
+               S.Requests == 1 ? "" : "s",
+               static_cast<unsigned long long>(S.Errors),
+               S.Errors == 1 ? "" : "s",
+               static_cast<unsigned long long>(S.Faulted),
+               S.Faulted == 1 ? "" : "s",
+               static_cast<unsigned long long>(H.Hits),
+               H.Hits == 1 ? "" : "s",
+               static_cast<unsigned long long>(H.Misses),
+               H.Misses == 1 ? "" : "es");
+  return 0;
+}

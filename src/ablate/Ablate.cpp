@@ -3,16 +3,15 @@
 #include "driver/Compiler.h"
 #include "pipeline/PassRegistry.h"
 #include "support/JSONWriter.h"
+#include "support/WorkerPool.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cctype>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <map>
 #include <sstream>
-#include <thread>
 
 using namespace tcc;
 using namespace tcc::ablate;
@@ -336,32 +335,12 @@ SweepResult ablate::runSweep(const AblateOptions &Opts,
       Jobs.push_back({K, &S});
   R.Cells.resize(Jobs.size());
 
-  unsigned Workers = Opts.Workers ? Opts.Workers
-                                  : std::thread::hardware_concurrency();
-  if (Workers == 0)
-    Workers = 1;
-  if (Workers > Jobs.size())
-    Workers = static_cast<unsigned>(Jobs.size());
-
-  std::atomic<size_t> Next{0};
-  auto Work = [&] {
-    while (true) {
-      size_t I = Next.fetch_add(1, std::memory_order_relaxed);
-      if (I >= Jobs.size())
-        break;
-      R.Cells[I] = measureCell(*Jobs[I].Kernel, *Jobs[I].Spec, Opts);
-    }
-  };
-  if (Workers <= 1) {
-    Work();
-  } else {
-    std::vector<std::thread> Pool;
-    Pool.reserve(Workers);
-    for (unsigned W = 0; W < Workers; ++W)
-      Pool.emplace_back(Work);
-    for (std::thread &T : Pool)
-      T.join();
-  }
+  // Deterministic by-index fill over the shared pool (support/WorkerPool.h):
+  // each cell writes only R.Cells[I], so the result vector is identical
+  // for every worker count.
+  runIndexed(Jobs.size(), Opts.Workers, [&](size_t I) {
+    R.Cells[I] = measureCell(*Jobs[I].Kernel, *Jobs[I].Spec, Opts);
+  });
 
   for (const CellResult &C : R.Cells)
     if (!C.Ok)

@@ -130,6 +130,122 @@ private:
 
 UseDefChains::UseDefChains(Function &F) { build(F); }
 
+namespace {
+
+/// Pre-order statement ordinals — the statement naming scheme of
+/// UseDefExport.  Identical serialized IL implies identical traversal.
+std::vector<const Stmt *> stmtsInOrder(const Function &F) {
+  std::vector<const Stmt *> Out;
+  forEachStmt(F.getBody(), [&Out](const Stmt *S) { Out.push_back(S); });
+  return Out;
+}
+
+} // namespace
+
+bool UseDefChains::exportChains(const Function &F, UseDefExport &Out) const {
+  Out = UseDefExport();
+
+  std::map<const Stmt *, uint32_t> StmtIdx;
+  {
+    uint32_t N = 0;
+    for (const Stmt *S : stmtsInOrder(F))
+      StmtIdx[S] = N++;
+  }
+  std::map<const Symbol *, int32_t> LocalIdx;
+  {
+    int32_t N = 0;
+    for (const auto &S : F.getSymbols())
+      LocalIdx[S.get()] = N++;
+  }
+  std::map<const Symbol *, uint32_t> SymSlot;
+  auto symKey = [&](Symbol *Sym, uint32_t &Slot) {
+    auto It = SymSlot.find(Sym);
+    if (It != SymSlot.end()) {
+      Slot = It->second;
+      return true;
+    }
+    UseDefExport::SymKey Key;
+    if (auto LI = LocalIdx.find(Sym); LI != LocalIdx.end()) {
+      Key.LocalIndex = LI->second;
+    } else if (F.getProgram().findGlobal(Sym->getName()) == Sym) {
+      Key.GlobalName = Sym->getName();
+    } else {
+      return false; // Not nameable relative to F.
+    }
+    Slot = static_cast<uint32_t>(Out.Syms.size());
+    Out.Syms.push_back(std::move(Key));
+    SymSlot[Sym] = Slot;
+    return true;
+  };
+
+  for (const auto &[User, PerSym] : Chains) {
+    auto UI = StmtIdx.find(User);
+    if (UI == StmtIdx.end())
+      return false;
+    for (const auto &[Sym, Defs] : PerSym) {
+      UseDefExport::Chain C;
+      C.User = UI->second;
+      if (!symKey(Sym, C.Sym))
+        return false;
+      C.Defs.reserve(Defs.size());
+      for (const Stmt *D : Defs) {
+        if (!D) {
+          C.Defs.push_back(-1); // Value on entry.
+          continue;
+        }
+        auto DI = StmtIdx.find(D);
+        if (DI == StmtIdx.end())
+          return false;
+        C.Defs.push_back(static_cast<int32_t>(DI->second));
+      }
+      Out.Chains.push_back(std::move(C));
+    }
+  }
+  return true;
+}
+
+std::unique_ptr<UseDefChains> UseDefChains::importChains(Function &F,
+                                                         const UseDefExport &E) {
+  const std::vector<const Stmt *> Stmts = stmtsInOrder(F);
+  const auto &Locals = F.getSymbols();
+
+  // Resolve the export's symbol table against F up front.
+  std::vector<Symbol *> Syms;
+  Syms.reserve(E.Syms.size());
+  for (const UseDefExport::SymKey &Key : E.Syms) {
+    Symbol *Sym = nullptr;
+    if (Key.LocalIndex >= 0) {
+      if (static_cast<size_t>(Key.LocalIndex) >= Locals.size())
+        return nullptr;
+      Sym = Locals[static_cast<size_t>(Key.LocalIndex)].get();
+    } else {
+      Sym = F.getProgram().findGlobal(Key.GlobalName);
+      if (!Sym)
+        return nullptr;
+    }
+    Syms.push_back(Sym);
+  }
+
+  std::unique_ptr<UseDefChains> Out(new UseDefChains());
+  for (const UseDefExport::Chain &C : E.Chains) {
+    if (C.User >= Stmts.size() || C.Sym >= Syms.size())
+      return nullptr;
+    std::vector<const Stmt *> Defs;
+    Defs.reserve(C.Defs.size());
+    for (int32_t D : C.Defs) {
+      if (D < 0) {
+        Defs.push_back(nullptr);
+        continue;
+      }
+      if (static_cast<size_t>(D) >= Stmts.size())
+        return nullptr;
+      Defs.push_back(Stmts[static_cast<size_t>(D)]);
+    }
+    Out->Chains[Stmts[C.User]][Syms[C.Sym]] = std::move(Defs);
+  }
+  return Out;
+}
+
 void UseDefChains::recompute(Function &F) {
   Chains.clear();
   build(F);

@@ -25,7 +25,9 @@
 #include "analysis/CFG.h"
 #include "il/IL.h"
 
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <set>
 #include <vector>
 
@@ -45,11 +47,51 @@ std::vector<il::Symbol *> strongDefs(const il::Stmt *S);
 /// bounds).
 std::vector<il::Symbol *> usedScalars(const il::Stmt *S);
 
+/// A position-independent snapshot of one function's use-def chains —
+/// the shareable/immutable form the compile server keeps hot across
+/// requests.  Statements are named by pre-order traversal ordinal and
+/// symbols by local-symbol index (globals by name), so an export taken
+/// from one il::Function can be imported into a *different* Function
+/// object whose serialized IL is byte-identical: identical text implies
+/// identical statement traversal and symbol order, which is exactly the
+/// content-hash key the caches use.
+struct UseDefExport {
+  /// A symbol reference: a local's index in Function::getSymbols(), or a
+  /// global's name (globals are unique by name per program).
+  struct SymKey {
+    int32_t LocalIndex = -1; ///< -1 when the symbol is a global.
+    std::string GlobalName;
+  };
+  /// One (user statement, symbol) chain.
+  struct Chain {
+    uint32_t User = 0; ///< Statement ordinal of the use site.
+    uint32_t Sym = 0;  ///< Index into Syms.
+    /// Reaching definitions: statement ordinals; -1 encodes the null
+    /// "value on entry" definition.
+    std::vector<int32_t> Defs;
+  };
+  std::vector<SymKey> Syms;
+  std::vector<Chain> Chains;
+};
+
 /// Use-def chains for one function body snapshot.
 class UseDefChains {
 public:
   /// Builds chains for \p F (constructs a CFG internally).
   explicit UseDefChains(il::Function &F);
+
+  /// Renders the chains position-independently (see UseDefExport).
+  /// Returns false — leaving \p Out unspecified — when any chain
+  /// references a statement or symbol that cannot be named relative to
+  /// \p F (never the case for freshly built chains).
+  bool exportChains(const il::Function &F, UseDefExport &Out) const;
+
+  /// Rebuilds chains over \p F from an export taken on a function with
+  /// byte-identical serialized IL.  Returns null when \p E does not
+  /// resolve against \p F (ordinal out of range, unknown global) — the
+  /// caller falls back to a fresh build.
+  static std::unique_ptr<UseDefChains> importChains(il::Function &F,
+                                                    const UseDefExport &E);
 
   /// The definitions of \p Sym that reach the use in \p User.  A null
   /// element means "value on entry to the function" (parameter, global, or
@@ -87,6 +129,8 @@ public:
   void recompute(il::Function &F);
 
 private:
+  UseDefChains() = default; ///< importChains fills the chains directly.
+
   void build(il::Function &F);
 
   std::map<const il::Stmt *, std::map<il::Symbol *,

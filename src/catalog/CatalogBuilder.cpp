@@ -6,12 +6,11 @@
 #include "parser/Parser.h"
 #include "support/CompileCache.h"
 #include "support/FaultInjection.h"
+#include "support/WorkerPool.h"
 
-#include <atomic>
 #include <chrono>
 #include <fstream>
 #include <sstream>
-#include <thread>
 
 using namespace tcc;
 using namespace tcc::catalog;
@@ -131,59 +130,37 @@ CatalogBuilder::build(const CatalogBuildOptions &Opts) const {
     }
   }
 
-  // The shard pool: a shared atomic cursor over the source list.  Any
-  // worker may build any shard; determinism comes from the merge below,
-  // which walks shards in input order regardless of who built them when.
-  unsigned Workers = Opts.Workers ? Opts.Workers
-                                  : std::thread::hardware_concurrency();
-  if (Workers == 0)
-    Workers = 1;
-  if (Workers > Sources.size())
-    Workers = static_cast<unsigned>(Sources.size());
-
-  std::atomic<size_t> Next{0};
-  auto Work = [this, &Shards, &Next, &Hit, &Injector] {
-    for (;;) {
-      size_t I = Next.fetch_add(1, std::memory_order_relaxed);
-      if (I >= Sources.size())
-        return;
-      if (Hit[I])
-        continue;
-      // Nothing may escape the shard body: an exception leaving a worker
-      // thread would terminate the process and take every other shard
-      // with it.  A dying TU costs exactly that TU.
-      try {
-        if (const FaultSpec *Injected =
-                Injector.arm("catalog", Sources[I].File))
-          throwInjectedFault(*Injected);
-        compileShard(Sources[I], Shards[I]);
-      } catch (const std::exception &E) {
-        Shards[I].Ok = false;
-        Shards[I].Entries.clear(); // Partial output is untrusted.
-        Shards[I].Diags.error(
-            SourceLoc(),
-            std::string("internal error: ") + E.what() +
-                " (worker contained the failure; translation unit skipped)");
-      } catch (...) {
-        Shards[I].Ok = false;
-        Shards[I].Entries.clear();
-        Shards[I].Diags.error(
-            SourceLoc(),
-            "internal error: unknown exception (worker contained the "
-            "failure; translation unit skipped)");
-      }
+  // The shard pool (support/WorkerPool.h): workers race over which shard
+  // they build but each writes only its own Shards[I] slot; determinism
+  // comes from the merge below, which walks shards in input order
+  // regardless of who built them when.
+  runIndexed(Sources.size(), Opts.Workers, [this, &Shards, &Hit,
+                                            &Injector](size_t I) {
+    if (Hit[I])
+      return;
+    // Nothing may escape the shard body: an exception leaving a worker
+    // thread would terminate the process and take every other shard
+    // with it.  A dying TU costs exactly that TU.
+    try {
+      if (const FaultSpec *Injected = Injector.arm("catalog", Sources[I].File))
+        throwInjectedFault(*Injected);
+      compileShard(Sources[I], Shards[I]);
+    } catch (const std::exception &E) {
+      Shards[I].Ok = false;
+      Shards[I].Entries.clear(); // Partial output is untrusted.
+      Shards[I].Diags.error(
+          SourceLoc(),
+          std::string("internal error: ") + E.what() +
+              " (worker contained the failure; translation unit skipped)");
+    } catch (...) {
+      Shards[I].Ok = false;
+      Shards[I].Entries.clear();
+      Shards[I].Diags.error(
+          SourceLoc(),
+          "internal error: unknown exception (worker contained the "
+          "failure; translation unit skipped)");
     }
-  };
-  if (Workers <= 1) {
-    Work();
-  } else {
-    std::vector<std::thread> Pool;
-    Pool.reserve(Workers);
-    for (unsigned W = 0; W < Workers; ++W)
-      Pool.emplace_back(Work);
-    for (std::thread &T : Pool)
-      T.join();
-  }
+  });
 
   // Deterministic merge, in input-file order.  ProcedureCatalog stores
   // entries name-sorted, so the merged serialized text is independent of
@@ -270,8 +247,10 @@ CatalogBuilder::build(const CatalogBuildOptions &Opts) const {
     Result.Shards.push_back(std::move(Report));
   }
 
+  // writeBack, not save: concurrent builds sharing one manifest merge
+  // their shards instead of clobbering each other's.
   if (UseCache && Cache.dirty() && !Result.Diags.hasErrors())
-    Cache.save(Opts.CacheFile, Result.Diags);
+    Cache.writeBack(Opts.CacheFile, Result.Diags);
 
   Result.TotalMillis = std::chrono::duration<double, std::milli>(
                            std::chrono::steady_clock::now() - Start)

@@ -7,6 +7,8 @@
 #include "parser/Parser.h"
 
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 
 using namespace tcc;
 using namespace tcc::driver;
@@ -147,6 +149,8 @@ driver::compileSource(const std::string &Source, const CompilerOptions &Opts) {
                     : pipeline::PipelineMode::FunctionAtATime;
   Config.CacheFile = Opts.CacheFile;
   Config.CacheConfig = configFingerprint(Opts);
+  Config.ResultCache = Opts.ResultCache;
+  Config.SharedAnalyses = Opts.SharedAnalyses;
   Config.AfterPass = [&Snapshot](const pipeline::Pass &Pass, il::Program &) {
     Snapshot(Pass.name());
   };
@@ -166,6 +170,40 @@ driver::compileSource(const std::string &Source, const CompilerOptions &Opts) {
   CGOpts.EnableDepScheduling = Opts.EnableDepScheduling;
   R->Machine = codegen::generateProgram(P, R->Diags, CGOpts);
   return R;
+}
+
+const inliner::ProcedureCatalog *
+CompilerSession::catalog(const std::string &Path, DiagnosticEngine &Diags) {
+  std::lock_guard<std::mutex> Lock(CatalogMutex);
+  auto It = Catalogs.find(Path);
+  if (It != Catalogs.end())
+    return It->second.get();
+
+  // Same load semantics (and message text) as catalog::loadCatalogFile,
+  // inlined here so the driver does not depend on the catalog library.
+  std::ifstream In(Path);
+  if (!In) {
+    Diags.error(SourceLoc(), "cannot open catalog '" + Path + "'");
+    return nullptr;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  auto Parsed = std::make_unique<inliner::ProcedureCatalog>();
+  if (!inliner::ProcedureCatalog::parse(Buffer.str(), *Parsed, Diags))
+    return nullptr; // Not cached: a catalog rewritten later is retried.
+  return Catalogs.emplace(Path, std::move(Parsed)).first->second.get();
+}
+
+size_t CompilerSession::catalogCount() const {
+  std::lock_guard<std::mutex> Lock(CatalogMutex);
+  return Catalogs.size();
+}
+
+std::unique_ptr<CompileResult>
+CompilerSession::compile(const std::string &Source, CompilerOptions Opts) {
+  Opts.ResultCache = ResultCache;
+  Opts.SharedAnalyses = &Shared;
+  return compileSource(Source, Opts);
 }
 
 RunOutcome driver::compileAndRun(const std::string &Source,

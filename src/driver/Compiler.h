@@ -39,6 +39,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -120,6 +121,15 @@ struct CompilerOptions {
   /// this.  A malformed spec fails the compile with a located diagnostic.
   std::string FaultInject;
 
+  // Compile-server wiring (normally set through CompilerSession, not by
+  // hand): the daemon's hot function-result store with single-flight
+  // dedupe, and the process-wide shared analysis pool.  Null for ordinary
+  // one-shot compiles.  Neither participates in configFingerprint —
+  // result-cache keys already fold the fingerprint in, so a hot entry can
+  // never serve a compile configured differently.
+  pipeline::FunctionResultCache *ResultCache = nullptr;
+  pipeline::SharedAnalysisCache *SharedAnalyses = nullptr;
+
   /// The default pipeline spec constructed from the Enable* toggles.
   std::string pipelineSpec() const;
 
@@ -188,6 +198,45 @@ struct CompileResult {
 std::unique_ptr<CompileResult> compileSource(const std::string &Source,
                                              const CompilerOptions &Opts =
                                                  {});
+
+/// A long-lived compilation session — the daemon's unit of hot state,
+/// equally usable by any tool that compiles more than once per process.
+/// Keeps procedure catalogs parsed (keyed by path; a catalog file is
+/// treated as immutable for the session's lifetime), shares analysis
+/// exports across compiles through one SharedAnalysisCache, and injects
+/// an optional FunctionResultCache (the server's single-flight hot store)
+/// into every compile.  compile() is safe to call from concurrent
+/// threads: each call builds its own Program/DiagnosticEngine, and the
+/// shared stores synchronize internally.
+class CompilerSession {
+public:
+  pipeline::SharedAnalysisCache &sharedAnalyses() { return Shared; }
+
+  /// Attaches the hot function-result store injected into every compile
+  /// (may be null to detach).  Not owned.
+  void setResultCache(pipeline::FunctionResultCache *RC) { ResultCache = RC; }
+
+  /// The parsed catalog at \p Path, loading it on first use.  Returns
+  /// null (with diagnostics in \p Diags) when the file does not load; a
+  /// failed load is not cached, so a catalog written later is picked up.
+  const inliner::ProcedureCatalog *catalog(const std::string &Path,
+                                           DiagnosticEngine &Diags);
+
+  /// Catalogs currently held hot (telemetry).
+  size_t catalogCount() const;
+
+  /// compileSource() with this session's shared stores injected.  \p Opts
+  /// is taken by value: the session overwrites its ResultCache /
+  /// SharedAnalyses fields.
+  std::unique_ptr<CompileResult> compile(const std::string &Source,
+                                         CompilerOptions Opts);
+
+private:
+  mutable std::mutex CatalogMutex;
+  std::map<std::string, std::unique_ptr<inliner::ProcedureCatalog>> Catalogs;
+  pipeline::SharedAnalysisCache Shared;
+  pipeline::FunctionResultCache *ResultCache = nullptr;
+};
 
 /// Serializes every option that changes what the function passes produce —
 /// the compile-cache and reproducer-bundle configuration fingerprint.

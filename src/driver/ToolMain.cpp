@@ -1,0 +1,278 @@
+#include "driver/ToolMain.h"
+
+#include "il/ILPrinter.h"
+#include "pipeline/PassRegistry.h"
+#include "titan/TitanISA.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <vector>
+
+using namespace tcc;
+using namespace tcc::driver;
+
+namespace {
+
+/// fprintf for an ostream, preserving the exact printf formatting the
+/// original tcc main used — the byte-identity bar between `tcc` writing
+/// to stdio and the daemon rendering the same request into a string.
+void writef(std::ostream &OS, const char *Fmt, ...) {
+  va_list Ap;
+  va_start(Ap, Fmt);
+  va_list Sized;
+  va_copy(Sized, Ap);
+  int N = std::vsnprintf(nullptr, 0, Fmt, Sized);
+  va_end(Sized);
+  if (N > 0) {
+    std::vector<char> Buf(static_cast<size_t>(N) + 1);
+    std::vsnprintf(Buf.data(), Buf.size(), Fmt, Ap);
+    OS.write(Buf.data(), N);
+  }
+  va_end(Ap);
+}
+
+} // namespace
+
+std::string driver::toolUsage(const std::string &Tool) {
+  std::string U;
+  U += "usage: " + Tool +
+       " [-O0|-O1|-O2|-O3] [-P n] [-fno-inline] [-ffortran-ptrs]\n";
+  const std::string Pad(std::strlen("usage: ") + Tool.size() + 1, ' ');
+  U += Pad + "[-strip n] [-catalog=file] [-passes=spec] [-cache=file]\n";
+  U += Pad + "[-whole-program] [-verify-each] [-print-il=phase]\n";
+  U += Pad + "[-print-after-all] [-remarks=file]\n";
+  U += Pad + "[-no-sandbox] [-pass-budget=ms] [-repro-dir=dir]\n";
+  U += Pad + "[-fault-inject=spec] [-replay=bundle]\n";
+  U += Pad + "[-S] [-run|-no-run] [-stats] file.c\n";
+  U += "registered passes: " +
+       pipeline::PassRegistry::instance().namesJoined() + "\n";
+  return U;
+}
+
+bool driver::parseToolArgs(const std::vector<std::string> &Args,
+                           ToolInvocation &Inv, std::string &Error) {
+  for (size_t I = 0; I < Args.size(); ++I) {
+    const std::string &Arg = Args[I];
+    if (Arg == "-O0") {
+      Inv.Opts = CompilerOptions::noOpt();
+      Inv.Machine.EnableOverlap = false;
+    } else if (Arg == "-O1") {
+      Inv.Opts = CompilerOptions::scalarOnly();
+      Inv.Machine.EnableOverlap = false;
+    } else if (Arg == "-O2") {
+      Inv.Opts = CompilerOptions::full();
+    } else if (Arg == "-O3") {
+      Inv.Opts = CompilerOptions::parallel();
+      if (Inv.Machine.NumProcessors < 2)
+        Inv.Machine.NumProcessors = 2;
+    } else if (Arg == "-P" && I + 1 < Args.size()) {
+      Inv.Machine.NumProcessors = std::atoi(Args[++I].c_str());
+      Inv.Opts.Vectorize.EnableParallel = Inv.Machine.NumProcessors > 1;
+    } else if (Arg == "-fno-inline") {
+      Inv.Opts.EnableInline = false;
+    } else if (Arg == "-ffortran-ptrs") {
+      Inv.Opts.Vectorize.FortranPointerSemantics = true;
+    } else if (Arg == "-strip" && I + 1 < Args.size()) {
+      Inv.Opts.Vectorize.StripLength = std::atoll(Args[++I].c_str());
+    } else if (Arg.rfind("-catalog=", 0) == 0) {
+      Inv.CatalogPath = Arg.substr(std::strlen("-catalog="));
+    } else if (Arg.rfind("-passes=", 0) == 0) {
+      Inv.Opts.Passes = Arg.substr(std::strlen("-passes="));
+    } else if (Arg.rfind("-cache=", 0) == 0) {
+      Inv.Opts.CacheFile = Arg.substr(std::strlen("-cache="));
+    } else if (Arg == "-whole-program") {
+      Inv.Opts.WholeProgram = true;
+    } else if (Arg == "-verify-each") {
+      Inv.Opts.VerifyEach = true;
+    } else if (Arg == "-no-sandbox") {
+      Inv.Opts.SandboxPasses = false;
+    } else if (Arg.rfind("-pass-budget=", 0) == 0) {
+      Inv.Opts.PassBudgetMs =
+          std::atof(Arg.c_str() + std::strlen("-pass-budget="));
+    } else if (Arg.rfind("-repro-dir=", 0) == 0) {
+      Inv.Opts.ReproDir = Arg.substr(std::strlen("-repro-dir="));
+    } else if (Arg.rfind("-fault-inject=", 0) == 0) {
+      Inv.Opts.FaultInject = Arg.substr(std::strlen("-fault-inject="));
+    } else if (Arg.rfind("-replay=", 0) == 0) {
+      Inv.ReplayPath = Arg.substr(std::strlen("-replay="));
+    } else if (Arg.rfind("-print-il=", 0) == 0) {
+      Inv.PrintPhase = Arg.substr(std::strlen("-print-il="));
+      Inv.Opts.CaptureStages = true;
+    } else if (Arg == "-print-after-all") {
+      Inv.PrintAfterAll = true;
+      Inv.Opts.CaptureStages = true;
+    } else if (Arg.rfind("-remarks=", 0) == 0) {
+      Inv.RemarksPath = Arg.substr(std::strlen("-remarks="));
+    } else if (Arg == "-S") {
+      Inv.PrintAsm = true;
+    } else if (Arg == "-run") {
+      Inv.Run = true;
+    } else if (Arg == "-no-run") {
+      Inv.Run = false;
+    } else if (Arg == "-stats") {
+      Inv.PrintStats = true;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      Error = "unknown option '" + Arg + "'";
+      return false;
+    } else {
+      Inv.InputPath = Arg;
+    }
+  }
+  return true;
+}
+
+int driver::runToolInvocation(const ToolInvocation &Inv,
+                              const std::string &Source,
+                              CompilerSession &Session, std::ostream &Out,
+                              std::ostream &Err) {
+  CompilerOptions Opts = Inv.Opts;
+
+  // The session owns the parsed catalog; it stays hot for the next
+  // request that names the same path.
+  if (!Inv.CatalogPath.empty()) {
+    DiagnosticEngine CatalogDiags;
+    const inliner::ProcedureCatalog *Catalog =
+        Session.catalog(Inv.CatalogPath, CatalogDiags);
+    if (!Catalog) {
+      for (const auto &D : CatalogDiags.diagnostics())
+        writef(Err, "%s: %s\n", Inv.CatalogPath.c_str(), D.str().c_str());
+      return 2;
+    }
+    Opts.Catalog = Catalog;
+  }
+
+  auto Result = Session.compile(Source, Opts);
+  for (const auto &D : Result->Diags.diagnostics())
+    writef(Err, "%s: %s\n", Inv.InputPath.c_str(), D.str().c_str());
+
+  // Contained faults degrade optimization, never correctness, so they are
+  // summarized on stderr but do not change the exit code.
+  if (!Result->Telemetry.Faults.empty())
+    writef(Err,
+           "tcc: %zu pass fault%s contained; output is correct but "
+           "the affected function%s skipped the quarantined pass%s\n",
+           Result->Telemetry.Faults.size(),
+           Result->Telemetry.Faults.size() == 1 ? "" : "s",
+           Result->Telemetry.Faults.size() == 1 ? "" : "s",
+           Result->Telemetry.Faults.size() == 1 ? "" : "es");
+
+  // Telemetry is written even for failed compiles: the record of what ran
+  // before the failure is exactly what a verifier diagnostic needs.
+  if (!Inv.RemarksPath.empty()) {
+    if (Inv.RemarksPath == "-") {
+      Result->Telemetry.writeJSON(Out);
+    } else {
+      std::ofstream OS(Inv.RemarksPath);
+      if (!OS) {
+        writef(Err, "tcc: cannot write '%s'\n", Inv.RemarksPath.c_str());
+        return 2;
+      }
+      Result->Telemetry.writeJSON(OS);
+    }
+  }
+
+  if (!Result->ok())
+    return 1;
+
+  if (Inv.PrintAfterAll) {
+    for (const std::string &Key : Result->StageOrder)
+      writef(Out, "*** IL after %s ***\n%s\n", Key.c_str(),
+             Result->Stages[Key].c_str());
+  } else if (!Inv.PrintPhase.empty()) {
+    auto It = Result->Stages.find(Inv.PrintPhase);
+    if (It == Result->Stages.end()) {
+      writef(Err,
+             "tcc: no IL snapshot for phase '%s' (captured: lower + "
+             "executed passes)\n",
+             Inv.PrintPhase.c_str());
+      return 2;
+    }
+    writef(Out, "%s", It->second.c_str());
+  }
+
+  if (Inv.PrintAsm)
+    for (const auto &F : Result->Machine.Functions)
+      writef(Out, "%s\n", titan::disassemble(F).c_str());
+
+  if (Inv.PrintStats) {
+    const PhaseStats &S = Result->Stats;
+    writef(Out,
+           "inline:      %u calls expanded, %u left, %u recursion "
+           "guards, %u statics externalized, %u demoted\n",
+           S.Inline.CallsInlined, S.Inline.CallsLeft,
+           S.Inline.RecursionSkipped, S.Inline.StaticsExternalized,
+           S.Inline.StaticsDemoted);
+    writef(Out, "while->do:   %u of %u loops converted\n",
+           S.WhileToDo.Converted, S.WhileToDo.Attempted);
+    writef(Out,
+           "iv-sub:      %u IVs, %u uses rewritten, %u forward "
+           "substitutions, %u blocked, %u backtracks, %u passes\n",
+           S.IVSub.FamilyMembers, S.IVSub.UsesRewritten,
+           S.IVSub.Substitutions, S.IVSub.Blocked, S.IVSub.Backtracks,
+           S.IVSub.Passes);
+    writef(Out,
+           "const-prop:  %u uses, %u branches folded, %u loops "
+           "deleted, %u stmts removed, %u requeues\n",
+           S.ConstProp.UsesReplaced, S.ConstProp.BranchesFolded,
+           S.ConstProp.LoopsDeleted, S.ConstProp.StmtsRemoved,
+           S.ConstProp.Requeues);
+    writef(Out, "dce:         %u assigns, %u empty controls, %u labels\n",
+           S.DCE.AssignsRemoved, S.DCE.EmptyControlRemoved,
+           S.DCE.LabelsRemoved);
+    writef(Out,
+           "vectorize:   %u/%u loops, %u vector stmts, %u strip "
+           "loops (%u parallel), %u serial\n",
+           S.Vectorize.LoopsVectorized, S.Vectorize.LoopsConsidered,
+           S.Vectorize.VectorStmts, S.Vectorize.StripLoops,
+           S.Vectorize.ParallelLoops, S.Vectorize.SerialLoops);
+    writef(Out,
+           "dep-opt:     %u scalar-replaced loops (%u loads), %u "
+           "strength-reduced loops (%u temps, %u CSE)\n",
+           S.ScalarReplace.LoopsApplied, S.ScalarReplace.LoadsEliminated,
+           S.StrengthReduce.LoopsApplied, S.StrengthReduce.AddressTemps,
+           S.StrengthReduce.SharedTemps);
+    writef(Out, "pipeline:    %.3f ms total\n",
+           Result->Telemetry.TotalMillis);
+    if (!Result->Telemetry.Functions.empty())
+      writef(Out, "functions:   %zu scheduled, %llu served from cache\n",
+             Result->Telemetry.Functions.size(),
+             static_cast<unsigned long long>(
+                 Result->Telemetry.cacheHits()));
+    writef(Out, "faults:      %zu contained\n",
+           Result->Telemetry.Faults.size());
+    for (const auto &F : Result->Telemetry.Faults)
+      writef(Out, "  %s on '%s': %s (%s)%s%s\n", F.Pass.c_str(),
+             F.Function.c_str(), F.Kind.c_str(), F.Description.c_str(),
+             F.ReproFile.empty() ? "" : "  repro: ", F.ReproFile.c_str());
+    for (const auto &Rec : Result->Telemetry.Passes)
+      writef(Out, "  %-10s %8.3f ms  stmts %llu -> %llu%s\n",
+             Rec.Pass.c_str(), Rec.Millis,
+             static_cast<unsigned long long>(Rec.Before.Stmts),
+             static_cast<unsigned long long>(Rec.After.Stmts),
+             Rec.Verified ? "  [verified]" : "");
+  }
+
+  if (!Inv.Run)
+    return 0;
+  titan::TitanMachine M(Result->Machine, Inv.Machine);
+  titan::RunResult R = M.run("main");
+  if (!R.Ok) {
+    writef(Err, "tcc: run failed: %s\n", R.Error.c_str());
+    return 1;
+  }
+  writef(Out,
+         "[titan] %llu instructions, %llu cycles, %.3f ms simulated, "
+         "%.2f MFLOPS",
+         static_cast<unsigned long long>(R.Instructions),
+         static_cast<unsigned long long>(R.Cycles),
+         R.seconds(Inv.Machine) * 1e3, R.mflops(Inv.Machine));
+  if (R.RegionCycles)
+    writef(Out, " (kernel region: %llu cycles, %.2f MFLOPS)",
+           static_cast<unsigned long long>(R.RegionCycles),
+           R.regionMflops(Inv.Machine));
+  writef(Out, "\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tcc command-line surface as a library: one flag parser and one
+/// post-parse execution path shared verbatim by `tcc`, `tcc-client`, and
+/// the compile server's request handler.
+///
+/// Sharing is what makes the server's correctness bar checkable: a
+/// daemon-compiled request is byte-identical to a direct `tcc` run
+/// because both render the same ToolInvocation through the same
+/// runToolInvocation(), and a `-passes=`/`-cache=`/`-fault-inject=` typo
+/// produces the same located diagnostic no matter which entry point saw
+/// the flag.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_DRIVER_TOOLMAIN_H
+#define TCC_DRIVER_TOOLMAIN_H
+
+#include "driver/Compiler.h"
+#include "titan/TitanMachine.h"
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tcc {
+namespace driver {
+
+/// One parsed tcc-style command line.
+struct ToolInvocation {
+  CompilerOptions Opts = CompilerOptions::full();
+  titan::TitanConfig Machine;
+  std::string PrintPhase;   ///< -print-il=PHASE
+  std::string RemarksPath;  ///< -remarks=FILE ("-" for stdout)
+  std::string CatalogPath;  ///< -catalog=FILE
+  std::string ReplayPath;   ///< -replay=BUNDLE; tcc-only (bundles are local)
+  std::string InputPath;
+  bool PrintAsm = false;
+  bool PrintAfterAll = false;
+  bool Run = true;
+  bool PrintStats = false;
+};
+
+/// The usage text, with \p Tool as the program name.
+std::string toolUsage(const std::string &Tool);
+
+/// Parses \p Args (argv without the program name) into \p Inv.  On
+/// failure \p Error carries the message (e.g. "unknown option '-x'");
+/// the caller prefixes its tool name and prints usage.  Flag semantics
+/// are identical across entry points by construction.
+bool parseToolArgs(const std::vector<std::string> &Args, ToolInvocation &Inv,
+                   std::string &Error);
+
+/// Everything after flag parsing: catalog load (through \p Session),
+/// compile, fault/remarks/stage/stat printing, Titan simulation.  Writes
+/// byte-for-byte what `tcc` would print to stdout/stderr into \p Out /
+/// \p Err and returns the process exit code (0 ok — including contained
+/// faults, 1 compile/run failure, 2 usage or IO error).
+///
+/// \p Source is the input file's text: callers own the file IO (`tcc`
+/// reads Inv.InputPath itself; the daemon receives the text over the
+/// socket), so "cannot open" errors stay caller-side.  Replay mode is
+/// also caller-side — this function ignores Inv.ReplayPath.
+int runToolInvocation(const ToolInvocation &Inv, const std::string &Source,
+                      CompilerSession &Session, std::ostream &Out,
+                      std::ostream &Err);
+
+} // namespace driver
+} // namespace tcc
+
+#endif // TCC_DRIVER_TOOLMAIN_H

@@ -332,6 +332,7 @@ private:
     case Stmt::AssignKind: {
       const auto *A = static_cast<const AssignStmt *>(S);
       Out += "(assign ";
+      Out += A->loadsConflictFree() ? "1 " : "0 ";
       writeExpr(A->getLHS());
       Out += " ";
       writeExpr(A->getRHS());
@@ -872,9 +873,18 @@ private:
     const std::string &H = E.head();
     SourceLoc Loc;
     if (H == "assign") {
-      Expr *L = readExpr(E.at(1));
-      Expr *R = readExpr(E.at(2));
-      return (L && R) ? F->create<AssignStmt>(Loc, L, R) : nullptr;
+      // Current form carries the conflict-free-loads mark positionally
+      // like `do`/`while` flags; entries written before the mark existed
+      // start directly with the LHS list and default it to off.
+      bool HasFlag = E.at(1).IsAtom;
+      bool ConflictFree = HasFlag && E.at(1).Atom == "1";
+      Expr *L = readExpr(E.at(HasFlag ? 2 : 1));
+      Expr *R = readExpr(E.at(HasFlag ? 3 : 2));
+      if (!L || !R)
+        return nullptr;
+      auto *S = F->create<AssignStmt>(Loc, L, R);
+      S->setLoadsConflictFree(ConflictFree);
+      return S;
     }
     if (H == "call") {
       Symbol *Result = nullptr;

@@ -9,9 +9,33 @@ analysis::UseDefChains &AnalysisContext::useDef(il::Function &F) {
     ++Reused;
     return *It->second;
   }
-  ++Built;
+
   auto &Slot = UseDefCache[&F];
+
+  // First build for a pristine function body: try the shared export pool
+  // before paying for an iterative dataflow solve.  An import that fails
+  // to resolve falls back to a fresh build.
+  auto HashIt = Hashes.find(&F);
+  if (Shared && HashIt != Hashes.end()) {
+    if (auto Export = Shared->lookup(HashIt->second)) {
+      if (auto Imported = analysis::UseDefChains::importChains(F, *Export)) {
+        ++SharedImported;
+        Slot = std::move(Imported);
+        return *Slot;
+      }
+    }
+  }
+
+  ++Built;
   Slot = std::make_unique<analysis::UseDefChains>(F);
+
+  // Publish the fresh build so the next request over a byte-identical
+  // body imports instead of rebuilding.
+  if (Shared && HashIt != Hashes.end()) {
+    auto Export = std::make_shared<analysis::UseDefExport>();
+    if (Slot->exportChains(F, *Export))
+      Shared->store(HashIt->second, std::move(Export));
+  }
   return *Slot;
 }
 
@@ -19,11 +43,18 @@ void AnalysisContext::invalidate(const il::Function &F,
                                  const PreservedSet &Preserved) {
   if (!Preserved.preserves(AnalysisKind::UseDef))
     UseDefCache.erase(&F);
+  // A pass ran over F, preserving or not: the body may differ from the
+  // text the hash was taken over, so the shared-cache key is stale.
+  Hashes.erase(&F);
 }
 
 void AnalysisContext::invalidate(const PreservedSet &Preserved) {
   if (!Preserved.preserves(AnalysisKind::UseDef))
     UseDefCache.clear();
+  Hashes.clear();
 }
 
-void AnalysisContext::forget(const il::Function &F) { UseDefCache.erase(&F); }
+void AnalysisContext::forget(const il::Function &F) {
+  UseDefCache.erase(&F);
+  Hashes.erase(&F);
+}

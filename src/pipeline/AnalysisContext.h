@@ -26,9 +26,73 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
+#include <string>
 
 namespace tcc {
 namespace pipeline {
+
+/// Process-wide immutable analysis results, keyed by the content hash of
+/// the function's serialized IL.  The compile server hangs one of these
+/// off the daemon so concurrent requests compiling byte-identical
+/// functions share a single use-def build: the exports stored here are
+/// position-independent snapshots (analysis::UseDefExport) and are never
+/// mutated after publication, so readers need no lock beyond the map's.
+///
+/// Keying on the IL text hash alone — not the pass spec — is sound
+/// because use-def chains depend only on the function body; two requests
+/// with different pass pipelines still share the analysis of the same
+/// input body.
+class SharedAnalysisCache {
+public:
+  /// The export stored under \p ILHash, or null.
+  std::shared_ptr<const analysis::UseDefExport>
+  lookup(const std::string &ILHash) {
+    std::lock_guard<std::mutex> Lock(M);
+    auto It = Exports.find(ILHash);
+    if (It == Exports.end()) {
+      ++Misses;
+      return nullptr;
+    }
+    ++Hits;
+    return It->second;
+  }
+
+  /// Publishes \p E under \p ILHash.  First writer wins; a concurrent
+  /// duplicate build of the same hash is discarded (the results are
+  /// equivalent by construction).
+  void store(const std::string &ILHash,
+             std::shared_ptr<const analysis::UseDefExport> E) {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Exports.emplace(ILHash, std::move(E)).second)
+      ++Stores;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Exports.size();
+  }
+  uint64_t hitCount() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Hits;
+  }
+  uint64_t missCount() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Misses;
+  }
+  uint64_t storeCount() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Stores;
+  }
+
+private:
+  mutable std::mutex M;
+  std::map<std::string, std::shared_ptr<const analysis::UseDefExport>>
+      Exports;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Stores = 0;
+};
 
 class AnalysisContext {
 public:
@@ -52,17 +116,40 @@ public:
   /// pointers into it are about to dangle.
   void forget(const il::Function &F);
 
+  /// Attaches the process-wide shared cache (may be null).  The context
+  /// then serves first builds from shared exports when the function's IL
+  /// hash is known, and publishes fresh builds back.
+  void setShared(SharedAnalysisCache *S) { Shared = S; }
+
+  /// Declares that \p F's serialized IL currently hashes to \p ILHash.
+  /// Valid only until the first pass mutates \p F — every invalidation or
+  /// forget of \p F drops the expectation, because the body no longer
+  /// matches the hashed text.  The PassManager calls this right after
+  /// serializing the function for its own result-cache key, so the hash
+  /// is free.
+  void expectFunction(const il::Function &F, const std::string &ILHash) {
+    if (Shared)
+      Hashes[&F] = ILHash;
+  }
+
   /// Telemetry: chains built / served from cache since the last
   /// resetCounters().
   unsigned buildCount() const { return Built; }
   unsigned reuseCount() const { return Reused; }
-  void resetCounters() { Built = Reused = 0; }
+  /// Builds avoided by importing a shared export instead.
+  unsigned sharedImportCount() const { return SharedImported; }
+  void resetCounters() { Built = Reused = SharedImported = 0; }
 
 private:
   std::map<const il::Function *, std::unique_ptr<analysis::UseDefChains>>
       UseDefCache;
+  /// IL-text hashes for functions whose bodies are still pristine
+  /// (pre-first-pass); keys into the shared cache.
+  std::map<const il::Function *, std::string> Hashes;
+  SharedAnalysisCache *Shared = nullptr;
   unsigned Built = 0;
   unsigned Reused = 0;
+  unsigned SharedImported = 0;
 };
 
 } // namespace pipeline

@@ -163,10 +163,18 @@ PassManager::run(Program &P, DiagnosticEngine &Diags,
                  remarks::RemarkCollector &Remarks, PipelineStats &Stats) {
   remarks::CompilationTelemetry Telemetry;
   const bool FunctionMode = Config.Mode == PipelineMode::FunctionAtATime;
-  const bool UseCache = FunctionMode && !Config.CacheFile.empty();
+  // Two result stores compose: the on-disk manifest (incremental rebuild
+  // across process runs) and the daemon's hot cache (sharing across
+  // concurrent requests).  Either one puts the segment loop into hashing
+  // mode.
+  const bool UseManifest = FunctionMode && !Config.CacheFile.empty();
+  const bool UseHot = FunctionMode && Config.ResultCache != nullptr;
+  const bool UseCache = UseManifest || UseHot;
+
+  Analyses.setShared(Config.SharedAnalyses);
 
   CompileCache Cache;
-  if (UseCache)
+  if (UseManifest)
     // A damaged manifest degrades to a cold cache (warning already
     // emitted, Cache left empty and dirty so the rewrite replaces it);
     // it never fails the compile.
@@ -321,30 +329,87 @@ PassManager::run(Program &P, DiagnosticEngine &Diags,
       FR.Before = countFunction(*F);
 
       std::string InputText;
+      std::string Key;
+      std::string Hash;
       if (UseCache) {
         InputText = serializeFunction(*F);
-        FR.Hash = cacheHash(InputText + "\n" + Config.CacheConfig + "\n" +
-                            SegmentSpec);
-        const std::string Key =
-            F->getName() + "#" + std::to_string(Ordinal);
-        if (const auto *Entry = Cache.findFunction(Key, FR.Hash)) {
-          auto Start = Clock::now();
-          Function *Restored = deserializeFunction(Entry->Text, P, Diags);
-          if (Restored) {
-            Analyses.forget(*F);
-            P.replaceFunction(F, Restored);
-            FR.Millis = millisSince(Start);
-            FR.After = countFunction(*Restored);
-            FR.CacheHit = true;
-            Telemetry.TotalMillis += FR.Millis;
-            // The per-pass intermediate shapes of a cached function are
-            // unknown; attribute its input to every Before and its
-            // output to every After so segment totals stay exact.
-            for (auto &R : Records) {
-              addCounts(R.Before, FR.Before);
-              addCounts(R.After, FR.After);
+        Hash = cacheHash(InputText + "\n" + Config.CacheConfig + "\n" +
+                         SegmentSpec);
+        FR.Hash = Hash;
+        Key = F->getName() + "#" + std::to_string(Ordinal);
+        // The IL-only hash keys the shared analysis pool: use-def chains
+        // depend on the body alone, not on the pass spec or configuration,
+        // so requests with different pipelines still share them.
+        Analyses.expectFunction(*F, cacheHash(InputText));
+      }
+
+      // Swap-in of a previously optimized body (from either store).
+      // Returns false when the payload does not deserialize — never the
+      // case for hot-cache text, possible for a damaged manifest.
+      auto restoreFromText = [&](const std::string &Text) {
+        auto Start = Clock::now();
+        Function *Restored = deserializeFunction(Text, P, Diags);
+        if (!Restored)
+          return false;
+        Analyses.forget(*F);
+        P.replaceFunction(F, Restored);
+        FR.Millis = millisSince(Start);
+        FR.After = countFunction(*Restored);
+        FR.CacheHit = true;
+        Telemetry.TotalMillis += FR.Millis;
+        // The per-pass intermediate shapes of a cached function are
+        // unknown; attribute its input to every Before and its
+        // output to every After so segment totals stay exact.
+        for (auto &R : Records) {
+          addCounts(R.Before, FR.Before);
+          addCounts(R.After, FR.After);
+        }
+        Telemetry.Functions.push_back(std::move(FR));
+        return true;
+      };
+
+      // Single-flight admission to the hot cache: a Hit is another
+      // request's finished body; Own obliges this thread to either
+      // publish or abandon this hash.  The guard below turns every
+      // non-publishing exit — verifier failure, contained fault, an
+      // exception unwinding through run() — into an abandon, which
+      // promotes one waiter to owner, so a dying request never wedges
+      // the other clients queued on the same function.
+      bool OwnsHot = false;
+      if (UseHot) {
+        std::string HotText;
+        if (Config.ResultCache->acquire(Key, Hash, HotText) ==
+            FunctionResultCache::Acquire::Hit) {
+          if (restoreFromText(HotText))
+            continue;
+          Diags.note(SourceLoc(),
+                     "ignoring unreadable hot-cache entry for '" +
+                         F->getName() + "'");
+        } else {
+          OwnsHot = true;
+        }
+      }
+      struct HotRelease {
+        FunctionResultCache *RC;
+        const std::string &Key;
+        const std::string &Hash;
+        bool &Owns;
+        ~HotRelease() {
+          if (Owns)
+            RC->abandon(Key, Hash);
+        }
+      } Release{Config.ResultCache, Key, Hash, OwnsHot};
+
+      if (UseManifest) {
+        if (const auto *Entry = Cache.findFunction(Key, Hash)) {
+          const std::string Text = Entry->Text;
+          if (restoreFromText(Text)) {
+            // Seed the owned hot slot from the manifest: later requests
+            // hit in memory without touching disk.
+            if (OwnsHot) {
+              Config.ResultCache->publish(Key, Hash, Text);
+              OwnsHot = false;
             }
-            Telemetry.Functions.push_back(std::move(FR));
             continue;
           }
           // A stale/undeserializable payload is not fatal: fall through
@@ -402,11 +467,19 @@ PassManager::run(Program &P, DiagnosticEngine &Diags,
         break;
 
       // A faulted function's output is the degraded (pass-skipped) form;
-      // caching it would make the fault sticky across warm runs.
-      if (UseCache && !FunctionFaulted)
-        Cache.storeFunction(Cur->getName() + "#" + std::to_string(Ordinal),
-                            Telemetry.Functions.back().Hash,
-                            serializeFunction(*Cur));
+      // caching it would make the fault sticky across warm runs — and, in
+      // the daemon, leak one request's injected fault into every other
+      // client's byte stream.  Faulted owners abandon (via the guard),
+      // promoting one waiter to recompute cleanly.
+      if (UseCache && !FunctionFaulted) {
+        std::string OutText = serializeFunction(*Cur);
+        if (UseManifest)
+          Cache.storeFunction(Key, Hash, OutText);
+        if (OwnsHot) {
+          Config.ResultCache->publish(Key, Hash, std::move(OutText));
+          OwnsHot = false;
+        }
+      }
     }
 
     // Fold in the global base so Before/After match countIL of the
@@ -439,8 +512,10 @@ PassManager::run(Program &P, DiagnosticEngine &Diags,
     }
   }
 
-  if (UseCache && !Failed && Cache.dirty())
-    Cache.save(Config.CacheFile, Diags);
+  // writeBack, not save: concurrent compiles sharing one manifest merge
+  // their function entries instead of clobbering each other's.
+  if (UseManifest && !Failed && Cache.dirty())
+    Cache.writeBack(Config.CacheFile, Diags);
 
   for (const SandboxFault &F : SB.faults())
     Telemetry.Faults.push_back(

@@ -65,6 +65,39 @@ enum class PipelineMode : uint8_t {
   WholeProgram,
 };
 
+/// Hot in-memory store for optimized function bodies, shared across
+/// concurrent compilations (the compile server hangs one off the daemon).
+/// Keys are the same content hashes the .tcc-cache manifest uses — the
+/// serialized input IL folded with the configuration fingerprint and the
+/// segment's pass spec — so a hit is byte-identical to recompiling.
+///
+/// The contract is single-flight: acquire() either returns a finished
+/// body (Hit) or makes the caller the owner of that computation (Own),
+/// blocking while another thread owns it.  An owner must call exactly one
+/// of publish() (body computed) or abandon() (compilation failed or
+/// faulted); abandon wakes one waiter, which becomes the new owner, so a
+/// crashed request never wedges the queue.  Implementations live in
+/// src/server; the PassManager only consumes the interface.
+class FunctionResultCache {
+public:
+  virtual ~FunctionResultCache() = default;
+
+  enum class Acquire : uint8_t {
+    Hit, ///< \p Text holds the optimized serialized body.
+    Own, ///< Caller computes; must publish() or abandon() this hash.
+  };
+
+  /// \p Key is the manifest key ("name#segment"), \p Hash the content
+  /// hash.  May block while another thread computes the same hash.
+  virtual Acquire acquire(const std::string &Key, const std::string &Hash,
+                          std::string &Text) = 0;
+  /// Completes an owned computation with the optimized body.
+  virtual void publish(const std::string &Key, const std::string &Hash,
+                       std::string Text) = 0;
+  /// Releases an owned computation without a result.
+  virtual void abandon(const std::string &Key, const std::string &Hash) = 0;
+};
+
 struct PassManagerConfig {
   /// Run the ILVerifier after every pass; a violation stops the pipeline
   /// with a diagnostic naming the pass that broke the invariant.  With
@@ -90,6 +123,17 @@ struct PassManagerConfig {
   /// its PipelineOptions in here); part of each function's content hash
   /// so a cache built under one configuration never serves another.
   std::string CacheConfig;
+
+  /// Hot in-memory function-result store with single-flight dedupe
+  /// (compile server).  May be null.  Composes with CacheFile: a hot miss
+  /// that owns the computation still consults the manifest before
+  /// recompiling, and publishes whatever it finds.
+  FunctionResultCache *ResultCache = nullptr;
+
+  /// Process-wide shared analysis exports keyed by IL text hash (compile
+  /// server).  May be null.  Only consulted for functions whose bodies
+  /// are pristine (pre-first-pass), where the hash is known to match.
+  SharedAnalysisCache *SharedAnalyses = nullptr;
 
   /// Invoked after each pass completes (and verifies, when enabled) —
   /// the -print-after-all / stage-capture hook.  The pass's registered

@@ -1,0 +1,81 @@
+#include "server/Client.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace tcc;
+using namespace tcc::server;
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+bool Client::connect(const std::string &SocketPath, std::string &Error) {
+  close();
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.size() >= sizeof(Addr.sun_path)) {
+    Error = "socket path '" + SocketPath + "' exceeds the " +
+            std::to_string(sizeof(Addr.sun_path) - 1) + "-byte limit";
+    return false;
+  }
+  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+
+  Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Error = std::string("cannot create socket: ") + std::strerror(errno);
+    return false;
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    Error = "cannot connect to daemon at '" + SocketPath +
+            "': " + std::strerror(errno) +
+            (errno == ECONNREFUSED || errno == ENOENT
+                 ? " (is tccd running?)"
+                 : "");
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::roundTrip(const Request &Req, Response &Resp,
+                       std::string &Error) {
+  if (Fd < 0) {
+    Error = "not connected";
+    return false;
+  }
+  if (!writeFrame(Fd, encodeRequest(Req))) {
+    Error = std::string("cannot send request: ") + std::strerror(errno);
+    close();
+    return false;
+  }
+  std::string Payload;
+  if (!readFrame(Fd, Payload, Error)) {
+    // A killed daemon shows up here as clean EOF: report it, never hang.
+    if (Error.empty())
+      Error = "daemon closed the connection before responding (was it "
+              "killed mid-request?)";
+    close();
+    return false;
+  }
+  if (!decodeResponse(Payload, Resp, Error)) {
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool server::runRequest(const std::string &SocketPath, const Request &Req,
+                        Response &Resp, std::string &Error) {
+  Client C;
+  return C.connect(SocketPath, Error) && C.roundTrip(Req, Resp, Error);
+}

@@ -1,0 +1,51 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Client side of the tccd protocol: connect, send one request, read the
+/// response.  Used by tcc-client, bench_server, and the server tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_SERVER_CLIENT_H
+#define TCC_SERVER_CLIENT_H
+
+#include "server/Protocol.h"
+
+#include <string>
+#include <vector>
+
+namespace tcc {
+namespace server {
+
+/// A connected client.  Wraps the socket fd; reusable for several
+/// sequential requests on one connection.
+class Client {
+public:
+  Client() = default;
+  ~Client();
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+
+  /// Connects to the daemon.  On failure \p Error says why (no daemon,
+  /// stale socket, path too long) — a clean message, never a hang.
+  bool connect(const std::string &SocketPath, std::string &Error);
+
+  /// One round trip.  Returns false with \p Error set when the daemon
+  /// vanished mid-request (EOF / truncated frame) or sent garbage.
+  bool roundTrip(const Request &Req, Response &Resp, std::string &Error);
+
+  bool connected() const { return Fd >= 0; }
+  void close();
+
+private:
+  int Fd = -1;
+};
+
+/// Convenience: connect + one request + close.
+bool runRequest(const std::string &SocketPath, const Request &Req,
+                Response &Resp, std::string &Error);
+
+} // namespace server
+} // namespace tcc
+
+#endif // TCC_SERVER_CLIENT_H

@@ -1,0 +1,77 @@
+#include "server/HotCache.h"
+
+using namespace tcc;
+using namespace tcc::server;
+
+HotCache::Acquire HotCache::acquire(const std::string &Key,
+                                    const std::string &Hash,
+                                    std::string &Text) {
+  (void)Key; // Slots key on the content hash; Key exists for diagnostics.
+  std::unique_lock<std::mutex> Lock(M);
+  bool Waited = false;
+  while (true) {
+    auto It = Slots.find(Hash);
+    if (It == Slots.end()) {
+      // No one holds this hash: claim ownership by inserting the
+      // in-flight slot.  Waiters promoted after an abandon land here too.
+      Slots.emplace(Hash, Slot());
+      ++S.Misses;
+      if (Waited)
+        ++S.Waits;
+      return Acquire::Own;
+    }
+    if (It->second.Ready) {
+      ++S.Hits;
+      if (Waited)
+        ++S.Waits;
+      Text = It->second.Text;
+      return Acquire::Hit;
+    }
+    // Another request owns the computation: wait for publish (slot turns
+    // Ready) or abandon (slot disappears; the loop re-claims it).
+    Waited = true;
+    CV.wait(Lock);
+  }
+}
+
+void HotCache::publish(const std::string &Key, const std::string &Hash,
+                       std::string Text) {
+  (void)Key;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Slot &E = Slots[Hash];
+    E.Ready = true;
+    E.Text = std::move(Text);
+    ++S.Published;
+  }
+  CV.notify_all();
+}
+
+void HotCache::abandon(const std::string &Key, const std::string &Hash) {
+  (void)Key;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    auto It = Slots.find(Hash);
+    // Only an in-flight slot is removed: abandon after someone else
+    // published (can't happen with a correct owner, but stay safe) must
+    // not discard the finished body.
+    if (It != Slots.end() && !It->second.Ready)
+      Slots.erase(It);
+    ++S.Abandoned;
+  }
+  CV.notify_all();
+}
+
+HotCacheStats HotCache::stats() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return S;
+}
+
+size_t HotCache::size() const {
+  std::lock_guard<std::mutex> Lock(M);
+  size_t N = 0;
+  for (const auto &[Hash, E] : Slots)
+    if (E.Ready)
+      ++N;
+  return N;
+}

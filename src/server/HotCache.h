@@ -1,0 +1,74 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The daemon's hot function-result store: a single-flight, in-memory
+/// implementation of pipeline::FunctionResultCache.
+///
+/// Entries are keyed by the content hash the PassManager already
+/// computes (serialized input IL + configuration fingerprint + segment
+/// pass spec), so a hit is byte-identical to recompiling by the same
+/// argument that makes the on-disk manifest sound.  What this class adds
+/// over the manifest is *deduplication across concurrent requests*: when
+/// N clients submit the same function at once, one request computes and
+/// N-1 block in acquire() until the result publishes.  If the owner dies
+/// — contained fault, verifier failure, an exception unwinding the
+/// request — abandon() wakes the waiters and the first one becomes the
+/// new owner, so a poisoned request can delay but never wedge the rest.
+///
+/// Persistence is deliberately NOT here: the daemon points every
+/// compile's CacheFile at its manifest, and the PassManager's
+/// flock-guarded write-back keeps disk consistent.  A kill -9 loses only
+/// the in-memory layer; a restarted daemon warms back up from the
+/// manifest on the first request.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_SERVER_HOTCACHE_H
+#define TCC_SERVER_HOTCACHE_H
+
+#include "pipeline/PassManager.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace tcc {
+namespace server {
+
+struct HotCacheStats {
+  uint64_t Hits = 0;      ///< acquire() served a finished body.
+  uint64_t Misses = 0;    ///< acquire() made the caller the owner.
+  uint64_t Waits = 0;     ///< acquire() blocked on another owner first.
+  uint64_t Published = 0; ///< Owned computations that completed.
+  uint64_t Abandoned = 0; ///< Owned computations released without a result.
+};
+
+class HotCache : public pipeline::FunctionResultCache {
+public:
+  Acquire acquire(const std::string &Key, const std::string &Hash,
+                  std::string &Text) override;
+  void publish(const std::string &Key, const std::string &Hash,
+               std::string Text) override;
+  void abandon(const std::string &Key, const std::string &Hash) override;
+
+  HotCacheStats stats() const;
+  size_t size() const; ///< Finished bodies currently held.
+
+private:
+  struct Slot {
+    bool Ready = false; ///< False while the owner computes.
+    std::string Text;
+  };
+
+  mutable std::mutex M;
+  std::condition_variable CV;
+  std::map<std::string, Slot> Slots; ///< Keyed by content hash.
+  HotCacheStats S;
+};
+
+} // namespace server
+} // namespace tcc
+
+#endif // TCC_SERVER_HOTCACHE_H

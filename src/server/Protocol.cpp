@@ -1,0 +1,423 @@
+#include "server/Protocol.h"
+
+#include "support/JSONWriter.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <unistd.h>
+
+using namespace tcc;
+using namespace tcc::server;
+
+//===----------------------------------------------------------------------===//
+// Encoding (via the streaming writer; compact single-line form).
+//===----------------------------------------------------------------------===//
+
+std::string server::encodeRequest(const Request &R) {
+  std::ostringstream OS;
+  json::JSONWriter W(OS, /*IndentWidth=*/0);
+  W.beginObject();
+  W.key("args").beginArray();
+  for (const std::string &A : R.Args)
+    W.value(A);
+  W.endArray();
+  W.keyValue("source", R.Source);
+  W.endObject();
+  return OS.str();
+}
+
+std::string server::encodeResponse(const Response &R) {
+  std::ostringstream OS;
+  json::JSONWriter W(OS, /*IndentWidth=*/0);
+  W.beginObject();
+  W.keyValue("exit", R.Exit);
+  W.keyValue("stdout", R.Out);
+  W.keyValue("stderr", R.Err);
+  W.endObject();
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Decoding: a minimal recursive-descent reader for the writer's subset.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct JsonValue {
+  enum Kind { Null, Bool, Number, String, Array, Object } K = Null;
+  bool B = false;
+  double Num = 0.0;
+  std::string Str;
+  std::vector<JsonValue> Elems;
+  std::map<std::string, JsonValue> Fields;
+};
+
+class JsonReader {
+public:
+  JsonReader(const std::string &Text, std::string &Error)
+      : Text(Text), Error(Error) {}
+
+  bool parse(JsonValue &Out) {
+    skipSpace();
+    if (!parseValue(Out))
+      return false;
+    skipSpace();
+    if (Pos != Text.size())
+      return fail("trailing bytes after JSON value");
+    return true;
+  }
+
+private:
+  bool fail(const std::string &Msg) {
+    Error = Msg + " at offset " + std::to_string(Pos);
+    return false;
+  }
+
+  void skipSpace() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool literal(const char *Lit) {
+    size_t N = std::strlen(Lit);
+    if (Text.compare(Pos, N, Lit) != 0)
+      return fail(std::string("expected '") + Lit + "'");
+    Pos += N;
+    return true;
+  }
+
+  bool parseValue(JsonValue &Out) {
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    switch (Text[Pos]) {
+    case '{':
+      return parseObject(Out);
+    case '[':
+      return parseArray(Out);
+    case '"':
+      Out.K = JsonValue::String;
+      return parseString(Out.Str);
+    case 't':
+      Out.K = JsonValue::Bool;
+      Out.B = true;
+      return literal("true");
+    case 'f':
+      Out.K = JsonValue::Bool;
+      Out.B = false;
+      return literal("false");
+    case 'n':
+      Out.K = JsonValue::Null;
+      return literal("null");
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool parseObject(JsonValue &Out) {
+    Out.K = JsonValue::Object;
+    ++Pos; // '{'
+    skipSpace();
+    if (Pos < Text.size() && Text[Pos] == '}') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      skipSpace();
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      skipSpace();
+      if (Pos >= Text.size() || Text[Pos] != ':')
+        return fail("expected ':' in object");
+      ++Pos;
+      skipSpace();
+      JsonValue V;
+      if (!parseValue(V))
+        return false;
+      Out.Fields.emplace(std::move(Key), std::move(V));
+      skipSpace();
+      if (Pos >= Text.size())
+        return fail("unterminated object");
+      if (Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Text[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool parseArray(JsonValue &Out) {
+    Out.K = JsonValue::Array;
+    ++Pos; // '['
+    skipSpace();
+    if (Pos < Text.size() && Text[Pos] == ']') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      skipSpace();
+      JsonValue V;
+      if (!parseValue(V))
+        return false;
+      Out.Elems.push_back(std::move(V));
+      skipSpace();
+      if (Pos >= Text.size())
+        return fail("unterminated array");
+      if (Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Text[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parseString(std::string &Out) {
+    if (Pos >= Text.size() || Text[Pos] != '"')
+      return fail("expected string");
+    ++Pos;
+    Out.clear();
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        break;
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out += E;
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return fail("truncated \\u escape");
+        unsigned Code = 0;
+        for (int I = 0; I < 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= static_cast<unsigned>(H - 'A' + 10);
+          else
+            return fail("bad \\u escape digit");
+        }
+        // The writer only emits \u00XX for control bytes; decode the
+        // basic-multilingual-plane code point as UTF-8.
+        if (Code < 0x80) {
+          Out += static_cast<char>(Code);
+        } else if (Code < 0x800) {
+          Out += static_cast<char>(0xC0 | (Code >> 6));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        } else {
+          Out += static_cast<char>(0xE0 | (Code >> 12));
+          Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        }
+        break;
+      }
+      default:
+        return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parseNumber(JsonValue &Out) {
+    size_t Start = Pos;
+    if (Pos < Text.size() && (Text[Pos] == '-' || Text[Pos] == '+'))
+      ++Pos;
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
+            Text[Pos] == '-' || Text[Pos] == '+'))
+      ++Pos;
+    if (Pos == Start)
+      return fail("expected value");
+    Out.K = JsonValue::Number;
+    try {
+      Out.Num = std::stod(Text.substr(Start, Pos - Start));
+    } catch (...) {
+      return fail("malformed number");
+    }
+    return true;
+  }
+
+  const std::string &Text;
+  std::string &Error;
+  size_t Pos = 0;
+};
+
+const JsonValue *field(const JsonValue &Obj, const char *Name,
+                       JsonValue::Kind K) {
+  auto It = Obj.Fields.find(Name);
+  if (It == Obj.Fields.end() || It->second.K != K)
+    return nullptr;
+  return &It->second;
+}
+
+} // namespace
+
+bool server::decodeRequest(const std::string &Payload, Request &R,
+                           std::string &Error) {
+  JsonValue V;
+  if (!JsonReader(Payload, Error).parse(V))
+    return false;
+  if (V.K != JsonValue::Object) {
+    Error = "request is not a JSON object";
+    return false;
+  }
+  const JsonValue *Args = field(V, "args", JsonValue::Array);
+  const JsonValue *Source = field(V, "source", JsonValue::String);
+  if (!Args || !Source) {
+    Error = "request missing 'args' array or 'source' string";
+    return false;
+  }
+  R.Args.clear();
+  for (const JsonValue &A : Args->Elems) {
+    if (A.K != JsonValue::String) {
+      Error = "request 'args' holds a non-string element";
+      return false;
+    }
+    R.Args.push_back(A.Str);
+  }
+  R.Source = Source->Str;
+  return true;
+}
+
+bool server::decodeResponse(const std::string &Payload, Response &R,
+                            std::string &Error) {
+  JsonValue V;
+  if (!JsonReader(Payload, Error).parse(V))
+    return false;
+  if (V.K != JsonValue::Object) {
+    Error = "response is not a JSON object";
+    return false;
+  }
+  const JsonValue *Exit = field(V, "exit", JsonValue::Number);
+  const JsonValue *Out = field(V, "stdout", JsonValue::String);
+  const JsonValue *Err = field(V, "stderr", JsonValue::String);
+  if (!Exit || !Out || !Err) {
+    Error = "response missing 'exit', 'stdout', or 'stderr'";
+    return false;
+  }
+  R.Exit = static_cast<int>(Exit->Num);
+  R.Out = Out->Str;
+  R.Err = Err->Str;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Framing.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool writeAll(int Fd, const char *Data, size_t N) {
+  while (N > 0) {
+    ssize_t W = ::write(Fd, Data, N);
+    if (W < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Data += W;
+    N -= static_cast<size_t>(W);
+  }
+  return true;
+}
+
+/// Returns 1 on success, 0 on clean EOF at a frame boundary (only
+/// meaningful when nothing has been consumed yet), -1 on error.
+int readAll(int Fd, char *Data, size_t N) {
+  size_t Got = 0;
+  while (Got < N) {
+    ssize_t R = ::read(Fd, Data + Got, N - Got);
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      return -1;
+    }
+    if (R == 0)
+      return Got == 0 ? 0 : -1;
+    Got += static_cast<size_t>(R);
+  }
+  return 1;
+}
+
+} // namespace
+
+bool server::writeFrame(int Fd, const std::string &Payload) {
+  uint32_t N = static_cast<uint32_t>(Payload.size());
+  char Hdr[4] = {static_cast<char>(N & 0xFF),
+                 static_cast<char>((N >> 8) & 0xFF),
+                 static_cast<char>((N >> 16) & 0xFF),
+                 static_cast<char>((N >> 24) & 0xFF)};
+  return writeAll(Fd, Hdr, sizeof(Hdr)) &&
+         writeAll(Fd, Payload.data(), Payload.size());
+}
+
+bool server::readFrame(int Fd, std::string &Payload, std::string &Error) {
+  Error.clear();
+  char Hdr[4];
+  int R = readAll(Fd, Hdr, sizeof(Hdr));
+  if (R == 0)
+    return false; // Clean EOF between frames; Error stays empty.
+  if (R < 0) {
+    Error = "connection truncated reading frame header";
+    return false;
+  }
+  uint32_t N = static_cast<uint32_t>(static_cast<unsigned char>(Hdr[0])) |
+               (static_cast<uint32_t>(static_cast<unsigned char>(Hdr[1]))
+                << 8) |
+               (static_cast<uint32_t>(static_cast<unsigned char>(Hdr[2]))
+                << 16) |
+               (static_cast<uint32_t>(static_cast<unsigned char>(Hdr[3]))
+                << 24);
+  if (N > MaxFrameBytes) {
+    Error = "frame of " + std::to_string(N) + " bytes exceeds the " +
+            std::to_string(MaxFrameBytes) + "-byte limit";
+    return false;
+  }
+  Payload.resize(N);
+  if (N > 0 && readAll(Fd, Payload.data(), N) != 1) {
+    Error = "connection truncated reading frame payload";
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,74 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tccd wire protocol: length-prefixed JSON frames over a local Unix
+/// socket.
+///
+/// Every message is one frame — a 4-byte little-endian payload length
+/// followed by that many bytes of UTF-8 JSON.  A request carries the tcc
+/// argv (minus the program name) and the input file's text; clients own
+/// file IO, so the daemon never resolves paths relative to a client's
+/// working directory.  A response carries the exit code plus the exact
+/// stdout/stderr bytes a direct `tcc` run would have produced — the
+/// client replays them verbatim, which is what makes daemon-compiled
+/// output byte-identical by construction.
+///
+/// The JSON reader accepts exactly the subset the writer emits (objects,
+/// arrays, strings with standard escapes, integers, booleans, null);
+/// anything else is a framing error, answered with a clean error
+/// response rather than a dropped connection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_SERVER_PROTOCOL_H
+#define TCC_SERVER_PROTOCOL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tcc {
+namespace server {
+
+/// Frames larger than this are rejected before allocation, so a garbage
+/// length prefix (a non-protocol client) fails fast instead of OOMing
+/// the daemon.
+constexpr uint32_t MaxFrameBytes = 64u << 20;
+
+/// One compile request.
+struct Request {
+  std::vector<std::string> Args; ///< tcc argv without the program name.
+  std::string Source;            ///< Input file text (client-read).
+};
+
+/// One compile response: what `tcc` would have printed, and how it would
+/// have exited.
+struct Response {
+  int Exit = 0;
+  std::string Out;
+  std::string Err;
+};
+
+std::string encodeRequest(const Request &R);
+std::string encodeResponse(const Response &R);
+
+/// Decoders validate shape as well as syntax; on failure \p Error names
+/// what was malformed and the output struct is unspecified.
+bool decodeRequest(const std::string &Payload, Request &R,
+                   std::string &Error);
+bool decodeResponse(const std::string &Payload, Response &R,
+                    std::string &Error);
+
+/// Writes one frame to a connected socket, handling short writes.
+/// Returns false on I/O error (EPIPE when the peer vanished).
+bool writeFrame(int Fd, const std::string &Payload);
+
+/// Reads one frame.  Returns false with an empty \p Error on clean EOF
+/// (peer closed between frames) and a non-empty \p Error on a protocol
+/// or I/O failure.
+bool readFrame(int Fd, std::string &Payload, std::string &Error);
+
+} // namespace server
+} // namespace tcc
+
+#endif // TCC_SERVER_PROTOCOL_H

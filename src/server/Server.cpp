@@ -1,0 +1,296 @@
+#include "server/Server.h"
+
+#include "driver/ToolMain.h"
+#include "support/FaultInjection.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
+
+using namespace tcc;
+using namespace tcc::server;
+
+namespace {
+
+/// Fills a sockaddr_un, rejecting paths longer than the kernel limit.
+bool makeAddress(const std::string &Path, sockaddr_un &Addr,
+                 std::string &Error) {
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    Error = "socket path '" + Path + "' exceeds the " +
+            std::to_string(sizeof(Addr.sun_path) - 1) + "-byte limit";
+    return false;
+  }
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  return true;
+}
+
+/// True when something is accepting connections on \p Path.
+bool socketIsLive(const std::string &Path) {
+  sockaddr_un Addr;
+  std::string Ignored;
+  if (!makeAddress(Path, Addr, Ignored))
+    return false;
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return false;
+  bool Live = ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                        sizeof(Addr)) == 0;
+  ::close(Fd);
+  return Live;
+}
+
+/// Splits a fault-inject spec into `server:`-site entries (fired by the
+/// request handler) and everything else (passed through to the compile).
+void splitServerFaults(const std::string &Spec, std::string &ServerSpec,
+                       std::string &CompileSpec) {
+  std::string Token;
+  auto Flush = [&] {
+    size_t B = Token.find_first_not_of(" \t");
+    if (B != std::string::npos) {
+      size_t E = Token.find_last_not_of(" \t");
+      std::string T = Token.substr(B, E - B + 1);
+      std::string &Dst =
+          T.rfind("server:", 0) == 0 ? ServerSpec : CompileSpec;
+      if (!Dst.empty())
+        Dst += ',';
+      Dst += T;
+    }
+    Token.clear();
+  };
+  for (char C : Spec) {
+    if (C == ',')
+      Flush();
+    else
+      Token += C;
+  }
+  Flush();
+}
+
+} // namespace
+
+Server::Server(ServerOptions Opts) : Opts(std::move(Opts)) {
+  Session.setResultCache(&Hot);
+}
+
+Server::~Server() {
+  stop();
+  if (Queue)
+    Queue->shutdown();
+  if (!Opts.SocketPath.empty())
+    ::unlink(Opts.SocketPath.c_str());
+}
+
+bool Server::start(DiagnosticEngine &Diags) {
+  sockaddr_un Addr;
+  std::string Error;
+  if (!makeAddress(Opts.SocketPath, Addr, Error)) {
+    Diags.error(SourceLoc(), Error);
+    return false;
+  }
+
+  ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (ListenFd < 0) {
+    Diags.error(SourceLoc(),
+                std::string("cannot create socket: ") + std::strerror(errno));
+    return false;
+  }
+
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+      0) {
+    if (errno != EADDRINUSE) {
+      Diags.error(SourceLoc(), "cannot bind '" + Opts.SocketPath +
+                                   "': " + std::strerror(errno));
+      ::close(ListenFd);
+      ListenFd = -1;
+      return false;
+    }
+    // The address is taken: either a live daemon (refuse to fight it) or
+    // a stale file left by a kill -9 (reclaim it).
+    if (socketIsLive(Opts.SocketPath)) {
+      Diags.error(SourceLoc(), "a daemon is already serving '" +
+                                   Opts.SocketPath + "'");
+      ::close(ListenFd);
+      ListenFd = -1;
+      return false;
+    }
+    ::unlink(Opts.SocketPath.c_str());
+    if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr),
+               sizeof(Addr)) < 0) {
+      Diags.error(SourceLoc(), "cannot rebind stale socket '" +
+                                   Opts.SocketPath +
+                                   "': " + std::strerror(errno));
+      ::close(ListenFd);
+      ListenFd = -1;
+      return false;
+    }
+  }
+
+  if (::listen(ListenFd, 64) < 0) {
+    Diags.error(SourceLoc(), "cannot listen on '" + Opts.SocketPath +
+                                 "': " + std::strerror(errno));
+    ::close(ListenFd);
+    ListenFd = -1;
+    ::unlink(Opts.SocketPath.c_str());
+    return false;
+  }
+
+  Queue = std::make_unique<TaskQueue>(
+      resolveWorkerCount(Opts.Workers, /*JobCount=*/SIZE_MAX));
+  return true;
+}
+
+void Server::run() {
+  while (!Stopping.load()) {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR)
+        continue;
+      break; // stop() closed the listening socket.
+    }
+    if (!Queue->submit([this, Fd] { handleConnection(Fd); }))
+      ::close(Fd); // Shutting down: refuse politely.
+  }
+}
+
+void Server::stop() {
+  Stopping.store(true);
+  if (ListenFd >= 0) {
+    // shutdown() unblocks a concurrent accept(); close() releases the fd.
+    ::shutdown(ListenFd, SHUT_RDWR);
+    ::close(ListenFd);
+    ListenFd = -1;
+  }
+}
+
+void Server::handleConnection(int Fd) {
+  // A connection carries a sequence of request frames; EOF ends it.  A
+  // framing error also ends it — after a best-effort error response, so
+  // a confused client fails fast instead of hanging on a silent close.
+  while (true) {
+    std::string Payload, Error;
+    if (!readFrame(Fd, Payload, Error)) {
+      if (!Error.empty())
+        writeFrame(Fd, encodeResponse(
+                           {2, "", "tccd: protocol error: " + Error + "\n"}));
+      break;
+    }
+    Request Req;
+    Response Resp;
+    if (!decodeRequest(Payload, Req, Error)) {
+      Resp = {2, "", "tccd: malformed request: " + Error + "\n"};
+    } else {
+      Resp = handleRequest(Req);
+    }
+    if (!writeFrame(Fd, encodeResponse(Resp)))
+      break; // Client vanished; the compile already benefited the caches.
+  }
+  ::close(Fd);
+}
+
+Response Server::handleRequest(const Request &Req) {
+  Response Resp;
+  std::ostringstream Out, Err;
+  const auto Start = std::chrono::steady_clock::now();
+
+  driver::ToolInvocation Inv;
+  std::string Error;
+  if (!driver::parseToolArgs(Req.Args, Inv, Error)) {
+    // Same parser, same message, as `tcc` itself (entry-point prefix
+    // aside) — the shared-flag-parsing invariant.
+    Err << "tcc: " << Error << "\n" << driver::toolUsage("tcc");
+    Resp.Exit = 2;
+  } else if (!Inv.ReplayPath.empty()) {
+    Err << "tccd: -replay= is not served by the daemon (reproducer "
+           "bundles replay locally; run tcc -replay= instead)\n";
+    Resp.Exit = 2;
+  } else if (Inv.InputPath.empty()) {
+    Err << driver::toolUsage("tcc");
+    Resp.Exit = 2;
+  } else {
+    // Cache ownership: the daemon's manifest replaces whatever -cache=
+    // the request named.  Two processes racing on a client-named
+    // manifest is the interleaving this server exists to remove.
+    Inv.Opts.CacheFile = Opts.CacheFile;
+
+    // `server:` fault sites fire here, in the handler, under its
+    // containment — proving a request that dies outside the pass
+    // sandbox still cannot take other in-flight requests with it.
+    std::string ServerSpec, CompileSpec;
+    splitServerFaults(Inv.Opts.FaultInject, ServerSpec, CompileSpec);
+    Inv.Opts.FaultInject = CompileSpec;
+
+    try {
+      if (!ServerSpec.empty()) {
+        FaultInjector Injector;
+        DiagnosticEngine FaultDiags;
+        if (!Injector.addSpecs(ServerSpec, FaultDiags)) {
+          for (const auto &D : FaultDiags.diagnostics())
+            Err << Inv.InputPath << ": " << D.str() << "\n";
+          Resp.Exit = 2;
+        } else if (const FaultSpec *F =
+                       Injector.arm("server", Inv.InputPath)) {
+          if (F->Kind == FaultKind::Slow)
+            // Slowness is containment too: the request occupies its
+            // worker, every other in-flight request proceeds.
+            std::this_thread::sleep_for(std::chrono::milliseconds(500));
+          else if (F->Kind == FaultKind::CorruptIL)
+            throw std::runtime_error(
+                "injected corrupt-il fault at server site");
+          else
+            throwInjectedFault(*F);
+        }
+      }
+      if (Resp.Exit == 0)
+        Resp.Exit =
+            driver::runToolInvocation(Inv, Req.Source, Session, Out, Err);
+    } catch (const std::exception &E) {
+      Err << "tccd: request for '" << Inv.InputPath
+          << "' failed: " << E.what()
+          << " (contained; other requests unaffected)\n";
+      Resp.Exit = 2;
+      std::lock_guard<std::mutex> Lock(StatsMutex);
+      ++S.Faulted;
+    } catch (...) {
+      Err << "tccd: request for '" << Inv.InputPath
+          << "' failed with an unknown exception (contained; other "
+             "requests unaffected)\n";
+      Resp.Exit = 2;
+      std::lock_guard<std::mutex> Lock(StatsMutex);
+      ++S.Faulted;
+    }
+  }
+
+  Resp.Out = Out.str();
+  Resp.Err = Err.str();
+  {
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    ++S.Requests;
+    if (Resp.Exit != 0)
+      ++S.Errors;
+  }
+  if (Opts.Verbose) {
+    double Millis = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - Start)
+                        .count();
+    HotCacheStats HS = Hot.stats();
+    std::fprintf(stderr,
+                 "[tccd] '%s' exit=%d %.1fms (hot: %llu hit / %llu miss)\n",
+                 Inv.InputPath.c_str(), Resp.Exit, Millis,
+                 static_cast<unsigned long long>(HS.Hits),
+                 static_cast<unsigned long long>(HS.Misses));
+  }
+  return Resp;
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> Lock(StatsMutex);
+  return S;
+}

@@ -1,0 +1,114 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// tccd — the compile-server daemon.
+///
+/// One process holds a driver::CompilerSession (parsed catalogs, the
+/// shared analysis pool), a HotCache of optimized function bodies, and a
+/// support/WorkerPool TaskQueue admitting requests.  Clients connect
+/// over a local Unix socket and speak the length-prefixed JSON protocol
+/// (Protocol.h); each request is compiled through exactly the same
+/// driver::runToolInvocation() a direct `tcc` run uses, into string
+/// sinks, so responses are byte-identical to local compilation.
+///
+/// Failure model (see DESIGN.md "Compile server"):
+///  - A crashing pass is contained per request by the PR 4 pass sandbox,
+///    exactly as in `tcc`; the (pass, function) pair quarantines and the
+///    response still carries correct output.
+///  - A request that dies outside the sandbox (e.g. an injected
+///    `server:` site fault) is contained by the handler: that client
+///    gets an exit-2 error response, every other in-flight request is
+///    untouched, and the single-flight hot cache promotes a waiter if
+///    the dead request owned a computation.
+///  - A client disconnect mid-compile wastes at most one compile; the
+///    result still publishes to the hot cache for the next request.
+///  - kill -9 loses only in-memory state: the flock-guarded manifest
+///    write-back keeps `.tcc-cache` consistent, so a restarted daemon
+///    recovers from disk.
+///
+/// Cache ownership: the daemon's manifest is the daemon's.  A request's
+/// `-cache=` flag is overridden with the daemon's own CacheFile — two
+/// compilers racing on one client-named manifest file is exactly the
+/// interleaving the server exists to remove.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_SERVER_SERVER_H
+#define TCC_SERVER_SERVER_H
+
+#include "driver/Compiler.h"
+#include "server/HotCache.h"
+#include "server/Protocol.h"
+#include "support/WorkerPool.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace tcc {
+namespace server {
+
+struct ServerOptions {
+  std::string SocketPath = ".tccd.sock";
+  /// The daemon-owned manifest; every request compiles against it.
+  /// Empty disables persistence (hot cache only).
+  std::string CacheFile = ".tcc-cache";
+  unsigned Workers = 0; ///< 0 = hardware concurrency.
+  bool Verbose = false; ///< Per-request log lines on stderr.
+};
+
+struct ServerStats {
+  uint64_t Requests = 0;
+  uint64_t Errors = 0;  ///< Responses with nonzero exit.
+  uint64_t Faulted = 0; ///< Requests contained by the handler guard.
+};
+
+class Server {
+public:
+  explicit Server(ServerOptions Opts);
+  ~Server();
+
+  /// Binds and listens on the socket.  A stale socket file (left by a
+  /// kill -9) is detected by probing it: if nothing accepts, the file is
+  /// unlinked and the address rebound; if a live daemon answers, start
+  /// fails with a diagnostic.  Also starts the worker pool.
+  bool start(DiagnosticEngine &Diags);
+
+  /// Blocking accept loop; returns after stop().  Connections are
+  /// admitted through the worker pool, so at most Workers requests
+  /// compile concurrently and the rest queue.
+  void run();
+
+  /// Unblocks run().  Async-signal-safe: callable from a SIGINT/SIGTERM
+  /// handler.
+  void stop();
+
+  /// Compiles one request exactly as `tcc` would, rendering stdout /
+  /// stderr into the response.  Public for tests and single-process
+  /// benchmarking — no socket required.
+  Response handleRequest(const Request &Req);
+
+  const ServerOptions &options() const { return Opts; }
+  ServerStats stats() const;
+  driver::CompilerSession &session() { return Session; }
+  HotCache &hotCache() { return Hot; }
+
+private:
+  void handleConnection(int Fd);
+
+  ServerOptions Opts;
+  driver::CompilerSession Session;
+  HotCache Hot;
+  std::unique_ptr<TaskQueue> Queue;
+  int ListenFd = -1;
+  std::atomic<bool> Stopping{false};
+  mutable std::mutex StatsMutex;
+  ServerStats S;
+};
+
+} // namespace server
+} // namespace tcc
+
+#endif // TCC_SERVER_SERVER_H

@@ -2,11 +2,55 @@
 
 #include "support/StringExtras.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
 using namespace tcc;
+
+namespace {
+
+/// RAII advisory lock on the manifest's sidecar `<Path>.lock` file.  The
+/// sidecar (not the manifest itself) is locked because save() renames a
+/// fresh file into the manifest path — a lock taken on the old inode
+/// would not exclude anybody.  flock(2) locks are per open file
+/// description, so concurrent threads of one process exclude each other
+/// exactly like separate processes do.  Lock acquisition failure (e.g. an
+/// unwritable directory) degrades to running unlocked: the cache is an
+/// accelerator, and the pre-locking behavior is the worst case.
+class ManifestLock {
+public:
+  ManifestLock(const std::string &ManifestPath, bool Exclusive) {
+    FD = ::open((ManifestPath + ".lock").c_str(), O_RDWR | O_CREAT | O_CLOEXEC,
+                0666);
+    if (FD < 0)
+      return;
+    // Retry on signal interruption; block until the lock is granted.
+    while (::flock(FD, Exclusive ? LOCK_EX : LOCK_SH) != 0) {
+      if (errno != EINTR) {
+        ::close(FD);
+        FD = -1;
+        return;
+      }
+    }
+  }
+  ~ManifestLock() {
+    if (FD >= 0)
+      ::close(FD); // Releases the flock.
+  }
+  ManifestLock(const ManifestLock &) = delete;
+  ManifestLock &operator=(const ManifestLock &) = delete;
+
+private:
+  int FD = -1;
+};
+
+} // namespace
 
 std::string tcc::cacheHash(const std::string &Payload) {
   return toHex64(fnv1a64(Payload));
@@ -171,13 +215,24 @@ void writeQuoted(std::ostream &OS, const std::string &Name) {
 bool CompileCache::load(const std::string &Path, CompileCache &Out,
                         DiagnosticEngine &Diags) {
   Out = CompileCache();
-  std::ifstream In(Path, std::ios::binary);
-  if (!In)
+  const std::string Text = [&Path] {
+    // Shared lock while reading: a concurrent writeBack() holds the
+    // exclusive lock across its read-merge-rename, so readers see either
+    // the old or the new complete manifest, never a torn merge.
+    ManifestLock Lock(Path, /*Exclusive=*/false);
+    std::ifstream In(Path, std::ios::binary);
+    std::stringstream Buffer;
+    if (In)
+      Buffer << In.rdbuf();
+    return Buffer.str();
+  }();
+  if (Text.empty() && !std::ifstream(Path))
     return true; // No manifest yet: a valid empty cache.
-  std::stringstream Buffer;
-  Buffer << In.rdbuf();
-  const std::string Text = Buffer.str();
+  return loadText(Text, Out, Diags);
+}
 
+bool CompileCache::loadText(const std::string &Text, CompileCache &Out,
+                            DiagnosticEngine &Diags) {
   // Every rejection below takes the same exit: warn (ManifestReader
   // locates the line), leave the cache empty, and report degradation —
   // a damaged manifest costs a cold rebuild, never the compile.
@@ -262,6 +317,48 @@ bool CompileCache::load(const std::string &Path, CompileCache &Out,
 
 bool CompileCache::save(const std::string &Path,
                         DiagnosticEngine &Diags) const {
+  ManifestLock Lock(Path, /*Exclusive=*/true);
+  return saveLocked(Path, Diags);
+}
+
+void CompileCache::mergeMissingFrom(const CompileCache &Other) {
+  for (const auto &[Name, E] : Other.Functions)
+    if (Functions.emplace(Name, E).second)
+      Dirty = true;
+  for (const auto &[File, E] : Other.Shards)
+    if (Shards.emplace(File, E).second)
+      Dirty = true;
+}
+
+bool CompileCache::writeBack(const std::string &Path,
+                             DiagnosticEngine &Diags) {
+  ManifestLock Lock(Path, /*Exclusive=*/true);
+
+  // Re-read under the lock and adopt whatever other writers published
+  // since our load: per-key merge, our entries winning, so a lost update
+  // can only be a *stale duplicate* of work someone else finished first —
+  // never a dropped result.
+  std::ifstream In(Path, std::ios::binary);
+  if (In) {
+    std::stringstream Buffer;
+    Buffer << In.rdbuf();
+    CompileCache Disk;
+    // Damage warnings were already emitted by the initial load() in the
+    // common case; a manifest damaged *between* load and write-back is
+    // simply replaced wholesale.
+    DiagnosticEngine Ignored;
+    loadText(Buffer.str(), Disk, Ignored);
+    mergeMissingFrom(Disk);
+  }
+
+  if (!saveLocked(Path, Diags))
+    return false;
+  Dirty = false;
+  return true;
+}
+
+bool CompileCache::saveLocked(const std::string &Path,
+                              DiagnosticEngine &Diags) const {
   // Write-to-temp + rename: readers of Path only ever observe the old
   // complete manifest or the new complete manifest, never a prefix.
   const std::string Temp = Path + ".tmp";

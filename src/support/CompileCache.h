@@ -37,6 +37,17 @@
 /// interrupted run can never leave a half-written manifest that poisons
 /// the next warm run.
 ///
+/// One manifest may be shared by concurrent writers — several `tcc`
+/// processes, `tcc-catalog` shards, and the `tccd` daemon all pointed at
+/// the same stem.  Every load/save takes an advisory lock on a sidecar
+/// `<Path>.lock` file (flock(2); shared for reads, exclusive for writes),
+/// so readers never observe a rename mid-flight and writers serialize.
+/// Writers that may race use writeBack() instead of save(): under the
+/// exclusive lock it re-reads the manifest, merges the in-memory entries
+/// over it (in-memory wins per key), and renames the merged result into
+/// place — concurrent processes interleave by *entry*, never by byte, and
+/// nobody's results are lost to a whole-file clobber.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TCC_SUPPORT_COMPILECACHE_H
@@ -89,22 +100,41 @@ public:
   /// skip rewriting the manifest after all-hit runs.
   bool dirty() const { return Dirty; }
 
-  /// Reads \p Path.  A missing file yields an empty cache.  Truncated,
-  /// corrupt, or version-skewed content (bad magic, out-of-range counts
-  /// or payload lengths, partial trailing records) yields an empty cache
-  /// too, with a warning located by manifest line — never an error, so a
-  /// damaged manifest degrades a warm run to a cold one instead of
-  /// failing the compile.  Returns false exactly when such degradation
-  /// happened (callers may ignore it; Out is always usable).
+  /// Reads \p Path (under a shared advisory lock).  A missing file yields
+  /// an empty cache.  Truncated, corrupt, or version-skewed content (bad
+  /// magic, out-of-range counts or payload lengths, partial trailing
+  /// records) yields an empty cache too, with a warning located by
+  /// manifest line — never an error, so a damaged manifest degrades a
+  /// warm run to a cold one instead of failing the compile.  Returns
+  /// false exactly when such degradation happened (callers may ignore
+  /// it; Out is always usable).
   static bool load(const std::string &Path, CompileCache &Out,
                    DiagnosticEngine &Diags);
 
-  /// Writes the manifest to \p Path (name-sorted, byte-stable).  The
-  /// write is atomic: content goes to "<Path>.tmp" and is renamed into
-  /// place, so a crash mid-save leaves the previous manifest intact.
+  /// Writes the manifest to \p Path (name-sorted, byte-stable), holding
+  /// the exclusive advisory lock.  The write is atomic: content goes to
+  /// "<Path>.tmp" and is renamed into place, so a crash mid-save leaves
+  /// the previous manifest intact.  Clobbers concurrent writers' entries;
+  /// racing writers use writeBack().
   bool save(const std::string &Path, DiagnosticEngine &Diags) const;
 
+  /// The concurrent-writer persistence path: under the exclusive lock,
+  /// re-reads \p Path, merges this cache's entries over the on-disk ones
+  /// (this cache wins per key; entries only it or only the disk knows
+  /// survive), adopts the merged state in memory, and renames it into
+  /// place.  A damaged on-disk manifest degrades to "nothing to merge
+  /// with" (warning emitted) and is replaced wholesale.  Clears dirty()
+  /// on success.
+  bool writeBack(const std::string &Path, DiagnosticEngine &Diags);
+
+  /// Folds \p Other's entries into this cache; existing entries win.
+  void mergeMissingFrom(const CompileCache &Other);
+
 private:
+  static bool loadText(const std::string &Text, CompileCache &Out,
+                       DiagnosticEngine &Diags);
+  bool saveLocked(const std::string &Path, DiagnosticEngine &Diags) const;
+
   std::map<std::string, FunctionEntry> Functions;
   std::map<std::string, ShardEntry> Shards;
   bool Dirty = false;

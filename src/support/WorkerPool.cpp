@@ -1,0 +1,90 @@
+#include "support/WorkerPool.h"
+
+#include <atomic>
+
+using namespace tcc;
+
+unsigned tcc::resolveWorkerCount(unsigned Requested, size_t JobCount) {
+  unsigned Workers =
+      Requested ? Requested : std::thread::hardware_concurrency();
+  if (Workers == 0)
+    Workers = 1;
+  if (JobCount && Workers > JobCount)
+    Workers = static_cast<unsigned>(JobCount);
+  return Workers;
+}
+
+void tcc::runIndexed(size_t Count, unsigned Workers,
+                     const std::function<void(size_t)> &Job) {
+  if (Count == 0)
+    return;
+  Workers = resolveWorkerCount(Workers, Count);
+
+  std::atomic<size_t> Next{0};
+  auto Work = [&] {
+    for (;;) {
+      size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= Count)
+        return;
+      Job(I);
+    }
+  };
+  if (Workers <= 1) {
+    Work();
+    return;
+  }
+  std::vector<std::thread> Pool;
+  Pool.reserve(Workers);
+  for (unsigned W = 0; W < Workers; ++W)
+    Pool.emplace_back(Work);
+  for (std::thread &T : Pool)
+    T.join();
+}
+
+TaskQueue::TaskQueue(unsigned Workers) {
+  Workers = resolveWorkerCount(Workers, /*JobCount=*/0);
+  Threads.reserve(Workers);
+  for (unsigned W = 0; W < Workers; ++W)
+    Threads.emplace_back([this] { workerLoop(); });
+}
+
+TaskQueue::~TaskQueue() { shutdown(); }
+
+bool TaskQueue::submit(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    if (ShuttingDown)
+      return false;
+    Tasks.push_back(std::move(Task));
+  }
+  Ready.notify_one();
+  return true;
+}
+
+void TaskQueue::shutdown() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    if (ShuttingDown && Threads.empty())
+      return;
+    ShuttingDown = true;
+  }
+  Ready.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+  Threads.clear();
+}
+
+void TaskQueue::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      Ready.wait(Lock, [this] { return ShuttingDown || !Tasks.empty(); });
+      if (Tasks.empty())
+        return; // Shutting down and drained.
+      Task = std::move(Tasks.front());
+      Tasks.pop_front();
+    }
+    Task();
+  }
+}

@@ -1,0 +1,86 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared worker pools.
+///
+/// Two shapes of parallelism recur across the codebase:
+///
+///  - **indexed sweeps** (catalog shards, ablation cells): N independent
+///    jobs known up front, each writing only its own slot of a pre-sized
+///    result vector.  A shared atomic cursor hands out indices; workers
+///    race over *which* job they build but never over *where* the result
+///    lands, so the filled vector is deterministic — byte-identical for
+///    every worker count — without any locking.  runIndexed() is that
+///    pattern, extracted from the catalog builder and the ablation sweep
+///    so the two (and the compile server's batch paths) cannot drift.
+///
+///  - **request admission** (the compile daemon): tasks arrive over time
+///    and must be executed by a bounded set of long-lived workers.
+///    TaskQueue is a classic mutex+condvar queue; submit() never blocks,
+///    the destructor drains and joins.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_SUPPORT_WORKERPOOL_H
+#define TCC_SUPPORT_WORKERPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tcc {
+
+/// The worker-count convention every -j flag shares: 0 means "all
+/// hardware threads", the count never exceeds the job count, and at
+/// least one worker always runs.
+unsigned resolveWorkerCount(unsigned Requested, size_t JobCount);
+
+/// Runs Job(0) .. Job(Count-1) on up to \p Workers threads (resolved via
+/// resolveWorkerCount).  Jobs are handed out through a shared atomic
+/// cursor; each job must confine its writes to its own index's state so
+/// the by-index result fill is deterministic across worker counts.
+/// Exceptions must not escape \p Job — an exception leaving a worker
+/// thread terminates the process (same contract the catalog builder has
+/// always had; its jobs contain their own failures).
+void runIndexed(size_t Count, unsigned Workers,
+                const std::function<void(size_t)> &Job);
+
+/// A bounded pool of long-lived workers consuming a FIFO task queue —
+/// the compile daemon's admission layer.  Tasks are arbitrary closures;
+/// submit() enqueues and returns immediately.  Tasks must contain their
+/// own failures (an escaped exception terminates the process).
+class TaskQueue {
+public:
+  explicit TaskQueue(unsigned Workers);
+  ~TaskQueue(); ///< Drains pending tasks, then joins every worker.
+
+  TaskQueue(const TaskQueue &) = delete;
+  TaskQueue &operator=(const TaskQueue &) = delete;
+
+  /// Enqueues \p Task; a worker picks it up in FIFO order.  Returns false
+  /// when the queue is shutting down (the task is dropped).
+  bool submit(std::function<void()> Task);
+
+  /// Stops accepting tasks, finishes everything already queued, and joins
+  /// the workers.  Idempotent; the destructor calls it.
+  void shutdown();
+
+  unsigned workerCount() const { return static_cast<unsigned>(Threads.size()); }
+
+private:
+  void workerLoop();
+
+  std::mutex M;
+  std::condition_variable Ready;
+  std::deque<std::function<void()>> Tasks;
+  bool ShuttingDown = false;
+  std::vector<std::thread> Threads;
+};
+
+} // namespace tcc
+
+#endif // TCC_SUPPORT_WORKERPOOL_H

@@ -27,6 +27,7 @@
 #include "il/ILSerializer.h"
 #include "lexer/Lexer.h"
 #include "parser/Parser.h"
+#include "support/CompileCache.h"
 
 #include <gtest/gtest.h>
 
@@ -35,6 +36,7 @@
 #include <fstream>
 #include <iterator>
 #include <sstream>
+#include <thread>
 
 using namespace tcc;
 using namespace tcc::catalog;
@@ -275,6 +277,98 @@ TEST(CatalogTest, RoundTripOptimizedILWithDoLoopsAndTriplets) {
     expectRoundTripFixedPoint(Text);
   }
   EXPECT_TRUE(SawVector) << "fixture no longer vectorizes";
+}
+
+TEST(CatalogTest, RoundTripPreservesConflictFreeLoadsMark) {
+  // The dependence pass marks assignments whose loads provably cannot
+  // conflict with in-flight stores; codegen turns the mark into
+  // [nosconf] memory ops.  A serialize/deserialize round trip (the
+  // compile cache's restore path) must preserve it — dropping it keeps
+  // the output *valid* but silently deoptimizes every cache-restored
+  // function, which is exactly the kind of divergence the compile
+  // server's byte-identity bar exists to catch.
+  auto R = driver::compileSource(R"(
+    float a[512], b[512], c[512];
+    void main() {
+      int i;
+      for (i = 0; i < 512; i++)
+        a[i] = b[i] + c[i];
+    }
+  )");
+  ASSERT_TRUE(R->ok()) << R->Diags.str();
+  bool SawMark = false;
+  for (const auto &F : R->IL->getFunctions()) {
+    std::string Text = il::serializeFunction(*F);
+    SawMark = SawMark || Text.find("(assign 1 ") != std::string::npos;
+    expectRoundTripFixedPoint(Text);
+  }
+  EXPECT_TRUE(SawMark)
+      << "fixture no longer produces conflict-free loads";
+}
+
+TEST(CatalogTest, AssignWithoutFlagAtomStillParses) {
+  // Entries serialized before the conflict-free mark existed spell
+  // assignments as (assign LHS RHS).  They must still read — as
+  // not-conflict-free — so an old on-disk catalog or manifest degrades
+  // to a cold-ish restore instead of a parse failure.
+  std::string Legacy = "(function \"f\" (ret void) (fortran-pointers 0)\n"
+                       " (symbols\n"
+                       "  (sym 1 \"x\" int local 0)\n"
+                       " )\n"
+                       " (params)\n"
+                       " (body\n"
+                       "  (assign (var 1) (cint int 7))\n"
+                       " ))\n";
+  il::Program P;
+  DiagnosticEngine Diags;
+  il::Function *F = il::deserializeFunction(Legacy, P, Diags);
+  ASSERT_NE(F, nullptr) << Diags.str();
+  // Re-serializing writes the current form with the flag defaulted off.
+  EXPECT_NE(il::serializeFunction(*F).find("(assign 0 "),
+            std::string::npos);
+}
+
+TEST(CatalogTest, ConcurrentBuildsShareOneCacheStem) {
+  // Several catalog builders (think: parallel CI jobs, or tcc-catalog
+  // racing the tccd daemon) pointed at one manifest stem must not
+  // corrupt it: flock serializes load/write-back, entries merge by key,
+  // and every build still produces the canonical catalog.
+  std::string Path = testing::TempDir() + "/tcc_catalog_cache_race.tcc-cache";
+  std::remove(Path.c_str());
+  std::remove((Path + ".lock").c_str());
+
+  std::string Canonical = libraryBuilder().build().Catalog.serialize();
+  constexpr unsigned Builders = 6;
+  std::vector<std::string> Serialized(Builders);
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < Builders; ++T)
+    Threads.emplace_back([&, T] {
+      CatalogBuildOptions Opts;
+      Opts.Workers = 2;
+      Opts.CacheFile = Path;
+      CatalogBuildResult R = libraryBuilder().build(Opts);
+      if (R.ok())
+        Serialized[T] = R.Catalog.serialize();
+    });
+  for (auto &T : Threads)
+    T.join();
+  for (unsigned T = 0; T < Builders; ++T)
+    EXPECT_EQ(Serialized[T], Canonical) << "builder " << T;
+
+  // The surviving manifest is loadable and warm: a fresh build hits
+  // every shard.
+  CompileCache Manifest;
+  DiagnosticEngine Diags;
+  EXPECT_TRUE(CompileCache::load(Path, Manifest, Diags)) << Diags.str();
+  EXPECT_GT(Manifest.shardCount(), 0u);
+  CatalogBuildOptions Opts;
+  Opts.CacheFile = Path;
+  CatalogBuildResult Warm = libraryBuilder().build(Opts);
+  ASSERT_TRUE(Warm.ok()) << Warm.Diags.str();
+  for (const ShardReport &S : Warm.Shards)
+    EXPECT_TRUE(S.CacheHit) << S.File;
+  std::remove(Path.c_str());
+  std::remove((Path + ".lock").c_str());
 }
 
 TEST(CatalogTest, RoundTripWholeCatalogText) {

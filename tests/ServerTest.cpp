@@ -1,0 +1,643 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the compile-server subsystem (src/server) and the shared
+/// worker pools it admits requests through:
+///
+///  - the wire protocol: request/response JSON round-trips (including
+///    escapes and embedded NULs-adjacent content), malformed payload
+///    rejection, framing over a real socketpair, clean-EOF semantics,
+///    and the oversized-frame guard;
+///  - HotCache single-flight: owner/hit protocol, waiters blocking until
+///    publish, and abandon() promoting a waiter to owner so a dead
+///    request can never wedge the rest;
+///  - the worker pools extracted into support/WorkerPool: the -j
+///    resolution convention, runIndexed's deterministic by-index fill
+///    across worker counts (the catalog/ablate regression), and
+///    TaskQueue's drain-then-join shutdown;
+///  - the byte-identity bar: Server::handleRequest output equals direct
+///    `tcc` compilation for every bench kernel, cold and warm, under
+///    concurrent load, and with a `server:` fault injected into one
+///    request while others are in flight;
+///  - cache ownership: requests' -cache= flags are overridden by the
+///    daemon's manifest, -replay= is rejected, and N concurrent
+///    compilers pointed at one manifest stem leave it consistent;
+///  - socket lifecycle: end-to-end round trips over a real Unix socket,
+///    clean connect errors when no daemon listens, and stale-socket
+///    reclamation after an unclean daemon death.
+///
+//===----------------------------------------------------------------------===//
+
+#include "server/Client.h"
+#include "server/HotCache.h"
+#include "server/Protocol.h"
+#include "server/Server.h"
+
+#include "ablate/Kernels.h"
+#include "driver/ToolMain.h"
+#include "support/CompileCache.h"
+#include "support/WorkerPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace tcc;
+using namespace tcc::server;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Fixtures
+//===----------------------------------------------------------------------===//
+
+/// The reference answer: \p Args + \p Source compiled directly with a
+/// fresh one-shot session, the way `tcc` does.
+Response directCompile(const std::vector<std::string> &Args,
+                       const std::string &Source) {
+  driver::ToolInvocation Inv;
+  std::string Error;
+  EXPECT_TRUE(driver::parseToolArgs(Args, Inv, Error)) << Error;
+  driver::CompilerSession Fresh;
+  std::ostringstream Out, Err;
+  Response R;
+  R.Exit = driver::runToolInvocation(Inv, Source, Fresh, Out, Err);
+  R.Out = Out.str();
+  R.Err = Err.str();
+  return R;
+}
+
+/// A unique manifest path under the test temp dir, pre-removed.
+std::string freshCachePath(const std::string &Stem) {
+  std::string Path = testing::TempDir() + "/tcc_server_" + Stem + ".tcc-cache";
+  std::remove(Path.c_str());
+  std::remove((Path + ".lock").c_str());
+  return Path;
+}
+
+/// An in-process daemon with its own manifest; no socket unless a test
+/// starts one.
+struct DaemonFixture {
+  std::string CachePath;
+  Server Daemon;
+  explicit DaemonFixture(const std::string &Stem)
+      : CachePath(freshCachePath(Stem)), Daemon([&] {
+          ServerOptions Opts;
+          Opts.SocketPath = "";
+          Opts.CacheFile = CachePath;
+          return Opts;
+        }()) {}
+  ~DaemonFixture() {
+    std::remove(CachePath.c_str());
+    std::remove((CachePath + ".lock").c_str());
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Protocol: JSON round trips
+//===----------------------------------------------------------------------===//
+
+TEST(ServerTest, RequestRoundTrips) {
+  Request In;
+  In.Args = {"-passes=scalar,vector", "-stats", "k.c"};
+  In.Source = "int main() { return 0; }\n";
+  Request Out;
+  std::string Error;
+  ASSERT_TRUE(decodeRequest(encodeRequest(In), Out, Error)) << Error;
+  EXPECT_EQ(Out.Args, In.Args);
+  EXPECT_EQ(Out.Source, In.Source);
+}
+
+TEST(ServerTest, RequestRoundTripsEscapesAndUnicode) {
+  Request In;
+  In.Args = {"weird \"name\".c"};
+  In.Source = "/* tabs\tnewlines\nbackslash \\ quote \" unicode \xC3\xA9 */";
+  Request Out;
+  std::string Error;
+  ASSERT_TRUE(decodeRequest(encodeRequest(In), Out, Error)) << Error;
+  EXPECT_EQ(Out.Args, In.Args);
+  EXPECT_EQ(Out.Source, In.Source);
+}
+
+TEST(ServerTest, ResponseRoundTrips) {
+  Response In;
+  In.Exit = 2;
+  In.Out = "[titan] 1 instruction\n";
+  In.Err = "k.c:3:5: error: something\n  with a second line\n";
+  Response Out;
+  std::string Error;
+  ASSERT_TRUE(decodeResponse(encodeResponse(In), Out, Error)) << Error;
+  EXPECT_EQ(Out.Exit, In.Exit);
+  EXPECT_EQ(Out.Out, In.Out);
+  EXPECT_EQ(Out.Err, In.Err);
+}
+
+TEST(ServerTest, DecodeRejectsMalformedPayloads) {
+  Request R;
+  Response Resp;
+  std::string Error;
+  // Not JSON at all.
+  EXPECT_FALSE(decodeRequest("not json", R, Error));
+  EXPECT_FALSE(Error.empty());
+  // Valid JSON, wrong shape.
+  EXPECT_FALSE(decodeRequest("[1,2,3]", R, Error));
+  EXPECT_FALSE(decodeRequest("{\"args\":\"not-a-list\",\"source\":\"\"}", R,
+                             Error));
+  // Truncated object.
+  EXPECT_FALSE(decodeRequest("{\"args\":[\"a.c\"],\"source\":\"x", R, Error));
+  // Response missing the exit code.
+  EXPECT_FALSE(decodeResponse("{\"stdout\":\"\",\"stderr\":\"\"}", Resp,
+                              Error));
+}
+
+//===----------------------------------------------------------------------===//
+// Protocol: framing over a real socketpair
+//===----------------------------------------------------------------------===//
+
+TEST(ServerTest, FramesRoundTripOverSocketpair) {
+  int Fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  const std::string Payload = "{\"exit\":0,\"stdout\":\"\",\"stderr\":\"\"}";
+  ASSERT_TRUE(writeFrame(Fds[0], Payload));
+  std::string Got, Error;
+  ASSERT_TRUE(readFrame(Fds[1], Got, Error)) << Error;
+  EXPECT_EQ(Got, Payload);
+  ::close(Fds[0]);
+  ::close(Fds[1]);
+}
+
+TEST(ServerTest, CleanEofIsNotAnError) {
+  int Fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  ::close(Fds[0]); // Peer closes between frames.
+  std::string Got, Error;
+  EXPECT_FALSE(readFrame(Fds[1], Got, Error));
+  EXPECT_TRUE(Error.empty()) << Error;
+  ::close(Fds[1]);
+}
+
+TEST(ServerTest, OversizedFramePrefixIsRejectedBeforeAllocation) {
+  int Fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  // A garbage length prefix claiming a frame past the cap.
+  uint32_t Huge = MaxFrameBytes + 1;
+  unsigned char Prefix[4] = {
+      static_cast<unsigned char>(Huge & 0xff),
+      static_cast<unsigned char>((Huge >> 8) & 0xff),
+      static_cast<unsigned char>((Huge >> 16) & 0xff),
+      static_cast<unsigned char>((Huge >> 24) & 0xff)};
+  ASSERT_EQ(::write(Fds[0], Prefix, 4), 4);
+  std::string Got, Error;
+  EXPECT_FALSE(readFrame(Fds[1], Got, Error));
+  EXPECT_FALSE(Error.empty());
+  ::close(Fds[0]);
+  ::close(Fds[1]);
+}
+
+//===----------------------------------------------------------------------===//
+// HotCache: single-flight semantics
+//===----------------------------------------------------------------------===//
+
+TEST(ServerTest, HotCacheOwnThenHit) {
+  HotCache Hot;
+  std::string Text;
+  ASSERT_EQ(Hot.acquire("f#0", "hash-a", Text),
+            pipeline::FunctionResultCache::Acquire::Own);
+  Hot.publish("f#0", "hash-a", "optimized body");
+  ASSERT_EQ(Hot.acquire("f#0", "hash-a", Text),
+            pipeline::FunctionResultCache::Acquire::Hit);
+  EXPECT_EQ(Text, "optimized body");
+  HotCacheStats S = Hot.stats();
+  EXPECT_EQ(S.Misses, 1u);
+  EXPECT_EQ(S.Hits, 1u);
+  EXPECT_EQ(S.Published, 1u);
+  EXPECT_EQ(Hot.size(), 1u);
+}
+
+TEST(ServerTest, HotCacheDistinctHashesAreDistinctEntries) {
+  HotCache Hot;
+  std::string Text;
+  // Same function name, different input hash (edited body): no sharing.
+  EXPECT_EQ(Hot.acquire("f#0", "hash-a", Text),
+            pipeline::FunctionResultCache::Acquire::Own);
+  EXPECT_EQ(Hot.acquire("f#0", "hash-b", Text),
+            pipeline::FunctionResultCache::Acquire::Own);
+  Hot.publish("f#0", "hash-a", "body a");
+  Hot.publish("f#0", "hash-b", "body b");
+  ASSERT_EQ(Hot.acquire("f#0", "hash-b", Text),
+            pipeline::FunctionResultCache::Acquire::Hit);
+  EXPECT_EQ(Text, "body b");
+}
+
+TEST(ServerTest, HotCacheWaiterBlocksUntilPublish) {
+  HotCache Hot;
+  std::string OwnerText;
+  ASSERT_EQ(Hot.acquire("f#0", "h", OwnerText),
+            pipeline::FunctionResultCache::Acquire::Own);
+
+  std::atomic<bool> WaiterDone{false};
+  std::string WaiterText;
+  std::thread Waiter([&] {
+    ASSERT_EQ(Hot.acquire("f#0", "h", WaiterText),
+              pipeline::FunctionResultCache::Acquire::Hit);
+    WaiterDone = true;
+  });
+  // The waiter must block while the owner computes.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(WaiterDone);
+  Hot.publish("f#0", "h", "the result");
+  Waiter.join();
+  EXPECT_TRUE(WaiterDone);
+  EXPECT_EQ(WaiterText, "the result");
+  EXPECT_GE(Hot.stats().Waits, 1u);
+}
+
+TEST(ServerTest, HotCacheAbandonPromotesAWaiterToOwner) {
+  HotCache Hot;
+  std::string Text;
+  ASSERT_EQ(Hot.acquire("f#0", "h", Text),
+            pipeline::FunctionResultCache::Acquire::Own);
+
+  std::atomic<bool> Promoted{false};
+  std::thread Waiter([&] {
+    std::string T;
+    // When the first owner dies without publishing, the waiter must be
+    // promoted to owner (not handed a stale hit, not wedged forever).
+    ASSERT_EQ(Hot.acquire("f#0", "h", T),
+              pipeline::FunctionResultCache::Acquire::Own);
+    Promoted = true;
+    Hot.publish("f#0", "h", "second try");
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(Promoted);
+  Hot.abandon("f#0", "h"); // The owner's request died.
+  Waiter.join();
+  EXPECT_TRUE(Promoted);
+  ASSERT_EQ(Hot.acquire("f#0", "h", Text),
+            pipeline::FunctionResultCache::Acquire::Hit);
+  EXPECT_EQ(Text, "second try");
+  EXPECT_EQ(Hot.stats().Abandoned, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// WorkerPool: the shared -j convention and deterministic indexed sweeps
+//===----------------------------------------------------------------------===//
+
+TEST(ServerTest, ResolveWorkerCountConvention) {
+  // 0 means hardware; never more workers than jobs; at least one.
+  EXPECT_GE(resolveWorkerCount(0, 100), 1u);
+  EXPECT_EQ(resolveWorkerCount(8, 3), 3u);
+  EXPECT_EQ(resolveWorkerCount(2, 100), 2u);
+  // No job bound (the daemon's admission pool): the request wins.
+  EXPECT_EQ(resolveWorkerCount(4, SIZE_MAX), 4u);
+}
+
+TEST(ServerTest, RunIndexedFillsByIndexDeterministically) {
+  // The catalog/ablate extraction regression: the result vector must be
+  // identical for every worker count, because each job writes only its
+  // own slot.
+  auto Sweep = [](unsigned Workers) {
+    std::vector<int> Out(64, -1);
+    runIndexed(Out.size(), Workers,
+               [&](size_t I) { Out[I] = static_cast<int>(I * I); });
+    return Out;
+  };
+  std::vector<int> Serial = Sweep(1);
+  for (size_t I = 0; I < Serial.size(); ++I)
+    EXPECT_EQ(Serial[I], static_cast<int>(I * I));
+  EXPECT_EQ(Sweep(2), Serial);
+  EXPECT_EQ(Sweep(8), Serial);
+  EXPECT_EQ(Sweep(64), Serial);
+}
+
+TEST(ServerTest, TaskQueueRunsEverythingThenRejectsAfterShutdown) {
+  std::atomic<int> Ran{0};
+  TaskQueue Queue(4);
+  EXPECT_EQ(Queue.workerCount(), 4u);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_TRUE(Queue.submit([&] { ++Ran; }));
+  Queue.shutdown(); // Drains the queue, then joins.
+  EXPECT_EQ(Ran, 100);
+  EXPECT_FALSE(Queue.submit([&] { ++Ran; }));
+  EXPECT_EQ(Ran, 100);
+}
+
+//===----------------------------------------------------------------------===//
+// The byte-identity bar
+//===----------------------------------------------------------------------===//
+
+TEST(ServerTest, HandleRequestMatchesDirectCompileColdAndWarm) {
+  DaemonFixture D("cold_warm");
+  for (const ablate::BenchKernel &K : ablate::benchKernels()) {
+    Request Req{{K.Name + ".c"}, K.Source};
+    Response Direct = directCompile(Req.Args, Req.Source);
+    // Cold: computes and populates both cache layers.
+    Response Cold = D.Daemon.handleRequest(Req);
+    EXPECT_EQ(Cold.Exit, Direct.Exit) << K.Name;
+    EXPECT_EQ(Cold.Out, Direct.Out) << K.Name;
+    EXPECT_EQ(Cold.Err, Direct.Err) << K.Name;
+    // Warm: served from the hot cache; restoring a serialized body must
+    // not change a byte (the conflict-free-loads mark and loop flags
+    // survive the round trip).
+    Response Warm = D.Daemon.handleRequest(Req);
+    EXPECT_EQ(Warm.Exit, Direct.Exit) << K.Name;
+    EXPECT_EQ(Warm.Out, Direct.Out) << K.Name << " (warm restore diverged)";
+    EXPECT_EQ(Warm.Err, Direct.Err) << K.Name;
+  }
+  EXPECT_GT(D.Daemon.hotCache().stats().Hits, 0u);
+}
+
+TEST(ServerTest, ConcurrentRequestsStayByteIdentical) {
+  // Satellite: N concurrent clients compiling the same TUs against one
+  // cache stem must all see byte-identical outputs, and the manifest
+  // must stay consistent.
+  DaemonFixture D("concurrent");
+  std::vector<ablate::BenchKernel> Kernels = ablate::benchKernels();
+  std::vector<Response> Direct;
+  for (const auto &K : Kernels)
+    Direct.push_back(directCompile({K.Name + ".c"}, K.Source));
+
+  constexpr unsigned Threads = 8;
+  constexpr unsigned Rounds = 2;
+  std::atomic<unsigned> Mismatches{0};
+  std::vector<std::thread> Pool;
+  for (unsigned T = 0; T < Threads; ++T)
+    Pool.emplace_back([&] {
+      for (unsigned R = 0; R < Rounds; ++R)
+        for (size_t I = 0; I < Kernels.size(); ++I) {
+          Request Req{{Kernels[I].Name + ".c"}, Kernels[I].Source};
+          Response Resp = D.Daemon.handleRequest(Req);
+          if (Resp.Exit != Direct[I].Exit || Resp.Out != Direct[I].Out ||
+              Resp.Err != Direct[I].Err)
+            ++Mismatches;
+        }
+    });
+  for (auto &T : Pool)
+    T.join();
+  EXPECT_EQ(Mismatches, 0u);
+
+  // The flock-guarded write-back left one consistent manifest holding
+  // the optimized bodies.
+  CompileCache Manifest;
+  DiagnosticEngine Diags;
+  EXPECT_TRUE(CompileCache::load(D.CachePath, Manifest, Diags))
+      << Diags.str();
+  EXPECT_GT(Manifest.functionCount(), 0u);
+}
+
+TEST(ServerTest, InjectedServerFaultLeavesOtherRequestsByteIdentical) {
+  // The fault-injection matrix's `server:` site: one request dies in the
+  // handler (outside the pass sandbox) while others are in flight; the
+  // victim gets a clean exit-2 error and nobody else changes a byte.
+  DaemonFixture D("faulted");
+  std::vector<ablate::BenchKernel> Kernels = ablate::benchKernels();
+  std::vector<Response> Direct;
+  for (const auto &K : Kernels)
+    Direct.push_back(directCompile({K.Name + ".c"}, K.Source));
+
+  std::atomic<unsigned> Mismatches{0};
+  Response FaultResp;
+  std::thread Victim([&] {
+    Request Req{{"-fault-inject=server:*:throw:1", "victim.c"},
+                Kernels[0].Source};
+    FaultResp = D.Daemon.handleRequest(Req);
+  });
+  std::vector<std::thread> Others;
+  for (unsigned T = 0; T < 4; ++T)
+    Others.emplace_back([&] {
+      for (size_t I = 0; I < Kernels.size(); ++I) {
+        Request Req{{Kernels[I].Name + ".c"}, Kernels[I].Source};
+        Response Resp = D.Daemon.handleRequest(Req);
+        if (Resp.Exit != Direct[I].Exit || Resp.Out != Direct[I].Out ||
+            Resp.Err != Direct[I].Err)
+          ++Mismatches;
+      }
+    });
+  Victim.join();
+  for (auto &T : Others)
+    T.join();
+
+  EXPECT_EQ(FaultResp.Exit, 2);
+  EXPECT_NE(FaultResp.Err.find("contained"), std::string::npos)
+      << FaultResp.Err;
+  EXPECT_EQ(Mismatches, 0u);
+  EXPECT_EQ(D.Daemon.stats().Faulted, 1u);
+}
+
+TEST(ServerTest, InjectedSlowFaultOnlyDelaysItsOwnRequest) {
+  DaemonFixture D("slow");
+  const ablate::BenchKernel &K = ablate::benchKernels().front();
+  Response Direct = directCompile({K.Name + ".c"}, K.Source);
+
+  Request Slow{{"-fault-inject=server:*:slow:1", K.Name + ".c"}, K.Source};
+  auto T0 = std::chrono::steady_clock::now();
+  Response Resp = D.Daemon.handleRequest(Slow);
+  double Millis = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - T0)
+                      .count();
+  // Slowness is containment too: the response is still correct, just
+  // late.
+  EXPECT_GE(Millis, 400.0);
+  EXPECT_EQ(Resp.Exit, Direct.Exit);
+  EXPECT_EQ(Resp.Out, Direct.Out);
+  EXPECT_EQ(Resp.Err, Direct.Err);
+}
+
+//===----------------------------------------------------------------------===//
+// Cache ownership and rejected flags
+//===----------------------------------------------------------------------===//
+
+TEST(ServerTest, RequestCacheFlagIsOverriddenByTheDaemon) {
+  DaemonFixture D("ownership");
+  std::string Hijack = testing::TempDir() + "/tcc_server_hijack.tcc-cache";
+  std::remove(Hijack.c_str());
+
+  const ablate::BenchKernel &K = ablate::benchKernels().front();
+  Request Req{{"-cache=" + Hijack, K.Name + ".c"}, K.Source};
+  Response Resp = D.Daemon.handleRequest(Req);
+  EXPECT_EQ(Resp.Exit, 0) << Resp.Err;
+
+  // The daemon compiled against its own manifest, not the request's.
+  std::ifstream HijackFile(Hijack);
+  EXPECT_FALSE(HijackFile.good()) << "daemon honored a client -cache= flag";
+  CompileCache Manifest;
+  DiagnosticEngine Diags;
+  EXPECT_TRUE(CompileCache::load(D.CachePath, Manifest, Diags));
+  EXPECT_GT(Manifest.functionCount(), 0u);
+}
+
+TEST(ServerTest, ReplayFlagIsRejected) {
+  DaemonFixture D("replay");
+  Request Req{{"-replay=crash.bundle", "k.c"}, "int main() { return 0; }"};
+  Response Resp = D.Daemon.handleRequest(Req);
+  EXPECT_EQ(Resp.Exit, 2);
+  EXPECT_NE(Resp.Err.find("-replay"), std::string::npos) << Resp.Err;
+}
+
+TEST(ServerTest, BadFlagsGetTheSharedDiagnostic) {
+  // tcc, tcc-client, and the daemon share parseToolArgs; a flag typo
+  // must produce the same located diagnostic everywhere.
+  DaemonFixture D("badflag");
+  Request Req{{"-no-such-flag", "k.c"}, "int main() { return 0; }"};
+  Response Resp = D.Daemon.handleRequest(Req);
+  EXPECT_EQ(Resp.Exit, 2);
+  driver::ToolInvocation Inv;
+  std::string Error;
+  EXPECT_FALSE(driver::parseToolArgs(Req.Args, Inv, Error));
+  EXPECT_NE(Resp.Err.find(Error), std::string::npos)
+      << "daemon diagnostic diverged from the shared parser: " << Resp.Err;
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrent compilers sharing one manifest stem (no daemon)
+//===----------------------------------------------------------------------===//
+
+TEST(ServerTest, ConcurrentSessionsShareOneManifestStem) {
+  // Satellite: N independent compilers (separate sessions, same
+  // CacheFile) racing on one stem must produce byte-identical outputs
+  // and one consistent, loadable manifest — the flock + write-back
+  // contract, exercised in-process where flock still serializes because
+  // every load/save opens the sidecar separately.
+  std::string Stem = freshCachePath("shared_stem");
+  std::vector<ablate::BenchKernel> Kernels = ablate::benchKernels();
+  std::vector<Response> Direct;
+  for (const auto &K : Kernels)
+    Direct.push_back(directCompile({K.Name + ".c"}, K.Source));
+
+  constexpr unsigned Threads = 6;
+  std::atomic<unsigned> Mismatches{0};
+  std::vector<std::thread> Pool;
+  for (unsigned T = 0; T < Threads; ++T)
+    Pool.emplace_back([&] {
+      for (size_t I = 0; I < Kernels.size(); ++I) {
+        std::vector<std::string> Args = {"-cache=" + Stem,
+                                         Kernels[I].Name + ".c"};
+        driver::ToolInvocation Inv;
+        std::string Error;
+        ASSERT_TRUE(driver::parseToolArgs(Args, Inv, Error)) << Error;
+        driver::CompilerSession Session;
+        std::ostringstream Out, Err;
+        int Exit =
+            driver::runToolInvocation(Inv, Kernels[I].Source, Session, Out,
+                                      Err);
+        if (Exit != Direct[I].Exit || Out.str() != Direct[I].Out ||
+            Err.str() != Direct[I].Err)
+          ++Mismatches;
+      }
+    });
+  for (auto &T : Pool)
+    T.join();
+  EXPECT_EQ(Mismatches, 0u);
+
+  CompileCache Manifest;
+  DiagnosticEngine Diags;
+  EXPECT_TRUE(CompileCache::load(Stem, Manifest, Diags)) << Diags.str();
+  EXPECT_GT(Manifest.functionCount(), 0u);
+  std::remove(Stem.c_str());
+  std::remove((Stem + ".lock").c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Socket lifecycle
+//===----------------------------------------------------------------------===//
+
+TEST(ServerTest, EndToEndOverARealSocket) {
+  std::string Socket = testing::TempDir() + "/tcc_server_e2e.sock";
+  std::remove(Socket.c_str());
+
+  ServerOptions Opts;
+  Opts.SocketPath = Socket;
+  Opts.CacheFile = freshCachePath("e2e");
+  Server Daemon(Opts);
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(Daemon.start(Diags)) << Diags.str();
+  std::thread Acceptor([&] { Daemon.run(); });
+
+  const ablate::BenchKernel &K = ablate::benchKernels().front();
+  Request Req{{K.Name + ".c"}, K.Source};
+  Response Direct = directCompile(Req.Args, Req.Source);
+
+  // Two requests on one connection, then a fresh connection.
+  Client Conn;
+  std::string Error;
+  ASSERT_TRUE(Conn.connect(Socket, Error)) << Error;
+  for (int I = 0; I < 2; ++I) {
+    Response Resp;
+    ASSERT_TRUE(Conn.roundTrip(Req, Resp, Error)) << Error;
+    EXPECT_EQ(Resp.Exit, Direct.Exit);
+    EXPECT_EQ(Resp.Out, Direct.Out);
+    EXPECT_EQ(Resp.Err, Direct.Err);
+  }
+  Conn.close();
+  Response Resp;
+  ASSERT_TRUE(runRequest(Socket, Req, Resp, Error)) << Error;
+  EXPECT_EQ(Resp.Out, Direct.Out);
+
+  Daemon.stop();
+  Acceptor.join();
+  std::remove(Opts.CacheFile.c_str());
+  std::remove((Opts.CacheFile + ".lock").c_str());
+}
+
+TEST(ServerTest, ConnectFailsCleanlyWithNoDaemon) {
+  Client Conn;
+  std::string Error;
+  EXPECT_FALSE(
+      Conn.connect(testing::TempDir() + "/tcc_server_nobody.sock", Error));
+  EXPECT_FALSE(Error.empty());
+  EXPECT_FALSE(Conn.connected());
+}
+
+TEST(ServerTest, StaleSocketFileIsReclaimed) {
+  // A kill -9'd daemon leaves its socket file behind.  The next start
+  // must probe it, find nobody listening, and rebind.
+  std::string Socket = testing::TempDir() + "/tcc_server_stale.sock";
+  std::remove(Socket.c_str());
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(Fd, 0);
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  std::snprintf(Addr.sun_path, sizeof(Addr.sun_path), "%s", Socket.c_str());
+  ASSERT_EQ(::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)), 0);
+  ::close(Fd); // Dead owner: the file stays, nobody listens.
+
+  ServerOptions Opts;
+  Opts.SocketPath = Socket;
+  Opts.CacheFile = "";
+  Server Daemon(Opts);
+  DiagnosticEngine Diags;
+  EXPECT_TRUE(Daemon.start(Diags)) << Diags.str();
+  Daemon.stop();
+  std::remove(Socket.c_str());
+}
+
+TEST(ServerTest, SecondDaemonOnALiveSocketFailsWithADiagnostic) {
+  std::string Socket = testing::TempDir() + "/tcc_server_live.sock";
+  std::remove(Socket.c_str());
+  ServerOptions Opts;
+  Opts.SocketPath = Socket;
+  Opts.CacheFile = "";
+  Server First(Opts);
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(First.start(Diags)) << Diags.str();
+  std::thread Acceptor([&] { First.run(); });
+
+  Server Second(Opts);
+  DiagnosticEngine SecondDiags;
+  EXPECT_FALSE(Second.start(SecondDiags));
+  EXPECT_TRUE(SecondDiags.hasErrors());
+
+  First.stop();
+  Acceptor.join();
+  std::remove(Socket.c_str());
+}
+
+} // namespace
