@@ -1,0 +1,209 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// tcc-fuzz — the differential fuzzing fleet driver.
+///
+///   tcc-fuzz [-seed=N] [-n=N] [-j<N>] [-variants=N] [-wild-orders]
+///            [-blocks=MIN:MAX] [-leaves=N] [-repro-dir=DIR] [-o FILE]
+///            [-fault-inject=S] [-no-reduce] [-q]
+///   tcc-fuzz -gen=SEED              print the generated program and exit
+///   tcc-fuzz -check=FILE [-variants=N] [-check-seed=N]
+///                                   run one C file through the oracle
+///
+///   -seed=N          campaign seed (default 1); the program set is a pure
+///                    function of it, independent of -j
+///   -n=N             programs to sweep (default 100)
+///   -j<N>            shards (-j0 = all hardware threads; default 1)
+///   -variants=N      optimized variants per program: the full default
+///                    pipeline plus N-1 sampled subsequences (default 5)
+///   -wild-orders     sample arbitrary pass permutations, not just
+///                    order-preserving subsequences of the registered
+///                    pipeline (exploration mode; not the CI bar)
+///   -blocks=MIN:MAX  compute blocks per generated program (default 2:5)
+///   -leaves=N        max generated leaf functions (default 2)
+///   -repro-dir=DIR   where finding bundles land (default .tcc-fuzz;
+///                    "" disables)
+///   -o FILE          BENCH_fuzz.json path (default BENCH_fuzz.json;
+///                    "" disables the row)
+///   -fault-inject=S  deterministic fault injection: pass-level specs
+///                    reach every variant compile; "fuzz:shard<k>:throw"
+///                    quarantines shard k (TCC_FAULT_INJECT appends)
+///   -no-reduce       skip delta-debugging (triage-speed scan)
+///   -q               summary line only
+///
+/// Exit codes: 0 = campaign completed and every finding reduced (findings
+/// themselves are data, reported and bundled, not a tool failure);
+/// 1 = at least one finding could not be reduced to a fixed point;
+/// 2 = usage error or campaign setup failure.  -check= exits 0 when all
+/// variants agree with -O0, 1 on any divergence, 2 on errors.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Campaign.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace tcc;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: tcc-fuzz [-seed=N] [-n=N] [-j<N>] [-variants=N] [-wild-orders]\n"
+      "                [-blocks=MIN:MAX] [-leaves=N] [-repro-dir=DIR] [-o "
+      "FILE]\n"
+      "                [-fault-inject=S] [-no-reduce] [-q]\n"
+      "       tcc-fuzz -gen=SEED    print the program for SEED and exit\n"
+      "       tcc-fuzz -check=FILE  differential-check one C file\n");
+}
+
+int checkFile(const std::string &Path, const fuzz::OracleOptions &OO) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    std::fprintf(stderr, "tcc-fuzz: cannot open '%s'\n", Path.c_str());
+    return 2;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+
+  fuzz::OracleResult R = fuzz::runOracle(Buf.str(), OO);
+  if (!R.RefOk) {
+    std::fprintf(stderr, "tcc-fuzz: %s: %s\n", Path.c_str(),
+                 R.RefError.c_str());
+    return 2;
+  }
+  for (const fuzz::VariantResult &V : R.Variants)
+    std::printf("%-18s -passes=%s%s%s\n", fuzz::divergenceClassName(V.Class),
+                V.Spec.c_str(), V.Detail.empty() ? "" : "  ",
+                V.Detail.c_str());
+  return R.worst() == fuzz::DivergenceClass::Ok ? 0 : 1;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  fuzz::CampaignOptions Opts;
+  Opts.BenchPath = "BENCH_fuzz.json";
+  bool Quiet = false;
+  std::string CheckPath;
+  bool HaveGen = false;
+  uint64_t GenSeed = 0;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg.rfind("-gen=", 0) == 0) {
+      HaveGen = true;
+      GenSeed = std::strtoull(Arg.c_str() + std::strlen("-gen="), nullptr, 0);
+    } else if (Arg.rfind("-check=", 0) == 0) {
+      CheckPath = Arg.substr(std::strlen("-check="));
+    } else if (Arg.rfind("-check-seed=", 0) == 0) {
+      Opts.Oracle.SampleSeed =
+          std::strtoull(Arg.c_str() + std::strlen("-check-seed="), nullptr, 0);
+    } else if (Arg.rfind("-seed=", 0) == 0) {
+      Opts.Seed =
+          std::strtoull(Arg.c_str() + std::strlen("-seed="), nullptr, 0);
+    } else if (Arg.rfind("-n=", 0) == 0) {
+      Opts.Programs =
+          std::strtoull(Arg.c_str() + std::strlen("-n="), nullptr, 0);
+    } else if (Arg.rfind("-j", 0) == 0 && Arg != "-j") {
+      Opts.Shards = static_cast<unsigned>(std::atoi(Arg.c_str() + 2));
+    } else if (Arg == "-j" && I + 1 < argc) {
+      Opts.Shards = static_cast<unsigned>(std::atoi(argv[++I]));
+    } else if (Arg.rfind("-variants=", 0) == 0) {
+      Opts.Oracle.Variants = static_cast<unsigned>(
+          std::atoi(Arg.c_str() + std::strlen("-variants=")));
+    } else if (Arg == "-wild-orders") {
+      Opts.Oracle.WildOrders = true;
+    } else if (Arg.rfind("-blocks=", 0) == 0) {
+      unsigned Min = 0, Max = 0;
+      if (std::sscanf(Arg.c_str() + std::strlen("-blocks="), "%u:%u", &Min,
+                      &Max) != 2 ||
+          Min == 0 || Max < Min) {
+        std::fprintf(stderr, "tcc-fuzz: bad -blocks= value '%s'\n",
+                     Arg.c_str());
+        return 2;
+      }
+      Opts.Gen.MinBlocks = Min;
+      Opts.Gen.MaxBlocks = Max;
+    } else if (Arg.rfind("-leaves=", 0) == 0) {
+      Opts.Gen.MaxLeafFunctions = static_cast<unsigned>(
+          std::atoi(Arg.c_str() + std::strlen("-leaves=")));
+    } else if (Arg.rfind("-repro-dir=", 0) == 0) {
+      Opts.ReproDir = Arg.substr(std::strlen("-repro-dir="));
+    } else if (Arg == "-o" && I + 1 < argc) {
+      Opts.BenchPath = argv[++I];
+    } else if (Arg.rfind("-o=", 0) == 0) {
+      Opts.BenchPath = Arg.substr(std::strlen("-o="));
+    } else if (Arg.rfind("-fault-inject=", 0) == 0) {
+      Opts.FaultInject = Arg.substr(std::strlen("-fault-inject="));
+    } else if (Arg == "-no-reduce") {
+      Opts.ReduceFindings = false;
+    } else if (Arg == "-q") {
+      Quiet = true;
+    } else {
+      std::fprintf(stderr, "tcc-fuzz: unknown option '%s'\n", Arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+  if (const char *Env = std::getenv("TCC_FAULT_INJECT"); Env && *Env) {
+    if (!Opts.FaultInject.empty())
+      Opts.FaultInject += ',';
+    Opts.FaultInject += Env;
+  }
+
+  if (HaveGen) {
+    fuzz::GenProgram P = fuzz::generateProgram(GenSeed, Opts.Gen);
+    std::fwrite(P.Source.data(), 1, P.Source.size(), stdout);
+    return 0;
+  }
+  if (!CheckPath.empty())
+    return checkFile(CheckPath, Opts.Oracle);
+
+  DiagnosticEngine Diags;
+  fuzz::CampaignResult R = fuzz::runCampaign(Opts, Diags);
+  for (const auto &D : Diags.diagnostics())
+    std::fprintf(stderr, "tcc-fuzz: %s\n", D.Message.c_str());
+  if (Diags.hasErrors())
+    return 2;
+
+  if (!Quiet) {
+    for (size_t S = 0; S < R.Shards.size(); ++S) {
+      const fuzz::ShardReport &Rep = R.Shards[S];
+      if (Rep.Quarantined)
+        std::printf("shard %zu QUARANTINED (%llu programs skipped): %s\n", S,
+                    static_cast<unsigned long long>(Rep.Count),
+                    Rep.Error.c_str());
+      else if (Rep.Crashes)
+        std::printf("shard %zu: %llu program(s) crashed the oracle\n", S,
+                    static_cast<unsigned long long>(Rep.Crashes));
+    }
+    for (const fuzz::Finding &F : R.Findings) {
+      std::printf("finding %-28s seed=%llu hits=%u %zu -> %zu lines%s\n",
+                  F.Signature.c_str(),
+                  static_cast<unsigned long long>(F.Seed), F.Hits,
+                  F.OriginalLines, F.ReducedLines,
+                  F.Reduced ? "" : " [UNREDUCED]");
+      std::printf("  -passes=%s\n  %s\n", F.Spec.c_str(), F.Detail.c_str());
+      if (!F.BundlePath.empty())
+        std::printf("  bundle: %s\n", F.BundlePath.c_str());
+    }
+  }
+
+  std::printf("tcc-fuzz: %llu/%llu programs, %zu shard(s), %zu unique "
+              "bug(s) (%u unreduced), %llu ref-failure(s), %.1f prog/s%s%s\n",
+              static_cast<unsigned long long>(R.Executed),
+              static_cast<unsigned long long>(R.Programs), R.Shards.size(),
+              R.Findings.size(), R.unreduced(),
+              static_cast<unsigned long long>(R.RefFailures),
+              R.ProgramsPerSec,
+              Opts.BenchPath.empty() ? "" : " -> ", Opts.BenchPath.c_str());
+
+  return R.unreduced() > 0 ? 1 : 0;
+}

@@ -53,7 +53,12 @@
 ///                    TCC_FAULT_INJECT in the environment appends to this
 ///   -replay=BUNDLE   re-run the single pass invocation recorded in a
 ///                    reproducer bundle; exit 0 when the recorded fault
-///                    reproduces, 1 when it does not, 2 on a bad bundle
+///                    reproduces, 1 when it does not, 2 on a bad bundle.
+///                    A fuzz-produced bundle (oracle/spec/csource records)
+///                    instead re-runs the whole-program differential check
+///                    and prints which oracle — output-divergence,
+///                    verifier, or quarantine — it reproduces, under the
+///                    same 0/1/2 exit convention
 ///
 /// A compile with contained faults still exits 0: the output is correct,
 /// just missing the quarantined pass on the affected function(s).
@@ -66,6 +71,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "driver/ToolMain.h"
+#include "fuzz/Oracle.h"
 #include "pipeline/PassSandbox.h"
 
 #include <cstdio>
@@ -110,6 +116,46 @@ int main(int argc, char **argv) {
                    "different option fingerprint; replaying with the "
                    "current options\n",
                    Inv.ReplayPath.c_str());
+
+    // A fuzz-produced bundle carries the oracle class, the variant spec,
+    // and the reduced C source: replay the *whole-program* differential
+    // check (-O0 vs. the recorded -passes= spec) and say which oracle it
+    // reproduces, instead of re-running a single pass invocation.
+    if (!Bundle.Oracle.empty() && !Bundle.CSource.empty()) {
+      fuzz::OracleOptions OO;
+      if (!Bundle.InjectSpec.empty() && Bundle.InjectSpec != "-")
+        OO.FaultInject = Bundle.InjectSpec;
+      fuzz::DivergenceClass Want =
+          fuzz::divergenceClassFromName(Bundle.Oracle);
+      if (Want == fuzz::DivergenceClass::Ok) {
+        std::fprintf(stderr,
+                     "tcc: %s: unknown oracle class '%s' in fuzz bundle\n",
+                     Inv.ReplayPath.c_str(), Bundle.Oracle.c_str());
+        return 2;
+      }
+      fuzz::VariantResult VR =
+          fuzz::checkVariant(Bundle.CSource, Bundle.VariantSpec, OO);
+      if (VR.FaultPass == "reference") {
+        std::fprintf(stderr, "tcc: %s: bundle C source no longer compiles "
+                             "at -O0: %s\n",
+                     Inv.ReplayPath.c_str(), VR.Detail.c_str());
+        return 2;
+      }
+      const char *Observed = fuzz::divergenceClassName(VR.Class);
+      if (VR.Class == Want) {
+        std::printf("tcc: replay reproduced the recorded %s oracle "
+                    "(pass '%s', -passes=%s): %s\n",
+                    Bundle.Oracle.c_str(), Bundle.Pass.c_str(),
+                    Bundle.VariantSpec.c_str(), VR.Detail.c_str());
+        return 0;
+      }
+      std::printf("tcc: replay did NOT reproduce the recorded %s oracle "
+                  "(pass '%s', -passes=%s); observed: %s%s%s\n",
+                  Bundle.Oracle.c_str(), Bundle.Pass.c_str(),
+                  Bundle.VariantSpec.c_str(), Observed,
+                  VR.Detail.empty() ? "" : " — ", VR.Detail.c_str());
+      return 1;
+    }
     pipeline::ReplayResult RR = pipeline::replayBundle(
         Bundle, driver::makePipelineOptions(Inv.Opts), ReplayDiags);
     for (const auto &D : ReplayDiags.diagnostics())

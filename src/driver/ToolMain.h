@@ -34,7 +34,18 @@ struct ToolInvocation {
   std::string PrintPhase;   ///< -print-il=PHASE
   std::string RemarksPath;  ///< -remarks=FILE ("-" for stdout)
   std::string CatalogPath;  ///< -catalog=FILE
-  std::string ReplayPath;   ///< -replay=BUNDLE; tcc-only (bundles are local)
+  /// -replay=BUNDLE; tcc-only (bundles are local files).  The replay
+  /// exit-code contract, shared by every bundle flavor:
+  ///
+  ///   0  the recorded failure reproduced — for a sandbox bundle, the
+  ///      same fault kind fired again on the bundle's pass + IL; for a
+  ///      fuzz bundle (oracle/spec/csource records present), the
+  ///      whole-program differential check reported the same oracle
+  ///      class (output-divergence, verifier, or quarantine)
+  ///   1  the replay ran but the recorded failure did NOT reproduce
+  ///   2  the bundle is malformed, names an unknown pass/oracle, or its
+  ///      IL / C source no longer loads — nothing was replayed
+  std::string ReplayPath;
   std::string InputPath;
   bool PrintAsm = false;
   bool PrintAfterAll = false;

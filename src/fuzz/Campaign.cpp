@@ -1,0 +1,392 @@
+#include "fuzz/Campaign.h"
+
+#include "pipeline/PassRegistry.h"
+#include "support/FaultInjection.h"
+#include "support/JSONWriter.h"
+#include "support/WorkerPool.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+using namespace tcc;
+using namespace tcc::fuzz;
+
+unsigned CampaignResult::unreduced() const {
+  unsigned N = 0;
+  for (const Finding &F : Findings)
+    if (!F.Reduced)
+      ++N;
+  return N;
+}
+
+bool CampaignResult::anyQuarantinedShard() const {
+  for (const ShardReport &S : Shards)
+    if (S.Quarantined)
+      return true;
+  return false;
+}
+
+namespace {
+
+/// Per-program sweep outcome, written only by the owning shard.
+struct RawOutcome {
+  bool Skipped = false;  ///< Shard quarantined before reaching it.
+  bool Crashed = false;  ///< The oracle run threw.
+  bool RefFail = false;  ///< -O0 rejected the generated program.
+  bool HasFinding = false;
+  uint64_t Seed = 0;
+  std::string Source;
+  std::string Error;     ///< Crash / reference-failure text.
+  VariantResult Bad;     ///< The worst variant, when HasFinding.
+};
+
+std::string fileSafe(const std::string &Name) {
+  std::string Out;
+  for (char C : Name)
+    Out += (std::isalnum(static_cast<unsigned char>(C)) || C == '_' ||
+            C == '-')
+               ? C
+               : '_';
+  return Out.empty() ? std::string("anon") : Out;
+}
+
+std::string oneLine(std::string S) {
+  for (char &C : S)
+    if (C == '\n' || C == '\r')
+      C = ' ';
+  return S;
+}
+
+size_t countLines(const std::string &S) {
+  size_t N = 0;
+  for (char C : S)
+    if (C == '\n')
+      ++N;
+  return N;
+}
+
+} // namespace
+
+CampaignResult fuzz::runCampaign(const CampaignOptions &Opts,
+                                 DiagnosticEngine &Diags) {
+  CampaignResult Out;
+  Out.Programs = Opts.Programs;
+
+  // Campaign-level injector: consulted once per shard (site "fuzz", unit
+  // "shard<k>").  Pass-level specs in the same string are armed here too
+  // but never match the fuzz site; they reach the compiles through
+  // OracleOptions::FaultInject instead.
+  FaultInjector ShardFaults;
+  if (!Opts.FaultInject.empty() &&
+      !ShardFaults.addSpecs(Opts.FaultInject, Diags))
+    return Out;
+
+  const uint64_t P = Opts.Programs;
+  const unsigned W =
+      resolveWorkerCount(Opts.Shards, static_cast<size_t>(std::max<uint64_t>(P, 1)));
+  Out.Shards.resize(W);
+
+  std::vector<RawOutcome> Raw(P);
+  const auto Start = std::chrono::steady_clock::now();
+
+  runIndexed(W, W, [&](size_t S) {
+    ShardReport &Rep = Out.Shards[S];
+    Rep.First = P * S / W;
+    const uint64_t End = P * (S + 1) / W;
+    Rep.Count = End - Rep.First;
+
+    if (const FaultSpec *F =
+            ShardFaults.arm("fuzz", "shard" + std::to_string(S))) {
+      // Drive the real throw path so the containment below is the one
+      // a genuinely wedged shard would exercise.
+      Rep.Quarantined = true;
+      try {
+        throwInjectedFault(*F);
+        Rep.Error = "injected " + F->str();
+      } catch (const std::exception &E) {
+        Rep.Error = oneLine(E.what());
+      } catch (...) {
+        Rep.Error = "injected non-standard exception";
+      }
+      for (uint64_t I = Rep.First; I < End; ++I) {
+        Raw[I].Skipped = true;
+        Raw[I].Seed = programSeed(Opts.Seed, I);
+      }
+      return;
+    }
+
+    for (uint64_t I = Rep.First; I < End; ++I) {
+      RawOutcome &R = Raw[I];
+      R.Seed = programSeed(Opts.Seed, I);
+      try {
+        GenProgram Prog = generateProgram(R.Seed, Opts.Gen);
+        R.Source = Prog.Source;
+        OracleOptions OO = Opts.Oracle;
+        OO.SampleSeed = R.Seed;
+        OO.FaultInject = Opts.FaultInject;
+        OO.ReproDir.clear(); // scan phase never writes sandbox bundles
+        OracleResult OR = runOracle(R.Source, OO);
+        if (!OR.RefOk) {
+          R.RefFail = true;
+          R.Error = OR.RefError;
+          continue;
+        }
+        if (const VariantResult *Bad = OR.firstBad()) {
+          R.HasFinding = true;
+          R.Bad = *Bad;
+        }
+      } catch (const std::exception &E) {
+        R.Crashed = true;
+        R.Error = oneLine(E.what());
+        ++Rep.Crashes;
+      } catch (...) {
+        R.Crashed = true;
+        R.Error = "non-standard exception";
+        ++Rep.Crashes;
+      }
+    }
+  });
+
+  // Sequential post-processing in index order: dedup, bisect, reduce,
+  // bundle — identical output for every shard count.
+  std::set<std::string> Seen;
+  std::vector<size_t> FindingIndex; // signature order -> Findings slot
+  for (uint64_t I = 0; I < P; ++I) {
+    RawOutcome &R = Raw[I];
+    if (R.Skipped)
+      continue;
+    ++Out.Executed;
+    if (R.Crashed) {
+      ++Out.Crashed;
+      continue;
+    }
+    if (R.RefFail) {
+      ++Out.RefFailures;
+      continue;
+    }
+    if (!R.HasFinding)
+      continue;
+    ++Out.Divergent;
+
+    OracleOptions OO = Opts.Oracle;
+    OO.SampleSeed = R.Seed;
+    OO.FaultInject = Opts.FaultInject;
+    OO.ReproDir.clear();
+
+    std::string Culprit = R.Bad.FaultPass;
+    if (R.Bad.Class == DivergenceClass::OutputDivergence)
+      Culprit = bisectCulprit(R.Source, R.Bad.Spec, R.Bad.Class, OO);
+    if (Culprit.empty())
+      Culprit = "codegen";
+
+    const std::string Sig =
+        std::string(divergenceClassName(R.Bad.Class)) + "|" + Culprit;
+    auto Inserted = Seen.insert(Sig);
+    if (!Inserted.second) {
+      for (size_t FI : FindingIndex)
+        if (Out.Findings[FI].Signature == Sig) {
+          ++Out.Findings[FI].Hits;
+          break;
+        }
+      continue;
+    }
+
+    Finding F;
+    F.Seed = R.Seed;
+    F.Class = R.Bad.Class;
+    F.Signature = Sig;
+    F.Spec = R.Bad.Spec;
+    F.Detail = R.Bad.Detail;
+    F.CulpritPass = Culprit;
+    F.FaultKind = R.Bad.FaultKind;
+    F.Source = R.Source;
+    F.OriginalLines = countLines(R.Source);
+    F.ReducedLines = F.OriginalLines;
+
+    if (Opts.ReduceFindings) {
+      ReduceResult RR =
+          reduceSource(R.Source, R.Bad.Spec, R.Bad.Class, OO, Opts.Reduce);
+      F.Source = RR.Source;
+      F.ReducedLines = RR.ReducedLines;
+      F.ReduceChecks = RR.Checks;
+      F.Reduced = RR.Converged;
+    }
+
+    if (!Opts.ReproDir.empty())
+      F.BundlePath = writeFindingBundle(F, Opts.ReproDir, Opts, Diags);
+
+    FindingIndex.push_back(Out.Findings.size());
+    Out.Findings.push_back(std::move(F));
+  }
+
+  Out.Seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count();
+  if (Out.Seconds > 0.0)
+    Out.ProgramsPerSec = static_cast<double>(Out.Executed) / Out.Seconds;
+  if (Out.Executed > 0)
+    Out.YieldPer10k = static_cast<double>(Out.Findings.size()) * 10000.0 /
+                      static_cast<double>(Out.Executed);
+  if (!Out.Findings.empty()) {
+    double Sum = 0.0;
+    for (const Finding &F : Out.Findings)
+      Sum += F.OriginalLines == 0
+                 ? 1.0
+                 : static_cast<double>(F.ReducedLines) /
+                       static_cast<double>(F.OriginalLines);
+    Out.MeanReductionRatio = Sum / static_cast<double>(Out.Findings.size());
+  }
+
+  if (!Opts.BenchPath.empty())
+    appendCampaignRow(Opts.BenchPath, Opts, Out);
+  return Out;
+}
+
+std::string fuzz::writeFindingBundle(const Finding &F,
+                                     const std::string &ReproDir,
+                                     const CampaignOptions &Opts,
+                                     DiagnosticEngine &Diags) {
+  std::error_code EC;
+  std::filesystem::create_directories(ReproDir, EC);
+  if (EC) {
+    Diags.warning(SourceLoc(), "cannot create fuzz repro directory '" +
+                                   ReproDir + "': " + EC.message());
+    return "";
+  }
+
+  // The bundle payload IL: the whole-program "main" immediately before
+  // the culprit pass (re-derived from the reduced source so the bundle
+  // is self-consistent).  Falls back to the unoptimized IL.
+  OracleOptions OO = Opts.Oracle;
+  OO.SampleSeed = F.Seed;
+  OO.FaultInject = Opts.FaultInject;
+  OO.ReproDir.clear();
+  std::string PrefixSpec;
+  if (F.Class == DivergenceClass::OutputDivergence)
+    bisectCulprit(F.Source, F.Spec, F.Class, OO, &PrefixSpec);
+  else {
+    // Prefix of the variant spec up to (excluding) the faulting pass.
+    std::vector<std::string> Passes = pipeline::splitSpec(F.Spec);
+    std::vector<std::string> Prefix;
+    for (const std::string &Pass : Passes) {
+      if (Pass == F.CulpritPass)
+        break;
+      Prefix.push_back(Pass);
+    }
+    PrefixSpec = pipeline::joinSpec(Prefix);
+  }
+  std::string IL = serializeProgramAfter(F.Source, PrefixSpec);
+  if (IL.empty())
+    IL = serializeProgramAfter(F.Source, "");
+  if (IL.empty()) {
+    Diags.warning(SourceLoc(),
+                  "cannot serialize IL for fuzz finding " + F.Signature);
+    return "";
+  }
+
+  const std::string Kind =
+      F.Class == DivergenceClass::OutputDivergence
+          ? std::string("divergence")
+          : (F.FaultKind.empty() ? std::string(divergenceClassName(F.Class))
+                                 : F.FaultKind);
+  const std::string Path = ReproDir + "/fuzz-" +
+                           fileSafe(divergenceClassName(F.Class)) + "-" +
+                           fileSafe(F.CulpritPass) + "-" +
+                           std::to_string(F.Seed) + ".repro";
+  const std::string Temp = Path + ".tmp";
+  {
+    std::ofstream OS(Temp, std::ios::binary | std::ios::trunc);
+    if (!OS) {
+      Diags.warning(SourceLoc(),
+                    "cannot write fuzz bundle '" + Temp + "'");
+      return "";
+    }
+    driver::CompilerOptions VO = oracleVariantOptions(F.Spec, OO);
+    OS << "tcc-repro v1\n";
+    OS << "pass " << F.CulpritPass << '\n';
+    OS << "function \"main\"\n";
+    OS << "kind " << Kind << '\n';
+    OS << "inject "
+       << (Opts.FaultInject.empty() ? std::string("-") : Opts.FaultInject)
+       << '\n';
+    OS << "policy 1 " << VO.PassBudgetMs << ' ' << VO.StmtGrowthFactor << ' '
+       << VO.StmtGrowthSlack << '\n';
+    OS << "config " << driver::configFingerprint(VO) << '\n';
+    OS << "description " << oneLine(F.Detail) << '\n';
+    OS << "oracle " << divergenceClassName(F.Class) << '\n';
+    OS << "spec " << F.Spec << '\n';
+    std::string Src = F.Source;
+    if (Src.empty() || Src.back() != '\n')
+      Src += '\n'; // the loader resumes key parsing right after the payload
+    OS << "csource " << Src.size() << '\n';
+    OS << Src;
+    OS << "il " << IL.size() << '\n';
+    OS << IL << '\n';
+    OS.flush();
+    if (!OS) {
+      Diags.warning(SourceLoc(),
+                    "cannot write fuzz bundle '" + Temp + "'");
+      std::remove(Temp.c_str());
+      return "";
+    }
+  }
+  if (std::rename(Temp.c_str(), Path.c_str()) != 0) {
+    Diags.warning(SourceLoc(),
+                  "cannot finalize fuzz bundle '" + Path + "'");
+    std::remove(Temp.c_str());
+    return "";
+  }
+  return Path;
+}
+
+bool fuzz::appendCampaignRow(const std::string &Path,
+                             const CampaignOptions &Opts,
+                             const CampaignResult &R) {
+  std::ostringstream Row;
+  json::JSONWriter W(Row, 0);
+  W.beginObject();
+  W.keyValue("bench", "fuzz");
+  W.keyValue("seed", Opts.Seed);
+  W.keyValue("programs", R.Programs);
+  W.keyValue("executed", R.Executed);
+  W.keyValue("shards", static_cast<uint64_t>(R.Shards.size()));
+  W.keyValue("variants", Opts.Oracle.Variants);
+  W.keyValue("wild_orders", Opts.Oracle.WildOrders);
+  W.keyValue("seconds", R.Seconds);
+  W.keyValue("programs_per_sec", R.ProgramsPerSec);
+  W.keyValue("divergent_programs", R.Divergent);
+  W.keyValue("unique_bugs", static_cast<uint64_t>(R.Findings.size()));
+  W.keyValue("yield_per_10k", R.YieldPer10k);
+  W.keyValue("mean_reduction_ratio", R.MeanReductionRatio);
+  W.keyValue("unreduced", static_cast<uint64_t>(R.unreduced()));
+  W.keyValue("ref_failures", R.RefFailures);
+  W.keyValue("crashed_programs", R.Crashed);
+  uint64_t Quarantined = 0;
+  for (const ShardReport &S : R.Shards)
+    if (S.Quarantined)
+      ++Quarantined;
+  W.keyValue("quarantined_shards", Quarantined);
+  W.key("findings").beginArray();
+  for (const Finding &F : R.Findings) {
+    W.beginObject();
+    W.keyValue("signature", F.Signature);
+    W.keyValue("class", divergenceClassName(F.Class));
+    W.keyValue("culprit", F.CulpritPass);
+    W.keyValue("seed", F.Seed);
+    W.keyValue("hits", F.Hits);
+    W.keyValue("original_lines", static_cast<uint64_t>(F.OriginalLines));
+    W.keyValue("reduced_lines", static_cast<uint64_t>(F.ReducedLines));
+    W.keyValue("reduced", F.Reduced);
+    W.keyValue("bundle", F.BundlePath);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  return json::appendJsonLine(Path, Row.str());
+}

@@ -1,0 +1,135 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fuzzing fleet: a seeded campaign of generated programs swept
+/// through the differential oracle, sharded over support/WorkerPool with
+/// per-shard fault isolation, findings deduplicated by signature,
+/// shrunk by the reducer, and written as replayable crash bundles.
+///
+/// Determinism contract: the program set is a pure function of the
+/// campaign seed (`programSeed(Seed, Index)` is independent of shard
+/// count), shards own static index ranges, every shard writes only its
+/// own result slots, and all post-processing (dedup, bisection,
+/// reduction, bundle writing) runs sequentially in index order — so a
+/// campaign's findings are byte-identical at 1 shard and at 8.
+///
+/// Fault isolation: a program whose oracle run throws is recorded as
+/// crashed and the shard moves on; a whole shard can be quarantined
+/// through the deterministic fault injector (site "fuzz", unit
+/// "shard<k>"), in which case its range is skipped, the quarantine is
+/// reported, and the campaign still exits cleanly — one wedged program
+/// (or shard) never kills the fleet.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_FUZZ_CAMPAIGN_H
+#define TCC_FUZZ_CAMPAIGN_H
+
+#include "fuzz/Generator.h"
+#include "fuzz/Oracle.h"
+#include "fuzz/Reducer.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace tcc {
+namespace fuzz {
+
+struct CampaignOptions {
+  uint64_t Seed = 1;
+  uint64_t Programs = 100;
+  /// Shard count (-j convention: 0 = all hardware threads).
+  unsigned Shards = 1;
+
+  GenOptions Gen;
+  /// Variant sampling and run caps; SampleSeed/FaultInject/ReproDir are
+  /// overwritten per program by the campaign.
+  OracleOptions Oracle;
+  ReduceOptions Reduce;
+
+  /// Shrink findings before bundling.  Off only for triage-speed runs;
+  /// an unreduced finding fails a CI campaign.
+  bool ReduceFindings = true;
+
+  /// Where finding bundles land; empty disables bundle writing.
+  std::string ReproDir = ".tcc-fuzz";
+
+  /// Deterministic fault injection.  Pass-level specs (e.g.
+  /// "constprop:*:corrupt-il") are forwarded into every variant compile;
+  /// the campaign-level site "fuzz:shard<k>:throw" quarantines shard k.
+  std::string FaultInject;
+
+  /// BENCH_fuzz.json path; empty disables the bench row.
+  std::string BenchPath;
+};
+
+/// One unique bug found by the campaign (deduplicated by signature).
+struct Finding {
+  uint64_t Seed = 0;          ///< Program seed that first hit it.
+  DivergenceClass Class = DivergenceClass::Ok;
+  std::string Signature;      ///< class|culprit — the dedup key.
+  std::string Spec;           ///< Variant spec that flagged it.
+  std::string Detail;
+  std::string CulpritPass;    ///< Bisected (divergence) or faulting pass.
+  std::string FaultKind;      ///< Sandbox kind for fault classes.
+  std::string Source;         ///< Reduced (or original) C program.
+  size_t OriginalLines = 0;
+  size_t ReducedLines = 0;
+  unsigned ReduceChecks = 0;
+  bool Reduced = false;       ///< Reduction ran and reached a fixed point.
+  unsigned Hits = 1;          ///< Programs that showed this signature.
+  std::string BundlePath;     ///< Written crash bundle; empty if disabled.
+};
+
+/// Per-shard execution report.
+struct ShardReport {
+  uint64_t First = 0;
+  uint64_t Count = 0;
+  bool Quarantined = false;   ///< Injected shard fault; range skipped.
+  std::string Error;          ///< What the quarantine caught.
+  uint64_t Crashes = 0;       ///< Individual programs whose oracle threw.
+};
+
+struct CampaignResult {
+  uint64_t Programs = 0;      ///< Requested.
+  uint64_t Executed = 0;      ///< Actually swept (quarantine skips some).
+  uint64_t RefFailures = 0;   ///< -O0 rejected a generated program.
+  uint64_t Divergent = 0;     ///< Programs with any non-Ok variant.
+  uint64_t Crashed = 0;       ///< Programs whose oracle run threw.
+  std::vector<Finding> Findings;   ///< Unique bugs, discovery order.
+  std::vector<ShardReport> Shards;
+
+  double Seconds = 0.0;
+  double ProgramsPerSec = 0.0;
+  double YieldPer10k = 0.0;        ///< Unique bugs per 10k programs.
+  double MeanReductionRatio = 1.0; ///< Mean reduced/original line ratio.
+
+  /// Findings the reducer could not shrink to a fixed point — the CI
+  /// campaign's failure condition.
+  unsigned unreduced() const;
+  bool anyQuarantinedShard() const;
+};
+
+/// Runs the campaign.  Diagnostics carry option errors (e.g. a malformed
+/// fault-injection spec); a campaign with findings still returns cleanly —
+/// findings are data, not errors.
+CampaignResult runCampaign(const CampaignOptions &Opts,
+                           DiagnosticEngine &Diags);
+
+/// Appends the campaign's JSON-Lines row to \p Path (one atomic append,
+/// BENCH_* convention).  Returns false on I/O failure.
+bool appendCampaignRow(const std::string &Path, const CampaignOptions &Opts,
+                       const CampaignResult &Result);
+
+/// Writes \p F as a replayable crash bundle under \p ReproDir using the
+/// PR-4 bundle format extended with oracle/spec/csource records.  Returns
+/// the path, or "" on failure (with a warning in \p Diags).
+std::string writeFindingBundle(const Finding &F, const std::string &ReproDir,
+                               const CampaignOptions &Opts,
+                               DiagnosticEngine &Diags);
+
+} // namespace fuzz
+} // namespace tcc
+
+#endif // TCC_FUZZ_CAMPAIGN_H

@@ -1,0 +1,823 @@
+#include "fuzz/Generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+using namespace tcc;
+using namespace tcc::fuzz;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Exactness bookkeeping
+//===----------------------------------------------------------------------===//
+
+/// A conservative description of a float value set: |v| <= Bound and v is
+/// an integer multiple of 2^-Gran.  Exactly representable as float when
+/// the required mantissa width stays under 24 bits; the generator keeps a
+/// safety margin at 22.
+struct FBound {
+  double Bound = 0.0;
+  int Gran = 0;
+
+  int bits() const {
+    double B = std::max(Bound, 1.0);
+    return static_cast<int>(std::ceil(std::log2(B))) + Gran;
+  }
+  bool exact() const { return bits() <= 22; }
+};
+
+FBound fAdd(FBound A, FBound B) {
+  return {A.Bound + B.Bound, std::max(A.Gran, B.Gran)};
+}
+FBound fMul(FBound A, FBound B) { return {A.Bound * B.Bound, A.Gran + B.Gran}; }
+FBound fMax(FBound A, FBound B) {
+  return {std::max(A.Bound, B.Bound), std::max(A.Gran, B.Gran)};
+}
+
+/// Non-negative integer bound: 0 <= v <= Bound.  Every generated integer
+/// expression is masked back under a small bound after each step, so
+/// signed overflow is structurally impossible.
+struct IBound {
+  int64_t Bound = 0;
+};
+
+/// A rendered expression plus its value bound.
+struct FExpr {
+  std::string Text;
+  FBound B;
+};
+struct IExpr {
+  std::string Text;
+  IBound B;
+};
+
+std::string fmtFloat(double V) {
+  // Quarter-granularity literals render exactly with two decimals.
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.2f", V);
+  return Buf;
+}
+
+//===----------------------------------------------------------------------===//
+// Program model
+//===----------------------------------------------------------------------===//
+
+struct ArrayInfo {
+  std::string Name;
+  int Size = 0;     ///< Elements (total for 2D); always a power of two.
+  int Cols = 0;     ///< 2D arrays: columns (power of two); 0 = 1D.
+  bool IsFloat = true;
+  FBound FB;        ///< Float arrays: current value bound.
+  IBound IB;        ///< Int arrays: current value bound.
+};
+
+struct ScalarInfo {
+  std::string Name;
+  bool IsFloat = true;
+  FBound FB;
+  IBound IB;
+};
+
+struct LeafInfo {
+  std::string Name;
+  bool IsFloat = true;
+  FBound ParamFB; ///< Caller obligation per float parameter.
+  FBound RetFB;   ///< Guaranteed result bound.
+  int64_t ParamIB = 0;
+  IBound RetIB;
+};
+
+/// Everything the statement generators share.
+struct GenState {
+  Rng R;
+  GenOptions Opts;
+  std::vector<std::string> Lines;
+  std::vector<ArrayInfo> Arrays;
+  std::vector<ScalarInfo> Scalars;
+  std::vector<LeafInfo> Leaves;
+  /// The loop-variable context for expression generation: name and
+  /// exclusive upper bound of each live index variable, innermost last.
+  std::vector<std::pair<std::string, int>> LoopVars;
+
+  explicit GenState(uint64_t Seed, const GenOptions &O) : R(Seed), Opts(O) {}
+
+  void line(const std::string &S) { Lines.push_back(S); }
+};
+
+const int64_t Masks[] = {0xff, 0x3ff, 0xfff, 0xffff};
+
+int64_t pickMask(GenState &G) {
+  return Masks[G.R.below(sizeof(Masks) / sizeof(Masks[0]))];
+}
+
+//===----------------------------------------------------------------------===//
+// Index expressions (always provably in range)
+//===----------------------------------------------------------------------===//
+
+/// An index into an array of \p Size elements (power of two).  Uses a
+/// live loop variable when its range already fits, otherwise masks.
+std::string genIndex(GenState &G, int Size) {
+  if (!G.LoopVars.empty()) {
+    const auto &LV = G.LoopVars[G.R.below(G.LoopVars.size())];
+    if (LV.second <= Size && G.R.chance(60))
+      return LV.first;
+    switch (G.R.below(3)) {
+    case 0:
+      return "((" + LV.first + " + " + std::to_string(G.R.range(1, 31)) +
+             ") & " + std::to_string(Size - 1) + ")";
+    case 1:
+      return "((" + LV.first + " * " + std::to_string(G.R.range(2, 5)) +
+             ") & " + std::to_string(Size - 1) + ")";
+    default:
+      return "(" + LV.first + " & " + std::to_string(Size - 1) + ")";
+    }
+  }
+  return std::to_string(G.R.below(static_cast<uint64_t>(Size)));
+}
+
+/// An indirect index: an int-array element masked into range.
+std::string genIndirectIndex(GenState &G, int Size) {
+  for (const ArrayInfo &A : G.Arrays)
+    if (!A.IsFloat && A.Cols == 0 && G.R.chance(70))
+      return "((" + A.Name + "[" + genIndex(G, A.Size) + "]) & " +
+             std::to_string(Size - 1) + ")";
+  return genIndex(G, Size);
+}
+
+//===----------------------------------------------------------------------===//
+// Int expressions
+//===----------------------------------------------------------------------===//
+
+IExpr genIntExpr(GenState &G, int Depth);
+
+IExpr genIntAtom(GenState &G) {
+  // Collect int sources: literals, scalars, array elements, loop vars.
+  switch (G.R.below(4)) {
+  case 0: {
+    int64_t V = G.R.range(0, 255);
+    return {std::to_string(V), {V}};
+  }
+  case 1: {
+    std::vector<const ScalarInfo *> Ints;
+    for (const ScalarInfo &S : G.Scalars)
+      if (!S.IsFloat)
+        Ints.push_back(&S);
+    if (!Ints.empty()) {
+      const ScalarInfo *S = Ints[G.R.below(Ints.size())];
+      return {S->Name, S->IB};
+    }
+    break;
+  }
+  case 2: {
+    std::vector<const ArrayInfo *> Ints;
+    for (const ArrayInfo &A : G.Arrays)
+      if (!A.IsFloat && A.Cols == 0)
+        Ints.push_back(&A);
+    if (!Ints.empty()) {
+      const ArrayInfo *A = Ints[G.R.below(Ints.size())];
+      return {A->Name + "[" + genIndex(G, A->Size) + "]", A->IB};
+    }
+    break;
+  }
+  default:
+    if (!G.LoopVars.empty()) {
+      const auto &LV = G.LoopVars[G.R.below(G.LoopVars.size())];
+      return {LV.first, {LV.second - 1}};
+    }
+    break;
+  }
+  int64_t V = G.R.range(1, 63);
+  return {std::to_string(V), {V}};
+}
+
+IExpr genIntExpr(GenState &G, int Depth) {
+  if (Depth <= 0)
+    return genIntAtom(G);
+  switch (G.R.below(8)) {
+  case 0: { // (a + b) & m
+    IExpr A = genIntExpr(G, Depth - 1), B = genIntExpr(G, Depth - 1);
+    int64_t M = pickMask(G);
+    return {"((" + A.Text + " + " + B.Text + ") & " + std::to_string(M) + ")",
+            {std::min(A.B.Bound + B.B.Bound, M)}};
+  }
+  case 1: { // (a - b) & m  — two's-complement wrap, then masked non-negative
+    IExpr A = genIntExpr(G, Depth - 1), B = genIntExpr(G, Depth - 1);
+    int64_t M = pickMask(G);
+    return {"((" + A.Text + " - " + B.Text + ") & " + std::to_string(M) + ")",
+            {M}};
+  }
+  case 2: { // (a * b) & m, with the pre-mask product kept under 2^31
+    IExpr A = genIntExpr(G, Depth - 1), B = genIntExpr(G, Depth - 1);
+    int64_t M = pickMask(G);
+    if (A.B.Bound * B.B.Bound < (int64_t(1) << 31))
+      return {"((" + A.Text + " * " + B.Text + ") & " + std::to_string(M) +
+                  ")",
+              {std::min(A.B.Bound * B.B.Bound, M)}};
+    int64_t C = G.R.range(2, 7);
+    return {"((" + A.Text + " * " + std::to_string(C) + ") & " +
+                std::to_string(M) + ")",
+            {std::min(A.B.Bound * C, M)}};
+  }
+  case 3: { // a ^ b / a | b / a & b
+    IExpr A = genIntExpr(G, Depth - 1), B = genIntExpr(G, Depth - 1);
+    const char *Op = (const char *[]){" ^ ", " | ", " & "}[G.R.below(3)];
+    // Non-negative inputs: result bounded by the next power of two.
+    int64_t Bound = 1;
+    while (Bound <= std::max(A.B.Bound, B.B.Bound))
+      Bound <<= 1;
+    return {"(" + A.Text + Op + B.Text + ")", {Bound - 1}};
+  }
+  case 4: { // (a >> k) or (a << k) & m
+    IExpr A = genIntExpr(G, Depth - 1);
+    int64_t K = G.R.range(1, 4);
+    if (G.R.chance(50))
+      return {"(" + A.Text + " >> " + std::to_string(K) + ")",
+              {A.B.Bound >> K}};
+    int64_t M = pickMask(G);
+    if ((A.B.Bound << K) < (int64_t(1) << 30))
+      return {"((" + A.Text + " << " + std::to_string(K) + ") & " +
+                  std::to_string(M) + ")",
+              {std::min(A.B.Bound << K, M)}};
+    return A;
+  }
+  case 5: { // a / nonzero, a % literal
+    IExpr A = genIntExpr(G, Depth - 1);
+    if (G.R.chance(50)) {
+      IExpr D = genIntAtom(G);
+      return {"(" + A.Text + " / ((" + D.Text + " & 7) + 1))", {A.B.Bound}};
+    }
+    int64_t L = G.R.range(2, 31);
+    return {"(" + A.Text + " % " + std::to_string(L) + ")", {L - 1}};
+  }
+  case 6: { // comparison / short-circuit: a 0-or-1 value
+    IExpr A = genIntExpr(G, Depth - 1), B = genIntExpr(G, Depth - 1);
+    const char *Op = (const char *[]){" < ", " > ", " <= ", " >= ", " == ",
+                                      " != ", " && ", " || "}[G.R.below(8)];
+    return {"(" + A.Text + Op + B.Text + ")", {1}};
+  }
+  default: { // conditional expression
+    IExpr C = genIntExpr(G, 0);
+    IExpr A = genIntExpr(G, Depth - 1), B = genIntExpr(G, Depth - 1);
+    return {"((" + C.Text + " & 1) ? " + A.Text + " : " + B.Text + ")",
+            {std::max(A.B.Bound, B.B.Bound)}};
+  }
+  }
+}
+
+/// An int-leaf call if one fits, else a plain expression.
+IExpr genIntExprOrCall(GenState &G, int Depth) {
+  for (const LeafInfo &L : G.Leaves)
+    if (!L.IsFloat && G.R.chance(35)) {
+      IExpr A = genIntExpr(G, Depth - 1), B = genIntExpr(G, Depth - 1);
+      std::string MA = "(" + A.Text + " & " + std::to_string(L.ParamIB) + ")";
+      std::string MB = "(" + B.Text + " & " + std::to_string(L.ParamIB) + ")";
+      return {L.Name + "(" + MA + ", " + MB + ")", L.RetIB};
+    }
+  return genIntExpr(G, Depth);
+}
+
+//===----------------------------------------------------------------------===//
+// Float expressions
+//===----------------------------------------------------------------------===//
+
+FExpr genFloatExpr(GenState &G, int Depth);
+
+FExpr genFloatAtom(GenState &G) {
+  switch (G.R.below(3)) {
+  case 0: {
+    std::vector<const ArrayInfo *> Floats;
+    for (const ArrayInfo &A : G.Arrays)
+      if (A.IsFloat && A.Cols == 0)
+        Floats.push_back(&A);
+    if (!Floats.empty()) {
+      const ArrayInfo *A = Floats[G.R.below(Floats.size())];
+      std::string Idx = G.R.chance(20) ? genIndirectIndex(G, A->Size)
+                                       : genIndex(G, A->Size);
+      return {A->Name + "[" + Idx + "]", A->FB};
+    }
+    break;
+  }
+  case 1: {
+    std::vector<const ScalarInfo *> Floats;
+    for (const ScalarInfo &S : G.Scalars)
+      if (S.IsFloat)
+        Floats.push_back(&S);
+    if (!Floats.empty() && G.R.chance(60)) {
+      const ScalarInfo *S = Floats[G.R.below(Floats.size())];
+      return {S->Name, S->FB};
+    }
+    break;
+  }
+  default:
+    break;
+  }
+  // Quarter-granularity literal in [-8, 8].
+  double V = static_cast<double>(G.R.range(-32, 32)) * 0.25;
+  return {fmtFloat(V), {std::fabs(V), 2}};
+}
+
+FExpr genFloatExpr(GenState &G, int Depth) {
+  if (Depth <= 0)
+    return genFloatAtom(G);
+  switch (G.R.below(6)) {
+  case 0:
+  case 1: { // addition / subtraction
+    FExpr A = genFloatExpr(G, Depth - 1), B = genFloatExpr(G, Depth - 1);
+    FBound FB = fAdd(A.B, B.B);
+    if (!FB.exact())
+      return A;
+    const char *Op = G.R.chance(50) ? " + " : " - ";
+    return {"(" + A.Text + Op + B.Text + ")", FB};
+  }
+  case 2: { // product of two tracked values
+    FExpr A = genFloatExpr(G, Depth - 1), B = genFloatExpr(G, Depth - 1);
+    FBound FB = fMul(A.B, B.B);
+    if (FB.exact())
+      return {"(" + A.Text + " * " + B.Text + ")", FB};
+    // Fall back to a constant scale that fits.
+    FBound Scaled = {A.B.Bound * 2.0, A.B.Gran};
+    if (Scaled.exact())
+      return {"(" + A.Text + " * 2.00)", Scaled};
+    return A;
+  }
+  case 3: { // scale by an exact constant (powers of two divide exactly)
+    FExpr A = genFloatExpr(G, Depth - 1);
+    struct {
+      const char *Text;
+      double Mul;
+      int GranShift;
+    } Consts[] = {{" * 0.50", 0.5, 1}, {" * 0.25", 0.25, 2},
+                  {" * 2.00", 2.0, 0}, {" * 4.00", 4.0, 0},
+                  {" * 3.00", 3.0, 0}, {" / 2.00", 0.5, 1},
+                  {" / 4.00", 0.25, 2}};
+    auto &C = Consts[G.R.below(7)];
+    FBound FB = {A.B.Bound * C.Mul, A.B.Gran + C.GranShift};
+    if (!FB.exact())
+      return A;
+    return {"(" + A.Text + C.Text + ")", FB};
+  }
+  case 4: { // guarded by an int condition
+    IExpr C = genIntExpr(G, 1);
+    FExpr A = genFloatExpr(G, Depth - 1), B = genFloatExpr(G, Depth - 1);
+    return {"((" + C.Text + " & 1) ? " + A.Text + " : " + B.Text + ")",
+            fMax(A.B, B.B)};
+  }
+  default: { // negation or pass-through
+    FExpr A = genFloatExpr(G, Depth - 1);
+    // The operand gets its own parens: a leading '-' in A (a negative
+    // literal) would otherwise lex as the '--' operator.
+    if (G.R.chance(40))
+      return {"(-(" + A.Text + "))", A.B};
+    return A;
+  }
+  }
+}
+
+/// A float-leaf call when one fits the operand bounds.
+FExpr genFloatExprOrCall(GenState &G, int Depth) {
+  for (const LeafInfo &L : G.Leaves)
+    if (L.IsFloat && G.R.chance(35)) {
+      FExpr A = genFloatExpr(G, Depth - 1), B = genFloatExpr(G, Depth - 1);
+      if (A.B.Bound <= L.ParamFB.Bound && A.B.Gran <= L.ParamFB.Gran &&
+          B.B.Bound <= L.ParamFB.Bound && B.B.Gran <= L.ParamFB.Gran)
+        return {L.Name + "(" + A.Text + ", " + B.Text + ")", L.RetFB};
+    }
+  return genFloatExpr(G, Depth);
+}
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+void genGlobals(GenState &G) {
+  const int Sizes[] = {64, 128, 256};
+  unsigned NF = static_cast<unsigned>(G.R.range(2, 3));
+  for (unsigned I = 0; I < NF; ++I) {
+    ArrayInfo A;
+    A.Name = "fa" + std::to_string(I);
+    A.Size = Sizes[G.R.below(3)];
+    A.IsFloat = true;
+    G.Arrays.push_back(A);
+    G.line("float " + A.Name + "[" + std::to_string(A.Size) + "];");
+  }
+  unsigned NI = static_cast<unsigned>(G.R.range(1, 2));
+  for (unsigned I = 0; I < NI; ++I) {
+    ArrayInfo A;
+    A.Name = "ia" + std::to_string(I);
+    A.Size = Sizes[G.R.below(2)];
+    A.IsFloat = false;
+    G.Arrays.push_back(A);
+    G.line("int " + A.Name + "[" + std::to_string(A.Size) + "];");
+  }
+  if (G.R.chance(50)) {
+    ArrayInfo A;
+    A.Name = "m0";
+    A.Cols = 8;
+    A.Size = 64;
+    A.IsFloat = true;
+    G.Arrays.push_back(A);
+    G.line("float m0[8][8];");
+  }
+  for (unsigned I = 0; I < 2; ++I) {
+    ScalarInfo S;
+    S.Name = "gf" + std::to_string(I);
+    S.IsFloat = true;
+    G.Scalars.push_back(S);
+    G.line("float " + S.Name + ";");
+  }
+  for (unsigned I = 0; I < 2; ++I) {
+    ScalarInfo S;
+    S.Name = "gi" + std::to_string(I);
+    S.IsFloat = false;
+    G.Scalars.push_back(S);
+    G.line("int " + S.Name + ";");
+  }
+}
+
+void genLeaf(GenState &G, unsigned Index) {
+  LeafInfo L;
+  L.IsFloat = G.R.chance(60);
+  if (L.IsFloat) {
+    L.Name = "leaf" + std::to_string(Index);
+    L.ParamFB = {64.0, 6};
+    GenState Body(G.R.next(), G.Opts); // leaf bodies see only their params
+    Body.Scalars.push_back({"x", true, L.ParamFB, {}});
+    Body.Scalars.push_back({"y", true, L.ParamFB, {}});
+    FExpr A = genFloatExpr(Body, 2);
+    FExpr B = genFloatExpr(Body, 1);
+    L.RetFB = fMax(A.B, B.B);
+    G.line("float " + L.Name + "(float x, float y) {");
+    G.line("  if (x > y)");
+    G.line("    return " + A.Text + ";");
+    G.line("  return " + B.Text + ";");
+    G.line("}");
+  } else {
+    L.Name = "ileaf" + std::to_string(Index);
+    L.ParamIB = 0xffff;
+    GenState Body(G.R.next(), G.Opts);
+    Body.Scalars.push_back({"a", false, {}, {L.ParamIB}});
+    Body.Scalars.push_back({"b", false, {}, {L.ParamIB}});
+    IExpr A = genIntExpr(Body, 2);
+    L.RetIB = A.B;
+    G.line("int " + L.Name + "(int a, int b) {");
+    G.line("  return " + A.Text + ";");
+    G.line("}");
+  }
+  G.Leaves.push_back(L);
+}
+
+//===----------------------------------------------------------------------===//
+// Statement blocks
+//===----------------------------------------------------------------------===//
+
+ArrayInfo *pickArray(GenState &G, bool Float, bool Flat = true) {
+  std::vector<ArrayInfo *> Cands;
+  for (ArrayInfo &A : G.Arrays)
+    if (A.IsFloat == Float && (!Flat || A.Cols == 0))
+      Cands.push_back(&A);
+  if (Cands.empty())
+    return nullptr;
+  return Cands[G.R.below(Cands.size())];
+}
+
+void genInitLoops(GenState &G) {
+  for (ArrayInfo &A : G.Arrays) {
+    if (A.Cols != 0) {
+      G.line("  for (i = 0; i < 8; i++) {");
+      G.line("    for (j = 0; j < 8; j++) {");
+      G.line("      m0[i][j] = (i - j) * 0.25;");
+      G.line("    }");
+      G.line("  }");
+      A.FB = {2.0, 2};
+      continue;
+    }
+    std::string N = std::to_string(A.Size);
+    if (A.IsFloat) {
+      int64_t Mask = 15 + 16 * G.R.below(2); // 15 or 31
+      G.line("  for (i = 0; i < " + N + "; i++) {");
+      G.line("    " + A.Name + "[i] = (i & " + std::to_string(Mask) +
+             ") * 0.25;");
+      G.line("  }");
+      A.FB = {static_cast<double>(Mask) * 0.25, 2};
+    } else {
+      int64_t Mul = G.R.range(1, 7);
+      int64_t Mask = pickMask(G);
+      G.line("  for (i = 0; i < " + N + "; i++) {");
+      G.line("    " + A.Name + "[i] = (i * " + std::to_string(Mul) + ") & " +
+             std::to_string(Mask) + ";");
+      G.line("  }");
+      A.IB = {std::min(static_cast<int64_t>(A.Size - 1) * Mul, Mask)};
+    }
+  }
+}
+
+/// Elementwise float loop, optionally guarded, optionally compound-assign.
+void genElementwiseFloat(GenState &G) {
+  ArrayInfo *Dst = pickArray(G, true);
+  if (!Dst)
+    return;
+  int N = Dst->Size;
+  if (G.R.chance(30))
+    N = std::min(N, static_cast<int>(G.R.range(8, 64)));
+  G.LoopVars.push_back({"i", N});
+  FExpr E = genFloatExprOrCall(G, 2);
+  bool Guard = G.R.chance(30);
+  bool Compound = !Guard && G.R.chance(25);
+  G.line("  for (i = 0; i < " + std::to_string(N) + "; i++) {");
+  if (Guard) {
+    IExpr C = genIntExpr(G, 1);
+    G.line("    if (" + C.Text + " & 1) {");
+    G.line("      " + Dst->Name + "[i] = " + E.Text + ";");
+    G.line("    }");
+    Dst->FB = fMax(Dst->FB, E.B);
+  } else if (Compound) {
+    FBound FB = fAdd(Dst->FB, E.B);
+    if (FB.exact()) {
+      G.line("    " + Dst->Name + "[i] += " + E.Text + ";");
+      Dst->FB = FB;
+    } else {
+      G.line("    " + Dst->Name + "[i] = " + E.Text + ";");
+      Dst->FB = (N >= Dst->Size) ? E.B : fMax(Dst->FB, E.B);
+    }
+  } else {
+    G.line("    " + Dst->Name + "[i] = " + E.Text + ";");
+    Dst->FB = (N >= Dst->Size) ? E.B : fMax(Dst->FB, E.B);
+  }
+  G.line("  }");
+  G.LoopVars.pop_back();
+}
+
+/// While pointer-walk (the paper's Section 5 conversion shape).
+void genPointerWalk(GenState &G) {
+  ArrayInfo *Dst = pickArray(G, true);
+  ArrayInfo *Src = pickArray(G, true);
+  if (!Dst || !Src || Dst == Src)
+    return;
+  int N = std::min(Dst->Size, Src->Size);
+  double C = static_cast<double>(G.R.range(-8, 8)) * 0.25;
+  FBound FB = fAdd(Src->FB, {std::fabs(C), 2});
+  if (!FB.exact())
+    return;
+  G.line("  p = " + Dst->Name + ";");
+  G.line("  q = " + Src->Name + ";");
+  G.line("  n = " + std::to_string(N) + ";");
+  bool DoWhile = G.R.chance(30);
+  const char *Op = G.R.chance(50) ? " + " : " - ";
+  std::string Body = "*p++ = *q++" + std::string(Op) + fmtFloat(C) + ";";
+  if (DoWhile) {
+    G.line("  do {");
+    G.line("    " + Body);
+    G.line("    n--;");
+    G.line("  } while (n);");
+  } else {
+    G.line("  while (n) {");
+    G.line("    " + Body);
+    G.line("    n--;");
+    G.line("  }");
+  }
+  Dst->FB = (N >= Dst->Size) ? FB : fMax(Dst->FB, FB);
+}
+
+/// Masked int reduction into a global scalar (do-while or for).
+void genIntReduction(GenState &G) {
+  ArrayInfo *Src = pickArray(G, false);
+  ScalarInfo *Dst = nullptr;
+  for (ScalarInfo &S : G.Scalars)
+    if (!S.IsFloat && (!Dst || G.R.chance(50)))
+      Dst = &S;
+  if (!Src || !Dst)
+    return;
+  int64_t M = pickMask(G);
+  G.line("  t = 0;");
+  G.line("  for (i = 0; i < " + std::to_string(Src->Size) + "; i++) {");
+  G.line("    t = (t + " + Src->Name + "[i]) & " + std::to_string(M) + ";");
+  G.line("  }");
+  G.line("  " + Dst->Name + " = t;");
+  Dst->IB = {M};
+}
+
+/// Float reduction, trip count capped so the sum stays exact.
+void genFloatReduction(GenState &G) {
+  ArrayInfo *Src = pickArray(G, true);
+  ScalarInfo *Dst = nullptr;
+  for (ScalarInfo &S : G.Scalars)
+    if (S.IsFloat && (!Dst || G.R.chance(50)))
+      Dst = &S;
+  if (!Src || !Dst)
+    return;
+  int N = Src->Size;
+  FBound Sum = {Src->FB.Bound * N, Src->FB.Gran};
+  while (N > 8 && !Sum.exact()) {
+    N /= 2;
+    Sum = {Src->FB.Bound * N, Src->FB.Gran};
+  }
+  if (!Sum.exact())
+    return;
+  G.line("  acc = 0.00;");
+  G.line("  for (i = 0; i < " + std::to_string(N) + "; i++) {");
+  G.line("    acc = acc + " + Src->Name + "[i];");
+  G.line("  }");
+  G.line("  " + Dst->Name + " = acc;");
+  Dst->FB = Sum;
+}
+
+/// Nested loop over the 2D array (array-of-array indexing).
+void gen2D(GenState &G) {
+  ArrayInfo *M = nullptr;
+  for (ArrayInfo &A : G.Arrays)
+    if (A.Cols != 0)
+      M = &A;
+  if (!M)
+    return;
+  G.LoopVars.push_back({"i", 8});
+  G.LoopVars.push_back({"j", 8});
+  FExpr E = genFloatExpr(G, 1);
+  FBound FB = fAdd(M->FB, E.B);
+  G.LoopVars.pop_back();
+  G.LoopVars.pop_back();
+  if (!FB.exact())
+    return;
+  G.line("  for (i = 0; i < 8; i++) {");
+  G.line("    for (j = 0; j < 8; j++) {");
+  G.line("      m0[i][j] = m0[j][i] + " + E.Text + ";");
+  G.line("    }");
+  G.line("  }");
+  M->FB = FB;
+}
+
+/// Scalar control flow: if/else with a short-circuit condition.
+void genScalarIf(GenState &G) {
+  IExpr A = genIntExpr(G, 1), B = genIntExpr(G, 1);
+  IExpr V1 = genIntExprOrCall(G, 2), V2 = genIntExpr(G, 2);
+  ScalarInfo *Dst = nullptr;
+  for (ScalarInfo &S : G.Scalars)
+    if (!S.IsFloat && (!Dst || G.R.chance(50)))
+      Dst = &S;
+  if (!Dst)
+    return;
+  const char *Join = G.R.chance(50) ? " && " : " || ";
+  G.line("  if (" + A.Text + " > 3" + Join + B.Text + " != 0) {");
+  G.line("    " + Dst->Name + " = " + V1.Text + ";");
+  G.line("  } else {");
+  G.line("    " + Dst->Name + " = " + V2.Text + ";");
+  G.line("  }");
+  Dst->IB = {std::max(V1.B.Bound, V2.B.Bound)};
+}
+
+/// Int elementwise loop with break/continue.
+void genIntLoop(GenState &G) {
+  ArrayInfo *Dst = pickArray(G, false);
+  if (!Dst)
+    return;
+  int N = Dst->Size;
+  G.LoopVars.push_back({"i", N});
+  IExpr E = genIntExprOrCall(G, 2);
+  bool BreakContinue = G.R.chance(40);
+  G.line("  for (i = 0; i < " + std::to_string(N) + "; i++) {");
+  if (BreakContinue) {
+    G.line("    if (" + Dst->Name + "[i] & " +
+           std::to_string(1 << G.R.range(0, 3)) + ") {");
+    G.line("      continue;");
+    G.line("    }");
+    G.line("    if (i > " + std::to_string(G.R.range(8, N - 1)) + ") {");
+    G.line("      break;");
+    G.line("    }");
+  }
+  G.line("    " + Dst->Name + "[i] = " + E.Text + ";");
+  G.line("  }");
+  G.LoopVars.pop_back();
+  Dst->IB = {std::max(Dst->IB.Bound, E.B.Bound)};
+}
+
+/// Leaf-call loop: stores through a generated leaf function.
+void genCallLoop(GenState &G) {
+  const LeafInfo *L = nullptr;
+  for (const LeafInfo &Leaf : G.Leaves)
+    if (Leaf.IsFloat && (!L || G.R.chance(50)))
+      L = &Leaf;
+  ArrayInfo *Dst = pickArray(G, true);
+  ArrayInfo *Src = pickArray(G, true);
+  if (!L || !Dst || !Src)
+    return;
+  if (Src->FB.Bound > L->ParamFB.Bound || Src->FB.Gran > L->ParamFB.Gran)
+    return;
+  int N = std::min(Dst->Size, Src->Size);
+  double C = static_cast<double>(G.R.range(0, 16)) * 0.25;
+  G.line("  for (i = 0; i < " + std::to_string(N) + "; i++) {");
+  G.line("    " + Dst->Name + "[i] = " + L->Name + "(" + Src->Name +
+         "[i], " + fmtFloat(C) + ");");
+  G.line("  }");
+  Dst->FB = (N >= Dst->Size) ? L->RetFB : fMax(Dst->FB, L->RetFB);
+}
+
+void genChecksums(GenState &G) {
+  // Fold every int array through the masked-accumulate idiom, and pin a
+  // couple of float elements into scalars; the oracle compares all of
+  // global memory anyway, so these exist to exercise reductions and give
+  // a human a one-glance summary.
+  bool First = true;
+  for (const ArrayInfo &A : G.Arrays) {
+    if (A.IsFloat)
+      continue;
+    G.line(First ? "  t = 0;" : "  t = t;");
+    First = false;
+    G.line("  for (i = 0; i < " + std::to_string(A.Size) + "; i++) {");
+    G.line("    t = (t + " + A.Name + "[i]) & 16777215;");
+    G.line("  }");
+  }
+  if (!First)
+    G.line("  gi1 = t;");
+  const ArrayInfo *FA = nullptr;
+  for (const ArrayInfo &A : G.Arrays)
+    if (A.IsFloat && A.Cols == 0) {
+      FA = &A;
+      break;
+    }
+  if (FA) {
+    FBound FB = fAdd(FA->FB, FA->FB);
+    if (FB.exact())
+      G.line("  gf1 = " + FA->Name + "[1] + " + FA->Name + "[" +
+             std::to_string(FA->Size - 2) + "];");
+    else
+      G.line("  gf1 = " + FA->Name + "[1];");
+  }
+}
+
+} // namespace
+
+uint64_t fuzz::programSeed(uint64_t CampaignSeed, uint64_t Index) {
+  // One splitmix step over the XOR keeps neighboring indices decorrelated
+  // while staying independent of shard partitioning.
+  Rng R(CampaignSeed ^ (Index * 0x9e3779b97f4a7c15ull));
+  return R.next();
+}
+
+GenProgram fuzz::generateProgram(uint64_t Seed, const GenOptions &Opts) {
+  GenState G(Seed, Opts);
+  G.line("/* tcc-fuzz seed=" + std::to_string(Seed) + " */");
+  genGlobals(G);
+
+  unsigned NLeaves = static_cast<unsigned>(
+      G.R.below(static_cast<uint64_t>(Opts.MaxLeafFunctions) + 1));
+  for (unsigned I = 0; I < NLeaves; ++I)
+    genLeaf(G, I);
+
+  G.line("void main() {");
+  G.line("  int i; int j; int n; int t;");
+  G.line("  float acc;");
+  G.line("  float *p; float *q;");
+  G.line("  t = " + std::to_string(G.R.range(0, 31)) + ";");
+  G.line("  acc = 0.00;");
+  G.line("  n = 0;");
+  G.line("  j = 0;");
+  genInitLoops(G);
+
+  unsigned Blocks = static_cast<unsigned>(
+      G.R.range(Opts.MinBlocks, Opts.MaxBlocks));
+  for (unsigned I = 0; I < Blocks; ++I) {
+    switch (G.R.below(8)) {
+    case 0:
+      genElementwiseFloat(G);
+      break;
+    case 1:
+      genPointerWalk(G);
+      break;
+    case 2:
+      genIntReduction(G);
+      break;
+    case 3:
+      genFloatReduction(G);
+      break;
+    case 4:
+      gen2D(G);
+      break;
+    case 5:
+      genScalarIf(G);
+      break;
+    case 6:
+      genIntLoop(G);
+      break;
+    default:
+      genCallLoop(G);
+      break;
+    }
+  }
+
+  genChecksums(G);
+  G.line("}");
+
+  GenProgram P;
+  P.Seed = Seed;
+  for (const ArrayInfo &A : G.Arrays)
+    P.Globals.push_back(A.Name);
+  for (const ScalarInfo &S : G.Scalars)
+    P.Globals.push_back(S.Name);
+  for (const std::string &L : G.Lines) {
+    P.Source += L;
+    P.Source += '\n';
+  }
+  return P;
+}

@@ -1,0 +1,108 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tcc-fuzz program generator: seeded, deterministic generation of
+/// well-defined C kernels over the subset the front end accepts.
+///
+/// Differential testing only works when the reference behavior is the
+/// *only* admissible behavior, so every generated program is constructed
+/// to have exactly one defined meaning:
+///
+///  - every integer expression is masked back into a small non-negative
+///    range after each arithmetic step (the "defined overflow idiom" —
+///    there is no unsigned type in the subset, so the generator never
+///    lets a signed intermediate reach overflow);
+///  - divisors are forced non-zero by construction (`(e & 7) + 1` or a
+///    non-zero literal) and shift counts are literal constants in [0, 8];
+///  - every floating-point value the program can compute is an exactly
+///    representable dyadic rational: the generator tracks a conservative
+///    (magnitude bound, granularity) pair per array and per expression
+///    and refuses any operation whose worst case would not fit a float
+///    mantissa, so constant folding in any precision, at any pass
+///    position, must produce bit-identical memory;
+///  - all array indices are literal-bounded loop variables or masked
+///    expressions, so there are no out-of-bounds accesses;
+///  - all loops have structurally bounded trip counts — a generated
+///    program always terminates.
+///
+/// Shapes exercised (the front end's whole statement surface): for loops
+/// over arrays, while/do-while pointer-walk conversion shapes,
+/// induction-variable arithmetic, nested loops over array-of-array
+/// globals, conditionals (including short-circuit operators), break /
+/// continue, and calls into small generated leaf functions that the
+/// inliner can expand.
+///
+/// Generation is a pure function of the seed: the same seed yields a
+/// byte-identical program on every platform (the RNG is a fixed
+/// splitmix64, never std::rand or libstdc++ distributions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_FUZZ_GENERATOR_H
+#define TCC_FUZZ_GENERATOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tcc {
+namespace fuzz {
+
+/// The fixed splitmix64 stream: deterministic across platforms and
+/// standard-library versions, which is what makes "same seed ->
+/// byte-identical program" a testable contract.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ull);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform in [0, N); N must be non-zero.  Modulo bias is irrelevant
+  /// for generation purposes and keeps the stream arithmetic exact.
+  uint64_t below(uint64_t N) { return next() % N; }
+
+  /// Uniform in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo + 1)));
+  }
+
+  /// True with probability Percent/100.
+  bool chance(unsigned Percent) { return below(100) < Percent; }
+
+private:
+  uint64_t State;
+};
+
+/// Per-program generation knobs.  The defaults are the campaign shape;
+/// tests shrink them for speed.
+struct GenOptions {
+  unsigned MinBlocks = 2; ///< Compute blocks in main, after array init.
+  unsigned MaxBlocks = 5;
+  unsigned MaxLeafFunctions = 2; ///< Callable leaf functions to generate.
+};
+
+/// One generated program plus the metadata the oracle and reducer need.
+struct GenProgram {
+  uint64_t Seed = 0;
+  std::string Source;           ///< The rendered C text, one stmt per line.
+  std::vector<std::string> Globals; ///< Observed global names, decl order.
+};
+
+/// Generates the program for \p Seed.  Pure: no global state, no clock,
+/// no platform dependence.
+GenProgram generateProgram(uint64_t Seed, const GenOptions &Opts = {});
+
+/// Derives the per-program seed for campaign program \p Index — a mix of
+/// the campaign seed and the index, so the program set is independent of
+/// how a campaign is sharded.
+uint64_t programSeed(uint64_t CampaignSeed, uint64_t Index);
+
+} // namespace fuzz
+} // namespace tcc
+
+#endif // TCC_FUZZ_GENERATOR_H

@@ -1,0 +1,323 @@
+#include "fuzz/Oracle.h"
+
+#include "il/ILSerializer.h"
+#include "pipeline/PassRegistry.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace tcc;
+using namespace tcc::fuzz;
+
+const char *fuzz::divergenceClassName(DivergenceClass C) {
+  switch (C) {
+  case DivergenceClass::Ok:
+    return "ok";
+  case DivergenceClass::RunError:
+    return "run-error";
+  case DivergenceClass::CompileError:
+    return "compile-error";
+  case DivergenceClass::Quarantine:
+    return "quarantine";
+  case DivergenceClass::VerifierFault:
+    return "verifier";
+  case DivergenceClass::OutputDivergence:
+    return "output-divergence";
+  }
+  return "ok";
+}
+
+DivergenceClass fuzz::divergenceClassFromName(const std::string &Name) {
+  for (DivergenceClass C :
+       {DivergenceClass::RunError, DivergenceClass::CompileError,
+        DivergenceClass::Quarantine, DivergenceClass::VerifierFault,
+        DivergenceClass::OutputDivergence})
+    if (Name == divergenceClassName(C))
+      return C;
+  return DivergenceClass::Ok;
+}
+
+DivergenceClass OracleResult::worst() const {
+  DivergenceClass W = DivergenceClass::Ok;
+  for (const VariantResult &V : Variants)
+    if (static_cast<int>(V.Class) > static_cast<int>(W))
+      W = V.Class;
+  return W;
+}
+
+const VariantResult *OracleResult::firstBad() const {
+  DivergenceClass W = worst();
+  if (W == DivergenceClass::Ok)
+    return nullptr;
+  for (const VariantResult &V : Variants)
+    if (V.Class == W)
+      return &V;
+  return nullptr;
+}
+
+namespace {
+
+std::string firstError(const DiagnosticEngine &Diags) {
+  for (const Diagnostic &D : Diags.diagnostics())
+    if (D.Kind == DiagKind::Error)
+      return D.Message;
+  return "unknown error";
+}
+
+/// Registered pass names minus the no-op "verify" marker (VerifyEach
+/// already covers it, and keeping it out makes every sampled token a
+/// transformation).
+std::vector<std::string> transformPasses() {
+  std::vector<std::string> Names = pipeline::PassRegistry::instance().names();
+  Names.erase(std::remove(Names.begin(), Names.end(), "verify"),
+              Names.end());
+  return Names;
+}
+
+//===----------------------------------------------------------------------===//
+// Memory comparison
+//===----------------------------------------------------------------------===//
+
+/// One global's extent in a linked program.
+struct GlobalExtent {
+  std::string Name;
+  int64_t Addr = 0;
+  int64_t Bytes = 0;
+};
+
+std::vector<GlobalExtent> globalExtents(const titan::TitanProgram &P) {
+  std::vector<GlobalExtent> Out;
+  for (const auto &KV : P.GlobalAddresses)
+    Out.push_back({KV.first, KV.second, 0});
+  std::sort(Out.begin(), Out.end(),
+            [](const GlobalExtent &A, const GlobalExtent &B) {
+              return A.Addr < B.Addr;
+            });
+  for (size_t I = 0; I < Out.size(); ++I) {
+    int64_t End = (I + 1 < Out.size()) ? Out[I + 1].Addr : P.GlobalSize;
+    Out[I].Bytes = End - Out[I].Addr;
+  }
+  return Out;
+}
+
+/// Word-for-word comparison of every named global.  Layouts may differ
+/// between variants; only (name, contents) must agree.
+bool compareGlobals(const titan::TitanProgram &RefP,
+                    const titan::TitanMachine &RefM,
+                    const titan::TitanProgram &VarP,
+                    const titan::TitanMachine &VarM, std::string &Detail) {
+  for (const GlobalExtent &G : globalExtents(RefP)) {
+    auto It = VarP.GlobalAddresses.find(G.Name);
+    if (It == VarP.GlobalAddresses.end()) {
+      Detail = "global '" + G.Name + "' missing from variant program";
+      return false;
+    }
+    int64_t Words = G.Bytes / 4;
+    for (int64_t W = 0; W < Words; ++W) {
+      int32_t Ref = RefM.readInt(G.Addr + 4 * W);
+      int32_t Var = VarM.readInt(It->second + 4 * W);
+      // Signed-zero tolerance: -0.0f and +0.0f (word 0x80000000 vs 0) are
+      // numerically equal, and constant folding legitimately normalizes
+      // the sign; generated integers are masked far below INT_MIN, so the
+      // exemption cannot mask an integer difference.
+      if ((Ref == 0 && Var == INT32_MIN) || (Ref == INT32_MIN && Var == 0))
+        continue;
+      if (Ref != Var) {
+        char Buf[160];
+        std::snprintf(Buf, sizeof(Buf),
+                      "global '%s' word %lld: ref=0x%08x var=0x%08x",
+                      G.Name.c_str(), static_cast<long long>(W),
+                      static_cast<unsigned>(Ref), static_cast<unsigned>(Var));
+        Detail = Buf;
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+driver::CompilerOptions refOptions() {
+  driver::CompilerOptions O = driver::CompilerOptions::noOpt();
+  O.ReproDir.clear(); // the reference runs no passes; never write bundles
+  return O;
+}
+
+/// An empty -passes= spec means "default pipeline" to the driver, but the
+/// oracle's empty prefix means "no transformations at all" — substitute
+/// the registered no-op "verify" marker, which pins the pipeline to zero
+/// transforms while the Enable* toggles (and thus codegen's dependence
+/// scheduling) stay identical to every other variant.
+void forceEmptyPipeline(driver::CompilerOptions &O) { O.Passes = "verify"; }
+
+} // namespace
+
+driver::CompilerOptions
+fuzz::oracleVariantOptions(const std::string &Spec, const OracleOptions &Opts) {
+  driver::CompilerOptions O = driver::CompilerOptions::full();
+  O.Passes = Spec;
+  if (Spec.empty())
+    forceEmptyPipeline(O);
+  O.VerifyEach = true; // verifier rejections are first-class findings
+  O.SandboxPasses = true;
+  O.ReproDir = Opts.ReproDir;
+  O.FaultInject = Opts.FaultInject;
+  return O;
+}
+
+namespace {
+
+titan::TitanConfig runConfig(const OracleOptions &Opts) {
+  titan::TitanConfig C;
+  C.MaxInstructions = Opts.MaxInstructions;
+  return C;
+}
+
+/// Classifies one compiled-and-run variant against a clean reference.
+VariantResult classify(const std::string &Spec,
+                       const driver::RunOutcome &Ref,
+                       const driver::RunOutcome &Var) {
+  VariantResult R;
+  R.Spec = Spec;
+  for (const remarks::FaultRecord &F : Var.Compile->Telemetry.Faults) {
+    if (R.FaultPass.empty() || F.Kind == "verifier") {
+      R.FaultPass = F.Pass;
+      R.FaultKind = F.Kind;
+      R.ReproFile = F.ReproFile;
+    }
+    if (F.Kind == "verifier")
+      break;
+  }
+  if (!Var.Compile->ok()) {
+    R.Class = DivergenceClass::CompileError;
+    R.Detail = firstError(Var.Compile->Diags);
+    return R;
+  }
+  if (!Var.Run.Ok) {
+    R.Class = DivergenceClass::RunError;
+    R.Detail = Var.Run.Error;
+    return R;
+  }
+  std::string Detail;
+  if (!compareGlobals(Ref.Compile->Machine, *Ref.Machine,
+                      Var.Compile->Machine, *Var.Machine, Detail)) {
+    R.Class = DivergenceClass::OutputDivergence;
+    R.Detail = Detail;
+    return R;
+  }
+  for (const remarks::FaultRecord &F : Var.Compile->Telemetry.Faults) {
+    bool Verifier = F.Kind == "verifier";
+    R.Class = Verifier ? DivergenceClass::VerifierFault
+                       : DivergenceClass::Quarantine;
+    R.Detail = F.Pass + " on " + F.Function + ": " + F.Description;
+    if (Verifier)
+      return R;
+  }
+  return R; // Ok (or the last non-verifier fault found above)
+}
+
+} // namespace
+
+std::vector<std::string> fuzz::sampleVariantSpecs(uint64_t SampleSeed,
+                                                  unsigned Count, bool Wild) {
+  std::vector<std::string> Specs;
+  if (Count == 0)
+    return Specs;
+  Specs.push_back(driver::CompilerOptions::full().pipelineSpec());
+  Rng R(SampleSeed ^ 0x5fd1e8a3c0b4f972ull);
+  const std::vector<std::string> Names = transformPasses();
+  while (Specs.size() < Count) {
+    std::vector<std::string> Pick;
+    for (const std::string &N : Names)
+      if (R.chance(60))
+        Pick.push_back(N);
+    if (Pick.empty())
+      Pick.push_back(Names[R.below(Names.size())]);
+    if (Wild) // Fisher-Yates over the subsequence
+      for (size_t I = Pick.size(); I > 1; --I)
+        std::swap(Pick[I - 1], Pick[R.below(I)]);
+    Specs.push_back(pipeline::joinSpec(Pick));
+  }
+  return Specs;
+}
+
+OracleResult fuzz::runOracle(const std::string &Source,
+                             const OracleOptions &Opts) {
+  OracleResult Out;
+  driver::RunOutcome Ref =
+      driver::compileAndRun(Source, refOptions(), runConfig(Opts));
+  if (!Ref.Compile->ok()) {
+    Out.RefError = "reference compile failed: " + firstError(Ref.Compile->Diags);
+    return Out;
+  }
+  if (!Ref.Run.Ok) {
+    Out.RefError = "reference run failed: " + Ref.Run.Error;
+    return Out;
+  }
+  Out.RefOk = true;
+
+  for (const std::string &Spec :
+       sampleVariantSpecs(Opts.SampleSeed, Opts.Variants, Opts.WildOrders)) {
+    driver::RunOutcome Var =
+        driver::compileAndRun(Source, oracleVariantOptions(Spec, Opts),
+                              runConfig(Opts));
+    Out.Variants.push_back(classify(Spec, Ref, Var));
+  }
+  return Out;
+}
+
+VariantResult fuzz::checkVariant(const std::string &Source,
+                                 const std::string &Spec,
+                                 const OracleOptions &Opts) {
+  VariantResult R;
+  R.Spec = Spec;
+  driver::RunOutcome Ref =
+      driver::compileAndRun(Source, refOptions(), runConfig(Opts));
+  if (!Ref.Compile->ok() || !Ref.Run.Ok) {
+    R.Class = DivergenceClass::CompileError;
+    R.Detail = "reference: " + (Ref.Compile->ok()
+                                    ? Ref.Run.Error
+                                    : firstError(Ref.Compile->Diags));
+    R.FaultPass = "reference";
+    return R;
+  }
+  driver::RunOutcome Var = driver::compileAndRun(
+      Source, oracleVariantOptions(Spec, Opts), runConfig(Opts));
+  return classify(Spec, Ref, Var);
+}
+
+std::string fuzz::bisectCulprit(const std::string &Source,
+                                const std::string &Spec,
+                                DivergenceClass Class,
+                                const OracleOptions &Opts,
+                                std::string *PrefixSpec) {
+  std::vector<std::string> Passes = pipeline::splitSpec(Spec);
+  for (size_t Len = 0; Len <= Passes.size(); ++Len) {
+    std::vector<std::string> Prefix(Passes.begin(), Passes.begin() + Len);
+    std::string PSpec = pipeline::joinSpec(Prefix);
+    VariantResult R = checkVariant(Source, PSpec, Opts);
+    if (R.Class == Class && R.FaultPass != "reference") {
+      if (PrefixSpec)
+        *PrefixSpec = PSpec;
+      return Len == 0 ? std::string() : Prefix.back();
+    }
+  }
+  // Not prefix-reproducible (an interaction of the full order); blame the
+  // last pass so the bundle still names a pipeline position.
+  if (PrefixSpec)
+    *PrefixSpec = Spec;
+  return Passes.empty() ? std::string() : Passes.back();
+}
+
+std::string fuzz::serializeProgramAfter(const std::string &Source,
+                                        const std::string &Spec) {
+  driver::CompilerOptions O = driver::CompilerOptions::full();
+  O.Passes = Spec;
+  if (Spec.empty())
+    forceEmptyPipeline(O);
+  O.ReproDir.clear();
+  std::unique_ptr<driver::CompileResult> R = driver::compileSource(Source, O);
+  if (!R->ok() || !R->IL)
+    return "";
+  il::Function *Main = R->IL->findFunction("main");
+  return Main ? il::serializeFunction(*Main) : "";
+}

@@ -1,0 +1,150 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The differential oracle: one generated program, compiled at -O0 and
+/// under N sampled pass pipelines, every variant run on the Titan
+/// simulator, all global memory compared word-for-word.
+///
+/// The machine's contract ("functional execution is sequential and
+/// deterministic regardless of the timing options") plus the generator's
+/// exactness discipline make -O0 memory the unique admissible answer, so
+/// any variant that produces different bytes is a miscompile by
+/// definition.  The single sanctioned exception: a float word may differ
+/// between -0.0 and +0.0 (constant folding normalizes the sign of zero,
+/// and the two are numerically equal); generated integers are masked far
+/// below INT_MIN so the exemption cannot hide an integer difference.  Contained sandbox faults and verifier rejections are
+/// divergences in their own right even when the rollback keeps memory
+/// identical — a pass that had to be quarantined on generated input is a
+/// bug worth a bundle.
+///
+/// Classification, most severe first:
+///   OutputDivergence  variant ran but global memory differs from -O0
+///   VerifierFault     a sandboxed pass was rejected by the ILVerifier
+///   Quarantine        a sandboxed pass was contained for any other kind
+///   CompileError      the variant failed to compile (the -O0 build works)
+///   RunError          the variant compiled but its run failed or tripped
+///                     the instruction cap
+///   Ok                byte-identical memory, no faults
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_FUZZ_ORACLE_H
+#define TCC_FUZZ_ORACLE_H
+
+#include "driver/Compiler.h"
+#include "fuzz/Generator.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tcc {
+namespace fuzz {
+
+enum class DivergenceClass {
+  Ok,
+  RunError,
+  CompileError,
+  Quarantine,
+  VerifierFault,
+  OutputDivergence,
+};
+
+/// Stable class names ("ok", "run-error", "compile-error", "quarantine",
+/// "verifier", "output-divergence") — the vocabulary used in bundles,
+/// BENCH_fuzz.json, and -replay= output.
+const char *divergenceClassName(DivergenceClass C);
+
+/// Parses a class name; Ok on unknown input (callers validate separately).
+DivergenceClass divergenceClassFromName(const std::string &Name);
+
+/// How the oracle compiles and samples variants.
+struct OracleOptions {
+  /// Optimized variants per program.  Variant 0 is always the full
+  /// default pipeline; the rest are seeded samples.
+  unsigned Variants = 5;
+
+  /// Sample arbitrary pass permutations instead of order-preserving
+  /// subsequences of the registered pipeline.  Off by default: the
+  /// registered order is the one the pipeline promises to be sound
+  /// under, so CI campaigns stay subsequence-only and wild orders are
+  /// an explicit exploration mode.
+  bool WildOrders = false;
+
+  /// Seed for variant sampling (mixed with nothing else — the campaign
+  /// passes the program seed so program and variants pair up stably).
+  uint64_t SampleSeed = 0;
+
+  /// Forwarded into every optimized compile (-fault-inject= / -repro-dir=
+  /// semantics); the -O0 reference never takes injection.
+  std::string FaultInject;
+  std::string ReproDir;
+
+  /// Instruction cap per simulated run.  Generated loops are structurally
+  /// bounded, so the cap only trips on genuinely runaway optimized code.
+  uint64_t MaxInstructions = 32u * 1000 * 1000;
+};
+
+/// One optimized variant's verdict.
+struct VariantResult {
+  std::string Spec;       ///< The -passes= spec this variant compiled under.
+  DivergenceClass Class = DivergenceClass::Ok;
+  std::string Detail;     ///< Human-readable: what diverged / what faulted.
+  std::string FaultPass;  ///< Pass named by the first sandbox fault, if any.
+  std::string FaultKind;  ///< Sandbox fault kind ("verifier", "exception"...).
+  std::string ReproFile;  ///< Sandbox-written bundle path, if any.
+};
+
+/// The whole program's verdict.
+struct OracleResult {
+  bool RefOk = false;     ///< -O0 compiled and ran clean.
+  std::string RefError;   ///< Why not, when !RefOk (a generator bug).
+  std::vector<VariantResult> Variants;
+
+  /// The most severe variant class (Ok when all variants agree).
+  DivergenceClass worst() const;
+  /// First variant at the worst class; null when all Ok.
+  const VariantResult *firstBad() const;
+};
+
+/// The exact CompilerOptions the oracle compiles a variant under —
+/// exposed so bundles can record the true configuration fingerprint and
+/// `tcc -replay=` can re-run a finding identically.
+driver::CompilerOptions oracleVariantOptions(const std::string &Spec,
+                                             const OracleOptions &Opts);
+
+/// The sampled variant specs for \p SampleSeed: element 0 is the full
+/// default pipeline, the rest seeded subsequences (or permutations under
+/// \p Wild).  Pure function of its arguments.
+std::vector<std::string> sampleVariantSpecs(uint64_t SampleSeed,
+                                            unsigned Count, bool Wild);
+
+/// Compiles and runs \p Source at -O0, then under every sampled variant,
+/// comparing global memory and classifying each variant.
+OracleResult runOracle(const std::string &Source, const OracleOptions &Opts);
+
+/// Re-checks a single (source, spec) pair against -O0 — the reducer's
+/// interestingness test.  A source that no longer compiles at -O0 comes
+/// back as CompileError with Detail "reference: ...", which reducers must
+/// treat as "not interesting".
+VariantResult checkVariant(const std::string &Source, const std::string &Spec,
+                           const OracleOptions &Opts);
+
+/// Finds the culprit prefix of \p Spec: the shortest leading subsequence
+/// whose last pass flips the verdict from clean to \p Class.  Returns the
+/// culprit pass name ("" when even the empty pipeline misbehaves, which
+/// means codegen) and fills \p PrefixSpec with the full failing prefix.
+std::string bisectCulprit(const std::string &Source, const std::string &Spec,
+                          DivergenceClass Class, const OracleOptions &Opts,
+                          std::string *PrefixSpec = nullptr);
+
+/// Serialized IL of \p Source's whole program after running \p Spec
+/// (possibly empty) — the bundle payload for divergence findings: the IL
+/// immediately *before* the culprit pass runs.
+std::string serializeProgramAfter(const std::string &Source,
+                                  const std::string &Spec);
+
+} // namespace fuzz
+} // namespace tcc
+
+#endif // TCC_FUZZ_ORACLE_H

@@ -1,0 +1,223 @@
+#include "fuzz/Reducer.h"
+
+#include <cctype>
+#include <vector>
+
+using namespace tcc;
+using namespace tcc::fuzz;
+
+namespace {
+
+std::vector<std::string> splitLines(const std::string &S) {
+  std::vector<std::string> Lines;
+  std::string Cur;
+  for (char C : S) {
+    if (C == '\n') {
+      Lines.push_back(Cur);
+      Cur.clear();
+    } else {
+      Cur += C;
+    }
+  }
+  if (!Cur.empty())
+    Lines.push_back(Cur);
+  return Lines;
+}
+
+std::string joinLines(const std::vector<std::string> &Lines,
+                      const std::vector<bool> &Keep) {
+  std::string Out;
+  for (size_t I = 0; I < Lines.size(); ++I)
+    if (Keep[I]) {
+      Out += Lines[I];
+      Out += '\n';
+    }
+  return Out;
+}
+
+/// Cheap structural prefilter: braces must stay balanced and never go
+/// negative, or the candidate cannot parse and the oracle check would be
+/// wasted.
+bool bracesBalanced(const std::string &S) {
+  int Depth = 0;
+  for (char C : S) {
+    if (C == '{')
+      ++Depth;
+    else if (C == '}' && --Depth < 0)
+      return false;
+  }
+  return Depth == 0;
+}
+
+/// The reduction driver state: the oracle configuration of the original
+/// finding plus the check budget.
+struct Shrinker {
+  const std::string &Spec;
+  DivergenceClass Class;
+  const OracleOptions &Opts;
+  const ReduceOptions &ROpts;
+  unsigned Checks = 0;
+
+  bool budgetLeft() const { return Checks < ROpts.MaxChecks; }
+
+  /// The interestingness test: same class, same spec, reference intact.
+  bool interesting(const std::string &Candidate) {
+    if (!budgetLeft())
+      return false;
+    ++Checks;
+    VariantResult R = checkVariant(Candidate, Spec, Opts);
+    return R.Class == Class && R.FaultPass != "reference";
+  }
+};
+
+/// Statement-level ddmin over lines: delete chunks of halving size,
+/// keeping any deletion that stays interesting.  Returns true when
+/// anything was removed.
+bool ddminLines(std::vector<std::string> &Lines, Shrinker &S) {
+  bool Changed = false;
+  std::vector<bool> Keep(Lines.size(), true);
+  size_t Live = Lines.size();
+  for (size_t Chunk = std::max<size_t>(Live / 2, 1); Chunk >= 1;
+       Chunk = (Chunk == 1 ? 0 : Chunk / 2)) {
+    bool Removed = true;
+    while (Removed && S.budgetLeft()) {
+      Removed = false;
+      for (size_t Start = 0; Start < Lines.size(); Start += Chunk) {
+        if (!S.budgetLeft())
+          break;
+        // Tentatively drop [Start, Start+Chunk) of the *kept* view.
+        std::vector<bool> Trial = Keep;
+        bool Any = false;
+        for (size_t I = Start; I < std::min(Start + Chunk, Lines.size());
+             ++I)
+          if (Trial[I]) {
+            Trial[I] = false;
+            Any = true;
+          }
+        if (!Any)
+          continue;
+        std::string Candidate = joinLines(Lines, Trial);
+        if (!bracesBalanced(Candidate))
+          continue;
+        if (S.interesting(Candidate)) {
+          Keep = Trial;
+          Removed = true;
+          Changed = true;
+        }
+      }
+    }
+    if (Chunk == 0)
+      break;
+  }
+  std::vector<std::string> Out;
+  for (size_t I = 0; I < Lines.size(); ++I)
+    if (Keep[I])
+      Out.push_back(Lines[I]);
+  Lines = Out;
+  return Changed;
+}
+
+/// Replaces the numeric literal starting at \p Pos in \p Line with \p
+/// Repl; returns the new line.
+std::string spliceLiteral(const std::string &Line, size_t Pos, size_t Len,
+                          const std::string &Repl) {
+  return Line.substr(0, Pos) + Repl + Line.substr(Pos + Len);
+}
+
+/// Operand-level pass: shrink numeric literals toward 0/1 (floats toward
+/// 0.00/0.25), one at a time, re-checking each splice.  Shrinking can
+/// only tighten index and trip-count bounds, so candidates stay
+/// well-defined.  Returns true when anything changed.
+bool shrinkLiterals(std::vector<std::string> &Lines, Shrinker &S) {
+  bool Changed = false;
+  for (size_t LI = 0; LI < Lines.size() && S.budgetLeft(); ++LI) {
+    std::string &Line = Lines[LI];
+    for (size_t Pos = 0; Pos < Line.size() && S.budgetLeft();) {
+      if (!std::isdigit(static_cast<unsigned char>(Line[Pos])) ||
+          (Pos > 0 && (std::isalnum(static_cast<unsigned char>(
+                           Line[Pos - 1])) ||
+                       Line[Pos - 1] == '_' || Line[Pos - 1] == '.'))) {
+        ++Pos;
+        continue;
+      }
+      size_t End = Pos;
+      bool IsFloat = false;
+      while (End < Line.size() &&
+             (std::isdigit(static_cast<unsigned char>(Line[End])) ||
+              Line[End] == '.')) {
+        if (Line[End] == '.')
+          IsFloat = true;
+        ++End;
+      }
+      std::string Tok = Line.substr(Pos, End - Pos);
+      const char *Candidates[2];
+      if (IsFloat) {
+        Candidates[0] = "0.00";
+        Candidates[1] = "0.25";
+      } else {
+        Candidates[0] = "0";
+        Candidates[1] = "1";
+      }
+      bool Replaced = false;
+      for (const char *Repl : Candidates) {
+        if (Tok == Repl)
+          break;
+        std::string NewLine = spliceLiteral(Line, Pos, Tok.size(), Repl);
+        std::vector<std::string> Trial = Lines;
+        Trial[LI] = NewLine;
+        std::vector<bool> All(Trial.size(), true);
+        if (S.interesting(joinLines(Trial, All))) {
+          Line = NewLine;
+          Changed = true;
+          Replaced = true;
+          Pos += std::string(Repl).size();
+          break;
+        }
+      }
+      if (!Replaced)
+        Pos = End;
+    }
+  }
+  return Changed;
+}
+
+} // namespace
+
+ReduceResult fuzz::reduceSource(const std::string &Source,
+                                const std::string &Spec,
+                                DivergenceClass Class,
+                                const OracleOptions &Opts,
+                                const ReduceOptions &ROpts) {
+  ReduceResult Out;
+  std::vector<std::string> Lines = splitLines(Source);
+  Out.OriginalLines = Lines.size();
+
+  Shrinker S{Spec, Class, Opts, ROpts};
+  if (!S.interesting(Source)) {
+    // Not interesting on entry: echo back unreduced.
+    Out.Source = Source;
+    Out.ReducedLines = Lines.size();
+    Out.Checks = S.Checks;
+    return Out;
+  }
+
+  bool Changed = true;
+  unsigned Round = 0;
+  while (Changed && Round < ROpts.MaxRounds && S.budgetLeft()) {
+    ++Round;
+    Changed = false;
+    if (ddminLines(Lines, S))
+      Changed = true;
+    if (shrinkLiterals(Lines, S))
+      Changed = true;
+  }
+
+  std::vector<bool> All(Lines.size(), true);
+  Out.Source = joinLines(Lines, All);
+  Out.ReducedLines = Lines.size();
+  Out.Checks = S.Checks;
+  // A fixed point requires a full sweep that changed nothing AND budget
+  // to spare — a sweep aborted by the check budget proves nothing.
+  Out.Converged = !Changed && S.budgetLeft();
+  return Out;
+}

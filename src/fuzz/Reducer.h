@@ -1,0 +1,73 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The delta-debugging reducer: shrinks a divergence-triggering program
+/// to a small reproducer while preserving the oracle's verdict.
+///
+/// Two alternating phases run to a fixed point:
+///
+///  - **statement-level ddmin** over source lines (the generator emits
+///    one statement per line, with `{`-suffixed headers and lone `}`
+///    footers, so line deletion is statement deletion).  Chunks of
+///    halving size are deleted and the oracle re-checked; a candidate
+///    that breaks brace balance is rejected before ever reaching the
+///    compiler, and one that no longer compiles at -O0 is rejected by
+///    the oracle itself (the reference failure is never "interesting").
+///
+///  - **operand-level simplification**: numeric literals shrink toward
+///    0/1 one token at a time, each step re-checked.  Shrinking literals
+///    can only tighten the generator's bounds (smaller masks, smaller
+///    trip counts), so well-definedness is preserved by construction and
+///    the oracle remains the sole arbiter of interestingness.
+///
+/// The invariant throughout: every intermediate accepted program shows
+/// the *same* divergence class on the *same* variant spec as the
+/// original finding — a reducer that wanders to a different bug has
+/// reduced nothing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_FUZZ_REDUCER_H
+#define TCC_FUZZ_REDUCER_H
+
+#include "fuzz/Oracle.h"
+
+#include <string>
+
+namespace tcc {
+namespace fuzz {
+
+struct ReduceOptions {
+  /// Ceiling on ddmin+operand rounds (each round is a full sweep); the
+  /// reducer almost always reaches a fixed point in 2-4.
+  unsigned MaxRounds = 8;
+  /// Ceiling on oracle checks across the whole reduction.
+  unsigned MaxChecks = 2000;
+};
+
+struct ReduceResult {
+  std::string Source;    ///< The reduced program (still interesting).
+  size_t OriginalLines = 0;
+  size_t ReducedLines = 0;
+  unsigned Checks = 0;   ///< Oracle invocations spent.
+  bool Converged = false; ///< Reached a fixed point within the budgets.
+
+  double ratio() const {
+    return OriginalLines == 0
+               ? 1.0
+               : static_cast<double>(ReducedLines) /
+                     static_cast<double>(OriginalLines);
+  }
+};
+
+/// Shrinks \p Source while checkVariant(result, Spec, Opts) still reports
+/// \p Class.  \p Source must be interesting on entry; if it is not, the
+/// result echoes it back unchanged with Converged=false.
+ReduceResult reduceSource(const std::string &Source, const std::string &Spec,
+                          DivergenceClass Class, const OracleOptions &Opts,
+                          const ReduceOptions &ROpts = {});
+
+} // namespace fuzz
+} // namespace tcc
+
+#endif // TCC_FUZZ_REDUCER_H

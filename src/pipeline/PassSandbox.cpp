@@ -338,6 +338,27 @@ bool pipeline::loadReproBundle(const std::string &Path, ReproBundle &Out,
       Out.Config = Rest;
     } else if (splitKeyed(L, "description", Rest)) {
       Out.Description = Rest;
+    } else if (splitKeyed(L, "oracle", Rest)) {
+      Out.Oracle = Rest;
+    } else if (splitKeyed(L, "spec", Rest)) {
+      Out.VariantSpec = Rest;
+    } else if (splitKeyed(L, "csource", Rest)) {
+      size_t Bytes = 0;
+      for (char C : Rest) {
+        if (C < '0' || C > '9' || Bytes > Text.size())
+          return Fail("malformed csource length '" + Rest + "'");
+        Bytes = Bytes * 10 + static_cast<size_t>(C - '0');
+      }
+      if (Bytes > Text.size() || Pos > Text.size() - Bytes)
+        return Fail("truncated csource payload (wants " +
+                    std::to_string(Bytes) + " bytes)");
+      Out.CSource = Text.substr(Pos, Bytes);
+      Pos += Bytes;
+      // Skip the newline the writer appends after the payload.
+      if (Pos < Text.size() && Text[Pos] == '\n') {
+        ++Pos;
+        ++Line;
+      }
     } else if (splitKeyed(L, "il", Rest)) {
       size_t Bytes = 0;
       for (char C : Rest) {

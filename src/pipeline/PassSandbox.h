@@ -138,6 +138,16 @@ struct ReproBundle {
   std::string Config;      ///< Option fingerprint of the original compile.
   std::string InjectSpec;  ///< Fault-injection spec to re-arm; "-" = none.
   std::string IL;          ///< Pre-pass serialized function IL.
+
+  // Differential-fuzzing extension (src/fuzz).  Bundles written by the
+  // sandbox itself leave these empty; the fuzz campaign augments its
+  // findings with the oracle class ("output-divergence", "verifier",
+  // "quarantine"), the -passes= variant spec that diverged, and the
+  // reduced C source, so `tcc -replay=` can re-run the *whole-program*
+  // differential check instead of a single pass invocation.
+  std::string Oracle;      ///< Divergence class name; empty = plain bundle.
+  std::string VariantSpec; ///< The -passes= spec the oracle flagged.
+  std::string CSource;     ///< Reduced C program (the oracle's input).
   bool VerifyEach = false;
   double PassBudgetMs = 0.0;
   uint64_t StmtGrowthFactor = 0;

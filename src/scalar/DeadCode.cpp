@@ -48,8 +48,13 @@ private:
     case Stmt::IfKind:
       return exprReadsVolatile(static_cast<const IfStmt *>(S)->getCond());
     case Stmt::WhileKind:
-      return exprReadsVolatile(
-          static_cast<const WhileStmt *>(S)->getCond());
+      // A while loop is never removed by the sweep (it may spin on
+      // purpose), so its condition is evaluated at run time no matter
+      // what happens to the body: the defs reaching it — including the
+      // increments *inside* the body, via the back edge — must stay
+      // live, or a terminating loop silently becomes an infinite one
+      // once its body is emptied.
+      return true;
     case Stmt::DoLoopKind:
       return false;
     }

@@ -1,0 +1,84 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Corpus replay: every checked-in program under tests/corpus/ — bench
+/// kernels, pinned generator output, and reduced reproducers of past
+/// findings — is swept through the differential oracle and must come
+/// back clean: -O0 compiles and runs, and every sampled pass pipeline
+/// produces byte-identical global memory.
+///
+/// This is the regression net under the fuzzing fleet: a campaign finds
+/// a bug once, the reducer shrinks it, the reproducer lands here, and
+/// from then on the exact shape is re-checked on every ctest run.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+using namespace tcc;
+using namespace tcc::fuzz;
+
+namespace {
+
+std::vector<std::string> corpusEntries() {
+  std::vector<std::string> Out;
+  const std::filesystem::path Dir(TCC_CORPUS_DIR);
+  for (const auto &Entry : std::filesystem::directory_iterator(Dir))
+    if (Entry.path().extension() == ".c")
+      Out.push_back(Entry.path().string());
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+class CorpusReplay : public ::testing::TestWithParam<std::string> {};
+
+std::string testName(const ::testing::TestParamInfo<std::string> &Info) {
+  std::string Stem = std::filesystem::path(Info.param).stem().string();
+  for (char &C : Stem)
+    if (!std::isalnum(static_cast<unsigned char>(C)))
+      C = '_';
+  return Stem;
+}
+
+} // namespace
+
+TEST_P(CorpusReplay, OracleClean) {
+  const std::string Source = readFile(GetParam());
+  ASSERT_FALSE(Source.empty()) << GetParam();
+
+  OracleOptions OO;
+  OO.Variants = 4;
+  // A fixed sample seed: the corpus run is the same set of pipelines
+  // every time, so a red entry is reproducible by name alone.
+  OO.SampleSeed = 0x7c0a5u;
+  OracleResult R = runOracle(Source, OO);
+  ASSERT_TRUE(R.RefOk) << GetParam() << ": " << R.RefError;
+  for (const VariantResult &V : R.Variants)
+    EXPECT_EQ(V.Class, DivergenceClass::Ok)
+        << GetParam() << " under -passes=" << V.Spec << ": " << V.Detail;
+}
+
+TEST(CorpusReplay, CorpusIsPresent) {
+  // The glob must find the checked-in entries; an empty corpus means the
+  // TCC_CORPUS_DIR wiring broke and every replay silently vanished.
+  EXPECT_GE(corpusEntries().size(), 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEntries, CorpusReplay,
+                         ::testing::ValuesIn(corpusEntries()), testName);

@@ -329,6 +329,157 @@ TEST(ExecTest, EmbeddedAssignmentChain) {
   EXPECT_EQ(globalInt(Out, "r3"), 5);
 }
 
+//===----------------------------------------------------------------------===//
+// Subset semantics the fuzzer's well-definedness discipline leans on:
+// these idioms must mean the same thing at every optimization level, or
+// the differential oracle has no fixed reference to compare against.
+//===----------------------------------------------------------------------===//
+
+TEST(ExecTest, MaskedWraparoundIdioms) {
+  // The generator keeps every intermediate in range by masking after each
+  // step; the masks themselves must behave like the C operators they are.
+  auto Out = run(R"(
+    int r1; int r2; int r3; int r4;
+    void main() {
+      int a; int i;
+      a = 0;
+      for (i = 0; i < 100; i++)
+        a = (a * 37 + i) & 1023;
+      r1 = a;
+      r2 = (255 + 1) & 255;
+      r3 = ((1 << 4) - 1) & (7 << 2);
+      r4 = (12345 & 4095) >> 3;
+    }
+  )");
+  EXPECT_EQ(globalInt(Out, "r1"), 1014);
+  EXPECT_EQ(globalInt(Out, "r2"), 0);
+  EXPECT_EQ(globalInt(Out, "r3"), 12);
+  EXPECT_EQ(globalInt(Out, "r4"), 7);
+}
+
+TEST(ExecTest, DivisionAndRemainderTruncation) {
+  // Non-negative operands only (the generator's discipline): quotient
+  // truncates toward zero and (a/b)*b + a%b == a.
+  auto Out = run(R"(
+    int r1; int r2; int r3; int r4;
+    void main() {
+      int a; int b;
+      a = 1003; b = (a & 7) + 1;
+      r1 = a / b;
+      r2 = a % b;
+      r3 = r1 * b + r2;
+      r4 = 17 / 5 + 17 % 5;
+    }
+  )");
+  EXPECT_EQ(globalInt(Out, "r1"), 250);
+  EXPECT_EQ(globalInt(Out, "r2"), 3);
+  EXPECT_EQ(globalInt(Out, "r3"), 1003);
+  EXPECT_EQ(globalInt(Out, "r4"), 5);
+}
+
+TEST(ExecTest, ShortCircuitEvaluationSkipsRHS) {
+  // The RHS of && / || must not execute when the LHS decides: the
+  // embedded assignments observe evaluation, and a division whose guard
+  // failed must never run.
+  auto Out = run(R"(
+    int r1; int r2; int touched;
+    void main() {
+      int a; int d;
+      touched = 0;
+      a = 0;
+      d = 0;
+      if (a != 0 && (touched = 1) != 0) r1 = 99; else r1 = 1;
+      if (a == 0 || (touched = 2) != 0) r2 = 2; else r2 = 99;
+      if (d != 0 && 100 / d > 0) r2 = r2 + 10;
+    }
+  )");
+  EXPECT_EQ(globalInt(Out, "r1"), 1);
+  EXPECT_EQ(globalInt(Out, "r2"), 2);
+  EXPECT_EQ(globalInt(Out, "touched"), 0);
+}
+
+TEST(ExecTest, ShortCircuitInLoopCondition) {
+  auto Out = run(R"(
+    int a[16]; int r1;
+    void main() {
+      int i; int n;
+      for (i = 0; i < 16; i++) a[i] = i;
+      n = 0;
+      i = 0;
+      while (i < 16 && a[i] < 10) { n = n + 1; i = i + 1; }
+      r1 = n;
+    }
+  )");
+  EXPECT_EQ(globalInt(Out, "r1"), 10);
+}
+
+TEST(ExecTest, ArrayOfArrayIndexing) {
+  // Row-major [i][j] addressing, aliased row/column walks, and a
+  // transpose-style update reading one element while writing another.
+  auto Out = run(R"(
+    int m[4][4]; int r1; int r2; int r3;
+    void main() {
+      int i; int j;
+      for (i = 0; i < 4; i++)
+        for (j = 0; j < 4; j++)
+          m[i][j] = i * 4 + j;
+      r1 = m[2][3];
+      for (i = 0; i < 4; i++)
+        for (j = 0; j < 4; j++)
+          if (i < j) m[i][j] = m[j][i];
+      r2 = m[1][2];
+      r3 = m[0][3] + m[3][0] * 100;
+    }
+  )");
+  EXPECT_EQ(globalInt(Out, "r1"), 11);
+  EXPECT_EQ(globalInt(Out, "r2"), 9);
+  EXPECT_EQ(globalInt(Out, "r3"), 1212);
+}
+
+TEST(ExecTest, MaskedIndirectIndexing) {
+  // Index expressions masked into a power-of-two array size — the
+  // generator's only indirect-addressing shape.
+  auto Out = run(R"(
+    int a[8]; int b[8]; int r1;
+    void main() {
+      int i;
+      for (i = 0; i < 8; i++) { a[i] = 7 - i; b[i] = 0; }
+      for (i = 0; i < 8; i++) b[a[i] & 7] = i;
+      r1 = b[0] * 10 + b[7];
+    }
+  )");
+  EXPECT_EQ(globalInt(Out, "r1"), 70);
+}
+
+TEST(ExecTest, EmptiedWhileBodyStillAdvances) {
+  // Regression for a DCE liveness hole found by the fuzzer: when dead
+  // code elimination empties a while body, the increments feeding the
+  // loop condition via the back edge must survive, or a terminating
+  // loop becomes an infinite spin.
+  titan::TitanConfig C;
+  C.MaxInstructions = 1000000;
+  for (const char *Spec : {"dce", "constprop,dce", "ivsub,dce"}) {
+    CompilerOptions O = CompilerOptions::full();
+    O.Passes = Spec;
+    auto Out = compileAndRun(R"(
+      int r1;
+      void main() {
+        int i; int dead;
+        for (i = 0; i < 5; i++) {
+          dead = i * 3;
+          if ((dead & 0) != 0) { }
+        }
+        r1 = i;
+      }
+    )",
+                             O, C);
+    ASSERT_TRUE(Out.Run.Ok) << Spec << ": " << Out.Run.Error;
+    int64_t Addr = Out.Machine->addressOf("r1");
+    ASSERT_GE(Addr, 0);
+    EXPECT_EQ(Out.Machine->readInt(Addr), 5) << Spec;
+  }
+}
+
 TEST(ExecTest, InfiniteLoopTrapsOnBudget) {
   titan::TitanConfig C;
   C.MaxInstructions = 100000;

@@ -1,0 +1,500 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the differential fuzzing fleet: generator determinism and
+/// validity, oracle classification, delta-debugging reducer convergence,
+/// crash-bundle round-trips, and campaign sharding determinism.
+///
+/// Injected faults (via the deterministic fault injector) stand in for
+/// real miscompiles: "constprop:*:corrupt-il" makes the verifier reject
+/// constprop's output, "constprop:*:throw" makes the sandbox quarantine
+/// it — both must classify, bisect, reduce, and bundle exactly like a
+/// genuine bug would.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Campaign.h"
+#include "fuzz/Generator.h"
+#include "fuzz/Oracle.h"
+#include "fuzz/Reducer.h"
+#include "pipeline/PassRegistry.h"
+#include "pipeline/PassSandbox.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <unistd.h>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+using namespace tcc;
+using namespace tcc::fuzz;
+
+namespace {
+
+/// A unique scratch directory per test, removed on destruction.
+struct TempDir {
+  std::filesystem::path Path;
+  explicit TempDir(const std::string &Tag) {
+    Path = std::filesystem::temp_directory_path() /
+           ("tcc-fuzz-test-" + Tag + "-" + std::to_string(::getpid()));
+    std::filesystem::remove_all(Path);
+    std::filesystem::create_directories(Path);
+  }
+  ~TempDir() {
+    std::error_code EC;
+    std::filesystem::remove_all(Path, EC);
+  }
+  std::string str() const { return Path.string(); }
+};
+
+/// Small, fast campaign shape shared by the campaign tests.
+CampaignOptions quickCampaign(uint64_t Seed, uint64_t Programs,
+                              unsigned Shards) {
+  CampaignOptions C;
+  C.Seed = Seed;
+  C.Programs = Programs;
+  C.Shards = Shards;
+  C.Oracle.Variants = 2;
+  C.ReproDir.clear();
+  return C;
+}
+
+size_t countLines(const std::string &S) {
+  size_t N = 0;
+  for (char C : S)
+    if (C == '\n')
+      ++N;
+  return N;
+}
+
+//===----------------------------------------------------------------------===//
+// Rng and seeds
+//===----------------------------------------------------------------------===//
+
+TEST(FuzzRng, SplitmixStreamIsFixed) {
+  // The stream is a platform contract: pinned values guard against any
+  // accidental switch to std::rand or library distributions.
+  Rng R(0);
+  EXPECT_EQ(R.next(), 0xe220a8397b1dcdafull);
+  EXPECT_EQ(R.next(), 0x6e789e6aa1b965f4ull);
+  Rng R2(42);
+  uint64_t First = R2.next();
+  EXPECT_EQ(Rng(42).next(), First);
+  EXPECT_NE(Rng(43).next(), First);
+}
+
+TEST(FuzzRng, BoundedHelpers) {
+  Rng R(7);
+  for (int I = 0; I < 200; ++I) {
+    EXPECT_LT(R.below(10), 10u);
+    int64_t V = R.range(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+  }
+  Rng Always(1);
+  for (int I = 0; I < 50; ++I)
+    EXPECT_TRUE(Always.chance(100));
+}
+
+TEST(FuzzRng, ProgramSeedIndependentOfSharding) {
+  // programSeed is a pure function of (campaign seed, index) — the same
+  // program set no matter how a campaign is sharded.
+  std::set<uint64_t> Seeds;
+  for (uint64_t I = 0; I < 64; ++I) {
+    uint64_t S = programSeed(99, I);
+    EXPECT_EQ(S, programSeed(99, I));
+    Seeds.insert(S);
+  }
+  EXPECT_EQ(Seeds.size(), 64u); // no collisions in a small campaign
+  EXPECT_NE(programSeed(99, 0), programSeed(100, 0));
+}
+
+//===----------------------------------------------------------------------===//
+// Generator
+//===----------------------------------------------------------------------===//
+
+TEST(FuzzGenerator, SameSeedByteIdentical) {
+  for (uint64_t Seed : {1ull, 42ull, 0xdeadbeefull}) {
+    GenProgram A = generateProgram(Seed);
+    GenProgram B = generateProgram(Seed);
+    EXPECT_EQ(A.Source, B.Source) << "seed " << Seed;
+    EXPECT_EQ(A.Globals, B.Globals);
+  }
+}
+
+TEST(FuzzGenerator, DifferentSeedsDiffer) {
+  EXPECT_NE(generateProgram(1).Source, generateProgram(2).Source);
+}
+
+TEST(FuzzGenerator, GeneratedProgramsRunCleanAtO0) {
+  // The well-definedness discipline in practice: every generated program
+  // must parse, verify, and run to completion unoptimized.
+  for (uint64_t I = 0; I < 25; ++I) {
+    uint64_t Seed = programSeed(7, I);
+    GenProgram P = generateProgram(Seed);
+    driver::CompilerOptions O = driver::CompilerOptions::noOpt();
+    O.VerifyEach = true;
+    driver::RunOutcome Out = driver::compileAndRun(P.Source, O, {});
+    ASSERT_TRUE(Out.Compile->ok())
+        << "seed " << Seed << ":\n" << P.Source;
+    EXPECT_TRUE(Out.Compile->Telemetry.Faults.empty()) << "seed " << Seed;
+    EXPECT_TRUE(Out.Run.Ok) << "seed " << Seed << ": " << Out.Run.Error;
+  }
+}
+
+TEST(FuzzGenerator, CoversStatementShapes) {
+  // Across a modest seed range the generator must exercise the whole
+  // statement surface the issue names — loops, while/do conversion
+  // shapes, conditionals, and leaf calls.
+  std::string All;
+  for (uint64_t I = 0; I < 40; ++I)
+    All += generateProgram(programSeed(3, I)).Source;
+  EXPECT_NE(All.find("for ("), std::string::npos);
+  EXPECT_NE(All.find("while ("), std::string::npos);
+  EXPECT_NE(All.find("do {"), std::string::npos);
+  EXPECT_NE(All.find("if ("), std::string::npos);
+  EXPECT_NE(All.find("leaf"), std::string::npos); // generated leaf calls
+}
+
+TEST(FuzzGenerator, ObservedGlobalsDeclared) {
+  GenProgram P = generateProgram(11);
+  EXPECT_FALSE(P.Globals.empty());
+  for (const std::string &G : P.Globals)
+    EXPECT_NE(P.Source.find(G), std::string::npos) << G;
+}
+
+//===----------------------------------------------------------------------===//
+// Variant sampling and classification vocabulary
+//===----------------------------------------------------------------------===//
+
+TEST(FuzzOracle, SampleSpecsDeterministicAndAnchored) {
+  std::vector<std::string> A = sampleVariantSpecs(5, 6, false);
+  std::vector<std::string> B = sampleVariantSpecs(5, 6, false);
+  EXPECT_EQ(A, B);
+  ASSERT_EQ(A.size(), 6u);
+  // Element 0 is always the full default pipeline — the campaign's
+  // baseline variant.
+  EXPECT_EQ(A[0], driver::CompilerOptions::full().pipelineSpec());
+  // Sampled specs are subsequences of registered transforms, no "verify".
+  for (const std::string &Spec : A)
+    for (const std::string &Pass : pipeline::splitSpec(Spec))
+      EXPECT_NE(Pass, "verify");
+  EXPECT_NE(sampleVariantSpecs(6, 6, false), A);
+}
+
+TEST(FuzzOracle, WildOrdersStillDeterministic) {
+  EXPECT_EQ(sampleVariantSpecs(9, 8, true), sampleVariantSpecs(9, 8, true));
+}
+
+TEST(FuzzOracle, ClassNamesRoundTrip) {
+  for (DivergenceClass C :
+       {DivergenceClass::RunError, DivergenceClass::CompileError,
+        DivergenceClass::Quarantine, DivergenceClass::VerifierFault,
+        DivergenceClass::OutputDivergence}) {
+    EXPECT_EQ(divergenceClassFromName(divergenceClassName(C)), C);
+  }
+  EXPECT_EQ(divergenceClassFromName("nonsense"), DivergenceClass::Ok);
+}
+
+//===----------------------------------------------------------------------===//
+// Oracle
+//===----------------------------------------------------------------------===//
+
+TEST(FuzzOracle, CleanProgramAllVariantsOk) {
+  GenProgram P = generateProgram(programSeed(1, 0));
+  OracleOptions OO;
+  OO.Variants = 4;
+  OO.SampleSeed = P.Seed;
+  OracleResult R = runOracle(P.Source, OO);
+  ASSERT_TRUE(R.RefOk) << R.RefError;
+  ASSERT_EQ(R.Variants.size(), 4u);
+  EXPECT_EQ(R.worst(), DivergenceClass::Ok);
+  EXPECT_EQ(R.firstBad(), nullptr);
+}
+
+TEST(FuzzOracle, CorruptILClassifiesAsVerifierFault) {
+  GenProgram P = generateProgram(programSeed(1, 1));
+  OracleOptions OO;
+  OO.FaultInject = "constprop:*:corrupt-il";
+  std::string Spec = driver::CompilerOptions::full().pipelineSpec();
+  VariantResult R = checkVariant(P.Source, Spec, OO);
+  EXPECT_EQ(R.Class, DivergenceClass::VerifierFault);
+  EXPECT_EQ(R.FaultPass, "constprop");
+  EXPECT_EQ(R.FaultKind, "verifier");
+}
+
+TEST(FuzzOracle, ThrowClassifiesAsQuarantine) {
+  GenProgram P = generateProgram(programSeed(1, 2));
+  OracleOptions OO;
+  OO.FaultInject = "dce:*:throw";
+  std::string Spec = driver::CompilerOptions::full().pipelineSpec();
+  VariantResult R = checkVariant(P.Source, Spec, OO);
+  EXPECT_EQ(R.Class, DivergenceClass::Quarantine);
+  EXPECT_EQ(R.FaultPass, "dce");
+}
+
+TEST(FuzzOracle, ReferenceFailureIsNeverInteresting) {
+  // Reducers probe candidate programs that may not compile at all; the
+  // oracle must pin the blame on the reference, not report a variant bug.
+  VariantResult R = checkVariant("void main() { undeclared = 1; }",
+                                 "constprop", OracleOptions());
+  EXPECT_EQ(R.Class, DivergenceClass::CompileError);
+  EXPECT_EQ(R.FaultPass, "reference");
+}
+
+TEST(FuzzOracle, EmptySpecMeansNoPasses) {
+  // The bisection's base case: an empty spec must compile with zero
+  // transformations, not fall back to the default pipeline.
+  driver::CompilerOptions O = oracleVariantOptions("", OracleOptions());
+  for (const std::string &Pass : pipeline::splitSpec(
+           O.Passes.empty() ? O.pipelineSpec() : O.Passes))
+    EXPECT_EQ(Pass, "verify"); // the no-op marker, never a transform
+  GenProgram P = generateProgram(programSeed(1, 3));
+  VariantResult R = checkVariant(P.Source, "", OracleOptions());
+  EXPECT_EQ(R.Class, DivergenceClass::Ok) << R.Detail;
+}
+
+TEST(FuzzOracle, BisectFindsInjectedCulprit) {
+  GenProgram P = generateProgram(programSeed(1, 4));
+  OracleOptions OO;
+  OO.FaultInject = "ivsub:*:corrupt-il";
+  std::string Spec = driver::CompilerOptions::full().pipelineSpec();
+  VariantResult R = checkVariant(P.Source, Spec, OO);
+  ASSERT_EQ(R.Class, DivergenceClass::VerifierFault);
+  std::string PrefixSpec;
+  std::string Culprit =
+      bisectCulprit(P.Source, Spec, R.Class, OO, &PrefixSpec);
+  EXPECT_EQ(Culprit, "ivsub");
+  // The failing prefix ends at the culprit.
+  std::vector<std::string> Prefix = pipeline::splitSpec(PrefixSpec);
+  ASSERT_FALSE(Prefix.empty());
+  EXPECT_EQ(Prefix.back(), "ivsub");
+}
+
+//===----------------------------------------------------------------------===//
+// Reducer
+//===----------------------------------------------------------------------===//
+
+TEST(FuzzReducer, ConvergesOnInjectedFault) {
+  GenProgram P = generateProgram(programSeed(1, 5));
+  OracleOptions OO;
+  OO.FaultInject = "constprop:*:corrupt-il";
+  std::string Spec = driver::CompilerOptions::full().pipelineSpec();
+  VariantResult Bad = checkVariant(P.Source, Spec, OO);
+  ASSERT_EQ(Bad.Class, DivergenceClass::VerifierFault);
+
+  ReduceResult R = reduceSource(P.Source, Spec, Bad.Class, OO);
+  EXPECT_TRUE(R.Converged);
+  EXPECT_LE(R.ReducedLines, 25u); // the acceptance bar for reproducers
+  EXPECT_LT(R.ReducedLines, R.OriginalLines);
+  EXPECT_GT(R.Checks, 0u);
+  // The reduced program still shows the same class on the same spec.
+  VariantResult After = checkVariant(R.Source, Spec, OO);
+  EXPECT_EQ(After.Class, Bad.Class);
+  EXPECT_NE(After.FaultPass, "reference");
+}
+
+TEST(FuzzReducer, UninterestingInputEchoesBack) {
+  GenProgram P = generateProgram(programSeed(1, 6));
+  // No injection: the program is clean, so claiming VerifierFault is not
+  // reproducible and the reducer must bail without inventing a program.
+  ReduceResult R =
+      reduceSource(P.Source, driver::CompilerOptions::full().pipelineSpec(),
+                   DivergenceClass::VerifierFault, OracleOptions());
+  EXPECT_FALSE(R.Converged);
+  EXPECT_EQ(R.Source, P.Source);
+}
+
+TEST(FuzzReducer, RespectsCheckBudget) {
+  GenProgram P = generateProgram(programSeed(1, 7));
+  OracleOptions OO;
+  OO.FaultInject = "constprop:*:corrupt-il";
+  ReduceOptions RO;
+  RO.MaxChecks = 3; // far too small to converge
+  ReduceResult R =
+      reduceSource(P.Source, driver::CompilerOptions::full().pipelineSpec(),
+                   DivergenceClass::VerifierFault, OO, RO);
+  EXPECT_LE(R.Checks, 4u); // one sweep may overshoot by the probe itself
+  EXPECT_FALSE(R.Converged);
+}
+
+//===----------------------------------------------------------------------===//
+// Campaign
+//===----------------------------------------------------------------------===//
+
+TEST(FuzzCampaign, CleanCampaignFindsNothing) {
+  DiagnosticEngine Diags;
+  CampaignResult R = runCampaign(quickCampaign(1, 8, 2), Diags);
+  EXPECT_EQ(R.Executed, 8u);
+  EXPECT_EQ(R.RefFailures, 0u);
+  EXPECT_EQ(R.Crashed, 0u);
+  EXPECT_TRUE(R.Findings.empty());
+  EXPECT_EQ(R.unreduced(), 0u);
+  EXPECT_FALSE(R.anyQuarantinedShard());
+  ASSERT_EQ(R.Shards.size(), 2u);
+  EXPECT_EQ(R.Shards[0].Count + R.Shards[1].Count, 8u);
+}
+
+TEST(FuzzCampaign, InjectedFaultYieldsOneReducedFinding) {
+  DiagnosticEngine Diags;
+  CampaignOptions C = quickCampaign(2, 6, 2);
+  C.FaultInject = "constprop:*:corrupt-il";
+  CampaignResult R = runCampaign(C, Diags);
+  // Six programs all hit the same injected bug -> exactly one finding.
+  ASSERT_EQ(R.Findings.size(), 1u);
+  const Finding &F = R.Findings[0];
+  EXPECT_EQ(F.Class, DivergenceClass::VerifierFault);
+  EXPECT_EQ(F.CulpritPass, "constprop");
+  EXPECT_EQ(F.Signature, "verifier|constprop");
+  EXPECT_EQ(F.Hits, 6u);
+  EXPECT_TRUE(F.Reduced);
+  EXPECT_LE(F.ReducedLines, 25u);
+  EXPECT_EQ(R.Divergent, 6u);
+  EXPECT_EQ(R.unreduced(), 0u);
+}
+
+TEST(FuzzCampaign, FindingsIdenticalAcrossShardCounts) {
+  // The determinism contract: same seed, same findings, byte-identical,
+  // whether the fleet runs on 1 shard or 4.
+  DiagnosticEngine D1, D4;
+  CampaignOptions C1 = quickCampaign(3, 10, 1);
+  CampaignOptions C4 = quickCampaign(3, 10, 4);
+  C1.FaultInject = C4.FaultInject = "vectorize:*:corrupt-il";
+  CampaignResult R1 = runCampaign(C1, D1);
+  CampaignResult R4 = runCampaign(C4, D4);
+  EXPECT_EQ(R1.Executed, R4.Executed);
+  EXPECT_EQ(R1.Divergent, R4.Divergent);
+  ASSERT_EQ(R1.Findings.size(), R4.Findings.size());
+  for (size_t I = 0; I < R1.Findings.size(); ++I) {
+    EXPECT_EQ(R1.Findings[I].Signature, R4.Findings[I].Signature);
+    EXPECT_EQ(R1.Findings[I].Seed, R4.Findings[I].Seed);
+    EXPECT_EQ(R1.Findings[I].Spec, R4.Findings[I].Spec);
+    EXPECT_EQ(R1.Findings[I].Hits, R4.Findings[I].Hits);
+    EXPECT_EQ(R1.Findings[I].Source, R4.Findings[I].Source);
+  }
+}
+
+TEST(FuzzCampaign, ShardQuarantineSkipsRangeAndReports) {
+  DiagnosticEngine Diags;
+  CampaignOptions C = quickCampaign(4, 8, 2);
+  C.FaultInject = "fuzz:shard0:throw";
+  CampaignResult R = runCampaign(C, Diags);
+  ASSERT_EQ(R.Shards.size(), 2u);
+  EXPECT_TRUE(R.Shards[0].Quarantined);
+  EXPECT_FALSE(R.Shards[0].Error.empty());
+  EXPECT_FALSE(R.Shards[1].Quarantined);
+  EXPECT_TRUE(R.anyQuarantinedShard());
+  // Shard 1's half still executed; shard 0's range was skipped.
+  EXPECT_EQ(R.Executed, R.Shards[1].Count);
+  EXPECT_EQ(R.unreduced(), 0u); // a quarantine is not a finding failure
+}
+
+TEST(FuzzCampaign, BenchRowAppendsValidJson) {
+  TempDir Dir("bench");
+  std::string Bench = Dir.str() + "/BENCH_fuzz.json";
+  DiagnosticEngine Diags;
+  CampaignOptions C = quickCampaign(5, 4, 1);
+  C.FaultInject = "inline:*:throw";
+  C.BenchPath = Bench;
+  CampaignResult R = runCampaign(C, Diags);
+  ASSERT_FALSE(R.Findings.empty());
+
+  std::ifstream In(Bench);
+  ASSERT_TRUE(In.good());
+  std::string Line;
+  ASSERT_TRUE(std::getline(In, Line));
+  // One complete JSON object per line with the campaign metrics.
+  EXPECT_EQ(Line.front(), '{');
+  EXPECT_EQ(Line.back(), '}');
+  for (const char *Key :
+       {"\"bench\":", "\"programs_per_sec\":", "\"yield_per_10k\":",
+        "\"mean_reduction_ratio\":", "\"unique_bugs\":", "\"findings\":",
+        "\"quarantined_shards\":"})
+    EXPECT_NE(Line.find(Key), std::string::npos) << Key;
+  // Appending is additive: a second campaign adds a second line.
+  runCampaign(C, Diags);
+  std::ifstream In2(Bench);
+  size_t Lines = 0;
+  while (std::getline(In2, Line))
+    ++Lines;
+  EXPECT_EQ(Lines, 2u);
+}
+
+TEST(FuzzCampaign, BundleRoundTripCarriesFuzzRecords) {
+  TempDir Dir("bundle");
+  DiagnosticEngine Diags;
+  CampaignOptions C = quickCampaign(6, 3, 1);
+  C.FaultInject = "constprop:*:corrupt-il";
+  C.ReproDir = Dir.str();
+  CampaignResult R = runCampaign(C, Diags);
+  ASSERT_EQ(R.Findings.size(), 1u);
+  const Finding &F = R.Findings[0];
+  ASSERT_FALSE(F.BundlePath.empty());
+
+  pipeline::ReproBundle B;
+  DiagnosticEngine LoadDiags;
+  ASSERT_TRUE(pipeline::loadReproBundle(F.BundlePath, B, LoadDiags));
+  EXPECT_EQ(B.Pass, "constprop");
+  EXPECT_EQ(B.Function, "main");
+  EXPECT_EQ(B.Oracle, "verifier");
+  EXPECT_EQ(B.VariantSpec, F.Spec);
+  EXPECT_EQ(B.CSource, F.Source.back() == '\n' ? F.Source : F.Source + "\n");
+  EXPECT_EQ(B.InjectSpec, C.FaultInject);
+  EXPECT_FALSE(B.IL.empty());
+  // The recorded C source replays to the recorded oracle class.
+  OracleOptions OO;
+  OO.FaultInject = B.InjectSpec;
+  VariantResult V = checkVariant(B.CSource, B.VariantSpec, OO);
+  EXPECT_EQ(divergenceClassName(V.Class), B.Oracle);
+}
+
+TEST(FuzzCampaign, PlainBundlesStillLoad) {
+  // Backward compatibility: a sandbox bundle without the fuzz records
+  // parses with the extension fields left empty.
+  TempDir Dir("plain");
+  std::string Path = Dir.str() + "/plain.repro";
+  {
+    std::ofstream OS(Path, std::ios::binary);
+    OS << "tcc-repro v1\n"
+       << "pass dce\n"
+       << "function \"main\"\n"
+       << "kind verifier\n"
+       << "inject -\n"
+       << "description test\n"
+       << "il 22\n"
+       << "func main() -> void {\n";
+  }
+  pipeline::ReproBundle B;
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(pipeline::loadReproBundle(Path, B, Diags));
+  EXPECT_EQ(B.Pass, "dce");
+  EXPECT_TRUE(B.Oracle.empty());
+  EXPECT_TRUE(B.VariantSpec.empty());
+  EXPECT_TRUE(B.CSource.empty());
+}
+
+TEST(FuzzCampaign, MalformedInjectSpecDiagnosed) {
+  DiagnosticEngine Diags;
+  CampaignOptions C = quickCampaign(7, 2, 1);
+  C.FaultInject = "not-a-valid-spec";
+  CampaignResult R = runCampaign(C, Diags);
+  EXPECT_EQ(R.Executed, 0u);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(FuzzCampaign, ReductionRatioReflectsShrinkage) {
+  DiagnosticEngine Diags;
+  CampaignOptions C = quickCampaign(8, 3, 1);
+  C.FaultInject = "whiletodo:*:corrupt-il";
+  CampaignResult R = runCampaign(C, Diags);
+  ASSERT_EQ(R.Findings.size(), 1u);
+  EXPECT_GT(R.YieldPer10k, 0.0);
+  EXPECT_LT(R.MeanReductionRatio, 1.0);
+  EXPECT_GT(R.MeanReductionRatio, 0.0);
+  EXPECT_EQ(countLines(R.Findings[0].Source), R.Findings[0].ReducedLines);
+}
+
+} // namespace

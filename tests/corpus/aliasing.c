@@ -1,0 +1,19 @@
+
+  float a[4096], b[4096], c[4096];
+  void titan_tic(void);
+  void titan_toc(void);
+  void daxpy(float *x, float *y, float *z, float alpha, int n)
+  {
+    if (n <= 0) return;
+    if (alpha == 0) return;
+    for (; n; n--)
+      *x++ = *y++ + alpha * *z++;
+  }
+  void main()
+  {
+    int i;
+    for (i = 0; i < 4096; i++) { b[i] = i; c[i] = 1.0; }
+    titan_tic();
+    daxpy(a, b, c, 2.0, 4096);
+    titan_toc();
+  }

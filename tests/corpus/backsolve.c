@@ -1,0 +1,19 @@
+
+  float x[4002], y[4000], z[4000];
+  float out;
+  void titan_tic(void);
+  void titan_toc(void);
+  void main() {
+    int i; int n;
+    float *p; float *q;
+    n = 4000;
+    x[0] = 1.0;
+    for (i = 0; i < n; i++) { y[i] = 1.0; z[i] = 0.5; }
+    p = &x[1];
+    q = &x[0];
+    titan_tic();
+    for (i = 0; i < n - 2; i++)
+      p[i] = z[i] * (y[i] - q[i]);
+    titan_toc();
+    out = x[7];
+  }

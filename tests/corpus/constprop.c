@@ -1,0 +1,17 @@
+
+  float a[2048], b[2048], c[2048];
+  void titan_tic(void);
+  void titan_toc(void);
+  void daxpy(float *x, float *y, float *z, float alpha, int n)
+  {
+    if (n <= 0) return;
+    if (alpha == 0) return;
+    for (; n; n--)
+      *x++ = *y++ + alpha * *z++;
+  }
+  void main()
+  {
+    titan_tic();
+    daxpy(a, b, c, 0.0, 2048);
+    titan_toc();
+  }

@@ -1,0 +1,21 @@
+
+  float a[100], b[100], c[100];
+  void titan_tic(void);
+  void titan_toc(void);
+  void daxpy(float *x, float *y, float *z, float alpha, int n)
+  {
+    if (n <= 0)
+      return;
+    if (alpha == 0)
+      return;
+    for (; n; n--)
+      *x++ = *y++ + alpha * *z++;
+  }
+  void main()
+  {
+    int i;
+    for (i = 0; i < 100; i++) { b[i] = i; c[i] = 1.0; }
+    titan_tic();
+    daxpy(a, b, c, 1.0, 100);
+    titan_toc();
+  }

@@ -1,0 +1,61 @@
+/* tcc-fuzz seed=1 */
+float fa0[128];
+float fa1[64];
+float fa2[256];
+int ia0[64];
+int ia1[128];
+float m0[8][8];
+float gf0;
+float gf1;
+int gi0;
+int gi1;
+void main() {
+  int i; int j; int n; int t;
+  float acc;
+  float *p; float *q;
+  t = 22;
+  acc = 0.00;
+  n = 0;
+  j = 0;
+  for (i = 0; i < 128; i++) {
+    fa0[i] = (i & 31) * 0.25;
+  }
+  for (i = 0; i < 64; i++) {
+    fa1[i] = (i & 15) * 0.25;
+  }
+  for (i = 0; i < 256; i++) {
+    fa2[i] = (i & 15) * 0.25;
+  }
+  for (i = 0; i < 64; i++) {
+    ia0[i] = (i * 7) & 255;
+  }
+  for (i = 0; i < 128; i++) {
+    ia1[i] = (i * 5) & 65535;
+  }
+  for (i = 0; i < 8; i++) {
+    for (j = 0; j < 8; j++) {
+      m0[i][j] = (i - j) * 0.25;
+    }
+  }
+  for (i = 0; i < 64; i++) {
+    ia0[i] = (((gi0 << 4) & 1023) == (i | 186));
+  }
+  for (i = 0; i < 8; i++) {
+    for (j = 0; j < 8; j++) {
+      m0[i][j] = m0[j][i] + (-(fa2[((i * 4) & 255)]));
+    }
+  }
+  for (i = 0; i < 13; i++) {
+    fa0[i] = ((6.50 + fa2[((i * 4) & 255)]) * (-(6.50)));
+  }
+  t = 0;
+  for (i = 0; i < 64; i++) {
+    t = (t + ia0[i]) & 16777215;
+  }
+  t = t;
+  for (i = 0; i < 128; i++) {
+    t = (t + ia1[i]) & 16777215;
+  }
+  gi1 = t;
+  gf1 = fa0[1] + fa0[126];
+}

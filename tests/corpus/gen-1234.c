@@ -1,0 +1,57 @@
+/* tcc-fuzz seed=1234 */
+float fa0[256];
+float fa1[128];
+float fa2[64];
+int ia0[128];
+int ia1[64];
+float gf0;
+float gf1;
+int gi0;
+int gi1;
+void main() {
+  int i; int j; int n; int t;
+  float acc;
+  float *p; float *q;
+  t = 3;
+  acc = 0.00;
+  n = 0;
+  j = 0;
+  for (i = 0; i < 256; i++) {
+    fa0[i] = (i & 31) * 0.25;
+  }
+  for (i = 0; i < 128; i++) {
+    fa1[i] = (i & 31) * 0.25;
+  }
+  for (i = 0; i < 64; i++) {
+    fa2[i] = (i & 31) * 0.25;
+  }
+  for (i = 0; i < 128; i++) {
+    ia0[i] = (i * 6) & 4095;
+  }
+  for (i = 0; i < 64; i++) {
+    ia1[i] = (i * 4) & 4095;
+  }
+  t = 0;
+  for (i = 0; i < 128; i++) {
+    t = (t + ia0[i]) & 4095;
+  }
+  gi0 = t;
+  for (i = 0; i < 128; i++) {
+    ia0[i] = (((209 / ((i & 7) + 1)) << 2) & 65535);
+  }
+  t = 0;
+  for (i = 0; i < 128; i++) {
+    t = (t + ia0[i]) & 1023;
+  }
+  gi1 = t;
+  t = 0;
+  for (i = 0; i < 128; i++) {
+    t = (t + ia0[i]) & 16777215;
+  }
+  t = t;
+  for (i = 0; i < 64; i++) {
+    t = (t + ia1[i]) & 16777215;
+  }
+  gi1 = t;
+  gf1 = fa0[1] + fa0[254];
+}

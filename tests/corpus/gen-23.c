@@ -1,0 +1,82 @@
+/* tcc-fuzz seed=23 */
+float fa0[128];
+float fa1[64];
+int ia0[64];
+int ia1[64];
+float m0[8][8];
+float gf0;
+float gf1;
+int gi0;
+int gi1;
+float leaf0(float x, float y) {
+  if (x > y)
+    return ((y - 6.25) / 4.00);
+  return (((5 != 52) & 1) ? 3.25 : -3.50);
+}
+void main() {
+  int i; int j; int n; int t;
+  float acc;
+  float *p; float *q;
+  t = 30;
+  acc = 0.00;
+  n = 0;
+  j = 0;
+  for (i = 0; i < 128; i++) {
+    fa0[i] = (i & 31) * 0.25;
+  }
+  for (i = 0; i < 64; i++) {
+    fa1[i] = (i & 15) * 0.25;
+  }
+  for (i = 0; i < 64; i++) {
+    ia0[i] = (i * 6) & 4095;
+  }
+  for (i = 0; i < 64; i++) {
+    ia1[i] = (i * 4) & 1023;
+  }
+  for (i = 0; i < 8; i++) {
+    for (j = 0; j < 8; j++) {
+      m0[i][j] = (i - j) * 0.25;
+    }
+  }
+  for (i = 0; i < 8; i++) {
+    for (j = 0; j < 8; j++) {
+      m0[i][j] = m0[j][i] + (-2.00 - gf1);
+    }
+  }
+  for (i = 0; i < 64; i++) {
+    if (ia1[i] & 1) {
+      continue;
+    }
+    if (i > 62) {
+      break;
+    }
+    ia1[i] = ((gi1 | 119) != ((gi0 - 140) & 65535));
+  }
+  for (i = 0; i < 8; i++) {
+    for (j = 0; j < 8; j++) {
+      m0[i][j] = m0[j][i] + ((((ia0[(j & 63)] << 3) & 255) & 1) ? 4.00 : 4.00);
+    }
+  }
+  p = fa1;
+  q = fa0;
+  n = 64;
+  while (n) {
+    *p++ = *q++ + 0.50;
+    n--;
+  }
+  if (((4 << 3) & 1023) > 3 || (gi1 && 27) != 0) {
+    gi0 = (((gi0 & 1) ? 3 : ia1[7]) & ((40 + gi0) & 255));
+  } else {
+    gi0 = (((235 * 30) & 255) ^ ((24 * 133) & 65535));
+  }
+  t = 0;
+  for (i = 0; i < 64; i++) {
+    t = (t + ia0[i]) & 16777215;
+  }
+  t = t;
+  for (i = 0; i < 64; i++) {
+    t = (t + ia1[i]) & 16777215;
+  }
+  gi1 = t;
+  gf1 = fa0[1] + fa0[126];
+}

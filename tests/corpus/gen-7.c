@@ -1,0 +1,51 @@
+/* tcc-fuzz seed=7 */
+float fa0[64];
+float fa1[64];
+float fa2[64];
+int ia0[128];
+float gf0;
+float gf1;
+int gi0;
+int gi1;
+void main() {
+  int i; int j; int n; int t;
+  float acc;
+  float *p; float *q;
+  t = 1;
+  acc = 0.00;
+  n = 0;
+  j = 0;
+  for (i = 0; i < 64; i++) {
+    fa0[i] = (i & 31) * 0.25;
+  }
+  for (i = 0; i < 64; i++) {
+    fa1[i] = (i & 31) * 0.25;
+  }
+  for (i = 0; i < 64; i++) {
+    fa2[i] = (i & 15) * 0.25;
+  }
+  for (i = 0; i < 128; i++) {
+    ia0[i] = (i * 7) & 255;
+  }
+  for (i = 0; i < 64; i++) {
+    if (((130 + ia0[i]) & 255) & 1) {
+      fa1[i] = (-(((((gi1 & 1) ? i : gi0) & 1) ? fa0[i] : fa0[((ia0[((i * 5) & 127)]) & 63)])));
+    }
+  }
+  t = 0;
+  for (i = 0; i < 128; i++) {
+    t = (t + ia0[i]) & 4095;
+  }
+  gi0 = t;
+  acc = 0.00;
+  for (i = 0; i < 64; i++) {
+    acc = acc + fa1[i];
+  }
+  gf1 = acc;
+  t = 0;
+  for (i = 0; i < 128; i++) {
+    t = (t + ia0[i]) & 16777215;
+  }
+  gi1 = t;
+  gf1 = fa0[1] + fa0[62];
+}

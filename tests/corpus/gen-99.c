@@ -1,0 +1,73 @@
+/* tcc-fuzz seed=99 */
+float fa0[64];
+float fa1[128];
+float fa2[256];
+int ia0[128];
+float m0[8][8];
+float gf0;
+float gf1;
+int gi0;
+int gi1;
+int ileaf0(int a, int b) {
+  return ((((44 - 31) & 1023) << 4) & 255);
+}
+void main() {
+  int i; int j; int n; int t;
+  float acc;
+  float *p; float *q;
+  t = 19;
+  acc = 0.00;
+  n = 0;
+  j = 0;
+  for (i = 0; i < 64; i++) {
+    fa0[i] = (i & 15) * 0.25;
+  }
+  for (i = 0; i < 128; i++) {
+    fa1[i] = (i & 31) * 0.25;
+  }
+  for (i = 0; i < 256; i++) {
+    fa2[i] = (i & 15) * 0.25;
+  }
+  for (i = 0; i < 128; i++) {
+    ia0[i] = (i * 5) & 1023;
+  }
+  for (i = 0; i < 8; i++) {
+    for (j = 0; j < 8; j++) {
+      m0[i][j] = (i - j) * 0.25;
+    }
+  }
+  for (i = 0; i < 128; i++) {
+    if (ia0[i] & 1) {
+      continue;
+    }
+    if (i > 40) {
+      break;
+    }
+    ia0[i] = ((208 <= 21) & ((gi0 * 188) & 1023));
+  }
+  for (i = 0; i < 128; i++) {
+    if (ia0[i] & 2) {
+      continue;
+    }
+    if (i > 71) {
+      break;
+    }
+    ia0[i] = ileaf0((((gi1 + ia0[i]) & 255) & 65535), ((gi0 & gi0) & 65535));
+  }
+  if ((30 > 18) > 3 && (22 >> 1) != 0) {
+    gi1 = ((15 & 1) ? ((ia0[98] & 1) ? gi1 : gi1) : ((15 * gi1) & 255));
+  } else {
+    gi1 = ((16 < 3) ^ ((ia0[83] * ia0[110]) & 255));
+  }
+  for (i = 0; i < 8; i++) {
+    for (j = 0; j < 8; j++) {
+      m0[i][j] = m0[j][i] + (fa1[(i & 127)] - gf1);
+    }
+  }
+  t = 0;
+  for (i = 0; i < 128; i++) {
+    t = (t + ia0[i]) & 16777215;
+  }
+  gi1 = t;
+  gf1 = fa0[1] + fa0[62];
+}

@@ -1,0 +1,22 @@
+
+  float arr0[512]; float arr1[512]; float arr2[512]; float arr3[512];
+  void titan_tic(void);
+  void titan_toc(void);
+  void main() {
+    float *p0; float *p1; float *p2; float *p3;
+    int n;
+    p0 = arr0;
+    p1 = arr1;
+    p2 = arr2;
+    p3 = arr3;
+    n = 512;
+    titan_tic();
+    while (n) {
+      *p0++ = 1.0;
+      *p1++ = 2.0;
+      *p2++ = 3.0;
+      *p3++ = 4.0;
+      n--;
+    }
+    titan_toc();
+  }

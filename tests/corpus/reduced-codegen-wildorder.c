@@ -1,0 +1,9 @@
+void main() {
+  int i; int j; int n; int t;
+  for (i = 0; i < 0; i++) {
+    if ((0 % 0) & 0) {
+    }
+  }
+  for (i = 0; i < 1; i++) {
+  }
+}

@@ -1,0 +1,12 @@
+float fa0[0];
+int ia1[1];
+float leaf1(float x, float y) {
+    return ((0.00 + -0.25) * (0.25 * 0.25));
+  return (0.00 * x);
+}
+void main() {
+  int i; int j; int n; int t;
+  for (i = 0; i < 1; i++) {
+    fa0[i] = leaf1(fa0[i], 0.00);
+  }
+}

@@ -1,0 +1,12 @@
+
+  float a[1024], b[1024], c[1024];
+  void titan_tic(void);
+  void titan_toc(void);
+  void main() {
+    int i;
+    for (i = 0; i < 1024; i++) { b[i] = i; c[i] = 1.0; }
+    titan_tic();
+    for (i = 0; i < 1024; i++)
+      a[i] = b[i] + c[i];
+    titan_toc();
+  }

@@ -1,0 +1,17 @@
+
+  float src[4096], dst[4096];
+  void titan_tic(void);
+  void titan_toc(void);
+  void main() {
+    int i; float *a; float *b; int n;
+    for (i = 0; i < 4096; i++) src[i] = i;
+    a = dst;
+    b = src;
+    n = 4096;
+    titan_tic();
+    while (n) {
+      *a++ = *b++;
+      n--;
+    }
+    titan_toc();
+  }
