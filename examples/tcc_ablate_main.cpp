@@ -57,6 +57,7 @@ void usage() {
       "                  [-kernels=a,b] [-passes=BASE] [-j<N>] [-cache=STEM]\n"
       "                  [-o FILE] [-pipeline-json=FILE] [-fault-inject=S] "
       "[-q]\n"
+      "                  [-depanalysis=reachdef|memssa]\n"
       "       tcc-ablate -dump-kernels=DIR   write each bench kernel to\n"
       "                                      DIR/<name>.c and exit\n");
 }
@@ -137,6 +138,14 @@ int main(int argc, char **argv) {
       Opts.PipelineJsonPath = Arg.substr(std::strlen("-pipeline-json="));
     } else if (Arg.rfind("-fault-inject=", 0) == 0) {
       Opts.FaultInject = Arg.substr(std::strlen("-fault-inject="));
+    } else if (Arg.rfind("-depanalysis=", 0) == 0) {
+      std::string Name = Arg.substr(std::strlen("-depanalysis="));
+      if (!dep::parseDepAnalysisKind(Name, Opts.DepAnalysis)) {
+        std::fprintf(stderr, "tcc-ablate: unknown -depanalysis value '%s'\n",
+                     Name.c_str());
+        usage();
+        return 2;
+      }
     } else if (Arg == "-q") {
       Quiet = true;
     } else {

@@ -13,6 +13,9 @@
 ///                    Requests' own -cache= flags are overridden — the
 ///                    daemon owns cache writes
 ///   -workers=N       concurrent request limit (default: hardware)
+///   -hot-cache-max=N LRU cap on in-memory hot-cache entries (default
+///                    4096; 0 = unbounded).  Evicting a finished body
+///                    only costs a recompile or manifest re-read
 ///   -verbose         per-request log lines on stderr
 ///
 /// Serves tcc compile requests over the length-prefixed JSON protocol.
@@ -60,13 +63,16 @@ int main(int argc, char **argv) {
     } else if (Arg.rfind("-workers=", 0) == 0) {
       Opts.Workers = static_cast<unsigned>(
           std::atoi(Arg.c_str() + std::strlen("-workers=")));
+    } else if (Arg.rfind("-hot-cache-max=", 0) == 0) {
+      Opts.HotCacheMax = static_cast<size_t>(
+          std::atoll(Arg.c_str() + std::strlen("-hot-cache-max=")));
     } else if (Arg == "-verbose") {
       Opts.Verbose = true;
     } else {
       std::fprintf(stderr,
                    "tccd: unknown option '%s'\n"
                    "usage: tccd [-socket=path] [-cache=file] [-workers=n] "
-                   "[-verbose]\n",
+                   "[-hot-cache-max=n] [-verbose]\n",
                    Arg.c_str());
       return 2;
     }
@@ -94,7 +100,8 @@ int main(int argc, char **argv) {
   server::HotCacheStats H = Daemon.hotCache().stats();
   std::fprintf(stderr,
                "tccd: shut down after %llu request%s (%llu error%s, %llu "
-               "contained fault%s; hot cache: %llu hit%s, %llu miss%s)\n",
+               "contained fault%s; hot cache: %llu hit%s, %llu miss%s, "
+               "%llu eviction%s)\n",
                static_cast<unsigned long long>(S.Requests),
                S.Requests == 1 ? "" : "s",
                static_cast<unsigned long long>(S.Errors),
@@ -104,6 +111,8 @@ int main(int argc, char **argv) {
                static_cast<unsigned long long>(H.Hits),
                H.Hits == 1 ? "" : "s",
                static_cast<unsigned long long>(H.Misses),
-               H.Misses == 1 ? "" : "es");
+               H.Misses == 1 ? "" : "es",
+               static_cast<unsigned long long>(H.Evictions),
+               H.Evictions == 1 ? "" : "s");
   return 0;
 }

@@ -244,16 +244,19 @@ CellResult measureCell(const BenchKernel &Kernel, const SpecCell &Spec,
   CellResult Cell;
   Cell.Kernel = Kernel.Name;
   Cell.Spec = Spec;
+  Cell.DepAnalysis = dep::depAnalysisKindName(Opts.DepAnalysis);
 
   driver::CompilerOptions CO;
   if (Spec.Spec.empty())
     CO = driver::CompilerOptions::noOpt(); // "" would mean default spec
   CO.Passes = Spec.Spec;
   CO.FaultInject = Opts.FaultInject;
+  CO.DepAnalysis = Opts.DepAnalysis;
   CO.ReproDir.clear(); // a sweep should not scatter reproducer bundles
   if (!Opts.CacheFile.empty())
     CO.CacheFile = Opts.CacheFile + "." + sanitizeForPath(Kernel.Name) + "." +
-                   sanitizeForPath(Spec.Id.empty() ? "cell" : Spec.Id);
+                   sanitizeForPath(Spec.Id.empty() ? "cell" : Spec.Id) + "." +
+                   dep::depAnalysisKindName(Opts.DepAnalysis);
 
   try {
     auto Out = driver::compileAndRun(Kernel.Source, CO, Kernel.Config);
@@ -459,6 +462,7 @@ std::string ablate::cellJsonRow(const CellResult &Cell) {
   W.keyValue("kernel", Cell.Kernel);
   W.keyValue("specId", Cell.Spec.Id);
   W.keyValue("spec", Cell.Spec.Spec);
+  W.keyValue("depanalysis", Cell.DepAnalysis);
   if (!Cell.Spec.Ablated.empty())
     W.keyValue("ablated", Cell.Spec.Ablated);
   if (Cell.Spec.PrefixLen >= 0)

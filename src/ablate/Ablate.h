@@ -36,6 +36,7 @@
 #define TCC_ABLATE_ABLATE_H
 
 #include "ablate/Kernels.h"
+#include "dependence/DependenceAnalysis.h"
 #include "support/Diagnostics.h"
 
 #include <cstdint>
@@ -70,6 +71,8 @@ struct SpecCell {
 struct CellResult {
   std::string Kernel;
   SpecCell Spec;
+  /// The dependence stack the cell compiled under ("reachdef"/"memssa").
+  std::string DepAnalysis = "memssa";
   bool Ok = false;
   std::string Error; ///< Failed cells: the first diagnostic / run error.
   bool Region = false; ///< titan_tic/titan_toc region was marked.
@@ -140,6 +143,10 @@ struct AblateOptions {
   /// Deterministic fault injection, forwarded to every cell compile
   /// (support/FaultInjection.h specs).
   std::string FaultInject;
+  /// Which memory-dependence stack every cell compiles under
+  /// (tcc-ablate -depanalysis=); folded into each cell's cache manifest
+  /// name so the two modes never share compile-cache entries.
+  dep::DepAnalysisKind DepAnalysis = dep::DepAnalysisKind::MemSSA;
   /// JSON-Lines output; empty disables writing.
   std::string JsonPath = "BENCH_ablation.json";
   /// BENCH_pipeline.json to cross-reference into the report; rows are

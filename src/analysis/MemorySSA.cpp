@@ -1,0 +1,237 @@
+#include "analysis/MemorySSA.h"
+
+using namespace tcc;
+using namespace tcc::il;
+using namespace tcc::analysis;
+
+namespace {
+
+PointsToSet unknownSet() {
+  PointsToSet S;
+  S.Unknown = true;
+  return S;
+}
+
+/// Union of contents of every object in \p Targets (the value loaded
+/// through an address that resolves to \p Targets).
+PointsToSet loadedFrom(const PointsToSet &Targets, const PointsToInfo &PT) {
+  if (Targets.Unknown)
+    return unknownSet();
+  PointsToSet Out;
+  for (const Symbol *O : Targets.Objects)
+    Out.merge(PT.pointsTo(O));
+  return Out;
+}
+
+} // namespace
+
+PointsToSet MemorySSA::resolveAddress(const Expr *Addr,
+                                      const PointsToInfo &PT) {
+  switch (Addr->getKind()) {
+  case Expr::ConstIntKind:
+  case Expr::ConstFloatKind:
+  case Expr::TripletKind:
+    return {}; // no nameable object; proves nothing either way
+  case Expr::VarRefKind: {
+    const Symbol *Sym = static_cast<const VarRefExpr *>(Addr)->getSymbol();
+    if (Sym->getType()->isArray()) {
+      PointsToSet S;
+      S.Objects.insert(Sym);
+      return S;
+    }
+    if (Sym->getType()->isFloating())
+      return {};
+    return PT.pointsTo(Sym); // copy
+  }
+  case Expr::BinaryKind: {
+    auto *B = static_cast<const BinaryExpr *>(Addr);
+    if (B->getOp() == OpCode::Add || B->getOp() == OpCode::Sub) {
+      PointsToSet L = resolveAddress(B->getLHS(), PT);
+      L.merge(resolveAddress(B->getRHS(), PT));
+      return L;
+    }
+    PointsToSet L = resolveAddress(B->getLHS(), PT);
+    PointsToSet R = resolveAddress(B->getRHS(), PT);
+    if (L.empty() && R.empty())
+      return {};
+    return unknownSet();
+  }
+  case Expr::UnaryKind: {
+    auto *U = static_cast<const UnaryExpr *>(Addr);
+    PointsToSet Op = resolveAddress(U->getOperand(), PT);
+    if (U->getOp() == OpCode::Neg || Op.empty())
+      return Op;
+    return unknownSet();
+  }
+  case Expr::CastKind:
+    return resolveAddress(static_cast<const CastExpr *>(Addr)->getOperand(),
+                          PT);
+  case Expr::DerefKind:
+    return loadedFrom(
+        resolveAddress(static_cast<const DerefExpr *>(Addr)->getAddr(), PT),
+        PT);
+  case Expr::IndexKind: {
+    auto *I = static_cast<const IndexExpr *>(Addr);
+    const Expr *Base = I->getBase();
+    if (Base->getKind() == Expr::VarRefKind && Base->getType()->isArray()) {
+      const Symbol *Arr = static_cast<const VarRefExpr *>(Base)->getSymbol();
+      return PT.pointsTo(Arr); // pointer loaded out of the array
+    }
+    if (Base->getKind() == Expr::DerefKind)
+      return loadedFrom(
+          resolveAddress(static_cast<const DerefExpr *>(Base)->getAddr(),
+                         PT),
+          PT);
+    return unknownSet();
+  }
+  case Expr::AddrOfKind: {
+    const Expr *LV = static_cast<const AddrOfExpr *>(Addr)->getLValue();
+    if (LV->getKind() == Expr::VarRefKind) {
+      PointsToSet S;
+      S.Objects.insert(static_cast<const VarRefExpr *>(LV)->getSymbol());
+      return S;
+    }
+    if (LV->getKind() == Expr::IndexKind) {
+      const Expr *Base = static_cast<const IndexExpr *>(LV)->getBase();
+      if (Base->getKind() == Expr::VarRefKind &&
+          Base->getType()->isArray()) {
+        PointsToSet S;
+        S.Objects.insert(static_cast<const VarRefExpr *>(Base)->getSymbol());
+        return S;
+      }
+      if (Base->getKind() == Expr::DerefKind)
+        return resolveAddress(
+            static_cast<const DerefExpr *>(Base)->getAddr(), PT);
+    }
+    if (LV->getKind() == Expr::DerefKind) // &*p == p
+      return resolveAddress(static_cast<const DerefExpr *>(LV)->getAddr(),
+                            PT);
+    return unknownSet();
+  }
+  }
+  return unknownSet();
+}
+
+void MemorySSA::collectFromExpr(const Stmt *S, const Expr *E,
+                                bool IsStoreTarget, const PointsToInfo &PT) {
+  switch (E->getKind()) {
+  case Expr::DerefKind: {
+    auto *D = static_cast<const DerefExpr *>(E);
+    collectFromExpr(S, D->getAddr(), false, PT);
+    if (D->getType()->isArray())
+      return; // row address, not an element access
+    Access A;
+    A.S = S;
+    A.Site = E;
+    A.IsWrite = IsStoreTarget;
+    A.MayTouch = resolveAddress(D->getAddr(), PT);
+    if (A.MayTouch.empty())
+      A.MayTouch.Unknown = true; // unresolved address touches anything
+    BySite[{E, IsStoreTarget}] = static_cast<unsigned>(Accesses.size());
+    Accesses.push_back(std::move(A));
+    return;
+  }
+  case Expr::IndexKind: {
+    auto *I = static_cast<const IndexExpr *>(E);
+    for (const Expr *Sub : I->getSubscripts())
+      collectFromExpr(S, Sub, false, PT);
+    const Expr *Base = I->getBase();
+    if (Base->getKind() == Expr::DerefKind)
+      collectFromExpr(S, static_cast<const DerefExpr *>(Base)->getAddr(),
+                      false, PT);
+    Access A;
+    A.S = S;
+    A.Site = E;
+    A.IsWrite = IsStoreTarget;
+    if (Base->getKind() == Expr::VarRefKind && Base->getType()->isArray())
+      A.MayTouch.Objects.insert(
+          static_cast<const VarRefExpr *>(Base)->getSymbol());
+    else if (Base->getKind() == Expr::DerefKind)
+      A.MayTouch = resolveAddress(
+          static_cast<const DerefExpr *>(Base)->getAddr(), PT);
+    else
+      A.MayTouch.Unknown = true;
+    if (A.MayTouch.empty())
+      A.MayTouch.Unknown = true;
+    BySite[{E, IsStoreTarget}] = static_cast<unsigned>(Accesses.size());
+    Accesses.push_back(std::move(A));
+    return;
+  }
+  case Expr::BinaryKind: {
+    auto *B = static_cast<const BinaryExpr *>(E);
+    collectFromExpr(S, B->getLHS(), false, PT);
+    collectFromExpr(S, B->getRHS(), false, PT);
+    return;
+  }
+  case Expr::UnaryKind:
+    collectFromExpr(S, static_cast<const UnaryExpr *>(E)->getOperand(),
+                    false, PT);
+    return;
+  case Expr::CastKind:
+    collectFromExpr(S, static_cast<const CastExpr *>(E)->getOperand(),
+                    false, PT);
+    return;
+  case Expr::AddrOfKind: {
+    // Taking an address is not an access, but subscripts inside are reads.
+    const Expr *LV = static_cast<const AddrOfExpr *>(E)->getLValue();
+    if (LV->getKind() == Expr::IndexKind)
+      for (const Expr *Sub :
+           static_cast<const IndexExpr *>(LV)->getSubscripts())
+        collectFromExpr(S, Sub, false, PT);
+    return;
+  }
+  case Expr::TripletKind: {
+    auto *T = static_cast<const TripletExpr *>(E);
+    collectFromExpr(S, T->getLo(), false, PT);
+    collectFromExpr(S, T->getHi(), false, PT);
+    collectFromExpr(S, T->getStride(), false, PT);
+    return;
+  }
+  case Expr::ConstIntKind:
+  case Expr::ConstFloatKind:
+  case Expr::VarRefKind:
+    return;
+  }
+}
+
+MemorySSA::MemorySSA(const Function &F, const PointsToInfo &PT) {
+  forEachStmt(F.getBody(), [&](const Stmt *S) {
+    if (S->getKind() == Stmt::AssignKind) {
+      auto *A = static_cast<const AssignStmt *>(S);
+      if (A->getLHS()->getKind() != Expr::VarRefKind)
+        collectFromExpr(S, A->getLHS(), /*IsStoreTarget=*/true, PT);
+      collectFromExpr(S, A->getRHS(), false, PT);
+    } else {
+      forEachExprSlot(const_cast<Stmt *>(S), [&](Expr *&Slot) {
+        collectFromExpr(S, Slot, false, PT);
+      });
+    }
+  });
+
+  // Def-use and def-def edges: every store connects to every access it
+  // may overlap.  Flow-insensitive — an edge means "these can touch the
+  // same object", exactly what the dependence tester needs to rule pairs
+  // in or out.
+  for (unsigned I = 0; I < Accesses.size(); ++I) {
+    for (unsigned J = I + 1; J < Accesses.size(); ++J) {
+      const Access &A = Accesses[I];
+      const Access &B = Accesses[J];
+      if (!A.IsWrite && !B.IsWrite)
+        continue;
+      if (PointsToSet::provablyDisjoint(A.MayTouch, B.MayTouch)) {
+        ++DisjointPairs;
+        continue;
+      }
+      Edge E;
+      E.Def = A.IsWrite ? I : J;
+      E.Use = A.IsWrite ? J : I;
+      Edges.push_back(E);
+    }
+  }
+}
+
+const MemorySSA::Access *MemorySSA::accessAt(const Expr *Site,
+                                             bool IsWrite) const {
+  auto It = BySite.find({Site, IsWrite});
+  return It == BySite.end() ? nullptr : &Accesses[It->second];
+}

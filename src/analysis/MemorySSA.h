@@ -1,0 +1,85 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A per-function memory read/write graph built on the points-to result —
+/// the middle layer of the precise memory-dependence stack (DESIGN.md
+/// §11), structured after dg's MemorySSA/ReadWriteGraph.
+///
+/// Every Deref and Index in the function becomes an *access* node carrying
+/// a may-touch object set resolved through \c PointsToInfo (an array base
+/// touches exactly its array; a pointer base touches its points-to set; an
+/// unresolvable address touches everything).  Def-use edges connect each
+/// store to every access whose may-touch set it can overlap.  The MemSSA
+/// dependence implementation answers alias queries from these sets, so a
+/// pair of accesses with provably disjoint may-touch sets never produces
+/// a dependence edge — where the baseline reaching-defs tester would give
+/// up on any non-identical base.
+///
+/// The graph copies every resolved set out of the points-to result, so a
+/// cached MemorySSA stays valid after the program-scoped PointsTo analysis
+/// is invalidated and rebuilt.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_ANALYSIS_MEMORYSSA_H
+#define TCC_ANALYSIS_MEMORYSSA_H
+
+#include "analysis/PointsTo.h"
+#include "il/IL.h"
+
+#include <map>
+#include <vector>
+
+namespace tcc {
+namespace analysis {
+
+class MemorySSA {
+public:
+  /// One memory access: the statement and expression it occurs at, its
+  /// direction, and the objects it may touch.
+  struct Access {
+    const il::Stmt *S = nullptr;
+    const il::Expr *Site = nullptr; ///< The Deref/Index expression itself.
+    bool IsWrite = false;
+    PointsToSet MayTouch; ///< Self-contained copy; Unknown ⇒ touches all.
+  };
+
+  /// A def-use (or def-def) edge between two accesses that may touch a
+  /// common object.  \c Def is always a write.
+  struct Edge {
+    unsigned Def = 0;
+    unsigned Use = 0;
+  };
+
+  MemorySSA(const il::Function &F, const PointsToInfo &PT);
+
+  const std::vector<Access> &accesses() const { return Accesses; }
+  const std::vector<Edge> &edges() const { return Edges; }
+
+  /// The access at \p Site (the Deref/Index expression collected by the
+  /// dependence layer's MemRef walk), or null when unseen.
+  const Access *accessAt(const il::Expr *Site, bool IsWrite) const;
+
+  /// Resolves the objects an address expression may point at, through the
+  /// same rules the access walk uses.
+  static PointsToSet resolveAddress(const il::Expr *Addr,
+                                    const PointsToInfo &PT);
+
+  /// Pairs involving a write that were proven overlap-free — the graph's
+  /// precision yield over "everything conflicts".
+  unsigned disjointPairs() const { return DisjointPairs; }
+
+private:
+  void collectFromExpr(const il::Stmt *S, const il::Expr *E,
+                       bool IsStoreTarget, const PointsToInfo &PT);
+
+  std::vector<Access> Accesses;
+  std::vector<Edge> Edges;
+  std::map<std::pair<const il::Expr *, bool>, unsigned> BySite;
+  unsigned DisjointPairs = 0;
+};
+
+} // namespace analysis
+} // namespace tcc
+
+#endif // TCC_ANALYSIS_MEMORYSSA_H

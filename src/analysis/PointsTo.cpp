@@ -1,0 +1,518 @@
+#include "analysis/PointsTo.h"
+
+#include <algorithm>
+#include <deque>
+#include <utility>
+
+using namespace tcc;
+using namespace tcc::il;
+using namespace tcc::analysis;
+
+//===----------------------------------------------------------------------===//
+// PointsToSet
+//===----------------------------------------------------------------------===//
+
+bool PointsToSet::merge(const PointsToSet &RHS) {
+  bool Changed = false;
+  if (RHS.Unknown && !Unknown) {
+    Unknown = true;
+    Changed = true;
+  }
+  for (const Symbol *O : RHS.Objects)
+    if (Objects.insert(O).second)
+      Changed = true;
+  return Changed;
+}
+
+bool PointsToSet::provablyDisjoint(const PointsToSet &A, const PointsToSet &B) {
+  if (A.Unknown || B.Unknown)
+    return false;
+  // An empty set means no address was ever observed flowing here (dead or
+  // externally-entered code): it proves nothing.
+  if (A.Objects.empty() || B.Objects.empty())
+    return false;
+  for (const Symbol *O : A.Objects)
+    if (B.Objects.count(O))
+      return false;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// PointsToInfo
+//===----------------------------------------------------------------------===//
+
+const PointsToSet &PointsToInfo::pointsTo(const Symbol *P) const {
+  auto It = Sets.find(P);
+  return It == Sets.end() ? UnknownSet : It->second;
+}
+
+bool PointsToInfo::mayAlias(const Symbol *P, const Symbol *Q) const {
+  if (P == Q)
+    return true;
+  return !PointsToSet::provablyDisjoint(pointsTo(P), pointsTo(Q));
+}
+
+bool PointsToInfo::mayPointTo(const Symbol *P, const Symbol *Obj) const {
+  const PointsToSet &S = pointsTo(P);
+  if (S.Unknown || S.Objects.empty())
+    return true;
+  return S.contains(Obj);
+}
+
+unsigned PointsToInfo::resolvedPointers() const {
+  unsigned N = 0;
+  for (const auto &[Sym, Set] : Sets)
+    if (Sym->getType()->isPointer() && !Set.Unknown && !Set.Objects.empty())
+      ++N;
+  return N;
+}
+
+std::string PointsToInfo::str() const {
+  std::string Out;
+  for (const auto &[Sym, Set] : Sets) {
+    if (Set.empty())
+      continue;
+    Out += Sym->getName();
+    Out += " -> {";
+    bool First = true;
+    for (const Symbol *O : Set.Objects) {
+      if (!First)
+        Out += ' ';
+      First = false;
+      Out += O->getName();
+    }
+    if (Set.Unknown) {
+      if (!First)
+        Out += ' ';
+      Out += "unknown";
+    }
+    Out += "}\n";
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Constraint solver
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The syntactic value of an expression, reduced to constraint operands:
+/// object addresses it produces directly, nodes whose contents flow into
+/// it, and whether it may be an unmodeled pointer.
+struct RVal {
+  std::vector<const Symbol *> Objects;
+  std::vector<unsigned> Copies;
+  bool Unknown = false;
+
+  bool empty() const { return Objects.empty() && Copies.empty() && !Unknown; }
+};
+
+class Solver {
+public:
+  explicit Solver(const Program &P) : Prog(P) {}
+
+  void run();
+
+  /// The solved per-symbol sets (valid after run()).
+  const std::map<const Symbol *, unsigned, SymbolOrder> &nodes() const {
+    return NodeOf;
+  }
+  const PointsToSet &contentsOf(unsigned N) const { return C[N]; }
+
+private:
+  // -- Node management ----------------------------------------------------
+  unsigned nodeOf(const Symbol *S) {
+    auto It = NodeOf.find(S);
+    if (It != NodeOf.end())
+      return It->second;
+    unsigned N = freshNode();
+    NodeOf.emplace(S, N);
+    return N;
+  }
+  unsigned freshNode() {
+    unsigned N = static_cast<unsigned>(C.size());
+    C.emplace_back();
+    Succ.emplace_back();
+    LoadTo.emplace_back();
+    StoreFrom.emplace_back();
+    Escaped.push_back(false);
+    return N;
+  }
+
+  // -- Constraint registration --------------------------------------------
+  /// Registers \p Obj as a pointed-to object and returns its node.  Once
+  /// a store through an unknown pointer has been seen, every object's
+  /// contents are unknown — including objects discovered afterwards.
+  unsigned noteObject(const Symbol *Obj) {
+    unsigned N = nodeOf(Obj);
+    if (ObjectNodes.insert(N).second && GlobalStoreUnknownApplied)
+      addUnknown(N);
+    return N;
+  }
+  void addObject(unsigned Dst, const Symbol *Obj) {
+    noteObject(Obj);
+    if (C[Dst].Objects.insert(Obj).second)
+      push(Dst);
+  }
+  void addUnknown(unsigned Dst) {
+    if (!C[Dst].Unknown) {
+      C[Dst].Unknown = true;
+      push(Dst);
+    }
+  }
+  bool addCopy(unsigned Src, unsigned Dst) {
+    if (Src == Dst || !EdgeSeen.insert({Src, Dst}).second)
+      return false;
+    Succ[Src].push_back(Dst);
+    if (C[Dst].merge(C[Src]))
+      push(Dst);
+    return true;
+  }
+  void addLoad(unsigned Ptr, unsigned Dst) {
+    LoadTo[Ptr].push_back(Dst);
+    push(Ptr);
+  }
+  void addStore(unsigned Ptr, unsigned Src) {
+    StoreFrom[Ptr].push_back(Src);
+    push(Ptr);
+  }
+  void markEscaped(unsigned N) {
+    if (Escaped[N])
+      return;
+    Escaped[N] = true;
+    push(N);
+  }
+  void escapeObject(const Symbol *Obj) {
+    unsigned N = noteObject(Obj);
+    addUnknown(N);
+    markEscaped(N);
+  }
+
+  // -- Expression harvest -------------------------------------------------
+  RVal evalExpr(Expr *E);
+  RVal loadFrom(const RVal &Addr);
+  void assignInto(unsigned Dst, const RVal &V);
+  void storeThrough(const RVal &Addr, const RVal &V);
+  void escapeRVal(const RVal &V);
+  void harvestStmt(Stmt *S);
+
+  // -- Fixpoint -----------------------------------------------------------
+  void push(unsigned N) {
+    if (N < InWork.size() && InWork[N])
+      return;
+    if (N >= InWork.size())
+      InWork.resize(C.size(), false);
+    InWork[N] = true;
+    Work.push_back(N);
+  }
+  void applyGlobalStoreUnknown() {
+    // A store went through a pointer that may point anywhere: every
+    // nameable object's contents may have been overwritten with it.
+    if (GlobalStoreUnknownApplied)
+      return;
+    GlobalStoreUnknownApplied = true;
+    for (unsigned N : ObjectNodes)
+      addUnknown(N);
+  }
+  void process(unsigned N);
+
+  const Program &Prog;
+  std::map<const Symbol *, unsigned, SymbolOrder> NodeOf;
+  std::vector<PointsToSet> C;
+  std::vector<std::vector<unsigned>> Succ;
+  std::vector<std::vector<unsigned>> LoadTo;
+  std::vector<std::vector<unsigned>> StoreFrom;
+  std::vector<bool> Escaped;
+  std::set<std::pair<unsigned, unsigned>> EdgeSeen;
+  std::set<unsigned> ObjectNodes;
+  std::deque<unsigned> Work;
+  std::vector<bool> InWork;
+  bool PendingGlobalStoreUnknown = false;
+  bool GlobalStoreUnknownApplied = false;
+};
+
+RVal Solver::evalExpr(Expr *E) {
+  // A floating value can never carry an address.
+  if (E->getType() && E->getType()->isFloating())
+    return {};
+  switch (E->getKind()) {
+  case Expr::ConstIntKind:
+  case Expr::ConstFloatKind:
+  case Expr::TripletKind:
+    return {};
+  case Expr::VarRefKind: {
+    Symbol *Sym = static_cast<VarRefExpr *>(E)->getSymbol();
+    RVal V;
+    if (Sym->getType()->isArray()) {
+      V.Objects.push_back(Sym); // array decay names the object
+      return V;
+    }
+    if (Sym->getType()->isFloating())
+      return {};
+    // Integers are tracked too: addresses may round-trip through them.
+    V.Copies.push_back(nodeOf(Sym));
+    return V;
+  }
+  case Expr::BinaryKind: {
+    auto *B = static_cast<BinaryExpr *>(E);
+    RVal L = evalExpr(B->getLHS());
+    RVal R = evalExpr(B->getRHS());
+    if (B->getOp() == OpCode::Add || B->getOp() == OpCode::Sub) {
+      // Pointer arithmetic stays within the pointed-to object.
+      L.Objects.insert(L.Objects.end(), R.Objects.begin(), R.Objects.end());
+      L.Copies.insert(L.Copies.end(), R.Copies.begin(), R.Copies.end());
+      L.Unknown |= R.Unknown;
+      return L;
+    }
+    // Any other operator mangles an address beyond tracking.
+    if (L.empty() && R.empty())
+      return {};
+    RVal V;
+    V.Unknown = true;
+    return V;
+  }
+  case Expr::UnaryKind: {
+    auto *U = static_cast<UnaryExpr *>(E);
+    RVal Op = evalExpr(U->getOperand());
+    if (U->getOp() == OpCode::Neg || Op.empty())
+      return Op;
+    RVal V;
+    V.Unknown = true;
+    return V;
+  }
+  case Expr::CastKind:
+    return evalExpr(static_cast<CastExpr *>(E)->getOperand());
+  case Expr::DerefKind:
+    return loadFrom(evalExpr(static_cast<DerefExpr *>(E)->getAddr()));
+  case Expr::IndexKind: {
+    auto *I = static_cast<IndexExpr *>(E);
+    Expr *Base = I->getBase();
+    if (Base->getKind() == Expr::VarRefKind &&
+        Base->getType()->isArray()) {
+      // a[i] reads object a's contents.
+      Symbol *Arr = static_cast<VarRefExpr *>(Base)->getSymbol();
+      RVal V;
+      V.Copies.push_back(noteObject(Arr));
+      return V;
+    }
+    if (Base->getKind() == Expr::DerefKind)
+      return loadFrom(
+          evalExpr(static_cast<DerefExpr *>(Base)->getAddr()));
+    RVal V;
+    V.Unknown = true;
+    return V;
+  }
+  case Expr::AddrOfKind: {
+    Expr *LV = static_cast<AddrOfExpr *>(E)->getLValue();
+    if (LV->getKind() == Expr::VarRefKind) {
+      RVal V;
+      V.Objects.push_back(static_cast<VarRefExpr *>(LV)->getSymbol());
+      return V;
+    }
+    if (LV->getKind() == Expr::IndexKind) {
+      Expr *Base = static_cast<IndexExpr *>(LV)->getBase();
+      if (Base->getKind() == Expr::VarRefKind &&
+          Base->getType()->isArray()) {
+        RVal V;
+        V.Objects.push_back(static_cast<VarRefExpr *>(Base)->getSymbol());
+        return V;
+      }
+      if (Base->getKind() == Expr::DerefKind)
+        return evalExpr(static_cast<DerefExpr *>(Base)->getAddr());
+    }
+    if (LV->getKind() == Expr::DerefKind) // &*p == p
+      return evalExpr(static_cast<DerefExpr *>(LV)->getAddr());
+    RVal V;
+    V.Unknown = true;
+    return V;
+  }
+  }
+  RVal V;
+  V.Unknown = true;
+  return V;
+}
+
+RVal Solver::loadFrom(const RVal &Addr) {
+  if (Addr.empty())
+    return {};
+  unsigned T = freshNode();
+  for (const Symbol *O : Addr.Objects)
+    addCopy(noteObject(O), T);
+  for (unsigned Ptr : Addr.Copies)
+    addLoad(Ptr, T);
+  if (Addr.Unknown)
+    addUnknown(T);
+  RVal V;
+  V.Copies.push_back(T);
+  return V;
+}
+
+void Solver::assignInto(unsigned Dst, const RVal &V) {
+  for (const Symbol *O : V.Objects)
+    addObject(Dst, O);
+  for (unsigned Src : V.Copies)
+    addCopy(Src, Dst);
+  if (V.Unknown)
+    addUnknown(Dst);
+}
+
+void Solver::storeThrough(const RVal &Addr, const RVal &V) {
+  if (V.empty() || Addr.empty())
+    return;
+  unsigned Val = freshNode();
+  assignInto(Val, V);
+  for (const Symbol *O : Addr.Objects)
+    addCopy(Val, noteObject(O));
+  for (unsigned Ptr : Addr.Copies)
+    addStore(Ptr, Val);
+  if (Addr.Unknown)
+    PendingGlobalStoreUnknown = true;
+}
+
+void Solver::escapeRVal(const RVal &V) {
+  for (const Symbol *O : V.Objects)
+    escapeObject(O);
+  for (unsigned N : V.Copies)
+    markEscaped(N);
+}
+
+void Solver::harvestStmt(Stmt *S) {
+  switch (S->getKind()) {
+  case Stmt::AssignKind: {
+    auto *A = static_cast<AssignStmt *>(S);
+    RVal V = evalExpr(A->getRHS());
+    Expr *LHS = A->getLHS();
+    switch (LHS->getKind()) {
+    case Expr::VarRefKind: {
+      Symbol *Dst = static_cast<VarRefExpr *>(LHS)->getSymbol();
+      if (!Dst->getType()->isFloating())
+        assignInto(nodeOf(Dst), V);
+      break;
+    }
+    case Expr::DerefKind:
+      storeThrough(evalExpr(static_cast<DerefExpr *>(LHS)->getAddr()), V);
+      break;
+    case Expr::IndexKind: {
+      Expr *Base = static_cast<IndexExpr *>(LHS)->getBase();
+      RVal Addr;
+      if (Base->getKind() == Expr::VarRefKind &&
+          Base->getType()->isArray())
+        Addr.Objects.push_back(static_cast<VarRefExpr *>(Base)->getSymbol());
+      else if (Base->getKind() == Expr::DerefKind)
+        Addr = evalExpr(static_cast<DerefExpr *>(Base)->getAddr());
+      else
+        Addr.Unknown = true;
+      storeThrough(Addr, V);
+      break;
+    }
+    default:
+      break;
+    }
+    break;
+  }
+  case Stmt::CallKind: {
+    auto *Call = static_cast<CallStmt *>(S);
+    const Function *Callee = Prog.findFunction(Call->getCallee());
+    if (Callee && Callee->getParams().size() == Call->getArgs().size()) {
+      // Closed-world call: bind arguments to parameters, returns to the
+      // result.
+      for (size_t I = 0; I < Call->getArgs().size(); ++I) {
+        Symbol *Param = Callee->getParams()[I];
+        if (!Param->getType()->isFloating())
+          assignInto(nodeOf(Param), evalExpr(Call->getArgs()[I]));
+      }
+      if (Symbol *Result = Call->getResult()) {
+        if (!Result->getType()->isFloating()) {
+          forEachStmt(Callee->getBody(), [&](const Stmt *Sub) {
+            if (Sub->getKind() != Stmt::ReturnKind)
+              return;
+            Expr *Value =
+                static_cast<const ReturnStmt *>(Sub)->getValue();
+            if (Value)
+              assignInto(nodeOf(Result), evalExpr(Value));
+          });
+        }
+      }
+    } else {
+      // External (or mismatched) call: every pointed-to object escapes
+      // and the result may be any pointer.
+      for (Expr *Arg : Call->getArgs())
+        escapeRVal(evalExpr(Arg));
+      if (Symbol *Result = Call->getResult())
+        if (!Result->getType()->isFloating())
+          addUnknown(nodeOf(Result));
+    }
+    break;
+  }
+  default:
+    break; // conditions and bounds are pure reads: no pointer flow
+  }
+}
+
+void Solver::process(unsigned N) {
+  // Snapshot: nodeOf() can mint nodes (reallocating every per-node vector)
+  // and addCopy() can grow this node's own lists mid-iteration.
+  const std::vector<unsigned> SuccList = Succ[N];
+  const std::vector<unsigned> Loads = LoadTo[N];
+  const std::vector<unsigned> Stores = StoreFrom[N];
+  const PointsToSet Cur = C[N];
+
+  for (unsigned Dst : SuccList)
+    if (C[Dst].merge(Cur))
+      push(Dst);
+  for (unsigned Dst : Loads) {
+    if (Cur.Unknown)
+      addUnknown(Dst);
+    for (const Symbol *O : Cur.Objects)
+      addCopy(noteObject(O), Dst);
+  }
+  for (unsigned Src : Stores) {
+    if (Cur.Unknown)
+      applyGlobalStoreUnknown();
+    for (const Symbol *O : Cur.Objects)
+      addCopy(Src, noteObject(O));
+  }
+  if (Escaped[N])
+    for (const Symbol *O : Cur.Objects)
+      escapeObject(O);
+}
+
+void Solver::run() {
+  // Harvest constraints from every function.  Symbols are unique across
+  // the program, so one constraint graph covers all of it.
+  for (const auto &F : Prog.getFunctions()) {
+    if (F->getName() == "main")
+      for (Symbol *Param : F->getParams())
+        if (!Param->getType()->isFloating())
+          addUnknown(nodeOf(Param));
+    forEachStmt(const_cast<Function &>(*F).getBody(),
+                [this](Stmt *S) { harvestStmt(S); });
+  }
+  if (PendingGlobalStoreUnknown)
+    applyGlobalStoreUnknown();
+
+  // Seed the worklist with everything once: constraints registered before
+  // their operands had contents still need a first pass.
+  for (unsigned N = 0; N < C.size(); ++N)
+    push(N);
+
+  while (!Work.empty()) {
+    unsigned N = Work.front();
+    Work.pop_front();
+    InWork[N] = false;
+    process(N);
+  }
+}
+
+} // namespace
+
+PointsToInfo analysis::computePointsTo(const Program &P) {
+  Solver S(P);
+  S.run();
+  PointsToInfo Info;
+  for (const auto &[Sym, N] : S.nodes())
+    Info.Sets.emplace(Sym, S.contentsOf(N));
+  Info.UnknownSet.Unknown = true;
+  return Info;
+}

@@ -1,0 +1,102 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Flow-insensitive Andersen-style points-to analysis over the IL.
+///
+/// The abstract objects are the program's named storage locations: global
+/// and static symbols, arrays, and any local whose address is taken.  A
+/// pointer-typed symbol accumulates a set of objects it may point to; the
+/// analysis iterates subset constraints harvested from every function to a
+/// fixpoint:
+///
+///     p = &x / p = a (array decay)      pts(p) ⊇ {x}
+///     p = q / p = q + e / p = (T)q      pts(p) ⊇ pts(q)
+///     p = *q / p = a[i]                 pts(p) ⊇ contents(o), o ∈ pts(q)
+///     *p = q / a[i] = q                 contents(o) ⊇ pts(q), o ∈ pts(p)
+///     f(..., q, ...)  (f in-program)    pts(param_i(f)) ⊇ pts(q)
+///     r = f(...)      (f in-program)    pts(r) ⊇ returns(f)
+///
+/// Calls to functions outside the program (simulator intrinsics, absent
+/// externs) and functions whose address context is invisible (never called
+/// from inside the program, other than main) are modeled with the
+/// distinguished Unknown element: a set containing Unknown may point
+/// anywhere, and clients must treat it as aliasing everything.  The
+/// analysis is sound because it only ever *adds* to points-to sets — it
+/// never prunes a may-point relation the IL can realize.
+///
+/// This is the bottom layer of the precise memory-dependence stack
+/// (DESIGN.md §11): MemorySSA consumes the object sets to give every
+/// memory access a may-touch set, and the MemSSA DependenceAnalysisImpl
+/// turns disjoint may-touch sets into NoAlias verdicts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_ANALYSIS_POINTSTO_H
+#define TCC_ANALYSIS_POINTSTO_H
+
+#include "il/IL.h"
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace tcc {
+namespace analysis {
+
+/// A may-point-to set: a set of named objects plus an Unknown flag.  When
+/// \c Unknown is set the pointer may additionally point at storage the
+/// analysis cannot name (externally supplied memory, unmodeled values),
+/// and every alias query against it must answer "may alias".
+struct PointsToSet {
+  std::set<const il::Symbol *, il::SymbolOrder> Objects;
+  bool Unknown = false;
+
+  bool empty() const { return Objects.empty() && !Unknown; }
+  bool contains(const il::Symbol *S) const { return Objects.count(S) != 0; }
+
+  /// Adds \p RHS into this set; true if anything changed.
+  bool merge(const PointsToSet &RHS);
+
+  /// True when the two sets cannot name a common object.  A set with the
+  /// Unknown flag — or an *empty* set, which means "no address was ever
+  /// observed flowing here" and typically marks dead or external code —
+  /// never proves disjointness.
+  static bool provablyDisjoint(const PointsToSet &A, const PointsToSet &B);
+};
+
+/// The fixpoint result for one whole program.
+class PointsToInfo {
+public:
+  /// The may-point-to set of pointer symbol \p P.  Symbols the analysis
+  /// never saw (or non-pointers) come back as Unknown.
+  const PointsToSet &pointsTo(const il::Symbol *P) const;
+
+  /// True unless the two pointers provably point into disjoint object
+  /// sets.
+  bool mayAlias(const il::Symbol *P, const il::Symbol *Q) const;
+
+  /// True unless pointer \p P provably never points at object \p Obj.
+  bool mayPointTo(const il::Symbol *P, const il::Symbol *Obj) const;
+
+  /// Number of pointer symbols with a resolved (non-empty, non-Unknown)
+  /// points-to set — the analysis' precision yield, surfaced in stats.
+  unsigned resolvedPointers() const;
+  unsigned trackedPointers() const { return static_cast<unsigned>(Sets.size()); }
+
+  /// Debug rendering: "p -> {a b}", "q -> {unknown}" per line.
+  std::string str() const;
+
+private:
+  friend PointsToInfo computePointsTo(const il::Program &P);
+
+  std::map<const il::Symbol *, PointsToSet, il::SymbolOrder> Sets;
+  PointsToSet UnknownSet; ///< Returned for untracked symbols.
+};
+
+/// Runs the constraint harvest and worklist fixpoint over \p P.
+PointsToInfo computePointsTo(const il::Program &P);
+
+} // namespace analysis
+} // namespace tcc
+
+#endif // TCC_ANALYSIS_POINTSTO_H

@@ -1,0 +1,186 @@
+#include "dependence/DependenceAnalysis.h"
+
+#include "analysis/MemorySSA.h"
+#include "analysis/PointsTo.h"
+
+using namespace tcc;
+using namespace tcc::il;
+using namespace tcc::dep;
+
+const char *dep::depAnalysisKindName(DepAnalysisKind K) {
+  switch (K) {
+  case DepAnalysisKind::ReachDef:
+    return "reachdef";
+  case DepAnalysisKind::MemSSA:
+    return "memssa";
+  }
+  return "memssa";
+}
+
+bool dep::parseDepAnalysisKind(const std::string &Name,
+                               DepAnalysisKind &Out) {
+  if (Name == "reachdef") {
+    Out = DepAnalysisKind::ReachDef;
+    return true;
+  }
+  if (Name == "memssa") {
+    Out = DepAnalysisKind::MemSSA;
+    return true;
+  }
+  return false;
+}
+
+const char *dep::baseKindName(const MemRef &R) {
+  if (!R.Addr.Valid)
+    return "unknown";
+  switch (R.Addr.Base.K) {
+  case BaseKey::Array:
+    return "array";
+  case BaseKey::Pointer:
+    return "pointer";
+  case BaseKey::Unknown:
+    return "unknown";
+  }
+  return "unknown";
+}
+
+AliasVerdict dep::reachDefAlias(const MemRef &A, const MemRef &B,
+                                const AliasContext &Ctx) {
+  bool BothValid = A.Addr.Valid && B.Addr.Valid;
+  if (BothValid) {
+    const BaseKey &BA = A.Addr.Base;
+    const BaseKey &BB = B.Addr.Base;
+    bool DistinctArrays = BA.K == BaseKey::Array && BB.K == BaseKey::Array &&
+                          BA.Sym != BB.Sym;
+    bool DistinctPointers =
+        BA.K == BaseKey::Pointer && BB.K == BaseKey::Pointer &&
+        BA.Sym != BB.Sym &&
+        (Ctx.FortranPointerSemantics || Ctx.SafeVectorPragma);
+    bool Mixed = BA.K != BB.K && Ctx.SafeVectorPragma;
+    if (DistinctArrays || DistinctPointers || Mixed)
+      return AliasVerdict::NoAlias;
+  } else if (Ctx.SafeVectorPragma) {
+    return AliasVerdict::NoAlias;
+  }
+  return AliasVerdict::MayAlias;
+}
+
+namespace {
+
+class ReachDefImpl : public DependenceAnalysisImpl {
+public:
+  const char *name() const override { return "reachdef"; }
+  AliasVerdict alias(const MemRef &A, const MemRef &B,
+                     const AliasContext &Ctx) const override {
+    return reachDefAlias(A, B, Ctx);
+  }
+};
+
+class MemSSAImpl : public DependenceAnalysisImpl {
+public:
+  MemSSAImpl(const analysis::PointsToInfo *PT,
+             const analysis::MemorySSA *MSSA)
+      : PT(PT), MSSA(MSSA) {}
+
+  const char *name() const override { return "memssa"; }
+
+  AliasVerdict alias(const MemRef &A, const MemRef &B,
+                     const AliasContext &Ctx) const override {
+    if (resolveDisjoint(A, B))
+      return AliasVerdict::NoAlias;
+    // The sets proved nothing: the baseline rules (Fortran semantics,
+    // safety pragmas) still apply, so memssa is never less precise.
+    return reachDefAlias(A, B, Ctx);
+  }
+
+private:
+  bool resolveDisjoint(const MemRef &A, const MemRef &B) const {
+    // Prefer the read/write-graph accesses when both sites are in it —
+    // their may-touch sets already went through the full address
+    // resolution — and fall back to resolving the classified bases
+    // through the points-to result.
+    analysis::PointsToSet SA, SB;
+    if (!mayTouch(A, SA) || !mayTouch(B, SB))
+      return false;
+    return analysis::PointsToSet::provablyDisjoint(SA, SB);
+  }
+
+  bool mayTouch(const MemRef &R, analysis::PointsToSet &Out) const {
+    if (MSSA && R.Site) {
+      if (const analysis::MemorySSA::Access *A =
+              MSSA->accessAt(R.Site, R.IsWrite)) {
+        Out = A->MayTouch;
+        return true;
+      }
+    }
+    if (!R.Addr.Valid || !PT)
+      return false;
+    const BaseKey &Base = R.Addr.Base;
+    if (Base.K == BaseKey::Array) {
+      Out.Objects.insert(Base.Sym);
+      return true;
+    }
+    if (Base.K == BaseKey::Pointer) {
+      Out = PT->pointsTo(Base.Sym);
+      return true;
+    }
+    return false;
+  }
+
+  const analysis::PointsToInfo *PT;
+  const analysis::MemorySSA *MSSA;
+};
+
+} // namespace
+
+DependenceAnalysis::DependenceAnalysis(DepAnalysisKind K) : Kind(K) {
+  rebuildImpl();
+}
+
+DependenceAnalysis::DependenceAnalysis(DepAnalysisKind K,
+                                       const analysis::PointsToInfo *PT,
+                                       const analysis::MemorySSA *MSSA)
+    : Kind(K), PT(PT), MSSA(MSSA) {
+  rebuildImpl();
+}
+
+DependenceAnalysis::~DependenceAnalysis() = default;
+DependenceAnalysis::DependenceAnalysis(DependenceAnalysis &&) noexcept =
+    default;
+DependenceAnalysis &
+DependenceAnalysis::operator=(DependenceAnalysis &&) noexcept = default;
+
+void DependenceAnalysis::rebuildImpl() {
+  if (Kind == DepAnalysisKind::MemSSA)
+    Impl = std::make_unique<MemSSAImpl>(PT, MSSA);
+  else
+    Impl = std::make_unique<ReachDefImpl>();
+}
+
+const char *DependenceAnalysis::implName() const { return Impl->name(); }
+
+void DependenceAnalysis::prepare(const il::Function &F) {
+  if (Kind != DepAnalysisKind::MemSSA)
+    return;
+  if (!PT) {
+    OwnedPT = std::make_unique<analysis::PointsToInfo>(
+        analysis::computePointsTo(F.getProgram()));
+    PT = OwnedPT.get();
+    PreparedFor = nullptr; // any previously built MemorySSA used no PT
+  }
+  if (OwnedMSSA == nullptr || PreparedFor != &F) {
+    // Only (re)build the per-function graph when we own it; a borrowed
+    // graph is the caller's responsibility to match the function.
+    if (!MSSA || OwnedMSSA) {
+      OwnedMSSA = std::make_unique<analysis::MemorySSA>(F, *PT);
+      MSSA = OwnedMSSA.get();
+      PreparedFor = &F;
+    }
+  }
+  rebuildImpl();
+}
+
+AliasVerdict DependenceAnalysis::alias(const MemRef &A, const MemRef &B,
+                                       const AliasContext &Ctx) const {
+  return Impl->alias(A, B, Ctx);
+}

@@ -1,0 +1,150 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The client-facing memory-dependence facade (DESIGN.md §11).
+///
+/// Every dependence client — the vectorizer, the depopt rewrites, the
+/// conflict-free-load marker — asks one question about a pair of
+/// references with *different* bases: can they touch the same memory?
+/// (Same-base pairs go to the subscript tester, `dep::testRefs`.)  Two
+/// implementations answer it, selectable per compile with
+/// `-depanalysis={reachdef,memssa}`:
+///
+///   reachdef   The baseline: syntactic base classification only.
+///              Distinct named arrays never alias; distinct pointers and
+///              mixed kinds alias unless Fortran pointer semantics or a
+///              safety pragma say otherwise.  Exactly the rules the loop
+///              dependence graph applied before the split.
+///
+///   memssa     The precise stack: Andersen points-to sets resolved
+///              through the MemorySSA read/write graph.  A pointer base
+///              touches only its points-to set, so two pointers into
+///              provably different objects are NoAlias even without
+///              pragmas or Fortran semantics.  Falls back to the
+///              reachdef rules whenever the sets prove nothing, so it is
+///              sound whenever reachdef is and never less precise.
+///
+/// Soundness bar: the two implementations may disagree about *precision*
+/// (memssa vectorizes more), never about *results* — the differential
+/// suite compiles every corpus program and bench kernel under both and
+/// requires byte-identical simulator memory.
+///
+/// The facade is modeled on dg's DataDependenceAnalysis →
+/// DataDependenceAnalysisImpl switch: construction picks the impl, and
+/// clients never see which one is behind the call.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_DEPENDENCE_DEPENDENCEANALYSIS_H
+#define TCC_DEPENDENCE_DEPENDENCEANALYSIS_H
+
+#include "dependence/MemRef.h"
+#include "il/IL.h"
+
+#include <memory>
+#include <string>
+
+namespace tcc {
+namespace analysis {
+class PointsToInfo;
+class MemorySSA;
+} // namespace analysis
+
+namespace dep {
+
+/// Which DependenceAnalysisImpl answers alias queries.
+enum class DepAnalysisKind : uint8_t {
+  ReachDef, ///< Baseline syntactic base classification.
+  MemSSA,   ///< Points-to + MemorySSA stack (default).
+};
+
+/// Stable names: "reachdef" / "memssa".
+const char *depAnalysisKindName(DepAnalysisKind K);
+
+/// Parses a `-depanalysis=` value; false on unknown input.
+bool parseDepAnalysisKind(const std::string &Name, DepAnalysisKind &Out);
+
+enum class AliasVerdict : uint8_t { NoAlias, MayAlias };
+
+/// The per-query context: the aliasing promises in force at the querying
+/// loop (the function's Fortran pointer semantics and the loop's safety
+/// pragma, already folded together by the caller).
+struct AliasContext {
+  bool FortranPointerSemantics = false;
+  bool SafeVectorPragma = false;
+};
+
+/// One implementation of the pairwise base-disambiguation query.
+class DependenceAnalysisImpl {
+public:
+  virtual ~DependenceAnalysisImpl() = default;
+
+  /// The stable implementation name used in remarks ("reachdef",
+  /// "memssa").
+  virtual const char *name() const = 0;
+
+  /// May references \p A and \p B (with different bases) touch common
+  /// memory?  NoAlias must be a proof; MayAlias is the safe default.
+  virtual AliasVerdict alias(const MemRef &A, const MemRef &B,
+                             const AliasContext &Ctx) const = 0;
+};
+
+/// The facade clients hold.  Owns its analyses on the standalone path
+/// (lazily computed per program) or borrows them from the pipeline's
+/// AnalysisContext caches.
+class DependenceAnalysis {
+public:
+  /// Standalone: analyses are computed on first \c prepare().
+  explicit DependenceAnalysis(DepAnalysisKind K = DepAnalysisKind::MemSSA);
+
+  /// Pipeline path: borrow an already-computed points-to result (and
+  /// optionally the current function's MemorySSA).  Both may be null for
+  /// ReachDef, which needs neither.
+  DependenceAnalysis(DepAnalysisKind K, const analysis::PointsToInfo *PT,
+                     const analysis::MemorySSA *MSSA = nullptr);
+
+  ~DependenceAnalysis();
+  DependenceAnalysis(DependenceAnalysis &&) noexcept;
+  DependenceAnalysis &operator=(DependenceAnalysis &&) noexcept;
+
+  DepAnalysisKind kind() const { return Kind; }
+  const char *implName() const;
+
+  /// Ensures the underlying analyses cover \p F's program.  On the
+  /// standalone path this computes points-to (whole program) and the
+  /// function's MemorySSA once; with borrowed analyses it is a no-op.
+  void prepare(const il::Function &F);
+
+  /// The pairwise query; see DependenceAnalysisImpl::alias.
+  AliasVerdict alias(const MemRef &A, const MemRef &B,
+                     const AliasContext &Ctx) const;
+
+  /// The borrowed or owned analyses (null when not built / ReachDef).
+  const analysis::PointsToInfo *pointsTo() const { return PT; }
+  const analysis::MemorySSA *memorySSA() const { return MSSA; }
+
+private:
+  void rebuildImpl();
+
+  DepAnalysisKind Kind;
+  const analysis::PointsToInfo *PT = nullptr;
+  const analysis::MemorySSA *MSSA = nullptr;
+  std::unique_ptr<analysis::PointsToInfo> OwnedPT;
+  std::unique_ptr<analysis::MemorySSA> OwnedMSSA;
+  const il::Function *PreparedFor = nullptr;
+  std::unique_ptr<DependenceAnalysisImpl> Impl;
+};
+
+/// The baseline disambiguation rules, shared by both impls (memssa falls
+/// back to them when points-to proves nothing).
+AliasVerdict reachDefAlias(const MemRef &A, const MemRef &B,
+                           const AliasContext &Ctx);
+
+/// Human-readable base-kind name for remarks: "array", "pointer",
+/// "unknown".
+const char *baseKindName(const MemRef &R);
+
+} // namespace dep
+} // namespace tcc
+
+#endif // TCC_DEPENDENCE_DEPENDENCEANALYSIS_H

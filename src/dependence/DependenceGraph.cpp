@@ -1,6 +1,7 @@
 #include "dependence/DependenceGraph.h"
 
 #include "analysis/UseDef.h"
+#include "il/ILPrinter.h"
 #include "scalar/Fold.h"
 
 #include <algorithm>
@@ -129,7 +130,8 @@ DepResult dep::testRefs(const MemRef &A, const MemRef &B, Symbol *Idx,
 // Conflict-free load marking
 //===----------------------------------------------------------------------===//
 
-unsigned dep::markConflictFreeLoads(Function &F) {
+unsigned dep::markConflictFreeLoads(Function &F,
+                                    const DependenceAnalysis *DA) {
   unsigned Marked = 0;
   std::function<void(Block &)> Visit = [&](Block &B) {
     for (Stmt *S : B.Stmts) {
@@ -155,7 +157,9 @@ unsigned dep::markConflictFreeLoads(Function &F) {
           Visit(D->getBody());
           break;
         }
-        LoopDependenceGraph G(F, D);
+        DepGraphOptions Opts;
+        Opts.Analysis = DA;
+        LoopDependenceGraph G(F, D, Opts);
         for (unsigned N = 0; N < G.statements().size(); ++N) {
           if (G.statements()[N]->getKind() != Stmt::AssignKind)
             continue;
@@ -235,9 +239,16 @@ void LoopDependenceGraph::buildBarrierEdges() {
 }
 
 void LoopDependenceGraph::buildMemoryEdges(const DepGraphOptions &Opts) {
-  bool FortranPtrs =
+  AliasContext Ctx;
+  Ctx.FortranPointerSemantics =
       Opts.FortranPointerSemantics || F.hasFortranPointerSemantics();
-  bool Safe = Opts.SafeVectorPragma || Loop->hasSafeVectorPragma();
+  Ctx.SafeVectorPragma = Opts.SafeVectorPragma || Loop->hasSafeVectorPragma();
+
+  // Route different-base pairs through the facade; build a baseline one
+  // when the caller did not supply any (preserves pre-split behavior).
+  DependenceAnalysis Baseline(DepAnalysisKind::ReachDef);
+  const DependenceAnalysis &DA = Opts.Analysis ? *Opts.Analysis : Baseline;
+  AnalysisName = DA.implName();
 
   for (unsigned I = 0; I < Stmts.size(); ++I) {
     for (unsigned J = I; J < Stmts.size(); ++J) {
@@ -256,23 +267,20 @@ void LoopDependenceGraph::buildMemoryEdges(const DepGraphOptions &Opts) {
           bool SameBase = RA.Addr.Valid && RB.Addr.Valid &&
                           RA.Addr.Base == RB.Addr.Base;
           if (!SameBase) {
-            bool BothValid = RA.Addr.Valid && RB.Addr.Valid;
-            if (BothValid) {
-              const BaseKey &BA = RA.Addr.Base;
-              const BaseKey &BB = RB.Addr.Base;
-              bool DistinctArrays = BA.K == BaseKey::Array &&
-                                    BB.K == BaseKey::Array &&
-                                    BA.Sym != BB.Sym;
-              bool DistinctPointers = BA.K == BaseKey::Pointer &&
-                                      BB.K == BaseKey::Pointer &&
-                                      BA.Sym != BB.Sym &&
-                                      (FortranPtrs || Safe);
-              bool Mixed = BA.K != BB.K && Safe;
-              if (DistinctArrays || DistinctPointers || Mixed)
-                continue; // independent
-            } else if (Safe) {
-              continue;
-            }
+            if (DA.alias(RA, RB, Ctx) == AliasVerdict::NoAlias)
+              continue; // independent
+            // Record the blocking pair for remarks before giving up.
+            BlockedPair P;
+            P.LocA = RA.S->getLoc();
+            P.LocB = RB.S->getLoc();
+            if (RA.Site)
+              P.RefA = il::printExpr(RA.Site);
+            if (RB.Site)
+              P.RefB = il::printExpr(RB.Site);
+            P.KindA = baseKindName(RA);
+            P.KindB = baseKindName(RB);
+            P.Impl = DA.implName();
+            BlockedPairs.push_back(std::move(P));
             // Conservative: unordered dependence both ways.
             addEdge(I, J, Kind, /*Carried=*/true);
             if (I != J)

@@ -24,9 +24,11 @@
 #ifndef TCC_DEPENDENCE_DEPENDENCEGRAPH_H
 #define TCC_DEPENDENCE_DEPENDENCEGRAPH_H
 
+#include "dependence/DependenceAnalysis.h"
 #include "dependence/MemRef.h"
 #include "il/IL.h"
 
+#include <string>
 #include <vector>
 
 namespace tcc {
@@ -65,6 +67,21 @@ struct DepGraphOptions {
   /// The loop carries `#pragma safe`: all memory references in it are
   /// assumed independent unless provably overlapping on the same base.
   bool SafeVectorPragma = false;
+  /// The disambiguation facade for different-base reference pairs.  When
+  /// null the graph builds its own baseline (reachdef) facade, which
+  /// reproduces the pre-split behavior exactly.
+  const DependenceAnalysis *Analysis = nullptr;
+};
+
+/// A different-base reference pair the facade could not disambiguate —
+/// the payload of aliasing "not vectorized" remarks: both source-located
+/// sites, their classified base kinds, and which impl blocked.
+struct BlockedPair {
+  SourceLoc LocA, LocB;
+  std::string RefA, RefB;     ///< Printed access expressions.
+  const char *KindA = "unknown"; ///< Classified base kinds ("array",
+  const char *KindB = "unknown"; ///< "pointer", "unknown").
+  const char *Impl = "reachdef"; ///< Which impl answered MayAlias.
 };
 
 /// Marks every assignment in an innermost DO loop of \p F whose loads
@@ -72,8 +89,9 @@ struct DepGraphOptions {
 /// those loads bypass the store queue (paper Section 6).  Returns the
 /// number of statements marked.  Run after vectorization and before the
 /// depopt rewrites (which preserve the marks but obscure the address
-/// forms the analysis needs).
-unsigned markConflictFreeLoads(il::Function &F);
+/// forms the analysis needs).  Disambiguates through \p DA when given.
+unsigned markConflictFreeLoads(il::Function &F,
+                               const DependenceAnalysis *DA = nullptr);
 
 class LoopDependenceGraph {
 public:
@@ -103,6 +121,16 @@ public:
   const NestContext &nest() const { return Nest; }
   int64_t tripCount() const { return Trip; } ///< -1 when unknown.
 
+  /// The different-base pairs the facade answered MayAlias on — the
+  /// aliasing blockers behind any conservative edges, for remarks.
+  const std::vector<BlockedPair> &blockedPairs() const {
+    return BlockedPairs;
+  }
+
+  /// The impl name that answered the alias queries ("reachdef",
+  /// "memssa").
+  const char *analysisName() const { return AnalysisName; }
+
 private:
   void addEdge(unsigned Src, unsigned Dst, DepKind Kind, bool Carried,
                bool DistanceKnown = false, int64_t Distance = 0);
@@ -118,6 +146,8 @@ private:
   std::vector<std::vector<MemRef>> Refs;
   std::vector<DepEdge> Edges;
   std::vector<bool> IsBarrier;
+  std::vector<BlockedPair> BlockedPairs;
+  const char *AnalysisName = "reachdef";
 };
 
 } // namespace dep

@@ -240,6 +240,7 @@ void collectFromExpr(Stmt *S, Expr *E, bool IsStoreTarget,
     collectFromExpr(S, D->getAddr(), /*IsStoreTarget=*/false, Nest, Out);
     MemRef Ref;
     Ref.S = S;
+    Ref.Site = E;
     Ref.IsWrite = IsStoreTarget;
     Ref.Size = D->getType()->isArray() ? 0 : D->getType()->getSizeInBytes();
     Ref.Addr = classify(evalLinear(D->getAddr(), Nest));
@@ -258,6 +259,7 @@ void collectFromExpr(Stmt *S, Expr *E, bool IsStoreTarget,
                       false, Nest, Out);
     MemRef Ref;
     Ref.S = S;
+    Ref.Site = E;
     Ref.IsWrite = IsStoreTarget;
     Ref.Size = I->getType()->getSizeInBytes();
     Ref.Addr = classify(evalIndexAddress(I, Nest));

@@ -62,6 +62,7 @@ struct AddrForm {
 /// One memory reference inside a statement.
 struct MemRef {
   il::Stmt *S = nullptr;
+  const il::Expr *Site = nullptr; ///< The Deref/Index expression itself.
   bool IsWrite = false;
   int64_t Size = 0; ///< Element size in bytes.
   AddrForm Addr;

@@ -211,13 +211,17 @@ bool applyOneReplacement(Function &F, DoLoopStmt *D, Block &Parent,
 } // namespace depopt
 } // namespace tcc
 
-ScalarReplaceStats depopt::applyScalarReplacement(Function &F) {
+ScalarReplaceStats
+depopt::applyScalarReplacement(Function &F,
+                               const dep::DependenceAnalysis *DA) {
   ScalarReplaceStats Stats;
 
   visitLoops(F, F.getBody(), [&](DoLoopStmt *D, Block &Parent, size_t Pos) {
     if (!isNormalizedLoop(F, D) || !isInnermostSerial(D))
       return;
-    dep::LoopDependenceGraph G(F, D);
+    dep::DepGraphOptions GOpts;
+    GOpts.Analysis = DA;
+    dep::LoopDependenceGraph G(F, D, GOpts);
     Symbol *Idx = D->getIndexVar();
 
     // Find a store ref and a load ref on the same base at distance one.

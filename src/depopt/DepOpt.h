@@ -30,6 +30,9 @@
 #include "il/IL.h"
 
 namespace tcc {
+namespace dep {
+class DependenceAnalysis;
+} // namespace dep
 namespace depopt {
 
 struct ScalarReplaceStats {
@@ -46,8 +49,12 @@ struct StrengthReduceStats {
 };
 
 /// Replaces distance-1 loop-carried loads with register temporaries in
-/// serial innermost DO loops.
-ScalarReplaceStats applyScalarReplacement(il::Function &F);
+/// serial innermost DO loops.  Memory disambiguation for different-base
+/// pairs goes through \p DA when given (must be prepared for \p F);
+/// null uses the dependence graph's reachdef baseline.
+ScalarReplaceStats
+applyScalarReplacement(il::Function &F,
+                       const dep::DependenceAnalysis *DA = nullptr);
 
 /// Strength-reduces address arithmetic in serial innermost DO loops.
 StrengthReduceStats applyStrengthReduction(il::Function &F);

@@ -31,6 +31,7 @@ std::string driver::configFingerprint(const CompilerOptions &Opts) {
   Add("vec.parallel", Opts.Vectorize.EnableParallel);
   Add("vec.strip", Opts.Vectorize.StripLength);
   Add("vec.fortranptr", Opts.Vectorize.FortranPointerSemantics);
+  Add("dep.analysis", static_cast<long long>(Opts.DepAnalysis));
   Add("dep.scalarrepl", Opts.EnableScalarReplacement);
   Add("dep.sched", Opts.EnableDepScheduling);
   Add("dep.strength", Opts.EnableStrengthReduction);
@@ -45,6 +46,7 @@ driver::makePipelineOptions(const CompilerOptions &Opts) {
   PipeOpts.IVSub = Opts.IVSub;
   PipeOpts.ConstProp = Opts.ConstProp;
   PipeOpts.Vectorize = Opts.Vectorize;
+  PipeOpts.DepAnalysis = Opts.DepAnalysis;
   PipeOpts.EnableScalarReplacement = Opts.EnableScalarReplacement;
   PipeOpts.EnableDepScheduling = Opts.EnableDepScheduling;
   PipeOpts.EnableStrengthReduction = Opts.EnableStrengthReduction;

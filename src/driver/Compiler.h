@@ -23,6 +23,7 @@
 #ifndef TCC_DRIVER_COMPILER_H
 #define TCC_DRIVER_COMPILER_H
 
+#include "dependence/DependenceAnalysis.h"
 #include "il/IL.h"
 #include "inliner/Inliner.h"
 #include "pipeline/PassManager.h"
@@ -63,6 +64,12 @@ struct CompilerOptions {
   // Vectorization and parallelization (Sections 5 and 9).
   bool EnableVectorize = true;
   vec::VectorizeOptions Vectorize;
+
+  /// Which memory-dependence stack disambiguates different-base reference
+  /// pairs (the -depanalysis= flag): the reachdef baseline or the
+  /// Andersen points-to + MemorySSA stack (default).  Changes which
+  /// loops vectorize, never what the program computes.
+  dep::DepAnalysisKind DepAnalysis = dep::DepAnalysisKind::MemSSA;
 
   // Dependence-driven optimizations (Section 6).
   bool EnableScalarReplacement = true;

@@ -42,6 +42,7 @@ std::string driver::toolUsage(const std::string &Tool) {
        " [-O0|-O1|-O2|-O3] [-P n] [-fno-inline] [-ffortran-ptrs]\n";
   const std::string Pad(std::strlen("usage: ") + Tool.size() + 1, ' ');
   U += Pad + "[-strip n] [-catalog=file] [-passes=spec] [-cache=file]\n";
+  U += Pad + "[-depanalysis=reachdef|memssa]\n";
   U += Pad + "[-whole-program] [-verify-each] [-print-il=phase]\n";
   U += Pad + "[-print-after-all] [-remarks=file]\n";
   U += Pad + "[-no-sandbox] [-pass-budget=ms] [-repro-dir=dir]\n";
@@ -79,6 +80,13 @@ bool driver::parseToolArgs(const std::vector<std::string> &Args,
       Inv.Opts.Vectorize.StripLength = std::atoll(Args[++I].c_str());
     } else if (Arg.rfind("-catalog=", 0) == 0) {
       Inv.CatalogPath = Arg.substr(std::strlen("-catalog="));
+    } else if (Arg.rfind("-depanalysis=", 0) == 0) {
+      std::string Name = Arg.substr(std::strlen("-depanalysis="));
+      if (!dep::parseDepAnalysisKind(Name, Inv.Opts.DepAnalysis)) {
+        Error = "unknown -depanalysis value '" + Name +
+                "' (expected reachdef or memssa)";
+        return false;
+      }
     } else if (Arg.rfind("-passes=", 0) == 0) {
       Inv.Opts.Passes = Arg.substr(std::strlen("-passes="));
     } else if (Arg.rfind("-cache=", 0) == 0) {

@@ -581,6 +581,83 @@ void genPointerWalk(GenState &G) {
   Dst->FB = (N >= Dst->Size) ? FB : fMax(Dst->FB, FB);
 }
 
+/// Two pointers into the SAME array, reader offset ahead of the writer:
+/// `p = &a[0]; q = &a[k]; *p++ = *q++ + c;` for Size-k steps.  Every read
+/// lands on a not-yet-written element, so values stay exact while the
+/// dependence analysis has to reason about may-alias pointer pairs.
+void genAliasedOffsetWalk(GenState &G) {
+  ArrayInfo *A = pickArray(G, true);
+  if (!A)
+    return;
+  int K = static_cast<int>(G.R.range(1, 8));
+  int N = A->Size - K;
+  double C = static_cast<double>(G.R.range(-8, 8)) * 0.25;
+  FBound FB = fAdd(A->FB, {std::fabs(C), 2});
+  if (!FB.exact())
+    return;
+  G.line("  p = &" + A->Name + "[0];");
+  G.line("  q = &" + A->Name + "[" + std::to_string(K) + "];");
+  G.line("  n = " + std::to_string(N) + ";");
+  G.line("  while (n) {");
+  G.line("    *p++ = *q++ + " + fmtFloat(C) + ";");
+  G.line("    n--;");
+  G.line("  }");
+  A->FB = fMax(A->FB, FB);
+}
+
+/// A pointer bound to one of two arrays by a runtime condition, then an
+/// elementwise store loop through it.  The points-to set of `p` carries
+/// both arrays, so a sound analysis must treat either as written.
+void genPointerSelectLoop(GenState &G) {
+  ArrayInfo *A = pickArray(G, true);
+  ArrayInfo *B = pickArray(G, true);
+  if (!A || !B || A == B)
+    return;
+  G.LoopVars.push_back({"i", std::min(A->Size, B->Size)});
+  FExpr E = genFloatExpr(G, 1);
+  G.LoopVars.pop_back();
+  int N = std::min(A->Size, B->Size);
+  IExpr Cond = genIntExpr(G, 1);
+  G.line("  if (" + Cond.Text + " & 1) {");
+  G.line("    p = " + A->Name + ";");
+  G.line("  } else {");
+  G.line("    p = " + B->Name + ";");
+  G.line("  }");
+  G.line("  for (i = 0; i < " + std::to_string(N) + "; i++) {");
+  G.line("    p[i] = " + E.Text + ";");
+  G.line("  }");
+  // Either array may have been written: widen both bounds.
+  A->FB = fMax(A->FB, E.B);
+  B->FB = fMax(B->FB, E.B);
+}
+
+/// Disjoint halves of one array through two pointers:
+/// `p = &a[0]; q = &a[half]; p[i] = q[i] * c;`.  Truly conflict-free,
+/// but both pointers share a base object — the shape a points-to
+/// analysis alone cannot disambiguate.
+void genSplitHalvesWalk(GenState &G) {
+  ArrayInfo *A = pickArray(G, true);
+  if (!A)
+    return;
+  int Half = A->Size / 2;
+  struct {
+    const char *Text;
+    double Mul;
+    int GranShift;
+  } Consts[] = {{" * 0.50", 0.5, 1}, {" * 2.00", 2.0, 0},
+                {" * 0.25", 0.25, 2}};
+  auto &C = Consts[G.R.below(3)];
+  FBound FB = {A->FB.Bound * C.Mul, A->FB.Gran + C.GranShift};
+  if (!FB.exact())
+    return;
+  G.line("  p = &" + A->Name + "[0];");
+  G.line("  q = &" + A->Name + "[" + std::to_string(Half) + "];");
+  G.line("  for (i = 0; i < " + std::to_string(Half) + "; i++) {");
+  G.line("    p[i] = q[i]" + std::string(C.Text) + ";");
+  G.line("  }");
+  A->FB = fMax(A->FB, FB);
+}
+
 /// Masked int reduction into a global scalar (do-while or for).
 void genIntReduction(GenState &G) {
   ArrayInfo *Src = pickArray(G, false);
@@ -778,7 +855,7 @@ GenProgram fuzz::generateProgram(uint64_t Seed, const GenOptions &Opts) {
   unsigned Blocks = static_cast<unsigned>(
       G.R.range(Opts.MinBlocks, Opts.MaxBlocks));
   for (unsigned I = 0; I < Blocks; ++I) {
-    switch (G.R.below(8)) {
+    switch (G.R.below(11)) {
     case 0:
       genElementwiseFloat(G);
       break;
@@ -799,6 +876,15 @@ GenProgram fuzz::generateProgram(uint64_t Seed, const GenOptions &Opts) {
       break;
     case 6:
       genIntLoop(G);
+      break;
+    case 7:
+      genAliasedOffsetWalk(G);
+      break;
+    case 8:
+      genPointerSelectLoop(G);
+      break;
+    case 9:
+      genSplitHalvesWalk(G);
       break;
     default:
       genCallLoop(G);

@@ -39,10 +39,40 @@ analysis::UseDefChains &AnalysisContext::useDef(il::Function &F) {
   return *Slot;
 }
 
+const analysis::PointsToInfo &AnalysisContext::pointsTo(const il::Program &P) {
+  if (!PointsToCache) {
+    ++PointsToBuilt;
+    PointsToCache = std::make_unique<analysis::PointsToInfo>(
+        analysis::computePointsTo(P));
+  }
+  return *PointsToCache;
+}
+
+const analysis::MemorySSA &AnalysisContext::memorySSA(const il::Function &F) {
+  auto It = MemorySSACache.find(&F);
+  if (It != MemorySSACache.end())
+    return *It->second;
+  const analysis::PointsToInfo &PT = pointsTo(F.getProgram());
+  ++MemorySSABuilt;
+  auto &Slot = MemorySSACache[&F];
+  Slot = std::make_unique<analysis::MemorySSA>(F, PT);
+  return *Slot;
+}
+
 void AnalysisContext::invalidate(const il::Function &F,
                                  const PreservedSet &Preserved) {
   if (!Preserved.preserves(AnalysisKind::UseDef))
     UseDefCache.erase(&F);
+  // The Andersen result is program-scoped: one function's mutation can
+  // change any pointer's targets, so it drops whole.  Every MemorySSA
+  // graph resolved its accesses through that result, so they go with it
+  // (their may-touch sets are copies, but copies of stale facts).
+  if (!Preserved.preserves(AnalysisKind::PointsTo)) {
+    PointsToCache.reset();
+    MemorySSACache.clear();
+  } else if (!Preserved.preserves(AnalysisKind::MemorySSA)) {
+    MemorySSACache.erase(&F);
+  }
   // A pass ran over F, preserving or not: the body may differ from the
   // text the hash was taken over, so the shared-cache key is stale.
   Hashes.erase(&F);
@@ -51,10 +81,21 @@ void AnalysisContext::invalidate(const il::Function &F,
 void AnalysisContext::invalidate(const PreservedSet &Preserved) {
   if (!Preserved.preserves(AnalysisKind::UseDef))
     UseDefCache.clear();
+  if (!Preserved.preserves(AnalysisKind::PointsTo)) {
+    PointsToCache.reset();
+    MemorySSACache.clear();
+  } else if (!Preserved.preserves(AnalysisKind::MemorySSA)) {
+    MemorySSACache.clear();
+  }
   Hashes.clear();
 }
 
 void AnalysisContext::forget(const il::Function &F) {
   UseDefCache.erase(&F);
+  // The function object is being replaced: its symbols may appear in the
+  // program-scoped points-to sets and in other functions' may-touch
+  // sets, so everything built on them goes.
+  PointsToCache.reset();
+  MemorySSACache.clear();
   Hashes.erase(&F);
 }

@@ -20,6 +20,8 @@
 #ifndef TCC_PIPELINE_ANALYSISCONTEXT_H
 #define TCC_PIPELINE_ANALYSISCONTEXT_H
 
+#include "analysis/MemorySSA.h"
+#include "analysis/PointsTo.h"
 #include "analysis/UseDef.h"
 #include "il/IL.h"
 #include "pipeline/Pass.h"
@@ -103,6 +105,20 @@ public:
     return UseDefCache.count(&F) != 0;
   }
 
+  /// The program-scoped Andersen points-to solution: cached when valid,
+  /// recomputed otherwise.  Program-scoped because any function's stores
+  /// can change any pointer's targets; one mutation drops the whole
+  /// result (see invalidate).
+  const analysis::PointsToInfo &pointsTo(const il::Program &P);
+
+  /// \p F's read/write graph over the cached points-to result.
+  const analysis::MemorySSA &memorySSA(const il::Function &F);
+
+  bool hasCachedPointsTo() const { return PointsToCache != nullptr; }
+  bool hasCachedMemorySSA(const il::Function &F) const {
+    return MemorySSACache.count(&F) != 0;
+  }
+
   /// Drops \p F's cached analyses of every kind not in \p Preserved
   /// (called after a function pass ran on \p F).
   void invalidate(const il::Function &F, const PreservedSet &Preserved);
@@ -138,11 +154,20 @@ public:
   unsigned reuseCount() const { return Reused; }
   /// Builds avoided by importing a shared export instead.
   unsigned sharedImportCount() const { return SharedImported; }
-  void resetCounters() { Built = Reused = SharedImported = 0; }
+  /// Andersen solves / per-function graph builds since the last reset.
+  unsigned pointsToBuildCount() const { return PointsToBuilt; }
+  unsigned memorySSABuildCount() const { return MemorySSABuilt; }
+  void resetCounters() {
+    Built = Reused = SharedImported = PointsToBuilt = MemorySSABuilt = 0;
+  }
 
 private:
   std::map<const il::Function *, std::unique_ptr<analysis::UseDefChains>>
       UseDefCache;
+  /// Program-scoped; null when invalid.
+  std::unique_ptr<analysis::PointsToInfo> PointsToCache;
+  std::map<const il::Function *, std::unique_ptr<analysis::MemorySSA>>
+      MemorySSACache;
   /// IL-text hashes for functions whose bodies are still pristine
   /// (pre-first-pass); keys into the shared cache.
   std::map<const il::Function *, std::string> Hashes;
@@ -150,6 +175,8 @@ private:
   unsigned Built = 0;
   unsigned Reused = 0;
   unsigned SharedImported = 0;
+  unsigned PointsToBuilt = 0;
+  unsigned MemorySSABuilt = 0;
 };
 
 } // namespace pipeline

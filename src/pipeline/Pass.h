@@ -24,6 +24,7 @@
 #ifndef TCC_PIPELINE_PASS_H
 #define TCC_PIPELINE_PASS_H
 
+#include "dependence/DependenceAnalysis.h"
 #include "depopt/DepOpt.h"
 #include "il/IL.h"
 #include "inliner/Inliner.h"
@@ -46,7 +47,11 @@ class AnalysisContext;
 /// is a (function, kind) key in the cache; passes declare which kinds
 /// they keep valid.
 enum class AnalysisKind : uint8_t {
-  UseDef = 0, ///< analysis::UseDefChains (paper Section 5.2).
+  UseDef = 0,    ///< analysis::UseDefChains (paper Section 5.2).
+  PointsTo = 1,  ///< analysis::PointsToInfo — program-scoped Andersen
+                 ///< solution; invalidating it on any function drops the
+                 ///< whole result (and every MemorySSA graph built on it).
+  MemorySSA = 2, ///< analysis::MemorySSA — per-function read/write graph.
 };
 
 /// The set of analysis kinds a pass leaves valid on the function it just
@@ -91,6 +96,11 @@ struct PipelineOptions {
 
   // Vectorization and parallelization (Sections 5 and 9).
   vec::VectorizeOptions Vectorize;
+
+  /// Which memory-dependence stack disambiguates different-base pairs in
+  /// the vectorizer and depopt (`-depanalysis=`): the reachdef baseline
+  /// or the Andersen points-to + MemorySSA stack (default).
+  dep::DepAnalysisKind DepAnalysis = dep::DepAnalysisKind::MemSSA;
 
   // Sub-phases of the dependence-driven optimization pass (Section 6).
   bool EnableScalarReplacement = true;

@@ -54,10 +54,11 @@ class WhileToDoPass : public FunctionPass {
 public:
   std::string name() const override { return "whiletodo"; }
 
-  // Converted loops patch the chains incrementally (paper Section 5.2),
-  // so every cached analysis stays valid.
+  // Converted loops patch the use-def chains incrementally (paper
+  // Section 5.2), so those stay valid.  The memory-dependence analyses
+  // do not survive the loop restructuring and are rebuilt on demand.
   PreservedSet preservedAnalyses() const override {
-    return PreservedSet::all();
+    return PreservedSet::none().preserve(AnalysisKind::UseDef);
   }
 
   remarks::StatGroup runOnFunction(il::Function &F,
@@ -172,6 +173,18 @@ public:
                                    PassContext &Ctx) override {
     vec::VectorizeOptions Opts = Ctx.Options.Vectorize;
     Opts.Remarks = &Ctx.Remarks; // source-located loop remarks
+    // Borrow the cached analyses for the selected dependence stack.  The
+    // memssa graph was built over the current body (any earlier mutation
+    // invalidated it); statements the vectorizer has not reached yet keep
+    // their identities, so the graph stays valid across the rewrite.
+    const analysis::PointsToInfo *PT = nullptr;
+    const analysis::MemorySSA *MSSA = nullptr;
+    if (Ctx.Options.DepAnalysis == dep::DepAnalysisKind::MemSSA) {
+      PT = &Ctx.Analyses.pointsTo(Ctx.Program);
+      MSSA = &Ctx.Analyses.memorySSA(F);
+    }
+    dep::DependenceAnalysis DA(Ctx.Options.DepAnalysis, PT, MSSA);
+    Opts.DepAnalysis = &DA;
     auto S = vec::vectorizeLoops(F, Opts);
     auto &Acc = Ctx.Stats.Vectorize;
     Acc.LoopsConsidered += S.LoopsConsidered;
@@ -211,14 +224,24 @@ public:
     // Scalar replacement first: it removes the loop-carried loads, after
     // which the remaining loads are conflict-free.  Conflict-free marking
     // runs before strength reduction rewrites the address forms the
-    // dependence analysis reads.
+    // dependence analysis reads.  Each stage prepares its own facade over
+    // the cached points-to result: the previous stage rewrote the body,
+    // so the per-function graph is rebuilt rather than borrowed.
+    const analysis::PointsToInfo *PT = nullptr;
+    if (Ctx.Options.DepAnalysis == dep::DepAnalysisKind::MemSSA)
+      PT = &Ctx.Analyses.pointsTo(Ctx.Program);
     if (Ctx.Options.EnableScalarReplacement) {
-      auto S = depopt::applyScalarReplacement(F);
+      dep::DependenceAnalysis DA(Ctx.Options.DepAnalysis, PT);
+      DA.prepare(F);
+      auto S = depopt::applyScalarReplacement(F, &DA);
       SR.LoopsApplied += S.LoopsApplied;
       SR.LoadsEliminated += S.LoadsEliminated;
     }
-    if (Ctx.Options.EnableDepScheduling)
-      dep::markConflictFreeLoads(F);
+    if (Ctx.Options.EnableDepScheduling) {
+      dep::DependenceAnalysis DA(Ctx.Options.DepAnalysis, PT);
+      DA.prepare(F);
+      dep::markConflictFreeLoads(F, &DA);
+    }
     if (Ctx.Options.EnableStrengthReduction) {
       auto S = depopt::applyStrengthReduction(F);
       STR.LoopsApplied += S.LoopsApplied;

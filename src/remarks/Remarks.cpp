@@ -17,6 +17,14 @@ const char *remarks::remarkKindName(RemarkKind K) {
   return "note";
 }
 
+const std::string &Remark::arg(const std::string &Key) const {
+  static const std::string Empty;
+  for (const auto &[K, V] : Args)
+    if (K == Key)
+      return V;
+  return Empty;
+}
+
 std::string Remark::str() const {
   std::string Out = Pass;
   if (Loc.isValid())
@@ -174,6 +182,12 @@ void CompilationTelemetry::writeJSON(std::ostream &OS) const {
     W.keyValue("line", R.Loc.Line);
     W.keyValue("col", R.Loc.Col);
     W.keyValue("message", R.Message);
+    if (!R.Args.empty()) {
+      W.key("args").beginObject();
+      for (const auto &[Key, Value] : R.Args)
+        W.keyValue(Key, Value);
+      W.endObject();
+    }
     W.endObject();
   }
   W.endArray();

@@ -50,6 +50,13 @@ struct Remark {
   std::string Pass;
   SourceLoc Loc; ///< May be invalid for program-level remarks.
   std::string Message;
+  /// Structured payload serialized as an "args" object in the JSON —
+  /// machine-readable detail beyond the message (e.g. the blocking
+  /// access pair of an aliasing miss).  Ordered; keys should be unique.
+  std::vector<std::pair<std::string, std::string>> Args;
+
+  /// The value for \p Key; empty string when absent.
+  const std::string &arg(const std::string &Key) const;
 
   /// Renders "vectorize:12:3: missed: not vectorized: ...".
   std::string str() const;
@@ -65,6 +72,12 @@ public:
   void missed(std::string Pass, SourceLoc Loc, std::string Message) {
     add(RemarkKind::Missed, std::move(Pass), Loc, std::move(Message));
   }
+  /// Missed remark with a structured args payload.
+  void missed(std::string Pass, SourceLoc Loc, std::string Message,
+              std::vector<std::pair<std::string, std::string>> Args) {
+    add(RemarkKind::Missed, std::move(Pass), Loc, std::move(Message),
+        std::move(Args));
+  }
   void note(std::string Pass, SourceLoc Loc, std::string Message) {
     add(RemarkKind::Note, std::move(Pass), Loc, std::move(Message));
   }
@@ -77,8 +90,10 @@ public:
 
 private:
   void add(RemarkKind K, std::string Pass, SourceLoc Loc,
-           std::string Message) {
-    All.push_back({K, std::move(Pass), Loc, std::move(Message)});
+           std::string Message,
+           std::vector<std::pair<std::string, std::string>> Args = {}) {
+    All.push_back({K, std::move(Pass), Loc, std::move(Message),
+                   std::move(Args)});
   }
   std::vector<Remark> All;
 };

@@ -25,6 +25,8 @@ HotCache::Acquire HotCache::acquire(const std::string &Key,
       if (Waited)
         ++S.Waits;
       Text = It->second.Text;
+      // Freshly used: move to the most-recently-used end.
+      Lru.splice(Lru.end(), Lru, It->second.LruIt);
       return Acquire::Hit;
     }
     // Another request owns the computation: wait for publish (slot turns
@@ -40,9 +42,19 @@ void HotCache::publish(const std::string &Key, const std::string &Hash,
   {
     std::lock_guard<std::mutex> Lock(M);
     Slot &E = Slots[Hash];
+    if (E.Ready) // duplicate publish: refresh recency, keep first body
+      Lru.erase(E.LruIt);
     E.Ready = true;
     E.Text = std::move(Text);
+    E.LruIt = Lru.insert(Lru.end(), Hash);
     ++S.Published;
+    // Enforce the cap over *finished* bodies only; in-flight slots have
+    // waiters parked on them and are never evicted.
+    while (MaxEntries && Lru.size() > MaxEntries) {
+      Slots.erase(Lru.front());
+      Lru.pop_front();
+      ++S.Evictions;
+    }
   }
   CV.notify_all();
 }

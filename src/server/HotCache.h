@@ -30,6 +30,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <list>
 #include <map>
 #include <mutex>
 #include <string>
@@ -43,10 +44,19 @@ struct HotCacheStats {
   uint64_t Waits = 0;     ///< acquire() blocked on another owner first.
   uint64_t Published = 0; ///< Owned computations that completed.
   uint64_t Abandoned = 0; ///< Owned computations released without a result.
+  uint64_t Evictions = 0; ///< Finished bodies dropped by the LRU cap.
 };
 
 class HotCache : public pipeline::FunctionResultCache {
 public:
+  /// \p MaxEntries caps the finished bodies held (0 = unbounded).  When
+  /// a publish pushes the count past the cap, the least-recently-used
+  /// finished body is dropped — never an in-flight slot, whose waiters
+  /// are parked on it.  A dropped body is only an in-memory loss: the
+  /// next request for its hash recompiles (or re-reads the manifest).
+  explicit HotCache(size_t MaxEntries = DefaultMaxEntries)
+      : MaxEntries(MaxEntries) {}
+
   Acquire acquire(const std::string &Key, const std::string &Hash,
                   std::string &Text) override;
   void publish(const std::string &Key, const std::string &Hash,
@@ -55,16 +65,29 @@ public:
 
   HotCacheStats stats() const;
   size_t size() const; ///< Finished bodies currently held.
+  size_t maxEntries() const { return MaxEntries; }
+
+  /// A deliberately generous default: entries are optimized IL texts, so
+  /// thousands of them are megabytes, not gigabytes.  The cap exists so
+  /// a long-lived daemon fed an unbounded stream of distinct functions
+  /// plateaus instead of growing forever.
+  static constexpr size_t DefaultMaxEntries = 4096;
 
 private:
   struct Slot {
     bool Ready = false; ///< False while the owner computes.
     std::string Text;
+    /// Position in Lru; valid only while Ready.
+    std::list<std::string>::iterator LruIt;
   };
 
   mutable std::mutex M;
   std::condition_variable CV;
   std::map<std::string, Slot> Slots; ///< Keyed by content hash.
+  /// Finished bodies, least-recently-used first.  In-flight slots are
+  /// never listed.
+  std::list<std::string> Lru;
+  size_t MaxEntries;
   HotCacheStats S;
 };
 

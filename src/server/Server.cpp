@@ -76,7 +76,8 @@ void splitServerFaults(const std::string &Spec, std::string &ServerSpec,
 
 } // namespace
 
-Server::Server(ServerOptions Opts) : Opts(std::move(Opts)) {
+Server::Server(ServerOptions Opts)
+    : Opts(std::move(Opts)), Hot(this->Opts.HotCacheMax) {
   Session.setResultCache(&Hot);
 }
 

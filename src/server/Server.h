@@ -57,6 +57,8 @@ struct ServerOptions {
   std::string CacheFile = ".tcc-cache";
   unsigned Workers = 0; ///< 0 = hardware concurrency.
   bool Verbose = false; ///< Per-request log lines on stderr.
+  /// LRU cap on hot-cache entries (-hot-cache-max=; 0 = unbounded).
+  size_t HotCacheMax = HotCache::DefaultMaxEntries;
 };
 
 struct ServerStats {

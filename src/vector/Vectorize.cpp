@@ -12,6 +12,7 @@ using namespace tcc;
 using namespace tcc::il;
 using namespace tcc::vec;
 using tcc::dep::BaseKey;
+using tcc::dep::BlockedPair;
 using tcc::dep::DepGraphOptions;
 using tcc::dep::LoopDependenceGraph;
 using tcc::dep::MemRef;
@@ -95,6 +96,28 @@ private:
                            "not vectorized: " + Reason);
   }
 
+  /// The structured payload of an aliasing miss: the conflicting access
+  /// pair closest to \p Loc among the graph's blocked pairs (both sites
+  /// source-located and classified by base kind), plus which dependence
+  /// analysis impl answered MayAlias.  Empty when nothing was blocked by
+  /// aliasing.
+  static std::vector<std::pair<std::string, std::string>>
+  aliasArgs(const LoopDependenceGraph &Graph, SourceLoc Loc) {
+    const auto &Pairs = Graph.blockedPairs();
+    if (Pairs.empty())
+      return {};
+    const BlockedPair *Best = &Pairs.front();
+    for (const BlockedPair &P : Pairs)
+      if (P.LocA == Loc || P.LocB == Loc) {
+        Best = &P;
+        break;
+      }
+    return {{"impl", Best->Impl},       {"refA", Best->RefA},
+            {"kindA", Best->KindA},     {"locA", Best->LocA.str()},
+            {"refB", Best->RefB},       {"kindB", Best->KindB},
+            {"locB", Best->LocB.str()}};
+  }
+
   bool vectorizeInnermost(DoLoopStmt *D, std::vector<Stmt *> &Out) {
     ++Stats.LoopsConsidered;
     if (!isNormalized(D) || D->getBody().empty()) {
@@ -106,6 +129,7 @@ private:
 
     DepGraphOptions DepOpts;
     DepOpts.FortranPointerSemantics = Opts.FortranPointerSemantics;
+    DepOpts.Analysis = Opts.DepAnalysis;
     LoopDependenceGraph Graph(F, D, DepOpts);
 
     auto Sccs = Graph.sccsInTopologicalOrder();
@@ -275,9 +299,16 @@ private:
                                   "dependence carried between iterations)");
         }
       }
-      remarkMissed(D, SerialReasons.empty()
-                          ? "no vectorizable statement"
-                          : SerialReasons.front().second);
+      if (Opts.Remarks) {
+        std::string Reason = SerialReasons.empty()
+                                 ? "no vectorizable statement"
+                                 : SerialReasons.front().second;
+        SourceLoc ArgLoc = SerialReasons.empty() ? D->getLoc()
+                                                 : SerialReasons.front().first;
+        Opts.Remarks->missed("vectorize", D->getLoc(),
+                             "not vectorized: " + Reason,
+                             aliasArgs(Graph, ArgLoc));
+      }
       return false; // structure unchanged
     }
 
@@ -304,7 +335,8 @@ private:
       // blocking reason.
       for (const auto &[Loc, Why] : SerialReasons)
         Opts.Remarks->missed("vectorize", Loc,
-                             "statement not vectorized: " + Why);
+                             "statement not vectorized: " + Why,
+                             aliasArgs(Graph, Loc));
     }
 
     for (const Piece &P : Pieces) {

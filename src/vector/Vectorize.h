@@ -35,6 +35,9 @@
 #include "remarks/Remarks.h"
 
 namespace tcc {
+namespace dep {
+class DependenceAnalysis;
+} // namespace dep
 namespace vec {
 
 struct VectorizeOptions {
@@ -48,6 +51,12 @@ struct VectorizeOptions {
   /// loop it considers: vectorized (with the vector length), or refused
   /// with the blocking reason ("cyclic dependence on 's'", ...).
   remarks::RemarkCollector *Remarks = nullptr;
+  /// Disambiguation facade for different-base reference pairs (see
+  /// dependence/DependenceAnalysis.h).  Null falls back to the graph's
+  /// built-in reachdef baseline; the pipeline always provides one,
+  /// defaulting to the memssa stack.  Must be prepared for the function
+  /// being vectorized.
+  const dep::DependenceAnalysis *DepAnalysis = nullptr;
 };
 
 struct VectorizeStats {

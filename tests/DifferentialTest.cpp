@@ -1,0 +1,139 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dependence-analysis differential: every corpus program and every
+/// bench kernel is compiled and run under both -depanalysis= modes
+/// (the conservative reachdef baseline and the Andersen points-to +
+/// MemorySSA stack), and the simulator's global memory must come back
+/// byte-identical.  Swapping the memory-dependence implementation may
+/// change which loops vectorize — never what the program computes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ablate/Kernels.h"
+#include "dependence/DependenceAnalysis.h"
+#include "driver/Compiler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+using namespace tcc;
+
+namespace {
+
+/// One differential input: a name for the test ID plus the C source.
+struct DiffInput {
+  std::string Name;
+  std::string Source;
+};
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+std::vector<DiffInput> diffInputs() {
+  std::vector<DiffInput> Out;
+  const std::filesystem::path Dir(TCC_CORPUS_DIR);
+  std::vector<std::string> Paths;
+  for (const auto &Entry : std::filesystem::directory_iterator(Dir))
+    if (Entry.path().extension() == ".c")
+      Paths.push_back(Entry.path().string());
+  std::sort(Paths.begin(), Paths.end());
+  for (const std::string &P : Paths)
+    Out.push_back({"corpus_" + std::filesystem::path(P).stem().string(),
+                   readFile(P)});
+  for (const ablate::BenchKernel &K : ablate::benchKernels())
+    Out.push_back({"kernel_" + K.Name, K.Source});
+  return Out;
+}
+
+driver::CompilerOptions optionsFor(dep::DepAnalysisKind Kind) {
+  driver::CompilerOptions O = driver::CompilerOptions::full();
+  O.DepAnalysis = Kind;
+  return O;
+}
+
+/// Byte-for-byte comparison of every named global between the two runs.
+/// Same source, same pipeline toggles: layouts could still differ if the
+/// two modes vectorize different loops (temporary globals), so compare
+/// by (name, contents) rather than raw memory images.
+void compareGlobals(const driver::RunOutcome &Ref,
+                    const driver::RunOutcome &Var, const std::string &Name) {
+  const titan::TitanProgram &RefP = Ref.Compile->Machine;
+  const titan::TitanProgram &VarP = Var.Compile->Machine;
+  std::vector<std::pair<std::string, int64_t>> Extents(
+      RefP.GlobalAddresses.begin(), RefP.GlobalAddresses.end());
+  std::sort(Extents.begin(), Extents.end(),
+            [](const auto &A, const auto &B) { return A.second < B.second; });
+  for (size_t I = 0; I < Extents.size(); ++I) {
+    int64_t End =
+        (I + 1 < Extents.size()) ? Extents[I + 1].second : RefP.GlobalSize;
+    auto It = VarP.GlobalAddresses.find(Extents[I].first);
+    ASSERT_NE(It, VarP.GlobalAddresses.end())
+        << Name << ": global '" << Extents[I].first
+        << "' missing under memssa";
+    int64_t Words = (End - Extents[I].second) / 4;
+    for (int64_t W = 0; W < Words; ++W) {
+      int32_t R = Ref.Machine->readInt(Extents[I].second + 4 * W);
+      int32_t V = Var.Machine->readInt(It->second + 4 * W);
+      ASSERT_EQ(R, V) << Name << ": global '" << Extents[I].first
+                      << "' word " << W
+                      << " diverges between -depanalysis modes";
+    }
+  }
+}
+
+class DepAnalysisDifferential : public ::testing::TestWithParam<DiffInput> {};
+
+std::string testName(const ::testing::TestParamInfo<DiffInput> &Info) {
+  std::string N = Info.param.Name;
+  for (char &C : N)
+    if (!std::isalnum(static_cast<unsigned char>(C)))
+      C = '_';
+  return N;
+}
+
+} // namespace
+
+TEST_P(DepAnalysisDifferential, IdenticalMemory) {
+  const DiffInput &In = GetParam();
+  ASSERT_FALSE(In.Source.empty()) << In.Name;
+
+  driver::RunOutcome Ref = driver::compileAndRun(
+      In.Source, optionsFor(dep::DepAnalysisKind::ReachDef));
+  ASSERT_TRUE(Ref.Compile->ok())
+      << In.Name << ": reachdef compile failed";
+  ASSERT_TRUE(Ref.Run.Ok) << In.Name << ": reachdef run failed: "
+                          << Ref.Run.Error;
+
+  driver::RunOutcome Var = driver::compileAndRun(
+      In.Source, optionsFor(dep::DepAnalysisKind::MemSSA));
+  ASSERT_TRUE(Var.Compile->ok()) << In.Name << ": memssa compile failed";
+  ASSERT_TRUE(Var.Run.Ok) << In.Name
+                          << ": memssa run failed: " << Var.Run.Error;
+
+  compareGlobals(Ref, Var, In.Name);
+}
+
+TEST(DepAnalysisDifferential, InputsArePresent) {
+  // Both sides of the sweep must be found: the corpus glob and the
+  // kernel suite.  An empty list would pass vacuously.
+  size_t Corpus = 0, Kernels = 0;
+  for (const DiffInput &In : diffInputs())
+    (In.Name.rfind("corpus_", 0) == 0 ? Corpus : Kernels) += 1;
+  EXPECT_GE(Corpus, 10u);
+  EXPECT_GE(Kernels, 5u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllInputs, DepAnalysisDifferential,
+                         ::testing::ValuesIn(diffInputs()), testName);

@@ -287,6 +287,60 @@ TEST(ServerTest, HotCacheAbandonPromotesAWaiterToOwner) {
   EXPECT_EQ(Hot.stats().Abandoned, 1u);
 }
 
+TEST(ServerTest, HotCacheLruEviction) {
+  HotCache Hot(/*MaxEntries=*/2);
+  std::string Text;
+  auto Fill = [&](const char *Hash, const char *Body) {
+    ASSERT_EQ(Hot.acquire("f#0", Hash, Text),
+              pipeline::FunctionResultCache::Acquire::Own);
+    Hot.publish("f#0", Hash, Body);
+  };
+  Fill("h-a", "body a");
+  Fill("h-b", "body b");
+  EXPECT_EQ(Hot.size(), 2u);
+  EXPECT_EQ(Hot.stats().Evictions, 0u);
+
+  // Touch a so b becomes the least recently used, then push past the cap.
+  ASSERT_EQ(Hot.acquire("f#0", "h-a", Text),
+            pipeline::FunctionResultCache::Acquire::Hit);
+  Fill("h-c", "body c");
+  EXPECT_EQ(Hot.size(), 2u);
+  EXPECT_EQ(Hot.stats().Evictions, 1u);
+
+  // b was evicted; a (recently used) and c (just published) survive.
+  EXPECT_EQ(Hot.acquire("f#0", "h-b", Text),
+            pipeline::FunctionResultCache::Acquire::Own);
+  Hot.abandon("f#0", "h-b");
+  ASSERT_EQ(Hot.acquire("f#0", "h-a", Text),
+            pipeline::FunctionResultCache::Acquire::Hit);
+  EXPECT_EQ(Text, "body a");
+  ASSERT_EQ(Hot.acquire("f#0", "h-c", Text),
+            pipeline::FunctionResultCache::Acquire::Hit);
+  EXPECT_EQ(Text, "body c");
+}
+
+TEST(ServerTest, HotCacheNeverEvictsInFlightSlots) {
+  HotCache Hot(/*MaxEntries=*/1);
+  std::string Text;
+  // Two owners computing at once: both slots are in flight, over the cap,
+  // and neither may be evicted (waiters would wedge).
+  ASSERT_EQ(Hot.acquire("f#0", "h-x", Text),
+            pipeline::FunctionResultCache::Acquire::Own);
+  ASSERT_EQ(Hot.acquire("f#0", "h-y", Text),
+            pipeline::FunctionResultCache::Acquire::Own);
+  Hot.publish("f#0", "h-x", "x");
+  Hot.publish("f#0", "h-y", "y");
+  // Cap 1: the earlier publish (x) was evicted by the later one.
+  EXPECT_EQ(Hot.size(), 1u);
+  EXPECT_EQ(Hot.stats().Evictions, 1u);
+  ASSERT_EQ(Hot.acquire("f#0", "h-y", Text),
+            pipeline::FunctionResultCache::Acquire::Hit);
+  EXPECT_EQ(Text, "y");
+  EXPECT_EQ(Hot.acquire("f#0", "h-x", Text),
+            pipeline::FunctionResultCache::Acquire::Own);
+  Hot.abandon("f#0", "h-x");
+}
+
 //===----------------------------------------------------------------------===//
 // WorkerPool: the shared -j convention and deterministic indexed sweeps
 //===----------------------------------------------------------------------===//

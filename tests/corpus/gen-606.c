@@ -1,0 +1,64 @@
+/* tcc-fuzz seed=606 */
+float fa0[128];
+float fa1[64];
+float fa2[256];
+int ia0[64];
+float m0[8][8];
+float gf0;
+float gf1;
+int gi0;
+int gi1;
+float leaf0(float x, float y) {
+  if (x > y)
+    return ((((236 != 19) & 1) ? -7.75 : x) + (1.25 + 2.00));
+  return (5.50 * 0.50);
+}
+void main() {
+  int i; int j; int n; int t;
+  float acc;
+  float *p; float *q;
+  t = 16;
+  acc = 0.00;
+  n = 0;
+  j = 0;
+  for (i = 0; i < 128; i++) {
+    fa0[i] = (i & 31) * 0.25;
+  }
+  for (i = 0; i < 64; i++) {
+    fa1[i] = (i & 15) * 0.25;
+  }
+  for (i = 0; i < 256; i++) {
+    fa2[i] = (i & 31) * 0.25;
+  }
+  for (i = 0; i < 64; i++) {
+    ia0[i] = (i * 2) & 255;
+  }
+  for (i = 0; i < 8; i++) {
+    for (j = 0; j < 8; j++) {
+      m0[i][j] = (i - j) * 0.25;
+    }
+  }
+  for (i = 0; i < 128; i++) {
+    fa0[i] = leaf0(fa2[i], 2.25);
+  }
+  p = &fa1[0];
+  q = &fa1[4];
+  n = 60;
+  while (n) {
+    *p++ = *q++ + -2.00;
+    n--;
+  }
+  p = &fa2[0];
+  q = &fa2[3];
+  n = 253;
+  while (n) {
+    *p++ = *q++ + -0.75;
+    n--;
+  }
+  t = 0;
+  for (i = 0; i < 64; i++) {
+    t = (t + ia0[i]) & 16777215;
+  }
+  gi1 = t;
+  gf1 = fa0[1] + fa0[126];
+}
