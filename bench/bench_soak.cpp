@@ -1,0 +1,478 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// E13 — the chaos soak: long-haul survivability of the compile server.
+///
+/// Unlike bench_server (an in-process daemon under clean load), this
+/// bench forks a real tccd child and then actively tries to break it
+/// while client threads drive the seven bench kernels through it:
+///
+///   - the chaos thread kill -9s the daemon and restarts it
+///     mid-campaign (each generation armed with a fresh
+///     `server-accept` fault so some admissions die too),
+///   - chaos requests carry `server:*:throw` and `server:*:stall`
+///     faults (the stall is deadline-killed by the daemon's watchdog),
+///   - periodic 24-connection bursts saturate the small admission queue
+///     to force explicit busy sheds.
+///
+/// Clients survive all of it with the production retry path
+/// (runRequestWithRetry: deadlines, backoff + jitter, busy hints).
+/// Every eventually-successful response is diffed byte-for-byte against
+/// a direct in-process compile — a retried answer that differs is a
+/// campaign failure, not a statistic.
+///
+/// One JSON-Lines row goes to BENCH_soak.json: availability (excluding
+/// sheds and chaos requests), retries, sheds, deadline kills, restarts,
+/// and p50/p99 latency including retry time.
+///
+///   bench_soak [-tccd=path] [-seconds=n] [-clients=n] [-socket=path]
+///
+//===----------------------------------------------------------------------===//
+
+#include "ablate/Kernels.h"
+#include "driver/ToolMain.h"
+#include "server/Client.h"
+#include "support/JSONWriter.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace tcc;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Expected {
+  server::Request Req;
+  int Exit;
+  std::string Out;
+  std::string Err;
+};
+
+/// The reference answer: the same request compiled directly, the way
+/// `tcc` would, with a fresh one-shot session.
+Expected makeExpected(const ablate::BenchKernel &K) {
+  Expected E;
+  E.Req.Args = {K.Name + ".c"};
+  E.Req.Source = K.Source;
+
+  driver::ToolInvocation Inv;
+  std::string Error;
+  if (!driver::parseToolArgs(E.Req.Args, Inv, Error)) {
+    std::fprintf(stderr, "bench_soak: arg parse failed: %s\n",
+                 Error.c_str());
+    std::exit(1);
+  }
+  driver::CompilerSession Fresh;
+  std::ostringstream Out, Err;
+  E.Exit = driver::runToolInvocation(Inv, E.Req.Source, Fresh, Out, Err);
+  E.Out = Out.str();
+  E.Err = Err.str();
+  return E;
+}
+
+double percentile(std::vector<double> Sorted, double P) {
+  if (Sorted.empty())
+    return 0.0;
+  size_t I = static_cast<size_t>(P * (Sorted.size() - 1) + 0.5);
+  return Sorted[std::min(I, Sorted.size() - 1)];
+}
+
+/// Owns the tccd child process: spawn, await liveness, kill -9,
+/// restart, graceful SIGTERM.  Only the chaos thread touches it after
+/// startup, so no locking.
+class Daemon {
+public:
+  Daemon(std::string Tccd, std::string Socket, std::string Cache)
+      : Tccd(std::move(Tccd)), Socket(std::move(Socket)),
+        Cache(std::move(Cache)) {}
+
+  /// Forks and execs tccd; each generation gets a fresh accept-fault
+  /// spec so some post-restart admissions die before responding.
+  bool spawn() {
+    ++Generation;
+    std::string FaultArg = "-fault-inject=server-accept:*:throw:" +
+                           std::to_string(2 + Generation % 5);
+    std::vector<std::string> Args = {
+        Tccd,
+        "-socket=" + Socket,
+        "-cache=" + Cache,
+        "-workers=2",
+        "-max-queue=4",
+        "-request-deadline-ms=2000",
+        FaultArg,
+    };
+    std::vector<char *> Argv;
+    for (std::string &A : Args)
+      Argv.push_back(const_cast<char *>(A.c_str()));
+    Argv.push_back(nullptr);
+
+    Pid = ::fork();
+    if (Pid < 0) {
+      std::perror("bench_soak: fork");
+      return false;
+    }
+    if (Pid == 0) {
+      ::execv(Tccd.c_str(), Argv.data());
+      std::perror("bench_soak: execv tccd");
+      ::_exit(127);
+    }
+    return awaitLive();
+  }
+
+  /// Polls with health probes until the daemon answers (or ~10 s pass).
+  bool awaitLive() {
+    server::Request Ping;
+    Ping.Kind = "ping";
+    server::ClientOptions Opts;
+    Opts.TimeoutMs = 1000;
+    for (int I = 0; I < 200; ++I) {
+      server::Response Resp;
+      std::string Error;
+      server::CallOutcome O =
+          server::runRequestWithRetry(Socket, Ping, Opts, Resp, Error);
+      if (O.Ok && Resp.Exit == 0)
+        return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    std::fprintf(stderr, "bench_soak: daemon never became live on '%s'\n",
+                 Socket.c_str());
+    return false;
+  }
+
+  void kill9() {
+    if (Pid <= 0)
+      return;
+    ::kill(Pid, SIGKILL);
+    int Status = 0;
+    ::waitpid(Pid, &Status, 0);
+    Pid = -1;
+  }
+
+  /// SIGTERM + wait; true iff the daemon drained and exited 0.
+  bool terminate() {
+    if (Pid <= 0)
+      return false;
+    ::kill(Pid, SIGTERM);
+    int Status = 0;
+    ::waitpid(Pid, &Status, 0);
+    Pid = -1;
+    return WIFEXITED(Status) && WEXITSTATUS(Status) == 0;
+  }
+
+  unsigned generation() const { return Generation; }
+
+private:
+  std::string Tccd, Socket, Cache;
+  pid_t Pid = -1;
+  unsigned Generation = 0;
+};
+
+struct Tally {
+  std::mutex M;
+  std::vector<double> LatenciesMs; ///< Successful compiles, retry time included.
+  uint64_t Ok = 0;
+  uint64_t Divergences = 0;
+  uint64_t Transport = 0; ///< Failures after the retry budget.
+  uint64_t BusyFinal = 0; ///< Gave up while the daemon was shedding.
+  uint64_t Retries = 0;   ///< Attempts beyond the first, all requests.
+  uint64_t ShedSeen = 0;  ///< Busy responses observed (bursts included).
+};
+
+/// One traffic thread: drives the kernel suite through the retry path
+/// until the campaign deadline, diffing every success against the
+/// direct-compile reference.
+void driveTraffic(const std::string &Socket,
+                  const std::vector<Expected> &Suite, Clock::time_point End,
+                  unsigned Seed, Tally &T) {
+  server::ClientOptions Opts;
+  Opts.TimeoutMs = 10000;
+  // Generous retry envelope: a kill -9 plus restart takes a couple of
+  // seconds, and surviving it *is* the experiment.
+  Opts.Retries = 20;
+  Opts.RetryBudgetMs = 15000;
+
+  size_t I = Seed;
+  while (Clock::now() < End) {
+    const Expected &E = Suite[I++ % Suite.size()];
+    auto T0 = Clock::now();
+    server::Response Resp;
+    std::string Error;
+    server::CallOutcome O =
+        server::runRequestWithRetry(Socket, E.Req, Opts, Resp, Error);
+    double Ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - T0).count();
+
+    std::lock_guard<std::mutex> Lock(T.M);
+    T.Retries += O.Attempts - 1;
+    if (!O.Ok) {
+      ++T.Transport;
+      continue;
+    }
+    if (Resp.Exit == server::BusyExit) {
+      ++T.ShedSeen;
+      ++T.BusyFinal;
+      continue;
+    }
+    ++T.Ok;
+    T.LatenciesMs.push_back(Ms);
+    if (Resp.Exit != E.Exit || Resp.Out != E.Out || Resp.Err != E.Err)
+      ++T.Divergences;
+  }
+}
+
+/// The chaos schedule, round-robin: kill -9 + restart, a throw fault, a
+/// stall (deadline-killed) fault, and a 24-connection saturation burst.
+void driveChaos(Daemon &D, const std::string &Socket,
+                const std::vector<Expected> &Suite, Clock::time_point End,
+                Tally &T, uint64_t &Restarts, uint64_t &ChaosFaults,
+                std::atomic<bool> &Failed) {
+  unsigned Step = 0;
+  while (Clock::now() < End) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+    if (Clock::now() >= End)
+      break;
+    switch (Step++ % 4) {
+    case 0: { // Murder and resurrection.
+      D.kill9();
+      if (!D.spawn()) {
+        Failed.store(true);
+        return;
+      }
+      ++Restarts;
+      break;
+    }
+    case 1:   // A request that dies in the handler (contained, exit 2).
+    case 2: { // A request that wedges (watchdog-killed, exit 2).
+      const char *Kind = (Step - 1) % 4 == 1 ? "throw" : "stall";
+      server::Request Req = Suite[0].Req;
+      Req.Args.push_back(std::string("-fault-inject=server:*:") + Kind +
+                         ":1");
+      server::ClientOptions Opts;
+      Opts.TimeoutMs = 10000;
+      Opts.Retries = 5;
+      Opts.RetryBudgetMs = 8000;
+      server::Response Resp;
+      std::string Error;
+      server::CallOutcome O =
+          server::runRequestWithRetry(Socket, Req, Opts, Resp, Error);
+      // Exit 2 is the *expected* shape; anything else would matter, but
+      // chaos requests never count toward availability either way.
+      if (O.Ok && Resp.Exit == 2)
+        ++ChaosFaults;
+      break;
+    }
+    default: { // Saturation burst against workers=2, max-queue=4.
+      // Pin both workers first with 500 ms `slow` faults so the burst
+      // actually piles up in the admission queue instead of being
+      // served as fast as it connects.
+      std::vector<std::thread> Pins;
+      for (unsigned P = 0; P < 2; ++P)
+        Pins.emplace_back([&] {
+          server::Request Req = Suite[0].Req;
+          Req.Args.push_back("-fault-inject=server:*:slow:1");
+          server::Response Resp;
+          std::string Error;
+          server::Client C(/*TimeoutMs=*/10000);
+          if (C.connect(Socket, Error))
+            C.roundTrip(Req, Resp, Error);
+        });
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      std::vector<std::thread> Burst;
+      std::atomic<uint64_t> Sheds{0};
+      for (unsigned B = 0; B < 24; ++B)
+        Burst.emplace_back([&, B] {
+          const Expected &E = Suite[B % Suite.size()];
+          server::Response Resp;
+          std::string Error;
+          server::Client C(/*TimeoutMs=*/10000);
+          if (C.connect(Socket, Error) &&
+              C.roundTrip(E.Req, Resp, Error) &&
+              Resp.Exit == server::BusyExit)
+            ++Sheds;
+        });
+      for (std::thread &Th : Burst)
+        Th.join();
+      for (std::thread &Th : Pins)
+        Th.join();
+      std::lock_guard<std::mutex> Lock(T.M);
+      T.ShedSeen += Sheds.load();
+      break;
+    }
+    }
+  }
+}
+
+/// Reads one field out of the health JSON (flat numeric fields only).
+uint64_t healthField(const std::string &Json, const std::string &Key) {
+  size_t P = Json.find("\"" + Key + "\":");
+  if (P == std::string::npos)
+    return 0;
+  return std::strtoull(Json.c_str() + P + Key.size() + 3, nullptr, 10);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string TccdPath = "examples/tccd";
+  std::string Socket = ".soak-tccd.sock";
+  unsigned Seconds = 20;
+  unsigned Clients = 4;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg.rfind("-tccd=", 0) == 0)
+      TccdPath = Arg.substr(std::strlen("-tccd="));
+    else if (Arg.rfind("-socket=", 0) == 0)
+      Socket = Arg.substr(std::strlen("-socket="));
+    else if (Arg.rfind("-seconds=", 0) == 0)
+      Seconds = static_cast<unsigned>(
+          std::atoi(Arg.c_str() + std::strlen("-seconds=")));
+    else if (Arg.rfind("-clients=", 0) == 0)
+      Clients = static_cast<unsigned>(
+          std::atoi(Arg.c_str() + std::strlen("-clients=")));
+    else {
+      std::fprintf(stderr,
+                   "bench_soak: unknown option '%s'\n"
+                   "usage: bench_soak [-tccd=path] [-seconds=n] "
+                   "[-clients=n] [-socket=path]\n",
+                   Arg.c_str());
+      return 2;
+    }
+  }
+
+  const std::string Cache = ".soak-tcc-cache";
+  std::remove(Cache.c_str());
+
+  std::vector<Expected> Suite;
+  for (const ablate::BenchKernel &K : ablate::benchKernels())
+    Suite.push_back(makeExpected(K));
+
+  std::printf("=== E13: chaos soak, %u clients x %us against '%s' ===\n",
+              Clients, Seconds, TccdPath.c_str());
+
+  Daemon D(TccdPath, Socket, Cache);
+  if (!D.spawn())
+    return 1;
+
+  Tally T;
+  uint64_t Restarts = 0, ChaosFaults = 0;
+  std::atomic<bool> ChaosFailed{false};
+  auto Start = Clock::now();
+  auto End = Start + std::chrono::seconds(Seconds);
+
+  std::vector<std::thread> Threads;
+  for (unsigned C = 0; C < Clients; ++C)
+    Threads.emplace_back(
+        [&, C] { driveTraffic(Socket, Suite, End, C, T); });
+  std::thread Chaos([&] {
+    driveChaos(D, Socket, Suite, End, T, Restarts, ChaosFaults,
+               ChaosFailed);
+  });
+  for (std::thread &Th : Threads)
+    Th.join();
+  Chaos.join();
+  double Elapsed = std::chrono::duration<double>(Clock::now() - Start).count();
+
+  // Harvest daemon-side counters before shutting it down.
+  uint64_t DaemonShed = 0, DaemonDeadlineKilled = 0, DaemonAcceptFaults = 0;
+  {
+    server::Request Ping;
+    Ping.Kind = "ping";
+    server::ClientOptions Opts;
+    Opts.TimeoutMs = 5000;
+    Opts.Retries = 3;
+    server::Response Resp;
+    std::string Error;
+    if (server::runRequestWithRetry(Socket, Ping, Opts, Resp, Error).Ok) {
+      DaemonShed = healthField(Resp.Out, "shed");
+      DaemonDeadlineKilled = healthField(Resp.Out, "deadlineKilled");
+      DaemonAcceptFaults = healthField(Resp.Out, "acceptFaults");
+      std::printf("  health: %s", Resp.Out.c_str());
+    }
+  }
+  bool Drained = D.terminate();
+
+  std::sort(T.LatenciesMs.begin(), T.LatenciesMs.end());
+  double P50 = percentile(T.LatenciesMs, 0.50);
+  double P99 = percentile(T.LatenciesMs, 0.99);
+  // Availability over real traffic: sheds are explicit refusals and
+  // chaos requests are supposed to fail, so neither counts against it.
+  uint64_t Decided = T.Ok + T.Transport;
+  double Availability =
+      Decided ? static_cast<double>(T.Ok) / Decided : 0.0;
+
+  std::printf("  %llu ok, %llu transport-failed, %llu gave up busy | "
+              "availability %.4f\n",
+              static_cast<unsigned long long>(T.Ok),
+              static_cast<unsigned long long>(T.Transport),
+              static_cast<unsigned long long>(T.BusyFinal), Availability);
+  std::printf("  %llu retries, %llu busy responses seen (daemon shed "
+              "%llu), %llu restarts, %llu chaos faults, %llu "
+              "deadline-killed, %llu accept faults\n",
+              static_cast<unsigned long long>(T.Retries),
+              static_cast<unsigned long long>(T.ShedSeen),
+              static_cast<unsigned long long>(DaemonShed),
+              static_cast<unsigned long long>(Restarts),
+              static_cast<unsigned long long>(ChaosFaults),
+              static_cast<unsigned long long>(DaemonDeadlineKilled),
+              static_cast<unsigned long long>(DaemonAcceptFaults));
+  std::printf("  p50 %.3f ms, p99 %.3f ms (retry time included), "
+              "graceful drain: %s\n",
+              P50, P99, Drained ? "yes" : "NO");
+
+  std::ostringstream OS;
+  json::JSONWriter W(OS, /*IndentWidth=*/0);
+  W.beginObject();
+  W.keyValue("bench", "soak");
+  W.keyValue("seconds", Elapsed);
+  W.keyValue("clients", static_cast<uint64_t>(Clients));
+  W.keyValue("ok", T.Ok);
+  W.keyValue("transportFailed", T.Transport);
+  W.keyValue("busyFinal", T.BusyFinal);
+  W.keyValue("divergences", T.Divergences);
+  W.keyValue("availability", Availability);
+  W.keyValue("retries", T.Retries);
+  W.keyValue("shedSeen", T.ShedSeen);
+  W.keyValue("daemonShed", DaemonShed);
+  W.keyValue("deadlineKilled", DaemonDeadlineKilled);
+  W.keyValue("acceptFaults", DaemonAcceptFaults);
+  W.keyValue("restarts", Restarts);
+  W.keyValue("chaosFaults", ChaosFaults);
+  W.keyValue("p50Ms", P50);
+  W.keyValue("p99Ms", P99);
+  W.keyValue("gracefulDrain", Drained);
+  W.endObject();
+  json::appendJsonLine("BENCH_soak.json", OS.str());
+
+  if (T.Divergences) {
+    std::fprintf(stderr,
+                 "bench_soak: %llu retried response(s) differed from "
+                 "direct compilation — the byte-identity bar FAILED\n",
+                 static_cast<unsigned long long>(T.Divergences));
+    return 1;
+  }
+  if (ChaosFailed.load()) {
+    std::fprintf(stderr, "bench_soak: daemon failed to restart\n");
+    return 1;
+  }
+  if (T.Ok == 0) {
+    std::fprintf(stderr, "bench_soak: no request ever succeeded\n");
+    return 1;
+  }
+  std::printf("  every successful response byte-identical to direct "
+              "tcc\n");
+  return 0;
+}

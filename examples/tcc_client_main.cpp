@@ -3,16 +3,26 @@
 /// \file
 /// tcc-client — compile through a running tccd instead of in-process.
 ///
-///   tcc-client [-socket=path] <any tcc options> file.c
+///   tcc-client [-socket=path] [client options] <any tcc options> file.c
+///   tcc-client [-socket=path] -ping
 ///
 /// Accepts exactly tcc's command line (the parser is shared —
 /// driver/ToolMain.h — so a flag typo produces the same diagnostic
-/// here as there), plus `-socket=PATH` naming the daemon socket
-/// (default ".tccd.sock"; the TCCD_SOCKET environment variable
-/// overrides the default).  The input file is read client-side and its
-/// text shipped with the request; other paths on the command line
-/// (-catalog=, -remarks=) resolve in the daemon's working directory, so
-/// run the daemon where you run the client or pass absolute paths.
+/// here as there), plus client-only flags:
+///
+///   -socket=PATH       daemon socket (default ".tccd.sock"; the
+///                      TCCD_SOCKET environment variable overrides the
+///                      default)
+///   -timeout-ms=N      per-step deadline: connect and each whole frame
+///                      must finish within N ms (default 60000; 0 = no
+///                      deadline)
+///   -retries=N         extra attempts after a retry-safe failure —
+///                      connect refused, daemon died before responding,
+///                      or a busy response (default 0)
+///   -retry-budget-ms=N total wall-clock allowance for retries and
+///                      backoff (default 2000)
+///   -ping              send a health probe instead of a compile; prints
+///                      the daemon's one-line status JSON
 ///
 /// The response carries the exit code and the exact bytes a direct
 /// `tcc` run would have printed; they are replayed verbatim.  Requests'
@@ -21,8 +31,10 @@
 /// locally with `tcc -replay=`.
 ///
 /// Exit codes: tcc's own (0 ok, 1 compile/run failure, 2 usage/IO
-/// error), plus 3 when the daemon is unreachable or dies mid-request —
-/// always a clean error, never a hang.
+/// error), plus 3 when the daemon is unreachable or dies mid-request
+/// after the retry budget is spent, and 4 when the daemon is shedding
+/// load (`busy`) and retries could not get past it — always a clean
+/// error, never a hang.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -43,56 +55,81 @@ int main(int argc, char **argv) {
   std::string SocketPath = ".tccd.sock";
   if (const char *Env = std::getenv("TCCD_SOCKET"); Env && *Env)
     SocketPath = Env;
+  server::ClientOptions Copts;
+  bool Ping = false;
 
-  // Peel off the client-only -socket= flag; everything else is tcc's
-  // surface, validated locally with the shared parser so diagnostics
-  // match tcc byte-for-byte (tool-name prefix aside).
+  // Peel off the client-only flags; everything else is tcc's surface,
+  // validated locally with the shared parser so diagnostics match tcc
+  // byte-for-byte (tool-name prefix aside).
   std::vector<std::string> Args;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     if (Arg.rfind("-socket=", 0) == 0)
       SocketPath = Arg.substr(std::strlen("-socket="));
+    else if (Arg.rfind("-timeout-ms=", 0) == 0)
+      Copts.TimeoutMs = std::atoi(Arg.c_str() + std::strlen("-timeout-ms="));
+    else if (Arg.rfind("-retries=", 0) == 0)
+      Copts.Retries = static_cast<unsigned>(
+          std::atoi(Arg.c_str() + std::strlen("-retries=")));
+    else if (Arg.rfind("-retry-budget-ms=", 0) == 0)
+      Copts.RetryBudgetMs =
+          std::atoi(Arg.c_str() + std::strlen("-retry-budget-ms="));
+    else if (Arg == "-ping")
+      Ping = true;
     else
       Args.push_back(std::move(Arg));
   }
 
-  driver::ToolInvocation Inv;
   std::string Error;
-  if (!driver::parseToolArgs(Args, Inv, Error)) {
-    std::fprintf(stderr, "tcc-client: %s\n", Error.c_str());
-    std::fprintf(stderr, "%s", driver::toolUsage("tcc-client").c_str());
-    return 2;
-  }
-  if (!Inv.ReplayPath.empty()) {
-    std::fprintf(stderr,
-                 "tcc-client: -replay= runs locally (the bundle is on "
-                 "this machine); use tcc -replay=\n");
-    return 2;
-  }
-  if (Inv.InputPath.empty()) {
-    std::fprintf(stderr, "%s", driver::toolUsage("tcc-client").c_str());
-    return 2;
-  }
-
-  std::ifstream In(Inv.InputPath);
-  if (!In) {
-    std::fprintf(stderr, "tcc-client: cannot open '%s'\n",
-                 Inv.InputPath.c_str());
-    return 2;
-  }
-  std::stringstream Buffer;
-  Buffer << In.rdbuf();
-
   server::Request Req;
-  Req.Args = Args;
-  Req.Source = Buffer.str();
+  if (Ping) {
+    Req.Kind = "ping";
+  } else {
+    driver::ToolInvocation Inv;
+    if (!driver::parseToolArgs(Args, Inv, Error)) {
+      std::fprintf(stderr, "tcc-client: %s\n", Error.c_str());
+      std::fprintf(stderr, "%s", driver::toolUsage("tcc-client").c_str());
+      return 2;
+    }
+    if (!Inv.ReplayPath.empty()) {
+      std::fprintf(stderr,
+                   "tcc-client: -replay= runs locally (the bundle is on "
+                   "this machine); use tcc -replay=\n");
+      return 2;
+    }
+    if (Inv.InputPath.empty()) {
+      std::fprintf(stderr, "%s", driver::toolUsage("tcc-client").c_str());
+      return 2;
+    }
+
+    std::ifstream In(Inv.InputPath);
+    if (!In) {
+      std::fprintf(stderr, "tcc-client: cannot open '%s'\n",
+                   Inv.InputPath.c_str());
+      return 2;
+    }
+    std::stringstream Buffer;
+    Buffer << In.rdbuf();
+    Req.Args = Args;
+    Req.Source = Buffer.str();
+  }
+
   server::Response Resp;
-  if (!server::runRequest(SocketPath, Req, Resp, Error)) {
-    std::fprintf(stderr, "tcc-client: %s\n", Error.c_str());
+  server::CallOutcome Outcome =
+      server::runRequestWithRetry(SocketPath, Req, Copts, Resp, Error);
+  if (!Outcome.Ok) {
+    if (Outcome.Attempts > 1)
+      std::fprintf(stderr, "tcc-client: %s (after %u attempts)\n",
+                   Error.c_str(), Outcome.Attempts);
+    else
+      std::fprintf(stderr, "tcc-client: %s\n", Error.c_str());
     return 3;
   }
 
   std::fwrite(Resp.Out.data(), 1, Resp.Out.size(), stdout);
   std::fwrite(Resp.Err.data(), 1, Resp.Err.size(), stderr);
+  // A surviving busy response means the daemon is up but shedding and
+  // the retry budget ran out — exit BusyExit (4) so callers can tell
+  // "overloaded" from "broken" (3).
   return Resp.Exit;
 }

@@ -16,14 +16,30 @@
 ///   -hot-cache-max=N LRU cap on in-memory hot-cache entries (default
 ///                    4096; 0 = unbounded).  Evicting a finished body
 ///                    only costs a recompile or manifest re-read
+///   -max-queue=N     admission bound: beyond N queued connections, new
+///                    ones get an explicit `busy` response with a
+///                    retry-after-ms hint (default 256; 0 = unbounded)
+///   -request-deadline-ms=N
+///                    per-request wall-clock deadline; a request still
+///                    running after N ms is killed into an exit-2 error
+///                    response (default 30000; 0 = no deadline)
+///   -fault-inject=SPEC
+///                    daemon-side fault specs (site:unit:kind[:nth],
+///                    comma-separated).  The `server-accept` site drops
+///                    or delays connections at admission — unit is the
+///                    1-based connection ordinal
 ///   -verbose         per-request log lines on stderr
 ///
 /// Serves tcc compile requests over the length-prefixed JSON protocol.
 /// Responses are byte-identical to direct `tcc` runs: the daemon renders
-/// requests through the same driver::runToolInvocation().  SIGINT or
-/// SIGTERM shuts down cleanly (drains in-flight requests, removes the
-/// socket file); kill -9 leaves a stale socket the next start reclaims,
-/// and the flock-guarded manifest write-back keeps the cache consistent.
+/// requests through the same driver::runToolInvocation().
+///
+/// SIGTERM drains gracefully: the listener closes, in-flight requests
+/// finish (or deadline out), the manifest flushes, a stats line prints,
+/// and the daemon exits 0.  SIGINT is the fast stop: in-flight
+/// connections close immediately.  kill -9 leaves a stale socket the
+/// next start reclaims, and the flock-guarded manifest write-back keeps
+/// the cache consistent.  Probe a running daemon with `tcc-client -ping`.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -41,10 +57,14 @@ namespace {
 
 server::Server *ActiveServer = nullptr;
 
-void onSignal(int) {
-  // stop() is async-signal-safe: an atomic store plus shutdown/close.
-  if (ActiveServer)
-    ActiveServer->stop();
+void onSignal(int Sig) {
+  // Both paths are async-signal-safe: atomic stores plus shutdown/close.
+  if (!ActiveServer)
+    return;
+  if (Sig == SIGTERM)
+    ActiveServer->requestDrain(); // Graceful: finish in-flight work.
+  else
+    ActiveServer->stop(); // Fast: drop everything now.
 }
 
 } // namespace
@@ -66,13 +86,23 @@ int main(int argc, char **argv) {
     } else if (Arg.rfind("-hot-cache-max=", 0) == 0) {
       Opts.HotCacheMax = static_cast<size_t>(
           std::atoll(Arg.c_str() + std::strlen("-hot-cache-max=")));
+    } else if (Arg.rfind("-max-queue=", 0) == 0) {
+      Opts.MaxQueue = static_cast<size_t>(
+          std::atoll(Arg.c_str() + std::strlen("-max-queue=")));
+    } else if (Arg.rfind("-request-deadline-ms=", 0) == 0) {
+      Opts.RequestDeadlineMs = std::atoi(
+          Arg.c_str() + std::strlen("-request-deadline-ms="));
+    } else if (Arg.rfind("-fault-inject=", 0) == 0) {
+      Opts.FaultInject = Arg.substr(std::strlen("-fault-inject="));
     } else if (Arg == "-verbose") {
       Opts.Verbose = true;
     } else {
       std::fprintf(stderr,
                    "tccd: unknown option '%s'\n"
                    "usage: tccd [-socket=path] [-cache=file] [-workers=n] "
-                   "[-hot-cache-max=n] [-verbose]\n",
+                   "[-hot-cache-max=n] [-max-queue=n] "
+                   "[-request-deadline-ms=n] [-fault-inject=spec] "
+                   "[-verbose]\n",
                    Arg.c_str());
       return 2;
     }
@@ -96,23 +126,11 @@ int main(int argc, char **argv) {
                Opts.CacheFile.empty() ? "<none>" : Opts.CacheFile.c_str());
   Daemon.run();
 
-  server::ServerStats S = Daemon.stats();
-  server::HotCacheStats H = Daemon.hotCache().stats();
-  std::fprintf(stderr,
-               "tccd: shut down after %llu request%s (%llu error%s, %llu "
-               "contained fault%s; hot cache: %llu hit%s, %llu miss%s, "
-               "%llu eviction%s)\n",
-               static_cast<unsigned long long>(S.Requests),
-               S.Requests == 1 ? "" : "s",
-               static_cast<unsigned long long>(S.Errors),
-               S.Errors == 1 ? "" : "s",
-               static_cast<unsigned long long>(S.Faulted),
-               S.Faulted == 1 ? "" : "s",
-               static_cast<unsigned long long>(H.Hits),
-               H.Hits == 1 ? "" : "s",
-               static_cast<unsigned long long>(H.Misses),
-               H.Misses == 1 ? "" : "es",
-               static_cast<unsigned long long>(H.Evictions),
-               H.Evictions == 1 ? "" : "s");
+  // Finish shutdown off the signal path: drain or drop queued work per
+  // the flags the handlers set, then join any watchdog zombies.
+  Daemon.shutdown();
+  std::fprintf(stderr, "tccd: shut down%s: %s\n",
+               Daemon.draining() ? " (drained)" : "",
+               Daemon.statsLine().c_str());
   return 0;
 }

@@ -100,7 +100,9 @@ PassSandbox::Result PassSandbox::run(FunctionPass &FP, Function &F,
     if (Injected && Injected->Kind == FaultKind::CorruptIL)
       F.getBody().Stmts.push_back(
           F.create<GotoStmt>(SourceLoc(), "__tcc_injected_corruption"));
-    if (Injected && Injected->Kind == FaultKind::Slow &&
+    if (Injected &&
+        (Injected->Kind == FaultKind::Slow ||
+         Injected->Kind == FaultKind::Stall) &&
         Policy.PassBudgetMs > 0)
       std::this_thread::sleep_for(std::chrono::milliseconds(
           static_cast<long>(Policy.PassBudgetMs) + 25));

@@ -1,13 +1,40 @@
 #include "server/Client.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <fcntl.h>
+#include <poll.h>
+#include <random>
 #include <sys/socket.h>
 #include <sys/un.h>
+#include <thread>
 #include <unistd.h>
 
 using namespace tcc;
 using namespace tcc::server;
+
+const char *server::transportErrorName(TransportError E) {
+  switch (E) {
+  case TransportError::None:
+    return "none";
+  case TransportError::ConnectFailed:
+    return "connect-failed";
+  case TransportError::ConnectRefused:
+    return "connect-refused";
+  case TransportError::SendFailed:
+    return "send-failed";
+  case TransportError::PeerClosed:
+    return "peer-closed";
+  case TransportError::PartialResponse:
+    return "partial-response";
+  case TransportError::Timeout:
+    return "timeout";
+  case TransportError::Protocol:
+    return "protocol";
+  }
+  return "none";
+}
 
 Client::~Client() { close(); }
 
@@ -20,6 +47,8 @@ void Client::close() {
 
 bool Client::connect(const std::string &SocketPath, std::string &Error) {
   close();
+  LastError = TransportError::ConnectFailed;
+
   sockaddr_un Addr;
   std::memset(&Addr, 0, sizeof(Addr));
   Addr.sun_family = AF_UNIX;
@@ -35,42 +64,150 @@ bool Client::connect(const std::string &SocketPath, std::string &Error) {
     Error = std::string("cannot create socket: ") + std::strerror(errno);
     return false;
   }
-  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
-    Error = "cannot connect to daemon at '" + SocketPath +
-            "': " + std::strerror(errno) +
-            (errno == ECONNREFUSED || errno == ENOENT
-                 ? " (is tccd running?)"
-                 : "");
+
+  // Non-blocking connect so the deadline also covers a daemon whose
+  // accept queue is full (connect() on a Unix socket blocks then, e.g.
+  // mid-restart when the old listener's backlog is saturated).
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  if (Flags < 0 || ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) < 0) {
+    Error = std::string("cannot set socket non-blocking: ") +
+            std::strerror(errno);
     close();
     return false;
   }
+
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    if (errno == EINPROGRESS || errno == EAGAIN) {
+      // In flight (or backlog-full on some kernels): wait for the
+      // socket to become writable, then read the final verdict.
+      pollfd P;
+      P.fd = Fd;
+      P.events = POLLOUT;
+      P.revents = 0;
+      int R;
+      do {
+        R = ::poll(&P, 1, TimeoutMs > 0 ? TimeoutMs : -1);
+      } while (R < 0 && errno == EINTR);
+      if (R == 0) {
+        LastError = TransportError::Timeout;
+        Error = "connect to '" + SocketPath + "' timed out after " +
+                std::to_string(TimeoutMs) + " ms";
+        close();
+        return false;
+      }
+      int SoErr = 0;
+      socklen_t Len = sizeof(SoErr);
+      if (R < 0 ||
+          ::getsockopt(Fd, SOL_SOCKET, SO_ERROR, &SoErr, &Len) < 0) {
+        Error = std::string("cannot complete connect to '") + SocketPath +
+                "': " + std::strerror(errno);
+        close();
+        return false;
+      }
+      if (SoErr != 0) {
+        errno = SoErr;
+        // Fall through to the shared classification below.
+      } else {
+        goto connected;
+      }
+    }
+    // Classify.  ECONNREFUSED: socket file exists but nobody is
+    // listening (daemon dead or mid-restart with a stale socket).
+    // ENOENT: no socket file at all (daemon never started or already
+    // unlinked its socket while shutting down).  EAGAIN on a blocking
+    // Unix connect means the backlog is full — the daemon is alive but
+    // saturated.  All three prove the request was never admitted.
+    if (errno == ECONNREFUSED || errno == ENOENT || errno == EAGAIN) {
+      LastError = TransportError::ConnectRefused;
+      Error = "cannot connect to daemon at '" + SocketPath +
+              "': " + std::strerror(errno) + " (is tccd running?)";
+    } else {
+      Error = "cannot connect to daemon at '" + SocketPath +
+              "': " + std::strerror(errno);
+    }
+    close();
+    return false;
+  }
+
+connected:
+  // Leave the fd non-blocking: all frame I/O below is poll-based and
+  // handles EAGAIN, and a blocking fd would defeat the read deadline.
+  LastError = TransportError::None;
   return true;
 }
 
 bool Client::roundTrip(const Request &Req, Response &Resp,
                        std::string &Error) {
   if (Fd < 0) {
+    LastError = TransportError::ConnectFailed;
     Error = "not connected";
     return false;
   }
-  if (!writeFrame(Fd, encodeRequest(Req))) {
-    Error = std::string("cannot send request: ") + std::strerror(errno);
+  std::string IoError;
+  FrameIO W = writeFrameDeadline(Fd, encodeRequest(Req), TimeoutMs, IoError);
+  if (W != FrameIO::Ok) {
+    if (W == FrameIO::Timeout) {
+      LastError = TransportError::Timeout;
+      Error = "cannot send request: " + IoError;
+    } else if (errno == EPIPE || errno == ECONNRESET) {
+      // The daemon closed its end before reading our frame.  One
+      // legitimate reason: load shedding writes a busy response and
+      // hangs up without ever reading, and that frame races our own
+      // write.  It was sent before the close, so it is already queued
+      // locally — drain it so the busy hint is not lost to the race.
+      std::string Pending, DrainError;
+      if (readFrameDeadline(Fd, Pending, /*TimeoutMs=*/1000, DrainError) ==
+              FrameIO::Ok &&
+          decodeResponse(Pending, Resp, DrainError)) {
+        LastError = TransportError::None;
+        close();
+        return true;
+      }
+      // No parked response: the daemon is shutting down (drain closes
+      // idle connections) or was killed.  Nothing was admitted, so this
+      // is safe to retry elsewhere/later.
+      LastError = TransportError::PeerClosed;
+      Error = "daemon is shutting down (connection closed before the "
+              "request was read)";
+    } else {
+      LastError = TransportError::SendFailed;
+      Error = "cannot send request: " + IoError;
+    }
     close();
     return false;
   }
+
   std::string Payload;
-  if (!readFrame(Fd, Payload, Error)) {
-    // A killed daemon shows up here as clean EOF: report it, never hang.
-    if (Error.empty())
+  FrameIO R = readFrameDeadline(Fd, Payload, TimeoutMs, IoError);
+  if (R != FrameIO::Ok) {
+    switch (R) {
+    case FrameIO::CleanEof:
+      // A killed daemon shows up here as clean EOF before any response
+      // byte: the request was never answered, so it never completed —
+      // safe to retry against a restarted daemon.
+      LastError = TransportError::PeerClosed;
       Error = "daemon closed the connection before responding (was it "
               "killed mid-request?)";
+      break;
+    case FrameIO::Timeout:
+      LastError = TransportError::Timeout;
+      Error = "no response within " + std::to_string(TimeoutMs) +
+              " ms (" + IoError + ")";
+      break;
+    default:
+      LastError = TransportError::PartialResponse;
+      Error = IoError;
+      break;
+    }
     close();
     return false;
   }
   if (!decodeResponse(Payload, Resp, Error)) {
+    LastError = TransportError::Protocol;
     close();
     return false;
   }
+  LastError = TransportError::None;
   return true;
 }
 
@@ -78,4 +215,77 @@ bool server::runRequest(const std::string &SocketPath, const Request &Req,
                         Response &Resp, std::string &Error) {
   Client C;
   return C.connect(SocketPath, Error) && C.roundTrip(Req, Resp, Error);
+}
+
+namespace {
+
+/// Backoff before attempt \p Attempt (1-based count of failures so
+/// far): exponential from 25 ms, capped at 500 ms, jittered to 50–150%
+/// so a fleet of clients retrying against a restarting daemon does not
+/// stampede in lockstep.  \p HintMs (a busy response's retry-after)
+/// raises the floor when present.
+int backoffMs(unsigned Attempt, int HintMs) {
+  long long Base = 25LL << (Attempt > 5 ? 5 : Attempt - 1);
+  if (Base > 500)
+    Base = 500;
+  if (HintMs > Base)
+    Base = HintMs;
+  static thread_local std::mt19937 Rng{std::random_device{}()};
+  std::uniform_int_distribution<int> Jitter(static_cast<int>(Base / 2),
+                                            static_cast<int>(Base * 3 / 2));
+  return Jitter(Rng);
+}
+
+} // namespace
+
+CallOutcome server::runRequestWithRetry(const std::string &SocketPath,
+                                        const Request &Req,
+                                        const ClientOptions &Opts,
+                                        Response &Resp,
+                                        std::string &Error) {
+  using Clock = std::chrono::steady_clock;
+  const auto Start = Clock::now();
+  auto BudgetLeftMs = [&]() -> long long {
+    if (Opts.RetryBudgetMs <= 0)
+      return 0;
+    auto Spent = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     Clock::now() - Start)
+                     .count();
+    return Opts.RetryBudgetMs - Spent;
+  };
+
+  CallOutcome Outcome;
+  for (;;) {
+    ++Outcome.Attempts;
+    Client C(Opts.TimeoutMs);
+    bool Ok = C.connect(SocketPath, Error) && C.roundTrip(Req, Resp, Error);
+    if (Ok) {
+      Outcome.Failure = TransportError::None;
+      if (Resp.Exit != BusyExit) {
+        Outcome.Ok = true;
+        return Outcome;
+      }
+      // Shed under load: complete, never admitted, always retryable.
+      if (Outcome.Attempts > Opts.Retries || BudgetLeftMs() <= 0) {
+        // Budget exhausted: surface the busy response itself so the
+        // caller can distinguish "overloaded" from "broken".
+        Outcome.Ok = true;
+        return Outcome;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          backoffMs(Outcome.Attempts, Resp.RetryAfterMs)));
+      continue;
+    }
+
+    Outcome.Failure = C.lastError();
+    if (!C.retrySafe() || Outcome.Attempts > Opts.Retries ||
+        BudgetLeftMs() <= 0)
+      return Outcome;
+    long long Wait = backoffMs(Outcome.Attempts, -1);
+    long long Left = BudgetLeftMs();
+    if (Wait > Left)
+      Wait = Left; // Sleep at most to the budget edge, then try once.
+    if (Wait > 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(Wait));
+  }
 }

@@ -2,7 +2,24 @@
 ///
 /// \file
 /// Client side of the tccd protocol: connect, send one request, read the
-/// response.  Used by tcc-client, bench_server, and the server tests.
+/// response.  Used by tcc-client, bench_server, bench_soak, and the
+/// server tests.
+///
+/// Two survivability layers live here:
+///
+///  - Per-call deadlines.  Every blocking step (connect, frame write,
+///    frame read) is poll-based and bounded by ClientOptions::TimeoutMs,
+///    so a wedged or half-dead daemon can never hang a client past its
+///    deadline.
+///
+///  - Classified failure + bounded retry.  Every failure is tagged with
+///    a TransportError, and retrySafe() says whether re-sending the
+///    request can possibly duplicate work.  Only three failures are
+///    retry-safe — connect refused (daemon not yet up / restarting),
+///    clean EOF before any response byte (daemon died pre-admission),
+///    and an explicit busy response — because each proves the daemon
+///    never started compiling.  A timeout or partial response proves
+///    nothing, so runRequestWithRetry never retries those.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -17,33 +34,107 @@
 namespace tcc {
 namespace server {
 
+/// Why a transport operation failed.  The distinction that matters is
+/// retry safety: a failure is retry-safe iff it proves the daemon never
+/// began processing the request.
+enum class TransportError {
+  None,            ///< No failure recorded.
+  ConnectFailed,   ///< socket()/path/connect failure (not refusal).
+  ConnectRefused,  ///< ECONNREFUSED/ENOENT — daemon down; retry-safe.
+  SendFailed,      ///< Request write failed mid-frame (not EPIPE).
+  PeerClosed,      ///< Clean close before any response byte; retry-safe.
+  PartialResponse, ///< Response truncated after bytes arrived.
+  Timeout,         ///< A deadline expired; the daemon may be working.
+  Protocol,        ///< Undecodable response frame.
+};
+
+/// Spec-token name for a TransportError ("none", "connect-failed", ...);
+/// used by diagnostics and the soak bench's failure histogram.
+const char *transportErrorName(TransportError E);
+
+/// Knobs for deadline and retry behaviour.  Defaults are generous but
+/// finite: a minute-long compile still fits, a wedged daemon does not.
+struct ClientOptions {
+  /// Bounds each connect and each whole-frame read/write, in ms.
+  /// <= 0 waits forever (the pre-deadline behaviour).
+  int TimeoutMs = 60000;
+  /// Extra attempts after the first (0 == single-shot).
+  unsigned Retries = 0;
+  /// Total wall-clock budget for retries + backoff, in ms.  The first
+  /// attempt is always allowed; later attempts are skipped once the
+  /// budget is spent.
+  int RetryBudgetMs = 2000;
+};
+
 /// A connected client.  Wraps the socket fd; reusable for several
 /// sequential requests on one connection.
 class Client {
 public:
   Client() = default;
+  explicit Client(int TimeoutMs) : TimeoutMs(TimeoutMs) {}
   ~Client();
   Client(const Client &) = delete;
   Client &operator=(const Client &) = delete;
 
-  /// Connects to the daemon.  On failure \p Error says why (no daemon,
-  /// stale socket, path too long) — a clean message, never a hang.
+  /// Connects to the daemon, bounded by the client's deadline.  On
+  /// failure \p Error names the phase that died (path check, socket
+  /// creation, connect) and the errno — a clean message, never a hang.
   bool connect(const std::string &SocketPath, std::string &Error);
 
   /// One round trip.  Returns false with \p Error set when the daemon
-  /// vanished mid-request (EOF / truncated frame) or sent garbage.
+  /// vanished mid-request (EOF / truncated frame), sent garbage, or a
+  /// deadline expired.  lastError()/retrySafe() classify the failure.
+  /// A send failure with a response already parked on the socket (the
+  /// shed path: busy frame, then close, without reading the request)
+  /// still succeeds, returning that response.
   bool roundTrip(const Request &Req, Response &Resp, std::string &Error);
 
   bool connected() const { return Fd >= 0; }
   void close();
 
+  /// Classification of the most recent connect/roundTrip failure.
+  TransportError lastError() const { return LastError; }
+
+  /// True iff the last failure proves the daemon never began processing
+  /// the request, so re-sending it cannot duplicate work.
+  bool retrySafe() const {
+    return LastError == TransportError::ConnectRefused ||
+           LastError == TransportError::PeerClosed;
+  }
+
+  void setTimeoutMs(int Ms) { TimeoutMs = Ms; }
+
 private:
   int Fd = -1;
+  int TimeoutMs = 0; ///< <= 0: wait forever.
+  TransportError LastError = TransportError::None;
 };
 
-/// Convenience: connect + one request + close.
+/// Convenience: connect + one request + close.  Single-shot, infinite
+/// deadline — the original tcc-client behaviour.
 bool runRequest(const std::string &SocketPath, const Request &Req,
                 Response &Resp, std::string &Error);
+
+/// What a retrying call did, beyond the response itself.
+struct CallOutcome {
+  bool Ok = false;       ///< A response was decoded (any exit code).
+  unsigned Attempts = 0; ///< Round trips performed (>= 1).
+  TransportError Failure = TransportError::None; ///< Last failure if !Ok.
+};
+
+/// Connect + request + close, with deadlines and bounded retry.
+///
+/// Retries fire only for retry-safe failures (see TransportError) and
+/// for busy responses, with exponential backoff + jitter between
+/// attempts (a busy response's RetryAfterMs hint overrides the backoff
+/// floor).  Attempts stop when one succeeds, Opts.Retries extra
+/// attempts are spent, or Opts.RetryBudgetMs of wall clock is gone.
+/// On Ok, \p Resp holds the final response — which may still be a
+/// busy response if the budget ran out while the daemon was shedding.
+CallOutcome runRequestWithRetry(const std::string &SocketPath,
+                                const Request &Req,
+                                const ClientOptions &Opts, Response &Resp,
+                                std::string &Error);
 
 } // namespace server
 } // namespace tcc

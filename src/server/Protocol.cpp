@@ -2,11 +2,15 @@
 
 #include "support/JSONWriter.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <map>
+#include <poll.h>
 #include <sstream>
+#include <sys/socket.h>
 #include <unistd.h>
 
 using namespace tcc;
@@ -25,6 +29,10 @@ std::string server::encodeRequest(const Request &R) {
     W.value(A);
   W.endArray();
   W.keyValue("source", R.Source);
+  // "compile" is the wire default; only non-default kinds are framed, so
+  // compile requests are byte-identical to the pre-kind protocol.
+  if (!R.Kind.empty() && R.Kind != "compile")
+    W.keyValue("kind", R.Kind);
   W.endObject();
   return OS.str();
 }
@@ -36,6 +44,8 @@ std::string server::encodeResponse(const Response &R) {
   W.keyValue("exit", R.Exit);
   W.keyValue("stdout", R.Out);
   W.keyValue("stderr", R.Err);
+  if (R.RetryAfterMs >= 0)
+    W.keyValue("retryAfterMs", R.RetryAfterMs);
   W.endObject();
   return OS.str();
 }
@@ -317,6 +327,17 @@ bool server::decodeRequest(const std::string &Payload, Request &R,
     R.Args.push_back(A.Str);
   }
   R.Source = Source->Str;
+  // Optional request kind; absent means "compile" (the pre-kind wire
+  // form).  A present non-string kind is malformed.
+  R.Kind.clear();
+  auto KindIt = V.Fields.find("kind");
+  if (KindIt != V.Fields.end()) {
+    if (KindIt->second.K != JsonValue::String) {
+      Error = "request 'kind' is not a string";
+      return false;
+    }
+    R.Kind = KindIt->second.Str;
+  }
   return true;
 }
 
@@ -339,6 +360,10 @@ bool server::decodeResponse(const std::string &Payload, Response &R,
   R.Exit = static_cast<int>(Exit->Num);
   R.Out = Out->Str;
   R.Err = Err->Str;
+  // Optional busy hint; absent (the common case) stays -1.
+  R.RetryAfterMs = -1;
+  if (const JsonValue *Hint = field(V, "retryAfterMs", JsonValue::Number))
+    R.RetryAfterMs = static_cast<int>(Hint->Num);
   return true;
 }
 
@@ -348,59 +373,158 @@ bool server::decodeResponse(const std::string &Payload, Response &R,
 
 namespace {
 
-bool writeAll(int Fd, const char *Data, size_t N) {
-  while (N > 0) {
-    ssize_t W = ::write(Fd, Data, N);
-    if (W < 0) {
-      if (errno == EINTR)
-        continue;
-      return false;
-    }
-    Data += W;
-    N -= static_cast<size_t>(W);
-  }
-  return true;
-}
+using Clock = std::chrono::steady_clock;
 
-/// Returns 1 on success, 0 on clean EOF at a frame boundary (only
-/// meaningful when nothing has been consumed yet), -1 on error.
-int readAll(int Fd, char *Data, size_t N) {
-  size_t Got = 0;
-  while (Got < N) {
-    ssize_t R = ::read(Fd, Data + Got, N - Got);
+/// A deadline that may be "never".  All frame I/O below is written
+/// against an absolute deadline so a frame that dribbles in one byte at
+/// a time cannot extend its own budget.
+struct Deadline {
+  bool Bounded = false;
+  Clock::time_point At;
+
+  static Deadline after(int TimeoutMs) {
+    Deadline D;
+    if (TimeoutMs > 0) {
+      D.Bounded = true;
+      D.At = Clock::now() + std::chrono::milliseconds(TimeoutMs);
+    }
+    return D;
+  }
+
+  /// Remaining budget in ms for poll(): -1 means wait forever, 0 means
+  /// already expired.
+  int remainingMs() const {
+    if (!Bounded)
+      return -1;
+    auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        At - Clock::now());
+    if (Left.count() <= 0)
+      return 0;
+    // Cap the slice so a clock adjustment cannot park us for hours.
+    return static_cast<int>(std::min<long long>(Left.count(), 3600000));
+  }
+};
+
+/// Moves exactly \p N bytes through \p Fd before the deadline, polling
+/// between partial transfers.  \p Got counts bytes moved so far (shared
+/// across the header/payload halves of a frame so error messages report
+/// frame-level progress).  Writes use send(MSG_NOSIGNAL) so a vanished
+/// peer surfaces as EPIPE instead of killing the process with SIGPIPE.
+server::FrameIO transferAll(int Fd, char *Data, size_t N, bool Writing,
+                            const Deadline &D, size_t &Got) {
+  size_t Done = 0;
+  while (Done < N) {
+    int Budget = D.remainingMs();
+    if (Budget == 0)
+      return server::FrameIO::Timeout;
+
+    pollfd P;
+    P.fd = Fd;
+    P.events = Writing ? POLLOUT : POLLIN;
+    P.revents = 0;
+    int R = ::poll(&P, 1, Budget);
     if (R < 0) {
       if (errno == EINTR)
         continue;
-      return -1;
+      return server::FrameIO::Error;
     }
     if (R == 0)
-      return Got == 0 ? 0 : -1;
-    Got += static_cast<size_t>(R);
+      return server::FrameIO::Timeout;
+
+    ssize_t IO =
+        Writing
+            ? ::send(Fd, Data + Done, N - Done, MSG_NOSIGNAL)
+            : ::recv(Fd, Data + Done, N - Done, 0);
+    if (IO < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+        continue;
+      return server::FrameIO::Error;
+    }
+    if (IO == 0) {
+      // EOF mid-read.  Clean only if the peer closed at a frame
+      // boundary — i.e. nothing of this frame had arrived yet.
+      if (!Writing && Got == 0 && Done == 0)
+        return server::FrameIO::CleanEof;
+      errno = ECONNRESET;
+      return server::FrameIO::Error;
+    }
+    Done += static_cast<size_t>(IO);
+    Got += static_cast<size_t>(IO);
   }
-  return 1;
+  return server::FrameIO::Ok;
+}
+
+std::string progressSuffix(size_t Got, size_t Total) {
+  return " after " + std::to_string(Got) + " of " + std::to_string(Total) +
+         " bytes";
 }
 
 } // namespace
 
-bool server::writeFrame(int Fd, const std::string &Payload) {
+int server::pollReadable(int Fd, int TimeoutMs) {
+  pollfd P;
+  P.fd = Fd;
+  P.events = POLLIN;
+  P.revents = 0;
+  for (;;) {
+    int R = ::poll(&P, 1, TimeoutMs);
+    if (R < 0 && errno == EINTR)
+      continue;
+    return R < 0 ? -1 : (R > 0 ? 1 : 0);
+  }
+}
+
+server::FrameIO server::writeFrameDeadline(int Fd,
+                                           const std::string &Payload,
+                                           int TimeoutMs,
+                                           std::string &Error) {
+  Error.clear();
+  Deadline D = Deadline::after(TimeoutMs);
   uint32_t N = static_cast<uint32_t>(Payload.size());
   char Hdr[4] = {static_cast<char>(N & 0xFF),
                  static_cast<char>((N >> 8) & 0xFF),
                  static_cast<char>((N >> 16) & 0xFF),
                  static_cast<char>((N >> 24) & 0xFF)};
-  return writeAll(Fd, Hdr, sizeof(Hdr)) &&
-         writeAll(Fd, Payload.data(), Payload.size());
+  size_t Got = 0;
+  size_t Total = sizeof(Hdr) + Payload.size();
+  FrameIO R = transferAll(Fd, Hdr, sizeof(Hdr), /*Writing=*/true, D, Got);
+  if (R == FrameIO::Ok && !Payload.empty())
+    R = transferAll(Fd, const_cast<char *>(Payload.data()), Payload.size(),
+                    /*Writing=*/true, D, Got);
+  switch (R) {
+  case FrameIO::Ok:
+  case FrameIO::CleanEof: // Unreachable for writes.
+    return FrameIO::Ok;
+  case FrameIO::Timeout:
+    Error = "write deadline expired" + progressSuffix(Got, Total);
+    return FrameIO::Timeout;
+  case FrameIO::Error:
+    Error = std::string("write failed (") + std::strerror(errno) + ")" +
+            progressSuffix(Got, Total);
+    return FrameIO::Error;
+  }
+  return FrameIO::Error;
 }
 
-bool server::readFrame(int Fd, std::string &Payload, std::string &Error) {
+server::FrameIO server::readFrameDeadline(int Fd, std::string &Payload,
+                                          int TimeoutMs,
+                                          std::string &Error) {
   Error.clear();
+  Deadline D = Deadline::after(TimeoutMs);
   char Hdr[4];
-  int R = readAll(Fd, Hdr, sizeof(Hdr));
-  if (R == 0)
-    return false; // Clean EOF between frames; Error stays empty.
-  if (R < 0) {
-    Error = "connection truncated reading frame header";
-    return false;
+  size_t Got = 0;
+  FrameIO R = transferAll(Fd, Hdr, sizeof(Hdr), /*Writing=*/false, D, Got);
+  if (R == FrameIO::CleanEof)
+    return R; // Peer closed between frames; Error stays empty.
+  if (R == FrameIO::Timeout) {
+    Error = "read deadline expired in frame header" +
+            progressSuffix(Got, sizeof(Hdr));
+    return R;
+  }
+  if (R == FrameIO::Error) {
+    Error = std::string("connection truncated reading frame header (") +
+            std::strerror(errno) + ")";
+    return R;
   }
   uint32_t N = static_cast<uint32_t>(static_cast<unsigned char>(Hdr[0])) |
                (static_cast<uint32_t>(static_cast<unsigned char>(Hdr[1]))
@@ -412,12 +536,36 @@ bool server::readFrame(int Fd, std::string &Payload, std::string &Error) {
   if (N > MaxFrameBytes) {
     Error = "frame of " + std::to_string(N) + " bytes exceeds the " +
             std::to_string(MaxFrameBytes) + "-byte limit";
-    return false;
+    return FrameIO::Error;
   }
   Payload.resize(N);
-  if (N > 0 && readAll(Fd, Payload.data(), N) != 1) {
-    Error = "connection truncated reading frame payload";
-    return false;
+  if (N > 0) {
+    R = transferAll(Fd, Payload.data(), N, /*Writing=*/false, D, Got);
+    size_t Total = sizeof(Hdr) + N;
+    if (R != FrameIO::Ok) {
+      // A half-read payload is poison — wipe it so no caller can decode
+      // a truncated frame by accident.
+      Payload.clear();
+      if (R == FrameIO::Timeout) {
+        Error = "read deadline expired in frame payload" +
+                progressSuffix(Got, Total);
+        return FrameIO::Timeout;
+      }
+      Error = std::string("connection truncated reading frame payload (") +
+              std::strerror(errno) + ")" + progressSuffix(Got, Total);
+      return FrameIO::Error;
+    }
   }
-  return true;
+  return FrameIO::Ok;
+}
+
+bool server::writeFrame(int Fd, const std::string &Payload) {
+  std::string Ignored;
+  return writeFrameDeadline(Fd, Payload, /*TimeoutMs=*/0, Ignored) ==
+         FrameIO::Ok;
+}
+
+bool server::readFrame(int Fd, std::string &Payload, std::string &Error) {
+  return readFrameDeadline(Fd, Payload, /*TimeoutMs=*/0, Error) ==
+         FrameIO::Ok;
 }

@@ -35,18 +35,32 @@ namespace server {
 /// the daemon.
 constexpr uint32_t MaxFrameBytes = 64u << 20;
 
-/// One compile request.
+/// The well-known exit code for "the daemon shed this request under
+/// load" (a `busy` response).  Distinct from tcc's own codes (0/1/2) and
+/// from the client's transport code (3).  A busy response is complete
+/// and proves the request was never admitted, so it is always safe to
+/// retry — the response carries a `retry-after-ms` hint.
+constexpr int BusyExit = 4;
+
+/// One request.  Kind selects what the daemon does with it:
+///   ""/"compile"  compile Args+Source exactly as `tcc` would
+///   "ping"        answer with one line of daemon health JSON (uptime,
+///                 queue depth, hot-cache size/evictions, fault
+///                 counters) without compiling anything
 struct Request {
   std::vector<std::string> Args; ///< tcc argv without the program name.
   std::string Source;            ///< Input file text (client-read).
+  std::string Kind;              ///< "" == "compile"; "ping" == health.
 };
 
-/// One compile response: what `tcc` would have printed, and how it would
-/// have exited.
+/// One response: what `tcc` would have printed, and how it would have
+/// exited.  A busy (shed) response has Exit == BusyExit and a
+/// non-negative RetryAfterMs backoff hint.
 struct Response {
   int Exit = 0;
   std::string Out;
   std::string Err;
+  int RetryAfterMs = -1; ///< >= 0 only on busy responses.
 };
 
 std::string encodeRequest(const Request &R);
@@ -60,13 +74,37 @@ bool decodeResponse(const std::string &Payload, Response &R,
                     std::string &Error);
 
 /// Writes one frame to a connected socket, handling short writes.
-/// Returns false on I/O error (EPIPE when the peer vanished).
+/// Returns false on I/O error (EPIPE when the peer vanished; writes use
+/// MSG_NOSIGNAL, so a dead peer sets errno instead of raising SIGPIPE).
 bool writeFrame(int Fd, const std::string &Payload);
 
 /// Reads one frame.  Returns false with an empty \p Error on clean EOF
 /// (peer closed between frames) and a non-empty \p Error on a protocol
 /// or I/O failure.
 bool readFrame(int Fd, std::string &Payload, std::string &Error);
+
+/// How a deadline-aware frame operation ended.
+enum class FrameIO {
+  Ok,       ///< The whole frame moved.
+  CleanEof, ///< Peer closed before the first byte (reads only).
+  Timeout,  ///< The deadline expired; the frame may be half-moved.
+  Error,    ///< I/O or protocol failure; errno/Error say why.
+};
+
+/// Deadline-aware variants.  \p TimeoutMs bounds the *whole* frame, not
+/// each syscall (poll-based; <= 0 waits forever).  On Timeout and Error
+/// \p Error says which phase died and how many bytes had moved —
+/// callers must treat a partially read frame as poison, never decode
+/// it.  On Error, errno is preserved from the failing syscall.
+FrameIO writeFrameDeadline(int Fd, const std::string &Payload,
+                           int TimeoutMs, std::string &Error);
+FrameIO readFrameDeadline(int Fd, std::string &Payload, int TimeoutMs,
+                          std::string &Error);
+
+/// Polls \p Fd for readability: 1 ready (data or EOF), 0 timeout,
+/// -1 error.  The daemon's connection loop uses this to wake for
+/// shutdown/drain checks without consuming bytes.
+int pollReadable(int Fd, int TimeoutMs);
 
 } // namespace server
 } // namespace tcc

@@ -1,16 +1,14 @@
 #include "server/Server.h"
 
 #include "driver/ToolMain.h"
-#include "support/FaultInjection.h"
 
 #include <cerrno>
-#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
 #include <sstream>
 #include <sys/socket.h>
 #include <sys/un.h>
-#include <thread>
 #include <unistd.h>
 
 using namespace tcc;
@@ -74,6 +72,15 @@ void splitServerFaults(const std::string &Spec, std::string &ServerSpec,
   Flush();
 }
 
+/// How long each connection handler sleeps between readability polls.
+/// Small enough that stop/drain is observed promptly; large enough that
+/// an idle connection costs ~5 wakeups a second.
+constexpr int ConnPollSliceMs = 200;
+
+/// Per-frame deadline once bytes start arriving: a client that dribbles
+/// a frame one byte at a time cannot hold a worker past this.
+constexpr int FrameDeadlineMs = 10000;
+
 } // namespace
 
 Server::Server(ServerOptions Opts)
@@ -82,14 +89,16 @@ Server::Server(ServerOptions Opts)
 }
 
 Server::~Server() {
-  stop();
-  if (Queue)
-    Queue->shutdown();
+  shutdown();
   if (!Opts.SocketPath.empty())
     ::unlink(Opts.SocketPath.c_str());
 }
 
 bool Server::start(DiagnosticEngine &Diags) {
+  if (!Opts.FaultInject.empty() &&
+      !AcceptInjector.addSpecs(Opts.FaultInject, Diags))
+    return false;
+
   sockaddr_un Addr;
   std::string Error;
   if (!makeAddress(Opts.SocketPath, Addr, Error)) {
@@ -145,6 +154,7 @@ bool Server::start(DiagnosticEngine &Diags) {
 
   Queue = std::make_unique<TaskQueue>(
       resolveWorkerCount(Opts.Workers, /*JobCount=*/SIZE_MAX));
+  StartedAt = std::chrono::steady_clock::now();
   return true;
 }
 
@@ -156,6 +166,38 @@ void Server::run() {
         continue;
       break; // stop() closed the listening socket.
     }
+    ++ConnOrdinal;
+
+    // The `server-accept` site models admission-time deaths — the one
+    // window request-carried fault specs cannot reach because no
+    // request has been read yet.  Unit is the connection ordinal.
+    if (!AcceptInjector.empty()) {
+      if (const FaultSpec *F = AcceptInjector.arm(
+              "server-accept", std::to_string(ConnOrdinal))) {
+        {
+          std::lock_guard<std::mutex> Lock(StatsMutex);
+          ++S.AcceptFaults;
+        }
+        if (F->Kind == FaultKind::Slow) {
+          // Admission lag: the connection stalls briefly, then proceeds.
+          std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        } else {
+          // Every other kind drops the connection before a single
+          // response byte — the clean-EOF shape a daemon crash at
+          // admission produces, which clients may safely retry.
+          ::close(Fd);
+          continue;
+        }
+      }
+    }
+
+    // Load shedding: a full admission queue answers with an explicit
+    // busy response instead of queueing unbounded latency.
+    if (Opts.MaxQueue != 0 && Queue->pending() >= Opts.MaxQueue) {
+      shedConnection(Fd);
+      continue;
+    }
+
     if (!Queue->submit([this, Fd] { handleConnection(Fd); }))
       ::close(Fd); // Shutting down: refuse politely.
   }
@@ -171,32 +213,177 @@ void Server::stop() {
   }
 }
 
+void Server::requestDrain() {
+  // Order matters for the connection handlers: once they observe
+  // Stopping they re-check Draining, so Draining must already be set.
+  Draining.store(true);
+  stop();
+}
+
+void Server::shutdown() {
+  stop();
+  if (Queue) {
+    Queue->shutdown(); // Drains queued connections; handlers see Stopping.
+    Queue.reset();
+  }
+  std::vector<Zombie> Zs;
+  {
+    std::lock_guard<std::mutex> Lock(ZombiesMutex);
+    Zs.swap(Zombies);
+  }
+  for (Zombie &Z : Zs) {
+    Z.Cancelled->store(true);
+    if (Z.T.joinable())
+      Z.T.join();
+  }
+}
+
+void Server::shedConnection(int Fd) {
+  size_t Pending = Queue->pending();
+  unsigned W = Queue->workerCount();
+  // Deeper backlog pushes clients further away; capped so a retrying
+  // client never waits absurdly long to learn the daemon recovered.
+  long long Hint = 50 * (1 + static_cast<long long>(Pending) /
+                                 (W == 0 ? 1 : W));
+  if (Hint > 2000)
+    Hint = 2000;
+
+  Response Busy;
+  Busy.Exit = BusyExit;
+  Busy.RetryAfterMs = static_cast<int>(Hint);
+  Busy.Err = "tccd: busy (" + std::to_string(Pending) +
+             " connections queued); retry after " + std::to_string(Hint) +
+             " ms\n";
+  // Count before notifying: the shed happened the moment we decided,
+  // and a client that reads the busy frame must already see it in a
+  // health probe.  The write is best-effort either way.
+  {
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    ++S.Shed;
+  }
+  std::string Ignored;
+  writeFrameDeadline(Fd, encodeResponse(Busy), /*TimeoutMs=*/2000, Ignored);
+  ::close(Fd);
+}
+
 void Server::handleConnection(int Fd) {
   // A connection carries a sequence of request frames; EOF ends it.  A
   // framing error also ends it — after a best-effort error response, so
   // a confused client fails fast instead of hanging on a silent close.
+  // The loop is poll-sliced so stop/drain is observed within a slice:
+  // fast stop closes mid-anything, drain closes idle connections but
+  // lets an arrived frame be served first.
   while (true) {
+    if (Stopping.load() && !Draining.load())
+      break; // Fast stop: hang up now.
+    int Ready = pollReadable(Fd, ConnPollSliceMs);
+    if (Ready < 0)
+      break;
+    if (Ready == 0) {
+      if (Stopping.load())
+        break; // Draining and the connection is idle: hang up.
+      continue;
+    }
+
     std::string Payload, Error;
-    if (!readFrame(Fd, Payload, Error)) {
-      if (!Error.empty())
-        writeFrame(Fd, encodeResponse(
-                           {2, "", "tccd: protocol error: " + Error + "\n"}));
+    FrameIO R = readFrameDeadline(Fd, Payload, FrameDeadlineMs, Error);
+    if (R != FrameIO::Ok) {
+      if (R != FrameIO::CleanEof)
+        writeFrameDeadline(
+            Fd,
+            encodeResponse(
+                {2, "", "tccd: protocol error: " + Error + "\n"}),
+            FrameDeadlineMs, Error);
       break;
     }
+
     Request Req;
     Response Resp;
     if (!decodeRequest(Payload, Req, Error)) {
       Resp = {2, "", "tccd: malformed request: " + Error + "\n"};
     } else {
-      Resp = handleRequest(Req);
+      Resp = dispatchRequest(Req);
     }
-    if (!writeFrame(Fd, encodeResponse(Resp)))
+    if (writeFrameDeadline(Fd, encodeResponse(Resp), FrameDeadlineMs,
+                           Error) != FrameIO::Ok)
       break; // Client vanished; the compile already benefited the caches.
+    if (Stopping.load())
+      break; // Draining: this frame was in flight; serve it, then out.
   }
   ::close(Fd);
 }
 
-Response Server::handleRequest(const Request &Req) {
+Response Server::dispatchRequest(const Request &Req) {
+  // Health probes answer inline: they must work even when every worker
+  // is wedged, and they can never wedge themselves.
+  if (Req.Kind == "ping")
+    return handleRequest(Req);
+  if (Opts.RequestDeadlineMs <= 0)
+    return handleRequest(Req);
+
+  // Run the request on its own thread so this (worker) thread can be
+  // the watchdog.  On deadline the request thread is cancelled —
+  // injected stalls notice within ~20 ms; a genuinely wedged compile is
+  // abandoned to the zombie list and joined at shutdown.  Either way
+  // the hot cache's abandon path promotes any waiter (PR 4 machinery).
+  struct Pending {
+    std::mutex M;
+    std::condition_variable CV;
+    bool Done = false;
+    Response Resp;
+    std::shared_ptr<std::atomic<bool>> Cancelled =
+        std::make_shared<std::atomic<bool>>(false);
+  };
+  auto P = std::make_shared<Pending>();
+  std::thread T([this, Req, P] {
+    Response R = handleRequest(Req, P->Cancelled.get());
+    std::lock_guard<std::mutex> Lock(P->M);
+    P->Resp = std::move(R);
+    P->Done = true;
+    P->CV.notify_all();
+  });
+
+  std::unique_lock<std::mutex> Lock(P->M);
+  if (P->CV.wait_for(Lock, std::chrono::milliseconds(Opts.RequestDeadlineMs),
+                     [&] { return P->Done; })) {
+    Lock.unlock();
+    T.join();
+    return std::move(P->Resp);
+  }
+
+  // Deadline expired: kill the request from the client's point of view.
+  P->Cancelled->store(true);
+  Lock.unlock();
+  {
+    std::lock_guard<std::mutex> Lock2(ZombiesMutex);
+    Zombies.push_back({std::move(T), P->Cancelled});
+  }
+  {
+    std::lock_guard<std::mutex> Lock2(StatsMutex);
+    ++S.DeadlineKilled;
+  }
+  Response Killed;
+  Killed.Exit = 2;
+  Killed.Err = "tccd: request exceeded the " +
+               std::to_string(Opts.RequestDeadlineMs) +
+               " ms deadline and was killed (contained; other requests "
+               "unaffected)\n";
+  return Killed;
+}
+
+Response Server::handleRequest(const Request &Req,
+                               const std::atomic<bool> *Cancelled) {
+  if (Req.Kind == "ping") {
+    {
+      std::lock_guard<std::mutex> Lock(StatsMutex);
+      ++S.Pings;
+    }
+    return healthResponse();
+  }
+  if (!Req.Kind.empty() && Req.Kind != "compile")
+    return {2, "",
+            "tccd: unknown request kind '" + Req.Kind + "'\n"};
+
   Response Resp;
   std::ostringstream Out, Err;
   const auto Start = std::chrono::steady_clock::now();
@@ -238,15 +425,29 @@ Response Server::handleRequest(const Request &Req) {
           Resp.Exit = 2;
         } else if (const FaultSpec *F =
                        Injector.arm("server", Inv.InputPath)) {
-          if (F->Kind == FaultKind::Slow)
+          if (F->Kind == FaultKind::Slow) {
             // Slowness is containment too: the request occupies its
             // worker, every other in-flight request proceeds.
             std::this_thread::sleep_for(std::chrono::milliseconds(500));
-          else if (F->Kind == FaultKind::CorruptIL)
+          } else if (F->Kind == FaultKind::Stall) {
+            // The deterministic "stuck request": park until the
+            // deadline watchdog cancels us, polling the kill switch so
+            // the zombie exits promptly.  A 30 s cap keeps a daemon
+            // running without a deadline from wedging a worker forever.
+            const auto Cap = std::chrono::steady_clock::now() +
+                             std::chrono::seconds(30);
+            while (std::chrono::steady_clock::now() < Cap &&
+                   !(Cancelled && Cancelled->load()))
+              std::this_thread::sleep_for(std::chrono::milliseconds(20));
+            Err << "tccd: request for '" << Inv.InputPath
+                << "' stalled and was cancelled\n";
+            Resp.Exit = 2;
+          } else if (F->Kind == FaultKind::CorruptIL) {
             throw std::runtime_error(
                 "injected corrupt-il fault at server site");
-          else
+          } else {
             throwInjectedFault(*F);
+          }
         }
       }
       if (Resp.Exit == 0)
@@ -289,6 +490,52 @@ Response Server::handleRequest(const Request &Req) {
                  static_cast<unsigned long long>(HS.Misses));
   }
   return Resp;
+}
+
+Response Server::healthResponse() {
+  ServerStats St = stats();
+  HotCacheStats HS = Hot.stats();
+  uint64_t UptimeSec = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::steady_clock::now() - StartedAt)
+          .count());
+  size_t QueueDepth = Queue ? Queue->pending() : 0;
+  unsigned Active = Queue ? Queue->active() : 0;
+  unsigned Workers = Queue ? Queue->workerCount() : 0;
+
+  // Every key is a fixed token and every value a number or bool, so the
+  // line is hand-assembled — no escaping needed.
+  std::ostringstream J;
+  J << "{\"uptimeSec\":" << UptimeSec << ",\"workers\":" << Workers
+    << ",\"queueDepth\":" << QueueDepth << ",\"active\":" << Active
+    << ",\"requests\":" << St.Requests << ",\"errors\":" << St.Errors
+    << ",\"faulted\":" << St.Faulted << ",\"shed\":" << St.Shed
+    << ",\"deadlineKilled\":" << St.DeadlineKilled
+    << ",\"acceptFaults\":" << St.AcceptFaults
+    << ",\"pings\":" << St.Pings << ",\"hotSize\":" << Hot.size()
+    << ",\"hotHits\":" << HS.Hits << ",\"hotMisses\":" << HS.Misses
+    << ",\"hotEvictions\":" << HS.Evictions
+    << ",\"draining\":" << (Draining.load() ? "true" : "false") << "}";
+
+  Response Resp;
+  Resp.Out = J.str() + "\n";
+  return Resp;
+}
+
+std::string Server::statsLine() {
+  // Same counters, same accessors, as healthResponse() — most notably
+  // the hot-cache eviction count comes from Hot.stats() in both, so the
+  // exit line and a health probe can never disagree.
+  ServerStats St = stats();
+  HotCacheStats HS = Hot.stats();
+  std::ostringstream L;
+  L << "[tccd] served " << St.Requests << " requests (" << St.Errors
+    << " errors, " << St.Faulted << " faulted), shed " << St.Shed
+    << ", deadline-killed " << St.DeadlineKilled << ", accept-faults "
+    << St.AcceptFaults << ", pings " << St.Pings << ", hot cache "
+    << Hot.size() << " entries (" << HS.Hits << " hits / " << HS.Misses
+    << " misses / " << HS.Evictions << " evictions)";
+  return L.str();
 }
 
 ServerStats Server::stats() const {

@@ -20,6 +20,20 @@
 ///    gets an exit-2 error response, every other in-flight request is
 ///    untouched, and the single-flight hot cache promotes a waiter if
 ///    the dead request owned a computation.
+///  - A request that *wedges* (neither crashes nor finishes) is killed
+///    by a per-request deadline watchdog: its client gets an exit-2
+///    error response after RequestDeadlineMs, its worker thread is
+///    abandoned to finish in the background (joined at shutdown), and —
+///    as with a crash — hot-cache abandonment promotes any waiter.
+///  - Overload is shed at admission: when the queue holds MaxQueue
+///    pending connections, new ones are answered with a complete `busy`
+///    response (exit BusyExit + a retry-after-ms hint) before their
+///    request is even read, so a saturated daemon degrades into fast
+///    explicit refusals instead of unbounded latency.
+///  - SIGTERM drains gracefully: the listener closes, idle connections
+///    are dropped, in-flight requests finish (or deadline out), the
+///    manifest flushes, and the daemon exits 0.  SIGINT remains the
+///    fast stop.
 ///  - A client disconnect mid-compile wastes at most one compile; the
 ///    result still publishes to the hot cache for the next request.
 ///  - kill -9 loses only in-memory state: the flock-guarded manifest
@@ -39,13 +53,17 @@
 #include "driver/Compiler.h"
 #include "server/HotCache.h"
 #include "server/Protocol.h"
+#include "support/FaultInjection.h"
 #include "support/WorkerPool.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
+#include <vector>
 
 namespace tcc {
 namespace server {
@@ -59,12 +77,27 @@ struct ServerOptions {
   bool Verbose = false; ///< Per-request log lines on stderr.
   /// LRU cap on hot-cache entries (-hot-cache-max=; 0 = unbounded).
   size_t HotCacheMax = HotCache::DefaultMaxEntries;
+  /// Admission bound: connections accepted while this many are already
+  /// queued get a `busy` response instead (-max-queue=; 0 = unbounded).
+  size_t MaxQueue = 256;
+  /// Wall-clock deadline per request, after which the watchdog turns it
+  /// into an exit-2 error response (-request-deadline-ms=; 0 = off).
+  int RequestDeadlineMs = 30000;
+  /// Daemon-side fault specs (-fault-inject=).  The `server-accept`
+  /// site fires at admission, before any request is read — the one
+  /// place request-carried specs cannot reach (unit = the 1-based
+  /// connection ordinal, `*` matches any).
+  std::string FaultInject;
 };
 
 struct ServerStats {
   uint64_t Requests = 0;
   uint64_t Errors = 0;  ///< Responses with nonzero exit.
   uint64_t Faulted = 0; ///< Requests contained by the handler guard.
+  uint64_t Shed = 0;    ///< Connections refused with a busy response.
+  uint64_t DeadlineKilled = 0; ///< Requests killed by the watchdog.
+  uint64_t AcceptFaults = 0;   ///< `server-accept` faults fired.
+  uint64_t Pings = 0;          ///< Health probes served.
 };
 
 class Server {
@@ -75,22 +108,48 @@ public:
   /// Binds and listens on the socket.  A stale socket file (left by a
   /// kill -9) is detected by probing it: if nothing accepts, the file is
   /// unlinked and the address rebound; if a live daemon answers, start
-  /// fails with a diagnostic.  Also starts the worker pool.
+  /// fails with a diagnostic.  Also starts the worker pool and arms any
+  /// daemon-side fault specs (a malformed spec fails start).
   bool start(DiagnosticEngine &Diags);
 
   /// Blocking accept loop; returns after stop().  Connections are
   /// admitted through the worker pool, so at most Workers requests
-  /// compile concurrently and the rest queue.
+  /// compile concurrently and the rest queue — up to MaxQueue, beyond
+  /// which they are shed with a busy response.
   void run();
 
   /// Unblocks run().  Async-signal-safe: callable from a SIGINT/SIGTERM
   /// handler.
   void stop();
 
+  /// Graceful-drain variant of stop(): also sets the draining flag, so
+  /// connection handlers finish the frame they hold (instead of closing
+  /// immediately) and then hang up.  Async-signal-safe.
+  void requestDrain();
+
+  /// True once requestDrain() ran; health responses report it.
+  bool draining() const { return Draining.load(); }
+
+  /// Completes shutdown after run() returns: drains the worker queue,
+  /// cancels and joins any watchdog-abandoned request threads, and
+  /// leaves the object safe to destroy.  Idempotent.
+  void shutdown();
+
   /// Compiles one request exactly as `tcc` would, rendering stdout /
-  /// stderr into the response.  Public for tests and single-process
-  /// benchmarking — no socket required.
-  Response handleRequest(const Request &Req);
+  /// stderr into the response; a "ping" request returns health JSON
+  /// instead.  Public for tests and single-process benchmarking — no
+  /// socket required.  \p Cancelled, when set, is the watchdog's kill
+  /// switch: injected `stall` faults park on it.
+  Response handleRequest(const Request &Req,
+                         const std::atomic<bool> *Cancelled = nullptr);
+
+  /// The one-line health JSON served to `ping` requests.
+  Response healthResponse();
+
+  /// The human-readable stats line tccd prints at exit.  Shares every
+  /// counter (including hot-cache evictions) with healthResponse(), so
+  /// the two can never disagree.
+  std::string statsLine();
 
   const ServerOptions &options() const { return Opts; }
   ServerStats stats() const;
@@ -100,12 +159,37 @@ public:
 private:
   void handleConnection(int Fd);
 
+  /// Runs handleRequest on a dedicated thread and waits at most
+  /// RequestDeadlineMs.  On deadline the thread is cancelled (stall
+  /// faults notice promptly; a genuinely wedged compile is abandoned to
+  /// the zombie list) and a synthesized exit-2 response returns.
+  Response dispatchRequest(const Request &Req);
+
+  /// Writes a busy response to \p Fd and closes it.  The retry hint
+  /// scales with queue depth so a deeper backlog pushes clients further
+  /// away.
+  void shedConnection(int Fd);
+
   ServerOptions Opts;
   driver::CompilerSession Session;
   HotCache Hot;
   std::unique_ptr<TaskQueue> Queue;
   int ListenFd = -1;
   std::atomic<bool> Stopping{false};
+  std::atomic<bool> Draining{false};
+  std::chrono::steady_clock::time_point StartedAt;
+  uint64_t ConnOrdinal = 0; ///< Accept-loop only; no lock needed.
+  FaultInjector AcceptInjector;
+
+  /// Watchdog-abandoned request threads.  Each holds a shared cancel
+  /// token (set on abandonment); shutdown() joins them all.
+  struct Zombie {
+    std::thread T;
+    std::shared_ptr<std::atomic<bool>> Cancelled;
+  };
+  std::mutex ZombiesMutex;
+  std::vector<Zombie> Zombies;
+
   mutable std::mutex StatsMutex;
   ServerStats S;
 };

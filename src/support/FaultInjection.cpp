@@ -15,6 +15,8 @@ const char *tcc::faultKindName(FaultKind K) {
     return "oom";
   case FaultKind::Slow:
     return "slow";
+  case FaultKind::Stall:
+    return "stall";
   }
   return "throw";
 }
@@ -28,7 +30,7 @@ namespace {
 
 bool parseKind(const std::string &Word, FaultKind &Out) {
   for (FaultKind K : {FaultKind::Throw, FaultKind::CorruptIL, FaultKind::OOM,
-                      FaultKind::Slow})
+                      FaultKind::Slow, FaultKind::Stall})
     if (Word == faultKindName(K)) {
       Out = K;
       return true;
@@ -88,7 +90,7 @@ bool FaultInjector::addSpecs(const std::string &Text,
     if (!parseKind(Fields[2], E.Spec.Kind))
       return Reject(Offsets[2],
                     "unknown fault kind '" + Fields[2] +
-                        "' (known: throw, corrupt-il, oom, slow)");
+                        "' (known: throw, corrupt-il, oom, slow, stall)");
     if (Fields.size() == 4) {
       const std::string &N = Fields[3];
       unsigned Value = 0;
@@ -152,6 +154,7 @@ void tcc::throwInjectedFault(const FaultSpec &Spec) {
     throw std::bad_alloc();
   case FaultKind::CorruptIL:
   case FaultKind::Slow:
-    break; // Handled by the sandbox, not by raising.
+  case FaultKind::Stall:
+    break; // Handled by the sandbox / server watchdog, not by raising.
   }
 }

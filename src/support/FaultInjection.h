@@ -19,6 +19,10 @@
 ///   corrupt-il  the pass returns but leaves verifier-rejected IL behind
 ///   oom         an escaped std::bad_alloc
 ///   slow        the pass wildly overruns its wall-clock budget
+///   stall       the invocation wedges until cancelled: at the daemon's
+///               `server` site it parks until the per-request deadline
+///               watchdog kills it (the deterministic "stuck request");
+///               inside the pass sandbox it behaves like `slow`
 ///
 /// Each spec fires exactly once (on its nth match), so a run's fault set
 /// is a deterministic function of the spec string and the compilation —
@@ -39,9 +43,10 @@
 
 namespace tcc {
 
-enum class FaultKind : uint8_t { Throw, CorruptIL, OOM, Slow };
+enum class FaultKind : uint8_t { Throw, CorruptIL, OOM, Slow, Stall };
 
-/// The spec token for a kind ("throw", "corrupt-il", "oom", "slow").
+/// The spec token for a kind ("throw", "corrupt-il", "oom", "slow",
+/// "stall").
 const char *faultKindName(FaultKind K);
 
 /// One armed fault: fire \p Kind on the \p Nth invocation matching

@@ -74,6 +74,16 @@ void TaskQueue::shutdown() {
   Threads.clear();
 }
 
+size_t TaskQueue::pending() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Tasks.size();
+}
+
+unsigned TaskQueue::active() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Active;
+}
+
 void TaskQueue::workerLoop() {
   for (;;) {
     std::function<void()> Task;
@@ -84,7 +94,12 @@ void TaskQueue::workerLoop() {
         return; // Shutting down and drained.
       Task = std::move(Tasks.front());
       Tasks.pop_front();
+      ++Active;
     }
     Task();
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      --Active;
+    }
   }
 }

@@ -71,13 +71,21 @@ public:
 
   unsigned workerCount() const { return static_cast<unsigned>(Threads.size()); }
 
+  /// Tasks submitted but not yet picked up by a worker — the admission
+  /// queue depth the daemon's load shedding decides on.
+  size_t pending() const;
+
+  /// Tasks currently executing on a worker.
+  unsigned active() const;
+
 private:
   void workerLoop();
 
-  std::mutex M;
+  mutable std::mutex M;
   std::condition_variable Ready;
   std::deque<std::function<void()>> Tasks;
   bool ShuttingDown = false;
+  unsigned Active = 0;
   std::vector<std::thread> Threads;
 };
 

@@ -24,7 +24,13 @@
 ///    compilers pointed at one manifest stem leave it consistent;
 ///  - socket lifecycle: end-to-end round trips over a real Unix socket,
 ///    clean connect errors when no daemon listens, and stale-socket
-///    reclamation after an unclean daemon death.
+///    reclamation after an unclean daemon death;
+///  - survivability: deadline framing (dribbled frames reassemble, a
+///    mid-frame timeout never leaks a truncated payload), phase-named
+///    connect errors and retry-safety classification, retry riding
+///    through a late-starting daemon, load shedding with busy + hint,
+///    the per-request deadline watchdog, ping health probes, and
+///    graceful drain finishing in-flight work byte-identically.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -41,8 +47,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -391,7 +400,7 @@ TEST(ServerTest, TaskQueueRunsEverythingThenRejectsAfterShutdown) {
 TEST(ServerTest, HandleRequestMatchesDirectCompileColdAndWarm) {
   DaemonFixture D("cold_warm");
   for (const ablate::BenchKernel &K : ablate::benchKernels()) {
-    Request Req{{K.Name + ".c"}, K.Source};
+    Request Req{{K.Name + ".c"}, K.Source, ""};
     Response Direct = directCompile(Req.Args, Req.Source);
     // Cold: computes and populates both cache layers.
     Response Cold = D.Daemon.handleRequest(Req);
@@ -427,7 +436,7 @@ TEST(ServerTest, ConcurrentRequestsStayByteIdentical) {
     Pool.emplace_back([&] {
       for (unsigned R = 0; R < Rounds; ++R)
         for (size_t I = 0; I < Kernels.size(); ++I) {
-          Request Req{{Kernels[I].Name + ".c"}, Kernels[I].Source};
+          Request Req{{Kernels[I].Name + ".c"}, Kernels[I].Source, ""};
           Response Resp = D.Daemon.handleRequest(Req);
           if (Resp.Exit != Direct[I].Exit || Resp.Out != Direct[I].Out ||
               Resp.Err != Direct[I].Err)
@@ -461,14 +470,14 @@ TEST(ServerTest, InjectedServerFaultLeavesOtherRequestsByteIdentical) {
   Response FaultResp;
   std::thread Victim([&] {
     Request Req{{"-fault-inject=server:*:throw:1", "victim.c"},
-                Kernels[0].Source};
+                Kernels[0].Source, ""};
     FaultResp = D.Daemon.handleRequest(Req);
   });
   std::vector<std::thread> Others;
   for (unsigned T = 0; T < 4; ++T)
     Others.emplace_back([&] {
       for (size_t I = 0; I < Kernels.size(); ++I) {
-        Request Req{{Kernels[I].Name + ".c"}, Kernels[I].Source};
+        Request Req{{Kernels[I].Name + ".c"}, Kernels[I].Source, ""};
         Response Resp = D.Daemon.handleRequest(Req);
         if (Resp.Exit != Direct[I].Exit || Resp.Out != Direct[I].Out ||
             Resp.Err != Direct[I].Err)
@@ -491,7 +500,8 @@ TEST(ServerTest, InjectedSlowFaultOnlyDelaysItsOwnRequest) {
   const ablate::BenchKernel &K = ablate::benchKernels().front();
   Response Direct = directCompile({K.Name + ".c"}, K.Source);
 
-  Request Slow{{"-fault-inject=server:*:slow:1", K.Name + ".c"}, K.Source};
+  Request Slow{{"-fault-inject=server:*:slow:1", K.Name + ".c"}, K.Source,
+               ""};
   auto T0 = std::chrono::steady_clock::now();
   Response Resp = D.Daemon.handleRequest(Slow);
   double Millis = std::chrono::duration<double, std::milli>(
@@ -515,7 +525,7 @@ TEST(ServerTest, RequestCacheFlagIsOverriddenByTheDaemon) {
   std::remove(Hijack.c_str());
 
   const ablate::BenchKernel &K = ablate::benchKernels().front();
-  Request Req{{"-cache=" + Hijack, K.Name + ".c"}, K.Source};
+  Request Req{{"-cache=" + Hijack, K.Name + ".c"}, K.Source, ""};
   Response Resp = D.Daemon.handleRequest(Req);
   EXPECT_EQ(Resp.Exit, 0) << Resp.Err;
 
@@ -530,7 +540,8 @@ TEST(ServerTest, RequestCacheFlagIsOverriddenByTheDaemon) {
 
 TEST(ServerTest, ReplayFlagIsRejected) {
   DaemonFixture D("replay");
-  Request Req{{"-replay=crash.bundle", "k.c"}, "int main() { return 0; }"};
+  Request Req{{"-replay=crash.bundle", "k.c"}, "int main() { return 0; }",
+              ""};
   Response Resp = D.Daemon.handleRequest(Req);
   EXPECT_EQ(Resp.Exit, 2);
   EXPECT_NE(Resp.Err.find("-replay"), std::string::npos) << Resp.Err;
@@ -540,7 +551,7 @@ TEST(ServerTest, BadFlagsGetTheSharedDiagnostic) {
   // tcc, tcc-client, and the daemon share parseToolArgs; a flag typo
   // must produce the same located diagnostic everywhere.
   DaemonFixture D("badflag");
-  Request Req{{"-no-such-flag", "k.c"}, "int main() { return 0; }"};
+  Request Req{{"-no-such-flag", "k.c"}, "int main() { return 0; }", ""};
   Response Resp = D.Daemon.handleRequest(Req);
   EXPECT_EQ(Resp.Exit, 2);
   driver::ToolInvocation Inv;
@@ -616,7 +627,7 @@ TEST(ServerTest, EndToEndOverARealSocket) {
   std::thread Acceptor([&] { Daemon.run(); });
 
   const ablate::BenchKernel &K = ablate::benchKernels().front();
-  Request Req{{K.Name + ".c"}, K.Source};
+  Request Req{{K.Name + ".c"}, K.Source, ""};
   Response Direct = directCompile(Req.Args, Req.Source);
 
   // Two requests on one connection, then a fresh connection.
@@ -692,6 +703,547 @@ TEST(ServerTest, SecondDaemonOnALiveSocketFailsWithADiagnostic) {
   First.stop();
   Acceptor.join();
   std::remove(Socket.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Protocol: optional fields (request kind, busy hints)
+//===----------------------------------------------------------------------===//
+
+TEST(ServerTest, RequestKindRoundTripsAndCompileIsNotFramed) {
+  Request Ping;
+  Ping.Kind = "ping";
+  Request Out;
+  std::string Error;
+  ASSERT_TRUE(decodeRequest(encodeRequest(Ping), Out, Error)) << Error;
+  EXPECT_EQ(Out.Kind, "ping");
+
+  // "compile" is the wire default: spelling it out must produce a frame
+  // byte-identical to omitting it, so pre-kind daemons/clients interop.
+  Request Plain{{"k.c"}, "int main() { return 0; }", ""};
+  Request Spelled = Plain;
+  Spelled.Kind = "compile";
+  EXPECT_EQ(encodeRequest(Plain), encodeRequest(Spelled));
+
+  // A legacy payload (no kind field) decodes to the empty kind.
+  ASSERT_TRUE(decodeRequest(encodeRequest(Plain), Out, Error)) << Error;
+  EXPECT_TRUE(Out.Kind.empty());
+}
+
+TEST(ServerTest, RetryAfterHintRoundTripsAndDefaultsToAbsent) {
+  Response Busy;
+  Busy.Exit = BusyExit;
+  Busy.RetryAfterMs = 75;
+  Response Out;
+  std::string Error;
+  ASSERT_TRUE(decodeResponse(encodeResponse(Busy), Out, Error)) << Error;
+  EXPECT_EQ(Out.Exit, BusyExit);
+  EXPECT_EQ(Out.RetryAfterMs, 75);
+
+  // Ordinary responses never carry the hint, on the wire or decoded.
+  Response Ok;
+  Ok.Out = "fine\n";
+  EXPECT_EQ(encodeResponse(Ok).find("retryAfterMs"), std::string::npos);
+  ASSERT_TRUE(decodeResponse(encodeResponse(Ok), Out, Error)) << Error;
+  EXPECT_EQ(Out.RetryAfterMs, -1);
+}
+
+//===----------------------------------------------------------------------===//
+// Protocol: deadline framing (dribbled frames, mid-frame timeouts)
+//===----------------------------------------------------------------------===//
+
+TEST(ServerTest, DribbledFrameIsReassembledUnderDeadline) {
+  // A server writing the length prefix and payload one byte at a time
+  // must still produce a whole frame on the other side — the deadline
+  // bounds the frame, it does not require any single write to be large.
+  int Fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  const std::string Payload = "{\"exit\":0,\"stdout\":\"\",\"stderr\":\"\"}";
+  uint32_t N = static_cast<uint32_t>(Payload.size());
+  std::string Wire;
+  Wire.push_back(static_cast<char>(N & 0xFF));
+  Wire.push_back(static_cast<char>((N >> 8) & 0xFF));
+  Wire.push_back(static_cast<char>((N >> 16) & 0xFF));
+  Wire.push_back(static_cast<char>((N >> 24) & 0xFF));
+  Wire += Payload;
+
+  std::thread Dribbler([&] {
+    for (char C : Wire) {
+      ASSERT_EQ(::write(Fds[0], &C, 1), 1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  std::string Got, Error;
+  EXPECT_EQ(readFrameDeadline(Fds[1], Got, /*TimeoutMs=*/5000, Error),
+            FrameIO::Ok)
+      << Error;
+  EXPECT_EQ(Got, Payload);
+  Dribbler.join();
+  ::close(Fds[0]);
+  ::close(Fds[1]);
+}
+
+TEST(ServerTest, ReadDeadlineMidFrameNeverDecodesTruncatedPayload) {
+  // Half a frame arrives, then nothing: the deadline must fire (not
+  // hang), the error must say so, and the partial payload must be wiped
+  // — a truncated frame is poison, never data.
+  int Fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  unsigned char Hdr[4] = {100, 0, 0, 0}; // Claims 100 payload bytes.
+  ASSERT_EQ(::write(Fds[0], Hdr, 4), 4);
+  ASSERT_EQ(::write(Fds[0], "0123456789", 10), 10); // ...delivers 10.
+
+  std::string Got = "poison-sentinel", Error;
+  auto T0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(readFrameDeadline(Fds[1], Got, /*TimeoutMs=*/150, Error),
+            FrameIO::Timeout);
+  double Ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - T0)
+                  .count();
+  EXPECT_GE(Ms, 100.0);
+  EXPECT_LT(Ms, 2000.0) << "deadline did not bound the read";
+  EXPECT_TRUE(Got.empty()) << "truncated payload leaked to the caller";
+  EXPECT_NE(Error.find("deadline"), std::string::npos) << Error;
+  ::close(Fds[0]);
+  ::close(Fds[1]);
+}
+
+//===----------------------------------------------------------------------===//
+// Client: deadlines, failure classification, retry safety
+//===----------------------------------------------------------------------===//
+
+TEST(ServerTest, ConnectErrorsNameTheFailingPhase) {
+  Client Conn;
+  std::string Error;
+
+  // Path too long: rejected before any syscall, with the limit named.
+  EXPECT_FALSE(Conn.connect(std::string(300, 'x'), Error));
+  EXPECT_NE(Error.find("exceeds"), std::string::npos) << Error;
+  EXPECT_EQ(Conn.lastError(), TransportError::ConnectFailed);
+  EXPECT_FALSE(Conn.retrySafe());
+
+  // No socket file at all: the daemon-down hint, and retry-safe (the
+  // daemon may just not have started yet).
+  EXPECT_FALSE(
+      Conn.connect(testing::TempDir() + "/tcc_server_gone.sock", Error));
+  EXPECT_NE(Error.find("is tccd running?"), std::string::npos) << Error;
+  EXPECT_EQ(Conn.lastError(), TransportError::ConnectRefused);
+  EXPECT_TRUE(Conn.retrySafe());
+
+  // The mid-restart race: the socket *file* exists but nobody listens
+  // (a kill -9 leftover).  Must classify as refused + retry-safe, with
+  // the errno text present, not hang or mislabel.
+  std::string Stale = testing::TempDir() + "/tcc_server_stale_race.sock";
+  std::remove(Stale.c_str());
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(Fd, 0);
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  std::snprintf(Addr.sun_path, sizeof(Addr.sun_path), "%s", Stale.c_str());
+  ASSERT_EQ(::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)),
+            0);
+  ::close(Fd); // File stays; no listener.
+  EXPECT_FALSE(Conn.connect(Stale, Error));
+  EXPECT_EQ(Conn.lastError(), TransportError::ConnectRefused);
+  EXPECT_TRUE(Conn.retrySafe());
+  EXPECT_NE(Error.find(Stale), std::string::npos) << Error;
+  std::remove(Stale.c_str());
+}
+
+TEST(ServerTest, ClientDeadlineBoundsASilentServer) {
+  // A listener that accepts the connection into its backlog but never
+  // responds: the client must fail at its deadline, classified Timeout
+  // (NOT retry-safe — the server might be mid-compile).
+  std::string Socket = testing::TempDir() + "/tcc_server_silent.sock";
+  std::remove(Socket.c_str());
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(Fd, 0);
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  std::snprintf(Addr.sun_path, sizeof(Addr.sun_path), "%s", Socket.c_str());
+  ASSERT_EQ(::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)),
+            0);
+  ASSERT_EQ(::listen(Fd, 8), 0);
+
+  Client Conn(/*TimeoutMs=*/200);
+  std::string Error;
+  ASSERT_TRUE(Conn.connect(Socket, Error)) << Error;
+  Request Req{{"k.c"}, "int main() { return 0; }", ""};
+  Response Resp;
+  auto T0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(Conn.roundTrip(Req, Resp, Error));
+  double Ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - T0)
+                  .count();
+  EXPECT_EQ(Conn.lastError(), TransportError::Timeout);
+  EXPECT_FALSE(Conn.retrySafe());
+  EXPECT_GE(Ms, 150.0);
+  EXPECT_LT(Ms, 2000.0) << "client hung past its deadline";
+  ::close(Fd);
+  std::remove(Socket.c_str());
+}
+
+TEST(ServerTest, DaemonClosingBeforeReadingIsRetrySafeShutdown) {
+  // Satellite: EPIPE/ECONNRESET on the request write (or clean EOF on
+  // the response read) means the daemon hung up before processing —
+  // the "daemon shutting down" shape, marked retry-safe.
+  std::string Socket = testing::TempDir() + "/tcc_server_hangup.sock";
+  std::remove(Socket.c_str());
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(Fd, 0);
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  std::snprintf(Addr.sun_path, sizeof(Addr.sun_path), "%s", Socket.c_str());
+  ASSERT_EQ(::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)),
+            0);
+  ASSERT_EQ(::listen(Fd, 8), 0);
+  std::thread Hanger([&] {
+    int C = ::accept(Fd, nullptr, nullptr);
+    if (C >= 0)
+      ::close(C); // Hang up without reading a byte.
+  });
+
+  Client Conn;
+  std::string Error;
+  ASSERT_TRUE(Conn.connect(Socket, Error)) << Error;
+  Hanger.join();
+  // Large enough that the write cannot fully buffer before the close
+  // lands — either the write dies with EPIPE or the read sees EOF; both
+  // must classify as PeerClosed.
+  Request Req{{"k.c"}, std::string(1 << 20, 'x'), ""};
+  Response Resp;
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(Conn.roundTrip(Req, Resp, Error));
+  EXPECT_EQ(Conn.lastError(), TransportError::PeerClosed);
+  EXPECT_TRUE(Conn.retrySafe());
+  EXPECT_NE(Error.find("daemon"), std::string::npos) << Error;
+  ::close(Fd);
+  std::remove(Socket.c_str());
+}
+
+TEST(ServerTest, RetryRidesThroughADaemonRestart) {
+  // No daemon at first: every early attempt is a retry-safe refusal.
+  // The daemon comes up mid-budget and the same call must then succeed
+  // with a byte-identical response.
+  std::string Socket = testing::TempDir() + "/tcc_server_restart.sock";
+  std::remove(Socket.c_str());
+  const ablate::BenchKernel &K = ablate::benchKernels().front();
+  Response Direct = directCompile({K.Name + ".c"}, K.Source);
+
+  ServerOptions Opts;
+  Opts.SocketPath = Socket;
+  Opts.CacheFile = "";
+  Server Daemon(Opts);
+  std::thread LateStarter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    DiagnosticEngine Diags;
+    ASSERT_TRUE(Daemon.start(Diags)) << Diags.str();
+    Daemon.run();
+  });
+
+  Request Req{{K.Name + ".c"}, K.Source, ""};
+  ClientOptions Copts;
+  Copts.TimeoutMs = 5000;
+  Copts.Retries = 30;
+  Copts.RetryBudgetMs = 10000;
+  Response Resp;
+  std::string Error;
+  CallOutcome O = runRequestWithRetry(Socket, Req, Copts, Resp, Error);
+  EXPECT_TRUE(O.Ok) << Error;
+  EXPECT_GT(O.Attempts, 1u) << "daemon was late; one attempt cannot win";
+  EXPECT_EQ(Resp.Exit, Direct.Exit);
+  EXPECT_EQ(Resp.Out, Direct.Out);
+  EXPECT_EQ(Resp.Err, Direct.Err);
+
+  Daemon.stop();
+  LateStarter.join();
+  std::remove(Socket.c_str());
+}
+
+TEST(ServerTest, AcceptFaultDropsOneConnectionAndRetryRecovers) {
+  // The daemon-side `server-accept` site: the first connection is
+  // dropped before any response byte (a crash-at-admission), which the
+  // client sees as a clean retry-safe EOF; attempt two succeeds.
+  std::string Socket = testing::TempDir() + "/tcc_server_acceptfault.sock";
+  std::remove(Socket.c_str());
+  ServerOptions Opts;
+  Opts.SocketPath = Socket;
+  Opts.CacheFile = "";
+  Opts.FaultInject = "server-accept:*:throw:1";
+  Server Daemon(Opts);
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(Daemon.start(Diags)) << Diags.str();
+  std::thread Acceptor([&] { Daemon.run(); });
+
+  const ablate::BenchKernel &K = ablate::benchKernels().front();
+  Response Direct = directCompile({K.Name + ".c"}, K.Source);
+  Request Req{{K.Name + ".c"}, K.Source, ""};
+  ClientOptions Copts;
+  Copts.TimeoutMs = 10000;
+  Copts.Retries = 3;
+  Copts.RetryBudgetMs = 5000;
+  Response Resp;
+  std::string Error;
+  CallOutcome O = runRequestWithRetry(Socket, Req, Copts, Resp, Error);
+  EXPECT_TRUE(O.Ok) << Error;
+  EXPECT_EQ(O.Attempts, 2u);
+  EXPECT_EQ(Resp.Out, Direct.Out);
+  EXPECT_EQ(Daemon.stats().AcceptFaults, 1u);
+
+  Daemon.stop();
+  Acceptor.join();
+  std::remove(Socket.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Server: load shedding, deadlines, health, drain
+//===----------------------------------------------------------------------===//
+
+TEST(ServerTest, FullQueueShedsWithBusyResponseAndHint) {
+  std::string Socket = testing::TempDir() + "/tcc_server_shed.sock";
+  std::remove(Socket.c_str());
+  ServerOptions Opts;
+  Opts.SocketPath = Socket;
+  Opts.CacheFile = "";
+  Opts.Workers = 1;
+  Opts.MaxQueue = 1;
+  Opts.RequestDeadlineMs = 0;
+  Server Daemon(Opts);
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(Daemon.start(Diags)) << Diags.str();
+  std::thread Acceptor([&] { Daemon.run(); });
+
+  const ablate::BenchKernel &K = ablate::benchKernels().front();
+  // Occupy the only worker with a 500 ms slow-fault request.
+  std::thread Occupier([&] {
+    Request Slow{{"-fault-inject=server:*:slow:1", K.Name + ".c"},
+                 K.Source, ""};
+    Response Resp;
+    std::string Error;
+    EXPECT_TRUE(runRequest(Socket, Slow, Resp, Error)) << Error;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  // Fill the queue with an idle connection (it occupies the one slot).
+  Client Queued;
+  std::string Error;
+  ASSERT_TRUE(Queued.connect(Socket, Error)) << Error;
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // The next connection must be shed: a complete busy response with a
+  // retry hint, before any request bytes were read.
+  Client Shedded(/*TimeoutMs=*/5000);
+  ASSERT_TRUE(Shedded.connect(Socket, Error)) << Error;
+  Request Req{{K.Name + ".c"}, K.Source, ""};
+  Response Resp;
+  ASSERT_TRUE(Shedded.roundTrip(Req, Resp, Error)) << Error;
+  EXPECT_EQ(Resp.Exit, BusyExit);
+  EXPECT_GE(Resp.RetryAfterMs, 0);
+  EXPECT_NE(Resp.Err.find("busy"), std::string::npos) << Resp.Err;
+  EXPECT_EQ(Daemon.stats().Shed, 1u);
+
+  Queued.close();
+  Occupier.join();
+  Daemon.stop();
+  Acceptor.join();
+  std::remove(Socket.c_str());
+}
+
+TEST(ServerTest, StalledRequestIsDeadlineKilledWhileOthersStayIdentical) {
+  // The watchdog: a wedged (injected stall) request becomes an exit-2
+  // deadline error at RequestDeadlineMs, while a concurrent healthy
+  // request on another worker stays byte-identical.
+  std::string Socket = testing::TempDir() + "/tcc_server_deadline.sock";
+  std::remove(Socket.c_str());
+  ServerOptions Opts;
+  Opts.SocketPath = Socket;
+  Opts.CacheFile = freshCachePath("deadline");
+  Opts.Workers = 2;
+  Opts.RequestDeadlineMs = 300;
+  Server Daemon(Opts);
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(Daemon.start(Diags)) << Diags.str();
+  std::thread Acceptor([&] { Daemon.run(); });
+
+  const ablate::BenchKernel &K = ablate::benchKernels().front();
+  Response Direct = directCompile({K.Name + ".c"}, K.Source);
+
+  Response StallResp;
+  std::string StallError;
+  bool StallOk = false;
+  auto T0 = std::chrono::steady_clock::now();
+  std::thread Wedged([&] {
+    Request Stall{{"-fault-inject=server:*:stall:1", K.Name + ".c"},
+                  K.Source, ""};
+    StallOk = runRequest(Socket, Stall, StallResp, StallError);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  Request Req{{K.Name + ".c"}, K.Source, ""};
+  Response Resp;
+  std::string Error;
+  ASSERT_TRUE(runRequest(Socket, Req, Resp, Error)) << Error;
+  EXPECT_EQ(Resp.Exit, Direct.Exit);
+  EXPECT_EQ(Resp.Out, Direct.Out);
+  EXPECT_EQ(Resp.Err, Direct.Err);
+
+  Wedged.join();
+  double Ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - T0)
+                  .count();
+  EXPECT_TRUE(StallOk) << StallError;
+  EXPECT_EQ(StallResp.Exit, 2);
+  EXPECT_NE(StallResp.Err.find("deadline"), std::string::npos)
+      << StallResp.Err;
+  EXPECT_LT(Ms, 10000.0) << "watchdog did not fire";
+  EXPECT_EQ(Daemon.stats().DeadlineKilled, 1u);
+
+  Daemon.stop();
+  Acceptor.join();
+  Daemon.shutdown(); // Joins the cancelled zombie promptly.
+  std::remove(Socket.c_str());
+  std::remove(Opts.CacheFile.c_str());
+  std::remove((Opts.CacheFile + ".lock").c_str());
+}
+
+TEST(ServerTest, PingReturnsHealthJsonFromTheSharedAccessors) {
+  std::string Socket = testing::TempDir() + "/tcc_server_ping.sock";
+  std::remove(Socket.c_str());
+  ServerOptions Opts;
+  Opts.SocketPath = Socket;
+  Opts.CacheFile = "";
+  Server Daemon(Opts);
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(Daemon.start(Diags)) << Diags.str();
+  std::thread Acceptor([&] { Daemon.run(); });
+
+  // One compile first so the counters are nonzero.
+  const ablate::BenchKernel &K = ablate::benchKernels().front();
+  Request Compile{{K.Name + ".c"}, K.Source, ""};
+  Response CompileResp;
+  std::string Error;
+  ASSERT_TRUE(runRequest(Socket, Compile, CompileResp, Error)) << Error;
+
+  Request Ping;
+  Ping.Kind = "ping";
+  Response Resp;
+  ASSERT_TRUE(runRequest(Socket, Ping, Resp, Error)) << Error;
+  EXPECT_EQ(Resp.Exit, 0);
+  EXPECT_NE(Resp.Out.find("\"requests\":1"), std::string::npos) << Resp.Out;
+  EXPECT_NE(Resp.Out.find("\"hotEvictions\":"), std::string::npos);
+  EXPECT_NE(Resp.Out.find("\"draining\":false"), std::string::npos);
+  EXPECT_EQ(Daemon.stats().Pings, 1u);
+  // Pings are not compiles: the request counter must not inflate.
+  EXPECT_EQ(Daemon.stats().Requests, 1u);
+
+  // Satellite: the exit stats line and the health JSON report the
+  // hot-cache eviction count through one shared accessor — the numbers
+  // can never disagree.
+  uint64_t Evictions = Daemon.hotCache().stats().Evictions;
+  EXPECT_NE(Resp.Out.find("\"hotEvictions\":" + std::to_string(Evictions)),
+            std::string::npos);
+  EXPECT_NE(Daemon.statsLine().find(std::to_string(Evictions) +
+                                    " evictions"),
+            std::string::npos)
+      << Daemon.statsLine();
+
+  // Unknown kinds are rejected cleanly, not treated as compiles.
+  Request Bogus;
+  Bogus.Kind = "frobnicate";
+  ASSERT_TRUE(runRequest(Socket, Bogus, Resp, Error)) << Error;
+  EXPECT_EQ(Resp.Exit, 2);
+  EXPECT_NE(Resp.Err.find("unknown request kind"), std::string::npos);
+
+  Daemon.stop();
+  Acceptor.join();
+  std::remove(Socket.c_str());
+}
+
+TEST(ServerTest, DrainFinishesInFlightWorkAndRefusesNewConnections) {
+  std::string Socket = testing::TempDir() + "/tcc_server_drain.sock";
+  std::remove(Socket.c_str());
+  ServerOptions Opts;
+  Opts.SocketPath = Socket;
+  Opts.CacheFile = "";
+  Opts.Workers = 2;
+  Server Daemon(Opts);
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(Daemon.start(Diags)) << Diags.str();
+  std::thread Acceptor([&] { Daemon.run(); });
+
+  const ablate::BenchKernel &K = ablate::benchKernels().front();
+  // The daemon strips `server:` fault specs before compiling, so the
+  // reference is the plain compile: slow-but-identical is the contract.
+  Response Direct = directCompile({K.Name + ".c"}, K.Source);
+
+  // An idle connection (no request yet) — drain must hang it up.
+  Client Idle;
+  std::string Error;
+  ASSERT_TRUE(Idle.connect(Socket, Error)) << Error;
+
+  // An in-flight slow request — drain must let it finish, identically.
+  Response InFlightResp;
+  std::string InFlightError;
+  bool InFlightOk = false;
+  std::thread InFlight([&] {
+    Request Slow{{"-fault-inject=server:*:slow:1", K.Name + ".c"},
+                 K.Source, ""};
+    InFlightOk = runRequest(Socket, Slow, InFlightResp, InFlightError);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  Daemon.requestDrain();
+  Acceptor.join();
+  EXPECT_TRUE(Daemon.draining());
+
+  // The in-flight request completed byte-identically despite the drain.
+  InFlight.join();
+  EXPECT_TRUE(InFlightOk) << InFlightError;
+  EXPECT_EQ(InFlightResp.Exit, Direct.Exit);
+  EXPECT_EQ(InFlightResp.Out, Direct.Out);
+  EXPECT_EQ(InFlightResp.Err, Direct.Err);
+
+  // New connections are refused (the listener is gone).
+  Client Late;
+  EXPECT_FALSE(Late.connect(Socket, Error));
+  EXPECT_TRUE(Late.retrySafe()) << "a draining daemon will be back";
+
+  // The idle connection was hung up, not left dangling: a round trip on
+  // it fails as a retry-safe peer-close.
+  Daemon.shutdown();
+  Request Req{{K.Name + ".c"}, K.Source, ""};
+  Response Resp;
+  EXPECT_FALSE(Idle.roundTrip(Req, Resp, Error));
+  EXPECT_TRUE(Idle.retrySafe()) << Error;
+
+  std::remove(Socket.c_str());
+}
+
+TEST(ServerTest, TaskQueueReportsPendingAndActive) {
+  TaskQueue Queue(1);
+  std::mutex M;
+  std::condition_variable CV;
+  bool Release = false;
+
+  // Block the only worker, then pile up two more tasks.
+  ASSERT_TRUE(Queue.submit([&] {
+    std::unique_lock<std::mutex> Lock(M);
+    CV.wait(Lock, [&] { return Release; });
+  }));
+  for (int I = 0; I < 50 && Queue.active() == 0; ++I)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ASSERT_TRUE(Queue.submit([] {}));
+  ASSERT_TRUE(Queue.submit([] {}));
+
+  EXPECT_EQ(Queue.active(), 1u);
+  EXPECT_EQ(Queue.pending(), 2u);
+
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Release = true;
+  }
+  CV.notify_all();
+  Queue.shutdown();
+  EXPECT_EQ(Queue.active(), 0u);
+  EXPECT_EQ(Queue.pending(), 0u);
 }
 
 } // namespace
