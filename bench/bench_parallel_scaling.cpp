@@ -1,76 +1,199 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Experiment E7 (paper Sections 2 and 9): multiprocessor spreading.
-/// "Spreading loop iterations among multiple processors can provide
-/// significant speedups"; the Titan has up to four processors.  The
-/// daxpy strip loop is spread across P ∈ {1,2,3,4} processors.
+/// Experiment E7 (paper Sections 2 and 9): multiprocessor spreading,
+/// grown into a Livermore-style scaling suite.  Each kernel of
+/// ablate::parallelKernels() — hydro, inner product (reduction),
+/// tri-diagonal (the negative control), a 2-D stencil (outer spread +
+/// inner vectorize), and the loop-with-call pair — is compiled serial at
+/// P=1 and spread at P ∈ {2,3,4}, printing the speedup-vs-P curve and
+/// appending one row per (kernel, P) to BENCH_parallel.json.
+///
+/// Every parallel run's named-global memory is compared word-for-word
+/// against the serial run: `do parallel` marks change timing, never what
+/// the program computes.  Any divergence (or failed run) makes the
+/// binary exit nonzero, so CI can gate on it directly.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
 
+#include "ablate/Kernels.h"
+
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <vector>
 
 using namespace tcc;
 using namespace tcc::bench;
 
 namespace {
 
-const char *Source = R"(
-  float a[8192], b[8192], c[8192];
-  void titan_tic(void);
-  void titan_toc(void);
-  void main() {
-    int i;
-    for (i = 0; i < 8192; i++) { b[i] = i; c[i] = 1.5; }
-    titan_tic();
-    for (i = 0; i < 8192; i++)
-      a[i] = b[i] + 2.5 * c[i];
-    titan_toc();
-  }
-)";
-
-void printE7() {
-  printHeader("E7", "parallel spreading across 1-4 Titan processors "
-                    "(Sections 2, 9)");
-  titan::TitanConfig Base;
-  Measurement Serial = measure("vector, 1 processor", Source,
-                               driver::CompilerOptions::full(), Base);
-  printRow(Serial);
-  for (int P : {2, 3, 4}) {
-    titan::TitanConfig Cfg;
-    Cfg.NumProcessors = P;
-    Measurement M = measure("do parallel, " + std::to_string(P) +
-                                " processors",
-                            Source, driver::CompilerOptions::parallel(),
-                            Cfg);
-    printRow(M);
-    std::printf("    speedup vs 1 proc: %.2fx (ideal %.1fx)\n",
-                Serial.cycles() / M.cycles(), static_cast<double>(P));
-  }
-}
-
-void BM_ParallelScaling(benchmark::State &State) {
-  titan::TitanConfig Cfg;
-  Cfg.NumProcessors = static_cast<int>(State.range(0));
-  auto Opts = Cfg.NumProcessors > 1 ? driver::CompilerOptions::parallel()
+driver::CompilerOptions optionsFor(const ablate::ParallelKernel &K, int P) {
+  driver::CompilerOptions O = P > 1 ? driver::CompilerOptions::parallel(P)
                                     : driver::CompilerOptions::full();
+  if (K.DisableInline)
+    O.EnableInline = false;
+  return O;
+}
+
+titan::TitanConfig configFor(int P) {
+  titan::TitanConfig C;
+  C.NumProcessors = P;
+  return C;
+}
+
+struct KernelRun {
+  driver::RunOutcome Out;
+  Measurement M;
+  bool Ok = false;
+};
+
+KernelRun runKernel(const ablate::ParallelKernel &K, int P) {
+  KernelRun R;
+  R.M.Label = (P > 1 ? "spread, P=" : "serial, P=") + std::to_string(P);
+  R.M.Config = configFor(P);
+  R.Out = driver::compileAndRun(K.Source, optionsFor(K, P), R.M.Config);
+  if (!R.Out.Run.Ok) {
+    std::fprintf(stderr, "bench '%s' (P=%d) failed: %s\n", K.Name.c_str(), P,
+                 R.Out.Run.Error.c_str());
+    return R;
+  }
+  R.M.Run = R.Out.Run;
+  R.M.Stats = R.Out.Compile->Stats;
+  R.M.Telemetry = R.Out.Compile->Telemetry;
+  appendJsonRow(R.M); // the shared BENCH_pipeline.json record
+  R.Ok = true;
+  return R;
+}
+
+/// Word-for-word comparison of every named global between the serial and
+/// parallel runs; returns the number of diverging words.  Layouts are
+/// compared by (name, contents): the two builds may differ in vectorizer
+/// temporaries, so raw memory images are not comparable.
+unsigned divergingWords(const driver::RunOutcome &Ref,
+                        const driver::RunOutcome &Var) {
+  const titan::TitanProgram &RefP = Ref.Compile->Machine;
+  const titan::TitanProgram &VarP = Var.Compile->Machine;
+  std::vector<std::pair<std::string, int64_t>> Extents(
+      RefP.GlobalAddresses.begin(), RefP.GlobalAddresses.end());
+  std::sort(Extents.begin(), Extents.end(),
+            [](const auto &A, const auto &B) { return A.second < B.second; });
+  unsigned Diverging = 0;
+  for (size_t I = 0; I < Extents.size(); ++I) {
+    int64_t End =
+        (I + 1 < Extents.size()) ? Extents[I + 1].second : RefP.GlobalSize;
+    auto It = VarP.GlobalAddresses.find(Extents[I].first);
+    if (It == VarP.GlobalAddresses.end()) {
+      ++Diverging;
+      continue;
+    }
+    int64_t Words = (End - Extents[I].second) / 4;
+    for (int64_t W = 0; W < Words; ++W)
+      if (Ref.Machine->readInt(Extents[I].second + 4 * W) !=
+          Var.Machine->readInt(It->second + 4 * W))
+        ++Diverging;
+  }
+  return Diverging;
+}
+
+/// One BENCH_parallel.json row: everything a speedup-vs-P curve needs,
+/// reconstructible from the file alone (kernel, processors, scope,
+/// cycles/MFLOPS in that scope, and the speedup vs the P=1 row).
+void appendParallelRow(const std::string &Kernel, const Measurement &M,
+                       double Speedup) {
+  std::ostringstream OS;
+  json::JSONWriter W(OS, /*IndentWidth=*/0);
+  W.beginObject();
+  W.keyValue("kernel", Kernel);
+  W.keyValue("variant", M.Label);
+  W.keyValue("processors",
+             static_cast<int64_t>(M.Config.NumProcessors));
+  W.keyValue("region", M.region());
+  W.keyValue("cycles", M.cycles());
+  W.keyValue("mflops", M.mflops());
+  W.keyValue("speedup", Speedup);
+  W.endObject();
+  json::appendJsonLine("BENCH_parallel.json", OS.str());
+}
+
+/// Runs the whole suite; returns false on any failed run or memory
+/// divergence.  \p BestAtP4 reports the best P=4 speedup across kernels.
+bool runSuite(double &BestAtP4) {
+  printHeader("E7", "multiprocessor scaling suite: spread across 1-4 Titan "
+                    "processors (Sections 2, 9)");
+  bool Ok = true;
+  BestAtP4 = 0.0;
+  for (const ablate::ParallelKernel &K : ablate::parallelKernels()) {
+    setJsonKernel(K.Name);
+    std::printf("  -- %s%s\n", K.Name.c_str(),
+                K.DisableInline ? " (inlining disabled: call-safety path)"
+                                : "");
+    KernelRun Serial = runKernel(K, 1);
+    if (!Serial.Ok) {
+      Ok = false;
+      continue;
+    }
+    printRow(Serial.M);
+    appendParallelRow(K.Name, Serial.M, 1.0);
+    for (int P : {2, 3, 4}) {
+      KernelRun Par = runKernel(K, P);
+      if (!Par.Ok) {
+        Ok = false;
+        continue;
+      }
+      double Speedup = Serial.M.cycles() / Par.M.cycles();
+      unsigned Diverging = divergingWords(Serial.Out, Par.Out);
+      printRow(Par.M);
+      std::printf("    speedup vs 1 proc: %.2fx (ideal %.1fx)%s\n", Speedup,
+                  static_cast<double>(P),
+                  Diverging ? "  ** MEMORY DIVERGES **" : "");
+      if (Diverging) {
+        std::fprintf(stderr,
+                     "bench '%s' (P=%d): %u global words diverge from the "
+                     "serial run\n",
+                     K.Name.c_str(), P, Diverging);
+        Ok = false;
+      }
+      appendParallelRow(K.Name, Par.M, Speedup);
+      if (P == 4)
+        BestAtP4 = std::max(BestAtP4, Speedup);
+    }
+  }
+  std::printf("\n  best P=4 speedup across the suite: %.2fx\n", BestAtP4);
+  return Ok;
+}
+
+void BM_ParallelScaling(benchmark::State &State,
+                        const ablate::ParallelKernel *K) {
+  int P = static_cast<int>(State.range(0));
+  titan::TitanConfig Cfg = configFor(P);
+  driver::CompilerOptions Opts = optionsFor(*K, P);
   for (auto _ : State) {
-    auto Out = driver::compileAndRun(Source, Opts, Cfg);
+    auto Out = driver::compileAndRun(K->Source, Opts, Cfg);
     benchmark::DoNotOptimize(Out.Run.Cycles);
-    State.counters["sim_cycles"] = static_cast<double>(Out.Run.Cycles);
-    State.counters["sim_MFLOPS"] = Out.Run.mflops(Cfg);
+    uint64_t Cycles =
+        Out.Run.RegionCycles ? Out.Run.RegionCycles : Out.Run.Cycles;
+    State.counters["sim_cycles"] = static_cast<double>(Cycles);
+    State.counters["sim_MFLOPS"] = Out.Run.regionMflops(Cfg);
   }
 }
-BENCHMARK(BM_ParallelScaling)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
 
 } // namespace
 
 int main(int argc, char **argv) {
-  setJsonKernel("parallel_scaling");
-  printE7();
+  double BestAtP4 = 0.0;
+  bool Ok = runSuite(BestAtP4);
+
+  for (const ablate::ParallelKernel &K : ablate::parallelKernels())
+    benchmark::RegisterBenchmark(("BM_ParallelScaling/" + K.Name).c_str(),
+                                 BM_ParallelScaling, &K)
+        ->Arg(1)
+        ->Arg(2)
+        ->Arg(3)
+        ->Arg(4);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return Ok ? 0 : 1;
 }

@@ -4,7 +4,7 @@
 /// tcc-ablate — the ablation sweep driver: which pass buys what?
 ///
 ///   tcc-ablate [-mode=leave-one-out|prefix|custom] [-specs=S;S...]
-///              [-kernels=a,b] [-passes=BASE] [-j<N>] [-cache=STEM]
+///              [-kernels=a,b] [-passes=BASE] [-P n] [-j<N>] [-cache=STEM]
 ///              [-o FILE] [-pipeline-json=FILE] [-fault-inject=S] [-q]
 ///
 ///   -mode=M          leave-one-out (default): full pipeline, each pass
@@ -17,7 +17,11 @@
 ///   -specs=S;S...    custom mode cells, ';'-separated -passes= strings
 ///   -kernels=a,b     kernel subset (default: the whole bench suite)
 ///   -passes=BASE     the pass universe, comma-separated registered names
-///                    (default: the full default pipeline)
+///                    (default: the full default pipeline; with -P > 1 it
+///                    grows the "spread" pass so the sweep ablates it too)
+///   -P n             simulated processors (1-4): every cell compiles for
+///                    and runs on an n-processor Titan; invalid counts
+///                    are rejected, counts above the Titan's four clamp
 ///   -j<N>            worker threads over cells (-j0 = all hardware
 ///                    threads; default)
 ///   -cache=STEM      compile-cache manifest stem: each (kernel, spec)
@@ -40,6 +44,7 @@
 
 #include "ablate/Ablate.h"
 #include "ablate/Kernels.h"
+#include "titan/TitanMachine.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -54,7 +59,8 @@ void usage() {
   std::fprintf(
       stderr,
       "usage: tcc-ablate [-mode=leave-one-out|prefix|custom] [-specs=S;S...]\n"
-      "                  [-kernels=a,b] [-passes=BASE] [-j<N>] [-cache=STEM]\n"
+      "                  [-kernels=a,b] [-passes=BASE] [-P n] [-j<N>] "
+      "[-cache=STEM]\n"
       "                  [-o FILE] [-pipeline-json=FILE] [-fault-inject=S] "
       "[-q]\n"
       "                  [-depanalysis=reachdef|memssa]\n"
@@ -128,6 +134,21 @@ int main(int argc, char **argv) {
       Opts.Workers = static_cast<unsigned>(std::atoi(Arg.c_str() + 2));
     } else if (Arg == "-j" && I + 1 < argc) {
       Opts.Workers = static_cast<unsigned>(std::atoi(argv[++I]));
+    } else if (Arg == "-P" && I + 1 < argc) {
+      const char *Val = argv[++I];
+      char *End = nullptr;
+      long N = std::strtol(Val, &End, 10);
+      if (End == Val || *End != '\0' || N <= 0) {
+        std::fprintf(stderr,
+                     "tcc-ablate: invalid -P value '%s' (expected a "
+                     "processor count of at least 1)\n",
+                     Val);
+        usage();
+        return 2;
+      }
+      if (N > titan::TitanConfig::MaxProcessors)
+        N = titan::TitanConfig::MaxProcessors;
+      Opts.NumProcessors = static_cast<int>(N);
     } else if (Arg.rfind("-cache=", 0) == 0) {
       Opts.CacheFile = Arg.substr(std::strlen("-cache="));
     } else if (Arg == "-o" && I + 1 < argc) {

@@ -4,8 +4,8 @@
 /// tcc-fuzz — the differential fuzzing fleet driver.
 ///
 ///   tcc-fuzz [-seed=N] [-n=N] [-j<N>] [-variants=N] [-wild-orders]
-///            [-blocks=MIN:MAX] [-leaves=N] [-repro-dir=DIR] [-o FILE]
-///            [-fault-inject=S] [-no-reduce] [-q]
+///            [-p-differential] [-blocks=MIN:MAX] [-leaves=N]
+///            [-repro-dir=DIR] [-o FILE] [-fault-inject=S] [-no-reduce] [-q]
 ///   tcc-fuzz -gen=SEED              print the generated program and exit
 ///   tcc-fuzz -check=FILE [-variants=N] [-check-seed=N]
 ///                                   run one C file through the oracle
@@ -19,6 +19,9 @@
 ///   -wild-orders     sample arbitrary pass permutations, not just
 ///                    order-preserving subsequences of the registered
 ///                    pipeline (exploration mode; not the CI bar)
+///   -p-differential  re-run every sampled spec as `@P4:<spec>` (outer-
+///                    loop spreading armed at four processors) plus the
+///                    full parallel pipeline; memory must still match -O0
 ///   -blocks=MIN:MAX  compute blocks per generated program (default 2:5)
 ///   -leaves=N        max generated leaf functions (default 2)
 ///   -repro-dir=DIR   where finding bundles land (default .tcc-fuzz;
@@ -56,9 +59,9 @@ void usage() {
   std::fprintf(
       stderr,
       "usage: tcc-fuzz [-seed=N] [-n=N] [-j<N>] [-variants=N] [-wild-orders]\n"
-      "                [-blocks=MIN:MAX] [-leaves=N] [-repro-dir=DIR] [-o "
-      "FILE]\n"
-      "                [-fault-inject=S] [-no-reduce] [-q]\n"
+      "                [-p-differential] [-blocks=MIN:MAX] [-leaves=N]\n"
+      "                [-repro-dir=DIR] [-o FILE] [-fault-inject=S]\n"
+      "                [-no-reduce] [-q]\n"
       "       tcc-fuzz -gen=SEED    print the program for SEED and exit\n"
       "       tcc-fuzz -check=FILE  differential-check one C file\n");
 }
@@ -120,6 +123,8 @@ int main(int argc, char **argv) {
           std::atoi(Arg.c_str() + std::strlen("-variants=")));
     } else if (Arg == "-wild-orders") {
       Opts.Oracle.WildOrders = true;
+    } else if (Arg == "-p-differential") {
+      Opts.Oracle.PDifferential = true;
     } else if (Arg.rfind("-blocks=", 0) == 0) {
       unsigned Min = 0, Max = 0;
       if (std::sscanf(Arg.c_str() + std::strlen("-blocks="), "%u:%u", &Min,

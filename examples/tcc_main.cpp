@@ -9,7 +9,8 @@
 ///   -O1              scalar optimization
 ///   -O2              + vectorization (default)
 ///   -O3              + multiprocessor parallelization
-///   -P <n>           simulate n processors (1-4, default 1; implies -O3)
+///   -P <n>           simulate n processors (1-4, default 1; >4 clamps;
+///                    arms the spread pass and parallel strip loops)
 ///   -fno-inline      disable inlining
 ///   -ffortran-ptrs   pointer parameters never alias (paper Section 9)
 ///   -strip <n>       strip length for vector loops (default 32)

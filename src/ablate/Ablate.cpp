@@ -41,8 +41,14 @@ unsigned CellResult::missed(const std::string &Pass) const {
 
 namespace {
 
-std::vector<std::string> defaultBasePasses() {
-  return pipeline::splitSpec(driver::CompilerOptions::full().pipelineSpec());
+/// The default pass universe: the full pipeline, growing the spread pass
+/// when the sweep targets more than one processor (so -P sweeps ablate
+/// spreading like any other pass).
+std::vector<std::string> defaultBasePasses(int NumProcessors) {
+  driver::CompilerOptions Base =
+      NumProcessors > 1 ? driver::CompilerOptions::parallel(NumProcessors)
+                        : driver::CompilerOptions::full();
+  return pipeline::splitSpec(Base.pipelineSpec());
 }
 
 /// Every token must name a registered pass; duplicates within one spec
@@ -69,8 +75,9 @@ bool validateTokens(const std::vector<std::string> &Tokens,
 
 std::vector<SpecCell> ablate::enumerateSpecs(const AblateOptions &Opts,
                                              DiagnosticEngine &Diags) {
-  std::vector<std::string> Base =
-      Opts.BasePasses.empty() ? defaultBasePasses() : Opts.BasePasses;
+  std::vector<std::string> Base = Opts.BasePasses.empty()
+                                      ? defaultBasePasses(Opts.NumProcessors)
+                                      : Opts.BasePasses;
   if (!validateTokens(Base, "base pipeline", Diags))
     return {};
 
@@ -245,6 +252,7 @@ CellResult measureCell(const BenchKernel &Kernel, const SpecCell &Spec,
   Cell.Kernel = Kernel.Name;
   Cell.Spec = Spec;
   Cell.DepAnalysis = dep::depAnalysisKindName(Opts.DepAnalysis);
+  Cell.Processors = Opts.NumProcessors > 1 ? Opts.NumProcessors : 1;
 
   driver::CompilerOptions CO;
   if (Spec.Spec.empty())
@@ -253,13 +261,22 @@ CellResult measureCell(const BenchKernel &Kernel, const SpecCell &Spec,
   CO.FaultInject = Opts.FaultInject;
   CO.DepAnalysis = Opts.DepAnalysis;
   CO.ReproDir.clear(); // a sweep should not scatter reproducer bundles
+  // -P: the spec still decides *whether* spread/vectorize run; these
+  // options decide what they target when they do.  configFingerprint
+  // folds them in, so -P1 and -P4 sweeps never share cache entries.
+  if (Cell.Processors > 1) {
+    CO.Vectorize.EnableParallel = true;
+    CO.Spread.Processors = Cell.Processors;
+  }
+  titan::TitanConfig MachineConfig = Kernel.Config;
+  MachineConfig.NumProcessors = Cell.Processors;
   if (!Opts.CacheFile.empty())
     CO.CacheFile = Opts.CacheFile + "." + sanitizeForPath(Kernel.Name) + "." +
                    sanitizeForPath(Spec.Id.empty() ? "cell" : Spec.Id) + "." +
                    dep::depAnalysisKindName(Opts.DepAnalysis);
 
   try {
-    auto Out = driver::compileAndRun(Kernel.Source, CO, Kernel.Config);
+    auto Out = driver::compileAndRun(Kernel.Source, CO, MachineConfig);
     const auto &Telemetry = Out.Compile->Telemetry;
     Cell.CompileMillis = Telemetry.TotalMillis;
     Cell.ContainedFaults = Telemetry.Faults.size();
@@ -304,8 +321,9 @@ SweepResult ablate::runSweep(const AblateOptions &Opts,
   SweepResult R;
   auto Start = std::chrono::steady_clock::now();
 
-  std::vector<std::string> Base =
-      Opts.BasePasses.empty() ? defaultBasePasses() : Opts.BasePasses;
+  std::vector<std::string> Base = Opts.BasePasses.empty()
+                                      ? defaultBasePasses(Opts.NumProcessors)
+                                      : Opts.BasePasses;
   R.Specs = enumerateSpecs(Opts, Diags);
   if (Diags.hasErrors())
     return R;
@@ -463,6 +481,7 @@ std::string ablate::cellJsonRow(const CellResult &Cell) {
   W.keyValue("specId", Cell.Spec.Id);
   W.keyValue("spec", Cell.Spec.Spec);
   W.keyValue("depanalysis", Cell.DepAnalysis);
+  W.keyValue("processors", static_cast<int64_t>(Cell.Processors));
   if (!Cell.Spec.Ablated.empty())
     W.keyValue("ablated", Cell.Spec.Ablated);
   if (Cell.Spec.PrefixLen >= 0)

@@ -73,6 +73,8 @@ struct CellResult {
   SpecCell Spec;
   /// The dependence stack the cell compiled under ("reachdef"/"memssa").
   std::string DepAnalysis = "memssa";
+  /// Simulated processors the cell compiled for and ran on.
+  int Processors = 1;
   bool Ok = false;
   std::string Error; ///< Failed cells: the first diagnostic / run error.
   bool Region = false; ///< titan_tic/titan_toc region was marked.
@@ -134,6 +136,13 @@ struct AblateOptions {
   std::vector<std::string> Kernels;
   /// Custom mode: one -passes= spec string per cell.
   std::vector<std::string> CustomSpecs;
+  /// Simulated processor count (tcc-ablate -P): every cell compiles with
+  /// multiprocessor spreading targeting this many processors and runs on
+  /// a Titan configured with them.  1 (the default) is the uniprocessor
+  /// sweep; values are validated and clamped by the tool against
+  /// titan::TitanConfig::MaxProcessors.  When > 1 the default pass
+  /// universe grows the "spread" pass (CompilerOptions::parallel).
+  int NumProcessors = 1;
   /// Worker threads over cells; 0 = hardware concurrency.
   unsigned Workers = 0;
   /// Compile-cache manifest stem; each (kernel, spec) cell gets its own

@@ -162,7 +162,164 @@ const char *AliasingSource = R"(
   }
 )";
 
+//===----------------------------------------------------------------------===//
+// The multiprocessor scaling suite (Livermore-style)
+//===----------------------------------------------------------------------===//
+
+/// Livermore kernel 1 (hydro fragment): a dependence-free loop — the
+/// spread pass marks it, then vectorization strips it, so the strip loop
+/// carries the parallel mark and the speedup compounds with the vector
+/// win.
+const char *HydroSource = R"(
+  float x[1024], y[1024], z[1024];
+  void titan_tic(void);
+  void titan_toc(void);
+  void main() {
+    int k;
+    float q; float r; float t;
+    q = 0.5; r = 1.5; t = 0.25;
+    for (k = 0; k < 1024; k++) { y[k] = k; z[k] = 0.125 * k; }
+    titan_tic();
+    for (k = 0; k < 1000; k++)
+      x[k] = q + y[k] * (r * z[k + 10] + t * z[k + 11]);
+    titan_toc();
+  }
+)";
+
+/// Livermore kernel 3 (inner product): a sum reduction.  The vectorizer
+/// refuses (carried dependence on q); the spread pass recognizes the
+/// reduction idiom and spreads anyway — sequential functional execution
+/// keeps the answer bit-identical.
+const char *InnerprodSource = R"(
+  float z[2048], x[2048];
+  float out;
+  void titan_tic(void);
+  void titan_toc(void);
+  void main() {
+    int k;
+    float q;
+    for (k = 0; k < 2048; k++) { z[k] = 0.5; x[k] = 2.0; }
+    q = 0.0;
+    titan_tic();
+    for (k = 0; k < 2048; k++)
+      q = q + z[k] * x[k];
+    titan_toc();
+    out = q;
+  }
+)";
+
+/// Livermore kernel 5 (tri-diagonal elimination): a true recurrence —
+/// x[i] reads x[i-1].  Neither vectorization nor spreading is legal; the
+/// suite's negative control, expected to produce a missedParallel remark
+/// naming the x/x access pair.
+const char *TridiagSource = R"(
+  float x[2000], y[2000], z[2000];
+  float out;
+  void titan_tic(void);
+  void titan_toc(void);
+  void main() {
+    int i;
+    for (i = 0; i < 2000; i++) { x[i] = 0.0; y[i] = 1.0; z[i] = 0.5; }
+    x[0] = 1.0;
+    titan_tic();
+    for (i = 1; i < 2000; i++)
+      x[i] = z[i] * (y[i] - x[i - 1]);
+    titan_toc();
+    out = x[1999];
+  }
+)";
+
+/// A 2-D Jacobi-style stencil on a flattened 66x66 grid: the outer row
+/// loop spreads (rows are disjoint in the write footprint), the inner
+/// column loop vectorizes — the paper's "spread the outer, vectorize the
+/// inner" composition.
+const char *Stencil2dSource = R"(
+  float a[4356], b[4356];
+  void titan_tic(void);
+  void titan_toc(void);
+  void main() {
+    int i; int j;
+    for (i = 0; i < 4356; i++) { a[i] = 0.25 * i; b[i] = 0.0; }
+    titan_tic();
+    for (i = 1; i < 65; i++)
+      for (j = 1; j < 65; j++)
+        b[i * 66 + j] = 0.25 * (a[i * 66 + j - 66] + a[i * 66 + j + 66] +
+                                a[i * 66 + j - 1] + a[i * 66 + j + 1]);
+    titan_toc();
+  }
+)";
+
+/// The loop-with-call kernel: each iteration hands a disjoint 128-float
+/// slice to an out-of-line callee.  Compiled with inlining disabled so
+/// legality rests entirely on the interprocedural call-safety summary
+/// (dst writes [0,512) bytes of its first argument; slices are 512 bytes
+/// apart).
+const char *SpreadcallSource = R"(
+  float a[1024], b[1024];
+  void titan_tic(void);
+  void titan_toc(void);
+  void scale(float *dst, float *src, float s) {
+    int j;
+    for (j = 0; j < 128; j++)
+      dst[j] = s * src[j] + 1.0;
+  }
+  void main() {
+    int i;
+    for (i = 0; i < 1024; i++) { a[i] = 0.0; b[i] = 0.5 * i; }
+    titan_tic();
+    for (i = 0; i < 8; i++)
+      scale(&a[i * 128], &b[i * 128], 2.0);
+    titan_toc();
+  }
+)";
+
+/// The call-safety negative control: the callee updates a global
+/// accumulator, so its summary reports a global write and the spread
+/// pass must refuse the loop with a missedParallel remark naming the
+/// callee.
+const char *SpreadcallUnsafeSource = R"(
+  float a[1024];
+  float acc;
+  void titan_tic(void);
+  void titan_toc(void);
+  void bump(float *dst) {
+    int j;
+    acc = acc + 1.0;
+    for (j = 0; j < 128; j++)
+      dst[j] = acc + j;
+  }
+  void main() {
+    int i;
+    acc = 0.0;
+    for (i = 0; i < 1024; i++) a[i] = 0.0;
+    titan_tic();
+    for (i = 0; i < 8; i++)
+      bump(&a[i * 128]);
+    titan_toc();
+  }
+)";
+
 } // namespace
+
+const std::vector<ParallelKernel> &ablate::parallelKernels() {
+  static const std::vector<ParallelKernel> Kernels = {
+      {"hydro", HydroSource, /*DisableInline=*/false, /*ExpectSpread=*/true},
+      {"innerprod", InnerprodSource, false, true},
+      {"tridiag", TridiagSource, false, /*ExpectSpread=*/false},
+      {"stencil2d", Stencil2dSource, false, true},
+      {"spreadcall", SpreadcallSource, /*DisableInline=*/true, true},
+      {"spreadcall_unsafe", SpreadcallUnsafeSource, true,
+       /*ExpectSpread=*/false},
+  };
+  return Kernels;
+}
+
+const ParallelKernel *ablate::findParallelKernel(const std::string &Name) {
+  for (const ParallelKernel &K : parallelKernels())
+    if (K.Name == Name)
+      return &K;
+  return nullptr;
+}
 
 const std::vector<BenchKernel> &ablate::benchKernels() {
   static const std::vector<BenchKernel> Kernels = [] {

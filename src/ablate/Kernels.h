@@ -36,6 +36,30 @@ const BenchKernel *findKernel(const std::string &Name);
 /// "daxpy, backsolve, ..." for diagnostics.
 std::string kernelNamesJoined();
 
+/// One kernel of the Livermore-style multiprocessor scaling suite
+/// (bench_parallel_scaling and the spread tests): a complete C program
+/// with a titan_tic/titan_toc region, chosen to exercise one spread-pass
+/// behavior each (plain spread + vectorize, reduction, legality
+/// rejection, outer-spread/inner-vectorize nests, call-safety accept and
+/// reject).
+struct ParallelKernel {
+  std::string Name;
+  std::string Source;
+  /// Compile with inlining disabled: the kernel exists to exercise the
+  /// interprocedural call-safety summary, which inlining would bypass.
+  bool DisableInline = false;
+  /// Whether the spread pass is expected to mark the kernel's outer
+  /// measured loop `do parallel` (tests assert both polarities).
+  bool ExpectSpread = true;
+};
+
+/// The scaling suite: hydro, innerprod, tridiag, stencil2d, spreadcall,
+/// spreadcall_unsafe.
+const std::vector<ParallelKernel> &parallelKernels();
+
+/// Suite kernel by name; null when unknown.
+const ParallelKernel *findParallelKernel(const std::string &Name);
+
 } // namespace ablate
 } // namespace tcc
 

@@ -131,6 +131,10 @@ Lin2 evalLinear(Expr *E, const NestContext &Nest) {
     // &arr[e...]: the element's byte address.
     if (LV->getKind() == Expr::IndexKind)
       return evalIndexAddress(static_cast<IndexExpr *>(LV), Nest);
+    // &*(p + e): taking the address of a dereference is the address
+    // expression itself (lowering produces this for &p[i] on pointers).
+    if (LV->getKind() == Expr::DerefKind)
+      return evalLinear(static_cast<DerefExpr *>(LV)->getAddr(), Nest);
     return Lin2::invalid();
   }
   default:

@@ -31,6 +31,8 @@ std::string driver::configFingerprint(const CompilerOptions &Opts) {
   Add("vec.parallel", Opts.Vectorize.EnableParallel);
   Add("vec.strip", Opts.Vectorize.StripLength);
   Add("vec.fortranptr", Opts.Vectorize.FortranPointerSemantics);
+  Add("spread.procs", Opts.Spread.Processors);
+  Add("spread.barrier", Opts.Spread.BarrierCycles);
   Add("dep.analysis", static_cast<long long>(Opts.DepAnalysis));
   Add("dep.scalarrepl", Opts.EnableScalarReplacement);
   Add("dep.sched", Opts.EnableDepScheduling);
@@ -46,6 +48,7 @@ driver::makePipelineOptions(const CompilerOptions &Opts) {
   PipeOpts.IVSub = Opts.IVSub;
   PipeOpts.ConstProp = Opts.ConstProp;
   PipeOpts.Vectorize = Opts.Vectorize;
+  PipeOpts.Spread = Opts.Spread;
   PipeOpts.DepAnalysis = Opts.DepAnalysis;
   PipeOpts.EnableScalarReplacement = Opts.EnableScalarReplacement;
   PipeOpts.EnableDepScheduling = Opts.EnableDepScheduling;
@@ -93,6 +96,8 @@ std::string CompilerOptions::pipelineSpec() const {
     Add("constprop");
   if (EnableDCE)
     Add("dce");
+  if (Spread.Processors > 1)
+    Add("spread");
   if (EnableVectorize)
     Add("vectorize");
   if (EnableScalarReplacement || EnableDepScheduling ||

@@ -34,10 +34,12 @@
 #include "scalar/DeadCode.h"
 #include "depopt/DepOpt.h"
 #include "support/Diagnostics.h"
+#include "parallel/Spread.h"
 #include "titan/TitanISA.h"
 #include "titan/TitanMachine.h"
 #include "vector/Vectorize.h"
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -64,6 +66,12 @@ struct CompilerOptions {
   // Vectorization and parallelization (Sections 5 and 9).
   bool EnableVectorize = true;
   vec::VectorizeOptions Vectorize;
+
+  /// Outer-loop multiprocessor spreading (Section 9).  The pass joins
+  /// the default pipeline (between dce and vectorize) whenever
+  /// Spread.Processors > 1; its value fields are part of
+  /// configFingerprint.
+  par::SpreadOptions Spread;
 
   /// Which memory-dependence stack disambiguates different-base reference
   /// pairs (the -depanalysis= flag): the reachdef baseline or the
@@ -168,10 +176,14 @@ struct CompilerOptions {
   /// Full single-processor optimization.
   static CompilerOptions full() { return CompilerOptions(); }
 
-  /// Full optimization plus multiprocessor spreading.
-  static CompilerOptions parallel() {
+  /// Full optimization plus multiprocessor spreading: the vectorizer
+  /// marks its strip loops parallel and the spread pass takes outer
+  /// loops, targeting \p Processors (clamped to the Titan's maximum).
+  static CompilerOptions parallel(int Processors = 4) {
     CompilerOptions O;
     O.Vectorize.EnableParallel = true;
+    O.Spread.Processors =
+        std::min(std::max(Processors, 2), titan::TitanConfig::MaxProcessors);
     return O;
   }
 };

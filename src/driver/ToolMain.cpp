@@ -6,6 +6,7 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <ostream>
@@ -39,7 +40,7 @@ void writef(std::ostream &OS, const char *Fmt, ...) {
 std::string driver::toolUsage(const std::string &Tool) {
   std::string U;
   U += "usage: " + Tool +
-       " [-O0|-O1|-O2|-O3] [-P n] [-fno-inline] [-ffortran-ptrs]\n";
+       " [-O0|-O1|-O2|-O3] [-P 1..4] [-fno-inline] [-ffortran-ptrs]\n";
   const std::string Pad(std::strlen("usage: ") + Tool.size() + 1, ' ');
   U += Pad + "[-strip n] [-catalog=file] [-passes=spec] [-cache=file]\n";
   U += Pad + "[-depanalysis=reachdef|memssa]\n";
@@ -66,12 +67,29 @@ bool driver::parseToolArgs(const std::vector<std::string> &Args,
     } else if (Arg == "-O2") {
       Inv.Opts = CompilerOptions::full();
     } else if (Arg == "-O3") {
-      Inv.Opts = CompilerOptions::parallel();
       if (Inv.Machine.NumProcessors < 2)
         Inv.Machine.NumProcessors = 2;
+      Inv.Opts = CompilerOptions::parallel(Inv.Machine.NumProcessors);
     } else if (Arg == "-P" && I + 1 < Args.size()) {
-      Inv.Machine.NumProcessors = std::atoi(Args[++I].c_str());
-      Inv.Opts.Vectorize.EnableParallel = Inv.Machine.NumProcessors > 1;
+      const std::string &Val = Args[++I];
+      char *End = nullptr;
+      long N = std::strtol(Val.c_str(), &End, 10);
+      if (Val.empty() || End == Val.c_str() || *End != '\0') {
+        Error = "invalid -P value '" + Val + "' (expected an integer)";
+        return false;
+      }
+      if (N <= 0) {
+        Error = "invalid -P value '" + Val +
+                "' (processor count must be at least 1)";
+        return false;
+      }
+      // The Titan shipped with up to four processors; more than that is
+      // clamped rather than rejected so scripts can sweep -P freely.
+      if (N > titan::TitanConfig::MaxProcessors)
+        N = titan::TitanConfig::MaxProcessors;
+      Inv.Machine.NumProcessors = static_cast<int>(N);
+      Inv.Opts.Vectorize.EnableParallel = N > 1;
+      Inv.Opts.Spread.Processors = static_cast<int>(N);
     } else if (Arg == "-fno-inline") {
       Inv.Opts.EnableInline = false;
     } else if (Arg == "-ffortran-ptrs") {
@@ -230,6 +248,19 @@ int driver::runToolInvocation(const ToolInvocation &Inv,
     writef(Out, "dce:         %u assigns, %u empty controls, %u labels\n",
            S.DCE.AssignsRemoved, S.DCE.EmptyControlRemoved,
            S.DCE.LabelsRemoved);
+    if (Inv.Opts.Spread.Processors > 1)
+      writef(Out,
+             "spread:      %llu/%llu loops (%llu reductions); rejected "
+             "%llu dependence, %llu calls, %llu scalars, %llu structure, "
+             "%llu unprofitable\n",
+             static_cast<unsigned long long>(S.Spread.LoopsSpread),
+             static_cast<unsigned long long>(S.Spread.LoopsConsidered),
+             static_cast<unsigned long long>(S.Spread.Reductions),
+             static_cast<unsigned long long>(S.Spread.RejectedDependence),
+             static_cast<unsigned long long>(S.Spread.RejectedCalls),
+             static_cast<unsigned long long>(S.Spread.RejectedScalars),
+             static_cast<unsigned long long>(S.Spread.RejectedStructure),
+             static_cast<unsigned long long>(S.Spread.RejectedUnprofitable));
     writef(Out,
            "vectorize:   %u/%u loops, %u vector stmts, %u strip "
            "loops (%u parallel), %u serial\n",

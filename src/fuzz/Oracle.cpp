@@ -2,9 +2,11 @@
 
 #include "il/ILSerializer.h"
 #include "pipeline/PassRegistry.h"
+#include "titan/TitanMachine.h"
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 
 using namespace tcc;
 using namespace tcc::fuzz;
@@ -149,13 +151,40 @@ driver::CompilerOptions refOptions() {
 /// scheduling) stay identical to every other variant.
 void forceEmptyPipeline(driver::CompilerOptions &O) { O.Passes = "verify"; }
 
+/// Splits an optional `@P<k>:` processor prefix off a variant spec.
+/// Returns the pass-list remainder; \p Procs is 1 when there is no
+/// prefix (or it is malformed, in which case the spec passes through
+/// untouched and the driver reports the bad pass name).
+std::string splitProcPrefix(const std::string &Spec, int &Procs) {
+  Procs = 1;
+  if (Spec.rfind("@P", 0) != 0)
+    return Spec;
+  size_t Colon = Spec.find(':');
+  if (Colon == std::string::npos)
+    return Spec;
+  int N = std::atoi(Spec.substr(2, Colon - 2).c_str());
+  if (N < 1)
+    return Spec;
+  Procs = std::min(N, titan::TitanConfig::MaxProcessors);
+  return Spec.substr(Colon + 1);
+}
+
 } // namespace
 
 driver::CompilerOptions
 fuzz::oracleVariantOptions(const std::string &Spec, const OracleOptions &Opts) {
+  int Procs = 1;
+  std::string Passes = splitProcPrefix(Spec, Procs);
   driver::CompilerOptions O = driver::CompilerOptions::full();
-  O.Passes = Spec;
-  if (Spec.empty())
+  if (Procs > 1) {
+    // Processor-differential variant: same pass list, but spreading and
+    // parallel strip marks are live.  Functional memory must still match
+    // the -O0 reference — `do parallel` is a timing annotation.
+    O.Vectorize.EnableParallel = true;
+    O.Spread.Processors = Procs;
+  }
+  O.Passes = Passes;
+  if (Passes.empty())
     forceEmptyPipeline(O);
   O.VerifyEach = true; // verifier rejections are first-class findings
   O.SandboxPasses = true;
@@ -255,8 +284,21 @@ OracleResult fuzz::runOracle(const std::string &Source,
   }
   Out.RefOk = true;
 
-  for (const std::string &Spec :
-       sampleVariantSpecs(Opts.SampleSeed, Opts.Variants, Opts.WildOrders)) {
+  std::vector<std::string> Specs =
+      sampleVariantSpecs(Opts.SampleSeed, Opts.Variants, Opts.WildOrders);
+  if (Opts.PDifferential) {
+    // Processor differential: the full parallel pipeline at P=4, plus
+    // every sampled subsequence re-run with spreading live.  The sampled
+    // specs already draw "spread" from the registry; the prefix is what
+    // arms it (Spread.Processors > 1) and the vectorizer's strip marks.
+    std::vector<std::string> PSpecs;
+    PSpecs.push_back(
+        "@P4:" + driver::CompilerOptions::parallel(4).pipelineSpec());
+    for (size_t I = 1; I < Specs.size(); ++I)
+      PSpecs.push_back("@P4:" + Specs[I]);
+    Specs.insert(Specs.end(), PSpecs.begin(), PSpecs.end());
+  }
+  for (const std::string &Spec : Specs) {
     driver::RunOutcome Var =
         driver::compileAndRun(Source, oracleVariantOptions(Spec, Opts),
                               runConfig(Opts));
@@ -290,10 +332,15 @@ std::string fuzz::bisectCulprit(const std::string &Source,
                                 DivergenceClass Class,
                                 const OracleOptions &Opts,
                                 std::string *PrefixSpec) {
-  std::vector<std::string> Passes = pipeline::splitSpec(Spec);
+  int Procs = 1;
+  std::string Body = splitProcPrefix(Spec, Procs);
+  // A processor prefix rides along on every probed prefix so the culprit
+  // reproduces under the same spread configuration.
+  std::string Tag = Procs > 1 ? "@P" + std::to_string(Procs) + ":" : "";
+  std::vector<std::string> Passes = pipeline::splitSpec(Body);
   for (size_t Len = 0; Len <= Passes.size(); ++Len) {
     std::vector<std::string> Prefix(Passes.begin(), Passes.begin() + Len);
-    std::string PSpec = pipeline::joinSpec(Prefix);
+    std::string PSpec = Tag + pipeline::joinSpec(Prefix);
     VariantResult R = checkVariant(Source, PSpec, Opts);
     if (R.Class == Class && R.FaultPass != "reference") {
       if (PrefixSpec)
@@ -310,9 +357,15 @@ std::string fuzz::bisectCulprit(const std::string &Source,
 
 std::string fuzz::serializeProgramAfter(const std::string &Source,
                                         const std::string &Spec) {
+  int Procs = 1;
+  std::string Passes = splitProcPrefix(Spec, Procs);
   driver::CompilerOptions O = driver::CompilerOptions::full();
-  O.Passes = Spec;
-  if (Spec.empty())
+  if (Procs > 1) {
+    O.Vectorize.EnableParallel = true;
+    O.Spread.Processors = Procs;
+  }
+  O.Passes = Passes;
+  if (Passes.empty())
     forceEmptyPipeline(O);
   O.ReproDir.clear();
   std::unique_ptr<driver::CompileResult> R = driver::compileSource(Source, O);

@@ -75,6 +75,16 @@ struct OracleOptions {
   /// passes the program seed so program and variants pair up stably).
   uint64_t SampleSeed = 0;
 
+  /// Processor-differential mode: every sampled spec additionally runs
+  /// as `@P4:<spec>` — the same pass list with outer-loop spreading and
+  /// the vectorizer's parallel strip marks armed at four processors —
+  /// plus the full `parallel(4)` pipeline as its own variant.  The
+  /// machine contract makes processor count timing-only, so any memory
+  /// difference against the -O0 reference is a spread or parallel-
+  /// codegen miscompile.  The `@P<k>:` prefix flows through bundles,
+  /// replay, and bisection unchanged.
+  bool PDifferential = false;
+
   /// Forwarded into every optimized compile (-fault-inject= / -repro-dir=
   /// semantics); the -O0 reference never takes injection.
   std::string FaultInject;

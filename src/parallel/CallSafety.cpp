@@ -1,0 +1,323 @@
+#include "parallel/CallSafety.h"
+
+#include "analysis/CallGraph.h"
+#include "dependence/MemRef.h"
+
+#include <algorithm>
+#include <functional>
+
+using namespace tcc;
+using namespace tcc::il;
+using namespace tcc::par;
+
+void ParamWindow::cover(int64_t WLo, int64_t WHi) {
+  if (!Accessed) {
+    Accessed = true;
+    Bounded = true;
+    Lo = WLo;
+    Hi = WHi;
+    return;
+  }
+  if (!Bounded)
+    return;
+  Lo = std::min(Lo, WLo);
+  Hi = std::max(Hi, WHi);
+}
+
+void ParamWindow::unbounded() {
+  Accessed = true;
+  Bounded = false;
+}
+
+bool CalleeSummary::pure() const {
+  if (UnknownWrites || !GlobalWrites.empty())
+    return false;
+  for (const ParamWindow &W : ParamWrites)
+    if (W.Accessed)
+      return false;
+  return true;
+}
+
+namespace {
+
+/// The inclusive value range of a DO loop's index when the bounds are
+/// integer constants; false otherwise.  Over-approximates (uses the raw
+/// limit rather than the last value actually hit).
+bool indexRange(const DoLoopStmt *D, int64_t &Lo, int64_t &Hi) {
+  auto AsConst = [](const Expr *E, int64_t &V) {
+    if (E->getKind() != Expr::ConstIntKind)
+      return false;
+    V = static_cast<const ConstIntExpr *>(E)->getValue();
+    return true;
+  };
+  int64_t Init = 0, Limit = 0, Step = 0;
+  if (!AsConst(D->getInit(), Init) || !AsConst(D->getLimit(), Limit) ||
+      !AsConst(D->getStep(), Step) || Step == 0)
+    return false;
+  Lo = std::min(Init, Limit);
+  Hi = std::max(Init, Limit);
+  return true;
+}
+
+/// Byte interval [Lo, Hi) of a normalized address' variable part over its
+/// enclosing loop ranges: the invariant offset must be a constant and
+/// every index coefficient must range over a known loop.  \p Ranges maps
+/// index symbols to their inclusive value ranges.
+bool addrInterval(const dep::AddrForm &Addr, int64_t Size,
+                  const std::map<Symbol *, std::pair<int64_t, int64_t>> &Ranges,
+                  int64_t &Lo, int64_t &Hi) {
+  if (!Addr.Offset.Known || !Addr.Offset.isConstant())
+    return false;
+  Lo = Addr.Offset.C0;
+  Hi = Addr.Offset.C0 + Size;
+  for (const auto &[Sym, Coeff] : Addr.IdxCoeffs) {
+    if (Coeff == 0)
+      continue;
+    auto It = Ranges.find(Sym);
+    if (It == Ranges.end())
+      return false;
+    int64_t A = Coeff * It->second.first;
+    int64_t B = Coeff * It->second.second;
+    Lo += std::min(A, B);
+    Hi += std::max(A, B);
+  }
+  return true;
+}
+
+} // namespace
+
+CallSafetyAnalysis::CallSafetyAnalysis(const il::Program &P) {
+  analysis::CallGraph CG(P);
+  // Bottom-up: callees summarized before their callers, so composition
+  // only ever looks up finished summaries.  Functions in recursive
+  // cycles are summarized as unknown without inspecting their bodies.
+  for (const std::string &Name : CG.bottomUpOrder()) {
+    const Function *F = P.findFunction(Name);
+    if (!F)
+      continue;
+    summarize(*F, CG.isRecursive(Name));
+  }
+  // Functions unreachable from the call graph roots (bottomUpOrder covers
+  // everything with a body, but be safe for isolated functions).
+  for (const auto &FPtr : P.getFunctions())
+    if (!Summaries.count(FPtr->getName()))
+      summarize(*FPtr, CG.isRecursive(FPtr->getName()));
+}
+
+const CalleeSummary *
+CallSafetyAnalysis::summary(const std::string &Callee) const {
+  auto It = Summaries.find(Callee);
+  return It == Summaries.end() ? nullptr : &It->second;
+}
+
+void CallSafetyAnalysis::summarize(const il::Function &F, bool Recursive) {
+  CalleeSummary &S = Summaries[F.getName()];
+  S.HasBody = true;
+  S.Recursive = Recursive;
+  S.ParamReads.assign(F.getParams().size(), {});
+  S.ParamWrites.assign(F.getParams().size(), {});
+  if (Recursive) {
+    // Iteration-per-processor reasoning cannot bound a recursive callee's
+    // footprint; one summary marks the whole cycle unsafe.
+    S.UnknownWrites = true;
+    S.UnknownReads = true;
+    return;
+  }
+
+  std::map<Symbol *, size_t> ParamIndex;
+  for (size_t I = 0; I < F.getParams().size(); ++I)
+    ParamIndex[F.getParams()[I]] = I;
+
+  // The traversal only reads the IL; MemRef normalization takes mutable
+  // handles because its clients are transformation passes.
+  Function &MutF = const_cast<Function &>(F);
+
+  std::map<Symbol *, std::pair<int64_t, int64_t>> Ranges;
+
+  auto RecordRef = [&](const dep::MemRef &R) {
+    if (!R.Addr.Valid || R.Addr.Base.K == dep::BaseKey::Unknown) {
+      (R.IsWrite ? S.UnknownWrites : S.UnknownReads) = true;
+      return;
+    }
+    Symbol *Base = R.Addr.Base.Sym;
+    if (R.Addr.Base.K == dep::BaseKey::Array) {
+      if (Base && Base->isGlobal())
+        (R.IsWrite ? S.GlobalWrites : S.GlobalReads).insert(Base->getName());
+      // A local array is this invocation's private frame storage: calls
+      // from concurrent loop iterations each get their own copy.
+      return;
+    }
+    // Pointer base: only loop-invariant parameter pointers are tracked.
+    auto It = Base ? ParamIndex.find(Base) : ParamIndex.end();
+    if (It == ParamIndex.end()) {
+      (R.IsWrite ? S.UnknownWrites : S.UnknownReads) = true;
+      return;
+    }
+    ParamWindow &W =
+        (R.IsWrite ? S.ParamWrites : S.ParamReads)[It->second];
+    int64_t Lo = 0, Hi = 0;
+    if (addrInterval(R.Addr, R.Size, Ranges, Lo, Hi))
+      W.cover(Lo, Hi);
+    else
+      W.unbounded();
+  };
+
+  auto RecordScalarReads = [&](Expr *E) {
+    std::vector<VarRefExpr *> Refs;
+    collectVarRefs(E, Refs);
+    for (VarRefExpr *V : Refs)
+      if (V->getSymbol()->isGlobal())
+        S.GlobalReads.insert(V->getSymbol()->getName());
+  };
+
+  // Walk with the enclosing DO chain so references inside callee loops
+  // get index coefficients (and thus bounded windows) instead of falling
+  // to "unbounded" immediately.
+  std::vector<DoLoopStmt *> Chain;
+  auto NestHere = [&]() {
+    dep::NestContext Nest;
+    if (!Chain.empty())
+      Nest = dep::buildNestContext(
+          MutF, Chain.back(),
+          std::vector<DoLoopStmt *>(Chain.begin(), Chain.end() - 1));
+    return Nest;
+  };
+  // Memory accesses in a statement's own expressions: assignment sides,
+  // call arguments, If/While conditions, return values.  Everything but
+  // an assignment's store target is a read.
+  auto RecordStmtRefs = [&](Stmt *St) {
+    dep::NestContext Nest = NestHere();
+    for (const dep::MemRef &R : dep::collectMemRefs(St, Nest))
+      RecordRef(R);
+  };
+  std::function<void(Block &)> Walk = [&](Block &B) {
+    for (Stmt *St : B.Stmts) {
+      switch (St->getKind()) {
+      case Stmt::AssignKind: {
+        auto *A = static_cast<AssignStmt *>(St);
+        if (A->getLHS()->getKind() == Expr::VarRefKind) {
+          Symbol *Target =
+              static_cast<VarRefExpr *>(A->getLHS())->getSymbol();
+          if (Target->isGlobal())
+            S.GlobalWrites.insert(Target->getName());
+        }
+        RecordScalarReads(A->getRHS());
+        if (A->getLHS()->getKind() != Expr::VarRefKind)
+          RecordScalarReads(A->getLHS());
+        RecordStmtRefs(St);
+        break;
+      }
+      case Stmt::CallKind: {
+        auto *C = static_cast<CallStmt *>(St);
+        for (Expr *Arg : C->argSlots())
+          RecordScalarReads(Arg);
+        RecordStmtRefs(St);
+        const CalleeSummary *Callee = nullptr;
+        auto It = Summaries.find(C->getCallee());
+        if (It != Summaries.end())
+          Callee = &It->second;
+        if (!Callee || !Callee->HasBody || Callee->Recursive ||
+            Callee->UnknownWrites)
+          S.UnknownWrites = true;
+        if (!Callee || !Callee->HasBody || Callee->Recursive ||
+            Callee->UnknownReads)
+          S.UnknownReads = true;
+        if (!Callee || !Callee->HasBody || Callee->Recursive)
+          break;
+        S.GlobalWrites.insert(Callee->GlobalWrites.begin(),
+                              Callee->GlobalWrites.end());
+        S.GlobalReads.insert(Callee->GlobalReads.begin(),
+                             Callee->GlobalReads.end());
+        // Propagate the callee's parameter windows onto whatever this
+        // function passed at the site.
+        dep::NestContext Nest;
+        if (!Chain.empty())
+          Nest = dep::buildNestContext(
+              MutF, Chain.back(),
+              std::vector<DoLoopStmt *>(Chain.begin(), Chain.end() - 1));
+        size_t NArgs =
+            std::min(C->getArgs().size(), Callee->ParamWrites.size());
+        for (size_t K = 0; K < Callee->ParamWrites.size(); ++K) {
+          for (bool IsWrite : {false, true}) {
+            const ParamWindow &CW =
+                (IsWrite ? Callee->ParamWrites : Callee->ParamReads)[K];
+            if (!CW.Accessed)
+              continue;
+            bool *Unknown = IsWrite ? &S.UnknownWrites : &S.UnknownReads;
+            if (K >= NArgs) {
+              *Unknown = true;
+              continue;
+            }
+            dep::AddrForm Arg =
+                dep::normalizeAddress(C->argSlots()[K], Nest);
+            if (!Arg.Valid || Arg.Base.K == dep::BaseKey::Unknown) {
+              *Unknown = true;
+              continue;
+            }
+            if (Arg.Base.K == dep::BaseKey::Array) {
+              if (Arg.Base.Sym && Arg.Base.Sym->isGlobal())
+                (IsWrite ? S.GlobalWrites : S.GlobalReads)
+                    .insert(Arg.Base.Sym->getName());
+              continue; // local arrays: private frame storage
+            }
+            auto PIt = ParamIndex.find(Arg.Base.Sym);
+            if (PIt == ParamIndex.end()) {
+              *Unknown = true;
+              continue;
+            }
+            ParamWindow &W =
+                (IsWrite ? S.ParamWrites : S.ParamReads)[PIt->second];
+            int64_t Lo = 0, Hi = 0;
+            if (CW.Bounded &&
+                addrInterval(Arg, /*Size=*/0, Ranges, Lo, Hi))
+              W.cover(Lo + CW.Lo, Hi + CW.Hi);
+            else
+              W.unbounded();
+          }
+        }
+        break;
+      }
+      case Stmt::IfKind: {
+        auto *If = static_cast<IfStmt *>(St);
+        RecordScalarReads(If->getCond());
+        RecordStmtRefs(St);
+        Walk(If->getThen());
+        Walk(If->getElse());
+        break;
+      }
+      case Stmt::WhileKind: {
+        auto *W = static_cast<WhileStmt *>(St);
+        RecordScalarReads(W->getCond());
+        RecordStmtRefs(St);
+        Walk(W->getBody());
+        break;
+      }
+      case Stmt::DoLoopKind: {
+        auto *D = static_cast<DoLoopStmt *>(St);
+        int64_t Lo = 0, Hi = 0;
+        bool Known = indexRange(D, Lo, Hi);
+        if (Known)
+          Ranges[D->getIndexVar()] = {Lo, Hi};
+        else
+          Ranges.erase(D->getIndexVar());
+        Chain.push_back(D);
+        Walk(D->getBody());
+        Chain.pop_back();
+        break;
+      }
+      case Stmt::ReturnKind: {
+        auto *R = static_cast<ReturnStmt *>(St);
+        if (R->getValue()) {
+          RecordScalarReads(R->getValue());
+          RecordStmtRefs(St);
+        }
+        break;
+      }
+      case Stmt::LabelKind:
+      case Stmt::GotoKind:
+        break;
+      }
+    }
+  };
+  Walk(MutF.getBody());
+}

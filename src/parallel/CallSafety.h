@@ -1,0 +1,101 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interprocedural call-safety summaries for multiprocessor spreading
+/// (paper Section 9; DESIGN.md §12).
+///
+/// A loop that contains a call can only be spread across processors when
+/// every callee reachable from the body is provably safe to run once per
+/// iteration, concurrently: it must write only through pointer parameters
+/// whose per-call footprints the caller can prove disjoint across
+/// iterations, or write nothing at all.  This module computes, bottom-up
+/// over the program call graph (the ThreadRegions idea from the dg repo,
+/// reduced to the paper's structured-loop world), one summary per
+/// function:
+///
+///   - the sets of global symbols the function (transitively) reads and
+///     writes by name,
+///   - for each pointer parameter, a bounded byte window `[Lo, Hi)` of
+///     offsets the function may read / write through that parameter
+///     (composed transitively through calls that pass `param + const`),
+///   - whether anything escaped the analysis (writes through untracked
+///     pointers, calls to externs, recursion) — in which case the
+///     function is simply unsafe to spread around.
+///
+/// Summaries over-approximate: every reference syntactically present is
+/// counted regardless of control flow, so "safe" is a proof and "unsafe"
+/// is the default.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_PARALLEL_CALLSAFETY_H
+#define TCC_PARALLEL_CALLSAFETY_H
+
+#include "il/IL.h"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace tcc {
+namespace par {
+
+/// A bounded byte window of offsets accessed through one pointer
+/// parameter, relative to the pointer value passed at the call site.
+struct ParamWindow {
+  bool Accessed = false; ///< Any access through this parameter at all.
+  bool Bounded = false;  ///< The window below covers every access.
+  int64_t Lo = 0;        ///< Inclusive start (bytes).
+  int64_t Hi = 0;        ///< Exclusive end (bytes).
+
+  /// Grows the window to cover [WLo, WHi).
+  void cover(int64_t WLo, int64_t WHi);
+  /// Marks the parameter accessed with no provable bound.
+  void unbounded();
+};
+
+/// What one function may do to memory, transitively.
+struct CalleeSummary {
+  bool HasBody = false;   ///< Defined in this program (externs are not).
+  bool Recursive = false; ///< Participates in a call-graph cycle.
+  /// A write escaped the analysis: through a non-parameter pointer, an
+  /// unbounded parameter window on an untracked argument shape, or a
+  /// call to an extern / recursive function.
+  bool UnknownWrites = false;
+  /// A read escaped the analysis the same way.  Unknown reads block
+  /// spreading only when the loop writes anything at all.
+  bool UnknownReads = false;
+  std::set<std::string> GlobalWrites; ///< Global/static symbols stored to.
+  std::set<std::string> GlobalReads;  ///< Global/static symbols loaded.
+  /// Per-parameter windows, aligned with Function::getParams().  Scalar
+  /// (non-pointer) parameters keep Accessed=false.
+  std::vector<ParamWindow> ParamReads;
+  std::vector<ParamWindow> ParamWrites;
+
+  /// True when the function provably writes nothing: no global writes,
+  /// no parameter write windows, nothing unknown.
+  bool pure() const;
+};
+
+/// Bottom-up call-safety analysis over a whole program.  Construction
+/// computes every summary; lookups are by function name.
+class CallSafetyAnalysis {
+public:
+  explicit CallSafetyAnalysis(const il::Program &P);
+
+  /// The summary for \p Callee; null for names with no definition in the
+  /// program (externs — always unsafe).
+  const CalleeSummary *summary(const std::string &Callee) const;
+
+private:
+  void summarize(const il::Function &F, bool Recursive);
+
+  std::map<std::string, CalleeSummary> Summaries;
+};
+
+} // namespace par
+} // namespace tcc
+
+#endif // TCC_PARALLEL_CALLSAFETY_H

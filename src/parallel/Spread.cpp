@@ -1,0 +1,829 @@
+#include "parallel/Spread.h"
+
+#include "analysis/UseDef.h"
+#include "dependence/DependenceAnalysis.h"
+#include "dependence/MemRef.h"
+#include "parallel/CallSafety.h"
+#include "remarks/Remarks.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace tcc;
+using namespace tcc::il;
+using namespace tcc::par;
+
+namespace {
+
+using RemarkArgs = std::vector<std::pair<std::string, std::string>>;
+
+bool constOf(const Expr *E, int64_t &V) {
+  if (E->getKind() != Expr::ConstIntKind)
+    return false;
+  V = static_cast<const ConstIntExpr *>(E)->getValue();
+  return true;
+}
+
+/// One reference the legality test reasons about: a direct load/store
+/// from the body, or a synthetic window a callee may touch through a
+/// pointer argument.  The footprint at one iteration is
+/// `addr(Addr) + [ExtLo, ExtHi)` bytes.
+struct SRef {
+  dep::MemRef M;
+  int64_t ExtLo = 0;
+  int64_t ExtHi = 0;
+  bool Synthetic = false;
+  SourceLoc Loc;
+  std::string Desc;
+};
+
+/// Static per-trip cycle estimates against the Titan model — the same
+/// order of magnitude the paper's Section 9 profitability argument uses,
+/// not a precise schedule.
+constexpr int64_t AssignCost = 12;
+constexpr int64_t CallCost = 60;
+constexpr int64_t IfCost = 4;
+constexpr int64_t LoopOverheadCost = 6;
+constexpr int64_t UnknownTripGuess = 8;
+
+int64_t estimateBlock(const Block &B);
+
+int64_t estimateStmt(const Stmt *S) {
+  switch (S->getKind()) {
+  case Stmt::AssignKind:
+    return AssignCost;
+  case Stmt::CallKind:
+    return CallCost;
+  case Stmt::IfKind: {
+    auto *If = static_cast<const IfStmt *>(S);
+    return IfCost +
+           std::max(estimateBlock(If->getThen()), estimateBlock(If->getElse()));
+  }
+  case Stmt::DoLoopKind: {
+    auto *D = static_cast<const DoLoopStmt *>(S);
+    int64_t Init = 0, Limit = 0, Step = 0, Trip = UnknownTripGuess;
+    if (constOf(D->getInit(), Init) && constOf(D->getLimit(), Limit) &&
+        constOf(D->getStep(), Step) && Step != 0)
+      Trip = std::max<int64_t>(0, (Limit - Init) / Step + 1);
+    return LoopOverheadCost + Trip * estimateBlock(D->getBody());
+  }
+  case Stmt::WhileKind:
+    return LoopOverheadCost +
+           UnknownTripGuess *
+               estimateBlock(static_cast<const WhileStmt *>(S)->getBody());
+  default:
+    return 2;
+  }
+}
+
+int64_t estimateBlock(const Block &B) {
+  int64_t Sum = 0;
+  for (const Stmt *S : B.Stmts)
+    Sum += estimateStmt(S);
+  return Sum;
+}
+
+class SpreadDriver {
+public:
+  SpreadDriver(Function &F, const SpreadOptions &Opts)
+      : F(F), Opts(Opts),
+        AddressTaken(analysis::computeAddressTakenScalars(F)) {}
+
+  SpreadStats run() {
+    visitBlock(F.getBody(), {});
+    return Stats;
+  }
+
+private:
+  Function &F;
+  const SpreadOptions &Opts;
+  std::set<Symbol *> AddressTaken;
+  SpreadStats Stats;
+
+  //===--------------------------------------------------------------------===//
+  // Traversal: outermost loops first; a spread loop closes its nest.
+  //===--------------------------------------------------------------------===//
+
+  void visitBlock(Block &B, const std::vector<DoLoopStmt *> &Enclosing) {
+    for (Stmt *S : B.Stmts) {
+      switch (S->getKind()) {
+      case Stmt::IfKind: {
+        auto *If = static_cast<IfStmt *>(S);
+        visitBlock(If->getThen(), Enclosing);
+        visitBlock(If->getElse(), Enclosing);
+        break;
+      }
+      case Stmt::WhileKind:
+        visitBlock(static_cast<WhileStmt *>(S)->getBody(), Enclosing);
+        break;
+      case Stmt::DoLoopKind: {
+        auto *D = static_cast<DoLoopStmt *>(S);
+        if (D->isParallel())
+          break; // already a parallel region; nothing nested may join it
+        if (trySpread(D, Enclosing))
+          break; // one parallel region per nest
+        std::vector<DoLoopStmt *> Inner = Enclosing;
+        Inner.push_back(D);
+        visitBlock(D->getBody(), Inner);
+        break;
+      }
+      default:
+        break;
+      }
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Remarks
+  //===--------------------------------------------------------------------===//
+
+  void remarkMissed(DoLoopStmt *D, const std::string &Reason,
+                    RemarkArgs Args = {}) {
+    if (Opts.Remarks)
+      Opts.Remarks->missed("spread", D->getLoc(), "not spread: " + Reason,
+                           std::move(Args));
+  }
+
+  static RemarkArgs pairArgs(const std::string &Impl, const SRef &A,
+                             const SRef &B) {
+    return {{"impl", Impl},
+            {"refA", A.Desc},
+            {"kindA", dep::baseKindName(A.M)},
+            {"locA", A.Loc.str()},
+            {"refB", B.Desc},
+            {"kindB", dep::baseKindName(B.M)},
+            {"locB", B.Loc.str()}};
+  }
+
+  //===--------------------------------------------------------------------===//
+  // The per-loop attempt
+  //===--------------------------------------------------------------------===//
+
+  bool trySpread(DoLoopStmt *D, const std::vector<DoLoopStmt *> &Enclosing) {
+    if (Opts.Processors <= 1)
+      return false;
+    ++Stats.LoopsConsidered;
+
+    int64_t Step = 0;
+    if (!constOf(D->getStep(), Step) || Step == 0) {
+      ++Stats.RejectedStructure;
+      remarkMissed(D, "step is not a nonzero constant");
+      return false;
+    }
+    Symbol *Idx = D->getIndexVar();
+    if (Idx->isGlobal() || Idx->isVolatile() || AddressTaken.count(Idx)) {
+      ++Stats.RejectedStructure;
+      remarkMissed(D, "index variable '" + Idx->getName() +
+                          "' is shared (global, volatile, or address-taken)");
+      return false;
+    }
+
+    // Structure: the body must be straight structured code.  Irregular
+    // flow (goto/label), data-dependent While trips, and early returns
+    // have no per-iteration meaning under spreading.
+    bool Irregular = false, HasReturn = false;
+    forEachStmt(D->getBody(), [&](const Stmt *S) {
+      if (S->getKind() == Stmt::GotoKind || S->getKind() == Stmt::LabelKind ||
+          S->getKind() == Stmt::WhileKind)
+        Irregular = true;
+      if (S->getKind() == Stmt::ReturnKind)
+        HasReturn = true;
+    });
+    if (Irregular || HasReturn) {
+      ++Stats.RejectedStructure;
+      remarkMissed(D, HasReturn ? "body may return out of the loop"
+                                : "body has irregular control flow");
+      return false;
+    }
+
+    // Ranges of every index with constant bounds: the enclosing loops
+    // (fixed during one execution of D) and D's inner loops.
+    std::map<Symbol *, std::pair<int64_t, int64_t>> Ranges;
+    std::set<Symbol *> EnclosingIdx, InnerIdx;
+    auto NoteRange = [&Ranges](DoLoopStmt *L) {
+      int64_t Init = 0, Limit = 0, S = 0;
+      if (constOf(L->getInit(), Init) && constOf(L->getLimit(), Limit) &&
+          constOf(L->getStep(), S) && S != 0)
+        Ranges[L->getIndexVar()] = {std::min(Init, Limit),
+                                    std::max(Init, Limit)};
+    };
+    for (DoLoopStmt *E : Enclosing) {
+      EnclosingIdx.insert(E->getIndexVar());
+      NoteRange(E);
+    }
+    int64_t TripLo = 0, TripHi = 0;
+    bool TripKnown = false;
+    {
+      int64_t Init = 0, Limit = 0;
+      if (constOf(D->getInit(), Init) && constOf(D->getLimit(), Limit)) {
+        TripKnown = true;
+        TripLo = std::min(Init, Limit);
+        TripHi = std::max(Init, Limit);
+        Ranges[Idx] = {TripLo, TripHi};
+      }
+    }
+
+    // Collect: direct refs, synthetic callee windows, scalar touches.
+    std::vector<SRef> Refs;
+    bool UnknownCalleeReads = false;
+    std::set<std::string> CalleeGlobalReads;
+    std::string CallReject;          // first blocking call reason
+    SourceLoc CallRejectLoc;
+    std::map<Symbol *, std::vector<Stmt *>> Defs; // scalar -> def stmts
+    std::set<Symbol *> Touched;                   // scalar use or def seen
+    std::map<Symbol *, size_t> FirstTouch;        // visit ordinal
+    std::set<Symbol *> Uncovered; // touched outside any DO defining it
+    std::map<Stmt *, size_t> Ord;
+    size_t NextOrd = 0;
+    bool Volatile = false;
+
+    std::vector<DoLoopStmt *> InnerChain;
+    std::function<void(Block &)> Collect = [&](Block &B) {
+      for (Stmt *St : B.Stmts) {
+        Ord[St] = NextOrd++;
+        // A touch of symbol S is "covered" when it sits inside (or at the
+        // header of) an inner DO loop whose index is S: such touches only
+        // ever see the header's same-iteration definition, so the index
+        // is effectively private however deep the nest.  A header whose
+        // own bounds read S (`do k = k, ...`) does not cover it.
+        auto CoveredTouch = [&](Symbol *S) {
+          for (DoLoopStmt *L : InnerChain)
+            if (L->getIndexVar() == S)
+              return true;
+          if (St->getKind() == Stmt::DoLoopKind &&
+              static_cast<DoLoopStmt *>(St)->getIndexVar() == S) {
+            auto U = analysis::usedScalars(St);
+            return std::find(U.begin(), U.end(), S) == U.end();
+          }
+          return false;
+        };
+        for (Symbol *S : analysis::usedScalars(St)) {
+          Touched.insert(S);
+          FirstTouch.emplace(S, Ord[St]);
+          if (!CoveredTouch(S))
+            Uncovered.insert(S);
+          if (S->isVolatile())
+            Volatile = true;
+        }
+        for (Symbol *S : analysis::strongDefs(St)) {
+          Touched.insert(S);
+          FirstTouch.emplace(S, Ord[St]);
+          Defs[S].push_back(St);
+          if (!CoveredTouch(S))
+            Uncovered.insert(S);
+          if (S->isVolatile())
+            Volatile = true;
+        }
+
+        // The nest context for this statement: every DO from the
+        // function's outermost down to the statement's innermost.
+        auto NestFor = [&]() {
+          std::vector<DoLoopStmt *> Chain = Enclosing;
+          Chain.push_back(D);
+          Chain.insert(Chain.end(), InnerChain.begin(), InnerChain.end());
+          DoLoopStmt *Innermost = Chain.back();
+          Chain.pop_back();
+          return dep::buildNestContext(F, Innermost, Chain);
+        };
+
+        // Memory accesses in this statement's own expressions (assignment
+        // sides, If conditions, call arguments); everything but a store
+        // target comes back as a read.
+        auto CollectStmtRefs = [&]() {
+          dep::NestContext Nest = NestFor();
+          for (const dep::MemRef &R : dep::collectMemRefs(St, Nest)) {
+            SRef Ref;
+            Ref.M = R;
+            Ref.ExtLo = 0;
+            Ref.ExtHi = R.Size;
+            Ref.Loc = St->getLoc();
+            Ref.Desc = R.Addr.Valid && R.Addr.Base.Sym
+                           ? R.Addr.Base.Sym->getName()
+                           : "<unknown>";
+            if (R.Addr.Valid && R.Addr.Base.Sym &&
+                R.Addr.Base.Sym->isVolatile())
+              Volatile = true;
+            Refs.push_back(std::move(Ref));
+          }
+        };
+
+        switch (St->getKind()) {
+        case Stmt::AssignKind: {
+          auto *A = static_cast<AssignStmt *>(St);
+          if (exprReadsVolatile(A->getRHS()) || exprReadsVolatile(A->getLHS()))
+            Volatile = true;
+          CollectStmtRefs();
+          break;
+        }
+        case Stmt::CallKind: {
+          auto *C = static_cast<CallStmt *>(St);
+          CollectStmtRefs(); // loads inside argument expressions
+          collectCall(C, NestFor(), Refs, UnknownCalleeReads,
+                      CalleeGlobalReads, CallReject, CallRejectLoc);
+          break;
+        }
+        case Stmt::IfKind: {
+          auto *If = static_cast<IfStmt *>(St);
+          if (exprReadsVolatile(If->getCond()))
+            Volatile = true;
+          CollectStmtRefs(); // loads in the condition
+          Collect(If->getThen());
+          Collect(If->getElse());
+          break;
+        }
+        case Stmt::DoLoopKind: {
+          auto *L = static_cast<DoLoopStmt *>(St);
+          NoteRange(L);
+          InnerIdx.insert(L->getIndexVar());
+          InnerChain.push_back(L);
+          Collect(L->getBody());
+          InnerChain.pop_back();
+          break;
+        }
+        default:
+          break;
+        }
+      }
+    };
+    Collect(D->getBody());
+
+    if (Volatile) {
+      ++Stats.RejectedStructure;
+      remarkMissed(D, "body accesses volatile storage");
+      return false;
+    }
+    if (Defs.count(Idx)) {
+      ++Stats.RejectedStructure;
+      remarkMissed(D, "body reassigns the loop index '" + Idx->getName() +
+                          "'");
+      return false;
+    }
+    if (!CallReject.empty()) {
+      ++Stats.RejectedCalls;
+      remarkMissed(D, CallReject, {{"loc", CallRejectLoc.str()}});
+      return false;
+    }
+
+    bool AnyWrite = std::any_of(Refs.begin(), Refs.end(),
+                                [](const SRef &R) { return R.M.IsWrite; });
+    if (UnknownCalleeReads && AnyWrite) {
+      ++Stats.RejectedCalls;
+      remarkMissed(D, "a callee reads through unanalyzable pointers while "
+                      "the loop writes memory");
+      return false;
+    }
+    if (!CalleeGlobalReads.empty()) {
+      for (const SRef &R : Refs) {
+        if (!R.M.IsWrite || !R.M.Addr.Valid || !R.M.Addr.Base.Sym)
+          continue;
+        if (R.M.Addr.Base.Sym->isGlobal() &&
+            CalleeGlobalReads.count(R.M.Addr.Base.Sym->getName())) {
+          ++Stats.RejectedCalls;
+          remarkMissed(D, "iterations write '" +
+                              R.M.Addr.Base.Sym->getName() +
+                              "', which a callee reads");
+          return false;
+        }
+      }
+      for (const auto &[Sym, Stmts] : Defs)
+        if (Sym->isGlobal() && CalleeGlobalReads.count(Sym->getName())) {
+          ++Stats.RejectedCalls;
+          remarkMissed(D, "iterations write '" + Sym->getName() +
+                              "', which a callee reads");
+          return false;
+        }
+    }
+
+    // Scalars: every scalar the body assigns must be privatizable (each
+    // iteration writes it before reading) or a recognized reduction.
+    uint64_t Reductions = 0;
+    for (const auto &[Sym, DefStmts] : Defs) {
+      if (AddressTaken.count(Sym)) {
+        ++Stats.RejectedScalars;
+        remarkMissed(D, "scalar '" + Sym->getName() +
+                            "' is address-taken and assigned in the loop");
+        return false;
+      }
+      if (InnerIdx.count(Sym) && !Uncovered.count(Sym))
+        continue; // index lives entirely inside its own DO subtree
+      if (!Sym->isGlobal() && privatizable(Sym, D, Ord, FirstTouch))
+        continue;
+      if (isReduction(Sym, DefStmts, D)) {
+        ++Reductions;
+        if (Opts.Remarks)
+          Opts.Remarks->note("spread", DefStmts.front()->getLoc(),
+                             "reduction on '" + Sym->getName() +
+                                 "' recognized");
+        continue;
+      }
+      ++Stats.RejectedScalars;
+      remarkMissed(D, "scalar '" + Sym->getName() +
+                          "' carries a value across iterations");
+      return false;
+    }
+    // Address-taken scalars merely *read* in the body can still be the
+    // target of an untracked pointer write; the ref pair tests below see
+    // pointer writes but not the scalar, so refuse the combination.
+    if (AnyWrite)
+      for (Symbol *S : Touched)
+        if (AddressTaken.count(S)) {
+          bool PointerWrite = std::any_of(
+              Refs.begin(), Refs.end(), [](const SRef &R) {
+                return R.M.IsWrite &&
+                       (!R.M.Addr.Valid ||
+                        R.M.Addr.Base.K != dep::BaseKey::Array);
+              });
+          if (PointerWrite) {
+            ++Stats.RejectedScalars;
+            remarkMissed(D, "address-taken scalar '" + S->getName() +
+                                "' may alias a pointer store in the body");
+            return false;
+          }
+        }
+
+    // Memory legality: every (write, any) pair — including a write
+    // against itself in another iteration — must be disjoint across
+    // iterations.
+    if (!D->hasSafeVectorPragma()) {
+      for (const SRef &R : Refs) {
+        if (R.M.Addr.Valid && R.M.Addr.Base.K != dep::BaseKey::Unknown)
+          continue;
+        if (R.M.IsWrite || AnyWrite) {
+          ++Stats.RejectedDependence;
+          remarkMissed(D,
+                       "unanalyzable " +
+                           std::string(R.M.IsWrite ? "store" : "load") +
+                           " at " + R.Loc.str(),
+                       {{"refA", R.Desc}, {"locA", R.Loc.str()}});
+          return false;
+        }
+      }
+      for (size_t I = 0; I < Refs.size(); ++I) {
+        for (size_t J = I; J < Refs.size(); ++J) {
+          const SRef &A = Refs[I], &B = Refs[J];
+          if (!A.M.IsWrite && !B.M.IsWrite)
+            continue;
+          if (I == J && !A.M.IsWrite)
+            continue;
+          if (!A.M.Addr.Valid || !B.M.Addr.Valid)
+            continue; // handled above (read-only loop)
+          std::string Impl;
+          if (!pairDisjoint(A, B, D, Step, Ranges, EnclosingIdx, TripKnown,
+                            Impl)) {
+            ++Stats.RejectedDependence;
+            remarkMissed(D,
+                         "loop-carried dependence between '" + A.Desc +
+                             "' and '" + B.Desc + "'",
+                         pairArgs(Impl, A, B));
+            return false;
+          }
+        }
+      }
+    }
+
+    // Profitability against the Titan model: enough chunks to feed every
+    // processor, and enough work per trip that the parallel win
+    // (Est·Trip·(P-1)/P cycles) beats the PAREND barrier.
+    int64_t Trip =
+        TripKnown ? std::max<int64_t>(
+                        0, (TripHi - TripLo) / std::max<int64_t>(
+                                                   1, Step > 0 ? Step : -Step) +
+                               1)
+                  : UnknownTripGuess;
+    if (TripKnown && Trip < Opts.Processors) {
+      ++Stats.RejectedUnprofitable;
+      remarkMissed(D, "trip count " + std::to_string(Trip) +
+                          " is below the processor count " +
+                          std::to_string(Opts.Processors));
+      return false;
+    }
+    int64_t Est = estimateBlock(D->getBody());
+    int64_t Saved = Est * Trip * (Opts.Processors - 1) / Opts.Processors;
+    if (Saved <= Opts.BarrierCycles) {
+      ++Stats.RejectedUnprofitable;
+      remarkMissed(D, "estimated win " + std::to_string(Saved) +
+                          " cycles does not amortize the " +
+                          std::to_string(Opts.BarrierCycles) +
+                          "-cycle barrier");
+      return false;
+    }
+
+    D->setParallel(true);
+    ++Stats.LoopsSpread;
+    Stats.Reductions += Reductions;
+    if (Opts.Remarks)
+      Opts.Remarks->applied(
+          "spread", D->getLoc(),
+          "loop spread across " + std::to_string(Opts.Processors) +
+              " processors" +
+              (TripKnown ? " (trip " + std::to_string(Trip) + ")" : ""));
+    return true;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Calls
+  //===--------------------------------------------------------------------===//
+
+  void collectCall(CallStmt *C, const dep::NestContext &Nest,
+                   std::vector<SRef> &Refs, bool &UnknownCalleeReads,
+                   std::set<std::string> &CalleeGlobalReads,
+                   std::string &CallReject, SourceLoc &CallRejectLoc) {
+    if (!CallReject.empty())
+      return;
+    auto Reject = [&](const std::string &Why) {
+      CallReject = "call to '" + C->getCallee() + "' blocks spreading: " + Why;
+      CallRejectLoc = C->getLoc();
+    };
+    const CalleeSummary *Sum =
+        Opts.CallSafety ? Opts.CallSafety->summary(C->getCallee()) : nullptr;
+    if (!Sum || !Sum->HasBody)
+      return Reject("no body to analyze (extern)");
+    if (Sum->Recursive)
+      return Reject("callee is recursive");
+    if (Sum->UnknownWrites)
+      return Reject("callee writes through unanalyzable pointers");
+    if (!Sum->GlobalWrites.empty())
+      return Reject("callee writes global '" + *Sum->GlobalWrites.begin() +
+                    "'");
+    if (Sum->UnknownReads)
+      UnknownCalleeReads = true;
+    CalleeGlobalReads.insert(Sum->GlobalReads.begin(),
+                             Sum->GlobalReads.end());
+
+    for (size_t K = 0; K < Sum->ParamWrites.size(); ++K) {
+      for (bool IsWrite : {true, false}) {
+        const ParamWindow &W =
+            (IsWrite ? Sum->ParamWrites : Sum->ParamReads)[K];
+        if (!W.Accessed)
+          continue;
+        if (K >= C->getArgs().size()) {
+          if (IsWrite)
+            return Reject("argument count mismatch");
+          UnknownCalleeReads = true;
+          continue;
+        }
+        if (!W.Bounded) {
+          if (IsWrite)
+            return Reject("unbounded writes through parameter " +
+                          std::to_string(K));
+          UnknownCalleeReads = true;
+          continue;
+        }
+        dep::AddrForm Addr = dep::normalizeAddress(C->argSlots()[K], Nest);
+        if (!Addr.Valid || Addr.Base.K == dep::BaseKey::Unknown) {
+          if (IsWrite)
+            return Reject("unanalyzable pointer argument " +
+                          std::to_string(K));
+          UnknownCalleeReads = true;
+          continue;
+        }
+        SRef Ref;
+        Ref.M.S = C;
+        Ref.M.IsWrite = IsWrite;
+        Ref.M.Size = 0; // extent carried by the window below
+        Ref.M.Addr = Addr;
+        Ref.ExtLo = W.Lo;
+        Ref.ExtHi = W.Hi;
+        Ref.Synthetic = true;
+        Ref.Loc = C->getLoc();
+        Ref.Desc = C->getCallee() + "(" +
+                   (Addr.Base.Sym ? Addr.Base.Sym->getName() : "?") + ")";
+        Refs.push_back(std::move(Ref));
+      }
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Scalars
+  //===--------------------------------------------------------------------===//
+
+  /// A scalar is privatizable when the first statement (in collection
+  /// order) that touches it is a top-level statement of \p D's body that
+  /// strongly defines it without using it: every iteration then writes
+  /// its own copy before any read.
+  bool privatizable(Symbol *Sym, DoLoopStmt *D,
+                    const std::map<Stmt *, size_t> &Ord,
+                    const std::map<Symbol *, size_t> &FirstTouch) {
+    auto FT = FirstTouch.find(Sym);
+    if (FT == FirstTouch.end())
+      return false;
+    for (Stmt *Top : D->getBody().Stmts) {
+      auto It = Ord.find(Top);
+      if (It == Ord.end() || It->second != FT->second)
+        continue;
+      auto SD = analysis::strongDefs(Top);
+      if (std::find(SD.begin(), SD.end(), Sym) == SD.end())
+        return false;
+      auto Used = analysis::usedScalars(Top);
+      return std::find(Used.begin(), Used.end(), Sym) == Used.end();
+    }
+    return false; // first touch is nested inside an If or inner loop
+  }
+
+  /// `s = s op e` (or `s = e op s` for commutative op) as the loop's only
+  /// touch of `s`: a spreadable reduction (each processor accumulates a
+  /// partial; the simulator's sequential execution keeps the exact
+  /// sequential result).
+  bool isReduction(Symbol *Sym, const std::vector<Stmt *> &DefStmts,
+                   DoLoopStmt *D) {
+    if (Sym->isVolatile() || DefStmts.size() != 1)
+      return false;
+    Stmt *T = DefStmts.front();
+    if (std::find(D->getBody().Stmts.begin(), D->getBody().Stmts.end(), T) ==
+        D->getBody().Stmts.end())
+      return false; // conditional or nested update
+    if (T->getKind() != Stmt::AssignKind)
+      return false;
+    auto *A = static_cast<AssignStmt *>(T);
+    if (A->getLHS()->getKind() != Expr::VarRefKind ||
+        static_cast<VarRefExpr *>(A->getLHS())->getSymbol() != Sym)
+      return false;
+    if (A->getRHS()->getKind() != Expr::BinaryKind)
+      return false;
+    auto *Bin = static_cast<BinaryExpr *>(A->getRHS());
+    OpCode Op = Bin->getOp();
+    bool Commutative = Op == OpCode::Add || Op == OpCode::Mul ||
+                       Op == OpCode::Min || Op == OpCode::Max;
+    if (!Commutative && Op != OpCode::Sub)
+      return false;
+    auto UsesSym = [&](Expr *E) {
+      std::vector<VarRefExpr *> VR;
+      collectVarRefs(E, VR);
+      size_t N = 0;
+      for (VarRefExpr *V : VR)
+        if (V->getSymbol() == Sym)
+          ++N;
+      return N;
+    };
+    Expr *L = Bin->getLHS(), *R = Bin->getRHS();
+    bool LIsSym = L->getKind() == Expr::VarRefKind &&
+                  static_cast<VarRefExpr *>(L)->getSymbol() == Sym;
+    bool RIsSym = R->getKind() == Expr::VarRefKind &&
+                  static_cast<VarRefExpr *>(R)->getSymbol() == Sym;
+    if (LIsSym && UsesSym(R) == 0)
+      ; // s = s op e
+    else if (RIsSym && Commutative && UsesSym(L) == 0)
+      ; // s = e op s
+    else
+      return false;
+    // The update must be the scalar's only appearance in the whole body.
+    size_t Uses = 0;
+    forEachStmt(D->getBody(), [&](Stmt *S) {
+      for (Symbol *U : analysis::usedScalars(S))
+        if (U == Sym)
+          ++Uses;
+    });
+    return Uses == 1;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // The footprint-interval dependence test
+  //===--------------------------------------------------------------------===//
+
+  /// Interval of `Coeff · sym` over \p Ranges; false when unknown.
+  static bool coeffInterval(
+      int64_t Coeff, Symbol *Sym,
+      const std::map<Symbol *, std::pair<int64_t, int64_t>> &Ranges,
+      int64_t &Lo, int64_t &Hi) {
+    if (Coeff == 0) {
+      Lo = Hi = 0;
+      return true;
+    }
+    auto It = Ranges.find(Sym);
+    if (It == Ranges.end())
+      return false;
+    int64_t A = Coeff * It->second.first;
+    int64_t B = Coeff * It->second.second;
+    Lo = std::min(A, B);
+    Hi = std::max(A, B);
+    return true;
+  }
+
+  /// Absolute byte interval of one ref's footprint over the whole
+  /// iteration space (every index ranged); false when not computable.
+  static bool
+  absInterval(const SRef &R,
+              const std::map<Symbol *, std::pair<int64_t, int64_t>> &Ranges,
+              int64_t &Lo, int64_t &Hi) {
+    if (!R.M.Addr.Offset.Known || !R.M.Addr.Offset.isConstant())
+      return false;
+    Lo = R.M.Addr.Offset.C0 + R.ExtLo;
+    Hi = R.M.Addr.Offset.C0 + R.ExtHi;
+    for (const auto &[Sym, Coeff] : R.M.Addr.IdxCoeffs) {
+      int64_t CLo = 0, CHi = 0;
+      if (!coeffInterval(Coeff, Sym, Ranges, CLo, CHi))
+        return false;
+      Lo += CLo;
+      Hi += CHi;
+    }
+    return true;
+  }
+
+  /// Can \p A (in iteration k1) and \p B (in iteration k2 != k1) of \p D
+  /// ever touch a common byte?  Returns true when provably not.
+  ///
+  /// Same-base pairs use interval arithmetic on the normalized address
+  /// difference Δ = G·m + V (G = index coefficient times step, m = k1-k2,
+  /// V the interval of everything else): the footprints are disjoint for
+  /// all |m| >= 1 when |G| >= max(Hi*-Vlo, Vhi-Lo*) against the extent
+  /// window (Lo*, Hi*).  Note dep::testRefs is NOT reusable here: it
+  /// cancels equal coefficients of non-tested indices, which is unsound
+  /// across outer-loop iterations where inner indices differ.
+  bool pairDisjoint(
+      const SRef &A, const SRef &B, DoLoopStmt *D, int64_t Step,
+      const std::map<Symbol *, std::pair<int64_t, int64_t>> &Ranges,
+      const std::set<Symbol *> &EnclosingIdx, bool TripKnown,
+      std::string &Impl) {
+    Symbol *Idx = D->getIndexVar();
+    bool SameBase = A.M.Addr.Base == B.M.Addr.Base &&
+                    A.M.Addr.Base.K != dep::BaseKey::Unknown;
+    if (!SameBase) {
+      // Different bases: the facade answers (points-to through MemorySSA
+      // when selected).  Synthetic refs have no Site for the graph to
+      // resolve, so they take the conservative baseline rules.
+      dep::AliasContext Ctx;
+      Ctx.FortranPointerSemantics = Opts.FortranPointerSemantics;
+      Ctx.SafeVectorPragma = D->hasSafeVectorPragma();
+      dep::AliasVerdict V;
+      if (A.Synthetic || B.Synthetic || !Opts.DepAnalysis) {
+        V = dep::reachDefAlias(A.M, B.M, Ctx);
+        Impl = "reachdef";
+      } else {
+        V = Opts.DepAnalysis->alias(A.M, B.M, Ctx);
+        Impl = Opts.DepAnalysis->implName();
+      }
+      return V == dep::AliasVerdict::NoAlias;
+    }
+
+    Impl = "footprint";
+    int64_t GA = A.M.Addr.coeffOf(Idx) * Step;
+    int64_t GB = B.M.Addr.coeffOf(Idx) * Step;
+
+    if (GA != GB) {
+      // Unequal strides: fall back to whole-footprint disjointness over
+      // the full iteration space (needs every range, including D's).
+      int64_t ALo = 0, AHi = 0, BLo = 0, BHi = 0;
+      if (!TripKnown || !absInterval(A, Ranges, ALo, AHi) ||
+          !absInterval(B, Ranges, BLo, BHi))
+        return false;
+      return AHi <= BLo || BHi <= ALo;
+    }
+
+    // Equal strides: bound V = Off_A - Off_B + enclosing + inner terms.
+    scalar::LinExpr Diff = A.M.Addr.Offset.sub(B.M.Addr.Offset);
+    if (!Diff.Known || !Diff.isConstant())
+      return false;
+    int64_t VLo = Diff.C0, VHi = Diff.C0;
+    std::set<Symbol *> Syms;
+    for (const auto &[S, C] : A.M.Addr.IdxCoeffs)
+      Syms.insert(S);
+    for (const auto &[S, C] : B.M.Addr.IdxCoeffs)
+      Syms.insert(S);
+    for (Symbol *S : Syms) {
+      if (S == Idx)
+        continue;
+      int64_t CA = A.M.Addr.coeffOf(S);
+      int64_t CB = B.M.Addr.coeffOf(S);
+      if (EnclosingIdx.count(S)) {
+        // Fixed (same value for both refs) during one execution of D:
+        // equal coefficients cancel exactly; otherwise range the
+        // difference over the enclosing loop's bounds.
+        int64_t Lo = 0, Hi = 0;
+        if (!coeffInterval(CA - CB, S, Ranges, Lo, Hi))
+          return false;
+        VLo += Lo;
+        VHi += Hi;
+      } else {
+        // An inner loop's index takes its values independently in the
+        // two iterations: no cancellation, even for the same symbol.
+        int64_t Lo = 0, Hi = 0;
+        if (!coeffInterval(CA, S, Ranges, Lo, Hi))
+          return false;
+        VLo += Lo;
+        VHi += Hi;
+        if (!coeffInterval(-CB, S, Ranges, Lo, Hi))
+          return false;
+        VLo += Lo;
+        VHi += Hi;
+      }
+    }
+
+    // Footprints overlap iff Δ ∈ (Lo*, Hi*).
+    int64_t LoStar = B.ExtLo - A.ExtHi;
+    int64_t HiStar = B.ExtHi - A.ExtLo;
+    if (GA == 0)
+      return VHi <= LoStar || VLo >= HiStar;
+    int64_t G = GA > 0 ? GA : -GA;
+    return G >= std::max(HiStar - VLo, VHi - LoStar);
+  }
+};
+
+} // namespace
+
+SpreadStats par::spreadFunction(il::Function &F, const SpreadOptions &Opts) {
+  return SpreadDriver(F, Opts).run();
+}

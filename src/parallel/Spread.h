@@ -1,0 +1,91 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Outer-loop multiprocessor spreading (paper Section 9; DESIGN.md §12).
+///
+/// The paper: "spreading loop iterations among multiple processors can
+/// provide significant speedups".  This pass marks outer DO loops
+/// `do parallel` — the mark the code generator turns into a
+/// PARBEGIN(chunks)/PAREND region that the simulated Titan divides among
+/// its processors at BarrierCycles of join cost — when spreading is
+///
+///   legal:       no loop-carried memory dependence between iterations
+///                (a footprint-interval test over normalized addresses,
+///                plus the DependenceAnalysis facade for different-base
+///                pairs), every assigned scalar privatizable or a
+///                recognized reduction, and every callee covered by a
+///                [[CallSafetyAnalysis]] summary proving its writes
+///                disjoint across iterations;
+///
+///   profitable:  enough iterations to feed the processors and enough
+///                work per trip to amortize the barrier, from a static
+///                cost estimate against the TitanMachine model.
+///
+/// Loops that fail get a `missedParallel` remark carrying the blocking
+/// reason — for dependence rejections, the access pair — mirroring the
+/// vectorizer's missed-vectorize payloads.  Spreading composes with
+/// vectorization: this pass runs first and takes the outermost legal
+/// loop; the vectorizer then vectorizes inner loops without adding a
+/// nested parallel mark (nested PARBEGIN regions would double-count the
+/// speedup in the simulator).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TCC_PARALLEL_SPREAD_H
+#define TCC_PARALLEL_SPREAD_H
+
+#include "il/IL.h"
+
+#include <cstdint>
+
+namespace tcc {
+namespace dep {
+class DependenceAnalysis;
+} // namespace dep
+namespace remarks {
+class RemarkCollector;
+} // namespace remarks
+
+namespace par {
+
+class CallSafetyAnalysis;
+
+/// Configuration for the spread pass.  The value fields participate in
+/// the compile-cache configFingerprint; the pointers are wired by the
+/// pass wrapper per compilation.
+struct SpreadOptions {
+  /// Effective processor count to spread for.  <= 1 disables the pass.
+  int Processors = 1;
+  /// Modeled cost of the PAREND join, for the profitability estimate.
+  /// Mirrors titan::TitanConfig::BarrierCycles.
+  int64_t BarrierCycles = 60;
+  /// The `-fortran-pointers` promise: distinct pointer parameters never
+  /// overlap (forwarded into the alias context).
+  bool FortranPointerSemantics = false;
+
+  remarks::RemarkCollector *Remarks = nullptr;       ///< May be null.
+  dep::DependenceAnalysis *DepAnalysis = nullptr;    ///< Required.
+  const CallSafetyAnalysis *CallSafety = nullptr;    ///< Required.
+};
+
+/// What the pass did to one function (accumulated per module).
+struct SpreadStats {
+  uint64_t LoopsConsidered = 0;
+  uint64_t LoopsSpread = 0;
+  uint64_t Reductions = 0;            ///< Reduction scalars recognized.
+  uint64_t RejectedDependence = 0;    ///< Loop-carried memory dependence.
+  uint64_t RejectedCalls = 0;         ///< Unsafe / unknown callee.
+  uint64_t RejectedScalars = 0;       ///< Non-privatizable scalar.
+  uint64_t RejectedStructure = 0;     ///< Irregular flow, bad bounds.
+  uint64_t RejectedUnprofitable = 0;  ///< Cost model said no.
+};
+
+/// Marks spreadable outer loops in \p F `do parallel`.  Once a loop is
+/// spread, loops nested inside it are not considered (one parallel
+/// region per nest).
+SpreadStats spreadFunction(il::Function &F, const SpreadOptions &Opts);
+
+} // namespace par
+} // namespace tcc
+
+#endif // TCC_PARALLEL_SPREAD_H

@@ -28,6 +28,7 @@
 #include "depopt/DepOpt.h"
 #include "il/IL.h"
 #include "inliner/Inliner.h"
+#include "parallel/Spread.h"
 #include "remarks/Remarks.h"
 #include "scalar/ConstProp.h"
 #include "scalar/DeadCode.h"
@@ -96,6 +97,7 @@ struct PipelineOptions {
 
   // Vectorization and parallelization (Sections 5 and 9).
   vec::VectorizeOptions Vectorize;
+  par::SpreadOptions Spread;
 
   /// Which memory-dependence stack disambiguates different-base pairs in
   /// the vectorizer and depopt (`-depanalysis=`): the reachdef baseline
@@ -118,6 +120,7 @@ struct PipelineStats {
   scalar::ConstPropStats ConstProp;
   scalar::DCEStats DCE;
   vec::VectorizeStats Vectorize;
+  par::SpreadStats Spread;
   depopt::ScalarReplaceStats ScalarReplace;
   depopt::StrengthReduceStats StrengthReduce;
 };

@@ -16,6 +16,7 @@ PassRegistry &PassRegistry::instance() {
     Reg.registerPass("ivsub", createIVSubPass);
     Reg.registerPass("constprop", createConstPropPass);
     Reg.registerPass("dce", createDCEPass);
+    Reg.registerPass("spread", createSpreadPass);
     Reg.registerPass("vectorize", createVectorizePass);
     Reg.registerPass("depopt", createDepOptPass);
     Reg.registerPass("verify", createVerifyPass);

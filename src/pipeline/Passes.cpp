@@ -1,6 +1,7 @@
 #include "pipeline/Passes.h"
 
 #include "dependence/DependenceGraph.h"
+#include "parallel/CallSafety.h"
 #include "pipeline/AnalysisContext.h"
 #include "pipeline/ILVerifier.h"
 
@@ -210,6 +211,78 @@ public:
 };
 
 //===----------------------------------------------------------------------===//
+// spread
+//===----------------------------------------------------------------------===//
+
+/// Module pass: the call-safety summaries read every callee's body, so
+/// scheduling it function-at-a-time would break the function-pass
+/// contract (and the per-function compile cache) the moment another
+/// function's IL changed between runs.
+class SpreadPass : public ModulePass {
+public:
+  std::string name() const override { return "spread"; }
+
+  // Only DoLoop Parallel bits flip; no IL the cached analyses model is
+  // touched.
+  PreservedSet preservedAnalyses() const override {
+    return PreservedSet::all();
+  }
+
+  remarks::StatGroup run(PassContext &Ctx) override {
+    par::SpreadStats Total;
+    if (Ctx.Options.Spread.Processors > 1) {
+      par::CallSafetyAnalysis CallSafety(Ctx.Program);
+      for (const auto &FPtr : Ctx.Program.getFunctions()) {
+        il::Function &F = *FPtr;
+        par::SpreadOptions Opts = Ctx.Options.Spread;
+        Opts.Remarks = &Ctx.Remarks;
+        Opts.CallSafety = &CallSafety;
+        Opts.FortranPointerSemantics =
+            Ctx.Options.Vectorize.FortranPointerSemantics ||
+            F.hasFortranPointerSemantics();
+        const analysis::PointsToInfo *PT = nullptr;
+        const analysis::MemorySSA *MSSA = nullptr;
+        if (Ctx.Options.DepAnalysis == dep::DepAnalysisKind::MemSSA) {
+          PT = &Ctx.Analyses.pointsTo(Ctx.Program);
+          MSSA = &Ctx.Analyses.memorySSA(F);
+        }
+        dep::DependenceAnalysis DA(Ctx.Options.DepAnalysis, PT, MSSA);
+        Opts.DepAnalysis = &DA;
+        par::SpreadStats S = par::spreadFunction(F, Opts);
+        Total.LoopsConsidered += S.LoopsConsidered;
+        Total.LoopsSpread += S.LoopsSpread;
+        Total.Reductions += S.Reductions;
+        Total.RejectedDependence += S.RejectedDependence;
+        Total.RejectedCalls += S.RejectedCalls;
+        Total.RejectedScalars += S.RejectedScalars;
+        Total.RejectedStructure += S.RejectedStructure;
+        Total.RejectedUnprofitable += S.RejectedUnprofitable;
+      }
+    }
+    auto &Acc = Ctx.Stats.Spread;
+    Acc.LoopsConsidered += Total.LoopsConsidered;
+    Acc.LoopsSpread += Total.LoopsSpread;
+    Acc.Reductions += Total.Reductions;
+    Acc.RejectedDependence += Total.RejectedDependence;
+    Acc.RejectedCalls += Total.RejectedCalls;
+    Acc.RejectedScalars += Total.RejectedScalars;
+    Acc.RejectedStructure += Total.RejectedStructure;
+    Acc.RejectedUnprofitable += Total.RejectedUnprofitable;
+
+    remarks::StatGroup SG(name());
+    SG.set("loops.considered", Total.LoopsConsidered);
+    SG.set("loops.spread", Total.LoopsSpread);
+    SG.set("reductions", Total.Reductions);
+    SG.set("rejected.dependence", Total.RejectedDependence);
+    SG.set("rejected.calls", Total.RejectedCalls);
+    SG.set("rejected.scalars", Total.RejectedScalars);
+    SG.set("rejected.structure", Total.RejectedStructure);
+    SG.set("rejected.unprofitable", Total.RejectedUnprofitable);
+    return SG;
+  }
+};
+
+//===----------------------------------------------------------------------===//
 // depopt
 //===----------------------------------------------------------------------===//
 
@@ -318,6 +391,9 @@ std::unique_ptr<Pass> pipeline::createDCEPass() {
 }
 std::unique_ptr<Pass> pipeline::createVectorizePass() {
   return std::make_unique<VectorizePass>();
+}
+std::unique_ptr<Pass> pipeline::createSpreadPass() {
+  return std::make_unique<SpreadPass>();
 }
 std::unique_ptr<Pass> pipeline::createDepOptPass() {
   return std::make_unique<DepOptPass>();

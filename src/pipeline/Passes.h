@@ -11,6 +11,10 @@
 ///   ivsub      — induction-variable substitution (Section 8)
 ///   constprop  — constant propagation ⨝ unreachable-code elimination
 ///   dce        — dead-code elimination
+///   spread     — outer-loop multiprocessor spreading with call-safety
+///                summaries (Section 9); runs before vectorize so the
+///                outer loop takes the parallel region and inner loops
+///                still vectorize
 ///   vectorize  — Allen–Kennedy vectorization + strip-mining +
 ///                multiprocessor spreading (Sections 5 and 9)
 ///   depopt     — dependence-driven optimization: scalar replacement,
@@ -35,6 +39,7 @@ std::unique_ptr<Pass> createWhileToDoPass();
 std::unique_ptr<Pass> createIVSubPass();
 std::unique_ptr<Pass> createConstPropPass();
 std::unique_ptr<Pass> createDCEPass();
+std::unique_ptr<Pass> createSpreadPass();
 std::unique_ptr<Pass> createVectorizePass();
 std::unique_ptr<Pass> createDepOptPass();
 std::unique_ptr<Pass> createVerifyPass();

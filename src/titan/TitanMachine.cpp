@@ -924,6 +924,13 @@ RunResult TitanMachine::run(const std::string &Entry) {
         uint64_t Elapsed = MaxCompletion - Region.StartCompletion;
         int64_t Procs =
             std::min<int64_t>(Config.NumProcessors, Region.Chunks);
+        // A region nested inside another parallel region (e.g. a
+        // parallel strip loop in a callee invoked from a spread outer
+        // loop) gets no processors of its own: the four processors are
+        // already committed to the outer region's chunks, and dividing
+        // twice would model a 16-way machine.
+        if (!ParStack.empty())
+          Procs = 1;
         if (Procs > 1) {
           uint64_t Shrunk = Elapsed / static_cast<uint64_t>(Procs) +
                             Config.BarrierCycles;

@@ -59,6 +59,9 @@ struct TitanConfig {
   int VectorPerElement = 1;
 
   // Multiprocessor.
+  /// The Titan graphics supercomputer shipped with up to four
+  /// processors; -P is validated and clamped against this.
+  static constexpr int MaxProcessors = 4;
   int BarrierCycles = 60;
 
   /// Scoreboarded overlap of int/FP/memory pipelines.  Off = every

@@ -50,7 +50,15 @@ private:
       case Stmt::DoLoopKind: {
         auto *D = static_cast<DoLoopStmt *>(S);
         if (containsLoop(D->getBody())) {
+          // Descending into a parallel region (e.g. a spread outer
+          // loop): inner loops still vectorize, but must not open a
+          // nested parallel region — the simulator's PARBEGIN stack
+          // would shrink the same cycles twice.
+          if (D->isParallel())
+            ++ParallelDepth;
           visitBlock(D->getBody());
+          if (D->isParallel())
+            --ParallelDepth;
           break;
         }
         // Innermost loop: attempt vectorization.
@@ -68,6 +76,12 @@ private:
       }
     }
   }
+
+  /// Parallel marks are allowed only outside any enclosing parallel
+  /// loop.  The loop currently being *replaced* is not its own ancestor:
+  /// a spread innermost loop that vectorizes hands its mark to the strip
+  /// loop that takes its place.
+  bool allowParallel() const { return Opts.EnableParallel && ParallelDepth == 0; }
 
   static bool containsLoop(const Block &B) {
     bool Found = false;
@@ -283,7 +297,7 @@ private:
       // are per-iteration values (the paper allocates such variables "to
       // local memory within parallel loops"); the machine privatizes
       // them by construction.
-      if (Opts.EnableParallel && !D->isParallel()) {
+      if (allowParallel() && !D->isParallel()) {
         bool Spreadable = true;
         for (unsigned N = 0; N < Graph.statements().size(); ++N)
           if (Graph.statements()[N]->getKind() != Stmt::AssignKind ||
@@ -354,7 +368,7 @@ private:
         // vectorize for *operational* reasons (a value computation with
         // no vector form) but carries no dependence between iterations
         // can still be spread across processors.
-        if (Opts.EnableParallel) {
+        if (allowParallel()) {
           bool Spreadable = true;
           for (unsigned N : Ordered) {
             Stmt *S = Graph.statements()[N];
@@ -582,7 +596,7 @@ private:
         D->getLoc(), Vi, F.makeIntConst(IntTy, 0),
         F.cloneExpr(D->getLimit()),
         F.makeIntConst(IntTy, Opts.StripLength));
-    bool Parallel = Opts.EnableParallel;
+    bool Parallel = allowParallel();
     Strip->setParallel(Parallel);
 
     Expr *HiVal = F.makeBinary(
@@ -611,6 +625,7 @@ private:
   const VectorizeOptions &Opts;
   const Type *IntTy;
   VectorizeStats Stats;
+  int ParallelDepth = 0; ///< Enclosing parallel loops during traversal.
 };
 
 } // namespace

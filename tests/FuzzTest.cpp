@@ -257,6 +257,44 @@ TEST(FuzzOracle, EmptySpecMeansNoPasses) {
   EXPECT_EQ(R.Class, DivergenceClass::Ok) << R.Detail;
 }
 
+TEST(FuzzOracle, ProcPrefixArmsSpreading) {
+  // `@P4:` on a spec keeps the pass list intact but arms the spread pass
+  // and the vectorizer's parallel strip marks at four processors.
+  OracleOptions OO;
+  std::string Spec = driver::CompilerOptions::parallel(4).pipelineSpec();
+  driver::CompilerOptions O = oracleVariantOptions("@P4:" + Spec, OO);
+  EXPECT_EQ(O.Passes, Spec);
+  EXPECT_EQ(O.Spread.Processors, 4);
+  EXPECT_TRUE(O.Vectorize.EnableParallel);
+  // Without the prefix, spreading stays off.
+  driver::CompilerOptions Plain = oracleVariantOptions(Spec, OO);
+  EXPECT_EQ(Plain.Spread.Processors, 1);
+  // `@P4:` alone is the parallel bisection base case: zero transforms.
+  driver::CompilerOptions Empty = oracleVariantOptions("@P4:", OO);
+  EXPECT_EQ(Empty.Passes, "verify");
+  EXPECT_EQ(Empty.Spread.Processors, 4);
+}
+
+TEST(FuzzOracle, PDifferentialVariantsStayClean) {
+  GenProgram P = generateProgram(programSeed(1, 7));
+  OracleOptions OO;
+  OO.Variants = 3;
+  OO.SampleSeed = P.Seed;
+  OO.PDifferential = true;
+  OracleResult R = runOracle(P.Source, OO);
+  ASSERT_TRUE(R.RefOk) << R.RefError;
+  // 3 plain variants + the parallel(4) pipeline + the 2 sampled specs
+  // re-run under @P4:.
+  ASSERT_EQ(R.Variants.size(), 6u);
+  unsigned Prefixed = 0;
+  for (const VariantResult &V : R.Variants)
+    if (V.Spec.rfind("@P4:", 0) == 0)
+      ++Prefixed;
+  EXPECT_EQ(Prefixed, 3u);
+  EXPECT_EQ(R.worst(), DivergenceClass::Ok)
+      << R.firstBad()->Spec << ": " << R.firstBad()->Detail;
+}
+
 TEST(FuzzOracle, BisectFindsInjectedCulprit) {
   GenProgram P = generateProgram(programSeed(1, 4));
   OracleOptions OO;

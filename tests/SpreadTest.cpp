@@ -1,0 +1,447 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The spread pass and its call-safety analysis: summary construction,
+/// legality and profitability rejections (with missedParallel remarks),
+/// reduction handling, hardened -P parsing, and the differential bar —
+/// every corpus program and every kernel of both suites must produce
+/// word-identical named-global memory at P=1 and P=4.  `do parallel`
+/// marks change the timing model, never what the program computes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ablate/Kernels.h"
+#include "driver/Compiler.h"
+#include "driver/ToolMain.h"
+#include "parallel/CallSafety.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+using namespace tcc;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Helpers
+//===----------------------------------------------------------------------===//
+
+/// Compiles without running; the caller inspects IL / stats / remarks.
+std::unique_ptr<driver::CompileResult>
+compileWith(const std::string &Source, const driver::CompilerOptions &Opts) {
+  auto R = driver::compileSource(Source, Opts);
+  EXPECT_TRUE(R->ok()) << R->Diags.str();
+  return R;
+}
+
+driver::CompilerOptions suiteOptions(const ablate::ParallelKernel &K, int P) {
+  driver::CompilerOptions O = P > 1 ? driver::CompilerOptions::parallel(P)
+                                    : driver::CompilerOptions::full();
+  if (K.DisableInline)
+    O.EnableInline = false;
+  return O;
+}
+
+/// All remark messages from \p Pass of \p Kind, concatenated for
+/// substring assertions.
+std::string remarkText(const remarks::CompilationTelemetry &T,
+                       const std::string &Pass, remarks::RemarkKind Kind) {
+  std::string Out;
+  for (const remarks::Remark &R : T.Remarks)
+    if (R.Pass == Pass && R.Kind == Kind) {
+      Out += R.Message;
+      Out += '\n';
+    }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Call-safety summaries
+//===----------------------------------------------------------------------===//
+
+/// IL for summary unit tests: only loop and induction-variable
+/// canonicalization run (no inlining, no vectorize), so the summaries
+/// see DO loops with clean index subscripts — the same shape the spread
+/// pass sees mid-pipeline.
+std::unique_ptr<driver::CompileResult> lowerOnly(const std::string &Source) {
+  driver::CompilerOptions O = driver::CompilerOptions::noOpt();
+  O.EnableWhileToDo = true;
+  O.EnableIVSub = true;
+  O.EnableConstProp = true;
+  O.EnableDCE = true;
+  O.Passes = "whiletodo,ivsub,constprop,dce";
+  return compileWith(Source, O);
+}
+
+TEST(CallSafety, BoundedParamWindows) {
+  auto R = lowerOnly(R"(
+    void scale(float *dst, float *src, float s) {
+      int j;
+      for (j = 0; j < 128; j++)
+        dst[j] = s * src[j];
+    }
+    void main() {}
+  )");
+  par::CallSafetyAnalysis CS(*R->IL);
+  const par::CalleeSummary *S = CS.summary("scale");
+  ASSERT_NE(S, nullptr);
+  EXPECT_TRUE(S->HasBody);
+  EXPECT_FALSE(S->Recursive);
+  EXPECT_FALSE(S->UnknownWrites);
+  EXPECT_TRUE(S->GlobalWrites.empty());
+  ASSERT_EQ(S->ParamWrites.size(), 3u);
+  EXPECT_TRUE(S->ParamWrites[0].Accessed);
+  EXPECT_TRUE(S->ParamWrites[0].Bounded);
+  EXPECT_EQ(S->ParamWrites[0].Lo, 0);
+  EXPECT_EQ(S->ParamWrites[0].Hi, 128 * 4);
+  EXPECT_FALSE(S->ParamWrites[1].Accessed); // src is only read
+  EXPECT_TRUE(S->ParamReads[1].Accessed);
+  EXPECT_TRUE(S->ParamReads[1].Bounded);
+  EXPECT_FALSE(S->pure());
+}
+
+TEST(CallSafety, GlobalWriteIsRecorded) {
+  auto R = lowerOnly(R"(
+    float acc;
+    void bump(float *dst) {
+      acc = acc + 1.0;
+      dst[0] = acc;
+    }
+    void main() {}
+  )");
+  par::CallSafetyAnalysis CS(*R->IL);
+  const par::CalleeSummary *S = CS.summary("bump");
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S->GlobalWrites.count("acc"), 1u);
+  EXPECT_EQ(S->GlobalReads.count("acc"), 1u);
+  EXPECT_FALSE(S->pure());
+}
+
+TEST(CallSafety, PureFunction) {
+  auto R = lowerOnly(R"(
+    float table[64];
+    float probe(float *p) {
+      return p[3] + table[5];
+    }
+    void main() {}
+  )");
+  par::CallSafetyAnalysis CS(*R->IL);
+  const par::CalleeSummary *S = CS.summary("probe");
+  ASSERT_NE(S, nullptr);
+  EXPECT_TRUE(S->pure());
+  EXPECT_EQ(S->GlobalReads.count("table"), 1u);
+  ASSERT_GE(S->ParamReads.size(), 1u);
+  EXPECT_TRUE(S->ParamReads[0].Bounded);
+  EXPECT_EQ(S->ParamReads[0].Lo, 12);
+  EXPECT_EQ(S->ParamReads[0].Hi, 16);
+}
+
+TEST(CallSafety, RecursionIsUnknown) {
+  auto R = lowerOnly(R"(
+    int count(int n) {
+      if (n <= 0)
+        return 0;
+      return 1 + count(n - 1);
+    }
+    void main() {}
+  )");
+  par::CallSafetyAnalysis CS(*R->IL);
+  const par::CalleeSummary *S = CS.summary("count");
+  ASSERT_NE(S, nullptr);
+  EXPECT_TRUE(S->Recursive);
+  EXPECT_TRUE(S->UnknownWrites);
+}
+
+TEST(CallSafety, CompositionThroughCalls) {
+  // outer writes inner's window shifted by the +4 element offset.
+  auto R = lowerOnly(R"(
+    void inner(float *q) {
+      q[0] = 1.0;
+      q[1] = 2.0;
+    }
+    void outer(float *p) {
+      inner(&p[4]);
+    }
+    void main() {}
+  )");
+  par::CallSafetyAnalysis CS(*R->IL);
+  const par::CalleeSummary *S = CS.summary("outer");
+  ASSERT_NE(S, nullptr);
+  EXPECT_FALSE(S->UnknownWrites);
+  ASSERT_GE(S->ParamWrites.size(), 1u);
+  EXPECT_TRUE(S->ParamWrites[0].Bounded);
+  EXPECT_EQ(S->ParamWrites[0].Lo, 16);
+  EXPECT_EQ(S->ParamWrites[0].Hi, 24);
+}
+
+//===----------------------------------------------------------------------===//
+// Spread pass behavior on the scaling suite
+//===----------------------------------------------------------------------===//
+
+TEST(Spread, SafeCallLoopSpreads) {
+  const ablate::ParallelKernel *K = ablate::findParallelKernel("spreadcall");
+  ASSERT_NE(K, nullptr);
+  auto R = compileWith(K->Source, suiteOptions(*K, 4));
+  EXPECT_GE(R->Stats.Spread.LoopsSpread, 1u);
+  EXPECT_EQ(R->Stats.Spread.RejectedCalls, 0u);
+  // The call loop itself (trip 8) must be among the spread loops.
+  EXPECT_NE(remarkText(R->Telemetry, "spread", remarks::RemarkKind::Applied)
+                .find("trip 8"),
+            std::string::npos);
+}
+
+TEST(Spread, ImpureCalleeBlocksSpreading) {
+  const ablate::ParallelKernel *K =
+      ablate::findParallelKernel("spreadcall_unsafe");
+  ASSERT_NE(K, nullptr);
+  auto R = compileWith(K->Source, suiteOptions(*K, 4));
+  EXPECT_GE(R->Stats.Spread.RejectedCalls, 1u);
+  std::string Missed =
+      remarkText(R->Telemetry, "spread", remarks::RemarkKind::Missed);
+  EXPECT_NE(Missed.find("call to 'bump'"), std::string::npos) << Missed;
+  EXPECT_NE(Missed.find("writes global 'acc'"), std::string::npos) << Missed;
+}
+
+TEST(Spread, RecurrenceIsRejectedWithAccessPair) {
+  const ablate::ParallelKernel *K = ablate::findParallelKernel("tridiag");
+  ASSERT_NE(K, nullptr);
+  auto R = compileWith(K->Source, suiteOptions(*K, 4));
+  EXPECT_GE(R->Stats.Spread.RejectedDependence, 1u);
+  bool FoundPair = false;
+  for (const remarks::Remark &Rk : R->Telemetry.Remarks) {
+    if (Rk.Pass != "spread" || Rk.Kind != remarks::RemarkKind::Missed)
+      continue;
+    for (const auto &[Key, Val] : Rk.Args)
+      if (Key == "refA" && Val.find("x") != std::string::npos)
+        FoundPair = true;
+  }
+  EXPECT_TRUE(FoundPair)
+      << "missedParallel remark should carry the blocking access pair";
+}
+
+TEST(Spread, ReductionSpreads) {
+  const ablate::ParallelKernel *K = ablate::findParallelKernel("innerprod");
+  ASSERT_NE(K, nullptr);
+  auto R = compileWith(K->Source, suiteOptions(*K, 4));
+  EXPECT_GE(R->Stats.Spread.Reductions, 1u);
+  EXPECT_GE(R->Stats.Spread.LoopsSpread, 1u);
+}
+
+TEST(Spread, OuterLoopOfNestSpreads) {
+  const ablate::ParallelKernel *K = ablate::findParallelKernel("stencil2d");
+  ASSERT_NE(K, nullptr);
+  auto R = compileWith(K->Source, suiteOptions(*K, 4));
+  EXPECT_GE(R->Stats.Spread.LoopsSpread, 1u);
+  // The outer row loop (trip 64) is the one the pass must take.
+  EXPECT_NE(remarkText(R->Telemetry, "spread", remarks::RemarkKind::Applied)
+                .find("trip 64"),
+            std::string::npos);
+}
+
+TEST(Spread, SmallTripIsUnprofitable) {
+  auto R = compileWith(R"(
+    float a[8];
+    void main() {
+      int i;
+      for (i = 0; i < 2; i++)
+        a[i] = i;
+    }
+  )",
+                       driver::CompilerOptions::parallel(4));
+  EXPECT_EQ(R->Stats.Spread.LoopsSpread, 0u);
+  EXPECT_GE(R->Stats.Spread.RejectedUnprofitable, 1u);
+}
+
+TEST(Spread, GateOffAtOneProcessor) {
+  const ablate::ParallelKernel *K = ablate::findParallelKernel("hydro");
+  ASSERT_NE(K, nullptr);
+  auto R = compileWith(K->Source, suiteOptions(*K, 1));
+  EXPECT_EQ(R->Stats.Spread.LoopsConsidered, 0u);
+  EXPECT_EQ(R->Stats.Spread.LoopsSpread, 0u);
+}
+
+TEST(Spread, SpecAndFingerprintIncludeSpread) {
+  driver::CompilerOptions Par = driver::CompilerOptions::parallel(3);
+  EXPECT_NE(Par.pipelineSpec().find("spread"), std::string::npos);
+  EXPECT_EQ(driver::CompilerOptions::full().pipelineSpec().find("spread"),
+            std::string::npos);
+  // Different -P targets must never share compile-cache entries.
+  EXPECT_NE(driver::configFingerprint(driver::CompilerOptions::parallel(2)),
+            driver::configFingerprint(driver::CompilerOptions::parallel(4)));
+}
+
+//===----------------------------------------------------------------------===//
+// Hardened -P parsing
+//===----------------------------------------------------------------------===//
+
+TEST(ProcessorFlag, RejectsNonNumeric) {
+  driver::ToolInvocation Inv;
+  std::string Error;
+  EXPECT_FALSE(driver::parseToolArgs({"-P", "junk", "x.c"}, Inv, Error));
+  EXPECT_NE(Error.find("junk"), std::string::npos);
+}
+
+TEST(ProcessorFlag, RejectsZeroAndNegative) {
+  for (const char *Bad : {"0", "-3"}) {
+    driver::ToolInvocation Inv;
+    std::string Error;
+    EXPECT_FALSE(driver::parseToolArgs({"-P", Bad, "x.c"}, Inv, Error))
+        << Bad;
+    EXPECT_FALSE(Error.empty());
+  }
+}
+
+TEST(ProcessorFlag, RejectsTrailingGarbage) {
+  driver::ToolInvocation Inv;
+  std::string Error;
+  EXPECT_FALSE(driver::parseToolArgs({"-P", "2x", "x.c"}, Inv, Error));
+}
+
+TEST(ProcessorFlag, ClampsToTitanMaximum) {
+  driver::ToolInvocation Inv;
+  std::string Error;
+  ASSERT_TRUE(driver::parseToolArgs({"-P", "8", "x.c"}, Inv, Error)) << Error;
+  EXPECT_EQ(Inv.Machine.NumProcessors, titan::TitanConfig::MaxProcessors);
+  EXPECT_EQ(Inv.Opts.Spread.Processors, titan::TitanConfig::MaxProcessors);
+}
+
+TEST(ProcessorFlag, ValidCountConfiguresSpread) {
+  driver::ToolInvocation Inv;
+  std::string Error;
+  ASSERT_TRUE(driver::parseToolArgs({"-P", "3", "x.c"}, Inv, Error)) << Error;
+  EXPECT_EQ(Inv.Machine.NumProcessors, 3);
+  EXPECT_EQ(Inv.Opts.Spread.Processors, 3);
+  EXPECT_TRUE(Inv.Opts.Vectorize.EnableParallel);
+}
+
+TEST(ProcessorFlag, OneProcessorDisablesParallel) {
+  driver::ToolInvocation Inv;
+  std::string Error;
+  ASSERT_TRUE(driver::parseToolArgs({"-P", "1", "x.c"}, Inv, Error)) << Error;
+  EXPECT_EQ(Inv.Machine.NumProcessors, 1);
+  EXPECT_EQ(Inv.Opts.Spread.Processors, 1);
+  EXPECT_FALSE(Inv.Opts.Vectorize.EnableParallel);
+}
+
+//===----------------------------------------------------------------------===//
+// The P=1 vs P=4 memory differential
+//===----------------------------------------------------------------------===//
+
+struct DiffInput {
+  std::string Name;
+  std::string Source;
+  bool DisableInline = false;
+};
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+std::vector<DiffInput> diffInputs() {
+  std::vector<DiffInput> Out;
+  const std::filesystem::path Dir(TCC_CORPUS_DIR);
+  std::vector<std::string> Paths;
+  for (const auto &Entry : std::filesystem::directory_iterator(Dir))
+    if (Entry.path().extension() == ".c")
+      Paths.push_back(Entry.path().string());
+  std::sort(Paths.begin(), Paths.end());
+  for (const std::string &P : Paths)
+    Out.push_back({"corpus_" + std::filesystem::path(P).stem().string(),
+                   readFile(P), false});
+  for (const ablate::BenchKernel &K : ablate::benchKernels())
+    Out.push_back({"kernel_" + K.Name, K.Source, false});
+  for (const ablate::ParallelKernel &K : ablate::parallelKernels())
+    Out.push_back({"suite_" + K.Name, K.Source, K.DisableInline});
+  return Out;
+}
+
+/// Word-for-word comparison of every named global between the serial and
+/// the spread build (the DifferentialTest pattern: compare by (name,
+/// contents), since the two builds may differ in vectorizer
+/// temporaries).
+void compareGlobals(const driver::RunOutcome &Ref,
+                    const driver::RunOutcome &Var, const std::string &Name) {
+  const titan::TitanProgram &RefP = Ref.Compile->Machine;
+  const titan::TitanProgram &VarP = Var.Compile->Machine;
+  std::vector<std::pair<std::string, int64_t>> Extents(
+      RefP.GlobalAddresses.begin(), RefP.GlobalAddresses.end());
+  std::sort(Extents.begin(), Extents.end(),
+            [](const auto &A, const auto &B) { return A.second < B.second; });
+  for (size_t I = 0; I < Extents.size(); ++I) {
+    int64_t End =
+        (I + 1 < Extents.size()) ? Extents[I + 1].second : RefP.GlobalSize;
+    auto It = VarP.GlobalAddresses.find(Extents[I].first);
+    ASSERT_NE(It, VarP.GlobalAddresses.end())
+        << Name << ": global '" << Extents[I].first << "' missing at P=4";
+    int64_t Words = (End - Extents[I].second) / 4;
+    for (int64_t W = 0; W < Words; ++W) {
+      int32_t R = Ref.Machine->readInt(Extents[I].second + 4 * W);
+      int32_t V = Var.Machine->readInt(It->second + 4 * W);
+      ASSERT_EQ(R, V) << Name << ": global '" << Extents[I].first
+                      << "' word " << W << " diverges between P=1 and P=4";
+    }
+  }
+}
+
+class SpreadDifferential : public ::testing::TestWithParam<DiffInput> {};
+
+std::string testName(const ::testing::TestParamInfo<DiffInput> &Info) {
+  std::string N = Info.param.Name;
+  for (char &C : N)
+    if (!std::isalnum(static_cast<unsigned char>(C)))
+      C = '_';
+  return N;
+}
+
+} // namespace
+
+TEST_P(SpreadDifferential, IdenticalMemory) {
+  const DiffInput &In = GetParam();
+  ASSERT_FALSE(In.Source.empty()) << In.Name;
+
+  driver::CompilerOptions SerialOpts = driver::CompilerOptions::full();
+  driver::CompilerOptions SpreadOpts = driver::CompilerOptions::parallel(4);
+  SerialOpts.EnableInline = SpreadOpts.EnableInline = !In.DisableInline;
+  titan::TitanConfig One, Four;
+  One.NumProcessors = 1;
+  Four.NumProcessors = 4;
+
+  driver::RunOutcome Ref =
+      driver::compileAndRun(In.Source, SerialOpts, One);
+  ASSERT_TRUE(Ref.Compile->ok()) << In.Name << ": P=1 compile failed";
+  ASSERT_TRUE(Ref.Run.Ok) << In.Name << ": P=1 run failed: " << Ref.Run.Error;
+
+  driver::RunOutcome Var =
+      driver::compileAndRun(In.Source, SpreadOpts, Four);
+  ASSERT_TRUE(Var.Compile->ok()) << In.Name << ": P=4 compile failed";
+  ASSERT_TRUE(Var.Run.Ok) << In.Name << ": P=4 run failed: " << Var.Run.Error;
+
+  compareGlobals(Ref, Var, In.Name);
+}
+
+TEST(SpreadDifferential, InputsArePresent) {
+  size_t Corpus = 0, Suite = 0, Kernels = 0;
+  for (const DiffInput &In : diffInputs()) {
+    if (In.Name.rfind("corpus_", 0) == 0)
+      ++Corpus;
+    else if (In.Name.rfind("suite_", 0) == 0)
+      ++Suite;
+    else
+      ++Kernels;
+  }
+  EXPECT_GE(Corpus, 10u);
+  EXPECT_GE(Suite, 6u);
+  EXPECT_GE(Kernels, 5u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllInputs, SpreadDifferential,
+                         ::testing::ValuesIn(diffInputs()), testName);
